@@ -1,0 +1,142 @@
+// Ablation B: the extension learners against the paper's set.
+// (1) Regulariser family — EWC vs MAS vs SI vs plain Naive-NN — on the
+//     five representative datasets.
+// (2) Detect-and-reset (§2.2's proposed strategy) vs its naive base on
+//     abrupt-drift vs stationary streams: does resetting at drift alarms
+//     pay, and what does it cost when there is no drift?
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/drift_reset.h"
+
+namespace oebench {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  bench::PrintHeader("Ablation B1",
+                     "Regularisation family (loss, mean over seeds)");
+  const std::vector<std::string> learners = {"Naive-NN", "EWC", "MAS",
+                                             "SI"};
+  std::printf("%-12s", "Dataset");
+  for (const std::string& name : learners) {
+    std::printf(" %10s", name.c_str());
+  }
+  std::printf("\n");
+  LearnerConfig config;
+  config.seed = flags.seed;
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    PreparedStream stream =
+        bench::MakePrepared(info.short_name, flags.scale);
+    std::printf("%-12s", info.short_name.c_str());
+    for (const std::string& name : learners) {
+      std::printf(" %10.4f",
+                  RunRepeated(name, config, stream, flags.repeats)
+                      .loss_mean);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected: the three regularisers track Naive-NN closely — the\n"
+      "paper's conclusion that regularisation-based incremental learning\n"
+      "brings little on open-environment streams extends to MAS and SI.\n");
+
+  bench::PrintHeader("Ablation B2",
+                     "Detect-and-reset vs naive base (abrupt vs "
+                     "stationary streams)");
+  std::printf("%-12s %-16s %12s %12s %8s\n", "regime", "learner",
+              "mean loss", "post-drift", "resets");
+  for (bool drifting : {true, false}) {
+    StreamSpec spec = RepresentativeSpec("POWER", flags.scale);
+    spec.drift_pattern =
+        drifting ? DriftPattern::kAbrupt : DriftPattern::kNone;
+    spec.drift_magnitude = drifting ? 3.0 : 0.0;
+    Result<GeneratedStream> stream = GenerateStream(spec);
+    OE_CHECK(stream.ok());
+    Result<PreparedStream> prepared = PrepareStream(*stream);
+    OE_CHECK(prepared.ok());
+    for (const char* name : {"Naive-NN", "DriftReset-NN", "Naive-DT",
+                             "DriftReset-DT"}) {
+      Result<std::unique_ptr<StreamLearner>> learner =
+          MakeLearner(name, config, prepared->task,
+                      prepared->num_classes);
+      OE_CHECK(learner.ok());
+      EvalResult result = RunPrequential(learner->get(), *prepared);
+      // Post-drift loss: mean over the second half of windows.
+      double post = 0.0;
+      size_t half = result.per_window_loss.size() / 2;
+      for (size_t w = half; w < result.per_window_loss.size(); ++w) {
+        post += result.per_window_loss[w];
+      }
+      post /= static_cast<double>(result.per_window_loss.size() - half);
+      auto* reset_learner =
+          dynamic_cast<DriftResetLearner*>(learner->get());
+      std::printf("%-12s %-16s %12.4f %12.4f %8s\n",
+                  drifting ? "abrupt" : "stationary", name,
+                  result.mean_loss, post,
+                  reset_learner != nullptr
+                      ? std::to_string(reset_learner->resets()).c_str()
+                      : "-");
+      std::fflush(stdout);
+    }
+  }
+  bench::PrintHeader("Ablation B3",
+                     "ARF vs OzaBag: what does per-tree drift detection "
+                     "buy?");
+  std::printf("%-12s %-10s %12s %12s\n", "regime", "learner", "mean loss",
+              "post-drift");
+  for (bool drifting : {true, false}) {
+    StreamSpec spec = RepresentativeSpec("INSECTS", flags.scale);
+    spec.drift_pattern =
+        drifting ? DriftPattern::kAbrupt : DriftPattern::kNone;
+    spec.drift_magnitude = drifting ? 3.0 : 0.0;
+    Result<GeneratedStream> stream = GenerateStream(spec);
+    OE_CHECK(stream.ok());
+    Result<PreparedStream> prepared = PrepareStream(*stream);
+    OE_CHECK(prepared.ok());
+    for (const char* name : {"ARF", "OzaBag"}) {
+      Result<std::unique_ptr<StreamLearner>> learner = MakeLearner(
+          name, config, prepared->task, prepared->num_classes);
+      OE_CHECK(learner.ok());
+      EvalResult result = RunPrequential(learner->get(), *prepared);
+      double post = 0.0;
+      size_t half = result.per_window_loss.size() / 2;
+      for (size_t w = half; w < result.per_window_loss.size(); ++w) {
+        post += result.per_window_loss[w];
+      }
+      post /= static_cast<double>(result.per_window_loss.size() - half);
+      std::printf("%-12s %-10s %12.4f %12.4f\n",
+                  drifting ? "abrupt" : "stationary", name,
+                  result.mean_loss, post);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nReading (B3): both ensembles share Hoeffding-NB trees, Poisson\n"
+      "bagging and sqrt(d) subspaces; ARF adds per-tree ADWIN +\n"
+      "background trees. Measured: the two tie on stationary streams,\n"
+      "and under abrupt drift the *bagging* baseline wins — the leaf\n"
+      "statistics of an incremental NB tree track the new concept\n"
+      "in-place, while ARF's tree replacement restarts cold and pays for\n"
+      "it. This isolates mechanically what the paper observes end to\n"
+      "end: ARF's extra machinery does not deliver an effectiveness\n"
+      "boost on these streams (§6.3).\n");
+
+  std::printf(
+      "\nReading: detect-and-reset is NOT a free win — for trees that\n"
+      "retrain per window the reset is a no-op, and for the NN the reset\n"
+      "discards a useful warm start unless the drift is catastrophic\n"
+      "(the §5.3 blow-up case, where the wrapper's non-finite-loss reset\n"
+      "is the only way to recover). On stationary streams it must stay\n"
+      "quiet (resets ~0) and pay nothing. This extends the paper's\n"
+      "'no silver bullet' finding to the §2.2 strategy itself.\n");
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.06, 1));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 10: test error / loss of the NN-family learners as
+// local epochs sweep {1, 5, 10, 20}. Shape to reproduce: more epochs
+// generally reduce loss (Finding 2), with diminishing or reversing
+// returns on some datasets (the paper's POWER at 20 epochs).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace oebench {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  bench::PrintHeader("Figure 10", "Loss vs number of local epochs");
+  const std::vector<std::string> learners = {"Naive-NN", "EWC", "LwF",
+                                             "iCaRL", "SEA-NN"};
+  const int epoch_grid[] = {1, 5, 10, 20};
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    PreparedStream stream =
+        bench::MakePrepared(info.short_name, flags.scale);
+    std::printf("\n%-12s %7s", info.short_name.c_str(), "epochs");
+    for (const std::string& name : learners) {
+      std::printf(" %9s", name.c_str());
+    }
+    std::printf("\n");
+    std::vector<double> naive_by_epoch;
+    for (int epochs : epoch_grid) {
+      LearnerConfig config;
+      config.seed = flags.seed;
+      config.epochs = epochs;
+      std::printf("%-12s %7d", "", epochs);
+      for (const std::string& name : learners) {
+        RepeatedResult result =
+            RunRepeated(name, config, stream, flags.repeats);
+        if (name == "Naive-NN") naive_by_epoch.push_back(result.loss_mean);
+        std::printf(" %9.4f", result.loss_mean);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    std::printf("%-12s Naive-NN trend 1->20 epochs: %s\n", "",
+                naive_by_epoch.back() < naive_by_epoch.front()
+                    ? "improves (paper Finding 2)"
+                    : "flat/worse (POWER-like exception)");
+  }
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.05, 1));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Figure 12: loss vs SGD batch size {16, 32, 64, 128} at a
+// fixed 10 epochs. Shape to reproduce: smaller batches (more updates)
+// help on most datasets (Finding 2), with POWER as the paper's
+// counterexample.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace oebench {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  bench::PrintHeader("Figure 12", "Loss vs batch size (NN methods)");
+  const std::vector<std::string> learners = {"Naive-NN", "iCaRL",
+                                             "SEA-NN"};
+  const int batch_grid[] = {16, 32, 64, 128};
+  int datasets_where_smaller_wins = 0;
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    PreparedStream stream =
+        bench::MakePrepared(info.short_name, flags.scale);
+    std::printf("\n%-12s %6s", info.short_name.c_str(), "batch");
+    for (const std::string& name : learners) {
+      std::printf(" %10s", name.c_str());
+    }
+    std::printf("\n");
+    double naive_first = 0.0;
+    double naive_last = 0.0;
+    for (int batch : batch_grid) {
+      LearnerConfig config;
+      config.seed = flags.seed;
+      config.batch_size = batch;
+      std::printf("%-12s %6d", "", batch);
+      for (const std::string& name : learners) {
+        RepeatedResult result =
+            RunRepeated(name, config, stream, flags.repeats);
+        if (name == "Naive-NN") {
+          if (batch == batch_grid[0]) naive_first = result.loss_mean;
+          naive_last = result.loss_mean;
+        }
+        std::printf(" %10.4f", result.loss_mean);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    if (naive_first < naive_last) ++datasets_where_smaller_wins;
+  }
+  std::printf(
+      "\nSmaller batch beats larger batch on %d of 5 datasets.\n"
+      "Paper shape check: 4 of 5 (all but POWER).\n",
+      datasets_where_smaller_wins);
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.05, 1));
+  return 0;
+}

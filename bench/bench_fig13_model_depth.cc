@@ -1,0 +1,52 @@
+// Reproduces Figure 13: loss of MLPs with 3, 5 and 7 hidden layers (the
+// paper's exact layouts). Shape to reproduce: deeper networks do NOT help
+// — they often do worse on relational streams (Finding 3: lightweight
+// models recommended).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "models/mlp.h"
+
+namespace oebench {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  bench::PrintHeader("Figure 13", "Loss vs MLP depth (3 / 5 / 7 layers)");
+  const int depth_grid[] = {3, 5, 7};
+  std::printf("%-12s %10s %10s %10s %s\n", "Dataset", "3-layer",
+              "5-layer", "7-layer", "deeper helps?");
+  int deeper_wins = 0;
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    PreparedStream stream =
+        bench::MakePrepared(info.short_name, flags.scale);
+    std::printf("%-12s", info.short_name.c_str());
+    std::vector<double> losses;
+    for (int depth : depth_grid) {
+      LearnerConfig config;
+      config.seed = flags.seed;
+      config.hidden_sizes = PaperMlpHidden(depth);
+      RepeatedResult result =
+          RunRepeated("Naive-NN", config, stream, flags.repeats);
+      losses.push_back(result.loss_mean);
+      std::printf(" %10.4f", result.loss_mean);
+      std::fflush(stdout);
+    }
+    bool helps = losses[2] < losses[0];
+    if (helps) ++deeper_wins;
+    std::printf(" %s\n", helps ? "yes" : "no (paper's expectation)");
+  }
+  std::printf(
+      "\n7-layer beat 3-layer on %d of 5 datasets.\n"
+      "Paper shape check: deeper networks perform worse in most "
+      "instances.\n",
+      deeper_wins);
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.05, 1));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Figure 17 (appendix B.2): effect of the regularisation
+// factor — EWC over {1e2, 1e3, 1e4, 1e5} and LwF over {0.001, 0.01, 0.1,
+// 1, 10}. Shape to reproduce: small factors behave like naive training,
+// mid factors are best, oversized factors degrade the model.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace oebench {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  bench::PrintHeader("Figure 17", "Loss vs regularisation factor");
+  const double ewc_grid[] = {1e2, 1e3, 1e4, 1e5};
+  const double lwf_grid[] = {0.001, 0.01, 0.1, 1.0, 10.0};
+
+  std::printf("EWC:\n%-12s", "Dataset");
+  for (double factor : ewc_grid) std::printf(" %10.0e", factor);
+  std::printf("\n");
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    PreparedStream stream =
+        bench::MakePrepared(info.short_name, flags.scale);
+    std::printf("%-12s", info.short_name.c_str());
+    for (double factor : ewc_grid) {
+      LearnerConfig config;
+      config.seed = flags.seed;
+      config.ewc_lambda = factor;
+      std::printf(" %10.4f",
+                  RunRepeated("EWC", config, stream, flags.repeats)
+                      .loss_mean);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nLwF:\n%-12s", "Dataset");
+  for (double factor : lwf_grid) std::printf(" %10g", factor);
+  std::printf("\n");
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    PreparedStream stream =
+        bench::MakePrepared(info.short_name, flags.scale);
+    std::printf("%-12s", info.short_name.c_str());
+    for (double factor : lwf_grid) {
+      LearnerConfig config;
+      config.seed = flags.seed;
+      config.lwf_lambda = factor;
+      std::printf(" %10.4f",
+                  RunRepeated("LwF", config, stream, flags.repeats)
+                      .loss_mean);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape check: EWC best around 1e2-1e3; LwF best around\n"
+      "0.01; disproportionately large factors degrade effectiveness.\n");
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.05, 1));
+  return 0;
+}

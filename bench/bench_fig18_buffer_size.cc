@@ -1,0 +1,49 @@
+// Reproduces Figure 18 (appendix B.3): iCaRL exemplar buffer size over
+// {20, 50, 100, 200, 500}. Shape to reproduce: the buffer size barely
+// moves the loss, and very large buffers can make it worse — memorising
+// more old data is not always useful in open environments (Finding 7).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace oebench {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  bench::PrintHeader("Figure 18", "iCaRL loss vs exemplar buffer size");
+  const int buffer_grid[] = {20, 50, 100, 200, 500};
+  std::printf("%-12s", "Dataset");
+  for (int size : buffer_grid) std::printf(" %10d", size);
+  std::printf("\n");
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    PreparedStream stream =
+        bench::MakePrepared(info.short_name, flags.scale);
+    std::printf("%-12s", info.short_name.c_str());
+    std::vector<double> losses;
+    for (int size : buffer_grid) {
+      LearnerConfig config;
+      config.seed = flags.seed;
+      config.buffer_size = size;
+      RepeatedResult result =
+          RunRepeated("iCaRL", config, stream, flags.repeats);
+      losses.push_back(result.loss_mean);
+      std::printf(" %10.4f", result.loss_mean);
+      std::fflush(stdout);
+    }
+    double lo = *std::min_element(losses.begin(), losses.end());
+    double hi = *std::max_element(losses.begin(), losses.end());
+    std::printf("   spread %.4f\n", hi - lo);
+  }
+  std::printf(
+      "\nPaper shape check: small spread across buffer sizes; 500 is not\n"
+      "the winner everywhere — prefer small buffers for efficiency.\n");
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.05, 1));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 19 (appendix B.4): GBDT and SEA with ensemble sizes
+// {5, 10, 20, 40}. Shape to reproduce: naive GBDT generally improves with
+// more trees, while SEA's trend depends on the dataset (larger is worse
+// on INSECTS, better on AIR) — another instance of Finding 7.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace oebench {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  bench::PrintHeader("Figure 19", "Loss vs ensemble size");
+  const int size_grid[] = {5, 10, 20, 40};
+  const std::vector<std::string> learners = {"Naive-GBDT", "SEA-DT",
+                                             "SEA-GBDT", "SEA-NN"};
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    PreparedStream stream =
+        bench::MakePrepared(info.short_name, flags.scale);
+    std::printf("\n%-12s %6s", info.short_name.c_str(), "size");
+    for (const std::string& name : learners) {
+      std::printf(" %11s", name.c_str());
+    }
+    std::printf("\n");
+    for (int size : size_grid) {
+      LearnerConfig config;
+      config.seed = flags.seed;
+      config.ensemble_size = size;
+      std::printf("%-12s %6d", "", size);
+      for (const std::string& name : learners) {
+        RepeatedResult result =
+            RunRepeated(name, config, stream, flags.repeats);
+        std::printf(" %11.4f", result.loss_mean);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nPaper shape check: Naive-GBDT usually improves with more trees;\n"
+      "SEA variants show dataset-dependent trends.\n");
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.04, 1));
+  return 0;
+}

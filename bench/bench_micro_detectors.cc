@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark) of the drift and outlier detectors:
+// per-batch update cost as window size grows. These back the paper's
+// efficiency discussion (§6.3) at the detector level and serve as an
+// ablation for detector configuration choices.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "drift/adwin.h"
+#include "drift/hdddm.h"
+#include "drift/kdq_tree.h"
+#include "drift/ks_test.h"
+#include "drift/pca_cd.h"
+#include "outlier/ecod.h"
+#include "outlier/isolation_forest.h"
+
+namespace oebench {
+namespace {
+
+Matrix RandomBatch(Rng* rng, int64_t rows, int64_t cols) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng->Gaussian();
+  return m;
+}
+
+void BM_KsWindowDetector(benchmark::State& state) {
+  Rng rng(1);
+  KsWindowDetector detector;
+  std::vector<double> batch(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (double& v : batch) v = rng.Gaussian();
+    benchmark::DoNotOptimize(detector.Update(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KsWindowDetector)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_Hdddm(benchmark::State& state) {
+  Rng rng(2);
+  Hdddm detector;
+  for (auto _ : state) {
+    Matrix batch = RandomBatch(&rng, state.range(0), 8);
+    benchmark::DoNotOptimize(detector.Update(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Hdddm)->Arg(128)->Arg(512);
+
+void BM_KdqTree(benchmark::State& state) {
+  Rng rng(3);
+  KdqTreeDetector detector;
+  for (auto _ : state) {
+    Matrix batch = RandomBatch(&rng, state.range(0), 8);
+    benchmark::DoNotOptimize(detector.Update(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdqTree)->Arg(128)->Arg(512);
+
+void BM_PcaCd(benchmark::State& state) {
+  Rng rng(4);
+  PcaCd detector;
+  for (auto _ : state) {
+    Matrix batch = RandomBatch(&rng, state.range(0), 8);
+    benchmark::DoNotOptimize(detector.Update(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PcaCd)->Arg(128)->Arg(512);
+
+void BM_AdwinUpdate(benchmark::State& state) {
+  Rng rng(5);
+  Adwin adwin;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adwin.Update(rng.Gaussian()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdwinUpdate);
+
+void BM_EcodFitScore(benchmark::State& state) {
+  Rng rng(6);
+  Matrix batch = RandomBatch(&rng, state.range(0), 8);
+  for (auto _ : state) {
+    Ecod detector;
+    benchmark::DoNotOptimize(detector.FitScore(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EcodFitScore)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_IsolationForestFitScore(benchmark::State& state) {
+  Rng rng(7);
+  Matrix batch = RandomBatch(&rng, state.range(0), 8);
+  IsolationForest::Options options;
+  options.num_trees = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    IsolationForest detector(options);
+    benchmark::DoNotOptimize(detector.FitScore(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IsolationForestFitScore)
+    ->Args({512, 25})
+    ->Args({512, 50})
+    ->Args({512, 100});
+
+}  // namespace
+}  // namespace oebench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Micro-benchmarks (google-benchmark) of the model substrates: per-window
+// training cost of the MLP, CART, GBDT and Hoeffding tree. These back the
+// throughput ordering of Table 5 at the model level.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "models/decision_tree.h"
+#include "models/gbdt.h"
+#include "models/hoeffding_tree.h"
+#include "models/mlp.h"
+
+namespace oebench {
+namespace {
+
+void MakeData(Rng* rng, int64_t rows, int64_t cols, Matrix* x,
+              std::vector<double>* y, bool classification) {
+  *x = Matrix(rows, cols);
+  for (double& v : x->data()) v = rng->Gaussian();
+  y->resize(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    double score = x->At(r, 0) - x->At(r, 1);
+    (*y)[static_cast<size_t>(r)] =
+        classification ? (score > 0 ? 1.0 : 0.0) : score;
+  }
+}
+
+void BM_MlpTrainEpoch(benchmark::State& state) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<double> y;
+  MakeData(&rng, state.range(0), 10, &x, &y, false);
+  MlpConfig config;
+  config.task = TaskType::kRegression;
+  Mlp mlp(config, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.TrainEpoch(x, y, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpTrainEpoch)->Arg(256)->Arg(1024);
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<double> y;
+  MakeData(&rng, state.range(0), 10, &x, &y, false);
+  DecisionTreeConfig config;
+  config.task = TaskType::kRegression;
+  for (auto _ : state) {
+    DecisionTree tree(config);
+    tree.Fit(x, y);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(256)->Arg(1024);
+
+void BM_GbdtFit(benchmark::State& state) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<double> y;
+  MakeData(&rng, state.range(0), 10, &x, &y, false);
+  GbdtConfig config;
+  config.task = TaskType::kRegression;
+  config.num_rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    Gbdt model(config);
+    model.Fit(x, y);
+    benchmark::DoNotOptimize(model.tree_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GbdtFit)->Args({512, 5})->Args({512, 20});
+
+void BM_HoeffdingTreeLearn(benchmark::State& state) {
+  Rng rng(4);
+  HoeffdingTreeConfig config;
+  config.num_classes = 2;
+  HoeffdingTree tree(config, 5);
+  double row[10];
+  for (auto _ : state) {
+    for (double& v : row) v = rng.Gaussian();
+    int label = row[0] > 0 ? 1 : 0;
+    tree.Learn(row, 10, label);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HoeffdingTreeLearn);
+
+}  // namespace
+}  // namespace oebench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Reproduces Table 10 (appendix): running time of each algorithm as the
+// number of NN epochs grows over {1, 5, 10, 20}, plus the tree baselines
+// that need no epochs. Shape to reproduce: NN time grows linearly with
+// epochs; EWC costs ~2x Naive-NN; trees are fastest.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace oebench {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  bench::PrintHeader("Table 10", "Running time in seconds vs #epochs");
+  const std::vector<std::string> nn_learners = {"Naive-NN", "EWC", "LwF",
+                                                "iCaRL", "SEA-NN"};
+  const std::vector<std::string> tree_learners = {"Naive-DT", "Naive-GBDT",
+                                                  "SEA-DT", "SEA-GBDT"};
+  const int epoch_grid[] = {1, 5, 10, 20};
+
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    PreparedStream stream =
+        bench::MakePrepared(info.short_name, flags.scale);
+    std::printf("\n%-12s %6s", info.short_name.c_str(), "epochs");
+    for (const std::string& name : nn_learners) {
+      std::printf(" %9s", name.c_str());
+    }
+    std::printf("\n");
+    for (int epochs : epoch_grid) {
+      LearnerConfig config;
+      config.seed = flags.seed;
+      config.epochs = epochs;
+      std::printf("%-12s %6d", "", epochs);
+      for (const std::string& name : nn_learners) {
+        Result<std::unique_ptr<StreamLearner>> learner = MakeLearner(
+            name, config, stream.task, stream.num_classes);
+        OE_CHECK(learner.ok());
+        EvalResult result = RunPrequential(learner->get(), stream);
+        std::printf(" %9.2f", result.train_seconds + result.test_seconds);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    std::printf("%-12s %6s", "", "trees");
+    for (const std::string& name : tree_learners) {
+      LearnerConfig config;
+      config.seed = flags.seed;
+      Result<std::unique_ptr<StreamLearner>> learner =
+          MakeLearner(name, config, stream.task, stream.num_classes);
+      OE_CHECK(learner.ok());
+      EvalResult result = RunPrequential(learner->get(), stream);
+      std::printf(" %s=%.2fs", name.c_str(),
+                  result.train_seconds + result.test_seconds);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape check: each NN column grows ~linearly in epochs; EWC\n"
+      "~2x Naive-NN at the same epochs; trees below the 1-epoch NN time.\n");
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.06, 1));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Table 2: histogram of the 55-dataset corpus by instance
+// count and feature count, compared with the USP DS subset the paper
+// cites. Counts come from the published dataset shapes recorded in the
+// corpus (scale-independent).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "streamgen/corpus.h"
+
+namespace oebench {
+namespace {
+
+int CountSize(int64_t lo, int64_t hi) {
+  int count = 0;
+  for (const CorpusEntry& entry : Corpus()) {
+    if (entry.instances >= lo && entry.instances <= hi) ++count;
+  }
+  return count;
+}
+
+int CountFeatures(int lo, int hi) {
+  int count = 0;
+  for (const CorpusEntry& entry : Corpus()) {
+    int f = entry.features + entry.categorical_features;
+    if (f >= lo && f <= hi) ++count;
+  }
+  return count;
+}
+
+void Run() {
+  bench::PrintHeader("Table 2",
+                     "Histogram information of the collected corpus");
+  std::printf("%-28s %14s %14s %15s %10s\n", "Size", "5,000-20,000",
+              "20,001-50,000", "50,001-200,000", ">200,000");
+  std::printf("%-28s %14d %14d %15d %10d\n", "#Datasets (OEBench, ours)",
+              CountSize(5000, 20000), CountSize(20001, 50000),
+              CountSize(50001, 200000),
+              CountSize(200001, INT64_MAX));
+  std::printf("%-28s %14d %14d %15d %10d   (paper: 13 / 17 / 13 / 12)\n",
+              "#Datasets (paper)", 13, 17, 13, 12);
+  std::printf("\n%-28s %14s %14s %15s %10s\n", "#Features", "5-10", "11-20",
+              "21-50", ">50");
+  std::printf("%-28s %14d %14d %15d %10d\n", "#Datasets (OEBench, ours)",
+              CountFeatures(5, 10), CountFeatures(11, 20),
+              CountFeatures(21, 50), CountFeatures(51, 1 << 20));
+  std::printf("%-28s %14d %14d %15d %10d   (paper: 15 / 23 / 14 / 3)\n",
+              "#Datasets (paper)", 15, 23, 14, 3);
+
+  std::printf("\nCorpus: %zu datasets (%d classification, %d regression)\n",
+              Corpus().size(),
+              [] {
+                int c = 0;
+                for (const CorpusEntry& e : Corpus()) {
+                  if (e.task == TaskType::kClassification) ++c;
+                }
+                return c;
+              }(),
+              [] {
+                int c = 0;
+                for (const CorpusEntry& e : Corpus()) {
+                  if (e.task == TaskType::kRegression) ++c;
+                }
+                return c;
+              }());
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main() {
+  oebench::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Table 5: throughput (items/second) of the ten algorithms on
+// the five representative datasets. The shape to reproduce: decision
+// trees are orders of magnitude faster than NN-based methods; EWC/LwF
+// roughly halve Naive-NN's throughput; ARF is by far the slowest.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace oebench {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  bench::PrintHeader("Table 5",
+                     "Throughput (items/second), higher is better");
+  const std::vector<std::string> learners = {
+      "Naive-NN", "EWC",        "LwF",    "iCaRL",    "SEA-NN",
+      "Naive-DT", "Naive-GBDT", "SEA-DT", "SEA-GBDT", "ARF"};
+  std::printf("%-12s", "Dataset");
+  for (const std::string& name : learners) {
+    std::printf(" %11s", name.c_str());
+  }
+  std::printf("\n");
+
+  LearnerConfig config;
+  config.seed = flags.seed;
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    PreparedStream stream =
+        bench::MakePrepared(info.short_name, flags.scale);
+    std::printf("%-12s", info.short_name.c_str());
+    std::fflush(stdout);
+    for (const std::string& name : learners) {
+      RepeatedResult result = RunRepeated(name, config, stream, 1);
+      if (result.not_applicable) {
+        std::printf(" %11s", "N/A");
+      } else {
+        std::printf(" %11.0f", result.throughput);
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape check: Naive-DT >> Naive-GBDT > SEA trees >> NN\n"
+      "family; EWC/LwF/iCaRL below Naive-NN; ARF slowest by 1-3 orders\n"
+      "of magnitude.\n");
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.08, 1));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table 6: peak model memory (KB) of the ten algorithms on the
+// five representative datasets. Shape to reproduce: Naive-DT smallest;
+// EWC ~2.2x and LwF ~2x Naive-NN (extra parameter copies); SEA-NN ~5x
+// (ensemble of five); ARF largest and growing with the stream.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace oebench {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  bench::PrintHeader("Table 6", "Peak model memory (KB)");
+  const std::vector<std::string> learners = {
+      "Naive-NN", "EWC",        "LwF",    "iCaRL",    "SEA-NN",
+      "Naive-DT", "Naive-GBDT", "SEA-DT", "SEA-GBDT", "ARF"};
+  std::printf("%-12s", "Dataset");
+  for (const std::string& name : learners) {
+    std::printf(" %11s", name.c_str());
+  }
+  std::printf("\n");
+
+  LearnerConfig config;
+  config.seed = flags.seed;
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    PreparedStream stream =
+        bench::MakePrepared(info.short_name, flags.scale);
+    std::printf("%-12s", info.short_name.c_str());
+    std::fflush(stdout);
+    for (const std::string& name : learners) {
+      RepeatedResult result = RunRepeated(name, config, stream, 1);
+      if (result.not_applicable) {
+        std::printf(" %11s", "N/A");
+      } else {
+        std::printf(" %11.1f",
+                    static_cast<double>(result.peak_memory_bytes) / 1024.0);
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape check: DT < GBDT < Naive-NN < iCaRL < LwF < EWC <\n"
+      "SEA-NN << ARF.\n");
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.08, 1));
+  return 0;
+}

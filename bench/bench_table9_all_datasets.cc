@@ -1,0 +1,107 @@
+// Reproduces Table 9 (appendix): every algorithm on all 55 corpus
+// datasets. By default this runs a scaled-down single-seed sweep with the
+// cheaper learner set so the whole bench suite stays fast; pass
+// --scale/--repeats for a fuller run. The headline finding it reproduces:
+// no algorithm consistently outperforms the others across the corpus.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/recommendation.h"
+#include "streamgen/corpus.h"
+
+namespace oebench {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  bench::PrintHeader("Table 9",
+                     "All-corpus sweep (scaled; single seed by default)");
+  const std::vector<std::string> learners = {"Naive-NN", "iCaRL",
+                                             "Naive-DT", "Naive-GBDT",
+                                             "SEA-DT", "SEA-GBDT"};
+  std::printf("%-28s %-6s %-6s", "Dataset", "Task", "Drift");
+  for (const std::string& name : learners) {
+    std::printf(" %11s", name.c_str());
+  }
+  std::printf(" %11s\n", "Best");
+
+  LearnerConfig config;
+  config.seed = flags.seed;
+  config.epochs = 5;  // keep the 55-dataset sweep affordable
+  std::map<std::string, int> wins;
+  std::vector<ScenarioOutcome> outcomes;
+  for (const CorpusEntry& entry : Corpus()) {
+    StreamSpec spec = SpecFromEntry(entry, flags.scale);
+    Result<GeneratedStream> stream = GenerateStream(spec);
+    OE_CHECK(stream.ok()) << entry.name;
+    Result<PreparedStream> prepared = PrepareStream(*stream);
+    OE_CHECK(prepared.ok()) << prepared.status().ToString();
+    std::printf("%-28.28s %-6s %-6s", entry.name.c_str(),
+                entry.task == TaskType::kClassification ? "cls" : "reg",
+                LevelToString(entry.drift));
+    std::fflush(stdout);
+    std::vector<RepeatedResult> results;
+    for (const std::string& name : learners) {
+      RepeatedResult result =
+          RunRepeated(name, config, *prepared, flags.repeats);
+      results.push_back(result);
+      std::printf(" %11.3f", result.loss_mean);
+      std::fflush(stdout);
+    }
+    std::string best = BestAlgorithm(results);
+    ++wins[best];
+    outcomes.push_back({entry.task, entry.drift, entry.anomaly,
+                        entry.missing, best});
+    std::printf(" %11s\n", best.c_str());
+  }
+  std::printf("\nWin counts (no silver bullet — several learners win):\n");
+  for (const auto& [name, count] : wins) {
+    std::printf("  %-12s %d\n", name.c_str(), count);
+  }
+
+  // Synthesize the Figure 9 recommendation tree from these outcomes,
+  // exactly as §6.2 does from the paper's Table 9.
+  Result<DerivedRecommendation> derived =
+      DerivedRecommendation::Fit(outcomes);
+  if (derived.ok()) {
+    std::printf(
+        "\nDerived recommendation tree (CART over task/drift/anomaly/"
+        "missing,\ntraining accuracy %.0f%%):\n",
+        100.0 * derived->TrainingAccuracy());
+    struct Probe {
+      const char* label;
+      TaskType task;
+      Level drift;
+      Level anomaly;
+      Level missing;
+    };
+    const Probe probes[] = {
+        {"cls, high drift", TaskType::kClassification, Level::kHigh,
+         Level::kLow, Level::kLow},
+        {"cls, low drift", TaskType::kClassification, Level::kLow,
+         Level::kLow, Level::kLow},
+        {"reg, high missing", TaskType::kRegression, Level::kLow,
+         Level::kLow, Level::kHigh},
+        {"reg, low missing", TaskType::kRegression, Level::kLow,
+         Level::kLow, Level::kLow},
+        {"reg, high drift", TaskType::kRegression, Level::kHigh,
+         Level::kLow, Level::kLow},
+    };
+    for (const Probe& probe : probes) {
+      std::printf("  %-20s -> %s\n", probe.label,
+                  derived
+                      ->Recommend(probe.task, probe.drift, probe.anomaly,
+                                  probe.missing)
+                      .c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.03, 1));
+  return 0;
+}

@@ -1,0 +1,112 @@
+#ifndef OEBENCH_BENCH_BENCH_UTIL_H_
+#define OEBENCH_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/evaluator.h"
+#include "preprocess/pipeline.h"
+#include "streamgen/representative.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace bench {
+
+/// Command-line knobs shared by every bench binary. All benches run
+/// scaled-down versions of the paper's streams by default so the whole
+/// suite finishes on a small CPU budget; pass a larger --scale for
+/// paper-sized runs.
+struct BenchFlags {
+  double scale = 0.08;
+  int repeats = 3;
+  uint64_t seed = 1;
+};
+
+inline BenchFlags ParseFlags(int argc, char** argv,
+                             double default_scale = 0.08,
+                             int default_repeats = 3) {
+  BenchFlags flags;
+  flags.scale = default_scale;
+  flags.repeats = default_repeats;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    double value = 0.0;
+    if (arg.rfind("--scale=", 0) == 0 &&
+        ParseDouble(arg.substr(8), &value)) {
+      flags.scale = value;
+    } else if (arg.rfind("--repeats=", 0) == 0 &&
+               ParseDouble(arg.substr(10), &value)) {
+      flags.repeats = static_cast<int>(value);
+    } else if (arg.rfind("--seed=", 0) == 0 &&
+               ParseDouble(arg.substr(7), &value)) {
+      flags.seed = static_cast<uint64_t>(value);
+    }
+  }
+  return flags;
+}
+
+/// Generates and preprocesses one representative dataset (Table 3 name:
+/// ROOM / ELECTRICITY / INSECTS / AIR / POWER).
+inline PreparedStream MakePrepared(const std::string& short_name,
+                                   double scale,
+                                   const PipelineOptions& options = {},
+                                   uint64_t seed_salt = 0) {
+  StreamSpec spec = RepresentativeSpec(short_name, scale, seed_salt);
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  OE_CHECK(stream.ok()) << stream.status().ToString();
+  Result<PreparedStream> prepared = PrepareStream(*stream, options);
+  OE_CHECK(prepared.ok()) << prepared.status().ToString();
+  PreparedStream out = std::move(*prepared);
+  out.name = short_name;
+  return out;
+}
+
+/// Formats a loss value the way the paper's tables do, with N/A support.
+inline std::string FormatLoss(const RepeatedResult& result) {
+  if (result.not_applicable) return "N/A";
+  return StrFormat("%.3f±%.3f", result.loss_mean, result.loss_stddev);
+}
+
+/// Unicode sparkline of a series (for the loss-curve "figures").
+inline std::string Spark(const std::vector<double>& values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    if (std::isfinite(v)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  std::string out;
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      out += "!";
+      continue;
+    }
+    int idx = hi > lo ? static_cast<int>((v - lo) / (hi - lo) * 7.999) : 0;
+    out += kLevels[idx];
+  }
+  return out;
+}
+
+/// Prints a horizontal rule + title, so every bench output reads like the
+/// corresponding paper exhibit.
+inline void PrintHeader(const std::string& exhibit,
+                        const std::string& caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", exhibit.c_str(), caption.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace oebench
+
+#endif  // OEBENCH_BENCH_BENCH_UTIL_H_

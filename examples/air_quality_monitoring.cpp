@@ -1,0 +1,75 @@
+// Domain scenario: environmental monitoring (the paper's central case
+// study, §5). A seasonal PM2.5-like regression stream with sensor
+// installations/breakdowns (incremental/decremental features) and an
+// extreme weather event. The example profiles the stream with the §4.3
+// statistics pipeline, localises the event with ECOD and Isolation
+// Forest, and compares imputation strategies — the user-facing version of
+// Figures 4, 5 and 8.
+
+#include <cstdio>
+
+#include "core/evaluator.h"
+#include "stats/missing_stats.h"
+#include "stats/outlier_stats.h"
+#include "stats/profile.h"
+#include "streamgen/representative.h"
+#include "streamgen/stream_generator.h"
+
+using namespace oebench;  // NOLINT — example brevity
+
+int main() {
+  // The AIR representative (Beijing Multi-Site Shunyi analogue): high
+  // missing values, seasonal recurrent drift, plus one flood-like event.
+  StreamSpec spec = RepresentativeSpec("AIR", 0.1);
+  spec.anomaly_events.push_back({0.45, 0.48, 0.9, 2, 12.0});
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  if (!stream.ok()) return 1;
+
+  // 1. Open-environment profile.
+  Result<DatasetProfile> profile = ProfileDataset(*stream);
+  if (!profile.ok()) return 1;
+  std::printf("profile of '%s': missing cells %.1f%%, drift score %.3f, "
+              "anomaly score %.4f\n",
+              profile->name.c_str(), 100.0 * profile->MissingScore(),
+              profile->DriftScore(), profile->AnomalyScore());
+
+  // 2. Sensor availability per window (Figure 4 analogue).
+  Result<std::vector<WindowRange>> ranges =
+      MakeWindows(stream->table.num_rows(), spec.window_size);
+  if (!ranges.ok()) return 1;
+  MissingValueStats missing =
+      ComputeMissingValueStats(stream->table, *ranges);
+  std::printf("\nsensor availability (valid ratio, first feature) per "
+              "window:\n  ");
+  for (const auto& window_ratios : missing.valid_ratio_per_window) {
+    std::printf("%.0f", window_ratios[0] * 9.99);
+  }
+  std::printf("   (0 = sensor absent, 9 = fully present)\n");
+
+  // 3. Outlier localisation (Figure 8 analogue).
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  if (!prepared.ok()) return 1;
+  std::vector<OutlierStats> outliers = ComputeOutlierStats(*prepared);
+  for (const OutlierStats& s : outliers) {
+    std::printf("\n%s anomaly ratio per window:\n  ", s.detector.c_str());
+    for (double ratio : s.ratio_per_window) {
+      std::printf("%.0f", std::min(ratio * 100.0, 9.0));
+    }
+  }
+  std::printf("\n  (the flood event sits near 45-48%% of the stream)\n");
+
+  // 4. Does careful imputation pay off? (Figure 5/14 analogue.)
+  LearnerConfig config;
+  std::printf("\nNaive-NN mean MSE by imputer:\n");
+  for (const char* imputer : {"knn", "regression", "mean", "zero"}) {
+    PipelineOptions options;
+    options.imputer = imputer;
+    Result<PreparedStream> p = PrepareStream(*stream, options);
+    if (!p.ok()) return 1;
+    Result<std::unique_ptr<StreamLearner>> learner =
+        MakeLearner("Naive-NN", config, p->task, p->num_classes);
+    EvalResult result = RunPrequential(learner->get(), *p);
+    std::printf("  %-12s %.4f\n", imputer, result.mean_loss);
+  }
+  return 0;
+}

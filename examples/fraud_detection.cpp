@@ -1,0 +1,90 @@
+// Domain scenario from the paper's introduction: financial fraud
+// detection as an open-environment stream. Fraudsters invent new
+// strategies (concept drift + outliers), payment technology changes the
+// collected fields (incremental/decremental features). This example
+// builds such a stream, monitors it with concept-drift detectors while a
+// classifier learns online, and shows the drift alarms aligning with the
+// injected strategy switch.
+
+#include <cstdio>
+
+#include "core/evaluator.h"
+#include "drift/adwin.h"
+#include "drift/ddm.h"
+#include "drift/eddm.h"
+#include "models/hoeffding_tree.h"
+#include "preprocess/pipeline.h"
+#include "streamgen/stream_generator.h"
+
+using namespace oebench;  // NOLINT — example brevity
+
+int main() {
+  // Transactions: amount, velocity, merchant-risk, geo-distance, hour,
+  // device-age features; a categorical channel (card/mobile/crypto); the
+  // label is fraud / legitimate. Mid-stream the fraud strategy flips
+  // (abrupt concept drift) and a new payment field appears.
+  StreamSpec spec;
+  spec.name = "fraud";
+  spec.task = TaskType::kClassification;
+  spec.num_classes = 2;
+  spec.num_instances = 6000;
+  spec.num_numeric_features = 6;
+  spec.num_categorical_features = 1;
+  spec.categories_per_feature = 3;
+  spec.window_size = 300;
+  spec.drift_pattern = DriftPattern::kAbrupt;
+  spec.drift_magnitude = 2.5;
+  spec.point_anomaly_rate = 0.004;          // fraud bursts look anomalous
+  spec.dropouts.push_back({5, 0.0, 0.5, 1.0});  // field appears mid-stream
+
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  if (!stream.ok()) return 1;
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  if (!prepared.ok()) return 1;
+  std::printf("fraud stream: %zu windows; true strategy switch at row %lld\n\n",
+              prepared->windows.size(),
+              static_cast<long long>(stream->true_drift_rows[0]));
+
+  // Online Hoeffding tree + three concept-drift monitors on its errors.
+  HoeffdingTreeConfig tree_config;
+  tree_config.num_classes = 2;
+  HoeffdingTree tree(tree_config, 7);
+  Ddm ddm;
+  Eddm eddm;
+  AdwinAccuracyDetector adwin;
+
+  std::printf("%-8s %8s %6s %6s %6s\n", "window", "error", "DDM", "EDDM",
+              "ADWIN");
+  for (size_t w = 0; w < prepared->windows.size(); ++w) {
+    const WindowData& window = prepared->windows[w];
+    int64_t wrong = 0;
+    bool ddm_fired = false;
+    bool eddm_fired = false;
+    bool adwin_fired = false;
+    for (int64_t r = 0; r < window.features.rows(); ++r) {
+      const double* row = window.features.Row(r);
+      int label = static_cast<int>(window.targets[static_cast<size_t>(r)]);
+      int pred = tree.PredictClass(row, window.features.cols());
+      double error = pred == label ? 0.0 : 1.0;
+      wrong += static_cast<int64_t>(error);
+      ddm_fired |= ddm.Update(error) == DriftSignal::kDrift;
+      eddm_fired |= eddm.Update(error) == DriftSignal::kDrift;
+      adwin_fired |= adwin.Update(error) == DriftSignal::kDrift;
+      tree.Learn(row, window.features.cols(), label);
+    }
+    std::printf("%-8zu %8.3f %6s %6s %6s%s\n", w,
+                static_cast<double>(wrong) /
+                    static_cast<double>(window.features.rows()),
+                ddm_fired ? "DRIFT" : "-", eddm_fired ? "DRIFT" : "-",
+                adwin_fired ? "DRIFT" : "-",
+                (stream->true_drift_rows[0] >= prepared->ranges[w].begin &&
+                 stream->true_drift_rows[0] < prepared->ranges[w].end)
+                    ? "   <== fraud strategy switches here"
+                    : "");
+  }
+  std::printf(
+      "\nTakeaway: error-rate monitors localise the strategy switch; the\n"
+      "tree keeps adapting afterwards (open-environment challenge #2/#3\n"
+      "from the paper's fraud example).\n");
+  return 0;
+}

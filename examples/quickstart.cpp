@@ -1,0 +1,82 @@
+// Quickstart: generate a drifting relational stream, preprocess it with
+// the paper's default pipeline (one-hot + KNN(k=2) imputation +
+// first-window normalisation + windowing), and compare two stream
+// learners under the test-then-train protocol.
+//
+//   ./quickstart [--rows=N]
+
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/evaluator.h"
+#include "preprocess/pipeline.h"
+#include "streamgen/stream_generator.h"
+
+using namespace oebench;  // NOLINT — example brevity
+
+int main(int argc, char** argv) {
+  int64_t rows = 4000;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    double v;
+    if (arg.rfind("--rows=", 0) == 0 && ParseDouble(arg.substr(7), &v)) {
+      rows = static_cast<int64_t>(v);
+    }
+  }
+
+  // 1. Describe the stream: a regression task with gradual concept drift,
+  //    a few missing values and occasional point anomalies.
+  StreamSpec spec;
+  spec.name = "quickstart";
+  spec.task = TaskType::kRegression;
+  spec.num_instances = rows;
+  spec.num_numeric_features = 8;
+  spec.num_categorical_features = 1;
+  spec.window_size = rows / 20;
+  spec.drift_pattern = DriftPattern::kGradual;
+  spec.drift_magnitude = 1.0;
+  spec.base_missing_rate = 0.03;
+  spec.point_anomaly_rate = 0.002;
+
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 stream.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %lld rows x %lld columns (%zu known outliers)\n",
+              static_cast<long long>(stream->table.num_rows()),
+              static_cast<long long>(stream->table.num_columns()),
+              stream->true_outlier_rows.size());
+
+  // 2. Preprocess (paper §4.3 defaults).
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare: %s\n",
+                 prepared.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("prepared %zu windows of ~%lld rows, %zu features\n",
+              prepared->windows.size(),
+              static_cast<long long>(spec.window_size),
+              prepared->feature_names.size());
+
+  // 3. Evaluate two learners test-then-train (§6.1).
+  LearnerConfig config;
+  for (const char* name : {"Naive-NN", "Naive-DT", "SEA-GBDT"}) {
+    Result<std::unique_ptr<StreamLearner>> learner =
+        MakeLearner(name, config, prepared->task, prepared->num_classes);
+    if (!learner.ok()) {
+      std::fprintf(stderr, "learner: %s\n",
+                   learner.status().ToString().c_str());
+      return 1;
+    }
+    EvalResult result = RunPrequential(learner->get(), *prepared);
+    std::printf("%-10s mean MSE %.4f | throughput %.0f items/s | peak "
+                "memory %.1f KB\n",
+                name, result.mean_loss, result.throughput,
+                static_cast<double>(result.peak_memory_bytes) / 1024.0);
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Full command-line experiment driver: pick a corpus dataset (or one of
+// the five representatives), a learner, and pipeline knobs, run the
+// test-then-train protocol and print a machine-readable result line.
+//
+//   ./run_experiment --dataset=tetouan_power --learner=SEA-GBDT
+//                    --scale=0.1 --imputer=knn --epochs=10 --repeats=3
+//
+// Prints the per-window loss curve and a final JSON-ish summary that
+// downstream scripts can parse.
+
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/evaluator.h"
+#include "preprocess/pipeline.h"
+#include "streamgen/corpus.h"
+#include "streamgen/representative.h"
+#include "streamgen/stream_generator.h"
+
+using namespace oebench;  // NOLINT — example brevity
+
+namespace {
+
+struct Args {
+  std::string dataset = "POWER";
+  std::string learner = "Naive-NN";
+  std::string imputer = "knn";
+  double scale = 0.1;
+  double window_factor = 1.0;
+  int epochs = 10;
+  int repeats = 1;
+  uint64_t seed = 1;
+  bool shuffle = false;
+  std::string outlier_removal;
+};
+
+bool Parse(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> std::string {
+      return arg.substr(std::string(prefix).size());
+    };
+    double v = 0.0;
+    if (arg.rfind("--dataset=", 0) == 0) {
+      args->dataset = value_of("--dataset=");
+    } else if (arg.rfind("--learner=", 0) == 0) {
+      args->learner = value_of("--learner=");
+    } else if (arg.rfind("--imputer=", 0) == 0) {
+      args->imputer = value_of("--imputer=");
+    } else if (arg.rfind("--outlier-removal=", 0) == 0) {
+      args->outlier_removal = value_of("--outlier-removal=");
+    } else if (arg == "--shuffle") {
+      args->shuffle = true;
+    } else if (arg.rfind("--scale=", 0) == 0 &&
+               ParseDouble(value_of("--scale="), &v)) {
+      args->scale = v;
+    } else if (arg.rfind("--window-factor=", 0) == 0 &&
+               ParseDouble(value_of("--window-factor="), &v)) {
+      args->window_factor = v;
+    } else if (arg.rfind("--epochs=", 0) == 0 &&
+               ParseDouble(value_of("--epochs="), &v)) {
+      args->epochs = static_cast<int>(v);
+    } else if (arg.rfind("--repeats=", 0) == 0 &&
+               ParseDouble(value_of("--repeats="), &v)) {
+      args->repeats = static_cast<int>(v);
+    } else if (arg.rfind("--seed=", 0) == 0 &&
+               ParseDouble(value_of("--seed="), &v)) {
+      args->seed = static_cast<uint64_t>(v);
+    } else if (arg == "--list") {
+      std::printf("datasets (5 representatives):");
+      for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+        std::printf(" %s", info.short_name.c_str());
+      }
+      std::printf("\ndatasets (55-entry corpus):");
+      for (const CorpusEntry& entry : Corpus()) {
+        std::printf(" %s", entry.name.c_str());
+      }
+      std::printf("\nlearners:");
+      for (const std::string& name :
+           AllLearnerNames(TaskType::kClassification)) {
+        std::printf(" %s", name.c_str());
+      }
+      for (const std::string& name :
+           ExtendedLearnerNames(TaskType::kClassification)) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf("\n");
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --list)\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<StreamSpec> ResolveSpec(const Args& args) {
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    if (info.short_name == args.dataset) {
+      return RepresentativeSpec(info.short_name, args.scale, args.seed);
+    }
+  }
+  for (const CorpusEntry& entry : Corpus()) {
+    if (entry.name == args.dataset) {
+      return SpecFromEntry(entry, args.scale, args.seed);
+    }
+  }
+  return Status::NotFound("unknown dataset '" + args.dataset +
+                          "' (try --list)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) return 1;
+
+  Result<StreamSpec> spec = ResolveSpec(args);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  Result<GeneratedStream> stream = GenerateStream(*spec);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 stream.status().ToString().c_str());
+    return 1;
+  }
+  PipelineOptions options;
+  options.imputer = args.imputer;
+  options.window_factor = args.window_factor;
+  options.shuffle = args.shuffle;
+  options.outlier_removal = args.outlier_removal;
+  Result<PreparedStream> prepared = PrepareStream(*stream, options);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare: %s\n",
+                 prepared.status().ToString().c_str());
+    return 1;
+  }
+
+  LearnerConfig config;
+  config.epochs = args.epochs;
+  config.seed = args.seed;
+  std::printf("dataset=%s rows=%lld windows=%zu features=%zu task=%s\n",
+              args.dataset.c_str(),
+              static_cast<long long>(stream->table.num_rows()),
+              prepared->windows.size(), prepared->feature_names.size(),
+              TaskTypeToString(prepared->task));
+
+  // Per-window curve from the first repeat.
+  Result<std::unique_ptr<StreamLearner>> learner = MakeLearner(
+      args.learner, config, prepared->task, prepared->num_classes);
+  if (!learner.ok()) {
+    std::fprintf(stderr, "learner: %s\n",
+                 learner.status().ToString().c_str());
+    return 1;
+  }
+  EvalResult first = RunPrequential(learner->get(), *prepared);
+  std::printf("per_window_loss=[");
+  for (size_t w = 0; w < first.per_window_loss.size(); ++w) {
+    std::printf("%s%.5f", w > 0 ? "," : "", first.per_window_loss[w]);
+  }
+  std::printf("]\n");
+
+  RepeatedResult repeated =
+      RunRepeated(args.learner, config, *prepared, args.repeats);
+  std::printf(
+      "{\"dataset\":\"%s\",\"learner\":\"%s\",\"loss_mean\":%.6f,"
+      "\"loss_std\":%.6f,\"faded_loss\":%.6f,\"throughput\":%.1f,"
+      "\"peak_memory_kb\":%.1f,\"repeats\":%d}\n",
+      args.dataset.c_str(), args.learner.c_str(), repeated.loss_mean,
+      repeated.loss_stddev, first.faded_loss, repeated.throughput,
+      static_cast<double>(repeated.peak_memory_bytes) / 1024.0,
+      args.repeats);
+  return 0;
+}

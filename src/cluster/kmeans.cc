@@ -1,0 +1,131 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+namespace {
+
+double RowSquaredDistance(const Matrix& a, int64_t ra, const Matrix& b,
+                          int64_t rb) {
+  const double* x = a.Row(ra);
+  const double* y = b.Row(rb);
+  double sum = 0.0;
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    double d = x[c] - y[c];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansResult KMeans::RunOnce(const Matrix& data, Rng* rng) const {
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  const int k = options_.k;
+
+  // k-means++ seeding.
+  Matrix centroids(k, d);
+  std::vector<double> min_dist(static_cast<size_t>(n),
+                               std::numeric_limits<double>::max());
+  int64_t first = rng->UniformInt(n);
+  centroids.SetRow(0, data.RowVector(first));
+  for (int c = 1; c < k; ++c) {
+    for (int64_t r = 0; r < n; ++r) {
+      double dist = RowSquaredDistance(data, r, centroids, c - 1);
+      min_dist[static_cast<size_t>(r)] =
+          std::min(min_dist[static_cast<size_t>(r)], dist);
+    }
+    int64_t chosen = rng->Categorical(min_dist);
+    centroids.SetRow(c, data.RowVector(chosen));
+  }
+
+  KMeansResult result;
+  result.assignments.assign(static_cast<size_t>(n), -1);
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Assign.
+    double inertia = 0.0;
+    for (int64_t r = 0; r < n; ++r) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        double dist = RowSquaredDistance(data, r, centroids, c);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      result.assignments[static_cast<size_t>(r)] = best_c;
+      inertia += best;
+    }
+    // Update.
+    Matrix sums(k, d);
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    for (int64_t r = 0; r < n; ++r) {
+      int c = result.assignments[static_cast<size_t>(r)];
+      ++counts[static_cast<size_t>(c)];
+      const double* row = data.Row(r);
+      double* srow = sums.Row(c);
+      for (int64_t j = 0; j < d; ++j) srow[j] += row[j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Re-seed an empty cluster at a random point.
+        centroids.SetRow(c, data.RowVector(rng->UniformInt(n)));
+        continue;
+      }
+      double inv = 1.0 / static_cast<double>(counts[static_cast<size_t>(c)]);
+      double* srow = sums.Row(c);
+      for (int64_t j = 0; j < d; ++j) {
+        centroids.At(c, j) = srow[j] * inv;
+      }
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+    if (prev_inertia - inertia < options_.tol * std::max(prev_inertia, 1.0)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+Result<KMeansResult> KMeans::Fit(const Matrix& data) const {
+  if (data.rows() < options_.k) {
+    return Status::InvalidArgument("k-means needs rows >= k");
+  }
+  Rng rng(options_.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int restart = 0; restart < options_.num_restarts; ++restart) {
+    KMeansResult run = RunOnce(data, &rng);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  return best;
+}
+
+std::vector<int64_t> KMeans::NearestRowPerCentroid(
+    const Matrix& data, const KMeansResult& result) {
+  const int k = static_cast<int>(result.centroids.rows());
+  std::vector<int64_t> nearest(static_cast<size_t>(k), -1);
+  std::vector<double> best(static_cast<size_t>(k),
+                           std::numeric_limits<double>::max());
+  for (int64_t r = 0; r < data.rows(); ++r) {
+    for (int c = 0; c < k; ++c) {
+      double dist = RowSquaredDistance(data, r, result.centroids, c);
+      if (dist < best[static_cast<size_t>(c)]) {
+        best[static_cast<size_t>(c)] = dist;
+        nearest[static_cast<size_t>(c)] = r;
+      }
+    }
+  }
+  return nearest;
+}
+
+}  // namespace oebench

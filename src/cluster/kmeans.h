@@ -1,0 +1,52 @@
+#ifndef OEBENCH_CLUSTER_KMEANS_H_
+#define OEBENCH_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  Matrix centroids;                 // k x d
+  std::vector<int> assignments;     // per row cluster id
+  double inertia = 0.0;             // sum of squared distances to centroid
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. The dataset-selection
+/// pipeline (paper §4.4) clusters the 55 dataset profiles into k = 5
+/// groups and keeps the profile nearest each centroid.
+class KMeans {
+ public:
+  struct Options {
+    int k = 5;
+    int max_iterations = 200;
+    int num_restarts = 4;
+    double tol = 1e-7;
+    uint64_t seed = 17;
+  };
+
+  KMeans() : KMeans(Options()) {}
+  explicit KMeans(Options options) : options_(options) {}
+
+  /// Clusters the rows of `data`; requires data.rows() >= k.
+  Result<KMeansResult> Fit(const Matrix& data) const;
+
+  /// Index of the row of `data` closest to each centroid (the paper's
+  /// "datasets nearest each cluster center").
+  static std::vector<int64_t> NearestRowPerCentroid(
+      const Matrix& data, const KMeansResult& result);
+
+ private:
+  KMeansResult RunOnce(const Matrix& data, Rng* rng) const;
+
+  Options options_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CLUSTER_KMEANS_H_

@@ -1,0 +1,152 @@
+#include "cluster/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oebench {
+
+Matrix Tsne::ComputeAffinities(const Matrix& data) const {
+  const int64_t n = data.rows();
+  Matrix dist_sq(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double sum = 0.0;
+      const double* a = data.Row(i);
+      const double* b = data.Row(j);
+      for (int64_t c = 0; c < data.cols(); ++c) {
+        double d = a[c] - b[c];
+        sum += d * d;
+      }
+      dist_sq.At(i, j) = sum;
+      dist_sq.At(j, i) = sum;
+    }
+  }
+
+  const double target_entropy = std::log(options_.perplexity);
+  Matrix p(n, n);
+  std::vector<double> row_p(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    // Binary search the precision beta so the row entropy matches the
+    // target perplexity.
+    double beta = 1.0;
+    double beta_lo = 0.0;
+    double beta_hi = std::numeric_limits<double>::max();
+    for (int iter = 0; iter < 50; ++iter) {
+      double sum = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        row_p[static_cast<size_t>(j)] =
+            (j == i) ? 0.0 : std::exp(-dist_sq.At(i, j) * beta);
+        sum += row_p[static_cast<size_t>(j)];
+      }
+      if (sum < 1e-300) sum = 1e-300;
+      double entropy = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        double pj = row_p[static_cast<size_t>(j)] / sum;
+        row_p[static_cast<size_t>(j)] = pj;
+        if (pj > 1e-12) entropy -= pj * std::log(pj);
+      }
+      double diff = entropy - target_entropy;
+      if (std::abs(diff) < 1e-5) break;
+      if (diff > 0.0) {
+        beta_lo = beta;
+        beta = beta_hi == std::numeric_limits<double>::max()
+                   ? beta * 2.0
+                   : 0.5 * (beta + beta_hi);
+      } else {
+        beta_hi = beta;
+        beta = 0.5 * (beta + beta_lo);
+      }
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      p.At(i, j) = row_p[static_cast<size_t>(j)];
+    }
+  }
+
+  // Symmetrise and normalise.
+  Matrix sym(n, n);
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double v = 0.5 * (p.At(i, j) + p.At(j, i));
+      sym.At(i, j) = v;
+      total += v;
+    }
+  }
+  for (double& v : sym.data()) {
+    v = std::max(v / total, 1e-12);
+  }
+  return sym;
+}
+
+Result<Matrix> Tsne::Embed(const Matrix& data) const {
+  const int64_t n = data.rows();
+  if (n < 5) return Status::InvalidArgument("t-SNE needs at least 5 rows");
+  if (options_.perplexity * 3.0 > static_cast<double>(n)) {
+    return Status::InvalidArgument(
+        "perplexity too large for the sample size");
+  }
+  const int64_t out_d = options_.output_dims;
+  Matrix p = ComputeAffinities(data);
+
+  Rng rng(options_.seed);
+  Matrix y(n, out_d);
+  for (double& v : y.data()) v = rng.Gaussian() * 1e-2;
+  Matrix velocity(n, out_d);
+
+  const int exaggeration_iters = options_.max_iterations / 4;
+  Matrix q(n, n);
+  Matrix grad(n, out_d);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    double exaggeration = iter < exaggeration_iters
+                              ? options_.early_exaggeration
+                              : 1.0;
+    // Student-t affinities in the embedding.
+    double q_total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double sum = 0.0;
+        for (int64_t c = 0; c < out_d; ++c) {
+          double d = y.At(i, c) - y.At(j, c);
+          sum += d * d;
+        }
+        double v = 1.0 / (1.0 + sum);
+        q.At(i, j) = v;
+        q.At(j, i) = v;
+        q_total += 2.0 * v;
+      }
+      q.At(i, i) = 0.0;
+    }
+    if (q_total < 1e-300) q_total = 1e-300;
+
+    // Gradient: 4 * sum_j (p_ij*ex - q_ij) * w_ij * (y_i - y_j).
+    std::fill(grad.data().begin(), grad.data().end(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double w = q.At(i, j);
+        double coeff =
+            4.0 * (exaggeration * p.At(i, j) - w / q_total) * w;
+        for (int64_t c = 0; c < out_d; ++c) {
+          grad.At(i, c) += coeff * (y.At(i, c) - y.At(j, c));
+        }
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < out_d; ++c) {
+        velocity.At(i, c) = options_.momentum * velocity.At(i, c) -
+                            options_.learning_rate * grad.At(i, c);
+        y.At(i, c) += velocity.At(i, c);
+      }
+    }
+    // Re-centre to keep the embedding from drifting.
+    std::vector<double> mean = y.ColumnMeans();
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < out_d; ++c) {
+        y.At(i, c) -= mean[static_cast<size_t>(c)];
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace oebench

@@ -1,0 +1,45 @@
+#ifndef OEBENCH_CLUSTER_TSNE_H_
+#define OEBENCH_CLUSTER_TSNE_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// Exact t-SNE (van der Maaten & Hinton, 2008). The paper uses t-SNE to
+/// project preprocessed windows into 2-D scatter plots for the seasonal
+/// drift case studies (§4.3, Figure 6). Exact (O(n^2)) pairwise
+/// affinities are fine at case-study scale; callers subsample large
+/// windows first.
+class Tsne {
+ public:
+  struct Options {
+    int output_dims = 2;
+    double perplexity = 30.0;
+    int max_iterations = 300;
+    double learning_rate = 100.0;
+    /// Early exaggeration factor applied for the first quarter of the
+    /// iterations.
+    double early_exaggeration = 4.0;
+    double momentum = 0.8;
+    uint64_t seed = 23;
+  };
+
+  Tsne() : Tsne(Options()) {}
+  explicit Tsne(Options options) : options_(options) {}
+
+  /// Embeds the rows of `data` into `output_dims` dimensions.
+  Result<Matrix> Embed(const Matrix& data) const;
+
+ private:
+  /// Row-wise conditional probabilities with per-point bandwidths found by
+  /// binary search on the perplexity, then symmetrised.
+  Matrix ComputeAffinities(const Matrix& data) const;
+
+  Options options_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CLUSTER_TSNE_H_

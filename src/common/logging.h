@@ -1,0 +1,72 @@
+#ifndef OEBENCH_COMMON_LOGGING_H_
+#define OEBENCH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace oebench {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted by OE_LOG; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink. Flushes one line to stderr on destruction.
+/// Used through the OE_LOG / OE_CHECK macros; not part of the public API.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after flushing. Used by OE_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace oebench
+
+#define OE_LOG(level)                                              \
+  ::oebench::internal::LogMessage(::oebench::LogLevel::k##level,   \
+                                  __FILE__, __LINE__)
+
+// Aborts with a message when `condition` is false. For programming errors
+// (violated invariants), not for recoverable failures — those return Status.
+#define OE_CHECK(condition)                                          \
+  if (!(condition))                                                  \
+  ::oebench::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define OE_DCHECK(condition) OE_CHECK(condition)
+
+#endif  // OEBENCH_COMMON_LOGGING_H_

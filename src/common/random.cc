@@ -1,0 +1,34 @@
+#include "common/random.h"
+
+#include "common/logging.h"
+
+namespace oebench {
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  OE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return static_cast<int64_t>(weights.size()) - 1;
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  OE_CHECK(k <= n);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t j = i + UniformInt(n - i);
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  idx.resize(static_cast<size_t>(k));
+  return idx;
+}
+
+}  // namespace oebench

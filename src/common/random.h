@@ -1,0 +1,79 @@
+#ifndef OEBENCH_COMMON_RANDOM_H_
+#define OEBENCH_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace oebench {
+
+/// Deterministic pseudo-random source used throughout the library. Every
+/// stochastic component (stream generators, isolation forest, k-means,
+/// MLP initialisation, ...) takes an explicit seed so that benchmarks are
+/// reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * Uniform();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n) {
+    return static_cast<int64_t>(
+        std::uniform_int_distribution<int64_t>(0, n - 1)(engine_));
+  }
+
+  /// Standard normal deviate.
+  double Gaussian() { return normal_(engine_); }
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Poisson deviate with the given rate. Used by ARF's online bagging.
+  int Poisson(double lambda) {
+    return std::poisson_distribution<int>(lambda)(engine_);
+  }
+
+  /// Samples an index according to non-negative weights (need not sum to 1).
+  /// Returns the last index if weights are all zero.
+  int64_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `indices` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(static_cast<int64_t>(i)));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Returns k distinct indices sampled uniformly from [0, n).
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Derives a new independent seed; useful for spawning child RNGs.
+  uint64_t NextSeed() {
+    return std::uniform_int_distribution<uint64_t>()(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_COMMON_RANDOM_H_

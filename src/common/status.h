@@ -1,0 +1,129 @@
+#ifndef OEBENCH_COMMON_STATUS_H_
+#define OEBENCH_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace oebench {
+
+/// Error categories used across the library. Modelled after the
+/// Arrow/RocksDB convention: cheap to construct on success, carries a
+/// message on failure, and is the return type of every fallible operation
+/// instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "Invalid
+/// argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation. `Status::OK()` is the success value;
+/// failures carry a code and a message. Copyable and cheaply movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder, analogous to arrow::Result. On success holds a
+/// T; on failure holds a non-OK Status. Accessing the value of a failed
+/// Result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status: `return st;`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+// Propagates an error Status from an expression that returns Status.
+#define OE_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::oebench::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+// Assigns the value of a Result expression to `lhs`, or propagates the
+// error. `lhs` may include a declaration, e.g. OE_ASSIGN_OR_RETURN(auto x, F()).
+#define OE_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  OE_ASSIGN_OR_RETURN_IMPL(                          \
+      OE_CONCAT_NAME(_result_, __LINE__), lhs, rexpr)
+
+#define OE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                             \
+  if (!result_name.ok()) return result_name.status();     \
+  lhs = std::move(result_name).value()
+
+#define OE_CONCAT_NAME_INNER(a, b) a##b
+#define OE_CONCAT_NAME(a, b) OE_CONCAT_NAME_INNER(a, b)
+
+}  // namespace oebench
+
+#endif  // OEBENCH_COMMON_STATUS_H_

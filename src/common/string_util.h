@@ -1,0 +1,35 @@
+#ifndef OEBENCH_COMMON_STRING_UTIL_H_
+#define OEBENCH_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oebench {
+
+/// Splits `text` on `delim`, keeping empty fields. "a,,b" -> {"a","","b"}.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins the items with `sep` between them.
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view sep);
+
+/// Parses a double; returns false on malformed input. Empty or "NA"/"nan"
+/// style markers are *not* handled here — callers decide missing-value
+/// policy.
+bool ParseDouble(std::string_view text, double* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `text` equals one of the common missing-value markers
+/// ("", "NA", "N/A", "nan", "NaN", "null", "?").
+bool IsMissingMarker(std::string_view text);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_COMMON_STRING_UTIL_H_

@@ -1,0 +1,98 @@
+#include "core/arf.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+void ArfLearner::Begin(const PreparedStream& stream) {
+  OE_CHECK(stream.task == TaskType::kClassification)
+      << "ARF is classification-only (N/A for regression in the paper)";
+  num_classes_ = stream.num_classes;
+  members_.clear();
+  members_.resize(static_cast<size_t>(config_.ensemble_size));
+}
+
+std::unique_ptr<HoeffdingTree> ArfLearner::NewTree(int64_t dim) {
+  HoeffdingTreeConfig tree_config;
+  tree_config.num_classes = num_classes_;
+  tree_config.leaf_prediction = LeafPrediction::kNaiveBayes;
+  tree_config.max_features = std::max(
+      2, static_cast<int>(std::round(std::sqrt(static_cast<double>(dim)))));
+  return std::make_unique<HoeffdingTree>(tree_config, rng_.NextSeed());
+}
+
+int ArfLearner::PredictRow(const double* row, int64_t dim) const {
+  std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+  bool any = false;
+  for (const Member& member : members_) {
+    if (member.tree == nullptr) continue;
+    std::vector<double> proba = member.tree->PredictProba(row, dim);
+    for (size_t c = 0; c < votes.size(); ++c) votes[c] += proba[c];
+    any = true;
+  }
+  if (!any) return 0;
+  return ArgMax(votes);
+}
+
+double ArfLearner::TestLoss(const WindowData& window) {
+  if (window.features.rows() == 0) return 0.0;
+  int64_t wrong = 0;
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    if (PredictRow(window.features.Row(r), window.features.cols()) !=
+        static_cast<int>(window.targets[static_cast<size_t>(r)])) {
+      ++wrong;
+    }
+  }
+  return static_cast<double>(wrong) /
+         static_cast<double>(window.features.rows());
+}
+
+void ArfLearner::TrainWindow(const WindowData& window) {
+  const int64_t dim = window.features.cols();
+  for (Member& member : members_) {
+    if (member.tree == nullptr) member.tree = NewTree(dim);
+  }
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    const double* row = window.features.Row(r);
+    int label = static_cast<int>(window.targets[static_cast<size_t>(r)]);
+    for (Member& member : members_) {
+      // Test-then-train per member for the drift detector.
+      int pred = member.tree->PredictClass(row, dim);
+      DriftSignal signal =
+          member.detector.Update(pred == label ? 0.0 : 1.0);
+      if (signal == DriftSignal::kWarning && member.background == nullptr) {
+        member.background = NewTree(dim);
+      } else if (signal == DriftSignal::kDrift) {
+        // Promote the background tree (or restart cold).
+        member.tree = member.background != nullptr
+                          ? std::move(member.background)
+                          : NewTree(dim);
+        member.background = nullptr;
+        member.detector.Reset();
+      }
+      int weight = rng_.Poisson(6.0);
+      if (weight > 0) {
+        member.tree->Learn(row, dim, label, static_cast<double>(weight));
+        if (member.background != nullptr) {
+          member.background->Learn(row, dim, label,
+                                   static_cast<double>(weight));
+        }
+      }
+    }
+  }
+}
+
+int64_t ArfLearner::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const Member& member : members_) {
+    if (member.tree != nullptr) bytes += member.tree->MemoryBytes();
+    if (member.background != nullptr) {
+      bytes += member.background->MemoryBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace oebench

@@ -1,0 +1,49 @@
+#ifndef OEBENCH_CORE_ARF_H_
+#define OEBENCH_CORE_ARF_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/learner.h"
+#include "drift/adwin.h"
+#include "models/hoeffding_tree.h"
+
+namespace oebench {
+
+/// Adaptive Random Forest (Gomes et al., 2017) for classification
+/// streams. Each ensemble member is a Hoeffding tree over a random
+/// feature subspace, trained with Poisson(6) online bagging. A per-tree
+/// ADWIN on the member's error stream raises warnings (start training a
+/// background tree) and drifts (replace the member with its background
+/// tree). Regression is N/A, matching the paper's tables.
+class ArfLearner : public StreamLearner {
+ public:
+  explicit ArfLearner(LearnerConfig config)
+      : config_(std::move(config)), rng_(config_.seed) {}
+
+  void Begin(const PreparedStream& stream) override;
+  double TestLoss(const WindowData& window) override;
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "ARF"; }
+  int64_t MemoryBytes() const override;
+
+ private:
+  struct Member {
+    std::unique_ptr<HoeffdingTree> tree;
+    std::unique_ptr<HoeffdingTree> background;
+    AdwinAccuracyDetector detector;
+  };
+
+  std::unique_ptr<HoeffdingTree> NewTree(int64_t dim);
+  int PredictRow(const double* row, int64_t dim) const;
+
+  LearnerConfig config_;
+  Rng rng_;
+  int num_classes_ = 2;
+  std::vector<Member> members_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_ARF_H_

@@ -1,0 +1,60 @@
+#include "core/drift_reset.h"
+
+#include <cmath>
+
+#include "core/evaluator.h"
+
+namespace oebench {
+
+DriftResetLearner::DriftResetLearner(std::string inner_name,
+                                     LearnerConfig config,
+                                     double ph_lambda)
+    : inner_name_(std::move(inner_name)),
+      config_(std::move(config)),
+      ph_lambda_(ph_lambda),
+      detector_(/*delta=*/0.005, ph_lambda, /*min_samples=*/4) {}
+
+void DriftResetLearner::RebuildInner() {
+  Result<std::unique_ptr<StreamLearner>> inner =
+      MakeLearner(inner_name_, config_, meta_.task, meta_.num_classes);
+  OE_CHECK(inner.ok()) << inner.status().ToString();
+  inner_ = std::move(*inner);
+  inner_->Begin(meta_);
+}
+
+void DriftResetLearner::Begin(const PreparedStream& stream) {
+  meta_ = PreparedStream();
+  meta_.name = stream.name;
+  meta_.task = stream.task;
+  meta_.num_classes = stream.num_classes;
+  detector_.Reset();
+  last_test_loss_ = -1.0;
+  resets_ = 0;
+  RebuildInner();
+}
+
+double DriftResetLearner::TestLoss(const WindowData& window) {
+  last_test_loss_ = inner_->TestLoss(window);
+  return last_test_loss_;
+}
+
+void DriftResetLearner::TrainWindow(const WindowData& window) {
+  bool reset = false;
+  if (last_test_loss_ >= 0.0 && std::isfinite(last_test_loss_)) {
+    reset = detector_.Update(last_test_loss_) == DriftSignal::kDrift;
+  } else if (last_test_loss_ >= 0.0) {
+    reset = true;  // the model blew up (§5.3); start over
+  }
+  if (reset) {
+    ++resets_;
+    RebuildInner();
+    detector_.Reset();
+  }
+  inner_->TrainWindow(window);
+}
+
+int64_t DriftResetLearner::MemoryBytes() const {
+  return inner_ != nullptr ? inner_->MemoryBytes() : 0;
+}
+
+}  // namespace oebench

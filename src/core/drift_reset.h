@@ -1,0 +1,50 @@
+#ifndef OEBENCH_CORE_DRIFT_RESET_H_
+#define OEBENCH_CORE_DRIFT_RESET_H_
+
+#include <memory>
+#include <string>
+
+#include "core/learner.h"
+#include "drift/page_hinkley.h"
+
+namespace oebench {
+
+/// Detect-and-reset meta-learner — the adaptation strategy the paper
+/// sketches in §2.2 ("apply drift detectors and re-train the model after
+/// drift alerts"). Wraps any base learner; a Page-Hinkley test on the
+/// per-window test losses raises the alarm, upon which the base learner
+/// is rebuilt from scratch and trained on the current window only, so
+/// stale pre-drift knowledge is dropped instead of averaged away.
+class DriftResetLearner : public StreamLearner {
+ public:
+  /// `inner_name` is any MakeLearner name; `ph_lambda` tunes alarm
+  /// sensitivity on the window-loss stream.
+  DriftResetLearner(std::string inner_name, LearnerConfig config,
+                    double ph_lambda = 0.3);
+
+  void Begin(const PreparedStream& stream) override;
+  double TestLoss(const WindowData& window) override;
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override {
+    return "DriftReset(" + inner_name_ + ")";
+  }
+  int64_t MemoryBytes() const override;
+
+  int64_t resets() const { return resets_; }
+
+ private:
+  void RebuildInner();
+
+  std::string inner_name_;
+  LearnerConfig config_;
+  double ph_lambda_;
+  PreparedStream meta_;  // windows stay empty; Begin() metadata only
+  std::unique_ptr<StreamLearner> inner_;
+  PageHinkley detector_;
+  double last_test_loss_ = -1.0;
+  int64_t resets_ = 0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_DRIFT_RESET_H_

@@ -1,0 +1,230 @@
+#include "core/evaluator.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "core/arf.h"
+#include "core/drift_reset.h"
+#include "core/ewc.h"
+#include "core/icarl.h"
+#include "core/lwf.h"
+#include "core/mas.h"
+#include "core/naive_bayes_learner.h"
+#include "core/naive_nn.h"
+#include "core/oza_bag.h"
+#include "core/sea.h"
+#include "core/sam_knn.h"
+#include "core/si.h"
+#include "core/tree_learners.h"
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace
+
+std::vector<std::string> AllLearnerNames(TaskType task) {
+  std::vector<std::string> names = {"Naive-NN",   "EWC",    "LwF",
+                                    "iCaRL",      "SEA-NN", "Naive-DT",
+                                    "Naive-GBDT", "SEA-DT", "SEA-GBDT"};
+  if (task == TaskType::kClassification) names.push_back("ARF");
+  return names;
+}
+
+std::vector<std::string> ExtendedLearnerNames(TaskType task) {
+  std::vector<std::string> names = {"MAS", "SI", "DriftReset-NN",
+                                    "DriftReset-DT"};
+  if (task == TaskType::kClassification) {
+    names.push_back("SAM-kNN");
+    names.push_back("OzaBag");
+    names.push_back("Naive-Bayes");
+  }
+  return names;
+}
+
+Result<std::unique_ptr<StreamLearner>> MakeLearner(
+    const std::string& name, const LearnerConfig& config, TaskType task,
+    int /*num_classes*/) {
+  if (name == "Naive-NN") {
+    return std::unique_ptr<StreamLearner>(new NaiveNnLearner(config));
+  }
+  if (name == "EWC") {
+    return std::unique_ptr<StreamLearner>(new EwcLearner(config));
+  }
+  if (name == "LwF") {
+    return std::unique_ptr<StreamLearner>(new LwfLearner(config));
+  }
+  if (name == "iCaRL") {
+    return std::unique_ptr<StreamLearner>(new IcarlLearner(config));
+  }
+  if (name == "SEA-NN") {
+    return std::unique_ptr<StreamLearner>(
+        new SeaLearner(SeaBase::kNn, config));
+  }
+  if (name == "SEA-DT") {
+    return std::unique_ptr<StreamLearner>(
+        new SeaLearner(SeaBase::kDt, config));
+  }
+  if (name == "SEA-GBDT") {
+    return std::unique_ptr<StreamLearner>(
+        new SeaLearner(SeaBase::kGbdt, config));
+  }
+  if (name == "Naive-DT") {
+    return std::unique_ptr<StreamLearner>(new NaiveTreeLearner(config));
+  }
+  if (name == "Naive-GBDT") {
+    return std::unique_ptr<StreamLearner>(new NaiveGbdtLearner(config));
+  }
+  if (name == "MAS") {
+    return std::unique_ptr<StreamLearner>(new MasLearner(config));
+  }
+  if (name == "SI") {
+    return std::unique_ptr<StreamLearner>(new SiLearner(config));
+  }
+  if (name == "DriftReset-NN") {
+    return std::unique_ptr<StreamLearner>(
+        new DriftResetLearner("Naive-NN", config));
+  }
+  if (name == "DriftReset-DT") {
+    return std::unique_ptr<StreamLearner>(
+        new DriftResetLearner("Naive-DT", config));
+  }
+  if (name == "SAM-kNN") {
+    if (task != TaskType::kClassification) {
+      return Status::InvalidArgument("SAM-kNN is classification-only");
+    }
+    return std::unique_ptr<StreamLearner>(new SamKnnLearner(config));
+  }
+  if (name == "OzaBag") {
+    if (task != TaskType::kClassification) {
+      return Status::InvalidArgument("OzaBag is classification-only");
+    }
+    return std::unique_ptr<StreamLearner>(new OzaBagLearner(config));
+  }
+  if (name == "Naive-Bayes") {
+    if (task != TaskType::kClassification) {
+      return Status::InvalidArgument(
+          "Naive-Bayes learner is classification-only");
+    }
+    return std::unique_ptr<StreamLearner>(new NaiveBayesLearner(config));
+  }
+  if (name == "ARF") {
+    if (task != TaskType::kClassification) {
+      return Status::InvalidArgument(
+          "ARF is classification-only (N/A in the paper's tables)");
+    }
+    return std::unique_ptr<StreamLearner>(new ArfLearner(config));
+  }
+  return Status::NotFound("unknown learner '" + name + "'");
+}
+
+double TaskLoss(TaskType task, const std::vector<double>& predictions,
+                const std::vector<double>& targets) {
+  OE_CHECK(predictions.size() == targets.size());
+  if (predictions.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (task == TaskType::kClassification) {
+      total += static_cast<int>(predictions[i]) ==
+                       static_cast<int>(targets[i])
+                   ? 0.0
+                   : 1.0;
+    } else {
+      double diff = predictions[i] - targets[i];
+      total += diff * diff;
+    }
+  }
+  return total / static_cast<double>(predictions.size());
+}
+
+EvalResult RunPrequential(StreamLearner* learner,
+                          const PreparedStream& stream) {
+  using Clock = std::chrono::steady_clock;
+  EvalResult result;
+  result.learner = learner->name();
+  result.dataset = stream.name;
+
+  learner->Begin(stream);
+  int64_t total_items = 0;
+  for (size_t w = 0; w < stream.windows.size(); ++w) {
+    const WindowData& window = stream.windows[w];
+    total_items += window.features.rows();
+    if (w > 0) {
+      Clock::time_point t0 = Clock::now();
+      double loss = learner->TestLoss(window);
+      result.test_seconds += Seconds(t0, Clock::now());
+      result.per_window_loss.push_back(loss);
+    }
+    Clock::time_point t1 = Clock::now();
+    learner->TrainWindow(window);
+    result.train_seconds += Seconds(t1, Clock::now());
+    result.peak_memory_bytes =
+        std::max(result.peak_memory_bytes, learner->MemoryBytes());
+  }
+  // Mean over finite windows; non-finite losses (NN blow-ups on extreme
+  // outliers) stay visible in per_window_loss.
+  double sum = 0.0;
+  int64_t finite = 0;
+  for (double loss : result.per_window_loss) {
+    if (std::isfinite(loss)) {
+      sum += loss;
+      ++finite;
+    }
+  }
+  result.mean_loss = finite > 0 ? sum / static_cast<double>(finite)
+                                : std::numeric_limits<double>::infinity();
+  // Fading-factor prequential loss over the finite windows.
+  constexpr double kFade = 0.98;
+  double faded_num = 0.0;
+  double faded_den = 0.0;
+  for (double loss : result.per_window_loss) {
+    if (!std::isfinite(loss)) continue;
+    faded_num = kFade * faded_num + loss;
+    faded_den = kFade * faded_den + 1.0;
+  }
+  result.faded_loss = faded_den > 0.0
+                          ? faded_num / faded_den
+                          : std::numeric_limits<double>::infinity();
+  double total_seconds = result.test_seconds + result.train_seconds;
+  result.throughput = total_seconds > 0.0
+                          ? static_cast<double>(total_items) / total_seconds
+                          : 0.0;
+  return result;
+}
+
+RepeatedResult RunRepeated(const std::string& learner_name,
+                           const LearnerConfig& base_config,
+                           const PreparedStream& stream, int repeats) {
+  RepeatedResult out;
+  out.learner = learner_name;
+  out.dataset = stream.name;
+  std::vector<double> losses;
+  for (int rep = 0; rep < repeats; ++rep) {
+    LearnerConfig config = base_config;
+    config.seed = base_config.seed + static_cast<uint64_t>(rep);
+    Result<std::unique_ptr<StreamLearner>> learner =
+        MakeLearner(learner_name, config, stream.task, stream.num_classes);
+    if (!learner.ok()) {
+      out.not_applicable = true;
+      return out;
+    }
+    EvalResult result = RunPrequential(learner->get(), stream);
+    losses.push_back(result.mean_loss);
+    out.throughput += result.throughput;
+    out.peak_memory_bytes =
+        std::max(out.peak_memory_bytes, result.peak_memory_bytes);
+  }
+  out.loss_mean = Mean(losses);
+  out.loss_stddev = StdDev(losses);
+  out.throughput /= static_cast<double>(repeats);
+  return out;
+}
+
+}  // namespace oebench

@@ -1,0 +1,58 @@
+#ifndef OEBENCH_CORE_EVALUATOR_H_
+#define OEBENCH_CORE_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/learner.h"
+
+namespace oebench {
+
+/// Outcome of one prequential run of one learner on one stream.
+struct EvalResult {
+  std::string learner;
+  std::string dataset;
+  /// Mean test loss over windows 1..n-1 (window 0 is the warm-up, §6.1).
+  double mean_loss = 0.0;
+  /// Fading-factor prequential loss (Gama, Sebastiao & Rodrigues, 2013 —
+  /// the paper's reference on evaluating stream learners): recent
+  /// windows weigh more, factor 0.98 per window. Emphasises how well the
+  /// learner tracks the *current* environment.
+  double faded_loss = 0.0;
+  /// Test loss per evaluated window (index 0 = window 1's loss).
+  std::vector<double> per_window_loss;
+  double train_seconds = 0.0;
+  double test_seconds = 0.0;
+  /// Items processed per second across test + train (Table 5 analogue).
+  double throughput = 0.0;
+  /// Peak model memory over the run (Table 6 analogue).
+  int64_t peak_memory_bytes = 0;
+};
+
+/// Runs the test-then-train protocol (§6.1): train on window 0, then for
+/// each later window test first, then train. A non-finite test loss is
+/// recorded as-is (the paper reports NN loss exploding on extreme
+/// outliers, §5.3) but clamped out of the mean so one window cannot make
+/// the aggregate meaningless; `mean_loss` averages finite windows only.
+EvalResult RunPrequential(StreamLearner* learner,
+                          const PreparedStream& stream);
+
+/// Convenience: repeats RunPrequential with seeds {base, base+1, ...} on
+/// freshly constructed learners, returning mean and stddev of mean_loss —
+/// the "three random seeds" protocol of the paper's tables.
+struct RepeatedResult {
+  std::string learner;
+  std::string dataset;
+  double loss_mean = 0.0;
+  double loss_stddev = 0.0;
+  double throughput = 0.0;
+  int64_t peak_memory_bytes = 0;
+  bool not_applicable = false;  // e.g. ARF on regression
+};
+RepeatedResult RunRepeated(const std::string& learner_name,
+                           const LearnerConfig& base_config,
+                           const PreparedStream& stream, int repeats = 3);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_EVALUATOR_H_

@@ -1,0 +1,34 @@
+#ifndef OEBENCH_CORE_EWC_H_
+#define OEBENCH_CORE_EWC_H_
+
+#include <vector>
+
+#include "core/naive_nn.h"
+
+namespace oebench {
+
+/// Elastic Weight Consolidation (Kirkpatrick et al., 2017) adapted to
+/// streams as in the paper (§6.1): only the *previous window's* model and
+/// Fisher information are kept (infinite streams cannot keep one per
+/// task). Training on window k adds the quadratic penalty
+/// lambda * F_(k-1) (theta - theta_(k-1))^2 to the gradient.
+class EwcLearner : public NnLearnerBase {
+ public:
+  explicit EwcLearner(LearnerConfig config)
+      : NnLearnerBase(std::move(config)) {}
+
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "EWC"; }
+  int64_t MemoryBytes() const override;
+
+ private:
+  bool has_anchor_ = false;
+  std::vector<Matrix> anchor_weights_;
+  std::vector<std::vector<double>> anchor_biases_;
+  std::vector<Matrix> fisher_weights_;
+  std::vector<std::vector<double>> fisher_biases_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_EWC_H_

@@ -1,0 +1,106 @@
+#include "core/icarl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+void IcarlLearner::TrainWindow(const WindowData& window) {
+  if (window.features.rows() == 0) return;
+
+  // Train on window + exemplars.
+  Matrix train_x = window.features;
+  std::vector<double> train_y = window.targets;
+  if (buffer_x_.rows() > 0) {
+    train_x = Matrix::VStack(train_x, buffer_x_);
+    train_y.insert(train_y.end(), buffer_y_.begin(), buffer_y_.end());
+  }
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    model().TrainEpoch(train_x, train_y, &rng_);
+  }
+  UpdateBuffer(window);
+}
+
+void IcarlLearner::UpdateBuffer(const WindowData& window) {
+  // Candidate pool: current buffer + new window.
+  Matrix pool_x = buffer_x_.rows() > 0
+                      ? Matrix::VStack(buffer_x_, window.features)
+                      : window.features;
+  std::vector<double> pool_y = buffer_y_;
+  pool_y.insert(pool_y.end(), window.targets.begin(), window.targets.end());
+
+  // Group rows by class (regression: one class).
+  std::map<int, std::vector<int64_t>> by_class;
+  for (int64_t r = 0; r < pool_x.rows(); ++r) {
+    int cls = task_ == TaskType::kClassification
+                  ? static_cast<int>(pool_y[static_cast<size_t>(r)])
+                  : 0;
+    by_class[cls].push_back(r);
+  }
+  const int num_groups = static_cast<int>(by_class.size());
+  const int per_class =
+      std::max(1, config_.buffer_size / std::max(num_groups, 1));
+
+  std::vector<int64_t> selected;
+  for (auto& [cls, rows] : by_class) {
+    // Class mean in input space.
+    std::vector<double> mean(static_cast<size_t>(pool_x.cols()), 0.0);
+    for (int64_t r : rows) {
+      const double* row = pool_x.Row(r);
+      for (int64_t c = 0; c < pool_x.cols(); ++c) {
+        mean[static_cast<size_t>(c)] += row[c];
+      }
+    }
+    for (double& v : mean) v /= static_cast<double>(rows.size());
+
+    // Herding: greedily add the row that keeps the running exemplar mean
+    // closest to the class mean.
+    std::vector<double> running(mean.size(), 0.0);
+    std::vector<bool> used(rows.size(), false);
+    int take = std::min<int>(per_class, static_cast<int>(rows.size()));
+    for (int k = 0; k < take; ++k) {
+      double best_dist = 1e300;
+      size_t best_i = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (used[i]) continue;
+        const double* row = pool_x.Row(rows[i]);
+        double dist = 0.0;
+        for (size_t c = 0; c < mean.size(); ++c) {
+          double candidate =
+              (running[c] + row[c]) / static_cast<double>(k + 1);
+          double d = candidate - mean[c];
+          dist += d * d;
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_i = i;
+        }
+      }
+      used[best_i] = true;
+      const double* row = pool_x.Row(rows[best_i]);
+      for (size_t c = 0; c < mean.size(); ++c) running[c] += row[c];
+      selected.push_back(rows[best_i]);
+    }
+  }
+  // Trim to the global budget (classes may not divide it evenly).
+  if (static_cast<int>(selected.size()) > config_.buffer_size) {
+    selected.resize(static_cast<size_t>(config_.buffer_size));
+  }
+  buffer_x_ = pool_x.SelectRows(selected);
+  buffer_y_.clear();
+  buffer_y_.reserve(selected.size());
+  for (int64_t r : selected) {
+    buffer_y_.push_back(pool_y[static_cast<size_t>(r)]);
+  }
+}
+
+int64_t IcarlLearner::MemoryBytes() const {
+  return NnLearnerBase::MemoryBytes() +
+         buffer_x_.size() * static_cast<int64_t>(sizeof(double)) +
+         static_cast<int64_t>(buffer_y_.size() * sizeof(double));
+}
+
+}  // namespace oebench

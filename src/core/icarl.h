@@ -1,0 +1,37 @@
+#ifndef OEBENCH_CORE_ICARL_H_
+#define OEBENCH_CORE_ICARL_H_
+
+#include <vector>
+
+#include "core/naive_nn.h"
+
+namespace oebench {
+
+/// iCaRL-style exemplar replay (Rebuffi et al., 2017), restricted per the
+/// paper (§6.1) to the exemplar-selection strategy: herding keeps the
+/// buffer's per-class members closest to the class mean in input space;
+/// training concatenates the window with the buffer. Regression treats
+/// all items as a single class. The nearest-mean classifier of the
+/// original iCaRL is disregarded.
+class IcarlLearner : public NnLearnerBase {
+ public:
+  explicit IcarlLearner(LearnerConfig config)
+      : NnLearnerBase(std::move(config)) {}
+
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "iCaRL"; }
+  int64_t MemoryBytes() const override;
+
+  int64_t buffer_rows() const { return buffer_x_.rows(); }
+
+ private:
+  /// Rebuilds the exemplar buffer from (buffer + window) with herding.
+  void UpdateBuffer(const WindowData& window);
+
+  Matrix buffer_x_;
+  std::vector<double> buffer_y_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_ICARL_H_

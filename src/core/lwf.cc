@@ -1,0 +1,64 @@
+#include "core/lwf.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+void LwfLearner::TrainWindow(const WindowData& window) {
+  if (window.features.rows() == 0) return;
+
+  Mlp::GradHooks hooks;
+  // Soft targets of the frozen previous model, precomputed per row.
+  std::vector<std::vector<double>> prev_outputs;
+  if (previous_model_.has_value() && previous_model_->initialized()) {
+    prev_outputs.resize(static_cast<size_t>(window.features.rows()));
+    for (int64_t r = 0; r < window.features.rows(); ++r) {
+      prev_outputs[static_cast<size_t>(r)] = previous_model_->Forward(
+          window.features.Row(r), window.features.cols());
+    }
+    const double lambda = config_.lwf_lambda;
+    const bool classification = task_ == TaskType::kClassification;
+    hooks.output_hook = [this, &prev_outputs, lambda, classification](
+                            int64_t row, const std::vector<double>& output,
+                            std::vector<double>* delta) {
+      const std::vector<double>& prev =
+          prev_outputs[static_cast<size_t>(row)];
+      if (classification) {
+        // d/dz of T^2 * CE(softmax(prev/T), softmax(z/T))
+        // = T * (softmax(z/T) - softmax(prev/T)).
+        std::vector<double> soft_cur(output.size());
+        std::vector<double> soft_prev(prev.size());
+        for (size_t i = 0; i < output.size(); ++i) {
+          soft_cur[i] = output[i] / kTemperature;
+          soft_prev[i] = prev[i] / kTemperature;
+        }
+        SoftmaxInPlace(&soft_cur);
+        SoftmaxInPlace(&soft_prev);
+        for (size_t i = 0; i < delta->size(); ++i) {
+          (*delta)[i] +=
+              lambda * kTemperature * (soft_cur[i] - soft_prev[i]);
+        }
+      } else {
+        // MSE distillation: lambda * 2 * (z - z_prev).
+        (*delta)[0] += lambda * 2.0 * (output[0] - prev[0]);
+      }
+    };
+  }
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    model().TrainEpoch(window.features, window.targets, &rng_,
+                       prev_outputs.empty() ? nullptr : &hooks);
+  }
+  previous_model_ = model();  // frozen copy for the next window
+}
+
+int64_t LwfLearner::MemoryBytes() const {
+  int64_t bytes = NnLearnerBase::MemoryBytes();
+  if (previous_model_.has_value() && previous_model_->initialized()) {
+    bytes += previous_model_->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace oebench

@@ -1,0 +1,31 @@
+#ifndef OEBENCH_CORE_LWF_H_
+#define OEBENCH_CORE_LWF_H_
+
+#include <optional>
+
+#include "core/naive_nn.h"
+
+namespace oebench {
+
+/// Learning without Forgetting (Li & Hoiem, 2017), stream-adapted per the
+/// paper (§6.1): the previous window's frozen model provides soft targets.
+/// Classification distils with temperature-softened cross-entropy;
+/// regression substitutes an MSE term towards the previous model's output
+/// (the paper's stated adaptation).
+class LwfLearner : public NnLearnerBase {
+ public:
+  explicit LwfLearner(LearnerConfig config)
+      : NnLearnerBase(std::move(config)) {}
+
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "LwF"; }
+  int64_t MemoryBytes() const override;
+
+ private:
+  static constexpr double kTemperature = 2.0;
+  std::optional<Mlp> previous_model_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_LWF_H_

@@ -1,0 +1,89 @@
+#include "core/mas.h"
+
+namespace oebench {
+
+namespace {
+
+/// Rescales the importance buffers to a mean of 1e-6 (the same scale
+/// pinning EwcLearner applies to its Fisher diagonal) so lambda sweeps
+/// behave identically across the regularisation family.
+void PinImportanceScale(std::vector<Matrix>* weights,
+                        std::vector<std::vector<double>>* biases) {
+  double sum = 0.0;
+  int64_t count = 0;
+  for (const Matrix& m : *weights) {
+    for (double v : m.data()) sum += v;
+    count += m.size();
+  }
+  for (const auto& b : *biases) {
+    for (double v : b) sum += v;
+    count += static_cast<int64_t>(b.size());
+  }
+  if (sum <= 0.0 || count == 0) return;
+  double scale = 1e-6 * static_cast<double>(count) / sum;
+  for (Matrix& m : *weights) {
+    for (double& v : m.data()) v *= scale;
+  }
+  for (auto& b : *biases) {
+    for (double& v : b) v *= scale;
+  }
+}
+
+}  // namespace
+
+void MasLearner::TrainWindow(const WindowData& window) {
+  if (window.features.rows() == 0) return;
+
+  Mlp::GradHooks hooks;
+  if (has_anchor_) {
+    hooks.param_hook = [this](const std::vector<Matrix>& weights,
+                              const std::vector<std::vector<double>>& biases,
+                              std::vector<Matrix>* weight_grads,
+                              std::vector<std::vector<double>>* bias_grads) {
+      const double lambda = config_.ewc_lambda;
+      for (size_t l = 0; l < weights.size(); ++l) {
+        const auto& w = weights[l].data();
+        const auto& aw = anchor_weights_[l].data();
+        const auto& iw = importance_weights_[l].data();
+        auto& gw = (*weight_grads)[l].data();
+        for (size_t i = 0; i < w.size(); ++i) {
+          gw[i] += lambda * iw[i] * (w[i] - aw[i]);
+        }
+        for (size_t i = 0; i < biases[l].size(); ++i) {
+          (*bias_grads)[l][i] += lambda * importance_biases_[l][i] *
+                                 (biases[l][i] - anchor_biases_[l][i]);
+        }
+      }
+    };
+  }
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    model().TrainEpoch(window.features, window.targets, &rng_,
+                       has_anchor_ ? &hooks : nullptr);
+  }
+
+  model().ComputeOutputNormGradients(window.features, &importance_weights_,
+                                     &importance_biases_);
+  PinImportanceScale(&importance_weights_, &importance_biases_);
+  anchor_weights_ = model().weights();
+  anchor_biases_ = model().biases();
+  has_anchor_ = true;
+}
+
+int64_t MasLearner::MemoryBytes() const {
+  int64_t bytes = NnLearnerBase::MemoryBytes();
+  for (const Matrix& m : anchor_weights_) {
+    bytes += m.size() * static_cast<int64_t>(sizeof(double));
+  }
+  for (const Matrix& m : importance_weights_) {
+    bytes += m.size() * static_cast<int64_t>(sizeof(double));
+  }
+  for (const auto& b : anchor_biases_) {
+    bytes += static_cast<int64_t>(b.size() * sizeof(double));
+  }
+  for (const auto& b : importance_biases_) {
+    bytes += static_cast<int64_t>(b.size() * sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace oebench

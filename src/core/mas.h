@@ -1,0 +1,37 @@
+#ifndef OEBENCH_CORE_MAS_H_
+#define OEBENCH_CORE_MAS_H_
+
+#include <vector>
+
+#include "core/naive_nn.h"
+
+namespace oebench {
+
+/// Memory Aware Synapses (Aljundi et al., 2018) — an extension learner
+/// from the paper's §A.1 survey of regularisation-based incremental
+/// learning. Like EWC it penalises movement of important parameters, but
+/// importance is the *unsupervised* sensitivity of the model output:
+/// Omega_i = E[ |d ||f(x)||^2 / d theta_i| ]. Stream-adapted the same
+/// way the paper adapts EWC: only the previous window's anchor and
+/// importance are kept, and the importance scale is pinned so the shared
+/// `ewc_lambda` range behaves consistently.
+class MasLearner : public NnLearnerBase {
+ public:
+  explicit MasLearner(LearnerConfig config)
+      : NnLearnerBase(std::move(config)) {}
+
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "MAS"; }
+  int64_t MemoryBytes() const override;
+
+ private:
+  bool has_anchor_ = false;
+  std::vector<Matrix> anchor_weights_;
+  std::vector<std::vector<double>> anchor_biases_;
+  std::vector<Matrix> importance_weights_;
+  std::vector<std::vector<double>> importance_biases_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_MAS_H_

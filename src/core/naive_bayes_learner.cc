@@ -1,0 +1,95 @@
+#include "core/naive_bayes_learner.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+void NaiveBayesLearner::Begin(const PreparedStream& stream) {
+  OE_CHECK(stream.task == TaskType::kClassification)
+      << "Naive-Bayes learner is classification-only";
+  num_classes_ = stream.num_classes;
+  dim_ = 0;
+  class_weight_.assign(static_cast<size_t>(num_classes_), 0.0);
+  sum_.clear();
+  sum_sq_.clear();
+}
+
+int NaiveBayesLearner::PredictRow(const double* row) const {
+  double total = 0.0;
+  for (double w : class_weight_) total += w;
+  if (total <= 0.0 || dim_ == 0) return 0;
+  std::vector<double> log_like(static_cast<size_t>(num_classes_));
+  for (int c = 0; c < num_classes_; ++c) {
+    size_t ci = static_cast<size_t>(c);
+    double weight = class_weight_[ci];
+    log_like[ci] = std::log((weight + 1.0) /
+                            (total + static_cast<double>(num_classes_)));
+    if (weight < 2.0) continue;  // not enough evidence for Gaussians
+    for (int64_t f = 0; f < dim_; ++f) {
+      size_t fi = static_cast<size_t>(f);
+      double mean = sum_[ci][fi] / weight;
+      double var =
+          sum_sq_[ci][fi] / weight - mean * mean + 1e-9;
+      if (var <= 0.0) var = 1e-9;
+      double diff = row[f] - mean;
+      log_like[ci] +=
+          -0.5 * (std::log(2.0 * M_PI * var) + diff * diff / var);
+    }
+  }
+  return ArgMax(log_like);
+}
+
+double NaiveBayesLearner::TestLoss(const WindowData& window) {
+  if (window.features.rows() == 0) return 0.0;
+  int64_t wrong = 0;
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    if (PredictRow(window.features.Row(r)) !=
+        static_cast<int>(window.targets[static_cast<size_t>(r)])) {
+      ++wrong;
+    }
+  }
+  return static_cast<double>(wrong) /
+         static_cast<double>(window.features.rows());
+}
+
+void NaiveBayesLearner::TrainWindow(const WindowData& window) {
+  if (window.features.rows() == 0) return;
+  if (dim_ == 0) {
+    dim_ = window.features.cols();
+    sum_.assign(static_cast<size_t>(num_classes_),
+                std::vector<double>(static_cast<size_t>(dim_), 0.0));
+    sum_sq_.assign(static_cast<size_t>(num_classes_),
+                   std::vector<double>(static_cast<size_t>(dim_), 0.0));
+  }
+  // Exponential decay before absorbing the new window: the open
+  // environment's answer to unbounded accumulation under drift.
+  for (int c = 0; c < num_classes_; ++c) {
+    size_t ci = static_cast<size_t>(c);
+    class_weight_[ci] *= decay_;
+    for (int64_t f = 0; f < dim_; ++f) {
+      sum_[ci][static_cast<size_t>(f)] *= decay_;
+      sum_sq_[ci][static_cast<size_t>(f)] *= decay_;
+    }
+  }
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    const double* row = window.features.Row(r);
+    size_t ci = static_cast<size_t>(
+        static_cast<int>(window.targets[static_cast<size_t>(r)]));
+    class_weight_[ci] += 1.0;
+    for (int64_t f = 0; f < dim_; ++f) {
+      sum_[ci][static_cast<size_t>(f)] += row[f];
+      sum_sq_[ci][static_cast<size_t>(f)] += row[f] * row[f];
+    }
+  }
+}
+
+int64_t NaiveBayesLearner::MemoryBytes() const {
+  return static_cast<int64_t>(
+      (class_weight_.size() +
+       2 * static_cast<size_t>(num_classes_) * static_cast<size_t>(dim_)) *
+      sizeof(double));
+}
+
+}  // namespace oebench

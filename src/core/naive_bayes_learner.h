@@ -1,0 +1,45 @@
+#ifndef OEBENCH_CORE_NAIVE_BAYES_LEARNER_H_
+#define OEBENCH_CORE_NAIVE_BAYES_LEARNER_H_
+
+#include <vector>
+
+#include "core/learner.h"
+
+namespace oebench {
+
+/// Incremental Gaussian naive Bayes stream learner — the classic
+/// lightweight streaming baseline (the §4.3 statistics pipeline already
+/// trains a *batch* GaussianNb per window; this variant accumulates the
+/// per-class Gaussian sufficient statistics across the whole stream with
+/// an optional exponential decay so old concepts fade). Classification
+/// only.
+class NaiveBayesLearner : public StreamLearner {
+ public:
+  /// `decay` in (0, 1]: per-window multiplier on the accumulated
+  /// statistics (1 = remember everything; smaller = faster forgetting).
+  explicit NaiveBayesLearner(LearnerConfig config, double decay = 0.9)
+      : config_(std::move(config)), decay_(decay) {}
+
+  void Begin(const PreparedStream& stream) override;
+  double TestLoss(const WindowData& window) override;
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "Naive-Bayes"; }
+  int64_t MemoryBytes() const override;
+
+ private:
+  int PredictRow(const double* row) const;
+
+  LearnerConfig config_;
+  double decay_;
+  int num_classes_ = 2;
+  int64_t dim_ = 0;
+  // Per-class accumulated weight, and per-class-per-feature sum / sum of
+  // squares (decayed); variance derives from them on demand.
+  std::vector<double> class_weight_;
+  std::vector<std::vector<double>> sum_;
+  std::vector<std::vector<double>> sum_sq_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_NAIVE_BAYES_LEARNER_H_

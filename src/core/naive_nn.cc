@@ -1,0 +1,54 @@
+#include "core/naive_nn.h"
+
+#include <cmath>
+
+namespace oebench {
+
+void NnLearnerBase::Begin(const PreparedStream& stream) {
+  task_ = stream.task;
+  num_classes_ = stream.num_classes;
+  MlpConfig mlp_config;
+  mlp_config.hidden_sizes = config_.hidden_sizes;
+  mlp_config.task = task_;
+  mlp_config.num_classes = num_classes_;
+  mlp_config.learning_rate = config_.learning_rate;
+  mlp_config.batch_size = config_.batch_size;
+  model_.emplace(mlp_config, config_.seed);
+}
+
+double NnLearnerBase::WindowLoss(const Mlp& model,
+                                 const WindowData& window) const {
+  if (window.features.rows() == 0) return 0.0;
+  if (!model.initialized()) return 1.0;
+  double total = 0.0;
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    std::vector<double> row = window.features.RowVector(r);
+    double target = window.targets[static_cast<size_t>(r)];
+    if (task_ == TaskType::kClassification) {
+      total += model.PredictClass(row) == static_cast<int>(target) ? 0.0
+                                                                   : 1.0;
+    } else {
+      double diff = model.PredictValue(row) - target;
+      total += diff * diff;
+    }
+  }
+  return total / static_cast<double>(window.features.rows());
+}
+
+double NnLearnerBase::TestLoss(const WindowData& window) {
+  return WindowLoss(*model_, window);
+}
+
+int64_t NnLearnerBase::MemoryBytes() const {
+  return model_.has_value() && model_->initialized() ? model_->MemoryBytes()
+                                                     : 0;
+}
+
+void NaiveNnLearner::TrainWindow(const WindowData& window) {
+  if (window.features.rows() == 0) return;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    model().TrainEpoch(window.features, window.targets, &rng_);
+  }
+}
+
+}  // namespace oebench

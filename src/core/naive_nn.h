@@ -1,0 +1,59 @@
+#ifndef OEBENCH_CORE_NAIVE_NN_H_
+#define OEBENCH_CORE_NAIVE_NN_H_
+
+#include <optional>
+#include <string>
+
+#include "common/random.h"
+#include "core/learner.h"
+#include "models/mlp.h"
+
+namespace oebench {
+
+/// Shared plumbing of the NN-family learners (Naive-NN, EWC, LwF, iCaRL):
+/// owns the MLP, translates windows into task losses, reports memory.
+class NnLearnerBase : public StreamLearner {
+ public:
+  explicit NnLearnerBase(LearnerConfig config)
+      : config_(std::move(config)), rng_(config_.seed) {}
+
+  void Begin(const PreparedStream& stream) override;
+  double TestLoss(const WindowData& window) override;
+  int64_t MemoryBytes() const override;
+
+  /// Test-only access to the underlying network.
+  const Mlp& ModelForTest() const { return *model_; }
+  std::vector<Matrix> ParametersForTest() const {
+    return model_->weights();
+  }
+
+ protected:
+  /// Error rate / MSE of `model` on a window.
+  double WindowLoss(const Mlp& model, const WindowData& window) const;
+  Mlp& model() { return *model_; }
+  const Mlp& model() const { return *model_; }
+  bool has_model() const { return model_.has_value(); }
+
+  LearnerConfig config_;
+  TaskType task_ = TaskType::kRegression;
+  int num_classes_ = 2;
+  Rng rng_;
+
+ private:
+  std::optional<Mlp> model_;
+};
+
+/// The paper's "Naive-NN": plain SGD on each window, no continual-learning
+/// machinery.
+class NaiveNnLearner : public NnLearnerBase {
+ public:
+  explicit NaiveNnLearner(LearnerConfig config)
+      : NnLearnerBase(std::move(config)) {}
+
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "Naive-NN"; }
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_NAIVE_NN_H_

@@ -1,0 +1,73 @@
+#include "core/oza_bag.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+void OzaBagLearner::Begin(const PreparedStream& stream) {
+  OE_CHECK(stream.task == TaskType::kClassification)
+      << "OzaBag is classification-only";
+  num_classes_ = stream.num_classes;
+  members_.clear();
+}
+
+int OzaBagLearner::PredictRow(const double* row, int64_t dim) const {
+  if (members_.empty()) return 0;
+  std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+  for (const auto& member : members_) {
+    std::vector<double> proba = member->PredictProba(row, dim);
+    for (size_t c = 0; c < votes.size(); ++c) votes[c] += proba[c];
+  }
+  return ArgMax(votes);
+}
+
+double OzaBagLearner::TestLoss(const WindowData& window) {
+  if (window.features.rows() == 0) return 0.0;
+  int64_t wrong = 0;
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    if (PredictRow(window.features.Row(r), window.features.cols()) !=
+        static_cast<int>(window.targets[static_cast<size_t>(r)])) {
+      ++wrong;
+    }
+  }
+  return static_cast<double>(wrong) /
+         static_cast<double>(window.features.rows());
+}
+
+void OzaBagLearner::TrainWindow(const WindowData& window) {
+  if (members_.empty()) {
+    HoeffdingTreeConfig tree_config;
+    tree_config.num_classes = num_classes_;
+    tree_config.leaf_prediction = LeafPrediction::kNaiveBayes;
+    // Same per-tree feature subspace as ARF so the B3 ablation isolates
+    // the drift machinery, not the subspacing.
+    tree_config.max_features = std::max(
+        2, static_cast<int>(std::round(
+               std::sqrt(static_cast<double>(window.features.cols())))));
+    for (int m = 0; m < config_.ensemble_size; ++m) {
+      members_.push_back(std::make_unique<HoeffdingTree>(
+          tree_config, rng_.NextSeed()));
+    }
+  }
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    const double* row = window.features.Row(r);
+    int label = static_cast<int>(window.targets[static_cast<size_t>(r)]);
+    for (auto& member : members_) {
+      int weight = rng_.Poisson(1.0);
+      if (weight > 0) {
+        member->Learn(row, window.features.cols(), label,
+                      static_cast<double>(weight));
+      }
+    }
+  }
+}
+
+int64_t OzaBagLearner::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const auto& member : members_) bytes += member->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace oebench

@@ -1,0 +1,40 @@
+#ifndef OEBENCH_CORE_OZA_BAG_H_
+#define OEBENCH_CORE_OZA_BAG_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/learner.h"
+#include "models/hoeffding_tree.h"
+
+namespace oebench {
+
+/// OzaBag — online bagging (Oza & Russell, 2001) over Hoeffding trees:
+/// each member sees every sample Poisson(1) times. The drift-free
+/// counterpart of ARF, here as the ablation baseline that isolates how
+/// much ARF's per-tree ADWIN monitoring and background trees actually
+/// buy under open-environment drift. Classification only.
+class OzaBagLearner : public StreamLearner {
+ public:
+  explicit OzaBagLearner(LearnerConfig config)
+      : config_(std::move(config)), rng_(config_.seed) {}
+
+  void Begin(const PreparedStream& stream) override;
+  double TestLoss(const WindowData& window) override;
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "OzaBag"; }
+  int64_t MemoryBytes() const override;
+
+ private:
+  int PredictRow(const double* row, int64_t dim) const;
+
+  LearnerConfig config_;
+  Rng rng_;
+  int num_classes_ = 2;
+  std::vector<std::unique_ptr<HoeffdingTree>> members_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_OZA_BAG_H_

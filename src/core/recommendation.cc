@@ -1,0 +1,122 @@
+#include "core/recommendation.h"
+
+#include <cmath>
+#include <limits>
+
+namespace oebench {
+
+namespace {
+
+bool AtLeast(Level level, Level floor) {
+  return static_cast<int>(level) >= static_cast<int>(floor);
+}
+
+}  // namespace
+
+std::string RecommendAlgorithm(TaskType task, Level drift, Level anomaly,
+                               Level missing, bool prefer_trees) {
+  const bool high_drift = AtLeast(drift, Level::kMedHigh);
+  const bool high_anomaly = AtLeast(anomaly, Level::kMedHigh);
+  const bool high_missing = AtLeast(missing, Level::kMedHigh);
+
+  if (task == TaskType::kClassification) {
+    // §6.2: "tree models are generally recommended in classification
+    // tasks with low anomaly"; among trees GBDT/SEA-GBDT win under high
+    // drift, SEA-DT otherwise. With high anomaly the NN family holds up
+    // better: naive NN / iCaRL, iCaRL especially under high drift.
+    if (!high_anomaly || prefer_trees) {
+      if (high_drift) return "SEA-GBDT";
+      return "SEA-DT";
+    }
+    if (high_drift) return "iCaRL";
+    return "Naive-NN";
+  }
+  // Regression. §6.2: trees win with high missing values; NNs win with
+  // low missing values (naive NN / SEA-NN), iCaRL also strong when
+  // missingness is high.
+  if (high_missing) {
+    if (prefer_trees) return "SEA-DT";
+    return "iCaRL";
+  }
+  if (prefer_trees) return "Naive-GBDT";
+  if (high_drift) return "SEA-NN";
+  return "Naive-NN";
+}
+
+std::vector<double> DerivedRecommendation::Featurize(TaskType task,
+                                                     Level drift,
+                                                     Level anomaly,
+                                                     Level missing) {
+  return {task == TaskType::kClassification ? 1.0 : 0.0,
+          static_cast<double>(drift), static_cast<double>(anomaly),
+          static_cast<double>(missing)};
+}
+
+Result<DerivedRecommendation> DerivedRecommendation::Fit(
+    const std::vector<ScenarioOutcome>& outcomes) {
+  if (outcomes.size() < 2) {
+    return Status::InvalidArgument("need at least 2 scenario outcomes");
+  }
+  DerivedRecommendation derived;
+  // Intern winner labels.
+  std::vector<double> y;
+  std::vector<std::vector<double>> rows;
+  for (const ScenarioOutcome& outcome : outcomes) {
+    int label = -1;
+    for (size_t i = 0; i < derived.labels_.size(); ++i) {
+      if (derived.labels_[i] == outcome.winner) {
+        label = static_cast<int>(i);
+      }
+    }
+    if (label < 0) {
+      label = static_cast<int>(derived.labels_.size());
+      derived.labels_.push_back(outcome.winner);
+    }
+    y.push_back(label);
+    rows.push_back(Featurize(outcome.task, outcome.drift, outcome.anomaly,
+                             outcome.missing));
+  }
+  Matrix x = Matrix::FromRows(rows);
+
+  DecisionTreeConfig config;
+  config.task = TaskType::kClassification;
+  config.num_classes = static_cast<int>(derived.labels_.size());
+  // Shallow, like the paper's hand-drawn Figure 9.
+  config.max_depth = 4;
+  config.min_samples_leaf = 2;
+  config.min_samples_split = 4;
+  auto tree = std::make_shared<DecisionTree>(config);
+  tree->Fit(x, y);
+  int correct = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (tree->PredictClass(rows[i]) == static_cast<int>(y[i])) ++correct;
+  }
+  derived.training_accuracy_ =
+      static_cast<double>(correct) / static_cast<double>(rows.size());
+  derived.tree_ = std::move(tree);
+  return derived;
+}
+
+std::string DerivedRecommendation::Recommend(TaskType task, Level drift,
+                                             Level anomaly,
+                                             Level missing) const {
+  OE_CHECK(tree_ != nullptr);
+  int label = tree_->PredictClass(
+      Featurize(task, drift, anomaly, missing));
+  return labels_[static_cast<size_t>(label)];
+}
+
+std::string BestAlgorithm(const std::vector<RepeatedResult>& results) {
+  std::string best = "(none)";
+  double best_loss = std::numeric_limits<double>::infinity();
+  for (const RepeatedResult& result : results) {
+    if (result.not_applicable) continue;
+    if (std::isfinite(result.loss_mean) && result.loss_mean < best_loss) {
+      best_loss = result.loss_mean;
+      best = result.learner;
+    }
+  }
+  return best;
+}
+
+}  // namespace oebench

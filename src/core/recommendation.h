@@ -1,0 +1,72 @@
+#ifndef OEBENCH_CORE_RECOMMENDATION_H_
+#define OEBENCH_CORE_RECOMMENDATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "models/decision_tree.h"
+#include "dataframe/table.h"
+#include "streamgen/corpus.h"
+
+namespace oebench {
+
+/// The paper's Figure 9 decision tree, encoded from §6.2's narrative:
+/// which algorithm to reach for given a scenario's task and its
+/// drift / anomaly / missing-value levels. `prefer_trees` selects the
+/// tree-family branch (tight time/memory budgets, §6.3).
+std::string RecommendAlgorithm(TaskType task, Level drift, Level anomaly,
+                               Level missing, bool prefer_trees = false);
+
+/// Data-driven counterpart: the learner with the lowest mean loss among a
+/// set of results for one dataset (ties break toward the earlier entry,
+/// N/A entries skipped).
+std::string BestAlgorithm(const std::vector<RepeatedResult>& results);
+
+/// One dataset's scenario descriptor plus its measured winner — the raw
+/// material Figure 9 is synthesised from ("based on the results of all
+/// 55 datasets, we synthesize our recommendations ... into a decision
+/// tree", §6.2).
+struct ScenarioOutcome {
+  TaskType task = TaskType::kRegression;
+  Level drift = Level::kLow;
+  Level anomaly = Level::kLow;
+  Level missing = Level::kLow;
+  std::string winner;
+};
+
+/// A derived recommendation tree: fits a shallow CART over the scenario
+/// features (task, drift, anomaly, missing) with the measured winner as
+/// the label, reproducing the paper's synthesis step mechanically.
+class DerivedRecommendation {
+ public:
+  /// Fits the tree; needs at least 2 outcomes and 2 distinct winners
+  /// (degenerate inputs yield a constant recommendation).
+  static Result<DerivedRecommendation> Fit(
+      const std::vector<ScenarioOutcome>& outcomes);
+
+  /// Recommends an algorithm for a scenario.
+  std::string Recommend(TaskType task, Level drift, Level anomaly,
+                        Level missing) const;
+
+  /// Fraction of the training outcomes whose winner the tree reproduces.
+  double TrainingAccuracy() const { return training_accuracy_; }
+
+  /// The distinct winner labels, index-aligned with the tree's classes.
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  DerivedRecommendation() = default;
+
+  static std::vector<double> Featurize(TaskType task, Level drift,
+                                       Level anomaly, Level missing);
+
+  std::shared_ptr<const DecisionTree> tree_;
+  std::vector<std::string> labels_;
+  double training_accuracy_ = 0.0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_RECOMMENDATION_H_

@@ -1,0 +1,182 @@
+#include "core/sam_knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+void SamKnnLearner::Begin(const PreparedStream& stream) {
+  OE_CHECK(stream.task == TaskType::kClassification)
+      << "SAM-kNN is classification-only";
+  num_classes_ = stream.num_classes;
+  stm_.clear();
+  ltm_.clear();
+  stm_error_ = 0.0;
+  ltm_error_ = 0.0;
+  both_error_ = 0.0;
+  arbitration_count_ = 0;
+}
+
+int SamKnnLearner::PredictWith(const Memory& memory,
+                               const double* row) const {
+  if (memory.empty()) return 0;
+  const size_t dim = memory.front().x.size();
+  // Partial selection of the k nearest samples.
+  std::vector<std::pair<double, int>> nearest;  // (distance, label)
+  nearest.reserve(memory.size());
+  for (const Sample& sample : memory) {
+    double dist = 0.0;
+    for (size_t c = 0; c < dim; ++c) {
+      double d = sample.x[c] - row[c];
+      dist += d * d;
+    }
+    nearest.emplace_back(dist, sample.label);
+  }
+  size_t k = std::min<size_t>(static_cast<size_t>(options_.k),
+                              nearest.size());
+  std::partial_sort(nearest.begin(), nearest.begin() + k, nearest.end());
+  std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    votes[static_cast<size_t>(nearest[i].second)] += 1.0;
+  }
+  return ArgMax(votes);
+}
+
+int SamKnnLearner::Predict(const double* row) const {
+  if (stm_.empty() && ltm_.empty()) return 0;
+  if (ltm_.empty() || arbitration_count_ < 10) {
+    return PredictWith(stm_, row);
+  }
+  // Use the memory with the best interleaved record (Losing et al.'s
+  // arbitration between STM, LTM, and combined).
+  double best = std::min({stm_error_, ltm_error_, both_error_});
+  if (best == stm_error_) return PredictWith(stm_, row);
+  if (best == ltm_error_) return PredictWith(ltm_, row);
+  Memory combined = stm_;
+  combined.insert(combined.end(), ltm_.begin(), ltm_.end());
+  return PredictWith(combined, row);
+}
+
+double SamKnnLearner::TestLoss(const WindowData& window) {
+  if (window.features.rows() == 0) return 0.0;
+  int64_t wrong = 0;
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    if (Predict(window.features.Row(r)) !=
+        static_cast<int>(window.targets[static_cast<size_t>(r)])) {
+      ++wrong;
+    }
+  }
+  return static_cast<double>(wrong) /
+         static_cast<double>(window.features.rows());
+}
+
+double SamKnnLearner::MemoryError(const Memory& memory) const {
+  if (memory.empty() || stm_.size() < 2) return 1.0;
+  // Evaluate on the most recent STM samples (they define "now").
+  size_t eval = std::min<size_t>(stm_.size(), 50);
+  int wrong = 0;
+  for (size_t i = stm_.size() - eval; i < stm_.size(); ++i) {
+    if (PredictWith(memory, stm_[i].x.data()) != stm_[i].label) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(eval);
+}
+
+void SamKnnLearner::AdaptStmSize() {
+  if (static_cast<int>(stm_.size()) <= options_.min_stm) return;
+  // Candidate suffix lengths: full, 1/2, 1/4, ... >= min_stm.
+  size_t best_len = stm_.size();
+  double best_error = MemoryError(stm_);
+  for (size_t len = stm_.size() / 2;
+       len >= static_cast<size_t>(options_.min_stm); len /= 2) {
+    Memory suffix(stm_.end() - static_cast<int64_t>(len), stm_.end());
+    double error = MemoryError(suffix);
+    if (error < best_error) {
+      best_error = error;
+      best_len = len;
+    }
+  }
+  if (best_len == stm_.size()) return;
+  // Archive the discarded prefix into the LTM, then clean it.
+  size_t evict = stm_.size() - best_len;
+  for (size_t i = 0; i < evict; ++i) {
+    ltm_.push_back(std::move(stm_.front()));
+    stm_.pop_front();
+  }
+  CleanLtm();
+}
+
+void SamKnnLearner::CleanLtm() {
+  if (ltm_.empty() || stm_.empty()) return;
+  Memory kept;
+  for (Sample& sample : ltm_) {
+    // A long-term sample survives only if the current STM neighbourhood
+    // agrees with its label — contradicted knowledge is stale.
+    if (PredictWith(stm_, sample.x.data()) == sample.label) {
+      kept.push_back(std::move(sample));
+    }
+  }
+  ltm_ = std::move(kept);
+  while (static_cast<int>(ltm_.size()) > options_.max_ltm) {
+    ltm_.pop_front();
+  }
+}
+
+void SamKnnLearner::TrainWindow(const WindowData& window) {
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    const double* row = window.features.Row(r);
+    int label = static_cast<int>(window.targets[static_cast<size_t>(r)]);
+    // Interleaved test-then-train bookkeeping for memory arbitration
+    // (every 4th sample — the estimates are smoothed anyway and the
+    // combined-memory scan is the expensive part).
+    if (!stm_.empty() && r % 4 == 0) {
+      ++arbitration_count_;
+      double alpha = 1.0 / std::min<double>(
+                               static_cast<double>(arbitration_count_),
+                               200.0);
+      auto update = [&](double* error, const Memory& memory) {
+        if (memory.empty()) return;
+        double miss =
+            PredictWith(memory, row) == label ? 0.0 : 1.0;
+        *error += alpha * (miss - *error);
+      };
+      update(&stm_error_, stm_);
+      update(&ltm_error_, ltm_);
+      if (!ltm_.empty()) {
+        Memory combined = stm_;
+        combined.insert(combined.end(), ltm_.begin(), ltm_.end());
+        update(&both_error_, combined);
+      }
+    }
+    Sample sample;
+    sample.x.assign(row, row + window.features.cols());
+    sample.label = label;
+    stm_.push_back(std::move(sample));
+    if (static_cast<int>(stm_.size()) > options_.max_stm) {
+      ltm_.push_back(std::move(stm_.front()));
+      stm_.pop_front();
+      while (static_cast<int>(ltm_.size()) > options_.max_ltm) {
+        ltm_.pop_front();
+      }
+    }
+  }
+  AdaptStmSize();
+}
+
+int64_t SamKnnLearner::MemoryBytes() const {
+  int64_t per_sample = 0;
+  if (!stm_.empty()) {
+    per_sample = static_cast<int64_t>(stm_.front().x.size() *
+                                      sizeof(double)) +
+                 static_cast<int64_t>(sizeof(Sample));
+  } else if (!ltm_.empty()) {
+    per_sample = static_cast<int64_t>(ltm_.front().x.size() *
+                                      sizeof(double)) +
+                 static_cast<int64_t>(sizeof(Sample));
+  }
+  return per_sample *
+         static_cast<int64_t>(stm_.size() + ltm_.size());
+}
+
+}  // namespace oebench

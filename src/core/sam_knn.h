@@ -1,0 +1,82 @@
+#ifndef OEBENCH_CORE_SAM_KNN_H_
+#define OEBENCH_CORE_SAM_KNN_H_
+
+#include <deque>
+#include <vector>
+
+#include "core/learner.h"
+
+namespace oebench {
+
+/// SAM-kNN — k-nearest-neighbour classification with Self-Adjusting
+/// Memory (Losing, Hammer & Wersing, 2016; the paper's reference [54],
+/// whose Rialto dataset is part of the related-work discussion). Two
+/// memories cooperate:
+///
+///  * a short-term memory (STM) of the most recent samples whose size is
+///    re-chosen at every window boundary by minimising the interleaved
+///    test-then-train error over candidate suffix lengths (the
+///    self-adjustment that tracks drift), and
+///  * a long-term memory (LTM) that archives samples evicted from the
+///    STM, *cleaned* against the current STM: an archived sample whose
+///    label disagrees with the STM's local neighbourhood is discarded as
+///    stale knowledge.
+///
+/// Prediction consults whichever memory (STM, LTM, or their union)
+/// currently has the lowest interleaved error. Classification only.
+class SamKnnLearner : public StreamLearner {
+ public:
+  struct Options {
+    int k = 5;
+    int max_stm = 800;
+    int min_stm = 50;
+    int max_ltm = 1600;
+  };
+
+  explicit SamKnnLearner(LearnerConfig config)
+      : SamKnnLearner(std::move(config), Options()) {}
+  SamKnnLearner(LearnerConfig config, Options options)
+      : config_(std::move(config)), options_(options) {}
+
+  void Begin(const PreparedStream& stream) override;
+  double TestLoss(const WindowData& window) override;
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "SAM-kNN"; }
+  int64_t MemoryBytes() const override;
+
+  int64_t stm_size() const { return static_cast<int64_t>(stm_.size()); }
+  int64_t ltm_size() const { return static_cast<int64_t>(ltm_.size()); }
+
+ private:
+  struct Sample {
+    std::vector<double> x;
+    int label = 0;
+  };
+  using Memory = std::deque<Sample>;
+
+  int PredictWith(const Memory& memory, const double* row) const;
+  int Predict(const double* row) const;
+  /// Interleaved (leave-one-out style) error of `memory` on the most
+  /// recent STM samples.
+  double MemoryError(const Memory& memory) const;
+  /// Shrinks the STM to the suffix length with the lowest interleaved
+  /// error among {full, 1/2, 1/4, ...}, archiving the evicted prefix.
+  void AdaptStmSize();
+  /// Drops LTM samples contradicted by the current STM neighbourhoods.
+  void CleanLtm();
+
+  LearnerConfig config_;
+  Options options_;
+  int num_classes_ = 2;
+  Memory stm_;
+  Memory ltm_;
+  // Running interleaved error estimates used for memory arbitration.
+  double stm_error_ = 0.0;
+  double ltm_error_ = 0.0;
+  double both_error_ = 0.0;
+  int64_t arbitration_count_ = 0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_SAM_KNN_H_

@@ -1,0 +1,223 @@
+#include "core/sea.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "linalg/vector_ops.h"
+#include "models/decision_tree.h"
+#include "models/gbdt.h"
+#include "models/mlp.h"
+
+namespace oebench {
+
+namespace {
+
+class NnWindowModel : public WindowModel {
+ public:
+  NnWindowModel(const LearnerConfig& config, TaskType task, int num_classes,
+                uint64_t seed)
+      : config_(config), rng_(seed) {
+    MlpConfig mlp_config;
+    mlp_config.hidden_sizes = config.hidden_sizes;
+    mlp_config.task = task;
+    mlp_config.num_classes = num_classes;
+    mlp_config.learning_rate = config.learning_rate;
+    mlp_config.batch_size = config.batch_size;
+    model_.emplace(mlp_config, seed);
+  }
+
+  void Fit(const WindowData& window) override {
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      model_->TrainEpoch(window.features, window.targets, &rng_);
+    }
+  }
+  double PredictValue(const double* row) const override {
+    std::vector<double> x(row, row + Dim());
+    return model_->PredictValue(x);
+  }
+  std::vector<double> PredictProba(const double* row) const override {
+    std::vector<double> x(row, row + Dim());
+    return model_->PredictProba(x);
+  }
+  int64_t MemoryBytes() const override {
+    return model_->initialized() ? model_->MemoryBytes() : 0;
+  }
+
+ private:
+  int64_t Dim() const { return model_->weights()[0].rows(); }
+
+  LearnerConfig config_;
+  Rng rng_;
+  std::optional<Mlp> model_;
+};
+
+class DtWindowModel : public WindowModel {
+ public:
+  DtWindowModel(const LearnerConfig& config, TaskType task, int num_classes)
+      : tree_([&] {
+          DecisionTreeConfig tree_config;
+          tree_config.task = task;
+          tree_config.num_classes = num_classes;
+          tree_config.max_depth = config.tree_max_depth;
+          return tree_config;
+        }()) {}
+
+  void Fit(const WindowData& window) override {
+    tree_.Fit(window.features, window.targets);
+  }
+  double PredictValue(const double* row) const override {
+    return tree_.PredictValue(row);
+  }
+  std::vector<double> PredictProba(const double* row) const override {
+    return tree_.PredictProba(row);
+  }
+  int64_t MemoryBytes() const override { return tree_.MemoryBytes(); }
+
+ private:
+  DecisionTree tree_;
+};
+
+class GbdtWindowModel : public WindowModel {
+ public:
+  GbdtWindowModel(const LearnerConfig& config, TaskType task,
+                  int num_classes)
+      : model_([&] {
+          GbdtConfig gbdt_config;
+          gbdt_config.task = task;
+          gbdt_config.num_classes = num_classes;
+          gbdt_config.num_rounds = config.ensemble_size;
+          gbdt_config.max_depth = config.gbdt_max_depth;
+          return gbdt_config;
+        }()) {}
+
+  void Fit(const WindowData& window) override {
+    model_.Fit(window.features, window.targets);
+  }
+  double PredictValue(const double* row) const override {
+    return model_.PredictValue(row);
+  }
+  std::vector<double> PredictProba(const double* row) const override {
+    return model_.PredictProba(row);
+  }
+  int64_t MemoryBytes() const override { return model_.MemoryBytes(); }
+
+ private:
+  Gbdt model_;
+};
+
+}  // namespace
+
+void SeaLearner::Begin(const PreparedStream& stream) {
+  task_ = stream.task;
+  num_classes_ = stream.num_classes;
+  next_seed_ = config_.seed;
+  members_.clear();
+}
+
+std::unique_ptr<WindowModel> SeaLearner::NewMember() {
+  switch (base_) {
+    case SeaBase::kNn:
+      return std::make_unique<NnWindowModel>(config_, task_, num_classes_,
+                                             ++next_seed_);
+    case SeaBase::kDt:
+      return std::make_unique<DtWindowModel>(config_, task_, num_classes_);
+    case SeaBase::kGbdt:
+      return std::make_unique<GbdtWindowModel>(config_, task_,
+                                               num_classes_);
+  }
+  return nullptr;
+}
+
+double SeaLearner::MemberLoss(const WindowModel& member,
+                              const WindowData& window) const {
+  if (window.features.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    double target = window.targets[static_cast<size_t>(r)];
+    if (task_ == TaskType::kClassification) {
+      int pred = ArgMax(member.PredictProba(window.features.Row(r)));
+      total += pred == static_cast<int>(target) ? 0.0 : 1.0;
+    } else {
+      double diff = member.PredictValue(window.features.Row(r)) - target;
+      total += diff * diff;
+    }
+  }
+  return total / static_cast<double>(window.features.rows());
+}
+
+double SeaLearner::EnsembleLoss(const WindowData& window) const {
+  if (window.features.rows() == 0) return 0.0;
+  if (members_.empty()) {
+    return task_ == TaskType::kClassification ? 1.0 : 1.0;
+  }
+  double total = 0.0;
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    double target = window.targets[static_cast<size_t>(r)];
+    if (task_ == TaskType::kClassification) {
+      std::vector<double> proba(static_cast<size_t>(num_classes_), 0.0);
+      for (const auto& member : members_) {
+        std::vector<double> p = member->PredictProba(window.features.Row(r));
+        for (size_t c = 0; c < proba.size(); ++c) proba[c] += p[c];
+      }
+      total += ArgMax(proba) == static_cast<int>(target) ? 0.0 : 1.0;
+    } else {
+      double sum = 0.0;
+      for (const auto& member : members_) {
+        sum += member->PredictValue(window.features.Row(r));
+      }
+      double diff = sum / static_cast<double>(members_.size()) - target;
+      total += diff * diff;
+    }
+  }
+  return total / static_cast<double>(window.features.rows());
+}
+
+double SeaLearner::TestLoss(const WindowData& window) {
+  return EnsembleLoss(window);
+}
+
+void SeaLearner::TrainWindow(const WindowData& window) {
+  if (window.features.rows() == 0) return;
+  std::unique_ptr<WindowModel> candidate = NewMember();
+  candidate->Fit(window);
+
+  if (static_cast<int>(members_.size()) < config_.ensemble_size) {
+    members_.push_back(std::move(candidate));
+    return;
+  }
+  // Replace the worst member on this window if the candidate beats it
+  // (Street & Kim's quality-based replacement).
+  double candidate_loss = MemberLoss(*candidate, window);
+  size_t worst = 0;
+  double worst_loss = -1.0;
+  for (size_t m = 0; m < members_.size(); ++m) {
+    double loss = MemberLoss(*members_[m], window);
+    if (loss > worst_loss) {
+      worst_loss = loss;
+      worst = m;
+    }
+  }
+  if (candidate_loss < worst_loss) {
+    members_[worst] = std::move(candidate);
+  }
+}
+
+std::string SeaLearner::name() const {
+  switch (base_) {
+    case SeaBase::kNn:
+      return "SEA-NN";
+    case SeaBase::kDt:
+      return "SEA-DT";
+    case SeaBase::kGbdt:
+      return "SEA-GBDT";
+  }
+  return "SEA";
+}
+
+int64_t SeaLearner::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const auto& member : members_) bytes += member->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace oebench

@@ -1,0 +1,65 @@
+#ifndef OEBENCH_CORE_SEA_H_
+#define OEBENCH_CORE_SEA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/learner.h"
+
+namespace oebench {
+
+/// Base-model family SEA can ensemble (paper evaluates SEA-NN, SEA-DT and
+/// SEA-GBDT).
+enum class SeaBase { kNn, kDt, kGbdt };
+
+/// A batch model trained on exactly one window, the SEA ensemble member.
+class WindowModel {
+ public:
+  virtual ~WindowModel() = default;
+  virtual void Fit(const WindowData& window) = 0;
+  virtual double PredictValue(const double* row) const = 0;
+  /// Class probabilities (classification only).
+  virtual std::vector<double> PredictProba(const double* row) const = 0;
+  virtual int64_t MemoryBytes() const = 0;
+};
+
+/// Streaming Ensemble Algorithm (Street & Kim, 2001). Each window trains
+/// one candidate member; while the ensemble has free slots the candidate
+/// joins, otherwise it replaces the worst member if it scores better on
+/// the current window. Prediction averages member outputs (probabilities
+/// for classification, values for regression).
+class SeaLearner : public StreamLearner {
+ public:
+  SeaLearner(SeaBase base, LearnerConfig config)
+      : base_(base), config_(std::move(config)) {}
+
+  void Begin(const PreparedStream& stream) override;
+  double TestLoss(const WindowData& window) override;
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override;
+  int64_t MemoryBytes() const override;
+
+  int64_t ensemble_size() const {
+    return static_cast<int64_t>(members_.size());
+  }
+
+ private:
+  std::unique_ptr<WindowModel> NewMember();
+  /// Loss of one member on a window under the task metric.
+  double MemberLoss(const WindowModel& member,
+                    const WindowData& window) const;
+  /// Ensemble prediction loss on a window.
+  double EnsembleLoss(const WindowData& window) const;
+
+  SeaBase base_;
+  LearnerConfig config_;
+  TaskType task_ = TaskType::kRegression;
+  int num_classes_ = 2;
+  uint64_t next_seed_ = 0;
+  std::vector<std::unique_ptr<WindowModel>> members_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_SEA_H_

@@ -1,0 +1,92 @@
+#include "core/selection.h"
+
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "linalg/pca.h"
+#include "preprocess/normalizer.h"
+
+namespace oebench {
+
+namespace {
+
+/// Stacks one facet's vectors (one per profile) into a matrix, normalises
+/// columns, and PCA-reduces to at most 3 components (fewer if the facet
+/// is narrower).
+Result<Matrix> FacetEmbedding(
+    const std::vector<std::vector<double>>& facet_rows) {
+  Matrix m = Matrix::FromRows(facet_rows);
+  Normalizer norm;
+  OE_RETURN_NOT_OK(norm.Fit(m));
+  norm.Transform(&m);
+  int components = static_cast<int>(std::min<int64_t>(3, m.cols()));
+  Pca pca;
+  OE_RETURN_NOT_OK(pca.Fit(m, components));
+  Matrix projected = pca.Transform(m);
+  if (projected.cols() == 3) return projected;
+  // Pad narrow facets with zero columns so every facet contributes the
+  // same weight (the paper equalises facet dimensionality this way).
+  Matrix padded(projected.rows(), 3);
+  for (int64_t r = 0; r < projected.rows(); ++r) {
+    for (int64_t c = 0; c < projected.cols(); ++c) {
+      padded.At(r, c) = projected.At(r, c);
+    }
+  }
+  return padded;
+}
+
+}  // namespace
+
+Result<SelectionResult> SelectRepresentatives(
+    const std::vector<DatasetProfile>& profiles, int k, uint64_t seed) {
+  if (static_cast<int>(profiles.size()) < k) {
+    return Status::InvalidArgument("need at least k profiles");
+  }
+  const size_t n = profiles.size();
+  std::vector<std::vector<double>> basic(n);
+  std::vector<std::vector<double>> missing(n);
+  std::vector<std::vector<double>> data_drift(n);
+  std::vector<std::vector<double>> concept_drift(n);
+  std::vector<std::vector<double>> outliers(n);
+  for (size_t i = 0; i < n; ++i) {
+    basic[i] = profiles[i].BasicFacet();
+    missing[i] = profiles[i].MissingFacet();
+    data_drift[i] = profiles[i].DataDriftFacet();
+    concept_drift[i] = profiles[i].ConceptDriftFacet();
+    outliers[i] = profiles[i].OutlierFacet();
+  }
+
+  Matrix embedding;
+  for (const auto* facet :
+       {&basic, &missing, &data_drift, &concept_drift, &outliers}) {
+    OE_ASSIGN_OR_RETURN(Matrix part, FacetEmbedding(*facet));
+    if (embedding.rows() == 0) {
+      embedding = part;
+    } else {
+      Matrix combined(embedding.rows(), embedding.cols() + part.cols());
+      for (int64_t r = 0; r < embedding.rows(); ++r) {
+        for (int64_t c = 0; c < embedding.cols(); ++c) {
+          combined.At(r, c) = embedding.At(r, c);
+        }
+        for (int64_t c = 0; c < part.cols(); ++c) {
+          combined.At(r, embedding.cols() + c) = part.At(r, c);
+        }
+      }
+      embedding = std::move(combined);
+    }
+  }
+
+  KMeans::Options options;
+  options.k = k;
+  options.seed = seed;
+  KMeans kmeans(options);
+  OE_ASSIGN_OR_RETURN(KMeansResult clusters, kmeans.Fit(embedding));
+
+  SelectionResult out;
+  out.assignments = clusters.assignments;
+  out.representatives = KMeans::NearestRowPerCentroid(embedding, clusters);
+  out.embedding = std::move(embedding);
+  return out;
+}
+
+}  // namespace oebench

@@ -1,0 +1,34 @@
+#ifndef OEBENCH_CORE_SELECTION_H_
+#define OEBENCH_CORE_SELECTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "stats/profile.h"
+
+namespace oebench {
+
+/// Result of the representative-dataset selection pipeline (§4.4).
+struct SelectionResult {
+  /// Cluster id per input profile.
+  std::vector<int> assignments;
+  /// Index (into the input profiles) of the dataset nearest each of the k
+  /// cluster centres — the representatives.
+  std::vector<int64_t> representatives;
+  /// The concatenated per-facet PCA embedding each profile was clustered
+  /// in (n x (3 * num_facets)).
+  Matrix embedding;
+};
+
+/// The paper's selection pipeline: normalise every profile feature to
+/// zero mean / unit variance across datasets, PCA each of the five facets
+/// (basic, missing, data drift, concept drift, outliers) down to 3
+/// dimensions, concatenate, k-means with k clusters, pick the profile
+/// nearest each centre.
+Result<SelectionResult> SelectRepresentatives(
+    const std::vector<DatasetProfile>& profiles, int k = 5,
+    uint64_t seed = 17);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_SELECTION_H_

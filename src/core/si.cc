@@ -1,0 +1,127 @@
+#include "core/si.h"
+
+namespace oebench {
+
+void SiLearner::EnsureBuffers() {
+  if (!importance_weights_.empty()) return;
+  for (size_t l = 0; l < model().weights().size(); ++l) {
+    importance_weights_.emplace_back(model().weights()[l].rows(),
+                                     model().weights()[l].cols());
+    importance_biases_.emplace_back(model().biases()[l].size(), 0.0);
+    path_weights_.emplace_back(model().weights()[l].rows(),
+                               model().weights()[l].cols());
+    path_biases_.emplace_back(model().biases()[l].size(), 0.0);
+  }
+}
+
+void SiLearner::TrainWindow(const WindowData& window) {
+  if (window.features.rows() == 0) return;
+  model().EnsureInitialized(window.features.cols());
+  EnsureBuffers();
+
+  // Snapshot the trajectory start and clear the path integral.
+  std::vector<Matrix> start_weights = model().weights();
+  std::vector<std::vector<double>> start_biases = model().biases();
+  for (size_t l = 0; l < path_weights_.size(); ++l) {
+    std::fill(path_weights_[l].data().begin(),
+              path_weights_[l].data().end(), 0.0);
+    std::fill(path_biases_[l].begin(), path_biases_[l].end(), 0.0);
+  }
+
+  const double lr = config_.learning_rate;
+  Mlp::GradHooks hooks;
+  hooks.param_hook = [this, lr](
+                         const std::vector<Matrix>& weights,
+                         const std::vector<std::vector<double>>& biases,
+                         std::vector<Matrix>* weight_grads,
+                         std::vector<std::vector<double>>* bias_grads) {
+    const double lambda = config_.ewc_lambda;
+    for (size_t l = 0; l < weights.size(); ++l) {
+      auto& gw = (*weight_grads)[l].data();
+      if (has_anchor_) {
+        const auto& w = weights[l].data();
+        const auto& aw = anchor_weights_[l].data();
+        const auto& iw = importance_weights_[l].data();
+        for (size_t i = 0; i < w.size(); ++i) {
+          gw[i] += lambda * iw[i] * (w[i] - aw[i]);
+        }
+        for (size_t i = 0; i < biases[l].size(); ++i) {
+          (*bias_grads)[l][i] += lambda * importance_biases_[l][i] *
+                                 (biases[l][i] - anchor_biases_[l][i]);
+        }
+      }
+      // Path integral: -g * delta(theta) = lr * g^2 under plain SGD.
+      auto& pw = path_weights_[l].data();
+      for (size_t i = 0; i < gw.size(); ++i) {
+        pw[i] += lr * gw[i] * gw[i];
+      }
+      for (size_t i = 0; i < (*bias_grads)[l].size(); ++i) {
+        double g = (*bias_grads)[l][i];
+        path_biases_[l][i] += lr * g * g;
+      }
+    }
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    model().TrainEpoch(window.features, window.targets, &rng_, &hooks);
+  }
+
+  // Fold the window's path integral into the importance estimate, with a
+  // geometric decay so infinite streams stay bounded, then pin the scale
+  // (matching EwcLearner so `ewc_lambda` sweeps compare).
+  double sum = 0.0;
+  int64_t count = 0;
+  for (size_t l = 0; l < path_weights_.size(); ++l) {
+    for (size_t i = 0; i < path_weights_[l].data().size(); ++i) {
+      double displacement = model().weights()[l].data()[i] -
+                            start_weights[l].data()[i];
+      double omega = path_weights_[l].data()[i] /
+                     (displacement * displacement + kXi);
+      double& slot = importance_weights_[l].data()[i];
+      slot = 0.5 * slot + omega;
+      sum += slot;
+      ++count;
+    }
+    for (size_t i = 0; i < path_biases_[l].size(); ++i) {
+      double displacement =
+          model().biases()[l][i] - start_biases[l][i];
+      double omega = path_biases_[l][i] /
+                     (displacement * displacement + kXi);
+      double& slot = importance_biases_[l][i];
+      slot = 0.5 * slot + omega;
+      sum += slot;
+      ++count;
+    }
+  }
+  if (sum > 0.0 && count > 0) {
+    double scale = 1e-6 * static_cast<double>(count) / sum;
+    for (Matrix& m : importance_weights_) {
+      for (double& v : m.data()) v *= scale;
+    }
+    for (auto& b : importance_biases_) {
+      for (double& v : b) v *= scale;
+    }
+  }
+  anchor_weights_ = model().weights();
+  anchor_biases_ = model().biases();
+  has_anchor_ = true;
+}
+
+int64_t SiLearner::MemoryBytes() const {
+  int64_t bytes = NnLearnerBase::MemoryBytes();
+  for (const Matrix& m : anchor_weights_) {
+    bytes += m.size() * static_cast<int64_t>(sizeof(double));
+  }
+  for (const Matrix& m : importance_weights_) {
+    bytes += 2 * m.size() * static_cast<int64_t>(sizeof(double));
+  }
+  for (const auto& b : anchor_biases_) {
+    bytes += static_cast<int64_t>(b.size() * sizeof(double));
+  }
+  for (const auto& b : importance_biases_) {
+    bytes += 2 * static_cast<int64_t>(b.size() * sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace oebench

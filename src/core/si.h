@@ -1,0 +1,44 @@
+#ifndef OEBENCH_CORE_SI_H_
+#define OEBENCH_CORE_SI_H_
+
+#include <vector>
+
+#include "core/naive_nn.h"
+
+namespace oebench {
+
+/// Synaptic Intelligence / PathInt (Zenke, Poole & Ganguli, 2017) — an
+/// extension learner from the paper's §A.1 survey. Parameter importance
+/// is the per-parameter contribution to the loss decrease along the
+/// training trajectory: omega_i accumulates -g_i * delta(theta_i) during
+/// SGD (= lr * g_i^2 for plain SGD), and at each window boundary
+/// Omega_i = omega_i / ((theta_end - theta_start)^2 + xi) feeds the EWC
+/// style quadratic penalty. Stream-adapted like the paper adapts EWC:
+/// Omega decays geometrically instead of growing without bound.
+class SiLearner : public NnLearnerBase {
+ public:
+  explicit SiLearner(LearnerConfig config)
+      : NnLearnerBase(std::move(config)) {}
+
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "SI"; }
+  int64_t MemoryBytes() const override;
+
+ private:
+  static constexpr double kXi = 1e-3;
+
+  void EnsureBuffers();
+
+  bool has_anchor_ = false;
+  std::vector<Matrix> anchor_weights_;
+  std::vector<std::vector<double>> anchor_biases_;
+  std::vector<Matrix> importance_weights_;
+  std::vector<std::vector<double>> importance_biases_;
+  // Path-integral accumulators for the window in progress.
+  std::vector<Matrix> path_weights_;
+  std::vector<std::vector<double>> path_biases_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_SI_H_

@@ -1,0 +1,84 @@
+#include "core/tree_learners.h"
+
+namespace oebench {
+
+void NaiveTreeLearner::Begin(const PreparedStream& stream) {
+  task_ = stream.task;
+  num_classes_ = stream.num_classes;
+  tree_.reset();
+}
+
+double NaiveTreeLearner::TestLoss(const WindowData& window) {
+  if (window.features.rows() == 0) return 0.0;
+  if (!tree_.has_value() || !tree_->fitted()) return 1.0;
+  double total = 0.0;
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    double target = window.targets[static_cast<size_t>(r)];
+    if (task_ == TaskType::kClassification) {
+      total += tree_->PredictClass(window.features.Row(r)) ==
+                       static_cast<int>(target)
+                   ? 0.0
+                   : 1.0;
+    } else {
+      double diff = tree_->PredictValue(window.features.Row(r)) - target;
+      total += diff * diff;
+    }
+  }
+  return total / static_cast<double>(window.features.rows());
+}
+
+void NaiveTreeLearner::TrainWindow(const WindowData& window) {
+  if (window.features.rows() == 0) return;
+  DecisionTreeConfig tree_config;
+  tree_config.task = task_;
+  tree_config.num_classes = num_classes_;
+  tree_config.max_depth = config_.tree_max_depth;
+  tree_.emplace(tree_config);
+  tree_->Fit(window.features, window.targets);
+}
+
+int64_t NaiveTreeLearner::MemoryBytes() const {
+  return tree_.has_value() ? tree_->MemoryBytes() : 0;
+}
+
+void NaiveGbdtLearner::Begin(const PreparedStream& stream) {
+  task_ = stream.task;
+  num_classes_ = stream.num_classes;
+  model_.reset();
+}
+
+double NaiveGbdtLearner::TestLoss(const WindowData& window) {
+  if (window.features.rows() == 0) return 0.0;
+  if (!model_.has_value() || !model_->fitted()) return 1.0;
+  double total = 0.0;
+  for (int64_t r = 0; r < window.features.rows(); ++r) {
+    double target = window.targets[static_cast<size_t>(r)];
+    if (task_ == TaskType::kClassification) {
+      total += model_->PredictClass(window.features.Row(r)) ==
+                       static_cast<int>(target)
+                   ? 0.0
+                   : 1.0;
+    } else {
+      double diff = model_->PredictValue(window.features.Row(r)) - target;
+      total += diff * diff;
+    }
+  }
+  return total / static_cast<double>(window.features.rows());
+}
+
+void NaiveGbdtLearner::TrainWindow(const WindowData& window) {
+  if (window.features.rows() == 0) return;
+  GbdtConfig gbdt_config;
+  gbdt_config.task = task_;
+  gbdt_config.num_classes = num_classes_;
+  gbdt_config.num_rounds = config_.ensemble_size;
+  gbdt_config.max_depth = config_.gbdt_max_depth;
+  model_.emplace(gbdt_config);
+  model_->Fit(window.features, window.targets);
+}
+
+int64_t NaiveGbdtLearner::MemoryBytes() const {
+  return model_.has_value() ? model_->MemoryBytes() : 0;
+}
+
+}  // namespace oebench

@@ -1,0 +1,53 @@
+#ifndef OEBENCH_CORE_TREE_LEARNERS_H_
+#define OEBENCH_CORE_TREE_LEARNERS_H_
+
+#include <optional>
+
+#include "core/learner.h"
+#include "models/decision_tree.h"
+#include "models/gbdt.h"
+
+namespace oebench {
+
+/// "Naive-DT": a CART tree retrained from scratch on every window (trees
+/// need no epochs or batches, §6.1).
+class NaiveTreeLearner : public StreamLearner {
+ public:
+  explicit NaiveTreeLearner(LearnerConfig config)
+      : config_(std::move(config)) {}
+
+  void Begin(const PreparedStream& stream) override;
+  double TestLoss(const WindowData& window) override;
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "Naive-DT"; }
+  int64_t MemoryBytes() const override;
+
+ private:
+  LearnerConfig config_;
+  TaskType task_ = TaskType::kRegression;
+  int num_classes_ = 2;
+  std::optional<DecisionTree> tree_;
+};
+
+/// "Naive-GBDT": a gradient-boosted ensemble retrained on every window.
+class NaiveGbdtLearner : public StreamLearner {
+ public:
+  explicit NaiveGbdtLearner(LearnerConfig config)
+      : config_(std::move(config)) {}
+
+  void Begin(const PreparedStream& stream) override;
+  double TestLoss(const WindowData& window) override;
+  void TrainWindow(const WindowData& window) override;
+  std::string name() const override { return "Naive-GBDT"; }
+  int64_t MemoryBytes() const override;
+
+ private:
+  LearnerConfig config_;
+  TaskType task_ = TaskType::kRegression;
+  int num_classes_ = 2;
+  std::optional<Gbdt> model_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_TREE_LEARNERS_H_

@@ -1,0 +1,81 @@
+#include "dataframe/column.h"
+
+#include <cmath>
+
+namespace oebench {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kNumeric:
+      return "numeric";
+    case ColumnType::kCategorical:
+      return "categorical";
+  }
+  return "?";
+}
+
+Column Column::Numeric(std::string name) {
+  return Column(std::move(name), ColumnType::kNumeric);
+}
+
+Column Column::Categorical(std::string name,
+                           std::vector<std::string> categories) {
+  Column col(std::move(name), ColumnType::kCategorical);
+  col.categories_ = std::move(categories);
+  for (size_t i = 0; i < col.categories_.size(); ++i) {
+    col.category_index_[col.categories_[i]] = static_cast<int32_t>(i);
+  }
+  return col;
+}
+
+void Column::AppendCategory(const std::string& label) {
+  OE_DCHECK(type_ == ColumnType::kCategorical);
+  auto it = category_index_.find(label);
+  int32_t code;
+  if (it == category_index_.end()) {
+    code = static_cast<int32_t>(categories_.size());
+    categories_.push_back(label);
+    category_index_[label] = code;
+  } else {
+    code = it->second;
+  }
+  codes_.push_back(code);
+}
+
+void Column::AppendCode(int32_t code) {
+  OE_DCHECK(type_ == ColumnType::kCategorical);
+  OE_DCHECK(code == kMissingCode ||
+            code < static_cast<int32_t>(categories_.size()))
+      << "code " << code << " outside dictionary of column " << name_;
+  codes_.push_back(code);
+}
+
+bool Column::IsMissing(int64_t i) const {
+  if (type_ == ColumnType::kNumeric) {
+    return std::isnan(numeric_[static_cast<size_t>(i)]);
+  }
+  return codes_[static_cast<size_t>(i)] == kMissingCode;
+}
+
+int64_t Column::CountMissing() const {
+  int64_t count = 0;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (IsMissing(i)) ++count;
+  }
+  return count;
+}
+
+Column Column::Slice(int64_t begin, int64_t end) const {
+  OE_CHECK(begin >= 0 && begin <= end && end <= size());
+  Column out(name_, type_);
+  if (type_ == ColumnType::kNumeric) {
+    out.numeric_.assign(numeric_.begin() + begin, numeric_.begin() + end);
+  } else {
+    out.codes_.assign(codes_.begin() + begin, codes_.begin() + end);
+    out.categories_ = categories_;
+    out.category_index_ = category_index_;
+  }
+  return out;
+}
+
+}  // namespace oebench

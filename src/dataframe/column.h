@@ -1,0 +1,104 @@
+#ifndef OEBENCH_DATAFRAME_COLUMN_H_
+#define OEBENCH_DATAFRAME_COLUMN_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace oebench {
+
+/// Column physical type. Relational streams in OEBench carry numeric
+/// measurements and categorical attributes; timestamps are dropped during
+/// preprocessing (paper §4.3 step 2) so no temporal type is needed.
+enum class ColumnType { kNumeric, kCategorical };
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// A single named column. Numeric cells are doubles with NaN encoding a
+/// missing value (mirroring pandas). Categorical cells are dictionary
+/// codes with -1 encoding a missing value.
+class Column {
+ public:
+  static constexpr int32_t kMissingCode = -1;
+
+  /// Creates an empty numeric column.
+  static Column Numeric(std::string name);
+  /// Creates an empty categorical column with the given dictionary.
+  static Column Categorical(std::string name,
+                            std::vector<std::string> categories = {});
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  ColumnType type() const { return type_; }
+  int64_t size() const {
+    return type_ == ColumnType::kNumeric
+               ? static_cast<int64_t>(numeric_.size())
+               : static_cast<int64_t>(codes_.size());
+  }
+
+  // --- numeric access -------------------------------------------------
+  void AppendNumeric(double value) {
+    OE_DCHECK(type_ == ColumnType::kNumeric);
+    numeric_.push_back(value);
+  }
+  void AppendMissingNumeric() {
+    AppendNumeric(std::numeric_limits<double>::quiet_NaN());
+  }
+  double NumericAt(int64_t i) const {
+    OE_DCHECK(type_ == ColumnType::kNumeric);
+    return numeric_[static_cast<size_t>(i)];
+  }
+  void SetNumeric(int64_t i, double v) {
+    OE_DCHECK(type_ == ColumnType::kNumeric);
+    numeric_[static_cast<size_t>(i)] = v;
+  }
+  const std::vector<double>& numeric_values() const { return numeric_; }
+  std::vector<double>& mutable_numeric_values() { return numeric_; }
+
+  // --- categorical access ----------------------------------------------
+  /// Appends a category by label, interning it into the dictionary.
+  void AppendCategory(const std::string& label);
+  /// Appends a pre-interned dictionary code (must be < dictionary size,
+  /// or kMissingCode).
+  void AppendCode(int32_t code);
+  void AppendMissingCategory() { AppendCode(kMissingCode); }
+  int32_t CodeAt(int64_t i) const {
+    OE_DCHECK(type_ == ColumnType::kCategorical);
+    return codes_[static_cast<size_t>(i)];
+  }
+  const std::string& CategoryName(int32_t code) const {
+    return categories_[static_cast<size_t>(code)];
+  }
+  int64_t num_categories() const {
+    return static_cast<int64_t>(categories_.size());
+  }
+  const std::vector<int32_t>& codes() const { return codes_; }
+  const std::vector<std::string>& categories() const { return categories_; }
+
+  /// True when cell i holds no value (NaN / kMissingCode).
+  bool IsMissing(int64_t i) const;
+  /// Number of missing cells.
+  int64_t CountMissing() const;
+
+  /// Returns a column holding rows [begin, end).
+  Column Slice(int64_t begin, int64_t end) const;
+
+ private:
+  Column(std::string name, ColumnType type)
+      : name_(std::move(name)), type_(type) {}
+
+  std::string name_;
+  ColumnType type_;
+  std::vector<double> numeric_;              // kNumeric payload
+  std::vector<int32_t> codes_;               // kCategorical payload
+  std::vector<std::string> categories_;      // dictionary
+  std::unordered_map<std::string, int32_t> category_index_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DATAFRAME_COLUMN_H_

@@ -1,0 +1,138 @@
+#include "dataframe/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace oebench {
+
+namespace {
+
+struct RawCsv {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+Result<RawCsv> ParseRaw(std::istream& in, const CsvReadOptions& options) {
+  RawCsv raw;
+  std::string line;
+  bool first = true;
+  size_t width = 0;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && raw.rows.empty() && raw.header.empty()) continue;
+    std::vector<std::string> fields = Split(line, options.delimiter);
+    if (first) {
+      width = fields.size();
+      if (options.has_header) {
+        raw.header = std::move(fields);
+        first = false;
+        continue;
+      }
+      raw.header.reserve(width);
+      for (size_t i = 0; i < width; ++i) {
+        raw.header.push_back("col" + std::to_string(i));
+      }
+      first = false;
+    }
+    if (fields.size() != width) {
+      return Status::IoError("line " + std::to_string(line_no) + " has " +
+                             std::to_string(fields.size()) +
+                             " fields, expected " + std::to_string(width));
+    }
+    raw.rows.push_back(std::move(fields));
+  }
+  if (raw.header.empty()) return Status::IoError("empty CSV input");
+  return raw;
+}
+
+Result<Table> BuildTable(const RawCsv& raw, const CsvReadOptions& options) {
+  const size_t width = raw.header.size();
+  Table table;
+  for (size_t c = 0; c < width; ++c) {
+    bool numeric = true;
+    if (options.infer_types) {
+      for (const auto& row : raw.rows) {
+        const std::string& cell = row[c];
+        if (IsMissingMarker(cell)) continue;
+        double v;
+        if (!ParseDouble(cell, &v)) {
+          numeric = false;
+          break;
+        }
+      }
+    }
+    if (numeric) {
+      Column col = Column::Numeric(raw.header[c]);
+      for (const auto& row : raw.rows) {
+        const std::string& cell = row[c];
+        double v;
+        if (IsMissingMarker(cell) || !ParseDouble(cell, &v)) {
+          col.AppendMissingNumeric();
+        } else {
+          col.AppendNumeric(v);
+        }
+      }
+      OE_RETURN_NOT_OK(table.AddColumn(std::move(col)));
+    } else {
+      Column col = Column::Categorical(raw.header[c]);
+      for (const auto& row : raw.rows) {
+        const std::string& cell = row[c];
+        if (IsMissingMarker(cell)) {
+          col.AppendMissingCategory();
+        } else {
+          col.AppendCategory(std::string(StripWhitespace(cell)));
+        }
+      }
+      OE_RETURN_NOT_OK(table.AddColumn(std::move(col)));
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const std::string& path, const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  OE_ASSIGN_OR_RETURN(RawCsv raw, ParseRaw(in, options));
+  return BuildTable(raw, options);
+}
+
+Result<Table> ReadCsvFromString(const std::string& content,
+                                const CsvReadOptions& options) {
+  std::istringstream in(content);
+  OE_ASSIGN_OR_RETURN(RawCsv raw, ParseRaw(in, options));
+  return BuildTable(raw, options);
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    out << table.column(c).name();
+  }
+  out << '\n';
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      const Column& col = table.column(c);
+      if (col.IsMissing(r)) continue;  // empty field
+      if (col.type() == ColumnType::kNumeric) {
+        out << col.NumericAt(r);
+      } else {
+        out << col.CategoryName(col.CodeAt(r));
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace oebench

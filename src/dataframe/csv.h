@@ -1,0 +1,37 @@
+#ifndef OEBENCH_DATAFRAME_CSV_H_
+#define OEBENCH_DATAFRAME_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dataframe/table.h"
+
+namespace oebench {
+
+/// Options controlling CSV parsing.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// First row holds column names.
+  bool has_header = true;
+  /// When a column has any non-numeric, non-missing cell it is parsed as
+  /// categorical; otherwise numeric. Missing markers become NaN / missing
+  /// codes.
+  bool infer_types = true;
+};
+
+/// Reads a CSV file into a Table. Column types are inferred from the full
+/// contents (two-pass). Real OEBench datasets are shipped as CSVs; this is
+/// also how users feed their own streams into the pipeline.
+Result<Table> ReadCsv(const std::string& path,
+                      const CsvReadOptions& options = {});
+
+/// Parses CSV content from a string (used by tests).
+Result<Table> ReadCsvFromString(const std::string& content,
+                                const CsvReadOptions& options = {});
+
+/// Writes a table as CSV (missing cells become empty fields).
+Status WriteCsv(const Table& table, const std::string& path);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DATAFRAME_CSV_H_

@@ -1,0 +1,123 @@
+#include "dataframe/table.h"
+
+namespace oebench {
+
+const char* TaskTypeToString(TaskType type) {
+  switch (type) {
+    case TaskType::kClassification:
+      return "classification";
+    case TaskType::kRegression:
+      return "regression";
+  }
+  return "?";
+}
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + column.name() + "' has " +
+        std::to_string(column.size()) + " rows, table has " +
+        std::to_string(num_rows()));
+  }
+  for (const Column& existing : columns_) {
+    if (existing.name() == column.name()) {
+      return Status::AlreadyExists("duplicate column '" + column.name() +
+                                   "'");
+    }
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<int64_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int64_t>(i);
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name());
+  return names;
+}
+
+Table Table::Slice(int64_t begin, int64_t end) const {
+  Table out;
+  for (const Column& c : columns_) {
+    Status st = out.AddColumn(c.Slice(begin, end));
+    OE_CHECK(st.ok());
+  }
+  return out;
+}
+
+Table Table::SelectRows(const std::vector<int64_t>& indices) const {
+  Table out;
+  for (const Column& c : columns_) {
+    if (c.type() == ColumnType::kNumeric) {
+      Column nc = Column::Numeric(c.name());
+      for (int64_t i : indices) nc.AppendNumeric(c.NumericAt(i));
+      OE_CHECK(out.AddColumn(std::move(nc)).ok());
+    } else {
+      Column cc = Column::Categorical(c.name(), c.categories());
+      for (int64_t i : indices) cc.AppendCode(c.CodeAt(i));
+      OE_CHECK(out.AddColumn(std::move(cc)).ok());
+    }
+  }
+  return out;
+}
+
+Table::MissingStats Table::ComputeMissingStats() const {
+  MissingStats stats;
+  const int64_t rows = num_rows();
+  const int64_t cols = num_columns();
+  if (rows == 0 || cols == 0) return stats;
+
+  int64_t rows_with_missing = 0;
+  int64_t cols_with_missing = 0;
+  int64_t missing_cells = 0;
+  std::vector<bool> row_missing(static_cast<size_t>(rows), false);
+  for (const Column& c : columns_) {
+    bool any = false;
+    for (int64_t r = 0; r < rows; ++r) {
+      if (c.IsMissing(r)) {
+        any = true;
+        ++missing_cells;
+        row_missing[static_cast<size_t>(r)] = true;
+      }
+    }
+    if (any) ++cols_with_missing;
+  }
+  for (bool b : row_missing) {
+    if (b) ++rows_with_missing;
+  }
+  stats.row_ratio =
+      static_cast<double>(rows_with_missing) / static_cast<double>(rows);
+  stats.column_ratio =
+      static_cast<double>(cols_with_missing) / static_cast<double>(cols);
+  stats.cell_ratio = static_cast<double>(missing_cells) /
+                     static_cast<double>(rows * cols);
+  return stats;
+}
+
+Result<Matrix> Table::ToMatrix() const {
+  for (const Column& c : columns_) {
+    if (c.type() != ColumnType::kNumeric) {
+      return Status::InvalidArgument(
+          "ToMatrix requires all-numeric columns; '" + c.name() +
+          "' is categorical (one-hot encode first)");
+    }
+  }
+  Matrix m(num_rows(), num_columns());
+  for (int64_t c = 0; c < num_columns(); ++c) {
+    const std::vector<double>& vals = columns_[static_cast<size_t>(c)]
+                                          .numeric_values();
+    for (int64_t r = 0; r < num_rows(); ++r) {
+      m.At(r, c) = vals[static_cast<size_t>(r)];
+    }
+  }
+  return m;
+}
+
+}  // namespace oebench

@@ -1,0 +1,75 @@
+#ifndef OEBENCH_DATAFRAME_TABLE_H_
+#define OEBENCH_DATAFRAME_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataframe/column.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// The machine-learning task attached to a stream (paper §2: we only keep
+/// X -> Y tasks; the target is one designated column).
+enum class TaskType { kClassification, kRegression };
+
+const char* TaskTypeToString(TaskType type);
+
+/// An in-memory relational table: a set of equally sized named columns.
+/// This is the unit the preprocessing pipeline, the statistic extractors
+/// and the windowing operate on.
+class Table {
+ public:
+  Table() = default;
+
+  /// Appends a column; its length must match existing columns (or the
+  /// table must be empty). Column names must be unique.
+  Status AddColumn(Column column);
+
+  int64_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  int64_t num_columns() const {
+    return static_cast<int64_t>(columns_.size());
+  }
+
+  const Column& column(int64_t i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  Column& mutable_column(int64_t i) { return columns_[static_cast<size_t>(i)]; }
+
+  /// Index of the column with the given name, or error.
+  Result<int64_t> ColumnIndex(const std::string& name) const;
+
+  std::vector<std::string> ColumnNames() const;
+
+  /// Rows [begin, end) as a new table.
+  Table Slice(int64_t begin, int64_t end) const;
+
+  /// Selected rows (indices may repeat) as a new table.
+  Table SelectRows(const std::vector<int64_t>& indices) const;
+
+  /// Fraction of rows with at least one missing cell, fraction of columns
+  /// with at least one missing cell, and fraction of missing cells overall
+  /// (the three missing-value statistics of paper §4.3).
+  struct MissingStats {
+    double row_ratio = 0.0;
+    double column_ratio = 0.0;
+    double cell_ratio = 0.0;
+  };
+  MissingStats ComputeMissingStats() const;
+
+  /// Converts all-numeric content to a dense matrix (one row per table
+  /// row). Categorical columns must have been one-hot encoded first;
+  /// returns an error if any column is categorical. Missing numeric cells
+  /// become NaN in the matrix.
+  Result<Matrix> ToMatrix() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DATAFRAME_TABLE_H_

@@ -1,0 +1,174 @@
+#include "drift/adwin.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oebench {
+
+Adwin::Adwin(double delta) : delta_(delta) {
+  OE_CHECK(delta > 0.0 && delta < 1.0);
+  rows_.emplace_back();
+}
+
+void Adwin::InsertElement(double value) {
+  // New level-0 bucket at the head (most recent side).
+  rows_[0].buckets.push_back({value, 0.0});
+  if (total_count_ > 0) {
+    double mean = total_sum_ / static_cast<double>(total_count_);
+    double diff = value - mean;
+    total_var_ += diff * diff * static_cast<double>(total_count_) /
+                  static_cast<double>(total_count_ + 1);
+  }
+  total_sum_ += value;
+  ++total_count_;
+}
+
+void Adwin::Compress() {
+  for (size_t level = 0; level < rows_.size(); ++level) {
+    if (static_cast<int>(rows_[level].buckets.size()) <=
+        kMaxBucketsPerRow) {
+      break;
+    }
+    if (level + 1 == rows_.size()) rows_.emplace_back();
+    // Merge the two oldest buckets of this level into one at level+1.
+    Bucket& b0 = rows_[level].buckets[0];
+    Bucket& b1 = rows_[level].buckets[1];
+    double n = std::pow(2.0, static_cast<double>(level));
+    double mean0 = b0.sum / n;
+    double mean1 = b1.sum / n;
+    double diff = mean0 - mean1;
+    Bucket merged;
+    merged.sum = b0.sum + b1.sum;
+    merged.variance = b0.variance + b1.variance + diff * diff * n / 2.0;
+    // Within every level the front bucket is the oldest; the merged pair
+    // is newer than everything already at level+1, so it goes to the back.
+    rows_[level + 1].buckets.push_back(merged);
+    rows_[level].buckets.erase(rows_[level].buckets.begin(),
+                               rows_[level].buckets.begin() + 2);
+  }
+}
+
+bool Adwin::DetectCut() {
+  if (total_count_ < 10) return false;
+  bool cut_any = false;
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    // Walk buckets from oldest (highest level, front) to newest,
+    // accumulating the "old" sub-window W0.
+    double sum0 = 0.0;
+    double count0 = 0.0;
+    double total = static_cast<double>(total_count_);
+    double variance =
+        total_count_ > 1 ? total_var_ / static_cast<double>(total_count_)
+                         : 0.0;
+    for (size_t level = rows_.size(); level-- > 0 && !reduced;) {
+      double n = std::pow(2.0, static_cast<double>(level));
+      for (size_t b = 0; b < rows_[level].buckets.size(); ++b) {
+        sum0 += rows_[level].buckets[b].sum;
+        count0 += n;
+        double count1 = total - count0;
+        if (count0 < 1.0 || count1 < 1.0) continue;
+        double mean0 = sum0 / count0;
+        double mean1 = (total_sum_ - sum0) / count1;
+        double m = 1.0 / (1.0 / count0 + 1.0 / count1);
+        double delta_prime = delta_ / std::log(total);
+        double eps = std::sqrt(2.0 / m * variance *
+                               std::log(2.0 / delta_prime)) +
+                     2.0 / (3.0 * m) * std::log(2.0 / delta_prime);
+        if (std::abs(mean0 - mean1) > eps) {
+          cut_any = true;
+          reduced = true;
+          DropOldest();
+          break;
+        }
+      }
+    }
+  }
+  return cut_any;
+}
+
+void Adwin::DropOldest() {
+  // The oldest bucket is the front bucket of the highest non-empty level.
+  for (size_t level = rows_.size(); level-- > 0;) {
+    if (rows_[level].buckets.empty()) continue;
+    Bucket& b = rows_[level].buckets.front();
+    double n = std::pow(2.0, static_cast<double>(level));
+    double mean = b.sum / n;
+    total_sum_ -= b.sum;
+    total_count_ -= static_cast<int64_t>(n);
+    double remaining_mean =
+        total_count_ > 0 ? total_sum_ / static_cast<double>(total_count_)
+                         : 0.0;
+    double diff = mean - remaining_mean;
+    total_var_ -= b.variance + diff * diff * n *
+                                  static_cast<double>(total_count_) /
+                                  static_cast<double>(total_count_ + n);
+    if (total_var_ < 0.0) total_var_ = 0.0;
+    rows_[level].buckets.erase(rows_[level].buckets.begin());
+    while (rows_.size() > 1 && rows_.back().buckets.empty()) {
+      rows_.pop_back();
+    }
+    return;
+  }
+}
+
+bool Adwin::Update(double value) {
+  InsertElement(value);
+  Compress();
+  ++ticks_;
+  if (ticks_ % kClock != 0) return false;
+  return DetectCut();
+}
+
+int64_t Adwin::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const Row& row : rows_) {
+    bytes += static_cast<int64_t>(row.buckets.size() * sizeof(Bucket)) +
+             static_cast<int64_t>(sizeof(Row));
+  }
+  return bytes;
+}
+
+void Adwin::Reset() {
+  rows_.clear();
+  rows_.emplace_back();
+  total_sum_ = 0.0;
+  total_var_ = 0.0;
+  total_count_ = 0;
+  ticks_ = 0;
+}
+
+DriftSignal AdwinAccuracyDetector::Update(double error) {
+  // A window cut only signals drift when the error mean *rose*: ADWIN
+  // also cuts when the error improves (a recovering model), and treating
+  // that as drift makes ARF churn through freshly planted trees forever.
+  double prev_warn_mean = warning_adwin_.Mean();
+  double prev_drift_mean = drift_adwin_.Mean();
+  bool warn_cut = warning_adwin_.Update(error);
+  bool drift_cut = drift_adwin_.Update(error);
+  bool warn = warn_cut && warning_adwin_.Mean() > prev_warn_mean;
+  bool drift = drift_cut && drift_adwin_.Mean() > prev_drift_mean;
+  if (drift) {
+    warning_adwin_.Reset();
+    return DriftSignal::kDrift;
+  }
+  if (warn) return DriftSignal::kWarning;
+  return DriftSignal::kStable;
+}
+
+void AdwinAccuracyDetector::Reset() {
+  drift_adwin_.Reset();
+  warning_adwin_.Reset();
+}
+
+DriftSignal AdwinBatchDetector::Update(const std::vector<double>& batch) {
+  bool drift = false;
+  for (double v : batch) {
+    drift = adwin_.Update(v) || drift;
+  }
+  return drift ? DriftSignal::kDrift : DriftSignal::kStable;
+}
+
+}  // namespace oebench

@@ -1,0 +1,94 @@
+#ifndef OEBENCH_DRIFT_ADWIN_H_
+#define OEBENCH_DRIFT_ADWIN_H_
+
+#include <deque>
+#include <vector>
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// ADaptive WINdowing (Bifet & Gavalda, 2007). Maintains a variable-length
+/// window of a real-valued stream in exponential-histogram buckets and
+/// shrinks it whenever two sub-windows have means that differ more than
+/// the delta-confidence bound allows. Used three ways in OEBench:
+/// on model error streams ("ADWIN accuracy" concept drift, §4.3), on raw
+/// 1-D values (data drift, Appendix Table 8), and inside Adaptive Random
+/// Forest as the per-tree drift/warning detector.
+class Adwin {
+ public:
+  /// `delta` is the confidence parameter; smaller means fewer false alarms.
+  explicit Adwin(double delta = 0.002);
+
+  /// Adds a value; returns true when the window was cut (change detected).
+  bool Update(double value);
+
+  double Mean() const {
+    return total_count_ > 0 ? total_sum_ / static_cast<double>(total_count_)
+                            : 0.0;
+  }
+  int64_t WindowSize() const { return total_count_; }
+  int64_t MemoryBytes() const;
+
+  void Reset();
+
+ private:
+  struct Bucket {
+    double sum = 0.0;
+    double variance = 0.0;  // within-bucket sum of squared deviations
+  };
+  /// Buckets at level l summarise 2^l values.
+  struct Row {
+    std::vector<Bucket> buckets;
+  };
+
+  void InsertElement(double value);
+  void Compress();
+  bool DetectCut();
+  void DropOldest();
+
+  static constexpr int kMaxBucketsPerRow = 5;
+  static constexpr int kClock = 32;
+
+  double delta_;
+  std::deque<Row> rows_;  // rows_[l] holds level-l buckets, oldest first
+  double total_sum_ = 0.0;
+  double total_var_ = 0.0;
+  int64_t total_count_ = 0;
+  int64_t ticks_ = 0;
+};
+
+/// StreamErrorDetector adapter: feeds the 0/1 error (or loss) stream into
+/// ADWIN; a cut is a drift. A mean increase beyond half the bound maps to
+/// the warning level used by ARF.
+class AdwinAccuracyDetector : public StreamErrorDetector {
+ public:
+  explicit AdwinAccuracyDetector(double delta = 0.002)
+      : drift_adwin_(delta), warning_adwin_(delta * 10.0) {}
+
+  DriftSignal Update(double error) override;
+  void Reset() override;
+  std::string name() const override { return "adwin_accuracy"; }
+
+ private:
+  Adwin drift_adwin_;
+  Adwin warning_adwin_;  // more sensitive; fires earlier as a warning
+};
+
+/// BatchDetector1D adapter: streams the batch's elements into ADWIN and
+/// reports drift if any element triggered a cut within the batch.
+class AdwinBatchDetector : public BatchDetector1D {
+ public:
+  explicit AdwinBatchDetector(double delta = 0.002) : adwin_(delta) {}
+
+  DriftSignal Update(const std::vector<double>& batch) override;
+  void Reset() override { adwin_.Reset(); }
+  std::string name() const override { return "adwin"; }
+
+ private:
+  Adwin adwin_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_ADWIN_H_

@@ -1,0 +1,95 @@
+#include "drift/cdbd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oebench {
+
+double Cdbd::KlDivergence(const std::vector<double>& a,
+                          const std::vector<double>& b) const {
+  int64_t bins = num_bins_ > 0
+                     ? num_bins_
+                     : std::max<int64_t>(
+                           2, static_cast<int64_t>(std::floor(std::sqrt(
+                                  static_cast<double>(std::min(
+                                      a.size(), b.size()))))));
+  double lo = a[0];
+  double hi = a[0];
+  for (double v : a) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : b) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) return 0.0;
+  double width = (hi - lo) / static_cast<double>(bins);
+  std::vector<double> ha(static_cast<size_t>(bins), 0.0);
+  std::vector<double> hb(static_cast<size_t>(bins), 0.0);
+  auto bin_of = [&](double v) {
+    int64_t idx = static_cast<int64_t>((v - lo) / width);
+    return std::min(idx, bins - 1);
+  };
+  for (double v : a) ha[static_cast<size_t>(bin_of(v))] += 1.0;
+  for (double v : b) hb[static_cast<size_t>(bin_of(v))] += 1.0;
+  const double eps = 0.5;
+  double na = static_cast<double>(a.size()) +
+              eps * static_cast<double>(bins);
+  double nb = static_cast<double>(b.size()) +
+              eps * static_cast<double>(bins);
+  double kl = 0.0;
+  for (int64_t k = 0; k < bins; ++k) {
+    double pa = (ha[static_cast<size_t>(k)] + eps) / na;
+    double pb = (hb[static_cast<size_t>(k)] + eps) / nb;
+    kl += pa * std::log(pa / pb);
+  }
+  return kl;
+}
+
+DriftSignal Cdbd::Update(const std::vector<double>& batch) {
+  OE_CHECK(!batch.empty());
+  if (!has_reference_) {
+    reference_ = batch;
+    has_reference_ = true;
+    return DriftSignal::kStable;
+  }
+  last_divergence_ = KlDivergence(reference_, batch);
+  DriftSignal signal = DriftSignal::kStable;
+  if (div_count_ >= 2) {
+    double mean = div_sum_ / static_cast<double>(div_count_);
+    double var = div_sum_sq_ / static_cast<double>(div_count_) - mean * mean;
+    double sd = std::sqrt(std::max(var, 0.0));
+    double threshold = mean + gamma_ * sd;
+    double warn = mean + 0.75 * gamma_ * sd;
+    if (last_divergence_ > threshold) {
+      signal = DriftSignal::kDrift;
+    } else if (last_divergence_ > warn) {
+      signal = DriftSignal::kWarning;
+    }
+  }
+  if (signal == DriftSignal::kDrift) {
+    div_sum_ = 0.0;
+    div_sum_sq_ = 0.0;
+    div_count_ = 0;
+  } else {
+    div_sum_ += last_divergence_;
+    div_sum_sq_ += last_divergence_ * last_divergence_;
+    ++div_count_;
+  }
+  reference_ = batch;
+  return signal;
+}
+
+void Cdbd::Reset() {
+  reference_.clear();
+  has_reference_ = false;
+  last_divergence_ = 0.0;
+  div_sum_ = 0.0;
+  div_sum_sq_ = 0.0;
+  div_count_ = 0;
+}
+
+}  // namespace oebench

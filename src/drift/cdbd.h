@@ -1,0 +1,45 @@
+#ifndef OEBENCH_DRIFT_CDBD_H_
+#define OEBENCH_DRIFT_CDBD_H_
+
+#include <vector>
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// Confidence Distribution Batch Detection (Lindstrom, Mac Namee & Delany,
+/// 2013). A one-dimensional batch detector: each incoming batch of scores
+/// (model confidences in the original paper; any single column in the
+/// OEBench statistics pipeline) is histogrammed and compared to the
+/// previous batch with the Kullback-Leibler divergence. The change in
+/// divergence is tested against an adaptive threshold built from the mean
+/// and standard deviation of past divergences (the same epsilon scheme as
+/// HDDDM, which is how Menelaus implements both).
+class Cdbd : public BatchDetector1D {
+ public:
+  explicit Cdbd(double gamma = 1.5, int num_bins = 0)
+      : gamma_(gamma), num_bins_(num_bins) {}
+
+  DriftSignal Update(const std::vector<double>& batch) override;
+  void Reset() override;
+  std::string name() const override { return "cdbd"; }
+
+  double last_divergence() const { return last_divergence_; }
+
+ private:
+  double KlDivergence(const std::vector<double>& a,
+                      const std::vector<double>& b) const;
+
+  double gamma_;
+  int num_bins_;  // 0: floor(sqrt(n))
+  std::vector<double> reference_;
+  bool has_reference_ = false;
+  double last_divergence_ = 0.0;
+  double div_sum_ = 0.0;
+  double div_sum_sq_ = 0.0;
+  int64_t div_count_ = 0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_CDBD_H_

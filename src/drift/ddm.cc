@@ -1,0 +1,39 @@
+#include "drift/ddm.h"
+
+#include <cmath>
+
+namespace oebench {
+
+DriftSignal Ddm::Update(double error) {
+  double e = error > 0.5 ? 1.0 : 0.0;
+  ++n_;
+  // Incremental estimate of the Bernoulli error rate.
+  p_ += (e - p_) / static_cast<double>(n_);
+  s_ = std::sqrt(p_ * (1.0 - p_) / static_cast<double>(n_));
+  if (n_ < min_samples_) return DriftSignal::kStable;
+
+  if (p_ + s_ < min_p_plus_s_) {
+    min_p_plus_s_ = p_ + s_;
+    min_p_ = p_;
+    min_s_ = s_;
+  }
+  if (p_ + s_ > min_p_ + 3.0 * min_s_) {
+    Reset();
+    return DriftSignal::kDrift;
+  }
+  if (p_ + s_ > min_p_ + 2.0 * min_s_) {
+    return DriftSignal::kWarning;
+  }
+  return DriftSignal::kStable;
+}
+
+void Ddm::Reset() {
+  n_ = 0;
+  p_ = 1.0;
+  s_ = 0.0;
+  min_p_plus_s_ = 1e100;
+  min_p_ = 1e100;
+  min_s_ = 1e100;
+}
+
+}  // namespace oebench

@@ -1,0 +1,34 @@
+#ifndef OEBENCH_DRIFT_DDM_H_
+#define OEBENCH_DRIFT_DDM_H_
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// Drift Detection Method (Gama, Medas, Castillo & Rodrigues, 2004).
+/// Tracks the running error rate p_t and its binomial standard deviation
+/// s_t; records the minimum of p + s and signals warning when
+/// p + s > p_min + 2 s_min, drift when p + s > p_min + 3 s_min.
+/// Regression losses can be fed by thresholding into 0/1 upstream, as the
+/// paper suggests in Appendix A.2.
+class Ddm : public StreamErrorDetector {
+ public:
+  explicit Ddm(int min_samples = 30) : min_samples_(min_samples) {}
+
+  DriftSignal Update(double error) override;
+  void Reset() override;
+  std::string name() const override { return "ddm"; }
+
+ private:
+  int min_samples_;
+  int64_t n_ = 0;
+  double p_ = 1.0;
+  double s_ = 0.0;
+  double min_p_plus_s_ = 1e100;
+  double min_p_ = 1e100;
+  double min_s_ = 1e100;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_DDM_H_

@@ -1,0 +1,63 @@
+#ifndef OEBENCH_DRIFT_DETECTOR_H_
+#define OEBENCH_DRIFT_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// Tri-state output shared by every drift detector, mirroring the
+/// drift/warning semantics the paper records as statistics ("we document
+/// the drift and warning percentages", §4.3).
+enum class DriftSignal { kStable, kWarning, kDrift };
+
+const char* DriftSignalToString(DriftSignal signal);
+
+/// Concept-drift detector driven by a stream of per-sample errors (0/1
+/// classification errors, or regression losses where supported). DDM,
+/// EDDM, ADWIN-accuracy, Page-Hinkley, ECDD and HDDM-A implement this.
+class StreamErrorDetector {
+ public:
+  virtual ~StreamErrorDetector() = default;
+
+  /// Consumes the next error observation and reports the detector state.
+  virtual DriftSignal Update(double error) = 0;
+
+  /// Returns the detector to its freshly-constructed state.
+  virtual void Reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Data-drift detector comparing consecutive batches of a single
+/// dimension (KS test, CDBD, ADWIN-on-values). The paper applies these
+/// per column and aggregates (§4.3, Appendix A.2).
+class BatchDetector1D {
+ public:
+  virtual ~BatchDetector1D() = default;
+
+  /// Consumes the next window of one column.
+  virtual DriftSignal Update(const std::vector<double>& batch) = 0;
+
+  virtual void Reset() = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Data-drift detector comparing consecutive multi-dimensional batches
+/// (HDDDM, kdq-tree, PCA-CD).
+class BatchDetectorND {
+ public:
+  virtual ~BatchDetectorND() = default;
+
+  /// Consumes the next window (rows are samples).
+  virtual DriftSignal Update(const Matrix& batch) = 0;
+
+  virtual void Reset() = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_DETECTOR_H_

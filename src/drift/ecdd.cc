@@ -1,0 +1,39 @@
+#include "drift/ecdd.h"
+
+#include <cmath>
+
+namespace oebench {
+
+DriftSignal Ecdd::Update(double error) {
+  double e = error > 0.5 ? 1.0 : 0.0;
+  ++n_;
+  p_hat_ += (e - p_hat_) / static_cast<double>(n_);
+  z_ = (1.0 - lambda_) * z_ + lambda_ * e;
+  if (n_ < min_samples_) return DriftSignal::kStable;
+
+  double t = static_cast<double>(n_);
+  // Exact EWMA variance for a Bernoulli(p_hat) stream.
+  double var_z = p_hat_ * (1.0 - p_hat_) * lambda_ / (2.0 - lambda_) *
+                 (1.0 - std::pow(1.0 - lambda_, 2.0 * t));
+  double sigma_z = std::sqrt(std::max(var_z, 1e-12));
+  if (z_ > p_hat_ + drift_l_ * sigma_z) {
+    ++consecutive_over_;
+    if (consecutive_over_ >= consecutive_required_) {
+      Reset();
+      return DriftSignal::kDrift;
+    }
+    return DriftSignal::kWarning;
+  }
+  consecutive_over_ = 0;
+  if (z_ > p_hat_ + warn_l_ * sigma_z) return DriftSignal::kWarning;
+  return DriftSignal::kStable;
+}
+
+void Ecdd::Reset() {
+  n_ = 0;
+  p_hat_ = 0.0;
+  z_ = 0.0;
+  consecutive_over_ = 0;
+}
+
+}  // namespace oebench

@@ -1,0 +1,47 @@
+#ifndef OEBENCH_DRIFT_ECDD_H_
+#define OEBENCH_DRIFT_ECDD_H_
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// EWMA for Concept Drift Detection (Ross, Adams, Tasoulis & Hand, 2012).
+/// Tracks an exponentially weighted moving average Z_t of the Bernoulli
+/// error stream and alarms when Z_t leaves the control band
+/// p_hat + L * sigma_Z, where p_hat is the pre-change error estimate.
+/// Appendix Table 8 lists ECDD among the stream-capable concept-drift
+/// detectors.
+class Ecdd : public StreamErrorDetector {
+ public:
+  /// The EWMA weight defaults to 0.05: with rare Bernoulli errors a large
+  /// weight makes single errors spike Z_t past any Gaussian control band.
+  /// Drift additionally requires the band to be exceeded on
+  /// `consecutive_required` successive updates, which filters the spikes
+  /// of isolated errors while sustained shifts still alarm quickly.
+  Ecdd(double lambda = 0.05, double drift_l = 3.0, double warn_l = 2.0,
+       int min_samples = 30, int consecutive_required = 3)
+      : lambda_(lambda),
+        drift_l_(drift_l),
+        warn_l_(warn_l),
+        min_samples_(min_samples),
+        consecutive_required_(consecutive_required) {}
+
+  DriftSignal Update(double error) override;
+  void Reset() override;
+  std::string name() const override { return "ecdd"; }
+
+ private:
+  double lambda_;
+  double drift_l_;
+  double warn_l_;
+  int min_samples_;
+  int consecutive_required_;
+  int64_t n_ = 0;
+  double p_hat_ = 0.0;
+  double z_ = 0.0;
+  int consecutive_over_ = 0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_ECDD_H_

@@ -1,0 +1,46 @@
+#include "drift/eddm.h"
+
+#include <cmath>
+
+namespace oebench {
+
+DriftSignal Eddm::Update(double error) {
+  ++sample_index_;
+  if (error <= 0.5) return DriftSignal::kStable;
+
+  // An error occurred; update the distance statistics.
+  if (last_error_index_ >= 0) {
+    double distance = static_cast<double>(sample_index_ - last_error_index_);
+    ++num_errors_;
+    double delta = distance - mean_distance_;
+    mean_distance_ += delta / static_cast<double>(num_errors_);
+    m2_ += delta * (distance - mean_distance_);
+  }
+  last_error_index_ = sample_index_;
+  if (num_errors_ < min_errors_) return DriftSignal::kStable;
+
+  double variance = m2_ / static_cast<double>(num_errors_);
+  double score = mean_distance_ + 2.0 * std::sqrt(std::max(variance, 0.0));
+  if (score > max_score_) {
+    max_score_ = score;
+    return DriftSignal::kStable;
+  }
+  double ratio = score / max_score_;
+  if (ratio < beta_) {
+    Reset();
+    return DriftSignal::kDrift;
+  }
+  if (ratio < alpha_) return DriftSignal::kWarning;
+  return DriftSignal::kStable;
+}
+
+void Eddm::Reset() {
+  sample_index_ = 0;
+  last_error_index_ = -1;
+  num_errors_ = 0;
+  mean_distance_ = 0.0;
+  m2_ = 0.0;
+  max_score_ = 0.0;
+}
+
+}  // namespace oebench

@@ -1,0 +1,36 @@
+#ifndef OEBENCH_DRIFT_EDDM_H_
+#define OEBENCH_DRIFT_EDDM_H_
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// Early Drift Detection Method (Baena-Garcia et al., 2006). Instead of
+/// the error rate, EDDM monitors the mean distance (in samples) between
+/// consecutive errors and its standard deviation; gradual drifts shrink
+/// that distance before the error rate moves. Warning when
+/// (p' + 2 s') / (p'_max + 2 s'_max) < alpha; drift when < beta.
+class Eddm : public StreamErrorDetector {
+ public:
+  Eddm(double alpha = 0.95, double beta = 0.90, int min_errors = 30)
+      : alpha_(alpha), beta_(beta), min_errors_(min_errors) {}
+
+  DriftSignal Update(double error) override;
+  void Reset() override;
+  std::string name() const override { return "eddm"; }
+
+ private:
+  double alpha_;
+  double beta_;
+  int min_errors_;
+  int64_t sample_index_ = 0;
+  int64_t last_error_index_ = -1;
+  int64_t num_errors_ = 0;
+  double mean_distance_ = 0.0;
+  double m2_ = 0.0;  // Welford accumulator
+  double max_score_ = 0.0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_EDDM_H_

@@ -1,0 +1,56 @@
+#include "drift/eia.h"
+
+#include "common/logging.h"
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+DriftSignal Eia::Update(const std::vector<double>& model_losses,
+                        const std::vector<double>& baseline_losses) {
+  OE_CHECK(model_losses.size() == baseline_losses.size());
+  if (static_cast<int>(model_losses.size()) < options_.min_window) {
+    return DriftSignal::kStable;
+  }
+  double model_err = Mean(model_losses);
+  double baseline_err = Mean(baseline_losses);
+  bool model_wins =
+      model_err < baseline_err * (1.0 + options_.tolerance);
+  if (!primed_) {
+    primed_ = true;
+    model_was_winning_ = model_wins;
+    return DriftSignal::kStable;
+  }
+  DriftSignal out = DriftSignal::kStable;
+  if (model_was_winning_ && !model_wins) {
+    // The error curves intersected: the environment changed faster than
+    // the model adapts.
+    out = DriftSignal::kDrift;
+  } else if (!model_was_winning_ && !model_wins) {
+    out = DriftSignal::kWarning;  // still underwater
+  }
+  model_was_winning_ = model_wins;
+  return out;
+}
+
+void Eia::Reset() {
+  model_was_winning_ = false;
+  primed_ = false;
+}
+
+std::vector<double> Eia::PersistenceLosses(
+    const std::vector<double>& targets, double previous_target,
+    bool has_previous) {
+  std::vector<double> losses;
+  losses.reserve(targets.size());
+  double prev = previous_target;
+  bool valid = has_previous;
+  for (double t : targets) {
+    double err = valid ? (t - prev) : 0.0;
+    losses.push_back(err * err);
+    prev = t;
+    valid = true;
+  }
+  return losses;
+}
+
+}  // namespace oebench

@@ -1,0 +1,53 @@
+#ifndef OEBENCH_DRIFT_EIA_H_
+#define OEBENCH_DRIFT_EIA_H_
+
+#include <string>
+#include <vector>
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// EIA — Error Intersection Approach (Baier et al., 2020), from the
+/// paper's Appendix Table 8; one of only two listed detectors that
+/// handle regression. The complex model's windowed error is compared
+/// against a naive persistence model (predict the previous target): in a
+/// stable regime the complex model wins; when the error curves intersect
+/// — the simple model catching up or overtaking — a drift is signalled.
+/// The paper notes the persistence baseline "is not quite reasonable" in
+/// general, which this implementation faithfully inherits.
+class Eia {
+ public:
+  struct Options {
+    /// Fractional tolerance before an intersection counts.
+    double tolerance = 0.0;
+    int min_window = 10;
+  };
+
+  Eia() : Eia(Options()) {}
+  explicit Eia(Options options) : options_(options) {}
+
+  /// Consumes one window: per-sample losses of the monitored model and
+  /// of the persistence baseline on the same samples.
+  DriftSignal Update(const std::vector<double>& model_losses,
+                     const std::vector<double>& baseline_losses);
+
+  void Reset();
+  std::string name() const { return "eia"; }
+
+  /// Builds per-sample persistence-baseline losses for a target window
+  /// (squared error of predicting the previous value; the first sample
+  /// uses the previous window's last target, or itself at stream start).
+  static std::vector<double> PersistenceLosses(
+      const std::vector<double>& targets, double previous_target,
+      bool has_previous);
+
+ private:
+  Options options_;
+  bool model_was_winning_ = false;
+  bool primed_ = false;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_EIA_H_

@@ -1,0 +1,55 @@
+#include "drift/fw_ddm.h"
+
+#include <cmath>
+
+namespace oebench {
+
+double FwDdm::WeightedErrorRate() const {
+  const size_t n = window_.size();
+  double weighted_errors = 0.0;
+  double total_weight = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // window_[0] is the oldest sample; fuzzy membership grows linearly
+    // toward the most recent one.
+    double weight = static_cast<double>(i + 1) / static_cast<double>(n);
+    weighted_errors += weight * window_[i];
+    total_weight += weight;
+  }
+  return total_weight > 0.0 ? weighted_errors / total_weight : 0.0;
+}
+
+DriftSignal FwDdm::Update(double error) {
+  window_.push_back(error > 0.5 ? 1.0 : 0.0);
+  if (static_cast<int>(window_.size()) > window_size_) {
+    window_.pop_front();
+  }
+  if (static_cast<int>(window_.size()) < min_samples_) {
+    return DriftSignal::kStable;
+  }
+  double p = WeightedErrorRate();
+  // Control chart on the fuzzy-weighted rate: the rate is compared
+  // against its long-run mean with a binomial band. (Tracking the
+  // historical *minimum* as classic DDM does is alarm-prone for a
+  // windowed rate, whose excursions below and above the mean are both
+  // routine.)
+  ++evaluations_;
+  mean_p_ += (p - mean_p_) / static_cast<double>(evaluations_);
+  double n_eff = 2.0 * static_cast<double>(window_.size()) / 3.0;
+  double s = std::sqrt(
+      std::max(mean_p_ * (1.0 - mean_p_), 1e-12) / n_eff);
+  if (evaluations_ < min_samples_) return DriftSignal::kStable;
+  if (p > mean_p_ + 3.5 * s) {
+    Reset();
+    return DriftSignal::kDrift;
+  }
+  if (p > mean_p_ + 2.5 * s) return DriftSignal::kWarning;
+  return DriftSignal::kStable;
+}
+
+void FwDdm::Reset() {
+  window_.clear();
+  mean_p_ = 0.0;
+  evaluations_ = 0;
+}
+
+}  // namespace oebench

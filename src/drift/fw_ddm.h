@@ -1,0 +1,38 @@
+#ifndef OEBENCH_DRIFT_FW_DDM_H_
+#define OEBENCH_DRIFT_FW_DDM_H_
+
+#include <deque>
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// FW-DDM — fuzzy time windowing for gradual concept drift adaptation
+/// (Liu, Zhang & Lu, 2017), listed in the paper's Appendix Table 8.
+/// A DDM-style error-rate monitor where the rate is computed over a
+/// sliding window with linearly decaying (fuzzy-membership) weights, so
+/// old errors gradually lose influence instead of being counted forever.
+class FwDdm : public StreamErrorDetector {
+ public:
+  explicit FwDdm(int window_size = 500, int min_samples = 30)
+      : window_size_(window_size), min_samples_(min_samples) {}
+
+  DriftSignal Update(double error) override;
+  void Reset() override;
+  std::string name() const override { return "fw_ddm"; }
+
+ private:
+  /// Fuzzy-weighted error rate over the window (newest weight 1, oldest
+  /// weight ~0).
+  double WeightedErrorRate() const;
+
+  int window_size_;
+  int min_samples_;
+  std::deque<double> window_;
+  double mean_p_ = 0.0;       // long-run mean of the weighted rate
+  int64_t evaluations_ = 0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_FW_DDM_H_

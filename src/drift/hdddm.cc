@@ -1,0 +1,117 @@
+#include "drift/hdddm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oebench {
+
+double Hdddm::HellingerDistance(const Matrix& a, const Matrix& b) {
+  OE_CHECK(a.cols() == b.cols());
+  const int64_t d = a.cols();
+  if (d == 0) return 0.0;
+  int64_t bins = std::max<int64_t>(
+      2, static_cast<int64_t>(std::floor(
+             std::sqrt(static_cast<double>(std::min(a.rows(), b.rows()))))));
+  double total = 0.0;
+  std::vector<double> ha(static_cast<size_t>(bins));
+  std::vector<double> hb(static_cast<size_t>(bins));
+  for (int64_t f = 0; f < d; ++f) {
+    double lo = a.At(0, f);
+    double hi = lo;
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      lo = std::min(lo, a.At(r, f));
+      hi = std::max(hi, a.At(r, f));
+    }
+    for (int64_t r = 0; r < b.rows(); ++r) {
+      lo = std::min(lo, b.At(r, f));
+      hi = std::max(hi, b.At(r, f));
+    }
+    if (hi <= lo) continue;  // constant feature contributes zero distance
+    std::fill(ha.begin(), ha.end(), 0.0);
+    std::fill(hb.begin(), hb.end(), 0.0);
+    double width = (hi - lo) / static_cast<double>(bins);
+    auto bin_of = [&](double v) {
+      int64_t idx = static_cast<int64_t>((v - lo) / width);
+      return std::min(idx, bins - 1);
+    };
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      ha[static_cast<size_t>(bin_of(a.At(r, f)))] += 1.0;
+    }
+    for (int64_t r = 0; r < b.rows(); ++r) {
+      hb[static_cast<size_t>(bin_of(b.At(r, f)))] += 1.0;
+    }
+    double na = static_cast<double>(a.rows());
+    double nb = static_cast<double>(b.rows());
+    double sum = 0.0;
+    for (int64_t k = 0; k < bins; ++k) {
+      double pa = ha[static_cast<size_t>(k)] / na;
+      double pb = hb[static_cast<size_t>(k)] / nb;
+      double diff = std::sqrt(pa) - std::sqrt(pb);
+      sum += diff * diff;
+    }
+    total += std::sqrt(sum);  // in [0, sqrt(2)]
+  }
+  return total / static_cast<double>(d);
+}
+
+DriftSignal Hdddm::Update(const Matrix& batch) {
+  OE_CHECK(batch.rows() > 0);
+  if (!has_baseline_) {
+    baseline_ = batch;
+    has_baseline_ = true;
+    return DriftSignal::kStable;
+  }
+  last_distance_ = HellingerDistance(baseline_, batch);
+  DriftSignal signal = DriftSignal::kStable;
+  if (prev_distance_ >= 0.0) {
+    double eps = last_distance_ - prev_distance_;
+    double abs_eps = std::abs(eps);
+    if (eps_count_ >= 2) {
+      double mean = eps_sum_ / static_cast<double>(eps_count_);
+      double var = eps_sum_sq_ / static_cast<double>(eps_count_) -
+                   mean * mean;
+      double sd = std::sqrt(std::max(var, 0.0));
+      double threshold = mean + gamma_ * sd;
+      double warn_threshold = mean + 0.75 * gamma_ * sd;
+      if (abs_eps > threshold) {
+        signal = DriftSignal::kDrift;
+      } else if (abs_eps > warn_threshold) {
+        signal = DriftSignal::kWarning;
+      }
+    }
+    if (signal == DriftSignal::kDrift) {
+      // Reset the adaptive statistics and rebase on the drifted batch.
+      baseline_ = batch;
+      prev_distance_ = -1.0;
+      eps_sum_ = 0.0;
+      eps_sum_sq_ = 0.0;
+      eps_count_ = 0;
+      return signal;
+    }
+    eps_sum_ += abs_eps;
+    eps_sum_sq_ += abs_eps * abs_eps;
+    ++eps_count_;
+  }
+  prev_distance_ = last_distance_;
+  // Merge the batch into the baseline (growing reference window, capped so
+  // memory stays bounded on long streams).
+  baseline_ = Matrix::VStack(baseline_, batch);
+  constexpr int64_t kMaxBaselineRows = 8192;
+  if (baseline_.rows() > kMaxBaselineRows) {
+    baseline_ = baseline_.Slice(baseline_.rows() - kMaxBaselineRows,
+                                baseline_.rows());
+  }
+  return signal;
+}
+
+void Hdddm::Reset() {
+  has_baseline_ = false;
+  baseline_ = Matrix();
+  prev_distance_ = -1.0;
+  last_distance_ = 0.0;
+  eps_sum_ = 0.0;
+  eps_sum_sq_ = 0.0;
+  eps_count_ = 0;
+}
+
+}  // namespace oebench

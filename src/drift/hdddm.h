@@ -1,0 +1,48 @@
+#ifndef OEBENCH_DRIFT_HDDDM_H_
+#define OEBENCH_DRIFT_HDDDM_H_
+
+#include <vector>
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// Hellinger Distance Drift Detection Method (Ditzler & Polikar, 2011).
+/// Maintains a baseline batch; on each new batch the average per-feature
+/// Hellinger distance between the baseline's and the batch's histograms is
+/// computed, and the *change* in that distance is compared against an
+/// adaptive threshold derived from the mean and standard deviation of past
+/// changes. On drift the baseline is reset to the new batch; otherwise the
+/// new batch is merged into the baseline.
+class Hdddm : public BatchDetectorND {
+ public:
+  /// `gamma` scales the adaptive threshold (the original paper's
+  /// gamma-method); larger is less sensitive.
+  explicit Hdddm(double gamma = 1.5) : gamma_(gamma) {}
+
+  DriftSignal Update(const Matrix& batch) override;
+  void Reset() override;
+  std::string name() const override { return "hdddm"; }
+
+  double last_distance() const { return last_distance_; }
+
+ private:
+  /// Average per-feature Hellinger distance between the two batches, each
+  /// histogrammed with floor(sqrt(n)) equal-width bins over the joint
+  /// range.
+  static double HellingerDistance(const Matrix& a, const Matrix& b);
+
+  double gamma_;
+  Matrix baseline_;
+  bool has_baseline_ = false;
+  double prev_distance_ = -1.0;
+  double last_distance_ = 0.0;
+  // Running moments of |epsilon| since the last drift.
+  double eps_sum_ = 0.0;
+  double eps_sum_sq_ = 0.0;
+  int64_t eps_count_ = 0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_HDDDM_H_

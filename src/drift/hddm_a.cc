@@ -1,0 +1,54 @@
+#include "drift/hddm_a.h"
+
+#include <cmath>
+
+namespace oebench {
+
+double HddmA::Bound(double n, double confidence) {
+  if (n <= 0.0) return 1e100;
+  return std::sqrt(1.0 / (2.0 * n) * std::log(1.0 / confidence));
+}
+
+DriftSignal HddmA::Update(double error) {
+  total_sum_ += error;
+  total_n_ += 1.0;
+
+  // Track the prefix with the smallest upper confidence bound on its mean
+  // (the "best" low-error regime observed so far).
+  double mean = total_sum_ / total_n_;
+  double score = mean + Bound(total_n_, drift_confidence_);
+  if (score < min_score_) {
+    min_score_ = score;
+    min_sum_ = total_sum_;
+    min_n_ = total_n_;
+  }
+  if (min_n_ >= total_n_ || total_n_ < 10.0) return DriftSignal::kStable;
+
+  // Compare the post-cut mean against the pre-cut mean with Hoeffding
+  // bounds on both sides.
+  double n_rest = total_n_ - min_n_;
+  double mean_min = min_sum_ / min_n_;
+  double mean_rest = (total_sum_ - min_sum_) / n_rest;
+  double m = (min_n_ * n_rest) / (min_n_ + n_rest);
+  double eps_drift =
+      std::sqrt(1.0 / (2.0 * m) * std::log(1.0 / drift_confidence_));
+  double eps_warn =
+      std::sqrt(1.0 / (2.0 * m) * std::log(1.0 / warn_confidence_));
+  double diff = mean_rest - mean_min;
+  if (diff > eps_drift) {
+    Reset();
+    return DriftSignal::kDrift;
+  }
+  if (diff > eps_warn) return DriftSignal::kWarning;
+  return DriftSignal::kStable;
+}
+
+void HddmA::Reset() {
+  total_sum_ = 0.0;
+  total_n_ = 0.0;
+  min_sum_ = 0.0;
+  min_n_ = 0.0;
+  min_score_ = 1e100;
+}
+
+}  // namespace oebench

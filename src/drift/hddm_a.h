@@ -1,0 +1,39 @@
+#ifndef OEBENCH_DRIFT_HDDM_A_H_
+#define OEBENCH_DRIFT_HDDM_A_H_
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// HDDM_A — drift detection based on Hoeffding's inequality with moving
+/// averages (Frias-Blanco et al., 2014). Compares the minimum historical
+/// mean of the stream against the overall mean; an increase larger than
+/// the Hoeffding bound at confidence `drift_confidence` signals drift.
+/// Appendix Table 8 lists HDDM among the stream-capable data-drift
+/// detectors (1-D input); this adapter also serves error streams.
+class HddmA : public StreamErrorDetector {
+ public:
+  HddmA(double drift_confidence = 0.001, double warn_confidence = 0.005)
+      : drift_confidence_(drift_confidence),
+        warn_confidence_(warn_confidence) {}
+
+  DriftSignal Update(double error) override;
+  void Reset() override;
+  std::string name() const override { return "hddm_a"; }
+
+ private:
+  static double Bound(double n, double confidence);
+
+  double drift_confidence_;
+  double warn_confidence_;
+  double total_sum_ = 0.0;
+  double total_n_ = 0.0;
+  // Sub-stream up to the historical "best cut" point.
+  double min_sum_ = 0.0;
+  double min_n_ = 0.0;
+  double min_score_ = 1e100;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_HDDM_A_H_

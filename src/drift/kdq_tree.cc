@@ -1,0 +1,159 @@
+#include "drift/kdq_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+int32_t KdqTreeDetector::Build(
+    const Matrix& data, std::vector<int64_t>& indices,
+    std::vector<std::pair<double, double>>& bounds, int depth,
+    std::vector<KdqNode>* nodes) const {
+  int32_t self = static_cast<int32_t>(nodes->size());
+  nodes->emplace_back();
+  if (static_cast<int>(indices.size()) <= options_.min_points_per_cell ||
+      depth >= options_.max_depth) {
+    return self;  // leaf
+  }
+  int32_t dim = static_cast<int32_t>(depth % data.cols());
+  auto [lo, hi] = bounds[static_cast<size_t>(dim)];
+  if (hi - lo < 1e-12) return self;  // degenerate cell
+  double split = 0.5 * (lo + hi);
+
+  std::vector<int64_t> left_idx;
+  std::vector<int64_t> right_idx;
+  for (int64_t i : indices) {
+    if (data.At(i, dim) <= split) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  indices.clear();
+  indices.shrink_to_fit();
+
+  bounds[static_cast<size_t>(dim)] = {lo, split};
+  int32_t left = Build(data, left_idx, bounds, depth + 1, nodes);
+  bounds[static_cast<size_t>(dim)] = {split, hi};
+  int32_t right = Build(data, right_idx, bounds, depth + 1, nodes);
+  bounds[static_cast<size_t>(dim)] = {lo, hi};
+
+  KdqNode& node = (*nodes)[static_cast<size_t>(self)];
+  node.dim = dim;
+  node.split = split;
+  node.left = left;
+  node.right = right;
+  return self;
+}
+
+void KdqTreeDetector::CountLeaf(const std::vector<KdqNode>& nodes,
+                                const double* row, bool is_reference,
+                                std::vector<KdqNode>* mutable_nodes) const {
+  int32_t cur = 0;
+  while (nodes[static_cast<size_t>(cur)].dim >= 0) {
+    const KdqNode& node = nodes[static_cast<size_t>(cur)];
+    cur = row[node.dim] <= node.split ? node.left : node.right;
+  }
+  if (is_reference) {
+    ++(*mutable_nodes)[static_cast<size_t>(cur)].count_a;
+  } else {
+    ++(*mutable_nodes)[static_cast<size_t>(cur)].count_b;
+  }
+}
+
+double KdqTreeDetector::Divergence(const Matrix& reference,
+                                   const Matrix& test) {
+  const int64_t d = reference.cols();
+  std::vector<std::pair<double, double>> bounds(static_cast<size_t>(d));
+  for (int64_t f = 0; f < d; ++f) {
+    double lo = reference.At(0, f);
+    double hi = lo;
+    for (int64_t r = 0; r < reference.rows(); ++r) {
+      lo = std::min(lo, reference.At(r, f));
+      hi = std::max(hi, reference.At(r, f));
+    }
+    for (int64_t r = 0; r < test.rows(); ++r) {
+      lo = std::min(lo, test.At(r, f));
+      hi = std::max(hi, test.At(r, f));
+    }
+    bounds[static_cast<size_t>(f)] = {lo, hi};
+  }
+  std::vector<int64_t> indices(static_cast<size_t>(reference.rows()));
+  std::iota(indices.begin(), indices.end(), 0);
+  std::vector<KdqNode> nodes;
+  Build(reference, indices, bounds, 0, &nodes);
+
+  for (int64_t r = 0; r < reference.rows(); ++r) {
+    CountLeaf(nodes, reference.Row(r), true, &nodes);
+  }
+  for (int64_t r = 0; r < test.rows(); ++r) {
+    CountLeaf(nodes, test.Row(r), false, &nodes);
+  }
+
+  // KL divergence with additive smoothing over leaf cells.
+  double na = static_cast<double>(reference.rows());
+  double nb = static_cast<double>(test.rows());
+  int64_t leaves = 0;
+  for (const KdqNode& n : nodes) {
+    if (n.dim < 0) ++leaves;
+  }
+  double kl = 0.0;
+  const double eps = 0.5;
+  for (const KdqNode& n : nodes) {
+    if (n.dim >= 0) continue;
+    double pa = (static_cast<double>(n.count_a) + eps) /
+                (na + eps * static_cast<double>(leaves));
+    double pb = (static_cast<double>(n.count_b) + eps) /
+                (nb + eps * static_cast<double>(leaves));
+    kl += pa * std::log(pa / pb);
+  }
+  return kl;
+}
+
+DriftSignal KdqTreeDetector::Update(const Matrix& batch) {
+  OE_CHECK(batch.rows() > 0);
+  if (!has_reference_) {
+    reference_ = batch;
+    has_reference_ = true;
+    return DriftSignal::kStable;
+  }
+  last_divergence_ = Divergence(reference_, batch);
+
+  // Bootstrap threshold: random splits of the pooled sample give the null
+  // distribution of the divergence.
+  Matrix pooled = Matrix::VStack(reference_, batch);
+  const int64_t n_ref = reference_.rows();
+  std::vector<int64_t> order(static_cast<size_t>(pooled.rows()));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> null_divs;
+  null_divs.reserve(static_cast<size_t>(options_.num_bootstrap));
+  for (int b = 0; b < options_.num_bootstrap; ++b) {
+    rng_.Shuffle(&order);
+    std::vector<int64_t> first(order.begin(), order.begin() + n_ref);
+    std::vector<int64_t> second(order.begin() + n_ref, order.end());
+    null_divs.push_back(
+        Divergence(pooled.SelectRows(first), pooled.SelectRows(second)));
+  }
+  double critical = Quantile(null_divs, 1.0 - options_.alpha);
+  double warn = Quantile(null_divs, 1.0 - 2.0 * options_.alpha);
+
+  DriftSignal signal = DriftSignal::kStable;
+  if (last_divergence_ > critical) {
+    signal = DriftSignal::kDrift;
+  } else if (last_divergence_ > warn) {
+    signal = DriftSignal::kWarning;
+  }
+  reference_ = batch;
+  return signal;
+}
+
+void KdqTreeDetector::Reset() {
+  has_reference_ = false;
+  reference_ = Matrix();
+  last_divergence_ = 0.0;
+}
+
+}  // namespace oebench

@@ -1,0 +1,70 @@
+#ifndef OEBENCH_DRIFT_KDQ_TREE_H_
+#define OEBENCH_DRIFT_KDQ_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// kdq-tree change detector (Dasu, Krishnan, Venkatasubramanian & Yi,
+/// 2006). A kdq-tree recursively halves the space one dimension at a time
+/// (round-robin) until a cell holds few points or becomes tiny; the
+/// reference and test windows are then compared with the Kullback-Leibler
+/// divergence of their leaf-cell histograms. The drift threshold is
+/// calibrated by a bootstrap: the pooled data is repeatedly split at
+/// random and the (1 - alpha) quantile of the resulting divergences
+/// becomes the critical value.
+class KdqTreeDetector : public BatchDetectorND {
+ public:
+  struct Options {
+    int min_points_per_cell = 16;
+    int max_depth = 12;
+    int num_bootstrap = 24;
+    double alpha = 0.05;
+    uint64_t seed = 7;
+  };
+
+  KdqTreeDetector() : KdqTreeDetector(Options()) {}
+  explicit KdqTreeDetector(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  DriftSignal Update(const Matrix& batch) override;
+  void Reset() override;
+  std::string name() const override { return "kdq_tree"; }
+
+  double last_divergence() const { return last_divergence_; }
+
+ private:
+  struct KdqNode {
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t dim = -1;       // -1 marks a leaf
+    double split = 0.0;
+    int64_t count_a = 0;    // reference points in the cell
+    int64_t count_b = 0;    // test points in the cell
+  };
+
+  /// Builds a tree over `reference` and counts both samples in its leaves;
+  /// returns the KL divergence between the leaf histograms.
+  double Divergence(const Matrix& reference, const Matrix& test);
+
+  int32_t Build(const Matrix& data, std::vector<int64_t>& indices,
+                std::vector<std::pair<double, double>>& bounds, int depth,
+                std::vector<KdqNode>* nodes) const;
+  void CountLeaf(const std::vector<KdqNode>& nodes, const double* row,
+                 bool is_reference, std::vector<KdqNode>* mutable_nodes)
+      const;
+
+  Options options_;
+  Rng rng_;
+  Matrix reference_;
+  bool has_reference_ = false;
+  double last_divergence_ = 0.0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_KDQ_TREE_H_

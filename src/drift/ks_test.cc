@@ -1,0 +1,81 @@
+#include "drift/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oebench {
+
+const char* DriftSignalToString(DriftSignal signal) {
+  switch (signal) {
+    case DriftSignal::kStable:
+      return "stable";
+    case DriftSignal::kWarning:
+      return "warning";
+    case DriftSignal::kDrift:
+      return "drift";
+  }
+  return "?";
+}
+
+double KsStatistic(std::vector<double> a, std::vector<double> b) {
+  OE_CHECK(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t i = 0;
+  size_t j = 0;
+  double d = 0.0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  while (i < a.size() && j < b.size()) {
+    double v = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= v) ++i;
+    while (j < b.size() && b[j] <= v) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+double KsPValue(double statistic, int64_t n1, int64_t n2) {
+  double en = std::sqrt(static_cast<double>(n1) * static_cast<double>(n2) /
+                        static_cast<double>(n1 + n2));
+  // Kolmogorov asymptotic distribution with small-sample correction
+  // (same form scipy uses for mode="asymp").
+  double lambda = (en + 0.12 + 0.11 / en) * statistic;
+  if (lambda < 1e-3) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    double term = 2.0 * std::pow(-1.0, k - 1) *
+                  std::exp(-2.0 * k * k * lambda * lambda);
+    sum += term;
+    if (std::abs(term) < 1e-10) break;
+  }
+  return std::min(std::max(sum, 0.0), 1.0);
+}
+
+DriftSignal KsWindowDetector::Update(const std::vector<double>& batch) {
+  OE_CHECK(!batch.empty());
+  if (!has_reference_) {
+    reference_ = batch;
+    has_reference_ = true;
+    last_p_value_ = 1.0;
+    return DriftSignal::kStable;
+  }
+  double stat = KsStatistic(reference_, batch);
+  last_p_value_ = KsPValue(stat, static_cast<int64_t>(reference_.size()),
+                           static_cast<int64_t>(batch.size()));
+  reference_ = batch;
+  if (last_p_value_ < alpha_) return DriftSignal::kDrift;
+  if (last_p_value_ < 2.0 * alpha_) return DriftSignal::kWarning;
+  return DriftSignal::kStable;
+}
+
+void KsWindowDetector::Reset() {
+  reference_.clear();
+  has_reference_ = false;
+  last_p_value_ = 1.0;
+}
+
+}  // namespace oebench

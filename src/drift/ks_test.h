@@ -1,0 +1,41 @@
+#ifndef OEBENCH_DRIFT_KS_TEST_H_
+#define OEBENCH_DRIFT_KS_TEST_H_
+
+#include <vector>
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// Two-sample Kolmogorov-Smirnov statistic: the maximum distance between
+/// the empirical CDFs of `a` and `b`.
+double KsStatistic(std::vector<double> a, std::vector<double> b);
+
+/// Asymptotic two-sided p-value for the two-sample KS statistic
+/// (Kolmogorov distribution with the standard effective-n correction).
+double KsPValue(double statistic, int64_t n1, int64_t n2);
+
+/// Batch drift detector: flags drift when the KS test rejects equality of
+/// the previous and current window at significance `alpha` (the paper's
+/// default p = 0.05, §4.3). Warning at 2*alpha.
+class KsWindowDetector : public BatchDetector1D {
+ public:
+  explicit KsWindowDetector(double alpha = 0.05) : alpha_(alpha) {}
+
+  DriftSignal Update(const std::vector<double>& batch) override;
+  void Reset() override;
+  std::string name() const override { return "ks"; }
+
+  /// p-value of the last comparison (1.0 before two windows are seen).
+  double last_p_value() const { return last_p_value_; }
+
+ private:
+  double alpha_;
+  std::vector<double> reference_;
+  bool has_reference_ = false;
+  double last_p_value_ = 1.0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_KS_TEST_H_

@@ -1,0 +1,65 @@
+#include "drift/lfr.h"
+
+#include <cmath>
+
+namespace oebench {
+
+void Lfr::Reset() {
+  n_ = 0;
+  rates_ = {0.5, 0.5, 0.5, 0.5};
+  baseline_ = {0.5, 0.5, 0.5, 0.5};
+  counts_ = {0.0, 0.0, 0.0, 0.0};
+  consecutive_over_ = 0;
+}
+
+DriftSignal Lfr::Update(bool predicted, bool actual) {
+  ++n_;
+  // Which of the four rates does this observation inform, and was it a
+  // "success" for that rate?
+  // TPR: actual positive -> predicted positive.
+  // TNR: actual negative -> predicted negative.
+  // PPV: predicted positive -> actual positive.
+  // NPV: predicted negative -> actual negative.
+  struct Obs {
+    int rate;
+    bool success;
+    bool active;
+  };
+  Obs observations[4] = {
+      {0, predicted, actual},
+      {1, !predicted, !actual},
+      {2, actual, predicted},
+      {3, !actual, !predicted},
+  };
+  DriftSignal out = DriftSignal::kStable;
+  for (const Obs& obs : observations) {
+    if (!obs.active) continue;
+    size_t r = static_cast<size_t>(obs.rate);
+    counts_[r] += 1.0;
+    double x = obs.success ? 1.0 : 0.0;
+    rates_[r] = (1.0 - options_.eta) * rates_[r] + options_.eta * x;
+    baseline_[r] += (x - baseline_[r]) / counts_[r];
+    if (n_ < options_.min_samples || counts_[r] < 100.0) continue;
+    // EWMA steady-state sigma for a Bernoulli(baseline) stream, floored
+    // so a near-perfect classifier (variance -> 0) cannot alarm on
+    // rounding-level deviations during the estimate's transient.
+    double var = baseline_[r] * (1.0 - baseline_[r]) * options_.eta /
+                 (2.0 - options_.eta);
+    double sigma = std::sqrt(std::max(var, 2.5e-5));
+    double deviation = std::abs(rates_[r] - baseline_[r]);
+    if (deviation > options_.drift_sigma * sigma) {
+      ++consecutive_over_;
+      if (consecutive_over_ >= 3) {
+        Reset();
+        return DriftSignal::kDrift;
+      }
+      out = DriftSignal::kWarning;
+    } else if (deviation > options_.warn_sigma * sigma) {
+      out = DriftSignal::kWarning;
+    }
+  }
+  if (out == DriftSignal::kStable) consecutive_over_ = 0;
+  return out;
+}
+
+}  // namespace oebench

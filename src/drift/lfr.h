@@ -1,0 +1,51 @@
+#ifndef OEBENCH_DRIFT_LFR_H_
+#define OEBENCH_DRIFT_LFR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// LFR — Linear Four Rates (Wang & Abraham, 2015), from the paper's
+/// Appendix Table 8 (binary classification only). Tracks exponentially
+/// weighted estimates of the four confusion-matrix rates (TPR, TNR,
+/// PPV, NPV); a drift is signalled when any rate leaves its
+/// Hoeffding-style confidence band around the running baseline.
+class Lfr {
+ public:
+  struct Options {
+    /// EWMA time constant for the rate estimates.
+    double eta = 0.05;
+    /// Band width multipliers.
+    double warn_sigma = 2.0;
+    double drift_sigma = 3.0;
+    int min_samples = 50;
+  };
+
+  Lfr() : Lfr(Options()) {}
+  explicit Lfr(Options options) : options_(options) { Reset(); }
+
+  /// Consumes one (predicted, actual) binary pair.
+  DriftSignal Update(bool predicted, bool actual);
+
+  void Reset();
+  std::string name() const { return "lfr"; }
+
+  /// Current rate estimates, ordered TPR, TNR, PPV, NPV.
+  const std::array<double, 4>& rates() const { return rates_; }
+
+ private:
+  Options options_;
+  int64_t n_ = 0;
+  std::array<double, 4> rates_;      // EWMA estimates
+  std::array<double, 4> baseline_;   // long-run means
+  std::array<double, 4> counts_;     // denominators seen per rate
+  int consecutive_over_ = 0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_LFR_H_

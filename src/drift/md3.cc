@@ -1,0 +1,42 @@
+#include "drift/md3.h"
+
+#include <cmath>
+
+namespace oebench {
+
+DriftSignal Md3::Update(double decision_score) {
+  ++n_;
+  double in_margin =
+      std::abs(decision_score) < options_.margin_width ? 1.0 : 0.0;
+  density_ = n_ == 1 ? in_margin
+                     : (1.0 - options_.eta) * density_ +
+                           options_.eta * in_margin;
+  double delta = in_margin - baseline_;
+  baseline_ += delta / static_cast<double>(n_);
+  baseline_m2_ += delta * (in_margin - baseline_);
+  if (n_ < options_.min_samples) return DriftSignal::kStable;
+
+  // Sigma of the EWMA density around the Bernoulli(baseline) level.
+  double bernoulli_var = baseline_ * (1.0 - baseline_);
+  double sigma = std::sqrt(
+      std::max(bernoulli_var * options_.eta / (2.0 - options_.eta),
+               1e-12));
+  double deviation = density_ - baseline_;  // one-sided: density rises
+  if (deviation > options_.sigma_multiplier * sigma) {
+    Reset();
+    return DriftSignal::kDrift;
+  }
+  if (deviation > 0.66 * options_.sigma_multiplier * sigma) {
+    return DriftSignal::kWarning;
+  }
+  return DriftSignal::kStable;
+}
+
+void Md3::Reset() {
+  n_ = 0;
+  density_ = 0.0;
+  baseline_ = 0.0;
+  baseline_m2_ = 0.0;
+}
+
+}  // namespace oebench

@@ -1,0 +1,49 @@
+#ifndef OEBENCH_DRIFT_MD3_H_
+#define OEBENCH_DRIFT_MD3_H_
+
+#include <string>
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// MD3 — Margin Density Drift Detection (Sethi & Kantardzic, 2015), from
+/// the paper's Appendix Table 8. Unsupervised once the classifier is
+/// trained: it monitors the fraction of samples falling inside the
+/// classifier's margin (|score| below a threshold). A rise in margin
+/// density beyond `sigma_multiplier` standard deviations of its
+/// reference level signals drift without needing any labels.
+class Md3 {
+ public:
+  struct Options {
+    /// |decision score| below this counts as "inside the margin".
+    double margin_width = 0.5;
+    /// EWMA time constant for the density estimate.
+    double eta = 0.02;
+    double sigma_multiplier = 3.0;
+    int min_samples = 100;
+  };
+
+  Md3() : Md3(Options()) {}
+  explicit Md3(Options options) : options_(options) {}
+
+  /// Consumes one decision score (distance from the boundary; for
+  /// probabilistic classifiers use p(max class) - p(runner-up)).
+  DriftSignal Update(double decision_score);
+
+  void Reset();
+  std::string name() const { return "md3"; }
+
+  double density() const { return density_; }
+
+ private:
+  Options options_;
+  int64_t n_ = 0;
+  double density_ = 0.0;       // EWMA margin density
+  double baseline_ = 0.0;      // long-run mean density
+  double baseline_m2_ = 0.0;   // Welford accumulator of density samples
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_MD3_H_

@@ -1,0 +1,29 @@
+#include "drift/page_hinkley.h"
+
+#include <algorithm>
+
+namespace oebench {
+
+DriftSignal PageHinkley::Update(double error) {
+  ++n_;
+  mean_ += (error - mean_) / static_cast<double>(n_);
+  cum_ += error - mean_ - delta_;
+  min_cum_ = std::min(min_cum_, cum_);
+  if (n_ < min_samples_) return DriftSignal::kStable;
+  double stat = cum_ - min_cum_;
+  if (stat > lambda_) {
+    Reset();
+    return DriftSignal::kDrift;
+  }
+  if (stat > 0.5 * lambda_) return DriftSignal::kWarning;
+  return DriftSignal::kStable;
+}
+
+void PageHinkley::Reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  cum_ = 0.0;
+  min_cum_ = 0.0;
+}
+
+}  // namespace oebench

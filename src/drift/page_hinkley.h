@@ -1,0 +1,35 @@
+#ifndef OEBENCH_DRIFT_PAGE_HINKLEY_H_
+#define OEBENCH_DRIFT_PAGE_HINKLEY_H_
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// Page-Hinkley test on a loss/error stream (extension detector from the
+/// paper's Appendix A.2 family of sequential tests). Accumulates the
+/// deviation of each observation above the running mean minus an
+/// admissible slack `delta`; alarms when the cumulative deviation exceeds
+/// `lambda` above its historical minimum.
+class PageHinkley : public StreamErrorDetector {
+ public:
+  PageHinkley(double delta = 0.005, double lambda = 50.0,
+              int min_samples = 30)
+      : delta_(delta), lambda_(lambda), min_samples_(min_samples) {}
+
+  DriftSignal Update(double error) override;
+  void Reset() override;
+  std::string name() const override { return "page_hinkley"; }
+
+ private:
+  double delta_;
+  double lambda_;
+  int min_samples_;
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double cum_ = 0.0;
+  double min_cum_ = 0.0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_PAGE_HINKLEY_H_

@@ -1,0 +1,98 @@
+#include "drift/pca_cd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oebench {
+
+double PcaCd::ComponentDivergence(const std::vector<double>& a,
+                                  const std::vector<double>& b) const {
+  double lo = a[0];
+  double hi = a[0];
+  for (double v : a) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : b) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) return 0.0;
+  const int64_t bins = options_.num_bins;
+  double width = (hi - lo) / static_cast<double>(bins);
+  std::vector<double> ha(static_cast<size_t>(bins), 0.0);
+  std::vector<double> hb(static_cast<size_t>(bins), 0.0);
+  auto bin_of = [&](double v) {
+    int64_t idx = static_cast<int64_t>((v - lo) / width);
+    return std::min(idx, bins - 1);
+  };
+  for (double v : a) ha[static_cast<size_t>(bin_of(v))] += 1.0;
+  for (double v : b) hb[static_cast<size_t>(bin_of(v))] += 1.0;
+  const double eps = 0.5;
+  double na = static_cast<double>(a.size()) + eps * bins;
+  double nb = static_cast<double>(b.size()) + eps * bins;
+  double kl = 0.0;
+  for (int64_t k = 0; k < bins; ++k) {
+    double pa = (ha[static_cast<size_t>(k)] + eps) / na;
+    double pb = (hb[static_cast<size_t>(k)] + eps) / nb;
+    kl += pa * std::log(pa / pb);
+  }
+  return kl;
+}
+
+DriftSignal PcaCd::Update(const Matrix& batch) {
+  OE_CHECK(batch.rows() > 0);
+  if (!has_reference_) {
+    reference_ = batch;
+    has_reference_ = true;
+    Status st = pca_.Fit(reference_, options_.num_components);
+    OE_CHECK(st.ok()) << st.ToString();
+    return DriftSignal::kStable;
+  }
+  Matrix ref_proj = pca_.Transform(reference_);
+  Matrix test_proj = pca_.Transform(batch);
+  double max_div = 0.0;
+  for (int64_t c = 0; c < ref_proj.cols(); ++c) {
+    max_div = std::max(
+        max_div, ComponentDivergence(ref_proj.ColVector(c),
+                                     test_proj.ColVector(c)));
+  }
+  last_divergence_ = max_div;
+
+  // Page-Hinkley on the divergence stream: alarms when the cumulative
+  // positive deviation from the running mean exceeds lambda.
+  ++ph_count_;
+  ph_mean_ += (max_div - ph_mean_) / static_cast<double>(ph_count_);
+  ph_sum_ += max_div - ph_mean_ - options_.ph_delta;
+  ph_min_ = std::min(ph_min_, ph_sum_);
+  double ph_stat = ph_sum_ - ph_min_;
+
+  DriftSignal signal = DriftSignal::kStable;
+  if (ph_stat > options_.ph_lambda) {
+    signal = DriftSignal::kDrift;
+    // Re-anchor on the new distribution.
+    reference_ = batch;
+    Status st = pca_.Fit(reference_, options_.num_components);
+    OE_CHECK(st.ok()) << st.ToString();
+    ph_sum_ = 0.0;
+    ph_min_ = 0.0;
+    ph_mean_ = 0.0;
+    ph_count_ = 0;
+  } else if (ph_stat > 0.5 * options_.ph_lambda) {
+    signal = DriftSignal::kWarning;
+  }
+  return signal;
+}
+
+void PcaCd::Reset() {
+  has_reference_ = false;
+  reference_ = Matrix();
+  pca_ = Pca();
+  last_divergence_ = 0.0;
+  ph_sum_ = 0.0;
+  ph_min_ = 0.0;
+  ph_mean_ = 0.0;
+  ph_count_ = 0;
+}
+
+}  // namespace oebench

@@ -1,0 +1,55 @@
+#ifndef OEBENCH_DRIFT_PCA_CD_H_
+#define OEBENCH_DRIFT_PCA_CD_H_
+
+#include <vector>
+
+#include "drift/detector.h"
+#include "linalg/pca.h"
+
+namespace oebench {
+
+/// PCA-based Change Detection (Qahtan, Alharbi, Wang & Zhang, 2015).
+/// Fits PCA on the reference window (the paper's pipeline keeps the first
+/// two principal components, §4.3), projects reference and test windows
+/// onto each component, estimates the per-component densities with
+/// histograms and compares them with KL divergence. The maximum
+/// per-component divergence feeds a Page-Hinkley style cumulative test.
+class PcaCd : public BatchDetectorND {
+ public:
+  struct Options {
+    int num_components = 2;
+    int num_bins = 32;
+    /// Page-Hinkley admissible deviation.
+    double ph_delta = 0.005;
+    /// Page-Hinkley alarm threshold.
+    double ph_lambda = 0.2;
+  };
+
+  PcaCd() : PcaCd(Options()) {}
+  explicit PcaCd(Options options) : options_(options) {}
+
+  DriftSignal Update(const Matrix& batch) override;
+  void Reset() override;
+  std::string name() const override { return "pca_cd"; }
+
+  double last_divergence() const { return last_divergence_; }
+
+ private:
+  double ComponentDivergence(const std::vector<double>& a,
+                             const std::vector<double>& b) const;
+
+  Options options_;
+  Pca pca_;
+  Matrix reference_;
+  bool has_reference_ = false;
+  double last_divergence_ = 0.0;
+  // Page-Hinkley state over the divergence stream.
+  double ph_sum_ = 0.0;
+  double ph_min_ = 0.0;
+  double ph_mean_ = 0.0;
+  int64_t ph_count_ = 0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_PCA_CD_H_

@@ -1,0 +1,91 @@
+#include "drift/perm.h"
+
+#include <numeric>
+
+#include "models/linear_model.h"
+#include "models/naive_bayes.h"
+
+namespace oebench {
+
+DriftSignal PermDetector::Update(const Matrix& x,
+                                 const std::vector<double>& y) {
+  OE_CHECK(x.rows() == static_cast<int64_t>(y.size()));
+  OE_CHECK(x.rows() > 0);
+  if (!has_prev_) {
+    prev_x_ = x;
+    prev_y_ = y;
+    has_prev_ = true;
+    last_p_value_ = 1.0;
+    return DriftSignal::kStable;
+  }
+
+  double ordered_loss = train_eval_(prev_x_, prev_y_, x, y);
+
+  // Pool the two windows and evaluate random train/test splits of the
+  // same sizes.
+  Matrix pooled_x = Matrix::VStack(prev_x_, x);
+  std::vector<double> pooled_y = prev_y_;
+  pooled_y.insert(pooled_y.end(), y.begin(), y.end());
+  const int64_t n_train = prev_x_.rows();
+  std::vector<int64_t> order(static_cast<size_t>(pooled_x.rows()));
+  std::iota(order.begin(), order.end(), 0);
+
+  int greater_or_equal = 0;
+  for (int p = 0; p < options_.num_permutations; ++p) {
+    rng_.Shuffle(&order);
+    std::vector<int64_t> train_idx(order.begin(), order.begin() + n_train);
+    std::vector<int64_t> test_idx(order.begin() + n_train, order.end());
+    std::vector<double> train_y;
+    std::vector<double> test_y;
+    train_y.reserve(train_idx.size());
+    test_y.reserve(test_idx.size());
+    for (int64_t i : train_idx) {
+      train_y.push_back(pooled_y[static_cast<size_t>(i)]);
+    }
+    for (int64_t i : test_idx) {
+      test_y.push_back(pooled_y[static_cast<size_t>(i)]);
+    }
+    double loss = train_eval_(pooled_x.SelectRows(train_idx), train_y,
+                              pooled_x.SelectRows(test_idx), test_y);
+    if (loss >= ordered_loss) ++greater_or_equal;
+  }
+  last_p_value_ = (static_cast<double>(greater_or_equal) + 1.0) /
+                  (static_cast<double>(options_.num_permutations) + 1.0);
+
+  prev_x_ = x;
+  prev_y_ = y;
+  if (last_p_value_ < options_.alpha) return DriftSignal::kDrift;
+  if (last_p_value_ < 2.0 * options_.alpha) return DriftSignal::kWarning;
+  return DriftSignal::kStable;
+}
+
+void PermDetector::Reset() {
+  has_prev_ = false;
+  prev_x_ = Matrix();
+  prev_y_.clear();
+  last_p_value_ = 1.0;
+}
+
+PermDetector::TrainEvalFn PermDetector::LinearRegressionEval() {
+  return [](const Matrix& train_x, const std::vector<double>& train_y,
+            const Matrix& test_x, const std::vector<double>& test_y) {
+    LinearRegression model(1e-3);
+    Status st = model.Fit(train_x, train_y);
+    OE_CHECK(st.ok()) << st.ToString();
+    return model.EvaluateMse(test_x, test_y);
+  };
+}
+
+PermDetector::TrainEvalFn PermDetector::GaussianNbEval(int num_classes) {
+  return [num_classes](const Matrix& train_x,
+                       const std::vector<double>& train_y,
+                       const Matrix& test_x,
+                       const std::vector<double>& test_y) {
+    GaussianNb model(num_classes);
+    Status st = model.Fit(train_x, train_y);
+    OE_CHECK(st.ok()) << st.ToString();
+    return model.EvaluateErrorRate(test_x, test_y);
+  };
+}
+
+}  // namespace oebench

@@ -1,0 +1,79 @@
+#include "drift/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oebench {
+
+double WilcoxonZScore(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  OE_CHECK(!a.empty() && !b.empty());
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+
+  // Pool, sort, assign mid-ranks to ties.
+  struct Item {
+    double value;
+    bool from_a;
+  };
+  std::vector<Item> pooled;
+  pooled.reserve(a.size() + b.size());
+  for (double v : a) pooled.push_back({v, true});
+  for (double v : b) pooled.push_back({v, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Item& x, const Item& y) { return x.value < y.value; });
+
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;  // sum of t^3 - t over tie groups
+  size_t i = 0;
+  while (i < pooled.size()) {
+    size_t j = i;
+    while (j < pooled.size() && pooled[j].value == pooled[i].value) ++j;
+    double mid_rank =
+        0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    double t = static_cast<double>(j - i);
+    if (t > 1.0) tie_term += t * t * t - t;
+    for (size_t k = i; k < j; ++k) {
+      if (pooled[k].from_a) rank_sum_a += mid_rank;
+    }
+    i = j;
+  }
+
+  double n = n1 + n2;
+  double mean = n1 * (n + 1.0) / 2.0;
+  double variance =
+      n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (variance <= 0.0) return 0.0;  // all values tied
+  return (rank_sum_a - mean) / std::sqrt(variance);
+}
+
+double WilcoxonPValue(double z_score) {
+  // Two-sided normal tail via erfc.
+  return std::erfc(std::abs(z_score) / std::sqrt(2.0));
+}
+
+DriftSignal WilcoxonWindowDetector::Update(
+    const std::vector<double>& batch) {
+  OE_CHECK(!batch.empty());
+  if (!has_reference_) {
+    reference_ = batch;
+    has_reference_ = true;
+    last_p_value_ = 1.0;
+    return DriftSignal::kStable;
+  }
+  last_p_value_ = WilcoxonPValue(WilcoxonZScore(reference_, batch));
+  reference_ = batch;
+  if (last_p_value_ < alpha_) return DriftSignal::kDrift;
+  if (last_p_value_ < 2.0 * alpha_) return DriftSignal::kWarning;
+  return DriftSignal::kStable;
+}
+
+void WilcoxonWindowDetector::Reset() {
+  reference_.clear();
+  has_reference_ = false;
+  last_p_value_ = 1.0;
+}
+
+}  // namespace oebench

@@ -1,0 +1,45 @@
+#ifndef OEBENCH_DRIFT_WILCOXON_H_
+#define OEBENCH_DRIFT_WILCOXON_H_
+
+#include <vector>
+
+#include "drift/detector.h"
+
+namespace oebench {
+
+/// Two-sample Wilcoxon–Mann–Whitney rank-sum statistic. Appendix A.2
+/// names it (with the KS test and KL divergence) among the hypothesis
+/// tests drift detection builds on. Returns the z-score of the rank sum
+/// of `a` under the null that both samples share a distribution, with
+/// tie correction; |z| large means the location shifted.
+double WilcoxonZScore(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+/// Two-sided asymptotic p-value for the rank-sum z-score.
+double WilcoxonPValue(double z_score);
+
+/// Batch drift detector: flags drift when the rank-sum test rejects
+/// equality of the previous and current window at significance `alpha`
+/// (warning at 2*alpha), mirroring KsWindowDetector's protocol. More
+/// sensitive than KS to pure location shifts, insensitive to
+/// scale-only changes — a complementary instrument.
+class WilcoxonWindowDetector : public BatchDetector1D {
+ public:
+  explicit WilcoxonWindowDetector(double alpha = 0.05) : alpha_(alpha) {}
+
+  DriftSignal Update(const std::vector<double>& batch) override;
+  void Reset() override;
+  std::string name() const override { return "wilcoxon"; }
+
+  double last_p_value() const { return last_p_value_; }
+
+ private:
+  double alpha_;
+  std::vector<double> reference_;
+  bool has_reference_ = false;
+  double last_p_value_ = 1.0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_DRIFT_WILCOXON_H_

@@ -1,0 +1,128 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace oebench {
+
+EigenDecomposition SymmetricEigen(const Matrix& a_in, int max_sweeps,
+                                  double tol) {
+  OE_CHECK(a_in.rows() == a_in.cols()) << "matrix must be square";
+  const int64_t n = a_in.rows();
+  Matrix a = a_in;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diag_norm = [&a, n]() {
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) sum += a.At(i, j) * a.At(i, j);
+    }
+    return std::sqrt(sum);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() < tol) break;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double apq = a.At(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double app = a.At(p, p);
+        double aqq = a.At(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        // Apply the rotation to A on both sides.
+        for (int64_t k = 0; k < n; ++k) {
+          double akp = a.At(k, p);
+          double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double apk = a.At(p, k);
+          double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (int64_t k = 0; k < n; ++k) {
+          double vkp = v.At(k, p);
+          double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by descending eigenvalue, permuting eigenvector columns to match.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&a](int64_t i, int64_t j) {
+    return a.At(i, i) > a.At(j, j);
+  });
+
+  EigenDecomposition out;
+  out.values.resize(static_cast<size_t>(n));
+  out.vectors = Matrix(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t src = order[static_cast<size_t>(i)];
+    out.values[static_cast<size_t>(i)] = a.At(src, src);
+    for (int64_t k = 0; k < n; ++k) out.vectors.At(k, i) = v.At(k, src);
+  }
+  return out;
+}
+
+std::vector<double> SolveLinearSystem(Matrix a, std::vector<double> b,
+                                      double pivot_tol) {
+  const int64_t n = a.rows();
+  OE_CHECK(a.cols() == n);
+  OE_CHECK(static_cast<int64_t>(b.size()) == n);
+
+  for (int64_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    int64_t pivot = col;
+    double best = std::abs(a.At(col, col));
+    for (int64_t r = col + 1; r < n; ++r) {
+      double v = std::abs(a.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < pivot_tol) {
+      return std::vector<double>(static_cast<size_t>(n), 0.0);
+    }
+    if (pivot != col) {
+      for (int64_t c = 0; c < n; ++c) {
+        std::swap(a.At(pivot, c), a.At(col, c));
+      }
+      std::swap(b[static_cast<size_t>(pivot)], b[static_cast<size_t>(col)]);
+    }
+    double inv = 1.0 / a.At(col, col);
+    for (int64_t r = col + 1; r < n; ++r) {
+      double factor = a.At(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (int64_t c = col; c < n; ++c) {
+        a.At(r, c) -= factor * a.At(col, c);
+      }
+      b[static_cast<size_t>(r)] -= factor * b[static_cast<size_t>(col)];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  for (int64_t r = n - 1; r >= 0; --r) {
+    double sum = b[static_cast<size_t>(r)];
+    for (int64_t c = r + 1; c < n; ++c) {
+      sum -= a.At(r, c) * x[static_cast<size_t>(c)];
+    }
+    x[static_cast<size_t>(r)] = sum / a.At(r, r);
+  }
+  return x;
+}
+
+}  // namespace oebench

@@ -1,0 +1,35 @@
+#ifndef OEBENCH_LINALG_EIGEN_H_
+#define OEBENCH_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// Eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> values;
+  /// Column i of `vectors` is the unit eigenvector for values[i].
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigensolver for real symmetric matrices. Sufficient for the
+/// covariance matrices PCA sees here (dimension <= a few hundred).
+/// `a` must be square and symmetric; asymmetry beyond round-off is a
+/// programming error.
+EigenDecomposition SymmetricEigen(const Matrix& a, int max_sweeps = 64,
+                                  double tol = 1e-12);
+
+/// Solves the linear system a x = b by Gaussian elimination with partial
+/// pivoting (a is consumed by value). Returns the zero vector when the
+/// system is singular beyond `pivot_tol` (callers here — ridge solvers —
+/// always add l2 > 0 to the diagonal, so this is a degenerate-input escape
+/// hatch, not an expected path).
+std::vector<double> SolveLinearSystem(Matrix a, std::vector<double> b,
+                                      double pivot_tol = 1e-12);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_LINALG_EIGEN_H_

@@ -1,0 +1,204 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace oebench {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int64_t>(rows.size()),
+           static_cast<int64_t>(rows[0].size()));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    OE_CHECK(rows[r].size() == rows[0].size()) << "ragged rows";
+    std::memcpy(m.Row(static_cast<int64_t>(r)), rows[r].data(),
+                rows[r].size() * sizeof(double));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::RowVector(int64_t r) const {
+  return std::vector<double>(Row(r), Row(r) + cols_);
+}
+
+std::vector<double> Matrix::ColVector(int64_t c) const {
+  std::vector<double> out(static_cast<size_t>(rows_));
+  for (int64_t r = 0; r < rows_; ++r) out[static_cast<size_t>(r)] = At(r, c);
+  return out;
+}
+
+void Matrix::SetRow(int64_t r, const std::vector<double>& values) {
+  OE_CHECK(static_cast<int64_t>(values.size()) == cols_);
+  std::memcpy(Row(r), values.data(), values.size() * sizeof(double));
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  OE_CHECK(cols_ == other.rows_)
+      << "matmul shape mismatch: " << rows_ << "x" << cols_ << " * "
+      << other.rows_ << "x" << other.cols_;
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both operands.
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    double* o_row = out.Row(i);
+    for (int64_t k = 0; k < cols_; ++k) {
+      double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.Row(k);
+      for (int64_t j = 0; j < other.cols_; ++j) {
+        o_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      out.At(c, r) = At(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  OE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  out.AddInPlace(other, 1.0);
+  return out;
+}
+
+Matrix Matrix::Sub(const Matrix& other) const {
+  OE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  out.AddInPlace(other, -1.0);
+  return out;
+}
+
+Matrix Matrix::Scale(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other, double s) {
+  OE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+std::vector<double> Matrix::ColumnMeans() const {
+  std::vector<double> mean(static_cast<size_t>(cols_), 0.0);
+  std::vector<int64_t> count(static_cast<size_t>(cols_), 0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    for (int64_t c = 0; c < cols_; ++c) {
+      if (!std::isnan(row[c])) {
+        mean[static_cast<size_t>(c)] += row[c];
+        ++count[static_cast<size_t>(c)];
+      }
+    }
+  }
+  for (int64_t c = 0; c < cols_; ++c) {
+    size_t i = static_cast<size_t>(c);
+    mean[i] = count[i] > 0 ? mean[i] / static_cast<double>(count[i]) : 0.0;
+  }
+  return mean;
+}
+
+std::vector<double> Matrix::ColumnStdDevs() const {
+  std::vector<double> mean = ColumnMeans();
+  std::vector<double> var(static_cast<size_t>(cols_), 0.0);
+  std::vector<int64_t> count(static_cast<size_t>(cols_), 0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    for (int64_t c = 0; c < cols_; ++c) {
+      if (!std::isnan(row[c])) {
+        double d = row[c] - mean[static_cast<size_t>(c)];
+        var[static_cast<size_t>(c)] += d * d;
+        ++count[static_cast<size_t>(c)];
+      }
+    }
+  }
+  for (int64_t c = 0; c < cols_; ++c) {
+    size_t i = static_cast<size_t>(c);
+    var[i] = count[i] > 0 ? std::sqrt(var[i] / static_cast<double>(count[i]))
+                          : 0.0;
+  }
+  return var;
+}
+
+Matrix Matrix::SelectRows(const std::vector<int64_t>& indices) const {
+  Matrix out(static_cast<int64_t>(indices.size()), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    OE_CHECK(indices[i] >= 0 && indices[i] < rows_);
+    std::memcpy(out.Row(static_cast<int64_t>(i)), Row(indices[i]),
+                static_cast<size_t>(cols_) * sizeof(double));
+  }
+  return out;
+}
+
+Matrix Matrix::SelectCols(const std::vector<int64_t>& indices) const {
+  Matrix out(rows_, static_cast<int64_t>(indices.size()));
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (size_t i = 0; i < indices.size(); ++i) {
+      OE_CHECK(indices[i] >= 0 && indices[i] < cols_);
+      out.At(r, static_cast<int64_t>(i)) = At(r, indices[i]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Slice(int64_t begin, int64_t end) const {
+  OE_CHECK(begin >= 0 && begin <= end && end <= rows_);
+  Matrix out(end - begin, cols_);
+  if (end > begin) {
+    std::memcpy(out.Row(0), Row(begin),
+                static_cast<size_t>((end - begin) * cols_) * sizeof(double));
+  }
+  return out;
+}
+
+Matrix Matrix::VStack(const Matrix& top, const Matrix& bottom) {
+  if (top.rows() == 0) return bottom;
+  if (bottom.rows() == 0) return top;
+  OE_CHECK(top.cols() == bottom.cols());
+  Matrix out(top.rows() + bottom.rows(), top.cols());
+  std::memcpy(out.Row(0), top.data().data(),
+              top.data().size() * sizeof(double));
+  std::memcpy(out.Row(top.rows()), bottom.data().data(),
+              bottom.data().size() * sizeof(double));
+  return out;
+}
+
+std::string Matrix::ToString(int max_rows) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " matrix\n";
+  int64_t shown = std::min<int64_t>(rows_, max_rows);
+  for (int64_t r = 0; r < shown; ++r) {
+    os << "  [";
+    for (int64_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << At(r, c);
+    }
+    os << "]\n";
+  }
+  if (shown < rows_) os << "  ...\n";
+  return os.str();
+}
+
+}  // namespace oebench

@@ -1,0 +1,109 @@
+#ifndef OEBENCH_LINALG_MATRIX_H_
+#define OEBENCH_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace oebench {
+
+/// Dense row-major matrix of doubles. This is the numeric workhorse for
+/// the MLP, PCA, drift detectors and clustering. It is intentionally a
+/// plain value type: copyable, movable, no views — the sizes in this
+/// benchmark (thousands of rows, tens of columns) do not warrant more.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  /// Creates a rows x cols matrix initialised to `fill`.
+  Matrix(int64_t rows, int64_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), fill) {
+    OE_CHECK(rows >= 0 && cols >= 0);
+  }
+  /// Creates a matrix from nested initialiser data (row major). All rows
+  /// must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  double& At(int64_t r, int64_t c) {
+    OE_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+        << "(" << r << "," << c << ") in " << rows_ << "x" << cols_;
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double At(int64_t r, int64_t c) const {
+    OE_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+        << "(" << r << "," << c << ") in " << rows_ << "x" << cols_;
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Raw row pointer (row-major layout).
+  double* Row(int64_t r) { return data_.data() + r * cols_; }
+  const double* Row(int64_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row r into a vector.
+  std::vector<double> RowVector(int64_t r) const;
+  /// Copies column c into a vector.
+  std::vector<double> ColVector(int64_t c) const;
+  /// Overwrites row r with `values` (must have cols() entries).
+  void SetRow(int64_t r, const std::vector<double>& values);
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Matrix product this * other. Requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+  /// Transpose.
+  Matrix Transposed() const;
+  /// Element-wise addition; shapes must match.
+  Matrix Add(const Matrix& other) const;
+  /// Element-wise subtraction; shapes must match.
+  Matrix Sub(const Matrix& other) const;
+  /// Scalar multiplication.
+  Matrix Scale(double s) const;
+
+  /// In-place += s * other (AXPY). Shapes must match.
+  void AddInPlace(const Matrix& other, double s = 1.0);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Per-column means. NaNs are skipped (columns that are all-NaN yield 0).
+  std::vector<double> ColumnMeans() const;
+  /// Per-column standard deviations (population, NaN-skipping).
+  std::vector<double> ColumnStdDevs() const;
+
+  /// Returns a matrix consisting of the given rows (indices may repeat).
+  Matrix SelectRows(const std::vector<int64_t>& indices) const;
+  /// Returns a matrix consisting of the given columns.
+  Matrix SelectCols(const std::vector<int64_t>& indices) const;
+
+  /// Returns rows [begin, end) as a new matrix.
+  Matrix Slice(int64_t begin, int64_t end) const;
+
+  /// Stacks `top` above `bottom` (column counts must match).
+  static Matrix VStack(const Matrix& top, const Matrix& bottom);
+
+  std::string ToString(int max_rows = 8) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_LINALG_MATRIX_H_

@@ -1,0 +1,75 @@
+#include "linalg/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace oebench {
+
+Status Pca::Fit(const Matrix& data, int n_components) {
+  if (data.rows() < 2) {
+    return Status::InvalidArgument("PCA needs at least 2 rows");
+  }
+  if (n_components < 1) {
+    return Status::InvalidArgument("PCA needs n_components >= 1");
+  }
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  const int64_t k = std::min<int64_t>(n_components, d);
+
+  mean_ = data.ColumnMeans();
+
+  // Covariance matrix (population normalisation, matching sklearn's n-1 is
+  // irrelevant for eigenvector directions; we use n-1 for variance ratios).
+  Matrix cov(d, d);
+  for (int64_t r = 0; r < n; ++r) {
+    const double* row = data.Row(r);
+    for (int64_t i = 0; i < d; ++i) {
+      double di = row[i] - mean_[static_cast<size_t>(i)];
+      for (int64_t j = i; j < d; ++j) {
+        cov.At(i, j) += di * (row[j] - mean_[static_cast<size_t>(j)]);
+      }
+    }
+  }
+  double denom = static_cast<double>(n - 1);
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = i; j < d; ++j) {
+      cov.At(i, j) /= denom;
+      cov.At(j, i) = cov.At(i, j);
+    }
+  }
+
+  EigenDecomposition eig = SymmetricEigen(cov);
+
+  double total_var = 0.0;
+  for (double v : eig.values) total_var += std::max(v, 0.0);
+  if (total_var <= 0.0) total_var = 1.0;
+
+  components_ = Matrix(d, k);
+  explained_variance_ratio_.resize(static_cast<size_t>(k));
+  for (int64_t c = 0; c < k; ++c) {
+    for (int64_t r = 0; r < d; ++r) {
+      components_.At(r, c) = eig.vectors.At(r, c);
+    }
+    explained_variance_ratio_[static_cast<size_t>(c)] =
+        std::max(eig.values[static_cast<size_t>(c)], 0.0) / total_var;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Matrix Pca::Transform(const Matrix& data) const {
+  OE_CHECK(fitted_) << "Pca::Transform before Fit";
+  OE_CHECK(data.cols() == components_.rows());
+  Matrix centered = data;
+  for (int64_t r = 0; r < centered.rows(); ++r) {
+    double* row = centered.Row(r);
+    for (int64_t c = 0; c < centered.cols(); ++c) {
+      row[c] -= mean_[static_cast<size_t>(c)];
+    }
+  }
+  return centered.MatMul(components_);
+}
+
+}  // namespace oebench

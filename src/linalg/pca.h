@@ -1,0 +1,45 @@
+#ifndef OEBENCH_LINALG_PCA_H_
+#define OEBENCH_LINALG_PCA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// Principal component analysis over rows of a matrix. Centres the data,
+/// eigendecomposes the covariance matrix, and projects onto the top
+/// components. Used by (a) the PCA-CD drift detector (2 components) and
+/// (b) the representative-dataset selection pipeline (3 components per
+/// statistic facet), matching the paper's §4.3-§4.4.
+class Pca {
+ public:
+  /// Fits `n_components` principal components to the rows of `data`.
+  /// NaNs must have been imputed beforehand. n_components is clamped to
+  /// the data dimensionality.
+  Status Fit(const Matrix& data, int n_components);
+
+  /// Projects rows of `data` (same dimensionality as the training data)
+  /// onto the fitted components. Must be called after Fit.
+  Matrix Transform(const Matrix& data) const;
+
+  /// Fraction of total variance captured by each fitted component.
+  const std::vector<double>& explained_variance_ratio() const {
+    return explained_variance_ratio_;
+  }
+  /// Component matrix, one component per column (d x k).
+  const Matrix& components() const { return components_; }
+  const std::vector<double>& mean() const { return mean_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  bool fitted_ = false;
+  std::vector<double> mean_;
+  Matrix components_;  // d x k
+  std::vector<double> explained_variance_ratio_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_LINALG_PCA_H_

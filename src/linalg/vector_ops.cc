@@ -1,0 +1,95 @@
+#include "linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace oebench {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  OE_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  OE_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double NanEuclideanDistance(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  OE_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
+    double d = a[i] - b[i];
+    sum += d * d;
+    ++used;
+  }
+  if (used == 0) return std::numeric_limits<double>::infinity();
+  double scale = static_cast<double>(a.size()) / static_cast<double>(used);
+  return std::sqrt(scale * sum);
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 1) return 0.0;
+  double m = Mean(v);
+  double sum = 0.0;
+  for (double x : v) {
+    double d = x - m;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
+  OE_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+void SoftmaxInPlace(std::vector<double>* logits) {
+  if (logits->empty()) return;
+  double mx = *std::max_element(logits->begin(), logits->end());
+  double sum = 0.0;
+  for (double& v : *logits) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (double& v : *logits) v /= sum;
+}
+
+int ArgMax(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  return static_cast<int>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace oebench

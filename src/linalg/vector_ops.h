@@ -1,0 +1,46 @@
+#ifndef OEBENCH_LINALG_VECTOR_OPS_H_
+#define OEBENCH_LINALG_VECTOR_OPS_H_
+
+#include <vector>
+
+namespace oebench {
+
+/// Dot product; sizes must match.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double Norm(const std::vector<double>& v);
+
+/// Squared Euclidean distance between two points of equal dimension.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Euclidean distance that skips coordinates where either value is NaN and
+/// rescales by the fraction of usable coordinates (scikit-learn's
+/// "nan_euclidean" used by KNNImputer). Returns +inf when no coordinate is
+/// usable.
+double NanEuclideanDistance(const std::vector<double>& a,
+                            const std::vector<double>& b);
+
+/// Arithmetic mean; returns 0 for empty input.
+double Mean(const std::vector<double>& v);
+
+/// Population variance; returns 0 for inputs of size < 1.
+double Variance(const std::vector<double>& v);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& v);
+
+/// q-th quantile (0 <= q <= 1) with linear interpolation; input need not be
+/// sorted. Returns NaN for empty input.
+double Quantile(std::vector<double> v, double q);
+
+/// In-place softmax (numerically stabilised by max subtraction).
+void SoftmaxInPlace(std::vector<double>* logits);
+
+/// Index of the maximum element; 0 for empty input.
+int ArgMax(const std::vector<double>& v);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_LINALG_VECTOR_OPS_H_

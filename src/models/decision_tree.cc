@@ -1,0 +1,313 @@
+#include "models/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+namespace {
+
+/// Weighted impurity bookkeeping for one side of a candidate split.
+struct SplitStats {
+  // Classification.
+  std::vector<double> class_weight;
+  // Regression.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double weight = 0.0;
+
+  void Add(double y, double w, bool classification) {
+    weight += w;
+    if (classification) {
+      class_weight[static_cast<size_t>(y)] += w;
+    } else {
+      sum += w * y;
+      sum_sq += w * y * y;
+    }
+  }
+  void Remove(double y, double w, bool classification) {
+    weight -= w;
+    if (classification) {
+      class_weight[static_cast<size_t>(y)] -= w;
+    } else {
+      sum -= w * y;
+      sum_sq -= w * y * y;
+    }
+  }
+  /// Gini impurity (classification) or SSE (regression), both weighted.
+  double Impurity(bool classification) const {
+    if (weight <= 0.0) return 0.0;
+    if (classification) {
+      double gini = 1.0;
+      for (double c : class_weight) {
+        double p = c / weight;
+        gini -= p * p;
+      }
+      return gini * weight;
+    }
+    return sum_sq - sum * sum / weight;
+  }
+};
+
+}  // namespace
+
+void DecisionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                       const std::vector<double>& sample_weight, Rng* rng) {
+  OE_CHECK(x.rows() == static_cast<int64_t>(y.size()));
+  OE_CHECK(x.rows() > 0) << "cannot fit a tree on empty data";
+  nodes_.clear();
+  std::vector<double> w = sample_weight;
+  if (w.empty()) w.assign(y.size(), 1.0);
+  OE_CHECK(w.size() == y.size());
+  std::vector<int64_t> indices(y.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  Rng fallback_rng(0);
+  BuildNode(x, y, w, indices, 0, rng != nullptr ? rng : &fallback_rng);
+}
+
+int32_t DecisionTree::MakeLeaf(const std::vector<double>& y,
+                               const std::vector<double>& w,
+                               const std::vector<int64_t>& indices) {
+  Node node;
+  if (config_.task == TaskType::kClassification) {
+    node.class_counts.assign(static_cast<size_t>(config_.num_classes), 0.0);
+    for (int64_t i : indices) {
+      node.class_counts[static_cast<size_t>(y[static_cast<size_t>(i)])] +=
+          w[static_cast<size_t>(i)];
+    }
+  } else {
+    double sum = 0.0;
+    double weight = 0.0;
+    for (int64_t i : indices) {
+      sum += w[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+      weight += w[static_cast<size_t>(i)];
+    }
+    node.value = weight > 0.0 ? sum / weight : 0.0;
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+int32_t DecisionTree::BuildNode(const Matrix& x, const std::vector<double>& y,
+                                const std::vector<double>& w,
+                                std::vector<int64_t>& indices, int depth,
+                                Rng* rng) {
+  const bool classification = config_.task == TaskType::kClassification;
+  const int64_t n = static_cast<int64_t>(indices.size());
+
+  bool pure = true;
+  for (int64_t i = 1; i < n; ++i) {
+    if (y[static_cast<size_t>(indices[static_cast<size_t>(i)])] !=
+        y[static_cast<size_t>(indices[0])]) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= config_.max_depth ||
+      n < config_.min_samples_split) {
+    return MakeLeaf(y, w, indices);
+  }
+
+  // Candidate feature set.
+  const int64_t d = x.cols();
+  std::vector<int64_t> features;
+  if (config_.max_features > 0 && config_.max_features < d) {
+    features = rng->SampleWithoutReplacement(d, config_.max_features);
+  } else {
+    features.resize(static_cast<size_t>(d));
+    std::iota(features.begin(), features.end(), 0);
+  }
+
+  // Parent impurity baseline.
+  SplitStats all;
+  if (classification) {
+    all.class_weight.assign(static_cast<size_t>(config_.num_classes), 0.0);
+  }
+  for (int64_t i : indices) {
+    all.Add(y[static_cast<size_t>(i)], w[static_cast<size_t>(i)],
+            classification);
+  }
+  double parent_impurity = all.Impurity(classification);
+
+  double best_gain = 1e-12;
+  int64_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, int64_t>> sorted;
+  sorted.reserve(static_cast<size_t>(n));
+  for (int64_t f : features) {
+    sorted.clear();
+    for (int64_t i : indices) {
+      sorted.emplace_back(x.At(i, f), i);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+
+    SplitStats left;
+    if (classification) {
+      left.class_weight.assign(static_cast<size_t>(config_.num_classes),
+                               0.0);
+    }
+    SplitStats right = all;
+    // Walk split positions; threshold is the midpoint between adjacent
+    // distinct values.
+    for (int64_t k = 0; k < n - 1; ++k) {
+      int64_t i = sorted[static_cast<size_t>(k)].second;
+      left.Add(y[static_cast<size_t>(i)], w[static_cast<size_t>(i)],
+               classification);
+      right.Remove(y[static_cast<size_t>(i)], w[static_cast<size_t>(i)],
+                   classification);
+      double v = sorted[static_cast<size_t>(k)].first;
+      double v_next = sorted[static_cast<size_t>(k + 1)].first;
+      if (v == v_next) continue;
+      int64_t n_left = k + 1;
+      int64_t n_right = n - n_left;
+      if (n_left < config_.min_samples_leaf ||
+          n_right < config_.min_samples_leaf) {
+        continue;
+      }
+      double gain = parent_impurity - left.Impurity(classification) -
+                    right.Impurity(classification);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return MakeLeaf(y, w, indices);
+
+  std::vector<int64_t> left_idx;
+  std::vector<int64_t> right_idx;
+  for (int64_t i : indices) {
+    if (x.At(i, best_feature) <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) {
+    return MakeLeaf(y, w, indices);
+  }
+
+  // Reserve this node's slot before recursing so the root is node 0.
+  int32_t self = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  indices.clear();
+  indices.shrink_to_fit();
+  int32_t left = BuildNode(x, y, w, left_idx, depth + 1, rng);
+  int32_t right = BuildNode(x, y, w, right_idx, depth + 1, rng);
+  Node& node = nodes_[static_cast<size_t>(self)];
+  node.feature = static_cast<int32_t>(best_feature);
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return self;
+}
+
+const DecisionTree::Node& DecisionTree::Traverse(const double* row) const {
+  OE_CHECK(!nodes_.empty());
+  int32_t cur = 0;
+  while (nodes_[static_cast<size_t>(cur)].feature >= 0) {
+    const Node& node = nodes_[static_cast<size_t>(cur)];
+    cur = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[static_cast<size_t>(cur)];
+}
+
+double DecisionTree::PredictValue(const double* row) const {
+  return Traverse(row).value;
+}
+
+int DecisionTree::PredictClass(const double* row) const {
+  return ArgMax(Traverse(row).class_counts);
+}
+
+std::vector<double> DecisionTree::PredictProba(const double* row) const {
+  std::vector<double> counts = Traverse(row).class_counts;
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total > 0.0) {
+    for (double& c : counts) c /= total;
+  }
+  return counts;
+}
+
+void DecisionTree::SerializeTo(std::ostream* out) const {
+  *out << "decision_tree v1\n";
+  *out << std::setprecision(17);
+  *out << (config_.task == TaskType::kClassification ? "cls" : "reg")
+       << ' ' << config_.num_classes << ' ' << config_.max_depth << ' '
+       << config_.min_samples_split << ' ' << config_.min_samples_leaf
+       << ' ' << config_.max_features << '\n';
+  *out << nodes_.size() << '\n';
+  for (const Node& node : nodes_) {
+    *out << node.feature << ' ' << node.threshold << ' ' << node.left
+         << ' ' << node.right << ' ' << node.value;
+    for (double c : node.class_counts) *out << ' ' << c;
+    *out << '\n';
+  }
+}
+
+Result<DecisionTree> DecisionTree::DeserializeFrom(std::istream* in) {
+  std::string magic;
+  std::string version;
+  if (!(*in >> magic >> version) || magic != "decision_tree" ||
+      version != "v1") {
+    return Status::IoError("bad decision_tree header");
+  }
+  std::string task;
+  DecisionTreeConfig config;
+  if (!(*in >> task >> config.num_classes >> config.max_depth >>
+        config.min_samples_split >> config.min_samples_leaf >>
+        config.max_features)) {
+    return Status::IoError("bad decision_tree config line");
+  }
+  config.task =
+      task == "cls" ? TaskType::kClassification : TaskType::kRegression;
+  size_t count = 0;
+  if (!(*in >> count)) return Status::IoError("bad node count");
+  DecisionTree tree(config);
+  tree.nodes_.resize(count);
+  for (Node& node : tree.nodes_) {
+    if (!(*in >> node.feature >> node.threshold >> node.left >>
+          node.right >> node.value)) {
+      return Status::IoError("truncated node record");
+    }
+    if (config.task == TaskType::kClassification && node.feature < 0) {
+      node.class_counts.resize(static_cast<size_t>(config.num_classes));
+      for (double& c : node.class_counts) {
+        if (!(*in >> c)) return Status::IoError("truncated class counts");
+      }
+    }
+  }
+  // Referential integrity of the child links.
+  for (const Node& node : tree.nodes_) {
+    if (node.feature < 0) continue;
+    if (node.left < 0 || node.right < 0 ||
+        node.left >= static_cast<int32_t>(count) ||
+        node.right >= static_cast<int32_t>(count)) {
+      return Status::IoError("node child index out of range");
+    }
+  }
+  return tree;
+}
+
+int64_t DecisionTree::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const Node& n : nodes_) {
+    bytes += static_cast<int64_t>(sizeof(Node)) +
+             static_cast<int64_t>(n.class_counts.size() * sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace oebench

@@ -1,0 +1,88 @@
+#ifndef OEBENCH_MODELS_DECISION_TREE_H_
+#define OEBENCH_MODELS_DECISION_TREE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dataframe/table.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// CART configuration. Gini impurity drives classification splits,
+/// variance (SSE) reduction drives regression splits.
+struct DecisionTreeConfig {
+  TaskType task = TaskType::kRegression;
+  int num_classes = 2;        // classification only
+  int max_depth = 12;
+  int min_samples_split = 4;
+  int min_samples_leaf = 2;
+  /// Number of features examined per split; <= 0 means all (plain CART).
+  /// Random-forest style learners set this to sqrt(d).
+  int max_features = 0;
+};
+
+/// Batch-trained CART decision tree. This is the paper's "Naive-DT"
+/// building block and the weak learner inside GBDT and SEA-DT.
+class DecisionTree {
+ public:
+  explicit DecisionTree(DecisionTreeConfig config) : config_(config) {}
+
+  /// Fits the tree to (x, y); `sample_weight` may be empty (all ones).
+  /// `rng` is only consulted when max_features > 0.
+  void Fit(const Matrix& x, const std::vector<double>& y,
+           const std::vector<double>& sample_weight = {},
+           Rng* rng = nullptr);
+
+  bool fitted() const { return !nodes_.empty(); }
+
+  /// Regression prediction (mean of the reached leaf).
+  double PredictValue(const double* row) const;
+  double PredictValue(const std::vector<double>& x) const {
+    return PredictValue(x.data());
+  }
+  /// Classification prediction (majority class of the reached leaf).
+  int PredictClass(const double* row) const;
+  int PredictClass(const std::vector<double>& x) const {
+    return PredictClass(x.data());
+  }
+  /// Class distribution at the reached leaf (classification only).
+  std::vector<double> PredictProba(const double* row) const;
+
+  int64_t node_count() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t MemoryBytes() const;
+  const DecisionTreeConfig& config() const { return config_; }
+
+  /// Writes the fitted tree (config + nodes) in a line-based text format.
+  void SerializeTo(std::ostream* out) const;
+  /// Reads a tree previously written by SerializeTo.
+  static Result<DecisionTree> DeserializeFrom(std::istream* in);
+
+ private:
+  struct Node {
+    int32_t feature = -1;       // -1 marks a leaf
+    double threshold = 0.0;     // go left when x[feature] <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    double value = 0.0;                 // regression leaf mean
+    std::vector<double> class_counts;   // classification leaf histogram
+  };
+
+  int32_t BuildNode(const Matrix& x, const std::vector<double>& y,
+                    const std::vector<double>& w,
+                    std::vector<int64_t>& indices, int depth, Rng* rng);
+  int32_t MakeLeaf(const std::vector<double>& y,
+                   const std::vector<double>& w,
+                   const std::vector<int64_t>& indices);
+  const Node& Traverse(const double* row) const;
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_MODELS_DECISION_TREE_H_

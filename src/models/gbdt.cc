@@ -1,0 +1,186 @@
+#include "models/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+void Gbdt::Fit(const Matrix& x, const std::vector<double>& y) {
+  OE_CHECK(x.rows() == static_cast<int64_t>(y.size()));
+  OE_CHECK(x.rows() > 0);
+  trees_.clear();
+  fitted_ = false;
+  const int64_t n = x.rows();
+
+  DecisionTreeConfig tree_config;
+  tree_config.task = TaskType::kRegression;  // boosting fits residuals
+  tree_config.max_depth = config_.max_depth;
+  tree_config.min_samples_leaf = config_.min_samples_leaf;
+
+  if (config_.task == TaskType::kRegression) {
+    base_score_ = Mean(y);
+    std::vector<double> score(y.size(), base_score_);
+    for (int round = 0; round < config_.num_rounds; ++round) {
+      std::vector<double> residual(y.size());
+      for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - score[i];
+      DecisionTree tree(tree_config);
+      tree.Fit(x, residual);
+      for (int64_t i = 0; i < n; ++i) {
+        score[static_cast<size_t>(i)] +=
+            config_.learning_rate * tree.PredictValue(x.Row(i));
+      }
+      trees_.push_back({std::move(tree)});
+    }
+  } else {
+    const int k = config_.num_classes;
+    // Log-prior initial scores.
+    std::vector<double> prior(static_cast<size_t>(k), 1.0);  // Laplace
+    for (double label : y) prior[static_cast<size_t>(label)] += 1.0;
+    base_class_scores_.resize(static_cast<size_t>(k));
+    double total = static_cast<double>(n + k);
+    for (int c = 0; c < k; ++c) {
+      base_class_scores_[static_cast<size_t>(c)] =
+          std::log(prior[static_cast<size_t>(c)] / total);
+    }
+    // score[i][c]
+    std::vector<std::vector<double>> score(
+        static_cast<size_t>(n), base_class_scores_);
+    std::vector<double> grad(static_cast<size_t>(n));
+    for (int round = 0; round < config_.num_rounds; ++round) {
+      std::vector<DecisionTree> round_trees;
+      round_trees.reserve(static_cast<size_t>(k));
+      for (int c = 0; c < k; ++c) {
+        for (int64_t i = 0; i < n; ++i) {
+          std::vector<double> p = score[static_cast<size_t>(i)];
+          SoftmaxInPlace(&p);
+          double target =
+              (static_cast<int>(y[static_cast<size_t>(i)]) == c) ? 1.0 : 0.0;
+          grad[static_cast<size_t>(i)] = target - p[static_cast<size_t>(c)];
+        }
+        DecisionTree tree(tree_config);
+        tree.Fit(x, grad);
+        round_trees.push_back(std::move(tree));
+      }
+      for (int64_t i = 0; i < n; ++i) {
+        for (int c = 0; c < k; ++c) {
+          score[static_cast<size_t>(i)][static_cast<size_t>(c)] +=
+              config_.learning_rate *
+              round_trees[static_cast<size_t>(c)].PredictValue(x.Row(i));
+        }
+      }
+      trees_.push_back(std::move(round_trees));
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<double> Gbdt::RawScores(const double* row) const {
+  OE_CHECK(fitted_);
+  if (config_.task == TaskType::kRegression) {
+    double score = base_score_;
+    for (const auto& round : trees_) {
+      score += config_.learning_rate * round[0].PredictValue(row);
+    }
+    return {score};
+  }
+  std::vector<double> scores = base_class_scores_;
+  for (const auto& round : trees_) {
+    for (size_t c = 0; c < round.size(); ++c) {
+      scores[c] += config_.learning_rate * round[c].PredictValue(row);
+    }
+  }
+  return scores;
+}
+
+double Gbdt::PredictValue(const double* row) const {
+  return RawScores(row)[0];
+}
+
+int Gbdt::PredictClass(const double* row) const {
+  return ArgMax(RawScores(row));
+}
+
+std::vector<double> Gbdt::PredictProba(const double* row) const {
+  std::vector<double> scores = RawScores(row);
+  SoftmaxInPlace(&scores);
+  return scores;
+}
+
+void Gbdt::SerializeTo(std::ostream* out) const {
+  OE_CHECK(fitted_) << "serialising an unfitted GBDT";
+  *out << "gbdt v1\n";
+  *out << std::setprecision(17);
+  *out << (config_.task == TaskType::kClassification ? "cls" : "reg")
+       << ' ' << config_.num_classes << ' ' << config_.num_rounds << ' '
+       << config_.learning_rate << ' ' << config_.max_depth << ' '
+       << config_.min_samples_leaf << '\n';
+  *out << base_score_ << ' ' << base_class_scores_.size();
+  for (double s : base_class_scores_) *out << ' ' << s;
+  *out << '\n';
+  *out << trees_.size() << '\n';
+  for (const auto& round : trees_) {
+    *out << round.size() << '\n';
+    for (const DecisionTree& tree : round) {
+      tree.SerializeTo(out);
+    }
+  }
+}
+
+Result<Gbdt> Gbdt::DeserializeFrom(std::istream* in) {
+  std::string magic;
+  std::string version;
+  if (!(*in >> magic >> version) || magic != "gbdt" || version != "v1") {
+    return Status::IoError("bad gbdt header");
+  }
+  std::string task;
+  GbdtConfig config;
+  if (!(*in >> task >> config.num_classes >> config.num_rounds >>
+        config.learning_rate >> config.max_depth >>
+        config.min_samples_leaf)) {
+    return Status::IoError("bad gbdt config line");
+  }
+  config.task =
+      task == "cls" ? TaskType::kClassification : TaskType::kRegression;
+  Gbdt model(config);
+  size_t num_base = 0;
+  if (!(*in >> model.base_score_ >> num_base)) {
+    return Status::IoError("bad gbdt base scores");
+  }
+  model.base_class_scores_.resize(num_base);
+  for (double& s : model.base_class_scores_) {
+    if (!(*in >> s)) return Status::IoError("truncated base scores");
+  }
+  size_t rounds = 0;
+  if (!(*in >> rounds)) return Status::IoError("bad round count");
+  model.trees_.reserve(rounds);
+  for (size_t r = 0; r < rounds; ++r) {
+    size_t per_round = 0;
+    if (!(*in >> per_round)) return Status::IoError("bad tree count");
+    std::vector<DecisionTree> round;
+    round.reserve(per_round);
+    for (size_t t = 0; t < per_round; ++t) {
+      OE_ASSIGN_OR_RETURN(DecisionTree tree,
+                          DecisionTree::DeserializeFrom(in));
+      round.push_back(std::move(tree));
+    }
+    model.trees_.push_back(std::move(round));
+  }
+  model.fitted_ = true;
+  return model;
+}
+
+int64_t Gbdt::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const auto& round : trees_) {
+    for (const DecisionTree& t : round) bytes += t.MemoryBytes();
+  }
+  return bytes + static_cast<int64_t>(base_class_scores_.size() *
+                                      sizeof(double));
+}
+
+}  // namespace oebench

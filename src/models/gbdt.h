@@ -1,0 +1,69 @@
+#ifndef OEBENCH_MODELS_GBDT_H_
+#define OEBENCH_MODELS_GBDT_H_
+
+#include <vector>
+
+#include "models/decision_tree.h"
+
+namespace oebench {
+
+/// Gradient-boosted decision trees. Regression boosts squared loss;
+/// classification boosts the multiclass softmax deviance with one
+/// regression tree per class per round (sklearn-style). The paper's
+/// default GBDT uses 5 rounds (§6.1, "we set the number of trees to 5");
+/// Figure 19 sweeps {5, 10, 20, 40}.
+struct GbdtConfig {
+  TaskType task = TaskType::kRegression;
+  int num_classes = 2;
+  int num_rounds = 5;
+  double learning_rate = 0.3;
+  int max_depth = 4;
+  int min_samples_leaf = 2;
+};
+
+class Gbdt {
+ public:
+  explicit Gbdt(GbdtConfig config) : config_(config) {}
+
+  /// Fits the ensemble to (x, y). For classification `y` holds class ids.
+  void Fit(const Matrix& x, const std::vector<double>& y);
+
+  bool fitted() const { return fitted_; }
+
+  double PredictValue(const double* row) const;
+  double PredictValue(const std::vector<double>& x) const {
+    return PredictValue(x.data());
+  }
+  int PredictClass(const double* row) const;
+  int PredictClass(const std::vector<double>& x) const {
+    return PredictClass(x.data());
+  }
+  /// Softmax class probabilities (classification only).
+  std::vector<double> PredictProba(const double* row) const;
+
+  int64_t MemoryBytes() const;
+  int64_t tree_count() const { return static_cast<int64_t>(trees_.size()); }
+  const GbdtConfig& config() const { return config_; }
+
+  /// Writes the fitted ensemble in a line-based text format.
+  void SerializeTo(std::ostream* out) const;
+  /// Reads an ensemble previously written by SerializeTo.
+  static Result<Gbdt> DeserializeFrom(std::istream* in);
+
+ private:
+  /// Raw additive scores: 1 value for regression, num_classes logits for
+  /// classification.
+  std::vector<double> RawScores(const double* row) const;
+
+  GbdtConfig config_;
+  bool fitted_ = false;
+  double base_score_ = 0.0;                // regression prior (mean)
+  std::vector<double> base_class_scores_;  // classification log-prior
+  // Regression: trees_[r] has 1 tree. Classification: trees_[r] has
+  // num_classes trees.
+  std::vector<std::vector<DecisionTree>> trees_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_MODELS_GBDT_H_

@@ -1,0 +1,293 @@
+#include "models/hoeffding_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+void HoeffdingTree::GaussianStat::Add(double v, double w) {
+  if (weight <= 0.0) {
+    min = v;
+    max = v;
+    mean = v;
+    m2 = 0.0;
+    weight = w;
+    return;
+  }
+  min = std::min(min, v);
+  max = std::max(max, v);
+  double new_weight = weight + w;
+  double delta = v - mean;
+  mean += delta * w / new_weight;
+  m2 += w * delta * (v - mean);
+  weight = new_weight;
+}
+
+double HoeffdingTree::GaussianStat::Variance() const {
+  return weight > 1.0 ? m2 / (weight - 1.0) : 0.0;
+}
+
+double HoeffdingTree::GaussianStat::CdfBelow(double threshold) const {
+  if (weight <= 0.0) return 0.0;
+  double sd = std::sqrt(Variance());
+  if (sd < 1e-12) return threshold >= mean ? 1.0 : 0.0;
+  double z = (threshold - mean) / (sd * std::sqrt(2.0));
+  return 0.5 * (1.0 + std::erf(z));
+}
+
+HoeffdingTree::HoeffdingTree(HoeffdingTreeConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  OE_CHECK(config_.num_classes >= 2);
+}
+
+int32_t HoeffdingTree::NewLeaf(int depth, int64_t dim) {
+  Node node;
+  node.depth = depth;
+  node.class_weights.assign(static_cast<size_t>(config_.num_classes), 0.0);
+  if (dim > 0) {
+    node.stats.assign(
+        static_cast<size_t>(dim),
+        std::vector<GaussianStat>(static_cast<size_t>(config_.num_classes)));
+    if (config_.max_features > 0 && config_.max_features < dim) {
+      node.candidate_features =
+          rng_.SampleWithoutReplacement(dim, config_.max_features);
+    } else {
+      node.candidate_features.resize(static_cast<size_t>(dim));
+      for (int64_t f = 0; f < dim; ++f) {
+        node.candidate_features[static_cast<size_t>(f)] = f;
+      }
+    }
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+int32_t HoeffdingTree::Route(const double* row) const {
+  int32_t cur = 0;
+  while (!nodes_[static_cast<size_t>(cur)].is_leaf) {
+    const Node& node = nodes_[static_cast<size_t>(cur)];
+    cur = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return cur;
+}
+
+void HoeffdingTree::Learn(const double* row, int64_t dim, int label,
+                          double weight) {
+  OE_CHECK(label >= 0 && label < config_.num_classes);
+  if (nodes_.empty()) NewLeaf(0, dim);
+  ++samples_seen_;
+  int32_t leaf = Route(row);
+  LearnAtLeaf(leaf, row, dim, label, weight);
+}
+
+void HoeffdingTree::LearnAtLeaf(int32_t leaf, const double* row, int64_t dim,
+                                int label, double weight) {
+  Node& node = nodes_[static_cast<size_t>(leaf)];
+  if (node.stats.empty() && dim > 0) {
+    node.stats.assign(
+        static_cast<size_t>(dim),
+        std::vector<GaussianStat>(static_cast<size_t>(config_.num_classes)));
+  }
+  node.class_weights[static_cast<size_t>(label)] += weight;
+  for (int64_t f = 0; f < dim; ++f) {
+    node.stats[static_cast<size_t>(f)][static_cast<size_t>(label)].Add(
+        row[f], weight);
+  }
+  double total = 0.0;
+  for (double w : node.class_weights) total += w;
+  if (total - node.weight_at_last_check >=
+          static_cast<double>(config_.grace_period) &&
+      node.depth < config_.max_depth) {
+    node.weight_at_last_check = total;
+    TrySplit(leaf, dim);
+  }
+}
+
+double HoeffdingTree::Entropy(const std::vector<double>& cw) const {
+  double total = 0.0;
+  for (double w : cw) total += w;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : cw) {
+    if (w <= 0.0) continue;
+    double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double HoeffdingTree::SplitGain(const Node& node, int64_t feature,
+                                double threshold) const {
+  const auto& stats = node.stats[static_cast<size_t>(feature)];
+  std::vector<double> left_cw(node.class_weights.size(), 0.0);
+  std::vector<double> right_cw(node.class_weights.size(), 0.0);
+  double left_total = 0.0;
+  double right_total = 0.0;
+  for (size_t c = 0; c < stats.size(); ++c) {
+    double frac = stats[c].CdfBelow(threshold);
+    double lw = stats[c].weight * frac;
+    double rw = stats[c].weight - lw;
+    left_cw[c] = lw;
+    right_cw[c] = rw;
+    left_total += lw;
+    right_total += rw;
+  }
+  double total = left_total + right_total;
+  if (total <= 0.0 || left_total <= 0.0 || right_total <= 0.0) return 0.0;
+  double parent = Entropy(node.class_weights);
+  double child = (left_total / total) * Entropy(left_cw) +
+                 (right_total / total) * Entropy(right_cw);
+  return parent - child;
+}
+
+void HoeffdingTree::TrySplit(int32_t leaf, int64_t dim) {
+  Node& node = nodes_[static_cast<size_t>(leaf)];
+  // Pure leaves never split.
+  int nonzero = 0;
+  double total_weight = 0.0;
+  for (double w : node.class_weights) {
+    if (w > 0.0) ++nonzero;
+    total_weight += w;
+  }
+  if (nonzero < 2) return;
+
+  double best_gain = 0.0;
+  double second_gain = 0.0;
+  int64_t best_feature = -1;
+  double best_threshold = 0.0;
+  for (int64_t f : node.candidate_features) {
+    const auto& stats = node.stats[static_cast<size_t>(f)];
+    double lo = 0.0;
+    double hi = 0.0;
+    bool init = false;
+    for (const GaussianStat& s : stats) {
+      if (s.weight <= 0.0) continue;
+      if (!init) {
+        lo = s.min;
+        hi = s.max;
+        init = true;
+      } else {
+        lo = std::min(lo, s.min);
+        hi = std::max(hi, s.max);
+      }
+    }
+    if (!init || hi <= lo) continue;
+    double feature_best = 0.0;
+    double feature_best_threshold = 0.0;
+    for (int p = 1; p <= config_.num_split_points; ++p) {
+      double threshold =
+          lo + (hi - lo) * static_cast<double>(p) /
+                   static_cast<double>(config_.num_split_points + 1);
+      double gain = SplitGain(node, f, threshold);
+      if (gain > feature_best) {
+        feature_best = gain;
+        feature_best_threshold = threshold;
+      }
+    }
+    if (feature_best > best_gain) {
+      second_gain = best_gain;
+      best_gain = feature_best;
+      best_feature = f;
+      best_threshold = feature_best_threshold;
+    } else if (feature_best > second_gain) {
+      second_gain = feature_best;
+    }
+  }
+  if (best_feature < 0) return;
+
+  // Hoeffding bound with R = log2(num_classes) (entropy range).
+  double range = std::log2(static_cast<double>(config_.num_classes));
+  double epsilon =
+      std::sqrt(range * range * std::log(1.0 / config_.split_confidence) /
+                (2.0 * total_weight));
+  if (best_gain - second_gain <= epsilon &&
+      epsilon >= config_.tie_threshold) {
+    return;
+  }
+
+  // Perform the split: this node becomes internal; children start fresh.
+  int depth = node.depth;
+  int32_t left = NewLeaf(depth + 1, dim);
+  int32_t right = NewLeaf(depth + 1, dim);
+  Node& n2 = nodes_[static_cast<size_t>(leaf)];  // re-fetch (realloc)
+  n2.is_leaf = false;
+  n2.feature = static_cast<int32_t>(best_feature);
+  n2.threshold = best_threshold;
+  n2.left = left;
+  n2.right = right;
+  // Children inherit an approximate class prior split so early predictions
+  // are not uniform.
+  const auto& stats = n2.stats[static_cast<size_t>(best_feature)];
+  for (size_t c = 0; c < n2.class_weights.size(); ++c) {
+    double frac = stats[c].CdfBelow(best_threshold);
+    nodes_[static_cast<size_t>(left)].class_weights[c] =
+        n2.class_weights[c] * frac;
+    nodes_[static_cast<size_t>(right)].class_weights[c] =
+        n2.class_weights[c] * (1.0 - frac);
+  }
+  n2.stats.clear();
+  n2.stats.shrink_to_fit();
+}
+
+int HoeffdingTree::PredictClass(const double* row, int64_t dim) const {
+  std::vector<double> proba = PredictProba(row, dim);
+  return ArgMax(proba);
+}
+
+std::vector<double> HoeffdingTree::PredictProba(const double* row,
+                                                int64_t /*dim*/) const {
+  if (nodes_.empty()) {
+    return std::vector<double>(static_cast<size_t>(config_.num_classes),
+                               1.0 / config_.num_classes);
+  }
+  const Node& leaf = nodes_[static_cast<size_t>(Route(row))];
+  double total = 0.0;
+  for (double w : leaf.class_weights) total += w;
+  if (total <= 0.0) {
+    return std::vector<double>(leaf.class_weights.size(),
+                               1.0 / leaf.class_weights.size());
+  }
+  // Naive Bayes leaves: combine the class prior with the Gaussian
+  // likelihoods the leaf has been collecting anyway. Falls back to the
+  // prior when the leaf has no statistics (freshly split) or too little
+  // evidence for stable variances.
+  if (config_.leaf_prediction == LeafPrediction::kNaiveBayes &&
+      !leaf.stats.empty() && total >= 10.0) {
+    std::vector<double> log_like(leaf.class_weights.size());
+    for (size_t c = 0; c < leaf.class_weights.size(); ++c) {
+      double prior = (leaf.class_weights[c] + 1e-9) / (total + 1e-9);
+      log_like[c] = std::log(prior);
+      for (size_t f = 0; f < leaf.stats.size(); ++f) {
+        const GaussianStat& s = leaf.stats[f][c];
+        if (s.weight <= 1.0) continue;
+        double var = s.Variance() + 1e-6;
+        double diff = row[f] - s.mean;
+        log_like[c] +=
+            -0.5 * (std::log(2.0 * M_PI * var) + diff * diff / var);
+      }
+    }
+    SoftmaxInPlace(&log_like);
+    return log_like;
+  }
+  std::vector<double> proba = leaf.class_weights;
+  for (double& w : proba) w /= total;
+  return proba;
+}
+
+int64_t HoeffdingTree::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const Node& n : nodes_) {
+    bytes += static_cast<int64_t>(sizeof(Node));
+    bytes += static_cast<int64_t>(n.class_weights.size() * sizeof(double));
+    for (const auto& fs : n.stats) {
+      bytes += static_cast<int64_t>(fs.size() * sizeof(GaussianStat));
+    }
+    bytes += static_cast<int64_t>(n.candidate_features.size() *
+                                  sizeof(int64_t));
+  }
+  return bytes;
+}
+
+}  // namespace oebench

@@ -1,0 +1,61 @@
+#include "models/linear_model.h"
+
+#include "linalg/eigen.h"
+
+namespace oebench {
+
+Status LinearRegression::Fit(const Matrix& x, const std::vector<double>& y) {
+  if (x.rows() != static_cast<int64_t>(y.size())) {
+    return Status::InvalidArgument("x/y row mismatch");
+  }
+  if (x.rows() < 1) return Status::InvalidArgument("empty training data");
+  const int64_t n = x.rows();
+  const int64_t d = x.cols();
+
+  // Augmented normal equations with intercept in the last slot.
+  Matrix xtx(d + 1, d + 1);
+  std::vector<double> xty(static_cast<size_t>(d + 1), 0.0);
+  for (int64_t r = 0; r < n; ++r) {
+    const double* row = x.Row(r);
+    for (int64_t a = 0; a < d; ++a) {
+      for (int64_t b = a; b < d; ++b) {
+        xtx.At(a, b) += row[a] * row[b];
+      }
+      xtx.At(a, d) += row[a];
+      xty[static_cast<size_t>(a)] += row[a] * y[static_cast<size_t>(r)];
+    }
+    xtx.At(d, d) += 1.0;
+    xty[static_cast<size_t>(d)] += y[static_cast<size_t>(r)];
+  }
+  for (int64_t a = 0; a <= d; ++a) {
+    for (int64_t b = 0; b < a; ++b) xtx.At(a, b) = xtx.At(b, a);
+    if (a < d) xtx.At(a, a) += l2_;
+  }
+  std::vector<double> solution =
+      SolveLinearSystem(std::move(xtx), std::move(xty));
+  intercept_ = solution[static_cast<size_t>(d)];
+  solution.resize(static_cast<size_t>(d));
+  weights_ = std::move(solution);
+  return Status::OK();
+}
+
+double LinearRegression::PredictValue(const double* row) const {
+  OE_CHECK(fitted());
+  double out = intercept_;
+  for (size_t i = 0; i < weights_.size(); ++i) out += weights_[i] * row[i];
+  return out;
+}
+
+double LinearRegression::EvaluateMse(const Matrix& x,
+                                     const std::vector<double>& y) const {
+  OE_CHECK(x.rows() == static_cast<int64_t>(y.size()));
+  if (x.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    double err = PredictValue(x.Row(r)) - y[static_cast<size_t>(r)];
+    total += err * err;
+  }
+  return total / static_cast<double>(x.rows());
+}
+
+}  // namespace oebench

@@ -1,0 +1,42 @@
+#ifndef OEBENCH_MODELS_LINEAR_MODEL_H_
+#define OEBENCH_MODELS_LINEAR_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// Ridge-regularised linear regression solved in closed form via the
+/// normal equations. Used by the PERM concept-drift detector and the
+/// concept-drift statistics pipeline for regression tasks (paper §4.3
+/// follows Menelaus and uses linear regression there).
+class LinearRegression {
+ public:
+  explicit LinearRegression(double l2 = 1e-6) : l2_(l2) {}
+
+  /// Fits weights and intercept to (x, y).
+  Status Fit(const Matrix& x, const std::vector<double>& y);
+
+  bool fitted() const { return !weights_.empty(); }
+
+  double PredictValue(const double* row) const;
+  double PredictValue(const std::vector<double>& x) const {
+    return PredictValue(x.data());
+  }
+  /// Mean squared error over a dataset.
+  double EvaluateMse(const Matrix& x, const std::vector<double>& y) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double l2_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_MODELS_LINEAR_MODEL_H_

@@ -1,0 +1,397 @@
+#include "models/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+namespace {
+constexpr double kLogFloor = 1e-12;
+}  // namespace
+
+std::vector<int> PaperMlpHidden(int layers) {
+  OE_CHECK(layers >= 1);
+  // Paper §6.5: 3 -> [32,16,8]; 5 -> [32,32,16,16,8]; 7 -> [32,32,32,16,16,16,8].
+  if (layers == 1) return {32};
+  std::vector<int> hidden;
+  int wide = std::max(1, (layers - 1) / 2);  // number of 32s
+  hidden.assign(static_cast<size_t>(wide), 32);
+  while (static_cast<int>(hidden.size()) < layers - 1) hidden.push_back(16);
+  hidden.push_back(8);
+  return hidden;
+}
+
+Mlp::Mlp(MlpConfig config, uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  OE_CHECK(!config_.hidden_sizes.empty());
+  OE_CHECK(config_.task != TaskType::kClassification ||
+           config_.num_classes >= 2);
+}
+
+void Mlp::EnsureInitialized(int64_t input_dim) {
+  if (initialized_) {
+    OE_CHECK(input_dim == input_dim_)
+        << "MLP input width changed from " << input_dim_ << " to "
+        << input_dim;
+    return;
+  }
+  OE_CHECK(input_dim >= 1);
+  input_dim_ = input_dim;
+  layer_dims_.clear();
+  layer_dims_.push_back(input_dim);
+  for (int h : config_.hidden_sizes) layer_dims_.push_back(h);
+  layer_dims_.push_back(OutputDim());
+
+  Rng rng(seed_);
+  weights_.clear();
+  biases_.clear();
+  for (size_t l = 0; l + 1 < layer_dims_.size(); ++l) {
+    int64_t in = layer_dims_[l];
+    int64_t out = layer_dims_[l + 1];
+    // He initialisation suits the ReLU hidden stack.
+    double scale = std::sqrt(2.0 / static_cast<double>(in));
+    Matrix w(in, out);
+    for (double& v : w.data()) v = rng.Gaussian() * scale;
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(static_cast<size_t>(out), 0.0);
+  }
+  initialized_ = true;
+}
+
+std::vector<double> Mlp::Forward(const double* row, int64_t dim) const {
+  OE_CHECK(initialized_);
+  OE_CHECK(dim == input_dim_);
+  std::vector<double> act(row, row + dim);
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    const Matrix& w = weights_[l];
+    const std::vector<double>& b = biases_[l];
+    std::vector<double> next(static_cast<size_t>(w.cols()), 0.0);
+    for (int64_t i = 0; i < w.rows(); ++i) {
+      double a = act[static_cast<size_t>(i)];
+      if (a == 0.0) continue;
+      const double* wrow = w.Row(i);
+      for (int64_t j = 0; j < w.cols(); ++j) {
+        next[static_cast<size_t>(j)] += a * wrow[j];
+      }
+    }
+    bool last = (l + 1 == weights_.size());
+    for (int64_t j = 0; j < w.cols(); ++j) {
+      double v = next[static_cast<size_t>(j)] + b[static_cast<size_t>(j)];
+      next[static_cast<size_t>(j)] = last ? v : std::max(v, 0.0);
+    }
+    act = std::move(next);
+  }
+  return act;
+}
+
+double Mlp::PredictValue(const std::vector<double>& x) const {
+  return Forward(x.data(), static_cast<int64_t>(x.size()))[0];
+}
+
+int Mlp::PredictClass(const std::vector<double>& x) const {
+  return ArgMax(Forward(x.data(), static_cast<int64_t>(x.size())));
+}
+
+std::vector<double> Mlp::PredictProba(const std::vector<double>& x) const {
+  OE_CHECK(config_.task == TaskType::kClassification);
+  std::vector<double> logits =
+      Forward(x.data(), static_cast<int64_t>(x.size()));
+  SoftmaxInPlace(&logits);
+  return logits;
+}
+
+double Mlp::BackpropSample(const double* row, double target,
+                           int64_t row_index, const GradHooks* hooks,
+                           std::vector<Matrix>* weight_grads,
+                           std::vector<std::vector<double>>* bias_grads,
+                           LossMode mode) const {
+  const size_t num_layers = weights_.size();
+  // Forward pass storing every activation (post-ReLU for hidden layers).
+  std::vector<std::vector<double>> acts(num_layers + 1);
+  acts[0].assign(row, row + input_dim_);
+  for (size_t l = 0; l < num_layers; ++l) {
+    const Matrix& w = weights_[l];
+    const std::vector<double>& b = biases_[l];
+    std::vector<double> next(static_cast<size_t>(w.cols()), 0.0);
+    for (int64_t i = 0; i < w.rows(); ++i) {
+      double a = acts[l][static_cast<size_t>(i)];
+      if (a == 0.0) continue;
+      const double* wrow = w.Row(i);
+      for (int64_t j = 0; j < w.cols(); ++j) {
+        next[static_cast<size_t>(j)] += a * wrow[j];
+      }
+    }
+    bool last = (l + 1 == num_layers);
+    for (int64_t j = 0; j < w.cols(); ++j) {
+      double v = next[static_cast<size_t>(j)] + b[static_cast<size_t>(j)];
+      next[static_cast<size_t>(j)] = last ? v : std::max(v, 0.0);
+    }
+    acts[l + 1] = std::move(next);
+  }
+
+  const std::vector<double>& output = acts[num_layers];
+  std::vector<double> delta(output.size(), 0.0);
+  double loss = 0.0;
+  if (mode == LossMode::kOutputNorm) {
+    for (size_t j = 0; j < output.size(); ++j) {
+      loss += output[j] * output[j];
+      delta[j] = 2.0 * output[j];
+    }
+  } else if (config_.task == TaskType::kRegression) {
+    double err = output[0] - target;
+    loss = err * err;
+    delta[0] = 2.0 * err;
+  } else {
+    std::vector<double> proba = output;
+    SoftmaxInPlace(&proba);
+    int label = static_cast<int>(target);
+    OE_DCHECK(label >= 0 && label < static_cast<int>(proba.size()));
+    loss = -std::log(std::max(proba[static_cast<size_t>(label)], kLogFloor));
+    for (size_t j = 0; j < proba.size(); ++j) {
+      delta[j] = proba[j] - (static_cast<int>(j) == label ? 1.0 : 0.0);
+    }
+  }
+  if (hooks != nullptr && hooks->output_hook) {
+    hooks->output_hook(row_index, output, &delta);
+  }
+
+  // Backward pass.
+  for (size_t l = num_layers; l-- > 0;) {
+    const Matrix& w = weights_[l];
+    Matrix& wg = (*weight_grads)[l];
+    std::vector<double>& bg = (*bias_grads)[l];
+    const std::vector<double>& input = acts[l];
+    for (int64_t j = 0; j < w.cols(); ++j) {
+      bg[static_cast<size_t>(j)] += delta[static_cast<size_t>(j)];
+    }
+    for (int64_t i = 0; i < w.rows(); ++i) {
+      double a = input[static_cast<size_t>(i)];
+      if (a != 0.0) {
+        double* wg_row = wg.Row(i);
+        for (int64_t j = 0; j < w.cols(); ++j) {
+          wg_row[j] += a * delta[static_cast<size_t>(j)];
+        }
+      }
+    }
+    if (l == 0) break;
+    std::vector<double> prev_delta(input.size(), 0.0);
+    for (int64_t i = 0; i < w.rows(); ++i) {
+      if (input[static_cast<size_t>(i)] <= 0.0) continue;  // ReLU gate
+      const double* wrow = w.Row(i);
+      double sum = 0.0;
+      for (int64_t j = 0; j < w.cols(); ++j) {
+        sum += wrow[j] * delta[static_cast<size_t>(j)];
+      }
+      prev_delta[static_cast<size_t>(i)] = sum;
+    }
+    delta = std::move(prev_delta);
+  }
+  return loss;
+}
+
+double Mlp::TrainEpoch(const Matrix& x, const std::vector<double>& y,
+                       Rng* rng, const GradHooks* hooks) {
+  OE_CHECK(x.rows() == static_cast<int64_t>(y.size()));
+  if (x.rows() == 0) return 0.0;
+  EnsureInitialized(x.cols());
+
+  std::vector<int64_t> order(static_cast<size_t>(x.rows()));
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  std::vector<Matrix> weight_grads;
+  std::vector<std::vector<double>> bias_grads;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    weight_grads.emplace_back(weights_[l].rows(), weights_[l].cols());
+    bias_grads.emplace_back(biases_[l].size(), 0.0);
+  }
+
+  const int batch = std::max(config_.batch_size, 1);
+  double total_loss = 0.0;
+  for (size_t start = 0; start < order.size();
+       start += static_cast<size_t>(batch)) {
+    size_t end = std::min(order.size(), start + static_cast<size_t>(batch));
+    // Zero gradient accumulators.
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      std::fill(weight_grads[l].data().begin(), weight_grads[l].data().end(),
+                0.0);
+      std::fill(bias_grads[l].begin(), bias_grads[l].end(), 0.0);
+    }
+    for (size_t i = start; i < end; ++i) {
+      int64_t r = order[i];
+      total_loss +=
+          BackpropSample(x.Row(r), y[static_cast<size_t>(r)], r, hooks,
+                         &weight_grads, &bias_grads);
+    }
+    double inv = 1.0 / static_cast<double>(end - start);
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      for (double& g : weight_grads[l].data()) g *= inv;
+      for (double& g : bias_grads[l]) g *= inv;
+    }
+    if (hooks != nullptr && hooks->param_hook) {
+      hooks->param_hook(weights_, biases_, &weight_grads, &bias_grads);
+    }
+    if (config_.grad_clip > 0.0) {
+      double norm_sq = 0.0;
+      for (const Matrix& g : weight_grads) {
+        for (double v : g.data()) norm_sq += v * v;
+      }
+      for (const auto& g : bias_grads) {
+        for (double v : g) norm_sq += v * v;
+      }
+      double norm = std::sqrt(norm_sq);
+      if (norm > config_.grad_clip) {
+        double s = config_.grad_clip / norm;
+        for (Matrix& g : weight_grads) {
+          for (double& v : g.data()) v *= s;
+        }
+        for (auto& g : bias_grads) {
+          for (double& v : g) v *= s;
+        }
+      }
+    }
+    double lr = config_.learning_rate;
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      weights_[l].AddInPlace(weight_grads[l], -lr);
+      for (size_t j = 0; j < biases_[l].size(); ++j) {
+        biases_[l][j] -= lr * bias_grads[l][j];
+      }
+    }
+  }
+  return total_loss / static_cast<double>(x.rows());
+}
+
+double Mlp::EvaluateLoss(const Matrix& x, const std::vector<double>& y) const {
+  OE_CHECK(initialized_);
+  OE_CHECK(x.rows() == static_cast<int64_t>(y.size()));
+  if (x.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    std::vector<double> out = Forward(x.Row(r), x.cols());
+    if (config_.task == TaskType::kRegression) {
+      double err = out[0] - y[static_cast<size_t>(r)];
+      total += err * err;
+    } else {
+      SoftmaxInPlace(&out);
+      int label = static_cast<int>(y[static_cast<size_t>(r)]);
+      total -=
+          std::log(std::max(out[static_cast<size_t>(label)], kLogFloor));
+    }
+  }
+  return total / static_cast<double>(x.rows());
+}
+
+void Mlp::ComputeSquaredGradients(
+    const Matrix& x, const std::vector<double>& y,
+    std::vector<Matrix>* weight_sq,
+    std::vector<std::vector<double>>* bias_sq) const {
+  OE_CHECK(initialized_);
+  weight_sq->clear();
+  bias_sq->clear();
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    weight_sq->emplace_back(weights_[l].rows(), weights_[l].cols());
+    bias_sq->emplace_back(biases_[l].size(), 0.0);
+  }
+  if (x.rows() == 0) return;
+
+  std::vector<Matrix> wg;
+  std::vector<std::vector<double>> bg;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    wg.emplace_back(weights_[l].rows(), weights_[l].cols());
+    bg.emplace_back(biases_[l].size(), 0.0);
+  }
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      std::fill(wg[l].data().begin(), wg[l].data().end(), 0.0);
+      std::fill(bg[l].begin(), bg[l].end(), 0.0);
+    }
+    BackpropSample(x.Row(r), y[static_cast<size_t>(r)], r, nullptr, &wg,
+                   &bg);
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      for (size_t i = 0; i < wg[l].data().size(); ++i) {
+        (*weight_sq)[l].data()[i] += wg[l].data()[i] * wg[l].data()[i];
+      }
+      for (size_t i = 0; i < bg[l].size(); ++i) {
+        (*bias_sq)[l][i] += bg[l][i] * bg[l][i];
+      }
+    }
+  }
+  double inv = 1.0 / static_cast<double>(x.rows());
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    for (double& v : (*weight_sq)[l].data()) v *= inv;
+    for (double& v : (*bias_sq)[l]) v *= inv;
+  }
+}
+
+void Mlp::ComputeOutputNormGradients(
+    const Matrix& x, std::vector<Matrix>* weight_abs,
+    std::vector<std::vector<double>>* bias_abs) const {
+  OE_CHECK(initialized_);
+  weight_abs->clear();
+  bias_abs->clear();
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    weight_abs->emplace_back(weights_[l].rows(), weights_[l].cols());
+    bias_abs->emplace_back(biases_[l].size(), 0.0);
+  }
+  if (x.rows() == 0) return;
+
+  std::vector<Matrix> wg;
+  std::vector<std::vector<double>> bg;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    wg.emplace_back(weights_[l].rows(), weights_[l].cols());
+    bg.emplace_back(biases_[l].size(), 0.0);
+  }
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      std::fill(wg[l].data().begin(), wg[l].data().end(), 0.0);
+      std::fill(bg[l].begin(), bg[l].end(), 0.0);
+    }
+    BackpropSample(x.Row(r), 0.0, r, nullptr, &wg, &bg,
+                   LossMode::kOutputNorm);
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      for (size_t i = 0; i < wg[l].data().size(); ++i) {
+        (*weight_abs)[l].data()[i] += std::abs(wg[l].data()[i]);
+      }
+      for (size_t i = 0; i < bg[l].size(); ++i) {
+        (*bias_abs)[l][i] += std::abs(bg[l][i]);
+      }
+    }
+  }
+  double inv = 1.0 / static_cast<double>(x.rows());
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    for (double& v : (*weight_abs)[l].data()) v *= inv;
+    for (double& v : (*bias_abs)[l]) v *= inv;
+  }
+}
+
+void Mlp::SetParameters(std::vector<Matrix> weights,
+                        std::vector<std::vector<double>> biases) {
+  OE_CHECK(initialized_);
+  OE_CHECK(weights.size() == weights_.size());
+  OE_CHECK(biases.size() == biases_.size());
+  for (size_t l = 0; l < weights.size(); ++l) {
+    OE_CHECK(weights[l].rows() == weights_[l].rows() &&
+             weights[l].cols() == weights_[l].cols())
+        << "layer " << l << " weight shape mismatch";
+    OE_CHECK(biases[l].size() == biases_[l].size());
+  }
+  weights_ = std::move(weights);
+  biases_ = std::move(biases);
+}
+
+int64_t Mlp::ParameterCount() const {
+  int64_t count = 0;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    count += weights_[l].size() + static_cast<int64_t>(biases_[l].size());
+  }
+  return count;
+}
+
+int64_t Mlp::MemoryBytes() const {
+  return ParameterCount() * static_cast<int64_t>(sizeof(double));
+}
+
+}  // namespace oebench

@@ -1,0 +1,148 @@
+#ifndef OEBENCH_MODELS_MLP_H_
+#define OEBENCH_MODELS_MLP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "dataframe/table.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// Configuration of the multilayer perceptron. The paper's default NN is a
+/// 3-hidden-layer MLP [32, 16, 8] trained 10 epochs per window with batch
+/// size 64 and learning rate 0.01 (§6.1); Figure 13 uses the 5- and
+/// 7-layer variants.
+struct MlpConfig {
+  std::vector<int> hidden_sizes = {32, 16, 8};
+  TaskType task = TaskType::kRegression;
+  int num_classes = 2;  // classification only
+  double learning_rate = 0.01;
+  int batch_size = 64;
+  /// 0 disables clipping. The paper observes NN loss exploding on extreme
+  /// outliers (§5.3); clipping is off by default to reproduce that.
+  double grad_clip = 0.0;
+};
+
+/// Returns the hidden layout the paper uses for an MLP with `layers`
+/// hidden layers (3 -> [32,16,8], 5 -> [32,32,16,16,8],
+/// 7 -> [32,32,32,16,16,16,8]); other depths interpolate the same pattern.
+std::vector<int> PaperMlpHidden(int layers);
+
+/// A plain feed-forward network: ReLU hidden layers, identity output with
+/// MSE loss for regression, softmax + cross-entropy for classification.
+/// Trained by mini-batch SGD. Copyable (EWC/LwF keep the previous window's
+/// model as a frozen copy).
+class Mlp {
+ public:
+  /// Hooks let incremental learners inject extra gradient terms without
+  /// the network knowing about them.
+  struct GradHooks {
+    /// Called per sample during backprop with the absolute row index into
+    /// the epoch's feature matrix and the raw output activations; may add
+    /// to the output-layer delta (LwF distillation).
+    std::function<void(int64_t row, const std::vector<double>& output,
+                       std::vector<double>* delta)>
+        output_hook;
+    /// Called once per mini-batch after data gradients are accumulated;
+    /// may add parameter-space gradient (EWC quadratic penalty).
+    /// Arguments: current parameters and mutable gradients, both laid out
+    /// as weights()/biases().
+    std::function<void(const std::vector<Matrix>& weights,
+                       const std::vector<std::vector<double>>& biases,
+                       std::vector<Matrix>* weight_grads,
+                       std::vector<std::vector<double>>* bias_grads)>
+        param_hook;
+  };
+
+  Mlp(MlpConfig config, uint64_t seed);
+
+  /// Lazily builds parameters the first time the input width is known.
+  /// Calling again with a different width is a programming error (the
+  /// incremental-feature challenge is handled upstream by the encoders).
+  void EnsureInitialized(int64_t input_dim);
+  bool initialized() const { return initialized_; }
+
+  /// One epoch of shuffled mini-batch SGD over (x, y). For classification
+  /// `y` holds class ids. Returns the mean per-sample training loss.
+  double TrainEpoch(const Matrix& x, const std::vector<double>& y, Rng* rng,
+                    const GradHooks* hooks = nullptr);
+
+  /// Raw output activations for one input row (size 1 for regression,
+  /// num_classes for classification — pre-softmax logits).
+  std::vector<double> Forward(const double* row, int64_t dim) const;
+
+  /// Regression prediction.
+  double PredictValue(const std::vector<double>& x) const;
+  /// Classification prediction (argmax over logits).
+  int PredictClass(const std::vector<double>& x) const;
+  /// Softmax probabilities (classification only).
+  std::vector<double> PredictProba(const std::vector<double>& x) const;
+
+  /// Mean task loss over a dataset: MSE for regression, cross-entropy for
+  /// classification.
+  double EvaluateLoss(const Matrix& x, const std::vector<double>& y) const;
+
+  /// Accumulates squared data gradients (the diagonal empirical Fisher
+  /// information EWC uses, §6.1) over the dataset into the given buffers,
+  /// which are resized/zeroed to parameter shape.
+  void ComputeSquaredGradients(const Matrix& x, const std::vector<double>& y,
+                               std::vector<Matrix>* weight_sq,
+                               std::vector<std::vector<double>>* bias_sq) const;
+
+  /// Accumulates |d ||f(x)||^2 / d theta| over the dataset — the
+  /// unsupervised importance weights of Memory Aware Synapses (Aljundi
+  /// et al., 2018). Buffers are resized/zeroed to parameter shape.
+  void ComputeOutputNormGradients(
+      const Matrix& x, std::vector<Matrix>* weight_abs,
+      std::vector<std::vector<double>>* bias_abs) const;
+
+  const MlpConfig& config() const { return config_; }
+  const std::vector<Matrix>& weights() const { return weights_; }
+  const std::vector<std::vector<double>>& biases() const { return biases_; }
+
+  /// Overwrites the parameters (shapes must match the initialised
+  /// architecture). Used by the serialisation round-trip.
+  void SetParameters(std::vector<Matrix> weights,
+                     std::vector<std::vector<double>> biases);
+  int64_t input_dim() const { return input_dim_; }
+
+  int64_t ParameterCount() const;
+  /// Rough live-memory estimate (bytes) for the paper's Table 6 analogue.
+  int64_t MemoryBytes() const;
+
+ private:
+  /// How BackpropSample seeds the output-layer delta.
+  enum class LossMode {
+    kTask,        // MSE / softmax cross-entropy against `target`
+    kOutputNorm,  // ||f(x)||^2 (unsupervised; `target` ignored)
+  };
+
+  /// Per-sample forward pass storing activations, then backprop into the
+  /// gradient accumulators. Returns the sample loss.
+  double BackpropSample(const double* row, double target, int64_t row_index,
+                        const GradHooks* hooks,
+                        std::vector<Matrix>* weight_grads,
+                        std::vector<std::vector<double>>* bias_grads,
+                        LossMode mode = LossMode::kTask) const;
+
+  int OutputDim() const {
+    return config_.task == TaskType::kClassification ? config_.num_classes
+                                                     : 1;
+  }
+
+  MlpConfig config_;
+  uint64_t seed_;
+  bool initialized_ = false;
+  int64_t input_dim_ = 0;
+  // Layer l maps layer_dims_[l] -> layer_dims_[l+1].
+  std::vector<int64_t> layer_dims_;
+  std::vector<Matrix> weights_;              // [in x out] per layer
+  std::vector<std::vector<double>> biases_;  // [out] per layer
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_MODELS_MLP_H_

@@ -1,0 +1,84 @@
+#include "models/naive_bayes.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+Status GaussianNb::Fit(const Matrix& x, const std::vector<double>& y) {
+  if (x.rows() != static_cast<int64_t>(y.size())) {
+    return Status::InvalidArgument("x/y row mismatch");
+  }
+  if (x.rows() < 1) return Status::InvalidArgument("empty training data");
+  const int64_t n = x.rows();
+  const int64_t d = x.cols();
+  const int64_t k = num_classes_;
+
+  std::vector<double> count(static_cast<size_t>(k), 0.0);
+  mean_ = Matrix(k, d);
+  var_ = Matrix(k, d);
+  for (int64_t r = 0; r < n; ++r) {
+    int c = static_cast<int>(y[static_cast<size_t>(r)]);
+    OE_CHECK(c >= 0 && c < k);
+    count[static_cast<size_t>(c)] += 1.0;
+    const double* row = x.Row(r);
+    for (int64_t f = 0; f < d; ++f) mean_.At(c, f) += row[f];
+  }
+  for (int64_t c = 0; c < k; ++c) {
+    double cnt = count[static_cast<size_t>(c)];
+    if (cnt > 0.0) {
+      for (int64_t f = 0; f < d; ++f) mean_.At(c, f) /= cnt;
+    }
+  }
+  for (int64_t r = 0; r < n; ++r) {
+    int c = static_cast<int>(y[static_cast<size_t>(r)]);
+    const double* row = x.Row(r);
+    for (int64_t f = 0; f < d; ++f) {
+      double dlt = row[f] - mean_.At(c, f);
+      var_.At(c, f) += dlt * dlt;
+    }
+  }
+  log_prior_.assign(static_cast<size_t>(k), 0.0);
+  for (int64_t c = 0; c < k; ++c) {
+    double cnt = count[static_cast<size_t>(c)];
+    for (int64_t f = 0; f < d; ++f) {
+      // Variance smoothing keeps degenerate columns finite.
+      var_.At(c, f) = cnt > 0.0 ? var_.At(c, f) / cnt + 1e-9 : 1.0;
+    }
+    log_prior_[static_cast<size_t>(c)] =
+        std::log((cnt + 1.0) / (static_cast<double>(n) + k));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+int GaussianNb::PredictClass(const double* row) const {
+  OE_CHECK(fitted_);
+  std::vector<double> log_like = log_prior_;
+  for (int64_t c = 0; c < num_classes_; ++c) {
+    for (int64_t f = 0; f < mean_.cols(); ++f) {
+      double v = var_.At(c, f);
+      double dlt = row[f] - mean_.At(c, f);
+      log_like[static_cast<size_t>(c)] +=
+          -0.5 * (std::log(2.0 * M_PI * v) + dlt * dlt / v);
+    }
+  }
+  return ArgMax(log_like);
+}
+
+double GaussianNb::EvaluateErrorRate(const Matrix& x,
+                                     const std::vector<double>& y) const {
+  OE_CHECK(x.rows() == static_cast<int64_t>(y.size()));
+  if (x.rows() == 0) return 0.0;
+  int64_t wrong = 0;
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    if (PredictClass(x.Row(r)) !=
+        static_cast<int>(y[static_cast<size_t>(r)])) {
+      ++wrong;
+    }
+  }
+  return static_cast<double>(wrong) / static_cast<double>(x.rows());
+}
+
+}  // namespace oebench

@@ -1,0 +1,40 @@
+#ifndef OEBENCH_MODELS_NAIVE_BAYES_H_
+#define OEBENCH_MODELS_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// Gaussian naive Bayes classifier. The concept-drift statistics pipeline
+/// follows the Menelaus examples and trains GaussianNB per window for
+/// classification tasks (paper §4.3), feeding its error stream into
+/// DDM / EDDM / ADWIN-accuracy.
+class GaussianNb {
+ public:
+  explicit GaussianNb(int num_classes) : num_classes_(num_classes) {}
+
+  Status Fit(const Matrix& x, const std::vector<double>& y);
+  bool fitted() const { return fitted_; }
+
+  int PredictClass(const double* row) const;
+  int PredictClass(const std::vector<double>& x) const {
+    return PredictClass(x.data());
+  }
+  /// Error rate over a dataset.
+  double EvaluateErrorRate(const Matrix& x,
+                           const std::vector<double>& y) const;
+
+ private:
+  int num_classes_;
+  bool fitted_ = false;
+  std::vector<double> log_prior_;
+  Matrix mean_;  // class x feature
+  Matrix var_;   // class x feature
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_MODELS_NAIVE_BAYES_H_

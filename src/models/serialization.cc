@@ -1,0 +1,120 @@
+#include "models/serialization.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace oebench {
+
+void SerializeMlp(const Mlp& mlp, std::ostream* out) {
+  OE_CHECK(mlp.initialized()) << "serialising an uninitialised MLP";
+  const MlpConfig& config = mlp.config();
+  *out << "mlp v1\n";
+  *out << std::setprecision(17);
+  *out << (config.task == TaskType::kClassification ? "cls" : "reg")
+       << ' ' << config.num_classes << ' ' << config.learning_rate << ' '
+       << config.batch_size << ' ' << config.grad_clip << '\n';
+  *out << config.hidden_sizes.size();
+  for (int h : config.hidden_sizes) *out << ' ' << h;
+  *out << '\n';
+  *out << mlp.input_dim() << '\n';
+  for (size_t l = 0; l < mlp.weights().size(); ++l) {
+    const Matrix& w = mlp.weights()[l];
+    *out << w.rows() << ' ' << w.cols() << '\n';
+    for (double v : w.data()) *out << v << ' ';
+    *out << '\n';
+    for (double b : mlp.biases()[l]) *out << b << ' ';
+    *out << '\n';
+  }
+}
+
+Result<Mlp> DeserializeMlp(std::istream* in) {
+  std::string magic;
+  std::string version;
+  if (!(*in >> magic >> version) || magic != "mlp" || version != "v1") {
+    return Status::IoError("bad mlp header");
+  }
+  std::string task;
+  MlpConfig config;
+  if (!(*in >> task >> config.num_classes >> config.learning_rate >>
+        config.batch_size >> config.grad_clip)) {
+    return Status::IoError("bad mlp config line");
+  }
+  config.task =
+      task == "cls" ? TaskType::kClassification : TaskType::kRegression;
+  size_t num_hidden = 0;
+  if (!(*in >> num_hidden) || num_hidden == 0 || num_hidden > 64) {
+    return Status::IoError("bad hidden layer count");
+  }
+  config.hidden_sizes.resize(num_hidden);
+  for (int& h : config.hidden_sizes) {
+    if (!(*in >> h) || h < 1) return Status::IoError("bad hidden size");
+  }
+  int64_t input_dim = 0;
+  if (!(*in >> input_dim) || input_dim < 1) {
+    return Status::IoError("bad input dim");
+  }
+  Mlp mlp(config, /*seed=*/0);
+  mlp.EnsureInitialized(input_dim);
+  std::vector<Matrix> weights;
+  std::vector<std::vector<double>> biases;
+  for (size_t l = 0; l < mlp.weights().size(); ++l) {
+    int64_t rows = 0;
+    int64_t cols = 0;
+    if (!(*in >> rows >> cols)) return Status::IoError("bad layer shape");
+    if (rows != mlp.weights()[l].rows() ||
+        cols != mlp.weights()[l].cols()) {
+      return Status::IoError("layer shape inconsistent with config");
+    }
+    Matrix w(rows, cols);
+    for (double& v : w.data()) {
+      if (!(*in >> v)) return Status::IoError("truncated weights");
+    }
+    std::vector<double> b(mlp.biases()[l].size());
+    for (double& v : b) {
+      if (!(*in >> v)) return Status::IoError("truncated biases");
+    }
+    weights.push_back(std::move(w));
+    biases.push_back(std::move(b));
+  }
+  mlp.SetParameters(std::move(weights), std::move(biases));
+  return mlp;
+}
+
+std::string MlpToString(const Mlp& mlp) {
+  std::ostringstream out;
+  SerializeMlp(mlp, &out);
+  return out.str();
+}
+
+Result<Mlp> MlpFromString(const std::string& text) {
+  std::istringstream in(text);
+  return DeserializeMlp(&in);
+}
+
+std::string GbdtToString(const Gbdt& model) {
+  std::ostringstream out;
+  model.SerializeTo(&out);
+  return out.str();
+}
+
+Result<Gbdt> GbdtFromString(const std::string& text) {
+  std::istringstream in(text);
+  return Gbdt::DeserializeFrom(&in);
+}
+
+Status SaveMlp(const Mlp& mlp, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "'");
+  SerializeMlp(mlp, &out);
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Mlp> LoadMlp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  return DeserializeMlp(&in);
+}
+
+}  // namespace oebench

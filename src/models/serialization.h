@@ -1,0 +1,40 @@
+#ifndef OEBENCH_MODELS_SERIALIZATION_H_
+#define OEBENCH_MODELS_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "models/gbdt.h"
+#include "models/mlp.h"
+
+namespace oebench {
+
+/// Text serialisation for trained models, so a stream learner's state can
+/// be checkpointed, shipped, or inspected. The format is line-based and
+/// versioned ("mlp v1", "decision_tree v1", "gbdt v1"); doubles round-trip
+/// exactly via max_digits10 precision. DecisionTree and Gbdt expose
+/// SerializeTo/DeserializeFrom directly; the MLP helpers live here
+/// because reconstruction goes through MlpConfig.
+
+/// Writes an initialised MLP (architecture + parameters).
+void SerializeMlp(const Mlp& mlp, std::ostream* out);
+
+/// Reads an MLP previously written by SerializeMlp. The returned model
+/// predicts identically to the saved one.
+Result<Mlp> DeserializeMlp(std::istream* in);
+
+/// Convenience string round-trips.
+std::string MlpToString(const Mlp& mlp);
+Result<Mlp> MlpFromString(const std::string& text);
+std::string GbdtToString(const Gbdt& model);
+Result<Gbdt> GbdtFromString(const std::string& text);
+
+/// File round-trips (any of the three model kinds, by extension-free
+/// sniffing of the header line).
+Status SaveMlp(const Mlp& mlp, const std::string& path);
+Result<Mlp> LoadMlp(const std::string& path);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_MODELS_SERIALIZATION_H_

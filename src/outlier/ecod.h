@@ -1,0 +1,47 @@
+#ifndef OEBENCH_OUTLIER_ECOD_H_
+#define OEBENCH_OUTLIER_ECOD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// ECOD — unsupervised outlier detection using empirical cumulative
+/// distribution functions (Li, Zhao, Hu, Botta, Ionescu & Chen, 2022).
+/// For every dimension the left and right empirical tail probabilities of
+/// each point are computed; a point's outlier score is the maximum over
+/// the aggregated negative log tail probabilities (left, right, and a
+/// skewness-directed mix). Parameter free, which is why ADBench and the
+/// paper (§4.3) recommend it.
+class Ecod {
+ public:
+  /// Fits the per-dimension ECDFs on `data` and scores the same rows.
+  /// (ECOD is transductive: fit and score are one step.)
+  Result<std::vector<double>> FitScore(const Matrix& data);
+
+  /// Scores new rows against the fitted ECDFs (tail probabilities are
+  /// interpolated from the fit sample).
+  Result<std::vector<double>> Score(const Matrix& data) const;
+
+  bool fitted() const { return !sorted_columns_.empty(); }
+
+ private:
+  double ScoreRow(const double* row) const;
+
+  // Per-dimension sorted fit values (for ECDF lookup) and skewness sign.
+  std::vector<std::vector<double>> sorted_columns_;
+  std::vector<double> skewness_;
+};
+
+/// Boolean outlier mask from scores using the paper's rule: a point is an
+/// outlier when its score exceeds mean + 3 * stddev of the window's scores
+/// (§4.3 "setting the threshold at three standard deviations above the
+/// mean score").
+std::vector<bool> ThresholdOutliers(const std::vector<double>& scores,
+                                    double num_stddevs = 3.0);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_OUTLIER_ECOD_H_

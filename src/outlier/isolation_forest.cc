@@ -1,0 +1,123 @@
+#include "outlier/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oebench {
+
+double IsolationForest::AveragePathLength(double n) {
+  if (n <= 1.0) return 0.0;
+  if (n == 2.0) return 1.0;
+  double h = std::log(n - 1.0) + 0.5772156649015329;  // harmonic approx
+  return 2.0 * h - 2.0 * (n - 1.0) / n;
+}
+
+int32_t IsolationForest::Build(const Matrix& data,
+                               std::vector<int64_t>& indices, int depth,
+                               int max_depth, Rng* rng, Tree* tree) const {
+  int32_t self = static_cast<int32_t>(tree->size());
+  tree->emplace_back();
+  if (static_cast<int>(indices.size()) <= 1 || depth >= max_depth) {
+    (*tree)[static_cast<size_t>(self)].size =
+        static_cast<double>(indices.size());
+    return self;
+  }
+  // Random feature with a non-degenerate range; give up after a few tries.
+  int32_t feature = -1;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    int32_t f = static_cast<int32_t>(rng->UniformInt(data.cols()));
+    lo = data.At(indices[0], f);
+    hi = lo;
+    for (int64_t i : indices) {
+      lo = std::min(lo, data.At(i, f));
+      hi = std::max(hi, data.At(i, f));
+    }
+    if (hi > lo) {
+      feature = f;
+      break;
+    }
+  }
+  if (feature < 0) {
+    (*tree)[static_cast<size_t>(self)].size =
+        static_cast<double>(indices.size());
+    return self;
+  }
+  double threshold = rng->Uniform(lo, hi);
+  std::vector<int64_t> left_idx;
+  std::vector<int64_t> right_idx;
+  for (int64_t i : indices) {
+    if (data.At(i, feature) < threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  indices.clear();
+  indices.shrink_to_fit();
+  int32_t left = Build(data, left_idx, depth + 1, max_depth, rng, tree);
+  int32_t right = Build(data, right_idx, depth + 1, max_depth, rng, tree);
+  IsoNode& node = (*tree)[static_cast<size_t>(self)];
+  node.feature = feature;
+  node.threshold = threshold;
+  node.left = left;
+  node.right = right;
+  return self;
+}
+
+Status IsolationForest::Fit(const Matrix& data) {
+  if (data.rows() < 2) {
+    return Status::InvalidArgument("isolation forest needs >= 2 rows");
+  }
+  trees_.clear();
+  Rng rng(options_.seed);
+  int64_t psi =
+      std::min<int64_t>(options_.subsample_size, data.rows());
+  int max_depth =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(psi)))) + 1;
+  c_norm_ = AveragePathLength(static_cast<double>(psi));
+  if (c_norm_ <= 0.0) c_norm_ = 1.0;
+  trees_.reserve(static_cast<size_t>(options_.num_trees));
+  for (int t = 0; t < options_.num_trees; ++t) {
+    std::vector<int64_t> sample =
+        rng.SampleWithoutReplacement(data.rows(), psi);
+    Tree tree;
+    Build(data, sample, 0, max_depth, &rng, &tree);
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double IsolationForest::PathLength(const Tree& tree,
+                                   const double* row) const {
+  int32_t cur = 0;
+  double depth = 0.0;
+  while (tree[static_cast<size_t>(cur)].feature >= 0) {
+    const IsoNode& node = tree[static_cast<size_t>(cur)];
+    cur = row[node.feature] < node.threshold ? node.left : node.right;
+    depth += 1.0;
+  }
+  return depth + AveragePathLength(tree[static_cast<size_t>(cur)].size);
+}
+
+Result<std::vector<double>> IsolationForest::Score(const Matrix& data) const {
+  if (!fitted()) return Status::FailedPrecondition("forest not fitted");
+  std::vector<double> scores(static_cast<size_t>(data.rows()));
+  for (int64_t r = 0; r < data.rows(); ++r) {
+    double avg_path = 0.0;
+    for (const Tree& tree : trees_) {
+      avg_path += PathLength(tree, data.Row(r));
+    }
+    avg_path /= static_cast<double>(trees_.size());
+    scores[static_cast<size_t>(r)] = std::pow(2.0, -avg_path / c_norm_);
+  }
+  return scores;
+}
+
+Result<std::vector<double>> IsolationForest::FitScore(const Matrix& data) {
+  OE_RETURN_NOT_OK(Fit(data));
+  return Score(data);
+}
+
+}  // namespace oebench

@@ -1,0 +1,226 @@
+#include "preprocess/imputer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/eigen.h"
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+// ---------------------------------------------------------------- Zero
+
+Status ZeroImputer::Fit(const Matrix& data) {
+  cols_ = data.cols();
+  return Status::OK();
+}
+
+Status ZeroImputer::Transform(Matrix* data) const {
+  if (cols_ < 0) return Status::FailedPrecondition("imputer not fitted");
+  if (data->cols() != cols_) {
+    return Status::InvalidArgument("column count differs from fit time");
+  }
+  for (double& v : data->data()) {
+    if (std::isnan(v)) v = 0.0;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- Mean
+
+Status MeanImputer::Fit(const Matrix& data) {
+  if (data.rows() == 0) {
+    return Status::InvalidArgument("cannot fit on empty data");
+  }
+  means_ = data.ColumnMeans();
+  return Status::OK();
+}
+
+Status MeanImputer::Transform(Matrix* data) const {
+  if (means_.empty()) return Status::FailedPrecondition("imputer not fitted");
+  if (data->cols() != static_cast<int64_t>(means_.size())) {
+    return Status::InvalidArgument("column count differs from fit time");
+  }
+  for (int64_t r = 0; r < data->rows(); ++r) {
+    double* row = data->Row(r);
+    for (int64_t c = 0; c < data->cols(); ++c) {
+      if (std::isnan(row[c])) row[c] = means_[static_cast<size_t>(c)];
+    }
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- KNN
+
+Status KnnImputer::Fit(const Matrix& data) {
+  if (data.rows() == 0) {
+    return Status::InvalidArgument("cannot fit on empty data");
+  }
+  if (k_ < 1) return Status::InvalidArgument("knn imputer needs k >= 1");
+  reference_ = data;
+  fallback_means_ = data.ColumnMeans();
+  return Status::OK();
+}
+
+Status KnnImputer::Transform(Matrix* data) const {
+  if (reference_.rows() == 0) {
+    return Status::FailedPrecondition("imputer not fitted");
+  }
+  if (data->cols() != reference_.cols()) {
+    return Status::InvalidArgument("column count differs from fit time");
+  }
+  const int64_t d = data->cols();
+  std::vector<double> query(static_cast<size_t>(d));
+  for (int64_t r = 0; r < data->rows(); ++r) {
+    double* row = data->Row(r);
+    bool has_missing = false;
+    for (int64_t c = 0; c < d; ++c) {
+      if (std::isnan(row[c])) {
+        has_missing = true;
+        break;
+      }
+    }
+    if (!has_missing) continue;
+    std::copy(row, row + d, query.begin());
+
+    // Distances to every reference row (nan-euclidean), computed once per
+    // query row; neighbours are then filtered per missing column so that a
+    // neighbour missing the same column is skipped (sklearn semantics).
+    std::vector<std::pair<double, int64_t>> dist;
+    dist.reserve(static_cast<size_t>(reference_.rows()));
+    for (int64_t i = 0; i < reference_.rows(); ++i) {
+      double dd = NanEuclideanDistance(query, reference_.RowVector(i));
+      if (std::isfinite(dd)) dist.emplace_back(dd, i);
+    }
+    std::sort(dist.begin(), dist.end());
+
+    for (int64_t c = 0; c < d; ++c) {
+      if (!std::isnan(row[c])) continue;
+      double sum = 0.0;
+      int found = 0;
+      for (const auto& [dd, idx] : dist) {
+        double v = reference_.At(idx, c);
+        if (std::isnan(v)) continue;
+        sum += v;
+        if (++found == k_) break;
+      }
+      row[c] = found > 0 ? sum / found : fallback_means_[static_cast<size_t>(c)];
+      if (std::isnan(row[c])) row[c] = 0.0;  // all-NaN column at fit time
+    }
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- Regression
+
+Status RegressionImputer::Fit(const Matrix& data) {
+  if (data.rows() < 2) {
+    return Status::InvalidArgument("need >= 2 rows to fit regressions");
+  }
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  means_ = data.ColumnMeans();
+  for (double& m : means_) {
+    if (std::isnan(m)) m = 0.0;
+  }
+
+  // Mean-imputed design copy: regressions must see complete predictors.
+  Matrix filled = data;
+  for (int64_t r = 0; r < n; ++r) {
+    double* row = filled.Row(r);
+    for (int64_t c = 0; c < d; ++c) {
+      if (std::isnan(row[c])) row[c] = means_[static_cast<size_t>(c)];
+    }
+  }
+
+  weights_.assign(static_cast<size_t>(d), {});
+  for (int64_t target = 0; target < d; ++target) {
+    // Rows where the target column was actually observed.
+    std::vector<int64_t> train_rows;
+    for (int64_t r = 0; r < n; ++r) {
+      if (!std::isnan(data.At(r, target))) train_rows.push_back(r);
+    }
+    std::vector<double>& w = weights_[static_cast<size_t>(target)];
+    w.assign(static_cast<size_t>(d), 0.0);  // d-1 predictors + intercept
+    if (train_rows.size() < 2) {
+      w[static_cast<size_t>(d - 1)] = means_[static_cast<size_t>(target)];
+      continue;
+    }
+    // Ridge normal equations over the d-1 predictor columns + intercept.
+    const int64_t p = d - 1;
+    Matrix xtx(p + 1, p + 1);
+    std::vector<double> xty(static_cast<size_t>(p + 1), 0.0);
+    std::vector<double> x(static_cast<size_t>(p + 1), 0.0);
+    for (int64_t r : train_rows) {
+      int64_t j = 0;
+      for (int64_t c = 0; c < d; ++c) {
+        if (c == target) continue;
+        x[static_cast<size_t>(j++)] = filled.At(r, c);
+      }
+      x[static_cast<size_t>(p)] = 1.0;  // intercept
+      double y = data.At(r, target);
+      for (int64_t a = 0; a <= p; ++a) {
+        for (int64_t b = a; b <= p; ++b) {
+          xtx.At(a, b) += x[static_cast<size_t>(a)] * x[static_cast<size_t>(b)];
+        }
+        xty[static_cast<size_t>(a)] += x[static_cast<size_t>(a)] * y;
+      }
+    }
+    for (int64_t a = 0; a <= p; ++a) {
+      for (int64_t b = 0; b < a; ++b) xtx.At(a, b) = xtx.At(b, a);
+      if (a < p) xtx.At(a, a) += l2_;
+    }
+    w = SolveLinearSystem(std::move(xtx), std::move(xty));
+  }
+  return Status::OK();
+}
+
+Status RegressionImputer::Transform(Matrix* data) const {
+  if (weights_.empty()) return Status::FailedPrecondition("imputer not fitted");
+  const int64_t d = data->cols();
+  if (d != static_cast<int64_t>(weights_.size())) {
+    return Status::InvalidArgument("column count differs from fit time");
+  }
+  for (int64_t r = 0; r < data->rows(); ++r) {
+    double* row = data->Row(r);
+    // Predictor vector with means standing in for any missing predictor.
+    for (int64_t target = 0; target < d; ++target) {
+      if (!std::isnan(row[target])) continue;
+      const std::vector<double>& w = weights_[static_cast<size_t>(target)];
+      double pred = w[static_cast<size_t>(d - 1)];  // intercept
+      int64_t j = 0;
+      for (int64_t c = 0; c < d; ++c) {
+        if (c == target) continue;
+        double v = std::isnan(row[c]) ? means_[static_cast<size_t>(c)]
+                                      : row[c];
+        pred += w[static_cast<size_t>(j++)] * v;
+      }
+      row[target] = std::isfinite(pred) ? pred
+                                        : means_[static_cast<size_t>(target)];
+    }
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- factory
+
+Result<std::unique_ptr<Imputer>> MakeImputer(const std::string& strategy,
+                                             int knn_k) {
+  if (strategy == "zero") {
+    return std::unique_ptr<Imputer>(new ZeroImputer());
+  }
+  if (strategy == "mean") {
+    return std::unique_ptr<Imputer>(new MeanImputer());
+  }
+  if (strategy == "knn") {
+    return std::unique_ptr<Imputer>(new KnnImputer(knn_k));
+  }
+  if (strategy == "regression") {
+    return std::unique_ptr<Imputer>(new RegressionImputer());
+  }
+  return Status::InvalidArgument("unknown imputer strategy '" + strategy +
+                                 "'");
+}
+
+}  // namespace oebench

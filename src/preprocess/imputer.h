@@ -1,0 +1,99 @@
+#ifndef OEBENCH_PREPROCESS_IMPUTER_H_
+#define OEBENCH_PREPROCESS_IMPUTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// Fills missing (NaN) cells of a feature matrix. Fitted on reference data
+/// (the window being processed, or — for the "oracle" variant of Figure 5 —
+/// the whole stream), then applied to matrices of the same width.
+class Imputer {
+ public:
+  virtual ~Imputer() = default;
+
+  /// Learns whatever statistics the strategy needs from `data` (which may
+  /// itself contain NaNs).
+  virtual Status Fit(const Matrix& data) = 0;
+
+  /// Replaces every NaN in `*data` in place. Columns that were entirely
+  /// missing at fit time are filled with 0.
+  virtual Status Transform(Matrix* data) const = 0;
+
+  /// Strategy name for reports ("knn(k=2)", "mean", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Fills with 0 (paper Figure 14 baseline "filling with zero").
+class ZeroImputer : public Imputer {
+ public:
+  Status Fit(const Matrix& data) override;
+  Status Transform(Matrix* data) const override;
+  std::string name() const override { return "zero"; }
+
+ private:
+  int64_t cols_ = -1;
+};
+
+/// Fills with the fit-time column mean (Figure 14 "filling with average").
+class MeanImputer : public Imputer {
+ public:
+  Status Fit(const Matrix& data) override;
+  Status Transform(Matrix* data) const override;
+  std::string name() const override { return "mean"; }
+
+ private:
+  std::vector<double> means_;
+};
+
+/// scikit-learn style KNNImputer with nan-euclidean distances: a missing
+/// cell is the average of that column over the k nearest fit-time rows
+/// that observe the column. The paper's default pipeline uses k = 2
+/// (§4.3 step 4, §6.6).
+class KnnImputer : public Imputer {
+ public:
+  explicit KnnImputer(int k = 2) : k_(k) {}
+
+  Status Fit(const Matrix& data) override;
+  Status Transform(Matrix* data) const override;
+  std::string name() const override {
+    return "knn(k=" + std::to_string(k_) + ")";
+  }
+
+ private:
+  int k_;
+  Matrix reference_;
+  std::vector<double> fallback_means_;
+};
+
+/// Regression imputer (Figure 14 "regression imputer"): per column, a ridge
+/// regression of that column on all others (mean-imputed) predicts missing
+/// cells.
+class RegressionImputer : public Imputer {
+ public:
+  explicit RegressionImputer(double l2 = 1e-3) : l2_(l2) {}
+
+  Status Fit(const Matrix& data) override;
+  Status Transform(Matrix* data) const override;
+  std::string name() const override { return "regression"; }
+
+ private:
+  double l2_;
+  std::vector<double> means_;
+  // Per-column weights over the other columns, plus intercept at the end.
+  std::vector<std::vector<double>> weights_;
+};
+
+/// Factory by strategy name: "zero", "mean", "knn" (uses `knn_k`),
+/// "regression".
+Result<std::unique_ptr<Imputer>> MakeImputer(const std::string& strategy,
+                                             int knn_k = 2);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_PREPROCESS_IMPUTER_H_

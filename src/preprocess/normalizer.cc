@@ -1,0 +1,47 @@
+#include "preprocess/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oebench {
+
+Status Normalizer::Fit(const Matrix& data) {
+  if (data.rows() == 0) {
+    return Status::InvalidArgument("cannot fit normalizer on empty data");
+  }
+  mean_ = data.ColumnMeans();
+  stddev_ = data.ColumnStdDevs();
+  fitted_ = true;
+  return Status::OK();
+}
+
+void Normalizer::Transform(Matrix* data) const {
+  OE_CHECK(fitted_);
+  OE_CHECK(data->cols() == static_cast<int64_t>(mean_.size()));
+  for (int64_t r = 0; r < data->rows(); ++r) {
+    double* row = data->Row(r);
+    for (int64_t c = 0; c < data->cols(); ++c) {
+      if (std::isnan(row[c])) continue;
+      row[c] = TransformValue(c, row[c]);
+    }
+  }
+}
+
+double Normalizer::TransformValue(int64_t col, double v) const {
+  size_t i = static_cast<size_t>(col);
+  // Zero-variance columns divide by 1 (sklearn StandardScaler semantics).
+  // Dividing by a tiny epsilon instead would blow features up by orders
+  // of magnitude the moment an all-constant (e.g. all-missing, imputed)
+  // first-window column starts carrying real values — the
+  // incremental-feature case of §5.1.
+  double scale = stddev_[i] < kEpsilon ? 1.0 : stddev_[i];
+  return (v - mean_[i]) / scale;
+}
+
+double Normalizer::InverseTransformValue(int64_t col, double v) const {
+  size_t i = static_cast<size_t>(col);
+  double scale = stddev_[i] < kEpsilon ? 1.0 : stddev_[i];
+  return v * scale + mean_[i];
+}
+
+}  // namespace oebench

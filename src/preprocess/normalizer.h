@@ -1,0 +1,42 @@
+#ifndef OEBENCH_PREPROCESS_NORMALIZER_H_
+#define OEBENCH_PREPROCESS_NORMALIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// Standardises features to zero mean / unit variance using statistics of
+/// the *fit* data only. The paper (§6.1) fits on the first window to
+/// simulate "only the statistics of the first few samples are available
+/// to get started", then applies those statistics to every later window.
+/// NaNs are ignored when fitting and passed through when transforming.
+class Normalizer {
+ public:
+  /// Computes per-column mean and standard deviation (NaN-skipping).
+  Status Fit(const Matrix& data);
+
+  /// (x - mean) / max(std, epsilon), applied in place.
+  void Transform(Matrix* data) const;
+
+  /// Normalises a single value of column `col`.
+  double TransformValue(int64_t col, double v) const;
+  /// Undoes the normalisation of a single value of column `col`.
+  double InverseTransformValue(int64_t col, double v) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  static constexpr double kEpsilon = 1e-9;
+  bool fitted_ = false;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_PREPROCESS_NORMALIZER_H_

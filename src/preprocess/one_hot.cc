@@ -1,0 +1,84 @@
+#include "preprocess/one_hot.h"
+
+#include <limits>
+#include <unordered_map>
+
+namespace oebench {
+
+Status OneHotEncoder::Fit(const Table& table) {
+  plans_.clear();
+  num_output_columns_ = 0;
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    ColumnPlan plan;
+    plan.name = col.name();
+    if (col.type() == ColumnType::kCategorical) {
+      plan.categorical = true;
+      plan.categories = col.categories();
+      num_output_columns_ += static_cast<int64_t>(plan.categories.size());
+    } else {
+      num_output_columns_ += 1;
+    }
+    plans_.push_back(std::move(plan));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<Table> OneHotEncoder::Transform(const Table& table) const {
+  if (!fitted_) return Status::FailedPrecondition("encoder not fitted");
+  if (table.num_columns() != static_cast<int64_t>(plans_.size())) {
+    return Status::InvalidArgument("column count differs from fit time");
+  }
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  Table out;
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    const ColumnPlan& plan = plans_[static_cast<size_t>(c)];
+    if (col.name() != plan.name) {
+      return Status::InvalidArgument("column order differs from fit time");
+    }
+    if (!plan.categorical) {
+      if (col.type() != ColumnType::kNumeric) {
+        return Status::InvalidArgument("column '" + col.name() +
+                                       "' changed type since fit");
+      }
+      OE_RETURN_NOT_OK(out.AddColumn(col));
+      continue;
+    }
+    if (col.type() != ColumnType::kCategorical) {
+      return Status::InvalidArgument("column '" + col.name() +
+                                     "' changed type since fit");
+    }
+    // Map this table's dictionary codes onto the fitted dictionary by
+    // label so re-encoded windows stay consistent.
+    std::unordered_map<std::string, size_t> fitted_index;
+    for (size_t k = 0; k < plan.categories.size(); ++k) {
+      fitted_index[plan.categories[k]] = k;
+    }
+    std::vector<Column> indicators;
+    indicators.reserve(plan.categories.size());
+    for (const std::string& cat : plan.categories) {
+      indicators.push_back(Column::Numeric(plan.name + "=" + cat));
+    }
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      if (col.IsMissing(r)) {
+        for (Column& ind : indicators) ind.AppendNumeric(kNan);
+        continue;
+      }
+      const std::string& label = col.CategoryName(col.CodeAt(r));
+      auto it = fitted_index.find(label);
+      for (size_t k = 0; k < indicators.size(); ++k) {
+        double v =
+            (it != fitted_index.end() && it->second == k) ? 1.0 : 0.0;
+        indicators[k].AppendNumeric(v);
+      }
+    }
+    for (Column& ind : indicators) {
+      OE_RETURN_NOT_OK(out.AddColumn(std::move(ind)));
+    }
+  }
+  return out;
+}
+
+}  // namespace oebench

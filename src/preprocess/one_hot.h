@@ -1,0 +1,51 @@
+#ifndef OEBENCH_PREPROCESS_ONE_HOT_H_
+#define OEBENCH_PREPROCESS_ONE_HOT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataframe/table.h"
+
+namespace oebench {
+
+/// Expands categorical columns into 0/1 indicator columns (paper §4.3
+/// step 3). Numeric columns pass through unchanged. A missing categorical
+/// cell becomes NaN in every indicator column of that attribute so that a
+/// downstream imputer sees it as missing rather than as "all categories
+/// absent".
+///
+/// The encoder is fitted once (learning each column's dictionary) and can
+/// then transform later windows consistently; categories unseen at fit
+/// time map to all-zero indicators (the open-environment "new class in a
+/// feature" case is deliberately not widened mid-stream — models cannot
+/// grow inputs without retraining, which is exactly the incremental
+/// feature challenge of §2.1).
+class OneHotEncoder {
+ public:
+  /// Records the dictionary of every categorical column of `table`.
+  Status Fit(const Table& table);
+
+  /// Returns an all-numeric table. Indicator columns are named
+  /// "<col>=<category>".
+  Result<Table> Transform(const Table& table) const;
+
+  /// Number of output columns after encoding.
+  int64_t num_output_columns() const { return num_output_columns_; }
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  struct ColumnPlan {
+    std::string name;
+    bool categorical = false;
+    std::vector<std::string> categories;  // fitted dictionary
+  };
+  bool fitted_ = false;
+  std::vector<ColumnPlan> plans_;
+  int64_t num_output_columns_ = 0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_PREPROCESS_ONE_HOT_H_

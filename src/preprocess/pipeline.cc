@@ -1,0 +1,174 @@
+#include "preprocess/pipeline.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "outlier/ecod.h"
+#include "outlier/isolation_forest.h"
+#include "preprocess/imputer.h"
+#include "preprocess/normalizer.h"
+#include "preprocess/one_hot.h"
+
+namespace oebench {
+
+namespace {
+
+/// Splits the generated table into a feature table and a target vector.
+Status SplitFeaturesTarget(const Table& table, Table* features,
+                           std::vector<double>* target) {
+  OE_ASSIGN_OR_RETURN(int64_t target_idx, table.ColumnIndex("target"));
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    if (c == target_idx) continue;
+    OE_RETURN_NOT_OK(features->AddColumn(table.column(c)));
+  }
+  *target = table.column(target_idx).numeric_values();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
+                                     const PipelineOptions& options) {
+  Table table = stream.table;
+  if (options.shuffle) {
+    Rng rng(options.shuffle_seed);
+    std::vector<int64_t> order(static_cast<size_t>(table.num_rows()));
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(&order);
+    table = table.SelectRows(order);
+  }
+
+  Table features;
+  std::vector<double> target;
+  OE_RETURN_NOT_OK(SplitFeaturesTarget(table, &features, &target));
+
+  // One-hot encode categoricals (§4.3 step 3).
+  OneHotEncoder encoder;
+  OE_RETURN_NOT_OK(encoder.Fit(features));
+  OE_ASSIGN_OR_RETURN(Table encoded, encoder.Transform(features));
+  OE_ASSIGN_OR_RETURN(Matrix x, encoded.ToMatrix());
+
+  PreparedStream out;
+  out.name = stream.spec.name;
+  out.task = stream.spec.task;
+  out.num_classes = stream.spec.num_classes;
+  out.feature_names = encoded.ColumnNames();
+
+  // Optionally discard chronically missing features (Figure 5 "Discard").
+  if (options.discard_missing_above > 0.0) {
+    std::vector<int64_t> kept;
+    std::vector<std::string> kept_names;
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      int64_t missing = 0;
+      for (int64_t r = 0; r < x.rows(); ++r) {
+        if (std::isnan(x.At(r, c))) ++missing;
+      }
+      double ratio =
+          static_cast<double>(missing) / static_cast<double>(x.rows());
+      if (ratio <= options.discard_missing_above) {
+        kept.push_back(c);
+        kept_names.push_back(out.feature_names[static_cast<size_t>(c)]);
+      }
+    }
+    if (kept.empty()) {
+      return Status::InvalidArgument(
+          "discard_missing_above removed every feature");
+    }
+    x = x.SelectCols(kept);
+    out.feature_names = std::move(kept_names);
+  }
+
+  // Window layout (§4.3 step 6, window factor from §6.4.2).
+  int64_t window_size = std::max<int64_t>(
+      10, static_cast<int64_t>(std::llround(
+              static_cast<double>(stream.spec.window_size) *
+              options.window_factor)));
+  OE_ASSIGN_OR_RETURN(std::vector<WindowRange> ranges,
+                      MakeWindows(x.rows(), window_size));
+
+  // Oracle-scope imputation sees the whole stream up front.
+  OE_ASSIGN_OR_RETURN(std::unique_ptr<Imputer> imputer,
+                      MakeImputer(options.imputer, options.knn_k));
+  if (options.impute_scope == ImputeScope::kOracle) {
+    OE_RETURN_NOT_OK(imputer->Fit(x));
+    OE_RETURN_NOT_OK(imputer->Transform(&x));
+  }
+
+  // First-window statistics drive normalisation (§6.1).
+  Normalizer feature_norm;
+  Normalizer target_norm;
+  bool regression = out.task == TaskType::kRegression;
+
+  for (size_t w = 0; w < ranges.size(); ++w) {
+    const WindowRange& range = ranges[w];
+    WindowData window;
+    window.features = x.Slice(range.begin, range.end);
+    window.targets.assign(target.begin() + range.begin,
+                          target.begin() + range.end);
+
+    if (options.impute_scope == ImputeScope::kPerWindow) {
+      OE_RETURN_NOT_OK(imputer->Fit(window.features));
+      OE_RETURN_NOT_OK(imputer->Transform(&window.features));
+    }
+    if (options.normalize) {
+      if (w == 0) {
+        OE_RETURN_NOT_OK(feature_norm.Fit(window.features));
+        if (regression) {
+          Matrix t(static_cast<int64_t>(window.targets.size()), 1);
+          for (size_t i = 0; i < window.targets.size(); ++i) {
+            t.At(static_cast<int64_t>(i), 0) = window.targets[i];
+          }
+          OE_RETURN_NOT_OK(target_norm.Fit(t));
+        }
+      }
+      feature_norm.Transform(&window.features);
+      if (regression) {
+        for (double& v : window.targets) {
+          v = target_norm.TransformValue(0, v);
+        }
+      }
+    }
+
+    // Per-window outlier removal (Figure 16) happens after imputation and
+    // normalisation so the detector sees what the model would see.
+    if (!options.outlier_removal.empty() && window.features.rows() >= 8) {
+      std::vector<double> scores;
+      if (options.outlier_removal == "ecod") {
+        Ecod detector;
+        OE_ASSIGN_OR_RETURN(scores, detector.FitScore(window.features));
+      } else if (options.outlier_removal == "iforest") {
+        IsolationForest::Options ifo;
+        ifo.num_trees = 50;
+        ifo.seed = 13 + w;
+        IsolationForest detector(ifo);
+        OE_ASSIGN_OR_RETURN(scores, detector.FitScore(window.features));
+      } else {
+        return Status::InvalidArgument("unknown outlier_removal '" +
+                                       options.outlier_removal + "'");
+      }
+      std::vector<bool> mask = ThresholdOutliers(scores);
+      std::vector<int64_t> keep;
+      for (int64_t r = 0; r < window.features.rows(); ++r) {
+        if (!mask[static_cast<size_t>(r)]) keep.push_back(r);
+      }
+      if (!keep.empty() &&
+          keep.size() < static_cast<size_t>(window.features.rows())) {
+        Matrix pruned = window.features.SelectRows(keep);
+        std::vector<double> pruned_targets;
+        pruned_targets.reserve(keep.size());
+        for (int64_t r : keep) {
+          pruned_targets.push_back(
+              window.targets[static_cast<size_t>(r)]);
+        }
+        window.features = std::move(pruned);
+        window.targets = std::move(pruned_targets);
+      }
+    }
+    out.windows.push_back(std::move(window));
+  }
+  out.ranges = std::move(ranges);
+  return out;
+}
+
+}  // namespace oebench

@@ -1,0 +1,65 @@
+#ifndef OEBENCH_PREPROCESS_PIPELINE_H_
+#define OEBENCH_PREPROCESS_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "preprocess/windowing.h"
+#include "streamgen/stream_spec.h"
+
+namespace oebench {
+
+/// When the missing-value filler gets to see data (Figure 5's three
+/// curves).
+enum class ImputeScope {
+  /// Fit the imputer on each window as it arrives ("Filling (normal)").
+  kPerWindow,
+  /// Fit the imputer on the whole stream ("Filling (oracle)") — an upper
+  /// bound impossible in deployment.
+  kOracle,
+};
+
+/// Options of the paper's preprocessing pipeline (§4.3 steps 2-6 plus the
+/// experiment knobs of §6.4-§6.8).
+struct PipelineOptions {
+  /// "zero" | "mean" | "knn" | "regression" (§6.6 / Figure 14).
+  std::string imputer = "knn";
+  int knn_k = 2;
+  ImputeScope impute_scope = ImputeScope::kPerWindow;
+  /// Multiplies the stream's default window size (§6.4.2 / Figure 11).
+  double window_factor = 1.0;
+  /// Normalise features (and regression targets) with first-window
+  /// statistics (§6.1).
+  bool normalize = true;
+  /// Drop features missing in more than this fraction of rows overall
+  /// ("Discard" in Figure 5); <= 0 disables.
+  double discard_missing_above = 0.0;
+  /// "" | "ecod" | "iforest": remove detected outliers per window before
+  /// testing and training (§6.8 / Figure 16).
+  std::string outlier_removal;
+  /// Shuffle rows first to destroy drift (the "no drift" control of
+  /// Figure 15).
+  bool shuffle = false;
+  uint64_t shuffle_seed = 99;
+};
+
+/// A stream after preprocessing: one-hot encoded, windowed, imputed and
+/// normalised; ready for test-then-train evaluation.
+struct PreparedStream {
+  std::string name;
+  TaskType task = TaskType::kRegression;
+  int num_classes = 2;
+  std::vector<WindowData> windows;
+  std::vector<WindowRange> ranges;
+  /// Feature names after encoding/discarding.
+  std::vector<std::string> feature_names;
+};
+
+/// Runs the full preprocessing pipeline on a generated stream.
+Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
+                                     const PipelineOptions& options = {});
+
+}  // namespace oebench
+
+#endif  // OEBENCH_PREPROCESS_PIPELINE_H_

@@ -1,0 +1,78 @@
+#include "preprocess/time_ordering.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <numeric>
+
+namespace oebench {
+
+Result<Table> SortByColumn(const Table& table,
+                           const std::string& column_name) {
+  OE_ASSIGN_OR_RETURN(int64_t idx, table.ColumnIndex(column_name));
+  const Column& key = table.column(idx);
+  std::vector<int64_t> order(static_cast<size_t>(table.num_rows()));
+  std::iota(order.begin(), order.end(), 0);
+  if (key.type() == ColumnType::kNumeric) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&key](int64_t a, int64_t b) {
+                       double va = key.NumericAt(a);
+                       double vb = key.NumericAt(b);
+                       bool na = std::isnan(va);
+                       bool nb = std::isnan(vb);
+                       if (na != nb) return nb;  // missing keys sort last
+                       if (na && nb) return false;
+                       return va < vb;
+                     });
+  } else {
+    std::stable_sort(order.begin(), order.end(),
+                     [&key](int64_t a, int64_t b) {
+                       bool ma = key.IsMissing(a);
+                       bool mb = key.IsMissing(b);
+                       if (ma != mb) return mb;
+                       if (ma && mb) return false;
+                       return key.CategoryName(key.CodeAt(a)) <
+                              key.CategoryName(key.CodeAt(b));
+                     });
+  }
+  return table.SelectRows(order);
+}
+
+Result<Table> DropColumns(const Table& table,
+                          const std::vector<std::string>& column_names) {
+  for (const std::string& name : column_names) {
+    OE_RETURN_NOT_OK(table.ColumnIndex(name).status());
+  }
+  Table out;
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    const std::string& name = table.column(c).name();
+    bool dropped = false;
+    for (const std::string& victim : column_names) {
+      if (victim == name) dropped = true;
+    }
+    if (!dropped) {
+      OE_RETURN_NOT_OK(out.AddColumn(table.column(c)));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> GuessTimeColumns(const Table& table) {
+  static const char* kMarkers[] = {"time", "date",  "timestamp", "year",
+                                   "month", "day",  "hour"};
+  std::vector<std::string> found;
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    std::string lower = table.column(c).name();
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    for (const char* marker : kMarkers) {
+      if (lower.find(marker) != std::string::npos) {
+        found.push_back(table.column(c).name());
+        break;
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace oebench

@@ -1,0 +1,34 @@
+#ifndef OEBENCH_PREPROCESS_TIME_ORDERING_H_
+#define OEBENCH_PREPROCESS_TIME_ORDERING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataframe/table.h"
+
+namespace oebench {
+
+/// Paper §4.3 step 2 for user-supplied CSVs: "Order instances by time,
+/// then remove time-related attributes to maintain the temporal context
+/// without interfering with the dataset's statistical characteristics."
+
+/// Returns a copy of `table` with rows sorted ascending by the given
+/// column (numeric: by value, missing last; categorical: by label).
+/// The sort is stable, preserving the original order of ties.
+Result<Table> SortByColumn(const Table& table,
+                           const std::string& column_name);
+
+/// Returns a copy of `table` without the named columns. Unknown names
+/// are an error (catches typos in user pipelines).
+Result<Table> DropColumns(const Table& table,
+                          const std::vector<std::string>& column_names);
+
+/// Heuristic list of time-related columns: names containing one of
+/// {"time", "date", "timestamp", "year", "month", "day", "hour"}
+/// case-insensitively. What the paper removes by hand per dataset.
+std::vector<std::string> GuessTimeColumns(const Table& table);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_PREPROCESS_TIME_ORDERING_H_

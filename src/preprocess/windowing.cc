@@ -1,0 +1,29 @@
+#include "preprocess/windowing.h"
+
+namespace oebench {
+
+Result<std::vector<WindowRange>> MakeWindows(int64_t num_rows,
+                                             int64_t window_size) {
+  if (window_size < 1) {
+    return Status::InvalidArgument("window_size must be >= 1");
+  }
+  if (num_rows < 1) {
+    return Status::InvalidArgument("num_rows must be >= 1");
+  }
+  std::vector<WindowRange> windows;
+  int64_t begin = 0;
+  while (begin < num_rows) {
+    int64_t end = std::min(begin + window_size, num_rows);
+    windows.push_back({begin, end});
+    begin = end;
+  }
+  // Merge a too-small trailing remainder into the previous window.
+  if (windows.size() >= 2 &&
+      windows.back().size() * 2 < window_size) {
+    windows[windows.size() - 2].end = windows.back().end;
+    windows.pop_back();
+  }
+  return windows;
+}
+
+}  // namespace oebench

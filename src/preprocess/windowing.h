@@ -1,0 +1,35 @@
+#ifndef OEBENCH_PREPROCESS_WINDOWING_H_
+#define OEBENCH_PREPROCESS_WINDOWING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace oebench {
+
+/// A half-open row range [begin, end) of a stream.
+struct WindowRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t size() const { return end - begin; }
+};
+
+/// Partitions `num_rows` rows into consecutive non-overlapping windows of
+/// `window_size` rows (paper §4.3 step 6). The final window keeps the
+/// remainder if it holds at least half a window; otherwise the remainder
+/// is merged into the previous window so every window has a usable amount
+/// of data.
+Result<std::vector<WindowRange>> MakeWindows(int64_t num_rows,
+                                             int64_t window_size);
+
+/// One preprocessed window of a supervised stream: features and targets.
+struct WindowData {
+  Matrix features;                  // window_rows x d, NaN = missing
+  std::vector<double> targets;      // regression value or class id
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_PREPROCESS_WINDOWING_H_

@@ -1,0 +1,39 @@
+#ifndef OEBENCH_STATS_DRIFT_STATS_H_
+#define OEBENCH_STATS_DRIFT_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "preprocess/pipeline.h"
+
+namespace oebench {
+
+/// Drift and warning percentages of one detector over a stream, the
+/// per-dataset features the paper stores (§4.3: "For each algorithm, we
+/// document the drift and warning percentages"). For one-dimensional
+/// detectors the average and maximum over columns are both recorded.
+struct DetectorStats {
+  std::string detector;
+  double drift_ratio_avg = 0.0;
+  double drift_ratio_max = 0.0;
+  double warning_ratio_avg = 0.0;
+  double warning_ratio_max = 0.0;
+};
+
+/// Data-drift statistics: HDDDM, kdq-tree, PCA-CD over the full feature
+/// matrix windows; KS test and CDBD per column (averaged / maxed).
+std::vector<DetectorStats> ComputeDataDriftStats(
+    const PreparedStream& stream);
+
+/// Concept-drift statistics following the paper's pipeline: a simple model
+/// (Gaussian NB for classification, linear regression for regression) is
+/// trained on the first window; each later window's per-sample errors feed
+/// DDM, EDDM and ADWIN-accuracy, and the window pairs feed PERM. When a
+/// detector fires, its model is retrained on the current window. Ratios
+/// are the fraction of windows in which each detector signalled.
+std::vector<DetectorStats> ComputeConceptDriftStats(
+    const PreparedStream& stream);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_STATS_DRIFT_STATS_H_

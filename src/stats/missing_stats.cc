@@ -1,0 +1,43 @@
+#include "stats/missing_stats.h"
+
+namespace oebench {
+
+MissingValueStats ComputeMissingValueStats(
+    const Table& table, const std::vector<WindowRange>& ranges,
+    const std::string& target_column) {
+  MissingValueStats stats;
+  // Feature-only view.
+  Table features;
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    if (table.column(c).name() == target_column) continue;
+    Status st = features.AddColumn(table.column(c));
+    OE_CHECK(st.ok()) << st.ToString();
+  }
+  if (features.num_columns() == 0 || features.num_rows() == 0) return stats;
+
+  Table::MissingStats global = features.ComputeMissingStats();
+  stats.row_ratio = global.row_ratio;
+  stats.column_ratio = global.column_ratio;
+  stats.cell_ratio = global.cell_ratio;
+
+  stats.valid_ratio_per_window.reserve(ranges.size());
+  for (const WindowRange& range : ranges) {
+    std::vector<double> ratios(
+        static_cast<size_t>(features.num_columns()), 0.0);
+    for (int64_t c = 0; c < features.num_columns(); ++c) {
+      const Column& col = features.column(c);
+      int64_t valid = 0;
+      for (int64_t r = range.begin; r < range.end; ++r) {
+        if (!col.IsMissing(r)) ++valid;
+      }
+      ratios[static_cast<size_t>(c)] =
+          range.size() > 0
+              ? static_cast<double>(valid) / static_cast<double>(range.size())
+              : 0.0;
+    }
+    stats.valid_ratio_per_window.push_back(std::move(ratios));
+  }
+  return stats;
+}
+
+}  // namespace oebench

@@ -1,0 +1,33 @@
+#ifndef OEBENCH_STATS_MISSING_STATS_H_
+#define OEBENCH_STATS_MISSING_STATS_H_
+
+#include <vector>
+
+#include "dataframe/table.h"
+#include "preprocess/windowing.h"
+
+namespace oebench {
+
+/// Missing-value statistics of a stream (paper §4.3 "Missing Values"):
+/// the three global ratios plus the per-window valid-value ratio of each
+/// column (the signal behind Figure 4's incremental/decremental feature
+/// case study).
+struct MissingValueStats {
+  double row_ratio = 0.0;     // data items with >= 1 missing cell
+  double column_ratio = 0.0;  // columns with >= 1 missing cell
+  double cell_ratio = 0.0;    // empty cells
+  /// valid_ratio_per_window[w][c]: fraction of non-missing cells of
+  /// column c in window w.
+  std::vector<std::vector<double>> valid_ratio_per_window;
+};
+
+/// Computes missing-value statistics over the feature columns of `table`
+/// (every column except `target_column`, pass empty to use all), windowed
+/// by `ranges`.
+MissingValueStats ComputeMissingValueStats(
+    const Table& table, const std::vector<WindowRange>& ranges,
+    const std::string& target_column = "target");
+
+}  // namespace oebench
+
+#endif  // OEBENCH_STATS_MISSING_STATS_H_

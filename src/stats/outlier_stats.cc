@@ -1,0 +1,72 @@
+#include "stats/outlier_stats.h"
+
+#include <algorithm>
+
+#include "outlier/ecod.h"
+#include "outlier/isolation_forest.h"
+
+namespace oebench {
+
+namespace {
+
+double OutlierRatio(const std::vector<double>& scores) {
+  std::vector<bool> mask = ThresholdOutliers(scores);
+  int64_t count = 0;
+  for (bool b : mask) {
+    if (b) ++count;
+  }
+  return mask.empty() ? 0.0
+                      : static_cast<double>(count) /
+                            static_cast<double>(mask.size());
+}
+
+}  // namespace
+
+std::vector<OutlierStats> ComputeOutlierStats(const PreparedStream& stream,
+                                              uint64_t seed) {
+  OutlierStats ecod_stats;
+  ecod_stats.detector = "ecod";
+  OutlierStats iforest_stats;
+  iforest_stats.detector = "iforest";
+
+  int64_t usable_windows = 0;
+  for (size_t w = 0; w < stream.windows.size(); ++w) {
+    const Matrix& features = stream.windows[w].features;
+    if (features.rows() < 8) {
+      ecod_stats.ratio_per_window.push_back(0.0);
+      iforest_stats.ratio_per_window.push_back(0.0);
+      continue;
+    }
+    ++usable_windows;
+    {
+      Ecod detector;
+      Result<std::vector<double>> scores = detector.FitScore(features);
+      OE_CHECK(scores.ok()) << scores.status().ToString();
+      double ratio = OutlierRatio(*scores);
+      ecod_stats.ratio_per_window.push_back(ratio);
+      ecod_stats.anomaly_ratio_avg += ratio;
+      ecod_stats.anomaly_ratio_max =
+          std::max(ecod_stats.anomaly_ratio_max, ratio);
+    }
+    {
+      IsolationForest::Options options;
+      options.num_trees = 50;
+      options.seed = seed + w;
+      IsolationForest detector(options);
+      Result<std::vector<double>> scores = detector.FitScore(features);
+      OE_CHECK(scores.ok()) << scores.status().ToString();
+      double ratio = OutlierRatio(*scores);
+      iforest_stats.ratio_per_window.push_back(ratio);
+      iforest_stats.anomaly_ratio_avg += ratio;
+      iforest_stats.anomaly_ratio_max =
+          std::max(iforest_stats.anomaly_ratio_max, ratio);
+    }
+  }
+  if (usable_windows > 0) {
+    ecod_stats.anomaly_ratio_avg /= static_cast<double>(usable_windows);
+    iforest_stats.anomaly_ratio_avg /= static_cast<double>(usable_windows);
+  }
+  return {ecod_stats, iforest_stats};
+}
+
+}  // namespace oebench

@@ -1,0 +1,28 @@
+#ifndef OEBENCH_STATS_OUTLIER_STATS_H_
+#define OEBENCH_STATS_OUTLIER_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "preprocess/pipeline.h"
+
+namespace oebench {
+
+/// Per-detector anomaly ratios over the windows of a stream (paper §4.3
+/// "Outliers": within each window, points scoring above mean + 3 sd are
+/// outliers; the average and maximum window ratios are dataset features).
+struct OutlierStats {
+  std::string detector;  // "ecod" | "iforest"
+  double anomaly_ratio_avg = 0.0;
+  double anomaly_ratio_max = 0.0;
+  /// Ratio per window (drives Figure 8-style event localisation).
+  std::vector<double> ratio_per_window;
+};
+
+/// Runs ECOD and Isolation Forest per window and aggregates their ratios.
+std::vector<OutlierStats> ComputeOutlierStats(const PreparedStream& stream,
+                                              uint64_t seed = 13);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_STATS_OUTLIER_STATS_H_

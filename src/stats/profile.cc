@@ -1,0 +1,96 @@
+#include "stats/profile.h"
+
+#include <cmath>
+
+#include "preprocess/pipeline.h"
+
+namespace oebench {
+
+std::vector<double> DatasetProfile::BasicFacet() const {
+  return {log_instances, num_features, num_windows, is_classification};
+}
+
+std::vector<double> DatasetProfile::MissingFacet() const {
+  return {missing.row_ratio, missing.column_ratio, missing.cell_ratio};
+}
+
+std::vector<double> DatasetProfile::DataDriftFacet() const {
+  std::vector<double> out;
+  for (const DetectorStats& s : data_drift) {
+    out.push_back(s.drift_ratio_avg);
+    out.push_back(s.drift_ratio_max);
+    out.push_back(s.warning_ratio_avg);
+    out.push_back(s.warning_ratio_max);
+  }
+  return out;
+}
+
+std::vector<double> DatasetProfile::ConceptDriftFacet() const {
+  std::vector<double> out;
+  for (const DetectorStats& s : concept_drift) {
+    out.push_back(s.drift_ratio_avg);
+    out.push_back(s.warning_ratio_avg);
+  }
+  return out;
+}
+
+std::vector<double> DatasetProfile::OutlierFacet() const {
+  std::vector<double> out;
+  for (const OutlierStats& s : outliers) {
+    out.push_back(s.anomaly_ratio_avg);
+    out.push_back(s.anomaly_ratio_max);
+  }
+  return out;
+}
+
+double DatasetProfile::MissingScore() const { return missing.cell_ratio; }
+
+double DatasetProfile::DriftScore() const {
+  double sum = 0.0;
+  int64_t count = 0;
+  for (const DetectorStats& s : data_drift) {
+    sum += s.drift_ratio_avg;
+    ++count;
+  }
+  for (const DetectorStats& s : concept_drift) {
+    sum += s.drift_ratio_avg;
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double DatasetProfile::AnomalyScore() const {
+  double sum = 0.0;
+  for (const OutlierStats& s : outliers) sum += s.anomaly_ratio_avg;
+  return outliers.empty() ? 0.0
+                          : sum / static_cast<double>(outliers.size());
+}
+
+Result<DatasetProfile> ProfileDataset(const GeneratedStream& stream,
+                                      const ProfileOptions& options) {
+  PipelineOptions pipeline_options;
+  pipeline_options.imputer = options.imputer;
+  pipeline_options.window_factor = options.window_factor;
+  OE_ASSIGN_OR_RETURN(PreparedStream prepared,
+                      PrepareStream(stream, pipeline_options));
+
+  DatasetProfile profile;
+  profile.name = stream.spec.name;
+  profile.category = stream.spec.category;
+  profile.task = stream.spec.task;
+  profile.log_instances =
+      std::log10(static_cast<double>(stream.table.num_rows()));
+  profile.num_features = static_cast<double>(prepared.feature_names.size());
+  profile.num_windows = static_cast<double>(prepared.windows.size());
+  profile.is_classification =
+      stream.spec.task == TaskType::kClassification ? 1.0 : 0.0;
+
+  profile.missing =
+      ComputeMissingValueStats(stream.table, prepared.ranges, "target");
+  profile.data_drift = ComputeDataDriftStats(prepared);
+  profile.concept_drift = ComputeConceptDriftStats(prepared);
+  profile.outliers = ComputeOutlierStats(prepared);
+  return profile;
+}
+
+}  // namespace oebench

@@ -1,0 +1,245 @@
+#include "streamgen/corpus.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oebench {
+
+const char* LevelToString(Level level) {
+  switch (level) {
+    case Level::kLow:
+      return "Low";
+    case Level::kMedLow:
+      return "Medium low";
+    case Level::kMedHigh:
+      return "Medium high";
+    case Level::kHigh:
+      return "High";
+  }
+  return "?";
+}
+
+namespace {
+
+using DP = DriftPattern;
+using L = Level;
+using T = TaskType;
+
+constexpr T kCls = T::kClassification;
+constexpr T kReg = T::kRegression;
+
+/// The paper's 55 datasets (Tables 11 & 12), with open-environment levels
+/// from Table 9 and drift patterns from Appendix Table 13 where given.
+std::vector<CorpusEntry> BuildEntries() {
+  std::vector<CorpusEntry> e;
+  // --- classification (Table 11) -----------------------------------------
+  e.push_back({"bitcoin_heist", "Commerce", kCls, 2916697, 6, 0, 27,
+               L::kHigh, L::kHigh, L::kLow, DP::kAbrupt});
+  e.push_back({"room_occupancy", "Others", kCls, 10129, 14, 2, 4,
+               L::kMedHigh, L::kHigh, L::kLow, DP::kRecurrent});
+  e.push_back({"electricity_prices", "Commerce", kCls, 45312, 7, 0, 2,
+               L::kMedHigh, L::kMedHigh, L::kLow, DP::kGradual});
+  e.push_back({"airlines", "Commerce", kCls, 539383, 4, 2, 2, L::kMedLow,
+               L::kLow, L::kLow, DP::kGradual});
+  e.push_back({"forest_covertype", "S&T", kCls, 581012, 44, 10, 7,
+               L::kMedHigh, L::kMedHigh, L::kLow, DP::kGradual});
+  e.push_back({"insects_abrupt_bal", "S&T", kCls, 52848, 33, 0, 6,
+               L::kMedLow, L::kMedHigh, L::kLow, DP::kAbrupt});
+  e.push_back({"insects_abrupt_imbal", "S&T", kCls, 355275, 33, 0, 6,
+               L::kMedLow, L::kMedHigh, L::kLow, DP::kAbrupt});
+  e.push_back({"insects_incr_bal", "S&T", kCls, 57018, 33, 0, 6,
+               L::kMedHigh, L::kMedLow, L::kLow, DP::kIncremental});
+  e.push_back({"insects_incr_imbal", "S&T", kCls, 452044, 33, 0, 6,
+               L::kMedLow, L::kMedHigh, L::kLow, DP::kIncremental});
+  e.push_back({"insects_incr_abrupt_bal", "S&T", kCls, 79986, 33, 0, 6,
+               L::kMedHigh, L::kHigh, L::kLow, DP::kIncrementalAbrupt});
+  e.push_back({"insects_incr_abrupt_imbal", "S&T", kCls, 452044, 33, 0, 6,
+               L::kMedHigh, L::kMedHigh, L::kLow, DP::kIncrementalAbrupt});
+  e.push_back({"insects_gradual_bal", "S&T", kCls, 24150, 33, 0, 6,
+               L::kMedHigh, L::kMedHigh, L::kLow, DP::kGradual});
+  e.push_back({"insects_gradual_imbal", "S&T", kCls, 143323, 33, 0, 6,
+               L::kMedHigh, L::kMedHigh, L::kLow, DP::kGradual});
+  e.push_back({"insects_incr_reocc_bal", "S&T", kCls, 79986, 33, 0, 6,
+               L::kMedLow, L::kMedHigh, L::kLow,
+               DP::kIncrementalReoccurring});
+  e.push_back({"insects_incr_reocc_imbal", "S&T", kCls, 452044, 33, 0, 6,
+               L::kMedHigh, L::kMedHigh, L::kLow,
+               DP::kIncrementalReoccurring});
+  e.push_back({"insects_out_of_control", "S&T", kCls, 905145, 33, 0, 24,
+               L::kLow, L::kMedHigh, L::kLow, DP::kNone});
+  e.push_back({"kddcup99", "S&T", kCls, 494021, 34, 7, 23, L::kMedLow,
+               L::kLow, L::kLow, DP::kAbrupt});
+  e.push_back({"noaa_weather", "Ecology", kCls, 18159, 8, 0, 2,
+               L::kMedHigh, L::kMedLow, L::kLow, DP::kRecurrent});
+  e.push_back({"safe_driver", "Commerce", kCls, 595212, 40, 17, 2, L::kLow,
+               L::kLow, L::kLow, DP::kNone});
+  e.push_back({"ble_rssi", "Others", kCls, 9984, 5, 0, 3, L::kMedHigh,
+               L::kMedHigh, L::kLow, DP::kAbrupt});
+  // --- regression (Table 12) ----------------------------------------------
+  e.push_back({"italian_air_quality", "Ecology", kReg, 9358, 12, 0, 2,
+               L::kHigh, L::kMedHigh, L::kHigh, DP::kRecurrent});
+  e.push_back({"energy_prediction", "Power", kReg, 19735, 25, 0, 2,
+               L::kHigh, L::kHigh, L::kLow, DP::kGradual});
+  const char* kBeijingSites[] = {
+      "aotizhongxin", "changping", "dingling", "dongsi",
+      "guanyuan",     "gucheng",   "huairou",  "nongzhanguan",
+      "shunyi",       "tiantan",   "wanliu",   "wanshouxigong"};
+  for (const char* site : kBeijingSites) {
+    L anomaly = (std::string(site) == "dongsi" ||
+                 std::string(site) == "tiantan")
+                    ? L::kMedHigh
+                    : L::kMedLow;
+    L missing = std::string(site) == "shunyi" ? L::kHigh : L::kLow;
+    L drift = std::string(site) == "shunyi" ? L::kLow : L::kMedLow;
+    e.push_back({std::string("beijing_air_") + site, "Ecology", kReg,
+                 35064, 11, 0, 2, drift, anomaly, missing,
+                 DP::kRecurrent});
+  }
+  e.push_back({"beijing_pm25", "Ecology", kReg, 43824, 7, 0, 2,
+               L::kMedHigh, L::kHigh, L::kLow, DP::kRecurrent});
+  const char* kIndianCities[] = {"bangalore", "bhubhneshwar", "chennai",
+                                 "delhi",     "lucknow",      "mumbai",
+                                 "rajasthan"};
+  for (const char* city : kIndianCities) {
+    L drift = (std::string(city) == "bangalore" ||
+               std::string(city) == "lucknow")
+                  ? L::kMedLow
+                  : L::kLow;
+    e.push_back({std::string("indian_weather_") + city, "Ecology", kReg,
+                 11894, 5, 0, 2, drift, L::kLow, L::kHigh,
+                 DP::kRecurrent});
+  }
+  e.push_back({"household_power", "Power", kReg, 2075259, 6, 0, 2,
+               L::kHigh, L::kMedHigh, L::kLow, DP::kGradual});
+  e.push_back({"metro_traffic", "Commerce", kReg, 48204, 5, 2, 2, L::kLow,
+               L::kMedLow, L::kLow, DP::kRecurrent});
+  const char* kFiveCities[] = {"beijing", "chengdu", "guangzhou",
+                               "shanghai", "shenyang"};
+  for (const char* city : kFiveCities) {
+    L anomaly = std::string(city) == "chengdu" || std::string(city) ==
+                                                      "shenyang"
+                    ? L::kHigh
+                    : L::kMedLow;
+    L drift =
+        std::string(city) == "guangzhou" ? L::kHigh : L::kMedHigh;
+    e.push_back({std::string("five_cities_pm25_") + city, "Ecology", kReg,
+                 52584, 8, 0, 2, drift, anomaly, L::kHigh,
+                 DP::kRecurrent});
+  }
+  e.push_back({"tetouan_power", "Power", kReg, 52417, 7, 0, 2, L::kHigh,
+               L::kMedLow, L::kLow, DP::kGradual});
+  e.push_back({"bike_sharing", "Commerce", kReg, 10886, 5, 2, 2,
+               L::kMedHigh, L::kMedLow, L::kLow, DP::kRecurrent});
+  e.push_back({"allstate_claims", "Commerce", kReg, 188318, 14, 20, 2,
+               L::kLow, L::kLow, L::kLow, DP::kNone});
+  e.push_back({"portugal_election", "Social", kReg, 21643, 24, 4, 2,
+               L::kMedHigh, L::kMedHigh, L::kLow, DP::kAbrupt});
+  e.push_back({"news_popularity", "Social", kReg, 93239, 9, 2, 2,
+               L::kMedLow, L::kMedLow, L::kLow, DP::kGradual});
+  e.push_back({"taxi_duration", "Commerce", kReg, 1458644, 9, 2, 2,
+               L::kMedHigh, L::kMedLow, L::kLow, DP::kGradual});
+  return e;
+}
+
+double DriftMagnitude(Level level) {
+  switch (level) {
+    case Level::kLow:
+      return 0.25;
+    case Level::kMedLow:
+      return 0.7;
+    case Level::kMedHigh:
+      return 1.4;
+    case Level::kHigh:
+      return 2.4;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const std::vector<CorpusEntry>& Corpus() {
+  static const std::vector<CorpusEntry>& entries =
+      *new std::vector<CorpusEntry>(BuildEntries());
+  OE_CHECK(entries.size() == 55)
+      << "corpus must list exactly 55 datasets, found " << entries.size();
+  return entries;
+}
+
+StreamSpec SpecFromEntry(const CorpusEntry& entry, double scale,
+                         uint64_t seed_salt) {
+  StreamSpec spec;
+  spec.name = entry.name;
+  spec.category = entry.category;
+  spec.task = entry.task;
+  int64_t rows = static_cast<int64_t>(
+      static_cast<double>(entry.instances) * scale);
+  spec.num_instances = std::clamp<int64_t>(rows, 1200, 40000);
+  spec.num_numeric_features = entry.features;
+  spec.num_categorical_features = entry.categorical_features;
+  spec.num_classes = entry.classes;
+  // ~40 windows per stream regardless of scale, at least 30 rows each.
+  spec.window_size = std::max<int64_t>(30, spec.num_instances / 40);
+  spec.drift_pattern = entry.pattern;
+  spec.drift_magnitude =
+      entry.pattern == DriftPattern::kNone ? 0.0 : DriftMagnitude(entry.drift);
+  spec.drift_period_fraction = 0.25;
+  spec.seasonal_amplitude =
+      entry.pattern == DriftPattern::kRecurrent ? 0.8 : 0.0;
+  spec.noise_level = 0.25;
+
+  switch (entry.missing) {
+    case Level::kLow:
+      spec.base_missing_rate = 0.002;
+      break;
+    case Level::kMedLow:
+      spec.base_missing_rate = 0.02;
+      break;
+    case Level::kMedHigh:
+      spec.base_missing_rate = 0.06;
+      break;
+    case Level::kHigh:
+      spec.base_missing_rate = 0.12;
+      // High-missing streams also show the incremental/decremental
+      // feature phenomenon (sensor installation / breakdown, §5.1).
+      spec.dropouts.push_back({0, 0.0, 0.45, 1.0});    // incremental
+      spec.dropouts.push_back({1, 0.65, 1.0, 0.85});   // decremental
+      break;
+  }
+  switch (entry.anomaly) {
+    case Level::kLow:
+      spec.point_anomaly_rate = 0.0005;
+      break;
+    case Level::kMedLow:
+      spec.point_anomaly_rate = 0.004;
+      break;
+    case Level::kMedHigh:
+      spec.point_anomaly_rate = 0.01;
+      spec.anomaly_events.push_back({0.55, 0.60, 0.8, 1, 6.0});
+      break;
+    case Level::kHigh:
+      spec.point_anomaly_rate = 0.02;
+      spec.anomaly_events.push_back({0.35, 0.42, 0.9, 1, 8.0});
+      spec.anomaly_events.push_back({0.72, 0.76, 0.9, 2, 10.0});
+      break;
+  }
+  // Stable per-dataset seed, salted per repetition.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : entry.name) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 1099511628211ull;
+  }
+  spec.seed = h ^ (seed_salt * 0x9E3779B97F4A7C15ull);
+  return spec;
+}
+
+std::vector<StreamSpec> BuildCorpusSpecs(double scale, uint64_t seed_salt) {
+  std::vector<StreamSpec> specs;
+  specs.reserve(Corpus().size());
+  for (const CorpusEntry& entry : Corpus()) {
+    specs.push_back(SpecFromEntry(entry, scale, seed_salt));
+  }
+  return specs;
+}
+
+}  // namespace oebench

@@ -1,0 +1,54 @@
+#ifndef OEBENCH_STREAMGEN_CORPUS_H_
+#define OEBENCH_STREAMGEN_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "streamgen/stream_spec.h"
+
+namespace oebench {
+
+/// Qualitative level of an open-environment characteristic, matching the
+/// labels the paper assigns each dataset in Tables 3/4/9 (Low, Medium
+/// low, Medium high, High).
+enum class Level { kLow, kMedLow, kMedHigh, kHigh };
+
+const char* LevelToString(Level level);
+
+/// A corpus entry: one of the paper's 55 real datasets, described by its
+/// published shape (instances, features, task) and its open-environment
+/// character, from which a synthetic StreamSpec is derived.
+struct CorpusEntry {
+  std::string name;
+  std::string category;
+  TaskType task = TaskType::kRegression;
+  int64_t instances = 10000;
+  int features = 8;
+  int categorical_features = 0;
+  int classes = 2;
+  Level drift = Level::kLow;
+  Level anomaly = Level::kLow;
+  Level missing = Level::kLow;
+  DriftPattern pattern = DriftPattern::kGradual;
+};
+
+/// The 55 corpus entries (20 classification from Table 11, 35 regression
+/// from Table 12), with drift/anomaly/missing levels from Table 9 and
+/// drift patterns from Appendix Table 13.
+const std::vector<CorpusEntry>& Corpus();
+
+/// Converts an entry into a concrete StreamSpec. `scale` multiplies the
+/// published instance count (benchmarks run scaled down; rows are clamped
+/// to [1200, 40000] so every stream stays usable). The seed mixes the
+/// entry index with `seed_salt` so repeated runs (the paper repeats 3x)
+/// get fresh randomness.
+StreamSpec SpecFromEntry(const CorpusEntry& entry, double scale,
+                         uint64_t seed_salt = 0);
+
+/// All 55 specs at the given scale.
+std::vector<StreamSpec> BuildCorpusSpecs(double scale,
+                                         uint64_t seed_salt = 0);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_STREAMGEN_CORPUS_H_

@@ -1,0 +1,48 @@
+#include "streamgen/representative.h"
+
+#include "common/logging.h"
+
+namespace oebench {
+
+const std::vector<RepresentativeInfo>& RepresentativeDatasets() {
+  static const std::vector<RepresentativeInfo>& infos =
+      *new std::vector<RepresentativeInfo>{
+          {"ROOM", "room_occupancy", Level::kMedHigh, Level::kHigh,
+           Level::kLow},
+          {"ELECTRICITY", "electricity_prices", Level::kMedHigh,
+           Level::kMedHigh, Level::kLow},
+          {"INSECTS", "insects_incr_reocc_bal", Level::kMedLow,
+           Level::kMedHigh, Level::kLow},
+          {"AIR", "beijing_air_shunyi", Level::kLow, Level::kMedLow,
+           Level::kHigh},
+          {"POWER", "tetouan_power", Level::kHigh, Level::kMedLow,
+           Level::kLow},
+      };
+  return infos;
+}
+
+StreamSpec RepresentativeSpec(const std::string& short_name, double scale,
+                              uint64_t seed_salt) {
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    if (info.short_name != short_name) continue;
+    for (const CorpusEntry& entry : Corpus()) {
+      if (entry.name == info.corpus_name) {
+        return SpecFromEntry(entry, scale, seed_salt);
+      }
+    }
+  }
+  OE_CHECK(false) << "unknown representative dataset '" << short_name
+                  << "'";
+  return StreamSpec();
+}
+
+std::vector<StreamSpec> RepresentativeSpecs(double scale,
+                                            uint64_t seed_salt) {
+  std::vector<StreamSpec> specs;
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    specs.push_back(RepresentativeSpec(info.short_name, scale, seed_salt));
+  }
+  return specs;
+}
+
+}  // namespace oebench

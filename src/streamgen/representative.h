@@ -1,0 +1,38 @@
+#ifndef OEBENCH_STREAMGEN_REPRESENTATIVE_H_
+#define OEBENCH_STREAMGEN_REPRESENTATIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "streamgen/corpus.h"
+#include "streamgen/stream_spec.h"
+
+namespace oebench {
+
+/// One of the paper's five representative datasets (Table 3), with its
+/// published open-environment character.
+struct RepresentativeInfo {
+  std::string short_name;   // ROOM / ELECTRICITY / INSECTS / AIR / POWER
+  std::string corpus_name;  // matching Corpus() entry name
+  Level drift = Level::kLow;
+  Level anomaly = Level::kLow;
+  Level missing = Level::kLow;
+};
+
+/// The five Table 3 datasets: Room Occupancy Estimation, Electricity
+/// Prices, INSECTS-Incremental-reoccurring (balanced), Beijing Multi-Site
+/// Air-Quality Shunyi, and Power Consumption of Tetouan City.
+const std::vector<RepresentativeInfo>& RepresentativeDatasets();
+
+/// Spec for one representative dataset at the given scale (see
+/// SpecFromEntry for scaling rules). Aborts if `short_name` is unknown.
+StreamSpec RepresentativeSpec(const std::string& short_name, double scale,
+                              uint64_t seed_salt = 0);
+
+/// All five specs at the given scale, in Table 3 order.
+std::vector<StreamSpec> RepresentativeSpecs(double scale,
+                                            uint64_t seed_salt = 0);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_STREAMGEN_REPRESENTATIVE_H_

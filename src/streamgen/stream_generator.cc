@@ -1,0 +1,291 @@
+#include "streamgen/stream_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+namespace {
+
+constexpr int kNumLatentFactors = 3;
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Time-varying multiplier in [0, 1] describing how far the concept has
+/// moved from its initial state at stream position frac in [0, 1].
+double DriftPhase(const StreamSpec& spec, double frac,
+                  std::vector<double>* switch_fracs) {
+  switch (spec.drift_pattern) {
+    case DriftPattern::kNone:
+      return 0.0;
+    case DriftPattern::kGradual:
+      return frac;
+    case DriftPattern::kAbrupt:
+      if (switch_fracs->empty()) switch_fracs->push_back(0.5);
+      return frac >= 0.5 ? 1.0 : 0.0;
+    case DriftPattern::kRecurrent:
+      return 0.5 -
+             0.5 * std::cos(kTwoPi * frac / spec.drift_period_fraction);
+    case DriftPattern::kIncremental: {
+      // Staircase of small steps.
+      constexpr int kSteps = 8;
+      return std::floor(frac * kSteps) / static_cast<double>(kSteps);
+    }
+    case DriftPattern::kIncrementalAbrupt: {
+      if (switch_fracs->empty()) switch_fracs->push_back(0.5);
+      constexpr int kSteps = 8;
+      double base = std::floor(frac * kSteps) / (2.0 * kSteps);
+      return frac >= 0.5 ? base + 0.5 : base;
+    }
+    case DriftPattern::kIncrementalReoccurring: {
+      constexpr int kSteps = 6;
+      double stair = std::floor(frac * kSteps) / static_cast<double>(kSteps);
+      double wave =
+          0.5 - 0.5 * std::cos(kTwoPi * frac / spec.drift_period_fraction);
+      return 0.5 * stair + 0.5 * wave;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<GeneratedStream> GenerateStream(const StreamSpec& spec) {
+  if (spec.num_instances < 10) {
+    return Status::InvalidArgument("stream needs >= 10 instances");
+  }
+  if (spec.num_numeric_features < 2) {
+    return Status::InvalidArgument("stream needs >= 2 numeric features");
+  }
+  if (spec.task == TaskType::kClassification && spec.num_classes < 2) {
+    return Status::InvalidArgument("classification needs >= 2 classes");
+  }
+
+  Rng rng(spec.seed);
+  const int64_t n = spec.num_instances;
+  const int d_num = spec.num_numeric_features;
+  const int d_cat = spec.num_categorical_features;
+
+  // --- fixed generative structure ---------------------------------------
+  // Factor loadings: feature_j = loadings_j . z.
+  std::vector<std::vector<double>> loadings(static_cast<size_t>(d_num));
+  std::vector<double> seasonal_phase(static_cast<size_t>(d_num));
+  std::vector<double> drift_direction(static_cast<size_t>(d_num));
+  for (int j = 0; j < d_num; ++j) {
+    auto& l = loadings[static_cast<size_t>(j)];
+    l.resize(kNumLatentFactors);
+    for (double& v : l) v = rng.Gaussian();
+    seasonal_phase[static_cast<size_t>(j)] = rng.Uniform(0.0, kTwoPi);
+    drift_direction[static_cast<size_t>(j)] = rng.Gaussian();
+  }
+  // Concept weights before/after drift. Classification keeps one weight
+  // vector per class.
+  const int num_concept_vectors =
+      spec.task == TaskType::kClassification ? spec.num_classes : 1;
+  std::vector<std::vector<double>> w0(
+      static_cast<size_t>(num_concept_vectors));
+  std::vector<std::vector<double>> w1(
+      static_cast<size_t>(num_concept_vectors));
+  for (int c = 0; c < num_concept_vectors; ++c) {
+    auto& a = w0[static_cast<size_t>(c)];
+    auto& b = w1[static_cast<size_t>(c)];
+    a.resize(static_cast<size_t>(d_num));
+    b.resize(static_cast<size_t>(d_num));
+    for (int j = 0; j < d_num; ++j) {
+      a[static_cast<size_t>(j)] = rng.Gaussian();
+      b[static_cast<size_t>(j)] =
+          a[static_cast<size_t>(j)] +
+          spec.drift_magnitude * rng.Gaussian();
+    }
+  }
+  // Per-category target offsets for the categorical features.
+  std::vector<std::vector<double>> cat_effect(static_cast<size_t>(d_cat));
+  for (int j = 0; j < d_cat; ++j) {
+    cat_effect[static_cast<size_t>(j)].resize(
+        static_cast<size_t>(spec.categories_per_feature));
+    for (double& v : cat_effect[static_cast<size_t>(j)]) {
+      v = 0.5 * rng.Gaussian();
+    }
+  }
+
+  // --- generate rows -----------------------------------------------------
+  Matrix x(n, d_num);
+  std::vector<std::vector<int32_t>> cat_codes(
+      static_cast<size_t>(d_cat),
+      std::vector<int32_t>(static_cast<size_t>(n)));
+  std::vector<double> y(static_cast<size_t>(n));
+  std::vector<double> z(kNumLatentFactors);
+  std::vector<double> switch_fracs;
+  GeneratedStream out;
+
+  for (int64_t t = 0; t < n; ++t) {
+    double frac = static_cast<double>(t) / static_cast<double>(n);
+    double phase = DriftPhase(spec, frac, &switch_fracs);
+    for (double& v : z) v = rng.Gaussian();
+
+    double seasonal =
+        spec.seasonal_amplitude *
+        std::sin(kTwoPi * frac / std::max(spec.drift_period_fraction, 1e-3));
+    for (int j = 0; j < d_num; ++j) {
+      const auto& l = loadings[static_cast<size_t>(j)];
+      double v = 0.0;
+      for (int f = 0; f < kNumLatentFactors; ++f) {
+        v += l[static_cast<size_t>(f)] * z[static_cast<size_t>(f)];
+      }
+      v += seasonal *
+           std::sin(seasonal_phase[static_cast<size_t>(j)] + kTwoPi * frac /
+                        std::max(spec.drift_period_fraction, 1e-3));
+      // Covariate drift: feature means move with the concept phase.
+      v += 0.6 * spec.drift_magnitude * phase *
+           drift_direction[static_cast<size_t>(j)];
+      v += spec.noise_level * rng.Gaussian();
+      x.At(t, j) = v;
+    }
+    for (int j = 0; j < d_cat; ++j) {
+      // Category distribution tilts with the drift phase.
+      std::vector<double> probs(
+          static_cast<size_t>(spec.categories_per_feature), 1.0);
+      probs[0] += 2.0 * phase;
+      probs[probs.size() - 1] += 2.0 * (1.0 - phase);
+      cat_codes[static_cast<size_t>(j)][static_cast<size_t>(t)] =
+          static_cast<int32_t>(rng.Categorical(probs));
+    }
+
+    // Concept: interpolated weights at this phase.
+    auto weight_at = [&](int c, int j) {
+      return (1.0 - phase) * w0[static_cast<size_t>(c)]
+                                 [static_cast<size_t>(j)] +
+             phase * w1[static_cast<size_t>(c)][static_cast<size_t>(j)];
+    };
+    if (spec.task == TaskType::kRegression) {
+      double target = 0.0;
+      for (int j = 0; j < d_num; ++j) {
+        target += weight_at(0, j) * x.At(t, j);
+      }
+      // Mild non-linearity so trees and NNs genuinely differ.
+      target += 0.3 * x.At(t, 0) * x.At(t, 1);
+      target += 0.2 * std::tanh(x.At(t, 2));
+      for (int j = 0; j < d_cat; ++j) {
+        target += cat_effect[static_cast<size_t>(j)][static_cast<size_t>(
+            cat_codes[static_cast<size_t>(j)][static_cast<size_t>(t)])];
+      }
+      target += spec.noise_level * rng.Gaussian();
+      y[static_cast<size_t>(t)] = target;
+    } else {
+      std::vector<double> scores(static_cast<size_t>(spec.num_classes));
+      for (int c = 0; c < spec.num_classes; ++c) {
+        double s = 0.0;
+        for (int j = 0; j < d_num; ++j) {
+          s += weight_at(c, j) * x.At(t, j);
+        }
+        s += 0.2 * std::tanh(x.At(t, c % d_num) * x.At(t, (c + 1) % d_num));
+        for (int j = 0; j < d_cat; ++j) {
+          s += (c % 2 == 0 ? 1.0 : -1.0) *
+               cat_effect[static_cast<size_t>(j)][static_cast<size_t>(
+                   cat_codes[static_cast<size_t>(j)][static_cast<size_t>(
+                       t)])];
+        }
+        s += spec.noise_level * 2.0 * rng.Gaussian();
+        // Emerging classes: a class not yet introduced cannot be the
+        // label (its concept simply does not exist yet, §2.3).
+        if (spec.class_emergence_fraction > 0.0 && c > 0 &&
+            frac < static_cast<double>(c) *
+                       spec.class_emergence_fraction) {
+          s = -1e18;
+        }
+        scores[static_cast<size_t>(c)] = s;
+      }
+      y[static_cast<size_t>(t)] = ArgMax(scores);
+    }
+  }
+
+  // --- inject anomalies ----------------------------------------------------
+  std::vector<bool> outlier_mask(static_cast<size_t>(n), false);
+  for (const AnomalyEvent& event : spec.anomaly_events) {
+    int64_t begin = static_cast<int64_t>(event.start_frac * n);
+    int64_t end = std::min<int64_t>(
+        n, static_cast<int64_t>(event.end_frac * n));
+    for (int64_t t = begin; t < end; ++t) {
+      if (!rng.Bernoulli(event.rate)) continue;
+      int affected = std::max(1, event.num_affected);
+      for (int k = 0; k < affected && k < d_num; ++k) {
+        int j = (event.feature + k) % d_num;
+        // Primary sensor takes the full hit; correlated ones decay.
+        x.At(t, j) += event.magnitude / (1.0 + 0.3 * k);
+      }
+      if (spec.task == TaskType::kRegression) {
+        y[static_cast<size_t>(t)] += 0.5 * event.magnitude;
+      }
+      outlier_mask[static_cast<size_t>(t)] = true;
+    }
+  }
+  for (int64_t t = 0; t < n; ++t) {
+    if (spec.point_anomaly_rate > 0.0 &&
+        rng.Bernoulli(spec.point_anomaly_rate)) {
+      int j = static_cast<int>(rng.UniformInt(d_num));
+      x.At(t, j) = spec.point_anomaly_magnitude *
+                   (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+      outlier_mask[static_cast<size_t>(t)] = true;
+    }
+  }
+  for (int64_t t = 0; t < n; ++t) {
+    if (outlier_mask[static_cast<size_t>(t)]) {
+      out.true_outlier_rows.push_back(t);
+    }
+  }
+
+  // --- inject missingness --------------------------------------------------
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  if (spec.base_missing_rate > 0.0) {
+    for (int64_t t = 0; t < n; ++t) {
+      for (int j = 0; j < d_num; ++j) {
+        if (rng.Bernoulli(spec.base_missing_rate)) x.At(t, j) = kNan;
+      }
+    }
+  }
+  for (const FeatureDropout& dropout : spec.dropouts) {
+    if (dropout.feature >= d_num) continue;
+    int64_t begin = static_cast<int64_t>(dropout.start_frac * n);
+    int64_t end = std::min<int64_t>(
+        n, static_cast<int64_t>(dropout.end_frac * n));
+    for (int64_t t = begin; t < end; ++t) {
+      if (rng.Bernoulli(dropout.missing_rate)) {
+        x.At(t, dropout.feature) = kNan;
+      }
+    }
+  }
+
+  // --- assemble the table ---------------------------------------------------
+  for (int j = 0; j < d_num; ++j) {
+    Column col = Column::Numeric("num" + std::to_string(j));
+    col.mutable_numeric_values() = x.ColVector(j);
+    OE_RETURN_NOT_OK(out.table.AddColumn(std::move(col)));
+  }
+  for (int j = 0; j < d_cat; ++j) {
+    std::vector<std::string> dictionary;
+    for (int c = 0; c < spec.categories_per_feature; ++c) {
+      dictionary.push_back("c" + std::to_string(c));
+    }
+    Column col =
+        Column::Categorical("cat" + std::to_string(j), dictionary);
+    for (int64_t t = 0; t < n; ++t) {
+      col.AppendCode(cat_codes[static_cast<size_t>(j)][static_cast<size_t>(
+          t)]);
+    }
+    OE_RETURN_NOT_OK(out.table.AddColumn(std::move(col)));
+  }
+  Column target = Column::Numeric("target");
+  target.mutable_numeric_values() = std::move(y);
+  OE_RETURN_NOT_OK(out.table.AddColumn(std::move(target)));
+
+  for (double f : switch_fracs) {
+    out.true_drift_rows.push_back(static_cast<int64_t>(f * n));
+  }
+  out.spec = spec;
+  return out;
+}
+
+}  // namespace oebench

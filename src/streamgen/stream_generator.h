@@ -1,0 +1,24 @@
+#ifndef OEBENCH_STREAMGEN_STREAM_GENERATOR_H_
+#define OEBENCH_STREAMGEN_STREAM_GENERATOR_H_
+
+#include "common/status.h"
+#include "streamgen/stream_spec.h"
+
+namespace oebench {
+
+/// Realises a StreamSpec into a concrete table-with-ground-truth.
+///
+/// Generative model: each row draws latent factors z ~ N(0, I); numeric
+/// features are linear mixes of the factors plus a seasonal term, a
+/// drift-pattern-dependent mean shift, and observation noise. The target
+/// is a mildly non-linear function of the features under a concept weight
+/// vector w(t) that moves according to the drift pattern, so the stream
+/// exhibits genuine covariate drift (feature means move) *and* concept
+/// drift (the X -> Y mapping moves) in the patterns of the paper's
+/// Appendix Table 13. Missing values, feature dropouts, anomaly events
+/// and point anomalies are injected afterwards per the spec.
+Result<GeneratedStream> GenerateStream(const StreamSpec& spec);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_STREAMGEN_STREAM_GENERATOR_H_

@@ -1,0 +1,25 @@
+#include "streamgen/stream_spec.h"
+
+namespace oebench {
+
+const char* DriftPatternToString(DriftPattern pattern) {
+  switch (pattern) {
+    case DriftPattern::kNone:
+      return "none";
+    case DriftPattern::kGradual:
+      return "gradual";
+    case DriftPattern::kAbrupt:
+      return "abrupt";
+    case DriftPattern::kRecurrent:
+      return "recurrent";
+    case DriftPattern::kIncremental:
+      return "incremental";
+    case DriftPattern::kIncrementalAbrupt:
+      return "incremental-abrupt";
+    case DriftPattern::kIncrementalReoccurring:
+      return "incremental-reoccurring";
+  }
+  return "?";
+}
+
+}  // namespace oebench

@@ -1,0 +1,114 @@
+#ifndef OEBENCH_STREAMGEN_STREAM_SPEC_H_
+#define OEBENCH_STREAMGEN_STREAM_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataframe/table.h"
+
+namespace oebench {
+
+/// Drift pattern of a synthetic stream, mirroring the taxonomy the paper
+/// observes in real data (§2.2, Appendix Table 13): gradual, abrupt,
+/// recurrent (seasonal), and the INSECTS-style incremental variants.
+enum class DriftPattern {
+  kNone,
+  kGradual,
+  kAbrupt,
+  kRecurrent,
+  kIncremental,
+  kIncrementalAbrupt,
+  kIncrementalReoccurring,
+};
+
+const char* DriftPatternToString(DriftPattern pattern);
+
+/// A feature whose availability changes mid-stream: the
+/// incremental/decremental feature-space challenge (§2.1, Figure 4).
+/// Between `start_frac` and `end_frac` of the stream the feature is
+/// missing with probability `missing_rate`; outside it is always present.
+/// An *incremental* feature uses start_frac = 0 (absent from the start,
+/// appearing later); a *decremental* feature uses end_frac = 1.
+struct FeatureDropout {
+  int feature = 0;
+  double start_frac = 0.0;
+  double end_frac = 1.0;
+  double missing_rate = 1.0;
+};
+
+/// A sustained anomalous episode (the paper's Beijing flood / haze events,
+/// §5.3, Figure 8): within [start_frac, end_frac) each row is anomalous
+/// with probability `rate`, shifting `num_affected` consecutive features
+/// starting at `feature` by a decaying multiple of `magnitude` standard
+/// deviations (a flood moves precipitation *and* the correlated weather
+/// sensors), and dragging the target along for regression streams.
+struct AnomalyEvent {
+  double start_frac = 0.0;
+  double end_frac = 0.0;
+  double rate = 1.0;
+  int feature = 0;
+  double magnitude = 8.0;
+  int num_affected = 3;
+};
+
+/// Full description of a synthetic relational data stream. One spec per
+/// real dataset of the paper's corpus; the generator realises the spec
+/// into a Table with the matching open-environment phenomena.
+struct StreamSpec {
+  std::string name;
+  /// Dataset field from Table 11/12 ("Ecology", "Commerce", "Power",
+  /// "S&T", "Social", "Others").
+  std::string category;
+  TaskType task = TaskType::kRegression;
+  int64_t num_instances = 5000;
+  int num_numeric_features = 8;
+  int num_categorical_features = 0;
+  int categories_per_feature = 4;
+  int num_classes = 2;  // classification only
+  /// Emerging new classes (§2.3, open-environment challenge #1): when
+  /// positive, class c only starts appearing after fraction
+  /// c * class_emergence_fraction of the stream (class 0 exists from the
+  /// start). 0 disables staggering and all classes mix from row 0.
+  double class_emergence_fraction = 0.0;
+  int64_t window_size = 250;
+
+  DriftPattern drift_pattern = DriftPattern::kNone;
+  /// Scale of the concept / covariate movement (0 disables).
+  double drift_magnitude = 1.0;
+  /// Period of recurrent drift as a fraction of the stream length.
+  double drift_period_fraction = 0.25;
+  /// Seasonal amplitude added to feature means (covariate drift).
+  double seasonal_amplitude = 0.0;
+
+  /// Observation / label noise level.
+  double noise_level = 0.1;
+
+  /// MCAR missing-cell probability applied to every feature cell.
+  double base_missing_rate = 0.0;
+  std::vector<FeatureDropout> dropouts;
+
+  std::vector<AnomalyEvent> anomaly_events;
+  /// Probability of an isolated extreme point anomaly per row.
+  double point_anomaly_rate = 0.0;
+  double point_anomaly_magnitude = 10.0;
+
+  uint64_t seed = 42;
+};
+
+/// A realised stream plus its ground truth (which real data lacks — the
+/// paper calls this out as the core difficulty of benchmarking detectors
+/// on real streams, §6.7/§6.8; synthetic streams give it back to us).
+struct GeneratedStream {
+  StreamSpec spec;
+  /// Feature columns plus a final "target" column.
+  Table table;
+  /// Rows the generator made anomalous (events + point anomalies).
+  std::vector<int64_t> true_outlier_rows;
+  /// Rows where an abrupt concept switch happened.
+  std::vector<int64_t> true_drift_rows;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_STREAMGEN_STREAM_SPEC_H_

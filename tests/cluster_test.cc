@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/kmeans.h"
+#include "cluster/tsne.h"
+#include "common/random.h"
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+namespace {
+
+/// Three well-separated blobs of 40 points each.
+Matrix ThreeBlobs(uint64_t seed, std::vector<int>* labels) {
+  Rng rng(seed);
+  Matrix data(120, 2);
+  labels->resize(120);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int i = 0; i < 120; ++i) {
+    int cls = i / 40;
+    data.At(i, 0) = centers[cls][0] + rng.Gaussian() * 0.5;
+    data.At(i, 1) = centers[cls][1] + rng.Gaussian() * 0.5;
+    (*labels)[static_cast<size_t>(i)] = cls;
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversBlobPartition) {
+  std::vector<int> labels;
+  Matrix data = ThreeBlobs(1, &labels);
+  KMeans::Options options;
+  options.k = 3;
+  KMeans kmeans(options);
+  Result<KMeansResult> result = kmeans.Fit(data);
+  ASSERT_TRUE(result.ok());
+  // Every true blob maps to exactly one cluster id.
+  for (int blob = 0; blob < 3; ++blob) {
+    std::set<int> ids;
+    for (int i = blob * 40; i < (blob + 1) * 40; ++i) {
+      ids.insert(result->assignments[static_cast<size_t>(i)]);
+    }
+    EXPECT_EQ(ids.size(), 1u) << "blob " << blob << " split";
+  }
+  // And distinct blobs map to distinct clusters.
+  std::set<int> all_ids(result->assignments.begin(),
+                        result->assignments.end());
+  EXPECT_EQ(all_ids.size(), 3u);
+  EXPECT_LT(result->inertia, 120.0);
+}
+
+TEST(KMeansTest, NearestRowPerCentroidIsMemberOfCluster) {
+  std::vector<int> labels;
+  Matrix data = ThreeBlobs(2, &labels);
+  KMeans::Options options;
+  options.k = 3;
+  KMeans kmeans(options);
+  Result<KMeansResult> result = kmeans.Fit(data);
+  ASSERT_TRUE(result.ok());
+  std::vector<int64_t> nearest =
+      KMeans::NearestRowPerCentroid(data, *result);
+  ASSERT_EQ(nearest.size(), 3u);
+  for (int c = 0; c < 3; ++c) {
+    int64_t row = nearest[static_cast<size_t>(c)];
+    ASSERT_GE(row, 0);
+    EXPECT_EQ(result->assignments[static_cast<size_t>(row)], c);
+  }
+}
+
+TEST(KMeansTest, RejectsTooFewRows) {
+  KMeans::Options options;
+  options.k = 5;
+  KMeans kmeans(options);
+  EXPECT_FALSE(kmeans.Fit(Matrix(3, 2)).ok());
+}
+
+TEST(TsneTest, KeepsBlobsSeparated) {
+  std::vector<int> labels;
+  Matrix data = ThreeBlobs(3, &labels);
+  Tsne::Options options;
+  options.perplexity = 15.0;
+  options.max_iterations = 250;
+  Tsne tsne(options);
+  Result<Matrix> embedded = tsne.Embed(data);
+  ASSERT_TRUE(embedded.ok()) << embedded.status().ToString();
+  ASSERT_EQ(embedded->rows(), 120);
+  ASSERT_EQ(embedded->cols(), 2);
+
+  // Mean within-blob distance should be far below between-blob distance.
+  auto centroid = [&](int blob) {
+    std::vector<double> c(2, 0.0);
+    for (int i = blob * 40; i < (blob + 1) * 40; ++i) {
+      c[0] += embedded->At(i, 0);
+      c[1] += embedded->At(i, 1);
+    }
+    c[0] /= 40;
+    c[1] /= 40;
+    return c;
+  };
+  std::vector<std::vector<double>> cs = {centroid(0), centroid(1),
+                                         centroid(2)};
+  double within = 0.0;
+  for (int blob = 0; blob < 3; ++blob) {
+    for (int i = blob * 40; i < (blob + 1) * 40; ++i) {
+      std::vector<double> p = {embedded->At(i, 0), embedded->At(i, 1)};
+      within += std::sqrt(SquaredDistance(p, cs[static_cast<size_t>(blob)]));
+    }
+  }
+  within /= 120.0;
+  double between = 0.0;
+  int pairs = 0;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = a + 1; b < 3; ++b) {
+      between += std::sqrt(SquaredDistance(cs[static_cast<size_t>(a)],
+                                           cs[static_cast<size_t>(b)]));
+      ++pairs;
+    }
+  }
+  between /= pairs;
+  EXPECT_GT(between, 2.0 * within);
+}
+
+TEST(TsneTest, RejectsOversizedPerplexity) {
+  Tsne::Options options;
+  options.perplexity = 50.0;
+  Tsne tsne(options);
+  EXPECT_FALSE(tsne.Embed(Matrix(20, 2)).ok());
+}
+
+}  // namespace
+}  // namespace oebench

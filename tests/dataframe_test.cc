@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "dataframe/csv.h"
+#include "dataframe/table.h"
+
+namespace oebench {
+namespace {
+
+Table MakeSmallTable() {
+  Table table;
+  Column num = Column::Numeric("x");
+  num.AppendNumeric(1.0);
+  num.AppendMissingNumeric();
+  num.AppendNumeric(3.0);
+  EXPECT_TRUE(table.AddColumn(std::move(num)).ok());
+  Column cat = Column::Categorical("c");
+  cat.AppendCategory("red");
+  cat.AppendCategory("blue");
+  cat.AppendMissingCategory();
+  EXPECT_TRUE(table.AddColumn(std::move(cat)).ok());
+  return table;
+}
+
+TEST(ColumnTest, NumericMissing) {
+  Column col = Column::Numeric("x");
+  col.AppendNumeric(2.0);
+  col.AppendMissingNumeric();
+  EXPECT_EQ(col.size(), 2);
+  EXPECT_FALSE(col.IsMissing(0));
+  EXPECT_TRUE(col.IsMissing(1));
+  EXPECT_EQ(col.CountMissing(), 1);
+}
+
+TEST(ColumnTest, CategoricalDictionary) {
+  Column col = Column::Categorical("c");
+  col.AppendCategory("a");
+  col.AppendCategory("b");
+  col.AppendCategory("a");
+  EXPECT_EQ(col.num_categories(), 2);
+  EXPECT_EQ(col.CodeAt(0), col.CodeAt(2));
+  EXPECT_NE(col.CodeAt(0), col.CodeAt(1));
+  EXPECT_EQ(col.CategoryName(col.CodeAt(1)), "b");
+}
+
+TEST(ColumnTest, SlicePreservesDictionary) {
+  Column col = Column::Categorical("c");
+  col.AppendCategory("a");
+  col.AppendCategory("b");
+  col.AppendCategory("c");
+  Column sliced = col.Slice(1, 3);
+  EXPECT_EQ(sliced.size(), 2);
+  EXPECT_EQ(sliced.CategoryName(sliced.CodeAt(0)), "b");
+}
+
+TEST(TableTest, AddColumnValidation) {
+  Table table = MakeSmallTable();
+  EXPECT_EQ(table.num_rows(), 3);
+  EXPECT_EQ(table.num_columns(), 2);
+  // Duplicate name rejected.
+  EXPECT_FALSE(table.AddColumn(Column::Numeric("x")).ok());
+  // Length mismatch rejected.
+  Column bad = Column::Numeric("y");
+  bad.AppendNumeric(1.0);
+  EXPECT_FALSE(table.AddColumn(std::move(bad)).ok());
+}
+
+TEST(TableTest, ColumnIndex) {
+  Table table = MakeSmallTable();
+  ASSERT_TRUE(table.ColumnIndex("c").ok());
+  EXPECT_EQ(*table.ColumnIndex("c"), 1);
+  EXPECT_FALSE(table.ColumnIndex("nope").ok());
+}
+
+TEST(TableTest, MissingStats) {
+  Table table = MakeSmallTable();
+  Table::MissingStats stats = table.ComputeMissingStats();
+  // Rows 1 and 2 have a missing cell; both columns do; 2 of 6 cells.
+  EXPECT_NEAR(stats.row_ratio, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.column_ratio, 1.0, 1e-12);
+  EXPECT_NEAR(stats.cell_ratio, 2.0 / 6.0, 1e-12);
+}
+
+TEST(TableTest, SliceAndSelectRows) {
+  Table table = MakeSmallTable();
+  Table sliced = table.Slice(1, 3);
+  EXPECT_EQ(sliced.num_rows(), 2);
+  EXPECT_TRUE(sliced.column(0).IsMissing(0));
+  Table selected = table.SelectRows({2, 0});
+  EXPECT_DOUBLE_EQ(selected.column(0).NumericAt(0), 3.0);
+  EXPECT_DOUBLE_EQ(selected.column(0).NumericAt(1), 1.0);
+}
+
+TEST(TableTest, ToMatrixRequiresNumeric) {
+  Table table = MakeSmallTable();
+  EXPECT_FALSE(table.ToMatrix().ok());
+  Table numeric;
+  Column a = Column::Numeric("a");
+  a.AppendNumeric(1.0);
+  a.AppendMissingNumeric();
+  ASSERT_TRUE(numeric.AddColumn(std::move(a)).ok());
+  Result<Matrix> m = numeric.ToMatrix();
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->At(0, 0), 1.0);
+  EXPECT_TRUE(std::isnan(m->At(1, 0)));
+}
+
+TEST(CsvTest, ParseWithTypesAndMissing) {
+  const std::string csv =
+      "a,b,c\n"
+      "1.5,red,10\n"
+      ",blue,20\n"
+      "2.5,NA,30\n";
+  Result<Table> table = ReadCsvFromString(csv);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 3);
+  EXPECT_EQ(table->num_columns(), 3);
+  EXPECT_EQ(table->column(0).type(), ColumnType::kNumeric);
+  EXPECT_EQ(table->column(1).type(), ColumnType::kCategorical);
+  EXPECT_EQ(table->column(2).type(), ColumnType::kNumeric);
+  EXPECT_TRUE(table->column(0).IsMissing(1));
+  EXPECT_TRUE(table->column(1).IsMissing(2));
+  EXPECT_DOUBLE_EQ(table->column(2).NumericAt(2), 30.0);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ReadCsvFromString("a,b\n1,2\n3\n").ok());
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  CsvReadOptions options;
+  options.has_header = false;
+  Result<Table> table = ReadCsvFromString("1,2\n3,4\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->column(0).name(), "col0");
+}
+
+TEST(CsvTest, RoundTripThroughFile) {
+  Table table = MakeSmallTable();
+  const std::string path = "/tmp/oebench_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(table, path).ok());
+  Result<Table> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_rows(), 3);
+  EXPECT_TRUE(loaded->column(0).IsMissing(1));
+  EXPECT_EQ(loaded->column(1).type(), ColumnType::kCategorical);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace oebench

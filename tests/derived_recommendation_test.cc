@@ -1,0 +1,72 @@
+// Tests of the Figure 9 synthesis step: a shallow CART fitted to
+// (scenario -> measured winner) outcomes must reproduce a clean pattern
+// and generalise it to unseen scenario corners.
+
+#include <gtest/gtest.h>
+
+#include "core/recommendation.h"
+
+namespace oebench {
+namespace {
+
+std::vector<ScenarioOutcome> CleanPattern() {
+  // Classification -> trees win; regression with high missing -> iCaRL;
+  // other regression -> Naive-NN. Several examples of each with varied
+  // irrelevant coordinates.
+  std::vector<ScenarioOutcome> outcomes;
+  for (Level drift : {Level::kLow, Level::kMedHigh, Level::kHigh}) {
+    for (Level anomaly : {Level::kLow, Level::kHigh}) {
+      outcomes.push_back({TaskType::kClassification, drift, anomaly,
+                          Level::kLow, "SEA-DT"});
+      outcomes.push_back({TaskType::kRegression, drift, anomaly,
+                          Level::kHigh, "iCaRL"});
+      outcomes.push_back({TaskType::kRegression, drift, anomaly,
+                          Level::kLow, "Naive-NN"});
+    }
+  }
+  return outcomes;
+}
+
+TEST(DerivedRecommendationTest, ReproducesCleanPattern) {
+  Result<DerivedRecommendation> derived =
+      DerivedRecommendation::Fit(CleanPattern());
+  ASSERT_TRUE(derived.ok()) << derived.status().ToString();
+  EXPECT_DOUBLE_EQ(derived->TrainingAccuracy(), 1.0);
+  EXPECT_EQ(derived->labels().size(), 3u);
+  // Unseen corners follow the pattern.
+  EXPECT_EQ(derived->Recommend(TaskType::kClassification, Level::kMedLow,
+                               Level::kMedLow, Level::kLow),
+            "SEA-DT");
+  EXPECT_EQ(derived->Recommend(TaskType::kRegression, Level::kMedLow,
+                               Level::kMedLow, Level::kHigh),
+            "iCaRL");
+  EXPECT_EQ(derived->Recommend(TaskType::kRegression, Level::kMedLow,
+                               Level::kMedLow, Level::kLow),
+            "Naive-NN");
+}
+
+TEST(DerivedRecommendationTest, SingleWinnerDegeneratesGracefully) {
+  std::vector<ScenarioOutcome> outcomes = {
+      {TaskType::kRegression, Level::kLow, Level::kLow, Level::kLow,
+       "Naive-NN"},
+      {TaskType::kClassification, Level::kHigh, Level::kHigh,
+       Level::kHigh, "Naive-NN"},
+  };
+  Result<DerivedRecommendation> derived =
+      DerivedRecommendation::Fit(outcomes);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived->Recommend(TaskType::kRegression, Level::kMedHigh,
+                               Level::kLow, Level::kLow),
+            "Naive-NN");
+}
+
+TEST(DerivedRecommendationTest, RejectsTooFewOutcomes) {
+  EXPECT_FALSE(DerivedRecommendation::Fit({}).ok());
+  EXPECT_FALSE(DerivedRecommendation::Fit(
+                   {{TaskType::kRegression, Level::kLow, Level::kLow,
+                     Level::kLow, "X"}})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace oebench

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+#include "drift/adwin.h"
+#include "drift/cdbd.h"
+#include "drift/ddm.h"
+#include "drift/ecdd.h"
+#include "drift/eddm.h"
+#include "drift/hdddm.h"
+#include "drift/hddm_a.h"
+#include "drift/kdq_tree.h"
+#include "drift/ks_test.h"
+#include "drift/page_hinkley.h"
+#include "drift/pca_cd.h"
+#include "drift/perm.h"
+
+namespace oebench {
+namespace {
+
+Matrix GaussianBatch(Rng* rng, int64_t n, int64_t d, double mean,
+                     double stddev = 1.0) {
+  Matrix m(n, d);
+  for (double& v : m.data()) v = rng->Gaussian(mean, stddev);
+  return m;
+}
+
+std::vector<double> GaussianVector(Rng* rng, int64_t n, double mean,
+                                   double stddev = 1.0) {
+  std::vector<double> v(static_cast<size_t>(n));
+  for (double& x : v) x = rng->Gaussian(mean, stddev);
+  return v;
+}
+
+// ------------------------------------------------------------ KS test
+
+TEST(KsTest, StatisticZeroForIdenticalSamples) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(KsStatistic(a, a), 0.0);
+}
+
+TEST(KsTest, StatisticOneForDisjointSamples) {
+  EXPECT_DOUBLE_EQ(KsStatistic({1, 2, 3}, {10, 11, 12}), 1.0);
+}
+
+TEST(KsTest, PValueMonotoneInStatistic) {
+  double p_small = KsPValue(0.05, 200, 200);
+  double p_large = KsPValue(0.5, 200, 200);
+  EXPECT_GT(p_small, 0.5);
+  EXPECT_LT(p_large, 1e-6);
+  EXPECT_GT(p_small, p_large);
+}
+
+TEST(KsWindowDetectorTest, FlagsShiftedWindow) {
+  Rng rng(1);
+  KsWindowDetector detector(0.05);
+  EXPECT_EQ(detector.Update(GaussianVector(&rng, 300, 0.0)),
+            DriftSignal::kStable);
+  EXPECT_EQ(detector.Update(GaussianVector(&rng, 300, 2.0)),
+            DriftSignal::kDrift);
+  EXPECT_LT(detector.last_p_value(), 0.05);
+}
+
+TEST(KsWindowDetectorTest, QuietOnStationaryStream) {
+  Rng rng(2);
+  KsWindowDetector detector(0.01);
+  int drifts = 0;
+  for (int w = 0; w < 20; ++w) {
+    if (detector.Update(GaussianVector(&rng, 200, 0.0)) ==
+        DriftSignal::kDrift) {
+      ++drifts;
+    }
+  }
+  EXPECT_LE(drifts, 2);
+}
+
+// ------------------------------------------------------------- HDDDM
+
+TEST(HdddmTest, DetectsAbruptShift) {
+  Rng rng(3);
+  Hdddm detector;
+  for (int w = 0; w < 6; ++w) {
+    EXPECT_NE(detector.Update(GaussianBatch(&rng, 200, 3, 0.0)),
+              DriftSignal::kDrift);
+  }
+  EXPECT_EQ(detector.Update(GaussianBatch(&rng, 200, 3, 3.0)),
+            DriftSignal::kDrift);
+}
+
+TEST(HdddmTest, QuietOnStationary) {
+  Rng rng(4);
+  Hdddm detector;
+  int drifts = 0;
+  for (int w = 0; w < 25; ++w) {
+    if (detector.Update(GaussianBatch(&rng, 200, 3, 0.0)) ==
+        DriftSignal::kDrift) {
+      ++drifts;
+    }
+  }
+  EXPECT_LE(drifts, 2);
+}
+
+// ----------------------------------------------------------- kdq-tree
+
+TEST(KdqTreeTest, DetectsDistributionChange) {
+  Rng rng(5);
+  KdqTreeDetector detector;
+  EXPECT_EQ(detector.Update(GaussianBatch(&rng, 400, 4, 0.0)),
+            DriftSignal::kStable);
+  EXPECT_EQ(detector.Update(GaussianBatch(&rng, 400, 4, 2.5)),
+            DriftSignal::kDrift);
+  EXPECT_GT(detector.last_divergence(), 0.0);
+}
+
+TEST(KdqTreeTest, QuietOnStationary) {
+  Rng rng(6);
+  KdqTreeDetector detector;
+  int drifts = 0;
+  for (int w = 0; w < 12; ++w) {
+    if (detector.Update(GaussianBatch(&rng, 300, 4, 0.0)) ==
+        DriftSignal::kDrift) {
+      ++drifts;
+    }
+  }
+  EXPECT_LE(drifts, 2);
+}
+
+// --------------------------------------------------------------- CDBD
+
+TEST(CdbdTest, DetectsConfidenceShift) {
+  Rng rng(7);
+  Cdbd detector;
+  for (int w = 0; w < 6; ++w) {
+    detector.Update(GaussianVector(&rng, 300, 0.0));
+  }
+  EXPECT_EQ(detector.Update(GaussianVector(&rng, 300, 4.0)),
+            DriftSignal::kDrift);
+}
+
+// ------------------------------------------------------------- PCA-CD
+
+TEST(PcaCdTest, DetectsCovarianceRotation) {
+  Rng rng(8);
+  PcaCd detector;
+  for (int w = 0; w < 5; ++w) {
+    detector.Update(GaussianBatch(&rng, 300, 4, 0.0));
+  }
+  // Shift the mean strongly; projections change distribution.
+  DriftSignal last = DriftSignal::kStable;
+  for (int w = 0; w < 4; ++w) {
+    last = detector.Update(GaussianBatch(&rng, 300, 4, 3.0));
+    if (last == DriftSignal::kDrift) break;
+  }
+  EXPECT_EQ(last, DriftSignal::kDrift);
+}
+
+// -------------------------------------------------------------- ADWIN
+
+TEST(AdwinTest, WindowGrowsOnStationaryStream) {
+  Adwin adwin(0.002);
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) adwin.Update(rng.Gaussian(0.5, 0.1));
+  EXPECT_GT(adwin.WindowSize(), 1500);
+  EXPECT_NEAR(adwin.Mean(), 0.5, 0.02);
+}
+
+TEST(AdwinTest, CutsWindowOnMeanShift) {
+  Adwin adwin(0.002);
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) adwin.Update(rng.Gaussian(0.2, 0.05));
+  bool cut = false;
+  for (int i = 0; i < 1000; ++i) {
+    cut = adwin.Update(rng.Gaussian(0.8, 0.05)) || cut;
+  }
+  EXPECT_TRUE(cut);
+  // Window should have shed the old regime.
+  EXPECT_NEAR(adwin.Mean(), 0.8, 0.1);
+}
+
+TEST(AdwinAccuracyDetectorTest, SignalsOnErrorRateJump) {
+  AdwinAccuracyDetector detector;
+  Rng rng(11);
+  bool drift = false;
+  for (int i = 0; i < 1500; ++i) {
+    detector.Update(rng.Bernoulli(0.1) ? 1.0 : 0.0);
+  }
+  for (int i = 0; i < 1500; ++i) {
+    if (detector.Update(rng.Bernoulli(0.6) ? 1.0 : 0.0) ==
+        DriftSignal::kDrift) {
+      drift = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(drift);
+}
+
+// ---------------------------------------------------- error detectors
+
+struct ErrorDetectorCase {
+  std::string name;
+  std::function<std::unique_ptr<StreamErrorDetector>()> make;
+};
+
+class ErrorDetectorParamTest
+    : public ::testing::TestWithParam<ErrorDetectorCase> {};
+
+TEST_P(ErrorDetectorParamTest, FiresOnErrorJumpAndQuietWhenStable) {
+  // Quiet phase: 2% errors. Then jump to 70%.
+  std::unique_ptr<StreamErrorDetector> detector = GetParam().make();
+  Rng rng(12);
+  int early_drifts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (detector->Update(rng.Bernoulli(0.02) ? 1.0 : 0.0) ==
+        DriftSignal::kDrift) {
+      ++early_drifts;
+    }
+  }
+  // Sequential detectors tolerate a couple of false alarms over 2000
+  // quiet samples; what matters is the overwhelming asymmetry vs the
+  // post-jump behaviour below.
+  EXPECT_LE(early_drifts, 3) << GetParam().name;
+  bool fired = false;
+  for (int i = 0; i < 2000; ++i) {
+    if (detector->Update(rng.Bernoulli(0.7) ? 1.0 : 0.0) ==
+        DriftSignal::kDrift) {
+      fired = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(fired) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllErrorDetectors, ErrorDetectorParamTest,
+    ::testing::Values(
+        ErrorDetectorCase{"ddm",
+                          [] {
+                            return std::unique_ptr<StreamErrorDetector>(
+                                new Ddm());
+                          }},
+        ErrorDetectorCase{"eddm",
+                          [] {
+                            return std::unique_ptr<StreamErrorDetector>(
+                                new Eddm());
+                          }},
+        ErrorDetectorCase{"adwin",
+                          [] {
+                            return std::unique_ptr<StreamErrorDetector>(
+                                new AdwinAccuracyDetector());
+                          }},
+        ErrorDetectorCase{"page_hinkley",
+                          [] {
+                            return std::unique_ptr<StreamErrorDetector>(
+                                new PageHinkley(0.005, 20.0));
+                          }},
+        ErrorDetectorCase{"ecdd",
+                          [] {
+                            return std::unique_ptr<StreamErrorDetector>(
+                                new Ecdd());
+                          }},
+        ErrorDetectorCase{"hddm_a",
+                          [] {
+                            return std::unique_ptr<StreamErrorDetector>(
+                                new HddmA());
+                          }}),
+    [](const ::testing::TestParamInfo<ErrorDetectorCase>& info) {
+      return info.param.name;
+    });
+
+// --------------------------------------------------------------- PERM
+
+TEST(PermTest, DetectsConceptChangeInRegression) {
+  Rng rng(13);
+  auto make_window = [&rng](double slope, Matrix* x,
+                            std::vector<double>* y) {
+    *x = Matrix(200, 2);
+    y->resize(200);
+    for (int i = 0; i < 200; ++i) {
+      x->At(i, 0) = rng.Gaussian();
+      x->At(i, 1) = rng.Gaussian();
+      (*y)[static_cast<size_t>(i)] =
+          slope * x->At(i, 0) + 0.05 * rng.Gaussian();
+    }
+  };
+  PermDetector detector(PermDetector::LinearRegressionEval());
+  Matrix x;
+  std::vector<double> y;
+  make_window(1.0, &x, &y);
+  EXPECT_EQ(detector.Update(x, y), DriftSignal::kStable);
+  make_window(1.0, &x, &y);
+  EXPECT_NE(detector.Update(x, y), DriftSignal::kDrift);
+  make_window(-1.0, &x, &y);  // concept flip
+  EXPECT_EQ(detector.Update(x, y), DriftSignal::kDrift);
+  EXPECT_LT(detector.last_p_value(), 0.05);
+}
+
+TEST(PermTest, ClassificationEvalWorks) {
+  Rng rng(14);
+  auto make_window = [&rng](double sign, Matrix* x,
+                            std::vector<double>* y) {
+    *x = Matrix(200, 2);
+    y->resize(200);
+    for (int i = 0; i < 200; ++i) {
+      int cls = static_cast<int>(rng.UniformInt(2));
+      x->At(i, 0) = sign * (cls == 0 ? -2.0 : 2.0) + rng.Gaussian() * 0.5;
+      x->At(i, 1) = rng.Gaussian();
+      (*y)[static_cast<size_t>(i)] = cls;
+    }
+  };
+  PermDetector detector(PermDetector::GaussianNbEval(2));
+  Matrix x;
+  std::vector<double> y;
+  make_window(1.0, &x, &y);
+  detector.Update(x, y);
+  make_window(-1.0, &x, &y);  // labels flip sides
+  EXPECT_EQ(detector.Update(x, y), DriftSignal::kDrift);
+}
+
+TEST(DriftSignalTest, Names) {
+  EXPECT_STREQ(DriftSignalToString(DriftSignal::kStable), "stable");
+  EXPECT_STREQ(DriftSignalToString(DriftSignal::kWarning), "warning");
+  EXPECT_STREQ(DriftSignalToString(DriftSignal::kDrift), "drift");
+}
+
+}  // namespace
+}  // namespace oebench

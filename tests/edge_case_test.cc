@@ -1,0 +1,195 @@
+// Edge-case and robustness tests across the substrates: degenerate
+// inputs, boundary window layouts, ADWIN memory bounds, dictionary
+// growth, and evaluator behaviour on pathological streams.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/recommendation.h"
+#include "drift/adwin.h"
+#include "models/decision_tree.h"
+#include "models/gbdt.h"
+#include "models/hoeffding_tree.h"
+#include "outlier/isolation_forest.h"
+#include "preprocess/one_hot.h"
+#include "preprocess/pipeline.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+TEST(AdwinEdgeTest, MemoryStaysLogarithmic) {
+  Adwin adwin;
+  Rng rng(1);
+  for (int i = 0; i < 50000; ++i) adwin.Update(rng.Gaussian());
+  // Exponential histogram: memory grows with log(n), far below raw
+  // storage of 50k doubles.
+  EXPECT_LT(adwin.MemoryBytes(), 16 * 1024);
+  EXPECT_GT(adwin.WindowSize(), 10000);
+}
+
+TEST(AdwinEdgeTest, ConstantStreamNeverCuts) {
+  Adwin adwin;
+  bool cut = false;
+  for (int i = 0; i < 5000; ++i) cut = adwin.Update(1.0) || cut;
+  EXPECT_FALSE(cut);
+  EXPECT_DOUBLE_EQ(adwin.Mean(), 1.0);
+}
+
+TEST(DecisionTreeEdgeTest, SingleSampleBecomesLeaf) {
+  DecisionTreeConfig config;
+  config.task = TaskType::kRegression;
+  DecisionTree tree(config);
+  Matrix x = Matrix::FromRows({{1.0, 2.0}});
+  tree.Fit(x, {5.0});
+  EXPECT_EQ(tree.node_count(), 1);
+  std::vector<double> probe = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(tree.PredictValue(probe), 5.0);
+}
+
+TEST(DecisionTreeEdgeTest, ConstantFeaturesBecomeLeaf) {
+  DecisionTreeConfig config;
+  config.task = TaskType::kClassification;
+  config.num_classes = 2;
+  DecisionTree tree(config);
+  Matrix x(20, 3, 1.0);  // all rows identical
+  std::vector<double> y(20);
+  for (int i = 0; i < 20; ++i) y[static_cast<size_t>(i)] = i % 2;
+  tree.Fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1);
+}
+
+TEST(GbdtEdgeTest, ConstantTargetPredictsConstant) {
+  GbdtConfig config;
+  config.task = TaskType::kRegression;
+  Gbdt model(config);
+  Rng rng(2);
+  Matrix x(30, 2);
+  for (double& v : x.data()) v = rng.Gaussian();
+  model.Fit(x, std::vector<double>(30, 7.5));
+  std::vector<double> probe = {0.3, -0.1};
+  EXPECT_NEAR(model.PredictValue(probe.data()), 7.5, 1e-9);
+}
+
+TEST(HoeffdingEdgeTest, WeightedSamplesCountMore) {
+  HoeffdingTreeConfig config;
+  config.num_classes = 2;
+  HoeffdingTree tree(config, 3);
+  double row[1] = {0.0};
+  tree.Learn(row, 1, 0, 1.0);
+  tree.Learn(row, 1, 1, 10.0);  // heavier class-1 evidence
+  EXPECT_EQ(tree.PredictClass(row, 1), 1);
+}
+
+TEST(IsolationForestEdgeTest, ConstantDataScoresUniformly) {
+  IsolationForest forest;
+  Matrix data(50, 3, 2.0);
+  ASSERT_TRUE(forest.Fit(data).ok());
+  Result<std::vector<double>> scores = forest.Score(data);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) {
+    EXPECT_NEAR(s, (*scores)[0], 1e-12);
+  }
+}
+
+TEST(OneHotEdgeTest, TransformRejectsSchemaDrift) {
+  Table fit_table;
+  ASSERT_TRUE(fit_table.AddColumn(Column::Numeric("a")).ok());
+  OneHotEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(fit_table).ok());
+  // Renamed column: refuse rather than silently mis-encode.
+  Table renamed;
+  ASSERT_TRUE(renamed.AddColumn(Column::Numeric("b")).ok());
+  EXPECT_FALSE(encoder.Transform(renamed).ok());
+  // Changed type: also refuse.
+  Table retyped;
+  ASSERT_TRUE(retyped.AddColumn(Column::Categorical("a")).ok());
+  EXPECT_FALSE(encoder.Transform(retyped).ok());
+  // Not fitted: precondition error.
+  OneHotEncoder fresh;
+  EXPECT_FALSE(fresh.Transform(fit_table).ok());
+}
+
+TEST(PipelineEdgeTest, AllMissingFeatureSurvivesKnn) {
+  StreamSpec spec;
+  spec.name = "all_missing";
+  spec.num_instances = 1000;
+  spec.num_numeric_features = 4;
+  spec.window_size = 100;
+  spec.dropouts.push_back({0, 0.0, 1.0, 1.0});  // never observed
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  for (const WindowData& window : prepared->windows) {
+    for (double v : window.features.data()) {
+      ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(PipelineEdgeTest, TinyWindowFactorClampsToUsableWindows) {
+  StreamSpec spec;
+  spec.name = "tiny_window";
+  spec.num_instances = 1000;
+  spec.num_numeric_features = 4;
+  spec.window_size = 100;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  PipelineOptions options;
+  options.window_factor = 1e-6;  // would be <1 row; clamps to 10
+  Result<PreparedStream> prepared = PrepareStream(*stream, options);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->windows.size(), 100u);
+}
+
+TEST(EvaluatorEdgeTest, SingleWindowStreamHasNoTestLoss) {
+  StreamSpec spec;
+  spec.name = "one_window";
+  spec.num_instances = 200;
+  spec.num_numeric_features = 3;
+  spec.window_size = 200;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_EQ(prepared->windows.size(), 1u);
+  LearnerConfig config;
+  config.epochs = 1;
+  Result<std::unique_ptr<StreamLearner>> learner = MakeLearner(
+      "Naive-DT", config, prepared->task, prepared->num_classes);
+  ASSERT_TRUE(learner.ok());
+  EvalResult result = RunPrequential(learner->get(), *prepared);
+  EXPECT_TRUE(result.per_window_loss.empty());
+  EXPECT_TRUE(std::isinf(result.mean_loss));  // no evaluated window
+}
+
+TEST(ColumnEdgeTest, EmptySliceAndCounts) {
+  Column col = Column::Numeric("x");
+  col.AppendNumeric(1.0);
+  Column empty = col.Slice(0, 0);
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_EQ(empty.CountMissing(), 0);
+}
+
+TEST(MatrixEdgeTest, EmptyMatrixOperations) {
+  Matrix empty;
+  EXPECT_EQ(empty.rows(), 0);
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_DOUBLE_EQ(empty.FrobeniusNorm(), 0.0);
+  Matrix stacked = Matrix::VStack(empty, Matrix(2, 3, 1.0));
+  EXPECT_EQ(stacked.rows(), 2);
+}
+
+TEST(RecommendationEdgeTest, AllNotApplicableYieldsNone) {
+  std::vector<RepeatedResult> results(1);
+  results[0].not_applicable = true;
+  EXPECT_EQ(BestAlgorithm(results), "(none)");
+  EXPECT_EQ(BestAlgorithm({}), "(none)");
+}
+
+}  // namespace
+}  // namespace oebench

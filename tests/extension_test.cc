@@ -1,0 +1,249 @@
+// Tests for the extension detectors (FW-DDM, LFR, MD3, EIA — the
+// remaining rows of the paper's Appendix Table 8) and extension learners
+// (MAS, SI, DriftReset).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/drift_reset.h"
+#include "core/evaluator.h"
+#include "drift/eia.h"
+#include "drift/fw_ddm.h"
+#include "drift/lfr.h"
+#include "drift/md3.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+TEST(FwDdmTest, FiresOnErrorJumpQuietWhenStable) {
+  FwDdm detector;
+  Rng rng(1);
+  int early = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (detector.Update(rng.Bernoulli(0.05) ? 1.0 : 0.0) ==
+        DriftSignal::kDrift) {
+      ++early;
+    }
+  }
+  EXPECT_LE(early, 3);
+  bool fired = false;
+  for (int i = 0; i < 1500; ++i) {
+    if (detector.Update(rng.Bernoulli(0.6) ? 1.0 : 0.0) ==
+        DriftSignal::kDrift) {
+      fired = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(FwDdmTest, RecentErrorsDominateTheFuzzyWindow) {
+  // After a long clean run, a short error burst must raise the weighted
+  // rate faster than a plain full-history DDM average would.
+  FwDdm detector(/*window_size=*/200);
+  for (int i = 0; i < 1000; ++i) detector.Update(0.0);
+  DriftSignal last = DriftSignal::kStable;
+  int steps = 0;
+  while (last != DriftSignal::kDrift && steps < 120) {
+    last = detector.Update(1.0);
+    ++steps;
+  }
+  EXPECT_EQ(last, DriftSignal::kDrift);
+  EXPECT_LT(steps, 120);
+}
+
+TEST(LfrTest, DetectsRateShiftOnOneClassOnly) {
+  // Classifier predicts well on both classes, then starts failing on
+  // positives only: overall error moves little but TPR collapses.
+  Lfr detector;
+  Rng rng(2);
+  int early = 0;
+  for (int i = 0; i < 3000; ++i) {
+    bool actual = rng.Bernoulli(0.2);  // positives are the minority
+    bool predicted = rng.Bernoulli(0.95) ? actual : !actual;
+    if (detector.Update(predicted, actual) == DriftSignal::kDrift) {
+      ++early;
+    }
+  }
+  EXPECT_LE(early, 3);
+  bool fired = false;
+  for (int i = 0; i < 3000 && !fired; ++i) {
+    bool actual = rng.Bernoulli(0.2);
+    bool predicted = actual ? rng.Bernoulli(0.3)   // TPR collapsed
+                            : rng.Bernoulli(0.95) ? false : true;
+    fired = detector.Update(predicted, actual) == DriftSignal::kDrift;
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(LfrTest, RatesTrackConfusionMatrix) {
+  Lfr detector;
+  // Perfect classifier for a while: all four rates head to 1.
+  for (int i = 0; i < 500; ++i) {
+    detector.Update(i % 2 == 0, i % 2 == 0);
+  }
+  for (double rate : detector.rates()) {
+    EXPECT_GT(rate, 0.9);
+  }
+}
+
+TEST(Md3Test, FiresWhenMarginDensityRises) {
+  Md3 detector;
+  Rng rng(3);
+  int early = 0;
+  // Confident regime: scores far from the boundary.
+  for (int i = 0; i < 2000; ++i) {
+    double score = (rng.Bernoulli(0.5) ? 1.0 : -1.0) *
+                   rng.Uniform(0.8, 2.0);
+    if (detector.Update(score) == DriftSignal::kDrift) ++early;
+  }
+  EXPECT_LE(early, 2);
+  // Uncertain regime: mass moves inside the margin — no labels needed.
+  bool fired = false;
+  for (int i = 0; i < 2000 && !fired; ++i) {
+    double score = rng.Uniform(-0.4, 0.4);
+    fired = detector.Update(score) == DriftSignal::kDrift;
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(EiaTest, SignalsWhenPersistenceOvertakesModel) {
+  Eia detector;
+  std::vector<double> model_good(50, 0.1);
+  std::vector<double> baseline(50, 0.5);
+  EXPECT_EQ(detector.Update(model_good, baseline), DriftSignal::kStable);
+  EXPECT_EQ(detector.Update(model_good, baseline), DriftSignal::kStable);
+  // Concept changed: the model's error jumps above the naive baseline.
+  std::vector<double> model_bad(50, 0.9);
+  EXPECT_EQ(detector.Update(model_bad, baseline), DriftSignal::kDrift);
+  // Staying underwater is a warning, not a fresh drift.
+  EXPECT_EQ(detector.Update(model_bad, baseline), DriftSignal::kWarning);
+}
+
+TEST(EiaTest, PersistenceLossesUsePreviousTarget) {
+  std::vector<double> losses =
+      Eia::PersistenceLosses({2.0, 3.0, 3.0}, 1.0, true);
+  ASSERT_EQ(losses.size(), 3u);
+  EXPECT_DOUBLE_EQ(losses[0], 1.0);  // (2-1)^2
+  EXPECT_DOUBLE_EQ(losses[1], 1.0);  // (3-2)^2
+  EXPECT_DOUBLE_EQ(losses[2], 0.0);
+  // Without a previous target the first loss is zero.
+  EXPECT_DOUBLE_EQ(Eia::PersistenceLosses({5.0}, 0.0, false)[0], 0.0);
+}
+
+PreparedStream MakeStream(TaskType task, DriftPattern pattern,
+                          uint64_t seed) {
+  StreamSpec spec;
+  spec.name = "ext";
+  spec.task = task;
+  spec.num_classes = 3;
+  spec.num_instances = 1600;
+  spec.num_numeric_features = 5;
+  spec.window_size = 200;
+  spec.drift_pattern = pattern;
+  spec.drift_magnitude = pattern == DriftPattern::kNone ? 0.0 : 2.0;
+  spec.seed = seed;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  EXPECT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  EXPECT_TRUE(prepared.ok());
+  return *prepared;
+}
+
+class ExtensionLearnerTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(ExtensionLearnerTest, TracksItsNaiveCounterpart) {
+  LearnerConfig config;
+  config.epochs = 3;
+  config.hidden_sizes = {16, 8};
+  // The extension learners are variations on a naive base (EWC-style
+  // regularisers on Naive-NN, detect-and-reset around Naive-NN/DT);
+  // their loss must stay within a modest factor of that base on a
+  // gradually drifting stream — the absolute level depends on the drift
+  // magnitude, so the base *is* the yardstick.
+  const std::string base =
+      GetParam() == "DriftReset-DT" ? "Naive-DT" : "Naive-NN";
+  for (TaskType task :
+       {TaskType::kClassification, TaskType::kRegression}) {
+    PreparedStream stream = MakeStream(task, DriftPattern::kGradual, 50);
+    Result<std::unique_ptr<StreamLearner>> learner =
+        MakeLearner(GetParam(), config, stream.task, stream.num_classes);
+    ASSERT_TRUE(learner.ok()) << GetParam();
+    EvalResult result = RunPrequential(learner->get(), stream);
+    Result<std::unique_ptr<StreamLearner>> baseline =
+        MakeLearner(base, config, stream.task, stream.num_classes);
+    ASSERT_TRUE(baseline.ok());
+    EvalResult base_result = RunPrequential(baseline->get(), stream);
+    EXPECT_LT(result.mean_loss, base_result.mean_loss * 1.2 + 0.02)
+        << GetParam() << " vs " << base;
+    EXPECT_GT(result.peak_memory_bytes, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Extensions, ExtensionLearnerTest,
+                         ::testing::Values("MAS", "SI", "DriftReset-NN",
+                                           "DriftReset-DT"),
+                         [](const ::testing::TestParamInfo<std::string>&
+                                info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(DriftResetTest, ResetsOnAbruptDriftNotOnStationary) {
+  LearnerConfig config;
+  config.epochs = 3;
+  config.hidden_sizes = {8};
+  {
+    PreparedStream drifting =
+        MakeStream(TaskType::kRegression, DriftPattern::kAbrupt, 51);
+    DriftResetLearner learner("Naive-NN", config, /*ph_lambda=*/0.2);
+    RunPrequential(&learner, drifting);
+    EXPECT_GE(learner.resets(), 1);
+  }
+  {
+    PreparedStream stationary =
+        MakeStream(TaskType::kRegression, DriftPattern::kNone, 52);
+    DriftResetLearner learner("Naive-NN", config, /*ph_lambda=*/0.2);
+    RunPrequential(&learner, stationary);
+    EXPECT_LE(learner.resets(), 1);
+  }
+}
+
+TEST(OzaBagTest, LearnsAndStaysClassificationOnly) {
+  PreparedStream stream =
+      MakeStream(TaskType::kClassification, DriftPattern::kGradual, 53);
+  LearnerConfig config;
+  Result<std::unique_ptr<StreamLearner>> learner =
+      MakeLearner("OzaBag", config, stream.task, stream.num_classes);
+  ASSERT_TRUE(learner.ok());
+  EvalResult result = RunPrequential(learner->get(), stream);
+  EXPECT_LT(result.mean_loss, 0.5);  // 3 classes, chance = 0.67
+  EXPECT_FALSE(
+      MakeLearner("OzaBag", config, TaskType::kRegression, 2).ok());
+}
+
+TEST(ExtendedNamesTest, FactoryCoversAllExtendedNames) {
+  LearnerConfig config;
+  for (const std::string& name :
+       ExtendedLearnerNames(TaskType::kClassification)) {
+    EXPECT_TRUE(
+        MakeLearner(name, config, TaskType::kClassification, 3).ok())
+        << name;
+  }
+  for (const std::string& name :
+       ExtendedLearnerNames(TaskType::kRegression)) {
+    EXPECT_TRUE(
+        MakeLearner(name, config, TaskType::kRegression, 2).ok())
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace oebench

@@ -1,0 +1,138 @@
+// Further generator properties: anomaly-rate realisation, noise-level
+// monotonicity of learnability, seasonal covariate movement, and
+// event/ground-truth bookkeeping under combined injections.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/evaluator.h"
+#include "linalg/vector_ops.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+class AnomalyRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AnomalyRateTest, PointAnomalyRateRealised) {
+  StreamSpec spec;
+  spec.name = "anomaly_rate";
+  spec.num_instances = 8000;
+  spec.num_numeric_features = 5;
+  spec.point_anomaly_rate = GetParam();
+  spec.seed = 71;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  double realised =
+      static_cast<double>(stream->true_outlier_rows.size()) / 8000.0;
+  EXPECT_NEAR(realised, GetParam(), 0.004 + 0.25 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, AnomalyRateTest,
+                         ::testing::Values(0.001, 0.01, 0.05));
+
+TEST(GeneratorNoiseTest, MoreNoiseMeansHarderStream) {
+  auto loss_at = [](double noise) {
+    StreamSpec spec;
+    spec.name = "noise";
+    spec.task = TaskType::kClassification;
+    spec.num_classes = 2;
+    spec.num_instances = 2000;
+    spec.num_numeric_features = 5;
+    spec.window_size = 200;
+    spec.noise_level = noise;
+    spec.seed = 72;
+    Result<GeneratedStream> stream = GenerateStream(spec);
+    EXPECT_TRUE(stream.ok());
+    Result<PreparedStream> prepared = PrepareStream(*stream);
+    EXPECT_TRUE(prepared.ok());
+    LearnerConfig config;
+    config.epochs = 3;
+    Result<std::unique_ptr<StreamLearner>> learner = MakeLearner(
+        "Naive-GBDT", config, prepared->task, prepared->num_classes);
+    EXPECT_TRUE(learner.ok());
+    return RunPrequential(learner->get(), *prepared).mean_loss;
+  };
+  double quiet = loss_at(0.05);
+  double noisy = loss_at(0.8);
+  EXPECT_LT(quiet, noisy);
+}
+
+TEST(GeneratorSeasonalTest, FeatureMeansOscillate) {
+  StreamSpec spec;
+  spec.name = "seasonal";
+  spec.num_instances = 4000;
+  spec.num_numeric_features = 4;
+  spec.window_size = 250;
+  spec.drift_pattern = DriftPattern::kRecurrent;
+  spec.drift_magnitude = 0.0;      // isolate the seasonal term
+  spec.seasonal_amplitude = 2.0;
+  spec.drift_period_fraction = 0.5;
+  spec.noise_level = 0.05;
+  spec.seed = 73;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  // Window means of feature 0 must rise and fall (non-monotone) with a
+  // visible amplitude.
+  const Column& col = stream->table.column(0);
+  std::vector<double> window_means;
+  for (int64_t w = 0; w < 16; ++w) {
+    double sum = 0.0;
+    for (int64_t r = w * 250; r < (w + 1) * 250; ++r) {
+      sum += col.NumericAt(r);
+    }
+    window_means.push_back(sum / 250.0);
+  }
+  double lo = *std::min_element(window_means.begin(), window_means.end());
+  double hi = *std::max_element(window_means.begin(), window_means.end());
+  EXPECT_GT(hi - lo, 0.5);
+  // Non-monotone: the max is not at either end.
+  size_t argmax = static_cast<size_t>(
+      std::max_element(window_means.begin(), window_means.end()) -
+      window_means.begin());
+  EXPECT_GT(argmax, 0u);
+  EXPECT_LT(argmax, window_means.size() - 1);
+}
+
+TEST(GeneratorCombinedTest, GroundTruthCoversAllInjections) {
+  StreamSpec spec;
+  spec.name = "combined";
+  spec.task = TaskType::kRegression;
+  spec.num_instances = 4000;
+  spec.num_numeric_features = 6;
+  spec.drift_pattern = DriftPattern::kAbrupt;
+  spec.drift_magnitude = 2.0;
+  spec.point_anomaly_rate = 0.005;
+  spec.anomaly_events.push_back({0.7, 0.72, 1.0, 0, 9.0});
+  spec.base_missing_rate = 0.05;
+  spec.dropouts.push_back({3, 0.0, 0.3, 1.0});
+  spec.seed = 74;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  // Drift row recorded.
+  ASSERT_EQ(stream->true_drift_rows.size(), 1u);
+  EXPECT_EQ(stream->true_drift_rows[0], 2000);
+  // Outliers include both the event span and scattered points.
+  std::set<int64_t> outliers(stream->true_outlier_rows.begin(),
+                             stream->true_outlier_rows.end());
+  int64_t in_event = 0;
+  int64_t outside_event = 0;
+  for (int64_t row : outliers) {
+    if (row >= 2800 && row < 2880 + 1) {
+      ++in_event;
+    } else {
+      ++outside_event;
+    }
+  }
+  EXPECT_GT(in_event, 50);
+  EXPECT_GT(outside_event, 5);
+  // Dropout feature missing early, observed late.
+  const Column& dropped = stream->table.column(3);
+  EXPECT_GT(dropped.CountMissing(), 1000);
+  EXPECT_FALSE(dropped.IsMissing(3999));
+}
+
+}  // namespace
+}  // namespace oebench

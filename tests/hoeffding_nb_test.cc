@@ -1,0 +1,99 @@
+// Tests of the naive-Bayes leaf refinement (VFDT-NB) and the OzaBag /
+// ARF interaction with it.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/oza_bag.h"
+#include "models/hoeffding_tree.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+/// Streams blob samples into a tree and returns its late-stream accuracy.
+double LateAccuracy(LeafPrediction leaf_mode, uint64_t seed) {
+  HoeffdingTreeConfig config;
+  config.num_classes = 2;
+  config.leaf_prediction = leaf_mode;
+  // A large grace period keeps the tree a single leaf for a while, which
+  // is exactly where NB leaves should shine over majority voting.
+  config.grace_period = 400;
+  HoeffdingTree tree(config, seed);
+  Rng rng(seed + 1);
+  int correct = 0;
+  int total = 0;
+  for (int i = 0; i < 1200; ++i) {
+    int cls = static_cast<int>(rng.UniformInt(2));
+    double row[2] = {cls == 0 ? -1.5 + rng.Gaussian() * 0.8
+                              : 1.5 + rng.Gaussian() * 0.8,
+                     rng.Gaussian()};
+    if (i > 100) {
+      ++total;
+      if (tree.PredictClass(row, 2) == cls) ++correct;
+    }
+    tree.Learn(row, 2, cls);
+  }
+  return static_cast<double>(correct) / total;
+}
+
+TEST(HoeffdingNbTest, NbLeavesBeatMajorityInYoungLeaves) {
+  double nb = LateAccuracy(LeafPrediction::kNaiveBayes, 7);
+  double majority = LateAccuracy(LeafPrediction::kMajorityClass, 7);
+  // With one big leaf, majority voting is near 50% while NB uses the
+  // per-class Gaussians.
+  EXPECT_GT(nb, 0.85);
+  EXPECT_GT(nb, majority);
+}
+
+TEST(HoeffdingNbTest, NbProbabilitiesNormalised) {
+  HoeffdingTreeConfig config;
+  config.num_classes = 3;
+  config.leaf_prediction = LeafPrediction::kNaiveBayes;
+  HoeffdingTree tree(config, 9);
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    double row[2] = {rng.Gaussian(), rng.Gaussian()};
+    tree.Learn(row, 2, static_cast<int>(rng.UniformInt(3)));
+  }
+  double row[2] = {0.3, -0.2};
+  std::vector<double> proba = tree.PredictProba(row, 2);
+  double sum = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(OzaBagBehaviorTest, EnsembleBeatsSingleTreeOnHardStream) {
+  StreamSpec spec;
+  spec.name = "ozabag";
+  spec.task = TaskType::kClassification;
+  spec.num_classes = 4;
+  spec.num_instances = 3000;
+  spec.num_numeric_features = 8;
+  spec.window_size = 250;
+  spec.noise_level = 0.3;
+  spec.seed = 11;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  ASSERT_TRUE(prepared.ok());
+
+  LearnerConfig big;
+  big.ensemble_size = 10;
+  OzaBagLearner ensemble(big);
+  EvalResult ens = RunPrequential(&ensemble, *prepared);
+
+  LearnerConfig one;
+  one.ensemble_size = 1;
+  OzaBagLearner single(one);
+  EvalResult solo = RunPrequential(&single, *prepared);
+  EXPECT_LE(ens.mean_loss, solo.mean_loss + 0.02);
+  EXPECT_LT(ens.mean_loss, 0.5);
+}
+
+}  // namespace
+}  // namespace oebench

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluator.h"
+#include "core/recommendation.h"
+#include "core/selection.h"
+#include "stats/profile.h"
+#include "streamgen/corpus.h"
+#include "streamgen/representative.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+/// End-to-end mini OEBench: generate a small corpus slice, profile it,
+/// select representatives, evaluate learners, derive a recommendation.
+TEST(IntegrationTest, MiniPipelineEndToEnd) {
+  // Six diverse corpus entries, tiny scale for test speed.
+  std::vector<std::string> picks = {
+      "room_occupancy",     "electricity_prices", "insects_gradual_bal",
+      "beijing_air_shunyi", "tetouan_power",      "safe_driver"};
+  std::vector<DatasetProfile> profiles;
+  for (const CorpusEntry& entry : Corpus()) {
+    bool wanted = false;
+    for (const std::string& name : picks) {
+      if (entry.name == name) wanted = true;
+    }
+    if (!wanted) continue;
+    StreamSpec spec = SpecFromEntry(entry, 0.0);  // clamps to 1200 rows
+    Result<GeneratedStream> stream = GenerateStream(spec);
+    ASSERT_TRUE(stream.ok()) << entry.name;
+    Result<DatasetProfile> profile = ProfileDataset(*stream);
+    ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+    profiles.push_back(*profile);
+  }
+  ASSERT_EQ(profiles.size(), picks.size());
+
+  // Selection into 3 clusters.
+  Result<SelectionResult> selection = SelectRepresentatives(profiles, 3);
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  EXPECT_EQ(selection->representatives.size(), 3u);
+
+  // Evaluate two cheap learners on one representative.
+  const DatasetProfile& chosen =
+      profiles[static_cast<size_t>(selection->representatives[0])];
+  const CorpusEntry* entry = nullptr;
+  for (const CorpusEntry& e : Corpus()) {
+    if (e.name == chosen.name) entry = &e;
+  }
+  ASSERT_NE(entry, nullptr);
+  Result<GeneratedStream> stream =
+      GenerateStream(SpecFromEntry(*entry, 0.0));
+  ASSERT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  ASSERT_TRUE(prepared.ok());
+
+  LearnerConfig config;
+  config.epochs = 2;
+  config.hidden_sizes = {8};
+  std::vector<RepeatedResult> results;
+  for (const char* name : {"Naive-DT", "Naive-GBDT"}) {
+    results.push_back(RunRepeated(name, config, *prepared, 1));
+    EXPECT_FALSE(results.back().not_applicable);
+    EXPECT_TRUE(std::isfinite(results.back().loss_mean));
+  }
+  std::string best = BestAlgorithm(results);
+  EXPECT_TRUE(best == "Naive-DT" || best == "Naive-GBDT");
+}
+
+/// The AIR-like stream (high missing) must survive the full KNN pipeline
+/// exactly as the evaluation benches run it.
+TEST(IntegrationTest, HighMissingStreamThroughKnnPipeline) {
+  StreamSpec spec = RepresentativeSpec("AIR", 0.0);
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  PipelineOptions options;
+  options.imputer = "knn";
+  options.knn_k = 2;
+  Result<PreparedStream> prepared = PrepareStream(*stream, options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  for (const WindowData& window : prepared->windows) {
+    for (double v : window.features.data()) {
+      ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+  LearnerConfig config;
+  config.epochs = 2;
+  config.hidden_sizes = {8};
+  EvalResult nn = RunPrequential(
+      MakeLearner("Naive-NN", config, prepared->task,
+                  prepared->num_classes)
+          ->get(),
+      *prepared);
+  EXPECT_TRUE(std::isfinite(nn.mean_loss));
+}
+
+}  // namespace
+}  // namespace oebench

@@ -1,0 +1,230 @@
+// Behavioural tests of the continual-learning machinery itself: EWC's
+// anchor actually restrains parameter movement, LwF's distillation pulls
+// the model toward its predecessor, iCaRL's replay retains old-concept
+// skill, SEA replaces its weakest member, and ARF recovers from an
+// abrupt drift faster than a frozen model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/arf.h"
+#include "core/evaluator.h"
+#include "core/ewc.h"
+#include "core/icarl.h"
+#include "core/lwf.h"
+#include "core/naive_nn.h"
+#include "core/sea.h"
+#include "models/hoeffding_tree.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+/// Two-concept regression stream: y = +x0 in the first half, y = -x0 in
+/// the second half.
+PreparedStream TwoConceptStream(uint64_t seed) {
+  StreamSpec spec;
+  spec.name = "two_concept";
+  spec.task = TaskType::kRegression;
+  spec.num_instances = 2000;
+  spec.num_numeric_features = 4;
+  spec.window_size = 200;
+  spec.drift_pattern = DriftPattern::kAbrupt;
+  spec.drift_magnitude = 3.0;
+  spec.noise_level = 0.05;
+  spec.seed = seed;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  EXPECT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  EXPECT_TRUE(prepared.ok());
+  return *prepared;
+}
+
+double ParameterDistance(const Mlp& a, const Mlp& b) {
+  double sum = 0.0;
+  for (size_t l = 0; l < a.weights().size(); ++l) {
+    for (size_t i = 0; i < a.weights()[l].data().size(); ++i) {
+      double d = a.weights()[l].data()[i] - b.weights()[l].data()[i];
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+TEST(EwcBehaviorTest, StrongerLambdaRestrainsParameterMovement) {
+  PreparedStream stream = TwoConceptStream(1);
+  auto run = [&](double lambda) {
+    LearnerConfig config;
+    config.epochs = 5;
+    config.hidden_sizes = {8};
+    config.ewc_lambda = lambda;
+    EwcLearner learner(config);
+    learner.Begin(stream);
+    // Train on the first concept, snapshot, then train on the drifted
+    // concept and measure how far parameters moved.
+    learner.TrainWindow(stream.windows[0]);
+    learner.TrainWindow(stream.windows[1]);
+    std::vector<Matrix> before = learner.ParametersForTest();
+    learner.TrainWindow(stream.windows.back());
+    std::vector<Matrix> after = learner.ParametersForTest();
+    double sum = 0.0;
+    for (size_t l = 0; l < before.size(); ++l) {
+      for (size_t i = 0; i < before[l].data().size(); ++i) {
+        double d = after[l].data()[i] - before[l].data()[i];
+        sum += d * d;
+      }
+    }
+    return std::sqrt(sum);
+  };
+  // 1e6 is strong but still inside the stable regime (the paper reports
+  // factors beyond ~1e5 "lead to loss explosions", which we reproduce —
+  // at 1e8 parameters go NaN, so that regime is not comparable).
+  double weak = run(1.0);
+  double strong = run(1e6);
+  EXPECT_LT(strong, weak);
+}
+
+TEST(LwfBehaviorTest, DistillationPullsTowardPreviousModel) {
+  PreparedStream stream = TwoConceptStream(2);
+  auto run = [&](double lambda) {
+    LearnerConfig config;
+    config.epochs = 5;
+    config.hidden_sizes = {8};
+    config.lwf_lambda = lambda;
+    config.seed = 5;
+    LwfLearner learner(config);
+    learner.Begin(stream);
+    learner.TrainWindow(stream.windows[0]);
+    // Predictions of the previous model on the last window.
+    std::vector<double> prev_preds;
+    const WindowData& window = stream.windows.back();
+    // Train on the drifted concept; with huge lambda the outputs should
+    // stay close to the pre-training outputs.
+    std::vector<double> before;
+    for (int64_t r = 0; r < window.features.rows(); ++r) {
+      before.push_back(
+          learner.ModelForTest().PredictValue(window.features.RowVector(r)));
+    }
+    learner.TrainWindow(window);
+    double moved = 0.0;
+    for (int64_t r = 0; r < window.features.rows(); ++r) {
+      double d = learner.ModelForTest().PredictValue(
+                     window.features.RowVector(r)) -
+                 before[static_cast<size_t>(r)];
+      moved += d * d;
+    }
+    return moved;
+  };
+  double weak = run(0.0);
+  double strong = run(3.0);  // strong yet stable distillation pull
+  EXPECT_LT(strong, weak);
+}
+
+TEST(IcarlBehaviorTest, ReplayRetainsOldConceptBetterThanNaive) {
+  // Classification stream with an abrupt label flip; after training
+  // through the flip, replay should keep more skill on the *old* concept
+  // than naive training does.
+  StreamSpec spec;
+  spec.name = "retain";
+  spec.task = TaskType::kClassification;
+  spec.num_classes = 2;
+  spec.num_instances = 2400;
+  spec.num_numeric_features = 4;
+  spec.window_size = 300;
+  spec.drift_pattern = DriftPattern::kAbrupt;
+  spec.drift_magnitude = 3.0;
+  spec.noise_level = 0.05;
+  spec.seed = 3;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  ASSERT_TRUE(prepared.ok());
+
+  LearnerConfig config;
+  config.epochs = 5;
+  config.hidden_sizes = {8};
+  config.buffer_size = 200;
+
+  IcarlLearner icarl(config);
+  NaiveNnLearner naive(config);
+  icarl.Begin(*prepared);
+  naive.Begin(*prepared);
+  for (const WindowData& window : prepared->windows) {
+    icarl.TrainWindow(window);
+    naive.TrainWindow(window);
+  }
+  // Old-concept data = window 0.
+  double icarl_old = icarl.TestLoss(prepared->windows[0]);
+  double naive_old = naive.TestLoss(prepared->windows[0]);
+  EXPECT_LE(icarl_old, naive_old + 0.05);
+}
+
+TEST(SeaBehaviorTest, CandidateReplacesWorstMember) {
+  PreparedStream stream = TwoConceptStream(4);
+  LearnerConfig config;
+  config.ensemble_size = 2;
+  SeaLearner learner(SeaBase::kDt, config);
+  learner.Begin(stream);
+  // Fill the ensemble with pre-drift members.
+  learner.TrainWindow(stream.windows[0]);
+  learner.TrainWindow(stream.windows[1]);
+  double before = learner.TestLoss(stream.windows.back());
+  // Several post-drift windows: replacement should adapt the ensemble.
+  for (size_t w = stream.windows.size() - 4; w < stream.windows.size() - 1;
+       ++w) {
+    learner.TrainWindow(stream.windows[w]);
+  }
+  double after = learner.TestLoss(stream.windows.back());
+  EXPECT_LT(after, before);
+  EXPECT_EQ(learner.ensemble_size(), 2);
+}
+
+TEST(ArfBehaviorTest, RecoversAfterAbruptDrift) {
+  StreamSpec spec;
+  spec.name = "arf_drift";
+  spec.task = TaskType::kClassification;
+  spec.num_classes = 2;
+  spec.num_instances = 4000;
+  spec.num_numeric_features = 4;
+  spec.window_size = 250;
+  spec.drift_pattern = DriftPattern::kAbrupt;
+  spec.drift_magnitude = 4.0;
+  spec.noise_level = 0.05;
+  spec.seed = 6;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  ASSERT_TRUE(prepared.ok());
+
+  LearnerConfig config;
+  config.ensemble_size = 3;
+  ArfLearner learner(config);
+  EvalResult result = RunPrequential(&learner, *prepared);
+  // The final windows (well after the drift) should be classified far
+  // better than chance — the forest replaced its drifted members.
+  double late = result.per_window_loss.back();
+  EXPECT_LT(late, 0.35);
+}
+
+TEST(MlpCopyTest, CopiedModelPredictsIdentically) {
+  PreparedStream stream = TwoConceptStream(8);
+  LearnerConfig config;
+  config.epochs = 2;
+  config.hidden_sizes = {8};
+  NaiveNnLearner learner(config);
+  learner.Begin(stream);
+  learner.TrainWindow(stream.windows[0]);
+  Mlp copy = learner.ModelForTest();
+  const WindowData& window = stream.windows[1];
+  for (int64_t r = 0; r < std::min<int64_t>(20, window.features.rows());
+       ++r) {
+    EXPECT_DOUBLE_EQ(
+        copy.PredictValue(window.features.RowVector(r)),
+        learner.ModelForTest().PredictValue(window.features.RowVector(r)));
+  }
+  (void)ParameterDistance;
+}
+
+}  // namespace
+}  // namespace oebench

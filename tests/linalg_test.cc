@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/pca.h"
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(MatrixTest, ConstructAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), -2.0);
+}
+
+TEST(MatrixTest, MatMul) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50);
+}
+
+TEST(MatrixTest, TransposeAndIdentity) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix at = a.Transposed();
+  EXPECT_EQ(at.rows(), 3);
+  EXPECT_EQ(at.cols(), 2);
+  EXPECT_DOUBLE_EQ(at.At(2, 1), 6);
+  Matrix id = Matrix::Identity(3);
+  EXPECT_EQ(a.MatMul(id.MatMul(id)).data(), a.data());
+}
+
+TEST(MatrixTest, AddSubScale) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{3, 5}});
+  EXPECT_DOUBLE_EQ(a.Add(b).At(0, 1), 7);
+  EXPECT_DOUBLE_EQ(b.Sub(a).At(0, 0), 2);
+  EXPECT_DOUBLE_EQ(a.Scale(3.0).At(0, 1), 6);
+}
+
+TEST(MatrixTest, ColumnStatsSkipNan) {
+  Matrix m = Matrix::FromRows({{1, kNan}, {3, 4}, {5, kNan}});
+  std::vector<double> mean = m.ColumnMeans();
+  EXPECT_DOUBLE_EQ(mean[0], 3.0);
+  EXPECT_DOUBLE_EQ(mean[1], 4.0);
+  std::vector<double> sd = m.ColumnStdDevs();
+  EXPECT_NEAR(sd[0], std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(sd[1], 0.0);
+}
+
+TEST(MatrixTest, SelectRowsAndCols) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Matrix rows = m.SelectRows({2, 0});
+  EXPECT_DOUBLE_EQ(rows.At(0, 0), 7);
+  EXPECT_DOUBLE_EQ(rows.At(1, 2), 3);
+  Matrix cols = m.SelectCols({1});
+  EXPECT_EQ(cols.cols(), 1);
+  EXPECT_DOUBLE_EQ(cols.At(2, 0), 8);
+}
+
+TEST(MatrixTest, SliceAndVStack) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Matrix top = m.Slice(0, 1);
+  Matrix rest = m.Slice(1, 3);
+  Matrix back = Matrix::VStack(top, rest);
+  EXPECT_EQ(back.data(), m.data());
+}
+
+TEST(VectorOpsTest, DotNormDistance) {
+  std::vector<double> a = {1, 2, 2};
+  std::vector<double> b = {0, 2, 2};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 8);
+  EXPECT_DOUBLE_EQ(Norm(a), 3);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 1);
+}
+
+TEST(VectorOpsTest, NanEuclidean) {
+  std::vector<double> a = {1, kNan, 3};
+  std::vector<double> b = {2, 5, kNan};
+  // Only coordinate 0 usable: dist = sqrt(3/1 * 1) = sqrt(3).
+  EXPECT_NEAR(NanEuclideanDistance(a, b), std::sqrt(3.0), 1e-12);
+  std::vector<double> c = {kNan, kNan, kNan};
+  EXPECT_TRUE(std::isinf(NanEuclideanDistance(a, c)));
+}
+
+TEST(VectorOpsTest, MeanVarianceQuantile) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+}
+
+TEST(VectorOpsTest, SoftmaxAndArgMax) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(&v);
+  EXPECT_NEAR(v[0] + v[1] + v[2], 1.0, 1e-12);
+  EXPECT_GT(v[2], v[1]);
+  EXPECT_EQ(ArgMax(v), 2);
+}
+
+TEST(EigenTest, DiagonalizesSymmetricMatrix) {
+  Matrix a = Matrix::FromRows({{2, 1, 0}, {1, 3, 1}, {0, 1, 2}});
+  EigenDecomposition eig = SymmetricEigen(a);
+  ASSERT_EQ(eig.values.size(), 3u);
+  // Eigenvalues sorted descending, A v = lambda v.
+  EXPECT_GE(eig.values[0], eig.values[1]);
+  EXPECT_GE(eig.values[1], eig.values[2]);
+  for (int k = 0; k < 3; ++k) {
+    std::vector<double> v(3);
+    for (int i = 0; i < 3; ++i) v[static_cast<size_t>(i)] = eig.vectors.At(i, k);
+    for (int i = 0; i < 3; ++i) {
+      double av = 0.0;
+      for (int j = 0; j < 3; ++j) av += a.At(i, j) * v[static_cast<size_t>(j)];
+      EXPECT_NEAR(av, eig.values[static_cast<size_t>(k)] *
+                          v[static_cast<size_t>(i)],
+                  1e-9);
+    }
+  }
+  // Trace preserved.
+  EXPECT_NEAR(eig.values[0] + eig.values[1] + eig.values[2], 7.0, 1e-9);
+}
+
+TEST(EigenTest, SolveLinearSystem) {
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  std::vector<double> x = SolveLinearSystem(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(EigenTest, SolveSingularReturnsZeros) {
+  Matrix a = Matrix::FromRows({{1, 1}, {1, 1}});
+  std::vector<double> x = SolveLinearSystem(a, {1, 2});
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Data stretched along (1, 1)/sqrt(2).
+  Rng rng(7);
+  Matrix data(500, 2);
+  for (int64_t r = 0; r < data.rows(); ++r) {
+    double main = rng.Gaussian() * 5.0;
+    double minor = rng.Gaussian() * 0.3;
+    data.At(r, 0) = main + minor;
+    data.At(r, 1) = main - minor;
+  }
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(data, 2).ok());
+  EXPECT_GT(pca.explained_variance_ratio()[0], 0.95);
+  double c0 = pca.components().At(0, 0);
+  double c1 = pca.components().At(1, 0);
+  EXPECT_NEAR(std::abs(c0), std::abs(c1), 0.05);
+
+  Matrix projected = pca.Transform(data);
+  EXPECT_EQ(projected.cols(), 2);
+  // Projected first component variance dominates.
+  std::vector<double> sd = projected.ColumnStdDevs();
+  EXPECT_GT(sd[0], 5.0 * sd[1]);
+}
+
+TEST(PcaTest, RejectsDegenerateInput) {
+  Matrix one_row(1, 3);
+  Pca pca;
+  EXPECT_FALSE(pca.Fit(one_row, 2).ok());
+}
+
+}  // namespace
+}  // namespace oebench

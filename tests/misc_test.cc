@@ -1,0 +1,202 @@
+// Remaining coverage: logging levels, enum-to-string helpers, MLP
+// gradient hooks in isolation, detector Reset semantics, determinism of
+// the stochastic components, and small invariants not covered elsewhere.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/tsne.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "drift/hdddm.h"
+#include "drift/kdq_tree.h"
+#include "drift/ks_test.h"
+#include "models/mlp.h"
+#include "outlier/ecod.h"
+#include "streamgen/corpus.h"
+#include "streamgen/stream_spec.h"
+
+namespace oebench {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  OE_LOG(Info) << "suppressed at error level";  // must not crash
+  SetLogLevel(before);
+}
+
+TEST(EnumStringsTest, AllNamed) {
+  EXPECT_STREQ(DriftPatternToString(DriftPattern::kNone), "none");
+  EXPECT_STREQ(DriftPatternToString(DriftPattern::kIncrementalAbrupt),
+               "incremental-abrupt");
+  EXPECT_STREQ(LevelToString(Level::kMedHigh), "Medium high");
+  EXPECT_STREQ(TaskTypeToString(TaskType::kClassification),
+               "classification");
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kCategorical),
+               "categorical");
+}
+
+TEST(MlpHooksTest, OutputHookShiftsTraining) {
+  // With a dominating output hook pulling toward +10, the regression
+  // model must end up predicting far above the data's true mean of 0.
+  MlpConfig config;
+  config.task = TaskType::kRegression;
+  config.hidden_sizes = {4};
+  config.learning_rate = 0.05;
+  Mlp with_hook(config, 1);
+  Mlp without_hook(config, 1);
+  Rng rng(2);
+  Matrix x(100, 2);
+  for (double& v : x.data()) v = rng.Gaussian();
+  std::vector<double> y(100, 0.0);
+
+  Mlp::GradHooks hooks;
+  hooks.output_hook = [](int64_t, const std::vector<double>& output,
+                         std::vector<double>* delta) {
+    (*delta)[0] += 5.0 * 2.0 * (output[0] - 10.0);  // pull toward 10
+  };
+  Rng rng_a(3);
+  Rng rng_b(3);
+  for (int e = 0; e < 40; ++e) {
+    with_hook.TrainEpoch(x, y, &rng_a, &hooks);
+    without_hook.TrainEpoch(x, y, &rng_b);
+  }
+  std::vector<double> probe = {0.0, 0.0};
+  EXPECT_GT(with_hook.PredictValue(probe), 5.0);
+  EXPECT_LT(std::abs(without_hook.PredictValue(probe)), 1.0);
+}
+
+TEST(MlpHooksTest, ParamHookCanFreezeTraining) {
+  // A param hook that zeroes all gradients must keep parameters fixed.
+  MlpConfig config;
+  config.task = TaskType::kRegression;
+  config.hidden_sizes = {4};
+  Mlp mlp(config, 4);
+  mlp.EnsureInitialized(2);
+  std::vector<Matrix> before = mlp.weights();
+  Mlp::GradHooks hooks;
+  hooks.param_hook = [](const std::vector<Matrix>&,
+                        const std::vector<std::vector<double>>&,
+                        std::vector<Matrix>* wg,
+                        std::vector<std::vector<double>>* bg) {
+    for (Matrix& g : *wg) {
+      std::fill(g.data().begin(), g.data().end(), 0.0);
+    }
+    for (auto& g : *bg) std::fill(g.begin(), g.end(), 0.0);
+  };
+  Rng rng(5);
+  Matrix x(50, 2);
+  for (double& v : x.data()) v = rng.Gaussian();
+  std::vector<double> y(50, 3.0);
+  mlp.TrainEpoch(x, y, &rng, &hooks);
+  for (size_t l = 0; l < before.size(); ++l) {
+    EXPECT_EQ(mlp.weights()[l].data(), before[l].data());
+  }
+}
+
+TEST(MlpTest, OutputNormGradientsNonNegative) {
+  MlpConfig config;
+  config.task = TaskType::kClassification;
+  config.num_classes = 3;
+  config.hidden_sizes = {6};
+  Mlp mlp(config, 6);
+  Rng rng(7);
+  Matrix x(30, 4);
+  for (double& v : x.data()) v = rng.Gaussian();
+  mlp.EnsureInitialized(4);
+  std::vector<Matrix> w_imp;
+  std::vector<std::vector<double>> b_imp;
+  mlp.ComputeOutputNormGradients(x, &w_imp, &b_imp);
+  double total = 0.0;
+  for (const Matrix& m : w_imp) {
+    for (double v : m.data()) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(DetectorResetTest, ResetRestoresFreshState) {
+  Rng rng(8);
+  KsWindowDetector ks;
+  std::vector<double> batch(200);
+  for (double& v : batch) v = rng.Gaussian();
+  ks.Update(batch);
+  ks.Reset();
+  // After reset the first batch only primes again — never a drift.
+  for (double& v : batch) v = rng.Gaussian(5.0, 1.0);
+  EXPECT_EQ(ks.Update(batch), DriftSignal::kStable);
+
+  Hdddm hdddm;
+  Matrix m(100, 2);
+  for (double& v : m.data()) v = rng.Gaussian();
+  hdddm.Update(m);
+  hdddm.Reset();
+  for (double& v : m.data()) v = rng.Gaussian(5.0, 1.0);
+  EXPECT_EQ(hdddm.Update(m), DriftSignal::kStable);
+}
+
+TEST(DeterminismTest, KdqTreeSameSeedSameDivergence) {
+  auto run = [] {
+    Rng rng(9);
+    KdqTreeDetector detector;
+    Matrix a(300, 3);
+    Matrix b(300, 3);
+    for (double& v : a.data()) v = rng.Gaussian();
+    for (double& v : b.data()) v = rng.Gaussian(1.0, 1.0);
+    detector.Update(a);
+    detector.Update(b);
+    return detector.last_divergence();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(DeterminismTest, TsneSameSeedSameEmbedding) {
+  Rng rng(10);
+  Matrix data(60, 3);
+  for (double& v : data.data()) v = rng.Gaussian();
+  Tsne::Options options;
+  options.perplexity = 10.0;
+  options.max_iterations = 50;
+  Tsne tsne(options);
+  Result<Matrix> a = tsne.Embed(data);
+  Result<Matrix> b = tsne.Embed(data);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->data(), b->data());
+}
+
+TEST(EcodConsistencyTest, FitScoreEqualsScoreOnSameData) {
+  Rng rng(11);
+  Matrix data(100, 3);
+  for (double& v : data.data()) v = rng.Gaussian();
+  Ecod detector;
+  Result<std::vector<double>> fit_scores = detector.FitScore(data);
+  ASSERT_TRUE(fit_scores.ok());
+  Result<std::vector<double>> re_scores = detector.Score(data);
+  ASSERT_TRUE(re_scores.ok());
+  EXPECT_EQ(*fit_scores, *re_scores);
+}
+
+TEST(CorpusSpecTest, WindowCountRoughlyConstantAcrossScales) {
+  const CorpusEntry& entry = Corpus()[2];  // electricity
+  for (double scale : {0.05, 0.2, 0.8}) {
+    StreamSpec spec = SpecFromEntry(entry, scale);
+    double windows = static_cast<double>(spec.num_instances) /
+                     static_cast<double>(spec.window_size);
+    EXPECT_NEAR(windows, 40.0, 1.0) << scale;
+  }
+}
+
+TEST(MatrixToStringTest, TruncatesLongMatrices) {
+  Matrix m(20, 2, 1.0);
+  std::string s = m.ToString(4);
+  EXPECT_NE(s.find("20x2"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oebench

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "models/decision_tree.h"
+#include "models/gbdt.h"
+#include "models/hoeffding_tree.h"
+#include "models/linear_model.h"
+#include "models/mlp.h"
+#include "models/naive_bayes.h"
+
+namespace oebench {
+namespace {
+
+/// Linearly separable 2-class data around two Gaussian blobs.
+void MakeBlobs(int n, uint64_t seed, Matrix* x, std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    int cls = i % 2;
+    double cx = cls == 0 ? -2.0 : 2.0;
+    x->At(i, 0) = cx + rng.Gaussian() * 0.6;
+    x->At(i, 1) = cx + rng.Gaussian() * 0.6;
+    (*y)[static_cast<size_t>(i)] = cls;
+  }
+}
+
+/// y = 2 x0 - x1 + 0.5 with mild noise.
+void MakeLinear(int n, uint64_t seed, Matrix* x, std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x->At(i, 0) = rng.Gaussian();
+    x->At(i, 1) = rng.Gaussian();
+    (*y)[static_cast<size_t>(i)] =
+        2.0 * x->At(i, 0) - x->At(i, 1) + 0.5 + 0.01 * rng.Gaussian();
+  }
+}
+
+TEST(MlpTest, PaperHiddenLayouts) {
+  EXPECT_EQ(PaperMlpHidden(3), (std::vector<int>{32, 16, 8}));
+  EXPECT_EQ(PaperMlpHidden(5), (std::vector<int>{32, 32, 16, 16, 8}));
+  EXPECT_EQ(PaperMlpHidden(7),
+            (std::vector<int>{32, 32, 32, 16, 16, 16, 8}));
+}
+
+TEST(MlpTest, LearnsLinearRegression) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinear(400, 1, &x, &y);
+  MlpConfig config;
+  config.task = TaskType::kRegression;
+  config.hidden_sizes = {16, 8};
+  config.learning_rate = 0.01;
+  Mlp mlp(config, 7);
+  Rng rng(2);
+  double first_loss = mlp.TrainEpoch(x, y, &rng);
+  for (int e = 0; e < 60; ++e) mlp.TrainEpoch(x, y, &rng);
+  double final_loss = mlp.EvaluateLoss(x, y);
+  EXPECT_LT(final_loss, 0.1);
+  EXPECT_LT(final_loss, first_loss);
+}
+
+TEST(MlpTest, LearnsBlobClassification) {
+  Matrix x;
+  std::vector<double> y;
+  MakeBlobs(400, 3, &x, &y);
+  MlpConfig config;
+  config.task = TaskType::kClassification;
+  config.num_classes = 2;
+  config.hidden_sizes = {16, 8};
+  Mlp mlp(config, 7);
+  Rng rng(4);
+  for (int e = 0; e < 40; ++e) mlp.TrainEpoch(x, y, &rng);
+  int correct = 0;
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    if (mlp.PredictClass(x.RowVector(r)) ==
+        static_cast<int>(y[static_cast<size_t>(r)])) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(correct, 380);
+  std::vector<double> proba = mlp.PredictProba(x.RowVector(0));
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
+}
+
+TEST(MlpTest, XorNeedsHiddenLayer) {
+  Matrix x = Matrix::FromRows({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  std::vector<double> y = {0, 1, 1, 0};
+  MlpConfig config;
+  config.task = TaskType::kClassification;
+  config.num_classes = 2;
+  config.hidden_sizes = {8};
+  config.learning_rate = 0.1;
+  config.batch_size = 4;
+  Mlp mlp(config, 21);
+  Rng rng(22);
+  for (int e = 0; e < 2000; ++e) mlp.TrainEpoch(x, y, &rng);
+  for (int64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(mlp.PredictClass(x.RowVector(r)),
+              static_cast<int>(y[static_cast<size_t>(r)]));
+  }
+}
+
+TEST(MlpTest, ParameterCountMatchesArchitecture) {
+  MlpConfig config;
+  config.task = TaskType::kRegression;
+  config.hidden_sizes = {32, 16, 8};
+  Mlp mlp(config, 1);
+  mlp.EnsureInitialized(10);
+  // 10*32+32 + 32*16+16 + 16*8+8 + 8*1+1 = 352+528+136+9 = 1025.
+  EXPECT_EQ(mlp.ParameterCount(), 1025);
+  EXPECT_EQ(mlp.MemoryBytes(), 1025 * 8);
+}
+
+TEST(MlpTest, FisherIsNonNegativeAndShaped) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinear(50, 5, &x, &y);
+  MlpConfig config;
+  config.task = TaskType::kRegression;
+  config.hidden_sizes = {4};
+  Mlp mlp(config, 9);
+  Rng rng(10);
+  mlp.TrainEpoch(x, y, &rng);
+  std::vector<Matrix> wsq;
+  std::vector<std::vector<double>> bsq;
+  mlp.ComputeSquaredGradients(x, y, &wsq, &bsq);
+  ASSERT_EQ(wsq.size(), mlp.weights().size());
+  double total = 0.0;
+  for (const Matrix& m : wsq) {
+    for (double v : m.data()) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(DecisionTreeTest, ClassifiesBlobs) {
+  Matrix x;
+  std::vector<double> y;
+  MakeBlobs(300, 6, &x, &y);
+  DecisionTreeConfig config;
+  config.task = TaskType::kClassification;
+  config.num_classes = 2;
+  DecisionTree tree(config);
+  tree.Fit(x, y);
+  int correct = 0;
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    if (tree.PredictClass(x.Row(r)) ==
+        static_cast<int>(y[static_cast<size_t>(r)])) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(correct, 290);
+  EXPECT_GT(tree.node_count(), 0);
+  std::vector<double> proba = tree.PredictProba(x.Row(0));
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, RegressesStep) {
+  // Step function: y = 1 when x > 0 else -1; a depth-1 tree nails it.
+  Rng rng(8);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (int i = 0; i < 200; ++i) {
+    x.At(i, 0) = rng.Uniform(-1.0, 1.0);
+    y[static_cast<size_t>(i)] = x.At(i, 0) > 0 ? 1.0 : -1.0;
+  }
+  DecisionTreeConfig config;
+  config.task = TaskType::kRegression;
+  config.max_depth = 3;
+  DecisionTree tree(config);
+  tree.Fit(x, y);
+  std::vector<double> probe_hi = {0.5};
+  std::vector<double> probe_lo = {-0.5};
+  EXPECT_NEAR(tree.PredictValue(probe_hi), 1.0, 1e-9);
+  EXPECT_NEAR(tree.PredictValue(probe_lo), -1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinear(300, 9, &x, &y);
+  DecisionTreeConfig config;
+  config.task = TaskType::kRegression;
+  config.max_depth = 2;
+  DecisionTree tree(config);
+  tree.Fit(x, y);
+  // Depth-2 binary tree has at most 3 internal + 4 leaf nodes.
+  EXPECT_LE(tree.node_count(), 7);
+}
+
+TEST(DecisionTreeTest, SampleWeightsShiftLeafValues) {
+  Matrix x = Matrix::FromRows({{0.0}, {0.0}});
+  std::vector<double> y = {0.0, 10.0};
+  DecisionTreeConfig config;
+  config.task = TaskType::kRegression;
+  DecisionTree tree(config);
+  tree.Fit(x, y, {1.0, 3.0});
+  std::vector<double> probe = {0.0};
+  EXPECT_NEAR(tree.PredictValue(probe), 7.5, 1e-9);
+}
+
+TEST(GbdtTest, RegressionBeatsSingleRound) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinear(400, 11, &x, &y);
+  GbdtConfig config1;
+  config1.task = TaskType::kRegression;
+  config1.num_rounds = 1;
+  Gbdt one(config1);
+  one.Fit(x, y);
+  GbdtConfig config10 = config1;
+  config10.num_rounds = 10;
+  Gbdt ten(config10);
+  ten.Fit(x, y);
+  auto mse = [&](const Gbdt& model) {
+    double total = 0.0;
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      double diff = model.PredictValue(x.Row(r)) -
+                    y[static_cast<size_t>(r)];
+      total += diff * diff;
+    }
+    return total / static_cast<double>(x.rows());
+  };
+  EXPECT_LT(mse(ten), mse(one));
+  EXPECT_LT(mse(ten), 0.5);
+}
+
+TEST(GbdtTest, MulticlassClassification) {
+  // Three blobs along a line.
+  Rng rng(12);
+  Matrix x(300, 2);
+  std::vector<double> y(300);
+  for (int i = 0; i < 300; ++i) {
+    int cls = i % 3;
+    x.At(i, 0) = 3.0 * cls + rng.Gaussian() * 0.5;
+    x.At(i, 1) = rng.Gaussian();
+    y[static_cast<size_t>(i)] = cls;
+  }
+  GbdtConfig config;
+  config.task = TaskType::kClassification;
+  config.num_classes = 3;
+  config.num_rounds = 5;
+  Gbdt model(config);
+  model.Fit(x, y);
+  int correct = 0;
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    if (model.PredictClass(x.Row(r)) ==
+        static_cast<int>(y[static_cast<size_t>(r)])) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(correct, 285);
+  std::vector<double> proba = model.PredictProba(x.Row(0));
+  double sum = 0.0;
+  for (double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(LinearRegressionTest, RecoversCoefficients) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinear(500, 13, &x, &y);
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_NEAR(model.weights()[0], 2.0, 0.02);
+  EXPECT_NEAR(model.weights()[1], -1.0, 0.02);
+  EXPECT_NEAR(model.intercept(), 0.5, 0.02);
+  EXPECT_LT(model.EvaluateMse(x, y), 0.01);
+}
+
+TEST(LinearRegressionTest, RejectsMismatchedSizes) {
+  Matrix x(3, 2);
+  std::vector<double> y = {1.0};
+  LinearRegression model;
+  EXPECT_FALSE(model.Fit(x, y).ok());
+}
+
+TEST(GaussianNbTest, ClassifiesBlobs) {
+  Matrix x;
+  std::vector<double> y;
+  MakeBlobs(300, 14, &x, &y);
+  GaussianNb model(2);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(model.EvaluateErrorRate(x, y), 0.03);
+}
+
+TEST(HoeffdingTreeTest, LearnsIncrementallyAndSplits) {
+  Rng rng(15);
+  HoeffdingTreeConfig config;
+  config.num_classes = 2;
+  config.grace_period = 30;
+  HoeffdingTree tree(config, 16);
+  // Stream 3000 samples of separable blobs.
+  int correct_late = 0;
+  int late_total = 0;
+  for (int i = 0; i < 3000; ++i) {
+    int cls = static_cast<int>(rng.UniformInt(2));
+    double row[2] = {cls == 0 ? -2.0 + rng.Gaussian() * 0.6
+                              : 2.0 + rng.Gaussian() * 0.6,
+                     rng.Gaussian()};
+    if (i > 2000) {
+      ++late_total;
+      if (tree.PredictClass(row, 2) == cls) ++correct_late;
+    }
+    tree.Learn(row, 2, cls);
+  }
+  EXPECT_GT(tree.node_count(), 1);  // it actually split
+  EXPECT_GT(static_cast<double>(correct_late) / late_total, 0.9);
+}
+
+TEST(HoeffdingTreeTest, PureStreamStaysSingleLeaf) {
+  HoeffdingTreeConfig config;
+  config.num_classes = 2;
+  HoeffdingTree tree(config, 17);
+  Rng rng(18);
+  for (int i = 0; i < 500; ++i) {
+    double row[2] = {rng.Gaussian(), rng.Gaussian()};
+    tree.Learn(row, 2, 1);  // single class
+  }
+  EXPECT_EQ(tree.node_count(), 1);
+  double row[2] = {0.0, 0.0};
+  EXPECT_EQ(tree.PredictClass(row, 2), 1);
+}
+
+}  // namespace
+}  // namespace oebench

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "outlier/ecod.h"
+#include "outlier/isolation_forest.h"
+
+namespace oebench {
+namespace {
+
+/// 500 inliers N(0, I) plus `num_outliers` points at distance ~10.
+void MakeContaminated(uint64_t seed, int num_outliers, Matrix* data,
+                      std::vector<int64_t>* outlier_rows) {
+  Rng rng(seed);
+  const int n = 500;
+  *data = Matrix(n, 4);
+  for (double& v : data->data()) v = rng.Gaussian();
+  outlier_rows->clear();
+  for (int k = 0; k < num_outliers; ++k) {
+    int64_t row = 50 + k * 37;
+    for (int64_t c = 0; c < 4; ++c) {
+      data->At(row, c) = 10.0 + rng.Gaussian();
+    }
+    outlier_rows->push_back(row);
+  }
+}
+
+/// Rank of `row`'s score among all scores (1 = highest).
+int ScoreRank(const std::vector<double>& scores, int64_t row) {
+  int rank = 1;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (static_cast<int64_t>(i) != row &&
+        scores[i] > scores[static_cast<size_t>(row)]) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+TEST(EcodTest, RanksPlantedOutliersHighest) {
+  Matrix data;
+  std::vector<int64_t> outliers;
+  MakeContaminated(1, 5, &data, &outliers);
+  Ecod detector;
+  Result<std::vector<double>> scores = detector.FitScore(data);
+  ASSERT_TRUE(scores.ok());
+  for (int64_t row : outliers) {
+    EXPECT_LE(ScoreRank(*scores, row), 10);
+  }
+}
+
+TEST(EcodTest, ScoreOnNewData) {
+  Matrix data;
+  std::vector<int64_t> outliers;
+  MakeContaminated(2, 0, &data, &outliers);
+  Ecod detector;
+  ASSERT_TRUE(detector.FitScore(data).ok());
+  Matrix probe = Matrix::FromRows({{0.0, 0.0, 0.0, 0.0},
+                                   {12.0, 12.0, 12.0, 12.0}});
+  Result<std::vector<double>> scores = detector.Score(probe);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[1], (*scores)[0]);
+}
+
+TEST(EcodTest, RejectsTinyInput) {
+  Ecod detector;
+  EXPECT_FALSE(detector.FitScore(Matrix(1, 2)).ok());
+  EXPECT_FALSE(detector.Score(Matrix(1, 2)).ok());  // not fitted
+}
+
+TEST(IsolationForestTest, RanksPlantedOutliersHighest) {
+  Matrix data;
+  std::vector<int64_t> outliers;
+  MakeContaminated(3, 5, &data, &outliers);
+  IsolationForest detector;
+  Result<std::vector<double>> scores = detector.FitScore(data);
+  ASSERT_TRUE(scores.ok());
+  for (int64_t row : outliers) {
+    EXPECT_LE(ScoreRank(*scores, row), 10);
+  }
+  // Scores live in (0, 1).
+  for (double s : *scores) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, DeterministicForFixedSeed) {
+  Matrix data;
+  std::vector<int64_t> outliers;
+  MakeContaminated(4, 3, &data, &outliers);
+  IsolationForest::Options options;
+  options.seed = 77;
+  IsolationForest a(options);
+  IsolationForest b(options);
+  Result<std::vector<double>> sa = a.FitScore(data);
+  Result<std::vector<double>> sb = b.FitScore(data);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  EXPECT_EQ(*sa, *sb);
+}
+
+TEST(ThresholdOutliersTest, ThreeSigmaRule) {
+  std::vector<double> scores(100, 1.0);
+  scores[7] = 100.0;  // extreme
+  std::vector<bool> mask = ThresholdOutliers(scores);
+  int count = 0;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) {
+      ++count;
+      EXPECT_EQ(i, 7u);
+    }
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThresholdOutliersTest, UniformScoresFlagNothing) {
+  std::vector<double> scores(50, 0.5);
+  std::vector<bool> mask = ThresholdOutliers(scores);
+  EXPECT_TRUE(std::none_of(mask.begin(), mask.end(),
+                           [](bool b) { return b; }));
+}
+
+}  // namespace
+}  // namespace oebench

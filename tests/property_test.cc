@@ -1,0 +1,277 @@
+// Property-style parameterised sweeps over the open-environment knobs:
+// detector sensitivity vs drift magnitude, imputer quality vs missing
+// rate, generator realisation of spec parameters, and the paper's §5.3
+// failure-injection observation (a single extreme outlier destabilises
+// the NN while the decision tree survives).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "drift/hdddm.h"
+#include "drift/ks_test.h"
+#include "models/decision_tree.h"
+#include "models/mlp.h"
+#include "preprocess/imputer.h"
+#include "preprocess/pipeline.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+// ---------------------------------------------------------------------
+// Drift magnitude sweep: the KS detector's p-value must shrink
+// monotonically-ish as the injected shift grows.
+
+class DriftMagnitudeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DriftMagnitudeTest, KsPValueShrinksWithShift) {
+  const double shift = GetParam();
+  Rng rng(100 + static_cast<uint64_t>(shift * 10));
+  std::vector<double> before(400);
+  std::vector<double> after(400);
+  for (double& v : before) v = rng.Gaussian();
+  for (double& v : after) v = rng.Gaussian(shift, 1.0);
+  KsWindowDetector detector;
+  detector.Update(before);
+  DriftSignal signal = detector.Update(after);
+  if (shift >= 0.5) {
+    EXPECT_EQ(signal, DriftSignal::kDrift) << "shift " << shift;
+  }
+  if (shift == 0.0) {
+    EXPECT_GT(detector.last_p_value(), 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, DriftMagnitudeTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0));
+
+// ---------------------------------------------------------------------
+// Missing-rate sweep: KNN imputation error stays below zero-fill error
+// on correlated data, for every missing rate.
+
+class MissingRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MissingRateTest, KnnBeatsZeroFill) {
+  const double rate = GetParam();
+  Rng rng(7);
+  const int n = 200;
+  Matrix truth(n, 3);
+  for (int i = 0; i < n; ++i) {
+    double base = rng.Gaussian() * 2.0 + 5.0;
+    truth.At(i, 0) = base + 0.1 * rng.Gaussian();
+    truth.At(i, 1) = base + 0.1 * rng.Gaussian();
+    truth.At(i, 2) = base + 0.1 * rng.Gaussian();
+  }
+  Matrix holey = truth;
+  int64_t holes = 0;
+  for (int64_t r = 0; r < n; ++r) {
+    // At most one hole per row so neighbours stay informative.
+    if (rng.Bernoulli(rate)) {
+      holey.At(r, rng.UniformInt(3)) =
+          std::numeric_limits<double>::quiet_NaN();
+      ++holes;
+    }
+  }
+  if (holes == 0) GTEST_SKIP();
+
+  auto reconstruction_error = [&](Imputer* imputer) {
+    EXPECT_TRUE(imputer->Fit(holey).ok());
+    Matrix filled = holey;
+    EXPECT_TRUE(imputer->Transform(&filled).ok());
+    double err = 0.0;
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t c = 0; c < 3; ++c) {
+        if (std::isnan(holey.At(r, c))) {
+          double d = filled.At(r, c) - truth.At(r, c);
+          err += d * d;
+        }
+      }
+    }
+    return err / static_cast<double>(holes);
+  };
+  KnnImputer knn(2);
+  ZeroImputer zero;
+  EXPECT_LT(reconstruction_error(&knn), reconstruction_error(&zero))
+      << "rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, MissingRateTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4));
+
+// ---------------------------------------------------------------------
+// Generator realisation sweep: requested missing rate is realised within
+// tolerance across the whole parameter range.
+
+class GeneratorMissingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeneratorMissingTest, RealisesRequestedRate) {
+  StreamSpec spec;
+  spec.name = "gen_missing";
+  spec.num_instances = 5000;
+  spec.num_numeric_features = 6;
+  spec.base_missing_rate = GetParam();
+  spec.seed = 9;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  int64_t missing = 0;
+  for (int j = 0; j < 6; ++j) {
+    missing += stream->table.column(j).CountMissing();
+  }
+  double realised = static_cast<double>(missing) / (5000.0 * 6.0);
+  EXPECT_NEAR(realised, GetParam(), 0.015 + 0.1 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, GeneratorMissingTest,
+                         ::testing::Values(0.0, 0.02, 0.08, 0.2));
+
+// ---------------------------------------------------------------------
+// Drift-pattern sweep: every pattern yields a stream HDDDM finds at
+// least as drifty as the stationary control.
+
+class DriftPatternTest : public ::testing::TestWithParam<DriftPattern> {};
+
+// Fixed-reference KS metric: fraction of windows whose first-feature
+// distribution rejects equality with window 0. (HDDDM's adaptive
+// threshold legitimately acclimatises to smooth periodic drift, so it is
+// the wrong instrument for an any-pattern property test.)
+TEST_P(DriftPatternTest, CumulativeShiftVisibleToKsFromWindowZero) {
+  auto drift_ratio = [](DriftPattern pattern, double magnitude) {
+    StreamSpec spec;
+    spec.name = "pattern";
+    spec.num_instances = 3000;
+    spec.num_numeric_features = 5;
+    spec.window_size = 150;
+    spec.drift_pattern = pattern;
+    spec.drift_magnitude = magnitude;
+    spec.noise_level = 0.1;
+    spec.seed = 21;
+    Result<GeneratedStream> stream = GenerateStream(spec);
+    EXPECT_TRUE(stream.ok());
+    Result<PreparedStream> prepared = PrepareStream(*stream);
+    EXPECT_TRUE(prepared.ok());
+    std::vector<double> reference =
+        prepared->windows[0].features.ColVector(0);
+    int drifts = 0;
+    int comparisons = 0;
+    for (size_t w = 1; w < prepared->windows.size(); ++w) {
+      std::vector<double> current =
+          prepared->windows[w].features.ColVector(0);
+      double stat = KsStatistic(reference, current);
+      double p = KsPValue(stat, static_cast<int64_t>(reference.size()),
+                          static_cast<int64_t>(current.size()));
+      ++comparisons;
+      if (p < 0.05) ++drifts;
+    }
+    return static_cast<double>(drifts) / static_cast<double>(comparisons);
+  };
+  double with_drift = drift_ratio(GetParam(), 2.5);
+  double stationary = drift_ratio(DriftPattern::kNone, 0.0);
+  EXPECT_GT(with_drift, stationary) << DriftPatternToString(GetParam());
+  EXPECT_GT(with_drift, 0.2) << DriftPatternToString(GetParam());
+  EXPECT_LT(stationary, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, DriftPatternTest,
+    ::testing::Values(DriftPattern::kGradual, DriftPattern::kAbrupt,
+                      DriftPattern::kRecurrent, DriftPattern::kIncremental,
+                      DriftPattern::kIncrementalAbrupt,
+                      DriftPattern::kIncrementalReoccurring),
+    [](const ::testing::TestParamInfo<DriftPattern>& info) {
+      std::string name = DriftPatternToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------
+// Failure injection (§5.3): a single extreme value (the paper's 999,990
+// precipitation cell) destabilises the NN's subsequent-window losses but
+// the decision tree merely degrades.
+
+TEST(FailureInjectionTest, ExtremeOutlierHarmsNnMoreThanTree) {
+  StreamSpec spec;
+  spec.name = "extreme";
+  spec.task = TaskType::kRegression;
+  spec.num_instances = 2000;
+  spec.num_numeric_features = 5;
+  spec.window_size = 200;
+  spec.noise_level = 0.1;
+  spec.seed = 77;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+
+  // Inject the paper's catastrophic cell: a target value four orders of
+  // magnitude beyond the normal range, in window 4.
+  Result<int64_t> target_idx = stream->table.ColumnIndex("target");
+  ASSERT_TRUE(target_idx.ok());
+  stream->table.mutable_column(*target_idx).SetNumeric(900, 999990.0);
+
+  PipelineOptions options;
+  options.normalize = true;
+  Result<PreparedStream> prepared = PrepareStream(*stream, options);
+  ASSERT_TRUE(prepared.ok());
+
+  LearnerConfig config;
+  config.epochs = 5;
+  EvalResult nn = RunPrequential(
+      MakeLearner("Naive-NN", config, prepared->task,
+                  prepared->num_classes)
+          ->get(),
+      *prepared);
+  EvalResult dt = RunPrequential(
+      MakeLearner("Naive-DT", config, prepared->task,
+                  prepared->num_classes)
+          ->get(),
+      *prepared);
+
+  // Post-injection windows: NN loss explodes (>= 100x its pre-injection
+  // level or non-finite); the tree stays finite everywhere.
+  double nn_before = nn.per_window_loss[2];
+  double nn_after_max = 0.0;
+  for (size_t w = 4; w < nn.per_window_loss.size(); ++w) {
+    if (!std::isfinite(nn.per_window_loss[w])) {
+      nn_after_max = std::numeric_limits<double>::infinity();
+      break;
+    }
+    nn_after_max = std::max(nn_after_max, nn.per_window_loss[w]);
+  }
+  EXPECT_TRUE(nn_after_max > 100.0 * std::max(nn_before, 1e-3) ||
+              !std::isfinite(nn_after_max));
+  for (double loss : dt.per_window_loss) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Window-factor sweep: the prepared stream's window count scales
+// inversely with the factor.
+
+class WindowFactorTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WindowFactorTest, WindowCountScales) {
+  StreamSpec spec;
+  spec.name = "wf";
+  spec.num_instances = 2000;
+  spec.num_numeric_features = 4;
+  spec.window_size = 100;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  PipelineOptions options;
+  options.window_factor = GetParam();
+  Result<PreparedStream> prepared = PrepareStream(*stream, options);
+  ASSERT_TRUE(prepared.ok());
+  double expected = 2000.0 / (100.0 * GetParam());
+  EXPECT_NEAR(static_cast<double>(prepared->windows.size()), expected,
+              1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, WindowFactorTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace oebench

@@ -1,0 +1,94 @@
+// Regression guards for bugs found and fixed during development — each
+// test documents the failure mode it pins down.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "drift/adwin.h"
+#include "preprocess/normalizer.h"
+
+namespace oebench {
+namespace {
+
+// Bug: AdwinAccuracyDetector treated ANY window cut as drift, including
+// cuts caused by a *falling* error mean. ARF then replaced its freshly
+// planted trees the moment they started improving — a permanent
+// replacement crashloop that left the forest near chance level.
+TEST(RegressionGuardTest, AdwinAccuracyIgnoresImprovingError) {
+  AdwinAccuracyDetector detector;
+  Rng rng(1);
+  // Error rate falls from 80% to 5%: a recovering model.
+  int drifts = 0;
+  for (int i = 0; i < 1500; ++i) {
+    detector.Update(rng.Bernoulli(0.8) ? 1.0 : 0.0);
+  }
+  for (int i = 0; i < 1500; ++i) {
+    if (detector.Update(rng.Bernoulli(0.05) ? 1.0 : 0.0) ==
+        DriftSignal::kDrift) {
+      ++drifts;
+    }
+  }
+  EXPECT_EQ(drifts, 0);
+  // The mirror case — error rising — must still alarm.
+  bool fired = false;
+  for (int i = 0; i < 1500 && !fired; ++i) {
+    fired = detector.Update(rng.Bernoulli(0.7) ? 1.0 : 0.0) ==
+            DriftSignal::kDrift;
+  }
+  EXPECT_TRUE(fired);
+}
+
+// Bug: the normaliser divided zero-variance columns by epsilon (1e-9),
+// so a feature that was all-missing (imputed to a constant) in window 0
+// exploded to ~1e9 the moment the sensor came online — NN losses went
+// to 1e15 on the AIR stream (the §5.1 incremental-feature case).
+TEST(RegressionGuardTest, ZeroVarianceColumnNormalisesByOne) {
+  Matrix fit = Matrix::FromRows({{5.0, 0.0}, {5.0, 2.0}});
+  Normalizer norm;
+  ASSERT_TRUE(norm.Fit(fit).ok());
+  // Column 0 had zero variance at fit time; a later value of 7 must map
+  // to 7 - 5 = 2, not (7-5)/1e-9.
+  EXPECT_NEAR(norm.TransformValue(0, 7.0), 2.0, 1e-9);
+  EXPECT_NEAR(norm.InverseTransformValue(0, 2.0), 7.0, 1e-9);
+}
+
+// Bench utility coverage (used by every table/figure binary).
+TEST(BenchUtilTest, SparkRendersExtremaAndNonFinite) {
+  std::string spark =
+      bench::Spark({0.0, 1.0, std::numeric_limits<double>::infinity()});
+  EXPECT_NE(spark.find("!"), std::string::npos);
+  EXPECT_EQ(bench::Spark({}), "");
+  // Constant series renders the lowest glyph throughout.
+  std::string flat = bench::Spark({2.0, 2.0, 2.0});
+  EXPECT_EQ(flat, "▁▁▁");
+}
+
+TEST(BenchUtilTest, FormatLossHandlesNa) {
+  RepeatedResult na;
+  na.not_applicable = true;
+  EXPECT_EQ(bench::FormatLoss(na), "N/A");
+  RepeatedResult ok;
+  ok.loss_mean = 0.1234;
+  ok.loss_stddev = 0.0056;
+  EXPECT_EQ(bench::FormatLoss(ok), "0.123±0.006");
+}
+
+TEST(BenchUtilTest, ParseFlagsReadsKnobs) {
+  const char* argv[] = {"bench", "--scale=0.5", "--repeats=7",
+                        "--seed=42"};
+  bench::BenchFlags flags =
+      bench::ParseFlags(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.scale, 0.5);
+  EXPECT_EQ(flags.repeats, 7);
+  EXPECT_EQ(flags.seed, 42u);
+  bench::BenchFlags defaults =
+      bench::ParseFlags(1, const_cast<char**>(argv), 0.25, 3);
+  EXPECT_DOUBLE_EQ(defaults.scale, 0.25);
+  EXPECT_EQ(defaults.repeats, 3);
+}
+
+}  // namespace
+}  // namespace oebench

@@ -1,0 +1,102 @@
+// Coverage for the remaining report-facing pieces: the per-window drift
+// statistics series, RepresentativeInfo <-> corpus integrity, spec
+// window maths, and the profile facets' invariance to scale.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/outlier_stats.h"
+#include "stats/profile.h"
+#include "streamgen/corpus.h"
+#include "streamgen/representative.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+TEST(RepresentativeIntegrityTest, EveryInfoPointsIntoCorpus) {
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    bool found = false;
+    for (const CorpusEntry& entry : Corpus()) {
+      if (entry.name == info.corpus_name) {
+        found = true;
+        // Table 3's levels must agree with Table 9's corpus levels.
+        EXPECT_EQ(static_cast<int>(entry.drift),
+                  static_cast<int>(info.drift))
+            << info.short_name;
+        EXPECT_EQ(static_cast<int>(entry.anomaly),
+                  static_cast<int>(info.anomaly))
+            << info.short_name;
+        EXPECT_EQ(static_cast<int>(entry.missing),
+                  static_cast<int>(info.missing))
+            << info.short_name;
+      }
+    }
+    EXPECT_TRUE(found) << info.corpus_name;
+  }
+}
+
+TEST(OutlierStatsSeriesTest, PerWindowSeriesMatchesWindowCount) {
+  StreamSpec spec;
+  spec.name = "series";
+  spec.num_instances = 1500;
+  spec.num_numeric_features = 4;
+  spec.window_size = 150;
+  spec.point_anomaly_rate = 0.02;
+  spec.point_anomaly_magnitude = 15.0;
+  spec.seed = 81;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  ASSERT_TRUE(prepared.ok());
+  std::vector<OutlierStats> stats = ComputeOutlierStats(*prepared);
+  for (const OutlierStats& s : stats) {
+    ASSERT_EQ(s.ratio_per_window.size(), prepared->windows.size())
+        << s.detector;
+    double max_seen = 0.0;
+    for (double ratio : s.ratio_per_window) {
+      EXPECT_GE(ratio, 0.0);
+      EXPECT_LE(ratio, 1.0);
+      max_seen = std::max(max_seen, ratio);
+    }
+    EXPECT_DOUBLE_EQ(max_seen, s.anomaly_ratio_max);
+  }
+}
+
+TEST(SpecWindowMathTest, WindowSizeScalesWithInstances) {
+  const CorpusEntry& entry = Corpus()[0];
+  StreamSpec small = SpecFromEntry(entry, 0.001);
+  StreamSpec large = SpecFromEntry(entry, 0.01);
+  EXPECT_GE(small.window_size, 30);
+  EXPECT_GE(large.window_size, small.window_size);
+  EXPECT_LE(small.num_instances, large.num_instances);
+}
+
+TEST(ProfileScaleStabilityTest, QualitativeScoresStableAcrossScale) {
+  // The selection pipeline depends on profiles being comparable across
+  // dataset sizes; the qualitative scores of the same spec at two scales
+  // must stay in the same ballpark.
+  const CorpusEntry* entry = nullptr;
+  for (const CorpusEntry& e : Corpus()) {
+    if (e.name == "beijing_air_shunyi") entry = &e;
+  }
+  ASSERT_NE(entry, nullptr);
+  auto profile_at = [&](double scale) {
+    Result<GeneratedStream> stream =
+        GenerateStream(SpecFromEntry(*entry, scale));
+    EXPECT_TRUE(stream.ok());
+    Result<DatasetProfile> profile = ProfileDataset(*stream);
+    EXPECT_TRUE(profile.ok());
+    return *profile;
+  };
+  DatasetProfile small = profile_at(0.0);   // clamped 1200 rows
+  DatasetProfile big = profile_at(0.1);     // ~3500 rows
+  // High-missing stays high-missing.
+  EXPECT_GT(small.MissingScore(), 0.08);
+  EXPECT_GT(big.MissingScore(), 0.08);
+  EXPECT_NEAR(small.MissingScore(), big.MissingScore(), 0.08);
+}
+
+}  // namespace
+}  // namespace oebench

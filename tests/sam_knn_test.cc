@@ -1,0 +1,143 @@
+// Tests of SAM-kNN, the class-emergence generator support, and the
+// fading-factor prequential metric.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/evaluator.h"
+#include "core/sam_knn.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+PreparedStream MakeClsStream(DriftPattern pattern, double emergence,
+                             uint64_t seed) {
+  StreamSpec spec;
+  spec.name = "samknn";
+  spec.task = TaskType::kClassification;
+  spec.num_classes = 3;
+  spec.num_instances = 2400;
+  spec.num_numeric_features = 5;
+  spec.window_size = 200;
+  spec.drift_pattern = pattern;
+  spec.drift_magnitude = pattern == DriftPattern::kNone ? 0.0 : 2.5;
+  spec.class_emergence_fraction = emergence;
+  spec.noise_level = 0.1;
+  spec.seed = seed;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  EXPECT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  EXPECT_TRUE(prepared.ok());
+  return *prepared;
+}
+
+TEST(SamKnnTest, LearnsSeparableClasses) {
+  PreparedStream stream = MakeClsStream(DriftPattern::kNone, 0.0, 1);
+  LearnerConfig config;
+  SamKnnLearner learner(config);
+  EvalResult result = RunPrequential(&learner, stream);
+  EXPECT_LT(result.mean_loss, 0.25);
+  EXPECT_GT(learner.stm_size(), 0);
+}
+
+TEST(SamKnnTest, StmBoundedAndLtmPopulated) {
+  PreparedStream stream = MakeClsStream(DriftPattern::kAbrupt, 0.0, 2);
+  LearnerConfig config;
+  SamKnnLearner::Options options;
+  options.max_stm = 300;
+  options.max_ltm = 500;
+  SamKnnLearner learner(config, options);
+  learner.Begin(stream);
+  for (const WindowData& window : stream.windows) {
+    learner.TrainWindow(window);
+    EXPECT_LE(learner.stm_size(), 300);
+    EXPECT_LE(learner.ltm_size(), 500);
+  }
+  // With 2400 samples flowing through a 300-sample STM, the LTM must
+  // have received (and kept at least some) archived samples.
+  EXPECT_GT(learner.ltm_size(), 0);
+}
+
+TEST(SamKnnTest, AdaptsAfterAbruptDrift) {
+  PreparedStream stream = MakeClsStream(DriftPattern::kAbrupt, 0.0, 3);
+  LearnerConfig config;
+  SamKnnLearner learner(config);
+  EvalResult result = RunPrequential(&learner, stream);
+  // Last window well after the mid-stream switch: recovered accuracy.
+  EXPECT_LT(result.per_window_loss.back(), 0.3);
+}
+
+TEST(SamKnnTest, RejectsRegression) {
+  LearnerConfig config;
+  EXPECT_FALSE(
+      MakeLearner("SAM-kNN", config, TaskType::kRegression, 2).ok());
+  EXPECT_TRUE(
+      MakeLearner("SAM-kNN", config, TaskType::kClassification, 3).ok());
+}
+
+TEST(ClassEmergenceTest, ClassesAppearInOrder) {
+  StreamSpec spec;
+  spec.name = "emerge";
+  spec.task = TaskType::kClassification;
+  spec.num_classes = 4;
+  spec.num_instances = 4000;
+  spec.num_numeric_features = 5;
+  spec.class_emergence_fraction = 0.2;
+  spec.seed = 4;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  Result<int64_t> target_idx = stream->table.ColumnIndex("target");
+  ASSERT_TRUE(target_idx.ok());
+  const std::vector<double>& y =
+      stream->table.column(*target_idx).numeric_values();
+  // Before class c's introduction row, label c never occurs.
+  for (int c = 1; c < 4; ++c) {
+    int64_t intro = static_cast<int64_t>(0.2 * c * 4000);
+    for (int64_t t = 0; t < intro; ++t) {
+      ASSERT_LT(static_cast<int>(y[static_cast<size_t>(t)]), c)
+          << "class " << c << " appeared at row " << t;
+    }
+  }
+  // After the last introduction all classes occur.
+  std::set<int> late;
+  for (int64_t t = 3200; t < 4000; ++t) {
+    late.insert(static_cast<int>(y[static_cast<size_t>(t)]));
+  }
+  EXPECT_EQ(late.size(), 4u);
+}
+
+TEST(FadedLossTest, WeighsRecentWindowsMore) {
+  // A learner whose loss improves over time must have faded < mean; one
+  // that degrades must have faded > mean. Synthesise via a stub learner.
+  class ScriptedLearner : public StreamLearner {
+   public:
+    explicit ScriptedLearner(bool improving) : improving_(improving) {}
+    void Begin(const PreparedStream&) override { window_ = 0; }
+    double TestLoss(const WindowData&) override {
+      double loss = improving_ ? 1.0 / (1.0 + window_)
+                               : static_cast<double>(window_);
+      ++window_;
+      return loss;
+    }
+    void TrainWindow(const WindowData&) override {}
+    std::string name() const override { return "scripted"; }
+    int64_t MemoryBytes() const override { return 1; }
+
+   private:
+    bool improving_;
+    int window_ = 0;
+  };
+  PreparedStream stream = MakeClsStream(DriftPattern::kNone, 0.0, 5);
+  ScriptedLearner improving(true);
+  EvalResult up = RunPrequential(&improving, stream);
+  EXPECT_LT(up.faded_loss, up.mean_loss);
+  ScriptedLearner degrading(false);
+  EvalResult down = RunPrequential(&degrading, stream);
+  EXPECT_GT(down.faded_loss, down.mean_loss);
+}
+
+}  // namespace
+}  // namespace oebench

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/selection.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+/// Builds a synthetic profile without running the full pipeline; only the
+/// facet values matter for the selection math.
+DatasetProfile MakeProfile(const std::string& name, double drift,
+                           double missing, double anomaly, double size) {
+  DatasetProfile profile;
+  profile.name = name;
+  profile.log_instances = size;
+  profile.num_features = 10.0;
+  profile.num_windows = 40.0;
+  profile.is_classification = 0.0;
+  profile.missing.row_ratio = missing;
+  profile.missing.column_ratio = missing;
+  profile.missing.cell_ratio = missing;
+  for (const char* det :
+       {"hdddm", "kdq_tree", "pca_cd", "ks", "cdbd"}) {
+    profile.data_drift.push_back({det, drift, drift, drift / 2, drift / 2});
+  }
+  for (const char* det : {"ddm", "eddm", "adwin_accuracy", "perm"}) {
+    profile.concept_drift.push_back({det, drift, drift, drift / 2,
+                                     drift / 2});
+  }
+  profile.outliers.push_back({"ecod", anomaly, anomaly, {}});
+  profile.outliers.push_back({"iforest", anomaly, anomaly, {}});
+  return profile;
+}
+
+TEST(SelectionTest, PicksOneRepresentativePerCluster) {
+  std::vector<DatasetProfile> profiles;
+  // Three archetype groups with internal jitter: drifty, missing-heavy,
+  // anomalous.
+  for (int i = 0; i < 6; ++i) {
+    double j = 0.01 * i;
+    profiles.push_back(
+        MakeProfile("drifty" + std::to_string(i), 0.8 + j, 0.02, 0.02, 4.0));
+    profiles.push_back(MakeProfile("missing" + std::to_string(i), 0.05,
+                                   0.7 + j, 0.02, 4.0));
+    profiles.push_back(MakeProfile("anomalous" + std::to_string(i), 0.05,
+                                   0.02, 0.6 + j, 4.0));
+  }
+  Result<SelectionResult> result = SelectRepresentatives(profiles, 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->representatives.size(), 3u);
+  EXPECT_EQ(result->assignments.size(), profiles.size());
+  EXPECT_EQ(result->embedding.rows(),
+            static_cast<int64_t>(profiles.size()));
+  EXPECT_EQ(result->embedding.cols(), 15);  // 5 facets x 3 dims
+
+  // The representatives come from three different archetypes.
+  std::set<std::string> kinds;
+  for (int64_t idx : result->representatives) {
+    std::string name = profiles[static_cast<size_t>(idx)].name;
+    kinds.insert(name.substr(0, 5));
+  }
+  EXPECT_EQ(kinds.size(), 3u);
+
+  // Each archetype's members share a cluster.
+  for (int g = 0; g < 3; ++g) {
+    std::set<int> ids;
+    for (size_t i = 0; i < profiles.size(); ++i) {
+      if (static_cast<int>(i % 3) == g) {
+        ids.insert(result->assignments[i]);
+      }
+    }
+    EXPECT_EQ(ids.size(), 1u);
+  }
+}
+
+TEST(SelectionTest, NeedsAtLeastKProfiles) {
+  std::vector<DatasetProfile> profiles = {
+      MakeProfile("a", 0.1, 0.1, 0.1, 4.0)};
+  EXPECT_FALSE(SelectRepresentatives(profiles, 5).ok());
+}
+
+}  // namespace
+}  // namespace oebench

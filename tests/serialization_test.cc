@@ -1,0 +1,158 @@
+// Serialisation round-trips: a saved model must predict exactly like the
+// original, and malformed inputs must be rejected with a Status, never a
+// crash.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/random.h"
+#include "models/serialization.h"
+
+namespace oebench {
+namespace {
+
+void MakeData(uint64_t seed, Matrix* x, std::vector<double>* y_reg,
+              std::vector<double>* y_cls) {
+  Rng rng(seed);
+  *x = Matrix(200, 4);
+  for (double& v : x->data()) v = rng.Gaussian();
+  y_reg->resize(200);
+  y_cls->resize(200);
+  for (int64_t r = 0; r < 200; ++r) {
+    double score = x->At(r, 0) - 0.5 * x->At(r, 1);
+    (*y_reg)[static_cast<size_t>(r)] = score;
+    (*y_cls)[static_cast<size_t>(r)] = score > 0 ? 1.0 : 0.0;
+  }
+}
+
+TEST(SerializationTest, MlpRoundTripPredictsIdentically) {
+  Matrix x;
+  std::vector<double> y_reg;
+  std::vector<double> y_cls;
+  MakeData(1, &x, &y_reg, &y_cls);
+  MlpConfig config;
+  config.task = TaskType::kRegression;
+  config.hidden_sizes = {8, 4};
+  Mlp original(config, 7);
+  Rng rng(2);
+  for (int e = 0; e < 10; ++e) original.TrainEpoch(x, y_reg, &rng);
+
+  Result<Mlp> restored = MlpFromString(MlpToString(original));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (int64_t r = 0; r < 20; ++r) {
+    EXPECT_DOUBLE_EQ(restored->PredictValue(x.RowVector(r)),
+                     original.PredictValue(x.RowVector(r)));
+  }
+}
+
+TEST(SerializationTest, MlpClassificationRoundTrip) {
+  Matrix x;
+  std::vector<double> y_reg;
+  std::vector<double> y_cls;
+  MakeData(3, &x, &y_reg, &y_cls);
+  MlpConfig config;
+  config.task = TaskType::kClassification;
+  config.num_classes = 2;
+  config.hidden_sizes = {6};
+  Mlp original(config, 8);
+  Rng rng(4);
+  for (int e = 0; e < 10; ++e) original.TrainEpoch(x, y_cls, &rng);
+  Result<Mlp> restored = MlpFromString(MlpToString(original));
+  ASSERT_TRUE(restored.ok());
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    EXPECT_EQ(restored->PredictClass(x.RowVector(r)),
+              original.PredictClass(x.RowVector(r)));
+  }
+}
+
+TEST(SerializationTest, MlpFileRoundTrip) {
+  Matrix x;
+  std::vector<double> y_reg;
+  std::vector<double> y_cls;
+  MakeData(5, &x, &y_reg, &y_cls);
+  MlpConfig config;
+  config.task = TaskType::kRegression;
+  config.hidden_sizes = {4};
+  Mlp original(config, 9);
+  Rng rng(6);
+  original.TrainEpoch(x, y_reg, &rng);
+  const std::string path = "/tmp/oebench_mlp_test.txt";
+  ASSERT_TRUE(SaveMlp(original, path).ok());
+  Result<Mlp> restored = LoadMlp(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->PredictValue(x.RowVector(0)),
+                   original.PredictValue(x.RowVector(0)));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, DecisionTreeRoundTrip) {
+  Matrix x;
+  std::vector<double> y_reg;
+  std::vector<double> y_cls;
+  MakeData(7, &x, &y_reg, &y_cls);
+  for (TaskType task :
+       {TaskType::kRegression, TaskType::kClassification}) {
+    DecisionTreeConfig config;
+    config.task = task;
+    config.num_classes = 2;
+    DecisionTree original(config);
+    original.Fit(x, task == TaskType::kRegression ? y_reg : y_cls);
+    std::ostringstream out;
+    original.SerializeTo(&out);
+    std::istringstream in(out.str());
+    Result<DecisionTree> restored = DecisionTree::DeserializeFrom(&in);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(restored->node_count(), original.node_count());
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      if (task == TaskType::kRegression) {
+        EXPECT_DOUBLE_EQ(restored->PredictValue(x.Row(r)),
+                         original.PredictValue(x.Row(r)));
+      } else {
+        EXPECT_EQ(restored->PredictClass(x.Row(r)),
+                  original.PredictClass(x.Row(r)));
+      }
+    }
+  }
+}
+
+TEST(SerializationTest, GbdtRoundTrip) {
+  Matrix x;
+  std::vector<double> y_reg;
+  std::vector<double> y_cls;
+  MakeData(8, &x, &y_reg, &y_cls);
+  for (TaskType task :
+       {TaskType::kRegression, TaskType::kClassification}) {
+    GbdtConfig config;
+    config.task = task;
+    config.num_classes = 2;
+    config.num_rounds = 3;
+    Gbdt original(config);
+    original.Fit(x, task == TaskType::kRegression ? y_reg : y_cls);
+    Result<Gbdt> restored = GbdtFromString(GbdtToString(original));
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(restored->tree_count(), original.tree_count());
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      EXPECT_DOUBLE_EQ(restored->PredictValue(x.Row(r)),
+                       original.PredictValue(x.Row(r)));
+    }
+  }
+}
+
+TEST(SerializationTest, RejectsMalformedInput) {
+  EXPECT_FALSE(MlpFromString("").ok());
+  EXPECT_FALSE(MlpFromString("mlp v9\n").ok());
+  EXPECT_FALSE(MlpFromString("mlp v1\nreg 2 0.01 64 0\n1 8\n").ok());
+  EXPECT_FALSE(GbdtFromString("nonsense").ok());
+  std::istringstream bad_tree("decision_tree v1\nreg 2 12 4 2 0\n1\n");
+  EXPECT_FALSE(DecisionTree::DeserializeFrom(&bad_tree).ok());
+  // Corrupted child index.
+  std::istringstream bad_link(
+      "decision_tree v1\nreg 2 12 4 2 0\n1\n0 0.5 7 8 0\n");
+  EXPECT_FALSE(DecisionTree::DeserializeFrom(&bad_link).ok());
+  EXPECT_FALSE(LoadMlp("/nonexistent/path").ok());
+}
+
+}  // namespace
+}  // namespace oebench

@@ -1,0 +1,106 @@
+// Shape tests: scaled-down versions of the headline benchmark claims,
+// pinned as assertions so a regression in any component that would flip
+// a paper-level conclusion fails CI — not just a unit somewhere.
+// (Absolute losses are not asserted, only the orderings the paper
+// reports; see EXPERIMENTS.md.)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "core/evaluator.h"
+#include "streamgen/representative.h"
+
+namespace oebench {
+namespace {
+
+LearnerConfig FastConfig() {
+  LearnerConfig config;
+  config.epochs = 5;
+  return config;
+}
+
+double LossOf(const std::string& learner, const PreparedStream& stream) {
+  RepeatedResult result = RunRepeated(learner, FastConfig(), stream, 2);
+  EXPECT_FALSE(result.not_applicable) << learner;
+  return result.loss_mean;
+}
+
+TEST(ShapeTest, TreesLeadLowAnomalyClassification) {
+  // Table 4 / Finding: tree ensembles lead classification.
+  PreparedStream stream = bench::MakePrepared("ELECTRICITY", 0.04);
+  double sea_dt = LossOf("SEA-DT", stream);
+  double naive_nn = LossOf("Naive-NN", stream);
+  EXPECT_LT(sea_dt, naive_nn + 0.02);
+}
+
+TEST(ShapeTest, NnFamilyLeadsHighMissingRegression) {
+  // Table 4 AIR row: NN family clearly beats plain trees.
+  PreparedStream stream = bench::MakePrepared("AIR", 0.05);
+  double nn = LossOf("Naive-NN", stream);
+  double dt = LossOf("Naive-DT", stream);
+  EXPECT_LT(nn, dt);
+}
+
+TEST(ShapeTest, NnFamilyLeadsLowMissingRegression) {
+  // Table 4 POWER row: Naive-DT trails the NN family badly.
+  PreparedStream stream = bench::MakePrepared("POWER", 0.04);
+  double nn = LossOf("Naive-NN", stream);
+  double dt = LossOf("Naive-DT", stream);
+  EXPECT_LT(nn, dt);
+}
+
+TEST(ShapeTest, EwcAndLwfTrackNaiveNn) {
+  // §6.3: "EWC and LwF have marginal or no improvement on a naive NN".
+  PreparedStream stream = bench::MakePrepared("ELECTRICITY", 0.04);
+  double naive = LossOf("Naive-NN", stream);
+  EXPECT_NEAR(LossOf("EWC", stream), naive, 0.05);
+  EXPECT_NEAR(LossOf("LwF", stream), naive, 0.05);
+}
+
+TEST(ShapeTest, TreesAreFasterThanNns) {
+  // Table 5: decision trees out-throughput the NN family by a lot.
+  PreparedStream stream = bench::MakePrepared("ELECTRICITY", 0.04);
+  RepeatedResult dt = RunRepeated("Naive-DT", FastConfig(), stream, 1);
+  RepeatedResult nn = RunRepeated("Naive-NN", FastConfig(), stream, 1);
+  EXPECT_GT(dt.throughput, 3.0 * nn.throughput);
+}
+
+TEST(ShapeTest, MemoryOrderingDtBelowNnBelowSea) {
+  // Table 6: DT < Naive-NN < SEA-NN (ensemble of five).
+  PreparedStream stream = bench::MakePrepared("ELECTRICITY", 0.04);
+  RepeatedResult dt = RunRepeated("Naive-DT", FastConfig(), stream, 1);
+  RepeatedResult nn = RunRepeated("Naive-NN", FastConfig(), stream, 1);
+  RepeatedResult sea = RunRepeated("SEA-NN", FastConfig(), stream, 1);
+  EXPECT_LT(dt.peak_memory_bytes, nn.peak_memory_bytes);
+  EXPECT_GT(sea.peak_memory_bytes, 3 * nn.peak_memory_bytes);
+}
+
+TEST(ShapeTest, DeeperMlpDoesNotHelp) {
+  // Figure 13 / Finding 3 on one dataset.
+  PreparedStream stream = bench::MakePrepared("POWER", 0.04);
+  LearnerConfig shallow = FastConfig();
+  shallow.hidden_sizes = {32, 16, 8};
+  LearnerConfig deep = FastConfig();
+  deep.hidden_sizes = {32, 32, 32, 16, 16, 16, 8};
+  double loss_shallow =
+      RunRepeated("Naive-NN", shallow, stream, 2).loss_mean;
+  double loss_deep = RunRepeated("Naive-NN", deep, stream, 2).loss_mean;
+  EXPECT_LT(loss_shallow, loss_deep + 0.02);
+}
+
+TEST(ShapeTest, KnnImputationBeatsZeroFillOnAir) {
+  // Figure 14 headline on the high-missing stream.
+  PipelineOptions knn;
+  knn.imputer = "knn";
+  PipelineOptions zero;
+  zero.imputer = "zero";
+  PreparedStream with_knn = bench::MakePrepared("AIR", 0.05, knn);
+  PreparedStream with_zero = bench::MakePrepared("AIR", 0.05, zero);
+  EXPECT_LT(LossOf("Naive-NN", with_knn),
+            LossOf("Naive-NN", with_zero) + 0.01);
+}
+
+}  // namespace
+}  // namespace oebench

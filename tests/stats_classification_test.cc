@@ -1,0 +1,99 @@
+// Classification-path coverage for the statistics pipeline (the
+// regression path is covered in stats_test.cc): Gaussian-NB-driven
+// concept drift detection, per-column aggregation invariants, and
+// profile facets on a classification stream.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/drift_stats.h"
+#include "stats/profile.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+PreparedStream MakeClsStream(DriftPattern pattern, uint64_t seed) {
+  StreamSpec spec;
+  spec.name = "cls_stats";
+  spec.task = TaskType::kClassification;
+  spec.num_classes = 3;
+  spec.num_instances = 2400;
+  spec.num_numeric_features = 5;
+  spec.num_categorical_features = 1;
+  spec.window_size = 200;
+  spec.drift_pattern = pattern;
+  spec.drift_magnitude = pattern == DriftPattern::kNone ? 0.0 : 3.0;
+  spec.noise_level = 0.1;
+  spec.seed = seed;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  EXPECT_TRUE(stream.ok());
+  PipelineOptions options;
+  options.imputer = "mean";
+  Result<PreparedStream> prepared = PrepareStream(*stream, options);
+  EXPECT_TRUE(prepared.ok());
+  return *prepared;
+}
+
+TEST(ConceptDriftClassificationTest, NbPipelineFlagsConceptFlip) {
+  PreparedStream drifted = MakeClsStream(DriftPattern::kAbrupt, 61);
+  PreparedStream flat = MakeClsStream(DriftPattern::kNone, 62);
+  auto total = [](const std::vector<DetectorStats>& all) {
+    double sum = 0.0;
+    for (const DetectorStats& s : all) {
+      sum += s.drift_ratio_avg + s.warning_ratio_avg;
+    }
+    return sum;
+  };
+  double drift_score = total(ComputeConceptDriftStats(drifted));
+  double flat_score = total(ComputeConceptDriftStats(flat));
+  EXPECT_GT(drift_score, flat_score);
+  EXPECT_GT(drift_score, 0.0);
+}
+
+TEST(ConceptDriftClassificationTest, FourDetectorsReported) {
+  PreparedStream stream = MakeClsStream(DriftPattern::kGradual, 63);
+  std::vector<DetectorStats> stats = ComputeConceptDriftStats(stream);
+  ASSERT_EQ(stats.size(), 4u);
+  EXPECT_EQ(stats[0].detector, "ddm");
+  EXPECT_EQ(stats[1].detector, "eddm");
+  EXPECT_EQ(stats[2].detector, "adwin_accuracy");
+  EXPECT_EQ(stats[3].detector, "perm");
+  for (const DetectorStats& s : stats) {
+    EXPECT_GE(s.drift_ratio_avg, 0.0);
+    EXPECT_LE(s.drift_ratio_avg, 1.0);
+  }
+}
+
+TEST(DataDriftAggregationTest, MaxAtLeastAvgOverColumns) {
+  PreparedStream stream = MakeClsStream(DriftPattern::kGradual, 64);
+  for (const DetectorStats& s : ComputeDataDriftStats(stream)) {
+    EXPECT_GE(s.drift_ratio_max, s.drift_ratio_avg) << s.detector;
+    EXPECT_GE(s.warning_ratio_max, s.warning_ratio_avg) << s.detector;
+  }
+}
+
+TEST(ProfileClassificationTest, FacetsAndTaskFlag) {
+  StreamSpec spec;
+  spec.name = "cls_profile";
+  spec.task = TaskType::kClassification;
+  spec.num_classes = 4;
+  spec.num_instances = 1600;
+  spec.num_numeric_features = 5;
+  spec.window_size = 160;
+  spec.seed = 65;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  Result<DatasetProfile> profile = ProfileDataset(*stream);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ(profile->is_classification, 1.0);
+  std::vector<double> basic = profile->BasicFacet();
+  EXPECT_NEAR(basic[0], std::log10(1600.0), 1e-9);
+  EXPECT_DOUBLE_EQ(basic[1], 5.0);  // feature count after encoding
+  EXPECT_DOUBLE_EQ(basic[2], 10.0);  // windows
+  EXPECT_DOUBLE_EQ(basic[3], 1.0);
+}
+
+}  // namespace
+}  // namespace oebench

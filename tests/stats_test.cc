@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "stats/drift_stats.h"
+#include "stats/missing_stats.h"
+#include "stats/outlier_stats.h"
+#include "stats/profile.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+GeneratedStream MakeStream(DriftPattern pattern, double drift_magnitude,
+                           double anomaly_rate, double missing_rate,
+                           uint64_t seed = 31) {
+  StreamSpec spec;
+  spec.name = "stats_test";
+  spec.task = TaskType::kRegression;
+  spec.num_instances = 2400;
+  spec.num_numeric_features = 5;
+  spec.window_size = 200;
+  spec.drift_pattern = pattern;
+  spec.drift_magnitude = drift_magnitude;
+  spec.point_anomaly_rate = anomaly_rate;
+  spec.point_anomaly_magnitude = 20.0;
+  spec.base_missing_rate = missing_rate;
+  spec.seed = seed;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  EXPECT_TRUE(stream.ok());
+  return *stream;
+}
+
+PreparedStream Prepare(const GeneratedStream& stream) {
+  PipelineOptions options;
+  options.imputer = "mean";
+  Result<PreparedStream> prepared = PrepareStream(stream, options);
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+  return *prepared;
+}
+
+TEST(MissingStatsTest, CountsCraftedTable) {
+  Table table;
+  Column a = Column::Numeric("a");
+  Column b = Column::Numeric("b");
+  for (int i = 0; i < 10; ++i) {
+    if (i < 3) {
+      a.AppendMissingNumeric();
+    } else {
+      a.AppendNumeric(i);
+    }
+    b.AppendNumeric(i);
+  }
+  ASSERT_TRUE(table.AddColumn(std::move(a)).ok());
+  ASSERT_TRUE(table.AddColumn(std::move(b)).ok());
+  std::vector<WindowRange> ranges = {{0, 5}, {5, 10}};
+  MissingValueStats stats = ComputeMissingValueStats(table, ranges, "");
+  EXPECT_NEAR(stats.row_ratio, 0.3, 1e-12);
+  EXPECT_NEAR(stats.column_ratio, 0.5, 1e-12);
+  EXPECT_NEAR(stats.cell_ratio, 3.0 / 20.0, 1e-12);
+  ASSERT_EQ(stats.valid_ratio_per_window.size(), 2u);
+  EXPECT_NEAR(stats.valid_ratio_per_window[0][0], 0.4, 1e-12);
+  EXPECT_NEAR(stats.valid_ratio_per_window[1][0], 1.0, 1e-12);
+  EXPECT_NEAR(stats.valid_ratio_per_window[0][1], 1.0, 1e-12);
+}
+
+TEST(DriftStatsTest, DriftedStreamScoresHigherThanStationary) {
+  GeneratedStream drifted =
+      MakeStream(DriftPattern::kAbrupt, 3.0, 0.0, 0.0);
+  GeneratedStream stationary = MakeStream(DriftPattern::kNone, 0.0, 0.0,
+                                          0.0, 32);
+  PreparedStream prepared_drift = Prepare(drifted);
+  PreparedStream prepared_flat = Prepare(stationary);
+
+  auto total_drift = [](const std::vector<DetectorStats>& all) {
+    double sum = 0.0;
+    for (const DetectorStats& s : all) sum += s.drift_ratio_avg;
+    return sum;
+  };
+  double drift_score = total_drift(ComputeDataDriftStats(prepared_drift));
+  double flat_score = total_drift(ComputeDataDriftStats(prepared_flat));
+  EXPECT_GT(drift_score, flat_score);
+  EXPECT_GT(drift_score, 0.05);
+}
+
+TEST(DriftStatsTest, ConceptDriftDetectedOnConceptFlip) {
+  GeneratedStream drifted =
+      MakeStream(DriftPattern::kAbrupt, 3.0, 0.0, 0.0, 33);
+  PreparedStream prepared = Prepare(drifted);
+  std::vector<DetectorStats> stats = ComputeConceptDriftStats(prepared);
+  ASSERT_EQ(stats.size(), 4u);  // ddm, eddm, adwin, perm
+  double total = 0.0;
+  for (const DetectorStats& s : stats) {
+    total += s.drift_ratio_avg + s.warning_ratio_avg;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(OutlierStatsTest, AnomalousStreamScoresHigher) {
+  GeneratedStream dirty =
+      MakeStream(DriftPattern::kNone, 0.0, 0.03, 0.0, 34);
+  GeneratedStream clean =
+      MakeStream(DriftPattern::kNone, 0.0, 0.0, 0.0, 35);
+  std::vector<OutlierStats> dirty_stats =
+      ComputeOutlierStats(Prepare(dirty));
+  std::vector<OutlierStats> clean_stats =
+      ComputeOutlierStats(Prepare(clean));
+  ASSERT_EQ(dirty_stats.size(), 2u);
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_GE(dirty_stats[d].anomaly_ratio_avg,
+              clean_stats[d].anomaly_ratio_avg)
+        << dirty_stats[d].detector;
+    EXPECT_GT(dirty_stats[d].anomaly_ratio_avg, 0.0);
+  }
+}
+
+TEST(ProfileTest, EndToEndProfileHasAllFacets) {
+  GeneratedStream stream =
+      MakeStream(DriftPattern::kGradual, 1.0, 0.01, 0.05, 36);
+  Result<DatasetProfile> profile = ProfileDataset(stream);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ(profile->name, "stats_test");
+  EXPECT_EQ(profile->BasicFacet().size(), 4u);
+  EXPECT_EQ(profile->MissingFacet().size(), 3u);
+  EXPECT_EQ(profile->DataDriftFacet().size(), 20u);  // 5 detectors x 4
+  EXPECT_EQ(profile->ConceptDriftFacet().size(), 8u);  // 4 detectors x 2
+  EXPECT_EQ(profile->OutlierFacet().size(), 4u);  // 2 detectors x 2
+  EXPECT_GT(profile->missing.cell_ratio, 0.02);
+  EXPECT_GE(profile->DriftScore(), 0.0);
+  EXPECT_GE(profile->AnomalyScore(), 0.0);
+}
+
+}  // namespace
+}  // namespace oebench

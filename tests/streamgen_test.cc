@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "streamgen/corpus.h"
+#include "streamgen/representative.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+TEST(StreamGeneratorTest, ShapeMatchesSpec) {
+  StreamSpec spec;
+  spec.name = "shape";
+  spec.num_instances = 2000;
+  spec.num_numeric_features = 6;
+  spec.num_categorical_features = 2;
+  spec.categories_per_feature = 3;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->table.num_rows(), 2000);
+  // 6 numeric + 2 categorical + target.
+  EXPECT_EQ(stream->table.num_columns(), 9);
+  EXPECT_TRUE(stream->table.ColumnIndex("target").ok());
+  EXPECT_EQ(stream->table.column(6).type(), ColumnType::kCategorical);
+  EXPECT_EQ(stream->table.column(6).num_categories(), 3);
+}
+
+TEST(StreamGeneratorTest, DeterministicForSeed) {
+  StreamSpec spec;
+  spec.name = "det";
+  spec.num_instances = 500;
+  spec.num_numeric_features = 4;
+  spec.seed = 123;
+  Result<GeneratedStream> a = GenerateStream(spec);
+  Result<GeneratedStream> b = GenerateStream(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->table.column(0).numeric_values(),
+            b->table.column(0).numeric_values());
+  spec.seed = 124;
+  Result<GeneratedStream> c = GenerateStream(spec);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->table.column(0).numeric_values(),
+            c->table.column(0).numeric_values());
+}
+
+TEST(StreamGeneratorTest, MissingRateRealized) {
+  StreamSpec spec;
+  spec.name = "missing";
+  spec.num_instances = 4000;
+  spec.num_numeric_features = 5;
+  spec.base_missing_rate = 0.1;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  int64_t missing = 0;
+  for (int j = 0; j < 5; ++j) {
+    missing += stream->table.column(j).CountMissing();
+  }
+  double ratio = static_cast<double>(missing) / (4000.0 * 5.0);
+  EXPECT_NEAR(ratio, 0.1, 0.02);
+}
+
+TEST(StreamGeneratorTest, DropoutCreatesIncrementalFeature) {
+  StreamSpec spec;
+  spec.name = "dropout";
+  spec.num_instances = 2000;
+  spec.num_numeric_features = 4;
+  spec.dropouts.push_back({0, 0.0, 0.5, 1.0});
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  const Column& col = stream->table.column(0);
+  // First half entirely missing, second half present.
+  for (int64_t r = 0; r < 900; ++r) EXPECT_TRUE(col.IsMissing(r));
+  int64_t missing_late = 0;
+  for (int64_t r = 1100; r < 2000; ++r) {
+    if (col.IsMissing(r)) ++missing_late;
+  }
+  EXPECT_EQ(missing_late, 0);
+}
+
+TEST(StreamGeneratorTest, AnomalyEventsRecorded) {
+  StreamSpec spec;
+  spec.name = "anomaly";
+  spec.num_instances = 2000;
+  spec.num_numeric_features = 4;
+  spec.anomaly_events.push_back({0.4, 0.5, 1.0, 1, 8.0});
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_GE(stream->true_outlier_rows.size(), 150u);
+  for (int64_t row : stream->true_outlier_rows) {
+    EXPECT_GE(row, 2000 * 4 / 10);
+    EXPECT_LT(row, 2000 * 5 / 10 + 1);
+  }
+  // Anomalous rows carry a visibly shifted feature 1.
+  double normal_mean = 0.0;
+  int64_t normal_count = 0;
+  std::set<int64_t> outlier_set(stream->true_outlier_rows.begin(),
+                                stream->true_outlier_rows.end());
+  const Column& f1 = stream->table.column(1);
+  for (int64_t r = 0; r < 700; ++r) {
+    normal_mean += f1.NumericAt(r);
+    ++normal_count;
+  }
+  normal_mean /= static_cast<double>(normal_count);
+  for (int64_t row : stream->true_outlier_rows) {
+    EXPECT_GT(f1.NumericAt(row), normal_mean + 3.0);
+  }
+}
+
+TEST(StreamGeneratorTest, AbruptDriftRecordsSwitchRow) {
+  StreamSpec spec;
+  spec.name = "abrupt";
+  spec.num_instances = 2000;
+  spec.num_numeric_features = 4;
+  spec.drift_pattern = DriftPattern::kAbrupt;
+  spec.drift_magnitude = 2.0;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_EQ(stream->true_drift_rows.size(), 1u);
+  EXPECT_EQ(stream->true_drift_rows[0], 1000);
+}
+
+TEST(StreamGeneratorTest, ClassificationTargetsInRange) {
+  StreamSpec spec;
+  spec.name = "cls";
+  spec.task = TaskType::kClassification;
+  spec.num_classes = 4;
+  spec.num_instances = 3000;
+  spec.num_numeric_features = 6;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  Result<int64_t> target_idx = stream->table.ColumnIndex("target");
+  ASSERT_TRUE(target_idx.ok());
+  std::set<int> seen;
+  for (double v : stream->table.column(*target_idx).numeric_values()) {
+    int cls = static_cast<int>(v);
+    EXPECT_GE(cls, 0);
+    EXPECT_LT(cls, 4);
+    seen.insert(cls);
+  }
+  EXPECT_GE(seen.size(), 3u);  // all (or nearly all) classes appear
+}
+
+TEST(StreamGeneratorTest, RejectsDegenerateSpecs) {
+  StreamSpec spec;
+  spec.num_instances = 5;
+  EXPECT_FALSE(GenerateStream(spec).ok());
+  spec.num_instances = 100;
+  spec.num_numeric_features = 1;
+  EXPECT_FALSE(GenerateStream(spec).ok());
+}
+
+TEST(CorpusTest, Has55Entries) {
+  EXPECT_EQ(Corpus().size(), 55u);
+  int classification = 0;
+  std::set<std::string> names;
+  for (const CorpusEntry& entry : Corpus()) {
+    names.insert(entry.name);
+    if (entry.task == TaskType::kClassification) ++classification;
+    EXPECT_GE(entry.instances, 5000) << entry.name;  // selection criterion 1
+    EXPECT_GE(entry.features + entry.categorical_features, 5)
+        << entry.name;  // selection criterion 2
+  }
+  EXPECT_EQ(names.size(), 55u) << "duplicate corpus names";
+  EXPECT_EQ(classification, 20);
+}
+
+TEST(CorpusTest, SpecScalingClampsRows) {
+  const CorpusEntry* bitcoin = nullptr;
+  for (const CorpusEntry& entry : Corpus()) {
+    if (entry.name == "bitcoin_heist") bitcoin = &entry;
+  }
+  ASSERT_NE(bitcoin, nullptr);
+  StreamSpec tiny = SpecFromEntry(*bitcoin, 1e-9);
+  EXPECT_EQ(tiny.num_instances, 1200);
+  StreamSpec huge = SpecFromEntry(*bitcoin, 1.0);
+  EXPECT_EQ(huge.num_instances, 40000);
+  EXPECT_GE(huge.window_size, 30);
+}
+
+TEST(CorpusTest, SeedSaltChangesSeed) {
+  const CorpusEntry& entry = Corpus()[0];
+  EXPECT_NE(SpecFromEntry(entry, 0.1, 0).seed,
+            SpecFromEntry(entry, 0.1, 1).seed);
+}
+
+TEST(RepresentativeTest, FiveTable3Datasets) {
+  const auto& infos = RepresentativeDatasets();
+  ASSERT_EQ(infos.size(), 5u);
+  EXPECT_EQ(infos[0].short_name, "ROOM");
+  EXPECT_EQ(infos[3].short_name, "AIR");
+  std::vector<StreamSpec> specs = RepresentativeSpecs(0.05);
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].task, TaskType::kClassification);
+  EXPECT_EQ(specs[3].task, TaskType::kRegression);
+  // AIR is the high-missing-value representative.
+  EXPECT_GT(specs[3].base_missing_rate, 0.05);
+  EXPECT_FALSE(specs[3].dropouts.empty());
+  // POWER is the high-drift representative.
+  EXPECT_GT(specs[4].drift_magnitude, 1.5);
+}
+
+TEST(RepresentativeTest, GeneratedStreamsAreUsable) {
+  for (const StreamSpec& spec : RepresentativeSpecs(0.03)) {
+    Result<GeneratedStream> stream = GenerateStream(spec);
+    ASSERT_TRUE(stream.ok()) << spec.name;
+    EXPECT_GE(stream->table.num_rows(), 1200) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace oebench

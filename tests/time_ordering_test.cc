@@ -1,0 +1,101 @@
+// Tests for §4.3 step 2 helpers: sort-by-time, drop time columns, and
+// the time-column name heuristic.
+
+#include <gtest/gtest.h>
+
+#include "preprocess/time_ordering.h"
+
+namespace oebench {
+namespace {
+
+Table MakeTable() {
+  Table table;
+  Column ts = Column::Numeric("timestamp");
+  Column value = Column::Numeric("value");
+  Column tag = Column::Categorical("tag");
+  const double times[] = {3, 1, 2, 1};
+  const double values[] = {30, 10, 20, 11};
+  const char* tags[] = {"c", "a", "b", "a2"};
+  for (int i = 0; i < 4; ++i) {
+    ts.AppendNumeric(times[i]);
+    value.AppendNumeric(values[i]);
+    tag.AppendCategory(tags[i]);
+  }
+  EXPECT_TRUE(table.AddColumn(std::move(ts)).ok());
+  EXPECT_TRUE(table.AddColumn(std::move(value)).ok());
+  EXPECT_TRUE(table.AddColumn(std::move(tag)).ok());
+  return table;
+}
+
+TEST(SortByColumnTest, NumericStableSort) {
+  Result<Table> sorted = SortByColumn(MakeTable(), "timestamp");
+  ASSERT_TRUE(sorted.ok());
+  const Column& value = sorted->column(1);
+  EXPECT_DOUBLE_EQ(value.NumericAt(0), 10);   // t=1 first occurrence
+  EXPECT_DOUBLE_EQ(value.NumericAt(1), 11);   // t=1 second (stable)
+  EXPECT_DOUBLE_EQ(value.NumericAt(2), 20);
+  EXPECT_DOUBLE_EQ(value.NumericAt(3), 30);
+}
+
+TEST(SortByColumnTest, MissingKeysSortLast) {
+  Table table;
+  Column ts = Column::Numeric("t");
+  ts.AppendMissingNumeric();
+  ts.AppendNumeric(5.0);
+  ts.AppendNumeric(1.0);
+  ASSERT_TRUE(table.AddColumn(std::move(ts)).ok());
+  Result<Table> sorted = SortByColumn(table, "t");
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_DOUBLE_EQ(sorted->column(0).NumericAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(sorted->column(0).NumericAt(1), 5.0);
+  EXPECT_TRUE(sorted->column(0).IsMissing(2));
+}
+
+TEST(SortByColumnTest, CategoricalSortByLabel) {
+  Result<Table> sorted = SortByColumn(MakeTable(), "tag");
+  ASSERT_TRUE(sorted.ok());
+  const Column& tag = sorted->column(2);
+  EXPECT_EQ(tag.CategoryName(tag.CodeAt(0)), "a");
+  EXPECT_EQ(tag.CategoryName(tag.CodeAt(1)), "a2");
+  EXPECT_EQ(tag.CategoryName(tag.CodeAt(3)), "c");
+}
+
+TEST(SortByColumnTest, UnknownColumnRejected) {
+  EXPECT_FALSE(SortByColumn(MakeTable(), "nope").ok());
+}
+
+TEST(DropColumnsTest, RemovesNamedColumnsOnly) {
+  Result<Table> dropped = DropColumns(MakeTable(), {"timestamp"});
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->num_columns(), 2);
+  EXPECT_FALSE(dropped->ColumnIndex("timestamp").ok());
+  EXPECT_TRUE(dropped->ColumnIndex("value").ok());
+  EXPECT_FALSE(DropColumns(MakeTable(), {"typo"}).ok());
+}
+
+TEST(GuessTimeColumnsTest, FindsTimeLikeNames) {
+  Table table;
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("Timestamp")).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("pm25")).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("record_DATE")).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("holiday")).ok());
+  std::vector<std::string> guessed = GuessTimeColumns(table);
+  ASSERT_EQ(guessed.size(), 3u);  // holiday contains "day"
+  EXPECT_EQ(guessed[0], "Timestamp");
+  EXPECT_EQ(guessed[1], "record_DATE");
+  EXPECT_EQ(guessed[2], "holiday");
+}
+
+TEST(TimeOrderingIntegrationTest, SortThenDropPipeline) {
+  Table table = MakeTable();
+  Result<Table> sorted = SortByColumn(table, "timestamp");
+  ASSERT_TRUE(sorted.ok());
+  Result<Table> cleaned =
+      DropColumns(*sorted, GuessTimeColumns(*sorted));
+  ASSERT_TRUE(cleaned.ok());
+  EXPECT_EQ(cleaned->num_columns(), 2);
+  EXPECT_DOUBLE_EQ(cleaned->column(0).NumericAt(0), 10.0);
+}
+
+}  // namespace
+}  // namespace oebench

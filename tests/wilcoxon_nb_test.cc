@@ -1,0 +1,151 @@
+// Tests for the Wilcoxon rank-sum detector and the incremental
+// Naive-Bayes stream learner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/naive_bayes_learner.h"
+#include "drift/wilcoxon.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+TEST(WilcoxonTest, ZeroForIdenticalSamples) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_NEAR(WilcoxonZScore(a, a), 0.0, 1e-9);
+  EXPECT_NEAR(WilcoxonPValue(0.0), 1.0, 1e-9);
+}
+
+TEST(WilcoxonTest, LargeForShiftedSamples) {
+  Rng rng(1);
+  std::vector<double> a(300);
+  std::vector<double> b(300);
+  for (double& v : a) v = rng.Gaussian();
+  for (double& v : b) v = rng.Gaussian(1.5, 1.0);
+  double z = WilcoxonZScore(a, b);
+  EXPECT_LT(z, -5.0);  // a's ranks sit well below b's
+  EXPECT_LT(WilcoxonPValue(z), 1e-6);
+}
+
+TEST(WilcoxonTest, TieHandling) {
+  // Heavily tied integer data still yields a finite, sane statistic.
+  std::vector<double> a = {1, 1, 1, 2, 2, 3};
+  std::vector<double> b = {2, 2, 3, 3, 3, 4};
+  double z = WilcoxonZScore(a, b);
+  EXPECT_TRUE(std::isfinite(z));
+  EXPECT_LT(z, 0.0);
+  // Fully tied pool: degenerate variance handled.
+  std::vector<double> c = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(WilcoxonZScore(c, c), 0.0);
+}
+
+TEST(WilcoxonDetectorTest, FlagsShiftQuietWhenStable) {
+  Rng rng(2);
+  WilcoxonWindowDetector detector;
+  auto batch = [&rng](double mean) {
+    std::vector<double> v(250);
+    for (double& x : v) x = rng.Gaussian(mean, 1.0);
+    return v;
+  };
+  EXPECT_EQ(detector.Update(batch(0.0)), DriftSignal::kStable);
+  int drifts = 0;
+  for (int w = 0; w < 15; ++w) {
+    if (detector.Update(batch(0.0)) == DriftSignal::kDrift) ++drifts;
+  }
+  EXPECT_LE(drifts, 2);
+  EXPECT_EQ(detector.Update(batch(1.0)), DriftSignal::kDrift);
+  EXPECT_LT(detector.last_p_value(), 0.05);
+  detector.Reset();
+  EXPECT_EQ(detector.Update(batch(5.0)), DriftSignal::kStable);  // primes
+}
+
+TEST(WilcoxonDetectorTest, InsensitiveToPureScaleChange) {
+  // Rank-sum tests location; a variance-only change must not alarm —
+  // the documented contrast with KS.
+  Rng rng(3);
+  WilcoxonWindowDetector detector(0.01);
+  std::vector<double> narrow(400);
+  std::vector<double> wide(400);
+  for (double& v : narrow) v = rng.Gaussian(0.0, 0.5);
+  for (double& v : wide) v = rng.Gaussian(0.0, 3.0);
+  detector.Update(narrow);
+  EXPECT_NE(detector.Update(wide), DriftSignal::kDrift);
+}
+
+PreparedStream MakeClsStream(uint64_t seed) {
+  StreamSpec spec;
+  spec.name = "nb_learner";
+  spec.task = TaskType::kClassification;
+  spec.num_classes = 3;
+  spec.num_instances = 2000;
+  spec.num_numeric_features = 5;
+  spec.window_size = 200;
+  spec.drift_pattern = DriftPattern::kGradual;
+  spec.drift_magnitude = 1.0;
+  spec.noise_level = 0.1;
+  spec.seed = seed;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  EXPECT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  EXPECT_TRUE(prepared.ok());
+  return *prepared;
+}
+
+TEST(NaiveBayesLearnerTest, LearnsAndBeatsChance) {
+  PreparedStream stream = MakeClsStream(4);
+  LearnerConfig config;
+  NaiveBayesLearner learner(config);
+  EvalResult result = RunPrequential(&learner, stream);
+  EXPECT_LT(result.mean_loss, 0.5);  // chance = 0.67 for 3 classes
+  EXPECT_GT(result.peak_memory_bytes, 0);
+  // NB statistics are tiny: far below even the MLP.
+  EXPECT_LT(result.peak_memory_bytes, 4096);
+}
+
+TEST(NaiveBayesLearnerTest, DecayForgetsOldConcept) {
+  // After an abrupt concept flip, a fast-decay NB must beat a
+  // remember-everything NB on the post-drift half.
+  StreamSpec spec;
+  spec.name = "nb_decay";
+  spec.task = TaskType::kClassification;
+  spec.num_classes = 2;
+  spec.num_instances = 2400;
+  spec.num_numeric_features = 4;
+  spec.window_size = 200;
+  spec.drift_pattern = DriftPattern::kAbrupt;
+  spec.drift_magnitude = 4.0;
+  spec.noise_level = 0.05;
+  spec.seed = 5;
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  ASSERT_TRUE(stream.ok());
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  ASSERT_TRUE(prepared.ok());
+  LearnerConfig config;
+  auto post_drift_loss = [&](double decay) {
+    NaiveBayesLearner learner(config, decay);
+    EvalResult result = RunPrequential(&learner, *prepared);
+    double post = 0.0;
+    size_t half = result.per_window_loss.size() / 2;
+    for (size_t w = half; w < result.per_window_loss.size(); ++w) {
+      post += result.per_window_loss[w];
+    }
+    return post / static_cast<double>(result.per_window_loss.size() - half);
+  };
+  EXPECT_LT(post_drift_loss(0.5), post_drift_loss(1.0));
+}
+
+TEST(NaiveBayesLearnerTest, RejectsRegression) {
+  LearnerConfig config;
+  EXPECT_FALSE(
+      MakeLearner("Naive-Bayes", config, TaskType::kRegression, 2).ok());
+  EXPECT_TRUE(MakeLearner("Naive-Bayes", config,
+                          TaskType::kClassification, 3)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace oebench
