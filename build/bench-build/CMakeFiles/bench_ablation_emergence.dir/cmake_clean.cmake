@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_emergence"
+  "../bench/bench_ablation_emergence.pdb"
+  "CMakeFiles/bench_ablation_emergence.dir/bench_ablation_emergence.cc.o"
+  "CMakeFiles/bench_ablation_emergence.dir/bench_ablation_emergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_emergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_learners"
+  "../bench/bench_ablation_learners.pdb"
+  "CMakeFiles/bench_ablation_learners.dir/bench_ablation_learners.cc.o"
+  "CMakeFiles/bench_ablation_learners.dir/bench_ablation_learners.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_learners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_epochs"
+  "../bench/bench_fig10_epochs.pdb"
+  "CMakeFiles/bench_fig10_epochs.dir/bench_fig10_epochs.cc.o"
+  "CMakeFiles/bench_fig10_epochs.dir/bench_fig10_epochs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

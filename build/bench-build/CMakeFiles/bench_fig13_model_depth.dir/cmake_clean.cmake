@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_model_depth"
+  "../bench/bench_fig13_model_depth.pdb"
+  "CMakeFiles/bench_fig13_model_depth.dir/bench_fig13_model_depth.cc.o"
+  "CMakeFiles/bench_fig13_model_depth.dir/bench_fig13_model_depth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_model_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

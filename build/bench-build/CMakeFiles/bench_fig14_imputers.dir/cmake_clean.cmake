@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_imputers"
+  "../bench/bench_fig14_imputers.pdb"
+  "CMakeFiles/bench_fig14_imputers.dir/bench_fig14_imputers.cc.o"
+  "CMakeFiles/bench_fig14_imputers.dir/bench_fig14_imputers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_imputers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

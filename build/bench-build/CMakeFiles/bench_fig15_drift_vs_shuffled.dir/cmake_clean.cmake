@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_drift_vs_shuffled"
+  "../bench/bench_fig15_drift_vs_shuffled.pdb"
+  "CMakeFiles/bench_fig15_drift_vs_shuffled.dir/bench_fig15_drift_vs_shuffled.cc.o"
+  "CMakeFiles/bench_fig15_drift_vs_shuffled.dir/bench_fig15_drift_vs_shuffled.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_drift_vs_shuffled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_outlier_removal"
+  "../bench/bench_fig16_outlier_removal.pdb"
+  "CMakeFiles/bench_fig16_outlier_removal.dir/bench_fig16_outlier_removal.cc.o"
+  "CMakeFiles/bench_fig16_outlier_removal.dir/bench_fig16_outlier_removal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_outlier_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

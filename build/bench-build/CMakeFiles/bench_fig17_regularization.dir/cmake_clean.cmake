@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_regularization"
+  "../bench/bench_fig17_regularization.pdb"
+  "CMakeFiles/bench_fig17_regularization.dir/bench_fig17_regularization.cc.o"
+  "CMakeFiles/bench_fig17_regularization.dir/bench_fig17_regularization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_regularization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_tsne_seasonal"
+  "../bench/bench_fig6_tsne_seasonal.pdb"
+  "CMakeFiles/bench_fig6_tsne_seasonal.dir/bench_fig6_tsne_seasonal.cc.o"
+  "CMakeFiles/bench_fig6_tsne_seasonal.dir/bench_fig6_tsne_seasonal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tsne_seasonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

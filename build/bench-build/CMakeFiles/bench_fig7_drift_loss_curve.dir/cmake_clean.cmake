@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_drift_loss_curve"
+  "../bench/bench_fig7_drift_loss_curve.pdb"
+  "CMakeFiles/bench_fig7_drift_loss_curve.dir/bench_fig7_drift_loss_curve.cc.o"
+  "CMakeFiles/bench_fig7_drift_loss_curve.dir/bench_fig7_drift_loss_curve.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_drift_loss_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

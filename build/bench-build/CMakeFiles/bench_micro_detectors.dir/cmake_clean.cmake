@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_detectors"
+  "../bench/bench_micro_detectors.pdb"
+  "CMakeFiles/bench_micro_detectors.dir/bench_micro_detectors.cc.o"
+  "CMakeFiles/bench_micro_detectors.dir/bench_micro_detectors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_corpus"
+  "../bench/bench_table2_corpus.pdb"
+  "CMakeFiles/bench_table2_corpus.dir/bench_table2_corpus.cc.o"
+  "CMakeFiles/bench_table2_corpus.dir/bench_table2_corpus.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_selected"
+  "../bench/bench_table3_selected.pdb"
+  "CMakeFiles/bench_table3_selected.dir/bench_table3_selected.cc.o"
+  "CMakeFiles/bench_table3_selected.dir/bench_table3_selected.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_selected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_quality_monitoring.dir/air_quality_monitoring.cpp.o"
+  "CMakeFiles/air_quality_monitoring.dir/air_quality_monitoring.cpp.o.d"
+  "air_quality_monitoring"
+  "air_quality_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_quality_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_your_stream.dir/profile_your_stream.cpp.o"
+  "CMakeFiles/profile_your_stream.dir/profile_your_stream.cpp.o.d"
+  "profile_your_stream"
+  "profile_your_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_your_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,87 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/oebench.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/oebench.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/tsne.cc" "src/CMakeFiles/oebench.dir/cluster/tsne.cc.o" "gcc" "src/CMakeFiles/oebench.dir/cluster/tsne.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/oebench.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/oebench.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/oebench.dir/common/random.cc.o" "gcc" "src/CMakeFiles/oebench.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/oebench.dir/common/status.cc.o" "gcc" "src/CMakeFiles/oebench.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/oebench.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/oebench.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/arf.cc" "src/CMakeFiles/oebench.dir/core/arf.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/arf.cc.o.d"
+  "/root/repo/src/core/drift_reset.cc" "src/CMakeFiles/oebench.dir/core/drift_reset.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/drift_reset.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/oebench.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/ewc.cc" "src/CMakeFiles/oebench.dir/core/ewc.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/ewc.cc.o.d"
+  "/root/repo/src/core/icarl.cc" "src/CMakeFiles/oebench.dir/core/icarl.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/icarl.cc.o.d"
+  "/root/repo/src/core/lwf.cc" "src/CMakeFiles/oebench.dir/core/lwf.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/lwf.cc.o.d"
+  "/root/repo/src/core/mas.cc" "src/CMakeFiles/oebench.dir/core/mas.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/mas.cc.o.d"
+  "/root/repo/src/core/naive_bayes_learner.cc" "src/CMakeFiles/oebench.dir/core/naive_bayes_learner.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/naive_bayes_learner.cc.o.d"
+  "/root/repo/src/core/naive_nn.cc" "src/CMakeFiles/oebench.dir/core/naive_nn.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/naive_nn.cc.o.d"
+  "/root/repo/src/core/oza_bag.cc" "src/CMakeFiles/oebench.dir/core/oza_bag.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/oza_bag.cc.o.d"
+  "/root/repo/src/core/recommendation.cc" "src/CMakeFiles/oebench.dir/core/recommendation.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/recommendation.cc.o.d"
+  "/root/repo/src/core/sam_knn.cc" "src/CMakeFiles/oebench.dir/core/sam_knn.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/sam_knn.cc.o.d"
+  "/root/repo/src/core/sea.cc" "src/CMakeFiles/oebench.dir/core/sea.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/sea.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/CMakeFiles/oebench.dir/core/selection.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/selection.cc.o.d"
+  "/root/repo/src/core/si.cc" "src/CMakeFiles/oebench.dir/core/si.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/si.cc.o.d"
+  "/root/repo/src/core/tree_learners.cc" "src/CMakeFiles/oebench.dir/core/tree_learners.cc.o" "gcc" "src/CMakeFiles/oebench.dir/core/tree_learners.cc.o.d"
+  "/root/repo/src/dataframe/column.cc" "src/CMakeFiles/oebench.dir/dataframe/column.cc.o" "gcc" "src/CMakeFiles/oebench.dir/dataframe/column.cc.o.d"
+  "/root/repo/src/dataframe/csv.cc" "src/CMakeFiles/oebench.dir/dataframe/csv.cc.o" "gcc" "src/CMakeFiles/oebench.dir/dataframe/csv.cc.o.d"
+  "/root/repo/src/dataframe/table.cc" "src/CMakeFiles/oebench.dir/dataframe/table.cc.o" "gcc" "src/CMakeFiles/oebench.dir/dataframe/table.cc.o.d"
+  "/root/repo/src/drift/adwin.cc" "src/CMakeFiles/oebench.dir/drift/adwin.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/adwin.cc.o.d"
+  "/root/repo/src/drift/cdbd.cc" "src/CMakeFiles/oebench.dir/drift/cdbd.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/cdbd.cc.o.d"
+  "/root/repo/src/drift/ddm.cc" "src/CMakeFiles/oebench.dir/drift/ddm.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/ddm.cc.o.d"
+  "/root/repo/src/drift/ecdd.cc" "src/CMakeFiles/oebench.dir/drift/ecdd.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/ecdd.cc.o.d"
+  "/root/repo/src/drift/eddm.cc" "src/CMakeFiles/oebench.dir/drift/eddm.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/eddm.cc.o.d"
+  "/root/repo/src/drift/eia.cc" "src/CMakeFiles/oebench.dir/drift/eia.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/eia.cc.o.d"
+  "/root/repo/src/drift/fw_ddm.cc" "src/CMakeFiles/oebench.dir/drift/fw_ddm.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/fw_ddm.cc.o.d"
+  "/root/repo/src/drift/hdddm.cc" "src/CMakeFiles/oebench.dir/drift/hdddm.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/hdddm.cc.o.d"
+  "/root/repo/src/drift/hddm_a.cc" "src/CMakeFiles/oebench.dir/drift/hddm_a.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/hddm_a.cc.o.d"
+  "/root/repo/src/drift/kdq_tree.cc" "src/CMakeFiles/oebench.dir/drift/kdq_tree.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/kdq_tree.cc.o.d"
+  "/root/repo/src/drift/ks_test.cc" "src/CMakeFiles/oebench.dir/drift/ks_test.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/ks_test.cc.o.d"
+  "/root/repo/src/drift/lfr.cc" "src/CMakeFiles/oebench.dir/drift/lfr.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/lfr.cc.o.d"
+  "/root/repo/src/drift/md3.cc" "src/CMakeFiles/oebench.dir/drift/md3.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/md3.cc.o.d"
+  "/root/repo/src/drift/page_hinkley.cc" "src/CMakeFiles/oebench.dir/drift/page_hinkley.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/page_hinkley.cc.o.d"
+  "/root/repo/src/drift/pca_cd.cc" "src/CMakeFiles/oebench.dir/drift/pca_cd.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/pca_cd.cc.o.d"
+  "/root/repo/src/drift/perm.cc" "src/CMakeFiles/oebench.dir/drift/perm.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/perm.cc.o.d"
+  "/root/repo/src/drift/wilcoxon.cc" "src/CMakeFiles/oebench.dir/drift/wilcoxon.cc.o" "gcc" "src/CMakeFiles/oebench.dir/drift/wilcoxon.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/oebench.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/oebench.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/oebench.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/oebench.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/pca.cc" "src/CMakeFiles/oebench.dir/linalg/pca.cc.o" "gcc" "src/CMakeFiles/oebench.dir/linalg/pca.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/CMakeFiles/oebench.dir/linalg/vector_ops.cc.o" "gcc" "src/CMakeFiles/oebench.dir/linalg/vector_ops.cc.o.d"
+  "/root/repo/src/models/decision_tree.cc" "src/CMakeFiles/oebench.dir/models/decision_tree.cc.o" "gcc" "src/CMakeFiles/oebench.dir/models/decision_tree.cc.o.d"
+  "/root/repo/src/models/gbdt.cc" "src/CMakeFiles/oebench.dir/models/gbdt.cc.o" "gcc" "src/CMakeFiles/oebench.dir/models/gbdt.cc.o.d"
+  "/root/repo/src/models/hoeffding_tree.cc" "src/CMakeFiles/oebench.dir/models/hoeffding_tree.cc.o" "gcc" "src/CMakeFiles/oebench.dir/models/hoeffding_tree.cc.o.d"
+  "/root/repo/src/models/linear_model.cc" "src/CMakeFiles/oebench.dir/models/linear_model.cc.o" "gcc" "src/CMakeFiles/oebench.dir/models/linear_model.cc.o.d"
+  "/root/repo/src/models/mlp.cc" "src/CMakeFiles/oebench.dir/models/mlp.cc.o" "gcc" "src/CMakeFiles/oebench.dir/models/mlp.cc.o.d"
+  "/root/repo/src/models/naive_bayes.cc" "src/CMakeFiles/oebench.dir/models/naive_bayes.cc.o" "gcc" "src/CMakeFiles/oebench.dir/models/naive_bayes.cc.o.d"
+  "/root/repo/src/models/serialization.cc" "src/CMakeFiles/oebench.dir/models/serialization.cc.o" "gcc" "src/CMakeFiles/oebench.dir/models/serialization.cc.o.d"
+  "/root/repo/src/outlier/ecod.cc" "src/CMakeFiles/oebench.dir/outlier/ecod.cc.o" "gcc" "src/CMakeFiles/oebench.dir/outlier/ecod.cc.o.d"
+  "/root/repo/src/outlier/isolation_forest.cc" "src/CMakeFiles/oebench.dir/outlier/isolation_forest.cc.o" "gcc" "src/CMakeFiles/oebench.dir/outlier/isolation_forest.cc.o.d"
+  "/root/repo/src/preprocess/imputer.cc" "src/CMakeFiles/oebench.dir/preprocess/imputer.cc.o" "gcc" "src/CMakeFiles/oebench.dir/preprocess/imputer.cc.o.d"
+  "/root/repo/src/preprocess/normalizer.cc" "src/CMakeFiles/oebench.dir/preprocess/normalizer.cc.o" "gcc" "src/CMakeFiles/oebench.dir/preprocess/normalizer.cc.o.d"
+  "/root/repo/src/preprocess/one_hot.cc" "src/CMakeFiles/oebench.dir/preprocess/one_hot.cc.o" "gcc" "src/CMakeFiles/oebench.dir/preprocess/one_hot.cc.o.d"
+  "/root/repo/src/preprocess/pipeline.cc" "src/CMakeFiles/oebench.dir/preprocess/pipeline.cc.o" "gcc" "src/CMakeFiles/oebench.dir/preprocess/pipeline.cc.o.d"
+  "/root/repo/src/preprocess/time_ordering.cc" "src/CMakeFiles/oebench.dir/preprocess/time_ordering.cc.o" "gcc" "src/CMakeFiles/oebench.dir/preprocess/time_ordering.cc.o.d"
+  "/root/repo/src/preprocess/windowing.cc" "src/CMakeFiles/oebench.dir/preprocess/windowing.cc.o" "gcc" "src/CMakeFiles/oebench.dir/preprocess/windowing.cc.o.d"
+  "/root/repo/src/stats/drift_stats.cc" "src/CMakeFiles/oebench.dir/stats/drift_stats.cc.o" "gcc" "src/CMakeFiles/oebench.dir/stats/drift_stats.cc.o.d"
+  "/root/repo/src/stats/missing_stats.cc" "src/CMakeFiles/oebench.dir/stats/missing_stats.cc.o" "gcc" "src/CMakeFiles/oebench.dir/stats/missing_stats.cc.o.d"
+  "/root/repo/src/stats/outlier_stats.cc" "src/CMakeFiles/oebench.dir/stats/outlier_stats.cc.o" "gcc" "src/CMakeFiles/oebench.dir/stats/outlier_stats.cc.o.d"
+  "/root/repo/src/stats/profile.cc" "src/CMakeFiles/oebench.dir/stats/profile.cc.o" "gcc" "src/CMakeFiles/oebench.dir/stats/profile.cc.o.d"
+  "/root/repo/src/streamgen/corpus.cc" "src/CMakeFiles/oebench.dir/streamgen/corpus.cc.o" "gcc" "src/CMakeFiles/oebench.dir/streamgen/corpus.cc.o.d"
+  "/root/repo/src/streamgen/representative.cc" "src/CMakeFiles/oebench.dir/streamgen/representative.cc.o" "gcc" "src/CMakeFiles/oebench.dir/streamgen/representative.cc.o.d"
+  "/root/repo/src/streamgen/stream_generator.cc" "src/CMakeFiles/oebench.dir/streamgen/stream_generator.cc.o" "gcc" "src/CMakeFiles/oebench.dir/streamgen/stream_generator.cc.o.d"
+  "/root/repo/src/streamgen/stream_spec.cc" "src/CMakeFiles/oebench.dir/streamgen/stream_spec.cc.o" "gcc" "src/CMakeFiles/oebench.dir/streamgen/stream_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

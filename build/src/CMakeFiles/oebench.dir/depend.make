@@ -1,0 +1,2 @@
+# Empty dependencies file for oebench.
+# This may be replaced when dependencies are built.

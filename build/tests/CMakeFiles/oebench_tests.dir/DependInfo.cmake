@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/oebench_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/oebench_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/oebench_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/corpus_sweep_test.cc" "tests/CMakeFiles/oebench_tests.dir/corpus_sweep_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/corpus_sweep_test.cc.o.d"
+  "/root/repo/tests/dataframe_test.cc" "tests/CMakeFiles/oebench_tests.dir/dataframe_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/dataframe_test.cc.o.d"
+  "/root/repo/tests/derived_recommendation_test.cc" "tests/CMakeFiles/oebench_tests.dir/derived_recommendation_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/derived_recommendation_test.cc.o.d"
+  "/root/repo/tests/drift_test.cc" "tests/CMakeFiles/oebench_tests.dir/drift_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/drift_test.cc.o.d"
+  "/root/repo/tests/edge_case_test.cc" "tests/CMakeFiles/oebench_tests.dir/edge_case_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/edge_case_test.cc.o.d"
+  "/root/repo/tests/extension_test.cc" "tests/CMakeFiles/oebench_tests.dir/extension_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/extension_test.cc.o.d"
+  "/root/repo/tests/generator_property_test.cc" "tests/CMakeFiles/oebench_tests.dir/generator_property_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/generator_property_test.cc.o.d"
+  "/root/repo/tests/hoeffding_nb_test.cc" "tests/CMakeFiles/oebench_tests.dir/hoeffding_nb_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/hoeffding_nb_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/oebench_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/learner_behavior_test.cc" "tests/CMakeFiles/oebench_tests.dir/learner_behavior_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/learner_behavior_test.cc.o.d"
+  "/root/repo/tests/linalg_test.cc" "tests/CMakeFiles/oebench_tests.dir/linalg_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/linalg_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/oebench_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/oebench_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/outlier_test.cc" "tests/CMakeFiles/oebench_tests.dir/outlier_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/outlier_test.cc.o.d"
+  "/root/repo/tests/preprocess_test.cc" "tests/CMakeFiles/oebench_tests.dir/preprocess_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/preprocess_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/oebench_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/regression_guard_test.cc" "tests/CMakeFiles/oebench_tests.dir/regression_guard_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/regression_guard_test.cc.o.d"
+  "/root/repo/tests/report_coverage_test.cc" "tests/CMakeFiles/oebench_tests.dir/report_coverage_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/report_coverage_test.cc.o.d"
+  "/root/repo/tests/sam_knn_test.cc" "tests/CMakeFiles/oebench_tests.dir/sam_knn_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/sam_knn_test.cc.o.d"
+  "/root/repo/tests/selection_test.cc" "tests/CMakeFiles/oebench_tests.dir/selection_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/selection_test.cc.o.d"
+  "/root/repo/tests/serialization_test.cc" "tests/CMakeFiles/oebench_tests.dir/serialization_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/serialization_test.cc.o.d"
+  "/root/repo/tests/shape_test.cc" "tests/CMakeFiles/oebench_tests.dir/shape_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/shape_test.cc.o.d"
+  "/root/repo/tests/stats_classification_test.cc" "tests/CMakeFiles/oebench_tests.dir/stats_classification_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/stats_classification_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/oebench_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/streamgen_test.cc" "tests/CMakeFiles/oebench_tests.dir/streamgen_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/streamgen_test.cc.o.d"
+  "/root/repo/tests/time_ordering_test.cc" "tests/CMakeFiles/oebench_tests.dir/time_ordering_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/time_ordering_test.cc.o.d"
+  "/root/repo/tests/wilcoxon_nb_test.cc" "tests/CMakeFiles/oebench_tests.dir/wilcoxon_nb_test.cc.o" "gcc" "tests/CMakeFiles/oebench_tests.dir/wilcoxon_nb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oebench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
