@@ -18,18 +18,13 @@ void Run(const bench::BenchFlags& flags) {
   bench::PrintHeader("Figure 2",
                      "Clustering of dataset profiles (k = 5) and the "
                      "selected representatives");
-  std::vector<DatasetProfile> profiles;
-  for (const CorpusEntry& entry : Corpus()) {
-    Result<GeneratedStream> stream =
-        GenerateStream(SpecFromEntry(entry, flags.scale));
-    OE_CHECK(stream.ok()) << entry.name;
-    Result<DatasetProfile> profile = ProfileDataset(*stream);
-    OE_CHECK(profile.ok()) << profile.status().ToString();
-    profiles.push_back(*profile);
-    std::printf(".");
-    std::fflush(stdout);
-  }
-  std::printf(" profiled %zu datasets\n", profiles.size());
+  // The extraction pass fans one task per corpus dataset across
+  // --threads workers; profiles come back in corpus order.
+  Result<std::vector<DatasetProfile>> extracted =
+      ExtractProfiles(BuildCorpusSpecs(flags.scale), flags.threads);
+  OE_CHECK(extracted.ok()) << extracted.status().ToString();
+  std::vector<DatasetProfile> profiles = std::move(*extracted);
+  std::printf("profiled %zu datasets\n", profiles.size());
 
   Result<SelectionResult> selection =
       SelectRepresentatives(profiles, 5, flags.seed);

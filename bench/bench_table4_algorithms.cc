@@ -4,10 +4,14 @@
 // this bench reproduces: no algorithm wins everywhere; tree models lead
 // classification with low anomaly; NN models lead regression with low
 // missing values; ARF is N/A for regression.
+//
+// The 5 x 10 grid (x repeats) runs on the deterministic parallel sweep
+// engine; --threads only changes wall-clock, never the numbers.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "core/parallel_eval.h"
 #include "core/recommendation.h"
 
 namespace oebench {
@@ -25,21 +29,31 @@ void Run(const bench::BenchFlags& flags) {
     std::printf(" %13s", name.c_str());
   }
   std::printf(" %13s\n", "Best");
+  std::fflush(stdout);
 
-  LearnerConfig config;
-  config.seed = flags.seed;
+  SweepConfig config;
+  config.base_config.seed = flags.seed;
+  config.repeats = flags.repeats;
+  config.threads = flags.threads;
+
+  // Prepare the five streams in parallel too, keeping their Table 3
+  // short names.
+  std::vector<StreamSpec> specs;
+  std::vector<std::string> names;
   for (const RepresentativeInfo& info : RepresentativeDatasets()) {
-    PreparedStream stream =
-        bench::MakePrepared(info.short_name, flags.scale);
-    std::printf("%-12s", info.short_name.c_str());
-    std::fflush(stdout);
+    specs.push_back(RepresentativeSpec(info.short_name, flags.scale));
+    names.push_back(info.short_name);
+  }
+  std::vector<PreparedStream> streams =
+      ParallelPrepare(specs, config.pipeline, config.threads, names);
+
+  SweepOutcome sweep = ParallelSweep(streams, learners, config);
+  for (const SweepRow& row : sweep.rows) {
+    std::printf("%-12s", row.dataset.c_str());
     std::vector<RepeatedResult> results;
-    for (const std::string& name : learners) {
-      RepeatedResult result =
-          RunRepeated(name, config, stream, flags.repeats);
-      results.push_back(result);
-      std::printf(" %13s", bench::FormatLoss(result).c_str());
-      std::fflush(stdout);
+    for (const SweepCell& cell : row.cells) {
+      results.push_back(cell.repeated);
+      std::printf(" %13s", bench::FormatLoss(cell.repeated).c_str());
     }
     std::printf(" %13s\n", BestAlgorithm(results).c_str());
   }

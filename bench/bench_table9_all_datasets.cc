@@ -3,11 +3,18 @@
 // cheaper learner set so the whole bench suite stays fast; pass
 // --scale/--repeats for a fuller run. The headline finding it reproduces:
 // no algorithm consistently outperforms the others across the corpus.
+//
+// The sweep fans (dataset x learner x repeat) tasks across --threads
+// workers (default: hardware concurrency). Result rows are byte-identical
+// for any thread count: each task's seed derives from its identity, and
+// rows are printed in canonical corpus order after the sweep completes.
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 
 #include "bench/bench_util.h"
+#include "core/parallel_eval.h"
 #include "core/recommendation.h"
 #include "streamgen/corpus.h"
 
@@ -25,29 +32,34 @@ void Run(const bench::BenchFlags& flags) {
     std::printf(" %11s", name.c_str());
   }
   std::printf(" %11s\n", "Best");
+  std::fflush(stdout);
 
-  LearnerConfig config;
-  config.seed = flags.seed;
-  config.epochs = 5;  // keep the 55-dataset sweep affordable
+  SweepConfig config;
+  config.base_config.seed = flags.seed;
+  config.base_config.epochs = 5;  // keep the 55-dataset sweep affordable
+  config.repeats = flags.repeats;
+  config.threads = flags.threads;
+  config.scale = flags.scale;
+
+  auto t0 = std::chrono::steady_clock::now();
+  SweepOutcome sweep = ParallelSweepEntries(Corpus(), learners, config);
+  double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
   std::map<std::string, int> wins;
   std::vector<ScenarioOutcome> outcomes;
-  for (const CorpusEntry& entry : Corpus()) {
-    StreamSpec spec = SpecFromEntry(entry, flags.scale);
-    Result<GeneratedStream> stream = GenerateStream(spec);
-    OE_CHECK(stream.ok()) << entry.name;
-    Result<PreparedStream> prepared = PrepareStream(*stream);
-    OE_CHECK(prepared.ok()) << prepared.status().ToString();
+  const std::vector<CorpusEntry>& corpus = Corpus();
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    const CorpusEntry& entry = corpus[d];
+    const SweepRow& row = sweep.rows[d];
     std::printf("%-28.28s %-6s %-6s", entry.name.c_str(),
                 entry.task == TaskType::kClassification ? "cls" : "reg",
                 LevelToString(entry.drift));
-    std::fflush(stdout);
     std::vector<RepeatedResult> results;
-    for (const std::string& name : learners) {
-      RepeatedResult result =
-          RunRepeated(name, config, *prepared, flags.repeats);
-      results.push_back(result);
-      std::printf(" %11.3f", result.loss_mean);
-      std::fflush(stdout);
+    for (const SweepCell& cell : row.cells) {
+      results.push_back(cell.repeated);
+      std::printf(" %11.3f", cell.repeated.loss_mean);
     }
     std::string best = BestAlgorithm(results);
     ++wins[best];
@@ -59,6 +71,10 @@ void Run(const bench::BenchFlags& flags) {
   for (const auto& [name, count] : wins) {
     std::printf("  %-12s %d\n", name.c_str(), count);
   }
+  std::fprintf(stderr,
+               "\n[timing] %lld prequential runs in %.1f s on %d thread(s)\n",
+               static_cast<long long>(sweep.tasks_run), sweep_seconds,
+               flags.threads);
 
   // Synthesize the Figure 9 recommendation tree from these outcomes,
   // exactly as §6.2 does from the paper's Table 9.

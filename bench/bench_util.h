@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/evaluator.h"
 #include "preprocess/pipeline.h"
 #include "streamgen/representative.h"
@@ -25,6 +26,10 @@ struct BenchFlags {
   double scale = 0.08;
   int repeats = 3;
   uint64_t seed = 1;
+  /// Worker threads for the parallel sweeps (default: hardware
+  /// concurrency). 1 runs serially; results are identical either way —
+  /// every task's seed derives from its identity, not its schedule.
+  int threads = 1;
 };
 
 inline BenchFlags ParseFlags(int argc, char** argv,
@@ -33,8 +38,15 @@ inline BenchFlags ParseFlags(int argc, char** argv,
   BenchFlags flags;
   flags.scale = default_scale;
   flags.repeats = default_repeats;
+  flags.threads = ThreadPool::HardwareThreads();
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    // `--threads 4` (the documented form) and `--threads=4` both work;
+    // likewise for the other flags.
+    if (arg == "--threads" || arg == "--scale" || arg == "--repeats" ||
+        arg == "--seed") {
+      if (i + 1 < argc) arg += "=" + std::string(argv[++i]);
+    }
     double value = 0.0;
     if (arg.rfind("--scale=", 0) == 0 &&
         ParseDouble(arg.substr(8), &value)) {
@@ -45,6 +57,9 @@ inline BenchFlags ParseFlags(int argc, char** argv,
     } else if (arg.rfind("--seed=", 0) == 0 &&
                ParseDouble(arg.substr(7), &value)) {
       flags.seed = static_cast<uint64_t>(value);
+    } else if (arg.rfind("--threads=", 0) == 0 &&
+               ParseDouble(arg.substr(10), &value)) {
+      flags.threads = static_cast<int>(value);
     }
   }
   return flags;

@@ -1,0 +1,85 @@
+#ifndef OEBENCH_COMMON_THREAD_POOL_H_
+#define OEBENCH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace oebench {
+
+/// Fixed-size worker pool used by the parallel sweep engine. Design
+/// goals, in order: determinism-friendliness, simplicity, clean
+/// shutdown. There is deliberately no work stealing and no task
+/// priority — callers that need reproducible results derive every
+/// task's randomness from the task's *identity* (see
+/// core/parallel_eval.h), so the pool is free to run tasks in any
+/// order on any thread without affecting results.
+///
+/// - `Submit` wraps the callable in a `std::packaged_task` and returns
+///   its future; an exception thrown by the task is captured and
+///   rethrown from `future.get()` on the caller's thread.
+/// - A pool constructed with 0 threads degrades to inline execution:
+///   `Submit` runs the task on the calling thread before returning.
+///   This is the `--threads 1` / serial path of the benches — no
+///   queueing, no synchronisation, bit-for-bit today's behaviour.
+/// - The destructor drains the queue: every task submitted before
+///   destruction begins is executed, then the workers join.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. 0 (or negative) means inline
+  /// execution on the submitting thread.
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs every queued task, then joins the workers.
+  ~ThreadPool();
+
+  /// Schedules `fn` and returns a future for its result. Thread-safe:
+  /// any thread (including pool workers) may submit.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();  // inline mode; exceptions are captured by the future
+      return future;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Number of worker threads (0 in inline mode).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0 when unknown).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_COMMON_THREAD_POOL_H_

@@ -1,0 +1,171 @@
+#include "core/parallel_eval.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+
+namespace {
+
+/// FNV-1a 64-bit, folding in a length-prefixed string so that
+/// ("ab","c") and ("a","bc") hash differently.
+uint64_t FnvMix(uint64_t hash, const std::string& s) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  hash = (hash ^ s.size()) * kPrime;
+  for (unsigned char c : s) {
+    hash = (hash ^ c) * kPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvMix(uint64_t hash, uint64_t v) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  for (int byte = 0; byte < 8; ++byte) {
+    hash = (hash ^ ((v >> (8 * byte)) & 0xff)) * kPrime;
+  }
+  return hash;
+}
+
+/// A pool sized for the sweep: `threads <= 1` degrades to inline
+/// execution (the serial path), larger counts get that many workers.
+int PoolWorkers(int threads) { return threads <= 1 ? 0 : threads; }
+
+}  // namespace
+
+uint64_t TaskSeed(uint64_t base_seed, const std::string& dataset,
+                  const std::string& learner, int repeat) {
+  uint64_t hash = 14695981039346656037ULL;  // FNV offset basis
+  hash = FnvMix(hash, base_seed);
+  hash = FnvMix(hash, dataset);
+  hash = FnvMix(hash, learner);
+  hash = FnvMix(hash, static_cast<uint64_t>(repeat));
+  // Push the hash through Rng child-seed derivation so the final seed
+  // is well mixed even when identities differ in a single bit.
+  Rng rng(hash);
+  return rng.NextSeed();
+}
+
+SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
+                           const std::vector<std::string>& learners,
+                           const SweepConfig& config) {
+  OE_CHECK(config.repeats > 0);
+  SweepOutcome outcome;
+  ThreadPool pool(PoolWorkers(config.threads));
+
+  // One future per (stream, learner, repeat), canonical order. A pair
+  // that cannot be built (N/A, e.g. ARF on regression) is detected
+  // here on the submitting thread and never reaches the pool.
+  struct PairTasks {
+    bool applicable = false;
+    std::vector<std::future<EvalResult>> runs;
+  };
+  std::vector<PairTasks> pairs(streams.size() * learners.size());
+  for (size_t d = 0; d < streams.size(); ++d) {
+    const PreparedStream& stream = streams[d];
+    for (size_t l = 0; l < learners.size(); ++l) {
+      PairTasks& pair = pairs[d * learners.size() + l];
+      Result<std::unique_ptr<StreamLearner>> probe = MakeLearner(
+          learners[l], config.base_config, stream.task, stream.num_classes);
+      if (!probe.ok()) {
+        ++outcome.pairs_skipped;
+        continue;
+      }
+      pair.applicable = true;
+      for (int rep = 0; rep < config.repeats; ++rep) {
+        LearnerConfig task_config = config.base_config;
+        task_config.seed = TaskSeed(config.base_config.seed, stream.name,
+                                    learners[l], rep);
+        pair.runs.push_back(pool.Submit([&stream, &learners, l,
+                                         task_config] {
+          Result<std::unique_ptr<StreamLearner>> learner =
+              MakeLearner(learners[l], task_config, stream.task,
+                          stream.num_classes);
+          OE_CHECK(learner.ok()) << learner.status().ToString();
+          return RunPrequential(learner->get(), stream);
+        }));
+        ++outcome.tasks_run;
+      }
+    }
+  }
+
+  // Reassemble in canonical order. Aggregation mirrors RunRepeated so
+  // serial and parallel sweeps report the same statistics.
+  outcome.rows.resize(streams.size());
+  for (size_t d = 0; d < streams.size(); ++d) {
+    SweepRow& row = outcome.rows[d];
+    row.dataset = streams[d].name;
+    row.cells.resize(learners.size());
+    for (size_t l = 0; l < learners.size(); ++l) {
+      PairTasks& pair = pairs[d * learners.size() + l];
+      SweepCell& cell = row.cells[l];
+      cell.repeated.learner = learners[l];
+      cell.repeated.dataset = streams[d].name;
+      if (!pair.applicable) {
+        cell.repeated.not_applicable = true;
+        continue;
+      }
+      std::vector<double> losses;
+      for (std::future<EvalResult>& future : pair.runs) {
+        cell.runs.push_back(future.get());
+        const EvalResult& run = cell.runs.back();
+        losses.push_back(run.mean_loss);
+        cell.repeated.throughput += run.throughput;
+        cell.repeated.peak_memory_bytes = std::max(
+            cell.repeated.peak_memory_bytes, run.peak_memory_bytes);
+      }
+      cell.repeated.loss_mean = Mean(losses);
+      cell.repeated.loss_stddev = StdDev(losses);
+      cell.repeated.throughput /= static_cast<double>(config.repeats);
+    }
+  }
+  return outcome;
+}
+
+std::vector<PreparedStream> ParallelPrepare(
+    const std::vector<StreamSpec>& specs, const PipelineOptions& options,
+    int threads, const std::vector<std::string>& names) {
+  OE_CHECK(names.empty() || names.size() == specs.size());
+  ThreadPool pool(PoolWorkers(threads));
+  std::vector<std::future<PreparedStream>> futures;
+  futures.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const StreamSpec& spec = specs[i];
+    futures.push_back(pool.Submit([&spec, &options] {
+      Result<GeneratedStream> stream = GenerateStream(spec);
+      OE_CHECK(stream.ok()) << spec.name << ": "
+                            << stream.status().ToString();
+      Result<PreparedStream> prepared = PrepareStream(*stream, options);
+      OE_CHECK(prepared.ok()) << spec.name << ": "
+                              << prepared.status().ToString();
+      return std::move(*prepared);
+    }));
+  }
+  std::vector<PreparedStream> streams;
+  streams.reserve(specs.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    streams.push_back(futures[i].get());
+    if (!names.empty()) streams.back().name = names[i];
+  }
+  return streams;
+}
+
+SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
+                                  const std::vector<std::string>& learners,
+                                  const SweepConfig& config) {
+  std::vector<StreamSpec> specs;
+  specs.reserve(entries.size());
+  for (const CorpusEntry& entry : entries) {
+    specs.push_back(SpecFromEntry(entry, config.scale));
+  }
+  std::vector<PreparedStream> streams =
+      ParallelPrepare(specs, config.pipeline, config.threads);
+  return ParallelSweep(streams, learners, config);
+}
+
+}  // namespace oebench

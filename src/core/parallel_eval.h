@@ -1,0 +1,95 @@
+#ifndef OEBENCH_CORE_PARALLEL_EVAL_H_
+#define OEBENCH_CORE_PARALLEL_EVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "preprocess/pipeline.h"
+#include "streamgen/corpus.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+
+/// Deterministic parallel sweep engine for the (dataset x learner)
+/// grids behind Tables 4 and 9 and the 55-dataset statistic
+/// extraction. The determinism contract: every task's randomness
+/// derives from the task's *identity* — (base seed, dataset, learner,
+/// repeat) — never from submission order, completion order, or which
+/// worker ran it. Results are therefore bit-identical for any thread
+/// count, and the engine reassembles them in canonical order
+/// (dataset-major, then learner, then repeat) before returning.
+
+/// Derives the RNG seed of one prequential run from its identity via
+/// Rng child-seed derivation: the identity tuple is hashed (FNV-1a)
+/// into an Rng whose first child seed becomes the task seed. Two
+/// tasks that differ in any component get decorrelated seeds; the same
+/// task always gets the same seed.
+uint64_t TaskSeed(uint64_t base_seed, const std::string& dataset,
+                  const std::string& learner, int repeat);
+
+/// Knobs of one sweep. `base_config.seed` is the sweep's base seed.
+struct SweepConfig {
+  LearnerConfig base_config;
+  int repeats = 3;
+  /// Worker threads. <= 1 runs every task inline on the calling
+  /// thread (today's serial behaviour); results do not depend on this.
+  int threads = 1;
+  /// Preprocessing applied by the entry-based sweep / ParallelPrepare.
+  PipelineOptions pipeline;
+  /// Corpus scale used by the entry-based sweep.
+  double scale = 0.03;
+};
+
+/// One (dataset, learner) cell: the per-repeat prequential results in
+/// repeat order plus the same aggregate RunRepeated reports. For an
+/// inapplicable pair (e.g. ARF on regression) `repeated.not_applicable`
+/// is true and `runs` is empty — no task is ever submitted for it.
+struct SweepCell {
+  RepeatedResult repeated;
+  std::vector<EvalResult> runs;
+};
+
+/// One dataset's row: cells in the input learner order.
+struct SweepRow {
+  std::string dataset;
+  std::vector<SweepCell> cells;
+};
+
+struct SweepOutcome {
+  /// One row per input dataset, in input order.
+  std::vector<SweepRow> rows;
+  /// Prequential runs actually executed.
+  int64_t tasks_run = 0;
+  /// (dataset, learner) pairs short-circuited as not applicable
+  /// before reaching the pool.
+  int64_t pairs_skipped = 0;
+};
+
+/// Fans repeats x (stream x learner) prequential runs out across
+/// `config.threads` workers. Each run gets a fresh learner seeded with
+/// TaskSeed(base, stream.name, learner, repeat).
+SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
+                           const std::vector<std::string>& learners,
+                           const SweepConfig& config);
+
+/// Generates and preprocesses each spec as one task (a spec's
+/// randomness is self-contained in `spec.seed`, so parallel generation
+/// is deterministic too). `names`, when non-empty, overrides the
+/// prepared streams' names (Table 3 short names); it must then match
+/// `specs` in length. Aborts on generation/pipeline failure, like the
+/// benches it serves.
+std::vector<PreparedStream> ParallelPrepare(
+    const std::vector<StreamSpec>& specs, const PipelineOptions& options,
+    int threads, const std::vector<std::string>& names = {});
+
+/// The Table 9 shape: generate + prepare every corpus entry at
+/// `config.scale`, then sweep the learner grid, all on one pool.
+SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
+                                  const std::vector<std::string>& learners,
+                                  const SweepConfig& config);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_PARALLEL_EVAL_H_

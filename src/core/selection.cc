@@ -1,12 +1,38 @@
 #include "core/selection.h"
 
 #include <cmath>
+#include <future>
 
 #include "cluster/kmeans.h"
+#include "common/thread_pool.h"
 #include "linalg/pca.h"
 #include "preprocess/normalizer.h"
 
 namespace oebench {
+
+Result<std::vector<DatasetProfile>> ExtractProfiles(
+    const std::vector<StreamSpec>& specs, int threads,
+    const ProfileOptions& options) {
+  ThreadPool pool(threads <= 1 ? 0 : threads);
+  std::vector<std::future<Result<DatasetProfile>>> futures;
+  futures.reserve(specs.size());
+  for (const StreamSpec& spec : specs) {
+    futures.push_back(pool.Submit([&spec, &options]() -> Result<DatasetProfile> {
+      OE_ASSIGN_OR_RETURN(GeneratedStream stream, GenerateStream(spec));
+      return ProfileDataset(stream, options);
+    }));
+  }
+  std::vector<DatasetProfile> profiles;
+  profiles.reserve(specs.size());
+  for (std::future<Result<DatasetProfile>>& future : futures) {
+    Result<DatasetProfile> profile = future.get();
+    // Harvest in input order; a failure still drains remaining futures
+    // when the pool destructs.
+    OE_RETURN_NOT_OK(profile.status());
+    profiles.push_back(std::move(*profile));
+  }
+  return profiles;
+}
 
 namespace {
 

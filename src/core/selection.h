@@ -5,8 +5,19 @@
 
 #include "common/status.h"
 #include "stats/profile.h"
+#include "streamgen/stream_generator.h"
 
 namespace oebench {
+
+/// The §4.3 statistic-extraction pass over a set of stream specs:
+/// generate each stream and extract its DatasetProfile, fanned out
+/// across `threads` workers (one spec = one task; a spec's randomness
+/// is self-contained in `spec.seed`, so results are identical for any
+/// thread count). Profiles come back in input order. `threads <= 1`
+/// runs inline. The first failed spec aborts the pass with its status.
+Result<std::vector<DatasetProfile>> ExtractProfiles(
+    const std::vector<StreamSpec>& specs, int threads,
+    const ProfileOptions& options = {});
 
 /// Result of the representative-dataset selection pipeline (§4.4).
 struct SelectionResult {

@@ -1,0 +1,128 @@
+// Unit and stress tests for the fixed-size worker pool behind the
+// parallel sweep engine: futures-based Submit, submit-from-many-threads
+// safety, exception propagation, queue draining on destruction, and the
+// zero-thread inline-execution mode.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace oebench {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsEachTasksResult) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 50;
+  std::atomic<int> sum{0};
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<int>>> futures(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &futures, &sum, s] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        futures[static_cast<size_t>(s)].push_back(pool.Submit([&sum, s, i] {
+          sum.fetch_add(1, std::memory_order_relaxed);
+          return s * kTasksEach + i;
+        }));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    for (int i = 0; i < kTasksEach; ++i) {
+      EXPECT_EQ(futures[static_cast<size_t>(s)][static_cast<size_t>(i)].get(),
+                s * kTasksEach + i);
+    }
+  }
+  EXPECT_EQ(sum.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToFuture) {
+  ThreadPool pool(2);
+  std::future<int> ok = pool.Submit([] { return 7; });
+  std::future<int> bad = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  try {
+    bad.get();
+    FAIL() << "expected the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  // The pool survives a throwing task; later submissions still run.
+  EXPECT_EQ(pool.Submit([] { return 11; }).get(), 11);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueue) {
+  std::atomic<int> completed{0};
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        completed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor runs here with most of the queue still pending.
+  }
+  EXPECT_EQ(completed.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInlineOnCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::future<std::thread::id> ran_on =
+      pool.Submit([] { return std::this_thread::get_id(); });
+  // Inline mode executes during Submit, so the future is already ready.
+  ASSERT_EQ(ran_on.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(ran_on.get(), caller);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsPropagatesExceptions) {
+  ThreadPool pool(0);
+  std::future<int> bad = pool.Submit(
+      []() -> int { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolStressTest, ManySmallTasks) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::future<void>> futures;
+  constexpr int kTasks = 2000;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit(
+        [&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+}  // namespace
+}  // namespace oebench
