@@ -6,48 +6,61 @@
 // missing values; ARF is N/A for regression.
 //
 // The 5 x 10 grid (x repeats) runs on the deterministic parallel sweep
-// engine; --threads only changes wall-clock, never the numbers.
+// engine; --threads only changes wall-clock, never the numbers. Like
+// bench_table9, the grid can be split across machines: `--shard i/n
+// --log shard_i.log` (resumable with --resume) and `--merge log...`
+// reprints the exact table of a single-process run.
 
 #include <cstdio>
+#include <set>
 
 #include "bench/bench_util.h"
 #include "core/parallel_eval.h"
 #include "core/recommendation.h"
+#include "sweep/merge.h"
+#include "sweep/shard_runner.h"
 
 namespace oebench {
 namespace {
 
-void Run(const bench::BenchFlags& flags) {
+const std::vector<std::string>& Learners() {
+  static const std::vector<std::string> kLearners = {
+      "Naive-NN", "EWC",        "LwF",    "iCaRL",    "SEA-NN",
+      "Naive-DT", "Naive-GBDT", "SEA-DT", "SEA-GBDT", "ARF"};
+  return kLearners;
+}
+
+std::vector<std::string> DatasetNames() {
+  std::vector<std::string> names;
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    names.push_back(info.short_name);
+  }
+  return names;
+}
+
+SweepConfig MakeConfig(const bench::BenchFlags& flags) {
+  SweepConfig config;
+  config.base_config.seed = flags.seed;
+  if (flags.epochs > 0) config.base_config.epochs = flags.epochs;
+  config.repeats = flags.repeats;
+  config.threads = flags.threads;
+  config.scale = flags.scale;
+  return config;
+}
+
+void PrintColumns() {
   bench::PrintHeader("Table 4",
                      "Test loss / error of stream learning algorithms "
                      "(mean ± std over seeds)");
-  const std::vector<std::string> learners = {
-      "Naive-NN", "EWC",      "LwF",        "iCaRL",  "SEA-NN",
-      "Naive-DT", "Naive-GBDT", "SEA-DT", "SEA-GBDT", "ARF"};
   std::printf("%-12s", "Dataset");
-  for (const std::string& name : learners) {
+  for (const std::string& name : Learners()) {
     std::printf(" %13s", name.c_str());
   }
   std::printf(" %13s\n", "Best");
   std::fflush(stdout);
+}
 
-  SweepConfig config;
-  config.base_config.seed = flags.seed;
-  config.repeats = flags.repeats;
-  config.threads = flags.threads;
-
-  // Prepare the five streams in parallel too, keeping their Table 3
-  // short names.
-  std::vector<StreamSpec> specs;
-  std::vector<std::string> names;
-  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
-    specs.push_back(RepresentativeSpec(info.short_name, flags.scale));
-    names.push_back(info.short_name);
-  }
-  std::vector<PreparedStream> streams =
-      ParallelPrepare(specs, config.pipeline, config.threads, names);
-
-  SweepOutcome sweep = ParallelSweep(streams, learners, config);
+void PrintRows(const SweepOutcome& sweep) {
   for (const SweepRow& row : sweep.rows) {
     std::printf("%-12s", row.dataset.c_str());
     std::vector<RepeatedResult> results;
@@ -64,10 +77,95 @@ void Run(const bench::BenchFlags& flags) {
       "1.278 vs ~0.8 for NN).\n");
 }
 
+sweep::TaskManifest Manifest(const SweepConfig& config) {
+  sweep::SweepGrid grid;
+  grid.datasets = DatasetNames();
+  grid.learners = Learners();
+  grid.repeats = config.repeats;
+  return sweep::TaskManifest::Build(std::move(grid));
+}
+
+int RunMerge(const bench::BenchFlags& flags) {
+  SweepConfig config = MakeConfig(flags);
+  sweep::TaskManifest manifest = Manifest(config);
+  Result<SweepOutcome> merged = sweep::MergeShardLogs(
+      manifest, sweep::MakeLogHeader(manifest, config, sweep::Shard{}),
+      flags.merge_logs);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
+  PrintColumns();
+  PrintRows(*merged);
+  return 0;
+}
+
+int RunShard(const bench::BenchFlags& flags) {
+  SweepConfig config = MakeConfig(flags);
+  sweep::TaskManifest manifest = Manifest(config);
+
+  // Generate + preprocess only the datasets this shard's span touches.
+  std::vector<std::string> owned = manifest.ShardDatasets(flags.shard);
+  std::set<std::string> wanted(owned.begin(), owned.end());
+  std::vector<StreamSpec> specs;
+  std::vector<std::string> names;
+  for (const RepresentativeInfo& info : RepresentativeDatasets()) {
+    if (wanted.count(info.short_name) == 0) continue;
+    specs.push_back(RepresentativeSpec(info.short_name, flags.scale));
+    names.push_back(info.short_name);
+  }
+  std::vector<PreparedStream> streams =
+      ParallelPrepare(specs, config.pipeline, config.threads, names);
+
+  sweep::ShardRunOptions options;
+  options.config = config;
+  options.shard = flags.shard;
+  options.log_path = flags.log_path;
+  options.resume = flags.resume;
+  Result<sweep::ShardRunStats> stats =
+      sweep::RunPreparedShard(streams, DatasetNames(), Learners(), options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "shard failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[shard %d/%d] %lld task(s): %lld executed, %lld resumed, "
+               "%lld n/a -> %s\n",
+               flags.shard.index, flags.shard.count,
+               static_cast<long long>(stats->shard_tasks),
+               static_cast<long long>(stats->tasks_executed),
+               static_cast<long long>(stats->tasks_resumed),
+               static_cast<long long>(stats->na_logged),
+               options.log_path.c_str());
+  return 0;
+}
+
+int Run(const bench::BenchFlags& flags) {
+  if (flags.merge) return RunMerge(flags);
+  if (flags.shard.count > 1 || !flags.log_path.empty()) {
+    return RunShard(flags);
+  }
+
+  PrintColumns();
+  SweepConfig config = MakeConfig(flags);
+  // Prepare the five streams in parallel too, keeping their Table 3
+  // short names.
+  std::vector<StreamSpec> specs;
+  std::vector<std::string> names = DatasetNames();
+  for (const std::string& name : names) {
+    specs.push_back(RepresentativeSpec(name, flags.scale));
+  }
+  std::vector<PreparedStream> streams =
+      ParallelPrepare(specs, config.pipeline, config.threads, names);
+  PrintRows(ParallelSweep(streams, Learners(), config));
+  return 0;
+}
+
 }  // namespace
 }  // namespace oebench
 
 int main(int argc, char** argv) {
-  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.08, 3));
-  return 0;
+  return oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.08, 3));
 }

@@ -8,50 +8,70 @@
 // workers (default: hardware concurrency). Result rows are byte-identical
 // for any thread count: each task's seed derives from its identity, and
 // rows are printed in canonical corpus order after the sweep completes.
+//
+// The sweep can also be distributed: `--shard i/n --log shard_i.log`
+// runs one slice of the task manifest per invocation (resumable with
+// --resume after a crash), and `--merge shard_0.log ... shard_n-1.log`
+// reassembles the table — byte-identical to a single-process run.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "bench/bench_util.h"
 #include "core/parallel_eval.h"
 #include "core/recommendation.h"
 #include "streamgen/corpus.h"
+#include "sweep/merge.h"
+#include "sweep/shard_runner.h"
 
 namespace oebench {
 namespace {
 
-void Run(const bench::BenchFlags& flags) {
+const std::vector<std::string>& Learners() {
+  static const std::vector<std::string> kLearners = {
+      "Naive-NN", "iCaRL", "Naive-DT", "Naive-GBDT", "SEA-DT", "SEA-GBDT"};
+  return kLearners;
+}
+
+std::vector<CorpusEntry> Entries(const bench::BenchFlags& flags) {
+  std::vector<CorpusEntry> entries = Corpus();
+  if (flags.datasets > 0 &&
+      static_cast<size_t>(flags.datasets) < entries.size()) {
+    entries.resize(flags.datasets);
+  }
+  return entries;
+}
+
+SweepConfig MakeConfig(const bench::BenchFlags& flags) {
+  SweepConfig config;
+  config.base_config.seed = flags.seed;
+  // Keep the 55-dataset sweep affordable by default.
+  config.base_config.epochs = flags.epochs > 0 ? flags.epochs : 5;
+  config.repeats = flags.repeats;
+  config.threads = flags.threads;
+  config.scale = flags.scale;
+  return config;
+}
+
+void PrintColumns() {
   bench::PrintHeader("Table 9",
                      "All-corpus sweep (scaled; single seed by default)");
-  const std::vector<std::string> learners = {"Naive-NN", "iCaRL",
-                                             "Naive-DT", "Naive-GBDT",
-                                             "SEA-DT", "SEA-GBDT"};
   std::printf("%-28s %-6s %-6s", "Dataset", "Task", "Drift");
-  for (const std::string& name : learners) {
+  for (const std::string& name : Learners()) {
     std::printf(" %11s", name.c_str());
   }
   std::printf(" %11s\n", "Best");
   std::fflush(stdout);
+}
 
-  SweepConfig config;
-  config.base_config.seed = flags.seed;
-  config.base_config.epochs = 5;  // keep the 55-dataset sweep affordable
-  config.repeats = flags.repeats;
-  config.threads = flags.threads;
-  config.scale = flags.scale;
-
-  auto t0 = std::chrono::steady_clock::now();
-  SweepOutcome sweep = ParallelSweepEntries(Corpus(), learners, config);
-  double sweep_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-
+void PrintRows(const std::vector<CorpusEntry>& entries,
+               const SweepOutcome& sweep) {
   std::map<std::string, int> wins;
   std::vector<ScenarioOutcome> outcomes;
-  const std::vector<CorpusEntry>& corpus = Corpus();
-  for (size_t d = 0; d < corpus.size(); ++d) {
-    const CorpusEntry& entry = corpus[d];
+  for (size_t d = 0; d < entries.size(); ++d) {
+    const CorpusEntry& entry = entries[d];
     const SweepRow& row = sweep.rows[d];
     std::printf("%-28.28s %-6s %-6s", entry.name.c_str(),
                 entry.task == TaskType::kClassification ? "cls" : "reg",
@@ -71,10 +91,6 @@ void Run(const bench::BenchFlags& flags) {
   for (const auto& [name, count] : wins) {
     std::printf("  %-12s %d\n", name.c_str(), count);
   }
-  std::fprintf(stderr,
-               "\n[timing] %lld prequential runs in %.1f s on %d thread(s)\n",
-               static_cast<long long>(sweep.tasks_run), sweep_seconds,
-               flags.threads);
 
   // Synthesize the Figure 9 recommendation tree from these outcomes,
   // exactly as §6.2 does from the paper's Table 9.
@@ -114,10 +130,77 @@ void Run(const bench::BenchFlags& flags) {
   }
 }
 
+/// Merge mode: no evaluation — reassemble shard logs into the exact
+/// sweep outcome and print the same table a direct run prints.
+int RunMerge(const bench::BenchFlags& flags) {
+  std::vector<CorpusEntry> entries = Entries(flags);
+  SweepConfig config = MakeConfig(flags);
+  sweep::TaskManifest manifest =
+      sweep::EntriesManifest(entries, Learners(), config.repeats);
+  Result<SweepOutcome> merged = sweep::MergeShardLogs(
+      manifest, sweep::MakeLogHeader(manifest, config, sweep::Shard{}),
+      flags.merge_logs);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
+  PrintColumns();
+  PrintRows(entries, *merged);
+  return 0;
+}
+
+/// Shard mode: run one slice of the manifest into a durable log.
+int RunShard(const bench::BenchFlags& flags) {
+  sweep::ShardRunOptions options;
+  options.config = MakeConfig(flags);
+  options.shard = flags.shard;
+  options.log_path = flags.log_path;
+  options.resume = flags.resume;
+  Result<sweep::ShardRunStats> stats =
+      sweep::RunCorpusShard(Entries(flags), Learners(), options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "shard failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[shard %d/%d] %lld task(s): %lld executed, %lld resumed, "
+               "%lld n/a -> %s\n",
+               flags.shard.index, flags.shard.count,
+               static_cast<long long>(stats->shard_tasks),
+               static_cast<long long>(stats->tasks_executed),
+               static_cast<long long>(stats->tasks_resumed),
+               static_cast<long long>(stats->na_logged),
+               options.log_path.c_str());
+  return 0;
+}
+
+int Run(const bench::BenchFlags& flags) {
+  if (flags.merge) return RunMerge(flags);
+  if (flags.shard.count > 1 || !flags.log_path.empty()) {
+    return RunShard(flags);
+  }
+
+  PrintColumns();
+  std::vector<CorpusEntry> entries = Entries(flags);
+  auto t0 = std::chrono::steady_clock::now();
+  SweepOutcome sweep = ParallelSweepEntries(entries, Learners(),
+                                            MakeConfig(flags));
+  double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  PrintRows(entries, sweep);
+  std::fprintf(stderr,
+               "\n[timing] %lld prequential runs in %.1f s on %d thread(s)\n",
+               static_cast<long long>(sweep.tasks_run), sweep_seconds,
+               flags.threads);
+  return 0;
+}
+
 }  // namespace
 }  // namespace oebench
 
 int main(int argc, char** argv) {
-  oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.03, 1));
-  return 0;
+  return oebench::Run(oebench::bench::ParseFlags(argc, argv, 0.03, 1));
 }

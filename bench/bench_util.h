@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "preprocess/pipeline.h"
 #include "streamgen/representative.h"
 #include "streamgen/stream_generator.h"
+#include "sweep/manifest.h"
 
 namespace oebench {
 namespace bench {
@@ -21,7 +23,10 @@ namespace bench {
 /// Command-line knobs shared by every bench binary. All benches run
 /// scaled-down versions of the paper's streams by default so the whole
 /// suite finishes on a small CPU budget; pass a larger --scale for
-/// paper-sized runs.
+/// paper-sized runs. The sharded-sweep flags (--shard/--log/--resume/
+/// --merge/--spawn/--selfcheck/--datasets) are wired up by the
+/// sweep-capable drivers (oebench_sweep, bench_table4, bench_table9)
+/// and ignored elsewhere.
 struct BenchFlags {
   double scale = 0.08;
   int repeats = 3;
@@ -30,7 +35,48 @@ struct BenchFlags {
   /// concurrency). 1 runs serially; results are identical either way —
   /// every task's seed derives from its identity, not its schedule.
   int threads = 1;
+  /// Training epochs override; 0 keeps the bench's default.
+  int epochs = 0;
+  /// Limit corpus sweeps to the first N entries (0 = all 55).
+  int datasets = 0;
+  /// This invocation's shard of the canonical task manifest.
+  sweep::Shard shard;
+  /// Durable result log to write (shard runs) — empty = no log.
+  std::string log_path;
+  /// Keep an existing log's rows; re-run only missing tasks.
+  bool resume = false;
+  /// Merge mode: reassemble shard logs instead of running anything.
+  bool merge = false;
+  std::vector<std::string> merge_logs;
+  /// oebench_sweep only: spawn N shard subprocesses, then merge.
+  int spawn = 0;
+  /// oebench_sweep only: verify shard+merge bit-identity for n=1,2,3.
+  bool selfcheck = false;
 };
+
+[[noreturn]] inline void FlagsUsageAndExit(const char* argv0,
+                                           const std::string& error) {
+  std::fprintf(stderr, "%s: %s\n\n", argv0, error.c_str());
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --scale=F      fraction of published instance counts (>= 0)\n"
+      "  --repeats=N    random-seed repeats per (dataset, learner)\n"
+      "  --seed=N       base seed of the sweep\n"
+      "  --threads=N    worker threads (1 = serial; same results)\n"
+      "  --epochs=N     training epochs (default: bench-specific)\n"
+      "sweep-capable benches (oebench_sweep, bench_table4, bench_table9):\n"
+      "  --datasets=N   only the first N corpus entries\n"
+      "  --shard=I/N    run shard I of N (0-based) of the task manifest\n"
+      "  --log=PATH     durable result log for this shard\n"
+      "  --resume       keep logged rows, re-run only missing tasks\n"
+      "  --merge LOG... merge shard logs and print the full table\n"
+      "  --spawn=N      oebench_sweep: run N shard subprocesses + merge\n"
+      "  --selfcheck    oebench_sweep: verify shard/merge bit-identity\n"
+      "Flags take --flag=value or --flag value.\n",
+      argv0);
+  std::exit(2);
+}
 
 inline BenchFlags ParseFlags(int argc, char** argv,
                              double default_scale = 0.08,
@@ -39,28 +85,92 @@ inline BenchFlags ParseFlags(int argc, char** argv,
   flags.scale = default_scale;
   flags.repeats = default_repeats;
   flags.threads = ThreadPool::HardwareThreads();
+  bool merge_mode = false;
+  auto fail = [&](const std::string& msg) -> void {
+    FlagsUsageAndExit(argv[0], msg);
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    // `--threads 4` (the documented form) and `--threads=4` both work;
-    // likewise for the other flags.
-    if (arg == "--threads" || arg == "--scale" || arg == "--repeats" ||
-        arg == "--seed") {
-      if (i + 1 < argc) arg += "=" + std::string(argv[++i]);
+    if (arg.rfind("--", 0) != 0) {
+      // After --merge, bare arguments are shard-log paths.
+      if (merge_mode) {
+        flags.merge_logs.push_back(arg);
+        continue;
+      }
+      fail("unexpected argument '" + arg + "'");
     }
-    double value = 0.0;
-    if (arg.rfind("--scale=", 0) == 0 &&
-        ParseDouble(arg.substr(8), &value)) {
-      flags.scale = value;
-    } else if (arg.rfind("--repeats=", 0) == 0 &&
-               ParseDouble(arg.substr(10), &value)) {
-      flags.repeats = static_cast<int>(value);
-    } else if (arg.rfind("--seed=", 0) == 0 &&
-               ParseDouble(arg.substr(7), &value)) {
-      flags.seed = static_cast<uint64_t>(value);
-    } else if (arg.rfind("--threads=", 0) == 0 &&
-               ParseDouble(arg.substr(10), &value)) {
-      flags.threads = static_cast<int>(value);
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (size_t eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
     }
+    // `--flag value` (the documented form) and `--flag=value` both work.
+    auto need_value = [&]() -> std::string {
+      if (has_value) return value;
+      if (i + 1 >= argc) fail("--" + name + " needs a value");
+      return argv[++i];
+    };
+    auto int_value = [&](int min_value) -> int {
+      std::string text = need_value();
+      int64_t parsed = 0;
+      if (!ParseInt64(text, &parsed) || parsed < min_value ||
+          parsed > 1000000000) {
+        fail("--" + name + " needs an integer >= " +
+             StrFormat("%d", min_value) + ", got '" + text + "'");
+      }
+      return static_cast<int>(parsed);
+    };
+    auto no_value = [&] {
+      if (has_value) fail("--" + name + " takes no value");
+    };
+    if (name == "scale") {
+      std::string text = need_value();
+      double parsed = 0.0;
+      if (!ParseDouble(text, &parsed) || !(parsed >= 0.0)) {
+        fail("--scale needs a number >= 0, got '" + text + "'");
+      }
+      flags.scale = parsed;
+    } else if (name == "repeats") {
+      flags.repeats = int_value(1);
+    } else if (name == "seed") {
+      std::string text = need_value();
+      if (!ParseUint64(text, &flags.seed)) {
+        fail("--seed needs an unsigned integer, got '" + text + "'");
+      }
+    } else if (name == "threads") {
+      flags.threads = int_value(1);
+    } else if (name == "epochs") {
+      flags.epochs = int_value(1);
+    } else if (name == "datasets") {
+      flags.datasets = int_value(1);
+    } else if (name == "spawn") {
+      flags.spawn = int_value(1);
+    } else if (name == "shard") {
+      std::string text = need_value();
+      if (!sweep::ParseShard(text, &flags.shard)) {
+        fail("--shard needs I/N with 0 <= I < N, got '" + text + "'");
+      }
+    } else if (name == "log") {
+      flags.log_path = need_value();
+    } else if (name == "resume") {
+      no_value();
+      flags.resume = true;
+    } else if (name == "selfcheck") {
+      no_value();
+      flags.selfcheck = true;
+    } else if (name == "merge") {
+      flags.merge = true;
+      merge_mode = true;
+      if (has_value) flags.merge_logs.push_back(value);
+    } else {
+      fail("unknown flag --" + name);
+    }
+  }
+  if (flags.merge && flags.merge_logs.empty()) {
+    fail("--merge needs at least one shard log");
   }
   return flags;
 }
@@ -88,14 +198,21 @@ inline std::string FormatLoss(const RepeatedResult& result) {
 }
 
 /// Unicode sparkline of a series (for the loss-curve "figures").
+/// Non-finite values render as "!" and are excluded from the scale; an
+/// all-non-finite series is all "!".
 inline std::string Spark(const std::vector<double>& values) {
   static const char* kLevels[] = {"▁", "▂", "▃", "▄",
                                   "▅", "▆", "▇", "█"};
   if (values.empty()) return "";
-  double lo = values[0];
-  double hi = values[0];
+  bool any_finite = false;
+  double lo = 0.0;
+  double hi = 0.0;
   for (double v : values) {
-    if (std::isfinite(v)) {
+    if (!std::isfinite(v)) continue;
+    if (!any_finite) {
+      lo = hi = v;
+      any_finite = true;
+    } else {
       lo = std::min(lo, v);
       hi = std::max(hi, v);
     }

@@ -1,0 +1,257 @@
+// Sharded corpus-sweep driver. One process = one shard of the canonical
+// (dataset x learner x repeat) task manifest; every finished task is
+// appended to a durable result log, so a killed shard resumes from
+// where it stopped (--resume) and n shard logs merge back into the
+// exact outcome an unsharded run computes (--merge). Because every
+// task's seed derives from its identity — never from scheduling — the
+// merged table is byte-identical to the single-process one.
+//
+// Typical uses:
+//   oebench_sweep                          # unsharded run, prints table
+//   oebench_sweep --shard 0/2 --log a.log  # one worker (run per machine)
+//   oebench_sweep --shard 1/2 --log b.log
+//   oebench_sweep --merge a.log b.log      # reassemble the full table
+//   oebench_sweep --spawn 4                # 4 local workers + merge
+//   oebench_sweep --selfcheck              # verify n-shard == unsharded
+//
+// Invocations with an explicit --log act as workers: they print shard
+// statistics to stderr and no table. The no-flag invocation (count 1,
+// default log) merges its own log and prints the table.
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/parallel_eval.h"
+#include "streamgen/corpus.h"
+#include "sweep/manifest.h"
+#include "sweep/merge.h"
+#include "sweep/result_log.h"
+#include "sweep/shard_runner.h"
+
+namespace oebench {
+namespace {
+
+std::vector<std::string> SweepLearners() {
+  return {"Naive-NN", "iCaRL",  "Naive-DT",
+          "Naive-GBDT", "SEA-DT", "SEA-GBDT"};
+}
+
+std::vector<CorpusEntry> SweepEntries(int limit) {
+  std::vector<CorpusEntry> entries = Corpus();
+  if (limit > 0 && static_cast<size_t>(limit) < entries.size()) {
+    entries.resize(limit);
+  }
+  return entries;
+}
+
+SweepConfig MakeConfig(const bench::BenchFlags& flags) {
+  SweepConfig config;
+  config.base_config.seed = flags.seed;
+  config.base_config.epochs = flags.epochs > 0 ? flags.epochs : 5;
+  config.repeats = flags.repeats;
+  config.threads = flags.threads;
+  config.scale = flags.scale;
+  return config;
+}
+
+std::string DefaultLogPath(const sweep::Shard& shard) {
+  return StrFormat("oebench_sweep_%dof%d.log", shard.index, shard.count);
+}
+
+int MergeAndPrint(const std::vector<CorpusEntry>& entries,
+                  const std::vector<std::string>& learners,
+                  const SweepConfig& config,
+                  const std::vector<std::string>& logs) {
+  sweep::TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+  sweep::LogHeader expected =
+      sweep::MakeLogHeader(manifest, config, sweep::Shard{});
+  Result<SweepOutcome> merged =
+      sweep::MergeShardLogs(manifest, expected, logs);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", sweep::FormatOutcomeTable(*merged).c_str());
+  std::printf("\n%lld prequential runs, %lld N/A pairs, %lld datasets\n",
+              static_cast<long long>(merged->tasks_run),
+              static_cast<long long>(merged->pairs_skipped),
+              static_cast<long long>(merged->rows.size()));
+  return 0;
+}
+
+int RunShard(const bench::BenchFlags& flags) {
+  std::vector<CorpusEntry> entries = SweepEntries(flags.datasets);
+  std::vector<std::string> learners = SweepLearners();
+  SweepConfig config = MakeConfig(flags);
+
+  sweep::ShardRunOptions options;
+  options.config = config;
+  options.shard = flags.shard;
+  options.log_path =
+      flags.log_path.empty() ? DefaultLogPath(flags.shard) : flags.log_path;
+  options.resume = flags.resume;
+
+  Result<sweep::ShardRunStats> stats =
+      sweep::RunCorpusShard(entries, learners, options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "shard failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[shard %d/%d] %lld task(s): %lld executed, %lld resumed, "
+               "%lld n/a; %lld stream(s) prepared -> %s\n",
+               flags.shard.index, flags.shard.count,
+               static_cast<long long>(stats->shard_tasks),
+               static_cast<long long>(stats->tasks_executed),
+               static_cast<long long>(stats->tasks_resumed),
+               static_cast<long long>(stats->na_logged),
+               static_cast<long long>(stats->streams_prepared),
+               options.log_path.c_str());
+
+  // Worker invocations (explicit --log or a real shard) stop here; the
+  // plain single-process run also prints the merged table.
+  if (flags.shard.count == 1 && flags.log_path.empty()) {
+    return MergeAndPrint(entries, learners, config, {options.log_path});
+  }
+  return 0;
+}
+
+int SpawnAndMerge(const bench::BenchFlags& flags, const char* argv0) {
+  const int n = flags.spawn;
+  std::vector<CorpusEntry> entries = SweepEntries(flags.datasets);
+  std::vector<std::string> learners = SweepLearners();
+  SweepConfig config = MakeConfig(flags);
+  int child_threads = std::max(1, flags.threads / n);
+
+  std::string base = StrFormat(
+      "\"%s\" --scale=%.17g --repeats=%d --seed=%llu --threads=%d "
+      "--epochs=%d",
+      argv0, config.scale, config.repeats,
+      static_cast<unsigned long long>(config.base_config.seed),
+      child_threads, config.base_config.epochs);
+  if (flags.datasets > 0) {
+    base += StrFormat(" --datasets=%d", flags.datasets);
+  }
+
+  std::vector<std::string> logs(n);
+  std::vector<int> exit_codes(n, 0);
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < n; ++i) {
+    logs[i] = DefaultLogPath(sweep::Shard{i, n});
+    std::string command = base + StrFormat(" --shard=%d/%d --log=\"%s\"", i,
+                                           n, logs[i].c_str());
+    if (flags.resume) command += " --resume";
+    waiters.emplace_back([&exit_codes, i, command] {
+      exit_codes[i] = std::system(command.c_str());
+    });
+  }
+  for (std::thread& waiter : waiters) waiter.join();
+  for (int i = 0; i < n; ++i) {
+    if (exit_codes[i] != 0) {
+      std::fprintf(stderr,
+                   "shard %d/%d exited with status %d; fix and re-run with "
+                   "--resume, or merge manually\n",
+                   i, n, exit_codes[i]);
+      return 1;
+    }
+  }
+  return MergeAndPrint(entries, learners, config, logs);
+}
+
+/// Enforces the subsystem's core guarantee end to end: for n = 1, 2, 3,
+/// running every shard through the durable log and merging yields a
+/// dump byte-identical to the in-memory unsharded sweep, and a finished
+/// shard resumed again re-executes nothing.
+int SelfCheck(const bench::BenchFlags& flags) {
+  std::vector<CorpusEntry> entries = SweepEntries(flags.datasets);
+  std::vector<std::string> learners = SweepLearners();
+  SweepConfig config = MakeConfig(flags);
+  sweep::TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+
+  std::fprintf(stderr, "[selfcheck] baseline: unsharded sweep of %zu tasks\n",
+               manifest.tasks().size());
+  SweepOutcome baseline = ParallelSweepEntries(entries, learners, config);
+  const std::string expected_dump = sweep::DumpOutcome(baseline);
+
+  bool ok = true;
+  std::vector<std::string> all_logs;
+  for (int n = 1; n <= 3; ++n) {
+    std::vector<std::string> logs;
+    for (int i = 0; i < n; ++i) {
+      sweep::ShardRunOptions options;
+      options.config = config;
+      options.shard = sweep::Shard{i, n};
+      options.log_path = StrFormat("oebench_selfcheck_%dof%d.log", i, n);
+      std::remove(options.log_path.c_str());
+      Result<sweep::ShardRunStats> stats =
+          sweep::RunCorpusShard(entries, learners, options);
+      if (!stats.ok()) {
+        std::fprintf(stderr, "[selfcheck] shard %d/%d failed: %s\n", i, n,
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      logs.push_back(options.log_path);
+      all_logs.push_back(options.log_path);
+    }
+    Result<SweepOutcome> merged = sweep::MergeShardLogs(
+        manifest, sweep::MakeLogHeader(manifest, config, sweep::Shard{}),
+        logs);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "[selfcheck] merge of %d shard(s) failed: %s\n",
+                   n, merged.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    bool identical = sweep::DumpOutcome(*merged) == expected_dump;
+    std::fprintf(stderr, "[selfcheck] %d shard(s) + merge: %s\n", n,
+                 identical ? "bit-identical" : "MISMATCH");
+    ok = ok && identical;
+
+    if (n == 2) {
+      // Resume a finished shard: everything must come from the log.
+      sweep::ShardRunOptions options;
+      options.config = config;
+      options.shard = sweep::Shard{0, 2};
+      options.log_path = logs[0];
+      options.resume = true;
+      Result<sweep::ShardRunStats> again =
+          sweep::RunCorpusShard(entries, learners, options);
+      bool clean = again.ok() && again->tasks_executed == 0 &&
+                   again->na_logged == 0 &&
+                   again->tasks_resumed == again->shard_tasks;
+      std::fprintf(stderr, "[selfcheck] resume of finished shard: %s\n",
+                   clean ? "no re-execution" : "RE-EXECUTED TASKS");
+      ok = ok && clean;
+    }
+  }
+  if (ok) {
+    for (const std::string& log : all_logs) std::remove(log.c_str());
+  }
+  std::printf("selfcheck %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  oebench::bench::BenchFlags flags =
+      oebench::bench::ParseFlags(argc, argv, /*default_scale=*/0.03,
+                                 /*default_repeats=*/1);
+  if (flags.merge) {
+    return oebench::MergeAndPrint(oebench::SweepEntries(flags.datasets),
+                                  oebench::SweepLearners(),
+                                  oebench::MakeConfig(flags),
+                                  flags.merge_logs);
+  }
+  if (flags.selfcheck) return oebench::SelfCheck(flags);
+  if (flags.spawn > 0) return oebench::SpawnAndMerge(flags, argv[0]);
+  return oebench::RunShard(flags);
+}

@@ -1,5 +1,6 @@
 #include "common/string_util.h"
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +54,28 @@ bool ParseDouble(std::string_view text, double* out) {
   double v = std::strtod(buf.c_str(), &end);
   if (end != buf.c_str() + buf.size()) return false;
   *out = v;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  std::string buf(StripWhitespace(text));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  std::string buf(StripWhitespace(text));
+  if (buf.empty() || buf[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<uint64_t>(v);
   return true;
 }
 

@@ -22,6 +22,15 @@ std::string Join(const std::vector<std::string>& items,
 /// policy.
 bool ParseDouble(std::string_view text, double* out);
 
+/// Strictly parses a base-10 signed integer: the whole (whitespace-
+/// stripped) text must be consumed and fit in int64_t. "2.7", "abc",
+/// "12x" and out-of-range values all return false.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Strict base-10 unsigned parse; rejects leading '-' (strtoull would
+/// silently wrap it).
+bool ParseUint64(std::string_view text, uint64_t* out);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

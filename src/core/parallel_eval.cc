@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <memory>
 #include <utility>
 
 #include "common/logging.h"
@@ -36,6 +37,28 @@ uint64_t FnvMix(uint64_t hash, uint64_t v) {
 /// execution (the serial path), larger counts get that many workers.
 int PoolWorkers(int threads) { return threads <= 1 ? 0 : threads; }
 
+bool TaskSelected(const SweepConfig& config, const std::string& dataset,
+                  const std::string& learner, int repeat) {
+  if (!config.task_filter) return true;
+  return config.task_filter(TaskIdentity{dataset, learner, repeat});
+}
+
+/// RunRepeated-style aggregation over the runs a cell actually
+/// executed (all repeats unless a task_filter kept some out).
+void AggregateCell(SweepCell* cell) {
+  if (cell->runs.empty()) return;
+  std::vector<double> losses;
+  for (const EvalResult& run : cell->runs) {
+    losses.push_back(run.mean_loss);
+    cell->repeated.throughput += run.throughput;
+    cell->repeated.peak_memory_bytes =
+        std::max(cell->repeated.peak_memory_bytes, run.peak_memory_bytes);
+  }
+  cell->repeated.loss_mean = Mean(losses);
+  cell->repeated.loss_stddev = StdDev(losses);
+  cell->repeated.throughput /= static_cast<double>(cell->runs.size());
+}
+
 }  // namespace
 
 uint64_t TaskSeed(uint64_t base_seed, const std::string& dataset,
@@ -58,9 +81,9 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
   SweepOutcome outcome;
   ThreadPool pool(PoolWorkers(config.threads));
 
-  // One future per (stream, learner, repeat), canonical order. A pair
-  // that cannot be built (N/A, e.g. ARF on regression) is detected
-  // here on the submitting thread and never reaches the pool.
+  // One future per executed (stream, learner, repeat), canonical order.
+  // A pair that cannot be built (N/A, e.g. ARF on regression) is
+  // detected here on the submitting thread and never reaches the pool.
   struct PairTasks {
     bool applicable = false;
     std::vector<std::future<EvalResult>> runs;
@@ -78,16 +101,22 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
       }
       pair.applicable = true;
       for (int rep = 0; rep < config.repeats; ++rep) {
+        if (!TaskSelected(config, stream.name, learners[l], rep)) continue;
         LearnerConfig task_config = config.base_config;
         task_config.seed = TaskSeed(config.base_config.seed, stream.name,
                                     learners[l], rep);
-        pair.runs.push_back(pool.Submit([&stream, &learners, l,
-                                         task_config] {
+        pair.runs.push_back(pool.Submit([&stream, &learners, &config, l,
+                                         rep, task_config] {
           Result<std::unique_ptr<StreamLearner>> learner =
               MakeLearner(learners[l], task_config, stream.task,
                           stream.num_classes);
           OE_CHECK(learner.ok()) << learner.status().ToString();
-          return RunPrequential(learner->get(), stream);
+          EvalResult result = RunPrequential(learner->get(), stream);
+          if (config.on_task_done) {
+            config.on_task_done(
+                TaskIdentity{stream.name, learners[l], rep}, result);
+          }
+          return result;
         }));
         ++outcome.tasks_run;
       }
@@ -96,6 +125,7 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
 
   // Reassemble in canonical order. Aggregation mirrors RunRepeated so
   // serial and parallel sweeps report the same statistics.
+  outcome.streams_prepared = static_cast<int64_t>(streams.size());
   outcome.rows.resize(streams.size());
   for (size_t d = 0; d < streams.size(); ++d) {
     SweepRow& row = outcome.rows[d];
@@ -110,18 +140,10 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
         cell.repeated.not_applicable = true;
         continue;
       }
-      std::vector<double> losses;
       for (std::future<EvalResult>& future : pair.runs) {
         cell.runs.push_back(future.get());
-        const EvalResult& run = cell.runs.back();
-        losses.push_back(run.mean_loss);
-        cell.repeated.throughput += run.throughput;
-        cell.repeated.peak_memory_bytes = std::max(
-            cell.repeated.peak_memory_bytes, run.peak_memory_bytes);
       }
-      cell.repeated.loss_mean = Mean(losses);
-      cell.repeated.loss_stddev = StdDev(losses);
-      cell.repeated.throughput /= static_cast<double>(config.repeats);
+      AggregateCell(&cell);
     }
   }
   return outcome;
@@ -158,14 +180,133 @@ std::vector<PreparedStream> ParallelPrepare(
 SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
                                   const std::vector<std::string>& learners,
                                   const SweepConfig& config) {
-  std::vector<StreamSpec> specs;
-  specs.reserve(entries.size());
-  for (const CorpusEntry& entry : entries) {
-    specs.push_back(SpecFromEntry(entry, config.scale));
+  OE_CHECK(config.repeats > 0);
+  SweepOutcome outcome;
+  ThreadPool pool(PoolWorkers(config.threads));
+
+  // Per-entry plan, fixed before anything touches the pool. N/A pairs
+  // are probed from the spec's task/num_classes — the pipeline copies
+  // both into the prepared stream verbatim, so this is the same probe
+  // the stream-based sweep runs, just without materialising the data.
+  struct Plan {
+    StreamSpec spec;
+    std::vector<char> applicable;                       // per learner
+    std::vector<std::vector<char>> selected;            // [learner][repeat]
+    bool needs_stream = false;
+    std::future<std::shared_ptr<PreparedStream>> prepared;
+    std::vector<std::vector<std::future<EvalResult>>> futures;  // [l][run]
+  };
+  std::vector<Plan> plans(entries.size());
+  for (size_t d = 0; d < entries.size(); ++d) {
+    Plan& plan = plans[d];
+    plan.spec = SpecFromEntry(entries[d], config.scale);
+    plan.applicable.assign(learners.size(), 0);
+    plan.selected.resize(learners.size());
+    plan.futures.resize(learners.size());
+    for (size_t l = 0; l < learners.size(); ++l) {
+      Result<std::unique_ptr<StreamLearner>> probe =
+          MakeLearner(learners[l], config.base_config, plan.spec.task,
+                      plan.spec.num_classes);
+      if (!probe.ok()) {
+        ++outcome.pairs_skipped;
+        continue;
+      }
+      plan.applicable[l] = 1;
+      plan.selected[l].assign(static_cast<size_t>(config.repeats), 0);
+      for (int rep = 0; rep < config.repeats; ++rep) {
+        if (!TaskSelected(config, plan.spec.name, learners[l], rep)) continue;
+        plan.selected[l][static_cast<size_t>(rep)] = 1;
+        plan.needs_stream = true;
+      }
+    }
   }
-  std::vector<PreparedStream> streams =
-      ParallelPrepare(specs, config.pipeline, config.threads);
-  return ParallelSweep(streams, learners, config);
+
+  // Pipelined prepare + evaluate. Preparation runs a small lookahead
+  // window ahead of the submission cursor instead of materialising the
+  // whole corpus first; each eval task co-owns its stream through a
+  // shared_ptr, so the buffers are freed the moment the last task's
+  // closure is destroyed — the sweep's working set is the streams in
+  // flight, not all 55. Determinism is untouched: stream content is a
+  // function of the spec seed, task randomness of TaskSeed.
+  const int lookahead = std::max(1, PoolWorkers(config.threads));
+  size_t next_prepare = 0;
+  int outstanding = 0;
+  auto pump_prepares = [&] {
+    while (next_prepare < plans.size() && outstanding < lookahead) {
+      Plan& plan = plans[next_prepare];
+      if (plan.needs_stream) {
+        const StreamSpec& spec = plan.spec;
+        const PipelineOptions& options = config.pipeline;
+        plan.prepared = pool.Submit([&spec, &options] {
+          Result<GeneratedStream> stream = GenerateStream(spec);
+          OE_CHECK(stream.ok()) << spec.name << ": "
+                                << stream.status().ToString();
+          Result<PreparedStream> prepared = PrepareStream(*stream, options);
+          OE_CHECK(prepared.ok()) << spec.name << ": "
+                                  << prepared.status().ToString();
+          return std::make_shared<PreparedStream>(std::move(*prepared));
+        });
+        ++outstanding;
+      }
+      ++next_prepare;
+    }
+  };
+  pump_prepares();
+  for (size_t d = 0; d < plans.size(); ++d) {
+    Plan& plan = plans[d];
+    if (!plan.needs_stream) continue;
+    std::shared_ptr<PreparedStream> stream = plan.prepared.get();
+    --outstanding;
+    pump_prepares();
+    ++outcome.streams_prepared;
+    for (size_t l = 0; l < learners.size(); ++l) {
+      if (!plan.applicable[l]) continue;
+      for (int rep = 0; rep < config.repeats; ++rep) {
+        if (!plan.selected[l][static_cast<size_t>(rep)]) continue;
+        LearnerConfig task_config = config.base_config;
+        task_config.seed = TaskSeed(config.base_config.seed,
+                                    plan.spec.name, learners[l], rep);
+        plan.futures[l].push_back(pool.Submit([stream, &learners, &config,
+                                               l, rep, task_config] {
+          Result<std::unique_ptr<StreamLearner>> learner =
+              MakeLearner(learners[l], task_config, stream->task,
+                          stream->num_classes);
+          OE_CHECK(learner.ok()) << learner.status().ToString();
+          EvalResult result = RunPrequential(learner->get(), *stream);
+          if (config.on_task_done) {
+            config.on_task_done(
+                TaskIdentity{stream->name, learners[l], rep}, result);
+          }
+          return result;
+        }));
+        ++outcome.tasks_run;
+      }
+    }
+    // Our reference dies here; the last eval task frees the stream.
+  }
+
+  // Canonical-order reassembly, identical to the stream-based sweep.
+  outcome.rows.resize(entries.size());
+  for (size_t d = 0; d < entries.size(); ++d) {
+    Plan& plan = plans[d];
+    SweepRow& row = outcome.rows[d];
+    row.dataset = plan.spec.name;
+    row.cells.resize(learners.size());
+    for (size_t l = 0; l < learners.size(); ++l) {
+      SweepCell& cell = row.cells[l];
+      cell.repeated.learner = learners[l];
+      cell.repeated.dataset = plan.spec.name;
+      if (!plan.applicable[l]) {
+        cell.repeated.not_applicable = true;
+        continue;
+      }
+      for (std::future<EvalResult>& future : plan.futures[l]) {
+        cell.runs.push_back(future.get());
+      }
+      AggregateCell(&cell);
+    }
+  }
+  return outcome;
 }
 
 }  // namespace oebench

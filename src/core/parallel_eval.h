@@ -2,6 +2,7 @@
 #define OEBENCH_CORE_PARALLEL_EVAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,15 @@ namespace oebench {
 uint64_t TaskSeed(uint64_t base_seed, const std::string& dataset,
                   const std::string& learner, int repeat);
 
+/// The identity of one prequential run inside a sweep — the unit the
+/// sweep subsystem (src/sweep) partitions, logs and merges. Everything
+/// about the run derives from this triple plus the sweep's config.
+struct TaskIdentity {
+  std::string dataset;
+  std::string learner;
+  int repeat = 0;
+};
+
 /// Knobs of one sweep. `base_config.seed` is the sweep's base seed.
 struct SweepConfig {
   LearnerConfig base_config;
@@ -40,6 +50,16 @@ struct SweepConfig {
   PipelineOptions pipeline;
   /// Corpus scale used by the entry-based sweep.
   double scale = 0.03;
+  /// When set, only tasks whose identity passes the filter are
+  /// executed (the sweep subsystem's `--shard i/n` / resume path).
+  /// Cells keep the runs that did execute; aggregates then cover those
+  /// runs only — sharded callers reconstruct full cells by merging
+  /// result logs, not from a shard's SweepOutcome.
+  std::function<bool(const TaskIdentity&)> task_filter;
+  /// Invoked once per executed task, on the worker thread that ran it,
+  /// as soon as its prequential run finishes — the durable-result-log
+  /// hook. Must be thread-safe; it runs concurrently with other tasks.
+  std::function<void(const TaskIdentity&, const EvalResult&)> on_task_done;
 };
 
 /// One (dataset, learner) cell: the per-repeat prequential results in
@@ -65,6 +85,10 @@ struct SweepOutcome {
   /// (dataset, learner) pairs short-circuited as not applicable
   /// before reaching the pool.
   int64_t pairs_skipped = 0;
+  /// Streams actually generated + preprocessed by the entry-based
+  /// sweep. Without a task_filter this equals the entry count; with a
+  /// shard filter only the shard's datasets are prepared.
+  int64_t streams_prepared = 0;
 };
 
 /// Fans repeats x (stream x learner) prequential runs out across
@@ -84,8 +108,16 @@ std::vector<PreparedStream> ParallelPrepare(
     const std::vector<StreamSpec>& specs, const PipelineOptions& options,
     int threads, const std::vector<std::string>& names = {});
 
-/// The Table 9 shape: generate + prepare every corpus entry at
-/// `config.scale`, then sweep the learner grid, all on one pool.
+/// The Table 9 shape: generate + prepare each corpus entry at
+/// `config.scale` and sweep the learner grid, all on one pool, with
+/// memory bounded by the number of streams in flight rather than the
+/// corpus size: a stream's buffers are released as soon as its last
+/// task completes, and preparation runs a small lookahead window ahead
+/// of evaluation instead of materialising all entries up front.
+/// Entries none of whose tasks pass `config.task_filter` are never
+/// generated at all (their row's cells stay empty). Results are
+/// bit-identical to preparing everything first — stream randomness is
+/// self-contained in the spec seed, task randomness in TaskSeed.
 SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
                                   const std::vector<std::string>& learners,
                                   const SweepConfig& config);

@@ -1,0 +1,134 @@
+#include "sweep/manifest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace oebench {
+namespace sweep {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t hash, std::string_view s) {
+  hash = (hash ^ s.size()) * kFnvPrime;
+  for (unsigned char c : s) {
+    hash = (hash ^ c) * kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvMix(uint64_t hash, uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash = (hash ^ ((v >> (8 * byte)) & 0xff)) * kFnvPrime;
+  }
+  return hash;
+}
+
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (c == '|' || c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TaskKey(const TaskIdentity& task) {
+  return StrFormat("%s|%s|%d", task.dataset.c_str(), task.learner.c_str(),
+                   task.repeat);
+}
+
+bool ParseShard(std::string_view text, Shard* out) {
+  for (char c : text) {
+    // Reject whitespace the lenient integer parser would strip: a
+    // shard spec is a single exact token.
+    if (std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return false;
+  int64_t index = 0;
+  int64_t count = 0;
+  if (!ParseInt64(text.substr(0, slash), &index)) return false;
+  if (!ParseInt64(text.substr(slash + 1), &count)) return false;
+  if (count < 1 || index < 0 || index >= count) return false;
+  out->index = static_cast<int>(index);
+  out->count = static_cast<int>(count);
+  return true;
+}
+
+TaskManifest TaskManifest::Build(SweepGrid grid) {
+  OE_CHECK(!grid.datasets.empty());
+  OE_CHECK(!grid.learners.empty());
+  OE_CHECK(grid.repeats >= 1);
+  std::set<std::string> seen;
+  for (const std::string& name : grid.datasets) {
+    OE_CHECK(ValidName(name)) << "bad dataset name: '" << name << "'";
+    OE_CHECK(seen.insert(name).second) << "duplicate dataset: " << name;
+  }
+  seen.clear();
+  for (const std::string& name : grid.learners) {
+    OE_CHECK(ValidName(name)) << "bad learner name: '" << name << "'";
+    OE_CHECK(seen.insert(name).second) << "duplicate learner: " << name;
+  }
+
+  TaskManifest manifest;
+  manifest.grid_ = std::move(grid);
+  manifest.tasks_.reserve(manifest.grid_.datasets.size() *
+                          manifest.grid_.learners.size() *
+                          static_cast<size_t>(manifest.grid_.repeats));
+  for (const std::string& dataset : manifest.grid_.datasets) {
+    for (const std::string& learner : manifest.grid_.learners) {
+      for (int rep = 0; rep < manifest.grid_.repeats; ++rep) {
+        manifest.tasks_.push_back(TaskIdentity{dataset, learner, rep});
+      }
+    }
+  }
+  return manifest;
+}
+
+uint64_t TaskManifest::Fingerprint() const {
+  uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, static_cast<uint64_t>(grid_.datasets.size()));
+  for (const std::string& name : grid_.datasets) hash = FnvMix(hash, name);
+  hash = FnvMix(hash, static_cast<uint64_t>(grid_.learners.size()));
+  for (const std::string& name : grid_.learners) hash = FnvMix(hash, name);
+  hash = FnvMix(hash, static_cast<uint64_t>(grid_.repeats));
+  return hash;
+}
+
+std::pair<size_t, size_t> TaskManifest::ShardSpan(const Shard& shard) const {
+  OE_CHECK(shard.count >= 1);
+  OE_CHECK(shard.index >= 0 && shard.index < shard.count);
+  const size_t total = tasks_.size();
+  const size_t n = static_cast<size_t>(shard.count);
+  const size_t i = static_cast<size_t>(shard.index);
+  return {total * i / n, total * (i + 1) / n};
+}
+
+std::vector<TaskIdentity> TaskManifest::ShardTasks(const Shard& shard) const {
+  auto [begin, end] = ShardSpan(shard);
+  return std::vector<TaskIdentity>(tasks_.begin() + begin,
+                                   tasks_.begin() + end);
+}
+
+std::vector<std::string> TaskManifest::ShardDatasets(
+    const Shard& shard) const {
+  auto [begin, end] = ShardSpan(shard);
+  std::vector<std::string> datasets;
+  for (size_t i = begin; i < end; ++i) {
+    if (datasets.empty() || datasets.back() != tasks_[i].dataset) {
+      datasets.push_back(tasks_[i].dataset);
+    }
+  }
+  return datasets;
+}
+
+}  // namespace sweep
+}  // namespace oebench

@@ -1,0 +1,85 @@
+#ifndef OEBENCH_SWEEP_MANIFEST_H_
+#define OEBENCH_SWEEP_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/parallel_eval.h"
+
+namespace oebench {
+namespace sweep {
+
+/// The sweep subsystem partitions a (dataset x learner x repeat) grid
+/// across processes, logs per-task results durably, and merges shard
+/// logs back into the exact SweepOutcome an unsharded run produces.
+/// The manifest is the foundation: the canonical, deterministic,
+/// ordered task list every shard and every merge agrees on.
+
+/// Definition of one sweep grid. Datasets and learners are in
+/// canonical display order (corpus order / paper column order); the
+/// task list is dataset-major, then learner, then repeat — exactly the
+/// reassembly order of core/parallel_eval.
+struct SweepGrid {
+  std::vector<std::string> datasets;
+  std::vector<std::string> learners;
+  int repeats = 1;
+};
+
+/// One shard of a partitioned sweep: 0-based `index` of `count`.
+struct Shard {
+  int index = 0;
+  int count = 1;
+};
+
+/// Stable string key of one task: "dataset|learner|repeat". This is
+/// the identity the result log stores and resume/merge deduplicate on.
+/// Dataset and learner names must not contain '|', tab or newline
+/// (checked when the manifest is built).
+std::string TaskKey(const TaskIdentity& task);
+
+/// Parses "i/n" (0-based shard index). Rejects anything else,
+/// including i >= n, negative values and trailing garbage.
+bool ParseShard(std::string_view text, Shard* out);
+
+class TaskManifest {
+ public:
+  /// Builds the canonical task list. Aborts (programming error) on
+  /// empty datasets/learners, repeats < 1, duplicate names, or names
+  /// containing the key/log delimiters.
+  static TaskManifest Build(SweepGrid grid);
+
+  const SweepGrid& grid() const { return grid_; }
+  const std::vector<TaskIdentity>& tasks() const { return tasks_; }
+
+  /// FNV-1a fingerprint of the grid (datasets, learners, repeats) —
+  /// the "corpus hash" recorded in every result-log header so logs
+  /// from different grids can never be merged together.
+  uint64_t Fingerprint() const;
+
+  /// Shard i of n owns the contiguous task span
+  /// [floor(i*T/n), floor((i+1)*T/n)). Contiguous spans keep one
+  /// dataset's tasks in as few shards as possible (each shard only
+  /// generates + prepares the datasets it owns); the spans are
+  /// exhaustive and pairwise disjoint for every n by construction,
+  /// and sweep_test locks that in as a property test.
+  std::pair<size_t, size_t> ShardSpan(const Shard& shard) const;
+
+  /// The shard's tasks, in canonical order.
+  std::vector<TaskIdentity> ShardTasks(const Shard& shard) const;
+
+  /// Unique dataset names the shard's tasks touch, in canonical order
+  /// — what a shard runner must prepare, and nothing more.
+  std::vector<std::string> ShardDatasets(const Shard& shard) const;
+
+ private:
+  SweepGrid grid_;
+  std::vector<TaskIdentity> tasks_;
+};
+
+}  // namespace sweep
+}  // namespace oebench
+
+#endif  // OEBENCH_SWEEP_MANIFEST_H_

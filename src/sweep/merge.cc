@@ -1,0 +1,212 @@
+#include "sweep/merge.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+#include "linalg/vector_ops.h"
+
+namespace oebench {
+namespace sweep {
+
+namespace {
+
+/// The deterministic content of a row, rendered bit-exactly — what
+/// duplicate rows (overlapping shard runs) must agree on. Timing
+/// fields are deliberately absent: two executions of the same task
+/// agree on everything else.
+std::string DeterministicRowString(const LoggedRow& row) {
+  if (row.not_applicable) return "na";
+  const EvalResult& r = row.result;
+  std::string out = StrFormat("%s\t%s\t%s\t%lld", r.learner.c_str(),
+                              EncodeDouble(r.mean_loss).c_str(),
+                              EncodeDouble(r.faded_loss).c_str(),
+                              static_cast<long long>(r.peak_memory_bytes));
+  for (double loss : r.per_window_loss) {
+    out += '\t';
+    out += EncodeDouble(loss);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
+                                    const LogHeader& expected,
+                                    const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no shard logs to merge");
+  }
+
+  std::set<std::string> manifest_keys;
+  for (const TaskIdentity& task : manifest.tasks()) {
+    manifest_keys.insert(TaskKey(task));
+  }
+
+  std::map<std::string, LoggedRow> by_key;
+  for (const std::string& path : paths) {
+    Result<ResultLogContents> log = ReadResultLog(path);
+    if (!log.ok()) return log.status();
+    if (!CompatibleHeaders(log->header, expected)) {
+      return Status::FailedPrecondition(
+          path + ": header [" + HeaderToString(log->header) +
+          "] is not from this sweep [" + HeaderToString(expected) + "]");
+    }
+    if (log->dropped_lines > 0) {
+      return Status::FailedPrecondition(
+          path + ": " + StrFormat("%lld", static_cast<long long>(
+                                              log->dropped_lines)) +
+          " torn/malformed line(s); resume the shard before merging");
+    }
+    for (LoggedRow& row : log->rows) {
+      std::string key = TaskKey(row.task);
+      if (manifest_keys.find(key) == manifest_keys.end()) {
+        return Status::FailedPrecondition(
+            path + ": task '" + key + "' is not in the sweep manifest");
+      }
+      auto it = by_key.find(key);
+      if (it != by_key.end()) {
+        if (DeterministicRowString(it->second) !=
+            DeterministicRowString(row)) {
+          return Status::FailedPrecondition(
+              path + ": task '" + key +
+              "' conflicts with a row from another log");
+        }
+        continue;  // identical duplicate (e.g. a shard run twice)
+      }
+      by_key.emplace(std::move(key), std::move(row));
+    }
+  }
+
+  std::vector<std::string> missing;
+  for (const std::string& key : manifest_keys) {
+    if (by_key.find(key) == by_key.end()) missing.push_back(key);
+  }
+  if (!missing.empty()) {
+    std::string sample;
+    for (size_t i = 0; i < missing.size() && i < 5; ++i) {
+      sample += (i > 0 ? ", " : "") + missing[i];
+    }
+    return Status::FailedPrecondition(StrFormat(
+        "incomplete coverage: %zu of %zu tasks missing (e.g. %s)",
+        missing.size(), manifest_keys.size(), sample.c_str()));
+  }
+
+  // Reassemble, mirroring core/parallel_eval's canonical-order
+  // aggregation exactly.
+  const SweepGrid& grid = manifest.grid();
+  SweepOutcome outcome;
+  outcome.rows.resize(grid.datasets.size());
+  for (size_t d = 0; d < grid.datasets.size(); ++d) {
+    SweepRow& row = outcome.rows[d];
+    row.dataset = grid.datasets[d];
+    row.cells.resize(grid.learners.size());
+    bool dataset_ran = false;
+    for (size_t l = 0; l < grid.learners.size(); ++l) {
+      SweepCell& cell = row.cells[l];
+      cell.repeated.learner = grid.learners[l];
+      cell.repeated.dataset = grid.datasets[d];
+      int na_rows = 0;
+      for (int rep = 0; rep < grid.repeats; ++rep) {
+        TaskIdentity task{grid.datasets[d], grid.learners[l], rep};
+        const LoggedRow& logged = by_key.at(TaskKey(task));
+        if (logged.not_applicable) {
+          ++na_rows;
+          continue;
+        }
+        cell.runs.push_back(logged.result);
+      }
+      if (na_rows == grid.repeats) {
+        cell.repeated.not_applicable = true;
+        cell.runs.clear();
+        ++outcome.pairs_skipped;
+        continue;
+      }
+      if (na_rows != 0) {
+        return Status::FailedPrecondition(
+            "pair (" + grid.datasets[d] + ", " + grid.learners[l] +
+            ") is N/A for some repeats but not others");
+      }
+      dataset_ran = true;
+      outcome.tasks_run += static_cast<int64_t>(cell.runs.size());
+      std::vector<double> losses;
+      for (const EvalResult& run : cell.runs) {
+        losses.push_back(run.mean_loss);
+        cell.repeated.throughput += run.throughput;
+        cell.repeated.peak_memory_bytes = std::max(
+            cell.repeated.peak_memory_bytes, run.peak_memory_bytes);
+      }
+      cell.repeated.loss_mean = Mean(losses);
+      cell.repeated.loss_stddev = StdDev(losses);
+      cell.repeated.throughput /= static_cast<double>(cell.runs.size());
+    }
+    if (dataset_ran) ++outcome.streams_prepared;
+  }
+  return outcome;
+}
+
+std::string DumpOutcome(const SweepOutcome& outcome) {
+  std::string out =
+      StrFormat("sweep\ttasks_run=%lld\tpairs_skipped=%lld\n",
+                static_cast<long long>(outcome.tasks_run),
+                static_cast<long long>(outcome.pairs_skipped));
+  for (const SweepRow& row : outcome.rows) {
+    out += StrFormat("dataset\t%s\n", row.dataset.c_str());
+    for (const SweepCell& cell : row.cells) {
+      if (cell.repeated.not_applicable) {
+        out += StrFormat("na\t%s\n", cell.repeated.learner.c_str());
+        continue;
+      }
+      out += StrFormat("cell\t%s\t%s\t%s\t%lld\n",
+                       cell.repeated.learner.c_str(),
+                       EncodeDouble(cell.repeated.loss_mean).c_str(),
+                       EncodeDouble(cell.repeated.loss_stddev).c_str(),
+                       static_cast<long long>(
+                           cell.repeated.peak_memory_bytes));
+      for (const EvalResult& run : cell.runs) {
+        out += StrFormat("run\t%s\t%s\t%s\t%lld\t%zu",
+                         run.learner.c_str(),
+                         EncodeDouble(run.mean_loss).c_str(),
+                         EncodeDouble(run.faded_loss).c_str(),
+                         static_cast<long long>(run.peak_memory_bytes),
+                         run.per_window_loss.size());
+        for (double loss : run.per_window_loss) {
+          out += '\t';
+          out += EncodeDouble(loss);
+        }
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+std::string FormatOutcomeTable(const SweepOutcome& outcome) {
+  std::string out = StrFormat("%-28s", "Dataset");
+  if (!outcome.rows.empty()) {
+    for (const SweepCell& cell : outcome.rows[0].cells) {
+      out += StrFormat(" %13s", cell.repeated.learner.c_str());
+    }
+  }
+  out += '\n';
+  for (const SweepRow& row : outcome.rows) {
+    out += StrFormat("%-28.28s", row.dataset.c_str());
+    for (const SweepCell& cell : row.cells) {
+      if (cell.repeated.not_applicable) {
+        out += StrFormat(" %13s", "N/A");
+      } else {
+        out += StrFormat(" %13s",
+                         StrFormat("%.3f±%.3f", cell.repeated.loss_mean,
+                                   cell.repeated.loss_stddev)
+                             .c_str());
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sweep
+}  // namespace oebench

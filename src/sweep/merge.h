@@ -1,0 +1,53 @@
+#ifndef OEBENCH_SWEEP_MERGE_H_
+#define OEBENCH_SWEEP_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/parallel_eval.h"
+#include "sweep/manifest.h"
+#include "sweep/result_log.h"
+
+namespace oebench {
+namespace sweep {
+
+/// Reads any set of shard logs and reassembles the exact SweepOutcome
+/// an unsharded sweep of the manifest produces: rows in canonical
+/// dataset order, cells in learner order, per-cell runs in repeat
+/// order, and RepeatedResult aggregates recomputed with the same
+/// Mean/StdDev/max formulas core/parallel_eval uses. All deterministic
+/// fields are bit-identical to the unsharded run; the wall-clock
+/// fields (train/test seconds, throughput) are whatever the shard that
+/// ran each task measured — per-execution by nature, and excluded from
+/// DumpOutcome below for exactly that reason.
+///
+/// Validation, all fatal:
+///  - every log's header must be compatible with `expected`
+///    (same version, base seed, scale, repeats, epochs, manifest
+///    fingerprint — the writer's shard may differ);
+///  - coverage must be exact: every manifest task appears in some log,
+///    and no log contains a task outside the manifest;
+///  - duplicates (overlapping shard runs) must agree bit-for-bit on
+///    the deterministic fields;
+///  - a (dataset, learner) pair must be uniformly N/A or uniformly run
+///    across its repeats.
+Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
+                                    const LogHeader& expected,
+                                    const std::vector<std::string>& paths);
+
+/// Canonical full-precision dump of a SweepOutcome's deterministic
+/// fields (per-run mean/faded/per-window losses as bit patterns, peak
+/// memory, aggregates, N/A cells, task counts). Two sweeps of the same
+/// grid are equivalent iff their dumps are byte-identical — this is
+/// the string the shard-vs-unsharded tests and `--selfcheck` compare.
+std::string DumpOutcome(const SweepOutcome& outcome);
+
+/// Human loss table (dataset rows x learner columns, "mean±std" cells,
+/// N/A support) — what `oebench_sweep` prints after a merge.
+std::string FormatOutcomeTable(const SweepOutcome& outcome);
+
+}  // namespace sweep
+}  // namespace oebench
+
+#endif  // OEBENCH_SWEEP_MERGE_H_

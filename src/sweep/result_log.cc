@@ -1,0 +1,356 @@
+#include "sweep/result_log.h"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace oebench {
+namespace sweep {
+
+namespace {
+
+constexpr const char* kFormatLine = "oebench-sweep-log\tv1";
+
+/// Field counts of the two row kinds (including the leading tag).
+constexpr size_t kRunFields = 13;
+constexpr size_t kNaFields = 4;
+
+bool ParseHex64(std::string_view text, uint64_t* out) {
+  if (text.size() != 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseIntField(std::string_view text, int* out) {
+  int64_t value = 0;
+  if (!ParseInt64(text, &value)) return false;
+  if (value < INT32_MIN || value > INT32_MAX) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+std::string ShardToString(const Shard& shard) {
+  return StrFormat("%d/%d", shard.index, shard.count);
+}
+
+}  // namespace
+
+bool CompatibleHeaders(const LogHeader& a, const LogHeader& b) {
+  return a.version == b.version && a.base_seed == b.base_seed &&
+         std::bit_cast<uint64_t>(a.scale) == std::bit_cast<uint64_t>(b.scale) &&
+         a.repeats == b.repeats && a.epochs == b.epochs &&
+         a.manifest_fingerprint == b.manifest_fingerprint;
+}
+
+std::string HeaderToString(const LogHeader& header) {
+  return StrFormat(
+      "v%d seed=%llu scale=%g repeats=%d epochs=%d manifest=%016llx "
+      "shard=%d/%d",
+      header.version, static_cast<unsigned long long>(header.base_seed),
+      header.scale, header.repeats, header.epochs,
+      static_cast<unsigned long long>(header.manifest_fingerprint),
+      header.shard.index, header.shard.count);
+}
+
+std::string EncodeDouble(double value) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(
+                                  std::bit_cast<uint64_t>(value)));
+}
+
+bool DecodeDouble(std::string_view text, double* out) {
+  uint64_t bits = 0;
+  if (!ParseHex64(text, &bits)) return false;
+  *out = std::bit_cast<double>(bits);
+  return true;
+}
+
+std::string FormatRow(const LoggedRow& row) {
+  if (row.not_applicable) {
+    return StrFormat("na\t%s\t%s\t%d", row.task.dataset.c_str(),
+                     row.task.learner.c_str(), row.task.repeat);
+  }
+  const EvalResult& r = row.result;
+  std::string windows;
+  if (r.per_window_loss.empty()) {
+    windows = "-";
+  } else {
+    for (size_t i = 0; i < r.per_window_loss.size(); ++i) {
+      if (i > 0) windows += ',';
+      windows += EncodeDouble(r.per_window_loss[i]);
+    }
+  }
+  return StrFormat(
+      "run\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%lld\t%s\t%s\t%zu\t%s",
+      row.task.dataset.c_str(), row.task.learner.c_str(), row.task.repeat,
+      r.learner.c_str(), EncodeDouble(r.mean_loss).c_str(),
+      EncodeDouble(r.faded_loss).c_str(), EncodeDouble(r.throughput).c_str(),
+      static_cast<long long>(r.peak_memory_bytes),
+      EncodeDouble(r.train_seconds).c_str(),
+      EncodeDouble(r.test_seconds).c_str(), r.per_window_loss.size(),
+      windows.c_str());
+}
+
+bool ParseRow(std::string_view line, LoggedRow* out) {
+  std::vector<std::string> fields = Split(line, '\t');
+  if (fields.empty()) return false;
+  LoggedRow row;
+  if (fields[0] == "na") {
+    if (fields.size() != kNaFields) return false;
+    row.not_applicable = true;
+    row.task.dataset = fields[1];
+    row.task.learner = fields[2];
+    if (row.task.dataset.empty() || row.task.learner.empty()) return false;
+    if (!ParseIntField(fields[3], &row.task.repeat) || row.task.repeat < 0) {
+      return false;
+    }
+    *out = std::move(row);
+    return true;
+  }
+  if (fields[0] != "run" || fields.size() != kRunFields) return false;
+  row.task.dataset = fields[1];
+  row.task.learner = fields[2];
+  if (row.task.dataset.empty() || row.task.learner.empty()) return false;
+  if (!ParseIntField(fields[3], &row.task.repeat) || row.task.repeat < 0) {
+    return false;
+  }
+  EvalResult& r = row.result;
+  r.learner = fields[4];
+  r.dataset = row.task.dataset;
+  int64_t peak = 0;
+  int num_windows = 0;
+  if (!DecodeDouble(fields[5], &r.mean_loss)) return false;
+  if (!DecodeDouble(fields[6], &r.faded_loss)) return false;
+  if (!DecodeDouble(fields[7], &r.throughput)) return false;
+  if (!ParseInt64(fields[8], &peak)) return false;
+  if (!DecodeDouble(fields[9], &r.train_seconds)) return false;
+  if (!DecodeDouble(fields[10], &r.test_seconds)) return false;
+  if (!ParseIntField(fields[11], &num_windows) || num_windows < 0) {
+    return false;
+  }
+  r.peak_memory_bytes = peak;
+  if (fields[12] == "-") {
+    if (num_windows != 0) return false;
+  } else {
+    std::vector<std::string> parts = Split(fields[12], ',');
+    if (parts.size() != static_cast<size_t>(num_windows)) return false;
+    r.per_window_loss.reserve(parts.size());
+    for (const std::string& part : parts) {
+      double value = 0.0;
+      if (!DecodeDouble(part, &value)) return false;
+      r.per_window_loss.push_back(value);
+    }
+  }
+  *out = std::move(row);
+  return true;
+}
+
+namespace {
+
+std::string FormatHeader(const LogHeader& header) {
+  std::string out = kFormatLine;
+  out += StrFormat("\nmeta\tbase_seed\t%llu",
+                   static_cast<unsigned long long>(header.base_seed));
+  out += StrFormat("\nmeta\tscale\t%s", EncodeDouble(header.scale).c_str());
+  out += StrFormat("\nmeta\trepeats\t%d", header.repeats);
+  out += StrFormat("\nmeta\tepochs\t%d", header.epochs);
+  out += StrFormat("\nmeta\tmanifest\t%016llx",
+                   static_cast<unsigned long long>(
+                       header.manifest_fingerprint));
+  out += StrFormat("\nmeta\tshard\t%s\n", ShardToString(header.shard).c_str());
+  return out;
+}
+
+Status ParseHeader(const std::vector<std::string>& lines, size_t* cursor,
+                   LogHeader* out) {
+  if (lines.empty() || lines[0] != kFormatLine) {
+    return Status::InvalidArgument(
+        "not an oebench-sweep-log v1 file (bad format line)");
+  }
+  LogHeader header;
+  header.version = 1;
+  bool seen_seed = false, seen_scale = false, seen_repeats = false,
+       seen_epochs = false, seen_manifest = false, seen_shard = false;
+  size_t i = 1;
+  for (; i < lines.size(); ++i) {
+    std::vector<std::string> fields = Split(lines[i], '\t');
+    if (fields.empty() || fields[0] != "meta") break;
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("malformed meta line: " + lines[i]);
+    }
+    const std::string& key = fields[1];
+    const std::string& value = fields[2];
+    if (key == "base_seed" && !seen_seed) {
+      if (!ParseUint64(value, &header.base_seed)) {
+        return Status::InvalidArgument("bad base_seed: " + value);
+      }
+      seen_seed = true;
+    } else if (key == "scale" && !seen_scale) {
+      if (!DecodeDouble(value, &header.scale)) {
+        return Status::InvalidArgument("bad scale: " + value);
+      }
+      seen_scale = true;
+    } else if (key == "repeats" && !seen_repeats) {
+      if (!ParseIntField(value, &header.repeats) || header.repeats < 1) {
+        return Status::InvalidArgument("bad repeats: " + value);
+      }
+      seen_repeats = true;
+    } else if (key == "epochs" && !seen_epochs) {
+      if (!ParseIntField(value, &header.epochs)) {
+        return Status::InvalidArgument("bad epochs: " + value);
+      }
+      seen_epochs = true;
+    } else if (key == "manifest" && !seen_manifest) {
+      if (!ParseHex64(value, &header.manifest_fingerprint)) {
+        return Status::InvalidArgument("bad manifest fingerprint: " + value);
+      }
+      seen_manifest = true;
+    } else if (key == "shard" && !seen_shard) {
+      if (!ParseShard(value, &header.shard)) {
+        return Status::InvalidArgument("bad shard: " + value);
+      }
+      seen_shard = true;
+    } else {
+      return Status::InvalidArgument("unexpected meta line: " + lines[i]);
+    }
+  }
+  if (!seen_seed || !seen_scale || !seen_repeats || !seen_epochs ||
+      !seen_manifest || !seen_shard) {
+    return Status::InvalidArgument("incomplete result-log header");
+  }
+  *cursor = i;
+  *out = header;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ResultLogContents> ReadResultLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open result log: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  // A line is only trusted when terminated by '\n': a crash mid-write
+  // leaves a torn tail, which resume must re-run, not half-parse.
+  ResultLogContents contents;
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      ++contents.dropped_lines;  // torn trailing line
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+
+  size_t cursor = 0;
+  OE_RETURN_NOT_OK(ParseHeader(lines, &cursor, &contents.header));
+  for (size_t i = cursor; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    LoggedRow row;
+    if (!ParseRow(lines[i], &row)) {
+      ++contents.dropped_lines;
+      continue;
+    }
+    contents.rows.push_back(std::move(row));
+  }
+  return contents;
+}
+
+Result<std::unique_ptr<ResultLogWriter>> ResultLogWriter::Open(
+    const std::string& path, const LogHeader& header, bool resume) {
+  std::unique_ptr<ResultLogWriter> writer(new ResultLogWriter());
+  std::vector<LoggedRow> kept;
+  if (resume) {
+    std::ifstream probe(path);
+    if (probe.good()) {
+      probe.close();
+      Result<ResultLogContents> existing = ReadResultLog(path);
+      if (!existing.ok()) return existing.status();
+      if (!CompatibleHeaders(existing->header, header)) {
+        return Status::FailedPrecondition(
+            "cannot resume " + path + ": log header [" +
+            HeaderToString(existing->header) +
+            "] does not match this sweep [" + HeaderToString(header) + "]");
+      }
+      kept = std::move(existing->rows);
+    }
+  }
+  // (Re)write header + kept rows to a temp file, then rename into
+  // place: a crash during compaction leaves the original intact.
+  const std::string tmp = path + ".tmp";
+  {
+    std::FILE* out = std::fopen(tmp.c_str(), "w");
+    if (out == nullptr) {
+      return Status::IoError("cannot create result log: " + tmp);
+    }
+    std::string head = FormatHeader(header);
+    std::fwrite(head.data(), 1, head.size(), out);
+    for (const LoggedRow& row : kept) {
+      std::string line = FormatRow(row);
+      line += '\n';
+      std::fwrite(line.data(), 1, line.size(), out);
+      writer->done_.insert(TaskKey(row.task));
+    }
+    if (std::fclose(out) != 0) {
+      return Status::IoError("cannot write result log: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot move " + tmp + " over " + path);
+  }
+  writer->file_ = std::fopen(path.c_str(), "a");
+  if (writer->file_ == nullptr) {
+    return Status::IoError("cannot append to result log: " + path);
+  }
+  return writer;
+}
+
+ResultLogWriter::~ResultLogWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ResultLogWriter::AppendLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void ResultLogWriter::Append(const TaskIdentity& task,
+                             const EvalResult& result) {
+  LoggedRow row;
+  row.task = task;
+  row.result = result;
+  AppendLine(FormatRow(row));
+}
+
+void ResultLogWriter::AppendNotApplicable(const TaskIdentity& task) {
+  LoggedRow row;
+  row.task = task;
+  row.not_applicable = true;
+  AppendLine(FormatRow(row));
+}
+
+}  // namespace sweep
+}  // namespace oebench

@@ -1,0 +1,127 @@
+#ifndef OEBENCH_SWEEP_RESULT_LOG_H_
+#define OEBENCH_SWEEP_RESULT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/evaluator.h"
+#include "core/parallel_eval.h"
+#include "sweep/manifest.h"
+
+namespace oebench {
+namespace sweep {
+
+/// Durable, append-only result log: one line per finished task,
+/// written (and flushed) the moment the task completes, so a killed
+/// shard loses at most the task it was computing. Text format,
+/// versioned; doubles are serialised as their 16-hex-digit IEEE-754
+/// bit pattern so a round trip is bit-exact — including NaN payloads,
+/// infinities and -0.0 — which is what makes merged sweeps
+/// byte-identical to unsharded ones.
+///
+/// v1 layout (tab-separated):
+///   oebench-sweep-log<TAB>v1
+///   meta<TAB>base_seed<TAB><decimal u64>
+///   meta<TAB>scale<TAB><16-hex double bits>
+///   meta<TAB>repeats<TAB><decimal>
+///   meta<TAB>epochs<TAB><decimal>
+///   meta<TAB>manifest<TAB><16-hex fingerprint>
+///   meta<TAB>shard<TAB><i>/<n>
+///   run<TAB>dataset<TAB>learner<TAB>repeat<TAB>display_name<TAB>mean
+///      <TAB>faded<TAB>throughput<TAB>peak_mem<TAB>train_s<TAB>test_s
+///      <TAB>n_windows<TAB>w0,w1,...      (one line; "-" when no windows)
+///   na<TAB>dataset<TAB>learner<TAB>repeat
+///
+/// A torn trailing line (crash mid-write) fails field validation and
+/// is ignored by the reader; resume then compacts the file and re-runs
+/// exactly the tasks without a valid row.
+struct LogHeader {
+  int version = 1;
+  uint64_t base_seed = 0;
+  double scale = 0.0;
+  int repeats = 1;
+  /// base_config.epochs actually used — the one hyper-parameter the
+  /// bench drivers vary between sweeps, recorded so their logs cannot
+  /// be cross-merged by mistake.
+  int epochs = 0;
+  /// TaskManifest::Fingerprint() of the grid.
+  uint64_t manifest_fingerprint = 0;
+  /// The writer's shard (informational; ignored by compatibility).
+  Shard shard;
+};
+
+/// True when two logs belong to the same sweep: every field equal
+/// except the writer's shard.
+bool CompatibleHeaders(const LogHeader& a, const LogHeader& b);
+
+/// Human-readable one-line rendering (error messages, CLI summaries).
+std::string HeaderToString(const LogHeader& header);
+
+struct LoggedRow {
+  TaskIdentity task;
+  bool not_applicable = false;
+  /// Unset when not_applicable.
+  EvalResult result;
+};
+
+struct ResultLogContents {
+  LogHeader header;
+  std::vector<LoggedRow> rows;  // file order; only fully valid rows
+  int64_t dropped_lines = 0;    // torn or malformed lines ignored
+};
+
+/// Bit-exact double codec used by the log (exposed for tests).
+std::string EncodeDouble(double value);
+bool DecodeDouble(std::string_view text, double* out);
+
+/// Row codec (exposed for tests). FormatRow's output has no trailing
+/// newline; ParseRow rejects any line that does not decode completely.
+std::string FormatRow(const LoggedRow& row);
+bool ParseRow(std::string_view line, LoggedRow* out);
+
+/// Reads and validates a whole log. Fails on unreadable files or
+/// bad/missing headers; malformed rows are dropped (counted), never
+/// fatal — a crash-truncated log is still a valid resume point.
+Result<ResultLogContents> ReadResultLog(const std::string& path);
+
+class ResultLogWriter {
+ public:
+  /// Creates the log with the given header. With `resume`, an existing
+  /// file is first read back: its header must be compatible, its valid
+  /// rows are kept (the file is compacted in place via a temp file +
+  /// rename) and their keys are reported by done(); a missing file
+  /// falls back to a fresh log. Without `resume` an existing file is
+  /// overwritten.
+  static Result<std::unique_ptr<ResultLogWriter>> Open(
+      const std::string& path, const LogHeader& header, bool resume);
+
+  ~ResultLogWriter();
+
+  /// Task keys already present when the log was opened for resume.
+  const std::set<std::string>& done() const { return done_; }
+
+  /// Appends one row and flushes. Thread-safe: this is the
+  /// SweepConfig::on_task_done sink and runs on pool workers.
+  void Append(const TaskIdentity& task, const EvalResult& result);
+  void AppendNotApplicable(const TaskIdentity& task);
+
+ private:
+  ResultLogWriter() = default;
+  void AppendLine(const std::string& line);
+
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;
+  std::set<std::string> done_;
+};
+
+}  // namespace sweep
+}  // namespace oebench
+
+#endif  // OEBENCH_SWEEP_RESULT_LOG_H_

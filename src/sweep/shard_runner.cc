@@ -1,0 +1,176 @@
+#include "sweep/shard_runner.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace oebench {
+namespace sweep {
+
+namespace {
+
+/// Applicability probe for one (dataset task-type, num_classes): which
+/// learners can be built at all. Mirrors the probe core/parallel_eval
+/// runs before submitting tasks, so the N/A rows a shard logs match
+/// the N/A cells an unsharded sweep reports.
+std::vector<char> ProbeApplicable(const std::vector<std::string>& learners,
+                                  const LearnerConfig& base_config,
+                                  TaskType task, int num_classes) {
+  std::vector<char> applicable(learners.size(), 0);
+  for (size_t l = 0; l < learners.size(); ++l) {
+    Result<std::unique_ptr<StreamLearner>> probe =
+        MakeLearner(learners[l], base_config, task, num_classes);
+    applicable[l] = probe.ok() ? 1 : 0;
+  }
+  return applicable;
+}
+
+struct TaskShape {
+  TaskType task = TaskType::kRegression;
+  int num_classes = 2;
+};
+
+/// Shared shard execution: resolve pending tasks, log N/A ones, run
+/// the rest with the durable-log callback installed, via `run_sweep`.
+template <typename RunSweep>
+Result<ShardRunStats> RunShardImpl(
+    const TaskManifest& manifest, const ShardRunOptions& options,
+    const std::map<std::string, TaskShape>& shapes, RunSweep run_sweep) {
+  OE_CHECK(!options.config.task_filter && !options.config.on_task_done)
+      << "task_filter/on_task_done are owned by the shard runner";
+  if (options.log_path.empty()) {
+    return Status::InvalidArgument("shard run needs a --log path");
+  }
+
+  LogHeader header = MakeLogHeader(manifest, options.config, options.shard);
+  Result<std::unique_ptr<ResultLogWriter>> writer =
+      ResultLogWriter::Open(options.log_path, header, options.resume);
+  if (!writer.ok()) return writer.status();
+
+  ShardRunStats stats;
+  std::vector<TaskIdentity> shard_tasks = manifest.ShardTasks(options.shard);
+  stats.shard_tasks = static_cast<int64_t>(shard_tasks.size());
+
+  // Pending = the shard's span minus what the (resumed) log already
+  // has. N/A pairs are logged immediately — no run will ever execute
+  // for them — and everything else becomes the task filter.
+  std::set<std::string> selected;
+  const std::vector<std::string>& learners = manifest.grid().learners;
+  std::map<std::string, std::vector<char>> probe_cache;
+  for (const TaskIdentity& task : shard_tasks) {
+    std::string key = TaskKey(task);
+    if ((*writer)->done().count(key) > 0) {
+      ++stats.tasks_resumed;
+      continue;
+    }
+    auto cached = probe_cache.find(task.dataset);
+    if (cached == probe_cache.end()) {
+      auto shape = shapes.find(task.dataset);
+      if (shape == shapes.end()) {
+        return Status::InvalidArgument("no stream for shard dataset '" +
+                                       task.dataset + "'");
+      }
+      cached = probe_cache
+                   .emplace(task.dataset,
+                            ProbeApplicable(learners,
+                                            options.config.base_config,
+                                            shape->second.task,
+                                            shape->second.num_classes))
+                   .first;
+    }
+    const std::vector<char>& applicable = cached->second;
+    size_t l = 0;
+    while (l < learners.size() && learners[l] != task.learner) ++l;
+    OE_CHECK(l < learners.size());
+    if (!applicable[l]) {
+      (*writer)->AppendNotApplicable(task);
+      ++stats.na_logged;
+      continue;
+    }
+    selected.insert(std::move(key));
+  }
+  if (selected.empty()) return stats;
+
+  SweepConfig config = options.config;
+  config.task_filter = [&selected](const TaskIdentity& task) {
+    return selected.count(TaskKey(task)) > 0;
+  };
+  ResultLogWriter* log = writer->get();
+  config.on_task_done = [log](const TaskIdentity& task,
+                              const EvalResult& result) {
+    log->Append(task, result);
+  };
+  SweepOutcome outcome = run_sweep(config);
+  stats.tasks_executed = outcome.tasks_run;
+  stats.streams_prepared = outcome.streams_prepared;
+  OE_CHECK(stats.tasks_executed == static_cast<int64_t>(selected.size()));
+  return stats;
+}
+
+}  // namespace
+
+LogHeader MakeLogHeader(const TaskManifest& manifest,
+                        const SweepConfig& config, const Shard& shard) {
+  LogHeader header;
+  header.base_seed = config.base_config.seed;
+  header.scale = config.scale;
+  header.repeats = config.repeats;
+  header.epochs = config.base_config.epochs;
+  header.manifest_fingerprint = manifest.Fingerprint();
+  header.shard = shard;
+  return header;
+}
+
+TaskManifest EntriesManifest(const std::vector<CorpusEntry>& entries,
+                             const std::vector<std::string>& learners,
+                             int repeats) {
+  SweepGrid grid;
+  for (const CorpusEntry& entry : entries) grid.datasets.push_back(entry.name);
+  grid.learners = learners;
+  grid.repeats = repeats;
+  return TaskManifest::Build(std::move(grid));
+}
+
+Result<ShardRunStats> RunCorpusShard(const std::vector<CorpusEntry>& entries,
+                                     const std::vector<std::string>& learners,
+                                     const ShardRunOptions& options) {
+  TaskManifest manifest =
+      EntriesManifest(entries, learners, options.config.repeats);
+  std::map<std::string, TaskShape> shapes;
+  for (const CorpusEntry& entry : entries) {
+    // The pipeline copies the spec's task/num_classes into the
+    // prepared stream verbatim, so probing from the spec is exact.
+    StreamSpec spec = SpecFromEntry(entry, options.config.scale);
+    shapes[entry.name] = TaskShape{spec.task, spec.num_classes};
+  }
+  return RunShardImpl(manifest, options, shapes,
+                      [&entries, &learners](const SweepConfig& config) {
+                        return ParallelSweepEntries(entries, learners,
+                                                    config);
+                      });
+}
+
+Result<ShardRunStats> RunPreparedShard(
+    const std::vector<PreparedStream>& streams,
+    const std::vector<std::string>& dataset_order,
+    const std::vector<std::string>& learners,
+    const ShardRunOptions& options) {
+  SweepGrid grid;
+  grid.datasets = dataset_order;
+  grid.learners = learners;
+  grid.repeats = options.config.repeats;
+  TaskManifest manifest = TaskManifest::Build(std::move(grid));
+  std::map<std::string, TaskShape> shapes;
+  for (const PreparedStream& stream : streams) {
+    shapes[stream.name] = TaskShape{stream.task, stream.num_classes};
+  }
+  return RunShardImpl(manifest, options, shapes,
+                      [&streams, &learners](const SweepConfig& config) {
+                        return ParallelSweep(streams, learners, config);
+                      });
+}
+
+}  // namespace sweep
+}  // namespace oebench

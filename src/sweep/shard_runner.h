@@ -1,0 +1,78 @@
+#ifndef OEBENCH_SWEEP_SHARD_RUNNER_H_
+#define OEBENCH_SWEEP_SHARD_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/parallel_eval.h"
+#include "streamgen/corpus.h"
+#include "sweep/manifest.h"
+#include "sweep/result_log.h"
+
+namespace oebench {
+namespace sweep {
+
+/// Executes one shard of a sweep: filters the canonical manifest down
+/// to the shard's span minus the tasks already in the log (resume),
+/// runs the remainder on core/parallel_eval, and appends each result
+/// to the durable log as it finishes. One invocation per shard; any
+/// number of invocations may run concurrently in separate processes,
+/// each with its own log file, and MergeShardLogs reassembles them.
+struct ShardRunOptions {
+  /// Threads, base config, pipeline, scale — exactly the knobs an
+  /// unsharded sweep takes. task_filter/on_task_done are owned by the
+  /// runner and must be unset.
+  SweepConfig config;
+  Shard shard;
+  std::string log_path;
+  /// Keep an existing log's rows and re-run only the missing tasks.
+  bool resume = false;
+};
+
+struct ShardRunStats {
+  /// Tasks in the shard's manifest span.
+  int64_t shard_tasks = 0;
+  /// Prequential runs executed by this invocation.
+  int64_t tasks_executed = 0;
+  /// Tasks skipped because the (resumed) log already had their rows.
+  int64_t tasks_resumed = 0;
+  /// N/A rows written (inapplicable pairs; no run ever executes).
+  int64_t na_logged = 0;
+  /// Streams generated + preprocessed — only the shard's datasets.
+  int64_t streams_prepared = 0;
+};
+
+/// The log header a sweep with this manifest/config/shard writes, and
+/// the one MergeShardLogs must be given as `expected`.
+LogHeader MakeLogHeader(const TaskManifest& manifest,
+                        const SweepConfig& config, const Shard& shard);
+
+/// Convenience: the manifest of an entry-based (Table 9 style) sweep —
+/// entry names in corpus order x learners x config.repeats.
+TaskManifest EntriesManifest(const std::vector<CorpusEntry>& entries,
+                             const std::vector<std::string>& learners,
+                             int repeats);
+
+/// Runs one shard of the corpus sweep. Only datasets owned by the
+/// shard (and not fully resumed) are generated and prepared, and their
+/// buffers are released as their tasks drain (ParallelSweepEntries'
+/// memory-bounded pipeline).
+Result<ShardRunStats> RunCorpusShard(const std::vector<CorpusEntry>& entries,
+                                     const std::vector<std::string>& learners,
+                                     const ShardRunOptions& options);
+
+/// Runs one shard of a prepared-streams sweep (the Table 4 shape).
+/// `streams` must cover the shard's datasets — build it from
+/// manifest.ShardDatasets(shard); extra streams are ignored by the
+/// task filter.
+Result<ShardRunStats> RunPreparedShard(
+    const std::vector<PreparedStream>& streams,
+    const std::vector<std::string>& dataset_order,
+    const std::vector<std::string>& learners,
+    const ShardRunOptions& options);
+
+}  // namespace sweep
+}  // namespace oebench
+
+#endif  // OEBENCH_SWEEP_SHARD_RUNNER_H_

@@ -1,0 +1,130 @@
+// bench_util's flag parser and formatting helpers. ParseFlags is the
+// front door of every bench binary: it must accept both --flag=value
+// and --flag value, validate values strictly (no atoi silently reading
+// "2.7" as 2), and exit with usage + status 2 on anything it does not
+// understand — a typo'd flag must never silently run a default sweep.
+
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace oebench {
+namespace {
+
+bench::BenchFlags Parse(std::vector<std::string> args) {
+  std::vector<std::string> storage;
+  storage.emplace_back("bench_under_test");
+  for (std::string& arg : args) storage.push_back(std::move(arg));
+  std::vector<char*> argv;
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  return bench::ParseFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParseFlagsTest, DefaultsAndBothValueForms) {
+  bench::BenchFlags defaults = Parse({});
+  EXPECT_EQ(defaults.scale, 0.08);
+  EXPECT_EQ(defaults.repeats, 3);
+  EXPECT_EQ(defaults.seed, 1u);
+  EXPECT_GE(defaults.threads, 1);
+  EXPECT_EQ(defaults.epochs, 0);
+  EXPECT_EQ(defaults.shard.index, 0);
+  EXPECT_EQ(defaults.shard.count, 1);
+  EXPECT_FALSE(defaults.resume);
+  EXPECT_FALSE(defaults.merge);
+
+  bench::BenchFlags flags =
+      Parse({"--scale=0.5", "--repeats", "4", "--seed=7", "--threads", "3",
+             "--epochs=9", "--datasets=12", "--shard", "1/3",
+             "--log", "shard1.log", "--resume"});
+  EXPECT_EQ(flags.scale, 0.5);
+  EXPECT_EQ(flags.repeats, 4);
+  EXPECT_EQ(flags.seed, 7u);
+  EXPECT_EQ(flags.threads, 3);
+  EXPECT_EQ(flags.epochs, 9);
+  EXPECT_EQ(flags.datasets, 12);
+  EXPECT_EQ(flags.shard.index, 1);
+  EXPECT_EQ(flags.shard.count, 3);
+  EXPECT_EQ(flags.log_path, "shard1.log");
+  EXPECT_TRUE(flags.resume);
+}
+
+TEST(ParseFlagsTest, MergeConsumesLogPaths) {
+  bench::BenchFlags flags = Parse({"--merge", "a.log", "b.log"});
+  EXPECT_TRUE(flags.merge);
+  EXPECT_EQ(flags.merge_logs, (std::vector<std::string>{"a.log", "b.log"}));
+
+  flags = Parse({"--threads=2", "--merge=a.log", "b.log"});
+  EXPECT_EQ(flags.threads, 2);
+  EXPECT_EQ(flags.merge_logs, (std::vector<std::string>{"a.log", "b.log"}));
+}
+
+TEST(ParseFlagsDeathTest, RejectsBadInput) {
+  EXPECT_EXIT(Parse({"--bogus"}), ::testing::ExitedWithCode(2),
+              "unknown flag --bogus");
+  EXPECT_EXIT(Parse({"--threads=abc"}), ::testing::ExitedWithCode(2),
+              "--threads needs an integer");
+  // atoi would have read 2 out of "2.7"; strict parsing must not.
+  EXPECT_EXIT(Parse({"--repeats=2.7"}), ::testing::ExitedWithCode(2),
+              "--repeats needs an integer");
+  EXPECT_EXIT(Parse({"--threads=0"}), ::testing::ExitedWithCode(2),
+              "--threads needs an integer >= 1");
+  EXPECT_EXIT(Parse({"--seed=-1"}), ::testing::ExitedWithCode(2),
+              "--seed needs an unsigned integer");
+  EXPECT_EXIT(Parse({"--scale=-0.1"}), ::testing::ExitedWithCode(2),
+              "--scale needs a number >= 0");
+  EXPECT_EXIT(Parse({"stray"}), ::testing::ExitedWithCode(2),
+              "unexpected argument 'stray'");
+  EXPECT_EXIT(Parse({"--resume=1"}), ::testing::ExitedWithCode(2),
+              "--resume takes no value");
+  EXPECT_EXIT(Parse({"--shard=3/2"}), ::testing::ExitedWithCode(2),
+              "--shard needs I/N");
+  EXPECT_EXIT(Parse({"--merge"}), ::testing::ExitedWithCode(2),
+              "--merge needs at least one");
+  EXPECT_EXIT(Parse({"--seed"}), ::testing::ExitedWithCode(2),
+              "--seed needs a value");
+}
+
+TEST(StrictParseTest, IntegerParsersConsumeTheWholeToken) {
+  int64_t i = 0;
+  EXPECT_TRUE(ParseInt64("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt64("", &i));
+  EXPECT_FALSE(ParseInt64("2.7", &i));
+  EXPECT_FALSE(ParseInt64("12abc", &i));
+  EXPECT_FALSE(ParseInt64("99999999999999999999", &i));  // overflow
+  uint64_t u = 0;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &u));
+  EXPECT_EQ(u, std::numeric_limits<uint64_t>::max());
+  EXPECT_FALSE(ParseUint64("-1", &u));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &u));  // overflow
+}
+
+TEST(SparkTest, HandlesNonFiniteValues) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(bench::Spark({}), "");
+  EXPECT_EQ(bench::Spark({1.0}), "▁");
+  EXPECT_EQ(bench::Spark({nan, nan, inf}), "!!!");
+  // The scale comes from the finite values only; a leading NaN must
+  // not poison min/max (the old code folded it into both).
+  EXPECT_EQ(bench::Spark({nan, 0.0, 1.0}), "!▁█");
+  EXPECT_EQ(bench::Spark({0.0, 1.0, inf, 0.5}), "▁█!▄");
+}
+
+TEST(FormatLossTest, NotApplicableAndMeanStd) {
+  RepeatedResult result;
+  result.not_applicable = true;
+  EXPECT_EQ(bench::FormatLoss(result), "N/A");
+  result.not_applicable = false;
+  result.loss_mean = 0.25;
+  result.loss_stddev = 0.0625;
+  EXPECT_EQ(bench::FormatLoss(result), "0.250±0.062");
+}
+
+}  // namespace
+}  // namespace oebench

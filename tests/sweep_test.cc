@@ -1,0 +1,479 @@
+// The sharded-sweep subsystem's contracts, enforced forever:
+//  - shard spans partition the canonical manifest exhaustively and
+//    disjointly for every shard count;
+//  - a result-log round trip is bit-exact, NaN payloads, infinities,
+//    -0.0 and N/A rows included;
+//  - a crash-torn log resumes: only tasks without a valid row re-run;
+//  - merging n shard logs reproduces the unsharded SweepOutcome
+//    byte-for-byte (n = 1, 2, 3), and a shard prepares only the
+//    datasets its span owns.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/parallel_eval.h"
+#include "streamgen/corpus.h"
+#include "sweep/manifest.h"
+#include "sweep/merge.h"
+#include "sweep/result_log.h"
+#include "sweep/shard_runner.h"
+
+namespace oebench {
+namespace {
+
+using sweep::LoggedRow;
+using sweep::LogHeader;
+using sweep::ResultLogWriter;
+using sweep::Shard;
+using sweep::SweepGrid;
+using sweep::TaskManifest;
+
+TaskManifest SmallManifest(int datasets, int learners, int repeats) {
+  SweepGrid grid;
+  for (int d = 0; d < datasets; ++d) {
+    grid.datasets.push_back("data" + std::to_string(d));
+  }
+  for (int l = 0; l < learners; ++l) {
+    grid.learners.push_back("algo" + std::to_string(l));
+  }
+  grid.repeats = repeats;
+  return TaskManifest::Build(std::move(grid));
+}
+
+TEST(ManifestTest, TaskKeyAndCanonicalOrder) {
+  TaskManifest manifest = SmallManifest(2, 2, 2);
+  ASSERT_EQ(manifest.tasks().size(), 8u);
+  // Dataset-major, then learner, then repeat — parallel_eval's
+  // reassembly order.
+  EXPECT_EQ(sweep::TaskKey(manifest.tasks()[0]), "data0|algo0|0");
+  EXPECT_EQ(sweep::TaskKey(manifest.tasks()[1]), "data0|algo0|1");
+  EXPECT_EQ(sweep::TaskKey(manifest.tasks()[2]), "data0|algo1|0");
+  EXPECT_EQ(sweep::TaskKey(manifest.tasks()[4]), "data1|algo0|0");
+  EXPECT_EQ(sweep::TaskKey(manifest.tasks()[7]), "data1|algo1|1");
+}
+
+TEST(ManifestTest, ShardsPartitionExhaustivelyAndDisjointly) {
+  TaskManifest manifest = SmallManifest(7, 3, 3);  // 63 tasks
+  const size_t total = manifest.tasks().size();
+  ASSERT_EQ(total, 63u);
+  for (int n : {1, 2, 3, 4, 5, 7, 10, 62, 63, 64, 200}) {
+    SCOPED_TRACE("count=" + std::to_string(n));
+    size_t expected_begin = 0;
+    std::set<std::string> seen;
+    for (int i = 0; i < n; ++i) {
+      Shard shard{i, n};
+      auto [begin, end] = manifest.ShardSpan(shard);
+      // Contiguous: each span starts where the previous ended.
+      EXPECT_EQ(begin, expected_begin);
+      EXPECT_LE(begin, end);
+      expected_begin = end;
+      for (const TaskIdentity& task : manifest.ShardTasks(shard)) {
+        EXPECT_TRUE(seen.insert(sweep::TaskKey(task)).second)
+            << "task assigned to two shards";
+      }
+      // Balanced: spans differ in size by at most one task.
+      size_t size = end - begin;
+      EXPECT_GE(size + 1, total / static_cast<size_t>(n));
+      EXPECT_LE(size, total / static_cast<size_t>(n) + 1);
+    }
+    EXPECT_EQ(expected_begin, total);
+    EXPECT_EQ(seen.size(), total);
+  }
+}
+
+TEST(ManifestTest, ShardDatasetsCoverExactlyTheSpan) {
+  TaskManifest manifest = SmallManifest(4, 2, 1);  // 8 tasks, 2 per dataset
+  std::vector<std::string> first = manifest.ShardDatasets(Shard{0, 2});
+  std::vector<std::string> second = manifest.ShardDatasets(Shard{1, 2});
+  EXPECT_EQ(first, (std::vector<std::string>{"data0", "data1"}));
+  EXPECT_EQ(second, (std::vector<std::string>{"data2", "data3"}));
+}
+
+TEST(ManifestTest, FingerprintSeparatesGrids) {
+  uint64_t base = SmallManifest(3, 2, 2).Fingerprint();
+  EXPECT_EQ(base, SmallManifest(3, 2, 2).Fingerprint());
+  EXPECT_NE(base, SmallManifest(4, 2, 2).Fingerprint());
+  EXPECT_NE(base, SmallManifest(3, 3, 2).Fingerprint());
+  EXPECT_NE(base, SmallManifest(3, 2, 1).Fingerprint());
+}
+
+TEST(ManifestTest, ParseShard) {
+  Shard shard;
+  EXPECT_TRUE(sweep::ParseShard("0/1", &shard));
+  EXPECT_EQ(shard.index, 0);
+  EXPECT_EQ(shard.count, 1);
+  EXPECT_TRUE(sweep::ParseShard("2/7", &shard));
+  EXPECT_EQ(shard.index, 2);
+  EXPECT_EQ(shard.count, 7);
+  for (const char* bad : {"", "1", "1/", "/2", "2/2", "3/2", "-1/2", "1/-2",
+                          "1/2/3", "a/b", "1/2 ", "01x/2"}) {
+    EXPECT_FALSE(sweep::ParseShard(bad, &shard)) << bad;
+  }
+}
+
+TEST(ResultLogTest, DoubleCodecIsBitExact) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           -123456.789,
+                           std::numeric_limits<double>::quiet_NaN(),
+                           -std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max()};
+  for (double value : values) {
+    std::string encoded = sweep::EncodeDouble(value);
+    EXPECT_EQ(encoded.size(), 16u);
+    double decoded = 0.0;
+    ASSERT_TRUE(sweep::DecodeDouble(encoded, &decoded)) << encoded;
+    EXPECT_EQ(std::bit_cast<uint64_t>(value), std::bit_cast<uint64_t>(decoded))
+        << encoded;
+  }
+  double out = 0.0;
+  EXPECT_FALSE(sweep::DecodeDouble("xyz", &out));
+  EXPECT_FALSE(sweep::DecodeDouble("0123456789abcde", &out));   // 15 digits
+  EXPECT_FALSE(sweep::DecodeDouble("0123456789ABCDEF", &out));  // uppercase
+}
+
+LoggedRow SampleRunRow() {
+  LoggedRow row;
+  row.task = {"stream-a", "Naive-DT", 1};
+  row.result.dataset = "stream-a";
+  row.result.learner = "Naive Decision Tree";
+  row.result.mean_loss = 0.25;
+  row.result.faded_loss = std::numeric_limits<double>::quiet_NaN();
+  row.result.throughput = 12345.5;
+  row.result.peak_memory_bytes = 987654321;
+  row.result.train_seconds = 1.5;
+  row.result.test_seconds = 0.5;
+  row.result.per_window_loss = {0.5, std::numeric_limits<double>::infinity(),
+                                std::numeric_limits<double>::quiet_NaN(),
+                                -0.0};
+  return row;
+}
+
+void ExpectRowsEqualBitExact(const LoggedRow& a, const LoggedRow& b) {
+  EXPECT_EQ(a.task.dataset, b.task.dataset);
+  EXPECT_EQ(a.task.learner, b.task.learner);
+  EXPECT_EQ(a.task.repeat, b.task.repeat);
+  ASSERT_EQ(a.not_applicable, b.not_applicable);
+  if (a.not_applicable) return;
+  EXPECT_EQ(a.result.learner, b.result.learner);
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.result.mean_loss),
+            std::bit_cast<uint64_t>(b.result.mean_loss));
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.result.faded_loss),
+            std::bit_cast<uint64_t>(b.result.faded_loss));
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.result.throughput),
+            std::bit_cast<uint64_t>(b.result.throughput));
+  EXPECT_EQ(a.result.peak_memory_bytes, b.result.peak_memory_bytes);
+  ASSERT_EQ(a.result.per_window_loss.size(), b.result.per_window_loss.size());
+  for (size_t i = 0; i < a.result.per_window_loss.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.result.per_window_loss[i]),
+              std::bit_cast<uint64_t>(b.result.per_window_loss[i]));
+  }
+}
+
+TEST(ResultLogTest, RowRoundTripIsBitExact) {
+  LoggedRow row = SampleRunRow();
+  LoggedRow parsed;
+  ASSERT_TRUE(sweep::ParseRow(sweep::FormatRow(row), &parsed));
+  ExpectRowsEqualBitExact(row, parsed);
+
+  // Empty window list.
+  row.result.per_window_loss.clear();
+  ASSERT_TRUE(sweep::ParseRow(sweep::FormatRow(row), &parsed));
+  ExpectRowsEqualBitExact(row, parsed);
+
+  // N/A row.
+  LoggedRow na;
+  na.task = {"stream-b", "ARF", 2};
+  na.not_applicable = true;
+  ASSERT_TRUE(sweep::ParseRow(sweep::FormatRow(na), &parsed));
+  ExpectRowsEqualBitExact(na, parsed);
+
+  // Torn / malformed lines never parse.
+  for (const char* bad :
+       {"", "run", "run\td\tl", "bogus\td\tl\t0",
+        "na\td\tl\tnotanint", "na\td\tl\t0\textra"}) {
+    EXPECT_FALSE(sweep::ParseRow(bad, &parsed)) << bad;
+  }
+  std::string torn = sweep::FormatRow(SampleRunRow());
+  torn.resize(torn.size() / 2);
+  EXPECT_FALSE(sweep::ParseRow(torn, &parsed));
+}
+
+LogHeader TestHeader() {
+  LogHeader header;
+  header.base_seed = 42;
+  header.scale = 0.125;
+  header.repeats = 2;
+  header.epochs = 3;
+  header.manifest_fingerprint = 0xdeadbeefcafef00dULL;
+  header.shard = {1, 3};
+  return header;
+}
+
+void AppendRaw(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+TEST(ResultLogTest, WriterReaderRoundTripAndTornTail) {
+  const std::string path = ::testing::TempDir() + "sweep_log_roundtrip.log";
+  std::remove(path.c_str());
+  LogHeader header = TestHeader();
+  LoggedRow run = SampleRunRow();
+  {
+    Result<std::unique_ptr<ResultLogWriter>> writer =
+        ResultLogWriter::Open(path, header, /*resume=*/false);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    EXPECT_TRUE((*writer)->done().empty());
+    (*writer)->Append(run.task, run.result);
+    (*writer)->AppendNotApplicable({"stream-b", "ARF", 0});
+  }
+  // Simulate a crash mid-append: a torn, newline-less trailing line.
+  AppendRaw(path, "run\tstream-c\tNaive-DT\t0\ttorn");
+
+  Result<sweep::ResultLogContents> contents = sweep::ReadResultLog(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(sweep::CompatibleHeaders(contents->header, header));
+  EXPECT_EQ(contents->header.shard.index, 1);
+  EXPECT_EQ(contents->header.shard.count, 3);
+  ASSERT_EQ(contents->rows.size(), 2u);
+  EXPECT_EQ(contents->dropped_lines, 1);
+  ExpectRowsEqualBitExact(contents->rows[0], run);
+  EXPECT_TRUE(contents->rows[1].not_applicable);
+
+  // Resume: keeps the two valid rows, compacts the torn tail away.
+  Result<std::unique_ptr<ResultLogWriter>> resumed =
+      ResultLogWriter::Open(path, header, /*resume=*/true);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ((*resumed)->done(),
+            (std::set<std::string>{"stream-a|Naive-DT|1", "stream-b|ARF|0"}));
+  resumed->reset();
+  contents = sweep::ReadResultLog(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->rows.size(), 2u);
+  EXPECT_EQ(contents->dropped_lines, 0);
+
+  // A different sweep must not be able to resume onto this log.
+  LogHeader other = header;
+  other.base_seed = 43;
+  Result<std::unique_ptr<ResultLogWriter>> rejected =
+      ResultLogWriter::Open(path, other, /*resume=*/true);
+  EXPECT_FALSE(rejected.ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end sharding: tiny real sweeps through real log files.
+
+std::vector<CorpusEntry> MixedEntries(int per_task) {
+  std::vector<CorpusEntry> out;
+  int cls = 0;
+  int reg = 0;
+  for (const CorpusEntry& entry : Corpus()) {
+    if (entry.task == TaskType::kClassification && cls < per_task) {
+      out.push_back(entry);
+      ++cls;
+    } else if (entry.task == TaskType::kRegression && reg < per_task) {
+      out.push_back(entry);
+      ++reg;
+    }
+  }
+  return out;
+}
+
+SweepConfig FastConfig(int threads) {
+  SweepConfig config;
+  config.base_config.seed = 42;
+  config.base_config.epochs = 2;
+  config.base_config.hidden_sizes = {8};
+  config.base_config.tree_max_depth = 6;
+  config.base_config.ensemble_size = 3;
+  config.repeats = 2;
+  config.threads = threads;
+  config.scale = 0.0;
+  config.pipeline.imputer = "mean";
+  return config;
+}
+
+std::string LogPath(const std::string& tag, int index, int count) {
+  return ::testing::TempDir() + "sweep_" + tag + "_" +
+         std::to_string(index) + "of" + std::to_string(count) + ".log";
+}
+
+TEST(SweepShardTest, MergedShardsAreBitIdenticalToUnshardedRun) {
+  // Naive-Bayes is N/A on the regression entries, so sharded N/A
+  // logging and merge-side N/A reconstruction are exercised too.
+  const std::vector<CorpusEntry> entries = MixedEntries(2);
+  ASSERT_EQ(entries.size(), 4u);
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-GBDT",
+                                             "Naive-Bayes"};
+  SweepConfig config = FastConfig(2);
+  const SweepOutcome baseline =
+      ParallelSweepEntries(entries, learners, config);
+  const std::string expected = sweep::DumpOutcome(baseline);
+  TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+  LogHeader header = sweep::MakeLogHeader(manifest, config, Shard{});
+
+  for (int n = 1; n <= 3; ++n) {
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    std::vector<std::string> logs;
+    for (int i = 0; i < n; ++i) {
+      sweep::ShardRunOptions options;
+      options.config = config;
+      options.shard = Shard{i, n};
+      options.log_path = LogPath("merge", i, n);
+      std::remove(options.log_path.c_str());
+      Result<sweep::ShardRunStats> stats =
+          sweep::RunCorpusShard(entries, learners, options);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_EQ(stats->tasks_executed + stats->na_logged,
+                stats->shard_tasks);
+      logs.push_back(options.log_path);
+    }
+    Result<SweepOutcome> merged =
+        sweep::MergeShardLogs(manifest, header, logs);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ(sweep::DumpOutcome(*merged), expected);
+    for (const std::string& log : logs) std::remove(log.c_str());
+  }
+}
+
+TEST(SweepShardTest, ShardPreparesOnlyItsOwnDatasets) {
+  const std::vector<CorpusEntry> entries = MixedEntries(2);
+  // Both learners apply to every dataset, so every owned dataset is
+  // prepared exactly once and non-owned ones never are.
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-GBDT"};
+  SweepConfig config = FastConfig(2);
+  TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+  for (int i = 0; i < 2; ++i) {
+    sweep::ShardRunOptions options;
+    options.config = config;
+    options.shard = Shard{i, 2};
+    options.log_path = LogPath("prepare", i, 2);
+    std::remove(options.log_path.c_str());
+    Result<sweep::ShardRunStats> stats =
+        sweep::RunCorpusShard(entries, learners, options);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    size_t owned = manifest.ShardDatasets(options.shard).size();
+    EXPECT_EQ(stats->streams_prepared, static_cast<int64_t>(owned));
+    EXPECT_LT(owned, entries.size());
+    std::remove(options.log_path.c_str());
+  }
+}
+
+TEST(SweepShardTest, ResumeExecutesOnlyTasksWithoutAValidRow) {
+  const std::vector<CorpusEntry> entries = MixedEntries(2);
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-GBDT"};
+  SweepConfig config = FastConfig(1);  // serial => deterministic row order
+  TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+  const int64_t total = static_cast<int64_t>(manifest.tasks().size());
+  const std::string path = LogPath("resume", 0, 1);
+  std::remove(path.c_str());
+
+  sweep::ShardRunOptions options;
+  options.config = config;
+  options.shard = Shard{0, 1};
+  options.log_path = path;
+  Result<sweep::ShardRunStats> full =
+      sweep::RunCorpusShard(entries, learners, options);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_EQ(full->tasks_executed, total);
+  const SweepOutcome baseline =
+      ParallelSweepEntries(entries, learners, config);
+
+  // Simulate a crash: keep the header + the first two result rows,
+  // then a torn half-written line.
+  Result<sweep::ResultLogContents> contents = sweep::ReadResultLog(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_GE(contents->rows.size(), 3u);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  LogHeader header = sweep::MakeLogHeader(manifest, config, options.shard);
+  {
+    Result<std::unique_ptr<ResultLogWriter>> rewrite =
+        ResultLogWriter::Open(path, header, /*resume=*/false);
+    ASSERT_TRUE(rewrite.ok());
+    for (size_t i = 0; i < 2; ++i) {
+      (*rewrite)->Append(contents->rows[i].task, contents->rows[i].result);
+    }
+  }
+  std::string torn = sweep::FormatRow(contents->rows[2]);
+  torn.resize(torn.size() - 5);
+  AppendRaw(path, torn);
+
+  // Resume: exactly the two logged tasks are skipped, the rest re-run,
+  // and the merged outcome is still bit-identical to the baseline.
+  options.resume = true;
+  Result<sweep::ShardRunStats> resumed =
+      sweep::RunCorpusShard(entries, learners, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->tasks_resumed, 2);
+  EXPECT_EQ(resumed->tasks_executed, total - 2);
+  Result<SweepOutcome> merged = sweep::MergeShardLogs(
+      manifest, sweep::MakeLogHeader(manifest, config, Shard{}), {path});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(sweep::DumpOutcome(*merged), sweep::DumpOutcome(baseline));
+
+  // Resuming a *finished* shard re-executes nothing.
+  Result<sweep::ShardRunStats> again =
+      sweep::RunCorpusShard(entries, learners, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->tasks_executed, 0);
+  EXPECT_EQ(again->tasks_resumed, total);
+  EXPECT_EQ(again->streams_prepared, 0);
+  std::remove(path.c_str());
+}
+
+TEST(MergeTest, RejectsIncompleteCoverageAndForeignLogs) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT"};
+  SweepConfig config = FastConfig(1);
+  TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+
+  sweep::ShardRunOptions options;
+  options.config = config;
+  options.shard = Shard{0, 2};
+  options.log_path = LogPath("partial", 0, 2);
+  std::remove(options.log_path.c_str());
+  Result<sweep::ShardRunStats> stats =
+      sweep::RunCorpusShard(entries, learners, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  LogHeader header = sweep::MakeLogHeader(manifest, config, Shard{});
+  Result<SweepOutcome> incomplete =
+      sweep::MergeShardLogs(manifest, header, {options.log_path});
+  ASSERT_FALSE(incomplete.ok());
+  EXPECT_NE(incomplete.status().ToString().find("incomplete coverage"),
+            std::string::npos);
+
+  LogHeader foreign = header;
+  foreign.base_seed = 777;
+  Result<SweepOutcome> mismatched =
+      sweep::MergeShardLogs(manifest, foreign, {options.log_path});
+  EXPECT_FALSE(mismatched.ok());
+  std::remove(options.log_path.c_str());
+}
+
+}  // namespace
+}  // namespace oebench
