@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/io_env.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -52,6 +53,9 @@ struct BenchFlags {
   int spawn = 0;
   /// oebench_sweep only: verify shard+merge bit-identity for n=1,2,3.
   bool selfcheck = false;
+  /// oebench_sweep only: fault-injection schedule for the result log's
+  /// I/O environment (see FaultSchedule::Parse). Empty = real I/O.
+  std::string fault_schedule;
 };
 
 [[noreturn]] inline void FlagsUsageAndExit(const char* argv0,
@@ -73,6 +77,10 @@ struct BenchFlags {
       "  --merge LOG... merge shard logs and print the full table\n"
       "  --spawn=N      oebench_sweep: run N shard subprocesses + merge\n"
       "  --selfcheck    oebench_sweep: verify shard/merge bit-identity\n"
+      "  --fault-schedule=SPEC\n"
+      "                 oebench_sweep: inject result-log I/O faults, e.g.\n"
+      "                 fail-append=3,crash-at-byte=512 (crash-recovery\n"
+      "                 tests; see DESIGN.md)\n"
       "Flags take --flag=value or --flag value.\n",
       argv0);
   std::exit(2);
@@ -86,6 +94,7 @@ inline BenchFlags ParseFlags(int argc, char** argv,
   flags.repeats = default_repeats;
   flags.threads = ThreadPool::HardwareThreads();
   bool merge_mode = false;
+  bool shard_set = false;
   auto fail = [&](const std::string& msg) -> void {
     FlagsUsageAndExit(argv[0], msg);
   };
@@ -150,9 +159,22 @@ inline BenchFlags ParseFlags(int argc, char** argv,
       flags.spawn = int_value(1);
     } else if (name == "shard") {
       std::string text = need_value();
+      if (shard_set) {
+        fail("duplicate --shard (already " +
+             StrFormat("%d/%d", flags.shard.index, flags.shard.count) +
+             "); one invocation runs exactly one shard span");
+      }
       if (!sweep::ParseShard(text, &flags.shard)) {
         fail("--shard needs I/N with 0 <= I < N, got '" + text + "'");
       }
+      shard_set = true;
+    } else if (name == "fault-schedule") {
+      std::string text = need_value();
+      Result<FaultSchedule> schedule = FaultSchedule::Parse(text);
+      if (!schedule.ok()) {
+        fail("--fault-schedule: " + schedule.status().message());
+      }
+      flags.fault_schedule = text;
     } else if (name == "log") {
       flags.log_path = need_value();
     } else if (name == "resume") {
@@ -171,6 +193,14 @@ inline BenchFlags ParseFlags(int argc, char** argv,
   }
   if (flags.merge && flags.merge_logs.empty()) {
     fail("--merge needs at least one shard log");
+  }
+  for (size_t a = 0; a < flags.merge_logs.size(); ++a) {
+    for (size_t b = a + 1; b < flags.merge_logs.size(); ++b) {
+      if (flags.merge_logs[a] == flags.merge_logs[b]) {
+        fail("--merge lists '" + flags.merge_logs[a] +
+             "' twice; each shard log merges once");
+      }
+    }
   }
   return flags;
 }

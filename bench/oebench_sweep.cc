@@ -20,10 +20,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/io_env.h"
 #include "core/parallel_eval.h"
 #include "streamgen/corpus.h"
 #include "sweep/manifest.h"
@@ -72,9 +74,15 @@ int MergeAndPrint(const std::vector<CorpusEntry>& entries,
   Result<SweepOutcome> merged =
       sweep::MergeShardLogs(manifest, expected, logs);
   if (!merged.ok()) {
+    // Unreadable/mismatched/incomplete logs are a usage problem (wrong
+    // paths or wrong sweep flags), not a sweep failure: exit 2 like
+    // every other bad invocation.
     std::fprintf(stderr, "merge failed: %s\n",
                  merged.status().ToString().c_str());
-    return 1;
+    std::fprintf(stderr,
+                 "(check the log paths and that --scale/--repeats/--seed/"
+                 "--epochs/--datasets match the shard runs)\n");
+    return 2;
   }
   std::printf("%s", sweep::FormatOutcomeTable(*merged).c_str());
   std::printf("\n%lld prequential runs, %lld N/A pairs, %lld datasets\n",
@@ -96,8 +104,33 @@ int RunShard(const bench::BenchFlags& flags) {
       flags.log_path.empty() ? DefaultLogPath(flags.shard) : flags.log_path;
   options.resume = flags.resume;
 
+  // --fault-schedule routes the result log through a fault-injecting
+  // environment — the crash-recovery harness's hook into a real worker
+  // process. ParseFlags already validated the spec.
+  std::unique_ptr<FaultInjectingEnv> fault_env;
+  if (!flags.fault_schedule.empty()) {
+    Result<FaultSchedule> schedule =
+        FaultSchedule::Parse(flags.fault_schedule);
+    OE_CHECK(schedule.ok()) << schedule.status().ToString();
+    fault_env = std::make_unique<FaultInjectingEnv>(*schedule);
+    options.env = fault_env.get();
+    std::fprintf(stderr, "[shard %d/%d] fault schedule: %s\n",
+                 flags.shard.index, flags.shard.count,
+                 schedule->ToString().c_str());
+  }
+
   Result<sweep::ShardRunStats> stats =
       sweep::RunCorpusShard(entries, learners, options);
+  if (fault_env != nullptr) {
+    std::fprintf(stderr,
+                 "[shard %d/%d] fault env: %lld append(s), %llu byte(s), "
+                 "%lld fault(s) injected, crashed=%d\n",
+                 flags.shard.index, flags.shard.count,
+                 static_cast<long long>(fault_env->appends()),
+                 static_cast<unsigned long long>(fault_env->bytes_written()),
+                 static_cast<long long>(fault_env->faults_injected()),
+                 fault_env->crashed() ? 1 : 0);
+  }
   if (!stats.ok()) {
     std::fprintf(stderr, "shard failed: %s\n",
                  stats.status().ToString().c_str());
@@ -105,12 +138,14 @@ int RunShard(const bench::BenchFlags& flags) {
   }
   std::fprintf(stderr,
                "[shard %d/%d] %lld task(s): %lld executed, %lld resumed, "
-               "%lld n/a; %lld stream(s) prepared -> %s\n",
+               "%lld n/a, %lld append retry(ies); %lld stream(s) prepared "
+               "-> %s\n",
                flags.shard.index, flags.shard.count,
                static_cast<long long>(stats->shard_tasks),
                static_cast<long long>(stats->tasks_executed),
                static_cast<long long>(stats->tasks_resumed),
                static_cast<long long>(stats->na_logged),
+               static_cast<long long>(stats->append_retries),
                static_cast<long long>(stats->streams_prepared),
                options.log_path.c_str());
 

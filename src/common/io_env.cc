@@ -1,0 +1,393 @@
+#include "common/io_env.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace oebench {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Default (passthrough) environment: stdio-backed.
+
+class StdioWritableFile : public WritableFile {
+ public:
+  explicit StdioWritableFile(std::FILE* file) : file_(file) {}
+  ~StdioWritableFile() override { Close().ok(); }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::IoError("append to closed file");
+    size_t written = std::fwrite(data.data(), 1, data.size(), file_);
+    if (written != data.size()) {
+      return Status::IoError(StrFormat(
+          "short write: %zu of %zu bytes", written, data.size()));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) return Status::IoError("sync of closed file");
+    if (std::fflush(file_) != 0) return Status::IoError("fflush failed");
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    std::FILE* file = file_;
+    file_ = nullptr;
+    if (std::fclose(file) != 0) return Status::IoError("fclose failed");
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+class DefaultIoEnv : public IoEnv {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    std::FILE* file = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (file == nullptr) {
+      return Status::IoError("cannot open for writing: " + path);
+    }
+    return std::unique_ptr<WritableFile>(new StdioWritableFile(file));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return Status::IoError("cannot open: " + path);
+    std::string text;
+    char buffer[1 << 16];
+    size_t got;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      text.append(buffer, got);
+    }
+    bool failed = std::ferror(file) != 0;
+    std::fclose(file);
+    if (failed) return Status::IoError("read failed: " + path);
+    return text;
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return false;
+    std::fclose(file);
+    return true;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError("cannot move " + from + " over " + to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return Status::IoError("cannot remove: " + path);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+IoEnv* IoEnv::Default() {
+  static DefaultIoEnv* env = new DefaultIoEnv();
+  return env;
+}
+
+// ---------------------------------------------------------------------
+// Fault schedule parsing.
+
+namespace {
+
+bool ParsePositive(std::string_view text, int64_t* out) {
+  if (!ParseInt64(text, out)) return false;
+  return *out >= 1;
+}
+
+}  // namespace
+
+Result<FaultSchedule> FaultSchedule::Parse(std::string_view spec) {
+  FaultSchedule schedule;
+  bool seen_fail = false, seen_torn = false, seen_sync = false,
+       seen_enospc = false, seen_crash = false, seen_transient = false;
+  for (const std::string& clause : Split(spec, ',')) {
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
+      return Status::InvalidArgument("bad fault clause '" + clause +
+                                     "' (want key=value)");
+    }
+    std::string key = clause.substr(0, eq);
+    std::string value = clause.substr(eq + 1);
+    if (key == "fail-append" && !seen_fail) {
+      if (!ParsePositive(value, &schedule.fail_append)) {
+        return Status::InvalidArgument("fail-append needs N >= 1, got '" +
+                                       value + "'");
+      }
+      seen_fail = true;
+    } else if (key == "torn-append" && !seen_torn) {
+      size_t colon = value.find(':');
+      int64_t bytes = 0;
+      if (colon == std::string::npos ||
+          !ParsePositive(value.substr(0, colon), &schedule.torn_append) ||
+          !ParseInt64(value.substr(colon + 1), &bytes) || bytes < 0) {
+        return Status::InvalidArgument(
+            "torn-append needs N:K with N >= 1, K >= 0, got '" + value + "'");
+      }
+      schedule.torn_bytes = static_cast<uint64_t>(bytes);
+      seen_torn = true;
+    } else if (key == "fail-sync" && !seen_sync) {
+      if (!ParsePositive(value, &schedule.fail_sync)) {
+        return Status::InvalidArgument("fail-sync needs N >= 1, got '" +
+                                       value + "'");
+      }
+      seen_sync = true;
+    } else if (key == "enospc" && !seen_enospc) {
+      if (!ParsePositive(value, &schedule.enospc_append)) {
+        return Status::InvalidArgument("enospc needs N >= 1, got '" + value +
+                                       "'");
+      }
+      seen_enospc = true;
+    } else if (key == "crash-at-byte" && !seen_crash) {
+      if (!ParseInt64(value, &schedule.crash_after_bytes) ||
+          schedule.crash_after_bytes < 0) {
+        return Status::InvalidArgument("crash-at-byte needs K >= 0, got '" +
+                                       value + "'");
+      }
+      seen_crash = true;
+    } else if (key == "transient" && !seen_transient) {
+      size_t colon = value.find(':');
+      double p = 0.0;
+      if (colon == std::string::npos ||
+          !ParseUint64(value.substr(0, colon), &schedule.transient_seed) ||
+          !ParseDouble(value.substr(colon + 1), &p) || !(p >= 0.0) ||
+          !(p <= 1.0)) {
+        return Status::InvalidArgument(
+            "transient needs SEED:P with 0 <= P <= 1, got '" + value + "'");
+      }
+      schedule.transient_p = p;
+      seen_transient = true;
+    } else {
+      return Status::InvalidArgument("unknown or repeated fault clause '" +
+                                     clause + "'");
+    }
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::vector<std::string> clauses;
+  if (fail_append > 0) {
+    clauses.push_back(StrFormat("fail-append=%lld",
+                                static_cast<long long>(fail_append)));
+  }
+  if (torn_append > 0) {
+    clauses.push_back(StrFormat("torn-append=%lld:%llu",
+                                static_cast<long long>(torn_append),
+                                static_cast<unsigned long long>(torn_bytes)));
+  }
+  if (fail_sync > 0) {
+    clauses.push_back(StrFormat("fail-sync=%lld",
+                                static_cast<long long>(fail_sync)));
+  }
+  if (enospc_append > 0) {
+    clauses.push_back(StrFormat("enospc=%lld",
+                                static_cast<long long>(enospc_append)));
+  }
+  if (crash_after_bytes >= 0) {
+    clauses.push_back(StrFormat("crash-at-byte=%lld",
+                                static_cast<long long>(crash_after_bytes)));
+  }
+  if (transient_p > 0.0) {
+    clauses.push_back(StrFormat(
+        "transient=%llu:%g",
+        static_cast<unsigned long long>(transient_seed), transient_p));
+  }
+  return Join(clauses, ",");
+}
+
+// ---------------------------------------------------------------------
+// Fault-injecting environment.
+
+/// Wraps a base file; every append/sync consults the env's schedule
+/// first, writing only the bytes the schedule allows through. Named
+/// (not anonymous) so the env's friend declaration reaches it.
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(FaultInjectingEnv* env,
+                     std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override {
+    OE_RETURN_NOT_OK(env_->CheckAlive());
+    return base_->Close();
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+Status FaultInjectingFile::Append(std::string_view data) {
+  uint64_t allowed = 0;
+  Status verdict = env_->OnAppend(data.size(), &allowed);
+  if (allowed > 0) {
+    // Torn/crash partial prefix: these bytes DID reach the disk before
+    // the simulated failure, so they must reach the base file too.
+    Status written = base_->Append(data.substr(0, allowed));
+    Status synced = base_->Sync();  // make the torn tail observable
+    if (verdict.ok() && !written.ok()) return written;
+    if (verdict.ok() && !synced.ok()) return synced;
+  }
+  return verdict;
+}
+
+Status FaultInjectingFile::Sync() {
+  OE_RETURN_NOT_OK(env_->OnSync());
+  return base_->Sync();
+}
+
+FaultInjectingEnv::FaultInjectingEnv(IoEnv* base,
+                                     const FaultSchedule& schedule)
+    : base_(base != nullptr ? base : IoEnv::Default()),
+      schedule_(schedule),
+      transient_rng_(schedule.transient_seed) {}
+
+Status FaultInjectingEnv::CheckAlive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::IoError("simulated crash: I/O environment is down");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::OnAppend(uint64_t size, uint64_t* allowed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *allowed = 0;
+  if (crashed_) {
+    return Status::IoError("simulated crash: I/O environment is down");
+  }
+  const int64_t op = ++append_ops_;
+  if (schedule_.crash_after_bytes >= 0 &&
+      bytes_written_ + static_cast<int64_t>(size) >
+          schedule_.crash_after_bytes) {
+    uint64_t prefix =
+        static_cast<uint64_t>(schedule_.crash_after_bytes - bytes_written_);
+    *allowed = prefix;
+    bytes_written_ += static_cast<int64_t>(prefix);
+    crashed_ = true;
+    ++faults_;
+    return Status::IoError(StrFormat(
+        "simulated crash after %lld byte(s)",
+        static_cast<long long>(schedule_.crash_after_bytes)));
+  }
+  if (op == schedule_.fail_append) {
+    ++faults_;
+    return Status::Unavailable(StrFormat(
+        "injected transient failure on append #%lld",
+        static_cast<long long>(op)));
+  }
+  if (op == schedule_.enospc_append) {
+    ++faults_;
+    return Status::IoError(StrFormat(
+        "injected ENOSPC on append #%lld: no space left on device",
+        static_cast<long long>(op)));
+  }
+  if (op == schedule_.torn_append) {
+    uint64_t prefix = schedule_.torn_bytes < size ? schedule_.torn_bytes
+                                                  : size;
+    *allowed = prefix;
+    bytes_written_ += static_cast<int64_t>(prefix);
+    ++faults_;
+    return Status::IoError(StrFormat(
+        "injected torn write on append #%lld (%llu of %llu byte(s))",
+        static_cast<long long>(op),
+        static_cast<unsigned long long>(prefix),
+        static_cast<unsigned long long>(size)));
+  }
+  if (schedule_.transient_p > 0.0 &&
+      transient_rng_.Bernoulli(schedule_.transient_p)) {
+    ++faults_;
+    return Status::Unavailable(StrFormat(
+        "injected transient failure on append #%lld (seeded)",
+        static_cast<long long>(op)));
+  }
+  *allowed = size;
+  bytes_written_ += static_cast<int64_t>(size);
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::OnSync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::IoError("simulated crash: I/O environment is down");
+  }
+  if (++sync_ops_ == schedule_.fail_sync) {
+    ++faults_;
+    return Status::Unavailable(StrFormat(
+        "injected transient failure on sync #%lld",
+        static_cast<long long>(sync_ops_)));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  OE_RETURN_NOT_OK(CheckAlive());
+  Result<std::unique_ptr<WritableFile>> base =
+      base_->NewWritableFile(path, truncate);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingFile(this, std::move(*base)));
+}
+
+Result<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
+  OE_RETURN_NOT_OK(CheckAlive());
+  return base_->ReadFile(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  if (!CheckAlive().ok()) return false;
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  OE_RETURN_NOT_OK(CheckAlive());
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  OE_RETURN_NOT_OK(CheckAlive());
+  return base_->RemoveFile(path);
+}
+
+bool FaultInjectingEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+int64_t FaultInjectingEnv::appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return append_ops_;
+}
+
+int64_t FaultInjectingEnv::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+int64_t FaultInjectingEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+}  // namespace oebench

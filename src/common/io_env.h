@@ -1,0 +1,171 @@
+#ifndef OEBENCH_COMMON_IO_ENV_H_
+#define OEBENCH_COMMON_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace oebench {
+
+/// Injectable I/O environment (LevelDB-Env style). Everything the
+/// sweep subsystem's durability story touches — opening, appending,
+/// syncing, renaming, reading — goes through this interface instead of
+/// raw FILE*/fstream calls, so tests can substitute a fault-injecting
+/// implementation and exercise torn writes, fsync errors, ENOSPC and
+/// crashes deterministically, at every byte offset, without ever
+/// killing a real process.
+///
+/// Error taxonomy: kUnavailable means transient — nothing (or nothing
+/// new) reached the file and an identical retry may succeed; callers
+/// with a retry policy (sweep/shard_runner) retry these with bounded
+/// backoff. Every other failure is permanent: partial bytes may have
+/// reached the file (a torn append) or the environment is gone
+/// (crash), and the only safe recovery is resume-with-compaction.
+
+/// An open file being appended to. Not thread-safe; callers serialise
+/// (ResultLogWriter holds its own mutex).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file. On a permanent failure
+  /// partial bytes may have been written (the torn-write case).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Pushes buffered bytes toward durable storage (the log's per-row
+  /// flush point). A transient sync failure leaves already-appended
+  /// bytes intact, so retrying the whole append is safe — duplicate
+  /// rows are tolerated by the log reader and merge.
+  virtual Status Sync() = 0;
+
+  /// Closes the file. Idempotent; the destructor closes too.
+  virtual Status Close() = 0;
+};
+
+class IoEnv {
+ public:
+  virtual ~IoEnv() = default;
+
+  /// Opens `path` for writing. `truncate` starts an empty file
+  /// (compaction's temp file); otherwise appends to an existing one.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Reads a whole file into memory.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (the compaction commit).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// The process-wide passthrough environment (stdio-backed). Never
+  /// null; callers treat a null IoEnv* option as "use Default()".
+  static IoEnv* Default();
+};
+
+/// One deterministic fault plan for a FaultInjectingEnv. Append and
+/// sync operations are counted 1-based across every file the env opens
+/// (header, compaction temp and log appends alike), so a schedule pins
+/// a fault to an exact operation — or, for crashes, an exact byte — of
+/// a run, independent of wall clock.
+struct FaultSchedule {
+  /// Nth append fails before writing anything — transient
+  /// (kUnavailable); a retry of the same append succeeds.
+  int64_t fail_append = 0;
+  /// Nth append writes only the first `torn_bytes` bytes, then fails
+  /// permanently (kIoError) — the classic torn write.
+  int64_t torn_append = 0;
+  uint64_t torn_bytes = 0;
+  /// Nth sync fails — transient (kUnavailable); the appended bytes are
+  /// intact.
+  int64_t fail_sync = 0;
+  /// Nth append fails with no space left — permanent (kIoError),
+  /// nothing written, but the environment stays up.
+  int64_t enospc_append = 0;
+  /// When >= 0: total append-byte budget. The append that would exceed
+  /// it writes only up to the budget, then the whole environment dies —
+  /// every later operation on every file fails (kIoError), exactly as
+  /// if the process had been killed at that byte.
+  int64_t crash_after_bytes = -1;
+  /// When transient_p > 0: each append additionally fails transiently
+  /// with probability transient_p, driven by a seeded common/random
+  /// Rng — a deterministic model of a flaky disk.
+  uint64_t transient_seed = 0;
+  double transient_p = 0.0;
+
+  /// Parses the --fault-schedule= syntax: comma-separated clauses
+  ///   fail-append=N | torn-append=N:K | fail-sync=N | enospc=N |
+  ///   crash-at-byte=K | transient=SEED:P
+  /// e.g. "torn-append=3:7,fail-sync=1". Rejects unknown clauses,
+  /// malformed numbers and duplicate clauses.
+  static Result<FaultSchedule> Parse(std::string_view spec);
+
+  /// Canonical rendering of the schedule (diagnostics, logs).
+  std::string ToString() const;
+};
+
+/// Wraps a base environment and injects the scheduled faults. Thread-
+/// safe: operation counters are guarded, so schedules stay meaningful
+/// when appends come from pool workers (with one writer they are fully
+/// deterministic; the crash harness runs single-threaded for exact
+/// byte-offset control).
+class FaultInjectingEnv : public IoEnv {
+ public:
+  /// `base` must outlive the env; null means IoEnv::Default().
+  FaultInjectingEnv(IoEnv* base, const FaultSchedule& schedule);
+  /// Convenience: injects over IoEnv::Default().
+  explicit FaultInjectingEnv(const FaultSchedule& schedule)
+      : FaultInjectingEnv(nullptr, schedule) {}
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+
+  /// True once crash_after_bytes has been hit; every operation fails
+  /// from then on.
+  bool crashed() const;
+  /// Append operations attempted so far (including failed ones).
+  int64_t appends() const;
+  /// Bytes that actually reached files through this env.
+  int64_t bytes_written() const;
+  /// Faults injected so far (of any kind).
+  int64_t faults_injected() const;
+
+ private:
+  friend class FaultInjectingFile;
+
+  /// Decides the fate of one append of `size` bytes. Returns OK with
+  /// *allowed == size for a clean write; a fault status with *allowed
+  /// set to how many bytes must still be written (torn/crash partial
+  /// prefixes) otherwise.
+  Status OnAppend(uint64_t size, uint64_t* allowed);
+  Status OnSync();
+  /// Fails fast when the simulated machine is down.
+  Status CheckAlive() const;
+
+  IoEnv* base_;
+  FaultSchedule schedule_;
+  mutable std::mutex mu_;
+  Rng transient_rng_;
+  int64_t append_ops_ = 0;
+  int64_t sync_ops_ = 0;
+  int64_t bytes_written_ = 0;
+  int64_t faults_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_COMMON_IO_ENV_H_

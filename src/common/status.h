@@ -21,6 +21,11 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  /// A transient failure (e.g. an injected or real intermittent I/O
+  /// error) that is expected to succeed if retried. Callers with a
+  /// retry policy (sweep/shard_runner) retry kUnavailable with bounded
+  /// backoff; every other code is permanent and propagates.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("OK", "Invalid
@@ -60,6 +65,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

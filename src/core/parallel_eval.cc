@@ -43,6 +43,23 @@ bool TaskSelected(const SweepConfig& config, const std::string& dataset,
   return config.task_filter(TaskIdentity{dataset, learner, repeat});
 }
 
+/// Latching stop poll: once config.stop_requested returns true, every
+/// later call reports stopped without consulting it again.
+class StopLatch {
+ public:
+  explicit StopLatch(const SweepConfig& config) : config_(config) {}
+  bool Stopped() {
+    if (!stopped_ && config_.stop_requested && config_.stop_requested()) {
+      stopped_ = true;
+    }
+    return stopped_;
+  }
+
+ private:
+  const SweepConfig& config_;
+  bool stopped_ = false;
+};
+
 /// RunRepeated-style aggregation over the runs a cell actually
 /// executed (all repeats unless a task_filter kept some out).
 void AggregateCell(SweepCell* cell) {
@@ -80,6 +97,7 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
   OE_CHECK(config.repeats > 0);
   SweepOutcome outcome;
   ThreadPool pool(PoolWorkers(config.threads));
+  StopLatch stop(config);
 
   // One future per executed (stream, learner, repeat), canonical order.
   // A pair that cannot be built (N/A, e.g. ARF on regression) is
@@ -101,6 +119,7 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
       }
       pair.applicable = true;
       for (int rep = 0; rep < config.repeats; ++rep) {
+        if (stop.Stopped()) break;
         if (!TaskSelected(config, stream.name, learners[l], rep)) continue;
         LearnerConfig task_config = config.base_config;
         task_config.seed = TaskSeed(config.base_config.seed, stream.name,
@@ -193,6 +212,7 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
     std::vector<char> applicable;                       // per learner
     std::vector<std::vector<char>> selected;            // [learner][repeat]
     bool needs_stream = false;
+    bool prepare_submitted = false;
     std::future<std::shared_ptr<PreparedStream>> prepared;
     std::vector<std::vector<std::future<EvalResult>>> futures;  // [l][run]
   };
@@ -231,8 +251,10 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
   const int lookahead = std::max(1, PoolWorkers(config.threads));
   size_t next_prepare = 0;
   int outstanding = 0;
+  StopLatch stop(config);
   auto pump_prepares = [&] {
-    while (next_prepare < plans.size() && outstanding < lookahead) {
+    while (next_prepare < plans.size() && outstanding < lookahead &&
+           !stop.Stopped()) {
       Plan& plan = plans[next_prepare];
       if (plan.needs_stream) {
         const StreamSpec& spec = plan.spec;
@@ -246,6 +268,7 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
                                   << prepared.status().ToString();
           return std::make_shared<PreparedStream>(std::move(*prepared));
         });
+        plan.prepare_submitted = true;
         ++outstanding;
       }
       ++next_prepare;
@@ -255,6 +278,9 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
   for (size_t d = 0; d < plans.size(); ++d) {
     Plan& plan = plans[d];
     if (!plan.needs_stream) continue;
+    // A stop can land between this plan's selection and its prepare;
+    // nothing was submitted for it (or anything after it) then.
+    if (!plan.prepare_submitted) continue;
     std::shared_ptr<PreparedStream> stream = plan.prepared.get();
     --outstanding;
     pump_prepares();
@@ -262,6 +288,7 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
     for (size_t l = 0; l < learners.size(); ++l) {
       if (!plan.applicable[l]) continue;
       for (int rep = 0; rep < config.repeats; ++rep) {
+        if (stop.Stopped()) break;
         if (!plan.selected[l][static_cast<size_t>(rep)]) continue;
         LearnerConfig task_config = config.base_config;
         task_config.seed = TaskSeed(config.base_config.seed,

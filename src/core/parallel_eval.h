@@ -60,6 +60,13 @@ struct SweepConfig {
   /// as soon as its prequential run finishes — the durable-result-log
   /// hook. Must be thread-safe; it runs concurrently with other tasks.
   std::function<void(const TaskIdentity&, const EvalResult&)> on_task_done;
+  /// Polled (on the submitting thread) before each task submission and
+  /// stream preparation; once it returns true, no further work is
+  /// started. Already-submitted tasks finish and are reported. The
+  /// sweep subsystem uses this to stop burning CPU the moment the
+  /// durable log hits a permanent I/O failure — results that can no
+  /// longer be persisted are not worth computing. Must be thread-safe.
+  std::function<bool()> stop_requested;
 };
 
 /// One (dataset, learner) cell: the per-repeat prequential results in

@@ -35,7 +35,8 @@ std::string DeterministicRowString(const LoggedRow& row) {
 
 Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
                                     const LogHeader& expected,
-                                    const std::vector<std::string>& paths) {
+                                    const std::vector<std::string>& paths,
+                                    IoEnv* env) {
   if (paths.empty()) {
     return Status::InvalidArgument("no shard logs to merge");
   }
@@ -47,7 +48,7 @@ Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
 
   std::map<std::string, LoggedRow> by_key;
   for (const std::string& path : paths) {
-    Result<ResultLogContents> log = ReadResultLog(path);
+    Result<ResultLogContents> log = ReadResultLog(path, env);
     if (!log.ok()) return log.status();
     if (!CompatibleHeaders(log->header, expected)) {
       return Status::FailedPrecondition(

@@ -32,9 +32,13 @@ namespace sweep {
 ///    the deterministic fields;
 ///  - a (dataset, learner) pair must be uniformly N/A or uniformly run
 ///    across its repeats.
+/// `env` is the I/O environment the logs are read through (null =
+/// IoEnv::Default()); fault-injection tests read through the same env
+/// they wrote through.
 Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
                                     const LogHeader& expected,
-                                    const std::vector<std::string>& paths);
+                                    const std::vector<std::string>& paths,
+                                    IoEnv* env = nullptr);
 
 /// Canonical full-precision dump of a SweepOutcome's deterministic
 /// fields (per-run mean/faded/per-window losses as bit patterns, peak

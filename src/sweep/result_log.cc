@@ -1,9 +1,6 @@
 #include "sweep/result_log.h"
 
 #include <bit>
-#include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "common/logging.h"
@@ -241,12 +238,15 @@ Status ParseHeader(const std::vector<std::string>& lines, size_t* cursor,
 
 }  // namespace
 
-Result<ResultLogContents> ReadResultLog(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open result log: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  std::string text = buffer.str();
+Result<ResultLogContents> ReadResultLog(const std::string& path,
+                                        IoEnv* env) {
+  if (env == nullptr) env = IoEnv::Default();
+  Result<std::string> read = env->ReadFile(path);
+  if (!read.ok()) {
+    return Status::IoError("cannot open result log: " + path + " (" +
+                           read.status().message() + ")");
+  }
+  std::string text = std::move(*read);
 
   // A line is only trusted when terminated by '\n': a crash mid-write
   // leaves a torn tail, which resume must re-run, not half-parse.
@@ -278,78 +278,80 @@ Result<ResultLogContents> ReadResultLog(const std::string& path) {
 }
 
 Result<std::unique_ptr<ResultLogWriter>> ResultLogWriter::Open(
-    const std::string& path, const LogHeader& header, bool resume) {
+    const std::string& path, const LogHeader& header, bool resume,
+    IoEnv* env) {
+  if (env == nullptr) env = IoEnv::Default();
   std::unique_ptr<ResultLogWriter> writer(new ResultLogWriter());
   std::vector<LoggedRow> kept;
-  if (resume) {
-    std::ifstream probe(path);
-    if (probe.good()) {
-      probe.close();
-      Result<ResultLogContents> existing = ReadResultLog(path);
-      if (!existing.ok()) return existing.status();
-      if (!CompatibleHeaders(existing->header, header)) {
-        return Status::FailedPrecondition(
-            "cannot resume " + path + ": log header [" +
-            HeaderToString(existing->header) +
-            "] does not match this sweep [" + HeaderToString(header) + "]");
-      }
-      kept = std::move(existing->rows);
+  if (resume && env->FileExists(path)) {
+    Result<ResultLogContents> existing = ReadResultLog(path, env);
+    if (!existing.ok()) return existing.status();
+    if (!CompatibleHeaders(existing->header, header)) {
+      return Status::FailedPrecondition(
+          "cannot resume " + path + ": log header [" +
+          HeaderToString(existing->header) +
+          "] does not match this sweep [" + HeaderToString(header) + "]");
     }
+    kept = std::move(existing->rows);
   }
   // (Re)write header + kept rows to a temp file, then rename into
   // place: a crash during compaction leaves the original intact.
   const std::string tmp = path + ".tmp";
   {
-    std::FILE* out = std::fopen(tmp.c_str(), "w");
-    if (out == nullptr) {
-      return Status::IoError("cannot create result log: " + tmp);
+    Result<std::unique_ptr<WritableFile>> out =
+        env->NewWritableFile(tmp, /*truncate=*/true);
+    if (!out.ok()) {
+      return Status(out.status().code(),
+                    "cannot create result log: " + tmp + " (" +
+                        out.status().message() + ")");
     }
-    std::string head = FormatHeader(header);
-    std::fwrite(head.data(), 1, head.size(), out);
+    OE_RETURN_NOT_OK((*out)->Append(FormatHeader(header)));
     for (const LoggedRow& row : kept) {
       std::string line = FormatRow(row);
       line += '\n';
-      std::fwrite(line.data(), 1, line.size(), out);
+      OE_RETURN_NOT_OK((*out)->Append(line));
       writer->done_.insert(TaskKey(row.task));
     }
-    if (std::fclose(out) != 0) {
-      return Status::IoError("cannot write result log: " + tmp);
-    }
+    OE_RETURN_NOT_OK((*out)->Sync());
+    OE_RETURN_NOT_OK((*out)->Close());
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError("cannot move " + tmp + " over " + path);
+  OE_RETURN_NOT_OK(env->RenameFile(tmp, path));
+  Result<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(path, /*truncate=*/false);
+  if (!file.ok()) {
+    return Status(file.status().code(),
+                  "cannot append to result log: " + path + " (" +
+                      file.status().message() + ")");
   }
-  writer->file_ = std::fopen(path.c_str(), "a");
-  if (writer->file_ == nullptr) {
-    return Status::IoError("cannot append to result log: " + path);
-  }
+  writer->file_ = std::move(*file);
   return writer;
 }
 
 ResultLogWriter::~ResultLogWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) file_->Close().ok();
 }
 
-void ResultLogWriter::AppendLine(const std::string& line) {
+Status ResultLogWriter::AppendLine(const std::string& line) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
-  std::fflush(file_);
+  std::string out = line;
+  out += '\n';
+  OE_RETURN_NOT_OK(file_->Append(out));
+  return file_->Sync();
 }
 
-void ResultLogWriter::Append(const TaskIdentity& task,
-                             const EvalResult& result) {
+Status ResultLogWriter::Append(const TaskIdentity& task,
+                               const EvalResult& result) {
   LoggedRow row;
   row.task = task;
   row.result = result;
-  AppendLine(FormatRow(row));
+  return AppendLine(FormatRow(row));
 }
 
-void ResultLogWriter::AppendNotApplicable(const TaskIdentity& task) {
+Status ResultLogWriter::AppendNotApplicable(const TaskIdentity& task) {
   LoggedRow row;
   row.task = task;
   row.not_applicable = true;
-  AppendLine(FormatRow(row));
+  return AppendLine(FormatRow(row));
 }
 
 }  // namespace sweep

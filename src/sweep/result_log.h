@@ -2,7 +2,6 @@
 #define OEBENCH_SWEEP_RESULT_LOG_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -10,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/io_env.h"
 #include "common/status.h"
 #include "core/evaluator.h"
 #include "core/parallel_eval.h"
@@ -89,7 +89,9 @@ bool ParseRow(std::string_view line, LoggedRow* out);
 /// Reads and validates a whole log. Fails on unreadable files or
 /// bad/missing headers; malformed rows are dropped (counted), never
 /// fatal — a crash-truncated log is still a valid resume point.
-Result<ResultLogContents> ReadResultLog(const std::string& path);
+/// All I/O goes through `env` (null = IoEnv::Default()).
+Result<ResultLogContents> ReadResultLog(const std::string& path,
+                                        IoEnv* env = nullptr);
 
 class ResultLogWriter {
  public:
@@ -98,9 +100,11 @@ class ResultLogWriter {
   /// rows are kept (the file is compacted in place via a temp file +
   /// rename) and their keys are reported by done(); a missing file
   /// falls back to a fresh log. Without `resume` an existing file is
-  /// overwritten.
+  /// overwritten. All I/O goes through `env` (null = IoEnv::Default()),
+  /// so fault-injecting environments can hit the compaction path too.
   static Result<std::unique_ptr<ResultLogWriter>> Open(
-      const std::string& path, const LogHeader& header, bool resume);
+      const std::string& path, const LogHeader& header, bool resume,
+      IoEnv* env = nullptr);
 
   ~ResultLogWriter();
 
@@ -109,14 +113,21 @@ class ResultLogWriter {
 
   /// Appends one row and flushes. Thread-safe: this is the
   /// SweepConfig::on_task_done sink and runs on pool workers.
-  void Append(const TaskIdentity& task, const EvalResult& result);
-  void AppendNotApplicable(const TaskIdentity& task);
+  ///
+  /// Failure contract: kUnavailable means the row did not land (or may
+  /// be durable but is safe to write again — the reader and merge
+  /// tolerate bit-identical duplicate rows), so the *whole append* can
+  /// simply be retried; the shard runner does so with bounded backoff.
+  /// Any other failure is permanent (torn write, ENOSPC, dead env) and
+  /// must propagate: recovery is resume-with-compaction, not retry.
+  Status Append(const TaskIdentity& task, const EvalResult& result);
+  Status AppendNotApplicable(const TaskIdentity& task);
 
  private:
   ResultLogWriter() = default;
-  void AppendLine(const std::string& line);
+  Status AppendLine(const std::string& line);
 
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
   std::mutex mu_;
   std::set<std::string> done_;
 };

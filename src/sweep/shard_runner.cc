@@ -1,10 +1,15 @@
 #include "sweep/shard_runner.h"
 
+#include <atomic>
+#include <chrono>
 #include <map>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace oebench {
 namespace sweep {
@@ -32,22 +37,73 @@ struct TaskShape {
   int num_classes = 2;
 };
 
+/// Durable-log sink with the runner's failure semantics: transient
+/// (kUnavailable) append failures are retried with bounded exponential
+/// backoff; the first permanent failure latches `failed` — the sweep's
+/// stop_requested hook — and is reported once the sweep drains. Runs
+/// on pool workers, hence the locking.
+class DurableSink {
+ public:
+  explicit DurableSink(const RetryPolicy& retry) : retry_(retry) {}
+
+  template <typename AppendFn>
+  void Write(AppendFn&& append) {
+    if (failed_.load(std::memory_order_relaxed)) return;
+    int backoff_ms = retry_.initial_backoff_ms;
+    Status status;
+    for (int attempt = 1;; ++attempt) {
+      status = append();
+      if (status.ok()) return;
+      if (status.code() != StatusCode::kUnavailable ||
+          attempt >= retry_.max_attempts) {
+        break;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms *= 2;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failed_.exchange(true)) first_error_ = std::move(status);
+  }
+
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  int64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  Status first_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_;
+  }
+
+ private:
+  RetryPolicy retry_;
+  mutable std::mutex mu_;
+  std::atomic<bool> failed_{false};
+  std::atomic<int64_t> retries_{0};
+  Status first_error_;
+};
+
 /// Shared shard execution: resolve pending tasks, log N/A ones, run
 /// the rest with the durable-log callback installed, via `run_sweep`.
 template <typename RunSweep>
 Result<ShardRunStats> RunShardImpl(
     const TaskManifest& manifest, const ShardRunOptions& options,
     const std::map<std::string, TaskShape>& shapes, RunSweep run_sweep) {
-  OE_CHECK(!options.config.task_filter && !options.config.on_task_done)
-      << "task_filter/on_task_done are owned by the shard runner";
+  OE_CHECK(!options.config.task_filter && !options.config.on_task_done &&
+           !options.config.stop_requested)
+      << "task_filter/on_task_done/stop_requested are owned by the "
+         "shard runner";
   if (options.log_path.empty()) {
     return Status::InvalidArgument("shard run needs a --log path");
   }
 
   LogHeader header = MakeLogHeader(manifest, options.config, options.shard);
-  Result<std::unique_ptr<ResultLogWriter>> writer =
-      ResultLogWriter::Open(options.log_path, header, options.resume);
+  Result<std::unique_ptr<ResultLogWriter>> writer = ResultLogWriter::Open(
+      options.log_path, header, options.resume, options.env);
   if (!writer.ok()) return writer.status();
+  DurableSink sink(options.retry);
 
   ShardRunStats stats;
   std::vector<TaskIdentity> shard_tasks = manifest.ShardTasks(options.shard);
@@ -59,6 +115,7 @@ Result<ShardRunStats> RunShardImpl(
   std::set<std::string> selected;
   const std::vector<std::string>& learners = manifest.grid().learners;
   std::map<std::string, std::vector<char>> probe_cache;
+  ResultLogWriter* log = writer->get();
   for (const TaskIdentity& task : shard_tasks) {
     std::string key = TaskKey(task);
     if ((*writer)->done().count(key) > 0) {
@@ -85,26 +142,41 @@ Result<ShardRunStats> RunShardImpl(
     while (l < learners.size() && learners[l] != task.learner) ++l;
     OE_CHECK(l < learners.size());
     if (!applicable[l]) {
-      (*writer)->AppendNotApplicable(task);
+      sink.Write([log, &task] { return log->AppendNotApplicable(task); });
+      if (sink.failed()) break;  // permanent log failure: stop cleanly
       ++stats.na_logged;
       continue;
     }
     selected.insert(std::move(key));
   }
-  if (selected.empty()) return stats;
-
-  SweepConfig config = options.config;
-  config.task_filter = [&selected](const TaskIdentity& task) {
-    return selected.count(TaskKey(task)) > 0;
-  };
-  ResultLogWriter* log = writer->get();
-  config.on_task_done = [log](const TaskIdentity& task,
-                              const EvalResult& result) {
-    log->Append(task, result);
-  };
-  SweepOutcome outcome = run_sweep(config);
-  stats.tasks_executed = outcome.tasks_run;
-  stats.streams_prepared = outcome.streams_prepared;
+  if (!sink.failed() && !selected.empty()) {
+    SweepConfig config = options.config;
+    config.task_filter = [&selected](const TaskIdentity& task) {
+      return selected.count(TaskKey(task)) > 0;
+    };
+    config.on_task_done = [log, &sink](const TaskIdentity& task,
+                                       const EvalResult& result) {
+      sink.Write([log, &task, &result] { return log->Append(task, result); });
+    };
+    // The moment the log fails permanently, stop submitting tasks:
+    // results that can no longer be persisted are wasted work. Tasks
+    // already in flight finish (and their appends fail fast).
+    config.stop_requested = [&sink] { return sink.failed(); };
+    SweepOutcome outcome = run_sweep(config);
+    stats.tasks_executed = outcome.tasks_run;
+    stats.streams_prepared = outcome.streams_prepared;
+  }
+  stats.append_retries = sink.retries();
+  if (sink.failed()) {
+    Status error = sink.first_error();
+    return Status(error.code(),
+                  StrFormat("shard %d/%d stopped: durable log '%s' failed "
+                            "permanently after %lld task(s): ",
+                            options.shard.index, options.shard.count,
+                            options.log_path.c_str(),
+                            static_cast<long long>(stats.tasks_executed)) +
+                      error.message());
+  }
   OE_CHECK(stats.tasks_executed == static_cast<int64_t>(selected.size()));
   return stats;
 }

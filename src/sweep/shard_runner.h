@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/io_env.h"
 #include "common/status.h"
 #include "core/parallel_eval.h"
 #include "streamgen/corpus.h"
@@ -19,15 +20,34 @@ namespace sweep {
 /// to the durable log as it finishes. One invocation per shard; any
 /// number of invocations may run concurrently in separate processes,
 /// each with its own log file, and MergeShardLogs reassembles them.
+/// Bounded retry-with-backoff applied to *transient* (kUnavailable)
+/// result-log append failures. Permanent failures (torn writes,
+/// ENOSPC, a dead environment) are never retried: the first one stops
+/// the sweep cleanly (no abort) and the shard run returns its Status —
+/// recovery is re-running with `resume`, which compacts the log and
+/// re-executes exactly the unlogged tasks.
+struct RetryPolicy {
+  /// Total attempts per append (1 = no retry).
+  int max_attempts = 4;
+  /// Sleep before the first retry; doubles each further retry. Zero
+  /// disables sleeping (tests).
+  int initial_backoff_ms = 1;
+};
+
 struct ShardRunOptions {
   /// Threads, base config, pipeline, scale — exactly the knobs an
-  /// unsharded sweep takes. task_filter/on_task_done are owned by the
-  /// runner and must be unset.
+  /// unsharded sweep takes. task_filter/on_task_done/stop_requested
+  /// are owned by the runner and must be unset.
   SweepConfig config;
   Shard shard;
   std::string log_path;
   /// Keep an existing log's rows and re-run only the missing tasks.
   bool resume = false;
+  /// I/O environment for the result log (null = IoEnv::Default()).
+  /// Fault-injecting environments plug in here.
+  IoEnv* env = nullptr;
+  /// Retry policy for transient log-append failures.
+  RetryPolicy retry;
 };
 
 struct ShardRunStats {
@@ -41,6 +61,9 @@ struct ShardRunStats {
   int64_t na_logged = 0;
   /// Streams generated + preprocessed — only the shard's datasets.
   int64_t streams_prepared = 0;
+  /// Transient log-append failures that were retried (and eventually
+  /// succeeded — a permanent failure fails the whole run instead).
+  int64_t append_retries = 0;
 };
 
 /// The log header a sweep with this manifest/config/shard writes, and

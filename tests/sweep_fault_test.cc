@@ -1,0 +1,733 @@
+// Fault-injection and crash-recovery suite for the sharded-sweep
+// durability story (ctest label: check-fault). What it enforces:
+//  - the IoEnv abstraction: the default env really writes files, and
+//    FaultInjectingEnv injects exactly the scheduled faults — transient
+//    failures (kUnavailable) leave nothing behind, torn writes leave
+//    the exact partial prefix, a crash leaves exactly its byte budget
+//    on disk and kills every later operation;
+//  - the shard runner's failure semantics: transient append/sync
+//    failures are retried with bounded backoff and the merged outcome
+//    stays bit-identical; permanent failures (ENOSPC, torn writes,
+//    crashes) stop the sweep cleanly with a Status — never an abort —
+//    and resume-with-compaction recovers;
+//  - the crash-recovery harness: a 2-shard sweep over a mixed corpus
+//    slice, crashed at every record boundary of the shard log (plus
+//    mid-record torn points), always resumes + merges to the byte-exact
+//    fault-free outcome. The exhaustive sweep runs when
+//    OEBENCH_SLOW_TESTS=1 (the check-fault target sets it); without it
+//    a fixed subset keeps the tier-1 run fast.
+//  - oebench_sweep's CLI error paths: bad/duplicate flags and
+//    unmergeable logs exit 2 with a diagnostic, faulted runs exit 1 and
+//    recover with --resume (exec'd via OEBENCH_SWEEP_BIN).
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/io_env.h"
+#include "common/status.h"
+#include "core/parallel_eval.h"
+#include "streamgen/corpus.h"
+#include "sweep/manifest.h"
+#include "sweep/merge.h"
+#include "sweep/result_log.h"
+#include "sweep/shard_runner.h"
+
+namespace oebench {
+namespace {
+
+using sweep::LogHeader;
+using sweep::Shard;
+using sweep::TaskManifest;
+
+bool SlowTestsEnabled() {
+  return std::getenv("OEBENCH_SLOW_TESTS") != nullptr;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "fault_" + name;
+}
+
+// ---------------------------------------------------------------------
+// FaultSchedule parsing.
+
+TEST(FaultScheduleTest, ParsesEveryClauseAndRoundTrips) {
+  Result<FaultSchedule> parsed = FaultSchedule::Parse(
+      "fail-append=3,torn-append=5:7,fail-sync=2,enospc=9,"
+      "crash-at-byte=128,transient=42:0.25");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->fail_append, 3);
+  EXPECT_EQ(parsed->torn_append, 5);
+  EXPECT_EQ(parsed->torn_bytes, 7u);
+  EXPECT_EQ(parsed->fail_sync, 2);
+  EXPECT_EQ(parsed->enospc_append, 9);
+  EXPECT_EQ(parsed->crash_after_bytes, 128);
+  EXPECT_EQ(parsed->transient_seed, 42u);
+  EXPECT_EQ(parsed->transient_p, 0.25);
+  // ToString is canonical and re-parses to the same schedule.
+  Result<FaultSchedule> again = FaultSchedule::Parse(parsed->ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->ToString(), parsed->ToString());
+
+  Result<FaultSchedule> crash_only = FaultSchedule::Parse("crash-at-byte=0");
+  ASSERT_TRUE(crash_only.ok());
+  EXPECT_EQ(crash_only->crash_after_bytes, 0);
+  EXPECT_EQ(crash_only->fail_append, 0);
+}
+
+TEST(FaultScheduleTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"bogus=1", "fail-append", "fail-append=", "=3", "fail-append=0",
+        "fail-append=-2", "fail-append=x", "torn-append=3",
+        "torn-append=0:4", "torn-append=3:-1", "fail-sync=0", "enospc=0",
+        "crash-at-byte=-1", "crash-at-byte=zz", "transient=42",
+        "transient=42:1.5", "transient=42:-0.1", "transient=-1:0.5",
+        "fail-append=1,fail-append=2", "crash-at-byte=1,crash-at-byte=2",
+        "fail-append=1,,fail-sync=1"}) {
+    Result<FaultSchedule> parsed = FaultSchedule::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------
+// The default (passthrough) environment.
+
+TEST(IoEnvTest, DefaultEnvWritesReadsRenamesRemoves) {
+  IoEnv* env = IoEnv::Default();
+  ASSERT_NE(env, nullptr);
+  const std::string path = TempPath("default_env.txt");
+  const std::string moved = TempPath("default_env_moved.txt");
+  std::remove(path.c_str());
+  std::remove(moved.c_str());
+
+  Result<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world\n").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  // Close is idempotent.
+  EXPECT_TRUE((*file)->Close().ok());
+
+  EXPECT_TRUE(env->FileExists(path));
+  Result<std::string> read = env->ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello world\n");
+
+  // Append mode continues an existing file.
+  file = env->NewWritableFile(path, /*truncate=*/false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("more\n").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  read = env->ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello world\nmore\n");
+
+  ASSERT_TRUE(env->RenameFile(path, moved).ok());
+  EXPECT_FALSE(env->FileExists(path));
+  EXPECT_TRUE(env->FileExists(moved));
+  ASSERT_TRUE(env->RemoveFile(moved).ok());
+  EXPECT_FALSE(env->FileExists(moved));
+
+  EXPECT_FALSE(env->ReadFile(TempPath("no_such_file")).ok());
+  EXPECT_FALSE(env->RemoveFile(TempPath("no_such_file")).ok());
+}
+
+// ---------------------------------------------------------------------
+// FaultInjectingEnv semantics.
+
+std::string ReadAll(const std::string& path) {
+  Result<std::string> read = IoEnv::Default()->ReadFile(path);
+  EXPECT_TRUE(read.ok()) << read.status().ToString();
+  return read.ok() ? *read : std::string();
+}
+
+TEST(FaultInjectingEnvTest, FailAppendIsTransientAndWritesNothing) {
+  FaultSchedule schedule;
+  schedule.fail_append = 2;
+  FaultInjectingEnv env(schedule);
+  const std::string path = TempPath("transient.txt");
+  Result<std::unique_ptr<WritableFile>> file =
+      env.NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+
+  EXPECT_TRUE((*file)->Append("one").ok());
+  Status failed = (*file)->Append("two");
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  // The identical retry succeeds — that is what makes it transient.
+  EXPECT_TRUE((*file)->Append("two").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(ReadAll(path), "onetwo");
+  EXPECT_EQ(env.appends(), 3);
+  EXPECT_EQ(env.faults_injected(), 1);
+  EXPECT_FALSE(env.crashed());
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectingEnvTest, TornAppendLeavesExactPrefixAndIsPermanent) {
+  FaultSchedule schedule;
+  schedule.torn_append = 1;
+  schedule.torn_bytes = 3;
+  FaultInjectingEnv env(schedule);
+  const std::string path = TempPath("torn.txt");
+  Result<std::unique_ptr<WritableFile>> file =
+      env.NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+
+  Status torn = (*file)->Append("abcdef");
+  EXPECT_EQ(torn.code(), StatusCode::kIoError);
+  EXPECT_NE(torn.message().find("torn"), std::string::npos);
+  // The env survives a torn write; later appends work.
+  EXPECT_TRUE((*file)->Append("XYZ").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(ReadAll(path), "abcXYZ");
+  EXPECT_EQ(env.bytes_written(), 6);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectingEnvTest, EnospcIsPermanentAndWritesNothing) {
+  FaultSchedule schedule;
+  schedule.enospc_append = 1;
+  FaultInjectingEnv env(schedule);
+  const std::string path = TempPath("enospc.txt");
+  Result<std::unique_ptr<WritableFile>> file =
+      env.NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  Status failed = (*file)->Append("data");
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_NE(failed.message().find("no space left"), std::string::npos);
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(ReadAll(path), "");
+  EXPECT_FALSE(env.crashed());
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectingEnvTest, CrashLeavesExactByteBudgetThenEverythingFails) {
+  FaultSchedule schedule;
+  schedule.crash_after_bytes = 5;
+  FaultInjectingEnv env(schedule);
+  const std::string path = TempPath("crash.txt");
+  Result<std::unique_ptr<WritableFile>> file =
+      env.NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+
+  EXPECT_TRUE((*file)->Append("abc").ok());  // 3 of 5 bytes
+  Status crashed = (*file)->Append("defg");  // would reach 7 > 5
+  EXPECT_EQ(crashed.code(), StatusCode::kIoError);
+  EXPECT_TRUE(env.crashed());
+  EXPECT_EQ(env.bytes_written(), 5);
+
+  // The machine is down: every operation on every file now fails.
+  EXPECT_FALSE((*file)->Append("x").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE((*file)->Close().ok());
+  EXPECT_FALSE(env.NewWritableFile(path, false).ok());
+  EXPECT_FALSE(env.ReadFile(path).ok());
+  EXPECT_FALSE(env.FileExists(path));
+  EXPECT_FALSE(env.RenameFile(path, path + ".x").ok());
+  EXPECT_FALSE(env.RemoveFile(path).ok());
+
+  // Exactly the budget reached the disk: "abc" + 2 bytes of "defg".
+  EXPECT_EQ(ReadAll(path), "abcde");
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectingEnvTest, SeededTransientFaultsAreDeterministic) {
+  FaultSchedule schedule;
+  schedule.transient_seed = 1234;
+  schedule.transient_p = 0.3;
+  std::vector<bool> first_pattern;
+  for (int round = 0; round < 2; ++round) {
+    FaultInjectingEnv env(schedule);
+    const std::string path = TempPath("seeded.txt");
+    Result<std::unique_ptr<WritableFile>> file =
+        env.NewWritableFile(path, /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    std::vector<bool> pattern;
+    int64_t faults = 0;
+    for (int i = 0; i < 64; ++i) {
+      Status status = (*file)->Append("x");
+      pattern.push_back(status.ok());
+      if (!status.ok()) {
+        ++faults;
+        EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+      }
+    }
+    EXPECT_GT(faults, 0);
+    EXPECT_LT(faults, 64);
+    EXPECT_EQ(env.faults_injected(), faults);
+    if (round == 0) {
+      first_pattern = pattern;
+    } else {
+      EXPECT_EQ(pattern, first_pattern);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Shard runner under faults: retry, clean failure, recovery.
+
+std::vector<CorpusEntry> MixedEntries(int per_task) {
+  std::vector<CorpusEntry> out;
+  int cls = 0;
+  int reg = 0;
+  for (const CorpusEntry& entry : Corpus()) {
+    if (entry.task == TaskType::kClassification && cls < per_task) {
+      out.push_back(entry);
+      ++cls;
+    } else if (entry.task == TaskType::kRegression && reg < per_task) {
+      out.push_back(entry);
+      ++reg;
+    }
+  }
+  return out;
+}
+
+SweepConfig FastConfig(int threads) {
+  SweepConfig config;
+  config.base_config.seed = 42;
+  config.base_config.epochs = 2;
+  config.base_config.hidden_sizes = {8};
+  config.base_config.tree_max_depth = 6;
+  config.base_config.ensemble_size = 3;
+  config.repeats = 2;
+  config.threads = threads;
+  config.scale = 0.0;
+  config.pipeline.imputer = "mean";
+  return config;
+}
+
+sweep::ShardRunOptions FaultOptions(const SweepConfig& config,
+                                    const Shard& shard,
+                                    const std::string& log_path,
+                                    IoEnv* env) {
+  sweep::ShardRunOptions options;
+  options.config = config;
+  options.shard = shard;
+  options.log_path = log_path;
+  options.env = env;
+  options.retry.initial_backoff_ms = 0;  // no real sleeping in tests
+  return options;
+}
+
+TEST(ShardRunnerFaultTest, TransientFaultsAreRetriedAndMergeBitIdentical) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  ASSERT_EQ(entries.size(), 2u);
+  // Naive-Bayes is N/A on the regression entry: the N/A logging path
+  // goes through the retry sink too.
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-Bayes"};
+  SweepConfig config = FastConfig(2);
+  const std::string expected =
+      sweep::DumpOutcome(ParallelSweepEntries(entries, learners, config));
+  TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+
+  // Append #3 fails transiently (retried, nothing written) and sync #2
+  // fails transiently (retried: the whole row is appended again, so the
+  // log gains a bit-identical duplicate the merge must tolerate).
+  FaultSchedule schedule;
+  schedule.fail_append = 3;
+  schedule.fail_sync = 2;
+  FaultInjectingEnv env(schedule);
+  const std::string path = TempPath("retry_shard.log");
+  std::remove(path.c_str());
+  Result<sweep::ShardRunStats> stats = sweep::RunCorpusShard(
+      entries, learners, FaultOptions(config, Shard{0, 1}, path, &env));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->append_retries, 2);
+  EXPECT_EQ(env.faults_injected(), 2);
+
+  Result<SweepOutcome> merged = sweep::MergeShardLogs(
+      manifest, sweep::MakeLogHeader(manifest, config, Shard{}), {path});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(sweep::DumpOutcome(*merged), expected);
+  std::remove(path.c_str());
+}
+
+TEST(ShardRunnerFaultTest, ExhaustedRetriesFailCleanly) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT"};
+  SweepConfig config = FastConfig(1);
+
+  // Every append fails transiently: the bounded retry gives up and the
+  // run reports the kUnavailable status instead of spinning forever.
+  FaultSchedule schedule;
+  schedule.transient_seed = 7;
+  schedule.transient_p = 1.0;
+  FaultInjectingEnv env(schedule);
+  const std::string path = TempPath("exhausted_shard.log");
+  std::remove(path.c_str());
+  Result<sweep::ShardRunStats> stats = sweep::RunCorpusShard(
+      entries, learners, FaultOptions(config, Shard{0, 1}, path, &env));
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kUnavailable);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(ShardRunnerFaultTest, EnospcStopsTheSweepWithAStatusNotAnAbort) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-GBDT"};
+  SweepConfig config = FastConfig(2);
+
+  // Append #3 = the second task row; the sweep must stop early and
+  // surface the injected error verbatim in the returned Status.
+  FaultSchedule schedule;
+  schedule.enospc_append = 3;
+  FaultInjectingEnv env(schedule);
+  const std::string path = TempPath("enospc_shard.log");
+  std::remove(path.c_str());
+  Result<sweep::ShardRunStats> stats = sweep::RunCorpusShard(
+      entries, learners, FaultOptions(config, Shard{0, 1}, path, &env));
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kIoError);
+  EXPECT_NE(stats.status().message().find("no space left"),
+            std::string::npos);
+  EXPECT_NE(stats.status().message().find("failed permanently"),
+            std::string::npos);
+
+  // Recovery: resume with a healthy environment completes the shard
+  // and merges bit-identically to the fault-free sweep.
+  sweep::ShardRunOptions recover =
+      FaultOptions(config, Shard{0, 1}, path, nullptr);
+  recover.resume = true;
+  Result<sweep::ShardRunStats> resumed =
+      sweep::RunCorpusShard(entries, learners, recover);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+  Result<SweepOutcome> merged = sweep::MergeShardLogs(
+      manifest, sweep::MakeLogHeader(manifest, config, Shard{}), {path});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(sweep::DumpOutcome(*merged),
+            sweep::DumpOutcome(ParallelSweepEntries(entries, learners,
+                                                    config)));
+  std::remove(path.c_str());
+}
+
+TEST(ShardRunnerFaultTest, TornWriteFailsThenResumeCompactsAndRecovers) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-GBDT"};
+  SweepConfig config = FastConfig(1);  // serial: append order is fixed
+
+  // Append #2 = the first task row, torn after 5 bytes. Torn writes
+  // are permanent — a blind retry would corrupt the line — so the run
+  // must fail and leave a torn tail for resume to compact away.
+  FaultSchedule schedule;
+  schedule.torn_append = 2;
+  schedule.torn_bytes = 5;
+  FaultInjectingEnv env(schedule);
+  const std::string path = TempPath("torn_shard.log");
+  std::remove(path.c_str());
+  Result<sweep::ShardRunStats> stats = sweep::RunCorpusShard(
+      entries, learners, FaultOptions(config, Shard{0, 1}, path, &env));
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kIoError);
+  EXPECT_NE(stats.status().message().find("torn"), std::string::npos);
+
+  // The log really is torn: header + 5 bytes of a row, no newline.
+  Result<sweep::ResultLogContents> contents = sweep::ReadResultLog(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents->rows.size(), 0u);
+  EXPECT_EQ(contents->dropped_lines, 1);
+
+  sweep::ShardRunOptions recover =
+      FaultOptions(config, Shard{0, 1}, path, nullptr);
+  recover.resume = true;
+  Result<sweep::ShardRunStats> resumed =
+      sweep::RunCorpusShard(entries, learners, recover);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->tasks_resumed, 0);
+
+  TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+  Result<SweepOutcome> merged = sweep::MergeShardLogs(
+      manifest, sweep::MakeLogHeader(manifest, config, Shard{}), {path});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(sweep::DumpOutcome(*merged),
+            sweep::DumpOutcome(ParallelSweepEntries(entries, learners,
+                                                    config)));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// The crash-recovery harness. One fault-free 2-shard run fixes the
+// shard-0 log's bytes (threads=1 => canonical append order, one env
+// append per record => file offsets ARE crash offsets); then the same
+// shard is re-run with a crash injected at chosen byte offsets, resumed
+// with a healthy env, and merged with the untouched shard-1 log. Every
+// crash point must reproduce the fault-free outcome bit-identically.
+
+struct CrashHarness {
+  std::vector<CorpusEntry> entries;
+  std::vector<std::string> learners;
+  SweepConfig config;
+  TaskManifest manifest;
+  LogHeader merge_header;
+  std::string expected_dump;   // unsharded fault-free baseline
+  std::string clean_log1;      // shard 1/2, fault-free, reused as-is
+  std::string reference_text;  // shard 0/2 fault-free log bytes
+};
+
+CrashHarness BuildCrashHarness() {
+  CrashHarness h;
+  h.entries = MixedEntries(2);  // 4 datasets: 2 classification, 2 regression
+  EXPECT_EQ(h.entries.size(), 4u);
+  // Naive-Bayes is N/A on the regression entries => N/A rows land in
+  // the logs and sit between crash points like any other record.
+  h.learners = {"Naive-DT", "Naive-GBDT", "Naive-Bayes"};
+  h.config = FastConfig(1);
+  h.manifest = sweep::EntriesManifest(h.entries, h.learners,
+                                      h.config.repeats);
+  h.merge_header = sweep::MakeLogHeader(h.manifest, h.config, Shard{});
+  h.expected_dump = sweep::DumpOutcome(
+      ParallelSweepEntries(h.entries, h.learners, h.config));
+
+  h.clean_log1 = TempPath("crash_shard1.log");
+  std::remove(h.clean_log1.c_str());
+  Result<sweep::ShardRunStats> shard1 = sweep::RunCorpusShard(
+      h.entries, h.learners,
+      FaultOptions(h.config, Shard{1, 2}, h.clean_log1, nullptr));
+  EXPECT_TRUE(shard1.ok()) << shard1.status().ToString();
+
+  const std::string reference = TempPath("crash_shard0_ref.log");
+  std::remove(reference.c_str());
+  Result<sweep::ShardRunStats> shard0 = sweep::RunCorpusShard(
+      h.entries, h.learners,
+      FaultOptions(h.config, Shard{0, 2}, reference, nullptr));
+  EXPECT_TRUE(shard0.ok()) << shard0.status().ToString();
+  h.reference_text = ReadAll(reference);
+  EXPECT_FALSE(h.reference_text.empty());
+  std::remove(reference.c_str());
+  return h;
+}
+
+void CleanupCrashHarness(const CrashHarness& h) {
+  std::remove(h.clean_log1.c_str());
+}
+
+/// Every byte offset just after a newline (plus offset 0) — the record
+/// boundaries a real crash can land on. The header is appended as one
+/// block, so its interior newlines model a crash mid-header.
+std::vector<int64_t> RecordBoundaries(const std::string& text) {
+  std::vector<int64_t> out;
+  out.push_back(0);
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') out.push_back(static_cast<int64_t>(i) + 1);
+  }
+  return out;
+}
+
+/// Crashes shard 0 at byte `crash_at`, resumes it with a healthy env,
+/// merges with the clean shard-1 log and demands the fault-free dump.
+void RunCrashPoint(const CrashHarness& h, int64_t crash_at) {
+  SCOPED_TRACE("crash_at=" + std::to_string(crash_at));
+  const int64_t total = static_cast<int64_t>(h.reference_text.size());
+  const std::string path = TempPath("crash_shard0.log");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  FaultSchedule schedule;
+  schedule.crash_after_bytes = crash_at;
+  FaultInjectingEnv env(schedule);
+  Result<sweep::ShardRunStats> crashed = sweep::RunCorpusShard(
+      h.entries, h.learners,
+      FaultOptions(h.config, Shard{0, 2}, path, &env));
+  if (crash_at < total) {
+    EXPECT_FALSE(crashed.ok());
+    EXPECT_TRUE(env.crashed());
+    // Exactly the byte budget reached the "disk" (crashes before the
+    // header rename leave no log at all). Byte offsets are comparable
+    // across executions because every field has a fixed width — the
+    // wall-clock fields' *values* differ run to run, their lengths
+    // never do.
+    if (IoEnv::Default()->FileExists(path)) {
+      std::string left = ReadAll(path);
+      EXPECT_EQ(static_cast<int64_t>(left.size()), crash_at);
+    }
+  } else {
+    // Budget >= the whole log: the run completes without crashing.
+    EXPECT_TRUE(crashed.ok()) << crashed.status().ToString();
+  }
+
+  sweep::ShardRunOptions recover =
+      FaultOptions(h.config, Shard{0, 2}, path, nullptr);
+  recover.resume = true;
+  Result<sweep::ShardRunStats> resumed =
+      sweep::RunCorpusShard(h.entries, h.learners, recover);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->tasks_executed + resumed->tasks_resumed +
+                resumed->na_logged,
+            resumed->shard_tasks);
+
+  Result<SweepOutcome> merged = sweep::MergeShardLogs(
+      h.manifest, h.merge_header, {path, h.clean_log1});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(sweep::DumpOutcome(*merged), h.expected_dump);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+/// Mid-record offsets: 3 distinct torn points inside the first, middle
+/// and last row records after the header block.
+std::vector<int64_t> MidRecordPoints(const std::vector<int64_t>& boundaries,
+                                     int64_t total) {
+  // Midpoints of actual records: the final boundary sits at EOF (the
+  // log ends in '\n'), so spans come from consecutive boundary pairs.
+  std::vector<int64_t> midpoints;
+  for (size_t b = 0; b < boundaries.size(); ++b) {
+    int64_t begin = boundaries[b];
+    int64_t end = b + 1 < boundaries.size() ? boundaries[b + 1] : total;
+    if (end - begin >= 2) midpoints.push_back(begin + (end - begin) / 2);
+  }
+  std::vector<int64_t> out;
+  if (midpoints.size() < 3) return midpoints;
+  size_t n = midpoints.size();
+  for (size_t i : {n / 3, n / 2, n - 1}) {
+    if (out.empty() || out.back() != midpoints[i]) out.push_back(midpoints[i]);
+  }
+  return out;
+}
+
+TEST(CrashRecoveryTest, SmokeSubsetOfCrashPoints) {
+  CrashHarness h = BuildCrashHarness();
+  std::vector<int64_t> boundaries = RecordBoundaries(h.reference_text);
+  const int64_t total = static_cast<int64_t>(h.reference_text.size());
+  ASSERT_GE(boundaries.size(), 4u);
+  // First, one middle and last boundary, plus one mid-record torn
+  // point — enough to keep the contract honest in every tier-1 run.
+  RunCrashPoint(h, boundaries.front());
+  RunCrashPoint(h, boundaries[boundaries.size() / 2]);
+  RunCrashPoint(h, boundaries.back());
+  std::vector<int64_t> torn = MidRecordPoints(boundaries, total);
+  ASSERT_FALSE(torn.empty());
+  RunCrashPoint(h, torn.front());
+  CleanupCrashHarness(h);
+}
+
+TEST(CrashRecoveryTest, EveryRecordBoundaryAndTornPointRecovers) {
+  if (!SlowTestsEnabled()) {
+    GTEST_SKIP() << "set OEBENCH_SLOW_TESTS=1 (or run the check-fault "
+                    "target) for the exhaustive crash-point sweep";
+  }
+  CrashHarness h = BuildCrashHarness();
+  std::vector<int64_t> boundaries = RecordBoundaries(h.reference_text);
+  const int64_t total = static_cast<int64_t>(h.reference_text.size());
+  // Every record boundary — including 0 (crash before anything) and
+  // the full size (no crash at all) — must recover bit-identically.
+  for (int64_t boundary : boundaries) RunCrashPoint(h, boundary);
+  std::vector<int64_t> torn = MidRecordPoints(boundaries, total);
+  ASSERT_GE(torn.size(), 3u);
+  for (int64_t point : torn) RunCrashPoint(h, point);
+  CleanupCrashHarness(h);
+}
+
+// ---------------------------------------------------------------------
+// CLI flag validation (in-process death tests).
+
+bench::BenchFlags Parse(std::vector<std::string> args) {
+  std::vector<std::string> storage;
+  storage.emplace_back("bench_under_test");
+  for (std::string& arg : args) storage.push_back(std::move(arg));
+  std::vector<char*> argv;
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  return bench::ParseFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FaultFlagsTest, FaultScheduleFlagParses) {
+  bench::BenchFlags flags =
+      Parse({"--fault-schedule=crash-at-byte=64,fail-sync=1"});
+  EXPECT_EQ(flags.fault_schedule, "crash-at-byte=64,fail-sync=1");
+  EXPECT_TRUE(Parse({}).fault_schedule.empty());
+}
+
+TEST(FaultFlagsDeathTest, RejectsBadFaultScheduleDuplicateShardAndLogs) {
+  EXPECT_EXIT(Parse({"--fault-schedule=bogus"}),
+              ::testing::ExitedWithCode(2),
+              "--fault-schedule: bad fault clause");
+  EXPECT_EXIT(Parse({"--fault-schedule=fail-append=0"}),
+              ::testing::ExitedWithCode(2), "fail-append needs N >= 1");
+  EXPECT_EXIT(Parse({"--shard=0/2", "--shard=1/2"}),
+              ::testing::ExitedWithCode(2), "duplicate --shard");
+  EXPECT_EXIT(Parse({"--merge", "a.log", "b.log", "a.log"}),
+              ::testing::ExitedWithCode(2), "lists 'a.log' twice");
+  EXPECT_EXIT(Parse({"--merge=a.log", "a.log"}),
+              ::testing::ExitedWithCode(2), "lists 'a.log' twice");
+}
+
+// ---------------------------------------------------------------------
+// oebench_sweep end-to-end error paths: exec the real binary.
+
+const char* SweepBin() { return std::getenv("OEBENCH_SWEEP_BIN"); }
+
+int RunSweepCli(const std::string& args) {
+  std::string command = std::string("\"") + SweepBin() + "\" " + args +
+                        " >/dev/null 2>/dev/null";
+  int raw = std::system(command.c_str());
+  EXPECT_NE(raw, -1);
+  EXPECT_TRUE(WIFEXITED(raw)) << "signal-terminated: " << command;
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+#define SKIP_WITHOUT_SWEEP_BIN()                                       \
+  do {                                                                 \
+    if (SweepBin() == nullptr ||                                       \
+        !IoEnv::Default()->FileExists(SweepBin())) {                   \
+      GTEST_SKIP() << "OEBENCH_SWEEP_BIN not set / not built; run via " \
+                      "ctest or the check-fault target";               \
+    }                                                                  \
+  } while (0)
+
+TEST(SweepCliTest, UsageErrorsExitTwo) {
+  SKIP_WITHOUT_SWEEP_BIN();
+  EXPECT_EQ(RunSweepCli("--fault-schedule=bogus"), 2);
+  EXPECT_EQ(RunSweepCli("--shard=0/2 --shard=1/2"), 2);
+  EXPECT_EQ(RunSweepCli("--merge a.log b.log a.log"), 2);
+  EXPECT_EQ(RunSweepCli("--no-such-flag"), 2);
+}
+
+TEST(SweepCliTest, UnreadableMergeLogExitsTwo) {
+  SKIP_WITHOUT_SWEEP_BIN();
+  EXPECT_EQ(RunSweepCli("--merge " + TempPath("does_not_exist.log")), 2);
+}
+
+TEST(SweepCliTest, FaultedRunExitsOneThenResumeAndMergeRecover) {
+  SKIP_WITHOUT_SWEEP_BIN();
+  const std::string log = TempPath("cli_crash.log");
+  std::remove(log.c_str());
+  std::remove((log + ".tmp").c_str());
+  const std::string base =
+      "--datasets=2 --repeats=1 --epochs=1 --scale=0 --threads=1 "
+      "--seed=3 --shard=0/1 --log=\"" + log + "\"";
+
+  // Crash after 400 bytes: past the header, inside the row stream.
+  EXPECT_EQ(RunSweepCli(base + " --fault-schedule=crash-at-byte=400"), 1);
+  // Resume with healthy I/O completes the shard...
+  EXPECT_EQ(RunSweepCli(base + " --resume"), 0);
+  // ...and the log merges into a full table with matching flags.
+  EXPECT_EQ(RunSweepCli("--datasets=2 --repeats=1 --epochs=1 --scale=0 "
+                        "--seed=3 --merge \"" + log + "\""),
+            0);
+  // A merge with mismatched sweep flags must be rejected (exit 2):
+  // the log's header pins seed/scale/repeats/epochs/manifest.
+  EXPECT_EQ(RunSweepCli("--datasets=2 --repeats=1 --epochs=1 --scale=0 "
+                        "--seed=4 --merge \"" + log + "\""),
+            2);
+  EXPECT_EQ(RunSweepCli("--datasets=3 --repeats=1 --epochs=1 --scale=0 "
+                        "--seed=3 --merge \"" + log + "\""),
+            2);
+  std::remove(log.c_str());
+  std::remove((log + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace oebench

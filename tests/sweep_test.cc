@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "core/parallel_eval.h"
 #include "streamgen/corpus.h"
 #include "sweep/manifest.h"
@@ -89,6 +90,71 @@ TEST(ManifestTest, ShardsPartitionExhaustivelyAndDisjointly) {
   }
 }
 
+TEST(ManifestTest, MoreShardsThanTasksPartitionExactly) {
+  // A degenerate 1x1x1 grid split 5 ways: four spans are empty, one
+  // holds the task, and the partition properties still hold exactly.
+  TaskManifest manifest = SmallManifest(1, 1, 1);
+  ASSERT_EQ(manifest.tasks().size(), 1u);
+  for (int n : {2, 5, 17}) {
+    SCOPED_TRACE("count=" + std::to_string(n));
+    size_t expected_begin = 0;
+    int nonempty = 0;
+    for (int i = 0; i < n; ++i) {
+      Shard shard{i, n};
+      auto [begin, end] = manifest.ShardSpan(shard);
+      EXPECT_EQ(begin, expected_begin);
+      expected_begin = end;
+      size_t size = end - begin;
+      EXPECT_LE(size, 1u);
+      if (size == 1) ++nonempty;
+      // Empty shards own no datasets and no tasks.
+      EXPECT_EQ(manifest.ShardTasks(shard).size(), size);
+      EXPECT_EQ(manifest.ShardDatasets(shard).size(), size);
+    }
+    EXPECT_EQ(expected_begin, 1u);
+    EXPECT_EQ(nonempty, 1);
+  }
+}
+
+TEST(ManifestDeathTest, BuildRejectsDegenerateGrids) {
+  SweepGrid zero_repeats;
+  zero_repeats.datasets = {"d"};
+  zero_repeats.learners = {"l"};
+  zero_repeats.repeats = 0;
+  EXPECT_DEATH(TaskManifest::Build(std::move(zero_repeats)), "repeats");
+
+  SweepGrid no_datasets;
+  no_datasets.learners = {"l"};
+  no_datasets.repeats = 1;
+  EXPECT_DEATH(TaskManifest::Build(std::move(no_datasets)), "datasets");
+}
+
+TEST(ManifestTest, SingleDatasetCorpusPartitionsByRepeatGranularity) {
+  // One dataset, several learners/repeats: shard spans cut through the
+  // middle of the dataset's task block, so every shard still owns the
+  // single dataset (and must prepare it) unless its span is empty.
+  TaskManifest manifest = SmallManifest(1, 3, 4);  // 12 tasks, 1 dataset
+  ASSERT_EQ(manifest.tasks().size(), 12u);
+  for (int n : {1, 2, 3, 5, 12, 20}) {
+    SCOPED_TRACE("count=" + std::to_string(n));
+    std::set<std::string> seen;
+    for (int i = 0; i < n; ++i) {
+      Shard shard{i, n};
+      std::vector<TaskIdentity> tasks = manifest.ShardTasks(shard);
+      for (const TaskIdentity& task : tasks) {
+        EXPECT_TRUE(seen.insert(sweep::TaskKey(task)).second);
+      }
+      std::vector<std::string> owned = manifest.ShardDatasets(shard);
+      if (tasks.empty()) {
+        EXPECT_TRUE(owned.empty());
+      } else {
+        EXPECT_EQ(owned, (std::vector<std::string>{"data0"}));
+      }
+    }
+    EXPECT_EQ(seen.size(), 12u);
+  }
+}
+
 TEST(ManifestTest, ShardDatasetsCoverExactlyTheSpan) {
   TaskManifest manifest = SmallManifest(4, 2, 1);  // 8 tasks, 2 per dataset
   std::vector<std::string> first = manifest.ShardDatasets(Shard{0, 2});
@@ -142,6 +208,43 @@ TEST(ResultLogTest, DoubleCodecIsBitExact) {
   EXPECT_FALSE(sweep::DecodeDouble("xyz", &out));
   EXPECT_FALSE(sweep::DecodeDouble("0123456789abcde", &out));   // 15 digits
   EXPECT_FALSE(sweep::DecodeDouble("0123456789ABCDEF", &out));  // uppercase
+}
+
+TEST(ResultLogTest, DoubleCodecFuzzRoundTripsEveryBitPattern) {
+  // Seeded fuzz over the full 64-bit space: whatever bits a double
+  // carries — normals, denormals, infinities, NaNs with arbitrary
+  // payloads — the encode/decode round trip must reproduce them
+  // exactly. This is the invariant bit-identical merges stand on.
+  Rng rng(0x0ebe2c4f00d5eedULL);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t bits = rng.NextSeed();
+    const double value = std::bit_cast<double>(bits);
+    double decoded = 0.0;
+    ASSERT_TRUE(sweep::DecodeDouble(sweep::EncodeDouble(value), &decoded));
+    ASSERT_EQ(std::bit_cast<uint64_t>(decoded), bits)
+        << sweep::EncodeDouble(value);
+  }
+  // Every single-bit NaN payload, both quiet and signalling halves,
+  // both signs — plus the payload-less edge values.
+  const uint64_t exponent = 0x7ffULL << 52;
+  for (int bit = 0; bit < 52; ++bit) {
+    for (uint64_t sign : {0ULL, 1ULL << 63}) {
+      const uint64_t bits = sign | exponent | (1ULL << bit);
+      double decoded = 0.0;
+      ASSERT_TRUE(sweep::DecodeDouble(
+          sweep::EncodeDouble(std::bit_cast<double>(bits)), &decoded));
+      ASSERT_EQ(std::bit_cast<uint64_t>(decoded), bits);
+    }
+  }
+  const std::vector<uint64_t> edges = {
+      std::bit_cast<uint64_t>(0.0), std::bit_cast<uint64_t>(-0.0),
+      exponent, (uint64_t{1} << 63) | exponent};
+  for (uint64_t bits : edges) {
+    double decoded = 0.0;
+    ASSERT_TRUE(sweep::DecodeDouble(
+        sweep::EncodeDouble(std::bit_cast<double>(bits)), &decoded));
+    ASSERT_EQ(std::bit_cast<uint64_t>(decoded), bits);
+  }
 }
 
 LoggedRow SampleRunRow() {
@@ -473,6 +576,78 @@ TEST(MergeTest, RejectsIncompleteCoverageAndForeignLogs) {
       sweep::MergeShardLogs(manifest, foreign, {options.log_path});
   EXPECT_FALSE(mismatched.ok());
   std::remove(options.log_path.c_str());
+}
+
+TEST(MergeTest, SingleDatasetManifestMergesFromManyPartialShardLogs) {
+  // A single-dataset grid sharded finer than its task count: 6 tasks
+  // over 8 shard logs, so some logs carry nothing but a header.
+  // Coverage must still be exact and the merged cells must reassemble
+  // per-repeat runs in order. Rows are synthetic — this pins the
+  // log/merge layer alone.
+  TaskManifest manifest = SmallManifest(1, 2, 3);  // 6 tasks, 1 dataset
+  LogHeader header;
+  header.base_seed = 9;
+  header.scale = 0.5;
+  header.repeats = 3;
+  header.epochs = 4;
+  header.manifest_fingerprint = manifest.Fingerprint();
+
+  auto synthetic_result = [](const TaskIdentity& task) {
+    EvalResult result;
+    result.dataset = task.dataset;
+    result.learner = task.learner + "-display";
+    result.mean_loss = 0.125 * (task.repeat + 1);
+    result.faded_loss = 0.0625 * (task.repeat + 1);
+    result.throughput = 100.0 + task.repeat;
+    result.peak_memory_bytes = 1000 + task.repeat;
+    result.per_window_loss = {0.5, 0.25 * (task.repeat + 1)};
+    return result;
+  };
+
+  const int n = 8;
+  std::vector<std::string> logs;
+  for (int i = 0; i < n; ++i) {
+    Shard shard{i, n};
+    LogHeader shard_header = header;
+    shard_header.shard = shard;
+    std::string path = LogPath("singleds", i, n);
+    std::remove(path.c_str());
+    Result<std::unique_ptr<ResultLogWriter>> writer =
+        ResultLogWriter::Open(path, shard_header, /*resume=*/false);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const TaskIdentity& task : manifest.ShardTasks(shard)) {
+      ASSERT_TRUE((*writer)->Append(task, synthetic_result(task)).ok());
+    }
+    logs.push_back(std::move(path));
+  }
+
+  Result<SweepOutcome> merged =
+      sweep::MergeShardLogs(manifest, header, logs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->tasks_run, 6);
+  ASSERT_EQ(merged->rows.size(), 1u);
+  ASSERT_EQ(merged->rows[0].cells.size(), 2u);
+  for (const SweepCell& cell : merged->rows[0].cells) {
+    ASSERT_EQ(cell.runs.size(), 3u);
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(cell.runs[rep].mean_loss, 0.125 * (rep + 1));
+      EXPECT_EQ(cell.runs[rep].peak_memory_bytes, 1000 + rep);
+    }
+  }
+
+  // Dropping a log that carries rows breaks coverage (shard 0's span
+  // is empty with 6 tasks over 8 shards, so shard 1 is the first one
+  // whose log actually holds a row).
+  ASSERT_TRUE(manifest.ShardTasks(Shard{0, n}).empty());
+  ASSERT_FALSE(manifest.ShardTasks(Shard{1, n}).empty());
+  std::vector<std::string> partial = logs;
+  partial.erase(partial.begin() + 1);
+  Result<SweepOutcome> incomplete =
+      sweep::MergeShardLogs(manifest, header, partial);
+  ASSERT_FALSE(incomplete.ok());
+  EXPECT_NE(incomplete.status().ToString().find("incomplete coverage"),
+            std::string::npos);
+  for (const std::string& log : logs) std::remove(log.c_str());
 }
 
 }  // namespace
