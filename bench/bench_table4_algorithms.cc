@@ -115,8 +115,19 @@ int RunShard(const bench::BenchFlags& flags) {
     specs.push_back(RepresentativeSpec(info.short_name, flags.scale));
     names.push_back(info.short_name);
   }
-  std::vector<PreparedStream> streams =
-      ParallelPrepare(specs, config.pipeline, config.threads, names);
+  // A dataset whose preparation fails is reported and dropped (no
+  // process abort); the shard runner then returns a clean Status
+  // naming the dataset it is missing.
+  std::vector<PreparedStream> streams;
+  for (Result<PreparedStream>& prepared :
+       ParallelPrepare(specs, config.pipeline, config.threads, names)) {
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n",
+                   prepared.status().ToString().c_str());
+      continue;
+    }
+    streams.push_back(std::move(*prepared));
+  }
 
   sweep::ShardRunOptions options;
   options.config = config;
@@ -157,8 +168,18 @@ int Run(const bench::BenchFlags& flags) {
   for (const std::string& name : names) {
     specs.push_back(RepresentativeSpec(name, flags.scale));
   }
-  std::vector<PreparedStream> streams =
-      ParallelPrepare(specs, config.pipeline, config.threads, names);
+  std::vector<PreparedStream> streams;
+  for (Result<PreparedStream>& prepared :
+       ParallelPrepare(specs, config.pipeline, config.threads, names)) {
+    if (!prepared.ok()) {
+      // Report and keep going with the datasets that did prepare —
+      // a partial Table 4 beats an aborted process.
+      std::fprintf(stderr, "prepare failed: %s\n",
+                   prepared.status().ToString().c_str());
+      continue;
+    }
+    streams.push_back(std::move(*prepared));
+  }
   PrintRows(ParallelSweep(streams, Learners(), config));
   return 0;
 }

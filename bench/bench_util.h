@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/chaos.h"
 #include "core/evaluator.h"
 #include "preprocess/pipeline.h"
 #include "streamgen/representative.h"
@@ -56,6 +57,23 @@ struct BenchFlags {
   /// oebench_sweep only: fault-injection schedule for the result log's
   /// I/O environment (see FaultSchedule::Parse). Empty = real I/O.
   std::string fault_schedule;
+  /// oebench_sweep only: compute-fault chaos schedule injected into the
+  /// sweep's task execution (see ChaosSchedule::Parse). Empty = none.
+  std::string chaos_schedule;
+  /// With --resume: re-execute the tasks the log recorded as failed.
+  bool retry_failed = false;
+  /// Circuit breaker: stop the shard once more than N tasks have
+  /// failed. -1 = unlimited (failures are logged, shard finishes).
+  int64_t max_task_failures = -1;
+  /// Merge mode: accept quarantined cells (exit 0 with a partial
+  /// table + quarantine report instead of failing the merge).
+  bool allow_quarantined = false;
+  /// Print the manifest, shard spans and planned task count; run
+  /// nothing.
+  bool dry_run = false;
+  /// Watchdog: report tasks running longer than this many ms on
+  /// stderr (without killing them). 0 = no watchdog.
+  int watchdog_ms = 0;
 };
 
 [[noreturn]] inline void FlagsUsageAndExit(const char* argv0,
@@ -79,8 +97,23 @@ struct BenchFlags {
       "  --selfcheck    oebench_sweep: verify shard/merge bit-identity\n"
       "  --fault-schedule=SPEC\n"
       "                 oebench_sweep: inject result-log I/O faults, e.g.\n"
-      "                 fail-append=3,crash-at-byte=512 (crash-recovery\n"
-      "                 tests; see DESIGN.md)\n"
+      "                 fail-append=3,crash-at-byte=512,fail-read=2,\n"
+      "                 torn-read=1:64 (crash-recovery tests; see DESIGN.md)\n"
+      "  --chaos-schedule=SPEC\n"
+      "                 oebench_sweep: inject compute faults into tasks,\n"
+      "                 e.g. throw-at-task=3,nan-at-task=5,slow-at-task=2:50,\n"
+      "                 transient=7:0.25 (see DESIGN.md failure domains)\n"
+      "  --retry-failed with --resume: re-run the tasks recorded as failed\n"
+      "  --max-task-failures=N\n"
+      "                 stop the shard once more than N tasks failed\n"
+      "                 (default: unlimited — failures are logged and\n"
+      "                 quarantined at merge)\n"
+      "  --allow-quarantined\n"
+      "                 merge: print a partial table + quarantine report\n"
+      "                 instead of failing on quarantined cells\n"
+      "  --watchdog-ms=N\n"
+      "                 report tasks running longer than N ms on stderr\n"
+      "  --dry-run      print the manifest/shard plan and run nothing\n"
       "Flags take --flag=value or --flag value.\n",
       argv0);
   std::exit(2);
@@ -175,6 +208,32 @@ inline BenchFlags ParseFlags(int argc, char** argv,
         fail("--fault-schedule: " + schedule.status().message());
       }
       flags.fault_schedule = text;
+    } else if (name == "chaos-schedule") {
+      std::string text = need_value();
+      Result<ChaosSchedule> schedule = ChaosSchedule::Parse(text);
+      if (!schedule.ok()) {
+        fail("--chaos-schedule: " + schedule.status().message());
+      }
+      flags.chaos_schedule = text;
+    } else if (name == "max-task-failures") {
+      std::string text = need_value();
+      int64_t parsed = 0;
+      if (!ParseInt64(text, &parsed) || parsed < 0) {
+        fail("--max-task-failures needs an integer >= 0, got '" + text +
+             "'");
+      }
+      flags.max_task_failures = parsed;
+    } else if (name == "watchdog-ms") {
+      flags.watchdog_ms = int_value(1);
+    } else if (name == "retry-failed") {
+      no_value();
+      flags.retry_failed = true;
+    } else if (name == "allow-quarantined") {
+      no_value();
+      flags.allow_quarantined = true;
+    } else if (name == "dry-run") {
+      no_value();
+      flags.dry_run = true;
     } else if (name == "log") {
       flags.log_path = need_value();
     } else if (name == "resume") {
@@ -193,6 +252,13 @@ inline BenchFlags ParseFlags(int argc, char** argv,
   }
   if (flags.merge && flags.merge_logs.empty()) {
     fail("--merge needs at least one shard log");
+  }
+  if (flags.retry_failed && !flags.resume) {
+    fail("--retry-failed requires --resume (it re-runs tasks an "
+         "existing log recorded as failed)");
+  }
+  if (flags.allow_quarantined && !flags.merge) {
+    fail("--allow-quarantined only applies to --merge");
   }
   for (size_t a = 0; a < flags.merge_logs.size(); ++a) {
     for (size_t b = a + 1; b < flags.merge_logs.size(); ++b) {

@@ -13,6 +13,10 @@
 //   oebench_sweep --merge a.log b.log      # reassemble the full table
 //   oebench_sweep --spawn 4                # 4 local workers + merge
 //   oebench_sweep --selfcheck              # verify n-shard == unsharded
+//   oebench_sweep --dry-run --shard 0/4    # show the plan, run nothing
+//   oebench_sweep --chaos-schedule=throw-at-task=3   # inject a fault
+//   oebench_sweep --shard 0/2 --log a.log --resume --retry-failed
+//                                          # re-run only the failed tasks
 //
 // Invocations with an explicit --log act as workers: they print shard
 // statistics to stderr and no table. The no-flag invocation (count 1,
@@ -26,6 +30,7 @@
 
 #include "bench/bench_util.h"
 #include "common/io_env.h"
+#include "core/chaos.h"
 #include "core/parallel_eval.h"
 #include "streamgen/corpus.h"
 #include "sweep/manifest.h"
@@ -66,13 +71,14 @@ std::string DefaultLogPath(const sweep::Shard& shard) {
 int MergeAndPrint(const std::vector<CorpusEntry>& entries,
                   const std::vector<std::string>& learners,
                   const SweepConfig& config,
-                  const std::vector<std::string>& logs) {
+                  const std::vector<std::string>& logs,
+                  bool allow_quarantined) {
   sweep::TaskManifest manifest =
       sweep::EntriesManifest(entries, learners, config.repeats);
   sweep::LogHeader expected =
       sweep::MakeLogHeader(manifest, config, sweep::Shard{});
-  Result<SweepOutcome> merged =
-      sweep::MergeShardLogs(manifest, expected, logs);
+  Result<sweep::MergeReport> merged =
+      sweep::MergeShardLogsReport(manifest, expected, logs);
   if (!merged.ok()) {
     // Unreadable/mismatched/incomplete logs are a usage problem (wrong
     // paths or wrong sweep flags), not a sweep failure: exit 2 like
@@ -84,11 +90,69 @@ int MergeAndPrint(const std::vector<CorpusEntry>& entries,
                  "--epochs/--datasets match the shard runs)\n");
     return 2;
   }
-  std::printf("%s", sweep::FormatOutcomeTable(*merged).c_str());
+  const SweepOutcome& outcome = merged->outcome;
+  std::printf("%s", sweep::FormatOutcomeTable(outcome).c_str());
   std::printf("\n%lld prequential runs, %lld N/A pairs, %lld datasets\n",
-              static_cast<long long>(merged->tasks_run),
-              static_cast<long long>(merged->pairs_skipped),
-              static_cast<long long>(merged->rows.size()));
+              static_cast<long long>(outcome.tasks_run),
+              static_cast<long long>(outcome.pairs_skipped),
+              static_cast<long long>(outcome.rows.size()));
+  if (outcome.tasks_failed > 0) {
+    // Quarantined cells: the table above shows FAILED markers; the
+    // report explains which tasks are missing and why. The merge
+    // itself succeeded — the data is simply incomplete — so this is a
+    // run failure (1), not a usage error (2), unless the caller
+    // explicitly accepts partial tables.
+    std::fprintf(stderr, "%s",
+                 sweep::FormatQuarantineReport(*merged).c_str());
+    if (!allow_quarantined) {
+      std::fprintf(stderr,
+                   "merge incomplete: re-run the failed shard(s) with "
+                   "--resume --retry-failed, or pass --allow-quarantined "
+                   "to accept the partial table\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// --dry-run: show what a run *would* do — the manifest, every shard's
+/// span, the planned task count — and execute nothing. Exit 0; an
+/// invalid grid never gets here (ParseFlags exits 2 first).
+int DryRun(const bench::BenchFlags& flags) {
+  std::vector<CorpusEntry> entries = SweepEntries(flags.datasets);
+  std::vector<std::string> learners = SweepLearners();
+  SweepConfig config = MakeConfig(flags);
+  sweep::TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+  const int shard_count =
+      flags.spawn > 0 ? flags.spawn : flags.shard.count;
+  std::printf("dry run: %zu dataset(s) x %zu learner(s) x %d repeat(s) "
+              "= %zu task(s)\n",
+              entries.size(), learners.size(), config.repeats,
+              manifest.tasks().size());
+  std::printf("manifest fingerprint: %016llx\n",
+              static_cast<unsigned long long>(manifest.Fingerprint()));
+  std::printf("scale=%.17g seed=%llu epochs=%d threads=%d\n", config.scale,
+              static_cast<unsigned long long>(config.base_config.seed),
+              config.base_config.epochs, config.threads);
+  for (int i = 0; i < shard_count; ++i) {
+    sweep::Shard shard{i, shard_count};
+    std::vector<TaskIdentity> span = manifest.ShardTasks(shard);
+    std::vector<std::string> datasets = manifest.ShardDatasets(shard);
+    std::string names;
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      if (d > 0) names += ", ";
+      names += datasets[d];
+      if (d == 4 && datasets.size() > 5) {
+        names += StrFormat(", ... (%zu total)", datasets.size());
+        break;
+      }
+    }
+    std::printf("shard %d/%d: %zu task(s) over %zu dataset(s): %s\n", i,
+                shard_count, span.size(), datasets.size(), names.c_str());
+  }
+  std::printf("planned: %zu task(s); nothing executed (dry run)\n",
+              manifest.tasks().size());
   return 0;
 }
 
@@ -103,6 +167,9 @@ int RunShard(const bench::BenchFlags& flags) {
   options.log_path =
       flags.log_path.empty() ? DefaultLogPath(flags.shard) : flags.log_path;
   options.resume = flags.resume;
+  options.retry_failed = flags.retry_failed;
+  options.max_task_failures = flags.max_task_failures;
+  options.config.watchdog_limit_ms = flags.watchdog_ms;
 
   // --fault-schedule routes the result log through a fault-injecting
   // environment — the crash-recovery harness's hook into a real worker
@@ -119,8 +186,31 @@ int RunShard(const bench::BenchFlags& flags) {
                  schedule->ToString().c_str());
   }
 
+  // --chaos-schedule injects compute faults into task execution — the
+  // other half of the chaos harness (I/O faults above, CPU faults
+  // here). ParseFlags already validated the spec.
+  std::unique_ptr<ChaosInjector> chaos;
+  if (!flags.chaos_schedule.empty()) {
+    Result<ChaosSchedule> schedule =
+        ChaosSchedule::Parse(flags.chaos_schedule);
+    OE_CHECK(schedule.ok()) << schedule.status().ToString();
+    chaos = std::make_unique<ChaosInjector>(*schedule);
+    options.config.chaos = chaos.get();
+    std::fprintf(stderr, "[shard %d/%d] chaos schedule: %s\n",
+                 flags.shard.index, flags.shard.count,
+                 schedule->ToString().c_str());
+  }
+
   Result<sweep::ShardRunStats> stats =
       sweep::RunCorpusShard(entries, learners, options);
+  if (chaos != nullptr) {
+    std::fprintf(stderr,
+                 "[shard %d/%d] chaos: %lld task start(s) seen, %lld "
+                 "fault(s) injected\n",
+                 flags.shard.index, flags.shard.count,
+                 static_cast<long long>(chaos->tasks_started()),
+                 static_cast<long long>(chaos->faults_injected()));
+  }
   if (fault_env != nullptr) {
     std::fprintf(stderr,
                  "[shard %d/%d] fault env: %lld append(s), %llu byte(s), "
@@ -137,13 +227,15 @@ int RunShard(const bench::BenchFlags& flags) {
     return 1;
   }
   std::fprintf(stderr,
-               "[shard %d/%d] %lld task(s): %lld executed, %lld resumed, "
-               "%lld n/a, %lld append retry(ies); %lld stream(s) prepared "
-               "-> %s\n",
+               "[shard %d/%d] %lld task(s): %lld executed, %lld failed, "
+               "%lld resumed, %lld failure(s) resumed, %lld n/a, "
+               "%lld append retry(ies); %lld stream(s) prepared -> %s\n",
                flags.shard.index, flags.shard.count,
                static_cast<long long>(stats->shard_tasks),
                static_cast<long long>(stats->tasks_executed),
+               static_cast<long long>(stats->tasks_failed),
                static_cast<long long>(stats->tasks_resumed),
+               static_cast<long long>(stats->failures_resumed),
                static_cast<long long>(stats->na_logged),
                static_cast<long long>(stats->append_retries),
                static_cast<long long>(stats->streams_prepared),
@@ -152,7 +244,8 @@ int RunShard(const bench::BenchFlags& flags) {
   // Worker invocations (explicit --log or a real shard) stop here; the
   // plain single-process run also prints the merged table.
   if (flags.shard.count == 1 && flags.log_path.empty()) {
-    return MergeAndPrint(entries, learners, config, {options.log_path});
+    return MergeAndPrint(entries, learners, config, {options.log_path},
+                         flags.allow_quarantined);
   }
   return 0;
 }
@@ -173,6 +266,16 @@ int SpawnAndMerge(const bench::BenchFlags& flags, const char* argv0) {
   if (flags.datasets > 0) {
     base += StrFormat(" --datasets=%d", flags.datasets);
   }
+  if (!flags.chaos_schedule.empty()) {
+    base += " --chaos-schedule=" + flags.chaos_schedule;
+  }
+  if (flags.watchdog_ms > 0) {
+    base += StrFormat(" --watchdog-ms=%d", flags.watchdog_ms);
+  }
+  if (flags.max_task_failures >= 0) {
+    base += StrFormat(" --max-task-failures=%lld",
+                      static_cast<long long>(flags.max_task_failures));
+  }
 
   std::vector<std::string> logs(n);
   std::vector<int> exit_codes(n, 0);
@@ -182,6 +285,7 @@ int SpawnAndMerge(const bench::BenchFlags& flags, const char* argv0) {
     std::string command = base + StrFormat(" --shard=%d/%d --log=\"%s\"", i,
                                            n, logs[i].c_str());
     if (flags.resume) command += " --resume";
+    if (flags.retry_failed) command += " --retry-failed";
     waiters.emplace_back([&exit_codes, i, command] {
       exit_codes[i] = std::system(command.c_str());
     });
@@ -196,7 +300,8 @@ int SpawnAndMerge(const bench::BenchFlags& flags, const char* argv0) {
       return 1;
     }
   }
-  return MergeAndPrint(entries, learners, config, logs);
+  return MergeAndPrint(entries, learners, config, logs,
+                       flags.allow_quarantined);
 }
 
 /// Enforces the subsystem's core guarantee end to end: for n = 1, 2, 3,
@@ -280,11 +385,13 @@ int main(int argc, char** argv) {
   oebench::bench::BenchFlags flags =
       oebench::bench::ParseFlags(argc, argv, /*default_scale=*/0.03,
                                  /*default_repeats=*/1);
+  if (flags.dry_run) return oebench::DryRun(flags);
   if (flags.merge) {
     return oebench::MergeAndPrint(oebench::SweepEntries(flags.datasets),
                                   oebench::SweepLearners(),
                                   oebench::MakeConfig(flags),
-                                  flags.merge_logs);
+                                  flags.merge_logs,
+                                  flags.allow_quarantined);
   }
   if (flags.selfcheck) return oebench::SelfCheck(flags);
   if (flags.spawn > 0) return oebench::SpawnAndMerge(flags, argv[0]);

@@ -46,6 +46,29 @@ class StdioWritableFile : public WritableFile {
   std::FILE* file_;
 };
 
+class StdioReadableFile : public ReadableFile {
+ public:
+  explicit StdioReadableFile(std::FILE* file) : file_(file) {}
+  ~StdioReadableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Read(size_t max_bytes, std::string* out) override {
+    out->clear();
+    if (file_ == nullptr) return Status::IoError("read of closed file");
+    out->resize(max_bytes);
+    size_t got = std::fread(out->data(), 1, max_bytes, file_);
+    out->resize(got);
+    if (got < max_bytes && std::ferror(file_) != 0) {
+      return Status::IoError("read failed");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+};
+
 class DefaultIoEnv : public IoEnv {
  public:
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -55,6 +78,13 @@ class DefaultIoEnv : public IoEnv {
       return Status::IoError("cannot open for writing: " + path);
     }
     return std::unique_ptr<WritableFile>(new StdioWritableFile(file));
+  }
+
+  Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return Status::IoError("cannot open: " + path);
+    return std::unique_ptr<ReadableFile>(new StdioReadableFile(file));
   }
 
   Result<std::string> ReadFile(const std::string& path) override {
@@ -116,7 +146,8 @@ bool ParsePositive(std::string_view text, int64_t* out) {
 Result<FaultSchedule> FaultSchedule::Parse(std::string_view spec) {
   FaultSchedule schedule;
   bool seen_fail = false, seen_torn = false, seen_sync = false,
-       seen_enospc = false, seen_crash = false, seen_transient = false;
+       seen_enospc = false, seen_crash = false, seen_transient = false,
+       seen_fail_read = false, seen_torn_read = false;
   for (const std::string& clause : Split(spec, ',')) {
     size_t eq = clause.find('=');
     if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
@@ -173,6 +204,23 @@ Result<FaultSchedule> FaultSchedule::Parse(std::string_view spec) {
       }
       schedule.transient_p = p;
       seen_transient = true;
+    } else if (key == "fail-read" && !seen_fail_read) {
+      if (!ParsePositive(value, &schedule.fail_read)) {
+        return Status::InvalidArgument("fail-read needs N >= 1, got '" +
+                                       value + "'");
+      }
+      seen_fail_read = true;
+    } else if (key == "torn-read" && !seen_torn_read) {
+      size_t colon = value.find(':');
+      int64_t bytes = 0;
+      if (colon == std::string::npos ||
+          !ParsePositive(value.substr(0, colon), &schedule.torn_read) ||
+          !ParseInt64(value.substr(colon + 1), &bytes) || bytes < 0) {
+        return Status::InvalidArgument(
+            "torn-read needs N:K with N >= 1, K >= 0, got '" + value + "'");
+      }
+      schedule.torn_read_bytes = static_cast<uint64_t>(bytes);
+      seen_torn_read = true;
     } else {
       return Status::InvalidArgument("unknown or repeated fault clause '" +
                                      clause + "'");
@@ -208,6 +256,15 @@ std::string FaultSchedule::ToString() const {
     clauses.push_back(StrFormat(
         "transient=%llu:%g",
         static_cast<unsigned long long>(transient_seed), transient_p));
+  }
+  if (fail_read > 0) {
+    clauses.push_back(StrFormat("fail-read=%lld",
+                                static_cast<long long>(fail_read)));
+  }
+  if (torn_read > 0) {
+    clauses.push_back(StrFormat(
+        "torn-read=%lld:%llu", static_cast<long long>(torn_read),
+        static_cast<unsigned long long>(torn_read_bytes)));
   }
   return Join(clauses, ",");
 }
@@ -254,6 +311,36 @@ Status FaultInjectingFile::Sync() {
   OE_RETURN_NOT_OK(env_->OnSync());
   return base_->Sync();
 }
+
+/// Wraps a base readable file. A torn read silently serves at most
+/// `byte_cap` bytes across all chunks and then reports end of file —
+/// the reader cannot tell the file apart from one truncated by a
+/// crash. Named so the env's friend declaration reaches it.
+class FaultInjectingReadableFile : public ReadableFile {
+ public:
+  FaultInjectingReadableFile(FaultInjectingEnv* env,
+                             std::unique_ptr<ReadableFile> base,
+                             int64_t byte_cap)
+      : env_(env), base_(std::move(base)), remaining_(byte_cap) {}
+
+  Status Read(size_t max_bytes, std::string* out) override {
+    out->clear();
+    OE_RETURN_NOT_OK(env_->CheckAlive());
+    if (remaining_ >= 0) {
+      uint64_t cap = static_cast<uint64_t>(remaining_);
+      if (max_bytes > cap) max_bytes = static_cast<size_t>(cap);
+      if (max_bytes == 0) return Status::OK();  // silent early EOF
+    }
+    OE_RETURN_NOT_OK(base_->Read(max_bytes, out));
+    if (remaining_ >= 0) remaining_ -= static_cast<int64_t>(out->size());
+    return Status::OK();
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<ReadableFile> base_;
+  int64_t remaining_;  // -1 = unlimited
+};
 
 FaultInjectingEnv::FaultInjectingEnv(IoEnv* base,
                                      const FaultSchedule& schedule)
@@ -339,6 +426,26 @@ Status FaultInjectingEnv::OnSync() {
   return Status::OK();
 }
 
+Status FaultInjectingEnv::OnRead(const std::string& path, int64_t* byte_cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *byte_cap = -1;
+  if (crashed_) {
+    return Status::IoError("simulated crash: I/O environment is down");
+  }
+  const int64_t op = ++read_ops_;
+  if (op == schedule_.fail_read) {
+    ++faults_;
+    return Status::IoError(StrFormat(
+        "injected read failure on read #%lld of '%s'",
+        static_cast<long long>(op), path.c_str()));
+  }
+  if (op == schedule_.torn_read) {
+    ++faults_;
+    *byte_cap = static_cast<int64_t>(schedule_.torn_read_bytes);
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
     const std::string& path, bool truncate) {
   OE_RETURN_NOT_OK(CheckAlive());
@@ -349,9 +456,25 @@ Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
       new FaultInjectingFile(this, std::move(*base)));
 }
 
+Result<std::unique_ptr<ReadableFile>> FaultInjectingEnv::NewReadableFile(
+    const std::string& path) {
+  int64_t byte_cap = -1;
+  OE_RETURN_NOT_OK(OnRead(path, &byte_cap));
+  Result<std::unique_ptr<ReadableFile>> base = base_->NewReadableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<ReadableFile>(
+      new FaultInjectingReadableFile(this, std::move(*base), byte_cap));
+}
+
 Result<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
-  OE_RETURN_NOT_OK(CheckAlive());
-  return base_->ReadFile(path);
+  int64_t byte_cap = -1;
+  OE_RETURN_NOT_OK(OnRead(path, &byte_cap));
+  Result<std::string> text = base_->ReadFile(path);
+  if (!text.ok()) return text.status();
+  if (byte_cap >= 0 && text->size() > static_cast<size_t>(byte_cap)) {
+    text->resize(static_cast<size_t>(byte_cap));
+  }
+  return text;
 }
 
 bool FaultInjectingEnv::FileExists(const std::string& path) {
@@ -378,6 +501,11 @@ bool FaultInjectingEnv::crashed() const {
 int64_t FaultInjectingEnv::appends() const {
   std::lock_guard<std::mutex> lock(mu_);
   return append_ops_;
+}
+
+int64_t FaultInjectingEnv::reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_ops_;
 }
 
 int64_t FaultInjectingEnv::bytes_written() const {

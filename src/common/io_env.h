@@ -27,6 +27,21 @@ namespace oebench {
 /// reached the file (a torn append) or the environment is gone
 /// (crash), and the only safe recovery is resume-with-compaction.
 
+/// An open file being read sequentially (merge and resume read shard
+/// logs through this, so read-side faults — a poisoned disk block, a
+/// log truncated by the crash that killed its shard — are injectable
+/// too). Not thread-safe; callers serialise.
+class ReadableFile {
+ public:
+  virtual ~ReadableFile() = default;
+
+  /// Reads up to `max_bytes` from the current offset into *out
+  /// (replacing its contents). OK with an empty *out means end of
+  /// file. A failure poisons the whole read: callers must not trust
+  /// bytes returned by earlier chunks of the same file.
+  virtual Status Read(size_t max_bytes, std::string* out) = 0;
+};
+
 /// An open file being appended to. Not thread-safe; callers serialise
 /// (ResultLogWriter holds its own mutex).
 class WritableFile {
@@ -56,7 +71,12 @@ class IoEnv {
   virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, bool truncate) = 0;
 
-  /// Reads a whole file into memory.
+  /// Opens `path` for sequential reading (the merge/resume read path).
+  virtual Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) = 0;
+
+  /// Reads a whole file into memory. Counts as one read operation for
+  /// fault accounting, exactly like NewReadableFile.
   virtual Result<std::string> ReadFile(const std::string& path) = 0;
 
   virtual bool FileExists(const std::string& path) = 0;
@@ -101,10 +121,22 @@ struct FaultSchedule {
   /// Rng — a deterministic model of a flaky disk.
   uint64_t transient_seed = 0;
   double transient_p = 0.0;
+  /// Nth read operation (NewReadableFile/ReadFile, counted together,
+  /// 1-based across the env) fails permanently (kIoError) — a poisoned
+  /// disk block under a shard log.
+  int64_t fail_read = 0;
+  /// Nth read operation silently serves only the first
+  /// `torn_read_bytes` bytes and then reports a clean end of file — a
+  /// log truncated by the crash that killed its shard. The *read*
+  /// succeeds; the missing tail must be caught by the log reader's
+  /// structural checks (torn-line drop, coverage validation).
+  int64_t torn_read = 0;
+  uint64_t torn_read_bytes = 0;
 
   /// Parses the --fault-schedule= syntax: comma-separated clauses
   ///   fail-append=N | torn-append=N:K | fail-sync=N | enospc=N |
-  ///   crash-at-byte=K | transient=SEED:P
+  ///   crash-at-byte=K | transient=SEED:P | fail-read=N |
+  ///   torn-read=N:K
   /// e.g. "torn-append=3:7,fail-sync=1". Rejects unknown clauses,
   /// malformed numbers and duplicate clauses.
   static Result<FaultSchedule> Parse(std::string_view spec);
@@ -128,6 +160,8 @@ class FaultInjectingEnv : public IoEnv {
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, bool truncate) override;
+  Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) override;
   Result<std::string> ReadFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
@@ -138,6 +172,8 @@ class FaultInjectingEnv : public IoEnv {
   bool crashed() const;
   /// Append operations attempted so far (including failed ones).
   int64_t appends() const;
+  /// Read operations attempted so far (NewReadableFile + ReadFile).
+  int64_t reads() const;
   /// Bytes that actually reached files through this env.
   int64_t bytes_written() const;
   /// Faults injected so far (of any kind).
@@ -145,6 +181,7 @@ class FaultInjectingEnv : public IoEnv {
 
  private:
   friend class FaultInjectingFile;
+  friend class FaultInjectingReadableFile;
 
   /// Decides the fate of one append of `size` bytes. Returns OK with
   /// *allowed == size for a clean write; a fault status with *allowed
@@ -152,6 +189,11 @@ class FaultInjectingEnv : public IoEnv {
   /// prefixes) otherwise.
   Status OnAppend(uint64_t size, uint64_t* allowed);
   Status OnSync();
+  /// Decides the fate of one read operation on `path`. Returns OK with
+  /// *byte_cap == -1 for a clean, unlimited read; OK with a
+  /// non-negative cap for a torn read that must silently stop after
+  /// that many bytes; a fault status for a failed read.
+  Status OnRead(const std::string& path, int64_t* byte_cap);
   /// Fails fast when the simulated machine is down.
   Status CheckAlive() const;
 
@@ -161,6 +203,7 @@ class FaultInjectingEnv : public IoEnv {
   Rng transient_rng_;
   int64_t append_ops_ = 0;
   int64_t sync_ops_ = 0;
+  int64_t read_ops_ = 0;
   int64_t bytes_written_ = 0;
   int64_t faults_ = 0;
   bool crashed_ = false;

@@ -1,0 +1,84 @@
+#include "common/watchdog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace oebench {
+
+TaskWatchdog::TaskWatchdog(int limit_ms, Report report)
+    : limit_ms_(limit_ms), report_(std::move(report)) {
+  OE_CHECK(limit_ms_ > 0);
+  scanner_ = std::thread([this] { ScanLoop(); });
+}
+
+TaskWatchdog::~TaskWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  scanner_.join();
+}
+
+TaskWatchdog::Scope TaskWatchdog::Watch(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t token = ++next_token_;
+  inflight_[token] = Entry{std::move(label),
+                           std::chrono::steady_clock::now(), false};
+  return Scope(this, token);
+}
+
+void TaskWatchdog::Unregister(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(token);
+}
+
+int64_t TaskWatchdog::reports() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_;
+}
+
+void TaskWatchdog::ScanLoop() {
+  // Scan a few times per limit so reports land promptly after the
+  // deadline, but never busier than every 10ms.
+  const auto poll = std::chrono::milliseconds(
+      std::max(10, std::min(limit_ms_ / 4, 250)));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    cv_.wait_for(lock, poll);
+    if (shutdown_) break;
+    const auto now = std::chrono::steady_clock::now();
+    // Collect reports under the lock, fire them outside it so a slow
+    // report sink cannot stall Watch()/Unregister() on worker threads.
+    std::vector<std::pair<std::string, double>> due;
+    for (auto& [token, entry] : inflight_) {
+      if (entry.reported) continue;
+      const double elapsed =
+          std::chrono::duration<double>(now - entry.start).count();
+      if (elapsed * 1000.0 >= static_cast<double>(limit_ms_)) {
+        entry.reported = true;
+        ++reports_;
+        due.emplace_back(entry.label, elapsed);
+      }
+    }
+    if (due.empty()) continue;
+    lock.unlock();
+    for (const auto& [label, elapsed] : due) {
+      if (report_) {
+        report_(label, elapsed);
+      } else {
+        std::fprintf(stderr,
+                     "[watchdog] task %s has been running %.1fs "
+                     "(limit %dms); still alive, not killed\n",
+                     label.c_str(), elapsed, limit_ms_);
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace oebench

@@ -1,0 +1,98 @@
+#ifndef OEBENCH_COMMON_WATCHDOG_H_
+#define OEBENCH_COMMON_WATCHDOG_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace oebench {
+
+/// Wall-clock watchdog over in-flight tasks. A background thread
+/// periodically scans the registered tasks and reports — once per task
+/// — any that has been running longer than the limit. It only reports:
+/// a slow task is not a dead task, and killing a pool worker mid-run
+/// would forfeit the sweep's determinism contract. The report goes to
+/// stderr by default, or to a callback (tests).
+///
+/// Thread-safe; Watch()/Scope may be used concurrently from any number
+/// of worker threads.
+class TaskWatchdog {
+ public:
+  /// `label` is the registered task's display name; `elapsed_seconds`
+  /// is how long it had been running when the report fired.
+  using Report = std::function<void(const std::string& label,
+                                    double elapsed_seconds)>;
+
+  /// Starts the scanner thread. Tasks running longer than `limit_ms`
+  /// (must be > 0) are reported. A null `report` writes one line per
+  /// overlong task to stderr.
+  explicit TaskWatchdog(int limit_ms, Report report = nullptr);
+  /// Joins the scanner thread. In-flight Scopes must be gone first.
+  ~TaskWatchdog();
+
+  TaskWatchdog(const TaskWatchdog&) = delete;
+  TaskWatchdog& operator=(const TaskWatchdog&) = delete;
+
+  /// RAII registration of one running task: registered on
+  /// construction, deregistered on destruction. A default-constructed
+  /// Scope watches nothing.
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(Scope&& other) noexcept { *this = std::move(other); }
+    Scope& operator=(Scope&& other) noexcept {
+      Release();
+      dog_ = other.dog_;
+      token_ = other.token_;
+      other.dog_ = nullptr;
+      return *this;
+    }
+    ~Scope() { Release(); }
+
+   private:
+    friend class TaskWatchdog;
+    Scope(TaskWatchdog* dog, uint64_t token) : dog_(dog), token_(token) {}
+    void Release() {
+      if (dog_ != nullptr) dog_->Unregister(token_);
+      dog_ = nullptr;
+    }
+
+    TaskWatchdog* dog_ = nullptr;
+    uint64_t token_ = 0;
+  };
+
+  /// Registers a running task under `label` until the Scope dies.
+  Scope Watch(std::string label);
+
+  /// Overlong-task reports fired so far.
+  int64_t reports() const;
+
+ private:
+  struct Entry {
+    std::string label;
+    std::chrono::steady_clock::time_point start;
+    bool reported = false;
+  };
+
+  void Unregister(uint64_t token);
+  void ScanLoop();
+
+  const int limit_ms_;
+  const Report report_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Entry> inflight_;
+  uint64_t next_token_ = 0;
+  int64_t reports_ = 0;
+  bool shutdown_ = false;
+  std::thread scanner_;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_COMMON_WATCHDOG_H_

@@ -1,0 +1,182 @@
+#include "core/chaos.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace oebench {
+
+namespace {
+
+bool ParsePositive(std::string_view text, int64_t* out) {
+  if (!ParseInt64(text, out)) return false;
+  return *out >= 1;
+}
+
+/// Canonical identity key, same shape as the sweep subsystem's task
+/// keys ("dataset|learner|repeat").
+std::string IdentityKey(const TaskIdentity& task) {
+  return task.dataset + "|" + task.learner + "|" +
+         StrFormat("%d", task.repeat);
+}
+
+}  // namespace
+
+Result<ChaosSchedule> ChaosSchedule::Parse(std::string_view spec) {
+  ChaosSchedule schedule;
+  bool seen_throw = false, seen_nan = false, seen_slow = false,
+       seen_transient = false;
+  for (const std::string& clause : Split(spec, ',')) {
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
+      return Status::InvalidArgument("bad chaos clause '" + clause +
+                                     "' (want key=value)");
+    }
+    std::string key = clause.substr(0, eq);
+    std::string value = clause.substr(eq + 1);
+    if (key == "throw-at-task" && !seen_throw) {
+      if (!ParsePositive(value, &schedule.throw_at_task)) {
+        return Status::InvalidArgument("throw-at-task needs N >= 1, got '" +
+                                       value + "'");
+      }
+      seen_throw = true;
+    } else if (key == "nan-at-task" && !seen_nan) {
+      if (!ParsePositive(value, &schedule.nan_at_task)) {
+        return Status::InvalidArgument("nan-at-task needs N >= 1, got '" +
+                                       value + "'");
+      }
+      seen_nan = true;
+    } else if (key == "slow-at-task" && !seen_slow) {
+      size_t colon = value.find(':');
+      if (colon == std::string::npos ||
+          !ParsePositive(value.substr(0, colon), &schedule.slow_at_task) ||
+          !ParsePositive(value.substr(colon + 1), &schedule.slow_ms)) {
+        return Status::InvalidArgument(
+            "slow-at-task needs N:MS with N, MS >= 1, got '" + value + "'");
+      }
+      seen_slow = true;
+    } else if (key == "transient" && !seen_transient) {
+      size_t colon = value.find(':');
+      double p = 0.0;
+      if (colon == std::string::npos ||
+          !ParseUint64(value.substr(0, colon), &schedule.transient_seed) ||
+          !ParseDouble(value.substr(colon + 1), &p) || !(p >= 0.0) ||
+          !(p <= 1.0)) {
+        return Status::InvalidArgument(
+            "transient needs SEED:P with 0 <= P <= 1, got '" + value + "'");
+      }
+      schedule.transient_p = p;
+      seen_transient = true;
+    } else {
+      return Status::InvalidArgument("unknown or repeated chaos clause '" +
+                                     clause + "'");
+    }
+  }
+  return schedule;
+}
+
+std::string ChaosSchedule::ToString() const {
+  std::vector<std::string> clauses;
+  if (throw_at_task > 0) {
+    clauses.push_back(StrFormat("throw-at-task=%lld",
+                                static_cast<long long>(throw_at_task)));
+  }
+  if (nan_at_task > 0) {
+    clauses.push_back(StrFormat("nan-at-task=%lld",
+                                static_cast<long long>(nan_at_task)));
+  }
+  if (slow_at_task > 0) {
+    clauses.push_back(StrFormat("slow-at-task=%lld:%lld",
+                                static_cast<long long>(slow_at_task),
+                                static_cast<long long>(slow_ms)));
+  }
+  if (transient_p > 0.0) {
+    clauses.push_back(StrFormat(
+        "transient=%llu:%g",
+        static_cast<unsigned long long>(transient_seed), transient_p));
+  }
+  return Join(clauses, ",");
+}
+
+ChaosInjector::ChaosInjector(const ChaosSchedule& schedule)
+    : schedule_(schedule) {}
+
+int64_t ChaosInjector::OrdinalFor(const TaskIdentity& task) {
+  // Caller holds mu_.
+  auto [it, inserted] = ordinals_.try_emplace(IdentityKey(task), 0);
+  if (inserted) it->second = ++next_ordinal_;
+  return it->second;
+}
+
+void ChaosInjector::OnTaskStart(const TaskIdentity& task) {
+  int64_t ordinal;
+  bool do_throw = false, do_slow = false, do_transient = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ordinal = OrdinalFor(task);
+    do_throw = ordinal == schedule_.throw_at_task;
+    do_slow = ordinal == schedule_.slow_at_task;
+    if (schedule_.transient_p > 0.0) {
+      // Identity-keyed draw: the same task draws the same fate at any
+      // thread count; the fault fires on the first attempt only, so
+      // the engine's in-process retry clears it.
+      const std::string key = IdentityKey(task);
+      if (transient_fired_.count(key) == 0) {
+        Rng rng(TaskSeed(schedule_.transient_seed, task.dataset,
+                         task.learner, task.repeat));
+        if (rng.Bernoulli(schedule_.transient_p)) {
+          transient_fired_.insert(key);
+          do_transient = true;
+        }
+      }
+    }
+    if (do_throw || do_slow || do_transient) ++faults_;
+  }
+  if (do_slow) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(schedule_.slow_ms));
+  }
+  if (do_throw) {
+    throw std::runtime_error(StrFormat(
+        "injected chaos throw on task #%lld (%s)",
+        static_cast<long long>(ordinal), IdentityKey(task).c_str()));
+  }
+  if (do_transient) {
+    throw TransientTaskError(StrFormat(
+        "injected transient chaos fault on %s (seeded, clears on retry)",
+        IdentityKey(task).c_str()));
+  }
+}
+
+void ChaosInjector::OnTaskResult(const TaskIdentity& task,
+                                 EvalResult* result) {
+  bool poison = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (schedule_.nan_at_task > 0 &&
+        OrdinalFor(task) == schedule_.nan_at_task) {
+      poison = true;
+      ++faults_;
+    }
+  }
+  if (poison) {
+    result->mean_loss = std::numeric_limits<double>::quiet_NaN();
+    result->faded_loss = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+int64_t ChaosInjector::tasks_started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ordinal_;
+}
+
+int64_t ChaosInjector::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+}  // namespace oebench

@@ -1,0 +1,90 @@
+#ifndef OEBENCH_CORE_CHAOS_H_
+#define OEBENCH_CORE_CHAOS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/evaluator.h"
+#include "core/parallel_eval.h"
+
+namespace oebench {
+
+/// Compute-side analogue of common/io_env's FaultSchedule: a
+/// deterministic plan of *task* faults for the sweep engine's failure
+/// domain. Where FaultSchedule makes the disk hostile, ChaosSchedule
+/// makes the learners hostile — a task that throws, a task whose
+/// metrics explode to NaN, a task that stalls, a seeded shower of
+/// transient faults that succeed on retry. The sweep engine must
+/// convert each into one structured TaskFailure costing one cell, never
+/// the shard.
+struct ChaosSchedule {
+  /// Nth distinct task to start (1-based, in start order — exact with
+  /// one worker thread) throws std::runtime_error on every attempt.
+  int64_t throw_at_task = 0;
+  /// Nth task's metrics are poisoned to NaN after the prequential run,
+  /// tripping the engine's non-finite explosion detector.
+  int64_t nan_at_task = 0;
+  /// Nth task sleeps `slow_ms` milliseconds before running — long
+  /// enough to trip a wall-clock watchdog, but the task still succeeds.
+  int64_t slow_at_task = 0;
+  int64_t slow_ms = 0;
+  /// When transient_p > 0: each task identity independently draws a
+  /// seeded Bernoulli(transient_p); drawn tasks throw TransientTaskError
+  /// on their *first* attempt only, so the engine's in-process retry
+  /// succeeds. The draw hangs off the identity (TaskSeed-style), never
+  /// off scheduling, so it is bit-reproducible at any thread count.
+  uint64_t transient_seed = 0;
+  double transient_p = 0.0;
+
+  /// Parses the --chaos-schedule= syntax: comma-separated clauses
+  ///   throw-at-task=N | nan-at-task=N | slow-at-task=N:MS |
+  ///   transient=SEED:P
+  /// Rejects unknown clauses, malformed numbers and duplicate clauses.
+  static Result<ChaosSchedule> Parse(std::string_view spec);
+
+  /// Canonical rendering of the schedule (diagnostics, logs).
+  std::string ToString() const;
+};
+
+/// Executes a ChaosSchedule against the tasks of one sweep. Thread-
+/// safe; ordinals are assigned once per distinct task identity (a
+/// retried attempt keeps its ordinal), so ordinal faults fire exactly
+/// once. Wire into SweepConfig::chaos.
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(const ChaosSchedule& schedule);
+
+  /// Called by the engine on the worker thread as an attempt of `task`
+  /// begins. May sleep (slow-at-task), throw std::runtime_error
+  /// (throw-at-task) or throw TransientTaskError (transient).
+  void OnTaskStart(const TaskIdentity& task);
+
+  /// Called by the engine after the prequential run; poisons the
+  /// metrics of the nan-at-task ordinal to quiet NaN.
+  void OnTaskResult(const TaskIdentity& task, EvalResult* result);
+
+  /// Distinct tasks that have started at least one attempt.
+  int64_t tasks_started() const;
+  /// Faults injected so far (throws, poisons, stalls, transients).
+  int64_t faults_injected() const;
+
+ private:
+  /// Ordinal of `task` (assigning the next one on first sight).
+  int64_t OrdinalFor(const TaskIdentity& task);
+
+  ChaosSchedule schedule_;
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> ordinals_;
+  std::set<std::string> transient_fired_;
+  int64_t next_ordinal_ = 0;
+  int64_t faults_ = 0;
+};
+
+}  // namespace oebench
+
+#endif  // OEBENCH_CORE_CHAOS_H_

@@ -1,13 +1,18 @@
 #include "core/parallel_eval.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <future>
 #include <memory>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/watchdog.h"
+#include "core/chaos.h"
 #include "linalg/vector_ops.h"
 
 namespace oebench {
@@ -60,6 +65,118 @@ class StopLatch {
   bool stopped_ = false;
 };
 
+/// Outcome of one task's failure domain: either an EvalResult or a
+/// structured TaskFailure — never an escaped exception.
+struct TaskTry {
+  bool ok = false;
+  EvalResult result;
+  TaskFailure failure;
+};
+
+/// Prefixes a failed dependency's status with the dataset name, so the
+/// caller-facing message names the quarantined row.
+Status PrefixStatus(const std::string& name, const Status& status) {
+  return Status(status.code(), name + ": " + status.message());
+}
+
+/// Runs one task inside its failure domain: chaos injection, the
+/// prequential run, non-finite explosion detection and the transient
+/// retry loop all happen here, on the worker thread, and every failure
+/// mode is folded into a TaskTry. The on_task_done / on_task_failed
+/// hook fires before returning (still on the worker thread).
+TaskTry ExecuteTask(const SweepConfig& config, const TaskIdentity& id,
+                    const LearnerConfig& task_config,
+                    const PreparedStream& stream, TaskWatchdog* watchdog) {
+  TaskTry out;
+  out.failure.task = id;
+  const int attempts = std::max(1, config.task_attempts);
+  const auto start = std::chrono::steady_clock::now();
+  TaskWatchdog::Scope watch;
+  if (watchdog != nullptr) {
+    watch = watchdog->Watch(StrFormat("%s|%s|%d", id.dataset.c_str(),
+                                      id.learner.c_str(), id.repeat));
+  }
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    try {
+      if (config.chaos != nullptr) config.chaos->OnTaskStart(id);
+      Result<std::unique_ptr<StreamLearner>> learner = MakeLearner(
+          id.learner, task_config, stream.task, stream.num_classes);
+      if (!learner.ok()) {
+        // The submitting thread's probe succeeded, so this is a learner
+        // bug — but it still costs one cell, not the shard.
+        out.failure.kind = TaskFailureKind::kException;
+        out.failure.message = learner.status().ToString();
+        break;
+      }
+      EvalResult result = RunPrequential(learner->get(), stream);
+      if (config.chaos != nullptr) config.chaos->OnTaskResult(id, &result);
+      if (!std::isfinite(result.mean_loss) ||
+          !std::isfinite(result.faded_loss)) {
+        // Deterministic for this (seed, data): retrying would explode
+        // identically, so record it immediately.
+        out.failure.kind = TaskFailureKind::kNonFinite;
+        out.failure.message = StrFormat(
+            "non-finite metric explosion: mean_loss=%g faded_loss=%g",
+            result.mean_loss, result.faded_loss);
+        break;
+      }
+      out.ok = true;
+      out.result = std::move(result);
+      break;
+    } catch (const TransientTaskError& e) {
+      if (attempt < attempts) continue;
+      out.failure.kind = TaskFailureKind::kTransient;
+      out.failure.message =
+          StrFormat("%s (persisted across %d attempt(s))", e.what(), attempts);
+    } catch (const std::exception& e) {
+      out.failure.kind = TaskFailureKind::kException;
+      out.failure.message = e.what();
+    } catch (...) {
+      out.failure.kind = TaskFailureKind::kException;
+      out.failure.message = "unknown exception";
+    }
+    break;
+  }
+  if (out.ok) {
+    if (config.on_task_done) config.on_task_done(id, out.result);
+  } else {
+    out.failure.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (config.on_task_failed) config.on_task_failed(out.failure);
+  }
+  return out;
+}
+
+/// The sweep-scoped watchdog: alive only while the sweep runs, null
+/// when disabled.
+std::unique_ptr<TaskWatchdog> MakeWatchdog(const SweepConfig& config) {
+  if (config.watchdog_limit_ms <= 0) return nullptr;
+  TaskWatchdog::Report report;
+  if (config.on_overlong_task) {
+    auto hook = config.on_overlong_task;
+    report = [hook](const std::string& label, double elapsed) {
+      // Labels are "dataset|learner|repeat"; decode for the hook.
+      std::vector<std::string> parts = Split(label, '|');
+      TaskIdentity id;
+      if (parts.size() == 3) {
+        id.dataset = parts[0];
+        id.learner = parts[1];
+        int64_t repeat = 0;
+        if (ParseInt64(parts[2], &repeat)) {
+          id.repeat = static_cast<int>(repeat);
+        }
+      } else {
+        id.dataset = label;
+      }
+      hook(id, elapsed);
+    };
+  }
+  return std::make_unique<TaskWatchdog>(config.watchdog_limit_ms,
+                                        std::move(report));
+}
+
 /// RunRepeated-style aggregation over the runs a cell actually
 /// executed (all repeats unless a task_filter kept some out).
 void AggregateCell(SweepCell* cell) {
@@ -77,6 +194,35 @@ void AggregateCell(SweepCell* cell) {
 }
 
 }  // namespace
+
+const char* TaskFailureKindName(TaskFailureKind kind) {
+  switch (kind) {
+    case TaskFailureKind::kException:
+      return "exception";
+    case TaskFailureKind::kNonFinite:
+      return "non-finite";
+    case TaskFailureKind::kTransient:
+      return "transient";
+    case TaskFailureKind::kPrepare:
+      return "prepare";
+  }
+  return "exception";
+}
+
+bool ParseTaskFailureKind(std::string_view text, TaskFailureKind* kind) {
+  if (text == "exception") {
+    *kind = TaskFailureKind::kException;
+  } else if (text == "non-finite") {
+    *kind = TaskFailureKind::kNonFinite;
+  } else if (text == "transient") {
+    *kind = TaskFailureKind::kTransient;
+  } else if (text == "prepare") {
+    *kind = TaskFailureKind::kPrepare;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 uint64_t TaskSeed(uint64_t base_seed, const std::string& dataset,
                   const std::string& learner, int repeat) {
@@ -96,6 +242,7 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
                            const SweepConfig& config) {
   OE_CHECK(config.repeats > 0);
   SweepOutcome outcome;
+  std::unique_ptr<TaskWatchdog> watchdog = MakeWatchdog(config);
   ThreadPool pool(PoolWorkers(config.threads));
   StopLatch stop(config);
 
@@ -104,7 +251,7 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
   // detected here on the submitting thread and never reaches the pool.
   struct PairTasks {
     bool applicable = false;
-    std::vector<std::future<EvalResult>> runs;
+    std::vector<std::future<TaskTry>> runs;
   };
   std::vector<PairTasks> pairs(streams.size() * learners.size());
   for (size_t d = 0; d < streams.size(); ++d) {
@@ -124,18 +271,12 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
         LearnerConfig task_config = config.base_config;
         task_config.seed = TaskSeed(config.base_config.seed, stream.name,
                                     learners[l], rep);
+        TaskWatchdog* dog = watchdog.get();
         pair.runs.push_back(pool.Submit([&stream, &learners, &config, l,
-                                         rep, task_config] {
-          Result<std::unique_ptr<StreamLearner>> learner =
-              MakeLearner(learners[l], task_config, stream.task,
-                          stream.num_classes);
-          OE_CHECK(learner.ok()) << learner.status().ToString();
-          EvalResult result = RunPrequential(learner->get(), stream);
-          if (config.on_task_done) {
-            config.on_task_done(
-                TaskIdentity{stream.name, learners[l], rep}, result);
-          }
-          return result;
+                                         rep, task_config, dog] {
+          return ExecuteTask(config,
+                             TaskIdentity{stream.name, learners[l], rep},
+                             task_config, stream, dog);
         }));
         ++outcome.tasks_run;
       }
@@ -143,7 +284,8 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
   }
 
   // Reassemble in canonical order. Aggregation mirrors RunRepeated so
-  // serial and parallel sweeps report the same statistics.
+  // serial and parallel sweeps report the same statistics; failed
+  // tasks quarantine their cell and land in outcome.failures.
   outcome.streams_prepared = static_cast<int64_t>(streams.size());
   outcome.rows.resize(streams.size());
   for (size_t d = 0; d < streams.size(); ++d) {
@@ -159,8 +301,15 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
         cell.repeated.not_applicable = true;
         continue;
       }
-      for (std::future<EvalResult>& future : pair.runs) {
-        cell.runs.push_back(future.get());
+      for (std::future<TaskTry>& future : pair.runs) {
+        TaskTry attempt = future.get();
+        if (attempt.ok) {
+          cell.runs.push_back(std::move(attempt.result));
+        } else {
+          ++cell.failed_runs;
+          ++outcome.tasks_failed;
+          outcome.failures.push_back(std::move(attempt.failure));
+        }
       }
       AggregateCell(&cell);
     }
@@ -168,30 +317,37 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
   return outcome;
 }
 
-std::vector<PreparedStream> ParallelPrepare(
+std::vector<Result<PreparedStream>> ParallelPrepare(
     const std::vector<StreamSpec>& specs, const PipelineOptions& options,
     int threads, const std::vector<std::string>& names) {
   OE_CHECK(names.empty() || names.size() == specs.size());
   ThreadPool pool(PoolWorkers(threads));
-  std::vector<std::future<PreparedStream>> futures;
+  std::vector<std::future<Result<PreparedStream>>> futures;
   futures.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
     const StreamSpec& spec = specs[i];
-    futures.push_back(pool.Submit([&spec, &options] {
-      Result<GeneratedStream> stream = GenerateStream(spec);
-      OE_CHECK(stream.ok()) << spec.name << ": "
-                            << stream.status().ToString();
-      Result<PreparedStream> prepared = PrepareStream(*stream, options);
-      OE_CHECK(prepared.ok()) << spec.name << ": "
-                              << prepared.status().ToString();
-      return std::move(*prepared);
-    }));
+    futures.push_back(
+        pool.Submit([&spec, &options]() -> Result<PreparedStream> {
+          try {
+            Result<GeneratedStream> stream = GenerateStream(spec);
+            if (!stream.ok()) return PrefixStatus(spec.name, stream.status());
+            Result<PreparedStream> prepared = PrepareStream(*stream, options);
+            if (!prepared.ok()) {
+              return PrefixStatus(spec.name, prepared.status());
+            }
+            return std::move(*prepared);
+          } catch (const std::exception& e) {
+            return Status::Internal(spec.name + ": " + std::string(e.what()));
+          }
+        }));
   }
-  std::vector<PreparedStream> streams;
+  std::vector<Result<PreparedStream>> streams;
   streams.reserve(specs.size());
   for (size_t i = 0; i < futures.size(); ++i) {
     streams.push_back(futures[i].get());
-    if (!names.empty()) streams.back().name = names[i];
+    if (streams.back().ok() && !names.empty()) {
+      streams.back()->name = names[i];
+    }
   }
   return streams;
 }
@@ -201,6 +357,7 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
                                   const SweepConfig& config) {
   OE_CHECK(config.repeats > 0);
   SweepOutcome outcome;
+  std::unique_ptr<TaskWatchdog> watchdog = MakeWatchdog(config);
   ThreadPool pool(PoolWorkers(config.threads));
 
   // Per-entry plan, fixed before anything touches the pool. N/A pairs
@@ -213,8 +370,11 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
     std::vector<std::vector<char>> selected;            // [learner][repeat]
     bool needs_stream = false;
     bool prepare_submitted = false;
-    std::future<std::shared_ptr<PreparedStream>> prepared;
-    std::vector<std::vector<std::future<EvalResult>>> futures;  // [l][run]
+    /// Set when generation/preprocessing failed: the whole row is
+    /// quarantined — one TaskFailure{kPrepare} per selected task.
+    Status prepare_error;
+    std::future<Result<std::shared_ptr<PreparedStream>>> prepared;
+    std::vector<std::vector<std::future<TaskTry>>> futures;  // [l][run]
   };
   std::vector<Plan> plans(entries.size());
   for (size_t d = 0; d < entries.size(); ++d) {
@@ -259,15 +419,24 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
       if (plan.needs_stream) {
         const StreamSpec& spec = plan.spec;
         const PipelineOptions& options = config.pipeline;
-        plan.prepared = pool.Submit([&spec, &options] {
-          Result<GeneratedStream> stream = GenerateStream(spec);
-          OE_CHECK(stream.ok()) << spec.name << ": "
-                                << stream.status().ToString();
-          Result<PreparedStream> prepared = PrepareStream(*stream, options);
-          OE_CHECK(prepared.ok()) << spec.name << ": "
-                                  << prepared.status().ToString();
-          return std::make_shared<PreparedStream>(std::move(*prepared));
-        });
+        plan.prepared = pool.Submit(
+            [&spec, &options]() -> Result<std::shared_ptr<PreparedStream>> {
+              try {
+                Result<GeneratedStream> stream = GenerateStream(spec);
+                if (!stream.ok()) {
+                  return PrefixStatus(spec.name, stream.status());
+                }
+                Result<PreparedStream> prepared =
+                    PrepareStream(*stream, options);
+                if (!prepared.ok()) {
+                  return PrefixStatus(spec.name, prepared.status());
+                }
+                return std::make_shared<PreparedStream>(std::move(*prepared));
+              } catch (const std::exception& e) {
+                return Status::Internal(spec.name + ": " +
+                                        std::string(e.what()));
+              }
+            });
         plan.prepare_submitted = true;
         ++outstanding;
       }
@@ -281,9 +450,31 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
     // A stop can land between this plan's selection and its prepare;
     // nothing was submitted for it (or anything after it) then.
     if (!plan.prepare_submitted) continue;
-    std::shared_ptr<PreparedStream> stream = plan.prepared.get();
+    Result<std::shared_ptr<PreparedStream>> stream_or = plan.prepared.get();
     --outstanding;
     pump_prepares();
+    if (!stream_or.ok()) {
+      // The dataset itself is the failure domain here: quarantine the
+      // whole row. Every selected task records a TaskFailure{kPrepare}
+      // (reassembled below) and the failure hook fires for each, so a
+      // shard's log names each lost task, not just the dataset.
+      plan.prepare_error = stream_or.status();
+      if (config.on_task_failed) {
+        for (size_t l = 0; l < learners.size(); ++l) {
+          if (!plan.applicable[l]) continue;
+          for (int rep = 0; rep < config.repeats; ++rep) {
+            if (!plan.selected[l][static_cast<size_t>(rep)]) continue;
+            TaskFailure failure;
+            failure.task = TaskIdentity{plan.spec.name, learners[l], rep};
+            failure.kind = TaskFailureKind::kPrepare;
+            failure.message = plan.prepare_error.ToString();
+            config.on_task_failed(failure);
+          }
+        }
+      }
+      continue;
+    }
+    std::shared_ptr<PreparedStream> stream = std::move(*stream_or);
     ++outcome.streams_prepared;
     for (size_t l = 0; l < learners.size(); ++l) {
       if (!plan.applicable[l]) continue;
@@ -293,18 +484,12 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
         LearnerConfig task_config = config.base_config;
         task_config.seed = TaskSeed(config.base_config.seed,
                                     plan.spec.name, learners[l], rep);
+        TaskWatchdog* dog = watchdog.get();
         plan.futures[l].push_back(pool.Submit([stream, &learners, &config,
-                                               l, rep, task_config] {
-          Result<std::unique_ptr<StreamLearner>> learner =
-              MakeLearner(learners[l], task_config, stream->task,
-                          stream->num_classes);
-          OE_CHECK(learner.ok()) << learner.status().ToString();
-          EvalResult result = RunPrequential(learner->get(), *stream);
-          if (config.on_task_done) {
-            config.on_task_done(
-                TaskIdentity{stream->name, learners[l], rep}, result);
-          }
-          return result;
+                                               l, rep, task_config, dog] {
+          return ExecuteTask(config,
+                             TaskIdentity{stream->name, learners[l], rep},
+                             task_config, *stream, dog);
         }));
         ++outcome.tasks_run;
       }
@@ -327,8 +512,30 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
         cell.repeated.not_applicable = true;
         continue;
       }
-      for (std::future<EvalResult>& future : plan.futures[l]) {
-        cell.runs.push_back(future.get());
+      if (!plan.prepare_error.ok()) {
+        // Quarantined row: one kPrepare failure per selected task, in
+        // canonical repeat order (mirrors the hook calls above).
+        for (int rep = 0; rep < config.repeats; ++rep) {
+          if (!plan.selected[l][static_cast<size_t>(rep)]) continue;
+          TaskFailure failure;
+          failure.task = TaskIdentity{plan.spec.name, learners[l], rep};
+          failure.kind = TaskFailureKind::kPrepare;
+          failure.message = plan.prepare_error.ToString();
+          ++cell.failed_runs;
+          ++outcome.tasks_failed;
+          outcome.failures.push_back(std::move(failure));
+        }
+        continue;
+      }
+      for (std::future<TaskTry>& future : plan.futures[l]) {
+        TaskTry attempt = future.get();
+        if (attempt.ok) {
+          cell.runs.push_back(std::move(attempt.result));
+        } else {
+          ++cell.failed_runs;
+          ++outcome.tasks_failed;
+          outcome.failures.push_back(std::move(attempt.failure));
+        }
       }
       AggregateCell(&cell);
     }

@@ -3,15 +3,20 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/evaluator.h"
 #include "preprocess/pipeline.h"
 #include "streamgen/corpus.h"
 #include "streamgen/stream_generator.h"
 
 namespace oebench {
+
+class ChaosInjector;  // core/chaos.h
+class TaskWatchdog;   // common/watchdog.h
 
 /// Deterministic parallel sweep engine for the (dataset x learner)
 /// grids behind Tables 4 and 9 and the 55-dataset statistic
@@ -37,6 +42,52 @@ struct TaskIdentity {
   std::string dataset;
   std::string learner;
   int repeat = 0;
+};
+
+/// Why one task produced no result. Each class has a different cost
+/// and recovery story (see DESIGN.md "Failure domains"):
+///  - kException:  the task body threw — permanent for this sweep; the
+///                 cell is quarantined, everything else continues.
+///  - kNonFinite:  the prequential metrics exploded to NaN/inf — the
+///                 numbers exist but cannot be trusted or aggregated.
+///  - kTransient:  a TransientTaskError survived every in-process
+///                 retry; a later --retry-failed resume usually clears
+///                 it.
+///  - kPrepare:    the dataset's generation/preprocessing failed — the
+///                 whole row is quarantined (every selected task of the
+///                 dataset records one of these).
+enum class TaskFailureKind {
+  kException,
+  kNonFinite,
+  kTransient,
+  kPrepare,
+};
+
+/// Stable wire name of a failure kind ("exception", "non-finite",
+/// "transient", "prepare") — the result log's failure records use it.
+const char* TaskFailureKindName(TaskFailureKind kind);
+bool ParseTaskFailureKind(std::string_view text, TaskFailureKind* kind);
+
+/// One task that failed instead of producing an EvalResult. The sweep
+/// engine records these (and keeps going) rather than unwinding the
+/// pool: one poison task costs one cell, not the shard.
+struct TaskFailure {
+  TaskIdentity task;
+  TaskFailureKind kind = TaskFailureKind::kException;
+  /// what() / Status message of the underlying failure (single line).
+  std::string message;
+  /// Wall-clock seconds burned on the task across all attempts.
+  double elapsed_seconds = 0.0;
+};
+
+/// Throw this from task code (or a ChaosInjector) to signal a fault
+/// that may clear if the same task is simply re-executed; the engine
+/// retries such tasks in-process up to SweepConfig::task_attempts
+/// before recording a TaskFailure{kTransient}.
+class TransientTaskError : public std::runtime_error {
+ public:
+  explicit TransientTaskError(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 /// Knobs of one sweep. `base_config.seed` is the sweep's base seed.
@@ -67,6 +118,27 @@ struct SweepConfig {
   /// durable log hits a permanent I/O failure — results that can no
   /// longer be persisted are not worth computing. Must be thread-safe.
   std::function<bool()> stop_requested;
+  /// Invoked once per *failed* task (after retries are exhausted), on
+  /// the worker thread — the failure-record log hook. Must be
+  /// thread-safe. Failures also land in SweepOutcome::failures either
+  /// way.
+  std::function<void(const TaskFailure&)> on_task_failed;
+  /// Total attempts per task: a TransientTaskError is retried
+  /// in-process until this many attempts have run. Other failure kinds
+  /// never retry (an exception or NaN explosion is deterministic —
+  /// identical seed, identical data — so a retry would just repeat it).
+  int task_attempts = 2;
+  /// Compute-side fault injector (tests, --chaos-schedule). Not owned;
+  /// null disables chaos.
+  ChaosInjector* chaos = nullptr;
+  /// When > 0, a wall-clock watchdog reports (once per task, on stderr
+  /// or via on_overlong_task) any task running longer than this many
+  /// milliseconds — without killing it; slow is not dead, and killing
+  /// a worker would forfeit determinism.
+  int watchdog_limit_ms = 0;
+  /// Override for the watchdog's stderr report (tests). Called on the
+  /// watchdog thread with the task identity and its elapsed seconds.
+  std::function<void(const TaskIdentity&, double)> on_overlong_task;
 };
 
 /// One (dataset, learner) cell: the per-repeat prequential results in
@@ -76,6 +148,11 @@ struct SweepConfig {
 struct SweepCell {
   RepeatedResult repeated;
   std::vector<EvalResult> runs;
+  /// Tasks of this cell that failed (details in SweepOutcome::failures).
+  /// A cell with failed_runs > 0 is quarantined: `runs` holds only the
+  /// repeats that succeeded and the aggregates cover those alone, so
+  /// renderers must flag the cell rather than print the partial number.
+  int64_t failed_runs = 0;
 };
 
 /// One dataset's row: cells in the input learner order.
@@ -96,6 +173,13 @@ struct SweepOutcome {
   /// sweep. Without a task_filter this equals the entry count; with a
   /// shard filter only the shard's datasets are prepared.
   int64_t streams_prepared = 0;
+  /// Tasks that failed instead of producing a result, in canonical
+  /// (dataset-major) order. tasks_failed == failures.size(); kept as a
+  /// counter for symmetry with tasks_run. Failed prequential runs are
+  /// included in tasks_run; quarantined-by-prepare tasks are not (they
+  /// never started).
+  std::vector<TaskFailure> failures;
+  int64_t tasks_failed = 0;
 };
 
 /// Fans repeats x (stream x learner) prequential runs out across
@@ -109,9 +193,11 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
 /// randomness is self-contained in `spec.seed`, so parallel generation
 /// is deterministic too). `names`, when non-empty, overrides the
 /// prepared streams' names (Table 3 short names); it must then match
-/// `specs` in length. Aborts on generation/pipeline failure, like the
-/// benches it serves.
-std::vector<PreparedStream> ParallelPrepare(
+/// `specs` in length. Returns one Result per spec, in spec order: a
+/// generation/pipeline failure yields that entry's Status (prefixed
+/// with the spec name) and touches nothing else — callers report the
+/// bad dataset and continue with the rest, they are never aborted.
+std::vector<Result<PreparedStream>> ParallelPrepare(
     const std::vector<StreamSpec>& specs, const PipelineOptions& options,
     int threads, const std::vector<std::string>& names = {});
 

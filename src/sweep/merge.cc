@@ -33,10 +33,9 @@ std::string DeterministicRowString(const LoggedRow& row) {
 
 }  // namespace
 
-Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
-                                    const LogHeader& expected,
-                                    const std::vector<std::string>& paths,
-                                    IoEnv* env) {
+Result<MergeReport> MergeShardLogsReport(
+    const TaskManifest& manifest, const LogHeader& expected,
+    const std::vector<std::string>& paths, IoEnv* env) {
   if (paths.empty()) {
     return Status::InvalidArgument("no shard logs to merge");
   }
@@ -47,6 +46,7 @@ Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
   }
 
   std::map<std::string, LoggedRow> by_key;
+  std::map<std::string, TaskFailure> failed_by_key;
   for (const std::string& path : paths) {
     Result<ResultLogContents> log = ReadResultLog(path, env);
     if (!log.ok()) return log.status();
@@ -79,11 +79,26 @@ Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
       }
       by_key.emplace(std::move(key), std::move(row));
     }
+    for (TaskFailure& failure : log->failures) {
+      std::string key = TaskKey(failure.task);
+      if (manifest_keys.find(key) == manifest_keys.end()) {
+        return Status::FailedPrecondition(
+            path + ": failed task '" + key +
+            "' is not in the sweep manifest");
+      }
+      // First failure record per key wins; a run row (below) always
+      // supersedes — it means some shard re-ran the task successfully.
+      failed_by_key.emplace(std::move(key), std::move(failure));
+    }
   }
+  for (const auto& [key, row] : by_key) failed_by_key.erase(key);
 
   std::vector<std::string> missing;
   for (const std::string& key : manifest_keys) {
-    if (by_key.find(key) == by_key.end()) missing.push_back(key);
+    if (by_key.find(key) == by_key.end() &&
+        failed_by_key.find(key) == failed_by_key.end()) {
+      missing.push_back(key);
+    }
   }
   if (!missing.empty()) {
     std::string sample;
@@ -96,9 +111,12 @@ Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
   }
 
   // Reassemble, mirroring core/parallel_eval's canonical-order
-  // aggregation exactly.
+  // aggregation exactly. Quarantined tasks (failure record, no run
+  // row) become failed_runs on their cell, exactly like a task that
+  // exploded inside a live sweep.
   const SweepGrid& grid = manifest.grid();
-  SweepOutcome outcome;
+  MergeReport report;
+  SweepOutcome& outcome = report.outcome;
   outcome.rows.resize(grid.datasets.size());
   for (size_t d = 0; d < grid.datasets.size(); ++d) {
     SweepRow& row = outcome.rows[d];
@@ -112,24 +130,41 @@ Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
       int na_rows = 0;
       for (int rep = 0; rep < grid.repeats; ++rep) {
         TaskIdentity task{grid.datasets[d], grid.learners[l], rep};
-        const LoggedRow& logged = by_key.at(TaskKey(task));
+        std::string key = TaskKey(task);
+        auto failed = failed_by_key.find(key);
+        if (failed != failed_by_key.end()) {
+          ++cell.failed_runs;
+          ++outcome.tasks_failed;
+          // A prepare failure quarantines a task that never started;
+          // everything else ran (and exploded), which the live engine
+          // counts as a task run.
+          if (failed->second.kind != TaskFailureKind::kPrepare) {
+            ++outcome.tasks_run;
+            dataset_ran = true;
+          }
+          outcome.failures.push_back(failed->second);
+          continue;
+        }
+        const LoggedRow& logged = by_key.at(key);
         if (logged.not_applicable) {
           ++na_rows;
           continue;
         }
         cell.runs.push_back(logged.result);
       }
-      if (na_rows == grid.repeats) {
-        cell.repeated.not_applicable = true;
-        cell.runs.clear();
-        ++outcome.pairs_skipped;
-        continue;
-      }
       if (na_rows != 0) {
+        if (na_rows == grid.repeats) {
+          cell.repeated.not_applicable = true;
+          cell.runs.clear();
+          ++outcome.pairs_skipped;
+          continue;
+        }
         return Status::FailedPrecondition(
             "pair (" + grid.datasets[d] + ", " + grid.learners[l] +
             ") is N/A for some repeats but not others");
       }
+      if (cell.failed_runs > 0) ++report.quarantined_cells;
+      if (cell.runs.empty()) continue;
       dataset_ran = true;
       outcome.tasks_run += static_cast<int64_t>(cell.runs.size());
       std::vector<double> losses;
@@ -145,7 +180,44 @@ Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
     }
     if (dataset_ran) ++outcome.streams_prepared;
   }
-  return outcome;
+  return report;
+}
+
+Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
+                                    const LogHeader& expected,
+                                    const std::vector<std::string>& paths,
+                                    IoEnv* env) {
+  Result<MergeReport> report =
+      MergeShardLogsReport(manifest, expected, paths, env);
+  if (!report.ok()) return report.status();
+  if (report->outcome.tasks_failed > 0) {
+    const TaskFailure& first = report->outcome.failures.front();
+    return Status::FailedPrecondition(StrFormat(
+        "%lld task(s) quarantined across %lld cell(s); first: %s "
+        "[%s] %s — re-run the shard(s) with --resume --retry-failed, "
+        "or merge with --allow-quarantined to accept a partial table",
+        static_cast<long long>(report->outcome.tasks_failed),
+        static_cast<long long>(report->quarantined_cells),
+        TaskKey(first.task).c_str(), TaskFailureKindName(first.kind),
+        first.message.c_str()));
+  }
+  return std::move(report->outcome);
+}
+
+std::string FormatQuarantineReport(const MergeReport& report) {
+  if (report.outcome.tasks_failed == 0) return std::string();
+  std::string out = StrFormat(
+      "quarantine: %lld task(s) across %lld cell(s) have a failure "
+      "record and no run:\n",
+      static_cast<long long>(report.outcome.tasks_failed),
+      static_cast<long long>(report.quarantined_cells));
+  for (const TaskFailure& failure : report.outcome.failures) {
+    out += StrFormat("  %s\t%s\t%.1fs\t%s\n",
+                     TaskKey(failure.task).c_str(),
+                     TaskFailureKindName(failure.kind),
+                     failure.elapsed_seconds, failure.message.c_str());
+  }
+  return out;
 }
 
 std::string DumpOutcome(const SweepOutcome& outcome) {
@@ -153,12 +225,32 @@ std::string DumpOutcome(const SweepOutcome& outcome) {
       StrFormat("sweep\ttasks_run=%lld\tpairs_skipped=%lld\n",
                 static_cast<long long>(outcome.tasks_run),
                 static_cast<long long>(outcome.pairs_skipped));
+  // Failure accounting is emitted only when present, so a fault-free
+  // outcome dumps byte-identically to what it always dumped.
+  if (outcome.tasks_failed > 0) {
+    out += StrFormat("tasks_failed\t%lld\n",
+                     static_cast<long long>(outcome.tasks_failed));
+    for (const TaskFailure& failure : outcome.failures) {
+      // elapsed_seconds deliberately excluded: the dump compares only
+      // deterministic fields, and wall-clock is not one.
+      out += StrFormat("fail\t%s\t%s\t%d\t%s\t%s\n",
+                       failure.task.dataset.c_str(),
+                       failure.task.learner.c_str(), failure.task.repeat,
+                       TaskFailureKindName(failure.kind),
+                       failure.message.c_str());
+    }
+  }
   for (const SweepRow& row : outcome.rows) {
     out += StrFormat("dataset\t%s\n", row.dataset.c_str());
     for (const SweepCell& cell : row.cells) {
       if (cell.repeated.not_applicable) {
         out += StrFormat("na\t%s\n", cell.repeated.learner.c_str());
         continue;
+      }
+      if (cell.failed_runs > 0) {
+        out += StrFormat("quarantined\t%s\t%lld\n",
+                         cell.repeated.learner.c_str(),
+                         static_cast<long long>(cell.failed_runs));
       }
       out += StrFormat("cell\t%s\t%s\t%s\t%lld\n",
                        cell.repeated.learner.c_str(),
@@ -197,6 +289,13 @@ std::string FormatOutcomeTable(const SweepOutcome& outcome) {
     for (const SweepCell& cell : row.cells) {
       if (cell.repeated.not_applicable) {
         out += StrFormat(" %13s", "N/A");
+      } else if (cell.failed_runs > 0) {
+        // Quarantined cell: aggregates over a partial cell would look
+        // like real numbers, so print an unmistakable marker instead.
+        out += StrFormat(" %13s",
+                         StrFormat("FAILED(%lld)",
+                                   static_cast<long long>(cell.failed_runs))
+                             .c_str());
       } else {
         out += StrFormat(" %13s",
                          StrFormat("%.3f±%.3f", cell.repeated.loss_mean,

@@ -12,6 +12,19 @@
 namespace oebench {
 namespace sweep {
 
+/// A merge that tolerates quarantined tasks: the reassembled outcome
+/// plus an accounting of every manifest task whose only record is a
+/// v2 failure record. `outcome.failures` holds those records in
+/// canonical task order, `outcome.tasks_failed` counts them, and each
+/// affected cell carries `failed_runs > 0` (its aggregates cover only
+/// the repeats that did run — the same partial-cell shape the live
+/// engine reports when a task explodes mid-sweep).
+struct MergeReport {
+  SweepOutcome outcome;
+  /// Cells with at least one quarantined repeat.
+  int64_t quarantined_cells = 0;
+};
+
 /// Reads any set of shard logs and reassembles the exact SweepOutcome
 /// an unsharded sweep of the manifest produces: rows in canonical
 /// dataset order, cells in learner order, per-cell runs in repeat
@@ -24,21 +37,38 @@ namespace sweep {
 ///
 /// Validation, all fatal:
 ///  - every log's header must be compatible with `expected`
-///    (same version, base seed, scale, repeats, epochs, manifest
-///    fingerprint — the writer's shard may differ);
-///  - coverage must be exact: every manifest task appears in some log,
-///    and no log contains a task outside the manifest;
+///    (same base seed, scale, repeats, epochs, manifest fingerprint —
+///    the writer's shard and format version may differ);
+///  - coverage must be exact: every manifest task appears in some log
+///    — as a run/N/A row, or as a v2 failure record (the task is then
+///    quarantined, not missing) — and no log contains a task outside
+///    the manifest;
 ///  - duplicates (overlapping shard runs) must agree bit-for-bit on
-///    the deterministic fields;
+///    the deterministic fields; a run row always supersedes a failure
+///    record for the same task (a --retry-failed rescue merged
+///    alongside the stale log it rescued);
 ///  - a (dataset, learner) pair must be uniformly N/A or uniformly run
 ///    across its repeats.
 /// `env` is the I/O environment the logs are read through (null =
 /// IoEnv::Default()); fault-injection tests read through the same env
 /// they wrote through.
+Result<MergeReport> MergeShardLogsReport(
+    const TaskManifest& manifest, const LogHeader& expected,
+    const std::vector<std::string>& paths, IoEnv* env = nullptr);
+
+/// Strict merge: MergeShardLogsReport, then a non-OK Status if any
+/// task is quarantined. This is what callers that need the complete
+/// grid (selfcheck, bit-identity comparisons) use; the sweep CLI uses
+/// the report form so `--allow-quarantined` can render partial tables.
 Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
                                     const LogHeader& expected,
                                     const std::vector<std::string>& paths,
                                     IoEnv* env = nullptr);
+
+/// Human-readable quarantine report: one line per quarantined task
+/// (cell identity, failure kind, elapsed, message) plus a summary
+/// line. Empty string when nothing is quarantined.
+std::string FormatQuarantineReport(const MergeReport& report);
 
 /// Canonical full-precision dump of a SweepOutcome's deterministic
 /// fields (per-run mean/faded/per-window losses as bit patterns, peak
@@ -48,7 +78,9 @@ Result<SweepOutcome> MergeShardLogs(const TaskManifest& manifest,
 std::string DumpOutcome(const SweepOutcome& outcome);
 
 /// Human loss table (dataset rows x learner columns, "mean±std" cells,
-/// N/A support) — what `oebench_sweep` prints after a merge.
+/// N/A support) — what `oebench_sweep` prints after a merge. A
+/// quarantined cell (failed_runs > 0) prints a distinct "FAILED"
+/// marker instead of an aggregate computed from a partial cell.
 std::string FormatOutcomeTable(const SweepOutcome& outcome);
 
 }  // namespace sweep

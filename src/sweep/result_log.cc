@@ -11,11 +11,13 @@ namespace sweep {
 
 namespace {
 
-constexpr const char* kFormatLine = "oebench-sweep-log\tv1";
+constexpr const char* kFormatLineV1 = "oebench-sweep-log\tv1";
+constexpr const char* kFormatLineV2 = "oebench-sweep-log\tv2";
 
-/// Field counts of the two row kinds (including the leading tag).
+/// Field counts of the row kinds (including the leading tag).
 constexpr size_t kRunFields = 13;
 constexpr size_t kNaFields = 4;
+constexpr size_t kFailFields = 7;
 
 bool ParseHex64(std::string_view text, uint64_t* out) {
   if (text.size() != 16) return false;
@@ -50,7 +52,9 @@ std::string ShardToString(const Shard& shard) {
 }  // namespace
 
 bool CompatibleHeaders(const LogHeader& a, const LogHeader& b) {
-  return a.version == b.version && a.base_seed == b.base_seed &&
+  // The version is deliberately not compared: v2 only *adds* the
+  // failure record, so v1 and v2 logs of the same sweep cross-merge.
+  return a.base_seed == b.base_seed &&
          std::bit_cast<uint64_t>(a.scale) == std::bit_cast<uint64_t>(b.scale) &&
          a.repeats == b.repeats && a.epochs == b.epochs &&
          a.manifest_fingerprint == b.manifest_fingerprint;
@@ -158,10 +162,43 @@ bool ParseRow(std::string_view line, LoggedRow* out) {
   return true;
 }
 
+std::string FormatFailureRow(const TaskFailure& failure) {
+  std::string message = failure.message;
+  for (char& c : message) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return StrFormat("fail\t%s\t%s\t%d\t%s\t%s\t%s",
+                   failure.task.dataset.c_str(),
+                   failure.task.learner.c_str(), failure.task.repeat,
+                   TaskFailureKindName(failure.kind),
+                   EncodeDouble(failure.elapsed_seconds).c_str(),
+                   message.c_str());
+}
+
+bool ParseFailureRow(std::string_view line, TaskFailure* out) {
+  std::vector<std::string> fields = Split(line, '\t');
+  if (fields.size() != kFailFields || fields[0] != "fail") return false;
+  TaskFailure failure;
+  failure.task.dataset = fields[1];
+  failure.task.learner = fields[2];
+  if (failure.task.dataset.empty() || failure.task.learner.empty()) {
+    return false;
+  }
+  if (!ParseIntField(fields[3], &failure.task.repeat) ||
+      failure.task.repeat < 0) {
+    return false;
+  }
+  if (!ParseTaskFailureKind(fields[4], &failure.kind)) return false;
+  if (!DecodeDouble(fields[5], &failure.elapsed_seconds)) return false;
+  failure.message = fields[6];
+  *out = std::move(failure);
+  return true;
+}
+
 namespace {
 
 std::string FormatHeader(const LogHeader& header) {
-  std::string out = kFormatLine;
+  std::string out = header.version >= 2 ? kFormatLineV2 : kFormatLineV1;
   out += StrFormat("\nmeta\tbase_seed\t%llu",
                    static_cast<unsigned long long>(header.base_seed));
   out += StrFormat("\nmeta\tscale\t%s", EncodeDouble(header.scale).c_str());
@@ -176,12 +213,15 @@ std::string FormatHeader(const LogHeader& header) {
 
 Status ParseHeader(const std::vector<std::string>& lines, size_t* cursor,
                    LogHeader* out) {
-  if (lines.empty() || lines[0] != kFormatLine) {
-    return Status::InvalidArgument(
-        "not an oebench-sweep-log v1 file (bad format line)");
-  }
   LogHeader header;
-  header.version = 1;
+  if (!lines.empty() && lines[0] == kFormatLineV1) {
+    header.version = 1;
+  } else if (!lines.empty() && lines[0] == kFormatLineV2) {
+    header.version = 2;
+  } else {
+    return Status::InvalidArgument(
+        "not an oebench-sweep-log v1/v2 file (bad format line)");
+  }
   bool seen_seed = false, seen_scale = false, seen_repeats = false,
        seen_epochs = false, seen_manifest = false, seen_shard = false;
   size_t i = 1;
@@ -241,12 +281,25 @@ Status ParseHeader(const std::vector<std::string>& lines, size_t* cursor,
 Result<ResultLogContents> ReadResultLog(const std::string& path,
                                         IoEnv* env) {
   if (env == nullptr) env = IoEnv::Default();
-  Result<std::string> read = env->ReadFile(path);
-  if (!read.ok()) {
+  // Reads go through the env's readable-file abstraction so the merge
+  // and resume paths see injected read faults (fail-read / torn-read)
+  // exactly like the write path sees append faults.
+  Result<std::unique_ptr<ReadableFile>> file = env->NewReadableFile(path);
+  if (!file.ok()) {
     return Status::IoError("cannot open result log: " + path + " (" +
-                           read.status().message() + ")");
+                           file.status().message() + ")");
   }
-  std::string text = std::move(*read);
+  std::string text;
+  std::string chunk;
+  for (;;) {
+    Status read = (*file)->Read(1 << 16, &chunk);
+    if (!read.ok()) {
+      return Status::IoError("cannot read result log: " + path + " (" +
+                             read.message() + ")");
+    }
+    if (chunk.empty()) break;
+    text += chunk;
+  }
 
   // A line is only trusted when terminated by '\n': a crash mid-write
   // leaves a torn tail, which resume must re-run, not half-parse.
@@ -267,6 +320,15 @@ Result<ResultLogContents> ReadResultLog(const std::string& path,
   OE_RETURN_NOT_OK(ParseHeader(lines, &cursor, &contents.header));
   for (size_t i = cursor; i < lines.size(); ++i) {
     if (lines[i].empty()) continue;
+    if (contents.header.version >= 2 && lines[i].rfind("fail\t", 0) == 0) {
+      TaskFailure failure;
+      if (!ParseFailureRow(lines[i], &failure)) {
+        ++contents.dropped_lines;
+        continue;
+      }
+      contents.failures.push_back(std::move(failure));
+      continue;
+    }
     LoggedRow row;
     if (!ParseRow(lines[i], &row)) {
       ++contents.dropped_lines;
@@ -279,10 +341,11 @@ Result<ResultLogContents> ReadResultLog(const std::string& path,
 
 Result<std::unique_ptr<ResultLogWriter>> ResultLogWriter::Open(
     const std::string& path, const LogHeader& header, bool resume,
-    IoEnv* env) {
+    IoEnv* env, bool retry_failed) {
   if (env == nullptr) env = IoEnv::Default();
   std::unique_ptr<ResultLogWriter> writer(new ResultLogWriter());
   std::vector<LoggedRow> kept;
+  std::vector<TaskFailure> kept_failures;
   if (resume && env->FileExists(path)) {
     Result<ResultLogContents> existing = ReadResultLog(path, env);
     if (!existing.ok()) return existing.status();
@@ -293,6 +356,7 @@ Result<std::unique_ptr<ResultLogWriter>> ResultLogWriter::Open(
           "] does not match this sweep [" + HeaderToString(header) + "]");
     }
     kept = std::move(existing->rows);
+    if (!retry_failed) kept_failures = std::move(existing->failures);
   }
   // (Re)write header + kept rows to a temp file, then rename into
   // place: a crash during compaction leaves the original intact.
@@ -311,6 +375,16 @@ Result<std::unique_ptr<ResultLogWriter>> ResultLogWriter::Open(
       line += '\n';
       OE_RETURN_NOT_OK((*out)->Append(line));
       writer->done_.insert(TaskKey(row.task));
+    }
+    for (const TaskFailure& failure : kept_failures) {
+      // A valid row for the same key supersedes the failure record (a
+      // --retry-failed rescue that landed before a crash).
+      if (writer->done_.count(TaskKey(failure.task)) > 0) continue;
+      if (writer->failed_.count(TaskKey(failure.task)) > 0) continue;
+      std::string line = FormatFailureRow(failure);
+      line += '\n';
+      OE_RETURN_NOT_OK((*out)->Append(line));
+      writer->failed_.insert(TaskKey(failure.task));
     }
     OE_RETURN_NOT_OK((*out)->Sync());
     OE_RETURN_NOT_OK((*out)->Close());
@@ -352,6 +426,10 @@ Status ResultLogWriter::AppendNotApplicable(const TaskIdentity& task) {
   row.task = task;
   row.not_applicable = true;
   return AppendLine(FormatRow(row));
+}
+
+Status ResultLogWriter::AppendFailure(const TaskFailure& failure) {
+  return AppendLine(FormatFailureRow(failure));
 }
 
 }  // namespace sweep

@@ -39,11 +39,22 @@ namespace sweep {
 ///      <TAB>n_windows<TAB>w0,w1,...      (one line; "-" when no windows)
 ///   na<TAB>dataset<TAB>learner<TAB>repeat
 ///
+/// v2 adds exactly one record type — the failure record the sweep
+/// engine's failure domain emits for a task that completed *without* a
+/// result (see core/parallel_eval's TaskFailure):
+///   fail<TAB>dataset<TAB>learner<TAB>repeat<TAB>kind
+///      <TAB>elapsed_s (16-hex)<TAB>message (tabs/newlines sanitised)
+/// Everything else is byte-identical to v1, and v1 files still read
+/// back exactly (a "fail" line inside a v1 file is malformed and
+/// dropped, like any other unknown record). New logs are written as
+/// v2; v1 and v2 logs of the same sweep are mutually compatible, so
+/// old shard logs keep merging.
+///
 /// A torn trailing line (crash mid-write) fails field validation and
 /// is ignored by the reader; resume then compacts the file and re-runs
 /// exactly the tasks without a valid row.
 struct LogHeader {
-  int version = 1;
+  int version = 2;
   uint64_t base_seed = 0;
   double scale = 0.0;
   int repeats = 1;
@@ -58,7 +69,8 @@ struct LogHeader {
 };
 
 /// True when two logs belong to the same sweep: every field equal
-/// except the writer's shard.
+/// except the writer's shard and the format version (v1 and v2 differ
+/// only by the additive failure record, so they cross-merge safely).
 bool CompatibleHeaders(const LogHeader& a, const LogHeader& b);
 
 /// Human-readable one-line rendering (error messages, CLI summaries).
@@ -74,6 +86,8 @@ struct LoggedRow {
 struct ResultLogContents {
   LogHeader header;
   std::vector<LoggedRow> rows;  // file order; only fully valid rows
+  /// v2 failure records, file order. Empty for v1 files.
+  std::vector<TaskFailure> failures;
   int64_t dropped_lines = 0;    // torn or malformed lines ignored
 };
 
@@ -85,6 +99,12 @@ bool DecodeDouble(std::string_view text, double* out);
 /// newline; ParseRow rejects any line that does not decode completely.
 std::string FormatRow(const LoggedRow& row);
 bool ParseRow(std::string_view line, LoggedRow* out);
+
+/// Failure-record codec (v2). FormatFailureRow sanitises the message
+/// (tabs/newlines become spaces) so the record stays one line;
+/// elapsed_seconds round-trips bit-exactly via the 16-hex codec.
+std::string FormatFailureRow(const TaskFailure& failure);
+bool ParseFailureRow(std::string_view line, TaskFailure* out);
 
 /// Reads and validates a whole log. Fails on unreadable files or
 /// bad/missing headers; malformed rows are dropped (counted), never
@@ -102,14 +122,26 @@ class ResultLogWriter {
   /// falls back to a fresh log. Without `resume` an existing file is
   /// overwritten. All I/O goes through `env` (null = IoEnv::Default()),
   /// so fault-injecting environments can hit the compaction path too.
+  ///
+  /// Failure records found during resume: with `retry_failed` they are
+  /// compacted *away*, so exactly the failed tasks re-execute; without
+  /// it they are kept and their keys reported by failed(), so a plain
+  /// resume does not grind through known-bad tasks again. A key that
+  /// has both a failure record and a valid row (a --retry-failed
+  /// rescue that crashed after re-running it) counts as done — the
+  /// stale failure record is dropped.
   static Result<std::unique_ptr<ResultLogWriter>> Open(
       const std::string& path, const LogHeader& header, bool resume,
-      IoEnv* env = nullptr);
+      IoEnv* env = nullptr, bool retry_failed = false);
 
   ~ResultLogWriter();
 
   /// Task keys already present when the log was opened for resume.
   const std::set<std::string>& done() const { return done_; }
+
+  /// Task keys with a (kept) failure record when the log was opened
+  /// for resume. Disjoint from done().
+  const std::set<std::string>& failed() const { return failed_; }
 
   /// Appends one row and flushes. Thread-safe: this is the
   /// SweepConfig::on_task_done sink and runs on pool workers.
@@ -123,6 +155,11 @@ class ResultLogWriter {
   Status Append(const TaskIdentity& task, const EvalResult& result);
   Status AppendNotApplicable(const TaskIdentity& task);
 
+  /// Appends one v2 failure record and flushes. Same thread-safety and
+  /// failure contract as Append; this is the SweepConfig::on_task_failed
+  /// sink.
+  Status AppendFailure(const TaskFailure& failure);
+
  private:
   ResultLogWriter() = default;
   Status AppendLine(const std::string& line);
@@ -130,6 +167,7 @@ class ResultLogWriter {
   std::unique_ptr<WritableFile> file_;
   std::mutex mu_;
   std::set<std::string> done_;
+  std::set<std::string> failed_;
 };
 
 }  // namespace sweep

@@ -85,6 +85,30 @@ class DurableSink {
   Status first_error_;
 };
 
+/// Task-failure circuit breaker: counts failures as pool workers
+/// report them; once the count exceeds the limit it latches `tripped`,
+/// which the runner wires into the sweep's stop_requested — the same
+/// latch-and-drain shape DurableSink uses for permanent log failures.
+class FailureBreaker {
+ public:
+  explicit FailureBreaker(int64_t limit) : limit_(limit) {}
+
+  void Record() {
+    const int64_t count = count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (limit_ >= 0 && count > limit_) {
+      tripped_.store(true, std::memory_order_release);
+    }
+  }
+
+  bool tripped() const { return tripped_.load(std::memory_order_acquire); }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  int64_t limit_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<bool> tripped_{false};
+};
+
 /// Shared shard execution: resolve pending tasks, log N/A ones, run
 /// the rest with the durable-log callback installed, via `run_sweep`.
 template <typename RunSweep>
@@ -92,18 +116,25 @@ Result<ShardRunStats> RunShardImpl(
     const TaskManifest& manifest, const ShardRunOptions& options,
     const std::map<std::string, TaskShape>& shapes, RunSweep run_sweep) {
   OE_CHECK(!options.config.task_filter && !options.config.on_task_done &&
-           !options.config.stop_requested)
-      << "task_filter/on_task_done/stop_requested are owned by the "
-         "shard runner";
+           !options.config.on_task_failed && !options.config.stop_requested)
+      << "task_filter/on_task_done/on_task_failed/stop_requested are "
+         "owned by the shard runner";
   if (options.log_path.empty()) {
     return Status::InvalidArgument("shard run needs a --log path");
+  }
+  if (options.retry_failed && !options.resume) {
+    return Status::InvalidArgument(
+        "--retry-failed only makes sense with --resume (it re-runs "
+        "tasks recorded as failed in an existing log)");
   }
 
   LogHeader header = MakeLogHeader(manifest, options.config, options.shard);
   Result<std::unique_ptr<ResultLogWriter>> writer = ResultLogWriter::Open(
-      options.log_path, header, options.resume, options.env);
+      options.log_path, header, options.resume, options.env,
+      options.retry_failed);
   if (!writer.ok()) return writer.status();
   DurableSink sink(options.retry);
+  FailureBreaker breaker(options.max_task_failures);
 
   ShardRunStats stats;
   std::vector<TaskIdentity> shard_tasks = manifest.ShardTasks(options.shard);
@@ -120,6 +151,13 @@ Result<ShardRunStats> RunShardImpl(
     std::string key = TaskKey(task);
     if ((*writer)->done().count(key) > 0) {
       ++stats.tasks_resumed;
+      continue;
+    }
+    if ((*writer)->failed().count(key) > 0) {
+      // Known-failed from a previous run; kept quarantined unless the
+      // caller asked for --retry-failed (then failed() is empty and
+      // the task falls through into the pending set).
+      ++stats.failures_resumed;
       continue;
     }
     auto cached = probe_cache.find(task.dataset);
@@ -149,6 +187,7 @@ Result<ShardRunStats> RunShardImpl(
     }
     selected.insert(std::move(key));
   }
+  int64_t prepare_failures = 0;
   if (!sink.failed() && !selected.empty()) {
     SweepConfig config = options.config;
     config.task_filter = [&selected](const TaskIdentity& task) {
@@ -158,13 +197,28 @@ Result<ShardRunStats> RunShardImpl(
                                        const EvalResult& result) {
       sink.Write([log, &task, &result] { return log->Append(task, result); });
     };
-    // The moment the log fails permanently, stop submitting tasks:
-    // results that can no longer be persisted are wasted work. Tasks
-    // already in flight finish (and their appends fail fast).
-    config.stop_requested = [&sink] { return sink.failed(); };
+    // A failed task still produces a durable record — the failure
+    // record is what lets merge quarantine the exact cell and lets
+    // --retry-failed find the task again — and feeds the breaker.
+    config.on_task_failed = [log, &sink,
+                             &breaker](const TaskFailure& failure) {
+      sink.Write([log, &failure] { return log->AppendFailure(failure); });
+      breaker.Record();
+    };
+    // The moment the log fails permanently (or the failure breaker
+    // trips), stop submitting tasks: results that can no longer be
+    // persisted — or a sweep drowning in failures — are wasted work.
+    // Tasks already in flight finish (and their appends fail fast).
+    config.stop_requested = [&sink, &breaker] {
+      return sink.failed() || breaker.tripped();
+    };
     SweepOutcome outcome = run_sweep(config);
     stats.tasks_executed = outcome.tasks_run;
     stats.streams_prepared = outcome.streams_prepared;
+    stats.tasks_failed = outcome.tasks_failed;
+    for (const TaskFailure& failure : outcome.failures) {
+      if (failure.kind == TaskFailureKind::kPrepare) ++prepare_failures;
+    }
   }
   stats.append_retries = sink.retries();
   if (sink.failed()) {
@@ -177,7 +231,21 @@ Result<ShardRunStats> RunShardImpl(
                             static_cast<long long>(stats.tasks_executed)) +
                       error.message());
   }
-  OE_CHECK(stats.tasks_executed == static_cast<int64_t>(selected.size()));
+  if (breaker.tripped()) {
+    return Status::FailedPrecondition(StrFormat(
+        "shard %d/%d stopped: %lld task failure(s) exceeded "
+        "--max-task-failures=%lld; failure records are in '%s', re-run "
+        "with --resume --retry-failed once the cause is fixed",
+        options.shard.index, options.shard.count,
+        static_cast<long long>(breaker.count()),
+        static_cast<long long>(options.max_task_failures),
+        options.log_path.c_str()));
+  }
+  // Every pending task is accounted for: executed (some possibly as
+  // recorded failures) or quarantined with its dataset by a prepare
+  // failure.
+  OE_CHECK(stats.tasks_executed + prepare_failures ==
+           static_cast<int64_t>(selected.size()));
   return stats;
 }
 

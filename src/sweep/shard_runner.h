@@ -36,13 +36,26 @@ struct RetryPolicy {
 
 struct ShardRunOptions {
   /// Threads, base config, pipeline, scale — exactly the knobs an
-  /// unsharded sweep takes. task_filter/on_task_done/stop_requested
-  /// are owned by the runner and must be unset.
+  /// unsharded sweep takes, plus the chaos/watchdog knobs.
+  /// task_filter/on_task_done/on_task_failed/stop_requested are owned
+  /// by the runner and must be unset.
   SweepConfig config;
   Shard shard;
   std::string log_path;
   /// Keep an existing log's rows and re-run only the missing tasks.
   bool resume = false;
+  /// With `resume`: also re-execute the tasks that have a *failure*
+  /// record (their records are compacted away first). Without it a
+  /// resumed shard leaves known-failed tasks alone — re-running a
+  /// deterministic explosion would just burn the CPU again.
+  bool retry_failed = false;
+  /// Task-failure circuit breaker: once more than this many tasks have
+  /// failed, the shard stops submitting work (latching into the
+  /// sweep's stop_requested, exactly like a permanent log failure
+  /// does) and returns a non-OK Status. -1 = unlimited: failures are
+  /// logged and the shard finishes the rest of its span with Status
+  /// OK — quarantine is the merge's concern, not the shard's.
+  int64_t max_task_failures = -1;
   /// I/O environment for the result log (null = IoEnv::Default()).
   /// Fault-injecting environments plug in here.
   IoEnv* env = nullptr;
@@ -57,6 +70,11 @@ struct ShardRunStats {
   int64_t tasks_executed = 0;
   /// Tasks skipped because the (resumed) log already had their rows.
   int64_t tasks_resumed = 0;
+  /// Tasks skipped because the (resumed) log already had a failure
+  /// record for them (plain resume without retry_failed).
+  int64_t failures_resumed = 0;
+  /// Tasks that failed this invocation (failure records appended).
+  int64_t tasks_failed = 0;
   /// N/A rows written (inapplicable pairs; no run ever executes).
   int64_t na_logged = 0;
   /// Streams generated + preprocessed — only the shard's datasets.

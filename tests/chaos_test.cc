@@ -1,0 +1,921 @@
+// Task-level failure isolation + chaos harness suite (ctest label:
+// check-chaos). What it enforces:
+//  - ChaosSchedule parsing and the ChaosInjector's determinism
+//    contract: ordinal faults fire once per distinct task identity,
+//    transient faults are identity-keyed (bit-reproducible at any
+//    thread count) and clear on the first in-process retry;
+//  - the sweep engine's failure domain: a task that throws, explodes
+//    to NaN or stalls costs exactly its cell — structured TaskFailure,
+//    quarantined SweepCell — never the pool, never the process;
+//  - prepare failures quarantine the whole dataset row with per-task
+//    kPrepare records and a clean Status, not an abort;
+//  - the wall-clock watchdog reports overlong tasks without killing
+//    them;
+//  - merge quarantine: failure records count as covered-but-
+//    quarantined, a run row supersedes a failure record, strict merges
+//    fail, FormatOutcomeTable prints a distinct FAILED marker;
+//  - the recovery contract end to end: a chaos run (throw + NaN +
+//    slow + transient in one schedule) leaves every shard with a clean
+//    Status and a v2 log naming the exact failed tasks, and
+//    --retry-failed + merge reproduces the fault-free outcome
+//    bit-identically;
+//  - oebench_sweep's chaos/recovery CLI: --dry-run, --chaos-schedule,
+//    --max-task-failures, --retry-failed, --allow-quarantined
+//    (exec'd via OEBENCH_SWEEP_BIN).
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/io_env.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/watchdog.h"
+#include "core/chaos.h"
+#include "core/evaluator.h"
+#include "core/parallel_eval.h"
+#include "streamgen/corpus.h"
+#include "sweep/manifest.h"
+#include "sweep/merge.h"
+#include "sweep/result_log.h"
+#include "sweep/shard_runner.h"
+
+namespace oebench {
+namespace {
+
+using sweep::LogHeader;
+using sweep::LoggedRow;
+using sweep::ResultLogWriter;
+using sweep::Shard;
+using sweep::SweepGrid;
+using sweep::TaskManifest;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "chaos_" + name;
+}
+
+TaskIdentity Task(const std::string& dataset, const std::string& learner,
+                  int repeat) {
+  return TaskIdentity{dataset, learner, repeat};
+}
+
+// ---------------------------------------------------------------------
+// ChaosSchedule parsing.
+
+TEST(ChaosScheduleTest, ParsesEveryClauseAndRoundTrips) {
+  Result<ChaosSchedule> parsed = ChaosSchedule::Parse(
+      "throw-at-task=3,nan-at-task=5,slow-at-task=2:50,transient=7:0.25");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->throw_at_task, 3);
+  EXPECT_EQ(parsed->nan_at_task, 5);
+  EXPECT_EQ(parsed->slow_at_task, 2);
+  EXPECT_EQ(parsed->slow_ms, 50);
+  EXPECT_EQ(parsed->transient_seed, 7u);
+  EXPECT_EQ(parsed->transient_p, 0.25);
+  // ToString is canonical and re-parses to the same schedule.
+  Result<ChaosSchedule> again = ChaosSchedule::Parse(parsed->ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->ToString(), parsed->ToString());
+
+  Result<ChaosSchedule> throw_only = ChaosSchedule::Parse("throw-at-task=1");
+  ASSERT_TRUE(throw_only.ok());
+  EXPECT_EQ(throw_only->throw_at_task, 1);
+  EXPECT_EQ(throw_only->nan_at_task, 0);
+  EXPECT_EQ(throw_only->transient_p, 0.0);
+}
+
+TEST(ChaosScheduleTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"bogus=1", "throw-at-task", "throw-at-task=", "=3",
+        "throw-at-task=0", "throw-at-task=-1", "throw-at-task=x",
+        "nan-at-task=0", "slow-at-task=3", "slow-at-task=0:5",
+        "slow-at-task=3:0", "slow-at-task=3:-1", "transient=42",
+        "transient=42:1.5", "transient=42:-0.1", "transient=x:0.5",
+        "throw-at-task=1,throw-at-task=2", "transient=1:0.5,transient=2:0.5",
+        "throw-at-task=1,,nan-at-task=2"}) {
+    Result<ChaosSchedule> parsed = ChaosSchedule::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------
+// ChaosInjector semantics.
+
+TEST(ChaosInjectorTest, OrdinalThrowFiresOnTheSameIdentityEveryAttempt) {
+  ChaosSchedule schedule;
+  schedule.throw_at_task = 2;
+  ChaosInjector injector(schedule);
+
+  EXPECT_NO_THROW(injector.OnTaskStart(Task("d", "a", 0)));  // ordinal 1
+  EXPECT_THROW(injector.OnTaskStart(Task("d", "a", 1)),      // ordinal 2
+               std::runtime_error);
+  // A retry of the same identity keeps its ordinal: it throws again —
+  // throw-at-task is a *permanent* fault, never cleared by retry.
+  EXPECT_THROW(injector.OnTaskStart(Task("d", "a", 1)), std::runtime_error);
+  // ...and a different identity gets ordinal 3: unaffected.
+  EXPECT_NO_THROW(injector.OnTaskStart(Task("d", "b", 0)));
+  EXPECT_EQ(injector.tasks_started(), 3);
+  EXPECT_GE(injector.faults_injected(), 2);
+}
+
+TEST(ChaosInjectorTest, NanPoisonsExactlyTheScheduledOrdinal) {
+  ChaosSchedule schedule;
+  schedule.nan_at_task = 1;
+  ChaosInjector injector(schedule);
+  EvalResult first;
+  first.mean_loss = 0.5;
+  first.faded_loss = 0.25;
+  injector.OnTaskResult(Task("d", "a", 0), &first);  // ordinal 1: poisoned
+  EXPECT_TRUE(std::isnan(first.mean_loss));
+  EXPECT_TRUE(std::isnan(first.faded_loss));
+
+  EvalResult second;
+  second.mean_loss = 0.5;
+  second.faded_loss = 0.25;
+  injector.OnTaskResult(Task("d", "a", 1), &second);  // ordinal 2: untouched
+  EXPECT_EQ(second.mean_loss, 0.5);
+  EXPECT_EQ(second.faded_loss, 0.25);
+  EXPECT_EQ(injector.faults_injected(), 1);
+}
+
+TEST(ChaosInjectorTest, TransientFiresFirstAttemptOnlyAndIsIdentityKeyed) {
+  ChaosSchedule schedule;
+  schedule.transient_seed = 5;
+  schedule.transient_p = 1.0;  // every identity draws a fault
+
+  ChaosInjector injector(schedule);
+  EXPECT_THROW(injector.OnTaskStart(Task("d", "a", 0)), TransientTaskError);
+  // The in-process retry of the same identity sails through — that is
+  // what makes the fault transient.
+  EXPECT_NO_THROW(injector.OnTaskStart(Task("d", "a", 0)));
+  EXPECT_THROW(injector.OnTaskStart(Task("d", "b", 0)), TransientTaskError);
+
+  // Identity-keyed and seeded: a fresh injector with the same schedule
+  // draws the same fate for the same identities, in any order.
+  ChaosInjector again(schedule);
+  EXPECT_THROW(again.OnTaskStart(Task("d", "b", 0)), TransientTaskError);
+  EXPECT_THROW(again.OnTaskStart(Task("d", "a", 0)), TransientTaskError);
+
+  ChaosSchedule quiet;
+  quiet.transient_seed = 5;
+  quiet.transient_p = 0.0;
+  ChaosInjector none(quiet);
+  EXPECT_NO_THROW(none.OnTaskStart(Task("d", "a", 0)));
+  EXPECT_EQ(none.faults_injected(), 0);
+}
+
+// ---------------------------------------------------------------------
+// TaskWatchdog: report, never kill.
+
+TEST(TaskWatchdogTest, ReportsOverlongTaskOnceAndSparesFastOnes) {
+  std::atomic<int> reports{0};
+  std::string reported_label;
+  std::mutex mu;
+  TaskWatchdog dog(20, [&](const std::string& label, double elapsed) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++reports;
+    reported_label = label;
+    EXPECT_GE(elapsed, 0.02);
+  });
+  {
+    TaskWatchdog::Scope fast = dog.Watch("fast-task");
+    // Released immediately: never reported.
+  }
+  {
+    TaskWatchdog::Scope slow = dog.Watch("slow-task");
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    // The task is overlong but still *running* — the watchdog must
+    // have reported it (once) without doing anything to it.
+    EXPECT_EQ(reports.load(), 1);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(reports.load(), 1);  // once per task, not once per scan
+  EXPECT_EQ(dog.reports(), 1);
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(reported_label, "slow-task");
+}
+
+// ---------------------------------------------------------------------
+// The sweep engine's failure domain.
+
+std::vector<CorpusEntry> MixedEntries(int per_task) {
+  std::vector<CorpusEntry> out;
+  int cls = 0;
+  int reg = 0;
+  for (const CorpusEntry& entry : Corpus()) {
+    if (entry.task == TaskType::kClassification && cls < per_task) {
+      out.push_back(entry);
+      ++cls;
+    } else if (entry.task == TaskType::kRegression && reg < per_task) {
+      out.push_back(entry);
+      ++reg;
+    }
+  }
+  return out;
+}
+
+SweepConfig FastConfig(int threads) {
+  SweepConfig config;
+  config.base_config.seed = 42;
+  config.base_config.epochs = 2;
+  config.base_config.hidden_sizes = {8};
+  config.base_config.tree_max_depth = 6;
+  config.base_config.ensemble_size = 3;
+  config.repeats = 2;
+  config.threads = threads;
+  config.scale = 0.0;
+  config.pipeline.imputer = "mean";
+  return config;
+}
+
+int64_t TotalRuns(const SweepOutcome& outcome) {
+  int64_t runs = 0;
+  for (const SweepRow& row : outcome.rows) {
+    for (const SweepCell& cell : row.cells) {
+      runs += static_cast<int64_t>(cell.runs.size());
+    }
+  }
+  return runs;
+}
+
+TEST(EngineFailureDomainTest, ThrowQuarantinesOneCellNotTheSweep) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-GBDT"};
+  SweepConfig config = FastConfig(2);
+
+  ChaosSchedule schedule;
+  schedule.throw_at_task = 3;
+  ChaosInjector injector(schedule);
+  config.chaos = &injector;
+  std::vector<TaskFailure> hook_failures;
+  std::mutex mu;
+  config.on_task_failed = [&](const TaskFailure& failure) {
+    std::lock_guard<std::mutex> lock(mu);
+    hook_failures.push_back(failure);
+  };
+
+  SweepOutcome outcome = ParallelSweepEntries(entries, learners, config);
+  ASSERT_EQ(outcome.tasks_failed, 1);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  const TaskFailure& failure = outcome.failures[0];
+  EXPECT_EQ(failure.kind, TaskFailureKind::kException);
+  EXPECT_NE(failure.message.find("injected chaos throw"), std::string::npos);
+  EXPECT_GE(failure.elapsed_seconds, 0.0);
+  // The failure hook saw the same record the outcome carries.
+  ASSERT_EQ(hook_failures.size(), 1u);
+  EXPECT_EQ(sweep::TaskKey(hook_failures[0].task),
+            sweep::TaskKey(failure.task));
+
+  // Exactly one cell is quarantined and holds one fewer run; every
+  // other cell is complete. The failed run still counts as run.
+  EXPECT_EQ(outcome.tasks_run, 8);
+  EXPECT_EQ(TotalRuns(outcome), 7);
+  int64_t quarantined = 0;
+  for (const SweepRow& row : outcome.rows) {
+    for (const SweepCell& cell : row.cells) {
+      if (cell.failed_runs > 0) {
+        ++quarantined;
+        EXPECT_EQ(cell.failed_runs, 1);
+        EXPECT_EQ(cell.runs.size(), 1u);
+        EXPECT_EQ(cell.repeated.dataset, failure.task.dataset);
+        EXPECT_EQ(cell.repeated.learner, failure.task.learner);
+      } else {
+        EXPECT_EQ(cell.runs.size(), 2u);
+      }
+    }
+  }
+  EXPECT_EQ(quarantined, 1);
+}
+
+TEST(EngineFailureDomainTest, NonFiniteMetricsBecomeStructuredFailures) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT"};
+  SweepConfig config = FastConfig(1);
+
+  ChaosSchedule schedule;
+  schedule.nan_at_task = 1;
+  ChaosInjector injector(schedule);
+  config.chaos = &injector;
+
+  SweepOutcome outcome = ParallelSweepEntries(entries, learners, config);
+  ASSERT_EQ(outcome.tasks_failed, 1);
+  EXPECT_EQ(outcome.failures[0].kind, TaskFailureKind::kNonFinite);
+  EXPECT_NE(outcome.failures[0].message.find("non-finite metric explosion"),
+            std::string::npos);
+  // Serial execution: ordinal 1 is the canonical first task.
+  EXPECT_EQ(sweep::TaskKey(outcome.failures[0].task),
+            entries[0].name + "|Naive-DT|0");
+}
+
+TEST(EngineFailureDomainTest, TransientFaultsClearOnInProcessRetry) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-GBDT"};
+  SweepConfig config = FastConfig(2);
+  const std::string expected =
+      sweep::DumpOutcome(ParallelSweepEntries(entries, learners, config));
+
+  ChaosSchedule schedule;
+  schedule.transient_seed = 5;
+  schedule.transient_p = 1.0;  // every task faults on its first attempt
+  ChaosInjector injector(schedule);
+  config.chaos = &injector;
+  SweepOutcome outcome = ParallelSweepEntries(entries, learners, config);
+  // Default task_attempts = 2: every fault cleared in-process and the
+  // outcome is bit-identical to the chaos-free sweep.
+  EXPECT_EQ(outcome.tasks_failed, 0);
+  EXPECT_EQ(injector.faults_injected(), 8);
+  EXPECT_EQ(sweep::DumpOutcome(outcome), expected);
+}
+
+TEST(EngineFailureDomainTest, ExhaustedTransientRetriesRecordFailures) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT"};
+  SweepConfig config = FastConfig(1);
+  config.task_attempts = 1;  // no in-process retry
+
+  ChaosSchedule schedule;
+  schedule.transient_seed = 5;
+  schedule.transient_p = 1.0;
+  ChaosInjector injector(schedule);
+  config.chaos = &injector;
+  SweepOutcome outcome = ParallelSweepEntries(entries, learners, config);
+  EXPECT_EQ(outcome.tasks_failed, 4);
+  for (const TaskFailure& failure : outcome.failures) {
+    EXPECT_EQ(failure.kind, TaskFailureKind::kTransient);
+    EXPECT_NE(failure.message.find("persisted across 1 attempt"),
+              std::string::npos);
+  }
+}
+
+TEST(EngineFailureDomainTest, TransientFailureSetIsThreadCountInvariant) {
+  // Identity-keyed transient faults with retries disabled: the *set* of
+  // failed tasks must not depend on scheduling.
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-GBDT"};
+  std::vector<std::set<std::string>> failed_sets;
+  for (int threads : {1, 4}) {
+    SweepConfig config = FastConfig(threads);
+    config.task_attempts = 1;
+    ChaosSchedule schedule;
+    schedule.transient_seed = 77;
+    schedule.transient_p = 0.5;
+    ChaosInjector injector(schedule);
+    config.chaos = &injector;
+    SweepOutcome outcome = ParallelSweepEntries(entries, learners, config);
+    std::set<std::string> failed;
+    for (const TaskFailure& failure : outcome.failures) {
+      failed.insert(sweep::TaskKey(failure.task));
+    }
+    EXPECT_EQ(static_cast<int64_t>(failed.size()), outcome.tasks_failed);
+    failed_sets.push_back(std::move(failed));
+  }
+  EXPECT_FALSE(failed_sets[0].empty());
+  EXPECT_EQ(failed_sets[0], failed_sets[1]);
+}
+
+TEST(EngineFailureDomainTest, WatchdogReportsSlowTaskWithoutFailingIt) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT"};
+  SweepConfig config = FastConfig(1);
+  config.watchdog_limit_ms = 5;
+  std::atomic<int> reports{0};
+  std::vector<std::string> reported;
+  std::mutex mu;
+  config.on_overlong_task = [&](const TaskIdentity& task, double elapsed) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++reports;
+    reported.push_back(sweep::TaskKey(task));
+    EXPECT_GT(elapsed, 0.0);
+  };
+
+  ChaosSchedule schedule;
+  schedule.slow_at_task = 1;
+  schedule.slow_ms = 60;
+  ChaosInjector injector(schedule);
+  config.chaos = &injector;
+  SweepOutcome outcome = ParallelSweepEntries(entries, learners, config);
+  // Slow is not dead: the stalled task still completed successfully.
+  EXPECT_EQ(outcome.tasks_failed, 0);
+  EXPECT_EQ(outcome.tasks_run, 4);
+  EXPECT_GE(reports.load(), 1);
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_TRUE(std::find(reported.begin(), reported.end(),
+                        entries[0].name + "|Naive-DT|0") != reported.end());
+}
+
+// ---------------------------------------------------------------------
+// Prepare failures: Result-based ParallelPrepare + row quarantine.
+
+CorpusEntry PoisonEntry() {
+  CorpusEntry entry;
+  entry.name = "poison_entry";
+  entry.task = TaskType::kRegression;
+  entry.instances = 2000;
+  entry.features = 1;  // GenerateStream requires >= 2 numeric features
+  return entry;
+}
+
+TEST(PrepareFailureTest, ParallelPrepareReturnsPerEntryStatus) {
+  std::vector<StreamSpec> specs;
+  specs.push_back(SpecFromEntry(MixedEntries(1)[0], 0.0));
+  specs.push_back(SpecFromEntry(PoisonEntry(), 0.0));
+  std::vector<Result<PreparedStream>> prepared =
+      ParallelPrepare(specs, PipelineOptions{}, 2, {"good", "poison_entry"});
+  ASSERT_EQ(prepared.size(), 2u);
+  ASSERT_TRUE(prepared[0].ok()) << prepared[0].status().ToString();
+  EXPECT_EQ(prepared[0]->name, "good");
+  ASSERT_FALSE(prepared[1].ok());
+  // The Status names the bad entry so callers can report and continue.
+  EXPECT_NE(prepared[1].status().message().find("poison_entry"),
+            std::string::npos);
+}
+
+TEST(PrepareFailureTest, BadEntryQuarantinesItsRowWithCleanStatus) {
+  std::vector<CorpusEntry> entries = MixedEntries(1);
+  entries.push_back(PoisonEntry());
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-GBDT"};
+  SweepConfig config = FastConfig(2);
+
+  SweepOutcome outcome = ParallelSweepEntries(entries, learners, config);
+  // The poison row: every selected task recorded as kPrepare, cells
+  // fully quarantined, zero runs.
+  EXPECT_EQ(outcome.tasks_failed, 4);  // 2 learners x 2 repeats
+  for (const TaskFailure& failure : outcome.failures) {
+    EXPECT_EQ(failure.kind, TaskFailureKind::kPrepare);
+    EXPECT_EQ(failure.task.dataset, "poison_entry");
+    EXPECT_NE(failure.message.find("poison_entry"), std::string::npos);
+  }
+  ASSERT_EQ(outcome.rows.size(), 3u);
+  const SweepRow& poisoned = outcome.rows[2];
+  EXPECT_EQ(poisoned.dataset, "poison_entry");
+  for (const SweepCell& cell : poisoned.cells) {
+    EXPECT_EQ(cell.failed_runs, 2);
+    EXPECT_TRUE(cell.runs.empty());
+  }
+  // The good rows are untouched; prepare-quarantined tasks never
+  // started, so they are not in tasks_run.
+  EXPECT_EQ(outcome.tasks_run, 8);
+  EXPECT_EQ(TotalRuns(outcome), 8);
+  EXPECT_EQ(outcome.streams_prepared, 2);
+}
+
+// ---------------------------------------------------------------------
+// Merge quarantine.
+
+LogHeader SyntheticHeader(const TaskManifest& manifest) {
+  LogHeader header;
+  header.base_seed = 9;
+  header.scale = 0.5;
+  header.repeats = manifest.grid().repeats;
+  header.epochs = 2;
+  header.manifest_fingerprint = manifest.Fingerprint();
+  return header;
+}
+
+TaskManifest TinyManifest(int datasets, int learners, int repeats) {
+  SweepGrid grid;
+  for (int d = 0; d < datasets; ++d) {
+    grid.datasets.push_back("data" + std::to_string(d));
+  }
+  for (int l = 0; l < learners; ++l) {
+    grid.learners.push_back("algo" + std::to_string(l));
+  }
+  grid.repeats = repeats;
+  return TaskManifest::Build(std::move(grid));
+}
+
+EvalResult SyntheticResult(const TaskIdentity& task, double mean_loss) {
+  EvalResult result;
+  result.dataset = task.dataset;
+  result.learner = task.learner;
+  result.mean_loss = mean_loss;
+  result.faded_loss = mean_loss / 2.0;
+  result.throughput = 1000.0;
+  result.peak_memory_bytes = 1 << 20;
+  result.per_window_loss = {mean_loss, mean_loss};
+  return result;
+}
+
+TaskFailure SyntheticFailure(const TaskIdentity& task) {
+  TaskFailure failure;
+  failure.task = task;
+  failure.kind = TaskFailureKind::kException;
+  failure.message = "synthetic explosion";
+  failure.elapsed_seconds = 0.25;
+  return failure;
+}
+
+TEST(MergeQuarantineTest, FailureRecordsQuarantineTheirCells) {
+  TaskManifest manifest = TinyManifest(2, 2, 2);
+  LogHeader header = SyntheticHeader(manifest);
+  const std::string path = TempPath("quarantine.log");
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<ResultLogWriter>> writer =
+        ResultLogWriter::Open(path, header, /*resume=*/false);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const TaskIdentity& task : manifest.tasks()) {
+      // data1|algo1: one repeat fails, one runs — a partially
+      // quarantined cell.
+      if (task.dataset == "data1" && task.learner == "algo1" &&
+          task.repeat == 0) {
+        ASSERT_TRUE((*writer)->AppendFailure(SyntheticFailure(task)).ok());
+      } else {
+        ASSERT_TRUE((*writer)->Append(task, SyntheticResult(task, 0.5)).ok());
+      }
+    }
+  }
+
+  Result<sweep::MergeReport> report =
+      sweep::MergeShardLogsReport(manifest, header, {path});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->quarantined_cells, 1);
+  EXPECT_EQ(report->outcome.tasks_failed, 1);
+  ASSERT_EQ(report->outcome.failures.size(), 1u);
+  EXPECT_EQ(sweep::TaskKey(report->outcome.failures[0].task),
+            "data1|algo1|0");
+  EXPECT_EQ(report->outcome.failures[0].kind, TaskFailureKind::kException);
+  EXPECT_EQ(report->outcome.failures[0].message, "synthetic explosion");
+  const SweepCell& cell = report->outcome.rows[1].cells[1];
+  EXPECT_EQ(cell.failed_runs, 1);
+  EXPECT_EQ(cell.runs.size(), 1u);
+
+  // The human table flags the cell unmistakably.
+  std::string table = sweep::FormatOutcomeTable(report->outcome);
+  EXPECT_NE(table.find("FAILED(1)"), std::string::npos);
+  // The quarantine report names the task, kind and message.
+  std::string quarantine = sweep::FormatQuarantineReport(*report);
+  EXPECT_NE(quarantine.find("data1|algo1|0"), std::string::npos);
+  EXPECT_NE(quarantine.find("exception"), std::string::npos);
+  EXPECT_NE(quarantine.find("synthetic explosion"), std::string::npos);
+
+  // The strict merge refuses quarantined outcomes.
+  Result<SweepOutcome> strict =
+      sweep::MergeShardLogs(manifest, header, {path});
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("quarantined"),
+            std::string::npos);
+  EXPECT_NE(strict.status().message().find("data1|algo1|0"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MergeQuarantineTest, RunRecordSupersedesFailureRecordAcrossLogs) {
+  TaskManifest manifest = TinyManifest(1, 1, 1);
+  LogHeader header = SyntheticHeader(manifest);
+  const TaskIdentity task = manifest.tasks()[0];
+  const std::string stale = TempPath("stale.log");
+  const std::string rescued = TempPath("rescued.log");
+  std::remove(stale.c_str());
+  std::remove(rescued.c_str());
+  {
+    Result<std::unique_ptr<ResultLogWriter>> writer =
+        ResultLogWriter::Open(stale, header, /*resume=*/false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendFailure(SyntheticFailure(task)).ok());
+  }
+  {
+    Result<std::unique_ptr<ResultLogWriter>> writer =
+        ResultLogWriter::Open(rescued, header, /*resume=*/false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(task, SyntheticResult(task, 0.125)).ok());
+  }
+
+  // Alone, the stale log quarantines the task...
+  Result<sweep::MergeReport> alone =
+      sweep::MergeShardLogsReport(manifest, header, {stale});
+  ASSERT_TRUE(alone.ok());
+  EXPECT_EQ(alone->outcome.tasks_failed, 1);
+
+  // ...but merged with the rescue (in either order) the run row wins.
+  for (const auto& logs :
+       {std::vector<std::string>{stale, rescued},
+        std::vector<std::string>{rescued, stale}}) {
+    Result<sweep::MergeReport> merged =
+        sweep::MergeShardLogsReport(manifest, header, logs);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ(merged->outcome.tasks_failed, 0);
+    EXPECT_EQ(merged->quarantined_cells, 0);
+    ASSERT_EQ(merged->outcome.rows[0].cells[0].runs.size(), 1u);
+    EXPECT_EQ(merged->outcome.rows[0].cells[0].runs[0].mean_loss, 0.125);
+  }
+  std::remove(stale.c_str());
+  std::remove(rescued.c_str());
+}
+
+TEST(MergeQuarantineTest, NonFiniteValuesSurviveMergeAndRenderDistinctly) {
+  // The satellite-3 e2e: rows whose deterministic fields hold -0.0,
+  // infinities and NaN payloads, written through the log, merged, and
+  // rendered — bit-exactly preserved in the outcome, distinct FAILED
+  // marker for the quarantined cell in the same table.
+  TaskManifest manifest = TinyManifest(2, 1, 1);
+  LogHeader header = SyntheticHeader(manifest);
+  const std::string path = TempPath("nonfinite.log");
+  std::remove(path.c_str());
+
+  EvalResult weird = SyntheticResult(manifest.tasks()[0], 0.0);
+  weird.mean_loss = -0.0;
+  weird.faded_loss = std::numeric_limits<double>::infinity();
+  weird.per_window_loss = {std::numeric_limits<double>::quiet_NaN(),
+                           -std::numeric_limits<double>::infinity(), -0.0};
+  {
+    Result<std::unique_ptr<ResultLogWriter>> writer =
+        ResultLogWriter::Open(path, header, /*resume=*/false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(manifest.tasks()[0], weird).ok());
+    ASSERT_TRUE(
+        (*writer)->AppendFailure(SyntheticFailure(manifest.tasks()[1])).ok());
+  }
+
+  Result<sweep::MergeReport> report =
+      sweep::MergeShardLogsReport(manifest, header, {path});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->outcome.rows[0].cells[0].runs.size(), 1u);
+  const EvalResult& merged = report->outcome.rows[0].cells[0].runs[0];
+  EXPECT_EQ(std::bit_cast<uint64_t>(merged.mean_loss),
+            std::bit_cast<uint64_t>(-0.0));
+  EXPECT_EQ(std::bit_cast<uint64_t>(merged.faded_loss),
+            std::bit_cast<uint64_t>(std::numeric_limits<double>::infinity()));
+  ASSERT_EQ(merged.per_window_loss.size(), 3u);
+  EXPECT_TRUE(std::isnan(merged.per_window_loss[0]));
+  EXPECT_EQ(std::bit_cast<uint64_t>(merged.per_window_loss[2]),
+            std::bit_cast<uint64_t>(-0.0));
+
+  // The dump keeps the exact bit patterns (-0.0 = 8000000000000000)
+  // and the table renders both the weird cell and the FAILED marker.
+  std::string dump = sweep::DumpOutcome(report->outcome);
+  EXPECT_NE(dump.find("8000000000000000"), std::string::npos);
+  std::string table = sweep::FormatOutcomeTable(report->outcome);
+  EXPECT_NE(table.find("FAILED(1)"), std::string::npos);
+  EXPECT_NE(table.find("data0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Shard runner: breaker + retry-failed plumbing.
+
+sweep::ShardRunOptions ShardOptions(const SweepConfig& config,
+                                    const Shard& shard,
+                                    const std::string& log_path) {
+  sweep::ShardRunOptions options;
+  options.config = config;
+  options.shard = shard;
+  options.log_path = log_path;
+  options.retry.initial_backoff_ms = 0;
+  return options;
+}
+
+TEST(ShardRunnerChaosTest, BreakerTripsIntoACleanStatus) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT"};
+  SweepConfig config = FastConfig(1);
+  ChaosSchedule schedule;
+  schedule.throw_at_task = 1;
+  ChaosInjector injector(schedule);
+  config.chaos = &injector;
+
+  const std::string path = TempPath("breaker.log");
+  std::remove(path.c_str());
+  sweep::ShardRunOptions options = ShardOptions(config, Shard{0, 1}, path);
+  options.max_task_failures = 0;  // any failure trips the breaker
+  Result<sweep::ShardRunStats> stats =
+      sweep::RunCorpusShard(entries, learners, options);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(stats.status().message().find("--max-task-failures"),
+            std::string::npos);
+  EXPECT_NE(stats.status().message().find(path), std::string::npos);
+
+  // With headroom the same sweep finishes cleanly: the failure is
+  // logged and quarantine becomes the merge's concern.
+  std::remove(path.c_str());
+  ChaosInjector fresh(schedule);
+  options.config.chaos = &fresh;
+  options.max_task_failures = 5;
+  stats = sweep::RunCorpusShard(entries, learners, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->tasks_failed, 1);
+  std::remove(path.c_str());
+}
+
+TEST(ShardRunnerChaosTest, RetryFailedRequiresResume) {
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  SweepConfig config = FastConfig(1);
+  sweep::ShardRunOptions options =
+      ShardOptions(config, Shard{0, 1}, TempPath("retry_noresume.log"));
+  options.retry_failed = true;  // without resume: invalid
+  Result<sweep::ShardRunStats> stats =
+      sweep::RunCorpusShard(entries, {"Naive-DT"}, options);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// The acceptance property: a 2-shard grid under every fault kind at
+// once recovers to the bit-exact fault-free outcome.
+
+TEST(ChaosRecoveryTest, EveryFaultKindRecoversToFaultFreeBitIdentically) {
+  std::vector<CorpusEntry> entries = MixedEntries(2);
+  ASSERT_GE(entries.size(), 3u);
+  entries.resize(3);  // 3-dataset grid (classification + regression)
+  // Naive-Bayes is N/A on the regression entry: N/A rows interleave
+  // with failure records in the logs.
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-GBDT",
+                                             "Naive-Bayes"};
+  SweepConfig config = FastConfig(1);  // serial => ordinals are canonical
+  TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+  LogHeader header = sweep::MakeLogHeader(manifest, config, Shard{});
+  const std::string expected =
+      sweep::DumpOutcome(ParallelSweepEntries(entries, learners, config));
+
+  // Applicability probe, mirroring the shard runner: the selected
+  // (submitted) tasks of a shard in canonical order — chaos ordinals
+  // index into exactly this sequence when threads == 1.
+  auto selected_tasks = [&](const Shard& shard) {
+    std::vector<TaskIdentity> selected;
+    for (const TaskIdentity& task : manifest.ShardTasks(shard)) {
+      const CorpusEntry* entry = nullptr;
+      for (const CorpusEntry& candidate : entries) {
+        if (candidate.name == task.dataset) entry = &candidate;
+      }
+      StreamSpec spec = SpecFromEntry(*entry, config.scale);
+      if (MakeLearner(task.learner, config.base_config, spec.task,
+                      spec.num_classes)
+              .ok()) {
+        selected.push_back(task);
+      }
+    }
+    return selected;
+  };
+
+  ChaosSchedule schedule;
+  schedule.throw_at_task = 1;   // permanent exception
+  schedule.nan_at_task = 2;     // non-finite explosion
+  schedule.slow_at_task = 3;    // watchdog bait; still succeeds
+  schedule.slow_ms = 30;
+  schedule.transient_seed = 5;  // clears on in-process retry
+  schedule.transient_p = 0.6;
+  std::atomic<int> watchdog_reports{0};
+
+  std::vector<std::string> logs;
+  for (int i = 0; i < 2; ++i) {
+    SCOPED_TRACE("shard=" + std::to_string(i));
+    const Shard shard{i, 2};
+    const std::string path = TempPath(StrFormat("recovery_%d.log", i));
+    std::remove(path.c_str());
+    logs.push_back(path);
+    std::vector<TaskIdentity> selected = selected_tasks(shard);
+    ASSERT_GE(selected.size(), 3u);
+
+    ChaosInjector injector(schedule);
+    sweep::ShardRunOptions options = ShardOptions(config, shard, path);
+    options.config.chaos = &injector;
+    options.config.watchdog_limit_ms = 5;
+    options.config.on_overlong_task = [&](const TaskIdentity&, double) {
+      ++watchdog_reports;
+    };
+    // Every fault kind fires, yet the shard's Status is clean: one
+    // poison task costs one cell, never the shard.
+    Result<sweep::ShardRunStats> stats =
+        sweep::RunCorpusShard(entries, learners, options);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->tasks_failed, 2);  // throw + NaN; transient cleared
+    EXPECT_GE(injector.faults_injected(), 3);
+
+    // The v2 log names the exact failed tasks: ordinals 1 and 2 are
+    // the first two selected tasks of the shard (serial execution).
+    Result<sweep::ResultLogContents> contents = sweep::ReadResultLog(path);
+    ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+    EXPECT_EQ(contents->header.version, 2);
+    ASSERT_EQ(contents->failures.size(), 2u);
+    EXPECT_EQ(sweep::TaskKey(contents->failures[0].task),
+              sweep::TaskKey(selected[0]));
+    EXPECT_EQ(contents->failures[0].kind, TaskFailureKind::kException);
+    EXPECT_EQ(sweep::TaskKey(contents->failures[1].task),
+              sweep::TaskKey(selected[1]));
+    EXPECT_EQ(contents->failures[1].kind, TaskFailureKind::kNonFinite);
+
+    // A plain resume leaves the quarantined tasks alone...
+    sweep::ShardRunOptions plain = ShardOptions(config, shard, path);
+    plain.resume = true;
+    Result<sweep::ShardRunStats> resumed =
+        sweep::RunCorpusShard(entries, learners, plain);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_EQ(resumed->tasks_executed, 0);
+    EXPECT_EQ(resumed->failures_resumed, 2);
+
+    // ...and --retry-failed re-executes exactly them, fault-free.
+    sweep::ShardRunOptions retry = ShardOptions(config, shard, path);
+    retry.resume = true;
+    retry.retry_failed = true;
+    Result<sweep::ShardRunStats> rescued =
+        sweep::RunCorpusShard(entries, learners, retry);
+    ASSERT_TRUE(rescued.ok()) << rescued.status().ToString();
+    EXPECT_EQ(rescued->tasks_executed, 2);
+    EXPECT_EQ(rescued->failures_resumed, 0);
+    EXPECT_EQ(rescued->tasks_failed, 0);
+  }
+  EXPECT_GE(watchdog_reports.load(), 1);  // the slow task was reported
+
+  // The rescued logs merge strictly — no quarantine left — and the
+  // outcome is bit-identical to the fault-free unsharded sweep.
+  Result<SweepOutcome> merged =
+      sweep::MergeShardLogs(manifest, header, logs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(sweep::DumpOutcome(*merged), expected);
+  for (const std::string& log : logs) std::remove(log.c_str());
+}
+
+// ---------------------------------------------------------------------
+// oebench_sweep CLI: dry-run, chaos, breaker, quarantined merges.
+
+const char* SweepBin() { return std::getenv("OEBENCH_SWEEP_BIN"); }
+
+int RunSweepCli(const std::string& args) {
+  std::string command = std::string("\"") + SweepBin() + "\" " + args +
+                        " >/dev/null 2>/dev/null";
+  int raw = std::system(command.c_str());
+  EXPECT_NE(raw, -1);
+  EXPECT_TRUE(WIFEXITED(raw)) << "signal-terminated: " << command;
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+#define SKIP_WITHOUT_SWEEP_BIN()                                        \
+  do {                                                                  \
+    if (SweepBin() == nullptr ||                                        \
+        !IoEnv::Default()->FileExists(SweepBin())) {                    \
+      GTEST_SKIP() << "OEBENCH_SWEEP_BIN not set / not built; run via " \
+                      "ctest or the check-chaos target";                \
+    }                                                                   \
+  } while (0)
+
+TEST(SweepCliChaosTest, DryRunPrintsThePlanAndRunsNothing) {
+  SKIP_WITHOUT_SWEEP_BIN();
+  EXPECT_EQ(RunSweepCli("--dry-run --datasets=2"), 0);
+  EXPECT_EQ(RunSweepCli("--dry-run --datasets=3 --shard=1/2"), 0);
+  EXPECT_EQ(RunSweepCli("--dry-run --spawn=3 --datasets=2"), 0);
+  // Invalid grids still exit 2, dry run or not.
+  EXPECT_EQ(RunSweepCli("--dry-run --shard=5/2"), 2);
+  EXPECT_EQ(RunSweepCli("--dry-run --repeats=0"), 2);
+}
+
+TEST(SweepCliChaosTest, FlagValidationExitsTwo) {
+  SKIP_WITHOUT_SWEEP_BIN();
+  EXPECT_EQ(RunSweepCli("--chaos-schedule=bogus=1"), 2);
+  EXPECT_EQ(RunSweepCli("--chaos-schedule=throw-at-task=0"), 2);
+  EXPECT_EQ(RunSweepCli("--retry-failed"), 2);  // needs --resume
+  EXPECT_EQ(RunSweepCli("--allow-quarantined"), 2);  // needs --merge
+  EXPECT_EQ(RunSweepCli("--max-task-failures=-1"), 2);
+  EXPECT_EQ(RunSweepCli("--watchdog-ms=0"), 2);
+}
+
+TEST(SweepCliChaosTest, ChaosRunQuarantinesThenRetryFailedRecovers) {
+  SKIP_WITHOUT_SWEEP_BIN();
+  const std::string log = TempPath("cli_chaos.log");
+  std::remove(log.c_str());
+  std::remove((log + ".tmp").c_str());
+  const std::string common =
+      "--datasets=2 --repeats=1 --epochs=1 --scale=0 --threads=1 --seed=3 ";
+  const std::string shard = common + "--shard=0/1 --log=\"" + log + "\"";
+  const std::string merge = common + "--merge \"" + log + "\"";
+
+  // Chaos shard: faults are logged, the shard itself exits 0.
+  EXPECT_EQ(RunSweepCli(shard + " --chaos-schedule=throw-at-task=1,"
+                                "nan-at-task=2"),
+            0);
+  // Quarantined merge fails (run failure, not usage) ...
+  EXPECT_EQ(RunSweepCli(merge), 1);
+  // ... unless the caller accepts a partial table.
+  EXPECT_EQ(RunSweepCli(merge + " --allow-quarantined"), 0);
+  // The breaker turns the same faults into a failing shard run.
+  const std::string breaker_log = TempPath("cli_breaker.log");
+  std::remove(breaker_log.c_str());
+  EXPECT_EQ(RunSweepCli(common + "--shard=0/1 --log=\"" + breaker_log +
+                        "\" --chaos-schedule=throw-at-task=1 "
+                        "--max-task-failures=0"),
+            1);
+  std::remove(breaker_log.c_str());
+  // Recovery: re-run exactly the failed tasks, then merge cleanly.
+  EXPECT_EQ(RunSweepCli(shard + " --resume --retry-failed"), 0);
+  EXPECT_EQ(RunSweepCli(merge), 0);
+  std::remove(log.c_str());
+  std::remove((log + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace oebench

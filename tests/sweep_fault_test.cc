@@ -33,6 +33,7 @@
 #include "bench/bench_util.h"
 #include "common/io_env.h"
 #include "common/status.h"
+#include "common/string_util.h"
 #include "core/parallel_eval.h"
 #include "streamgen/corpus.h"
 #include "sweep/manifest.h"
@@ -61,7 +62,7 @@ std::string TempPath(const std::string& name) {
 TEST(FaultScheduleTest, ParsesEveryClauseAndRoundTrips) {
   Result<FaultSchedule> parsed = FaultSchedule::Parse(
       "fail-append=3,torn-append=5:7,fail-sync=2,enospc=9,"
-      "crash-at-byte=128,transient=42:0.25");
+      "crash-at-byte=128,transient=42:0.25,fail-read=4,torn-read=6:33");
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->fail_append, 3);
   EXPECT_EQ(parsed->torn_append, 5);
@@ -71,6 +72,9 @@ TEST(FaultScheduleTest, ParsesEveryClauseAndRoundTrips) {
   EXPECT_EQ(parsed->crash_after_bytes, 128);
   EXPECT_EQ(parsed->transient_seed, 42u);
   EXPECT_EQ(parsed->transient_p, 0.25);
+  EXPECT_EQ(parsed->fail_read, 4);
+  EXPECT_EQ(parsed->torn_read, 6);
+  EXPECT_EQ(parsed->torn_read_bytes, 33u);
   // ToString is canonical and re-parses to the same schedule.
   Result<FaultSchedule> again = FaultSchedule::Parse(parsed->ToString());
   ASSERT_TRUE(again.ok()) << again.status().ToString();
@@ -90,7 +94,9 @@ TEST(FaultScheduleTest, RejectsMalformedSpecs) {
         "crash-at-byte=-1", "crash-at-byte=zz", "transient=42",
         "transient=42:1.5", "transient=42:-0.1", "transient=-1:0.5",
         "fail-append=1,fail-append=2", "crash-at-byte=1,crash-at-byte=2",
-        "fail-append=1,,fail-sync=1"}) {
+        "fail-append=1,,fail-sync=1", "fail-read=0", "fail-read=-1",
+        "torn-read=3", "torn-read=0:4", "torn-read=3:-1",
+        "fail-read=1,fail-read=2"}) {
     Result<FaultSchedule> parsed = FaultSchedule::Parse(bad);
     EXPECT_FALSE(parsed.ok()) << bad;
   }
@@ -271,6 +277,73 @@ TEST(FaultInjectingEnvTest, SeededTransientFaultsAreDeterministic) {
     }
     std::remove(path.c_str());
   }
+}
+
+TEST(FaultInjectingEnvTest, FailReadFailsNthReadNamingThePath) {
+  const std::string path = TempPath("fail_read.txt");
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<WritableFile>> file =
+        IoEnv::Default()->NewWritableFile(path, /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("some bytes\n").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  FaultSchedule schedule;
+  schedule.fail_read = 2;
+  FaultInjectingEnv env(schedule);
+  EXPECT_TRUE(env.ReadFile(path).ok());  // read #1: clean
+  Result<std::string> failed = env.ReadFile(path);  // read #2: poisoned
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  EXPECT_NE(failed.status().message().find(path), std::string::npos);
+  EXPECT_NE(failed.status().message().find("read #2"), std::string::npos);
+  // One poisoned block, not a dead disk: the next read works again.
+  EXPECT_TRUE(env.ReadFile(path).ok());
+  EXPECT_EQ(env.reads(), 3);
+  EXPECT_EQ(env.faults_injected(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectingEnvTest, TornReadServesExactPrefixThenCleanEof) {
+  const std::string path = TempPath("torn_read.txt");
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<WritableFile>> file =
+        IoEnv::Default()->NewWritableFile(path, /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("abcdefghij").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  FaultSchedule schedule;
+  schedule.torn_read = 1;
+  schedule.torn_read_bytes = 4;
+  {
+    // ReadFile: silently truncated — the read *succeeds*; catching the
+    // missing tail is the log reader's job, not the env's.
+    FaultInjectingEnv env(schedule);
+    Result<std::string> read = env.ReadFile(path);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(*read, "abcd");
+    EXPECT_EQ(env.faults_injected(), 1);
+  }
+  {
+    // NewReadableFile: the chunked path caps the cumulative bytes and
+    // then reports a clean end of file.
+    FaultInjectingEnv env(schedule);
+    Result<std::unique_ptr<ReadableFile>> file = env.NewReadableFile(path);
+    ASSERT_TRUE(file.ok());
+    std::string all, chunk;
+    for (;;) {
+      ASSERT_TRUE((*file)->Read(3, &chunk).ok());
+      if (chunk.empty()) break;
+      all += chunk;
+    }
+    EXPECT_EQ(all, "abcd");
+  }
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------
@@ -457,6 +530,74 @@ TEST(ShardRunnerFaultTest, TornWriteFailsThenResumeCompactsAndRecovers) {
             sweep::DumpOutcome(ParallelSweepEntries(entries, learners,
                                                     config)));
   std::remove(path.c_str());
+}
+
+TEST(ShardRunnerFaultTest, ReadFaultsFailMergeAndResumeCleanly) {
+  // Read-path faults: a poisoned block (fail-read) or a silently
+  // truncated log (torn-read) under a merge or a resume must yield a
+  // Status naming the bad log — never an abort, never silent data loss.
+  const std::vector<CorpusEntry> entries = MixedEntries(1);
+  const std::vector<std::string> learners = {"Naive-DT"};
+  SweepConfig config = FastConfig(1);
+  TaskManifest manifest =
+      sweep::EntriesManifest(entries, learners, config.repeats);
+  LogHeader header = sweep::MakeLogHeader(manifest, config, Shard{});
+
+  std::vector<std::string> logs;
+  for (int i = 0; i < 2; ++i) {
+    logs.push_back(TempPath(StrFormat("read_fault_%d.log", i)));
+    std::remove(logs.back().c_str());
+    Result<sweep::ShardRunStats> stats = sweep::RunCorpusShard(
+        entries, learners,
+        FaultOptions(config, Shard{i, 2}, logs.back(), nullptr));
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  }
+  ASSERT_TRUE(sweep::MergeShardLogs(manifest, header, logs).ok());
+
+  {
+    // Read #2 = the second log: the merge fails naming exactly it.
+    FaultSchedule schedule;
+    schedule.fail_read = 2;
+    FaultInjectingEnv env(schedule);
+    Result<SweepOutcome> merged =
+        sweep::MergeShardLogs(manifest, header, logs, &env);
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.status().code(), StatusCode::kIoError);
+    EXPECT_NE(merged.status().message().find(logs[1]), std::string::npos);
+  }
+  {
+    // The second log served 3 bytes short: its final row is torn, and
+    // the merge refuses it (resume would compact and re-run the task)
+    // rather than silently merging a partial shard.
+    Result<std::string> bytes = IoEnv::Default()->ReadFile(logs[1]);
+    ASSERT_TRUE(bytes.ok());
+    FaultSchedule schedule;
+    schedule.torn_read = 2;
+    schedule.torn_read_bytes = bytes->size() - 3;
+    FaultInjectingEnv env(schedule);
+    Result<SweepOutcome> merged =
+        sweep::MergeShardLogs(manifest, header, logs, &env);
+    ASSERT_FALSE(merged.ok());
+    EXPECT_NE(merged.status().message().find(logs[1]), std::string::npos);
+    EXPECT_NE(merged.status().message().find("resume the shard"),
+              std::string::npos);
+  }
+  {
+    // Resume reads the log it is about to compact — a read fault there
+    // fails the shard run cleanly before any work is lost.
+    FaultSchedule schedule;
+    schedule.fail_read = 1;
+    FaultInjectingEnv env(schedule);
+    sweep::ShardRunOptions options =
+        FaultOptions(config, Shard{0, 2}, logs[0], &env);
+    options.resume = true;
+    Result<sweep::ShardRunStats> resumed =
+        sweep::RunCorpusShard(entries, learners, options);
+    ASSERT_FALSE(resumed.ok());
+    EXPECT_EQ(resumed.status().code(), StatusCode::kIoError);
+    EXPECT_NE(resumed.status().message().find(logs[0]), std::string::npos);
+  }
+  for (const std::string& log : logs) std::remove(log.c_str());
 }
 
 // ---------------------------------------------------------------------

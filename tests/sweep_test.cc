@@ -379,6 +379,208 @@ TEST(ResultLogTest, WriterReaderRoundTripAndTornTail) {
   std::remove(path.c_str());
 }
 
+TaskFailure SampleFailure() {
+  TaskFailure failure;
+  failure.task = {"stream-a", "Naive-DT", 0};
+  failure.kind = TaskFailureKind::kNonFinite;
+  failure.message = "loss exploded";
+  failure.elapsed_seconds = 1.75;
+  return failure;
+}
+
+TEST(ResultLogTest, FailureRowRoundTripIsBitExact) {
+  for (TaskFailureKind kind :
+       {TaskFailureKind::kException, TaskFailureKind::kNonFinite,
+        TaskFailureKind::kTransient, TaskFailureKind::kPrepare}) {
+    TaskFailure failure = SampleFailure();
+    failure.kind = kind;
+    failure.elapsed_seconds = 0.1;  // not exactly representable
+    TaskFailure parsed;
+    ASSERT_TRUE(
+        sweep::ParseFailureRow(sweep::FormatFailureRow(failure), &parsed));
+    EXPECT_EQ(sweep::TaskKey(parsed.task), sweep::TaskKey(failure.task));
+    EXPECT_EQ(parsed.kind, failure.kind);
+    EXPECT_EQ(parsed.message, failure.message);
+    EXPECT_EQ(std::bit_cast<uint64_t>(parsed.elapsed_seconds),
+              std::bit_cast<uint64_t>(failure.elapsed_seconds));
+  }
+
+  // Tabs and newlines in the message (an exception's what() can hold
+  // anything) are sanitised so the record stays one line.
+  TaskFailure messy = SampleFailure();
+  messy.message = "first\tsecond\nthird\rfourth";
+  std::string line = sweep::FormatFailureRow(messy);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  TaskFailure parsed;
+  ASSERT_TRUE(sweep::ParseFailureRow(line, &parsed));
+  EXPECT_EQ(parsed.message, "first second third fourth");
+
+  const std::string elapsed = sweep::EncodeDouble(1.75);
+  const std::vector<std::string> bad_lines = {
+      "", "fail",
+      "fail\td\tl\t0\texception\t" + elapsed,  // no message field
+      "fail\td\tl\t0\tbogus-kind\t" + elapsed + "\tmsg",
+      "fail\td\tl\tnotanint\texception\t" + elapsed + "\tmsg",
+      "fail\td\tl\t-1\texception\t" + elapsed + "\tmsg",
+      "fail\t\tl\t0\texception\t" + elapsed + "\tmsg",
+      "fail\td\tl\t0\texception\tnothex\tmsg",
+      "run\td\tl\t0\texception\t" + elapsed + "\tmsg"};
+  for (const std::string& bad : bad_lines) {
+    EXPECT_FALSE(sweep::ParseFailureRow(bad, &parsed)) << bad;
+  }
+}
+
+TEST(ResultLogTest, ResumeKeepsFailuresAndRetryFailedCompactsThemAway) {
+  const std::string path = ::testing::TempDir() + "sweep_log_failures.log";
+  std::remove(path.c_str());
+  LogHeader header = TestHeader();
+  LoggedRow run = SampleRunRow();
+  TaskFailure failure = SampleFailure();
+  {
+    Result<std::unique_ptr<ResultLogWriter>> writer =
+        ResultLogWriter::Open(path, header, /*resume=*/false);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE((*writer)->Append(run.task, run.result).ok());
+    ASSERT_TRUE((*writer)->AppendFailure(failure).ok());
+  }
+
+  Result<sweep::ResultLogContents> contents = sweep::ReadResultLog(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents->header.version, 2);
+  ASSERT_EQ(contents->failures.size(), 1u);
+  EXPECT_EQ(sweep::TaskKey(contents->failures[0].task),
+            "stream-a|Naive-DT|0");
+
+  // A plain resume keeps the failure record and reports it via
+  // failed() — disjoint from done() — so known-bad tasks are skipped.
+  {
+    Result<std::unique_ptr<ResultLogWriter>> resumed =
+        ResultLogWriter::Open(path, header, /*resume=*/true);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_EQ((*resumed)->done(),
+              (std::set<std::string>{"stream-a|Naive-DT|1"}));
+    EXPECT_EQ((*resumed)->failed(),
+              (std::set<std::string>{"stream-a|Naive-DT|0"}));
+  }
+  contents = sweep::ReadResultLog(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->failures.size(), 1u);
+
+  // --retry-failed compacts the failure record away: exactly the
+  // failed task becomes pending again.
+  {
+    Result<std::unique_ptr<ResultLogWriter>> retry = ResultLogWriter::Open(
+        path, header, /*resume=*/true, nullptr, /*retry_failed=*/true);
+    ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+    EXPECT_EQ((*retry)->done(),
+              (std::set<std::string>{"stream-a|Naive-DT|1"}));
+    EXPECT_TRUE((*retry)->failed().empty());
+  }
+  contents = sweep::ReadResultLog(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->failures.empty());
+  ASSERT_EQ(contents->rows.size(), 1u);
+  ExpectRowsEqualBitExact(contents->rows[0], run);
+  std::remove(path.c_str());
+}
+
+TEST(ResultLogTest, RunRowSupersedesStaleFailureRecordOnResume) {
+  // A --retry-failed rescue that crashed right after re-running the
+  // task leaves BOTH a failure record and a valid row for the same
+  // key. The row wins: the task counts as done and the stale failure
+  // record is compacted away.
+  const std::string path = ::testing::TempDir() + "sweep_log_stale.log";
+  std::remove(path.c_str());
+  LogHeader header = TestHeader();
+  LoggedRow run = SampleRunRow();
+  TaskFailure failure = SampleFailure();
+  failure.task = run.task;  // same identity
+  {
+    Result<std::unique_ptr<ResultLogWriter>> writer =
+        ResultLogWriter::Open(path, header, /*resume=*/false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendFailure(failure).ok());
+    ASSERT_TRUE((*writer)->Append(run.task, run.result).ok());
+  }
+  Result<std::unique_ptr<ResultLogWriter>> resumed =
+      ResultLogWriter::Open(path, header, /*resume=*/true);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ((*resumed)->done(),
+            (std::set<std::string>{"stream-a|Naive-DT|1"}));
+  EXPECT_TRUE((*resumed)->failed().empty());
+  resumed->reset();
+  Result<sweep::ResultLogContents> contents = sweep::ReadResultLog(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->failures.empty());
+  ASSERT_EQ(contents->rows.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultLogTest, V1FilesReadBackExactlyAndFailLinesDrop) {
+  const std::string path = ::testing::TempDir() + "sweep_log_v1.log";
+  std::remove(path.c_str());
+  LogHeader v1 = TestHeader();
+  v1.version = 1;
+  LoggedRow run = SampleRunRow();
+  {
+    Result<std::unique_ptr<ResultLogWriter>> writer =
+        ResultLogWriter::Open(path, v1, /*resume=*/false);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE((*writer)->Append(run.task, run.result).ok());
+  }
+  // A "fail" record inside a v1 file is an unknown record: dropped
+  // like any other malformed line, never misparsed as a row.
+  AppendRaw(path, sweep::FormatFailureRow(SampleFailure()) + "\n");
+
+  Result<sweep::ResultLogContents> contents = sweep::ReadResultLog(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents->header.version, 1);
+  ASSERT_EQ(contents->rows.size(), 1u);
+  ExpectRowsEqualBitExact(contents->rows[0], run);
+  EXPECT_TRUE(contents->failures.empty());
+  EXPECT_EQ(contents->dropped_lines, 1);
+
+  // v1 and v2 headers of the same sweep are mutually compatible —
+  // old shard logs keep merging with new ones.
+  LogHeader v2 = TestHeader();
+  EXPECT_EQ(v2.version, 2);
+  EXPECT_TRUE(sweep::CompatibleHeaders(contents->header, v2));
+  std::remove(path.c_str());
+}
+
+TEST(MergeTest, FaultFreeV1AndV2LogsMergeByteIdentically) {
+  // The v2 upgrade is invisible for fault-free sweeps: the same rows
+  // written through a v1 header and a v2 header merge to byte-equal
+  // outcomes.
+  TaskManifest manifest = SmallManifest(1, 1, 2);
+  std::vector<std::string> dumps;
+  for (int version : {1, 2}) {
+    LogHeader header = TestHeader();
+    header.version = version;
+    header.manifest_fingerprint = manifest.Fingerprint();
+    const std::string path = ::testing::TempDir() + "sweep_log_v" +
+                             std::to_string(version) + "_merge.log";
+    std::remove(path.c_str());
+    {
+      Result<std::unique_ptr<ResultLogWriter>> writer =
+          ResultLogWriter::Open(path, header, /*resume=*/false);
+      ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+      for (int rep = 0; rep < 2; ++rep) {
+        LoggedRow run = SampleRunRow();
+        run.task = {"data0", "algo0", rep};
+        run.result.dataset = "data0";
+        ASSERT_TRUE((*writer)->Append(run.task, run.result).ok());
+      }
+    }
+    Result<SweepOutcome> merged =
+        sweep::MergeShardLogs(manifest, header, {path});
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    dumps.push_back(sweep::DumpOutcome(*merged));
+    std::remove(path.c_str());
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
 // ---------------------------------------------------------------------
 // End-to-end sharding: tiny real sweeps through real log files.
 
