@@ -35,8 +35,11 @@ void Run(const bench::BenchFlags& flags) {
         Result<std::unique_ptr<StreamLearner>> learner = MakeLearner(
             name, config, stream.task, stream.num_classes);
         OE_CHECK(learner.ok());
-        EvalResult result = RunPrequential(learner->get(), stream);
-        std::printf(" %9.2f", result.train_seconds + result.test_seconds);
+        // Runtime comes from the metrics layer: the evaluator's
+        // train/test phase histograms, read back per cell.
+        bench::BeginCell();
+        RunPrequential(learner->get(), stream);
+        std::printf(" %9.2f", bench::CollectCell().RuntimeSeconds());
         std::fflush(stdout);
       }
       std::printf("\n");
@@ -48,9 +51,10 @@ void Run(const bench::BenchFlags& flags) {
       Result<std::unique_ptr<StreamLearner>> learner =
           MakeLearner(name, config, stream.task, stream.num_classes);
       OE_CHECK(learner.ok());
-      EvalResult result = RunPrequential(learner->get(), stream);
+      bench::BeginCell();
+      RunPrequential(learner->get(), stream);
       std::printf(" %s=%.2fs", name.c_str(),
-                  result.train_seconds + result.test_seconds);
+                  bench::CollectCell().RuntimeSeconds());
     }
     std::printf("\n");
   }

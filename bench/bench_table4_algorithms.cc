@@ -86,6 +86,9 @@ sweep::TaskManifest Manifest(const SweepConfig& config) {
 }
 
 int RunMerge(const bench::BenchFlags& flags) {
+  // Roll up per-shard metrics files (if any) before the table merge, so
+  // an unusable metrics input fails as early as an unusable shard log.
+  if (int code = bench::MergeModeMetrics(flags); code != 0) return code;
   SweepConfig config = MakeConfig(flags);
   sweep::TaskManifest manifest = Manifest(config);
   Result<SweepOutcome> merged = sweep::MergeShardLogs(
@@ -136,6 +139,9 @@ int RunShard(const bench::BenchFlags& flags) {
   options.resume = flags.resume;
   Result<sweep::ShardRunStats> stats =
       sweep::RunPreparedShard(streams, DatasetNames(), Learners(), options);
+  // Dump metrics even for a failed shard: the snapshot is often the
+  // evidence of what went wrong.
+  bench::MaybeWriteMetrics(flags);
   if (!stats.ok()) {
     std::fprintf(stderr, "shard failed: %s\n",
                  stats.status().ToString().c_str());
@@ -181,6 +187,7 @@ int Run(const bench::BenchFlags& flags) {
     streams.push_back(std::move(*prepared));
   }
   PrintRows(ParallelSweep(streams, Learners(), config));
+  bench::MaybeWriteMetrics(flags);
   return 0;
 }
 

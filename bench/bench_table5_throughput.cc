@@ -30,11 +30,15 @@ void Run(const bench::BenchFlags& flags) {
     std::printf("%-12s", info.short_name.c_str());
     std::fflush(stdout);
     for (const std::string& name : learners) {
+      // Throughput comes from the metrics layer: the evaluator records
+      // items and phase seconds into the registry, and the cell reads
+      // them back — no stopwatch in this bench.
+      bench::BeginCell();
       RepeatedResult result = RunRepeated(name, config, stream, 1);
       if (result.not_applicable) {
         std::printf(" %11s", "N/A");
       } else {
-        std::printf(" %11.0f", result.throughput);
+        std::printf(" %11.0f", bench::CollectCell().Throughput());
       }
       std::fflush(stdout);
     }

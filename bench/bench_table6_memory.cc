@@ -29,12 +29,15 @@ void Run(const bench::BenchFlags& flags) {
     std::printf("%-12s", info.short_name.c_str());
     std::fflush(stdout);
     for (const std::string& name : learners) {
+      // Peak memory comes from the metrics layer (the max of the
+      // evaluator's eval.peak_memory_bytes histogram for this cell).
+      bench::BeginCell();
       RepeatedResult result = RunRepeated(name, config, stream, 1);
       if (result.not_applicable) {
         std::printf(" %11s", "N/A");
       } else {
         std::printf(" %11.1f",
-                    static_cast<double>(result.peak_memory_bytes) / 1024.0);
+                    bench::CollectCell().peak_memory_bytes / 1024.0);
       }
       std::fflush(stdout);
     }

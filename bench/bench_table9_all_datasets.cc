@@ -133,6 +133,9 @@ void PrintRows(const std::vector<CorpusEntry>& entries,
 /// Merge mode: no evaluation — reassemble shard logs into the exact
 /// sweep outcome and print the same table a direct run prints.
 int RunMerge(const bench::BenchFlags& flags) {
+  // Roll up per-shard metrics files (if any) before the table merge, so
+  // an unusable metrics input fails as early as an unusable shard log.
+  if (int code = bench::MergeModeMetrics(flags); code != 0) return code;
   std::vector<CorpusEntry> entries = Entries(flags);
   SweepConfig config = MakeConfig(flags);
   sweep::TaskManifest manifest =
@@ -159,6 +162,9 @@ int RunShard(const bench::BenchFlags& flags) {
   options.resume = flags.resume;
   Result<sweep::ShardRunStats> stats =
       sweep::RunCorpusShard(Entries(flags), Learners(), options);
+  // Dump metrics even for a failed shard: the snapshot is often the
+  // evidence of what went wrong.
+  bench::MaybeWriteMetrics(flags);
   if (!stats.ok()) {
     std::fprintf(stderr, "shard failed: %s\n",
                  stats.status().ToString().c_str());
@@ -191,6 +197,7 @@ int Run(const bench::BenchFlags& flags) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   PrintRows(entries, sweep);
+  bench::MaybeWriteMetrics(flags);
   std::fprintf(stderr,
                "\n[timing] %lld prequential runs in %.1f s on %d thread(s)\n",
                static_cast<long long>(sweep.tasks_run), sweep_seconds,

@@ -10,6 +10,7 @@
 
 #include "common/io_env.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/chaos.h"
@@ -74,6 +75,16 @@ struct BenchFlags {
   /// Watchdog: report tasks running longer than this many ms on
   /// stderr (without killing them). 0 = no watchdog.
   int watchdog_ms = 0;
+  /// Dump a JSON snapshot of the metrics registry here on exit
+  /// (sweep-capable benches). In --merge mode this is the rollup of
+  /// the per-shard files given via --metrics-in.
+  std::string metrics_out;
+  /// Emit only the deterministic metric sections (counters), so two
+  /// identical runs produce byte-identical snapshot files.
+  bool deterministic_metrics = false;
+  /// Merge mode: per-shard metrics files to aggregate into the
+  /// --metrics-out rollup. Repeatable.
+  std::vector<std::string> metrics_in;
 };
 
 [[noreturn]] inline void FlagsUsageAndExit(const char* argv0,
@@ -114,6 +125,15 @@ struct BenchFlags {
       "  --watchdog-ms=N\n"
       "                 report tasks running longer than N ms on stderr\n"
       "  --dry-run      print the manifest/shard plan and run nothing\n"
+      "  --metrics-out=PATH\n"
+      "                 dump a JSON metrics snapshot on exit; with\n"
+      "                 --merge, the rollup of the --metrics-in files\n"
+      "  --metrics-in=PATH\n"
+      "                 merge: per-shard metrics file to aggregate into\n"
+      "                 the --metrics-out rollup (repeatable)\n"
+      "  --deterministic-metrics\n"
+      "                 emit only the deterministic metric sections\n"
+      "                 (snapshots from identical runs diff empty)\n"
       "Flags take --flag=value or --flag value.\n",
       argv0);
   std::exit(2);
@@ -185,7 +205,8 @@ inline BenchFlags ParseFlags(int argc, char** argv,
     } else if (name == "threads") {
       flags.threads = int_value(1);
     } else if (name == "epochs") {
-      flags.epochs = int_value(1);
+      // 0 is the documented "use the bench default" sentinel.
+      flags.epochs = int_value(0);
     } else if (name == "datasets") {
       flags.datasets = int_value(1);
     } else if (name == "spawn") {
@@ -236,6 +257,13 @@ inline BenchFlags ParseFlags(int argc, char** argv,
       flags.dry_run = true;
     } else if (name == "log") {
       flags.log_path = need_value();
+    } else if (name == "metrics-out") {
+      flags.metrics_out = need_value();
+    } else if (name == "metrics-in") {
+      flags.metrics_in.push_back(need_value());
+    } else if (name == "deterministic-metrics") {
+      no_value();
+      flags.deterministic_metrics = true;
     } else if (name == "resume") {
       no_value();
       flags.resume = true;
@@ -252,6 +280,38 @@ inline BenchFlags ParseFlags(int argc, char** argv,
   }
   if (flags.merge && flags.merge_logs.empty()) {
     fail("--merge needs at least one shard log");
+  }
+  // Contradictory mode combinations: merge reassembles existing shard
+  // logs and runs nothing, so the run-a-shard flags make no sense with
+  // it — reject them instead of silently ignoring one side.
+  if (flags.merge && shard_set) {
+    fail("--merge cannot be combined with --shard (merge reassembles "
+         "existing shard logs; it does not run a shard)");
+  }
+  if (flags.merge && !flags.log_path.empty()) {
+    fail("--merge cannot be combined with --log (merge reads shard logs "
+         "as arguments; it does not write one)");
+  }
+  if (flags.merge && flags.resume) {
+    fail("--merge cannot be combined with --resume (resume re-runs a "
+         "shard; merge runs nothing)");
+  }
+  if (flags.dry_run && flags.merge) {
+    fail("--dry-run cannot be combined with --merge (the dry run plans "
+         "a shard execution; merge runs nothing)");
+  }
+  if (!flags.fault_schedule.empty() && flags.log_path.empty()) {
+    fail("--fault-schedule requires --log (faults are injected into the "
+         "result log's I/O environment)");
+  }
+  if (flags.deterministic_metrics && flags.metrics_out.empty()) {
+    fail("--deterministic-metrics only applies to --metrics-out");
+  }
+  if (!flags.metrics_in.empty() && !flags.merge) {
+    fail("--metrics-in only applies to --merge (it feeds the rollup)");
+  }
+  if (!flags.metrics_in.empty() && flags.metrics_out.empty()) {
+    fail("--metrics-in needs --metrics-out for the rollup destination");
   }
   if (flags.retry_failed && !flags.resume) {
     fail("--retry-failed requires --resume (it re-runs tasks an "
@@ -319,10 +379,143 @@ inline std::string Spark(const std::vector<double>& values) {
       out += "!";
       continue;
     }
-    int idx = hi > lo ? static_cast<int>((v - lo) / (hi - lo) * 7.999) : 0;
+    int idx;
+    if (hi > lo) {
+      idx = static_cast<int>((v - lo) / (hi - lo) * 7.999);
+    } else {
+      // Constant series: mid-scale for a nonzero plateau (all-minimum
+      // glyphs would read as "collapsed to the floor"), floor glyph
+      // only when the series really sits at zero.
+      idx = v != 0.0 ? 3 : 0;
+    }
     out += kLevels[idx];
   }
   return out;
+}
+
+/// Writes one metrics snapshot as JSON to `path` through the I/O
+/// environment (so fault injection and tests can intercept it).
+inline Status WriteMetricsFile(const std::string& path,
+                               const MetricsSnapshot& snapshot,
+                               bool deterministic, IoEnv* env = nullptr) {
+  if (env == nullptr) env = IoEnv::Default();
+  MetricsJsonOptions options;
+  options.deterministic = deterministic;
+  const std::string json = MetricsToJson(snapshot, options);
+  Result<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  OE_RETURN_NOT_OK((*file)->Append(json));
+  OE_RETURN_NOT_OK((*file)->Sync());
+  return (*file)->Close();
+}
+
+/// Dumps the process registry to --metrics-out (no-op when unset).
+/// A snapshot that cannot be written fails loudly: a sweep whose
+/// instrumentation silently vanished would be worse than one that
+/// exits nonzero.
+inline void MaybeWriteMetrics(const BenchFlags& flags, IoEnv* env = nullptr) {
+  if (flags.metrics_out.empty()) return;
+  const MetricsSnapshot snapshot = MetricsRegistry::Global()->Snapshot();
+  Status status = WriteMetricsFile(flags.metrics_out, snapshot,
+                                   flags.deterministic_metrics, env);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write metrics to %s: %s\n",
+                 flags.metrics_out.c_str(), status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Merge-mode rollup: parse every per-shard metrics file and fold them
+/// into one snapshot (counters sum, gauges max, histograms add).
+inline Result<MetricsSnapshot> RollupMetricsFiles(
+    const std::vector<std::string>& paths, IoEnv* env = nullptr) {
+  if (env == nullptr) env = IoEnv::Default();
+  MetricsSnapshot rollup;
+  for (const std::string& path : paths) {
+    Result<std::string> text = env->ReadFile(path);
+    if (!text.ok()) {
+      return Status(text.status().code(),
+                    "cannot read metrics file " + path + ": " +
+                        text.status().message());
+    }
+    MetricsSnapshot shard;
+    Status parsed = ParseMetricsJson(*text, &shard);
+    if (!parsed.ok()) {
+      return Status(parsed.code(), path + ": " + parsed.message());
+    }
+    OE_RETURN_NOT_OK(MergeMetricsSnapshots(shard, &rollup));
+  }
+  return rollup;
+}
+
+/// Merge-mode metrics plumbing shared by the sweep-capable drivers:
+/// rolls the --metrics-in shard files up into --metrics-out, or dumps
+/// the local registry when no shard files were given. Returns 0 on
+/// success or no-op, otherwise the process exit code (2 for unusable
+/// input files, 1 for an unwritable output).
+inline int MergeModeMetrics(const BenchFlags& flags, IoEnv* env = nullptr) {
+  if (flags.metrics_out.empty()) return 0;
+  if (flags.metrics_in.empty()) {
+    MaybeWriteMetrics(flags, env);
+    return 0;
+  }
+  Result<MetricsSnapshot> rollup = RollupMetricsFiles(flags.metrics_in, env);
+  if (!rollup.ok()) {
+    std::fprintf(stderr, "metrics rollup failed: %s\n",
+                 rollup.status().ToString().c_str());
+    return 2;
+  }
+  Status written = WriteMetricsFile(flags.metrics_out, *rollup,
+                                    flags.deterministic_metrics, env);
+  if (!written.ok()) {
+    std::fprintf(stderr, "cannot write metrics to %s: %s\n",
+                 flags.metrics_out.c_str(), written.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// Per-cell registry reader for the single-cell table benches (tables
+/// 5/6/10): BeginCell() zeroes the registry before a cell's runs,
+/// CollectCell() reads back what the evaluator instrumentation
+/// recorded for them. These benches keep no stopwatches of their own.
+struct CellMetrics {
+  int64_t items = 0;
+  double train_seconds = 0.0;
+  double test_seconds = 0.0;
+  double peak_memory_bytes = 0.0;
+
+  double RuntimeSeconds() const { return train_seconds + test_seconds; }
+  double Throughput() const {
+    const double seconds = RuntimeSeconds();
+    if (!(seconds > 0.0)) return 0.0;
+    const double value = static_cast<double>(items) / seconds;
+    return std::isfinite(value) ? value : 0.0;
+  }
+};
+
+inline void BeginCell() { MetricsRegistry::Global()->Reset(); }
+
+inline CellMetrics CollectCell() {
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  CellMetrics cell;
+  if (auto it = snap.counters.find("eval.items"); it != snap.counters.end()) {
+    cell.items = it->second;
+  }
+  if (auto it = snap.histograms.find("eval.train_seconds");
+      it != snap.histograms.end()) {
+    cell.train_seconds = it->second.sum;
+  }
+  if (auto it = snap.histograms.find("eval.test_seconds");
+      it != snap.histograms.end()) {
+    cell.test_seconds = it->second.sum;
+  }
+  if (auto it = snap.histograms.find("eval.peak_memory_bytes");
+      it != snap.histograms.end() && it->second.count > 0) {
+    cell.peak_memory_bytes = it->second.max;
+  }
+  return cell;
 }
 
 /// Prints a horizontal rule + title, so every bench output reads like the

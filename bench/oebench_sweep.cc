@@ -17,6 +17,9 @@
 //   oebench_sweep --chaos-schedule=throw-at-task=3   # inject a fault
 //   oebench_sweep --shard 0/2 --log a.log --resume --retry-failed
 //                                          # re-run only the failed tasks
+//   oebench_sweep --shard 0/2 --log a.log --metrics-out=a.metrics.json
+//   oebench_sweep --merge a.log b.log --metrics-in=a.metrics.json
+//       --metrics-in=b.metrics.json --metrics-out=rollup.json
 //
 // Invocations with an explicit --log act as workers: they print shard
 // statistics to stderr and no table. The no-flag invocation (count 1,
@@ -66,6 +69,11 @@ SweepConfig MakeConfig(const bench::BenchFlags& flags) {
 
 std::string DefaultLogPath(const sweep::Shard& shard) {
   return StrFormat("oebench_sweep_%dof%d.log", shard.index, shard.count);
+}
+
+std::string DefaultMetricsPath(const sweep::Shard& shard) {
+  return StrFormat("oebench_sweep_%dof%d.metrics.json", shard.index,
+                   shard.count);
 }
 
 int MergeAndPrint(const std::vector<CorpusEntry>& entries,
@@ -221,6 +229,11 @@ int RunShard(const bench::BenchFlags& flags) {
                  static_cast<long long>(fault_env->faults_injected()),
                  fault_env->crashed() ? 1 : 0);
   }
+  // The metrics snapshot covers the sweep whether it succeeded or not
+  // (a failed shard's instrumentation is exactly what you want to
+  // read), and goes through the real I/O env — never the fault env,
+  // whose byte budgets belong to the result log.
+  bench::MaybeWriteMetrics(flags);
   if (!stats.ok()) {
     std::fprintf(stderr, "shard failed: %s\n",
                  stats.status().ToString().c_str());
@@ -278,6 +291,7 @@ int SpawnAndMerge(const bench::BenchFlags& flags, const char* argv0) {
   }
 
   std::vector<std::string> logs(n);
+  std::vector<std::string> metrics_files;
   std::vector<int> exit_codes(n, 0);
   std::vector<std::thread> waiters;
   for (int i = 0; i < n; ++i) {
@@ -286,6 +300,14 @@ int SpawnAndMerge(const bench::BenchFlags& flags, const char* argv0) {
                                            n, logs[i].c_str());
     if (flags.resume) command += " --resume";
     if (flags.retry_failed) command += " --retry-failed";
+    if (!flags.metrics_out.empty()) {
+      // Each worker dumps its own snapshot; the parent rolls them up
+      // into --metrics-out after the merge.
+      metrics_files.push_back(DefaultMetricsPath(sweep::Shard{i, n}));
+      command += StrFormat(" --metrics-out=\"%s\"",
+                           metrics_files.back().c_str());
+      if (flags.deterministic_metrics) command += " --deterministic-metrics";
+    }
     waiters.emplace_back([&exit_codes, i, command] {
       exit_codes[i] = std::system(command.c_str());
     });
@@ -297,6 +319,22 @@ int SpawnAndMerge(const bench::BenchFlags& flags, const char* argv0) {
                    "shard %d/%d exited with status %d; fix and re-run with "
                    "--resume, or merge manually\n",
                    i, n, exit_codes[i]);
+      return 1;
+    }
+  }
+  if (!metrics_files.empty()) {
+    Result<MetricsSnapshot> rollup =
+        bench::RollupMetricsFiles(metrics_files);
+    if (!rollup.ok()) {
+      std::fprintf(stderr, "metrics rollup failed: %s\n",
+                   rollup.status().ToString().c_str());
+      return 1;
+    }
+    Status written = bench::WriteMetricsFile(
+        flags.metrics_out, *rollup, flags.deterministic_metrics);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write metrics to %s: %s\n",
+                   flags.metrics_out.c_str(), written.ToString().c_str());
       return 1;
     }
   }
@@ -317,10 +355,50 @@ int SelfCheck(const bench::BenchFlags& flags) {
 
   std::fprintf(stderr, "[selfcheck] baseline: unsharded sweep of %zu tasks\n",
                manifest.tasks().size());
+  MetricsRegistry::Global()->Reset();
   SweepOutcome baseline = ParallelSweepEntries(entries, learners, config);
   const std::string expected_dump = sweep::DumpOutcome(baseline);
 
   bool ok = true;
+  if (!flags.metrics_out.empty()) {
+    // Metrics smoke: the baseline sweep's snapshot must survive a JSON
+    // round trip, and its work counters must account for every
+    // manifest task — executed tasks plus the repeats of each N/A
+    // pair.
+    const MetricsSnapshot snapshot = MetricsRegistry::Global()->Snapshot();
+    Status written = bench::WriteMetricsFile(flags.metrics_out, snapshot,
+                                             flags.deterministic_metrics);
+    bool metrics_ok = written.ok();
+    if (!metrics_ok) {
+      std::fprintf(stderr, "[selfcheck] cannot write metrics: %s\n",
+                   written.ToString().c_str());
+    } else {
+      Result<std::string> text = IoEnv::Default()->ReadFile(flags.metrics_out);
+      MetricsSnapshot parsed;
+      Status status = text.ok() ? ParseMetricsJson(*text, &parsed)
+                                : text.status();
+      if (!status.ok()) {
+        metrics_ok = false;
+        std::fprintf(stderr, "[selfcheck] metrics JSON unparseable: %s\n",
+                     status.ToString().c_str());
+      } else {
+        const int64_t executed = parsed.counters["sweep.tasks_executed"];
+        const int64_t skipped = parsed.counters["sweep.pairs_skipped"] *
+                                static_cast<int64_t>(config.repeats);
+        const int64_t manifest_tasks =
+            static_cast<int64_t>(manifest.tasks().size());
+        metrics_ok = executed + skipped == manifest_tasks;
+        std::fprintf(stderr,
+                     "[selfcheck] metrics: %lld executed + %lld n/a vs "
+                     "%lld manifest task(s): %s\n",
+                     static_cast<long long>(executed),
+                     static_cast<long long>(skipped),
+                     static_cast<long long>(manifest_tasks),
+                     metrics_ok ? "accounted" : "MISMATCH");
+      }
+    }
+    ok = ok && metrics_ok;
+  }
   std::vector<std::string> all_logs;
   for (int n = 1; n <= 3; ++n) {
     std::vector<std::string> logs;
@@ -387,6 +465,13 @@ int main(int argc, char** argv) {
                                  /*default_repeats=*/1);
   if (flags.dry_run) return oebench::DryRun(flags);
   if (flags.merge) {
+    // --metrics-in files roll up into one --metrics-out snapshot:
+    // counters sum, gauges keep the max, histograms add bucket-wise.
+    // An unreadable or unparseable shard metrics file is a usage
+    // error, like an unreadable shard log.
+    if (int code = oebench::bench::MergeModeMetrics(flags); code != 0) {
+      return code;
+    }
     return oebench::MergeAndPrint(oebench::SweepEntries(flags.datasets),
                                   oebench::SweepLearners(),
                                   oebench::MakeConfig(flags),

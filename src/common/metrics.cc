@@ -1,0 +1,652 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace oebench {
+
+void Gauge::Add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::SetMax(double v) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+const std::vector<double>& DefaultLatencyBounds() {
+  static const std::vector<double> kBounds = {
+      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (Stripe& stripe : stripes_) {
+    stripe.buckets.assign(bounds_.size() + 1, 0);
+  }
+}
+
+void Histogram::Record(double value) {
+  // One stripe per thread (stable hash of the thread id) so pool
+  // workers recording concurrently rarely contend on the same mutex.
+  thread_local const size_t stripe_index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes;
+  Stripe& stripe = stripes_[stripe_index];
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  ++stripe.buckets[bucket];
+  if (stripe.count == 0) {
+    stripe.min = value;
+    stripe.max = value;
+  } else {
+    stripe.min = std::min(stripe.min, value);
+    stripe.max = std::max(stripe.max, value);
+  }
+  ++stripe.count;
+  stripe.sum += value;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (stripe.count == 0) continue;
+    for (size_t i = 0; i < stripe.buckets.size(); ++i) {
+      snap.buckets[i] += stripe.buckets[i];
+    }
+    if (snap.count == 0) {
+      snap.min = stripe.min;
+      snap.max = stripe.max;
+    } else {
+      snap.min = std::min(snap.min, stripe.min);
+      snap.max = std::max(snap.max, stripe.max);
+    }
+    snap.count += stripe.count;
+    snap.sum += stripe.sum;
+  }
+  return snap;
+}
+
+void Histogram::ResetValues() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    std::fill(stripe.buckets.begin(), stripe.buckets.end(), 0);
+    stripe.count = 0;
+    stripe.sum = 0.0;
+    stripe.min = 0.0;
+    stripe.max = 0.0;
+  }
+}
+
+MetricsRegistry::MetricsRegistry() : epoch_(std::chrono::steady_clock::now()) {}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  // Leaked on purpose: worker threads may still record during static
+  // destruction of other objects.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Counter* MetricsRegistry::GetVolatileCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = volatile_counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (bounds.empty()) bounds = DefaultLatencyBounds();
+    slot.reset(new Histogram(std::move(bounds)));
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::RecordSpan(std::string name, double start_seconds,
+                                 double duration_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++spans_dropped_;
+    return;
+  }
+  spans_.push_back(
+      SpanSnapshot{std::move(name), start_seconds, duration_seconds});
+}
+
+double MetricsRegistry::NowSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->value_.store(0);
+  for (auto& [name, counter] : volatile_counters_) counter->value_.store(0);
+  for (auto& [name, gauge] : gauges_) gauge->value_.store(0.0);
+  for (auto& [name, hist] : histograms_) hist->ResetValues();
+  spans_.clear();
+  spans_dropped_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, counter] : volatile_counters_) {
+    snap.volatile_counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Snapshot();
+  }
+  snap.spans = spans_;
+  snap.spans_dropped = spans_dropped_;
+  return snap;
+}
+
+ScopedTimer::ScopedTimer(Histogram* hist, std::string span_name,
+                         MetricsRegistry* registry)
+    : hist_(hist),
+      span_name_(std::move(span_name)),
+      registry_(registry),
+      start_(std::chrono::steady_clock::now()),
+      armed_(hist != nullptr ||
+             (registry != nullptr && !span_name_.empty())) {
+  if (registry_ != nullptr && !span_name_.empty()) {
+    start_seconds_ = registry_->NowSeconds();
+  }
+}
+
+double ScopedTimer::Stop() {
+  if (!armed_) return 0.0;
+  armed_ = false;
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  if (hist_ != nullptr) hist_->Record(elapsed);
+  if (registry_ != nullptr && !span_name_.empty()) {
+    registry_->RecordSpan(span_name_, start_seconds_, elapsed);
+  }
+  return elapsed;
+}
+
+// ---------------------------------------------------------------------------
+// JSON serialization. Hand-rolled on purpose: the format is a small
+// closed subset (objects, arrays, strings, numbers, booleans) that we
+// both write and read, and the repo takes no external dependencies.
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrFormat("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// %.17g round-trips every finite double exactly.
+void AppendDouble(double v, std::string* out) {
+  out->append(StrFormat("%.17g", v));
+}
+
+template <typename T, typename AppendValue>
+void AppendStringMap(const char* key, const std::map<std::string, T>& values,
+                     AppendValue&& append_value, std::string* out) {
+  out->append(StrFormat("  \"%s\": {", key));
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    out->append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendEscaped(name, out);
+    out->append(": ");
+    append_value(value, out);
+  }
+  out->append(first ? "}" : "\n  }");
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot,
+                          const MetricsJsonOptions& options) {
+  // Top-level keys in fixed alphabetical order; map contents are
+  // sorted by std::map. Deterministic mode emits only the sections
+  // whose values are workload-derived (see the determinism contract).
+  std::string out = "{\n";
+  AppendStringMap(
+      "counters", snapshot.counters,
+      [](int64_t v, std::string* o) {
+        o->append(StrFormat("%lld", static_cast<long long>(v)));
+      },
+      &out);
+  out.append(StrFormat(",\n  \"deterministic\": %s",
+                       options.deterministic ? "true" : "false"));
+  if (!options.deterministic) {
+    out.append(",\n");
+    AppendStringMap(
+        "gauges", snapshot.gauges,
+        [](double v, std::string* o) { AppendDouble(v, o); }, &out);
+    out.append(",\n");
+    AppendStringMap(
+        "histograms", snapshot.histograms,
+        [](const HistogramSnapshot& h, std::string* o) {
+          o->append("{\"bounds\": [");
+          for (size_t i = 0; i < h.bounds.size(); ++i) {
+            if (i > 0) o->append(", ");
+            AppendDouble(h.bounds[i], o);
+          }
+          o->append("], \"buckets\": [");
+          for (size_t i = 0; i < h.buckets.size(); ++i) {
+            if (i > 0) o->append(", ");
+            o->append(
+                StrFormat("%lld", static_cast<long long>(h.buckets[i])));
+          }
+          o->append(StrFormat("], \"count\": %lld, \"max\": ",
+                              static_cast<long long>(h.count)));
+          AppendDouble(h.max, o);
+          o->append(", \"min\": ");
+          AppendDouble(h.min, o);
+          o->append(", \"sum\": ");
+          AppendDouble(h.sum, o);
+          o->append("}");
+        },
+        &out);
+    out.append(",\n  \"spans\": [");
+    for (size_t i = 0; i < snapshot.spans.size(); ++i) {
+      const SpanSnapshot& span = snapshot.spans[i];
+      out.append(i == 0 ? "\n    " : ",\n    ");
+      out.append("{\"dur\": ");
+      AppendDouble(span.duration_seconds, &out);
+      out.append(", \"name\": ");
+      AppendEscaped(span.name, &out);
+      out.append(", \"start\": ");
+      AppendDouble(span.start_seconds, &out);
+      out.append("}");
+    }
+    out.append(snapshot.spans.empty() ? "]" : "\n  ]");
+    out.append(StrFormat(",\n  \"spans_dropped\": %lld",
+                         static_cast<long long>(snapshot.spans_dropped)));
+  }
+  out.append(",\n  \"version\": 1");
+  if (!options.deterministic) {
+    out.append(",\n");
+    AppendStringMap(
+        "volatile_counters", snapshot.volatile_counters,
+        [](int64_t v, std::string* o) {
+          o->append(StrFormat("%lld", static_cast<long long>(v)));
+        },
+        &out);
+  }
+  out.append("\n}\n");
+  return out;
+}
+
+namespace {
+
+// Minimal recursive-descent parser for the closed JSON subset emitted
+// by MetricsToJson. Errors carry a byte offset for debuggability.
+class MetricsJsonParser {
+ public:
+  explicit MetricsJsonParser(const std::string& text)
+      : text_(text), pos_(0) {}
+
+  Status Parse(MetricsSnapshot* out) {
+    out->counters.clear();
+    out->volatile_counters.clear();
+    out->gauges.clear();
+    out->histograms.clear();
+    out->spans.clear();
+    out->spans_dropped = 0;
+    bool saw_version = false;
+    Status status = ParseObject([&](const std::string& key) -> Status {
+      if (key == "counters") {
+        return ParseIntMap(&out->counters);
+      } else if (key == "volatile_counters") {
+        return ParseIntMap(&out->volatile_counters);
+      } else if (key == "gauges") {
+        return ParseDoubleMap(&out->gauges);
+      } else if (key == "histograms") {
+        return ParseHistogramMap(&out->histograms);
+      } else if (key == "spans") {
+        return ParseSpans(&out->spans);
+      } else if (key == "spans_dropped") {
+        return ParseInt(&out->spans_dropped);
+      } else if (key == "deterministic") {
+        bool ignored = false;
+        return ParseBool(&ignored);
+      } else if (key == "version") {
+        int64_t version = 0;
+        Status s = ParseInt(&version);
+        if (!s.ok()) return s;
+        if (version != 1) {
+          return Error(StrFormat("unsupported metrics version %lld",
+                                 static_cast<long long>(version)));
+        }
+        saw_version = true;
+        return Status::OK();
+      }
+      return Error("unknown key \"" + key + "\"");
+    });
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing data");
+    if (!saw_version) return Error("missing \"version\"");
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(StrFormat(
+        "metrics JSON: %s at byte %zu", what.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Error(StrFormat("expected '%c'", c));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool TryConsume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseString(std::string* out) {
+    Status s = Expect('"');
+    if (!s.ok()) return s;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          char* end = nullptr;
+          const std::string hex = text_.substr(pos_, 4);
+          long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4 || code > 0xff) {
+            return Error("bad \\u escape");
+          }
+          pos_ += 4;
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;  // closing quote
+    return Status::OK();
+  }
+
+  Status ParseDoubleValue(double* out) {
+    SkipWhitespace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '+' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("bad number \"" + token + "\"");
+    }
+    return Status::OK();
+  }
+
+  Status ParseInt(int64_t* out) {
+    double v = 0.0;
+    Status s = ParseDoubleValue(&v);
+    if (!s.ok()) return s;
+    *out = static_cast<int64_t>(v);
+    if (static_cast<double>(*out) != v) return Error("expected integer");
+    return Status::OK();
+  }
+
+  Status ParseBool(bool* out) {
+    SkipWhitespace();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = true;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = false;
+      return Status::OK();
+    }
+    return Error("expected boolean");
+  }
+
+  Status ParseObject(const std::function<Status(const std::string&)>& on_key) {
+    Status s = Expect('{');
+    if (!s.ok()) return s;
+    if (TryConsume('}')) return Status::OK();
+    do {
+      std::string key;
+      s = ParseString(&key);
+      if (!s.ok()) return s;
+      s = Expect(':');
+      if (!s.ok()) return s;
+      s = on_key(key);
+      if (!s.ok()) return s;
+    } while (TryConsume(','));
+    return Expect('}');
+  }
+
+  Status ParseIntMap(std::map<std::string, int64_t>* out) {
+    return ParseObject([&](const std::string& key) {
+      return ParseInt(&(*out)[key]);
+    });
+  }
+
+  Status ParseDoubleMap(std::map<std::string, double>* out) {
+    return ParseObject([&](const std::string& key) {
+      return ParseDoubleValue(&(*out)[key]);
+    });
+  }
+
+  Status ParseDoubleArray(std::vector<double>* out) {
+    Status s = Expect('[');
+    if (!s.ok()) return s;
+    out->clear();
+    if (TryConsume(']')) return Status::OK();
+    do {
+      double v = 0.0;
+      s = ParseDoubleValue(&v);
+      if (!s.ok()) return s;
+      out->push_back(v);
+    } while (TryConsume(','));
+    return Expect(']');
+  }
+
+  Status ParseIntArray(std::vector<int64_t>* out) {
+    Status s = Expect('[');
+    if (!s.ok()) return s;
+    out->clear();
+    if (TryConsume(']')) return Status::OK();
+    do {
+      int64_t v = 0;
+      s = ParseInt(&v);
+      if (!s.ok()) return s;
+      out->push_back(v);
+    } while (TryConsume(','));
+    return Expect(']');
+  }
+
+  Status ParseHistogramMap(std::map<std::string, HistogramSnapshot>* out) {
+    return ParseObject([&](const std::string& name) {
+      HistogramSnapshot& h = (*out)[name];
+      return ParseObject([&](const std::string& key) -> Status {
+        if (key == "bounds") return ParseDoubleArray(&h.bounds);
+        if (key == "buckets") return ParseIntArray(&h.buckets);
+        if (key == "count") return ParseInt(&h.count);
+        if (key == "max") return ParseDoubleValue(&h.max);
+        if (key == "min") return ParseDoubleValue(&h.min);
+        if (key == "sum") return ParseDoubleValue(&h.sum);
+        return Error("unknown histogram key \"" + key + "\"");
+      });
+    });
+  }
+
+  Status ParseSpans(std::vector<SpanSnapshot>* out) {
+    Status s = Expect('[');
+    if (!s.ok()) return s;
+    out->clear();
+    if (TryConsume(']')) return Status::OK();
+    do {
+      SpanSnapshot span;
+      s = ParseObject([&](const std::string& key) -> Status {
+        if (key == "dur") return ParseDoubleValue(&span.duration_seconds);
+        if (key == "name") return ParseString(&span.name);
+        if (key == "start") return ParseDoubleValue(&span.start_seconds);
+        return Error("unknown span key \"" + key + "\"");
+      });
+      if (!s.ok()) return s;
+      out->push_back(std::move(span));
+    } while (TryConsume(','));
+    return Expect(']');
+  }
+
+  const std::string& text_;
+  size_t pos_;
+};
+
+}  // namespace
+
+Status ParseMetricsJson(const std::string& text, MetricsSnapshot* out) {
+  return MetricsJsonParser(text).Parse(out);
+}
+
+Status MergeMetricsSnapshots(const MetricsSnapshot& in, MetricsSnapshot* acc) {
+  for (const auto& [name, value] : in.counters) {
+    acc->counters[name] += value;
+  }
+  for (const auto& [name, value] : in.volatile_counters) {
+    acc->volatile_counters[name] += value;
+  }
+  for (const auto& [name, value] : in.gauges) {
+    auto [it, inserted] = acc->gauges.emplace(name, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+  for (const auto& [name, hist] : in.histograms) {
+    auto [it, inserted] = acc->histograms.emplace(name, hist);
+    if (inserted) continue;
+    HistogramSnapshot& target = it->second;
+    if (target.bounds != hist.bounds ||
+        target.buckets.size() != hist.buckets.size()) {
+      return Status::InvalidArgument(
+          "metrics merge: histogram \"" + name +
+          "\" has incompatible bucket bounds across snapshots");
+    }
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      target.buckets[i] += hist.buckets[i];
+    }
+    if (hist.count > 0) {
+      if (target.count == 0) {
+        target.min = hist.min;
+        target.max = hist.max;
+      } else {
+        target.min = std::min(target.min, hist.min);
+        target.max = std::max(target.max, hist.max);
+      }
+      target.count += hist.count;
+      target.sum += hist.sum;
+    }
+  }
+  // Per-shard spans are interval data relative to each shard's own
+  // epoch; a cross-process rollup cannot place them on one timeline,
+  // so they are dropped (and accounted) rather than merged wrongly.
+  acc->spans_dropped +=
+      in.spans_dropped + static_cast<int64_t>(in.spans.size());
+  return Status::OK();
+}
+
+}  // namespace oebench

@@ -1,0 +1,230 @@
+#ifndef OEBENCH_COMMON_METRICS_H_
+#define OEBENCH_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oebench {
+
+/// Process-wide metrics: named counters, gauges, and fixed-bound
+/// histograms behind one registry, plus phase timers and per-task
+/// trace spans. The registry is the single source of truth for every
+/// measurement the sweep/bench stack reports — benches read tables
+/// out of it instead of keeping their own stopwatches.
+///
+/// Determinism contract (see DESIGN.md "Observability"):
+///   - *counters* hold deterministic work counts (items, windows,
+///     tasks, appends). For a fixed workload they are bit-identical
+///     across thread counts and across runs, so they are the only
+///     section emitted in deterministic snapshot mode.
+///   - *volatile counters* hold environment-derived counts (fault
+///     retries, watchdog reports) that may legitimately differ
+///     between runs.
+///   - *gauges* and *histograms* carry time- or machine-valued data
+///     (latencies, utilization, peak memory) and are always volatile.
+///
+/// Metric names are dot-scoped "<subsystem>.<what>[_<unit>]", e.g.
+/// `eval.items`, `sweep.queue_wait_seconds`, `result_log.bytes_appended`.
+
+/// Monotone event counter. Add() is a relaxed atomic increment —
+/// cheap enough for per-item hot paths.
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-writer-wins double value with an atomic max variant
+/// (utilization peaks, pool sizes). Always snapshot-volatile.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  /// Raises the gauge to `v` if `v` is larger; never lowers it.
+  void SetMax(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;    // inclusive upper bounds, ascending
+  std::vector<int64_t> buckets;  // bounds.size() + 1 (last = overflow)
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful only when count > 0
+  double max = 0.0;
+};
+
+/// Fixed-bound histogram. The bucket bounds are chosen at creation and
+/// never change, so per-shard histograms merge exactly. Recording is
+/// lock-striped: each stripe has its own mutex and bucket array,
+/// merged only at Snapshot() time, so concurrent pool workers do not
+/// serialize on one lock.
+class Histogram {
+ public:
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  static constexpr int kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<int64_t> buckets;
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  void ResetValues();
+
+  const std::vector<double> bounds_;
+  Stripe stripes_[kStripes];
+  std::atomic<uint64_t> next_stripe_{0};
+};
+
+/// Exponential seconds-scale bounds (1us .. 100s) shared by every
+/// latency/phase-timing histogram so shard snapshots merge.
+const std::vector<double>& DefaultLatencyBounds();
+
+/// One recorded task/phase interval, relative to the registry epoch.
+struct SpanSnapshot {
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> volatile_counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::vector<SpanSnapshot> spans;
+  int64_t spans_dropped = 0;
+};
+
+/// Registry of named metrics. Get* calls are find-or-create and return
+/// pointers that stay valid for the life of the process — Reset()
+/// zeroes values but never deallocates, so call sites may cache the
+/// pointer (e.g. in a function-local static) and skip the map lookup
+/// on the hot path.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry* Global();
+
+  /// Deterministic counter (see the class comment's contract).
+  Counter* GetCounter(const std::string& name);
+  /// Volatile counter: environment-derived counts (retries, reports).
+  Counter* GetVolatileCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Find-or-create. `bounds` is used only on first creation (empty =
+  /// DefaultLatencyBounds()); later calls return the existing
+  /// histogram regardless of bounds.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// Records one trace span. `start_seconds` is relative to the
+  /// registry epoch (construction or last Reset()); use NowSeconds()
+  /// to stamp it. Spans are capped; overflow increments the
+  /// `spans_dropped` count instead of growing without bound.
+  void RecordSpan(std::string name, double start_seconds,
+                  double duration_seconds);
+
+  /// Seconds since the registry epoch (steady clock).
+  double NowSeconds() const;
+
+  /// Zeroes every value and clears spans without deallocating any
+  /// metric object, and restarts the span epoch. Cached pointers from
+  /// Get* stay valid.
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  static constexpr size_t kMaxSpans = 4096;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Counter>> volatile_counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<SpanSnapshot> spans_;
+  int64_t spans_dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII phase timer: records elapsed seconds into `hist` (and
+/// optionally a span named `span_name`) when stopped or destroyed.
+/// A null `hist` makes the timer inert.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist, std::string span_name = "",
+                       MetricsRegistry* registry = nullptr);
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records once and disarms; returns elapsed seconds (0 if already
+  /// stopped or inert).
+  double Stop();
+
+ private:
+  Histogram* hist_;
+  std::string span_name_;
+  MetricsRegistry* registry_;
+  double start_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+  bool armed_;
+};
+
+struct MetricsJsonOptions {
+  /// Emit only the deterministic sections (version, flag, counters):
+  /// no wall-clock-derived values, so two identical runs produce
+  /// byte-identical files and shard snapshots diff cleanly.
+  bool deterministic = false;
+};
+
+/// Serializes a snapshot as JSON with stable key order (maps are
+/// sorted; doubles printed with %.17g so values round-trip exactly).
+std::string MetricsToJson(const MetricsSnapshot& snapshot,
+                          const MetricsJsonOptions& options = {});
+
+/// Parses JSON produced by MetricsToJson (either mode) back into a
+/// snapshot. Unknown keys are an error: the format is ours.
+Status ParseMetricsJson(const std::string& text, MetricsSnapshot* out);
+
+/// Folds `in` into `acc` for the merge-time rollup: counters and
+/// volatile counters sum, gauges keep the max, histograms (which share
+/// bounds by construction) add bucket-wise. Per-shard spans are not
+/// carried into the rollup; their count is added to spans_dropped.
+/// Fails if two histograms with the same name disagree on bounds.
+Status MergeMetricsSnapshots(const MetricsSnapshot& in, MetricsSnapshot* acc);
+
+}  // namespace oebench
+
+#endif  // OEBENCH_COMMON_METRICS_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace oebench {
 
@@ -62,6 +63,11 @@ void TaskWatchdog::ScanLoop() {
       if (elapsed * 1000.0 >= static_cast<double>(limit_ms_)) {
         entry.reported = true;
         ++reports_;
+        // Volatile: whether a task crosses the wall-clock limit
+        // depends on machine load, not on the workload.
+        MetricsRegistry::Global()
+            ->GetVolatileCounter("watchdog.overlong_reports")
+            ->Increment();
         due.emplace_back(entry.label, elapsed);
       }
     }

@@ -25,9 +25,19 @@ struct EvalResult {
   double test_seconds = 0.0;
   /// Items processed per second across test + train (Table 5 analogue).
   double throughput = 0.0;
+  /// Total items seen across all windows (numerator of `throughput`).
+  int64_t items_processed = 0;
   /// Peak model memory over the run (Table 6 analogue).
   int64_t peak_memory_bytes = 0;
 };
+
+/// Pooled throughput over several runs: total items / total seconds,
+/// never a mean of per-run ratios (a sub-timer-resolution run whose
+/// ratio is guarded to 0 would deflate that mean). Runs without an item
+/// count (e.g. reloaded from a result log) contribute
+/// `throughput * seconds` items. Always finite; 0 when no time was
+/// accumulated.
+double AggregateThroughput(const std::vector<EvalResult>& runs);
 
 /// Runs the test-then-train protocol (§6.1): train on window 0, then for
 /// each later window test first, then train. A non-finite test loss is

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -86,7 +87,18 @@ Status PrefixStatus(const std::string& name, const Status& status) {
 /// hook fires before returning (still on the worker thread).
 TaskTry ExecuteTask(const SweepConfig& config, const TaskIdentity& id,
                     const LearnerConfig& task_config,
-                    const PreparedStream& stream, TaskWatchdog* watchdog) {
+                    const PreparedStream& stream, TaskWatchdog* watchdog,
+                    double queued_seconds) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  const double start_seconds = metrics->NowSeconds();
+  // `queued_seconds` was stamped on the submitting thread, so the gap
+  // to now is the time this task sat in the pool queue.
+  metrics->GetHistogram("sweep.queue_wait_seconds")
+      ->Record(std::max(0.0, start_seconds - queued_seconds));
+  Gauge* inflight = metrics->GetGauge("sweep.tasks_inflight");
+  inflight->Add(1.0);
+  metrics->GetGauge("sweep.tasks_inflight_peak")->SetMax(inflight->value());
+
   TaskTry out;
   out.failure.task = id;
   const int attempts = std::max(1, config.task_attempts);
@@ -124,7 +136,12 @@ TaskTry ExecuteTask(const SweepConfig& config, const TaskIdentity& id,
       out.result = std::move(result);
       break;
     } catch (const TransientTaskError& e) {
-      if (attempt < attempts) continue;
+      if (attempt < attempts) {
+        // Volatile: real transient faults (unlike seeded chaos) need
+        // not strike identically from run to run.
+        metrics->GetVolatileCounter("sweep.transient_retries")->Increment();
+        continue;
+      }
       out.failure.kind = TaskFailureKind::kTransient;
       out.failure.message =
           StrFormat("%s (persisted across %d attempt(s))", e.what(), attempts);
@@ -137,15 +154,28 @@ TaskTry ExecuteTask(const SweepConfig& config, const TaskIdentity& id,
     }
     break;
   }
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
   if (out.ok) {
     if (config.on_task_done) config.on_task_done(id, out.result);
   } else {
-    out.failure.elapsed_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    out.failure.elapsed_seconds = elapsed;
     if (config.on_task_failed) config.on_task_failed(out.failure);
   }
+  inflight->Add(-1.0);
+  metrics->GetCounter("sweep.tasks_executed")->Increment();
+  if (!out.ok) {
+    metrics->GetCounter("sweep.tasks_failed")->Increment();
+    metrics
+        ->GetCounter(std::string("sweep.failures.") +
+                     TaskFailureKindName(out.failure.kind))
+        ->Increment();
+  }
+  metrics->GetHistogram("sweep.task_seconds")->Record(elapsed);
+  metrics->RecordSpan(StrFormat("task:%s|%s|%d", id.dataset.c_str(),
+                                id.learner.c_str(), id.repeat),
+                      start_seconds, elapsed);
   return out;
 }
 
@@ -184,13 +214,12 @@ void AggregateCell(SweepCell* cell) {
   std::vector<double> losses;
   for (const EvalResult& run : cell->runs) {
     losses.push_back(run.mean_loss);
-    cell->repeated.throughput += run.throughput;
     cell->repeated.peak_memory_bytes =
         std::max(cell->repeated.peak_memory_bytes, run.peak_memory_bytes);
   }
   cell->repeated.loss_mean = Mean(losses);
   cell->repeated.loss_stddev = StdDev(losses);
-  cell->repeated.throughput /= static_cast<double>(cell->runs.size());
+  cell->repeated.throughput = AggregateThroughput(cell->runs);
 }
 
 }  // namespace
@@ -244,6 +273,8 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
   SweepOutcome outcome;
   std::unique_ptr<TaskWatchdog> watchdog = MakeWatchdog(config);
   ThreadPool pool(PoolWorkers(config.threads));
+  MetricsRegistry::Global()->GetGauge("pool.workers")->SetMax(
+      static_cast<double>(PoolWorkers(config.threads)));
   StopLatch stop(config);
 
   // One future per executed (stream, learner, repeat), canonical order.
@@ -262,6 +293,8 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
           learners[l], config.base_config, stream.task, stream.num_classes);
       if (!probe.ok()) {
         ++outcome.pairs_skipped;
+        MetricsRegistry::Global()->GetCounter("sweep.pairs_skipped")
+            ->Increment();
         continue;
       }
       pair.applicable = true;
@@ -272,11 +305,12 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
         task_config.seed = TaskSeed(config.base_config.seed, stream.name,
                                     learners[l], rep);
         TaskWatchdog* dog = watchdog.get();
+        const double queued = MetricsRegistry::Global()->NowSeconds();
         pair.runs.push_back(pool.Submit([&stream, &learners, &config, l,
-                                         rep, task_config, dog] {
+                                         rep, task_config, dog, queued] {
           return ExecuteTask(config,
                              TaskIdentity{stream.name, learners[l], rep},
-                             task_config, stream, dog);
+                             task_config, stream, dog, queued);
         }));
         ++outcome.tasks_run;
       }
@@ -287,6 +321,8 @@ SweepOutcome ParallelSweep(const std::vector<PreparedStream>& streams,
   // serial and parallel sweeps report the same statistics; failed
   // tasks quarantine their cell and land in outcome.failures.
   outcome.streams_prepared = static_cast<int64_t>(streams.size());
+  MetricsRegistry::Global()->GetCounter("sweep.streams_prepared")
+      ->Add(outcome.streams_prepared);
   outcome.rows.resize(streams.size());
   for (size_t d = 0; d < streams.size(); ++d) {
     SweepRow& row = outcome.rows[d];
@@ -359,6 +395,8 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
   SweepOutcome outcome;
   std::unique_ptr<TaskWatchdog> watchdog = MakeWatchdog(config);
   ThreadPool pool(PoolWorkers(config.threads));
+  MetricsRegistry::Global()->GetGauge("pool.workers")->SetMax(
+      static_cast<double>(PoolWorkers(config.threads)));
 
   // Per-entry plan, fixed before anything touches the pool. N/A pairs
   // are probed from the spec's task/num_classes — the pipeline copies
@@ -389,6 +427,8 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
                       plan.spec.num_classes);
       if (!probe.ok()) {
         ++outcome.pairs_skipped;
+        MetricsRegistry::Global()->GetCounter("sweep.pairs_skipped")
+            ->Increment();
         continue;
       }
       plan.applicable[l] = 1;
@@ -476,6 +516,8 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
     }
     std::shared_ptr<PreparedStream> stream = std::move(*stream_or);
     ++outcome.streams_prepared;
+    MetricsRegistry::Global()->GetCounter("sweep.streams_prepared")
+        ->Increment();
     for (size_t l = 0; l < learners.size(); ++l) {
       if (!plan.applicable[l]) continue;
       for (int rep = 0; rep < config.repeats; ++rep) {
@@ -485,12 +527,14 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
         task_config.seed = TaskSeed(config.base_config.seed,
                                     plan.spec.name, learners[l], rep);
         TaskWatchdog* dog = watchdog.get();
-        plan.futures[l].push_back(pool.Submit([stream, &learners, &config,
-                                               l, rep, task_config, dog] {
-          return ExecuteTask(config,
-                             TaskIdentity{stream->name, learners[l], rep},
-                             task_config, *stream, dog);
-        }));
+        const double queued = MetricsRegistry::Global()->NowSeconds();
+        plan.futures[l].push_back(
+            pool.Submit([stream, &learners, &config, l, rep, task_config,
+                         dog, queued] {
+              return ExecuteTask(
+                  config, TaskIdentity{stream->name, learners[l], rep},
+                  task_config, *stream, dog, queued);
+            }));
         ++outcome.tasks_run;
       }
     }

@@ -1,8 +1,10 @@
 #include "preprocess/pipeline.h"
 
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "outlier/ecod.h"
 #include "outlier/isolation_forest.h"
@@ -26,10 +28,21 @@ Status SplitFeaturesTarget(const Table& table, Table* features,
   return Status::OK();
 }
 
+/// Seconds elapsed since `begin` on the steady clock.
+double SecondsSince(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
 }  // namespace
 
 Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
                                      const PipelineOptions& options) {
+  // Imputation and outlier-detection time accumulate across the whole
+  // stream and land in the registry as one sample per prepared stream.
+  double impute_seconds = 0.0;
+  double detect_seconds = 0.0;
   Table table = stream.table;
   if (options.shuffle) {
     Rng rng(options.shuffle_seed);
@@ -91,8 +104,10 @@ Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
   OE_ASSIGN_OR_RETURN(std::unique_ptr<Imputer> imputer,
                       MakeImputer(options.imputer, options.knn_k));
   if (options.impute_scope == ImputeScope::kOracle) {
+    const auto t0 = std::chrono::steady_clock::now();
     OE_RETURN_NOT_OK(imputer->Fit(x));
     OE_RETURN_NOT_OK(imputer->Transform(&x));
+    impute_seconds += SecondsSince(t0);
   }
 
   // First-window statistics drive normalisation (§6.1).
@@ -108,8 +123,10 @@ Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
                           target.begin() + range.end);
 
     if (options.impute_scope == ImputeScope::kPerWindow) {
+      const auto t0 = std::chrono::steady_clock::now();
       OE_RETURN_NOT_OK(imputer->Fit(window.features));
       OE_RETURN_NOT_OK(imputer->Transform(&window.features));
+      impute_seconds += SecondsSince(t0);
     }
     if (options.normalize) {
       if (w == 0) {
@@ -133,6 +150,7 @@ Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
     // Per-window outlier removal (Figure 16) happens after imputation and
     // normalisation so the detector sees what the model would see.
     if (!options.outlier_removal.empty() && window.features.rows() >= 8) {
+      const auto t0 = std::chrono::steady_clock::now();
       std::vector<double> scores;
       if (options.outlier_removal == "ecod") {
         Ecod detector;
@@ -164,10 +182,19 @@ Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
         window.features = std::move(pruned);
         window.targets = std::move(pruned_targets);
       }
+      detect_seconds += SecondsSince(t0);
     }
     out.windows.push_back(std::move(window));
   }
   out.ranges = std::move(ranges);
+
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  metrics->GetCounter("prepare.streams")->Increment();
+  metrics->GetCounter("prepare.rows")->Add(x.rows());
+  metrics->GetCounter("prepare.windows")
+      ->Add(static_cast<int64_t>(out.windows.size()));
+  metrics->GetHistogram("prepare.impute_seconds")->Record(impute_seconds);
+  metrics->GetHistogram("prepare.detect_seconds")->Record(detect_seconds);
   return out;
 }
 

@@ -170,13 +170,14 @@ Result<MergeReport> MergeShardLogsReport(
       std::vector<double> losses;
       for (const EvalResult& run : cell.runs) {
         losses.push_back(run.mean_loss);
-        cell.repeated.throughput += run.throughput;
         cell.repeated.peak_memory_bytes = std::max(
             cell.repeated.peak_memory_bytes, run.peak_memory_bytes);
       }
       cell.repeated.loss_mean = Mean(losses);
       cell.repeated.loss_stddev = StdDev(losses);
-      cell.repeated.throughput /= static_cast<double>(cell.runs.size());
+      // Same pooled items/seconds formula as AggregateCell in
+      // core/parallel_eval (logged rows recover items from the ratio).
+      cell.repeated.throughput = AggregateThroughput(cell.runs);
     }
     if (dataset_ran) ++outcome.streams_prepared;
   }

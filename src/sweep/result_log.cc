@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace oebench {
@@ -406,10 +407,18 @@ ResultLogWriter::~ResultLogWriter() {
 }
 
 Status ResultLogWriter::AppendLine(const std::string& line) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = line;
   out += '\n';
-  OE_RETURN_NOT_OK(file_->Append(out));
+  {
+    ScopedTimer timer(metrics->GetHistogram("result_log.append_seconds"));
+    OE_RETURN_NOT_OK(file_->Append(out));
+  }
+  metrics->GetCounter("result_log.appends")->Increment();
+  metrics->GetCounter("result_log.bytes_appended")
+      ->Add(static_cast<int64_t>(out.size()));
+  ScopedTimer sync_timer(metrics->GetHistogram("result_log.sync_seconds"));
   return file_->Sync();
 }
 

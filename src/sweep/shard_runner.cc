@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace oebench {
@@ -59,11 +60,19 @@ class DurableSink {
         break;
       }
       retries_.fetch_add(1, std::memory_order_relaxed);
+      // Volatile: how often the environment made us retry is not part
+      // of the deterministic workload contract.
+      MetricsRegistry::Global()
+          ->GetVolatileCounter("result_log.append_retries")
+          ->Increment();
       if (backoff_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
         backoff_ms *= 2;
       }
     }
+    MetricsRegistry::Global()
+        ->GetVolatileCounter("result_log.append_failures")
+        ->Increment();
     std::lock_guard<std::mutex> lock(mu_);
     if (!failed_.exchange(true)) first_error_ = std::move(status);
   }

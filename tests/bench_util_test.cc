@@ -53,6 +53,59 @@ TEST(ParseFlagsTest, DefaultsAndBothValueForms) {
   EXPECT_TRUE(flags.resume);
 }
 
+TEST(ParseFlagsTest, EpochsZeroIsTheUseDefaultSentinel) {
+  // Regression: --epochs used int_value(1), so the documented "0 keeps
+  // the bench's default" value was rejected at the front door.
+  bench::BenchFlags flags = Parse({"--epochs=0"});
+  EXPECT_EQ(flags.epochs, 0);
+  EXPECT_EXIT(Parse({"--epochs=-1"}), ::testing::ExitedWithCode(2),
+              "--epochs needs an integer >= 0");
+}
+
+TEST(ParseFlagsTest, MetricsFlagsParse) {
+  bench::BenchFlags flags =
+      Parse({"--metrics-out=m.json", "--deterministic-metrics"});
+  EXPECT_EQ(flags.metrics_out, "m.json");
+  EXPECT_TRUE(flags.deterministic_metrics);
+  EXPECT_TRUE(flags.metrics_in.empty());
+
+  flags = Parse({"--merge", "a.log", "b.log", "--metrics-out", "roll.json",
+                 "--metrics-in=a.json", "--metrics-in", "b.json"});
+  EXPECT_EQ(flags.metrics_out, "roll.json");
+  EXPECT_EQ(flags.metrics_in,
+            (std::vector<std::string>{"a.json", "b.json"}));
+}
+
+TEST(ParseFlagsDeathTest, RejectsContradictoryModeCombos) {
+  // Each combo silently did something surprising before: merge ran no
+  // shard yet accepted shard-execution flags, and --fault-schedule
+  // without --log injected faults into an environment nothing used.
+  EXPECT_EXIT(Parse({"--merge", "a.log", "--shard=0/2"}),
+              ::testing::ExitedWithCode(2),
+              "--merge cannot be combined with --shard");
+  EXPECT_EXIT(Parse({"--merge", "a.log", "--log", "b.log"}),
+              ::testing::ExitedWithCode(2),
+              "--merge cannot be combined with --log");
+  EXPECT_EXIT(Parse({"--merge", "a.log", "--resume"}),
+              ::testing::ExitedWithCode(2),
+              "--merge cannot be combined with --resume");
+  EXPECT_EXIT(Parse({"--dry-run", "--merge", "a.log"}),
+              ::testing::ExitedWithCode(2),
+              "--dry-run cannot be combined with --merge");
+  EXPECT_EXIT(Parse({"--fault-schedule=fail-sync=1"}),
+              ::testing::ExitedWithCode(2),
+              "--fault-schedule requires --log");
+  EXPECT_EXIT(Parse({"--deterministic-metrics"}),
+              ::testing::ExitedWithCode(2),
+              "--deterministic-metrics only applies to --metrics-out");
+  EXPECT_EXIT(Parse({"--metrics-in=a.json", "--metrics-out=b.json"}),
+              ::testing::ExitedWithCode(2),
+              "--metrics-in only applies to --merge");
+  EXPECT_EXIT(Parse({"--merge", "a.log", "--metrics-in=a.json"}),
+              ::testing::ExitedWithCode(2),
+              "--metrics-in needs --metrics-out");
+}
+
 TEST(ParseFlagsTest, MergeConsumesLogPaths) {
   bench::BenchFlags flags = Parse({"--merge", "a.log", "b.log"});
   EXPECT_TRUE(flags.merge);
@@ -108,12 +161,23 @@ TEST(SparkTest, HandlesNonFiniteValues) {
   const double nan = std::numeric_limits<double>::quiet_NaN();
   const double inf = std::numeric_limits<double>::infinity();
   EXPECT_EQ(bench::Spark({}), "");
-  EXPECT_EQ(bench::Spark({1.0}), "▁");
   EXPECT_EQ(bench::Spark({nan, nan, inf}), "!!!");
   // The scale comes from the finite values only; a leading NaN must
   // not poison min/max (the old code folded it into both).
   EXPECT_EQ(bench::Spark({nan, 0.0, 1.0}), "!▁█");
   EXPECT_EQ(bench::Spark({0.0, 1.0, inf, 0.5}), "▁█!▄");
+}
+
+TEST(SparkTest, ConstantSeriesRendersMidScale) {
+  // Regression: a constant nonzero series has hi == lo, and the old
+  // code rendered it as all-▁ — indistinguishable from all-zero data.
+  // A flat nonzero series now renders mid-scale; all-zero stays ▁.
+  EXPECT_EQ(bench::Spark({1.0}), "▄");
+  EXPECT_EQ(bench::Spark({2.0, 2.0, 2.0}), "▄▄▄");
+  EXPECT_EQ(bench::Spark({-0.5, -0.5}), "▄▄");
+  EXPECT_EQ(bench::Spark({0.0, 0.0}), "▁▁");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(bench::Spark({nan, 3.0, 3.0}), "!▄▄");
 }
 
 TEST(FormatLossTest, NotApplicableAndMeanStd) {

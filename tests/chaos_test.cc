@@ -10,7 +10,8 @@
 //  - prepare failures quarantine the whole dataset row with per-task
 //    kPrepare records and a clean Status, not an abort;
 //  - the wall-clock watchdog reports overlong tasks without killing
-//    them;
+//    them, and its RAII Scope survives moves, early release,
+//    unregister-after-report, and concurrent watch/release/shutdown;
 //  - merge quarantine: failure records count as covered-but-
 //    quarantined, a run row supersedes a failure record, strict merges
 //    fail, FormatOutcomeTable prints a distinct FAILED marker;
@@ -207,6 +208,101 @@ TEST(TaskWatchdogTest, ReportsOverlongTaskOnceAndSparesFastOnes) {
   EXPECT_EQ(dog.reports(), 1);
   std::lock_guard<std::mutex> lock(mu);
   EXPECT_EQ(reported_label, "slow-task");
+}
+
+TEST(TaskWatchdogLifecycleTest, MovedScopeKeepsTheTaskWatched) {
+  std::atomic<int> reports{0};
+  TaskWatchdog dog(20, [&](const std::string& label, double) {
+    EXPECT_EQ(label, "moved-task");
+    ++reports;
+  });
+  TaskWatchdog::Scope outer;
+  {
+    TaskWatchdog::Scope inner = dog.Watch("moved-task");
+    outer = std::move(inner);
+    // The moved-from Scope dies here; the registration must survive
+    // in `outer` — exactly one unregistration, no double-release.
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(reports.load(), 1);  // still watched after the move
+  TaskWatchdog::Scope moved_again = std::move(outer);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(reports.load(), 1);  // once per task, moves included
+}
+
+TEST(TaskWatchdogLifecycleTest, MoveAssignReleasesTheOverwrittenTask) {
+  std::atomic<int> reports{0};
+  std::mutex mu;
+  std::vector<std::string> labels;
+  TaskWatchdog dog(30, [&](const std::string& label, double) {
+    std::lock_guard<std::mutex> lock(mu);
+    labels.push_back(label);
+    ++reports;
+  });
+  TaskWatchdog::Scope scope = dog.Watch("overwritten");
+  // Assigning a new watch over an active Scope must unregister the old
+  // task immediately — "overwritten" never reaches the limit.
+  scope = dog.Watch("survivor");
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(reports.load(), 1);
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], "survivor");
+}
+
+TEST(TaskWatchdogLifecycleTest, EarlyDestructionBeatsTheScanner) {
+  // A Scope released before the limit is never reported, even though
+  // the scanner thread may be mid-scan while we release.
+  std::atomic<int> reports{0};
+  TaskWatchdog dog(40, [&](const std::string&, double) { ++reports; });
+  for (int i = 0; i < 50; ++i) {
+    TaskWatchdog::Scope scope = dog.Watch("ephemeral");
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(reports.load(), 0);
+}
+
+TEST(TaskWatchdogLifecycleTest, UnregisterAfterReportIsSafe) {
+  // The scanner marks a task reported while it is still registered;
+  // releasing the Scope afterwards must neither crash nor re-report.
+  std::atomic<int> reports{0};
+  TaskWatchdog dog(15, [&](const std::string&, double) { ++reports; });
+  {
+    TaskWatchdog::Scope scope = dog.Watch("slow");
+    while (reports.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }  // unregister after the report already fired
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(reports.load(), 1);
+  EXPECT_EQ(dog.reports(), 1);
+}
+
+TEST(TaskWatchdogLifecycleTest, ConcurrentWatchReleaseShutdownRace) {
+  // Hammer Watch()/release from many threads while the scanner runs,
+  // then destroy the watchdog right after the workers drain — the
+  // pattern a pool shutdown produces. Run under check-sanitize TSan,
+  // this is where a registration/scan data race would surface.
+  std::atomic<int> reports{0};
+  for (int round = 0; round < 4; ++round) {
+    TaskWatchdog dog(1, [&](const std::string&, double) { ++reports; });
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 8; ++t) {
+      workers.emplace_back([&dog, t] {
+        for (int i = 0; i < 100; ++i) {
+          TaskWatchdog::Scope scope =
+              dog.Watch("w" + std::to_string(t));
+          if (i % 16 == 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+          TaskWatchdog::Scope moved = std::move(scope);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    // Watchdog destructor joins the scanner with zero inflight scopes.
+  }
+  SUCCEED();  // the assertion is "no crash, no TSan report"
 }
 
 // ---------------------------------------------------------------------

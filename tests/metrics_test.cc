@@ -1,0 +1,459 @@
+// The metrics/tracing layer and its determinism contract. The registry
+// is the single source of truth for every measurement the sweep/bench
+// stack reports, so these tests pin down (a) the primitive semantics
+// (find-or-create pointers that survive Reset, lock-striped histograms,
+// capped spans), (b) the JSON snapshot format both ways plus the
+// merge-time rollup, and (c) the contract that *counters* are
+// bit-identical across thread counts and runs while wall-clock lives
+// only in volatile sections. Also home of the AggregateThroughput
+// regression: pooled items/seconds, never a mean of per-run ratios.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/parallel_eval.h"
+#include "streamgen/corpus.h"
+#include "sweep/merge.h"
+
+namespace oebench {
+namespace {
+
+TEST(MetricsRegistryTest, CountersFindOrCreateAndAccumulate) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.items");
+  EXPECT_EQ(c, registry.GetCounter("test.items"));
+  c->Add(5);
+  c->Increment();
+  EXPECT_EQ(c->value(), 6);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("test.items"), 6);
+  EXPECT_TRUE(snapshot.volatile_counters.empty());
+}
+
+TEST(MetricsRegistryTest, VolatileCountersAreASeparateNamespace) {
+  MetricsRegistry registry;
+  registry.GetCounter("retries")->Add(1);
+  registry.GetVolatileCounter("retries")->Add(7);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("retries"), 1);
+  EXPECT_EQ(snapshot.volatile_counters.at("retries"), 7);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAddAndSetMax) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("pool.workers");
+  g->Set(4.0);
+  EXPECT_EQ(g->value(), 4.0);
+  g->Add(2.0);
+  g->Add(-1.0);
+  EXPECT_EQ(g->value(), 5.0);
+  g->SetMax(3.0);  // never lowers
+  EXPECT_EQ(g->value(), 5.0);
+  g->SetMax(9.0);
+  EXPECT_EQ(g->value(), 9.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {1.0, 10.0, 100.0});
+  h->Record(0.5);     // bucket 0
+  h->Record(1.0);     // bucket 0 (inclusive upper bound)
+  h->Record(5.0);     // bucket 1
+  h->Record(1000.0);  // overflow bucket
+  HistogramSnapshot s = h->Snapshot();
+  ASSERT_EQ(s.bounds, (std::vector<double>{1.0, 10.0, 100.0}));
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets, (std::vector<int64_t>{2, 1, 0, 1}));
+  EXPECT_EQ(s.count, 4);
+  EXPECT_EQ(s.sum, 1006.5);
+  EXPECT_EQ(s.min, 0.5);
+  EXPECT_EQ(s.max, 1000.0);
+}
+
+TEST(MetricsRegistryTest, HistogramDefaultsToSharedLatencyBounds) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  EXPECT_EQ(h->Snapshot().bounds, DefaultLatencyBounds());
+  // Later Get calls ignore bounds and return the existing histogram.
+  EXPECT_EQ(h, registry.GetHistogram("lat", {1.0}));
+}
+
+TEST(MetricsRegistryTest, HistogramSurvivesConcurrentRecording) {
+  // Lock-striped recording must not drop samples under contention —
+  // this is the case the check-sanitize TSan pass watches.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([h] {
+      for (int i = 0; i < kPerThread; ++i) h->Record(0.25);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.buckets[0], kThreads * kPerThread);
+  EXPECT_EQ(s.min, 0.25);
+  EXPECT_EQ(s.max, 0.25);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h", {1.0});
+  c->Add(3);
+  g->Set(2.5);
+  h->Record(0.5);
+  registry.RecordSpan("task:x", 0.0, 1.0);
+  registry.Reset();
+  // Hot paths cache these pointers in function-local statics; Reset
+  // must zero values without deallocating the metric objects.
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->Snapshot().count, 0);
+  EXPECT_TRUE(registry.Snapshot().spans.empty());
+  EXPECT_EQ(registry.Snapshot().spans_dropped, 0);
+  c->Add(1);
+  h->Record(0.25);
+  EXPECT_EQ(registry.GetCounter("c"), c);
+  EXPECT_EQ(registry.Snapshot().counters.at("c"), 1);
+  EXPECT_EQ(registry.Snapshot().histograms.at("h").count, 1);
+}
+
+TEST(MetricsRegistryTest, SpansAreCappedAndOverflowIsCounted) {
+  MetricsRegistry registry;
+  constexpr int kOver = 5;
+  for (int i = 0; i < 4096 + kOver; ++i) {
+    registry.RecordSpan("task:x", static_cast<double>(i), 1.0);
+  }
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.spans.size(), 4096u);
+  EXPECT_EQ(snapshot.spans_dropped, kOver);
+}
+
+TEST(ScopedTimerTest, RecordsOnceAndReturnsElapsed) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("phase", {1e9});
+  double elapsed = 0.0;
+  {
+    ScopedTimer timer(h, "span:phase", &registry);
+    elapsed = timer.Stop();
+    EXPECT_GE(elapsed, 0.0);
+    EXPECT_EQ(timer.Stop(), 0.0);  // disarmed after first Stop
+  }  // destructor must not double-record
+  HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.sum, elapsed);
+  ASSERT_EQ(registry.Snapshot().spans.size(), 1u);
+  EXPECT_EQ(registry.Snapshot().spans[0].name, "span:phase");
+
+  ScopedTimer inert(nullptr);
+  EXPECT_EQ(inert.Stop(), 0.0);
+}
+
+MetricsSnapshot SampleSnapshot() {
+  MetricsSnapshot s;
+  s.counters["eval.items"] = 1200;
+  s.counters["sweep.tasks_executed"] = 8;
+  s.volatile_counters["sweep.transient_retries"] = 2;
+  s.gauges["pool.workers"] = 4.0;
+  HistogramSnapshot h;
+  h.bounds = {1.0, 10.0};
+  h.buckets = {3, 1, 0};
+  h.count = 4;
+  h.sum = 6.5;
+  h.min = 0.25;
+  h.max = 5.0;
+  s.histograms["sweep.task_seconds"] = h;
+  s.spans.push_back({"task:AIR|Naive-DT|0", 0.125, 2.5});
+  s.spans_dropped = 1;
+  return s;
+}
+
+void ExpectSnapshotsEqual(const MetricsSnapshot& a,
+                          const MetricsSnapshot& b) {
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.volatile_counters, b.volatile_counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (const auto& [name, ha] : a.histograms) {
+    ASSERT_TRUE(b.histograms.count(name)) << name;
+    const HistogramSnapshot& hb = b.histograms.at(name);
+    EXPECT_EQ(ha.bounds, hb.bounds);
+    EXPECT_EQ(ha.buckets, hb.buckets);
+    EXPECT_EQ(ha.count, hb.count);
+    EXPECT_EQ(ha.sum, hb.sum);
+    EXPECT_EQ(ha.min, hb.min);
+    EXPECT_EQ(ha.max, hb.max);
+  }
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (size_t i = 0; i < a.spans.size(); ++i) {
+    EXPECT_EQ(a.spans[i].name, b.spans[i].name);
+    EXPECT_EQ(a.spans[i].start_seconds, b.spans[i].start_seconds);
+    EXPECT_EQ(a.spans[i].duration_seconds, b.spans[i].duration_seconds);
+  }
+  EXPECT_EQ(a.spans_dropped, b.spans_dropped);
+}
+
+TEST(MetricsJsonTest, FullSnapshotRoundTripsExactly) {
+  MetricsSnapshot original = SampleSnapshot();
+  std::string json = MetricsToJson(original);
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseMetricsJson(json, &parsed).ok());
+  ExpectSnapshotsEqual(original, parsed);
+  // %.17g rendering must round-trip doubles bit-exactly, including
+  // awkward ones.
+  MetricsSnapshot awkward;
+  awkward.gauges["g"] = 0.1 + 0.2;  // 0.30000000000000004
+  MetricsSnapshot reparsed;
+  ASSERT_TRUE(ParseMetricsJson(MetricsToJson(awkward), &reparsed).ok());
+  EXPECT_EQ(reparsed.gauges.at("g"), awkward.gauges.at("g"));
+}
+
+TEST(MetricsJsonTest, DeterministicModeEmitsOnlyCounters) {
+  MetricsSnapshot snapshot = SampleSnapshot();
+  MetricsJsonOptions options;
+  options.deterministic = true;
+  std::string json = MetricsToJson(snapshot, options);
+  // Volatile sections carry wall-clock and environment noise, so the
+  // deterministic snapshot must not mention them at all.
+  EXPECT_EQ(json.find("gauges"), std::string::npos);
+  EXPECT_EQ(json.find("histograms"), std::string::npos);
+  EXPECT_EQ(json.find("volatile"), std::string::npos);
+  EXPECT_EQ(json.find("spans"), std::string::npos);
+  EXPECT_NE(json.find("\"deterministic\": true"), std::string::npos);
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseMetricsJson(json, &parsed).ok());
+  EXPECT_EQ(parsed.counters, snapshot.counters);
+  EXPECT_TRUE(parsed.gauges.empty());
+  EXPECT_TRUE(parsed.histograms.empty());
+}
+
+TEST(MetricsJsonTest, RejectsMalformedInput) {
+  MetricsSnapshot out;
+  EXPECT_FALSE(ParseMetricsJson("", &out).ok());
+  EXPECT_FALSE(ParseMetricsJson("{}", &out).ok());  // missing version
+  EXPECT_FALSE(
+      ParseMetricsJson("{\"version\": 2, \"counters\": {}}", &out).ok());
+  // Unknown keys are an error: the format is ours, so an unexpected
+  // key means a version skew, not an extension.
+  EXPECT_FALSE(
+      ParseMetricsJson("{\"version\": 1, \"surprise\": {}}", &out).ok());
+  std::string valid = MetricsToJson(SampleSnapshot());
+  EXPECT_TRUE(ParseMetricsJson(valid, &out).ok());
+  EXPECT_FALSE(ParseMetricsJson(valid + "x", &out).ok());  // trailing data
+  EXPECT_FALSE(
+      ParseMetricsJson(valid.substr(0, valid.size() - 2), &out).ok());
+}
+
+TEST(MetricsMergeTest, SumsCountersMaxesGaugesAddsBuckets) {
+  MetricsSnapshot a = SampleSnapshot();
+  MetricsSnapshot b = SampleSnapshot();
+  b.counters["eval.items"] = 300;
+  b.counters["prepare.rows"] = 50;  // only in b
+  b.gauges["pool.workers"] = 2.0;
+  b.histograms["sweep.task_seconds"].buckets = {0, 0, 2};
+  b.histograms["sweep.task_seconds"].count = 2;
+  b.histograms["sweep.task_seconds"].sum = 40.0;
+  b.histograms["sweep.task_seconds"].min = 15.0;
+  b.histograms["sweep.task_seconds"].max = 25.0;
+
+  MetricsSnapshot acc;
+  ASSERT_TRUE(MergeMetricsSnapshots(a, &acc).ok());
+  ASSERT_TRUE(MergeMetricsSnapshots(b, &acc).ok());
+  EXPECT_EQ(acc.counters.at("eval.items"), 1500);
+  EXPECT_EQ(acc.counters.at("prepare.rows"), 50);
+  EXPECT_EQ(acc.counters.at("sweep.tasks_executed"), 16);
+  EXPECT_EQ(acc.volatile_counters.at("sweep.transient_retries"), 4);
+  EXPECT_EQ(acc.gauges.at("pool.workers"), 4.0);  // max wins
+  const HistogramSnapshot& h = acc.histograms.at("sweep.task_seconds");
+  EXPECT_EQ(h.buckets, (std::vector<int64_t>{3, 1, 2}));
+  EXPECT_EQ(h.count, 6);
+  EXPECT_EQ(h.sum, 46.5);
+  EXPECT_EQ(h.min, 0.25);
+  EXPECT_EQ(h.max, 25.0);
+  // Per-shard spans do not survive the rollup; their count is folded
+  // into spans_dropped so the loss is visible.
+  EXPECT_TRUE(acc.spans.empty());
+  EXPECT_EQ(acc.spans_dropped, 2 + 2);
+}
+
+TEST(MetricsMergeTest, HistogramBoundsMismatchFails) {
+  MetricsSnapshot a = SampleSnapshot();
+  MetricsSnapshot b = SampleSnapshot();
+  b.histograms["sweep.task_seconds"].bounds = {2.0, 20.0};
+  MetricsSnapshot acc;
+  ASSERT_TRUE(MergeMetricsSnapshots(a, &acc).ok());
+  Status status = MergeMetricsSnapshots(b, &acc);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("sweep.task_seconds"),
+            std::string::npos);
+}
+
+EvalResult TimedRun(int64_t items, double train_seconds,
+                    double test_seconds) {
+  EvalResult run;
+  run.items_processed = items;
+  run.train_seconds = train_seconds;
+  run.test_seconds = test_seconds;
+  double seconds = train_seconds + test_seconds;
+  run.throughput = seconds > 0 ? items / seconds : 0.0;
+  return run;
+}
+
+TEST(AggregateThroughputTest, PoolsItemsAndSecondsAcrossRuns) {
+  // Regression for RunRepeated's old aggregation, which averaged the
+  // per-repeat ratios: a sub-timer-resolution repeat (0 measured
+  // seconds, ratio guarded to 0) deflated the mean to 500 here. The
+  // pooled formula keeps its items and reports 2000/1.0.
+  std::vector<EvalResult> runs = {TimedRun(1000, 1.0, 0.0),
+                                  TimedRun(1000, 0.0, 0.0)};
+  EXPECT_EQ(AggregateThroughput(runs), 2000.0);
+  // And a plain two-run pool is total items over total seconds, not
+  // the mean of 1000 and 250.
+  runs = {TimedRun(1000, 1.0, 0.0), TimedRun(1000, 2.0, 2.0)};
+  EXPECT_EQ(AggregateThroughput(runs), 2000.0 / 5.0);
+}
+
+TEST(AggregateThroughputTest, RecoversItemsFromLoggedRatio) {
+  // Rows reloaded from a result log carry throughput but not the item
+  // count; the aggregator recovers items = throughput * seconds.
+  EvalResult logged;
+  logged.items_processed = 0;
+  logged.train_seconds = 1.5;
+  logged.test_seconds = 0.5;
+  logged.throughput = 500.0;  // 1000 items over 2.0 seconds
+  std::vector<EvalResult> runs = {logged, TimedRun(600, 1.0, 0.0)};
+  EXPECT_DOUBLE_EQ(AggregateThroughput(runs), 1600.0 / 3.0);
+}
+
+TEST(AggregateThroughputTest, AlwaysFiniteNeverNegative) {
+  EXPECT_EQ(AggregateThroughput({}), 0.0);
+  EXPECT_EQ(AggregateThroughput({TimedRun(1000, 0.0, 0.0)}), 0.0);
+  EvalResult poisoned = TimedRun(100, 1.0, 0.0);
+  poisoned.train_seconds = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(AggregateThroughput({poisoned}), 0.0);
+  EXPECT_EQ(AggregateThroughput({TimedRun(0, 1.0, 0.0)}), 0.0);
+}
+
+/// Small mixed-task corpus slice + fast config, mirroring
+/// parallel_eval_test's determinism fixtures.
+std::vector<CorpusEntry> SmallEntries() {
+  std::vector<CorpusEntry> out;
+  int cls = 0;
+  int reg = 0;
+  for (const CorpusEntry& entry : Corpus()) {
+    if (entry.task == TaskType::kClassification && cls < 1) {
+      out.push_back(entry);
+      ++cls;
+    } else if (entry.task == TaskType::kRegression && reg < 1) {
+      out.push_back(entry);
+      ++reg;
+    }
+  }
+  return out;
+}
+
+SweepConfig FastConfig(int threads) {
+  SweepConfig config;
+  config.base_config.seed = 42;
+  config.base_config.epochs = 2;
+  config.base_config.tree_max_depth = 6;
+  config.base_config.ensemble_size = 3;
+  config.repeats = 2;
+  config.threads = threads;
+  config.scale = 0.0;
+  config.pipeline.imputer = "mean";
+  return config;
+}
+
+TEST(SweepMetricsTest, CountersAreIdenticalAcrossThreadCounts) {
+  // The determinism contract: counters hold work counts, which a
+  // fixed workload fully determines — so 1 worker and 4 workers must
+  // produce the exact same counter map (volatile sections may differ).
+  const std::vector<CorpusEntry> entries = SmallEntries();
+  const std::vector<std::string> learners = {"Naive-DT", "Naive-Bayes"};
+  MetricsRegistry* registry = MetricsRegistry::Global();
+
+  registry->Reset();
+  SweepOutcome serial = ParallelSweepEntries(entries, learners,
+                                             FastConfig(1));
+  MetricsSnapshot snap1 = registry->Snapshot();
+
+  registry->Reset();
+  SweepOutcome parallel = ParallelSweepEntries(entries, learners,
+                                               FastConfig(4));
+  MetricsSnapshot snap4 = registry->Snapshot();
+
+  EXPECT_EQ(snap1.counters, snap4.counters);
+  EXPECT_EQ(snap1.counters.at("sweep.tasks_executed"), serial.tasks_run);
+  EXPECT_EQ(snap1.counters.at("sweep.pairs_skipped"),
+            serial.pairs_skipped);
+  EXPECT_EQ(snap1.counters.at("eval.runs"), serial.tasks_run);
+  EXPECT_GT(snap1.counters.at("eval.items"), 0);
+  EXPECT_EQ(snap1.counters.at("prepare.streams"),
+            static_cast<int64_t>(entries.size()));
+  // And recording metrics never perturbs the sweep itself.
+  EXPECT_EQ(sweep::DumpOutcome(serial), sweep::DumpOutcome(parallel));
+}
+
+TEST(SweepMetricsTest, DeterministicSnapshotsAreByteIdenticalAcrossRuns) {
+  const std::vector<CorpusEntry> entries = SmallEntries();
+  const std::vector<std::string> learners = {"Naive-DT"};
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  MetricsJsonOptions options;
+  options.deterministic = true;
+
+  registry->Reset();
+  ParallelSweepEntries(entries, learners, FastConfig(4));
+  std::string first = MetricsToJson(registry->Snapshot(), options);
+
+  registry->Reset();
+  ParallelSweepEntries(entries, learners, FastConfig(4));
+  std::string second = MetricsToJson(registry->Snapshot(), options);
+
+  EXPECT_EQ(first, second);
+  // The snapshot is non-vacuous: it parses and carries real counts.
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseMetricsJson(first, &parsed).ok());
+  EXPECT_GT(parsed.counters.at("eval.items"), 0);
+}
+
+TEST(SweepMetricsTest, SweepRecordsSpansAndPhaseHistograms) {
+  const std::vector<CorpusEntry> entries = SmallEntries();
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  registry->Reset();
+  SweepOutcome outcome =
+      ParallelSweepEntries(entries, {"Naive-DT"}, FastConfig(2));
+  MetricsSnapshot snapshot = registry->Snapshot();
+  // One "task:dataset|learner|repeat" span per executed task.
+  EXPECT_EQ(snapshot.spans.size(),
+            static_cast<size_t>(outcome.tasks_run));
+  for (const SpanSnapshot& span : snapshot.spans) {
+    EXPECT_EQ(span.name.rfind("task:", 0), 0u) << span.name;
+    EXPECT_GE(span.duration_seconds, 0.0);
+  }
+  EXPECT_EQ(snapshot.histograms.at("sweep.task_seconds").count,
+            outcome.tasks_run);
+  EXPECT_EQ(snapshot.histograms.at("sweep.queue_wait_seconds").count,
+            outcome.tasks_run);
+  EXPECT_EQ(snapshot.histograms.at("eval.train_seconds").count,
+            outcome.tasks_run);
+  EXPECT_GE(snapshot.gauges.at("pool.workers"), 2.0);
+  EXPECT_GE(snapshot.gauges.at("sweep.tasks_inflight_peak"), 1.0);
+  EXPECT_EQ(snapshot.gauges.at("sweep.tasks_inflight"), 0.0);
+}
+
+}  // namespace
+}  // namespace oebench

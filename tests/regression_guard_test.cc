@@ -61,9 +61,10 @@ TEST(BenchUtilTest, SparkRendersExtremaAndNonFinite) {
       bench::Spark({0.0, 1.0, std::numeric_limits<double>::infinity()});
   EXPECT_NE(spark.find("!"), std::string::npos);
   EXPECT_EQ(bench::Spark({}), "");
-  // Constant series renders the lowest glyph throughout.
-  std::string flat = bench::Spark({2.0, 2.0, 2.0});
-  EXPECT_EQ(flat, "▁▁▁");
+  // A constant nonzero series renders mid-scale throughout (all-▁ would
+  // be indistinguishable from all-zero data); all-zero stays lowest.
+  EXPECT_EQ(bench::Spark({2.0, 2.0, 2.0}), "▄▄▄");
+  EXPECT_EQ(bench::Spark({0.0, 0.0, 0.0}), "▁▁▁");
 }
 
 TEST(BenchUtilTest, FormatLossHandlesNa) {

@@ -785,8 +785,10 @@ bench::BenchFlags Parse(std::vector<std::string> args) {
 }
 
 TEST(FaultFlagsTest, FaultScheduleFlagParses) {
-  bench::BenchFlags flags =
-      Parse({"--fault-schedule=crash-at-byte=64,fail-sync=1"});
+  // --log is required: faults are injected into the result log's I/O
+  // environment, so a schedule without a log is a usage error.
+  bench::BenchFlags flags = Parse(
+      {"--fault-schedule=crash-at-byte=64,fail-sync=1", "--log=x.log"});
   EXPECT_EQ(flags.fault_schedule, "crash-at-byte=64,fail-sync=1");
   EXPECT_TRUE(Parse({}).fault_schedule.empty());
 }
