@@ -14,27 +14,37 @@ void Run(const bench::BenchFlags& flags) {
   bench::PrintHeader("Figure 10", "Loss vs number of local epochs");
   const std::vector<std::string> learners = {"Naive-NN", "EWC", "LwF",
                                              "iCaRL", "SEA-NN"};
-  const int epoch_grid[] = {1, 5, 10, 20};
+  const std::vector<int> epoch_grid = {1, 5, 10, 20};
   for (const RepresentativeInfo& info : RepresentativeDatasets()) {
-    PreparedStream stream =
-        bench::MakePrepared(info.short_name, flags.scale);
+    std::shared_ptr<const PreparedStream> stream = bench::MakePreparedShared(
+        info.short_name, flags.scale, {}, 0, flags.reuse);
+    // Whole grid per learner up front: with --reuse=warmstart each
+    // learner's window-0 training runs once at max(grid) epochs and
+    // every grid cell forks from its snapshot — same numbers, fewer
+    // training steps (reuse.warmstart_window0_epochs counts them).
+    // Without it this is exactly the old RunRepeated-per-cell loop.
+    std::vector<std::vector<RepeatedResult>> by_learner;
+    for (const std::string& name : learners) {
+      LearnerConfig config;
+      config.seed = flags.seed;
+      by_learner.push_back(sweep::RunEpochGridRepeated(
+          name, config, epoch_grid, *stream, flags.repeats,
+          flags.reuse.warmstart));
+    }
     std::printf("\n%-12s %7s", info.short_name.c_str(), "epochs");
     for (const std::string& name : learners) {
       std::printf(" %9s", name.c_str());
     }
     std::printf("\n");
     std::vector<double> naive_by_epoch;
-    for (int epochs : epoch_grid) {
-      LearnerConfig config;
-      config.seed = flags.seed;
-      config.epochs = epochs;
-      std::printf("%-12s %7d", "", epochs);
-      for (const std::string& name : learners) {
-        RepeatedResult result =
-            RunRepeated(name, config, stream, flags.repeats);
-        if (name == "Naive-NN") naive_by_epoch.push_back(result.loss_mean);
+    for (size_t e = 0; e < epoch_grid.size(); ++e) {
+      std::printf("%-12s %7d", "", epoch_grid[e]);
+      for (size_t l = 0; l < learners.size(); ++l) {
+        const RepeatedResult& result = by_learner[l][e];
+        if (learners[l] == "Naive-NN") {
+          naive_by_epoch.push_back(result.loss_mean);
+        }
         std::printf(" %9.4f", result.loss_mean);
-        std::fflush(stdout);
       }
       std::printf("\n");
     }

@@ -30,20 +30,25 @@ void Run(const bench::BenchFlags& flags) {
     for (double factor : factor_grid) {
       PipelineOptions options;
       options.window_factor = factor;
-      PreparedStream stream =
-          bench::MakePrepared(info.short_name, flags.scale, options);
+      // With --reuse=prepare the five window factors share one
+      // *generated* stream (the cache keys generation separately from
+      // preprocessing), so the raw stream is synthesized once per
+      // dataset instead of once per factor.
+      std::shared_ptr<const PreparedStream> stream =
+          bench::MakePreparedShared(info.short_name, flags.scale, options,
+                                    0, flags.reuse);
       LearnerConfig config;
       config.seed = flags.seed;
       std::printf("%-12s %7.2f", "", factor);
       for (const std::string& name : nn_learners) {
         std::printf(" %10.4f",
-                    RunRepeated(name, config, stream, flags.repeats)
+                    RunRepeated(name, config, *stream, flags.repeats)
                         .loss_mean);
         std::fflush(stdout);
       }
       for (const std::string& name : tree_learners) {
         std::printf(" %10.4f",
-                    RunRepeated(name, config, stream, flags.repeats)
+                    RunRepeated(name, config, *stream, flags.repeats)
                         .loss_mean);
         std::fflush(stdout);
       }

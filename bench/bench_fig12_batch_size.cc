@@ -17,8 +17,10 @@ void Run(const bench::BenchFlags& flags) {
   const int batch_grid[] = {16, 32, 64, 128};
   int datasets_where_smaller_wins = 0;
   for (const RepresentativeInfo& info : RepresentativeDatasets()) {
-    PreparedStream stream =
-        bench::MakePrepared(info.short_name, flags.scale);
+    // Same spec + pipeline as fig10/fig11's factor=1 row: under
+    // --reuse=prepare a combined bench session prepares it only once.
+    std::shared_ptr<const PreparedStream> stream = bench::MakePreparedShared(
+        info.short_name, flags.scale, {}, 0, flags.reuse);
     std::printf("\n%-12s %6s", info.short_name.c_str(), "batch");
     for (const std::string& name : learners) {
       std::printf(" %10s", name.c_str());
@@ -33,7 +35,7 @@ void Run(const bench::BenchFlags& flags) {
       std::printf("%-12s %6d", "", batch);
       for (const std::string& name : learners) {
         RepeatedResult result =
-            RunRepeated(name, config, stream, flags.repeats);
+            RunRepeated(name, config, *stream, flags.repeats);
         if (name == "Naive-NN") {
           if (batch == batch_grid[0]) naive_first = result.loss_mean;
           naive_last = result.loss_mean;

@@ -52,6 +52,7 @@ SweepConfig MakeConfig(const bench::BenchFlags& flags) {
   config.repeats = flags.repeats;
   config.threads = flags.threads;
   config.scale = flags.scale;
+  config.reuse = flags.reuse;
   return config;
 }
 

@@ -15,10 +15,12 @@
 #include "common/thread_pool.h"
 #include "core/chaos.h"
 #include "core/evaluator.h"
+#include "core/parallel_eval.h"
 #include "preprocess/pipeline.h"
 #include "streamgen/representative.h"
 #include "streamgen/stream_generator.h"
 #include "sweep/manifest.h"
+#include "sweep/reuse.h"
 
 namespace oebench {
 namespace bench {
@@ -85,6 +87,10 @@ struct BenchFlags {
   /// Merge mode: per-shard metrics files to aggregate into the
   /// --metrics-out rollup. Repeatable.
   std::vector<std::string> metrics_in;
+  /// Cross-cell computation reuse (--reuse=prepare,warmstart and
+  /// --reuse-cache-mb). Off by default: results are bit-identical
+  /// either way, reuse only elides repeated work.
+  ReuseOptions reuse;
 };
 
 [[noreturn]] inline void FlagsUsageAndExit(const char* argv0,
@@ -134,6 +140,13 @@ struct BenchFlags {
       "  --deterministic-metrics\n"
       "                 emit only the deterministic metric sections\n"
       "                 (snapshots from identical runs diff empty)\n"
+      "  --reuse=SPEC   computation reuse: off (default) or a comma list\n"
+      "                 of prepare (shared prepared-stream cache) and\n"
+      "                 warmstart (epoch-grid snapshot forking); results\n"
+      "                 are bit-identical either way\n"
+      "  --reuse-cache-mb=N\n"
+      "                 prepared-stream cache byte budget in MiB\n"
+      "                 (default 256)\n"
       "Flags take --flag=value or --flag value.\n",
       argv0);
   std::exit(2);
@@ -264,6 +277,12 @@ inline BenchFlags ParseFlags(int argc, char** argv,
     } else if (name == "deterministic-metrics") {
       no_value();
       flags.deterministic_metrics = true;
+    } else if (name == "reuse") {
+      std::string text = need_value();
+      Status parsed = sweep::ParseReuseSpec(text, &flags.reuse);
+      if (!parsed.ok()) fail(parsed.message());
+    } else if (name == "reuse-cache-mb") {
+      flags.reuse.cache_bytes = static_cast<int64_t>(int_value(1)) << 20;
     } else if (name == "resume") {
       no_value();
       flags.resume = true;
@@ -345,6 +364,28 @@ inline PreparedStream MakePrepared(const std::string& short_name,
   PreparedStream out = std::move(*prepared);
   out.name = short_name;
   return out;
+}
+
+/// Shared-ownership variant of MakePrepared that routes through the
+/// process-global PreparedStreamCache when `reuse.prepare` is on — the
+/// ablation benches (fig10/11/12) call it so their per-grid re-prepares
+/// of the same dataset hit the cache. The returned stream is identical
+/// either way; only the work is elided.
+inline std::shared_ptr<const PreparedStream> MakePreparedShared(
+    const std::string& short_name, double scale,
+    const PipelineOptions& options = {}, uint64_t seed_salt = 0,
+    const ReuseOptions& reuse = {}) {
+  if (reuse.prepare) {
+    sweep::PreparedStreamCache* cache = sweep::PreparedStreamCache::Global();
+    cache->set_byte_budget(reuse.cache_bytes);
+    Result<std::shared_ptr<const PreparedStream>> cached =
+        cache->GetOrPrepare(RepresentativeSpec(short_name, scale, seed_salt),
+                            options, short_name);
+    OE_CHECK(cached.ok()) << cached.status().ToString();
+    return *cached;
+  }
+  return std::make_shared<const PreparedStream>(
+      MakePrepared(short_name, scale, options, seed_salt));
 }
 
 /// Formats a loss value the way the paper's tables do, with N/A support.

@@ -64,6 +64,7 @@ SweepConfig MakeConfig(const bench::BenchFlags& flags) {
   config.repeats = flags.repeats;
   config.threads = flags.threads;
   config.scale = flags.scale;
+  config.reuse = flags.reuse;
   return config;
 }
 
@@ -242,7 +243,8 @@ int RunShard(const bench::BenchFlags& flags) {
   std::fprintf(stderr,
                "[shard %d/%d] %lld task(s): %lld executed, %lld failed, "
                "%lld resumed, %lld failure(s) resumed, %lld n/a, "
-               "%lld append retry(ies); %lld stream(s) prepared -> %s\n",
+               "%lld append retry(ies); %lld stream(s) prepared "
+               "(%lld cache hit(s)) -> %s\n",
                flags.shard.index, flags.shard.count,
                static_cast<long long>(stats->shard_tasks),
                static_cast<long long>(stats->tasks_executed),
@@ -252,6 +254,7 @@ int RunShard(const bench::BenchFlags& flags) {
                static_cast<long long>(stats->na_logged),
                static_cast<long long>(stats->append_retries),
                static_cast<long long>(stats->streams_prepared),
+               static_cast<long long>(stats->prepare_cache_hits),
                options.log_path.c_str());
 
   // Worker invocations (explicit --log or a real shard) stop here; the
@@ -288,6 +291,13 @@ int SpawnAndMerge(const bench::BenchFlags& flags, const char* argv0) {
   if (flags.max_task_failures >= 0) {
     base += StrFormat(" --max-task-failures=%lld",
                       static_cast<long long>(flags.max_task_failures));
+  }
+  if (flags.reuse.any()) {
+    base += " --reuse=" + sweep::FormatReuseSpec(flags.reuse);
+  }
+  if (flags.reuse.cache_bytes != ReuseOptions{}.cache_bytes) {
+    base += StrFormat(" --reuse-cache-mb=%lld",
+                      static_cast<long long>(flags.reuse.cache_bytes >> 20));
   }
 
   std::vector<std::string> logs(n);
@@ -356,8 +366,19 @@ int SelfCheck(const bench::BenchFlags& flags) {
   std::fprintf(stderr, "[selfcheck] baseline: unsharded sweep of %zu tasks\n",
                manifest.tasks().size());
   MetricsRegistry::Global()->Reset();
-  SweepOutcome baseline = ParallelSweepEntries(entries, learners, config);
+  // The baseline always runs reuse-off; the sharded runs below take the
+  // invocation's --reuse, so `--selfcheck --reuse=...` doubles as an
+  // end-to-end parity check of the reuse machinery against the plain
+  // path (DumpOutcome below is a byte-exact oracle).
+  SweepConfig baseline_config = config;
+  baseline_config.reuse = ReuseOptions{};
+  SweepOutcome baseline =
+      ParallelSweepEntries(entries, learners, baseline_config);
   const std::string expected_dump = sweep::DumpOutcome(baseline);
+  if (flags.reuse.any()) {
+    std::fprintf(stderr, "[selfcheck] shard runs use --reuse=%s\n",
+                 sweep::FormatReuseSpec(flags.reuse).c_str());
+  }
 
   bool ok = true;
   if (!flags.metrics_out.empty()) {

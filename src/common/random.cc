@@ -1,8 +1,35 @@
 #include "common/random.h"
 
+#include <istream>
+#include <ostream>
+
 #include "common/logging.h"
 
 namespace oebench {
+
+void Rng::SaveState(std::ostream* out) const {
+  // The standard guarantees operator<</>> round-trip engine and
+  // distribution state exactly (the values stream as integers / exact
+  // decimal text). The distributions matter: normal_distribution
+  // caches a spare deviate between Gaussian() calls, and dropping it
+  // would shift every subsequent draw by one.
+  *out << "rng v1\n";
+  *out << engine_ << '\n';
+  *out << unit_ << '\n';
+  *out << normal_ << '\n';
+}
+
+bool Rng::LoadState(std::istream* in) {
+  std::string magic;
+  std::string version;
+  if (!(*in >> magic >> version) || magic != "rng" || version != "v1") {
+    return false;
+  }
+  if (!(*in >> engine_)) return false;
+  if (!(*in >> unit_)) return false;
+  if (!(*in >> normal_)) return false;
+  return true;
+}
 
 int64_t Rng::Categorical(const std::vector<double>& weights) {
   OE_CHECK(!weights.empty());

@@ -2,6 +2,7 @@
 #define OEBENCH_COMMON_RANDOM_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <random>
 #include <vector>
 
@@ -67,6 +68,17 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serialises the full generator state — the engine *and* the cached
+  /// distributions (normal_distribution keeps a spare Gaussian between
+  /// calls) — as text, so a restored Rng continues the exact sequence
+  /// the saved one would have produced. Used by the warm-start
+  /// snapshots in sweep/reuse.
+  void SaveState(std::ostream* out) const;
+
+  /// Restores state written by SaveState. Returns false (leaving the
+  /// Rng in an unspecified but valid state) on malformed input.
+  bool LoadState(std::istream* in);
 
  private:
   std::mt19937_64 engine_;

@@ -154,18 +154,26 @@ double TaskLoss(TaskType task, const std::vector<double>& predictions,
   return total / static_cast<double>(predictions.size());
 }
 
-EvalResult RunPrequential(StreamLearner* learner,
-                          const PreparedStream& stream) {
+namespace {
+
+/// Shared test-then-train loop: windows before `start_window` are
+/// assumed already trained into the learner (cold runs pass 0) and only
+/// contribute to the item count.
+EvalResult RunPrequentialFrom(StreamLearner* learner,
+                              const PreparedStream& stream,
+                              size_t start_window,
+                              int64_t prefix_peak_memory) {
   using Clock = std::chrono::steady_clock;
   EvalResult result;
   result.learner = learner->name();
   result.dataset = stream.name;
+  result.peak_memory_bytes = prefix_peak_memory;
 
-  learner->Begin(stream);
   int64_t total_items = 0;
   for (size_t w = 0; w < stream.windows.size(); ++w) {
     const WindowData& window = stream.windows[w];
     total_items += window.features.rows();
+    if (w < start_window) continue;
     if (w > 0) {
       Clock::time_point t0 = Clock::now();
       double loss = learner->TestLoss(window);
@@ -221,6 +229,23 @@ EvalResult RunPrequential(StreamLearner* learner,
   metrics->GetHistogram("eval.peak_memory_bytes", MemoryBytesBounds())
       ->Record(static_cast<double>(result.peak_memory_bytes));
   return result;
+}
+
+}  // namespace
+
+EvalResult RunPrequential(StreamLearner* learner,
+                          const PreparedStream& stream) {
+  learner->Begin(stream);
+  return RunPrequentialFrom(learner, stream, /*start_window=*/0,
+                            /*prefix_peak_memory=*/0);
+}
+
+EvalResult ResumePrequential(StreamLearner* learner,
+                             const PreparedStream& stream,
+                             size_t windows_trained,
+                             int64_t prefix_peak_memory) {
+  return RunPrequentialFrom(learner, stream, windows_trained,
+                            prefix_peak_memory);
 }
 
 double AggregateThroughput(const std::vector<EvalResult>& runs) {

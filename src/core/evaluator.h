@@ -47,6 +47,22 @@ double AggregateThroughput(const std::vector<EvalResult>& runs);
 EvalResult RunPrequential(StreamLearner* learner,
                           const PreparedStream& stream);
 
+/// Warm-start variant: continues the protocol on a learner whose state
+/// already covers windows [0, windows_trained) — the caller has run
+/// Begin() and restored a snapshot (StreamLearner::LoadState) taken at
+/// that point of the same stream. Testing resumes at
+/// max(windows_trained, 1), so with windows_trained == 1 (fork right
+/// after the warm-up window) the returned per_window_loss, mean_loss and
+/// faded_loss are bit-identical to a cold RunPrequential of the same
+/// learner state. `items_processed` still counts every window — parity
+/// with the cold run — while train/test_seconds cover only the resumed
+/// windows. `prefix_peak_memory` seeds peak_memory_bytes with the peak
+/// observed while the snapshot's prefix was trained.
+EvalResult ResumePrequential(StreamLearner* learner,
+                             const PreparedStream& stream,
+                             size_t windows_trained,
+                             int64_t prefix_peak_memory);
+
 /// Convenience: repeats RunPrequential with seeds {base, base+1, ...} on
 /// freshly constructed learners, returning mean and stddev of mean_loss —
 /// the "three random seeds" protocol of the paper's tables.

@@ -1,6 +1,7 @@
 #ifndef OEBENCH_CORE_LEARNER_H_
 #define OEBENCH_CORE_LEARNER_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +56,31 @@ class StreamLearner {
 
   /// Live memory estimate of the model state (Table 6 analogue).
   virtual int64_t MemoryBytes() const = 0;
+
+  /// Warm-start snapshot protocol (sweep/reuse, DESIGN.md "Computation
+  /// reuse"). A learner that reports SupportsSnapshot() must serialise
+  /// its *complete* mid-stream state — model parameters and any RNG —
+  /// such that a freshly constructed learner with the same config,
+  /// after Begin() on the same stream and LoadState(), continues
+  /// bit-identically to the saved one. Learners carrying auxiliary
+  /// state the text serialisers cannot capture (Fisher information,
+  /// frozen previous models, exemplar buffers, ensembles) keep the
+  /// default false and warm starts fall back to full replay for them.
+  virtual bool SupportsSnapshot() const { return false; }
+
+  /// True only when TrainWindow(config.epochs = k) is observationally
+  /// identical to k successive TrainWindow calls at epochs = 1 on the
+  /// same window — the property that lets an epoch-grid ablation fork
+  /// every grid value from one shared trained prefix. Implies
+  /// SupportsSnapshot().
+  virtual bool SupportsEpochFork() const { return false; }
+
+  virtual Status SaveState(std::ostream* /*out*/) const {
+    return Status::NotImplemented(name() + " does not support snapshots");
+  }
+  virtual Status LoadState(std::istream* /*in*/) {
+    return Status::NotImplemented(name() + " does not support snapshots");
+  }
 };
 
 /// Names accepted by MakeLearner, in the paper's Table 4 column order.

@@ -1,6 +1,11 @@
 #include "core/naive_nn.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "models/serialization.h"
 
 namespace oebench {
 
@@ -37,6 +42,45 @@ double NnLearnerBase::WindowLoss(const Mlp& model,
 
 double NnLearnerBase::TestLoss(const WindowData& window) {
   return WindowLoss(*model_, window);
+}
+
+Status NnLearnerBase::SaveNnState(std::ostream* out) const {
+  if (!model_.has_value()) {
+    return Status::FailedPrecondition("SaveState before Begin");
+  }
+  *out << "nn-state v1\n";
+  // The MLP lazily initialises on the first training window; a snapshot
+  // taken before that carries only the RNG.
+  if (model_->initialized()) {
+    *out << "init\n";
+    SerializeMlp(*model_, out);
+  } else {
+    *out << "uninit\n";
+  }
+  rng_.SaveState(out);
+  if (!*out) return Status::IoError("nn-state write failed");
+  return Status::OK();
+}
+
+Status NnLearnerBase::LoadNnState(std::istream* in) {
+  if (!model_.has_value()) {
+    return Status::FailedPrecondition("LoadState before Begin");
+  }
+  std::string magic;
+  std::string version;
+  std::string init_tag;
+  if (!(*in >> magic >> version >> init_tag) || magic != "nn-state" ||
+      version != "v1") {
+    return Status::IoError("bad nn-state header");
+  }
+  if (init_tag == "init") {
+    OE_ASSIGN_OR_RETURN(Mlp restored, DeserializeMlp(in));
+    model_ = std::move(restored);
+  } else if (init_tag != "uninit") {
+    return Status::IoError("bad nn-state init tag");
+  }
+  if (!rng_.LoadState(in)) return Status::IoError("bad nn-state rng");
+  return Status::OK();
 }
 
 int64_t NnLearnerBase::MemoryBytes() const {

@@ -1,6 +1,7 @@
 #ifndef OEBENCH_CORE_NAIVE_NN_H_
 #define OEBENCH_CORE_NAIVE_NN_H_
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -34,6 +35,13 @@ class NnLearnerBase : public StreamLearner {
   const Mlp& model() const { return *model_; }
   bool has_model() const { return model_.has_value(); }
 
+  /// Snapshot helpers for subclasses whose complete state is the MLP
+  /// plus the training RNG ("nn-state v1" payload). Subclasses with
+  /// extra state (Fisher matrices, exemplar buffers, frozen teachers)
+  /// must not expose these through SupportsSnapshot.
+  Status SaveNnState(std::ostream* out) const;
+  Status LoadNnState(std::istream* in);
+
   LearnerConfig config_;
   TaskType task_ = TaskType::kRegression;
   int num_classes_ = 2;
@@ -52,6 +60,16 @@ class NaiveNnLearner : public NnLearnerBase {
 
   void TrainWindow(const WindowData& window) override;
   std::string name() const override { return "Naive-NN"; }
+
+  /// Naive-NN's full state is the MLP + rng_, and TrainWindow is a plain
+  /// epoch loop over TrainEpoch with the persistent rng_ — so epochs=k
+  /// is exactly k successive epochs=1 calls, enabling epoch-grid forking.
+  bool SupportsSnapshot() const override { return true; }
+  bool SupportsEpochFork() const override { return true; }
+  Status SaveState(std::ostream* out) const override {
+    return SaveNnState(out);
+  }
+  Status LoadState(std::istream* in) override { return LoadNnState(in); }
 };
 
 }  // namespace oebench

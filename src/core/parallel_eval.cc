@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstddef>
 #include <future>
+#include <map>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
@@ -15,6 +18,7 @@
 #include "common/watchdog.h"
 #include "core/chaos.h"
 #include "linalg/vector_ops.h"
+#include "sweep/reuse.h"
 
 namespace oebench {
 
@@ -411,7 +415,14 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
     /// Set when generation/preprocessing failed: the whole row is
     /// quarantined — one TaskFailure{kPrepare} per selected task.
     Status prepare_error;
-    std::future<Result<std::shared_ptr<PreparedStream>>> prepared;
+    /// Exact content key of the entry's stream (sweep::SpecCacheKey).
+    /// Entries with equal keys produce identical streams, so only the
+    /// first occurrence prepares; later ones take the retained result.
+    std::string stream_key;
+    /// Index of the earlier plan with the same stream_key, or -1 for
+    /// the first (preparing) occurrence.
+    std::ptrdiff_t dup_of = -1;
+    std::future<Result<std::shared_ptr<const PreparedStream>>> prepared;
     std::vector<std::vector<std::future<TaskTry>>> futures;  // [l][run]
   };
   std::vector<Plan> plans(entries.size());
@@ -441,6 +452,31 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
     }
   }
 
+  // Content-keyed dedup across the manifest: a dataset referenced by
+  // several entries (interleaved manifests, direct callers) is
+  // prepared once, and the prepared result is retained until the last
+  // referencing entry has submitted its tasks — it is NOT freed when
+  // the first entry's tasks drain. `last_ref` marks that point.
+  std::map<std::string, size_t> first_seen;
+  std::map<std::string, size_t> last_ref;
+  for (size_t d = 0; d < plans.size(); ++d) {
+    Plan& plan = plans[d];
+    if (!plan.needs_stream) continue;
+    plan.stream_key = sweep::SpecCacheKey(plan.spec);
+    auto seen = first_seen.find(plan.stream_key);
+    if (seen == first_seen.end()) {
+      first_seen.emplace(plan.stream_key, d);
+    } else {
+      plan.dup_of = static_cast<std::ptrdiff_t>(seen->second);
+    }
+    last_ref[plan.stream_key] = d;
+  }
+
+  if (config.reuse.prepare) {
+    sweep::PreparedStreamCache::Global()->set_byte_budget(
+        config.reuse.cache_bytes);
+  }
+
   // Pipelined prepare + evaluate. Preparation runs a small lookahead
   // window ahead of the submission cursor instead of materialising the
   // whole corpus first; each eval task co-owns its stream through a
@@ -456,12 +492,25 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
     while (next_prepare < plans.size() && outstanding < lookahead &&
            !stop.Stopped()) {
       Plan& plan = plans[next_prepare];
-      if (plan.needs_stream) {
+      // Duplicate entries neither prepare nor occupy a lookahead slot;
+      // they consume the retained first-occurrence result below.
+      if (plan.needs_stream && plan.dup_of < 0) {
         const StreamSpec& spec = plan.spec;
         const PipelineOptions& options = config.pipeline;
+        const bool use_cache = config.reuse.prepare;
         plan.prepared = pool.Submit(
-            [&spec, &options]() -> Result<std::shared_ptr<PreparedStream>> {
+            [&spec, &options,
+             use_cache]() -> Result<std::shared_ptr<const PreparedStream>> {
               try {
+                if (use_cache) {
+                  Result<std::shared_ptr<const PreparedStream>> cached =
+                      sweep::PreparedStreamCache::Global()->GetOrPrepare(
+                          spec, options);
+                  if (!cached.ok()) {
+                    return PrefixStatus(spec.name, cached.status());
+                  }
+                  return cached;
+                }
                 Result<GeneratedStream> stream = GenerateStream(spec);
                 if (!stream.ok()) {
                   return PrefixStatus(spec.name, stream.status());
@@ -471,7 +520,8 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
                 if (!prepared.ok()) {
                   return PrefixStatus(spec.name, prepared.status());
                 }
-                return std::make_shared<PreparedStream>(std::move(*prepared));
+                return std::shared_ptr<const PreparedStream>(
+                    std::make_shared<PreparedStream>(std::move(*prepared)));
               } catch (const std::exception& e) {
                 return Status::Internal(spec.name + ": " +
                                         std::string(e.what()));
@@ -484,15 +534,38 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
     }
   };
   pump_prepares();
+  // First-occurrence results outlive their own entry when a later
+  // entry re-references the stream; erased at the last reference.
+  // Errors are retained too, so duplicate rows quarantine identically.
+  std::map<std::string, Result<std::shared_ptr<const PreparedStream>>>
+      retained;
   for (size_t d = 0; d < plans.size(); ++d) {
     Plan& plan = plans[d];
     if (!plan.needs_stream) continue;
-    // A stop can land between this plan's selection and its prepare;
-    // nothing was submitted for it (or anything after it) then.
-    if (!plan.prepare_submitted) continue;
-    Result<std::shared_ptr<PreparedStream>> stream_or = plan.prepared.get();
-    --outstanding;
-    pump_prepares();
+    std::optional<Result<std::shared_ptr<const PreparedStream>>> resolved;
+    if (plan.dup_of >= 0) {
+      auto it = retained.find(plan.stream_key);
+      // Absent only when a stop kept the first occurrence from being
+      // submitted/resolved; nothing was submitted for this entry then.
+      if (it == retained.end()) continue;
+      resolved = it->second;
+      // The elided re-prepare counts as a cache hit whether or not the
+      // cross-sweep cache is on: the reuse came from retention.
+      MetricsRegistry::Global()->GetCounter("reuse.prepare_hits")
+          ->Increment();
+    } else {
+      // A stop can land between this plan's selection and its prepare;
+      // nothing was submitted for it (or anything after it) then.
+      if (!plan.prepare_submitted) continue;
+      resolved = plan.prepared.get();
+      --outstanding;
+      pump_prepares();
+      if (last_ref[plan.stream_key] > d) {
+        retained.emplace(plan.stream_key, *resolved);
+      }
+    }
+    if (last_ref[plan.stream_key] == d) retained.erase(plan.stream_key);
+    Result<std::shared_ptr<const PreparedStream>>& stream_or = *resolved;
     if (!stream_or.ok()) {
       // The dataset itself is the failure domain here: quarantine the
       // whole row. Every selected task records a TaskFailure{kPrepare}
@@ -514,10 +587,14 @@ SweepOutcome ParallelSweepEntries(const std::vector<CorpusEntry>& entries,
       }
       continue;
     }
-    std::shared_ptr<PreparedStream> stream = std::move(*stream_or);
-    ++outcome.streams_prepared;
-    MetricsRegistry::Global()->GetCounter("sweep.streams_prepared")
-        ->Increment();
+    std::shared_ptr<const PreparedStream> stream = std::move(*stream_or);
+    if (plan.dup_of < 0) {
+      // Distinct streams only: a duplicate entry re-uses buffers, it
+      // does not prepare anything.
+      ++outcome.streams_prepared;
+      MetricsRegistry::Global()->GetCounter("sweep.streams_prepared")
+          ->Increment();
+    }
     for (size_t l = 0; l < learners.size(); ++l) {
       if (!plan.applicable[l]) continue;
       for (int rep = 0; rep < config.repeats; ++rep) {

@@ -90,6 +90,27 @@ class TransientTaskError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Cross-cell computation reuse knobs (DESIGN.md "Computation reuse").
+/// Both features preserve bit-identical results — reuse changes *how
+/// much* work runs, never what any task computes:
+///  - `prepare`: route stream generation + preprocessing through the
+///    process-global PreparedStreamCache (sweep/reuse.h), so repeated
+///    sweeps / SelfCheck passes / ablation grids over the same
+///    (dataset, preprocessing config) share one immutable prepared
+///    stream instead of re-preparing it.
+///  - `warmstart`: epoch-grid ablations fork every grid value from one
+///    snapshot trained at epochs=1 on the warm-up window (learners
+///    reporting SupportsEpochFork only; everything else falls back to
+///    full replay and is counted in reuse.warmstart_fallbacks).
+struct ReuseOptions {
+  bool prepare = false;
+  bool warmstart = false;
+  /// Byte budget of the prepared-stream cache (LRU beyond this).
+  int64_t cache_bytes = 256ll << 20;
+
+  bool any() const { return prepare || warmstart; }
+};
+
 /// Knobs of one sweep. `base_config.seed` is the sweep's base seed.
 struct SweepConfig {
   LearnerConfig base_config;
@@ -139,6 +160,9 @@ struct SweepConfig {
   /// Override for the watchdog's stderr report (tests). Called on the
   /// watchdog thread with the task identity and its elapsed seconds.
   std::function<void(const TaskIdentity&, double)> on_overlong_task;
+  /// Computation-reuse knobs; default off reproduces the historical
+  /// prepare-per-sweep behaviour exactly.
+  ReuseOptions reuse;
 };
 
 /// One (dataset, learner) cell: the per-repeat prequential results in

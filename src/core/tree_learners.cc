@@ -1,5 +1,9 @@
 #include "core/tree_learners.h"
 
+#include <istream>
+#include <ostream>
+#include <string>
+
 namespace oebench {
 
 void NaiveTreeLearner::Begin(const PreparedStream& stream) {
@@ -41,6 +45,33 @@ int64_t NaiveTreeLearner::MemoryBytes() const {
   return tree_.has_value() ? tree_->MemoryBytes() : 0;
 }
 
+Status NaiveTreeLearner::SaveState(std::ostream* out) const {
+  *out << "tree-state v1\n";
+  const bool have = tree_.has_value() && tree_->fitted();
+  *out << (have ? 1 : 0) << '\n';
+  if (have) tree_->SerializeTo(out);
+  if (!*out) return Status::IoError("tree-state write failed");
+  return Status::OK();
+}
+
+Status NaiveTreeLearner::LoadState(std::istream* in) {
+  std::string magic;
+  std::string version;
+  int have = 0;
+  if (!(*in >> magic >> version >> have) || magic != "tree-state" ||
+      version != "v1") {
+    return Status::IoError("bad tree-state header");
+  }
+  if (have == 0) {
+    tree_.reset();
+    return Status::OK();
+  }
+  OE_ASSIGN_OR_RETURN(DecisionTree restored,
+                      DecisionTree::DeserializeFrom(in));
+  tree_ = std::move(restored);
+  return Status::OK();
+}
+
 void NaiveGbdtLearner::Begin(const PreparedStream& stream) {
   task_ = stream.task;
   num_classes_ = stream.num_classes;
@@ -79,6 +110,32 @@ void NaiveGbdtLearner::TrainWindow(const WindowData& window) {
 
 int64_t NaiveGbdtLearner::MemoryBytes() const {
   return model_.has_value() ? model_->MemoryBytes() : 0;
+}
+
+Status NaiveGbdtLearner::SaveState(std::ostream* out) const {
+  *out << "gbdt-state v1\n";
+  const bool have = model_.has_value() && model_->fitted();
+  *out << (have ? 1 : 0) << '\n';
+  if (have) model_->SerializeTo(out);
+  if (!*out) return Status::IoError("gbdt-state write failed");
+  return Status::OK();
+}
+
+Status NaiveGbdtLearner::LoadState(std::istream* in) {
+  std::string magic;
+  std::string version;
+  int have = 0;
+  if (!(*in >> magic >> version >> have) || magic != "gbdt-state" ||
+      version != "v1") {
+    return Status::IoError("bad gbdt-state header");
+  }
+  if (have == 0) {
+    model_.reset();
+    return Status::OK();
+  }
+  OE_ASSIGN_OR_RETURN(Gbdt restored, Gbdt::DeserializeFrom(in));
+  model_ = std::move(restored);
+  return Status::OK();
 }
 
 }  // namespace oebench

@@ -1,6 +1,7 @@
 #ifndef OEBENCH_CORE_TREE_LEARNERS_H_
 #define OEBENCH_CORE_TREE_LEARNERS_H_
 
+#include <iosfwd>
 #include <optional>
 
 #include "core/learner.h"
@@ -22,6 +23,13 @@ class NaiveTreeLearner : public StreamLearner {
   std::string name() const override { return "Naive-DT"; }
   int64_t MemoryBytes() const override;
 
+  /// The tree is retrained from scratch each window, so the last fitted
+  /// tree (or its absence) is the learner's complete state. No epoch
+  /// fork: trees have no epochs.
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveState(std::ostream* out) const override;
+  Status LoadState(std::istream* in) override;
+
  private:
   LearnerConfig config_;
   TaskType task_ = TaskType::kRegression;
@@ -40,6 +48,10 @@ class NaiveGbdtLearner : public StreamLearner {
   void TrainWindow(const WindowData& window) override;
   std::string name() const override { return "Naive-GBDT"; }
   int64_t MemoryBytes() const override;
+
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveState(std::ostream* out) const override;
+  Status LoadState(std::istream* in) override;
 
  private:
   LearnerConfig config_;

@@ -9,6 +9,7 @@
 #include <ostream>
 
 #include "linalg/vector_ops.h"
+#include "models/serialization.h"
 
 namespace oebench {
 
@@ -278,14 +279,20 @@ Result<DecisionTree> DecisionTree::DeserializeFrom(std::istream* in) {
   DecisionTree tree(config);
   tree.nodes_.resize(count);
   for (Node& node : tree.nodes_) {
-    if (!(*in >> node.feature >> node.threshold >> node.left >>
-          node.right >> node.value)) {
+    // Thresholds/values may be non-finite if the training data was;
+    // ReadSerializedDouble parses the nan/inf tokens operator<< wrote.
+    if (!(*in >> node.feature) ||
+        !ReadSerializedDouble(in, &node.threshold) ||
+        !(*in >> node.left >> node.right) ||
+        !ReadSerializedDouble(in, &node.value)) {
       return Status::IoError("truncated node record");
     }
     if (config.task == TaskType::kClassification && node.feature < 0) {
       node.class_counts.resize(static_cast<size_t>(config.num_classes));
       for (double& c : node.class_counts) {
-        if (!(*in >> c)) return Status::IoError("truncated class counts");
+        if (!ReadSerializedDouble(in, &c)) {
+          return Status::IoError("truncated class counts");
+        }
       }
     }
   }

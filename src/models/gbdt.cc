@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "linalg/vector_ops.h"
+#include "models/serialization.h"
 
 namespace oebench {
 
@@ -148,12 +149,17 @@ Result<Gbdt> Gbdt::DeserializeFrom(std::istream* in) {
       task == "cls" ? TaskType::kClassification : TaskType::kRegression;
   Gbdt model(config);
   size_t num_base = 0;
-  if (!(*in >> model.base_score_ >> num_base)) {
+  // Base scores can be non-finite if training exploded;
+  // ReadSerializedDouble parses the nan/inf tokens operator<< wrote.
+  if (!ReadSerializedDouble(in, &model.base_score_) ||
+      !(*in >> num_base)) {
     return Status::IoError("bad gbdt base scores");
   }
   model.base_class_scores_.resize(num_base);
   for (double& s : model.base_class_scores_) {
-    if (!(*in >> s)) return Status::IoError("truncated base scores");
+    if (!ReadSerializedDouble(in, &s)) {
+      return Status::IoError("truncated base scores");
+    }
   }
   size_t rounds = 0;
   if (!(*in >> rounds)) return Status::IoError("bad round count");

@@ -1,10 +1,25 @@
 #include "models/serialization.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
 namespace oebench {
+
+bool ReadSerializedDouble(std::istream* in, double* out) {
+  std::string token;
+  if (!(*in >> token)) return false;
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end != begin + token.size()) {
+    in->setstate(std::ios::failbit);
+    return false;
+  }
+  *out = value;
+  return true;
+}
 
 void SerializeMlp(const Mlp& mlp, std::ostream* out) {
   OE_CHECK(mlp.initialized()) << "serialising an uninitialised MLP";
@@ -68,11 +83,18 @@ Result<Mlp> DeserializeMlp(std::istream* in) {
     }
     Matrix w(rows, cols);
     for (double& v : w.data()) {
-      if (!(*in >> v)) return Status::IoError("truncated weights");
+      // Weights can legitimately be non-finite (the paper's NN
+      // blow-ups); ReadSerializedDouble accepts the nan/inf tokens
+      // operator<< emitted for them.
+      if (!ReadSerializedDouble(in, &v)) {
+        return Status::IoError("truncated weights");
+      }
     }
     std::vector<double> b(mlp.biases()[l].size());
     for (double& v : b) {
-      if (!(*in >> v)) return Status::IoError("truncated biases");
+      if (!ReadSerializedDouble(in, &v)) {
+        return Status::IoError("truncated biases");
+      }
     }
     weights.push_back(std::move(w));
     biases.push_back(std::move(b));

@@ -17,6 +17,17 @@ namespace oebench {
 /// SerializeTo/DeserializeFrom directly; the MLP helpers live here
 /// because reconstruction goes through MlpConfig.
 
+/// Reads one whitespace-delimited double token. The serialisers print
+/// doubles with operator<<, which renders non-finite values as
+/// "nan"/"-nan"/"inf"/"-inf" — tokens istream's num_get refuses to
+/// parse back. This helper accepts exactly what operator<< can emit
+/// (strtod handles the non-finite spellings, sign included), so
+/// serialised models with exploded weights still round-trip; the
+/// re-serialised bytes are identical to the first serialisation.
+/// Returns false (and sets the stream's failbit) on EOF or a token
+/// that is not entirely a double.
+bool ReadSerializedDouble(std::istream* in, double* out);
+
 /// Writes an initialised MLP (architecture + parameters).
 void SerializeMlp(const Mlp& mlp, std::ostream* out);
 

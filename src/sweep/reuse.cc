@@ -1,0 +1,559 @@
+#include "sweep/reuse.h"
+
+#include <algorithm>
+#include <sstream>
+#include <type_traits>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "linalg/vector_ops.h"
+#include "streamgen/stream_generator.h"
+#include "sweep/result_log.h"
+
+namespace oebench {
+namespace sweep {
+
+namespace {
+
+void AppendField(std::string* out, const char* tag, const std::string& v) {
+  out->append(tag);
+  out->push_back('=');
+  // Length-prefix free-form strings so adjacent fields cannot blend.
+  out->append(std::to_string(v.size()));
+  out->push_back(':');
+  out->append(v);
+  out->push_back('|');
+}
+
+void AppendField(std::string* out, const char* tag, int64_t v) {
+  out->append(tag);
+  out->push_back('=');
+  out->append(std::to_string(v));
+  out->push_back('|');
+}
+
+void AppendField(std::string* out, const char* tag, uint64_t v) {
+  out->append(tag);
+  out->push_back('=');
+  out->append(std::to_string(v));
+  out->push_back('|');
+}
+
+void AppendField(std::string* out, const char* tag, double v) {
+  out->append(tag);
+  out->push_back('=');
+  out->append(EncodeDouble(v));
+  out->push_back('|');
+}
+
+int64_t EstimateBytes(const PreparedStream& stream) {
+  return EstimatePreparedStreamBytes(stream);
+}
+int64_t EstimateBytes(const GeneratedStream& stream) {
+  return EstimateGeneratedStreamBytes(stream);
+}
+
+}  // namespace
+
+Status ParseReuseSpec(const std::string& text, ReuseOptions* out) {
+  out->prepare = false;
+  out->warmstart = false;
+  if (text == "off" || text.empty()) return Status::OK();
+  for (const std::string& part : Split(text, ',')) {
+    if (part == "prepare") {
+      out->prepare = true;
+    } else if (part == "warmstart") {
+      out->warmstart = true;
+    } else {
+      return Status::InvalidArgument(
+          "bad --reuse component '" + part +
+          "' (want off | prepare | warmstart | prepare,warmstart)");
+    }
+  }
+  return Status::OK();
+}
+
+std::string FormatReuseSpec(const ReuseOptions& options) {
+  if (options.prepare && options.warmstart) return "prepare,warmstart";
+  if (options.prepare) return "prepare";
+  if (options.warmstart) return "warmstart";
+  return "off";
+}
+
+std::string SpecCacheKey(const StreamSpec& spec) {
+  std::string key = "spec-v1|";
+  AppendField(&key, "name", spec.name);
+  AppendField(&key, "category", spec.category);
+  AppendField(&key, "task", std::string(TaskTypeToString(spec.task)));
+  AppendField(&key, "instances", spec.num_instances);
+  AppendField(&key, "numeric",
+              static_cast<int64_t>(spec.num_numeric_features));
+  AppendField(&key, "categorical",
+              static_cast<int64_t>(spec.num_categorical_features));
+  AppendField(&key, "cats_per_feature",
+              static_cast<int64_t>(spec.categories_per_feature));
+  AppendField(&key, "classes", static_cast<int64_t>(spec.num_classes));
+  AppendField(&key, "class_emergence", spec.class_emergence_fraction);
+  AppendField(&key, "window", spec.window_size);
+  AppendField(&key, "drift",
+              std::string(DriftPatternToString(spec.drift_pattern)));
+  AppendField(&key, "drift_mag", spec.drift_magnitude);
+  AppendField(&key, "drift_period", spec.drift_period_fraction);
+  AppendField(&key, "seasonal", spec.seasonal_amplitude);
+  AppendField(&key, "noise", spec.noise_level);
+  AppendField(&key, "missing", spec.base_missing_rate);
+  AppendField(&key, "dropouts",
+              static_cast<int64_t>(spec.dropouts.size()));
+  for (const FeatureDropout& d : spec.dropouts) {
+    AppendField(&key, "d.feature", static_cast<int64_t>(d.feature));
+    AppendField(&key, "d.start", d.start_frac);
+    AppendField(&key, "d.end", d.end_frac);
+    AppendField(&key, "d.rate", d.missing_rate);
+  }
+  AppendField(&key, "anomalies",
+              static_cast<int64_t>(spec.anomaly_events.size()));
+  for (const AnomalyEvent& a : spec.anomaly_events) {
+    AppendField(&key, "a.start", a.start_frac);
+    AppendField(&key, "a.end", a.end_frac);
+    AppendField(&key, "a.rate", a.rate);
+    AppendField(&key, "a.feature", static_cast<int64_t>(a.feature));
+    AppendField(&key, "a.magnitude", a.magnitude);
+    AppendField(&key, "a.affected", static_cast<int64_t>(a.num_affected));
+  }
+  AppendField(&key, "point_rate", spec.point_anomaly_rate);
+  AppendField(&key, "point_mag", spec.point_anomaly_magnitude);
+  AppendField(&key, "seed", spec.seed);
+  return key;
+}
+
+std::string PipelineCacheKey(const PipelineOptions& options) {
+  std::string key = "pipeline-v1|";
+  AppendField(&key, "imputer", options.imputer);
+  AppendField(&key, "knn_k", static_cast<int64_t>(options.knn_k));
+  AppendField(&key, "scope",
+              static_cast<int64_t>(options.impute_scope));
+  AppendField(&key, "window_factor", options.window_factor);
+  AppendField(&key, "normalize",
+              static_cast<int64_t>(options.normalize ? 1 : 0));
+  AppendField(&key, "discard_above", options.discard_missing_above);
+  AppendField(&key, "outliers", options.outlier_removal);
+  AppendField(&key, "shuffle",
+              static_cast<int64_t>(options.shuffle ? 1 : 0));
+  AppendField(&key, "shuffle_seed", options.shuffle_seed);
+  return key;
+}
+
+std::string PreparedCacheKey(const StreamSpec& spec,
+                             const PipelineOptions& options,
+                             const std::string& name_override) {
+  std::string key = SpecCacheKey(spec);
+  key += PipelineCacheKey(options);
+  AppendField(&key, "name", name_override);
+  return key;
+}
+
+int64_t EstimatePreparedStreamBytes(const PreparedStream& stream) {
+  int64_t cells = 0;
+  for (const WindowData& w : stream.windows) {
+    cells += w.features.rows() * w.features.cols() +
+             static_cast<int64_t>(w.targets.size());
+  }
+  int64_t names = 0;
+  for (const std::string& n : stream.feature_names) {
+    names += static_cast<int64_t>(n.size());
+  }
+  return cells * 8 + names + 4096;
+}
+
+int64_t EstimateGeneratedStreamBytes(const GeneratedStream& stream) {
+  return stream.table.num_rows() * stream.table.num_columns() * 8 +
+         static_cast<int64_t>(stream.true_outlier_rows.size() +
+                              stream.true_drift_rows.size()) *
+             8 +
+         4096;
+}
+
+PreparedStreamCache* PreparedStreamCache::Global() {
+  static PreparedStreamCache* cache = new PreparedStreamCache();
+  return cache;
+}
+
+void PreparedStreamCache::set_byte_budget(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_budget_ = bytes;
+  EvictLocked("", "");
+}
+
+int64_t PreparedStreamCache::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return byte_budget_;
+}
+
+int64_t PreparedStreamCache::bytes_held() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_held_;
+}
+
+void PreparedStreamCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only ready entries are in bytes_held_; in-flight slots stay (their
+  // preparer will insert and the normal eviction applies).
+  for (auto it = prepared_.begin(); it != prepared_.end();) {
+    if (it->second->ready) {
+      bytes_held_ -= it->second->bytes;
+      it = prepared_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = generated_.begin(); it != generated_.end();) {
+    if (it->second->ready) {
+      bytes_held_ -= it->second->bytes;
+      it = generated_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  UpdateGaugeLocked();
+}
+
+void PreparedStreamCache::UpdateGaugeLocked() {
+  MetricsRegistry::Global()->GetGauge("reuse.bytes_held")->Set(
+      static_cast<double>(bytes_held_));
+}
+
+void PreparedStreamCache::EvictLocked(const std::string& keep_prepared,
+                                      const std::string& keep_generated) {
+  while (bytes_held_ > byte_budget_) {
+    // Oldest ready entry across both maps, never the protected keys.
+    uint64_t oldest = 0;
+    int which = 0;  // 0 none, 1 prepared, 2 generated
+    SlotMap<PreparedStream>::iterator pit;
+    SlotMap<GeneratedStream>::iterator git;
+    for (auto it = prepared_.begin(); it != prepared_.end(); ++it) {
+      if (!it->second->ready || it->first == keep_prepared) continue;
+      if (which == 0 || it->second->last_used < oldest) {
+        oldest = it->second->last_used;
+        which = 1;
+        pit = it;
+      }
+    }
+    for (auto it = generated_.begin(); it != generated_.end(); ++it) {
+      if (!it->second->ready || it->first == keep_generated) continue;
+      if (which == 0 || it->second->last_used < oldest) {
+        oldest = it->second->last_used;
+        which = 2;
+        git = it;
+      }
+    }
+    if (which == 0) break;
+    bytes_held_ -= which == 1 ? pit->second->bytes : git->second->bytes;
+    if (which == 1) {
+      prepared_.erase(pit);
+    } else {
+      generated_.erase(git);
+    }
+    // Timing-dependent under concurrency (which entry is oldest when
+    // pressure hits depends on scheduling), hence volatile.
+    MetricsRegistry::Global()->GetVolatileCounter("reuse.evictions")
+        ->Increment();
+  }
+  UpdateGaugeLocked();
+}
+
+template <typename T, typename PrepareFn>
+Result<std::shared_ptr<const T>> PreparedStreamCache::GetOrRun(
+    SlotMap<T>* slots, const std::string& key, const char* hit_counter,
+    const char* miss_counter, PrepareFn prepare) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = slots->find(key);
+    if (it != slots->end()) {
+      std::shared_ptr<Slot<T>> slot = it->second;
+      cv_.wait(lock, [&] { return slot->ready; });
+      if (slot->failed) continue;  // retry as the preparer
+      slot->last_used = ++tick_;
+      metrics->GetCounter(hit_counter)->Increment();
+      return slot->value;
+    }
+    // Single flight: claim the key, prepare outside the lock.
+    std::shared_ptr<Slot<T>> slot = std::make_shared<Slot<T>>();
+    (*slots)[key] = slot;
+    metrics->GetCounter(miss_counter)->Increment();
+    lock.unlock();
+    Result<std::shared_ptr<const T>> result = prepare();
+    lock.lock();
+    if (!result.ok()) {
+      // No negative caching: drop the slot so a later caller retries.
+      slots->erase(key);
+      slot->failed = true;
+      slot->ready = true;
+      cv_.notify_all();
+      return result.status();
+    }
+    slot->value = *result;
+    slot->bytes = slot->value != nullptr ? EstimateBytes(*slot->value) : 0;
+    slot->last_used = ++tick_;
+    slot->ready = true;
+    bytes_held_ += slot->bytes;
+    cv_.notify_all();
+    // Evict around the fresh entry; if it alone exceeds the budget it
+    // is returned uncached.
+    EvictLocked(std::is_same<T, PreparedStream>::value ? key : "",
+                std::is_same<T, PreparedStream>::value ? "" : key);
+    if (bytes_held_ > byte_budget_) {
+      auto self = slots->find(key);
+      if (self != slots->end() && self->second == slot) {
+        bytes_held_ -= slot->bytes;
+        slots->erase(self);
+        UpdateGaugeLocked();
+      }
+    }
+    return *result;
+  }
+}
+
+Result<std::shared_ptr<const GeneratedStream>>
+PreparedStreamCache::GetOrGenerate(const StreamSpec& spec) {
+  const std::string key = "gen|" + SpecCacheKey(spec);
+  return GetOrRun<GeneratedStream>(
+      &generated_, key, "reuse.generate_hits", "reuse.generate_misses",
+      [&spec]() -> Result<std::shared_ptr<const GeneratedStream>> {
+        Result<GeneratedStream> stream = GenerateStream(spec);
+        if (!stream.ok()) return stream.status();
+        return std::shared_ptr<const GeneratedStream>(
+            std::make_shared<GeneratedStream>(std::move(*stream)));
+      });
+}
+
+Result<std::shared_ptr<const PreparedStream>>
+PreparedStreamCache::GetOrPrepare(const StreamSpec& spec,
+                                  const PipelineOptions& options,
+                                  const std::string& name_override) {
+  const std::string key = PreparedCacheKey(spec, options, name_override);
+  return GetOrRun<PreparedStream>(
+      &prepared_, key, "reuse.prepare_hits", "reuse.prepare_misses",
+      [this, &spec, &options,
+       &name_override]() -> Result<std::shared_ptr<const PreparedStream>> {
+        OE_ASSIGN_OR_RETURN(std::shared_ptr<const GeneratedStream> generated,
+                            GetOrGenerate(spec));
+        Result<PreparedStream> prepared =
+            PrepareStream(*generated, options);
+        if (!prepared.ok()) return prepared.status();
+        if (!name_override.empty()) prepared->name = name_override;
+        return std::shared_ptr<const PreparedStream>(
+            std::make_shared<PreparedStream>(std::move(*prepared)));
+      });
+}
+
+SnapshotStore* SnapshotStore::Global() {
+  static SnapshotStore* store = new SnapshotStore();
+  return store;
+}
+
+std::string SnapshotStore::Key(const std::string& dataset,
+                               const std::string& learner, uint64_t seed,
+                               const std::string& stage) {
+  std::string key;
+  AppendField(&key, "dataset", dataset);
+  AppendField(&key, "learner", learner);
+  AppendField(&key, "seed", seed);
+  AppendField(&key, "stage", stage);
+  return key;
+}
+
+void SnapshotStore::Put(const std::string& key, LearnerSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = snapshots_.find(key);
+  if (it != snapshots_.end()) {
+    bytes_held_ -= static_cast<int64_t>(it->second.payload.size());
+  }
+  bytes_held_ += static_cast<int64_t>(snapshot.payload.size());
+  snapshots_[key] = std::move(snapshot);
+}
+
+bool SnapshotStore::Get(const std::string& key, LearnerSnapshot* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = snapshots_.find(key);
+  if (it == snapshots_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+int64_t SnapshotStore::bytes_held() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_held_;
+}
+
+void SnapshotStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshots_.clear();
+  bytes_held_ = 0;
+}
+
+namespace {
+
+/// One cold run of the RunRepeated protocol: fresh learner at
+/// (epochs = E, seed = base + rep), full RunPrequential. Kept exactly
+/// in step with core/evaluator's RunRepeated body so the warm path's
+/// fallback is bit-identical to it.
+Result<EvalResult> ColdEpochRun(const std::string& learner_name,
+                                const LearnerConfig& base_config,
+                                int epochs, int rep,
+                                const PreparedStream& stream) {
+  LearnerConfig config = base_config;
+  config.epochs = epochs;
+  config.seed = base_config.seed + static_cast<uint64_t>(rep);
+  OE_ASSIGN_OR_RETURN(
+      std::unique_ptr<StreamLearner> learner,
+      MakeLearner(learner_name, config, stream.task, stream.num_classes));
+  return RunPrequential(learner.get(), stream);
+}
+
+}  // namespace
+
+std::vector<RepeatedResult> RunEpochGridRepeated(
+    const std::string& learner_name, const LearnerConfig& base_config,
+    const std::vector<int>& epoch_grid, const PreparedStream& stream,
+    int repeats, bool warmstart) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  std::vector<RepeatedResult> out(epoch_grid.size());
+  for (size_t g = 0; g < epoch_grid.size(); ++g) {
+    out[g].learner = learner_name;
+    out[g].dataset = stream.name;
+  }
+  if (epoch_grid.empty()) return out;
+
+  // Grid indices in ascending-epoch order, so one donor pass visits
+  // every snapshot point.
+  std::vector<size_t> order(epoch_grid.size());
+  for (size_t g = 0; g < order.size(); ++g) order[g] = g;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return epoch_grid[a] < epoch_grid[b];
+  });
+
+  bool can_fork = false;
+  if (warmstart && !stream.windows.empty()) {
+    can_fork = epoch_grid[order[0]] >= 1;
+    if (can_fork) {
+      Result<std::unique_ptr<StreamLearner>> probe = MakeLearner(
+          learner_name, base_config, stream.task, stream.num_classes);
+      can_fork = probe.ok() && (*probe)->SupportsEpochFork();
+    }
+  }
+  if (warmstart && !can_fork) {
+    metrics->GetCounter("reuse.warmstart_fallbacks")->Increment();
+  }
+
+  // Per-grid-entry accumulators, repeats in order — the same loss and
+  // run order RunRepeated produces, so Mean/StdDev sum identically.
+  std::vector<std::vector<double>> losses(epoch_grid.size());
+  std::vector<std::vector<EvalResult>> runs(epoch_grid.size());
+  std::vector<char> not_applicable(epoch_grid.size(), 0);
+
+  for (int rep = 0; rep < repeats; ++rep) {
+    if (!can_fork) {
+      for (size_t g = 0; g < epoch_grid.size(); ++g) {
+        Result<EvalResult> result = ColdEpochRun(
+            learner_name, base_config, epoch_grid[g], rep, stream);
+        if (!result.ok()) {
+          not_applicable[g] = 1;
+          continue;
+        }
+        losses[g].push_back(result->mean_loss);
+        runs[g].push_back(std::move(*result));
+      }
+      continue;
+    }
+
+    // Donor: epochs = 1, the repeat's seed. k TrainWindow(window 0)
+    // calls leave it in exactly the state an epochs = k learner holds
+    // after window 0 — the persistent per-learner RNG carries across
+    // TrainWindow calls (SupportsEpochFork's contract).
+    LearnerConfig donor_config = base_config;
+    donor_config.epochs = 1;
+    donor_config.seed = base_config.seed + static_cast<uint64_t>(rep);
+    Result<std::unique_ptr<StreamLearner>> donor_or = MakeLearner(
+        learner_name, donor_config, stream.task, stream.num_classes);
+    if (!donor_or.ok()) {
+      for (size_t g = 0; g < epoch_grid.size(); ++g) not_applicable[g] = 1;
+      continue;
+    }
+    StreamLearner* donor = donor_or->get();
+    donor->Begin(stream);
+    const WindowData& window0 = stream.windows[0];
+    int trained = 0;
+    for (size_t g : order) {
+      const int epochs = epoch_grid[g];
+      while (trained < epochs) {
+        donor->TrainWindow(window0);
+        ++trained;
+        metrics->GetCounter("reuse.warmstart_window0_epochs")->Increment();
+      }
+      std::ostringstream payload;
+      Status saved = donor->SaveState(&payload);
+      LearnerSnapshot snapshot;
+      snapshot.payload = payload.str();
+      snapshot.windows_trained = 1;
+      snapshot.peak_memory_bytes = donor->MemoryBytes();
+      if (saved.ok()) {
+        SnapshotStore::Global()->Put(
+            SnapshotStore::Key(stream.name, learner_name,
+                               donor_config.seed,
+                               "window0-epochs=" + std::to_string(epochs)),
+            snapshot);
+      }
+      LearnerConfig fork_config = base_config;
+      fork_config.epochs = epochs;
+      fork_config.seed = donor_config.seed;
+      Result<std::unique_ptr<StreamLearner>> fork = MakeLearner(
+          learner_name, fork_config, stream.task, stream.num_classes);
+      Status loaded = Status::OK();
+      if (saved.ok() && fork.ok()) {
+        (*fork)->Begin(stream);
+        std::istringstream in(snapshot.payload);
+        loaded = (*fork)->LoadState(&in);
+      }
+      EvalResult result;
+      if (saved.ok() && fork.ok() && loaded.ok()) {
+        result = ResumePrequential(fork->get(), stream,
+                                   snapshot.windows_trained,
+                                   snapshot.peak_memory_bytes);
+        metrics->GetCounter("reuse.warmstart_forks")->Increment();
+      } else {
+        // Snapshot machinery refused — replay this run cold; the
+        // donor's progress is unaffected.
+        metrics->GetCounter("reuse.warmstart_fallbacks")->Increment();
+        Result<EvalResult> cold =
+            ColdEpochRun(learner_name, base_config, epochs, rep, stream);
+        if (!cold.ok()) {
+          not_applicable[g] = 1;
+          continue;
+        }
+        result = std::move(*cold);
+      }
+      losses[g].push_back(result.mean_loss);
+      runs[g].push_back(std::move(result));
+    }
+  }
+
+  for (size_t g = 0; g < epoch_grid.size(); ++g) {
+    if (not_applicable[g]) {
+      out[g].not_applicable = true;
+      continue;
+    }
+    out[g].loss_mean = Mean(losses[g]);
+    out[g].loss_stddev = StdDev(losses[g]);
+    for (const EvalResult& run : runs[g]) {
+      out[g].peak_memory_bytes =
+          std::max(out[g].peak_memory_bytes, run.peak_memory_bytes);
+    }
+    out[g].throughput = AggregateThroughput(runs[g]);
+  }
+  return out;
+}
+
+}  // namespace sweep
+}  // namespace oebench

@@ -1,0 +1,221 @@
+#ifndef OEBENCH_SWEEP_REUSE_H_
+#define OEBENCH_SWEEP_REUSE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/evaluator.h"
+#include "core/parallel_eval.h"
+#include "preprocess/pipeline.h"
+#include "streamgen/stream_spec.h"
+
+namespace oebench {
+namespace sweep {
+
+/// Cross-cell computation reuse (DESIGN.md "Computation reuse"): a
+/// memory-bounded cache of immutable prepared streams shared across
+/// sweeps and ablation grids, plus warm-start model snapshots that let
+/// epoch-grid ablations fork every grid value from one trained prefix.
+/// Everything here is *work elision*, never result change: with reuse
+/// on, result logs and deterministic counters stay bit-identical to the
+/// reuse-off run (tests/reuse_equivalence_test.cc is the proof).
+///
+/// Metrics (common/metrics.h contract):
+///   reuse.prepare_hits / reuse.prepare_misses     deterministic counters
+///   reuse.generate_hits / reuse.generate_misses   deterministic counters
+///   reuse.warmstart_forks / reuse.warmstart_fallbacks
+///   reuse.warmstart_window0_epochs                deterministic counters
+///   reuse.evictions                               volatile counter
+///   reuse.bytes_held                              gauge
+/// The prepare/generate hit-miss counts are deterministic for a fixed
+/// workload as long as the byte budget holds the working set (the
+/// default); under eviction pressure, which entry is resident when a
+/// request lands depends on scheduling, so tiny-budget runs should not
+/// assert on them.
+
+/// Parses a --reuse flag value: "off" (both features disabled) or a
+/// comma-separated subset of {"prepare", "warmstart"}. Only the two
+/// feature bits of `out` are written; the byte budget is left alone.
+Status ParseReuseSpec(const std::string& text, ReuseOptions* out);
+
+/// Inverse of ParseReuseSpec ("off", "prepare", "warmstart", or
+/// "prepare,warmstart") — used to propagate the flag to child shards.
+std::string FormatReuseSpec(const ReuseOptions& options);
+
+/// Exact (collision-free) cache key of a stream spec: every StreamSpec
+/// field, length-prefixed lists included, with doubles rendered as their
+/// 16-hex IEEE-754 bit pattern. Two specs map to the same key iff they
+/// generate the same stream, so "same dataset name, different config"
+/// can never alias.
+std::string SpecCacheKey(const StreamSpec& spec);
+
+/// Exact cache key of the preprocessing configuration (every
+/// PipelineOptions field, doubles as bit patterns).
+std::string PipelineCacheKey(const PipelineOptions& options);
+
+/// Key of one prepared stream: spec key + pipeline key + the display
+/// name override (the name lands inside EvalResult rows, so streams
+/// prepared under different names must not alias).
+std::string PreparedCacheKey(const StreamSpec& spec,
+                             const PipelineOptions& options,
+                             const std::string& name_override);
+
+/// Working-set estimates used for the cache's byte accounting. These
+/// count the dominant dense buffers (windows / table cells at 8 bytes a
+/// cell) plus a small fixed overhead; exactness is not required, only
+/// monotonicity in the data size.
+int64_t EstimatePreparedStreamBytes(const PreparedStream& stream);
+int64_t EstimateGeneratedStreamBytes(const GeneratedStream& stream);
+
+/// Memory-bounded, process-global cache of prepared (and generated)
+/// streams, keyed by the exact-encoding keys above. Entries are handed
+/// out as shared_ptr<const T>: immutable, copy-on-write-free sharing —
+/// concurrent sweep tasks on the same dataset all read one buffer, and
+/// an entry evicted while still in use simply lives on until its last
+/// consumer drops the reference.
+///
+/// Concurrency: single mutex + condition_variable with single-flight
+/// semantics. The first requester of a key prepares it (outside the
+/// lock); concurrent requesters of the same key wait and count as hits.
+/// A failed prepare erases the slot (no negative caching) and each
+/// waiter retries as the preparer, so a transient failure does not
+/// poison the key while a deterministic one fails each caller with the
+/// same Status.
+///
+/// Eviction: LRU by a monotone use tick, run after each insert, never
+/// touching the entry just inserted — unless that entry alone exceeds
+/// the whole budget, in which case it is returned to the caller but not
+/// retained ("drop uncached").
+class PreparedStreamCache {
+ public:
+  explicit PreparedStreamCache(int64_t byte_budget = 256ll << 20)
+      : byte_budget_(byte_budget) {}
+
+  /// The process-wide cache the sweep engine and benches share.
+  static PreparedStreamCache* Global();
+
+  /// Generation + preprocessing with caching. `name_override`, when
+  /// non-empty, is the prepared stream's display name (Table 3 short
+  /// names); it participates in the key. Generation is routed through
+  /// GetOrGenerate, so two pipeline configs over one spec (the
+  /// window-size ablation) share a single generated stream.
+  Result<std::shared_ptr<const PreparedStream>> GetOrPrepare(
+      const StreamSpec& spec, const PipelineOptions& options,
+      const std::string& name_override = "");
+
+  /// Generation only, with caching.
+  Result<std::shared_ptr<const GeneratedStream>> GetOrGenerate(
+      const StreamSpec& spec);
+
+  void set_byte_budget(int64_t bytes);
+  int64_t byte_budget() const;
+  /// Bytes of all resident entries (estimates; see EstimateBytes).
+  int64_t bytes_held() const;
+  /// Drops every resident entry (tests; outstanding shared_ptrs stay
+  /// valid). In-flight prepares are unaffected.
+  void Clear();
+
+ private:
+  template <typename T>
+  struct Slot {
+    bool ready = false;
+    /// Set with `ready` when the prepare failed; the slot is already
+    /// out of the map and waiters retry as preparers.
+    bool failed = false;
+    std::shared_ptr<const T> value;
+    int64_t bytes = 0;
+    uint64_t last_used = 0;
+  };
+
+  template <typename T>
+  using SlotMap = std::map<std::string, std::shared_ptr<Slot<T>>>;
+
+  /// Shared single-flight lookup/insert/complete machinery for the two
+  /// slot maps; see reuse.cc.
+  template <typename T, typename PrepareFn>
+  Result<std::shared_ptr<const T>> GetOrRun(SlotMap<T>* slots,
+                                            const std::string& key,
+                                            const char* hit_counter,
+                                            const char* miss_counter,
+                                            PrepareFn prepare);
+
+  void EvictLocked(const std::string& keep_prepared,
+                   const std::string& keep_generated);
+  void UpdateGaugeLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t byte_budget_;
+  int64_t bytes_held_ = 0;
+  uint64_t tick_ = 0;
+  SlotMap<PreparedStream> prepared_;
+  SlotMap<GeneratedStream> generated_;
+};
+
+/// One warm-start snapshot: a StreamLearner::SaveState payload plus the
+/// bookkeeping ResumePrequential needs to continue bit-identically.
+struct LearnerSnapshot {
+  std::string payload;
+  /// Windows already trained into the payload (the resume point).
+  size_t windows_trained = 0;
+  /// Peak StreamLearner::MemoryBytes over the trained prefix.
+  int64_t peak_memory_bytes = 0;
+};
+
+/// Process-global store of warm-start snapshots, keyed by the run
+/// identity that seeded them — so a snapshot can never leak across
+/// seeds: the key embeds the exact LearnerConfig::seed of the run
+/// (identity-derived via TaskSeed or the RunRepeated base+rep
+/// protocol), the dataset, the learner, and a free-form stage tag.
+class SnapshotStore {
+ public:
+  static SnapshotStore* Global();
+
+  /// Length-prefixed fields + the exact decimal seed:
+  /// "dataset=4:ROOM|learner=8:Naive-NN|seed=7|stage=7:window0|".
+  static std::string Key(const std::string& dataset,
+                         const std::string& learner, uint64_t seed,
+                         const std::string& stage);
+
+  void Put(const std::string& key, LearnerSnapshot snapshot);
+  bool Get(const std::string& key, LearnerSnapshot* out) const;
+  int64_t bytes_held() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, LearnerSnapshot> snapshots_;
+  int64_t bytes_held_ = 0;
+};
+
+/// Runs the epoch-grid ablation (bench_fig10's shape) for one learner
+/// on one stream: for each E in `epoch_grid`, the RunRepeated protocol
+/// with base_config.epochs = E — seeds base_config.seed + rep, fresh
+/// learner per run. With `warmstart` false this is exactly a loop of
+/// RunRepeated calls. With `warmstart` true and a learner reporting
+/// SupportsEpochFork, each repeat trains one donor (epochs = 1) on the
+/// warm-up window up to max(grid) epochs, snapshotting at every grid
+/// value; each grid run then forks from its snapshot and resumes at
+/// window 1 — bit-identical losses (the donor's persistent RNG makes k
+/// epochs-1 windows equal one epochs-k window) for the cost of
+/// max(grid) instead of sum(grid) warm-up epochs per repeat. Learners
+/// without the fork property (or grids with values < 1, or empty
+/// streams) fall back to the cold path, counted in
+/// reuse.warmstart_fallbacks.
+///
+/// Returns one RepeatedResult per grid entry, in grid order.
+std::vector<RepeatedResult> RunEpochGridRepeated(
+    const std::string& learner_name, const LearnerConfig& base_config,
+    const std::vector<int>& epoch_grid, const PreparedStream& stream,
+    int repeats, bool warmstart);
+
+}  // namespace sweep
+}  // namespace oebench
+
+#endif  // OEBENCH_SWEEP_REUSE_H_

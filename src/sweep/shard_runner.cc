@@ -221,9 +221,13 @@ Result<ShardRunStats> RunShardImpl(
     config.stop_requested = [&sink, &breaker] {
       return sink.failed() || breaker.tripped();
     };
+    Counter* prepare_hits =
+        MetricsRegistry::Global()->GetCounter("reuse.prepare_hits");
+    const int64_t hits_before = prepare_hits->value();
     SweepOutcome outcome = run_sweep(config);
     stats.tasks_executed = outcome.tasks_run;
     stats.streams_prepared = outcome.streams_prepared;
+    stats.prepare_cache_hits = prepare_hits->value() - hits_before;
     stats.tasks_failed = outcome.tasks_failed;
     for (const TaskFailure& failure : outcome.failures) {
       if (failure.kind == TaskFailureKind::kPrepare) ++prepare_failures;

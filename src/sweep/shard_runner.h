@@ -78,7 +78,13 @@ struct ShardRunStats {
   /// N/A rows written (inapplicable pairs; no run ever executes).
   int64_t na_logged = 0;
   /// Streams generated + preprocessed — only the shard's datasets.
+  /// With --reuse=prepare some of these may be cache hits inside the
+  /// process-global PreparedStreamCache rather than fresh work.
   int64_t streams_prepared = 0;
+  /// Prepared-stream cache hits during this invocation's sweep (the
+  /// reuse.prepare_hits counter delta): in-manifest duplicate datasets
+  /// plus, with --reuse=prepare, hits in the process-global cache.
+  int64_t prepare_cache_hits = 0;
   /// Transient log-append failures that were retried (and eventually
   /// succeeded — a permanent failure fails the whole run instead).
   int64_t append_retries = 0;

@@ -1,0 +1,426 @@
+// Units of the computation-reuse layer (sweep/reuse, DESIGN.md
+// "Computation reuse"): the --reuse flag grammar, exact cache keys (no
+// aliasing between preprocessing configs), the memory-bounded
+// single-flight cache, the snapshot store, learner state round-trips,
+// the epochs-1-donor fork identity that warm-start rests on, and the
+// engine-level regression of re-referenced datasets in one manifest.
+// The end-to-end bit-identity proofs live in reuse_equivalence_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "core/learner.h"
+#include "core/parallel_eval.h"
+#include "preprocess/pipeline.h"
+#include "streamgen/corpus.h"
+#include "streamgen/representative.h"
+#include "streamgen/stream_generator.h"
+#include "sweep/result_log.h"
+#include "sweep/reuse.h"
+
+namespace oebench {
+namespace {
+
+PreparedStream MakeSmallStream(const std::string& short_name = "ROOM",
+                               double scale = 0.02,
+                               const PipelineOptions& options = {}) {
+  StreamSpec spec = RepresentativeSpec(short_name, scale);
+  Result<GeneratedStream> generated = GenerateStream(spec);
+  OE_CHECK(generated.ok()) << generated.status().ToString();
+  Result<PreparedStream> prepared = PrepareStream(*generated, options);
+  OE_CHECK(prepared.ok()) << prepared.status().ToString();
+  prepared->name = short_name;
+  return std::move(*prepared);
+}
+
+int64_t CounterValue(const char* name) {
+  return MetricsRegistry::Global()->GetCounter(name)->value();
+}
+
+TEST(ReuseSpecTest, ParseAndFormat) {
+  ReuseOptions options;
+  ASSERT_TRUE(sweep::ParseReuseSpec("off", &options).ok());
+  EXPECT_FALSE(options.prepare);
+  EXPECT_FALSE(options.warmstart);
+  EXPECT_EQ(sweep::FormatReuseSpec(options), "off");
+
+  ASSERT_TRUE(sweep::ParseReuseSpec("prepare", &options).ok());
+  EXPECT_TRUE(options.prepare);
+  EXPECT_FALSE(options.warmstart);
+  EXPECT_EQ(sweep::FormatReuseSpec(options), "prepare");
+
+  ASSERT_TRUE(sweep::ParseReuseSpec("warmstart", &options).ok());
+  EXPECT_FALSE(options.prepare);
+  EXPECT_TRUE(options.warmstart);
+  EXPECT_EQ(sweep::FormatReuseSpec(options), "warmstart");
+
+  ASSERT_TRUE(sweep::ParseReuseSpec("prepare,warmstart", &options).ok());
+  EXPECT_TRUE(options.prepare);
+  EXPECT_TRUE(options.warmstart);
+  EXPECT_EQ(sweep::FormatReuseSpec(options), "prepare,warmstart");
+
+  // Order-insensitive parse, canonical rendering.
+  ASSERT_TRUE(sweep::ParseReuseSpec("warmstart,prepare", &options).ok());
+  EXPECT_TRUE(options.prepare && options.warmstart);
+  EXPECT_EQ(sweep::FormatReuseSpec(options), "prepare,warmstart");
+
+  // The byte budget is not the spec's concern.
+  options.cache_bytes = 123;
+  ASSERT_TRUE(sweep::ParseReuseSpec("off", &options).ok());
+  EXPECT_EQ(options.cache_bytes, 123);
+
+  EXPECT_FALSE(sweep::ParseReuseSpec("bogus", &options).ok());
+  EXPECT_FALSE(sweep::ParseReuseSpec("prepare,bogus", &options).ok());
+  EXPECT_FALSE(sweep::ParseReuseSpec("prepare warmstart", &options).ok());
+}
+
+TEST(ReuseKeyTest, SameConfigSameKey) {
+  StreamSpec a = RepresentativeSpec("ROOM", 0.02);
+  StreamSpec b = RepresentativeSpec("ROOM", 0.02);
+  EXPECT_EQ(sweep::SpecCacheKey(a), sweep::SpecCacheKey(b));
+  PipelineOptions options;
+  EXPECT_EQ(sweep::PreparedCacheKey(a, options, "ROOM"),
+            sweep::PreparedCacheKey(b, options, "ROOM"));
+}
+
+TEST(ReuseKeyTest, DifferentPipelineConfigNeverAliases) {
+  // The satellite's collision case: same dataset name, different
+  // preprocessing config must be a distinct cache entry.
+  StreamSpec spec = RepresentativeSpec("ROOM", 0.02);
+  PipelineOptions base;
+  PipelineOptions window;
+  window.window_factor = 2.0;
+  PipelineOptions shuffled;
+  shuffled.shuffle = true;
+  EXPECT_NE(sweep::PipelineCacheKey(base), sweep::PipelineCacheKey(window));
+  EXPECT_NE(sweep::PipelineCacheKey(base), sweep::PipelineCacheKey(shuffled));
+  EXPECT_NE(sweep::PreparedCacheKey(spec, base, "ROOM"),
+            sweep::PreparedCacheKey(spec, window, "ROOM"));
+  // Same pipeline, different display name: the name lands in result
+  // rows, so it participates too.
+  EXPECT_NE(sweep::PreparedCacheKey(spec, base, "ROOM"),
+            sweep::PreparedCacheKey(spec, base, "ROOM2"));
+}
+
+TEST(ReuseKeyTest, SpecFieldsAllCovered) {
+  // Every generation-relevant field must perturb the key. (Two *scales*
+  // can legitimately collide when instance counts round to the same
+  // value — the key encodes the resolved spec, not the scale knob.)
+  const StreamSpec base = RepresentativeSpec("ROOM", 0.02);
+  StreamSpec mutated = base;
+  mutated.seed += 1;
+  EXPECT_NE(sweep::SpecCacheKey(base), sweep::SpecCacheKey(mutated));
+  mutated = base;
+  mutated.num_instances += 1;
+  EXPECT_NE(sweep::SpecCacheKey(base), sweep::SpecCacheKey(mutated));
+  mutated = base;
+  mutated.noise_level += 0.125;
+  EXPECT_NE(sweep::SpecCacheKey(base), sweep::SpecCacheKey(mutated));
+  mutated = base;
+  mutated.window_size += 1;
+  EXPECT_NE(sweep::SpecCacheKey(base), sweep::SpecCacheKey(mutated));
+}
+
+TEST(PreparedStreamCacheTest, HitReturnsSameBuffer) {
+  sweep::PreparedStreamCache cache;
+  StreamSpec spec = RepresentativeSpec("ROOM", 0.02);
+  const int64_t hits_before = CounterValue("reuse.prepare_hits");
+  const int64_t misses_before = CounterValue("reuse.prepare_misses");
+  auto first = cache.GetOrPrepare(spec, {}, "ROOM");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.GetOrPrepare(spec, {}, "ROOM");
+  ASSERT_TRUE(second.ok());
+  // COW sharing: both callers hold the *same* immutable buffer.
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ((*first)->name, "ROOM");
+  EXPECT_EQ(CounterValue("reuse.prepare_misses"), misses_before + 1);
+  EXPECT_EQ(CounterValue("reuse.prepare_hits"), hits_before + 1);
+  EXPECT_GT(cache.bytes_held(), 0);
+}
+
+TEST(PreparedStreamCacheTest, GenerationSharedAcrossPipelines) {
+  // fig11's shape: five window factors over one spec generate once.
+  sweep::PreparedStreamCache cache;
+  StreamSpec spec = RepresentativeSpec("ROOM", 0.02);
+  const int64_t gen_misses_before = CounterValue("reuse.generate_misses");
+  const int64_t gen_hits_before = CounterValue("reuse.generate_hits");
+  PipelineOptions half;
+  half.window_factor = 0.5;
+  PipelineOptions twice;
+  twice.window_factor = 2.0;
+  ASSERT_TRUE(cache.GetOrPrepare(spec, half, "ROOM").ok());
+  ASSERT_TRUE(cache.GetOrPrepare(spec, twice, "ROOM").ok());
+  EXPECT_EQ(CounterValue("reuse.generate_misses"), gen_misses_before + 1);
+  EXPECT_EQ(CounterValue("reuse.generate_hits"), gen_hits_before + 1);
+}
+
+TEST(PreparedStreamCacheTest, EvictsUnderByteBudget) {
+  sweep::PreparedStreamCache cache;
+  StreamSpec room = RepresentativeSpec("ROOM", 0.02);
+  auto first = cache.GetOrPrepare(room, {}, "ROOM");
+  ASSERT_TRUE(first.ok());
+  const int64_t one_entry = cache.bytes_held();
+  ASSERT_GT(one_entry, 0);
+
+  // Budget for roughly one entry: inserting a second prepared stream
+  // must evict something rather than grow without bound.
+  cache.set_byte_budget(one_entry + one_entry / 2);
+  auto second = cache.GetOrPrepare(RepresentativeSpec("AIR", 0.02), {}, "AIR");
+  ASSERT_TRUE(second.ok());
+  EXPECT_LE(cache.bytes_held(), one_entry + one_entry / 2);
+  // The evicted buffer stays alive for existing holders.
+  EXPECT_EQ((*first)->name, "ROOM");
+  EXPECT_FALSE((*first)->windows.empty());
+
+  // A budget nothing fits under: entries are handed out but dropped
+  // uncached, and the cache never deadlocks on them.
+  cache.set_byte_budget(1);
+  EXPECT_EQ(cache.bytes_held(), 0);
+  auto oversized = cache.GetOrPrepare(room, {}, "ROOM");
+  ASSERT_TRUE(oversized.ok());
+  EXPECT_EQ(cache.bytes_held(), 0);
+  EXPECT_FALSE((*oversized)->windows.empty());
+}
+
+TEST(PreparedStreamCacheTest, ClearDropsEntries) {
+  sweep::PreparedStreamCache cache;
+  ASSERT_TRUE(cache.GetOrPrepare(RepresentativeSpec("ROOM", 0.02), {}, "ROOM")
+                  .ok());
+  ASSERT_GT(cache.bytes_held(), 0);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes_held(), 0);
+}
+
+TEST(PreparedStreamCacheTest, ConcurrentRequestsSingleFlight) {
+  // N concurrent requesters of one key: exactly one prepare runs, the
+  // rest wait and count as hits, and everyone gets the same buffer.
+  // Run under TSan via the check-sanitize tree.
+  sweep::PreparedStreamCache cache;
+  StreamSpec spec = RepresentativeSpec("ROOM", 0.02);
+  const int64_t hits_before = CounterValue("reuse.prepare_hits");
+  const int64_t misses_before = CounterValue("reuse.prepare_misses");
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const PreparedStream>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &spec, &results, t] {
+      auto result = cache.GetOrPrepare(spec, {}, "ROOM");
+      OE_CHECK(result.ok()) << result.status().ToString();
+      results[static_cast<size_t>(t)] = *result;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[static_cast<size_t>(t)].get(), results[0].get());
+  }
+  EXPECT_EQ(CounterValue("reuse.prepare_misses"), misses_before + 1);
+  EXPECT_EQ(CounterValue("reuse.prepare_hits"),
+            hits_before + (kThreads - 1));
+}
+
+TEST(SnapshotStoreTest, KeyPutGetClear) {
+  // Length-prefixed fields, so "AB"+"C" can never alias "A"+"BC", and
+  // the exact run seed is embedded — a snapshot can never leak across
+  // seeds.
+  EXPECT_EQ(sweep::SnapshotStore::Key("ROOM", "Naive-NN", 7, "window0"),
+            "dataset=4:ROOM|learner=8:Naive-NN|seed=7|stage=7:window0|");
+  EXPECT_NE(sweep::SnapshotStore::Key("ROOM", "Naive-NN", 7, "window0"),
+            sweep::SnapshotStore::Key("ROOM", "Naive-NN", 8, "window0"));
+  sweep::SnapshotStore store;
+  sweep::LearnerSnapshot snapshot;
+  snapshot.payload = "payload-bytes";
+  snapshot.windows_trained = 1;
+  snapshot.peak_memory_bytes = 42;
+  const std::string key =
+      sweep::SnapshotStore::Key("ROOM", "Naive-NN", 7, "window0");
+  sweep::LearnerSnapshot out;
+  EXPECT_FALSE(store.Get(key, &out));
+  store.Put(key, snapshot);
+  ASSERT_TRUE(store.Get(key, &out));
+  EXPECT_EQ(out.payload, "payload-bytes");
+  EXPECT_EQ(out.windows_trained, 1u);
+  EXPECT_EQ(out.peak_memory_bytes, 42);
+  EXPECT_EQ(store.bytes_held(),
+            static_cast<int64_t>(snapshot.payload.size()));
+  // Replacing a key accounts the delta, not the sum.
+  snapshot.payload = "x";
+  store.Put(key, snapshot);
+  EXPECT_EQ(store.bytes_held(), 1);
+  store.Clear();
+  EXPECT_EQ(store.bytes_held(), 0);
+  EXPECT_FALSE(store.Get(key, &out));
+}
+
+TEST(RngStateTest, RoundTripContinuesBitIdentically) {
+  // Mid-sequence save/restore, including after an odd number of
+  // Gaussian draws (normal_distribution caches a spare deviate — state
+  // that must survive the round trip for warm-start bit-identity).
+  Rng original(99);
+  for (int i = 0; i < 7; ++i) original.Gaussian();
+  for (int i = 0; i < 3; ++i) original.Uniform();
+  std::ostringstream out;
+  original.SaveState(&out);
+  std::istringstream in(out.str());
+  Rng restored(0);
+  ASSERT_TRUE(restored.LoadState(&in));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(original.Gaussian(), restored.Gaussian());
+    ASSERT_EQ(original.Uniform(), restored.Uniform());
+    ASSERT_EQ(original.UniformInt(1000), restored.UniformInt(1000));
+  }
+}
+
+std::string SaveStateString(const StreamLearner& learner) {
+  std::ostringstream out;
+  Status saved = learner.SaveState(&out);
+  OE_CHECK(saved.ok()) << saved.ToString();
+  return out.str();
+}
+
+std::unique_ptr<StreamLearner> MustMakeLearner(const std::string& name,
+                                               const LearnerConfig& config,
+                                               const PreparedStream& stream) {
+  Result<std::unique_ptr<StreamLearner>> learner =
+      MakeLearner(name, config, stream.task, stream.num_classes);
+  OE_CHECK(learner.ok()) << learner.status().ToString();
+  return std::move(*learner);
+}
+
+TEST(LearnerStateTest, StateRoundTripContinuesIdentically) {
+  // SaveState -> fresh learner + Begin + LoadState must put the copy in
+  // the exact state of the original: training both one more window and
+  // re-saving yields byte-identical state (model *and* RNG continue).
+  PreparedStream stream = MakeSmallStream();
+  ASSERT_GE(stream.windows.size(), 2u);
+  for (const char* name : {"Naive-NN", "Naive-DT", "Naive-GBDT"}) {
+    LearnerConfig config;
+    config.seed = 5;
+    config.epochs = 2;
+    std::unique_ptr<StreamLearner> original =
+        MustMakeLearner(name, config, stream);
+    ASSERT_TRUE(original->SupportsSnapshot()) << name;
+    original->Begin(stream);
+    original->TrainWindow(stream.windows[0]);
+
+    std::unique_ptr<StreamLearner> restored =
+        MustMakeLearner(name, config, stream);
+    restored->Begin(stream);
+    std::istringstream in(SaveStateString(*original));
+    Status loaded = restored->LoadState(&in);
+    ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.ToString();
+    EXPECT_EQ(SaveStateString(*restored), SaveStateString(*original))
+        << name;
+
+    original->TrainWindow(stream.windows[1]);
+    restored->TrainWindow(stream.windows[1]);
+    EXPECT_EQ(SaveStateString(*restored), SaveStateString(*original))
+        << name << " diverged one window after the round trip";
+  }
+}
+
+TEST(LearnerStateTest, LoadBeforeBeginOrGarbageIsStatusNotCrash) {
+  PreparedStream stream = MakeSmallStream();
+  LearnerConfig config;
+  std::unique_ptr<StreamLearner> learner =
+      MustMakeLearner("Naive-NN", config, stream);
+  std::ostringstream out;
+  EXPECT_FALSE(learner->SaveState(&out).ok());  // before Begin
+  learner->Begin(stream);
+  std::istringstream garbage("not a snapshot");
+  EXPECT_FALSE(learner->LoadState(&garbage).ok());
+  std::istringstream empty("");
+  EXPECT_FALSE(learner->LoadState(&empty).ok());
+}
+
+TEST(LearnerStateTest, EpochsOneDonorEqualsEpochsKLearner) {
+  // The identity warm-start rests on: k windows of an epochs=1 learner
+  // over window 0 leave the exact state of one window of an epochs=k
+  // learner (the persistent per-learner RNG consumes the same draws in
+  // the same order). Byte-compared via SaveState.
+  PreparedStream stream = MakeSmallStream();
+  for (int k : {1, 3, 5}) {
+    LearnerConfig donor_config;
+    donor_config.seed = 11;
+    donor_config.epochs = 1;
+    std::unique_ptr<StreamLearner> donor =
+        MustMakeLearner("Naive-NN", donor_config, stream);
+    ASSERT_TRUE(donor->SupportsEpochFork());
+    donor->Begin(stream);
+    for (int epoch = 0; epoch < k; ++epoch) {
+      donor->TrainWindow(stream.windows[0]);
+    }
+
+    LearnerConfig cold_config = donor_config;
+    cold_config.epochs = k;
+    std::unique_ptr<StreamLearner> cold =
+        MustMakeLearner("Naive-NN", cold_config, stream);
+    cold->Begin(stream);
+    cold->TrainWindow(stream.windows[0]);
+
+    // The donor's state carries epochs=1 in no way that matters: only
+    // model parameters and RNG position, both identical.
+    EXPECT_EQ(SaveStateString(*donor), SaveStateString(*cold))
+        << "k=" << k;
+  }
+}
+
+TEST(ParallelSweepTest, ReReferencedDatasetSurvivesBufferRelease) {
+  // Regression: the engine used to release a dataset's stream buffers
+  // as its tasks drained, even when a *later* entry in the same
+  // manifest referenced the same dataset again. With the dedup fix the
+  // re-reference shares the first prepare (one cache hit, no second
+  // prepare) and produces identical cells. Duplicate names cannot come
+  // from TaskManifest::Build (it rejects them), so drive
+  // ParallelSweepEntries directly — its entries are positional.
+  std::vector<CorpusEntry> corpus = Corpus();
+  std::vector<CorpusEntry> entries = {corpus[0], corpus[1], corpus[0]};
+  SweepConfig config;
+  config.repeats = 2;
+  config.threads = 2;
+  config.scale = 0.02;
+  config.base_config.epochs = 2;
+  const int64_t hits_before = CounterValue("reuse.prepare_hits");
+  SweepOutcome outcome = ParallelSweepEntries(
+      entries, {"Naive-NN", "Naive-DT"}, config);
+  ASSERT_EQ(outcome.rows.size(), 3u);
+  EXPECT_EQ(outcome.streams_prepared, 2);  // A and B, not A twice
+  EXPECT_EQ(CounterValue("reuse.prepare_hits"), hits_before + 1);
+  EXPECT_EQ(outcome.tasks_failed, 0);
+
+  const SweepRow& first = outcome.rows[0];
+  const SweepRow& again = outcome.rows[2];
+  EXPECT_EQ(first.dataset, again.dataset);
+  ASSERT_EQ(first.cells.size(), again.cells.size());
+  for (size_t c = 0; c < first.cells.size(); ++c) {
+    const SweepCell& a = first.cells[c];
+    const SweepCell& b = again.cells[c];
+    EXPECT_EQ(sweep::EncodeDouble(a.repeated.loss_mean),
+              sweep::EncodeDouble(b.repeated.loss_mean));
+    EXPECT_EQ(sweep::EncodeDouble(a.repeated.loss_stddev),
+              sweep::EncodeDouble(b.repeated.loss_stddev));
+    EXPECT_EQ(a.repeated.peak_memory_bytes, b.repeated.peak_memory_bytes);
+    EXPECT_EQ(a.repeated.not_applicable, b.repeated.not_applicable);
+    EXPECT_EQ(a.failed_runs, b.failed_runs);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (size_t r = 0; r < a.runs.size(); ++r) {
+      EXPECT_EQ(sweep::EncodeDouble(a.runs[r].mean_loss),
+                sweep::EncodeDouble(b.runs[r].mean_loss));
+      ASSERT_EQ(a.runs[r].per_window_loss.size(),
+                b.runs[r].per_window_loss.size());
+      for (size_t w = 0; w < a.runs[r].per_window_loss.size(); ++w) {
+        EXPECT_EQ(sweep::EncodeDouble(a.runs[r].per_window_loss[w]),
+                  sweep::EncodeDouble(b.runs[r].per_window_loss[w]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oebench

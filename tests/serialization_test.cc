@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "common/random.h"
@@ -138,6 +140,177 @@ TEST(SerializationTest, GbdtRoundTrip) {
                        original.PredictValue(x.Row(r)));
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Round-trip fuzz: for randomized model shapes and weights — including
+// non-finite values, which operator<< prints as "nan"/"inf" tokens that
+// plain istream extraction refuses to read back — serialize ->
+// deserialize -> re-serialize must reproduce the first byte string
+// exactly. Byte-stable serialization is what lets warm-start snapshots
+// (sweep/reuse) be compared and cached as opaque strings.
+
+TEST(SerializationFuzzTest, MlpRandomizedByteStableRoundTrip) {
+  Rng rng(101);
+  for (int trial = 0; trial < 12; ++trial) {
+    MlpConfig config;
+    config.task =
+        trial % 2 == 0 ? TaskType::kRegression : TaskType::kClassification;
+    config.num_classes = 2 + static_cast<int>(rng.UniformInt(4));
+    const int depth = 1 + static_cast<int>(rng.UniformInt(3));
+    config.hidden_sizes.clear();
+    for (int l = 0; l < depth; ++l) {
+      config.hidden_sizes.push_back(2 + static_cast<int>(rng.UniformInt(6)));
+    }
+    Mlp model(config, /*seed=*/1000 + static_cast<uint64_t>(trial));
+    model.EnsureInitialized(1 + rng.UniformInt(9));
+    // Scramble the parameters across many magnitudes so the %.17g
+    // printing paths (subnormals, huge values, negative zero) all get
+    // exercised.
+    std::vector<Matrix> weights = model.weights();
+    std::vector<std::vector<double>> biases = model.biases();
+    for (Matrix& w : weights) {
+      for (double& v : w.data()) {
+        v = rng.Gaussian() * std::pow(10.0, rng.Uniform(-12.0, 12.0));
+      }
+    }
+    for (std::vector<double>& b : biases) {
+      for (double& v : b) v = rng.Gaussian(0.0, 1e6);
+    }
+    model.SetParameters(std::move(weights), std::move(biases));
+
+    const std::string first = MlpToString(model);
+    Result<Mlp> restored = MlpFromString(first);
+    ASSERT_TRUE(restored.ok()) << "trial " << trial << ": "
+                               << restored.status().ToString();
+    EXPECT_EQ(MlpToString(*restored), first) << "trial " << trial;
+  }
+}
+
+TEST(SerializationFuzzTest, MlpNonFiniteWeightsRoundTrip) {
+  MlpConfig config;
+  config.hidden_sizes = {3, 2};
+  Mlp model(config, 7);
+  model.EnsureInitialized(4);
+  std::vector<Matrix> weights = model.weights();
+  std::vector<std::vector<double>> biases = model.biases();
+  const double specials[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      -std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      -0.0,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+  };
+  size_t next = 0;
+  for (Matrix& w : weights) {
+    for (double& v : w.data()) {
+      v = specials[next++ % (sizeof(specials) / sizeof(specials[0]))];
+    }
+  }
+  biases[0][0] = std::numeric_limits<double>::quiet_NaN();
+  model.SetParameters(std::move(weights), std::move(biases));
+
+  const std::string first = MlpToString(model);
+  Result<Mlp> restored = MlpFromString(first);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(MlpToString(*restored), first);
+  // -0.0 must keep its sign bit through the trip.
+  EXPECT_NE(first.find("-0"), std::string::npos);
+}
+
+TEST(SerializationFuzzTest, DecisionTreeRandomizedByteStableRoundTrip) {
+  Rng seed_rng(202);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix x;
+    std::vector<double> y_reg;
+    std::vector<double> y_cls;
+    MakeData(300 + static_cast<uint64_t>(trial), &x, &y_reg, &y_cls);
+    DecisionTreeConfig config;
+    config.task =
+        trial % 2 == 0 ? TaskType::kRegression : TaskType::kClassification;
+    config.max_depth = 1 + static_cast<int>(seed_rng.UniformInt(10));
+    config.min_samples_leaf = 1 + static_cast<int>(seed_rng.UniformInt(4));
+    DecisionTree tree(config);
+    tree.Fit(x, config.task == TaskType::kRegression ? y_reg : y_cls);
+
+    std::ostringstream first_out;
+    tree.SerializeTo(&first_out);
+    const std::string first = first_out.str();
+    std::istringstream in(first);
+    Result<DecisionTree> restored = DecisionTree::DeserializeFrom(&in);
+    ASSERT_TRUE(restored.ok()) << "trial " << trial << ": "
+                               << restored.status().ToString();
+    std::ostringstream second_out;
+    restored->SerializeTo(&second_out);
+    EXPECT_EQ(second_out.str(), first) << "trial " << trial;
+  }
+}
+
+TEST(SerializationFuzzTest, DecisionTreeNonFiniteThresholdsRoundTrip) {
+  // Crafted text with non-finite node values, as a tree trained on
+  // exploded data would serialize. One deserialize->reserialize trip
+  // must be byte-stable including the "nan"/"inf" tokens.
+  const std::string crafted =
+      "decision_tree v1\nreg 2 12 4 2 0\n3\n"
+      "0 inf 1 2 nan\n"
+      "-1 0 -1 -1 -inf\n"
+      "-1 0 -1 -1 -0\n";
+  std::istringstream in(crafted);
+  Result<DecisionTree> restored = DecisionTree::DeserializeFrom(&in);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  std::ostringstream out;
+  restored->SerializeTo(&out);
+  std::istringstream in2(out.str());
+  Result<DecisionTree> again = DecisionTree::DeserializeFrom(&in2);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  std::ostringstream out2;
+  again->SerializeTo(&out2);
+  EXPECT_EQ(out2.str(), out.str());
+}
+
+TEST(SerializationFuzzTest, GbdtRandomizedByteStableRoundTrip) {
+  Rng seed_rng(303);
+  for (int trial = 0; trial < 8; ++trial) {
+    Matrix x;
+    std::vector<double> y_reg;
+    std::vector<double> y_cls;
+    MakeData(400 + static_cast<uint64_t>(trial), &x, &y_reg, &y_cls);
+    GbdtConfig config;
+    config.task =
+        trial % 2 == 0 ? TaskType::kRegression : TaskType::kClassification;
+    config.num_rounds = 1 + static_cast<int>(seed_rng.UniformInt(4));
+    config.max_depth = 2 + static_cast<int>(seed_rng.UniformInt(3));
+    Gbdt model(config);
+    model.Fit(x, config.task == TaskType::kRegression ? y_reg : y_cls);
+    const std::string first = GbdtToString(model);
+    Result<Gbdt> restored = GbdtFromString(first);
+    ASSERT_TRUE(restored.ok()) << "trial " << trial << ": "
+                               << restored.status().ToString();
+    EXPECT_EQ(GbdtToString(*restored), first) << "trial " << trial;
+  }
+}
+
+TEST(SerializationFuzzTest, GbdtEmptyEnsembleRoundTrip) {
+  // num_rounds = 0: a fitted model with no trees (base score only) must
+  // serialize, restore, and predict the bare base score.
+  Matrix x;
+  std::vector<double> y_reg;
+  std::vector<double> y_cls;
+  MakeData(9, &x, &y_reg, &y_cls);
+  GbdtConfig config;
+  config.num_rounds = 0;
+  Gbdt model(config);
+  model.Fit(x, y_reg);
+  ASSERT_TRUE(model.fitted());
+  const std::string first = GbdtToString(model);
+  Result<Gbdt> restored = GbdtFromString(first);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(GbdtToString(*restored), first);
+  EXPECT_EQ(restored->tree_count(), 0);
+  EXPECT_DOUBLE_EQ(restored->PredictValue(x.Row(0)),
+                   model.PredictValue(x.Row(0)));
 }
 
 TEST(SerializationTest, RejectsMalformedInput) {
