@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_micro_util.h"
 #include "common/random.h"
 #include "drift/adwin.h"
 #include "drift/hdddm.h"
@@ -108,4 +109,7 @@ BENCHMARK(BM_IsolationForestFitScore)
 }  // namespace
 }  // namespace oebench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return oebench::bench::RunMicroSuite(argc, argv,
+                                       "BENCH_micro_detectors.json");
+}

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_micro_util.h"
 #include "common/random.h"
 #include "models/decision_tree.h"
 #include "models/gbdt.h"
@@ -91,4 +92,7 @@ BENCHMARK(BM_HoeffdingTreeLearn);
 }  // namespace
 }  // namespace oebench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return oebench::bench::RunMicroSuite(argc, argv,
+                                       "BENCH_micro_models.json");
+}

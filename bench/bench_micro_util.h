@@ -1,0 +1,95 @@
+#ifndef OEBENCH_BENCH_MICRO_UTIL_H_
+#define OEBENCH_BENCH_MICRO_UTIL_H_
+
+// Shared main body for the google-benchmark micro suites
+// (bench_micro_models, bench_micro_detectors): runs the registered
+// benchmarks with the usual console output, mirrors every run's timing
+// into the global MetricsRegistry, and dumps a BENCH_micro_<suite>.json
+// snapshot through the same metrics JSON writer the sweep and serve
+// drivers use — so micro numbers can be rolled up / diffed with the
+// same tooling (RollupMetricsFiles, MergeMetricsSnapshots) as
+// everything else. The OEBENCH_MICRO_METRICS_OUT environment variable
+// overrides the output path; set it to an empty string to skip the
+// dump entirely.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+
+namespace oebench {
+namespace bench {
+
+/// ConsoleReporter that additionally records each per-iteration run
+/// into the process registry as `micro.<benchmark name>.*` gauges plus
+/// one shared per-iteration latency histogram (which exercises the
+/// sub-millisecond DefaultLatencyBounds buckets — micro kernels are
+/// µs-scale).
+class MetricsMirrorReporter : public ::benchmark::ConsoleReporter {
+ public:
+  using ::benchmark::ConsoleReporter::ConsoleReporter;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    MetricsRegistry* registry = MetricsRegistry::Global();
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      const std::string base = "micro." + run.benchmark_name();
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      const double real_per_iter = run.real_accumulated_time / iters;
+      registry->GetGauge(base + ".real_seconds_per_iter")
+          ->Set(real_per_iter);
+      registry->GetGauge(base + ".cpu_seconds_per_iter")
+          ->Set(run.cpu_accumulated_time / iters);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        registry->GetGauge(base + ".items_per_second")
+            ->Set(items->second.value);
+      }
+      registry->GetHistogram("micro.real_seconds_per_iter")
+          ->Record(real_per_iter);
+      registry->GetCounter("micro.benchmarks")->Increment();
+    }
+  }
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body. `default_out` names
+/// the snapshot file written next to the working directory (e.g.
+/// "BENCH_micro_models.json").
+inline int RunMicroSuite(int argc, char** argv,
+                         const std::string& default_out) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  MetricsMirrorReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+
+  std::string out = default_out;
+  if (const char* env = std::getenv("OEBENCH_MICRO_METRICS_OUT")) {
+    out = env;
+  }
+  if (out.empty()) return 0;
+  const MetricsSnapshot snapshot = MetricsRegistry::Global()->Snapshot();
+  const Status status =
+      WriteMetricsFile(out, snapshot, /*deterministic=*/false);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write metrics to %s: %s\n", out.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("metrics written to %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace oebench
+
+#endif  // OEBENCH_BENCH_MICRO_UTIL_H_

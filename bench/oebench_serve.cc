@@ -1,0 +1,595 @@
+// oebench_serve — the online serving daemon driver: hosts N live
+// streams (thousands per process) on the serve engine, replays the
+// streamgen corpus through the seeded load generator, and reports
+// p50/p95/p99 per-record/per-window latency, throughput, drops and
+// queue depth as a JSON metrics snapshot on shutdown.
+//
+// --selfcheck proves the acceptance property: for a deterministic
+// schedule, every session's prequential outputs are bit-identical to
+// batch RunPrequential — across --workers=1 vs 4, fault-free and with
+// chaos-injected slow activations.
+//
+// Exit codes: 0 success, 1 runtime/selfcheck failure, 2 bad flags.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "serve/load_gen.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "streamgen/corpus.h"
+#include "streamgen/stream_generator.h"
+#include "sweep/result_log.h"
+
+namespace oebench {
+namespace {
+
+struct ServeFlags {
+  int streams = 64;
+  int workers = 4;
+  double rate = 20000.0;
+  int64_t burst = 1;
+  /// Serve only the first N windows of every stream (0 = all).
+  int duration_windows = 3;
+  int ring_capacity = 1024;
+  int producers = 2;
+  int64_t quantum = 64;
+  int64_t max_inflight = 0;
+  serve::AdmissionPolicy admission = serve::AdmissionPolicy::kBlock;
+  bool paced = false;
+  double scale = 0.05;
+  uint64_t seed = 1;
+  int epochs = 0;  // 0 = learner default
+  /// "mix" round-robins Naive-DT / Naive-GBDT; otherwise a fixed name.
+  std::string learner = "mix";
+  int64_t slow_every = 0;
+  int64_t slow_ms = 0;
+  std::string metrics_out;
+  bool deterministic_metrics = false;
+  bool selfcheck = false;
+};
+
+[[noreturn]] void UsageAndExit(const char* argv0, const std::string& error) {
+  std::fprintf(stderr, "%s: %s\n\n", argv0, error.c_str());
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --streams=N          concurrent live streams (>= 1, default 64)\n"
+      "  --workers=N          pipeline worker threads (>= 1, default 4)\n"
+      "  --rate=F             mean records/sec per stream on the virtual\n"
+      "                       schedule (> 0, default 20000)\n"
+      "  --burst=N            records per arrival event (>= 1)\n"
+      "  --duration-windows=N serve only the first N windows per stream\n"
+      "                       (>= 0; 0 = whole stream, default 3)\n"
+      "  --ring-capacity=N    per-stream ring slots (>= 2, rounded up to\n"
+      "                       a power of two, default 1024)\n"
+      "  --producers=N        load-generator threads (>= 1, default 2)\n"
+      "  --quantum=N          records a session drains per activation\n"
+      "                       (>= 1, default 64)\n"
+      "  --max-inflight=N     global cap on queued records (>= 0;\n"
+      "                       0 = unlimited)\n"
+      "  --admission=POLICY   block (retry until accepted, default) or\n"
+      "                       drop (count kOverloaded and move on)\n"
+      "  --paced              pace offers to the virtual-time schedule\n"
+      "                       (default: replay at full speed)\n"
+      "  --scale=F            fraction of published instance counts\n"
+      "  --seed=N             schedule + learner base seed\n"
+      "  --epochs=N           training epochs (0 = learner default)\n"
+      "  --learner=NAME       mix (Naive-DT/Naive-GBDT round-robin,\n"
+      "                       default) or one fixed learner name\n"
+      "  --chaos-slow=N:MS    sleep MS milliseconds on every N-th\n"
+      "                       activation (scheduling chaos)\n"
+      "  --metrics-out=PATH   dump the JSON metrics snapshot here\n"
+      "  --deterministic-metrics\n"
+      "                       emit only deterministic counter sections\n"
+      "  --selfcheck          verify serve == batch bit-identity across\n"
+      "                       workers 1/4, fault-free and chaos-slow\n"
+      "Flags take --flag=value or --flag value.\n",
+      argv0);
+  std::exit(2);
+}
+
+ServeFlags ParseServeFlags(int argc, char** argv) {
+  ServeFlags flags;
+  auto fail = [&](const std::string& msg) { UsageAndExit(argv[0], msg); };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) fail("unexpected argument '" + arg + "'");
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (size_t eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto need_value = [&]() -> std::string {
+      if (has_value) return value;
+      if (i + 1 >= argc) fail("--" + name + " needs a value");
+      return argv[++i];
+    };
+    auto int_value = [&](int64_t min_value) -> int64_t {
+      std::string text = need_value();
+      int64_t parsed = 0;
+      if (!ParseInt64(text, &parsed) || parsed < min_value ||
+          parsed > 1000000000) {
+        fail("--" + name + " needs an integer >= " +
+             StrFormat("%lld", static_cast<long long>(min_value)) +
+             ", got '" + text + "'");
+      }
+      return parsed;
+    };
+    auto no_value = [&] {
+      if (has_value) fail("--" + name + " takes no value");
+    };
+    if (name == "streams") {
+      flags.streams = static_cast<int>(int_value(1));
+    } else if (name == "workers") {
+      flags.workers = static_cast<int>(int_value(1));
+    } else if (name == "rate") {
+      std::string text = need_value();
+      double parsed = 0.0;
+      if (!ParseDouble(text, &parsed) || !(parsed > 0.0)) {
+        fail("--rate needs a number > 0, got '" + text + "'");
+      }
+      flags.rate = parsed;
+    } else if (name == "burst") {
+      flags.burst = int_value(1);
+    } else if (name == "duration-windows") {
+      flags.duration_windows = static_cast<int>(int_value(0));
+    } else if (name == "ring-capacity") {
+      flags.ring_capacity = static_cast<int>(int_value(2));
+    } else if (name == "producers") {
+      flags.producers = static_cast<int>(int_value(1));
+    } else if (name == "quantum") {
+      flags.quantum = int_value(1);
+    } else if (name == "max-inflight") {
+      flags.max_inflight = int_value(0);
+    } else if (name == "admission") {
+      std::string text = need_value();
+      if (text == "block") {
+        flags.admission = serve::AdmissionPolicy::kBlock;
+      } else if (text == "drop") {
+        flags.admission = serve::AdmissionPolicy::kDrop;
+      } else {
+        fail("--admission must be block or drop, got '" + text + "'");
+      }
+    } else if (name == "paced") {
+      no_value();
+      flags.paced = true;
+    } else if (name == "scale") {
+      std::string text = need_value();
+      double parsed = 0.0;
+      if (!ParseDouble(text, &parsed) || !(parsed >= 0.0)) {
+        fail("--scale needs a number >= 0, got '" + text + "'");
+      }
+      flags.scale = parsed;
+    } else if (name == "seed") {
+      std::string text = need_value();
+      if (!ParseUint64(text, &flags.seed)) {
+        fail("--seed needs an unsigned integer, got '" + text + "'");
+      }
+    } else if (name == "epochs") {
+      flags.epochs = static_cast<int>(int_value(0));
+    } else if (name == "learner") {
+      std::string text = need_value();
+      if (text != "mix") {
+        // Validate against the known learner names up front (strict CLI
+        // contract); task compatibility is checked at session init.
+        std::vector<std::string> known =
+            AllLearnerNames(TaskType::kClassification);
+        std::vector<std::string> extended =
+            ExtendedLearnerNames(TaskType::kClassification);
+        known.insert(known.end(), extended.begin(), extended.end());
+        if (std::find(known.begin(), known.end(), text) == known.end()) {
+          fail("--learner: unknown learner '" + text + "'");
+        }
+      }
+      flags.learner = text;
+    } else if (name == "chaos-slow") {
+      std::string text = need_value();
+      size_t colon = text.find(':');
+      int64_t every = 0;
+      int64_t ms = 0;
+      if (colon == std::string::npos ||
+          !ParseInt64(text.substr(0, colon), &every) ||
+          !ParseInt64(text.substr(colon + 1), &ms) || every < 1 || ms < 1) {
+        fail("--chaos-slow needs N:MS with N >= 1, MS >= 1, got '" + text +
+             "'");
+      }
+      flags.slow_every = every;
+      flags.slow_ms = ms;
+    } else if (name == "metrics-out") {
+      flags.metrics_out = need_value();
+    } else if (name == "deterministic-metrics") {
+      no_value();
+      flags.deterministic_metrics = true;
+    } else if (name == "selfcheck") {
+      no_value();
+      flags.selfcheck = true;
+    } else {
+      fail("unknown flag --" + name);
+    }
+  }
+  if (flags.deterministic_metrics && flags.metrics_out.empty()) {
+    fail("--deterministic-metrics only applies to --metrics-out");
+  }
+  return flags;
+}
+
+/// The learner serving stream index `i` under the round-robin mix.
+std::string LearnerForStream(const ServeFlags& flags, size_t i) {
+  if (flags.learner != "mix") return flags.learner;
+  static const char* kMix[] = {"Naive-DT", "Naive-GBDT"};
+  return kMix[i % 2];
+}
+
+LearnerConfig ConfigForStream(const ServeFlags& flags, size_t i) {
+  LearnerConfig config;
+  config.seed = flags.seed + static_cast<uint64_t>(i);
+  if (flags.epochs > 0) config.epochs = flags.epochs;
+  return config;
+}
+
+/// Generates the raw streams for the run — corpus entries cycled, each
+/// stream salted with its index so no two streams are identical.
+Result<std::vector<std::shared_ptr<const GeneratedStream>>> GenerateStreams(
+    const ServeFlags& flags) {
+  const std::vector<CorpusEntry>& corpus = Corpus();
+  std::vector<std::shared_ptr<const GeneratedStream>> streams;
+  streams.reserve(static_cast<size_t>(flags.streams));
+  for (int i = 0; i < flags.streams; ++i) {
+    const CorpusEntry& entry =
+        corpus[static_cast<size_t>(i) % corpus.size()];
+    StreamSpec spec = SpecFromEntry(entry, flags.scale,
+                                    /*seed_salt=*/static_cast<uint64_t>(i));
+    OE_ASSIGN_OR_RETURN(GeneratedStream stream, GenerateStream(spec));
+    streams.push_back(
+        std::make_shared<const GeneratedStream>(std::move(stream)));
+  }
+  return streams;
+}
+
+serve::SessionOptions SessionOptionsForStream(const ServeFlags& flags,
+                                              size_t i) {
+  serve::SessionOptions options;
+  options.ring_capacity = static_cast<size_t>(flags.ring_capacity);
+  options.max_windows = static_cast<size_t>(flags.duration_windows);
+  options.learner = LearnerForStream(flags, i);
+  options.learner_config = ConfigForStream(flags, i);
+  return options;
+}
+
+/// Builds and Init()s every session, in parallel (init cost is the
+/// stream-global pipeline prefix: one-hot, windows, oracle impute).
+Result<std::vector<std::unique_ptr<serve::StreamSession>>> InitSessions(
+    const ServeFlags& flags,
+    const std::vector<std::shared_ptr<const GeneratedStream>>& streams) {
+  std::vector<std::unique_ptr<serve::StreamSession>> sessions(
+      streams.size());
+  std::vector<Status> statuses(streams.size(), Status::OK());
+  {
+    ThreadPool pool(std::min(ThreadPool::HardwareThreads(),
+                             static_cast<int>(streams.size())));
+    std::vector<std::future<void>> futures;
+    futures.reserve(streams.size());
+    for (size_t i = 0; i < streams.size(); ++i) {
+      futures.push_back(pool.Submit([&, i] {
+        auto session = std::make_unique<serve::StreamSession>(
+            static_cast<int64_t>(i), streams[i],
+            SessionOptionsForStream(flags, i));
+        statuses[i] = session->Init();
+        sessions[i] = std::move(session);
+      }));
+    }
+    for (std::future<void>& f : futures) f.get();
+  }
+  for (size_t i = 0; i < streams.size(); ++i) {
+    if (!statuses[i].ok()) {
+      return Status(statuses[i].code(),
+                    "session " + StrFormat("%zu", i) + " (" +
+                        streams[i]->spec.name +
+                        "): " + statuses[i].message());
+    }
+  }
+  return sessions;
+}
+
+serve::ServerOptions EngineOptions(const ServeFlags& flags) {
+  serve::ServerOptions options;
+  options.workers = flags.workers;
+  options.quantum = flags.quantum;
+  options.max_inflight = flags.max_inflight;
+  options.slow_every = flags.slow_every;
+  options.slow_ms = flags.slow_ms;
+  return options;
+}
+
+serve::LoadGenOptions LoadOptions(const ServeFlags& flags) {
+  serve::LoadGenOptions options;
+  options.rate = flags.rate;
+  options.burst = flags.burst;
+  options.seed = flags.seed;
+  options.producers = flags.producers;
+  options.paced = flags.paced;
+  options.admission = flags.admission;
+  return options;
+}
+
+/// Bit-exact dump of one prequential outcome — the serve-vs-batch
+/// comparison key. Wall-clock fields are deliberately excluded.
+std::string DumpResult(const EvalResult& result) {
+  std::string out = result.learner + "|" + result.dataset + "|" +
+                    StrFormat("%lld", static_cast<long long>(
+                                          result.items_processed)) +
+                    "|" +
+                    StrFormat("%lld", static_cast<long long>(
+                                          result.peak_memory_bytes)) +
+                    "|" + sweep::EncodeDouble(result.mean_loss) + "|" +
+                    sweep::EncodeDouble(result.faded_loss) + "|";
+  for (size_t i = 0; i < result.per_window_loss.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sweep::EncodeDouble(result.per_window_loss[i]);
+  }
+  return out;
+}
+
+/// One full serve pass over pre-generated streams; returns per-session
+/// result dumps in stream order.
+Result<std::vector<std::string>> RunServe(
+    const ServeFlags& flags,
+    const std::vector<std::shared_ptr<const GeneratedStream>>& streams,
+    serve::LoadStats* stats_out) {
+  OE_ASSIGN_OR_RETURN(
+      std::vector<std::unique_ptr<serve::StreamSession>> sessions,
+      InitSessions(flags, streams));
+  serve::ServeEngine engine(EngineOptions(flags));
+  for (std::unique_ptr<serve::StreamSession>& session : sessions) {
+    engine.AddSession(std::move(session));
+  }
+  serve::LoadStats stats = RunLoadGenerator(&engine, LoadOptions(flags));
+  engine.WaitAllFinished();
+  OE_RETURN_NOT_OK(engine.first_error());
+  if (stats_out != nullptr) *stats_out = stats;
+  std::vector<std::string> dumps;
+  dumps.reserve(engine.num_sessions());
+  for (size_t i = 0; i < engine.num_sessions(); ++i) {
+    dumps.push_back(DumpResult(engine.session(i)->result()));
+  }
+  return dumps;
+}
+
+/// Batch reference: PrepareStream + RunPrequential, truncated to the
+/// same --duration-windows prefix the sessions serve.
+Result<std::vector<std::string>> RunBatchReference(
+    const ServeFlags& flags,
+    const std::vector<std::shared_ptr<const GeneratedStream>>& streams) {
+  std::vector<std::string> dumps;
+  dumps.reserve(streams.size());
+  for (size_t i = 0; i < streams.size(); ++i) {
+    serve::SessionOptions options = SessionOptionsForStream(flags, i);
+    OE_ASSIGN_OR_RETURN(PreparedStream prepared,
+                        PrepareStream(*streams[i], options.pipeline));
+    if (options.max_windows > 0 &&
+        prepared.windows.size() > options.max_windows) {
+      prepared.windows.resize(options.max_windows);
+      prepared.ranges.resize(options.max_windows);
+    }
+    OE_ASSIGN_OR_RETURN(
+        std::unique_ptr<StreamLearner> learner,
+        MakeLearner(options.learner, options.learner_config, prepared.task,
+                    prepared.num_classes));
+    EvalResult result = RunPrequential(learner.get(), prepared);
+    dumps.push_back(DumpResult(result));
+  }
+  return dumps;
+}
+
+int CompareDumps(const std::string& label,
+                 const std::vector<std::string>& expected,
+                 const std::vector<std::string>& actual) {
+  if (expected.size() != actual.size()) {
+    std::fprintf(stderr, "SELFCHECK FAIL [%s]: %zu vs %zu sessions\n",
+                 label.c_str(), expected.size(), actual.size());
+    return 1;
+  }
+  int mismatches = 0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i] != actual[i]) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "SELFCHECK FAIL [%s] session %zu:\n  batch: %s\n  "
+                   "serve: %s\n",
+                   label.c_str(), i, expected[i].c_str(),
+                   actual[i].c_str());
+    }
+  }
+  if (mismatches == 0) {
+    std::printf("selfcheck [%s]: %zu sessions bit-identical to batch\n",
+                label.c_str(), expected.size());
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
+/// --selfcheck: the ISSUE acceptance property, as a CLI mode so the
+/// smoke ctest (and any user) can verify a build end-to-end.
+int RunSelfCheck(ServeFlags flags) {
+  // Bit-identity needs every record delivered: force the block policy.
+  flags.admission = serve::AdmissionPolicy::kBlock;
+  Result<std::vector<std::shared_ptr<const GeneratedStream>>> streams =
+      GenerateStreams(flags);
+  if (!streams.ok()) {
+    std::fprintf(stderr, "stream generation failed: %s\n",
+                 streams.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<std::string>> batch =
+      RunBatchReference(flags, *streams);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "batch reference failed: %s\n",
+                 batch.status().ToString().c_str());
+    return 1;
+  }
+  struct Variant {
+    const char* label;
+    int workers;
+    int64_t slow_every;
+    int64_t slow_ms;
+  };
+  const Variant variants[] = {
+      {"workers=1", 1, 0, 0},
+      {"workers=4", 4, 0, 0},
+      {"workers=4+chaos-slow", 4, 3, 2},
+  };
+  int rc = 0;
+  for (const Variant& variant : variants) {
+    ServeFlags run = flags;
+    run.workers = variant.workers;
+    run.slow_every = variant.slow_every;
+    run.slow_ms = variant.slow_ms;
+    Result<std::vector<std::string>> serve =
+        RunServe(run, *streams, nullptr);
+    if (!serve.ok()) {
+      std::fprintf(stderr, "serve run [%s] failed: %s\n", variant.label,
+                   serve.status().ToString().c_str());
+      return 1;
+    }
+    rc |= CompareDumps(variant.label, *batch, *serve);
+  }
+  if (rc == 0) std::printf("SELFCHECK PASSED\n");
+  return rc;
+}
+
+/// Publishes the shutdown report: latency quantiles as gauges, a
+/// human-readable summary on stdout, optional JSON snapshot.
+int Report(const ServeFlags& flags, const serve::LoadStats& stats,
+           double wall_seconds) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  const MetricsSnapshot snap = metrics->Snapshot();
+  auto counter = [&](const char* name) -> int64_t {
+    auto it = snap.counters.find(name);
+    if (it != snap.counters.end()) return it->second;
+    auto vit = snap.volatile_counters.find(name);
+    return vit != snap.volatile_counters.end() ? vit->second : 0;
+  };
+  auto histogram = [&](const char* name) -> HistogramSnapshot {
+    auto it = snap.histograms.find(name);
+    return it != snap.histograms.end() ? it->second : HistogramSnapshot();
+  };
+  const HistogramSnapshot record_latency =
+      histogram("serve.record_latency_seconds");
+  const HistogramSnapshot window_latency =
+      histogram("serve.window_latency_seconds");
+  const double record_p50 = serve::QuantileFromHistogram(record_latency, 0.50);
+  const double record_p95 = serve::QuantileFromHistogram(record_latency, 0.95);
+  const double record_p99 = serve::QuantileFromHistogram(record_latency, 0.99);
+  const double window_p50 = serve::QuantileFromHistogram(window_latency, 0.50);
+  const double window_p95 = serve::QuantileFromHistogram(window_latency, 0.95);
+  const double window_p99 = serve::QuantileFromHistogram(window_latency, 0.99);
+  metrics->GetGauge("serve.record_latency_p50")->Set(record_p50);
+  metrics->GetGauge("serve.record_latency_p95")->Set(record_p95);
+  metrics->GetGauge("serve.record_latency_p99")->Set(record_p99);
+  metrics->GetGauge("serve.window_latency_p50")->Set(window_p50);
+  metrics->GetGauge("serve.window_latency_p95")->Set(window_p95);
+  metrics->GetGauge("serve.window_latency_p99")->Set(window_p99);
+  const int64_t records = counter("serve.records");
+  const int64_t items = counter("serve.items");
+  const double record_rate =
+      wall_seconds > 0.0 ? static_cast<double>(records) / wall_seconds : 0.0;
+  metrics->GetGauge("serve.records_per_second")->Set(record_rate);
+
+  bench::PrintHeader(
+      "oebench_serve",
+      StrFormat("%d streams x %d workers, %s admission",
+                flags.streams, flags.workers,
+                flags.admission == serve::AdmissionPolicy::kBlock
+                    ? "block"
+                    : "drop"));
+  std::printf("offered    %lld records (accepted %lld, dropped %lld)\n",
+              static_cast<long long>(stats.offered),
+              static_cast<long long>(stats.accepted),
+              static_cast<long long>(stats.dropped));
+  std::printf("consumed   %lld records -> %lld trained items, "
+              "%lld windows (%lld lost)\n",
+              static_cast<long long>(records),
+              static_cast<long long>(items),
+              static_cast<long long>(counter("serve.windows")),
+              static_cast<long long>(counter("serve.windows_lost")));
+  std::printf("throughput %.0f records/s over %.3f s wall\n", record_rate,
+              wall_seconds);
+  std::printf("latency    record p50 %.1f us, p95 %.1f us, p99 %.1f us\n",
+              record_p50 * 1e6, record_p95 * 1e6, record_p99 * 1e6);
+  std::printf("           window p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+              window_p50 * 1e3, window_p95 * 1e3, window_p99 * 1e3);
+  std::printf("overload   drops_overloaded %lld, drops_inflight %lld, "
+              "queue_depth_peak %.0f\n",
+              static_cast<long long>(counter("serve.drops_overloaded")),
+              static_cast<long long>(counter("serve.drops_inflight")),
+              [&] {
+                auto it = snap.gauges.find("serve.queue_depth_peak");
+                return it != snap.gauges.end() ? it->second : 0.0;
+              }());
+
+  if (!flags.metrics_out.empty()) {
+    Status written = bench::WriteMetricsFile(
+        flags.metrics_out, metrics->Snapshot(), flags.deterministic_metrics);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write metrics to %s: %s\n",
+                   flags.metrics_out.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+  }
+  // Shutdown-report invariant: a run that consumed records must have
+  // measured nonzero latency quantiles for them.
+  if (records > 0 && !(record_p50 > 0.0 && record_p99 > 0.0)) {
+    std::fprintf(stderr,
+                 "report invariant violated: %lld records consumed but "
+                 "p50=%g p99=%g\n",
+                 static_cast<long long>(records), record_p50, record_p99);
+    return 1;
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  ServeFlags flags = ParseServeFlags(argc, argv);
+  if (flags.selfcheck) return RunSelfCheck(flags);
+
+  Result<std::vector<std::shared_ptr<const GeneratedStream>>> streams =
+      GenerateStreams(flags);
+  if (!streams.ok()) {
+    std::fprintf(stderr, "stream generation failed: %s\n",
+                 streams.status().ToString().c_str());
+    return 1;
+  }
+  serve::LoadStats stats;
+  const auto wall_start = std::chrono::steady_clock::now();
+  Result<std::vector<std::string>> dumps =
+      RunServe(flags, *streams, &stats);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (!dumps.ok()) {
+    std::fprintf(stderr, "serve run failed: %s\n",
+                 dumps.status().ToString().c_str());
+    return 1;
+  }
+  return Report(flags, stats, wall_seconds);
+}
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) { return oebench::Main(argc, argv); }

@@ -27,8 +27,13 @@ void Gauge::SetMax(double v) {
 }
 
 const std::vector<double>& DefaultLatencyBounds() {
+  // 100 ns .. 1 ms at 1/2.5/5 per decade — per-record serving latencies
+  // are microseconds, and with decade-only buckets they would all
+  // collapse into one bucket and quantile interpolation would be
+  // meaningless — then decades up to 100 s for window/batch timings.
   static const std::vector<double> kBounds = {
-      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+      1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+      1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2,   0.1,  1.0,  10.0,   100.0};
   return kBounds;
 }
 

@@ -8,8 +8,6 @@
 #include "common/random.h"
 #include "outlier/ecod.h"
 #include "outlier/isolation_forest.h"
-#include "preprocess/imputer.h"
-#include "preprocess/normalizer.h"
 #include "preprocess/one_hot.h"
 
 namespace oebench {
@@ -37,12 +35,17 @@ double SecondsSince(std::chrono::steady_clock::time_point begin) {
 
 }  // namespace
 
-Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
-                                     const PipelineOptions& options) {
-  // Imputation and outlier-detection time accumulate across the whole
-  // stream and land in the registry as one sample per prepared stream.
-  double impute_seconds = 0.0;
-  double detect_seconds = 0.0;
+PreparedStream StreamContext::Header() const {
+  PreparedStream out;
+  out.name = name;
+  out.task = task;
+  out.num_classes = num_classes;
+  out.feature_names = feature_names;
+  return out;
+}
+
+Result<StreamContext> BuildStreamContext(const GeneratedStream& stream,
+                                         const PipelineOptions& options) {
   Table table = stream.table;
   if (options.shuffle) {
     Rng rng(options.shuffle_seed);
@@ -62,11 +65,12 @@ Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
   OE_ASSIGN_OR_RETURN(Table encoded, encoder.Transform(features));
   OE_ASSIGN_OR_RETURN(Matrix x, encoded.ToMatrix());
 
-  PreparedStream out;
-  out.name = stream.spec.name;
-  out.task = stream.spec.task;
-  out.num_classes = stream.spec.num_classes;
-  out.feature_names = encoded.ColumnNames();
+  StreamContext ctx;
+  ctx.name = stream.spec.name;
+  ctx.task = stream.spec.task;
+  ctx.num_classes = stream.spec.num_classes;
+  ctx.feature_names = encoded.ColumnNames();
+  ctx.options = options;
 
   // Optionally discard chronically missing features (Figure 5 "Discard").
   if (options.discard_missing_above > 0.0) {
@@ -81,7 +85,7 @@ Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
           static_cast<double>(missing) / static_cast<double>(x.rows());
       if (ratio <= options.discard_missing_above) {
         kept.push_back(c);
-        kept_names.push_back(out.feature_names[static_cast<size_t>(c)]);
+        kept_names.push_back(ctx.feature_names[static_cast<size_t>(c)]);
       }
     }
     if (kept.empty()) {
@@ -89,7 +93,7 @@ Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
           "discard_missing_above removed every feature");
     }
     x = x.SelectCols(kept);
-    out.feature_names = std::move(kept_names);
+    ctx.feature_names = std::move(kept_names);
   }
 
   // Window layout (§4.3 step 6, window factor from §6.4.2).
@@ -97,104 +101,164 @@ Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
       10, static_cast<int64_t>(std::llround(
               static_cast<double>(stream.spec.window_size) *
               options.window_factor)));
-  OE_ASSIGN_OR_RETURN(std::vector<WindowRange> ranges,
-                      MakeWindows(x.rows(), window_size));
+  OE_ASSIGN_OR_RETURN(ctx.ranges, MakeWindows(x.rows(), window_size));
 
-  // Oracle-scope imputation sees the whole stream up front.
-  OE_ASSIGN_OR_RETURN(std::unique_ptr<Imputer> imputer,
-                      MakeImputer(options.imputer, options.knn_k));
+  // Oracle-scope imputation sees the whole stream up front; per-window
+  // imputation belongs to the WindowPipeline (whose Create also
+  // validates the strategy name — same error either way).
   if (options.impute_scope == ImputeScope::kOracle) {
+    OE_ASSIGN_OR_RETURN(std::unique_ptr<Imputer> imputer,
+                        MakeImputer(options.imputer, options.knn_k));
     const auto t0 = std::chrono::steady_clock::now();
     OE_RETURN_NOT_OK(imputer->Fit(x));
     OE_RETURN_NOT_OK(imputer->Transform(&x));
-    impute_seconds += SecondsSince(t0);
+    ctx.oracle_impute_seconds += SecondsSince(t0);
   }
 
-  // First-window statistics drive normalisation (§6.1).
-  Normalizer feature_norm;
-  Normalizer target_norm;
-  bool regression = out.task == TaskType::kRegression;
+  ctx.x = std::move(x);
+  ctx.target = std::move(target);
+  return ctx;
+}
 
-  for (size_t w = 0; w < ranges.size(); ++w) {
-    const WindowRange& range = ranges[w];
-    WindowData window;
-    window.features = x.Slice(range.begin, range.end);
-    window.targets.assign(target.begin() + range.begin,
-                          target.begin() + range.end);
+Result<std::unique_ptr<WindowPipeline>> WindowPipeline::Create(
+    const PipelineOptions& options) {
+  std::unique_ptr<WindowPipeline> pipeline(new WindowPipeline(options));
+  OE_ASSIGN_OR_RETURN(pipeline->imputer_,
+                      MakeImputer(options.imputer, options.knn_k));
+  return pipeline;
+}
 
-    if (options.impute_scope == ImputeScope::kPerWindow) {
-      const auto t0 = std::chrono::steady_clock::now();
-      OE_RETURN_NOT_OK(imputer->Fit(window.features));
-      OE_RETURN_NOT_OK(imputer->Transform(&window.features));
-      impute_seconds += SecondsSince(t0);
-    }
-    if (options.normalize) {
-      if (w == 0) {
-        OE_RETURN_NOT_OK(feature_norm.Fit(window.features));
-        if (regression) {
-          Matrix t(static_cast<int64_t>(window.targets.size()), 1);
-          for (size_t i = 0; i < window.targets.size(); ++i) {
-            t.At(static_cast<int64_t>(i), 0) = window.targets[i];
-          }
-          OE_RETURN_NOT_OK(target_norm.Fit(t));
-        }
-      }
-      feature_norm.Transform(&window.features);
-      if (regression) {
-        for (double& v : window.targets) {
-          v = target_norm.TransformValue(0, v);
-        }
-      }
-    }
+Result<WindowData> WindowPipeline::PrepareWindow(const StreamContext& ctx,
+                                                 size_t w) {
+  if (w >= ctx.ranges.size()) {
+    return Status::InvalidArgument("window index out of range");
+  }
+  const WindowRange& range = ctx.ranges[w];
+  WindowData window;
+  window.features = ctx.x.Slice(range.begin, range.end);
+  window.targets.assign(ctx.target.begin() + range.begin,
+                        ctx.target.begin() + range.end);
+  return Prepare(ctx, w, std::move(window));
+}
 
-    // Per-window outlier removal (Figure 16) happens after imputation and
-    // normalisation so the detector sees what the model would see.
-    if (!options.outlier_removal.empty() && window.features.rows() >= 8) {
-      const auto t0 = std::chrono::steady_clock::now();
-      std::vector<double> scores;
-      if (options.outlier_removal == "ecod") {
-        Ecod detector;
-        OE_ASSIGN_OR_RETURN(scores, detector.FitScore(window.features));
-      } else if (options.outlier_removal == "iforest") {
-        IsolationForest::Options ifo;
-        ifo.num_trees = 50;
-        ifo.seed = 13 + w;
-        IsolationForest detector(ifo);
-        OE_ASSIGN_OR_RETURN(scores, detector.FitScore(window.features));
-      } else {
-        return Status::InvalidArgument("unknown outlier_removal '" +
-                                       options.outlier_removal + "'");
-      }
-      std::vector<bool> mask = ThresholdOutliers(scores);
-      std::vector<int64_t> keep;
-      for (int64_t r = 0; r < window.features.rows(); ++r) {
-        if (!mask[static_cast<size_t>(r)]) keep.push_back(r);
-      }
-      if (!keep.empty() &&
-          keep.size() < static_cast<size_t>(window.features.rows())) {
-        Matrix pruned = window.features.SelectRows(keep);
-        std::vector<double> pruned_targets;
-        pruned_targets.reserve(keep.size());
-        for (int64_t r : keep) {
-          pruned_targets.push_back(
-              window.targets[static_cast<size_t>(r)]);
-        }
-        window.features = std::move(pruned);
-        window.targets = std::move(pruned_targets);
-      }
-      detect_seconds += SecondsSince(t0);
+Result<WindowData> WindowPipeline::PrepareWindowRows(
+    const StreamContext& ctx, size_t w, const std::vector<int64_t>& rows) {
+  if (w >= ctx.ranges.size()) {
+    return Status::InvalidArgument("window index out of range");
+  }
+  const WindowRange& range = ctx.ranges[w];
+  // The full contiguous range takes the exact batch path (Slice), so a
+  // loss-free serving run is bit-identical to PrepareStream by
+  // construction; only a window with gaps selects rows individually.
+  if (static_cast<int64_t>(rows.size()) == range.size()) {
+    return PrepareWindow(ctx, w);
+  }
+  WindowData window;
+  window.features = ctx.x.SelectRows(rows);
+  window.targets.reserve(rows.size());
+  for (int64_t r : rows) {
+    if (r < range.begin || r >= range.end) {
+      return Status::InvalidArgument("row outside its window range");
     }
+    window.targets.push_back(ctx.target[static_cast<size_t>(r)]);
+  }
+  return Prepare(ctx, w, std::move(window));
+}
+
+Result<WindowData> WindowPipeline::Prepare(const StreamContext& ctx,
+                                           size_t w, WindowData window) {
+  const PipelineOptions& options = options_;
+  if (options.impute_scope == ImputeScope::kPerWindow) {
+    const auto t0 = std::chrono::steady_clock::now();
+    OE_RETURN_NOT_OK(imputer_->Fit(window.features));
+    OE_RETURN_NOT_OK(imputer_->Transform(&window.features));
+    impute_seconds_ += SecondsSince(t0);
+  }
+  if (options.normalize) {
+    // First-window statistics drive normalisation (§6.1).
+    if (!norm_fitted_) {
+      norm_fitted_ = true;
+      OE_RETURN_NOT_OK(feature_norm_.Fit(window.features));
+      if (ctx.task == TaskType::kRegression) {
+        Matrix t(static_cast<int64_t>(window.targets.size()), 1);
+        for (size_t i = 0; i < window.targets.size(); ++i) {
+          t.At(static_cast<int64_t>(i), 0) = window.targets[i];
+        }
+        OE_RETURN_NOT_OK(target_norm_.Fit(t));
+      }
+    }
+    feature_norm_.Transform(&window.features);
+    if (ctx.task == TaskType::kRegression) {
+      for (double& v : window.targets) {
+        v = target_norm_.TransformValue(0, v);
+      }
+    }
+  }
+
+  // Per-window outlier removal (Figure 16) happens after imputation and
+  // normalisation so the detector sees what the model would see.
+  if (!options.outlier_removal.empty() && window.features.rows() >= 8) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<double> scores;
+    if (options.outlier_removal == "ecod") {
+      Ecod detector;
+      OE_ASSIGN_OR_RETURN(scores, detector.FitScore(window.features));
+    } else if (options.outlier_removal == "iforest") {
+      IsolationForest::Options ifo;
+      ifo.num_trees = 50;
+      ifo.seed = 13 + w;
+      IsolationForest detector(ifo);
+      OE_ASSIGN_OR_RETURN(scores, detector.FitScore(window.features));
+    } else {
+      return Status::InvalidArgument("unknown outlier_removal '" +
+                                     options.outlier_removal + "'");
+    }
+    std::vector<bool> mask = ThresholdOutliers(scores);
+    std::vector<int64_t> keep;
+    for (int64_t r = 0; r < window.features.rows(); ++r) {
+      if (!mask[static_cast<size_t>(r)]) keep.push_back(r);
+    }
+    if (!keep.empty() &&
+        keep.size() < static_cast<size_t>(window.features.rows())) {
+      Matrix pruned = window.features.SelectRows(keep);
+      std::vector<double> pruned_targets;
+      pruned_targets.reserve(keep.size());
+      for (int64_t r : keep) {
+        pruned_targets.push_back(window.targets[static_cast<size_t>(r)]);
+      }
+      window.features = std::move(pruned);
+      window.targets = std::move(pruned_targets);
+    }
+    detect_seconds_ += SecondsSince(t0);
+  }
+  return window;
+}
+
+Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
+                                     const PipelineOptions& options) {
+  OE_ASSIGN_OR_RETURN(StreamContext ctx,
+                      BuildStreamContext(stream, options));
+  OE_ASSIGN_OR_RETURN(std::unique_ptr<WindowPipeline> pipeline,
+                      WindowPipeline::Create(options));
+
+  PreparedStream out = ctx.Header();
+  for (size_t w = 0; w < ctx.ranges.size(); ++w) {
+    OE_ASSIGN_OR_RETURN(WindowData window, pipeline->PrepareWindow(ctx, w));
     out.windows.push_back(std::move(window));
   }
-  out.ranges = std::move(ranges);
+  out.ranges = ctx.ranges;
 
+  // Imputation and outlier-detection time accumulate across the whole
+  // stream and land in the registry as one sample per prepared stream.
   MetricsRegistry* metrics = MetricsRegistry::Global();
   metrics->GetCounter("prepare.streams")->Increment();
-  metrics->GetCounter("prepare.rows")->Add(x.rows());
+  metrics->GetCounter("prepare.rows")->Add(ctx.x.rows());
   metrics->GetCounter("prepare.windows")
       ->Add(static_cast<int64_t>(out.windows.size()));
-  metrics->GetHistogram("prepare.impute_seconds")->Record(impute_seconds);
-  metrics->GetHistogram("prepare.detect_seconds")->Record(detect_seconds);
+  metrics->GetHistogram("prepare.impute_seconds")
+      ->Record(ctx.oracle_impute_seconds + pipeline->impute_seconds());
+  metrics->GetHistogram("prepare.detect_seconds")
+      ->Record(pipeline->detect_seconds());
   return out;
 }
 

@@ -1,10 +1,13 @@
 #ifndef OEBENCH_PREPROCESS_PIPELINE_H_
 #define OEBENCH_PREPROCESS_PIPELINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "preprocess/imputer.h"
+#include "preprocess/normalizer.h"
 #include "preprocess/windowing.h"
 #include "streamgen/stream_spec.h"
 
@@ -56,7 +59,95 @@ struct PreparedStream {
   std::vector<std::string> feature_names;
 };
 
-/// Runs the full preprocessing pipeline on a generated stream.
+/// The stream-global half of preprocessing: everything that is fixed
+/// once the raw stream is known and never changes as windows arrive —
+/// the (optionally shuffled) encoded feature matrix, targets, window
+/// layout, and the oracle-scope imputation. Built once per stream; the
+/// per-window half (WindowPipeline below) then consumes it window by
+/// window. The online serving layer (src/serve) keeps one StreamContext
+/// per live session and materialises windows incrementally as records
+/// arrive; the batch PrepareStream materialises them all in one loop.
+/// Both paths run the exact same code, which is what makes serving
+/// outputs bit-identical to a batch run.
+struct StreamContext {
+  std::string name;
+  TaskType task = TaskType::kRegression;
+  int num_classes = 2;
+  std::vector<std::string> feature_names;
+  /// One-hot encoded (and, under kOracle scope, already imputed)
+  /// features; NaN = missing.
+  Matrix x;
+  std::vector<double> target;
+  std::vector<WindowRange> ranges;
+  PipelineOptions options;
+  /// Seconds spent in the oracle-scope whole-stream imputation (0 under
+  /// kPerWindow scope).
+  double oracle_impute_seconds = 0.0;
+
+  /// Metadata-only PreparedStream (no windows): what a learner's
+  /// Begin() needs (name/task/num_classes/feature_names).
+  PreparedStream Header() const;
+};
+
+/// Runs the stream-global pipeline prefix: shuffle, feature/target
+/// split, one-hot encoding, chronic-missing discard, window layout and
+/// oracle-scope imputation.
+Result<StreamContext> BuildStreamContext(const GeneratedStream& stream,
+                                         const PipelineOptions& options = {});
+
+/// The per-window half of preprocessing: missing-value imputation
+/// (kPerWindow scope), first-window normalisation statistics, and
+/// per-window outlier removal. Owns the imputer/normalizer/detector
+/// state a stream carries across windows, so one instance serves one
+/// stream and windows MUST be prepared in order (w = 0, 1, 2, ... —
+/// window 0 fits the normalisation statistics every later window uses).
+/// Not thread-safe; the serving layer serialises all calls for a
+/// session.
+class WindowPipeline {
+ public:
+  /// Validates options.imputer; the returned pipeline is bound to one
+  /// stream's window sequence.
+  static Result<std::unique_ptr<WindowPipeline>> Create(
+      const PipelineOptions& options);
+
+  /// Prepares window `w` from its full row range `ctx.ranges[w]` —
+  /// exactly what the batch PrepareStream does.
+  Result<WindowData> PrepareWindow(const StreamContext& ctx, size_t w);
+
+  /// Prepares window `w` from an explicit subset of its rows (ascending
+  /// absolute row indices) — the serving path under record loss, where
+  /// dropped records leave gaps in a window. With `rows` equal to the
+  /// full range this is bit-identical to PrepareWindow.
+  Result<WindowData> PrepareWindowRows(const StreamContext& ctx, size_t w,
+                                       const std::vector<int64_t>& rows);
+
+  /// Cumulative seconds spent imputing / detecting outliers across the
+  /// windows prepared so far.
+  double impute_seconds() const { return impute_seconds_; }
+  double detect_seconds() const { return detect_seconds_; }
+
+ private:
+  explicit WindowPipeline(const PipelineOptions& options)
+      : options_(options) {}
+
+  Result<WindowData> Prepare(const StreamContext& ctx, size_t w,
+                             WindowData window);
+
+  PipelineOptions options_;
+  std::unique_ptr<Imputer> imputer_;
+  Normalizer feature_norm_;
+  Normalizer target_norm_;
+  /// Set once the first prepared window fits the normalisation
+  /// statistics. In a loss-free run that window is w = 0, matching the
+  /// batch pipeline bit-for-bit; under record loss it keeps later
+  /// windows well-defined even when window 0 was dropped wholesale.
+  bool norm_fitted_ = false;
+  double impute_seconds_ = 0.0;
+  double detect_seconds_ = 0.0;
+};
+
+/// Runs the full preprocessing pipeline on a generated stream:
+/// BuildStreamContext + a WindowPipeline pass over every window.
 Result<PreparedStream> PrepareStream(const GeneratedStream& stream,
                                      const PipelineOptions& options = {});
 

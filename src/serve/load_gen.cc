@@ -1,0 +1,164 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+
+namespace oebench {
+namespace serve {
+
+namespace {
+
+/// Stream-id-salted seed so every stream draws an independent,
+/// reproducible arrival process from one user-facing seed.
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// One stream's replay cursor on the virtual-time schedule.
+struct StreamCursor {
+  size_t idx = 0;          // session index in the engine
+  int64_t next_row = 0;    // next row to deliver
+  int64_t end_row = 0;     // rows are [0, end_row)
+  double next_time = 0.0;  // virtual seconds of the next arrival event
+  Rng rng{0};
+  bool end_sent = false;
+};
+
+struct EventOrder {
+  bool operator()(const StreamCursor* a, const StreamCursor* b) const {
+    if (a->next_time != b->next_time) return a->next_time > b->next_time;
+    return a->idx > b->idx;  // min-heap: earliest time, lowest stream
+  }
+};
+
+/// Draws the next exponential inter-arrival gap (virtual seconds).
+double NextGap(StreamCursor* cursor, double event_rate) {
+  double u = cursor->rng.Uniform();
+  // Guard log(0); Uniform() is in [0, 1).
+  u = std::min(u, 1.0 - 1e-12);
+  return -std::log(1.0 - u) / event_rate;
+}
+
+/// Offers one record with the policy's retry/drop behaviour.
+/// `must_deliver` forces retries even under kDrop (end sentinels).
+void OfferRecord(ServeEngine* engine, size_t idx, int64_t row,
+                 AdmissionPolicy policy, bool must_deliver,
+                 LoadStats* stats) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  for (;;) {
+    const AdmitResult admit =
+        engine->Offer(idx, row, metrics->NowSeconds());
+    if (admit == AdmitResult::kAccepted) {
+      if (row != kEndOfStream) ++stats->accepted;
+      return;
+    }
+    if (admit == AdmitResult::kFinished) return;  // failed or done: stop
+    // kOverloaded — structured backpressure.
+    if (policy == AdmissionPolicy::kDrop && !must_deliver) {
+      ++stats->dropped;
+      metrics->GetVolatileCounter("serve.drops_overloaded")->Increment();
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+/// Replays the streams owned by one producer thread in merged
+/// virtual-time order.
+LoadStats RunProducer(ServeEngine* engine, const LoadGenOptions& options,
+                      std::vector<StreamCursor> streams) {
+  LoadStats stats;
+  const double event_rate =
+      options.rate / static_cast<double>(std::max<int64_t>(1, options.burst));
+  std::priority_queue<StreamCursor*, std::vector<StreamCursor*>, EventOrder>
+      heap;
+  for (StreamCursor& cursor : streams) {
+    cursor.next_time = NextGap(&cursor, event_rate);
+    heap.push(&cursor);
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  while (!heap.empty()) {
+    StreamCursor* cursor = heap.top();
+    heap.pop();
+    if (options.paced) {
+      std::this_thread::sleep_until(
+          wall_start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(cursor->next_time)));
+    }
+    if (cursor->next_row >= cursor->end_row) {
+      if (!cursor->end_sent) {
+        cursor->end_sent = true;
+        OfferRecord(engine, cursor->idx, kEndOfStream, options.admission,
+                    /*must_deliver=*/true, &stats);
+      }
+      continue;  // stream done, not re-queued
+    }
+    const int64_t burst_end =
+        std::min(cursor->end_row, cursor->next_row + options.burst);
+    for (int64_t row = cursor->next_row; row < burst_end; ++row) {
+      ++stats.offered;
+      OfferRecord(engine, cursor->idx, row, options.admission,
+                  /*must_deliver=*/false, &stats);
+    }
+    cursor->next_row = burst_end;
+    cursor->next_time += NextGap(cursor, event_rate);
+    heap.push(cursor);
+  }
+  return stats;
+}
+
+}  // namespace
+
+LoadStats RunLoadGenerator(ServeEngine* engine,
+                           const LoadGenOptions& options) {
+  const int producers =
+      std::max(1, std::min<int>(options.producers,
+                                static_cast<int>(engine->num_sessions())));
+  // Partition streams across producer threads; each ring keeps exactly
+  // one producer (SPSC contract).
+  std::vector<std::vector<StreamCursor>> partitions(
+      static_cast<size_t>(producers));
+  for (size_t i = 0; i < engine->num_sessions(); ++i) {
+    StreamCursor cursor;
+    cursor.idx = i;
+    cursor.end_row = engine->session(i)->end_row();
+    cursor.rng = Rng(MixSeed(options.seed, static_cast<uint64_t>(i)));
+    partitions[i % static_cast<size_t>(producers)].push_back(
+        std::move(cursor));
+  }
+
+  if (producers == 1) {
+    return RunProducer(engine, options, std::move(partitions[0]));
+  }
+  std::vector<LoadStats> partial(static_cast<size_t>(producers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      partial[static_cast<size_t>(p)] =
+          RunProducer(engine, options, std::move(partitions[static_cast<size_t>(p)]));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  LoadStats stats;
+  for (const LoadStats& s : partial) {
+    stats.offered += s.offered;
+    stats.accepted += s.accepted;
+    stats.dropped += s.dropped;
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace oebench

@@ -1,0 +1,65 @@
+#ifndef OEBENCH_SERVE_LOAD_GEN_H_
+#define OEBENCH_SERVE_LOAD_GEN_H_
+
+#include <cstdint>
+
+#include "serve/server.h"
+
+namespace oebench {
+namespace serve {
+
+/// What the load generator does when a session's ring (or the global
+/// in-flight cap) rejects a record.
+enum class AdmissionPolicy {
+  /// Retry until accepted. Guarantees every record is delivered, which
+  /// is what the differential (serve == batch) harness needs.
+  kBlock,
+  /// Count a structured drop and move on — the overload regime. End
+  /// sentinels are still always delivered.
+  kDrop,
+};
+
+struct LoadGenOptions {
+  /// Mean records/second per stream on the virtual-time schedule.
+  double rate = 10000.0;
+  /// Records delivered back-to-back per arrival event (burstiness
+  /// knob); the event rate is rate/burst so the mean record rate stays
+  /// fixed.
+  int64_t burst = 1;
+  uint64_t seed = 42;
+  /// Producer threads; streams are partitioned across them (stream i
+  /// belongs to thread i % producers) so each ring keeps exactly one
+  /// producer.
+  int producers = 1;
+  /// Sleep to align offers with the virtual-time schedule (true) or
+  /// replay as fast as possible in schedule order (false).
+  bool paced = false;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+};
+
+struct LoadStats {
+  /// Records the schedule attempted to deliver (end sentinels excluded).
+  int64_t offered = 0;
+  int64_t accepted = 0;
+  /// Records rejected and abandoned (kDrop policy only).
+  int64_t dropped = 0;
+};
+
+/// Replays every registered session's rows [0, end_row) through the
+/// engine on a seeded virtual-time schedule, then delivers each end
+/// sentinel, and returns delivery stats. Blocks until all offers are
+/// made (not until sessions finish — pair with WaitAllFinished).
+///
+/// Determinism: each stream's arrival times are a pure function of
+/// (options.seed, stream index), and each producer thread merges its
+/// streams' events through a (time, stream) min-heap, so the per-stream
+/// offer order — and under kBlock the exact delivered record set — is
+/// reproducible run to run regardless of pacing, worker count or
+/// machine speed.
+LoadStats RunLoadGenerator(ServeEngine* engine,
+                           const LoadGenOptions& options);
+
+}  // namespace serve
+}  // namespace oebench
+
+#endif  // OEBENCH_SERVE_LOAD_GEN_H_

@@ -1,0 +1,100 @@
+#ifndef OEBENCH_SERVE_RING_BUFFER_H_
+#define OEBENCH_SERVE_RING_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace oebench {
+namespace serve {
+
+/// Bounded lock-free single-producer/single-consumer ring buffer.
+///
+/// Memory-ordering contract (the classic Lamport queue, shaped after the
+/// virtio available/used rings): the producer writes the slot, then
+/// publishes it with a release store of `tail_`; the consumer observes
+/// the slot only after an acquire load of `tail_`, reads it, then
+/// retires it with a release store of `head_`. Each side also keeps a
+/// plain-cache copy of the other side's index so the common case touches
+/// one shared cache line instead of two; the copy is refreshed (with an
+/// acquire load) only when the ring looks full/empty. Head and tail live
+/// on separate cache lines so the producer and consumer never false-share.
+///
+/// Exactly ONE thread may call the producer side (TryPush) and exactly
+/// one the consumer side (TryPop) at a time; the serve layer guarantees
+/// this by partitioning streams across load-generator threads and
+/// serialising each session's drain on the run-queue.
+template <typename T>
+class SpscRingBuffer {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2). The
+  /// ring holds `capacity` elements (one slot is NOT sacrificed; fill
+  /// state comes from the index difference).
+  explicit SpscRingBuffer(size_t capacity)
+      : mask_(RoundUpPow2(capacity < 2 ? 2 : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRingBuffer(const SpscRingBuffer&) = delete;
+  SpscRingBuffer& operator=(const SpscRingBuffer&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(T value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[static_cast<size_t>(tail) & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = std::move(slots_[static_cast<size_t>(head) & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate for queue-depth gauges; exact only when both
+  /// sides are quiescent.
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  static size_t RoundUpPow2(size_t v) {
+    --v;
+    for (size_t shift = 1; shift < sizeof(size_t) * 8; shift <<= 1) {
+      v |= v >> shift;
+    }
+    return v + 1;
+  }
+
+  const uint64_t mask_;
+  std::vector<T> slots_;
+  // Consumer cursor + the producer's cached copy of it.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) uint64_t head_cache_ = 0;
+  // Producer cursor + the consumer's cached copy of it.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  alignas(64) uint64_t tail_cache_ = 0;
+};
+
+}  // namespace serve
+}  // namespace oebench
+
+#endif  // OEBENCH_SERVE_RING_BUFFER_H_

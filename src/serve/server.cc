@@ -1,0 +1,164 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace oebench {
+namespace serve {
+
+namespace {
+
+// Session scheduling states for StreamSession::sched_state(). kDone is
+// terminal: it blocks further activations so a finished session is
+// counted exactly once.
+constexpr int kIdle = 0;
+constexpr int kScheduled = 1;
+constexpr int kDone = 2;
+
+}  // namespace
+
+ServeEngine::ServeEngine(const ServerOptions& options)
+    : options_(options), pool_(std::max(1, options.workers)) {
+  MetricsRegistry::Global()
+      ->GetGauge("serve.workers")
+      ->Set(static_cast<double>(pool_.num_threads()));
+}
+
+ServeEngine::~ServeEngine() = default;
+
+void ServeEngine::AddSession(std::unique_ptr<StreamSession> session) {
+  sessions_.push_back(std::move(session));
+  MetricsRegistry::Global()->GetCounter("serve.sessions")->Increment();
+}
+
+AdmitResult ServeEngine::Offer(size_t idx, int64_t row,
+                               double enqueue_seconds) {
+  StreamSession* session = sessions_[idx].get();
+  if (session->finished()) return AdmitResult::kFinished;
+  if (options_.max_inflight > 0 &&
+      inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+    MetricsRegistry::Global()
+        ->GetVolatileCounter("serve.drops_inflight")
+        ->Increment();
+    return AdmitResult::kOverloaded;
+  }
+  AdmitResult admit = session->Offer(row, enqueue_seconds);
+  if (admit != AdmitResult::kAccepted) return admit;
+  const int64_t depth =
+      inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  MetricsRegistry::Global()
+      ->GetGauge("serve.queue_depth_peak")
+      ->SetMax(static_cast<double>(depth));
+  Activate(idx);
+  return AdmitResult::kAccepted;
+}
+
+AdmitResult ServeEngine::OfferEnd(size_t idx, double enqueue_seconds) {
+  return Offer(idx, kEndOfStream, enqueue_seconds);
+}
+
+void ServeEngine::Activate(size_t idx) {
+  StreamSession* session = sessions_[idx].get();
+  int expected = kIdle;
+  if (session->sched_state().compare_exchange_strong(
+          expected, kScheduled, std::memory_order_acq_rel)) {
+    pool_.Submit([this, idx] { RunSession(idx); });
+  }
+}
+
+void ServeEngine::RunSession(size_t idx) {
+  StreamSession* session = sessions_[idx].get();
+  const int64_t activation =
+      activations_.fetch_add(1, std::memory_order_relaxed) + 1;
+  MetricsRegistry::Global()
+      ->GetVolatileCounter("serve.activations")
+      ->Increment();
+  if (options_.slow_every > 0 && options_.slow_ms > 0 &&
+      activation % options_.slow_every == 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.slow_ms));
+  }
+
+  bool finished = false;
+  Result<int64_t> processed =
+      session->ProcessBatch(options_.quantum, &finished);
+  if (processed.ok() && *processed > 0) {
+    inflight_.fetch_sub(*processed, std::memory_order_relaxed);
+  }
+  if (!processed.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_.ok()) first_error_ = processed.status();
+  }
+  if (finished) {
+    session->sched_state().store(kDone, std::memory_order_release);
+    finished_count_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_cv_.notify_all();
+    return;
+  }
+  if (session->QueueDepth() > 0) {
+    // Still work queued: yield the worker, stay scheduled, go to the
+    // back of the run-queue so other sessions get their turn.
+    pool_.Submit([this, idx] { RunSession(idx); });
+    return;
+  }
+  // Park idle, then re-check: a producer that pushed between our drain
+  // and the store would have seen kScheduled and skipped Activate — the
+  // classic lost wakeup — so we re-activate ourselves.
+  session->sched_state().store(kIdle, std::memory_order_release);
+  if (session->QueueDepth() > 0 && !session->finished()) {
+    Activate(idx);
+  }
+}
+
+bool ServeEngine::WaitAllFinished(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto done = [this] {
+    return finished_count_.load(std::memory_order_relaxed) >=
+           static_cast<int64_t>(sessions_.size());
+  };
+  if (timeout_seconds <= 0.0) {
+    finished_cv_.wait(lock, done);
+    return true;
+  }
+  return finished_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds), done);
+}
+
+Status ServeEngine::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+double QuantileFromHistogram(const HistogramSnapshot& snapshot, double q) {
+  if (snapshot.count <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(snapshot.count);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < snapshot.buckets.size(); ++b) {
+    const double in_bucket = static_cast<double>(snapshot.buckets[b]);
+    if (in_bucket <= 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      // Bucket b spans (lower, upper]; interpolate inside it.
+      const double lower = b == 0 ? snapshot.min : snapshot.bounds[b - 1];
+      const double upper = b < snapshot.bounds.size()
+                               ? snapshot.bounds[b]
+                               : snapshot.max;
+      const double frac =
+          in_bucket > 0.0
+              ? std::min(1.0, std::max(0.0, (target - cumulative) /
+                                                in_bucket))
+              : 0.0;
+      double value = lower + frac * (upper - lower);
+      value = std::min(value, snapshot.max);
+      value = std::max(value, snapshot.min);
+      return value;
+    }
+    cumulative += in_bucket;
+  }
+  return snapshot.max;
+}
+
+}  // namespace serve
+}  // namespace oebench

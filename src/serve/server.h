@@ -1,0 +1,115 @@
+#ifndef OEBENCH_SERVE_SERVER_H_
+#define OEBENCH_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "serve/session.h"
+
+namespace oebench {
+namespace serve {
+
+struct ServerOptions {
+  /// Pipeline worker threads; clamped to >= 1 (inline execution would
+  /// run sessions on the producer thread and recurse on resubmission).
+  int workers = 4;
+  /// Records a session drains per activation before yielding its worker
+  /// back to the run-queue, so thousands of streams share few workers
+  /// fairly.
+  int64_t quantum = 64;
+  /// Global cap on records queued across all sessions (0 = unlimited);
+  /// offers past the cap are rejected kOverloaded.
+  int64_t max_inflight = 0;
+  /// Chaos knob: every `slow_every`-th activation sleeps `slow_ms`
+  /// milliseconds before draining, to shake out scheduling races
+  /// (0 = off). Determinism must survive this — slowness reorders work
+  /// across streams, never within one.
+  int64_t slow_every = 0;
+  int64_t slow_ms = 0;
+};
+
+/// Multiplexes N StreamSessions (thousands) over a small ThreadPool via
+/// a run-queue: a session is activated when records arrive, drains up to
+/// `quantum` records on a worker, then either resubmits itself (ring
+/// still non-empty) or parks idle. Each session's state is touched by at
+/// most one worker at a time (an atomic idle/scheduled latch), so
+/// per-stream processing is strictly serialised while streams freely
+/// interleave across workers.
+class ServeEngine {
+ public:
+  explicit ServeEngine(const ServerOptions& options);
+  /// Waits for in-flight activations to drain (pool destructor), but
+  /// does NOT wait for sessions to finish — call WaitAllFinished first
+  /// in orderly shutdown.
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Registers an Init()-ed session. Not thread-safe; add all sessions
+  /// before offering records.
+  void AddSession(std::unique_ptr<StreamSession> session);
+
+  size_t num_sessions() const { return sessions_.size(); }
+  StreamSession* session(size_t idx) { return sessions_[idx].get(); }
+
+  /// Producer API: admit one record (or the end sentinel) to session
+  /// `idx` and schedule it. kOverloaded means the record was rejected —
+  /// by the session ring or the global in-flight cap — and may be
+  /// retried (block policy) or counted as a drop (drop policy).
+  AdmitResult Offer(size_t idx, int64_t row, double enqueue_seconds);
+  AdmitResult OfferEnd(size_t idx, double enqueue_seconds);
+
+  /// Blocks until every registered session finished (consumed its end
+  /// sentinel or failed). `timeout_seconds <= 0` waits forever. Returns
+  /// false on timeout.
+  bool WaitAllFinished(double timeout_seconds = 0.0);
+
+  /// First session failure observed (OK when none). Stable after
+  /// WaitAllFinished.
+  Status first_error() const;
+
+  /// Records currently admitted but not yet consumed, across sessions.
+  int64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  int64_t sessions_finished() const {
+    return finished_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Schedules session `idx` if it is idle and has work.
+  void Activate(size_t idx);
+  /// One activation: drain a quantum, then resubmit or park.
+  void RunSession(size_t idx);
+
+  const ServerOptions options_;
+  std::vector<std::unique_ptr<StreamSession>> sessions_;
+  std::atomic<int64_t> inflight_{0};
+  std::atomic<int64_t> activations_{0};
+  std::atomic<int64_t> finished_count_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable finished_cv_;
+  Status first_error_;  // guarded by mu_
+
+  /// Last member: destroyed first, draining queued activations while
+  /// sessions_ is still alive.
+  ThreadPool pool_;
+};
+
+/// Estimates quantile `q` in [0, 1] from a fixed-bound histogram
+/// snapshot by linear interpolation inside the target bucket, clamped to
+/// the recorded [min, max]. Returns 0 when the histogram is empty.
+double QuantileFromHistogram(const HistogramSnapshot& snapshot, double q);
+
+}  // namespace serve
+}  // namespace oebench
+
+#endif  // OEBENCH_SERVE_SERVER_H_

@@ -1,0 +1,219 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace oebench {
+namespace serve {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace
+
+StreamSession::StreamSession(int64_t id,
+                             std::shared_ptr<const GeneratedStream> stream,
+                             SessionOptions options)
+    : id_(id),
+      stream_(std::move(stream)),
+      options_(std::move(options)),
+      ring_(options_.ring_capacity) {}
+
+Status StreamSession::Init() {
+  Result<StreamContext> ctx = BuildStreamContext(*stream_, options_.pipeline);
+  // The raw generated table is only needed to build the context; release
+  // it so thousands of sessions hold one encoded matrix each, not two
+  // copies of the data.
+  stream_.reset();
+  if (!ctx.ok()) {
+    status_ = ctx.status();
+    finished_.store(true, std::memory_order_release);
+    return status_;
+  }
+  ctx_ = std::move(*ctx);
+
+  Result<std::unique_ptr<WindowPipeline>> pipeline =
+      WindowPipeline::Create(options_.pipeline);
+  if (!pipeline.ok()) {
+    status_ = pipeline.status();
+    finished_.store(true, std::memory_order_release);
+    return status_;
+  }
+  pipeline_ = std::move(*pipeline);
+
+  Result<std::unique_ptr<StreamLearner>> learner =
+      MakeLearner(options_.learner, options_.learner_config, ctx_.task,
+                  ctx_.num_classes);
+  if (!learner.ok()) {
+    status_ = learner.status();
+    finished_.store(true, std::memory_order_release);
+    return status_;
+  }
+  learner_ = std::move(*learner);
+  learner_->Begin(ctx_.Header());
+
+  num_windows_ = ctx_.ranges.size();
+  if (options_.max_windows > 0) {
+    num_windows_ = std::min(num_windows_, options_.max_windows);
+  }
+  end_row_ = num_windows_ > 0 ? ctx_.ranges[num_windows_ - 1].end : 0;
+  result_.learner = learner_->name();
+  result_.dataset = ctx_.name;
+  return Status::OK();
+}
+
+AdmitResult StreamSession::Offer(int64_t row, double enqueue_seconds) {
+  if (finished_.load(std::memory_order_acquire)) {
+    return AdmitResult::kFinished;
+  }
+  Record rec;
+  rec.row = row;
+  rec.enqueue_seconds = enqueue_seconds;
+  return ring_.TryPush(rec) ? AdmitResult::kAccepted
+                            : AdmitResult::kOverloaded;
+}
+
+Result<int64_t> StreamSession::ProcessBatch(int64_t quantum,
+                                            bool* finished) {
+  *finished = false;
+  if (finished_.load(std::memory_order_acquire)) {
+    *finished = true;
+    return static_cast<int64_t>(0);
+  }
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  // Reset() keeps these pointers valid, so caching them takes the
+  // registry lookup off the per-record path.
+  static Histogram* record_latency =
+      metrics->GetHistogram("serve.record_latency_seconds");
+  static Counter* records = metrics->GetCounter("serve.records");
+
+  int64_t processed = 0;
+  Record rec;
+  while (processed < quantum && ring_.TryPop(&rec)) {
+    ++processed;
+    if (rec.row != kEndOfStream) {
+      // The sentinel is a control message, not traffic: keeping it out
+      // of serve.records and the latency histogram keeps "consumed"
+      // equal to accepted data records in the shutdown report.
+      records->Increment();
+      record_latency->Record(metrics->NowSeconds() - rec.enqueue_seconds);
+    }
+    if (rec.row == kEndOfStream) {
+      while (next_window_ < num_windows_) {
+        Status s = FinalizeWindow();
+        if (!s.ok()) {
+          status_ = s;
+          finished_.store(true, std::memory_order_release);
+          *finished = true;
+          return s;
+        }
+      }
+      FinishResult();
+      finished_.store(true, std::memory_order_release);
+      *finished = true;
+      break;
+    }
+    if (rec.row < 0 || rec.row >= end_row_) continue;  // truncated tail
+    while (rec.row >= ctx_.ranges[next_window_].end) {
+      Status s = FinalizeWindow();
+      if (!s.ok()) {
+        status_ = s;
+        finished_.store(true, std::memory_order_release);
+        *finished = true;
+        return s;
+      }
+    }
+    if (arrived_rows_.empty()) {
+      window_open_seconds_ = rec.enqueue_seconds;
+    }
+    arrived_rows_.push_back(rec.row);
+  }
+  return processed;
+}
+
+Status StreamSession::FinalizeWindow() {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  const size_t w = next_window_;
+  if (arrived_rows_.empty()) {
+    // Every record of this window was dropped at admission; skip it but
+    // keep the window index advancing so later windows stay aligned.
+    ++windows_lost_;
+    metrics->GetVolatileCounter("serve.windows_lost")->Increment();
+    ++next_window_;
+    window_open_seconds_ = -1.0;
+    return Status::OK();
+  }
+  using Clock = std::chrono::steady_clock;
+  OE_ASSIGN_OR_RETURN(WindowData window,
+                      pipeline_->PrepareWindowRows(ctx_, w, arrived_rows_));
+  // Identical arithmetic to RunPrequentialFrom: every window's
+  // post-prepare rows count as items; window 0 trains only.
+  total_items_ += window.features.rows();
+  if (w > 0) {
+    Clock::time_point t0 = Clock::now();
+    double loss = learner_->TestLoss(window);
+    result_.test_seconds += Seconds(t0, Clock::now());
+    result_.per_window_loss.push_back(loss);
+  }
+  Clock::time_point t1 = Clock::now();
+  learner_->TrainWindow(window);
+  result_.train_seconds += Seconds(t1, Clock::now());
+  result_.peak_memory_bytes =
+      std::max(result_.peak_memory_bytes, learner_->MemoryBytes());
+
+  metrics->GetCounter("serve.windows")->Increment();
+  metrics->GetCounter("serve.items")->Add(window.features.rows());
+  if (window_open_seconds_ >= 0.0) {
+    metrics->GetHistogram("serve.window_latency_seconds")
+        ->Record(metrics->NowSeconds() - window_open_seconds_);
+  }
+  ++next_window_;
+  arrived_rows_.clear();
+  window_open_seconds_ = -1.0;
+  return Status::OK();
+}
+
+void StreamSession::FinishResult() {
+  // Mean over finite windows, fading-factor loss and pooled throughput —
+  // bit-identical to the epilogue of RunPrequentialFrom.
+  double sum = 0.0;
+  int64_t finite = 0;
+  for (double loss : result_.per_window_loss) {
+    if (std::isfinite(loss)) {
+      sum += loss;
+      ++finite;
+    }
+  }
+  result_.mean_loss = finite > 0
+                          ? sum / static_cast<double>(finite)
+                          : std::numeric_limits<double>::infinity();
+  constexpr double kFade = 0.98;
+  double faded_num = 0.0;
+  double faded_den = 0.0;
+  for (double loss : result_.per_window_loss) {
+    if (!std::isfinite(loss)) continue;
+    faded_num = kFade * faded_num + loss;
+    faded_den = kFade * faded_den + 1.0;
+  }
+  result_.faded_loss = faded_den > 0.0
+                           ? faded_num / faded_den
+                           : std::numeric_limits<double>::infinity();
+  double total_seconds = result_.test_seconds + result_.train_seconds;
+  result_.items_processed = total_items_;
+  result_.throughput =
+      total_seconds > 0.0
+          ? static_cast<double>(total_items_) / total_seconds
+          : 0.0;
+}
+
+}  // namespace serve
+}  // namespace oebench

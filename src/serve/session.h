@@ -1,0 +1,155 @@
+#ifndef OEBENCH_SERVE_SESSION_H_
+#define OEBENCH_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/learner.h"
+#include "preprocess/pipeline.h"
+#include "serve/ring_buffer.h"
+#include "streamgen/stream_spec.h"
+
+namespace oebench {
+namespace serve {
+
+/// One record in flight: an absolute row index into the session's
+/// StreamContext plus its enqueue timestamp (registry-epoch seconds) for
+/// per-record latency. `row == kEndOfStream` is the producer's
+/// end-of-stream sentinel.
+struct Record {
+  int64_t row = 0;
+  double enqueue_seconds = 0.0;
+};
+
+inline constexpr int64_t kEndOfStream = -1;
+
+/// Outcome of offering a record to a session (admission control).
+enum class AdmitResult {
+  /// Enqueued; the caller should Activate() the session.
+  kAccepted,
+  /// Ring full — structured backpressure, the record was NOT enqueued.
+  /// Under a drop policy the caller counts it and moves on; under a
+  /// block policy the caller retries.
+  kOverloaded,
+  /// The session already consumed its end-of-stream sentinel or failed;
+  /// stop feeding it.
+  kFinished,
+};
+
+struct SessionOptions {
+  /// Ring capacity (rounded up to a power of two).
+  size_t ring_capacity = 1024;
+  /// Process only the first `max_windows` windows of the stream
+  /// (0 = all). Records beyond the truncation point are ignored.
+  size_t max_windows = 0;
+  std::string learner = "Naive-DT";
+  LearnerConfig learner_config;
+  PipelineOptions pipeline;
+};
+
+/// A live stream being served: owns the per-stream pipeline state
+/// (StreamContext + WindowPipeline) and learner, and advances the
+/// prequential protocol one record at a time as records drain from its
+/// ring.
+///
+/// Threading contract: exactly one producer thread calls Offer()/
+/// OfferEnd(); ProcessBatch() calls are serialised by the serve engine's
+/// run-queue (never concurrent with each other, but on changing worker
+/// threads). finished()/failed() are safe from anywhere.
+///
+/// Determinism: all per-stream state is touched only from the strictly
+/// FIFO record order of the ring, so for a fixed offer sequence the
+/// session's outputs are independent of worker count and cross-stream
+/// interleaving — and, when no record is dropped, bit-identical to batch
+/// RunPrequential on the same prepared stream (the window pipeline and
+/// the test-then-train arithmetic are the same code).
+class StreamSession {
+ public:
+  StreamSession(int64_t id, std::shared_ptr<const GeneratedStream> stream,
+                SessionOptions options);
+
+  /// Builds the stream context, window pipeline and learner. Must be
+  /// called (successfully) before any Offer/ProcessBatch. On failure the
+  /// session is marked failed.
+  Status Init();
+
+  int64_t id() const { return id_; }
+  const std::string& name() const { return ctx_.name; }
+  /// Windows this session will actually process (after max_windows
+  /// truncation); valid after Init().
+  size_t num_windows() const { return num_windows_; }
+  /// Absolute end row of the last processed window; records at or past
+  /// this index are ignored. Valid after Init().
+  int64_t end_row() const { return end_row_; }
+
+  /// Producer side: enqueue row `row` (kEndOfStream to finish).
+  AdmitResult Offer(int64_t row, double enqueue_seconds);
+  AdmitResult OfferEnd(double enqueue_seconds) {
+    return Offer(kEndOfStream, enqueue_seconds);
+  }
+
+  /// Consumer side (engine workers only): drain up to `quantum` records,
+  /// advancing the pipeline. Sets *finished when the end sentinel was
+  /// consumed (or the session failed). Returns records consumed.
+  Result<int64_t> ProcessBatch(int64_t quantum, bool* finished);
+
+  /// Racy queue depth for gauges.
+  size_t QueueDepth() const { return ring_.SizeApprox(); }
+
+  bool finished() const {
+    return finished_.load(std::memory_order_acquire);
+  }
+  /// Non-OK once the pipeline or learner failed; the session stops
+  /// consuming and reports kFinished to its producer.
+  Status status() const { return status_; }
+
+  /// The prequential result — same arithmetic as RunPrequentialFrom.
+  /// Valid once finished() and status().ok().
+  const EvalResult& result() const { return result_; }
+
+  /// Windows that were skipped because every record in them was dropped.
+  int64_t windows_lost() const { return windows_lost_; }
+
+  /// Run-queue scheduling state, owned by the serve engine.
+  std::atomic<int>& sched_state() { return sched_state_; }
+
+ private:
+  /// Finalises window `next_window_`: prepares it from the rows that
+  /// arrived, tests (w > 0), trains, accumulates the result.
+  Status FinalizeWindow();
+  /// Runs the end-of-stream epilogue: mean/faded loss + throughput.
+  void FinishResult();
+
+  const int64_t id_;
+  std::shared_ptr<const GeneratedStream> stream_;  // released by Init()
+  const SessionOptions options_;
+
+  StreamContext ctx_;
+  std::unique_ptr<WindowPipeline> pipeline_;
+  std::unique_ptr<StreamLearner> learner_;
+  size_t num_windows_ = 0;
+  int64_t end_row_ = 0;
+
+  SpscRingBuffer<Record> ring_;
+
+  // Consumer-side state (guarded by the run-queue's serialisation).
+  size_t next_window_ = 0;
+  std::vector<int64_t> arrived_rows_;
+  int64_t total_items_ = 0;
+  int64_t windows_lost_ = 0;
+  double window_open_seconds_ = -1.0;
+  EvalResult result_;
+
+  std::atomic<bool> finished_{false};
+  Status status_ = Status::OK();
+  std::atomic<int> sched_state_{0};
+};
+
+}  // namespace serve
+}  // namespace oebench
+
+#endif  // OEBENCH_SERVE_SESSION_H_

@@ -86,6 +86,36 @@ TEST(MetricsRegistryTest, HistogramDefaultsToSharedLatencyBounds) {
   EXPECT_EQ(h, registry.GetHistogram("lat", {1.0}));
 }
 
+TEST(MetricsRegistryTest, DefaultLatencyBoundsResolveMicroseconds) {
+  // Regression for the serving work: per-record latencies are µs-scale,
+  // so the shared bounds must keep sub-millisecond resolution instead of
+  // collapsing everything under 1 ms into one or two buckets.
+  const std::vector<double>& bounds = DefaultLatencyBounds();
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    ASSERT_LT(bounds[i - 1], bounds[i]) << "bounds must be sorted";
+  }
+  size_t sub_millisecond = 0;
+  for (double b : bounds) {
+    if (b <= 1e-3) ++sub_millisecond;
+  }
+  EXPECT_GE(sub_millisecond, 10u);
+  EXPECT_LE(bounds.front(), 1e-7);  // 100 ns floor
+  EXPECT_GE(bounds.back(), 100.0);  // still covers batch timings
+
+  // Distinct µs-scale latencies must land in distinct buckets.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  h->Record(2e-6);   // ~2 µs
+  h->Record(4e-5);   // ~40 µs
+  h->Record(7e-4);   // ~700 µs
+  const HistogramSnapshot snap = h->Snapshot();
+  size_t occupied = 0;
+  for (int64_t bucket : snap.buckets) {
+    if (bucket > 0) ++occupied;
+  }
+  EXPECT_EQ(occupied, 3u);
+}
+
 TEST(MetricsRegistryTest, HistogramSurvivesConcurrentRecording) {
   // Lock-striped recording must not drop samples under contention —
   // this is the case the check-sanitize TSan pass watches.

@@ -1,0 +1,202 @@
+// The serve acceptance property: with a deterministic schedule and no
+// drops (block admission), per-stream serve outputs are bit-identical to
+// batch RunPrequential on the same prepared stream — for --workers=1,
+// --workers=4, and workers=4 with the chaos-slow scheduler knob on.
+// Result dumps use sweep::EncodeDouble (16-hex IEEE-754), so "equal"
+// means equal to the last bit, not within a tolerance.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "serve/load_gen.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "streamgen/corpus.h"
+#include "streamgen/stream_generator.h"
+#include "sweep/result_log.h"
+
+namespace oebench {
+namespace serve {
+namespace {
+
+struct EquivCase {
+  size_t corpus_index;
+  std::string learner;
+};
+
+// A small mix across the corpus: different tasks/shapes, the two learner
+// families the driver's --learner=mix uses, plus the NN path.
+std::vector<EquivCase> Cases() {
+  return {
+      {0, "Naive-DT"},
+      {20, "Naive-GBDT"},
+      {40, "Naive-NN"},
+  };
+}
+
+constexpr size_t kMaxWindows = 3;
+
+std::shared_ptr<const GeneratedStream> MakeStream(size_t corpus_index,
+                                                  uint64_t salt) {
+  const CorpusEntry& entry = Corpus()[corpus_index];
+  StreamSpec spec = SpecFromEntry(entry, /*scale=*/0.0, salt);
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  EXPECT_TRUE(stream.ok()) << stream.status().ToString();
+  return std::make_shared<const GeneratedStream>(std::move(*stream));
+}
+
+SessionOptions OptionsForCase(const EquivCase& equiv_case, int64_t id) {
+  SessionOptions options;
+  options.max_windows = kMaxWindows;
+  options.learner = equiv_case.learner;
+  options.learner_config.epochs = 1;
+  options.learner_config.seed = 1 + static_cast<int>(id);
+  return options;
+}
+
+std::string DumpEval(const EvalResult& result) {
+  std::string out = result.learner + "|" + result.dataset + "|" +
+                    std::to_string(result.items_processed) + "|" +
+                    std::to_string(result.peak_memory_bytes) + "|" +
+                    sweep::EncodeDouble(result.mean_loss) + "|" +
+                    sweep::EncodeDouble(result.faded_loss) + "|";
+  for (size_t i = 0; i < result.per_window_loss.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sweep::EncodeDouble(result.per_window_loss[i]);
+  }
+  return out;
+}
+
+// The batch side of the differential: PrepareStream + truncate +
+// RunPrequential, exactly what the serve path must reproduce.
+std::vector<std::string> BatchDumps(
+    const std::vector<std::shared_ptr<const GeneratedStream>>& streams) {
+  std::vector<std::string> dumps;
+  const std::vector<EquivCase> cases = Cases();
+  for (size_t i = 0; i < streams.size(); ++i) {
+    const SessionOptions options =
+        OptionsForCase(cases[i], static_cast<int64_t>(i));
+    Result<PreparedStream> prepared =
+        PrepareStream(*streams[i], options.pipeline);
+    EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+    if (prepared->windows.size() > kMaxWindows) {
+      prepared->windows.resize(kMaxWindows);
+      prepared->ranges.resize(kMaxWindows);
+    }
+    Result<std::unique_ptr<StreamLearner>> learner =
+        MakeLearner(options.learner, options.learner_config,
+                    prepared->task, prepared->num_classes);
+    EXPECT_TRUE(learner.ok()) << learner.status().ToString();
+    dumps.push_back(DumpEval(RunPrequential(learner->get(), *prepared)));
+  }
+  return dumps;
+}
+
+// The serve side: full engine + seeded load generator, block admission
+// (the determinism contract holds when nothing is dropped).
+std::vector<std::string> ServeDumps(
+    const std::vector<std::shared_ptr<const GeneratedStream>>& streams,
+    int workers, int64_t slow_every, int64_t slow_ms) {
+  ServerOptions engine_options;
+  engine_options.workers = workers;
+  engine_options.quantum = 16;
+  engine_options.slow_every = slow_every;
+  engine_options.slow_ms = slow_ms;
+  ServeEngine engine(engine_options);
+  const std::vector<EquivCase> cases = Cases();
+  for (size_t i = 0; i < streams.size(); ++i) {
+    auto session = std::make_unique<StreamSession>(
+        static_cast<int64_t>(i), streams[i],
+        OptionsForCase(cases[i], static_cast<int64_t>(i)));
+    EXPECT_TRUE(session->Init().ok());
+    engine.AddSession(std::move(session));
+  }
+  LoadGenOptions load;
+  load.seed = 7;
+  load.producers = 2;
+  load.admission = AdmissionPolicy::kBlock;
+  const LoadStats stats = RunLoadGenerator(&engine, load);
+  EXPECT_EQ(stats.dropped, 0);
+  EXPECT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/300.0));
+  EXPECT_TRUE(engine.first_error().ok())
+      << engine.first_error().ToString();
+  std::vector<std::string> dumps;
+  for (size_t i = 0; i < engine.num_sessions(); ++i) {
+    EXPECT_TRUE(engine.session(i)->finished());
+    EXPECT_EQ(engine.session(i)->windows_lost(), 0);
+    dumps.push_back(DumpEval(engine.session(i)->result()));
+  }
+  return dumps;
+}
+
+class ServeEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::vector<EquivCase> cases = Cases();
+    for (size_t i = 0; i < cases.size(); ++i) {
+      streams_.push_back(
+          MakeStream(cases[i].corpus_index, static_cast<uint64_t>(i)));
+    }
+    batch_ = BatchDumps(streams_);
+    ASSERT_EQ(batch_.size(), streams_.size());
+    for (const std::string& dump : batch_) {
+      ASSERT_FALSE(dump.empty());
+    }
+  }
+
+  void ExpectMatchesBatch(const std::vector<std::string>& serve_dumps,
+                          const std::string& variant) {
+    ASSERT_EQ(serve_dumps.size(), batch_.size());
+    for (size_t i = 0; i < batch_.size(); ++i) {
+      EXPECT_EQ(serve_dumps[i], batch_[i])
+          << variant << ": stream " << i << " ("
+          << Cases()[i].learner << ") diverged from batch";
+    }
+  }
+
+  std::vector<std::shared_ptr<const GeneratedStream>> streams_;
+  std::vector<std::string> batch_;
+};
+
+TEST_F(ServeEquivalenceTest, SingleWorkerMatchesBatch) {
+  ExpectMatchesBatch(ServeDumps(streams_, /*workers=*/1,
+                                /*slow_every=*/0, /*slow_ms=*/0),
+                     "workers=1");
+}
+
+TEST_F(ServeEquivalenceTest, FourWorkersMatchBatch) {
+  ExpectMatchesBatch(ServeDumps(streams_, /*workers=*/4,
+                                /*slow_every=*/0, /*slow_ms=*/0),
+                     "workers=4");
+}
+
+TEST_F(ServeEquivalenceTest, FourWorkersWithChaosSlowMatchBatch) {
+  // The chaos knob stalls every 3rd activation: cross-stream
+  // interleaving shifts arbitrarily, within-stream order must not.
+  ExpectMatchesBatch(ServeDumps(streams_, /*workers=*/4,
+                                /*slow_every=*/3, /*slow_ms=*/2),
+                     "workers=4 chaos-slow=3:2");
+}
+
+// Two serve runs with the same seed must agree with each other (and,
+// transitively via the fixtures above, with batch) — the load schedule
+// is a pure function of the seed.
+TEST_F(ServeEquivalenceTest, RepeatRunsAreBitIdentical) {
+  const std::vector<std::string> first =
+      ServeDumps(streams_, /*workers=*/4, /*slow_every=*/0,
+                 /*slow_ms=*/0);
+  const std::vector<std::string> second =
+      ServeDumps(streams_, /*workers=*/4, /*slow_every=*/0,
+                 /*slow_ms=*/0);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace oebench
+

@@ -1,0 +1,514 @@
+// Online-serving subsystem units: SPSC ring buffer (FIFO, wrap-around,
+// a two-thread stress pass), StreamSession record-to-window
+// bookkeeping, ServeEngine scheduling/backpressure, load-generator
+// determinism, histogram quantile estimation, and oebench_serve CLI
+// death tests (exec'd via OEBENCH_SERVE_BIN, mirroring the
+// sweep_fault_test.cc idiom).
+
+#include <sys/wait.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/io_env.h"
+#include "common/metrics.h"
+#include "core/evaluator.h"
+#include "serve/load_gen.h"
+#include "serve/ring_buffer.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "streamgen/corpus.h"
+#include "streamgen/stream_generator.h"
+#include "sweep/result_log.h"
+
+namespace oebench {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------------
+// SpscRingBuffer
+
+TEST(ServeRingBufferTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRingBuffer<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRingBuffer<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRingBuffer<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRingBuffer<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRingBuffer<int>(1024).capacity(), 1024u);
+}
+
+TEST(ServeRingBufferTest, PushPopFifoAndFullEmpty) {
+  SpscRingBuffer<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.TryPop(&out));  // empty
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // full at capacity
+  EXPECT_EQ(ring.SizeApprox(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);  // strict FIFO
+  }
+  EXPECT_FALSE(ring.TryPop(&out));
+  EXPECT_TRUE(ring.EmptyApprox());
+}
+
+TEST(ServeRingBufferTest, WrapAroundKeepsFifo) {
+  SpscRingBuffer<int> ring(4);
+  int out = 0;
+  // Push/pop far past the capacity so the indices wrap several times.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+    EXPECT_TRUE(ring.TryPush(1000 + i));
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, 1000 + i);
+  }
+}
+
+// One producer, one consumer, full speed: every value arrives exactly
+// once, in order. Under TSan (check-sanitize) this also verifies the
+// acquire/release pairing on head/tail.
+TEST(ServeRingBufferTest, SpscStressTwoThreads) {
+  constexpr int64_t kCount = 200000;
+  SpscRingBuffer<int64_t> ring(64);
+  std::atomic<bool> failed{false};
+  std::thread producer([&] {
+    for (int64_t i = 0; i < kCount; ++i) {
+      while (!ring.TryPush(i)) std::this_thread::yield();
+    }
+  });
+  std::thread consumer([&] {
+    int64_t expected = 0;
+    int64_t value = 0;
+    while (expected < kCount) {
+      if (!ring.TryPop(&value)) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (value != expected) {
+        failed.store(true);
+        break;
+      }
+      ++expected;
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_FALSE(failed.load()) << "ring reordered or lost a value";
+  EXPECT_TRUE(ring.EmptyApprox());
+}
+
+// ---------------------------------------------------------------------
+// QuantileFromHistogram
+
+TEST(ServeQuantileTest, EmptyHistogramIsZero) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(QuantileFromHistogram(empty, 0.5), 0.0);
+  EXPECT_EQ(QuantileFromHistogram(empty, 0.99), 0.0);
+}
+
+TEST(ServeQuantileTest, QuantilesOrderedAndClamped) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("q", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 90; ++i) h->Record(0.5);   // bucket (0, 1]
+  for (int i = 0; i < 10; ++i) h->Record(6.0);   // bucket (4, 8]
+  const HistogramSnapshot snap = h->Snapshot();
+  const double p50 = QuantileFromHistogram(snap, 0.50);
+  const double p95 = QuantileFromHistogram(snap, 0.95);
+  const double p99 = QuantileFromHistogram(snap, 0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1.0);  // the mass sits in the first bucket
+  EXPECT_GT(p95, 4.0);  // tail lands in the (4, 8] bucket
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, snap.max);
+  EXPECT_GE(p50, snap.min);
+}
+
+TEST(ServeQuantileTest, SingleValueCollapsesToIt) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("q", {1.0, 10.0});
+  h->Record(3.5);
+  const HistogramSnapshot snap = h->Snapshot();
+  EXPECT_DOUBLE_EQ(QuantileFromHistogram(snap, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(QuantileFromHistogram(snap, 0.5), 3.5);
+  EXPECT_DOUBLE_EQ(QuantileFromHistogram(snap, 1.0), 3.5);
+}
+
+// ---------------------------------------------------------------------
+// StreamSession
+
+std::shared_ptr<const GeneratedStream> MakeStream(size_t corpus_index,
+                                                  uint64_t salt) {
+  const CorpusEntry& entry = Corpus()[corpus_index];
+  StreamSpec spec = SpecFromEntry(entry, /*scale=*/0.0, salt);
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  EXPECT_TRUE(stream.ok()) << stream.status().ToString();
+  return std::make_shared<const GeneratedStream>(std::move(*stream));
+}
+
+SessionOptions FastSessionOptions(size_t max_windows = 0) {
+  SessionOptions options;
+  options.max_windows = max_windows;
+  options.learner = "Naive-DT";
+  options.learner_config.epochs = 1;
+  return options;
+}
+
+std::string DumpEval(const EvalResult& result) {
+  std::string out = result.learner + "|" + result.dataset + "|" +
+                    std::to_string(result.items_processed) + "|" +
+                    std::to_string(result.peak_memory_bytes) + "|" +
+                    sweep::EncodeDouble(result.mean_loss) + "|" +
+                    sweep::EncodeDouble(result.faded_loss) + "|";
+  for (size_t i = 0; i < result.per_window_loss.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sweep::EncodeDouble(result.per_window_loss[i]);
+  }
+  return out;
+}
+
+EvalResult BatchReference(const GeneratedStream& stream,
+                          const SessionOptions& options) {
+  Result<PreparedStream> prepared =
+      PrepareStream(stream, options.pipeline);
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+  if (options.max_windows > 0 &&
+      prepared->windows.size() > options.max_windows) {
+    prepared->windows.resize(options.max_windows);
+    prepared->ranges.resize(options.max_windows);
+  }
+  Result<std::unique_ptr<StreamLearner>> learner =
+      MakeLearner(options.learner, options.learner_config, prepared->task,
+                  prepared->num_classes);
+  EXPECT_TRUE(learner.ok()) << learner.status().ToString();
+  return RunPrequential(learner->get(), *prepared);
+}
+
+// Drives a session inline (no engine): offer everything, drain
+// synchronously.
+EvalResult DriveSessionInline(StreamSession* session) {
+  int64_t next_row = 0;
+  bool end_sent = false;
+  bool finished = false;
+  while (!finished) {
+    // Interleave offers and drains so the ring never saturates.
+    for (int i = 0; i < 16; ++i) {
+      if (next_row < session->end_row()) {
+        if (session->Offer(next_row, 0.0) == AdmitResult::kAccepted) {
+          ++next_row;
+        }
+      } else if (!end_sent) {
+        if (session->OfferEnd(0.0) == AdmitResult::kAccepted) {
+          end_sent = true;
+        }
+      }
+    }
+    Result<int64_t> processed = session->ProcessBatch(32, &finished);
+    EXPECT_TRUE(processed.ok()) << processed.status().ToString();
+    if (!processed.ok()) break;
+  }
+  return session->result();
+}
+
+TEST(ServeSessionTest, InlineDrainMatchesBatchPrequential) {
+  std::shared_ptr<const GeneratedStream> stream = MakeStream(0, 7);
+  SessionOptions options = FastSessionOptions(/*max_windows=*/3);
+  StreamSession session(0, stream, options);
+  ASSERT_TRUE(session.Init().ok());
+  EXPECT_EQ(session.num_windows(), 3u);
+  EXPECT_GT(session.end_row(), 0);
+
+  const EvalResult serve_result = DriveSessionInline(&session);
+  const EvalResult batch_result = BatchReference(*stream, options);
+  EXPECT_EQ(DumpEval(serve_result), DumpEval(batch_result));
+  EXPECT_EQ(session.windows_lost(), 0);
+}
+
+TEST(ServeSessionTest, WholeStreamMatchesBatchPrequential) {
+  std::shared_ptr<const GeneratedStream> stream = MakeStream(1, 3);
+  SessionOptions options = FastSessionOptions(/*max_windows=*/0);
+  StreamSession session(0, stream, options);
+  ASSERT_TRUE(session.Init().ok());
+  const EvalResult serve_result = DriveSessionInline(&session);
+  const EvalResult batch_result = BatchReference(*stream, options);
+  EXPECT_EQ(DumpEval(serve_result), DumpEval(batch_result));
+}
+
+TEST(ServeSessionTest, RingFullYieldsOverloadedAndOfferAfterEndFinished) {
+  std::shared_ptr<const GeneratedStream> stream = MakeStream(0, 1);
+  SessionOptions options = FastSessionOptions(1);
+  options.ring_capacity = 2;
+  StreamSession session(0, stream, options);
+  ASSERT_TRUE(session.Init().ok());
+  EXPECT_EQ(session.Offer(0, 0.0), AdmitResult::kAccepted);
+  EXPECT_EQ(session.Offer(1, 0.0), AdmitResult::kAccepted);
+  // Ring (capacity 2) is full: structured backpressure, not a crash.
+  EXPECT_EQ(session.Offer(2, 0.0), AdmitResult::kOverloaded);
+
+  bool finished = false;
+  ASSERT_TRUE(session.ProcessBatch(16, &finished).ok());
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(session.OfferEnd(0.0), AdmitResult::kAccepted);
+  ASSERT_TRUE(session.ProcessBatch(16, &finished).ok());
+  EXPECT_TRUE(finished);
+  EXPECT_TRUE(session.finished());
+  // A finished session stops admitting.
+  EXPECT_EQ(session.Offer(3, 0.0), AdmitResult::kFinished);
+}
+
+TEST(ServeSessionTest, DroppedRecordsShrinkWindowLostWindowSkips) {
+  std::shared_ptr<const GeneratedStream> stream = MakeStream(0, 2);
+  SessionOptions options = FastSessionOptions(3);
+  StreamSession session(0, stream, options);
+  ASSERT_TRUE(session.Init().ok());
+  // Windows 0..2 are all full-size (only a stream's final window can be
+  // short), so the truncated range splits evenly.
+  ASSERT_EQ(session.num_windows(), 3u);
+  const int64_t w0_end = session.end_row() / 3;
+  // Deliver only half of window 0, nothing of window 1, all of window 2.
+  bool finished = false;
+  for (int64_t row = 0; row < w0_end / 2; ++row) {
+    ASSERT_EQ(session.Offer(row, 0.0), AdmitResult::kAccepted);
+    ASSERT_TRUE(session.ProcessBatch(8, &finished).ok());
+  }
+  for (int64_t row = 2 * w0_end; row < session.end_row(); ++row) {
+    ASSERT_EQ(session.Offer(row, 0.0), AdmitResult::kAccepted);
+    ASSERT_TRUE(session.ProcessBatch(8, &finished).ok());
+  }
+  ASSERT_EQ(session.OfferEnd(0.0), AdmitResult::kAccepted);
+  while (!finished) {
+    ASSERT_TRUE(session.ProcessBatch(8, &finished).ok());
+  }
+  ASSERT_TRUE(session.status().ok()) << session.status().ToString();
+  EXPECT_EQ(session.windows_lost(), 1);  // window 1 never arrived
+  // Window 0 (partial) trained, window 2 tested+trained: one loss entry.
+  EXPECT_EQ(session.result().per_window_loss.size(), 1u);
+  EXPECT_GT(session.result().items_processed, 0);
+}
+
+// ---------------------------------------------------------------------
+// ServeEngine
+
+std::unique_ptr<StreamSession> MakeInitedSession(int64_t id,
+                                                 size_t corpus_index,
+                                                 SessionOptions options) {
+  auto session = std::make_unique<StreamSession>(
+      id, MakeStream(corpus_index, static_cast<uint64_t>(id)), options);
+  EXPECT_TRUE(session->Init().ok());
+  return session;
+}
+
+TEST(ServeEngineTest, BlockPolicyServesEverySessionToCompletion) {
+  MetricsRegistry::Global()->Reset();
+  ServerOptions engine_options;
+  engine_options.workers = 4;
+  engine_options.quantum = 32;
+  ServeEngine engine(engine_options);
+  for (int64_t i = 0; i < 4; ++i) {
+    engine.AddSession(
+        MakeInitedSession(i, static_cast<size_t>(i), FastSessionOptions(2)));
+  }
+  LoadGenOptions load;
+  load.producers = 2;
+  load.admission = AdmissionPolicy::kBlock;
+  const LoadStats stats = RunLoadGenerator(&engine, load);
+  ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/120.0));
+  EXPECT_TRUE(engine.first_error().ok());
+  EXPECT_EQ(stats.dropped, 0);
+  EXPECT_EQ(stats.accepted, stats.offered);
+  EXPECT_EQ(engine.sessions_finished(), 4);
+  EXPECT_EQ(engine.inflight(), 0);
+  for (size_t i = 0; i < engine.num_sessions(); ++i) {
+    EXPECT_TRUE(engine.session(i)->finished());
+    EXPECT_EQ(engine.session(i)->windows_lost(), 0);
+    EXPECT_GT(engine.session(i)->result().items_processed, 0);
+  }
+  // The per-record latency histogram saw every consumed record.
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  const auto it = snap.histograms.find("serve.record_latency_seconds");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_GT(it->second.count, 0);
+  EXPECT_GT(QuantileFromHistogram(it->second, 0.5), 0.0);
+}
+
+// Overload acceptance: tiny rings + slowed workers + drop policy must
+// yield counted kOverloaded drops and still shut down cleanly. Also part
+// of the check-sanitize TSan pass.
+TEST(ServeEngineTest, OverloadDropsAreCountedAndShutdownIsClean) {
+  MetricsRegistry::Global()->Reset();
+  ServerOptions engine_options;
+  engine_options.workers = 1;
+  engine_options.quantum = 8;
+  engine_options.slow_every = 1;  // every activation sleeps...
+  engine_options.slow_ms = 5;     // ...so producers outrun the drain
+  ServeEngine engine(engine_options);
+  for (int64_t i = 0; i < 2; ++i) {
+    SessionOptions options = FastSessionOptions(2);
+    options.ring_capacity = 4;
+    engine.AddSession(MakeInitedSession(i, static_cast<size_t>(i), options));
+  }
+  LoadGenOptions load;
+  load.producers = 1;
+  load.admission = AdmissionPolicy::kDrop;
+  const LoadStats stats = RunLoadGenerator(&engine, load);
+  ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/120.0));
+  EXPECT_TRUE(engine.first_error().ok());
+  EXPECT_GT(stats.dropped, 0) << "expected the overload regime";
+  EXPECT_EQ(engine.sessions_finished(), 2);
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  const auto drops = snap.volatile_counters.find("serve.drops_overloaded");
+  ASSERT_NE(drops, snap.volatile_counters.end());
+  EXPECT_EQ(drops->second, stats.dropped);
+  // Every session still reached its end sentinel and produced a result
+  // over whatever records survived admission.
+  for (size_t i = 0; i < engine.num_sessions(); ++i) {
+    EXPECT_TRUE(engine.session(i)->finished());
+    EXPECT_TRUE(engine.session(i)->status().ok());
+  }
+}
+
+TEST(ServeEngineTest, GlobalInflightCapRejectsWithDropsInflight) {
+  MetricsRegistry::Global()->Reset();
+  ServerOptions engine_options;
+  engine_options.workers = 1;
+  engine_options.max_inflight = 1;
+  engine_options.slow_every = 1;  // hold the worker so records queue
+  engine_options.slow_ms = 100;
+  ServeEngine engine(engine_options);
+  engine.AddSession(MakeInitedSession(0, 0, FastSessionOptions(1)));
+  EXPECT_EQ(engine.Offer(0, 0, 0.0), AdmitResult::kAccepted);
+  // The worker sleeps before draining, so the first record is still in
+  // flight: the global cap rejects the immediately-following offer.
+  EXPECT_EQ(engine.Offer(0, 1, 0.0), AdmitResult::kOverloaded);
+  // Drain: once the worker wakes the sentinel goes through.
+  for (;;) {
+    const AdmitResult admit = engine.OfferEnd(0, 0.0);
+    if (admit == AdmitResult::kAccepted ||
+        admit == AdmitResult::kFinished) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/120.0));
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  const auto it = snap.volatile_counters.find("serve.drops_inflight");
+  ASSERT_NE(it, snap.volatile_counters.end());
+  EXPECT_GE(it->second, 1);
+}
+
+// ---------------------------------------------------------------------
+// Load generator determinism
+
+TEST(ServeLoadGenTest, DeliveryStatsAreReproducibleUnderBlockPolicy) {
+  LoadStats first;
+  LoadStats second;
+  for (LoadStats* stats : {&first, &second}) {
+    ServerOptions engine_options;
+    engine_options.workers = 2;
+    ServeEngine engine(engine_options);
+    for (int64_t i = 0; i < 3; ++i) {
+      engine.AddSession(
+          MakeInitedSession(i, static_cast<size_t>(i),
+                            FastSessionOptions(2)));
+    }
+    LoadGenOptions load;
+    load.seed = 99;
+    load.producers = 2;
+    load.admission = AdmissionPolicy::kBlock;
+    *stats = RunLoadGenerator(&engine, load);
+    ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/120.0));
+    ASSERT_TRUE(engine.first_error().ok());
+  }
+  // Under kBlock every scheduled record is delivered, so the stats are
+  // a pure function of the seed and the stream shapes.
+  EXPECT_EQ(first.offered, second.offered);
+  EXPECT_EQ(first.accepted, second.accepted);
+  EXPECT_EQ(first.dropped, 0);
+  EXPECT_EQ(second.dropped, 0);
+  EXPECT_GT(first.offered, 0);
+}
+
+// ---------------------------------------------------------------------
+// oebench_serve CLI contract: exec the real binary.
+
+const char* ServeBin() { return std::getenv("OEBENCH_SERVE_BIN"); }
+
+int RunServeCli(const std::string& args) {
+  std::string command = std::string("\"") + ServeBin() + "\" " + args +
+                        " >/dev/null 2>/dev/null";
+  int raw = std::system(command.c_str());
+  EXPECT_NE(raw, -1);
+  EXPECT_TRUE(WIFEXITED(raw)) << "signal-terminated: " << command;
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+#define SKIP_WITHOUT_SERVE_BIN()                                        \
+  do {                                                                  \
+    if (ServeBin() == nullptr ||                                        \
+        !IoEnv::Default()->FileExists(ServeBin())) {                    \
+      GTEST_SKIP() << "OEBENCH_SERVE_BIN not set / not built; run via " \
+                      "ctest or the check-serve target";                \
+    }                                                                   \
+  } while (0)
+
+TEST(ServeCliTest, UsageErrorsExitTwo) {
+  SKIP_WITHOUT_SERVE_BIN();
+  EXPECT_EQ(RunServeCli("--no-such-flag"), 2);
+  EXPECT_EQ(RunServeCli("bare-argument"), 2);
+  EXPECT_EQ(RunServeCli("--streams=0"), 2);
+  EXPECT_EQ(RunServeCli("--streams"), 2);  // missing value
+  EXPECT_EQ(RunServeCli("--workers=0"), 2);
+  EXPECT_EQ(RunServeCli("--rate=0"), 2);
+  EXPECT_EQ(RunServeCli("--rate=abc"), 2);
+  EXPECT_EQ(RunServeCli("--duration-windows=-1"), 2);
+  EXPECT_EQ(RunServeCli("--ring-capacity=1"), 2);
+  EXPECT_EQ(RunServeCli("--producers=0"), 2);
+  EXPECT_EQ(RunServeCli("--quantum=0"), 2);
+  EXPECT_EQ(RunServeCli("--max-inflight=-1"), 2);
+  EXPECT_EQ(RunServeCli("--admission=bogus"), 2);
+  EXPECT_EQ(RunServeCli("--paced=1"), 2);  // --paced takes no value
+  EXPECT_EQ(RunServeCli("--scale=-1"), 2);
+  EXPECT_EQ(RunServeCli("--seed=abc"), 2);
+  EXPECT_EQ(RunServeCli("--learner=NoSuchLearner"), 2);
+  EXPECT_EQ(RunServeCli("--chaos-slow=5"), 2);
+  EXPECT_EQ(RunServeCli("--chaos-slow=0:10"), 2);
+  EXPECT_EQ(RunServeCli("--deterministic-metrics"), 2);
+}
+
+TEST(ServeCliTest, TinyRunExitsZeroAndWritesMetrics) {
+  SKIP_WITHOUT_SERVE_BIN();
+  const std::string metrics =
+      ::testing::TempDir() + "/serve_cli_metrics.json";
+  std::remove(metrics.c_str());
+  EXPECT_EQ(RunServeCli("--streams=2 --workers=2 --duration-windows=1 "
+                        "--scale=0 --epochs=1 --metrics-out=\"" +
+                        metrics + "\""),
+            0);
+  Result<std::string> text = IoEnv::Default()->ReadFile(metrics);
+  ASSERT_TRUE(text.ok());
+  MetricsSnapshot snap;
+  ASSERT_TRUE(ParseMetricsJson(*text, &snap).ok());
+  EXPECT_GT(snap.counters.at("serve.records"), 0);
+  EXPECT_GT(snap.histograms.at("serve.record_latency_seconds").count, 0);
+  std::remove(metrics.c_str());
+}
+
+TEST(ServeCliTest, UnwritableMetricsPathExitsOne) {
+  SKIP_WITHOUT_SERVE_BIN();
+  EXPECT_EQ(RunServeCli("--streams=1 --duration-windows=1 --scale=0 "
+                        "--epochs=1 "
+                        "--metrics-out=/no/such/dir/metrics.json"),
+            1);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace oebench

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -118,6 +119,74 @@ TEST(ThreadPoolStressTest, ManySmallTasks) {
   }
   for (std::future<void>& f : futures) f.get();
   EXPECT_EQ(sum.load(), static_cast<int64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+// Sustained contention: several submitter threads keep feeding short
+// tasks while the workers are already busy, for many rounds. Every task
+// must run exactly once (the sum is exact) and every future must become
+// ready within the deadline (a stuck queue fails instead of hanging the
+// suite). Part of the check-sanitize TSan pass.
+TEST(ThreadPoolStressTest, SustainedContentionFromManySubmitters) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 2500;
+  std::atomic<int64_t> executed{0};
+  std::vector<std::vector<std::future<void>>> futures(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &futures, &executed, s] {
+      futures[static_cast<size_t>(s)].reserve(kTasksEach);
+      for (int i = 0; i < kTasksEach; ++i) {
+        futures[static_cast<size_t>(s)].push_back(
+            pool.Submit([&executed] {
+              // A little real work so workers stay busy and the queue
+              // keeps a backlog while submissions continue.
+              volatile int64_t spin = 0;
+              for (int k = 0; k < 64; ++k) spin += k;
+              executed.fetch_add(1, std::memory_order_relaxed);
+            }));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (std::vector<std::future<void>>& per_submitter : futures) {
+    for (std::future<void>& f : per_submitter) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(60)),
+                std::future_status::ready)
+          << "task lost or pool deadlocked";
+      f.get();
+    }
+  }
+  EXPECT_EQ(executed.load(),
+            static_cast<int64_t>(kSubmitters) * kTasksEach);
+}
+
+// Workers resubmitting follow-up tasks from inside the pool — the serve
+// engine's run-queue pattern (drain a quantum, resubmit yourself). Many
+// concurrent chains race on one countdown; the chain that takes it to
+// zero signals completion. Declaration order matters: the pool is
+// declared last so its destructor (which drains tasks referencing the
+// other locals) runs first.
+TEST(ThreadPoolStressTest, WorkersCanResubmitFollowUpTasks) {
+  constexpr int kChains = 16;
+  constexpr int kSteps = 5000;
+  std::atomic<int> remaining{kSteps};
+  std::promise<void> done;
+  std::future<void> done_future = done.get_future();
+  std::function<void()> step;
+  ThreadPool pool(3);
+  step = [&remaining, &done, &pool, &step] {
+    const int before = remaining.fetch_sub(1, std::memory_order_relaxed);
+    if (before == 1) {
+      done.set_value();  // exactly one chain observes the final step
+    } else if (before > 1) {
+      pool.Submit(step);
+    }
+  };
+  for (int c = 0; c < kChains; ++c) pool.Submit(step);
+  ASSERT_EQ(done_future.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "resubmission chains stalled";
 }
 
 TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
