@@ -3,11 +3,14 @@
 // efficiency discussion (§6.3) at the detector level and serve as an
 // ablation for detector configuration choices.
 
+#include <cmath>
+
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_micro_util.h"
 #include "common/random.h"
 #include "drift/adwin.h"
+#include "linalg/vector_ops.h"
 #include "drift/hdddm.h"
 #include "drift/kdq_tree.h"
 #include "drift/ks_test.h"
@@ -105,6 +108,57 @@ BENCHMARK(BM_IsolationForestFitScore)
     ->Args({512, 25})
     ->Args({512, 50})
     ->Args({512, 100});
+
+// ---------------------------------------------------------------------
+// Per-kernel splits: the vector_ops reductions the detector updates
+// above spend most of their time in, timed in isolation so a kernel
+// regression is attributable without bisecting a detector.
+
+void BM_VectorMean(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<double> v(static_cast<size_t>(state.range(0)));
+  for (double& x : v) x = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mean(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VectorMean)->Arg(512)->Arg(4096);
+
+void BM_VectorVariance(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<double> v(static_cast<size_t>(state.range(0)));
+  for (double& x : v) x = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Variance(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VectorVariance)->Arg(512)->Arg(4096);
+
+void BM_VectorQuantile(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<double> v(static_cast<size_t>(state.range(0)));
+  for (double& x : v) x = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Quantile(v, 0.95));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VectorQuantile)->Arg(512)->Arg(4096);
+
+void BM_NanEuclidean(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> a(static_cast<size_t>(state.range(0)));
+  std::vector<double> b(a.size());
+  for (double& x : a) x = rng.Bernoulli(0.1) ? NAN : rng.Gaussian();
+  for (double& x : b) x = rng.Bernoulli(0.1) ? NAN : rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NanEuclideanDistance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NanEuclidean)->Arg(64)->Arg(512);
 
 }  // namespace
 }  // namespace oebench

@@ -1,0 +1,343 @@
+// Micro-benchmarks for the SIMD/blocked hot-kernel rewrite. Every
+// converted kernel is timed as a ref/opt pair in the same process —
+// `ref` is the verbatim pre-refactor implementation from
+// tests/kernel_reference.h, `opt` the shipping blocked/vectorized
+// version — so the speedup ratio is robust to machine noise. Emits
+// BENCH_micro_kernels.json; run with --baseline=BENCH_micro_kernels.json
+// to gate against the committed snapshot (exit 1 on >20% regression).
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_micro_util.h"
+#include "common/random.h"
+#include "dataframe/csv.h"
+#include "dataframe/csv_scan.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/pca.h"
+#include "linalg/vector_ops.h"
+#include "models/hoeffding_tree.h"
+#include "models/mlp.h"
+#include "preprocess/imputer.h"
+#include "tests/kernel_reference.h"
+
+namespace oebench {
+namespace {
+
+Matrix BenchMatrix(uint64_t seed, int64_t rows, int64_t cols,
+                   double zero_prob = 0.0, double nan_prob = 0.0) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (double& v : m.data()) {
+    if (zero_prob > 0.0 && rng.Bernoulli(zero_prob)) {
+      v = 0.0;
+    } else if (nan_prob > 0.0 && rng.Bernoulli(nan_prob)) {
+      v = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      v = rng.Gaussian();
+    }
+  }
+  return m;
+}
+
+// ------------------------------------------------------------- MatMul
+
+// Dense product — the PCA-projection / covariance shape where the
+// k-blocked Axpy4 kernel reads and writes each output row once per
+// four k terms instead of once per term.
+void BM_MatMulRef(benchmark::State& state) {
+  const Matrix a = BenchMatrix(1, 96, 96);
+  const Matrix b = BenchMatrix(2, 96, 96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel_ref::RefMatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMulRef);
+
+void BM_MatMulOpt(benchmark::State& state) {
+  const Matrix a = BenchMatrix(1, 96, 96);
+  const Matrix b = BenchMatrix(2, 96, 96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+}
+BENCHMARK(BM_MatMulOpt);
+
+// ReLU-like sparsity in the left operand: most 4-groups contain a zero,
+// so this tracks the guarded fallback path's overhead.
+void BM_MatMulSparseRef(benchmark::State& state) {
+  const Matrix a = BenchMatrix(1, 96, 96, /*zero_prob=*/0.3);
+  const Matrix b = BenchMatrix(2, 96, 96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel_ref::RefMatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMulSparseRef);
+
+void BM_MatMulSparseOpt(benchmark::State& state) {
+  const Matrix a = BenchMatrix(1, 96, 96, /*zero_prob=*/0.3);
+  const Matrix b = BenchMatrix(2, 96, 96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+}
+BENCHMARK(BM_MatMulSparseOpt);
+
+// ------------------------------------------------------- column stats
+
+void BM_ColumnMeansRef(benchmark::State& state) {
+  const Matrix m = BenchMatrix(3, 1000, 64, 0.0, /*nan_prob=*/0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel_ref::RefColumnMeans(m));
+  }
+}
+BENCHMARK(BM_ColumnMeansRef);
+
+void BM_ColumnMeansOpt(benchmark::State& state) {
+  const Matrix m = BenchMatrix(3, 1000, 64, 0.0, /*nan_prob=*/0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.ColumnMeans());
+  }
+}
+BENCHMARK(BM_ColumnMeansOpt);
+
+// -------------------------------------------------------- KNN imputer
+
+void BM_KnnImputeRef(benchmark::State& state) {
+  const Matrix reference = BenchMatrix(4, 200, 16, 0.0, 0.15);
+  const Matrix data = BenchMatrix(5, 40, 16, 0.0, 0.25);
+  const std::vector<double> means = kernel_ref::RefColumnMeans(reference);
+  for (auto _ : state) {
+    Matrix work = data;
+    kernel_ref::RefKnnImpute(&work, reference, means, /*k=*/3);
+    benchmark::DoNotOptimize(work.data().data());
+  }
+}
+BENCHMARK(BM_KnnImputeRef);
+
+void BM_KnnImputeOpt(benchmark::State& state) {
+  const Matrix reference = BenchMatrix(4, 200, 16, 0.0, 0.15);
+  const Matrix data = BenchMatrix(5, 40, 16, 0.0, 0.25);
+  KnnImputer imputer(3);
+  OE_CHECK(imputer.Fit(reference).ok());
+  for (auto _ : state) {
+    Matrix work = data;
+    OE_CHECK(imputer.Transform(&work).ok());
+    benchmark::DoNotOptimize(work.data().data());
+  }
+}
+BENCHMARK(BM_KnnImputeOpt);
+
+// ------------------------------------------- Hoeffding leaf statistics
+
+void BM_HoeffdingStatsRef(benchmark::State& state) {
+  constexpr int64_t kDim = 32;
+  constexpr int kClasses = 4;
+  Rng rng(6);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 64; ++i) {
+    rows.push_back(std::vector<double>(kDim));
+    for (double& v : rows.back()) v = rng.Gaussian();
+  }
+  std::vector<std::vector<kernel_ref::RefGaussianStat>> stats(
+      kDim, std::vector<kernel_ref::RefGaussianStat>(kClasses));
+  int label = 0;
+  for (auto _ : state) {
+    for (const auto& row : rows) {
+      kernel_ref::RefAccumulateStats(&stats, row.data(), kDim,
+                                     label % kClasses, 2.0);
+      ++label;
+    }
+    benchmark::DoNotOptimize(stats.data());
+  }
+}
+BENCHMARK(BM_HoeffdingStatsRef);
+
+void BM_HoeffdingStatsOpt(benchmark::State& state) {
+  constexpr int64_t kDim = 32;
+  constexpr int kClasses = 4;
+  Rng rng(6);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 64; ++i) {
+    rows.push_back(std::vector<double>(kDim));
+    for (double& v : rows.back()) v = rng.Gaussian();
+  }
+  std::vector<double> stats(
+      static_cast<size_t>(HoeffdingTree::kStatPlanes * kClasses * kDim), 0.0);
+  int label = 0;
+  for (auto _ : state) {
+    for (const auto& row : rows) {
+      HoeffdingTree::AccumulateStats(stats.data(), kDim, kClasses,
+                                     label % kClasses, row.data(), 2.0);
+      ++label;
+    }
+    benchmark::DoNotOptimize(stats.data());
+  }
+}
+BENCHMARK(BM_HoeffdingStatsOpt);
+
+// --------------------------------------------------------- CSV scanner
+
+std::string BenchCsvText() {
+  Rng rng(7);
+  std::string text = "a,b,c,d,e,f,g,h\n";
+  for (int r = 0; r < 4000; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      if (c > 0) text += ',';
+      text += std::to_string(rng.Gaussian());
+    }
+    text += '\n';
+  }
+  return text;
+}
+
+void BM_CsvScanScalar(benchmark::State& state) {
+  const std::string text = BenchCsvText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScanCsvScalar(text, {',', '\0'}));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_CsvScanScalar);
+
+void BM_CsvScanBlocked(benchmark::State& state) {
+  const std::string text = BenchCsvText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScanCsvBlocked(text, {',', '\0'}));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_CsvScanBlocked);
+
+void BM_ReadCsvFromString(benchmark::State& state) {
+  const std::string text = BenchCsvText();
+  for (auto _ : state) {
+    Result<Table> table = ReadCsvFromString(text);
+    OE_CHECK(table.ok());
+    benchmark::DoNotOptimize(table->num_rows());
+  }
+}
+BENCHMARK(BM_ReadCsvFromString);
+
+// ------------------------------------------------------ PCA covariance
+
+void BM_CovarianceRef(benchmark::State& state) {
+  const Matrix data = BenchMatrix(8, 500, 32);
+  const std::vector<double> mean = data.ColumnMeans();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel_ref::RefCovarianceMatrix(data, mean));
+  }
+}
+BENCHMARK(BM_CovarianceRef);
+
+void BM_CovarianceOpt(benchmark::State& state) {
+  const Matrix data = BenchMatrix(8, 500, 32);
+  const std::vector<double> mean = data.ColumnMeans();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CovarianceMatrix(data, mean));
+  }
+}
+BENCHMARK(BM_CovarianceOpt);
+
+// -------------------------------------------------------- Jacobi eigen
+
+Matrix BenchSymmetric(int64_t n) {
+  Matrix base = BenchMatrix(9, n, n);
+  Matrix sym(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      sym.At(i, j) = base.At(i, j) + base.At(j, i);
+    }
+  }
+  return sym;
+}
+
+void BM_JacobiEigenRef(benchmark::State& state) {
+  const Matrix sym = BenchSymmetric(24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel_ref::RefSymmetricEigen(sym));
+  }
+}
+BENCHMARK(BM_JacobiEigenRef);
+
+void BM_JacobiEigenOpt(benchmark::State& state) {
+  const Matrix sym = BenchSymmetric(24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymmetricEigen(sym));
+  }
+}
+BENCHMARK(BM_JacobiEigenOpt);
+
+// ---------------------------------------------------- nan-distance scan
+
+void BM_NanDistanceRef(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<double> a(256), b(256);
+  for (double& v : a) v = rng.Bernoulli(0.1) ? NAN : rng.Gaussian();
+  for (double& v : b) v = rng.Bernoulli(0.1) ? NAN : rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel_ref::RefNanEuclideanDistance(a, b));
+  }
+}
+BENCHMARK(BM_NanDistanceRef);
+
+void BM_NanDistanceOpt(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<double> a(256), b(256);
+  for (double& v : a) v = rng.Bernoulli(0.1) ? NAN : rng.Gaussian();
+  for (double& v : b) v = rng.Bernoulli(0.1) ? NAN : rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NanEuclideanDistance(a, b));
+  }
+}
+BENCHMARK(BM_NanDistanceOpt);
+
+// -------------------------------------------------------- MLP forward
+
+void BM_MlpForwardRef(benchmark::State& state) {
+  MlpConfig config;
+  config.task = TaskType::kClassification;
+  config.num_classes = 3;
+  config.hidden_sizes = {32, 16, 8};
+  Mlp mlp(config, 1);
+  mlp.EnsureInitialized(64);
+  const Matrix rows = BenchMatrix(11, 32, 64, /*zero_prob=*/0.3);
+  for (auto _ : state) {
+    for (int64_t r = 0; r < rows.rows(); ++r) {
+      benchmark::DoNotOptimize(kernel_ref::RefMlpForward(
+          mlp.weights(), mlp.biases(), rows.Row(r), 64));
+    }
+  }
+}
+BENCHMARK(BM_MlpForwardRef);
+
+void BM_MlpForwardOpt(benchmark::State& state) {
+  MlpConfig config;
+  config.task = TaskType::kClassification;
+  config.num_classes = 3;
+  config.hidden_sizes = {32, 16, 8};
+  Mlp mlp(config, 1);
+  mlp.EnsureInitialized(64);
+  const Matrix rows = BenchMatrix(11, 32, 64, /*zero_prob=*/0.3);
+  for (auto _ : state) {
+    for (int64_t r = 0; r < rows.rows(); ++r) {
+      benchmark::DoNotOptimize(mlp.Forward(rows.Row(r), 64));
+    }
+  }
+}
+BENCHMARK(BM_MlpForwardOpt);
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  return oebench::bench::RunMicroSuite(argc, argv,
+                                       "BENCH_micro_kernels.json");
+}

@@ -74,6 +74,27 @@ void BM_GbdtFit(benchmark::State& state) {
 }
 BENCHMARK(BM_GbdtFit)->Args({512, 5})->Args({512, 20});
 
+// Kernel-level split of the MLP cost: forward pass alone, separated
+// from the backward/update work that BM_MlpTrainEpoch lumps in. Rides
+// on the blocked GemvAccum kernel (see src/linalg/simd.h).
+void BM_MlpForward(benchmark::State& state) {
+  Rng rng(5);
+  Matrix x;
+  std::vector<double> y;
+  MakeData(&rng, 256, 10, &x, &y, false);
+  MlpConfig config;
+  config.task = TaskType::kRegression;
+  Mlp mlp(config, 3);
+  mlp.TrainEpoch(x, y, &rng);  // initialise weights once
+  for (auto _ : state) {
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      benchmark::DoNotOptimize(mlp.Forward(x.Row(r), 10));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * x.rows());
+}
+BENCHMARK(BM_MlpForward);
+
 void BM_HoeffdingTreeLearn(benchmark::State& state) {
   Rng rng(4);
   HoeffdingTreeConfig config;
@@ -88,6 +109,27 @@ void BM_HoeffdingTreeLearn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HoeffdingTreeLearn);
+
+// Prediction-path split: routes to a leaf and evaluates the per-class
+// Gaussian naive-Bayes product over the SoA sufficient statistics,
+// with none of BM_HoeffdingTreeLearn's accumulation or split attempts.
+void BM_HoeffdingTreePredict(benchmark::State& state) {
+  Rng rng(6);
+  HoeffdingTreeConfig config;
+  config.num_classes = 2;
+  HoeffdingTree tree(config, 5);
+  double row[10];
+  for (int i = 0; i < 2000; ++i) {
+    for (double& v : row) v = rng.Gaussian();
+    tree.Learn(row, 10, row[0] > 0 ? 1 : 0);
+  }
+  for (auto _ : state) {
+    for (double& v : row) v = rng.Gaussian();
+    benchmark::DoNotOptimize(tree.PredictProba(row, 10));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HoeffdingTreePredict);
 
 }  // namespace
 }  // namespace oebench

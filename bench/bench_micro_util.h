@@ -14,6 +14,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -61,31 +64,121 @@ class MetricsMirrorReporter : public ::benchmark::ConsoleReporter {
   }
 };
 
+/// Compares the fresh run against a committed baseline snapshot: every
+/// `micro.<name>.cpu_seconds_per_iter` gauge present in BOTH files may
+/// be at most `tolerance` slower than the baseline. Returns the number
+/// of regressions (0 = gate passes). Benchmarks added since the
+/// baseline was recorded are reported as informational and never fail.
+inline int CheckMicroBaseline(const MetricsSnapshot& fresh,
+                              const MetricsSnapshot& baseline,
+                              double tolerance = 0.20) {
+  constexpr const char kPrefix[] = "micro.";
+  constexpr const char kSuffix[] = ".cpu_seconds_per_iter";
+  const size_t suffix_len = std::strlen(kSuffix);
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [name, fresh_value] : fresh.gauges) {
+    if (name.rfind(kPrefix, 0) != 0 || name.size() < suffix_len ||
+        name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+      continue;
+    }
+    const auto it = baseline.gauges.find(name);
+    if (it == baseline.gauges.end()) {
+      std::printf("baseline: %s not in baseline (new benchmark), skipped\n",
+                  name.c_str());
+      continue;
+    }
+    ++compared;
+    const double base_value = it->second;
+    if (base_value > 0.0 && fresh_value > base_value * (1.0 + tolerance)) {
+      std::fprintf(stderr,
+                   "REGRESSION %s: %.3es/iter vs baseline %.3es/iter "
+                   "(+%.1f%%, gate %.0f%%)\n",
+                   name.c_str(), fresh_value, base_value,
+                   100.0 * (fresh_value / base_value - 1.0),
+                   100.0 * tolerance);
+      ++regressions;
+    }
+  }
+  std::printf("baseline gate: %d benchmark(s) compared, %d regression(s)\n",
+              compared, regressions);
+  return regressions;
+}
+
 /// Drop-in replacement for BENCHMARK_MAIN()'s body. `default_out` names
 /// the snapshot file written next to the working directory (e.g.
-/// "BENCH_micro_models.json").
+/// "BENCH_micro_models.json"). Accepts `--baseline=BENCH_*.json` (and
+/// strips it before google-benchmark sees the arguments): after the
+/// run, per-iteration CPU times are compared gauge-by-gauge against the
+/// baseline snapshot and the process exits 1 when any benchmark is more
+/// than 20% slower.
 inline int RunMicroSuite(int argc, char** argv,
                          const std::string& default_out) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::string baseline_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char kFlag[] = "--baseline=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      baseline_path = argv[i] + std::strlen(kFlag);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  args.push_back(nullptr);
+  int args_count = static_cast<int>(args.size()) - 1;
+
+  ::benchmark::Initialize(&args_count, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
   MetricsMirrorReporter reporter;
   ::benchmark::RunSpecifiedBenchmarks(&reporter);
   ::benchmark::Shutdown();
+
+  const MetricsSnapshot snapshot = MetricsRegistry::Global()->Snapshot();
 
   std::string out = default_out;
   if (const char* env = std::getenv("OEBENCH_MICRO_METRICS_OUT")) {
     out = env;
   }
-  if (out.empty()) return 0;
-  const MetricsSnapshot snapshot = MetricsRegistry::Global()->Snapshot();
-  const Status status =
-      WriteMetricsFile(out, snapshot, /*deterministic=*/false);
-  if (!status.ok()) {
-    std::fprintf(stderr, "cannot write metrics to %s: %s\n", out.c_str(),
-                 status.ToString().c_str());
-    return 1;
+  if (!out.empty()) {
+    const Status status =
+        WriteMetricsFile(out, snapshot, /*deterministic=*/false);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write metrics to %s: %s\n", out.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", out.c_str());
   }
-  std::printf("metrics written to %s\n", out.c_str());
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    MetricsSnapshot baseline;
+    const Status status = ParseMetricsJson(text.str(), &baseline);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot parse baseline %s: %s\n",
+                   baseline_path.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    // Default gate is 20%; OEBENCH_MICRO_BASELINE_TOL overrides (e.g.
+    // 0.5 on shared/noisy hosts where run-to-run spread exceeds 20%).
+    double tolerance = 0.20;
+    if (const char* env = std::getenv("OEBENCH_MICRO_BASELINE_TOL")) {
+      char* end = nullptr;
+      const double parsed = std::strtod(env, &end);
+      if (end != env && parsed > 0.0) tolerance = parsed;
+    }
+    if (CheckMicroBaseline(snapshot, baseline, tolerance) > 0) return 1;
+  }
   return 0;
 }
 

@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <fstream>
-#include <sstream>
+#include <iterator>
+#include <string_view>
 
 #include "common/string_util.h"
+#include "dataframe/csv_scan.h"
 
 namespace oebench {
 
@@ -15,17 +17,31 @@ struct RawCsv {
   std::vector<std::vector<std::string>> rows;
 };
 
-Result<RawCsv> ParseRaw(std::istream& in, const CsvReadOptions& options) {
+Result<RawCsv> ParseRaw(std::string_view text, const CsvReadOptions& options) {
   RawCsv raw;
-  std::string line;
+  const CsvScanResult scan =
+      ScanCsvBlocked(text, {options.delimiter, options.quote});
   bool first = true;
   size_t width = 0;
-  int64_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty() && raw.rows.empty() && raw.header.empty()) continue;
-    std::vector<std::string> fields = Split(line, options.delimiter);
+  size_t field_begin = 0;
+  for (size_t r = 0; r < scan.record_ends.size(); ++r) {
+    const size_t field_end = scan.record_ends[r];
+    const size_t count = field_end - field_begin;
+    // Skip leading blank lines (a single empty unquoted field) before
+    // any content, like the line-based reader did.
+    if (count == 1 && raw.rows.empty() && raw.header.empty()) {
+      const FieldSpan& only = scan.fields[field_begin];
+      if (!only.quoted && only.begin == only.end) {
+        field_begin = field_end;
+        continue;
+      }
+    }
+    std::vector<std::string> fields;
+    fields.reserve(count);
+    for (size_t f = field_begin; f < field_end; ++f) {
+      fields.push_back(MaterializeField(text, scan.fields[f], options.quote));
+    }
+    field_begin = field_end;
     if (first) {
       width = fields.size();
       if (options.has_header) {
@@ -40,7 +56,7 @@ Result<RawCsv> ParseRaw(std::istream& in, const CsvReadOptions& options) {
       first = false;
     }
     if (fields.size() != width) {
-      return Status::IoError("line " + std::to_string(line_no) + " has " +
+      return Status::IoError("line " + std::to_string(r + 1) + " has " +
                              std::to_string(fields.size()) +
                              " fields, expected " + std::to_string(width));
     }
@@ -97,16 +113,18 @@ Result<Table> BuildTable(const RawCsv& raw, const CsvReadOptions& options) {
 }  // namespace
 
 Result<Table> ReadCsv(const std::string& path, const CsvReadOptions& options) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "'");
-  OE_ASSIGN_OR_RETURN(RawCsv raw, ParseRaw(in, options));
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read from '" + path + "' failed");
+  OE_ASSIGN_OR_RETURN(RawCsv raw, ParseRaw(content, options));
   return BuildTable(raw, options);
 }
 
 Result<Table> ReadCsvFromString(const std::string& content,
                                 const CsvReadOptions& options) {
-  std::istringstream in(content);
-  OE_ASSIGN_OR_RETURN(RawCsv raw, ParseRaw(in, options));
+  OE_ASSIGN_OR_RETURN(RawCsv raw, ParseRaw(content, options));
   return BuildTable(raw, options);
 }
 

@@ -11,6 +11,11 @@ namespace oebench {
 /// Options controlling CSV parsing.
 struct CsvReadOptions {
   char delimiter = ',';
+  /// Quote character for RFC-4180-style quoted fields (embedded
+  /// delimiters/newlines, doubled-quote escapes). '\0' — the default —
+  /// disables quoting entirely and preserves the legacy line-split
+  /// semantics byte for byte.
+  char quote = '\0';
   /// First row holds column names.
   bool has_header = true;
   /// When a column has any non-numeric, non-missing cell it is parsed as

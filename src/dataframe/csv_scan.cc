@@ -1,0 +1,244 @@
+#include "dataframe/csv_scan.h"
+
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace oebench {
+
+namespace {
+
+// Strips one trailing '\r' from the last field of a just-finished record
+// (getline-compatible CRLF handling). Quoted fields keep their content
+// verbatim.
+inline void TrimRecordCr(std::string_view text, FieldSpan* last) {
+  if (!last->quoted && last->end > last->begin &&
+      text[last->end - 1] == '\r') {
+    --last->end;
+  }
+}
+
+}  // namespace
+
+CsvScanResult ScanCsvScalar(std::string_view text,
+                            const CsvScanOptions& options) {
+  CsvScanResult out;
+  const size_t n = text.size();
+  const char delim = options.delimiter;
+  const char quote = options.quote;
+  size_t pos = 0;
+  while (pos < n) {
+    bool record_done = false;
+    while (!record_done) {
+      FieldSpan span;
+      if (quote != '\0' && pos < n && text[pos] == quote) {
+        span.quoted = true;
+        ++pos;
+        span.begin = pos;
+        while (true) {
+          if (pos >= n) {
+            // Unterminated quote: content runs to end of input.
+            span.end = pos;
+            record_done = true;
+            break;
+          }
+          if (text[pos] == quote) {
+            if (pos + 1 < n && text[pos + 1] == quote) {
+              span.escaped = true;
+              pos += 2;
+              continue;
+            }
+            span.end = pos;
+            ++pos;
+            // Ignore stray bytes between the closing quote and the next
+            // separator.
+            while (pos < n && text[pos] != delim && text[pos] != '\n') ++pos;
+            if (pos >= n) {
+              record_done = true;
+            } else if (text[pos] == delim) {
+              ++pos;
+            } else {
+              ++pos;
+              record_done = true;
+            }
+            break;
+          }
+          ++pos;
+        }
+      } else {
+        span.begin = pos;
+        while (pos < n && text[pos] != delim && text[pos] != '\n') ++pos;
+        span.end = pos;
+        if (pos >= n) {
+          record_done = true;
+        } else if (text[pos] == delim) {
+          ++pos;
+        } else {
+          ++pos;
+          record_done = true;
+        }
+      }
+      out.fields.push_back(span);
+    }
+    TrimRecordCr(text, &out.fields.back());
+    out.record_ends.push_back(out.fields.size());
+  }
+  return out;
+}
+
+namespace {
+
+// Byte-classification masks over 64-byte blocks: bit i of word w is set
+// when text[w*64 + i] matches the class. Built with SSE2
+// compare+movemask when available, scalar bit-setting otherwise — the
+// masks are identical either way.
+struct ScanMasks {
+  std::vector<uint64_t> sep;    // delimiter OR newline
+  std::vector<uint64_t> quote;  // quote char (empty mask when disabled)
+};
+
+void BuildMasks(std::string_view text, char delim, char quote,
+                ScanMasks* masks) {
+  const size_t n = text.size();
+  const size_t words = (n + 63) / 64;
+  masks->sep.assign(words, 0);
+  masks->quote.assign(words, 0);
+  const char* p = text.data();
+  size_t i = 0;
+#if defined(__SSE2__)
+  const __m128i vd = _mm_set1_epi8(delim);
+  const __m128i vn = _mm_set1_epi8('\n');
+  const __m128i vq = _mm_set1_epi8(quote);
+  for (; i + 64 <= n; i += 64) {
+    uint64_t md = 0;
+    uint64_t mn = 0;
+    uint64_t mq = 0;
+    for (int k = 0; k < 4; ++k) {
+      const __m128i v = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(p + i + 16 * k));
+      md |= static_cast<uint64_t>(static_cast<uint32_t>(
+                _mm_movemask_epi8(_mm_cmpeq_epi8(v, vd))))
+            << (16 * k);
+      mn |= static_cast<uint64_t>(static_cast<uint32_t>(
+                _mm_movemask_epi8(_mm_cmpeq_epi8(v, vn))))
+            << (16 * k);
+      if (quote != '\0') {
+        mq |= static_cast<uint64_t>(static_cast<uint32_t>(
+                  _mm_movemask_epi8(_mm_cmpeq_epi8(v, vq))))
+              << (16 * k);
+      }
+    }
+    const size_t w = i >> 6;
+    masks->sep[w] = md | mn;
+    masks->quote[w] = mq;
+  }
+#endif
+  for (; i < n; ++i) {
+    const char ch = p[i];
+    const uint64_t bit = uint64_t{1} << (i & 63);
+    if (ch == delim || ch == '\n') masks->sep[i >> 6] |= bit;
+    if (quote != '\0' && ch == quote) masks->quote[i >> 6] |= bit;
+  }
+}
+
+// First set bit at position >= pos, or n when none.
+inline size_t NextSet(const std::vector<uint64_t>& m, size_t pos, size_t n) {
+  size_t w = pos >> 6;
+  if (w >= m.size()) return n;
+  uint64_t word = m[w] & (~uint64_t{0} << (pos & 63));
+  while (word == 0) {
+    if (++w >= m.size()) return n;
+    word = m[w];
+  }
+  const size_t r = (w << 6) +
+                   static_cast<size_t>(__builtin_ctzll(word));
+  return r < n ? r : n;
+}
+
+inline bool BitSet(const std::vector<uint64_t>& m, size_t pos) {
+  return (m[pos >> 6] >> (pos & 63)) & 1;
+}
+
+}  // namespace
+
+CsvScanResult ScanCsvBlocked(std::string_view text,
+                             const CsvScanOptions& options) {
+  CsvScanResult out;
+  const size_t n = text.size();
+  if (n == 0) return out;
+  const char delim = options.delimiter;
+  const char quote = options.quote;
+  ScanMasks masks;
+  BuildMasks(text, delim, quote, &masks);
+  size_t pos = 0;
+  while (pos < n) {
+    bool record_done = false;
+    while (!record_done) {
+      FieldSpan span;
+      if (quote != '\0' && pos < n && text[pos] == quote) {
+        span.quoted = true;
+        ++pos;
+        span.begin = pos;
+        while (true) {
+          const size_t q = NextSet(masks.quote, pos, n);
+          if (q >= n) {
+            span.end = n;
+            pos = n;
+            record_done = true;
+            break;
+          }
+          if (q + 1 < n && BitSet(masks.quote, q + 1)) {
+            span.escaped = true;
+            pos = q + 2;
+            continue;
+          }
+          span.end = q;
+          pos = NextSet(masks.sep, q + 1, n);
+          if (pos >= n) {
+            record_done = true;
+          } else if (text[pos] == delim) {
+            ++pos;
+          } else {
+            ++pos;
+            record_done = true;
+          }
+          break;
+        }
+      } else {
+        span.begin = pos;
+        const size_t end = NextSet(masks.sep, pos, n);
+        span.end = end;
+        pos = end;
+        if (pos >= n) {
+          record_done = true;
+        } else if (text[pos] == delim) {
+          ++pos;
+        } else {
+          ++pos;
+          record_done = true;
+        }
+      }
+      out.fields.push_back(span);
+    }
+    TrimRecordCr(text, &out.fields.back());
+    out.record_ends.push_back(out.fields.size());
+  }
+  return out;
+}
+
+std::string MaterializeField(std::string_view text, const FieldSpan& span,
+                             char quote) {
+  std::string_view raw = text.substr(span.begin, span.end - span.begin);
+  if (!span.escaped) return std::string(raw);
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    out.push_back(raw[i]);
+    if (raw[i] == quote && i + 1 < raw.size() && raw[i + 1] == quote) ++i;
+  }
+  return out;
+}
+
+}  // namespace oebench

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/simd.h"
+
 namespace oebench {
 
 EigenDecomposition SymmetricEigen(const Matrix& a_in, int max_sweeps,
@@ -11,12 +13,16 @@ EigenDecomposition SymmetricEigen(const Matrix& a_in, int max_sweeps,
   OE_CHECK(a_in.rows() == a_in.cols()) << "matrix must be square";
   const int64_t n = a_in.rows();
   Matrix a = a_in;
-  Matrix v = Matrix::Identity(n);
+  // Eigenvectors are accumulated TRANSPOSED (vt row k = eigenvector
+  // column k of the classic formulation): the Jacobi rotation touches
+  // two whole eigenvector columns, which are contiguous rows here, so
+  // the update vectorizes. The arithmetic per element is unchanged.
+  Matrix vt = Matrix::Identity(n);
 
   auto off_diag_norm = [&a, n]() {
     double sum = 0.0;
     for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j = i + 1; j < n; ++j) sum += a.At(i, j) * a.At(i, j);
+      sum = simd::SumSquaresSeq(sum, a.Row(i) + i + 1, n - i - 1);
     }
     return std::sqrt(sum);
   };
@@ -35,26 +41,12 @@ EigenDecomposition SymmetricEigen(const Matrix& a_in, int max_sweeps,
         double c = 1.0 / std::sqrt(t * t + 1.0);
         double s = t * c;
 
-        // Apply the rotation to A on both sides.
-        for (int64_t k = 0; k < n; ++k) {
-          double akp = a.At(k, p);
-          double akq = a.At(k, q);
-          a.At(k, p) = c * akp - s * akq;
-          a.At(k, q) = s * akp + c * akq;
-        }
-        for (int64_t k = 0; k < n; ++k) {
-          double apk = a.At(p, k);
-          double aqk = a.At(q, k);
-          a.At(p, k) = c * apk - s * aqk;
-          a.At(q, k) = s * apk + c * aqk;
-        }
-        // Accumulate eigenvectors.
-        for (int64_t k = 0; k < n; ++k) {
-          double vkp = v.At(k, p);
-          double vkq = v.At(k, q);
-          v.At(k, p) = c * vkp - s * vkq;
-          v.At(k, q) = s * vkp + c * vkq;
-        }
+        // Apply the rotation to A on both sides: first the column pair
+        // (strided), then the row pair (contiguous).
+        simd::RotateStrided(a.Row(0) + p, a.Row(0) + q, n, n, c, s);
+        simd::Rotate(a.Row(p), a.Row(q), n, c, s);
+        // Accumulate eigenvectors (rows of vt = columns of v).
+        simd::Rotate(vt.Row(p), vt.Row(q), n, c, s);
       }
     }
   }
@@ -72,7 +64,7 @@ EigenDecomposition SymmetricEigen(const Matrix& a_in, int max_sweeps,
   for (int64_t i = 0; i < n; ++i) {
     int64_t src = order[static_cast<size_t>(i)];
     out.values[static_cast<size_t>(i)] = a.At(src, src);
-    for (int64_t k = 0; k < n; ++k) out.vectors.At(k, i) = v.At(k, src);
+    for (int64_t k = 0; k < n; ++k) out.vectors.At(k, i) = vt.At(src, k);
   }
   return out;
 }
@@ -98,18 +90,17 @@ std::vector<double> SolveLinearSystem(Matrix a, std::vector<double> b,
       return std::vector<double>(static_cast<size_t>(n), 0.0);
     }
     if (pivot != col) {
-      for (int64_t c = 0; c < n; ++c) {
-        std::swap(a.At(pivot, c), a.At(col, c));
-      }
+      std::swap_ranges(a.Row(pivot), a.Row(pivot) + n, a.Row(col));
       std::swap(b[static_cast<size_t>(pivot)], b[static_cast<size_t>(col)]);
     }
     double inv = 1.0 / a.At(col, col);
+    const double* pivot_row = a.Row(col);
     for (int64_t r = col + 1; r < n; ++r) {
       double factor = a.At(r, col) * inv;
       if (factor == 0.0) continue;
-      for (int64_t c = col; c < n; ++c) {
-        a.At(r, c) -= factor * a.At(col, c);
-      }
+      // row_r[c] += (-factor) * pivot_row[c] is bit-identical to the
+      // textbook row_r[c] -= factor * pivot_row[c]: negation is exact.
+      simd::Axpy(a.Row(r) + col, pivot_row + col, n - col, -factor);
       b[static_cast<size_t>(r)] -= factor * b[static_cast<size_t>(col)];
     }
   }
@@ -117,8 +108,9 @@ std::vector<double> SolveLinearSystem(Matrix a, std::vector<double> b,
   std::vector<double> x(static_cast<size_t>(n), 0.0);
   for (int64_t r = n - 1; r >= 0; --r) {
     double sum = b[static_cast<size_t>(r)];
+    const double* row = a.Row(r);
     for (int64_t c = r + 1; c < n; ++c) {
-      sum -= a.At(r, c) * x[static_cast<size_t>(c)];
+      sum -= row[c] * x[static_cast<size_t>(c)];
     }
     x[static_cast<size_t>(r)] = sum / a.At(r, r);
   }

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "linalg/simd.h"
+
 namespace oebench {
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
@@ -44,18 +46,12 @@ Matrix Matrix::MatMul(const Matrix& other) const {
       << "matmul shape mismatch: " << rows_ << "x" << cols_ << " * "
       << other.rows_ << "x" << other.cols_;
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop contiguous in both operands.
+  // i-k-j order (contiguous in both operands), k-blocked by 4 through
+  // GemvAccum. The per-output accumulation order and the skip-zero
+  // guard match the naive loop exactly — see simd.h.
   for (int64_t i = 0; i < rows_; ++i) {
-    const double* a_row = Row(i);
-    double* o_row = out.Row(i);
-    for (int64_t k = 0; k < cols_; ++k) {
-      double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.Row(k);
-      for (int64_t j = 0; j < other.cols_; ++j) {
-        o_row[j] += a * b_row[j];
-      }
-    }
+    simd::GemvAccum(Row(i), other.data_.data(), cols_, other.cols_,
+                    other.cols_, out.Row(i));
   }
   return out;
 }
@@ -86,36 +82,30 @@ Matrix Matrix::Sub(const Matrix& other) const {
 
 Matrix Matrix::Scale(double s) const {
   Matrix out = *this;
-  for (double& v : out.data_) v *= s;
+  simd::Scale(out.data_.data(), static_cast<int64_t>(out.data_.size()), s);
   return out;
 }
 
 void Matrix::AddInPlace(const Matrix& other, double s) {
   OE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  simd::Axpy(data_.data(), other.data_.data(),
+             static_cast<int64_t>(data_.size()), s);
 }
 
 double Matrix::FrobeniusNorm() const {
-  double sum = 0.0;
-  for (double v : data_) sum += v * v;
-  return std::sqrt(sum);
+  return std::sqrt(simd::SumSquaresSeq(0.0, data_.data(),
+                                       static_cast<int64_t>(data_.size())));
 }
 
 std::vector<double> Matrix::ColumnMeans() const {
   std::vector<double> mean(static_cast<size_t>(cols_), 0.0);
-  std::vector<int64_t> count(static_cast<size_t>(cols_), 0);
+  std::vector<double> count(static_cast<size_t>(cols_), 0.0);
   for (int64_t r = 0; r < rows_; ++r) {
-    const double* row = Row(r);
-    for (int64_t c = 0; c < cols_; ++c) {
-      if (!std::isnan(row[c])) {
-        mean[static_cast<size_t>(c)] += row[c];
-        ++count[static_cast<size_t>(c)];
-      }
-    }
+    simd::AccumRowSkipNan(mean.data(), count.data(), Row(r), cols_);
   }
   for (int64_t c = 0; c < cols_; ++c) {
     size_t i = static_cast<size_t>(c);
-    mean[i] = count[i] > 0 ? mean[i] / static_cast<double>(count[i]) : 0.0;
+    mean[i] = count[i] > 0.0 ? mean[i] / count[i] : 0.0;
   }
   return mean;
 }
@@ -123,21 +113,14 @@ std::vector<double> Matrix::ColumnMeans() const {
 std::vector<double> Matrix::ColumnStdDevs() const {
   std::vector<double> mean = ColumnMeans();
   std::vector<double> var(static_cast<size_t>(cols_), 0.0);
-  std::vector<int64_t> count(static_cast<size_t>(cols_), 0);
+  std::vector<double> count(static_cast<size_t>(cols_), 0.0);
   for (int64_t r = 0; r < rows_; ++r) {
-    const double* row = Row(r);
-    for (int64_t c = 0; c < cols_; ++c) {
-      if (!std::isnan(row[c])) {
-        double d = row[c] - mean[static_cast<size_t>(c)];
-        var[static_cast<size_t>(c)] += d * d;
-        ++count[static_cast<size_t>(c)];
-      }
-    }
+    simd::AccumSqDevRowSkipNan(var.data(), count.data(), Row(r), mean.data(),
+                               cols_);
   }
   for (int64_t c = 0; c < cols_; ++c) {
     size_t i = static_cast<size_t>(c);
-    var[i] = count[i] > 0 ? std::sqrt(var[i] / static_cast<double>(count[i]))
-                          : 0.0;
+    var[i] = count[i] > 0.0 ? std::sqrt(var[i] / count[i]) : 0.0;
   }
   return var;
 }

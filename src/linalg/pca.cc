@@ -4,32 +4,24 @@
 #include <cmath>
 
 #include "linalg/eigen.h"
+#include "linalg/simd.h"
 
 namespace oebench {
 
-Status Pca::Fit(const Matrix& data, int n_components) {
-  if (data.rows() < 2) {
-    return Status::InvalidArgument("PCA needs at least 2 rows");
-  }
-  if (n_components < 1) {
-    return Status::InvalidArgument("PCA needs n_components >= 1");
-  }
+Matrix CovarianceMatrix(const Matrix& data, const std::vector<double>& mean) {
   const int64_t n = data.rows();
   const int64_t d = data.cols();
-  const int64_t k = std::min<int64_t>(n_components, d);
-
-  mean_ = data.ColumnMeans();
-
-  // Covariance matrix (population normalisation, matching sklearn's n-1 is
-  // irrelevant for eigenvector directions; we use n-1 for variance ratios).
+  OE_CHECK(static_cast<int64_t>(mean.size()) == d);
+  OE_CHECK(n >= 2);
+  // Upper-triangle accumulation; each cov(i,j) accumulates its n row
+  // contributions in r-sequential order (the vectorized AccumCovRow
+  // spans independent j outputs only).
   Matrix cov(d, d);
   for (int64_t r = 0; r < n; ++r) {
     const double* row = data.Row(r);
     for (int64_t i = 0; i < d; ++i) {
-      double di = row[i] - mean_[static_cast<size_t>(i)];
-      for (int64_t j = i; j < d; ++j) {
-        cov.At(i, j) += di * (row[j] - mean_[static_cast<size_t>(j)]);
-      }
+      double di = row[i] - mean[static_cast<size_t>(i)];
+      simd::AccumCovRow(cov.Row(i) + i, row + i, mean.data() + i, d - i, di);
     }
   }
   double denom = static_cast<double>(n - 1);
@@ -39,6 +31,24 @@ Status Pca::Fit(const Matrix& data, int n_components) {
       cov.At(j, i) = cov.At(i, j);
     }
   }
+  return cov;
+}
+
+Status Pca::Fit(const Matrix& data, int n_components) {
+  if (data.rows() < 2) {
+    return Status::InvalidArgument("PCA needs at least 2 rows");
+  }
+  if (n_components < 1) {
+    return Status::InvalidArgument("PCA needs n_components >= 1");
+  }
+  const int64_t d = data.cols();
+  const int64_t k = std::min<int64_t>(n_components, d);
+
+  mean_ = data.ColumnMeans();
+
+  // Covariance matrix (population normalisation, matching sklearn's n-1 is
+  // irrelevant for eigenvector directions; we use n-1 for variance ratios).
+  Matrix cov = CovarianceMatrix(data, mean_);
 
   EigenDecomposition eig = SymmetricEigen(cov);
 
@@ -64,10 +74,7 @@ Matrix Pca::Transform(const Matrix& data) const {
   OE_CHECK(data.cols() == components_.rows());
   Matrix centered = data;
   for (int64_t r = 0; r < centered.rows(); ++r) {
-    double* row = centered.Row(r);
-    for (int64_t c = 0; c < centered.cols(); ++c) {
-      row[c] -= mean_[static_cast<size_t>(c)];
-    }
+    simd::Sub(centered.Row(r), mean_.data(), centered.cols());
   }
   return centered.MatMul(components_);
 }

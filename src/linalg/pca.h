@@ -8,6 +8,12 @@
 
 namespace oebench {
 
+/// (n-1)-normalised covariance matrix of the rows of `data` around
+/// `mean` (one entry per column). Requires >= 2 rows. Exposed so the
+/// kernel benchmarks and differential tests can target the blocked
+/// accumulation directly; Pca::Fit uses it.
+Matrix CovarianceMatrix(const Matrix& data, const std::vector<double>& mean);
+
 /// Principal component analysis over rows of a matrix. Centres the data,
 /// eigendecomposes the covariance matrix, and projects onto the top
 /// components. Used by (a) the PCA-CD drift detector (2 components) and

@@ -1,0 +1,282 @@
+#ifndef OEBENCH_LINALG_SIMD_H_
+#define OEBENCH_LINALG_SIMD_H_
+
+// Portable SIMD/blocked kernel layer for the dense hot paths (MLP
+// GEMM/backprop, KNN-imputer distance scans, Hoeffding sufficient
+// statistics, PCA/Jacobi, column statistics).
+//
+// Determinism contract (see DESIGN.md "SIMD kernels & determinism"):
+// every kernel computes each output element in the exact arithmetic
+// order of the canonical scalar loop. Vectorization is applied only
+// ACROSS independent output elements (elementwise maps, per-column
+// accumulators, AXPY rows) — never within a single output's floating-
+// point reduction chain. Reductions (DotSeq, SumSquaresSeq,
+// NanSquaredDistanceSeq) therefore stay strictly sequential; the
+// speedups for those paths come from blocking (fewer passes over the
+// output row), allocation removal, and layout, not from reassociation.
+// Consequently results are bit-identical across -O levels, with or
+// without OEBENCH_SIMD_DISABLE, and across thread counts.
+//
+// Dispatch: when the build provides `-fopenmp-simd` (OEBENCH_OPENMP_SIMD
+// is then defined by CMake) and OEBENCH_SIMD_DISABLE is not set, the
+// elementwise loops carry `#pragma omp simd`; otherwise they compile as
+// plain scalar loops with identical semantics. The kernels live in an
+// inline namespace selected by that switch, so one binary can link both
+// variants (the kernel-equivalence tests compile a helper TU with
+// -DOEBENCH_SIMD_DISABLE and compare the two paths bit-for-bit).
+
+#include <cmath>
+#include <cstdint>
+
+namespace oebench {
+namespace simd {
+
+#if !defined(OEBENCH_SIMD_DISABLE) && defined(OEBENCH_OPENMP_SIMD)
+#define OE_SIMD_LOOP _Pragma("omp simd")
+inline namespace simd_path {
+#else
+#define OE_SIMD_LOOP
+inline namespace scalar_path {
+#endif
+
+/// Canonical block width (doubles). One cache line; also the unit the
+/// differential tests straddle ({1, kBlockDoubles +/- 1, primes}).
+constexpr int64_t kBlockDoubles = 8;
+
+/// dst[i] += a * src[i]. `dst` and `src` must be identical or disjoint.
+inline void Axpy(double* dst, const double* src, int64_t n, double a) {
+  OE_SIMD_LOOP
+  for (int64_t i = 0; i < n; ++i) dst[i] += a * src[i];
+}
+
+/// dst[i] += src[i] (Axpy with a == 1, kept separate so the compiler
+/// drops the multiply).
+inline void Add(double* dst, const double* src, int64_t n) {
+  OE_SIMD_LOOP
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+/// dst[i] -= src[i].
+inline void Sub(double* dst, const double* src, int64_t n) {
+  OE_SIMD_LOOP
+  for (int64_t i = 0; i < n; ++i) dst[i] -= src[i];
+}
+
+/// v[i] *= s.
+inline void Scale(double* v, int64_t n, double s) {
+  OE_SIMD_LOOP
+  for (int64_t i = 0; i < n; ++i) v[i] *= s;
+}
+
+/// Four chained AXPYs per output element:
+///   dst[j] = ((((dst[j] + a0*b0[j]) + a1*b1[j]) + a2*b2[j]) + a3*b3[j])
+/// The per-j accumulation order matches four successive scalar Axpy
+/// calls exactly, but the output row is read and written once instead
+/// of four times. This is the k-blocked GEMM inner kernel.
+inline void Axpy4(double* dst, const double* b0, const double* b1,
+                  const double* b2, const double* b3, double a0, double a1,
+                  double a2, double a3, int64_t n) {
+  OE_SIMD_LOOP
+  for (int64_t j = 0; j < n; ++j) {
+    double v = dst[j];
+    v += a0 * b0[j];
+    v += a1 * b1[j];
+    v += a2 * b2[j];
+    v += a3 * b3[j];
+    dst[j] = v;
+  }
+}
+
+/// out[j] += sum_i a[i] * w[i*stride + j], skipping terms with
+/// a[i] == 0.0 (the MLP relies on the skip: ReLU zeros must not turn
+/// 0 * inf into NaN, and -0.0 + 0.0 must stay +0.0-free). Accumulation
+/// order per output j is the i-sequential order of the naive i-k-j
+/// loop; blocks of four nonzero coefficients go through Axpy4.
+inline void GemvAccum(const double* a, const double* w, int64_t rows,
+                      int64_t cols, int64_t stride, double* out) {
+  int64_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const double a0 = a[i];
+    const double a1 = a[i + 1];
+    const double a2 = a[i + 2];
+    const double a3 = a[i + 3];
+    if (a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0) {
+      Axpy4(out, w + i * stride, w + (i + 1) * stride, w + (i + 2) * stride,
+            w + (i + 3) * stride, a0, a1, a2, a3, cols);
+    } else {
+      for (int64_t k = i; k < i + 4; ++k) {
+        if (a[k] != 0.0) Axpy(out, w + k * stride, cols, a[k]);
+      }
+    }
+  }
+  for (; i < rows; ++i) {
+    if (a[i] != 0.0) Axpy(out, w + i * stride, cols, a[i]);
+  }
+}
+
+/// Sequential dot product — the canonical reduction order. Not
+/// vectorized on purpose: splitting the sum across lanes would
+/// reassociate it.
+inline double DotSeq(const double* a, const double* b, int64_t n) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// init + sum_i v[i]*v[i], accumulated sequentially so callers can chain
+/// several buffers into one running sum without changing the order
+/// (MLP grad-clip norm across layers).
+inline double SumSquaresSeq(double init, const double* v, int64_t n) {
+  double sum = init;
+  for (int64_t i = 0; i < n; ++i) sum += v[i] * v[i];
+  return sum;
+}
+
+/// Sequential squared Euclidean distance.
+inline double SquaredDistanceSeq(const double* a, const double* b,
+                                 int64_t n) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// NaN-skipping squared distance: coordinates where either side is NaN
+/// are excluded; `*used` receives the count of usable coordinates.
+/// Sequential — this is the KNN-imputer inner scan, and its sum feeds
+/// a sqrt whose bits the golden dumps pin.
+inline double NanSquaredDistanceSeq(const double* a, const double* b,
+                                    int64_t n, int64_t* used) {
+  double sum = 0.0;
+  int64_t cnt = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
+    double d = a[i] - b[i];
+    sum += d * d;
+    ++cnt;
+  }
+  *used = cnt;
+  return sum;
+}
+
+/// True when any element is NaN. Order-independent (boolean OR), so the
+/// reduction may vectorize.
+inline bool HasNan(const double* v, int64_t n) {
+  int bad = 0;
+  OE_SIMD_LOOP
+  for (int64_t i = 0; i < n; ++i) bad |= (v[i] != v[i]) ? 1 : 0;
+  return bad != 0;
+}
+
+/// v[i] = fill where v[i] is NaN. Pure select — non-NaN lanes are
+/// copied through untouched (no add-zero tricks that would flush
+/// -0.0).
+inline void FillNanWith(double* v, int64_t n, double fill) {
+  OE_SIMD_LOOP
+  for (int64_t i = 0; i < n; ++i) v[i] = (v[i] != v[i]) ? fill : v[i];
+}
+
+/// v[i] = fill[i] where v[i] is NaN.
+inline void FillNanWithRow(double* v, const double* fill, int64_t n) {
+  OE_SIMD_LOOP
+  for (int64_t i = 0; i < n; ++i) v[i] = (v[i] != v[i]) ? fill[i] : v[i];
+}
+
+/// dst[i] += g[i] * g[i] (EWC Fisher accumulation).
+inline void AccumSquares(double* dst, const double* g, int64_t n) {
+  OE_SIMD_LOOP
+  for (int64_t i = 0; i < n; ++i) dst[i] += g[i] * g[i];
+}
+
+/// dst[i] += |g[i]| (MAS importance accumulation).
+inline void AccumAbs(double* dst, const double* g, int64_t n) {
+  OE_SIMD_LOOP
+  for (int64_t i = 0; i < n; ++i) dst[i] += std::abs(g[i]);
+}
+
+/// Per-column NaN-skipping accumulation of one row:
+///   sum[c] += row[c], ++count[c]  where row[c] is not NaN.
+/// Each column owns its accumulator, so vectorizing across columns
+/// preserves every column's sequential row order. Skipped lanes add
+/// -0.0, which is a bitwise no-op for every IEEE value (x + -0.0 == x
+/// exactly, -0.0 + -0.0 == -0.0, NaN payloads pass through) — unlike
+/// +0.0, which would flush a -0.0 accumulator to +0.0. Selecting the
+/// *operand* instead of the result keeps the add unconditional, so the
+/// loop if-converts and vectorizes (with -fno-trapping-math; see the
+/// root CMakeLists). Counts are doubles so the count lane blends the
+/// same way — they hold exact integers (< 2^53), so the final
+/// sum/count division is bit-identical to an integer-counted one.
+inline void AccumRowSkipNan(double* sum, double* count, const double* row,
+                            int64_t n) {
+  OE_SIMD_LOOP
+  for (int64_t c = 0; c < n; ++c) {
+    // The self-compare stays inline: hoisting it into a bool temporary
+    // leaves control flow GCC's if-converter refuses to collapse.
+    sum[c] += (row[c] == row[c]) ? row[c] : -0.0;
+    count[c] += (row[c] == row[c]) ? 1.0 : 0.0;
+  }
+}
+
+/// Per-column NaN-skipping squared-deviation accumulation of one row:
+///   var[c] += (row[c]-mean[c])^2, ++count[c]  where row[c] is not NaN.
+/// Same -0.0 operand-select trick as AccumRowSkipNan; the speculative
+/// d*d on a NaN lane is quiet (qNaN arithmetic raises nothing).
+inline void AccumSqDevRowSkipNan(double* var, double* count,
+                                 const double* row, const double* mean,
+                                 int64_t n) {
+  OE_SIMD_LOOP
+  for (int64_t c = 0; c < n; ++c) {
+    const double d = row[c] - mean[c];
+    var[c] += (row[c] == row[c]) ? d * d : -0.0;
+    count[c] += (row[c] == row[c]) ? 1.0 : 0.0;
+  }
+}
+
+/// Covariance row update: cov[j] += di * (row[j] - mean[j]) for the
+/// upper-triangle accumulation in Pca::Fit. Each cov[j] accumulates in
+/// r-sequential order.
+inline void AccumCovRow(double* cov, const double* row, const double* mean,
+                        int64_t n, double di) {
+  OE_SIMD_LOOP
+  for (int64_t j = 0; j < n; ++j) cov[j] += di * (row[j] - mean[j]);
+}
+
+/// Givens rotation over two contiguous rows (Jacobi eigen, with the
+/// eigenvector accumulator stored transposed so both rows are
+/// contiguous):
+///   x[k], y[k] = c*x[k] - s*y[k], s*x[k] + c*y[k].
+inline void Rotate(double* x, double* y, int64_t n, double c, double s) {
+  OE_SIMD_LOOP
+  for (int64_t k = 0; k < n; ++k) {
+    const double xk = x[k];
+    const double yk = y[k];
+    x[k] = c * xk - s * yk;
+    y[k] = s * xk + c * yk;
+  }
+}
+
+/// Strided Givens rotation (column pass of the Jacobi sweep). Scalar:
+/// strided gathers do not vectorize profitably and the arithmetic per
+/// element is identical to Rotate.
+inline void RotateStrided(double* x, double* y, int64_t n, int64_t stride,
+                          double c, double s) {
+  for (int64_t k = 0; k < n; ++k) {
+    const double xk = x[k * stride];
+    const double yk = y[k * stride];
+    x[k * stride] = c * xk - s * yk;
+    y[k * stride] = s * xk + c * yk;
+  }
+}
+
+#if !defined(OEBENCH_SIMD_DISABLE) && defined(OEBENCH_OPENMP_SIMD)
+}  // inline namespace simd_path
+#else
+}  // inline namespace scalar_path
+#endif
+
+}  // namespace simd
+}  // namespace oebench
+
+#endif  // OEBENCH_LINALG_SIMD_H_

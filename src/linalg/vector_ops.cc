@@ -5,14 +5,13 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "linalg/simd.h"
 
 namespace oebench {
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   OE_CHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return simd::DotSeq(a.data(), b.data(), static_cast<int64_t>(a.size()));
 }
 
 double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
@@ -20,25 +19,16 @@ double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
 double SquaredDistance(const std::vector<double>& a,
                        const std::vector<double>& b) {
   OE_CHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return simd::SquaredDistanceSeq(a.data(), b.data(),
+                                  static_cast<int64_t>(a.size()));
 }
 
 double NanEuclideanDistance(const std::vector<double>& a,
                             const std::vector<double>& b) {
   OE_CHECK(a.size() == b.size());
-  double sum = 0.0;
-  size_t used = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
-    double d = a[i] - b[i];
-    sum += d * d;
-    ++used;
-  }
+  int64_t used = 0;
+  double sum = simd::NanSquaredDistanceSeq(
+      a.data(), b.data(), static_cast<int64_t>(a.size()), &used);
   if (used == 0) return std::numeric_limits<double>::infinity();
   double scale = static_cast<double>(a.size()) / static_cast<double>(used);
   return std::sqrt(scale * sum);

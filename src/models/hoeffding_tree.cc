@@ -3,26 +3,61 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/simd.h"
 #include "linalg/vector_ops.h"
 
 namespace oebench {
 
-void HoeffdingTree::GaussianStat::Add(double v, double w) {
-  if (weight <= 0.0) {
-    min = v;
-    max = v;
-    mean = v;
-    m2 = 0.0;
-    weight = w;
-    return;
+void HoeffdingTree::AccumulateStats(double* stats, int64_t dim,
+                                    int num_classes, int label,
+                                    const double* row, double weight) {
+  const int64_t c = static_cast<int64_t>(num_classes);
+  const int64_t l = static_cast<int64_t>(label);
+  double* wp = stats + (kWeightP * c + l) * dim;
+  double* meanp = stats + (kMeanP * c + l) * dim;
+  double* m2p = stats + (kM2P * c + l) * dim;
+  double* minp = stats + (kMinP * c + l) * dim;
+  double* maxp = stats + (kMaxP * c + l) * dim;
+  // Branchless Welford update: the "fresh estimator" branch of the old
+  // scalar Add becomes per-lane selects, so every feature's update is
+  // bit-identical to the branchy version while the loop vectorizes
+  // across features.
+  OE_SIMD_LOOP
+  for (int64_t f = 0; f < dim; ++f) {
+    const double v = row[f];
+    const double w0 = wp[f];
+    const bool fresh = w0 <= 0.0;
+    const double new_weight = w0 + weight;
+    const double delta = v - meanp[f];
+    const double upd_mean = meanp[f] + delta * weight / new_weight;
+    const double upd_m2 = m2p[f] + weight * delta * (v - upd_mean);
+    minp[f] = fresh ? v : std::min(minp[f], v);
+    maxp[f] = fresh ? v : std::max(maxp[f], v);
+    meanp[f] = fresh ? v : upd_mean;
+    m2p[f] = fresh ? 0.0 : upd_m2;
+    wp[f] = fresh ? weight : new_weight;
   }
-  min = std::min(min, v);
-  max = std::max(max, v);
-  double new_weight = weight + w;
-  double delta = v - mean;
-  mean += delta * w / new_weight;
-  m2 += w * delta * (v - mean);
-  weight = new_weight;
+}
+
+int64_t HoeffdingTree::StatDim(const Node& node) const {
+  return static_cast<int64_t>(node.stats.size()) /
+         (kStatPlanes * config_.num_classes);
+}
+
+HoeffdingTree::GaussianStat HoeffdingTree::StatView(const Node& node,
+                                                    int64_t dim,
+                                                    int64_t feature,
+                                                    int cls) const {
+  const int64_t c = static_cast<int64_t>(config_.num_classes);
+  const int64_t l = static_cast<int64_t>(cls);
+  const double* base = node.stats.data();
+  GaussianStat s;
+  s.weight = base[(kWeightP * c + l) * dim + feature];
+  s.mean = base[(kMeanP * c + l) * dim + feature];
+  s.m2 = base[(kM2P * c + l) * dim + feature];
+  s.min = base[(kMinP * c + l) * dim + feature];
+  s.max = base[(kMaxP * c + l) * dim + feature];
+  return s;
 }
 
 double HoeffdingTree::GaussianStat::Variance() const {
@@ -48,8 +83,7 @@ int32_t HoeffdingTree::NewLeaf(int depth, int64_t dim) {
   node.class_weights.assign(static_cast<size_t>(config_.num_classes), 0.0);
   if (dim > 0) {
     node.stats.assign(
-        static_cast<size_t>(dim),
-        std::vector<GaussianStat>(static_cast<size_t>(config_.num_classes)));
+        static_cast<size_t>(kStatPlanes * config_.num_classes * dim), 0.0);
     if (config_.max_features > 0 && config_.max_features < dim) {
       node.candidate_features =
           rng_.SampleWithoutReplacement(dim, config_.max_features);
@@ -87,13 +121,12 @@ void HoeffdingTree::LearnAtLeaf(int32_t leaf, const double* row, int64_t dim,
   Node& node = nodes_[static_cast<size_t>(leaf)];
   if (node.stats.empty() && dim > 0) {
     node.stats.assign(
-        static_cast<size_t>(dim),
-        std::vector<GaussianStat>(static_cast<size_t>(config_.num_classes)));
+        static_cast<size_t>(kStatPlanes * config_.num_classes * dim), 0.0);
   }
   node.class_weights[static_cast<size_t>(label)] += weight;
-  for (int64_t f = 0; f < dim; ++f) {
-    node.stats[static_cast<size_t>(f)][static_cast<size_t>(label)].Add(
-        row[f], weight);
+  if (dim > 0) {
+    AccumulateStats(node.stats.data(), dim, config_.num_classes, label, row,
+                    weight);
   }
   double total = 0.0;
   for (double w : node.class_weights) total += w;
@@ -120,15 +153,16 @@ double HoeffdingTree::Entropy(const std::vector<double>& cw) const {
 
 double HoeffdingTree::SplitGain(const Node& node, int64_t feature,
                                 double threshold) const {
-  const auto& stats = node.stats[static_cast<size_t>(feature)];
+  const int64_t dim = StatDim(node);
   std::vector<double> left_cw(node.class_weights.size(), 0.0);
   std::vector<double> right_cw(node.class_weights.size(), 0.0);
   double left_total = 0.0;
   double right_total = 0.0;
-  for (size_t c = 0; c < stats.size(); ++c) {
-    double frac = stats[c].CdfBelow(threshold);
-    double lw = stats[c].weight * frac;
-    double rw = stats[c].weight - lw;
+  for (size_t c = 0; c < node.class_weights.size(); ++c) {
+    GaussianStat s = StatView(node, dim, feature, static_cast<int>(c));
+    double frac = s.CdfBelow(threshold);
+    double lw = s.weight * frac;
+    double rw = s.weight - lw;
     left_cw[c] = lw;
     right_cw[c] = rw;
     left_total += lw;
@@ -157,12 +191,13 @@ void HoeffdingTree::TrySplit(int32_t leaf, int64_t dim) {
   double second_gain = 0.0;
   int64_t best_feature = -1;
   double best_threshold = 0.0;
+  const int64_t stat_dim = StatDim(node);
   for (int64_t f : node.candidate_features) {
-    const auto& stats = node.stats[static_cast<size_t>(f)];
     double lo = 0.0;
     double hi = 0.0;
     bool init = false;
-    for (const GaussianStat& s : stats) {
+    for (int c = 0; c < config_.num_classes; ++c) {
+      GaussianStat s = StatView(node, stat_dim, f, c);
       if (s.weight <= 0.0) continue;
       if (!init) {
         lo = s.min;
@@ -219,9 +254,10 @@ void HoeffdingTree::TrySplit(int32_t leaf, int64_t dim) {
   n2.right = right;
   // Children inherit an approximate class prior split so early predictions
   // are not uniform.
-  const auto& stats = n2.stats[static_cast<size_t>(best_feature)];
+  const int64_t n2_dim = StatDim(n2);
   for (size_t c = 0; c < n2.class_weights.size(); ++c) {
-    double frac = stats[c].CdfBelow(best_threshold);
+    double frac = StatView(n2, n2_dim, best_feature, static_cast<int>(c))
+                      .CdfBelow(best_threshold);
     nodes_[static_cast<size_t>(left)].class_weights[c] =
         n2.class_weights[c] * frac;
     nodes_[static_cast<size_t>(right)].class_weights[c] =
@@ -255,15 +291,23 @@ std::vector<double> HoeffdingTree::PredictProba(const double* row,
   // evidence for stable variances.
   if (config_.leaf_prediction == LeafPrediction::kNaiveBayes &&
       !leaf.stats.empty() && total >= 10.0) {
+    const int64_t dim = StatDim(leaf);
     std::vector<double> log_like(leaf.class_weights.size());
     for (size_t c = 0; c < leaf.class_weights.size(); ++c) {
       double prior = (leaf.class_weights[c] + 1e-9) / (total + 1e-9);
       log_like[c] = std::log(prior);
-      for (size_t f = 0; f < leaf.stats.size(); ++f) {
-        const GaussianStat& s = leaf.stats[f][c];
-        if (s.weight <= 1.0) continue;
-        double var = s.Variance() + 1e-6;
-        double diff = row[f] - s.mean;
+      // SoA layout: for a fixed class the weight/mean/m2 planes are
+      // contiguous across features.
+      const double* base = leaf.stats.data();
+      const int64_t off = static_cast<int64_t>(c) * dim;
+      const int64_t cd = static_cast<int64_t>(config_.num_classes) * dim;
+      const double* wp = base + kWeightP * cd + off;
+      const double* meanp = base + kMeanP * cd + off;
+      const double* m2p = base + kM2P * cd + off;
+      for (int64_t f = 0; f < dim; ++f) {
+        if (wp[f] <= 1.0) continue;
+        double var = m2p[f] / (wp[f] - 1.0) + 1e-6;
+        double diff = row[f] - meanp[f];
         log_like[c] +=
             -0.5 * (std::log(2.0 * M_PI * var) + diff * diff / var);
       }
@@ -281,9 +325,11 @@ int64_t HoeffdingTree::MemoryBytes() const {
   for (const Node& n : nodes_) {
     bytes += static_cast<int64_t>(sizeof(Node));
     bytes += static_cast<int64_t>(n.class_weights.size() * sizeof(double));
-    for (const auto& fs : n.stats) {
-      bytes += static_cast<int64_t>(fs.size() * sizeof(GaussianStat));
-    }
+    // The SoA buffer holds kStatPlanes doubles per (feature, class) —
+    // byte-for-byte what the old per-cell GaussianStat AoS occupied, so
+    // the reported footprint (pinned by the golden eval dumps) is
+    // unchanged.
+    bytes += static_cast<int64_t>(n.stats.size() * sizeof(double));
     bytes += static_cast<int64_t>(n.candidate_features.size() *
                                   sizeof(int64_t));
   }

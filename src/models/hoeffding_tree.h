@@ -60,8 +60,28 @@ class HoeffdingTree {
   int64_t MemoryBytes() const;
   int64_t samples_seen() const { return samples_seen_; }
 
+  /// Leaf statistics are stored structure-of-arrays: one flat buffer in
+  /// plane-major layout [plane][class][feature], where the planes are
+  /// weight / mean / m2 / min / max. Per (class, feature) the five
+  /// values form the classic Welford Gaussian estimator; the SoA layout
+  /// makes the per-sample update contiguous across features, which is
+  /// the tree's hot loop under ARF's Poisson-weighted sampling.
+  static constexpr int kStatPlanes = 5;
+
+  /// The hot kernel: folds one weighted sample into a leaf's statistics
+  /// buffer (layout above, `kStatPlanes * num_classes * dim` doubles).
+  /// Public and static so the micro-benchmarks and the differential
+  /// kernel-equivalence tests can target it directly. Arithmetic per
+  /// (class, feature) cell is bit-identical to the scalar Welford
+  /// update; vectorization spans independent features only.
+  static void AccumulateStats(double* stats, int64_t dim, int num_classes,
+                              int label, const double* row, double weight);
+
  private:
-  /// Per-attribute, per-class Gaussian sufficient statistics.
+  enum StatPlane { kWeightP = 0, kMeanP = 1, kM2P = 2, kMinP = 3, kMaxP = 4 };
+
+  /// Snapshot of one (feature, class) Gaussian estimator, gathered from
+  /// the SoA planes.
   struct GaussianStat {
     double weight = 0.0;
     double mean = 0.0;
@@ -69,7 +89,6 @@ class HoeffdingTree {
     double min = 0.0;
     double max = 0.0;
 
-    void Add(double v, double w);
     double Variance() const;
     /// Probability mass of the Gaussian below `threshold`.
     double CdfBelow(double threshold) const;
@@ -83,8 +102,9 @@ class HoeffdingTree {
     int32_t right = -1;
     int depth = 0;
     std::vector<double> class_weights;
-    // stats[feature][class], allocated lazily on first Learn at the leaf.
-    std::vector<std::vector<GaussianStat>> stats;
+    // Flat SoA statistics buffer (see kStatPlanes); allocated lazily on
+    // first Learn at the leaf, cleared on split.
+    std::vector<double> stats;
     // Features this leaf considers (subspace sampling for ARF).
     std::vector<int64_t> candidate_features;
     double weight_at_last_check = 0.0;
@@ -94,6 +114,10 @@ class HoeffdingTree {
   void LearnAtLeaf(int32_t leaf, const double* row, int64_t dim, int label,
                    double weight);
   void TrySplit(int32_t leaf, int64_t dim);
+  /// Number of features covered by a node's stats buffer.
+  int64_t StatDim(const Node& node) const;
+  GaussianStat StatView(const Node& node, int64_t dim, int64_t feature,
+                        int cls) const;
   /// Information gain of splitting `feature` at `threshold` in this leaf.
   double SplitGain(const Node& node, int64_t feature, double threshold) const;
   double Entropy(const std::vector<double>& class_weights) const;

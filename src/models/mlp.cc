@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/simd.h"
 #include "linalg/vector_ops.h"
 
 namespace oebench {
@@ -69,18 +70,18 @@ std::vector<double> Mlp::Forward(const double* row, int64_t dim) const {
     const Matrix& w = weights_[l];
     const std::vector<double>& b = biases_[l];
     std::vector<double> next(static_cast<size_t>(w.cols()), 0.0);
-    for (int64_t i = 0; i < w.rows(); ++i) {
-      double a = act[static_cast<size_t>(i)];
-      if (a == 0.0) continue;
-      const double* wrow = w.Row(i);
-      for (int64_t j = 0; j < w.cols(); ++j) {
-        next[static_cast<size_t>(j)] += a * wrow[j];
+    simd::GemvAccum(act.data(), w.data().data(), w.rows(), w.cols(),
+                    w.cols(), next.data());
+    const int64_t cols = w.cols();
+    double* np = next.data();
+    const double* bp = b.data();
+    if (l + 1 == weights_.size()) {
+      simd::Add(np, bp, cols);
+    } else {
+      OE_SIMD_LOOP
+      for (int64_t j = 0; j < cols; ++j) {
+        np[j] = std::max(np[j] + bp[j], 0.0);
       }
-    }
-    bool last = (l + 1 == weights_.size());
-    for (int64_t j = 0; j < w.cols(); ++j) {
-      double v = next[static_cast<size_t>(j)] + b[static_cast<size_t>(j)];
-      next[static_cast<size_t>(j)] = last ? v : std::max(v, 0.0);
     }
     act = std::move(next);
   }
@@ -116,18 +117,18 @@ double Mlp::BackpropSample(const double* row, double target,
     const Matrix& w = weights_[l];
     const std::vector<double>& b = biases_[l];
     std::vector<double> next(static_cast<size_t>(w.cols()), 0.0);
-    for (int64_t i = 0; i < w.rows(); ++i) {
-      double a = acts[l][static_cast<size_t>(i)];
-      if (a == 0.0) continue;
-      const double* wrow = w.Row(i);
-      for (int64_t j = 0; j < w.cols(); ++j) {
-        next[static_cast<size_t>(j)] += a * wrow[j];
+    simd::GemvAccum(acts[l].data(), w.data().data(), w.rows(), w.cols(),
+                    w.cols(), next.data());
+    const int64_t cols = w.cols();
+    double* np = next.data();
+    const double* bp = b.data();
+    if (l + 1 == num_layers) {
+      simd::Add(np, bp, cols);
+    } else {
+      OE_SIMD_LOOP
+      for (int64_t j = 0; j < cols; ++j) {
+        np[j] = std::max(np[j] + bp[j], 0.0);
       }
-    }
-    bool last = (l + 1 == num_layers);
-    for (int64_t j = 0; j < w.cols(); ++j) {
-      double v = next[static_cast<size_t>(j)] + b[static_cast<size_t>(j)];
-      next[static_cast<size_t>(j)] = last ? v : std::max(v, 0.0);
     }
     acts[l + 1] = std::move(next);
   }
@@ -164,28 +165,19 @@ double Mlp::BackpropSample(const double* row, double target,
     Matrix& wg = (*weight_grads)[l];
     std::vector<double>& bg = (*bias_grads)[l];
     const std::vector<double>& input = acts[l];
-    for (int64_t j = 0; j < w.cols(); ++j) {
-      bg[static_cast<size_t>(j)] += delta[static_cast<size_t>(j)];
-    }
+    simd::Add(bg.data(), delta.data(), w.cols());
     for (int64_t i = 0; i < w.rows(); ++i) {
       double a = input[static_cast<size_t>(i)];
       if (a != 0.0) {
-        double* wg_row = wg.Row(i);
-        for (int64_t j = 0; j < w.cols(); ++j) {
-          wg_row[j] += a * delta[static_cast<size_t>(j)];
-        }
+        simd::Axpy(wg.Row(i), delta.data(), w.cols(), a);
       }
     }
     if (l == 0) break;
     std::vector<double> prev_delta(input.size(), 0.0);
     for (int64_t i = 0; i < w.rows(); ++i) {
       if (input[static_cast<size_t>(i)] <= 0.0) continue;  // ReLU gate
-      const double* wrow = w.Row(i);
-      double sum = 0.0;
-      for (int64_t j = 0; j < w.cols(); ++j) {
-        sum += wrow[j] * delta[static_cast<size_t>(j)];
-      }
-      prev_delta[static_cast<size_t>(i)] = sum;
+      prev_delta[static_cast<size_t>(i)] =
+          simd::DotSeq(w.Row(i), delta.data(), w.cols());
     }
     delta = std::move(prev_delta);
   }
@@ -228,37 +220,42 @@ double Mlp::TrainEpoch(const Matrix& x, const std::vector<double>& y,
     }
     double inv = 1.0 / static_cast<double>(end - start);
     for (size_t l = 0; l < weights_.size(); ++l) {
-      for (double& g : weight_grads[l].data()) g *= inv;
-      for (double& g : bias_grads[l]) g *= inv;
+      simd::Scale(weight_grads[l].data().data(),
+                  weight_grads[l].size(), inv);
+      simd::Scale(bias_grads[l].data(),
+                  static_cast<int64_t>(bias_grads[l].size()), inv);
     }
     if (hooks != nullptr && hooks->param_hook) {
       hooks->param_hook(weights_, biases_, &weight_grads, &bias_grads);
     }
     if (config_.grad_clip > 0.0) {
+      // One running sum chained across all buffers keeps the reduction
+      // order identical to the historical element-by-element loop.
       double norm_sq = 0.0;
       for (const Matrix& g : weight_grads) {
-        for (double v : g.data()) norm_sq += v * v;
+        norm_sq = simd::SumSquaresSeq(norm_sq, g.data().data(), g.size());
       }
       for (const auto& g : bias_grads) {
-        for (double v : g) norm_sq += v * v;
+        norm_sq = simd::SumSquaresSeq(norm_sq, g.data(),
+                                      static_cast<int64_t>(g.size()));
       }
       double norm = std::sqrt(norm_sq);
       if (norm > config_.grad_clip) {
         double s = config_.grad_clip / norm;
         for (Matrix& g : weight_grads) {
-          for (double& v : g.data()) v *= s;
+          simd::Scale(g.data().data(), g.size(), s);
         }
         for (auto& g : bias_grads) {
-          for (double& v : g) v *= s;
+          simd::Scale(g.data(), static_cast<int64_t>(g.size()), s);
         }
       }
     }
     double lr = config_.learning_rate;
     for (size_t l = 0; l < weights_.size(); ++l) {
       weights_[l].AddInPlace(weight_grads[l], -lr);
-      for (size_t j = 0; j < biases_[l].size(); ++j) {
-        biases_[l][j] -= lr * bias_grads[l][j];
-      }
+      // b[j] += (-lr) * g[j] is bit-identical to b[j] -= lr * g[j].
+      simd::Axpy(biases_[l].data(), bias_grads[l].data(),
+                 static_cast<int64_t>(biases_[l].size()), -lr);
     }
   }
   return total_loss / static_cast<double>(x.rows());
@@ -311,18 +308,17 @@ void Mlp::ComputeSquaredGradients(
     BackpropSample(x.Row(r), y[static_cast<size_t>(r)], r, nullptr, &wg,
                    &bg);
     for (size_t l = 0; l < weights_.size(); ++l) {
-      for (size_t i = 0; i < wg[l].data().size(); ++i) {
-        (*weight_sq)[l].data()[i] += wg[l].data()[i] * wg[l].data()[i];
-      }
-      for (size_t i = 0; i < bg[l].size(); ++i) {
-        (*bias_sq)[l][i] += bg[l][i] * bg[l][i];
-      }
+      simd::AccumSquares((*weight_sq)[l].data().data(), wg[l].data().data(),
+                         wg[l].size());
+      simd::AccumSquares((*bias_sq)[l].data(), bg[l].data(),
+                         static_cast<int64_t>(bg[l].size()));
     }
   }
   double inv = 1.0 / static_cast<double>(x.rows());
   for (size_t l = 0; l < weights_.size(); ++l) {
-    for (double& v : (*weight_sq)[l].data()) v *= inv;
-    for (double& v : (*bias_sq)[l]) v *= inv;
+    simd::Scale((*weight_sq)[l].data().data(), (*weight_sq)[l].size(), inv);
+    simd::Scale((*bias_sq)[l].data(),
+                static_cast<int64_t>((*bias_sq)[l].size()), inv);
   }
 }
 
@@ -352,18 +348,18 @@ void Mlp::ComputeOutputNormGradients(
     BackpropSample(x.Row(r), 0.0, r, nullptr, &wg, &bg,
                    LossMode::kOutputNorm);
     for (size_t l = 0; l < weights_.size(); ++l) {
-      for (size_t i = 0; i < wg[l].data().size(); ++i) {
-        (*weight_abs)[l].data()[i] += std::abs(wg[l].data()[i]);
-      }
-      for (size_t i = 0; i < bg[l].size(); ++i) {
-        (*bias_abs)[l][i] += std::abs(bg[l][i]);
-      }
+      simd::AccumAbs((*weight_abs)[l].data().data(), wg[l].data().data(),
+                     wg[l].size());
+      simd::AccumAbs((*bias_abs)[l].data(), bg[l].data(),
+                     static_cast<int64_t>(bg[l].size()));
     }
   }
   double inv = 1.0 / static_cast<double>(x.rows());
   for (size_t l = 0; l < weights_.size(); ++l) {
-    for (double& v : (*weight_abs)[l].data()) v *= inv;
-    for (double& v : (*bias_abs)[l]) v *= inv;
+    simd::Scale((*weight_abs)[l].data().data(), (*weight_abs)[l].size(),
+                inv);
+    simd::Scale((*bias_abs)[l].data(),
+                static_cast<int64_t>((*bias_abs)[l].size()), inv);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "linalg/eigen.h"
+#include "linalg/simd.h"
 #include "linalg/vector_ops.h"
 
 namespace oebench {
@@ -21,9 +22,8 @@ Status ZeroImputer::Transform(Matrix* data) const {
   if (data->cols() != cols_) {
     return Status::InvalidArgument("column count differs from fit time");
   }
-  for (double& v : data->data()) {
-    if (std::isnan(v)) v = 0.0;
-  }
+  simd::FillNanWith(data->data().data(),
+                    static_cast<int64_t>(data->data().size()), 0.0);
   return Status::OK();
 }
 
@@ -43,10 +43,7 @@ Status MeanImputer::Transform(Matrix* data) const {
     return Status::InvalidArgument("column count differs from fit time");
   }
   for (int64_t r = 0; r < data->rows(); ++r) {
-    double* row = data->Row(r);
-    for (int64_t c = 0; c < data->cols(); ++c) {
-      if (std::isnan(row[c])) row[c] = means_[static_cast<size_t>(c)];
-    }
+    simd::FillNanWithRow(data->Row(r), means_.data(), data->cols());
   }
   return Status::OK();
 }
@@ -71,26 +68,28 @@ Status KnnImputer::Transform(Matrix* data) const {
     return Status::InvalidArgument("column count differs from fit time");
   }
   const int64_t d = data->cols();
-  std::vector<double> query(static_cast<size_t>(d));
+  const int64_t n_ref = reference_.rows();
+  // One distance buffer reused across query rows; the scan itself runs
+  // over raw row pointers (no per-reference-row copies).
+  std::vector<std::pair<double, int64_t>> dist;
+  dist.reserve(static_cast<size_t>(n_ref));
   for (int64_t r = 0; r < data->rows(); ++r) {
     double* row = data->Row(r);
-    bool has_missing = false;
-    for (int64_t c = 0; c < d; ++c) {
-      if (std::isnan(row[c])) {
-        has_missing = true;
-        break;
-      }
-    }
-    if (!has_missing) continue;
-    std::copy(row, row + d, query.begin());
+    if (!simd::HasNan(row, d)) continue;
 
     // Distances to every reference row (nan-euclidean), computed once per
     // query row; neighbours are then filtered per missing column so that a
     // neighbour missing the same column is skipped (sklearn semantics).
-    std::vector<std::pair<double, int64_t>> dist;
-    dist.reserve(static_cast<size_t>(reference_.rows()));
-    for (int64_t i = 0; i < reference_.rows(); ++i) {
-      double dd = NanEuclideanDistance(query, reference_.RowVector(i));
+    // The query values are read before any cell of `row` is filled below,
+    // so scanning `row` in place matches the old copy-then-scan exactly.
+    dist.clear();
+    for (int64_t i = 0; i < n_ref; ++i) {
+      int64_t used = 0;
+      double sum =
+          simd::NanSquaredDistanceSeq(row, reference_.Row(i), d, &used);
+      if (used == 0) continue;  // +inf distance: never a neighbour
+      double scale = static_cast<double>(d) / static_cast<double>(used);
+      double dd = std::sqrt(scale * sum);
       if (std::isfinite(dd)) dist.emplace_back(dd, i);
     }
     std::sort(dist.begin(), dist.end());
@@ -128,10 +127,7 @@ Status RegressionImputer::Fit(const Matrix& data) {
   // Mean-imputed design copy: regressions must see complete predictors.
   Matrix filled = data;
   for (int64_t r = 0; r < n; ++r) {
-    double* row = filled.Row(r);
-    for (int64_t c = 0; c < d; ++c) {
-      if (std::isnan(row[c])) row[c] = means_[static_cast<size_t>(c)];
-    }
+    simd::FillNanWithRow(filled.Row(r), means_.data(), d);
   }
 
   weights_.assign(static_cast<size_t>(d), {});
@@ -161,9 +157,8 @@ Status RegressionImputer::Fit(const Matrix& data) {
       x[static_cast<size_t>(p)] = 1.0;  // intercept
       double y = data.At(r, target);
       for (int64_t a = 0; a <= p; ++a) {
-        for (int64_t b = a; b <= p; ++b) {
-          xtx.At(a, b) += x[static_cast<size_t>(a)] * x[static_cast<size_t>(b)];
-        }
+        simd::Axpy(xtx.Row(a) + a, x.data() + a, p + 1 - a,
+                   x[static_cast<size_t>(a)]);
         xty[static_cast<size_t>(a)] += x[static_cast<size_t>(a)] * y;
       }
     }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Asserts that the OE_SIMD_LOOP kernels actually vectorize: compiles
+# tests/simd_probe.cc with the compiler's vectorization-report flag and
+# greps the build log for a loop-vectorized remark. Exit 77 = ctest
+# SKIP, for compilers where no report flag is available.
+#
+# usage: check_vectorization.sh <probe.cc> <include-dir>
+set -u
+
+CXX="${CXX:-c++}"
+SRC="$1"
+INCDIR="$2"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Match against the full --version text: GCC's first line is the
+# driver name ("c++ (Debian 12.2.0...)"), with "Free Software
+# Foundation" only on the second.
+ID="$("$CXX" --version 2>/dev/null)"
+case "$ID" in
+  *clang*)
+    FLAGS="-Rpass=loop-vectorize"
+    PATTERN="vectorized loop"
+    ;;
+  *g++*|*GCC*|*"Free Software Foundation"*)
+    FLAGS="-fopt-info-vec"
+    PATTERN="loop vectorized"
+    ;;
+  *)
+    echo "SKIP: no vectorization-report flag known for compiler:" \
+         "$(echo "${ID:-<unknown>}" | head -1)"
+    exit 77
+    ;;
+esac
+
+OUT="$("$CXX" -std=c++20 -O3 -fopenmp-simd -fno-trapping-math \
+       -DOEBENCH_OPENMP_SIMD=1 $FLAGS \
+       -I"$INCDIR" -c "$SRC" -o "$TMP/probe.o" 2>&1)"
+STATUS=$?
+if [ $STATUS -ne 0 ]; then
+  if echo "$OUT" | grep -qi "unrecognized\|unknown.*option"; then
+    echo "SKIP: compiler rejects report flags:"
+    echo "$OUT" | head -5
+    exit 77
+  fi
+  echo "probe compile failed:"
+  echo "$OUT"
+  exit 1
+fi
+
+if echo "$OUT" | grep -q "$PATTERN"; then
+  echo "vectorization confirmed:"
+  echo "$OUT" | grep "$PATTERN" | head -5
+  exit 0
+fi
+
+echo "no '$PATTERN' remark in the build log; kernels are NOT vectorizing."
+echo "full compiler output:"
+echo "$OUT"
+exit 1

@@ -2,8 +2,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/random.h"
 #include "dataframe/csv.h"
+#include "dataframe/csv_scan.h"
 #include "dataframe/table.h"
 
 namespace oebench {
@@ -148,6 +153,192 @@ TEST(CsvTest, RoundTripThroughFile) {
   EXPECT_TRUE(loaded->column(0).IsMissing(1));
   EXPECT_EQ(loaded->column(1).type(), ColumnType::kCategorical);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// CSV scanner: the blocked (64-byte mask) walker must agree with the
+// scalar state machine byte for byte, and at quote='\0' both must agree
+// with the legacy getline+Split semantics the rest of the repo's golden
+// files were produced under.
+
+/// Materialises every record of a scan as a vector of field strings.
+std::vector<std::vector<std::string>> MaterializeAll(
+    const std::string& text, const CsvScanResult& scan, char quote) {
+  std::vector<std::vector<std::string>> records;
+  size_t field_begin = 0;
+  for (size_t end : scan.record_ends) {
+    std::vector<std::string> fields;
+    for (size_t f = field_begin; f < end; ++f) {
+      fields.push_back(MaterializeField(text, scan.fields[f], quote));
+    }
+    records.push_back(std::move(fields));
+    field_begin = end;
+  }
+  return records;
+}
+
+/// The legacy reader, re-implemented verbatim: getline over '\n', one
+/// trailing '\r' stripped per line, then a delimiter Split where
+/// Split("") == {""}. Quoting did not exist.
+std::vector<std::vector<std::string>> LegacyLineSplit(
+    const std::string& text, char delimiter) {
+  std::vector<std::vector<std::string>> records;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> fields;
+    std::string field;
+    for (char c : line) {
+      if (c == delimiter) {
+        fields.push_back(field);
+        field.clear();
+      } else {
+        field += c;
+      }
+    }
+    fields.push_back(field);
+    records.push_back(std::move(fields));
+  }
+  return records;
+}
+
+void ExpectScannersAgree(const std::string& text, const CsvScanOptions& opt) {
+  const CsvScanResult scalar = ScanCsvScalar(text, opt);
+  const CsvScanResult blocked = ScanCsvBlocked(text, opt);
+  ASSERT_EQ(scalar.record_ends, blocked.record_ends) << "input: " << text;
+  ASSERT_EQ(scalar.fields.size(), blocked.fields.size()) << "input: " << text;
+  for (size_t i = 0; i < scalar.fields.size(); ++i) {
+    EXPECT_TRUE(scalar.fields[i] == blocked.fields[i])
+        << "field " << i << " differs on input: " << text;
+  }
+}
+
+TEST(CsvScanTest, LegacyEquivalenceQuoteOff) {
+  const std::vector<std::string> inputs = {
+      "",
+      "\n",
+      "\r\n",
+      "a,b,c\n1,2,3\n",
+      "a,b,c\n1,2,3",     // truncated final record
+      "a,b,\n,,\n",       // empty fields
+      "x\r\ny\r\n",       // CRLF
+      "x\r\r\n",          // only one \r stripped
+      "a,b\n\n c ,d\n",   // blank interior line, spaces kept
+      ",\n",
+  };
+  for (const std::string& text : inputs) {
+    const CsvScanResult scan = ScanCsvScalar(text, {',', '\0'});
+    EXPECT_EQ(MaterializeAll(text, scan, '\0'), LegacyLineSplit(text, ','))
+        << "input: " << text;
+    ExpectScannersAgree(text, {',', '\0'});
+  }
+}
+
+TEST(CsvScanTest, QuotedFields) {
+  const std::string text =
+      "a,\"b,with,commas\",c\n"
+      "\"line\nbreak\",\"doubled \"\" quote\",plain\n";
+  const CsvScanResult scan = ScanCsvScalar(text, {',', '"'});
+  const auto records = MaterializeAll(text, scan, '"');
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0],
+            (std::vector<std::string>{"a", "b,with,commas", "c"}));
+  EXPECT_EQ(records[1],
+            (std::vector<std::string>{"line\nbreak", "doubled \" quote",
+                                      "plain"}));
+  ExpectScannersAgree(text, {',', '"'});
+}
+
+TEST(CsvScanTest, QuoteEdgeCases) {
+  const CsvScanOptions opt{',', '"'};
+  // Unterminated quote runs to EOF.
+  ExpectScannersAgree("a,\"never closed\nand more", opt);
+  // Bytes between the closing quote and the separator are ignored.
+  {
+    const std::string text = "\"kept\"dropped,b\n";
+    const auto records =
+        MaterializeAll(text, ScanCsvScalar(text, opt), '"');
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0], (std::vector<std::string>{"kept", "b"}));
+    ExpectScannersAgree(text, opt);
+  }
+  // Quote appearing mid-field is literal, not structural.
+  {
+    const std::string text = "not\"quoted,b\n";
+    const auto records =
+        MaterializeAll(text, ScanCsvScalar(text, opt), '"');
+    EXPECT_EQ(records[0], (std::vector<std::string>{"not\"quoted", "b"}));
+    ExpectScannersAgree(text, opt);
+  }
+  // Empty quoted field, and a record that is just "".
+  ExpectScannersAgree("\"\",a\n\"\"\n", opt);
+  // CRLF after a quoted field.
+  ExpectScannersAgree("\"a\",b\r\n\"c\",d\r\n", opt);
+}
+
+TEST(CsvScanTest, FieldsStraddlingBlocks) {
+  // Fields longer than the 64-byte mask block, with the structural
+  // bytes landing at every offset around the block boundary.
+  for (int pad = 56; pad <= 72; ++pad) {
+    const std::string big(static_cast<size_t>(pad), 'x');
+    const std::string text = big + "," + big + "\n" + big + "\n";
+    ExpectScannersAgree(text, {',', '\0'});
+    const std::string quoted =
+        "\"" + big + "," + big + "\"," + big + "\n";
+    ExpectScannersAgree(quoted, {',', '"'});
+    const auto records =
+        MaterializeAll(quoted, ScanCsvScalar(quoted, {',', '"'}), '"');
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0][0], big + "," + big);
+    EXPECT_EQ(records[0][1], big);
+  }
+}
+
+TEST(CsvScanTest, RandomizedDifferentialFuzz) {
+  // Random byte soup heavy in structural characters: the blocked
+  // scanner must agree with the scalar one on every input, quote
+  // handling on and off, and quote-off must match the legacy reader.
+  const char alphabet[] = {',', '\n', '"', '\r', 'a', 'b', ';', ' '};
+  Rng rng(20260809);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int len = static_cast<int>(rng.UniformInt(200));
+    std::string text;
+    for (int i = 0; i < len; ++i) {
+      text += alphabet[rng.UniformInt(sizeof(alphabet))];
+    }
+    ExpectScannersAgree(text, {',', '\0'});
+    ExpectScannersAgree(text, {',', '"'});
+    ExpectScannersAgree(text, {';', '"'});
+    const CsvScanResult scan = ScanCsvScalar(text, {',', '\0'});
+    EXPECT_EQ(MaterializeAll(text, scan, '\0'), LegacyLineSplit(text, ','))
+        << "input: " << text;
+  }
+  // Long-field soup crossing many block boundaries.
+  for (int iter = 0; iter < 40; ++iter) {
+    const int len = 300 + static_cast<int>(rng.UniformInt(300));
+    std::string text;
+    for (int i = 0; i < len; ++i) {
+      // Mostly payload bytes so fields regularly straddle blocks.
+      text += rng.Bernoulli(0.06)
+                  ? alphabet[rng.UniformInt(4)]
+                  : static_cast<char>('a' + rng.UniformInt(26));
+    }
+    ExpectScannersAgree(text, {',', '\0'});
+    ExpectScannersAgree(text, {',', '"'});
+  }
+}
+
+TEST(CsvScanTest, ReadCsvFromStringHonoursQuotes) {
+  CsvReadOptions options;
+  options.quote = '"';
+  Result<Table> table = ReadCsvFromString(
+      "a,b\n\"1,5\",\"red\nblue\"\n2,green\n", options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->column(1).type(), ColumnType::kCategorical);
+  EXPECT_EQ(table->column(1).CategoryName(table->column(1).CodeAt(0)),
+            "red\nblue");
 }
 
 }  // namespace

@@ -1,0 +1,695 @@
+// Differential kernel-equivalence suite for the SIMD/blocked hot-kernel
+// refactor. Three layers of evidence, all bitwise (EncodeDouble):
+//
+//   1. SIMD path vs scalar path of every kernel in src/linalg/simd.h
+//      (the scalar variants are linked in via tests/simd_scalar_helper.cc,
+//      compiled with -DOEBENCH_SIMD_DISABLE).
+//   2. Refactored call sites vs the verbatim pre-refactor implementations
+//      in tests/kernel_reference.h (MatMul, column stats, eigen, solver,
+//      imputers, Hoeffding statistics, MLP forward, PCA covariance).
+//   3. End-to-end: full RunPrequential over two corpus streams must be
+//      byte-identical to golden dumps pinned from the pre-refactor tree
+//      (tests/golden/). Set OEBENCH_WRITE_GOLDEN_DIR=<dir> to regenerate.
+//
+// Sizes straddle the canonical block width (1, kBlockDoubles-1,
+// kBlockDoubles, kBlockDoubles+1, large primes) and inputs include NaN,
+// +/-inf, -0.0, and denormals.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/learner.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/pca.h"
+#include "linalg/simd.h"
+#include "linalg/vector_ops.h"
+#include "models/hoeffding_tree.h"
+#include "models/mlp.h"
+#include "preprocess/imputer.h"
+#include "preprocess/pipeline.h"
+#include "streamgen/corpus.h"
+#include "streamgen/stream_generator.h"
+#include "sweep/result_log.h"
+#include "tests/kernel_reference.h"
+#include "tests/simd_scalar_helper.h"
+
+namespace oebench {
+namespace {
+
+using sweep::EncodeDouble;
+
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+const double kInf = std::numeric_limits<double>::infinity();
+const double kDenormMin = std::numeric_limits<double>::denorm_min();
+
+// Sizes straddling the block width plus large primes.
+const int64_t kSizes[] = {1,
+                          simd::kBlockDoubles - 1,
+                          simd::kBlockDoubles,
+                          simd::kBlockDoubles + 1,
+                          63,
+                          64,
+                          65,
+                          127,
+                          1009};
+
+std::string EncodeVec(const double* v, int64_t n) {
+  std::string out;
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out += ",";
+    out += EncodeDouble(v[i]);
+  }
+  return out;
+}
+
+std::string EncodeVec(const std::vector<double>& v) {
+  return EncodeVec(v.data(), static_cast<int64_t>(v.size()));
+}
+
+std::string EncodeMat(const Matrix& m) {
+  return std::to_string(m.rows()) + "x" + std::to_string(m.cols()) + ":" +
+         EncodeVec(m.data().data(), m.size());
+}
+
+// Like EncodeMat, but collapses every NaN to the canonical quiet NaN
+// first. When two input NaNs (or two NaN-producing terms) meet in one
+// accumulation chain, IEEE 754 leaves *which* payload/sign survives
+// implementation-defined, and the compiler may commute `a + b` freely —
+// so NaN bit patterns are not comparable across separately-compiled
+// kernels. Values, infinities, and signed zeros still compare bitwise.
+std::string EncodeMatCanonNan(Matrix m) {
+  for (double& v : m.data()) {
+    if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  }
+  return EncodeMat(m);
+}
+
+// Random values with special IEEE cases sprinkled in.
+double SpecialValue(Rng* rng) {
+  switch (rng->UniformInt(8)) {
+    case 0:
+      return kNan;
+    case 1:
+      return kInf;
+    case 2:
+      return -kInf;
+    case 3:
+      return -0.0;
+    case 4:
+      return 0.0;
+    case 5:
+      return kDenormMin;
+    case 6:
+      return -4.9e-324;
+    default:
+      return 2.2250738585072014e-308;  // smallest normal
+  }
+}
+
+std::vector<double> RandomVec(Rng* rng, int64_t n, bool specials) {
+  std::vector<double> v(static_cast<size_t>(n));
+  for (double& x : v) {
+    if (specials && rng->Bernoulli(0.15)) {
+      x = SpecialValue(rng);
+    } else {
+      x = rng->Gaussian();
+    }
+  }
+  return v;
+}
+
+Matrix RandomMatrix(Rng* rng, int64_t rows, int64_t cols, bool specials,
+                    double zero_prob = 0.0) {
+  Matrix m(rows, cols);
+  for (double& x : m.data()) {
+    if (zero_prob > 0.0 && rng->Bernoulli(zero_prob)) {
+      x = 0.0;
+    } else if (specials && rng->Bernoulli(0.1)) {
+      x = SpecialValue(rng);
+    } else {
+      x = rng->Gaussian();
+    }
+  }
+  return m;
+}
+
+Matrix RandomMatrixWithNans(Rng* rng, int64_t rows, int64_t cols,
+                            double nan_prob) {
+  Matrix m(rows, cols);
+  for (double& x : m.data()) {
+    x = rng->Bernoulli(nan_prob) ? kNan : rng->Gaussian();
+  }
+  return m;
+}
+
+// ------------------------------------------------- SIMD vs scalar path
+
+TEST(SimdVsScalar, ElementwiseKernels) {
+  Rng rng(11);
+  for (int64_t n : kSizes) {
+    for (int rep = 0; rep < 3; ++rep) {
+      const std::vector<double> src = RandomVec(&rng, n, true);
+      const std::vector<double> src2 = RandomVec(&rng, n, true);
+      const std::vector<double> base = RandomVec(&rng, n, true);
+      const double a = rep == 0 ? -1.5 : rng.Gaussian();
+
+      std::vector<double> s1 = base, s2 = base;
+      simd::Axpy(s1.data(), src.data(), n, a);
+      scalar_kernels::Axpy(s2.data(), src.data(), n, a);
+      EXPECT_EQ(EncodeVec(s1), EncodeVec(s2)) << "Axpy n=" << n;
+
+      s1 = base, s2 = base;
+      simd::Add(s1.data(), src.data(), n);
+      scalar_kernels::Add(s2.data(), src.data(), n);
+      EXPECT_EQ(EncodeVec(s1), EncodeVec(s2)) << "Add n=" << n;
+
+      s1 = base, s2 = base;
+      simd::Sub(s1.data(), src.data(), n);
+      scalar_kernels::Sub(s2.data(), src.data(), n);
+      EXPECT_EQ(EncodeVec(s1), EncodeVec(s2)) << "Sub n=" << n;
+
+      s1 = base, s2 = base;
+      simd::Scale(s1.data(), n, a);
+      scalar_kernels::Scale(s2.data(), n, a);
+      EXPECT_EQ(EncodeVec(s1), EncodeVec(s2)) << "Scale n=" << n;
+
+      s1 = base, s2 = base;
+      simd::FillNanWith(s1.data(), n, a);
+      scalar_kernels::FillNanWith(s2.data(), n, a);
+      EXPECT_EQ(EncodeVec(s1), EncodeVec(s2)) << "FillNanWith n=" << n;
+
+      s1 = base, s2 = base;
+      simd::FillNanWithRow(s1.data(), src.data(), n);
+      scalar_kernels::FillNanWithRow(s2.data(), src.data(), n);
+      EXPECT_EQ(EncodeVec(s1), EncodeVec(s2)) << "FillNanWithRow n=" << n;
+
+      s1 = base, s2 = base;
+      simd::AccumSquares(s1.data(), src.data(), n);
+      scalar_kernels::AccumSquares(s2.data(), src.data(), n);
+      EXPECT_EQ(EncodeVec(s1), EncodeVec(s2)) << "AccumSquares n=" << n;
+
+      s1 = base, s2 = base;
+      simd::AccumAbs(s1.data(), src.data(), n);
+      scalar_kernels::AccumAbs(s2.data(), src.data(), n);
+      EXPECT_EQ(EncodeVec(s1), EncodeVec(s2)) << "AccumAbs n=" << n;
+
+      s1 = base, s2 = base;
+      simd::AccumCovRow(s1.data(), src.data(), src2.data(), n, a);
+      scalar_kernels::AccumCovRow(s2.data(), src.data(), src2.data(), n, a);
+      EXPECT_EQ(EncodeVec(s1), EncodeVec(s2)) << "AccumCovRow n=" << n;
+
+      EXPECT_EQ(simd::HasNan(base.data(), n),
+                scalar_kernels::HasNan(base.data(), n))
+          << "HasNan n=" << n;
+
+      EXPECT_EQ(EncodeDouble(simd::DotSeq(src.data(), src2.data(), n)),
+                EncodeDouble(
+                    scalar_kernels::DotSeq(src.data(), src2.data(), n)))
+          << "DotSeq n=" << n;
+      EXPECT_EQ(EncodeDouble(simd::SumSquaresSeq(a, src.data(), n)),
+                EncodeDouble(scalar_kernels::SumSquaresSeq(a, src.data(), n)))
+          << "SumSquaresSeq n=" << n;
+      EXPECT_EQ(
+          EncodeDouble(simd::SquaredDistanceSeq(src.data(), src2.data(), n)),
+          EncodeDouble(
+              scalar_kernels::SquaredDistanceSeq(src.data(), src2.data(), n)))
+          << "SquaredDistanceSeq n=" << n;
+
+      int64_t used1 = -1, used2 = -1;
+      EXPECT_EQ(EncodeDouble(simd::NanSquaredDistanceSeq(
+                    src.data(), src2.data(), n, &used1)),
+                EncodeDouble(scalar_kernels::NanSquaredDistanceSeq(
+                    src.data(), src2.data(), n, &used2)))
+          << "NanSquaredDistanceSeq n=" << n;
+      EXPECT_EQ(used1, used2);
+    }
+  }
+}
+
+TEST(SimdVsScalar, RowAccumulatorKernels) {
+  Rng rng(12);
+  for (int64_t n : kSizes) {
+    std::vector<double> row = RandomVec(&rng, n, true);
+    std::vector<double> mean = RandomVec(&rng, n, false);
+    std::vector<double> sum1 = RandomVec(&rng, n, false);
+    std::vector<double> sum2 = sum1;
+    std::vector<double> cnt1(static_cast<size_t>(n), 3.0);
+    std::vector<double> cnt2 = cnt1;
+    simd::AccumRowSkipNan(sum1.data(), cnt1.data(), row.data(), n);
+    scalar_kernels::AccumRowSkipNan(sum2.data(), cnt2.data(), row.data(), n);
+    EXPECT_EQ(EncodeVec(sum1), EncodeVec(sum2)) << "AccumRowSkipNan n=" << n;
+    EXPECT_EQ(cnt1, cnt2);
+
+    sum2 = sum1;
+    cnt2 = cnt1;
+    simd::AccumSqDevRowSkipNan(sum1.data(), cnt1.data(), row.data(),
+                               mean.data(), n);
+    scalar_kernels::AccumSqDevRowSkipNan(sum2.data(), cnt2.data(), row.data(),
+                                         mean.data(), n);
+    EXPECT_EQ(EncodeVec(sum1), EncodeVec(sum2))
+        << "AccumSqDevRowSkipNan n=" << n;
+    EXPECT_EQ(cnt1, cnt2);
+  }
+}
+
+TEST(SimdVsScalar, RotationKernels) {
+  Rng rng(13);
+  for (int64_t n : kSizes) {
+    const double c = std::cos(0.7), s = std::sin(0.7);
+    std::vector<double> x1 = RandomVec(&rng, n, true);
+    std::vector<double> y1 = RandomVec(&rng, n, true);
+    std::vector<double> x2 = x1, y2 = y1;
+    simd::Rotate(x1.data(), y1.data(), n, c, s);
+    scalar_kernels::Rotate(x2.data(), y2.data(), n, c, s);
+    EXPECT_EQ(EncodeVec(x1), EncodeVec(x2)) << "Rotate n=" << n;
+    EXPECT_EQ(EncodeVec(y1), EncodeVec(y2));
+
+    // Strided rotation over an interleaved buffer (stride 3).
+    std::vector<double> buf1 = RandomVec(&rng, 3 * n + 2, false);
+    std::vector<double> buf2 = buf1;
+    simd::RotateStrided(buf1.data(), buf1.data() + 1, n, 3, c, s);
+    scalar_kernels::RotateStrided(buf2.data(), buf2.data() + 1, n, 3, c, s);
+    EXPECT_EQ(EncodeVec(buf1), EncodeVec(buf2)) << "RotateStrided n=" << n;
+  }
+}
+
+TEST(SimdVsScalar, GemvKernels) {
+  Rng rng(14);
+  const int64_t shapes[][2] = {{1, 1},   {1, 9},  {9, 1},  {3, 8},
+                               {4, 8},   {5, 7},  {8, 8},  {9, 9},
+                               {16, 33}, {33, 16}};
+  for (const auto& shape : shapes) {
+    const int64_t rows = shape[0], cols = shape[1];
+    // Zero coefficients exercise the guarded path vs the Axpy4 path.
+    std::vector<double> a = RandomVec(&rng, rows, true);
+    for (double& v : a) {
+      if (rng.Bernoulli(0.3)) v = 0.0;
+    }
+    std::vector<double> w = RandomVec(&rng, rows * cols, true);
+    std::vector<double> out1 = RandomVec(&rng, cols, false);
+    std::vector<double> out2 = out1;
+    simd::GemvAccum(a.data(), w.data(), rows, cols, cols, out1.data());
+    scalar_kernels::GemvAccum(a.data(), w.data(), rows, cols, cols,
+                              out2.data());
+    EXPECT_EQ(EncodeVec(out1), EncodeVec(out2))
+        << "GemvAccum " << rows << "x" << cols;
+
+    std::vector<double> out3 = out1, out4 = out1;
+    simd::Axpy4(out3.data(), w.data(), w.data() + cols, w.data() + 2 * cols,
+                w.data() + 3 * cols, a[0], 1.5, -2.0, 0.25, cols);
+    scalar_kernels::Axpy4(out4.data(), w.data(), w.data() + cols,
+                          w.data() + 2 * cols, w.data() + 3 * cols, a[0], 1.5,
+                          -2.0, 0.25, cols);
+    EXPECT_EQ(EncodeVec(out3), EncodeVec(out4)) << "Axpy4 cols=" << cols;
+  }
+  // Degenerate shapes are no-ops on the output.
+  std::vector<double> out{1.0, 2.0};
+  simd::GemvAccum(nullptr, nullptr, 0, 2, 2, out.data());
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], 2.0);
+  double coeff = 3.0;
+  simd::GemvAccum(&coeff, out.data(), 1, 0, 0, nullptr);
+}
+
+// --------------------------------------- refactored code vs reference
+
+TEST(MatrixKernels, MatMulMatchesReference) {
+  Rng rng(21);
+  const int64_t dims[] = {1, 2, 3, 4, 5, 8, 9, 17};
+  for (int64_t m : dims) {
+    for (int64_t k : dims) {
+      for (int64_t n : {int64_t{1}, int64_t{8}, int64_t{17}}) {
+        Matrix a = RandomMatrix(&rng, m, k, true, 0.3);
+        Matrix b = RandomMatrix(&rng, k, n, true);
+        EXPECT_EQ(EncodeMatCanonNan(a.MatMul(b)),
+                  EncodeMatCanonNan(kernel_ref::RefMatMul(a, b)))
+            << m << "x" << k << " * " << k << "x" << n;
+      }
+    }
+  }
+}
+
+TEST(MatrixKernels, EdgeShapes) {
+  // Empty operands: results keep their (empty) shapes.
+  Matrix e00;
+  EXPECT_EQ(e00.MatMul(e00).size(), 0);
+  Matrix e05(0, 5);
+  Matrix e53(5, 3);
+  Matrix r = e05.MatMul(e53);
+  EXPECT_EQ(r.rows(), 0);
+  EXPECT_EQ(r.cols(), 3);
+  Matrix e30(3, 0);
+  Matrix e04(0, 4);
+  r = e30.MatMul(e04);
+  EXPECT_EQ(r.rows(), 3);
+  EXPECT_EQ(r.cols(), 4);
+  EXPECT_EQ(EncodeMat(r), EncodeMat(Matrix(3, 4)));  // all zeros
+
+  EXPECT_TRUE(e05.ColumnMeans() == std::vector<double>(5, 0.0));
+  EXPECT_EQ(e05.FrobeniusNorm(), 0.0);
+
+  // 1xN times Nx1 and back.
+  Rng rng(22);
+  Matrix row_vec = RandomMatrix(&rng, 1, 9, true);
+  Matrix col_vec = RandomMatrix(&rng, 9, 1, true);
+  EXPECT_EQ(EncodeMat(row_vec.MatMul(col_vec)),
+            EncodeMat(kernel_ref::RefMatMul(row_vec, col_vec)));
+  EXPECT_EQ(EncodeMat(col_vec.MatMul(row_vec)),
+            EncodeMat(kernel_ref::RefMatMul(col_vec, row_vec)));
+
+  // Aliased AddInPlace (m += s*m) matches the reference run on a copy.
+  Matrix m = RandomMatrix(&rng, 4, 5, true);
+  Matrix m_ref = m;
+  m.AddInPlace(m, -0.5);
+  kernel_ref::RefAddInPlace(&m_ref, m_ref, -0.5);
+  EXPECT_EQ(EncodeMat(m), EncodeMat(m_ref));
+}
+
+TEST(MatrixKernels, ColumnStatsMatchReference) {
+  Rng rng(23);
+  for (int64_t rows : {1, 2, 7, 40}) {
+    for (int64_t cols : {1, 7, 8, 9, 33}) {
+      Matrix m = RandomMatrixWithNans(&rng, rows, cols, 0.25);
+      // Force a -0.0-sum column when wide enough.
+      if (cols > 1 && rows > 1) {
+        for (int64_t r = 0; r < rows; ++r) m.At(r, 0) = -0.0;
+      }
+      EXPECT_EQ(EncodeVec(m.ColumnMeans()),
+                EncodeVec(kernel_ref::RefColumnMeans(m)))
+          << rows << "x" << cols;
+      EXPECT_EQ(EncodeVec(m.ColumnStdDevs()),
+                EncodeVec(kernel_ref::RefColumnStdDevs(m)))
+          << rows << "x" << cols;
+      EXPECT_EQ(EncodeDouble(m.FrobeniusNorm()),
+                EncodeDouble(kernel_ref::RefFrobeniusNorm(m)));
+    }
+  }
+}
+
+TEST(VectorOps, DistancesMatchReference) {
+  Rng rng(24);
+  for (int64_t n : kSizes) {
+    std::vector<double> a = RandomVec(&rng, n, true);
+    std::vector<double> b = RandomVec(&rng, n, true);
+    EXPECT_EQ(EncodeDouble(NanEuclideanDistance(a, b)),
+              EncodeDouble(kernel_ref::RefNanEuclideanDistance(a, b)))
+        << "n=" << n;
+  }
+  // All coordinates NaN on one side -> +inf.
+  std::vector<double> a(5, kNan);
+  std::vector<double> b(5, 1.0);
+  EXPECT_EQ(NanEuclideanDistance(a, b), kInf);
+}
+
+TEST(Eigen, SymmetricEigenMatchesReference) {
+  Rng rng(25);
+  for (int64_t n : {1, 2, 3, 5, 8, 16}) {
+    Matrix base = RandomMatrix(&rng, n, n, false);
+    Matrix sym(n, n);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        sym.At(i, j) = base.At(i, j) + base.At(j, i);
+      }
+    }
+    EigenDecomposition got = SymmetricEigen(sym);
+    kernel_ref::RefEigenDecomposition want = kernel_ref::RefSymmetricEigen(sym);
+    EXPECT_EQ(EncodeVec(got.values), EncodeVec(want.values)) << "n=" << n;
+    EXPECT_EQ(EncodeMat(got.vectors), EncodeMat(want.vectors)) << "n=" << n;
+  }
+}
+
+TEST(Eigen, SolveMatchesReference) {
+  Rng rng(26);
+  for (int64_t n : {1, 2, 5, 8, 13}) {
+    Matrix a = RandomMatrix(&rng, n, n, false);
+    // Zeros on the diagonal force pivot swaps.
+    if (n > 2) a.At(0, 0) = 0.0;
+    std::vector<double> b = RandomVec(&rng, n, false);
+    EXPECT_EQ(EncodeVec(SolveLinearSystem(a, b)),
+              EncodeVec(kernel_ref::RefSolveLinearSystem(a, b)))
+        << "n=" << n;
+  }
+  // Singular system: both return the zero vector.
+  Matrix sing(3, 3);
+  std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_EQ(EncodeVec(SolveLinearSystem(sing, b)),
+            EncodeVec(std::vector<double>(3, 0.0)));
+}
+
+TEST(Imputer, KnnMatchesReference) {
+  Rng rng(27);
+  for (int k : {1, 3, 5}) {
+    Matrix reference = RandomMatrixWithNans(&rng, 40, 9, 0.2);
+    Matrix data = RandomMatrixWithNans(&rng, 15, 9, 0.3);
+    Matrix data_ref = data;
+
+    KnnImputer imputer(k);
+    ASSERT_TRUE(imputer.Fit(reference).ok());
+    ASSERT_TRUE(imputer.Transform(&data).ok());
+
+    kernel_ref::RefKnnImpute(&data_ref, reference,
+                             kernel_ref::RefColumnMeans(reference), k);
+    EXPECT_EQ(EncodeMat(data), EncodeMat(data_ref)) << "k=" << k;
+  }
+}
+
+TEST(Imputer, ZeroAndMeanMatchReference) {
+  Rng rng(28);
+  Matrix train = RandomMatrixWithNans(&rng, 20, 8, 0.2);
+  Matrix data = RandomMatrixWithNans(&rng, 10, 8, 0.3);
+
+  Matrix z = data;
+  ZeroImputer zero;
+  ASSERT_TRUE(zero.Fit(train).ok());
+  ASSERT_TRUE(zero.Transform(&z).ok());
+  Matrix z_ref = data;
+  for (double& v : z_ref.data()) {
+    if (std::isnan(v)) v = 0.0;
+  }
+  EXPECT_EQ(EncodeMat(z), EncodeMat(z_ref));
+
+  Matrix m = data;
+  MeanImputer mean;
+  ASSERT_TRUE(mean.Fit(train).ok());
+  ASSERT_TRUE(mean.Transform(&m).ok());
+  Matrix m_ref = data;
+  std::vector<double> means = kernel_ref::RefColumnMeans(train);
+  for (int64_t r = 0; r < m_ref.rows(); ++r) {
+    double* row = m_ref.Row(r);
+    for (int64_t c = 0; c < m_ref.cols(); ++c) {
+      if (std::isnan(row[c])) row[c] = means[static_cast<size_t>(c)];
+    }
+  }
+  EXPECT_EQ(EncodeMat(m), EncodeMat(m_ref));
+}
+
+TEST(Hoeffding, AccumulateStatsMatchesReference) {
+  Rng rng(29);
+  for (int64_t dim : {1, 7, 8, 9, 33}) {
+    for (int num_classes : {2, 5}) {
+      std::vector<double> soa(
+          static_cast<size_t>(HoeffdingTree::kStatPlanes * num_classes * dim),
+          0.0);
+      std::vector<std::vector<kernel_ref::RefGaussianStat>> aos(
+          static_cast<size_t>(dim),
+          std::vector<kernel_ref::RefGaussianStat>(
+              static_cast<size_t>(num_classes)));
+      for (int step = 0; step < 60; ++step) {
+        std::vector<double> row = RandomVec(&rng, dim, true);
+        const int label = static_cast<int>(rng.UniformInt(num_classes));
+        const double weight = 1.0 + rng.UniformInt(5);
+        HoeffdingTree::AccumulateStats(soa.data(), dim, num_classes, label,
+                                       row.data(), weight);
+        kernel_ref::RefAccumulateStats(&aos, row.data(), dim, label, weight);
+      }
+      // Gather the SoA planes back into per-cell tuples and compare.
+      const int64_t cd = static_cast<int64_t>(num_classes) * dim;
+      for (int64_t f = 0; f < dim; ++f) {
+        for (int c = 0; c < num_classes; ++c) {
+          const int64_t off = static_cast<int64_t>(c) * dim + f;
+          const kernel_ref::RefGaussianStat& want =
+              aos[static_cast<size_t>(f)][static_cast<size_t>(c)];
+          EXPECT_EQ(EncodeDouble(soa[static_cast<size_t>(0 * cd + off)]),
+                    EncodeDouble(want.weight))
+              << "weight f=" << f << " c=" << c << " dim=" << dim;
+          EXPECT_EQ(EncodeDouble(soa[static_cast<size_t>(1 * cd + off)]),
+                    EncodeDouble(want.mean))
+              << "mean f=" << f << " c=" << c;
+          EXPECT_EQ(EncodeDouble(soa[static_cast<size_t>(2 * cd + off)]),
+                    EncodeDouble(want.m2))
+              << "m2 f=" << f << " c=" << c;
+          EXPECT_EQ(EncodeDouble(soa[static_cast<size_t>(3 * cd + off)]),
+                    EncodeDouble(want.min))
+              << "min f=" << f << " c=" << c;
+          EXPECT_EQ(EncodeDouble(soa[static_cast<size_t>(4 * cd + off)]),
+                    EncodeDouble(want.max))
+              << "max f=" << f << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(Mlp, ForwardMatchesReference) {
+  MlpConfig config;
+  config.task = TaskType::kClassification;
+  config.num_classes = 3;
+  config.hidden_sizes = {16, 8};
+  Mlp mlp(config, /*seed=*/5);
+  mlp.EnsureInitialized(9);
+
+  Rng rng(30);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<double> row = RandomVec(&rng, 9, false);
+    // Zeros exercise the a == 0.0 skip in the GEMV.
+    for (double& v : row) {
+      if (rng.Bernoulli(0.4)) v = 0.0;
+    }
+    EXPECT_EQ(EncodeVec(mlp.Forward(row.data(), 9)),
+              EncodeVec(kernel_ref::RefMlpForward(mlp.weights(), mlp.biases(),
+                                                  row.data(), 9)));
+  }
+}
+
+TEST(Pca, CovarianceMatchesReference) {
+  Rng rng(31);
+  for (int64_t n : {2, 5, 20}) {
+    for (int64_t d : {1, 3, 8, 17}) {
+      Matrix data = RandomMatrix(&rng, n, d, false);
+      std::vector<double> mean = data.ColumnMeans();
+      EXPECT_EQ(EncodeMat(CovarianceMatrix(data, mean)),
+                EncodeMat(kernel_ref::RefCovarianceMatrix(data, mean)))
+          << n << "x" << d;
+    }
+  }
+}
+
+// ----------------------------------------------- golden stream dumps
+
+constexpr size_t kMaxWindows = 4;
+
+uint64_t Fnv1a(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string HashHex(uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string DumpEval(const EvalResult& result) {
+  std::string out = result.learner + "|" + result.dataset + "|" +
+                    std::to_string(result.items_processed) + "|" +
+                    std::to_string(result.peak_memory_bytes) + "|" +
+                    EncodeDouble(result.mean_loss) + "|" +
+                    EncodeDouble(result.faded_loss) + "|";
+  for (size_t i = 0; i < result.per_window_loss.size(); ++i) {
+    if (i > 0) out += ",";
+    out += EncodeDouble(result.per_window_loss[i]);
+  }
+  return out;
+}
+
+// Must stay in sync with the generator that pinned tests/golden/ from
+// the pre-refactor tree.
+std::string GoldenDump(size_t corpus_index,
+                       const std::vector<std::string>& learners) {
+  const CorpusEntry& entry = Corpus()[corpus_index];
+  StreamSpec spec = SpecFromEntry(entry, /*scale=*/0.0, /*salt=*/7);
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  OE_CHECK(stream.ok()) << stream.status().ToString();
+  Result<PreparedStream> prepared = PrepareStream(*stream);
+  OE_CHECK(prepared.ok()) << prepared.status().ToString();
+  if (prepared->windows.size() > kMaxWindows) {
+    prepared->windows.resize(kMaxWindows);
+    prepared->ranges.resize(kMaxWindows);
+  }
+  std::string out = "stream|" + prepared->name + "|task=" +
+                    std::to_string(static_cast<int>(prepared->task)) +
+                    "|classes=" + std::to_string(prepared->num_classes) +
+                    "|windows=" + std::to_string(prepared->windows.size()) +
+                    "|features=" +
+                    std::to_string(prepared->feature_names.size()) + "\n";
+  for (size_t w = 0; w < prepared->windows.size(); ++w) {
+    const WindowData& window = prepared->windows[w];
+    uint64_t xh = 1469598103934665603ull;
+    for (double v : window.features.data()) {
+      xh = Fnv1a(xh, EncodeDouble(v));
+    }
+    uint64_t yh = 1469598103934665603ull;
+    for (double v : window.targets) yh = Fnv1a(yh, EncodeDouble(v));
+    out += "window|" + std::to_string(w) + "|rows=" +
+           std::to_string(window.features.rows()) + "|xhash=" + HashHex(xh) +
+           "|yhash=" + HashHex(yh) + "\n";
+  }
+  for (const std::string& name : learners) {
+    LearnerConfig config;
+    config.epochs = 1;
+    config.seed = 1;
+    Result<std::unique_ptr<StreamLearner>> learner =
+        MakeLearner(name, config, prepared->task, prepared->num_classes);
+    OE_CHECK(learner.ok()) << learner.status().ToString();
+    out += "eval|" + DumpEval(RunPrequential(learner->get(), *prepared)) +
+           "\n";
+  }
+  return out;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  OE_CHECK(f != nullptr) << "cannot open " << path;
+  std::string out;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, got);
+  }
+  std::fclose(f);
+  return out;
+}
+
+void CheckGolden(const char* file, size_t corpus_index,
+                 const std::vector<std::string>& learners) {
+  const std::string dump = GoldenDump(corpus_index, learners);
+  const char* write_dir = std::getenv("OEBENCH_WRITE_GOLDEN_DIR");
+  if (write_dir != nullptr) {
+    const std::string path = std::string(write_dir) + "/" + file;
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    std::fwrite(dump.data(), 1, dump.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const std::string golden =
+      ReadFileOrDie(std::string(OEBENCH_GOLDEN_DIR) + "/" + file);
+  EXPECT_EQ(dump, golden) << file
+                          << " diverged from the pre-refactor pinned dump";
+}
+
+TEST(GoldenStreams, ClassificationByteIdentical) {
+  CheckGolden("golden_stream_cls.txt", 2, {"Naive-NN", "Naive-DT", "ARF"});
+}
+
+TEST(GoldenStreams, RegressionByteIdentical) {
+  CheckGolden("golden_stream_reg.txt", 20, {"Naive-NN", "Naive-GBDT"});
+}
+
+}  // namespace
+}  // namespace oebench

@@ -1,0 +1,365 @@
+#ifndef OEBENCH_TESTS_KERNEL_REFERENCE_H_
+#define OEBENCH_TESTS_KERNEL_REFERENCE_H_
+
+// Verbatim pre-SIMD-refactor implementations of the converted hot
+// kernels. The differential kernel-equivalence suite compares these
+// bit-for-bit (EncodeDouble) against the blocked/vectorized versions,
+// and bench_micro_kernels.cc times ref/opt pairs in one process so the
+// speedup ratios are robust on noisy machines. Do not "improve" this
+// file: its value is that the arithmetic is exactly what shipped before
+// the refactor.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace oebench {
+namespace kernel_ref {
+
+inline Matrix RefMatMul(const Matrix& lhs, const Matrix& rhs) {
+  Matrix out(lhs.rows(), rhs.cols());
+  for (int64_t i = 0; i < lhs.rows(); ++i) {
+    const double* a_row = lhs.Row(i);
+    double* o_row = out.Row(i);
+    for (int64_t k = 0; k < lhs.cols(); ++k) {
+      double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = rhs.Row(k);
+      for (int64_t j = 0; j < rhs.cols(); ++j) {
+        o_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+inline void RefAddInPlace(Matrix* m, const Matrix& other, double s) {
+  for (int64_t i = 0; i < m->size(); ++i) {
+    m->data()[static_cast<size_t>(i)] +=
+        s * other.data()[static_cast<size_t>(i)];
+  }
+}
+
+inline double RefFrobeniusNorm(const Matrix& m) {
+  double sum = 0.0;
+  for (double v : m.data()) sum += v * v;
+  return std::sqrt(sum);
+}
+
+inline std::vector<double> RefColumnMeans(const Matrix& m) {
+  std::vector<double> mean(static_cast<size_t>(m.cols()), 0.0);
+  std::vector<int64_t> count(static_cast<size_t>(m.cols()), 0);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.Row(r);
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      if (!std::isnan(row[c])) {
+        mean[static_cast<size_t>(c)] += row[c];
+        ++count[static_cast<size_t>(c)];
+      }
+    }
+  }
+  for (int64_t c = 0; c < m.cols(); ++c) {
+    size_t i = static_cast<size_t>(c);
+    mean[i] = count[i] > 0 ? mean[i] / static_cast<double>(count[i]) : 0.0;
+  }
+  return mean;
+}
+
+inline std::vector<double> RefColumnStdDevs(const Matrix& m) {
+  std::vector<double> mean = RefColumnMeans(m);
+  std::vector<double> var(static_cast<size_t>(m.cols()), 0.0);
+  std::vector<int64_t> count(static_cast<size_t>(m.cols()), 0);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.Row(r);
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      if (!std::isnan(row[c])) {
+        double d = row[c] - mean[static_cast<size_t>(c)];
+        var[static_cast<size_t>(c)] += d * d;
+        ++count[static_cast<size_t>(c)];
+      }
+    }
+  }
+  for (int64_t c = 0; c < m.cols(); ++c) {
+    size_t i = static_cast<size_t>(c);
+    var[i] = count[i] > 0 ? std::sqrt(var[i] / static_cast<double>(count[i]))
+                          : 0.0;
+  }
+  return var;
+}
+
+inline double RefNanEuclideanDistance(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  double sum = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
+    double d = a[i] - b[i];
+    sum += d * d;
+    ++used;
+  }
+  if (used == 0) return std::numeric_limits<double>::infinity();
+  double scale = static_cast<double>(a.size()) / static_cast<double>(used);
+  return std::sqrt(scale * sum);
+}
+
+/// The pre-refactor KnnImputer::Transform, as a free function over the
+/// fitted state (reference rows + fallback column means).
+inline void RefKnnImpute(Matrix* data, const Matrix& reference,
+                         const std::vector<double>& fallback_means, int k) {
+  const int64_t d = data->cols();
+  std::vector<double> query(static_cast<size_t>(d));
+  for (int64_t r = 0; r < data->rows(); ++r) {
+    double* row = data->Row(r);
+    bool has_missing = false;
+    for (int64_t c = 0; c < d; ++c) {
+      if (std::isnan(row[c])) {
+        has_missing = true;
+        break;
+      }
+    }
+    if (!has_missing) continue;
+    std::copy(row, row + d, query.begin());
+    std::vector<std::pair<double, int64_t>> dist;
+    dist.reserve(static_cast<size_t>(reference.rows()));
+    for (int64_t i = 0; i < reference.rows(); ++i) {
+      double dd = RefNanEuclideanDistance(query, reference.RowVector(i));
+      if (std::isfinite(dd)) dist.emplace_back(dd, i);
+    }
+    std::sort(dist.begin(), dist.end());
+    for (int64_t c = 0; c < d; ++c) {
+      if (!std::isnan(row[c])) continue;
+      double sum = 0.0;
+      int found = 0;
+      for (const auto& [dd, idx] : dist) {
+        (void)dd;
+        double v = reference.At(idx, c);
+        if (std::isnan(v)) continue;
+        sum += v;
+        if (++found == k) break;
+      }
+      row[c] =
+          found > 0 ? sum / found : fallback_means[static_cast<size_t>(c)];
+      if (std::isnan(row[c])) row[c] = 0.0;
+    }
+  }
+}
+
+/// The pre-refactor per-(feature,class) Gaussian estimator (AoS layout)
+/// with its Welford update.
+struct RefGaussianStat {
+  double weight = 0.0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void Add(double v, double w) {
+    if (weight <= 0.0) {
+      min = v;
+      max = v;
+      mean = v;
+      m2 = 0.0;
+      weight = w;
+      return;
+    }
+    min = std::min(min, v);
+    max = std::max(max, v);
+    double new_weight = weight + w;
+    double delta = v - mean;
+    mean += delta * w / new_weight;
+    m2 += w * delta * (v - mean);
+    weight = new_weight;
+  }
+};
+
+/// The pre-refactor leaf statistics update: stats[feature][class].
+inline void RefAccumulateStats(
+    std::vector<std::vector<RefGaussianStat>>* stats, const double* row,
+    int64_t dim, int label, double weight) {
+  for (int64_t f = 0; f < dim; ++f) {
+    (*stats)[static_cast<size_t>(f)][static_cast<size_t>(label)].Add(row[f],
+                                                                     weight);
+  }
+}
+
+/// The pre-refactor Mlp forward pass over explicit parameters.
+inline std::vector<double> RefMlpForward(
+    const std::vector<Matrix>& weights,
+    const std::vector<std::vector<double>>& biases, const double* row,
+    int64_t dim) {
+  std::vector<double> act(row, row + dim);
+  for (size_t l = 0; l < weights.size(); ++l) {
+    const Matrix& w = weights[l];
+    const std::vector<double>& b = biases[l];
+    std::vector<double> next(static_cast<size_t>(w.cols()), 0.0);
+    for (int64_t i = 0; i < w.rows(); ++i) {
+      double a = act[static_cast<size_t>(i)];
+      if (a == 0.0) continue;
+      const double* wrow = w.Row(i);
+      for (int64_t j = 0; j < w.cols(); ++j) {
+        next[static_cast<size_t>(j)] += a * wrow[j];
+      }
+    }
+    bool last = (l + 1 == weights.size());
+    for (int64_t j = 0; j < w.cols(); ++j) {
+      double v = next[static_cast<size_t>(j)] + b[static_cast<size_t>(j)];
+      next[static_cast<size_t>(j)] = last ? v : std::max(v, 0.0);
+    }
+    act = std::move(next);
+  }
+  return act;
+}
+
+/// The pre-refactor Jacobi eigen solver (row-major At() walks, direct
+/// eigenvector accumulation).
+struct RefEigenDecomposition {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+inline RefEigenDecomposition RefSymmetricEigen(const Matrix& a_in,
+                                               int max_sweeps = 64,
+                                               double tol = 1e-12) {
+  const int64_t n = a_in.rows();
+  Matrix a = a_in;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diag_norm = [&a, n]() {
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) sum += a.At(i, j) * a.At(i, j);
+    }
+    return std::sqrt(sum);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() < tol) break;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double apq = a.At(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double app = a.At(p, p);
+        double aqq = a.At(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (int64_t k = 0; k < n; ++k) {
+          double akp = a.At(k, p);
+          double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double apk = a.At(p, k);
+          double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double vkp = v.At(k, p);
+          double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&a](int64_t i, int64_t j) {
+    return a.At(i, i) > a.At(j, j);
+  });
+
+  RefEigenDecomposition out;
+  out.values.resize(static_cast<size_t>(n));
+  out.vectors = Matrix(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t src = order[static_cast<size_t>(i)];
+    out.values[static_cast<size_t>(i)] = a.At(src, src);
+    for (int64_t k = 0; k < n; ++k) out.vectors.At(k, i) = v.At(k, src);
+  }
+  return out;
+}
+
+inline std::vector<double> RefSolveLinearSystem(Matrix a,
+                                                std::vector<double> b,
+                                                double pivot_tol = 1e-12) {
+  const int64_t n = a.rows();
+  for (int64_t col = 0; col < n; ++col) {
+    int64_t pivot = col;
+    double best = std::abs(a.At(col, col));
+    for (int64_t r = col + 1; r < n; ++r) {
+      double v = std::abs(a.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < pivot_tol) {
+      return std::vector<double>(static_cast<size_t>(n), 0.0);
+    }
+    if (pivot != col) {
+      for (int64_t c = 0; c < n; ++c) {
+        std::swap(a.At(pivot, c), a.At(col, c));
+      }
+      std::swap(b[static_cast<size_t>(pivot)], b[static_cast<size_t>(col)]);
+    }
+    double inv = 1.0 / a.At(col, col);
+    for (int64_t r = col + 1; r < n; ++r) {
+      double factor = a.At(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (int64_t c = col; c < n; ++c) {
+        a.At(r, c) -= factor * a.At(col, c);
+      }
+      b[static_cast<size_t>(r)] -= factor * b[static_cast<size_t>(col)];
+    }
+  }
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  for (int64_t r = n - 1; r >= 0; --r) {
+    double sum = b[static_cast<size_t>(r)];
+    for (int64_t c = r + 1; c < n; ++c) {
+      sum -= a.At(r, c) * x[static_cast<size_t>(c)];
+    }
+    x[static_cast<size_t>(r)] = sum / a.At(r, r);
+  }
+  return x;
+}
+
+/// The pre-refactor covariance accumulation from Pca::Fit (upper
+/// triangle + mirror, n-1 normalisation).
+inline Matrix RefCovarianceMatrix(const Matrix& data,
+                                  const std::vector<double>& mean) {
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  Matrix cov(d, d);
+  for (int64_t r = 0; r < n; ++r) {
+    const double* row = data.Row(r);
+    for (int64_t i = 0; i < d; ++i) {
+      double di = row[i] - mean[static_cast<size_t>(i)];
+      for (int64_t j = i; j < d; ++j) {
+        cov.At(i, j) += di * (row[j] - mean[static_cast<size_t>(j)]);
+      }
+    }
+  }
+  double denom = static_cast<double>(n - 1);
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = i; j < d; ++j) {
+      cov.At(i, j) /= denom;
+      cov.At(j, i) = cov.At(i, j);
+    }
+  }
+  return cov;
+}
+
+}  // namespace kernel_ref
+}  // namespace oebench
+
+#endif  // OEBENCH_TESTS_KERNEL_REFERENCE_H_

@@ -1,0 +1,18 @@
+// Probe TU for tests/check_vectorization.sh: forces codegen of
+// representative OE_SIMD_LOOP kernels so the compiler's vectorization
+// report must mention at least one vectorized loop. Compiled
+// standalone by the script, never linked into anything.
+
+#include "linalg/simd.h"
+
+void ProbeAxpy(double* dst, const double* src, std::int64_t n, double a) {
+  oebench::simd::Axpy(dst, src, n, a);
+}
+
+void ProbeFillNan(double* v, std::int64_t n, double fill) {
+  oebench::simd::FillNanWith(v, n, fill);
+}
+
+void ProbeRotate(double* x, double* y, std::int64_t n, double c, double s) {
+  oebench::simd::Rotate(x, y, n, c, s);
+}

@@ -1,0 +1,83 @@
+// Compiled with -DOEBENCH_SIMD_DISABLE (see tests/CMakeLists.txt):
+// every oebench::simd call below resolves to the scalar_path inline
+// namespace, giving the test binary a linkable scalar variant of each
+// kernel alongside the SIMD variants the rest of the code uses.
+
+#include "tests/simd_scalar_helper.h"
+
+#ifndef OEBENCH_SIMD_DISABLE
+#error "simd_scalar_helper.cc must be compiled with -DOEBENCH_SIMD_DISABLE"
+#endif
+
+#include "linalg/simd.h"
+
+namespace oebench {
+namespace scalar_kernels {
+
+void Axpy(double* dst, const double* src, int64_t n, double a) {
+  simd::Axpy(dst, src, n, a);
+}
+void Add(double* dst, const double* src, int64_t n) {
+  simd::Add(dst, src, n);
+}
+void Sub(double* dst, const double* src, int64_t n) {
+  simd::Sub(dst, src, n);
+}
+void Scale(double* v, int64_t n, double s) { simd::Scale(v, n, s); }
+void Axpy4(double* dst, const double* b0, const double* b1, const double* b2,
+           const double* b3, double a0, double a1, double a2, double a3,
+           int64_t n) {
+  simd::Axpy4(dst, b0, b1, b2, b3, a0, a1, a2, a3, n);
+}
+void GemvAccum(const double* a, const double* w, int64_t rows, int64_t cols,
+               int64_t stride, double* out) {
+  simd::GemvAccum(a, w, rows, cols, stride, out);
+}
+double DotSeq(const double* a, const double* b, int64_t n) {
+  return simd::DotSeq(a, b, n);
+}
+double SumSquaresSeq(double init, const double* v, int64_t n) {
+  return simd::SumSquaresSeq(init, v, n);
+}
+double SquaredDistanceSeq(const double* a, const double* b, int64_t n) {
+  return simd::SquaredDistanceSeq(a, b, n);
+}
+double NanSquaredDistanceSeq(const double* a, const double* b, int64_t n,
+                             int64_t* used) {
+  return simd::NanSquaredDistanceSeq(a, b, n, used);
+}
+bool HasNan(const double* v, int64_t n) { return simd::HasNan(v, n); }
+void FillNanWith(double* v, int64_t n, double fill) {
+  simd::FillNanWith(v, n, fill);
+}
+void FillNanWithRow(double* v, const double* fill, int64_t n) {
+  simd::FillNanWithRow(v, fill, n);
+}
+void AccumSquares(double* dst, const double* g, int64_t n) {
+  simd::AccumSquares(dst, g, n);
+}
+void AccumAbs(double* dst, const double* g, int64_t n) {
+  simd::AccumAbs(dst, g, n);
+}
+void AccumRowSkipNan(double* sum, double* count, const double* row,
+                     int64_t n) {
+  simd::AccumRowSkipNan(sum, count, row, n);
+}
+void AccumSqDevRowSkipNan(double* var, double* count, const double* row,
+                          const double* mean, int64_t n) {
+  simd::AccumSqDevRowSkipNan(var, count, row, mean, n);
+}
+void AccumCovRow(double* cov, const double* row, const double* mean,
+                 int64_t n, double di) {
+  simd::AccumCovRow(cov, row, mean, n, di);
+}
+void Rotate(double* x, double* y, int64_t n, double c, double s) {
+  simd::Rotate(x, y, n, c, s);
+}
+void RotateStrided(double* x, double* y, int64_t n, int64_t stride, double c,
+                   double s) {
+  simd::RotateStrided(x, y, n, stride, c, s);
+}
+
+}  // namespace scalar_kernels
+}  // namespace oebench

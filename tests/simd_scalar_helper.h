@@ -1,0 +1,48 @@
+#ifndef OEBENCH_TESTS_SIMD_SCALAR_HELPER_H_
+#define OEBENCH_TESTS_SIMD_SCALAR_HELPER_H_
+
+// Scalar-path mirror of the kernels in src/linalg/simd.h. The matching
+// .cc is compiled with -DOEBENCH_SIMD_DISABLE, so the inline-namespace
+// dispatch in simd.h resolves to scalar_path there while the rest of
+// the test binary (and the library) uses the SIMD path. The
+// kernel-equivalence tests call both through these wrappers and assert
+// the results are bit-identical.
+
+#include <cstdint>
+
+namespace oebench {
+namespace scalar_kernels {
+
+void Axpy(double* dst, const double* src, int64_t n, double a);
+void Add(double* dst, const double* src, int64_t n);
+void Sub(double* dst, const double* src, int64_t n);
+void Scale(double* v, int64_t n, double s);
+void Axpy4(double* dst, const double* b0, const double* b1, const double* b2,
+           const double* b3, double a0, double a1, double a2, double a3,
+           int64_t n);
+void GemvAccum(const double* a, const double* w, int64_t rows, int64_t cols,
+               int64_t stride, double* out);
+double DotSeq(const double* a, const double* b, int64_t n);
+double SumSquaresSeq(double init, const double* v, int64_t n);
+double SquaredDistanceSeq(const double* a, const double* b, int64_t n);
+double NanSquaredDistanceSeq(const double* a, const double* b, int64_t n,
+                             int64_t* used);
+bool HasNan(const double* v, int64_t n);
+void FillNanWith(double* v, int64_t n, double fill);
+void FillNanWithRow(double* v, const double* fill, int64_t n);
+void AccumSquares(double* dst, const double* g, int64_t n);
+void AccumAbs(double* dst, const double* g, int64_t n);
+void AccumRowSkipNan(double* sum, double* count, const double* row,
+                     int64_t n);
+void AccumSqDevRowSkipNan(double* var, double* count, const double* row,
+                          const double* mean, int64_t n);
+void AccumCovRow(double* cov, const double* row, const double* mean,
+                 int64_t n, double di);
+void Rotate(double* x, double* y, int64_t n, double c, double s);
+void RotateStrided(double* x, double* y, int64_t n, int64_t stride, double c,
+                   double s);
+
+}  // namespace scalar_kernels
+}  // namespace oebench
+
+#endif  // OEBENCH_TESTS_SIMD_SCALAR_HELPER_H_
