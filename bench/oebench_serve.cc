@@ -7,9 +7,12 @@
 // --selfcheck proves the acceptance property: for a deterministic
 // schedule, every session's prequential outputs are bit-identical to
 // batch RunPrequential — across --workers=1 vs 4, fault-free and with
-// chaos-injected slow activations.
+// chaos-injected slow activations — and, under injected session faults
+// (--chaos-schedule kinds), exactly the injected streams are
+// quarantined while every other session stays byte-identical to batch.
 //
-// Exit codes: 0 success, 1 runtime/selfcheck failure, 2 bad flags.
+// Exit codes: 0 clean, 1 runtime/selfcheck failure or quarantined
+// sessions (unless --allow-quarantined), 2 bad flags.
 
 #include <algorithm>
 #include <chrono>
@@ -17,13 +20,17 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/chaos.h"
 #include "core/evaluator.h"
+#include "serve/admission.h"
+#include "serve/failure.h"
 #include "serve/load_gen.h"
 #include "serve/server.h"
 #include "serve/session.h"
@@ -54,6 +61,28 @@ struct ServeFlags {
   std::string learner = "mix";
   int64_t slow_every = 0;
   int64_t slow_ms = 0;
+  /// Serve-side fault injection (throw-at-activation / nan-at-record /
+  /// transient); sweep-only clauses are a usage error here.
+  ChaosSchedule chaos;
+  bool has_chaos = false;
+  /// Activation attempts per transient chaos fault (1 = no retry).
+  int session_attempts = 2;
+  /// Failure breaker: abandon the run once more than N sessions are
+  /// quarantined (-1 = unlimited).
+  int64_t max_session_failures = -1;
+  /// Exit 0 even when sessions were quarantined (report still printed).
+  bool allow_quarantined = false;
+  /// Evict (quarantine kDeadline) sessions with no progress for this
+  /// long during shutdown (0 = off).
+  int session_deadline_ms = 0;
+  /// Report activations running longer than this (0 = off).
+  int watchdog_ms = 0;
+  /// > 0: adaptive admission on, shedding while record p99 exceeds this
+  /// (milliseconds). Queue-depth proxy under --deterministic-metrics.
+  double adaptive_p99_ms = 0.0;
+  /// Sinusoidal offered-rate drift: amplitude and virtual-second period.
+  double rate_drift_amplitude = 0.0;
+  double rate_drift_period = 0.0;
   std::string metrics_out;
   bool deterministic_metrics = false;
   bool selfcheck = false;
@@ -78,8 +107,10 @@ struct ServeFlags {
       "                       (>= 1, default 64)\n"
       "  --max-inflight=N     global cap on queued records (>= 0;\n"
       "                       0 = unlimited)\n"
-      "  --admission=POLICY   block (retry until accepted, default) or\n"
-      "                       drop (count kOverloaded and move on)\n"
+      "  --admission=POLICY   block (retry until accepted, default),\n"
+      "                       drop (count kOverloaded and move on), or\n"
+      "                       adaptive:P99_MS (block, degrading to shed\n"
+      "                       while record p99 exceeds P99_MS)\n"
       "  --paced              pace offers to the virtual-time schedule\n"
       "                       (default: replay at full speed)\n"
       "  --scale=F            fraction of published instance counts\n"
@@ -89,11 +120,30 @@ struct ServeFlags {
       "                       default) or one fixed learner name\n"
       "  --chaos-slow=N:MS    sleep MS milliseconds on every N-th\n"
       "                       activation (scheduling chaos)\n"
+      "  --chaos-schedule=SPEC\n"
+      "                       serve fault injection: comma clauses\n"
+      "                       throw-at-activation=N | nan-at-record=N |\n"
+      "                       transient=SEED:P (session registration\n"
+      "                       ordinals; sweep-only clauses rejected)\n"
+      "  --session-attempts=N activation attempts per transient fault\n"
+      "                       (>= 1, default 2)\n"
+      "  --max-session-failures=N\n"
+      "                       abandon the run once more than N sessions\n"
+      "                       are quarantined (default: unlimited)\n"
+      "  --allow-quarantined  exit 0 despite quarantined sessions\n"
+      "  --session-deadline-ms=N\n"
+      "                       evict sessions with no progress for N ms\n"
+      "                       during shutdown (0 = off)\n"
+      "  --watchdog-ms=N      report activations running > N ms (0=off)\n"
+      "  --rate-drift=A:T     sinusoidal offered-rate drift: amplitude A\n"
+      "                       (> 0) over period T virtual seconds\n"
       "  --metrics-out=PATH   dump the JSON metrics snapshot here\n"
       "  --deterministic-metrics\n"
       "                       emit only deterministic counter sections\n"
       "  --selfcheck          verify serve == batch bit-identity across\n"
-      "                       workers 1/4, fault-free and chaos-slow\n"
+      "                       workers 1/4, fault-free, chaos-slow, and\n"
+      "                       injected-fault quarantine differentials\n"
+      "Exit codes: 0 clean, 1 failure/quarantine, 2 usage.\n"
       "Flags take --flag=value or --flag value.\n",
       argv0);
   std::exit(2);
@@ -161,8 +211,17 @@ ServeFlags ParseServeFlags(int argc, char** argv) {
         flags.admission = serve::AdmissionPolicy::kBlock;
       } else if (text == "drop") {
         flags.admission = serve::AdmissionPolicy::kDrop;
+      } else if (text.rfind("adaptive:", 0) == 0) {
+        double p99_ms = 0.0;
+        if (!ParseDouble(text.substr(9), &p99_ms) || !(p99_ms > 0.0)) {
+          fail("--admission=adaptive:P99_MS needs P99_MS > 0, got '" +
+               text + "'");
+        }
+        flags.admission = serve::AdmissionPolicy::kBlock;
+        flags.adaptive_p99_ms = p99_ms;
       } else {
-        fail("--admission must be block or drop, got '" + text + "'");
+        fail("--admission must be block, drop or adaptive:P99_MS, got '" +
+             text + "'");
       }
     } else if (name == "paced") {
       no_value();
@@ -209,6 +268,45 @@ ServeFlags ParseServeFlags(int argc, char** argv) {
       }
       flags.slow_every = every;
       flags.slow_ms = ms;
+    } else if (name == "chaos-schedule") {
+      std::string text = need_value();
+      Result<ChaosSchedule> parsed = ChaosSchedule::Parse(text);
+      if (!parsed.ok()) {
+        fail("--chaos-schedule: " + parsed.status().message());
+      }
+      if (parsed->has_sweep_clauses()) {
+        fail("--chaos-schedule: sweep-only clauses (throw-at-task, "
+             "nan-at-task, slow-at-task) never fire in the serve engine; "
+             "use throw-at-activation/nan-at-record/transient (and "
+             "--chaos-slow for scheduling chaos)");
+      }
+      flags.chaos = *parsed;
+      flags.has_chaos = true;
+    } else if (name == "session-attempts") {
+      flags.session_attempts = static_cast<int>(int_value(1));
+    } else if (name == "max-session-failures") {
+      flags.max_session_failures = int_value(0);
+    } else if (name == "allow-quarantined") {
+      no_value();
+      flags.allow_quarantined = true;
+    } else if (name == "session-deadline-ms") {
+      flags.session_deadline_ms = static_cast<int>(int_value(1));
+    } else if (name == "watchdog-ms") {
+      flags.watchdog_ms = static_cast<int>(int_value(1));
+    } else if (name == "rate-drift") {
+      std::string text = need_value();
+      size_t colon = text.find(':');
+      double amplitude = 0.0;
+      double period = 0.0;
+      if (colon == std::string::npos ||
+          !ParseDouble(text.substr(0, colon), &amplitude) ||
+          !ParseDouble(text.substr(colon + 1), &period) ||
+          !(amplitude > 0.0) || !(period > 0.0)) {
+        fail("--rate-drift needs A:T with A > 0, T > 0, got '" + text +
+             "'");
+      }
+      flags.rate_drift_amplitude = amplitude;
+      flags.rate_drift_period = period;
     } else if (name == "metrics-out") {
       flags.metrics_out = need_value();
     } else if (name == "deterministic-metrics") {
@@ -265,6 +363,7 @@ serve::SessionOptions SessionOptionsForStream(const ServeFlags& flags,
   serve::SessionOptions options;
   options.ring_capacity = static_cast<size_t>(flags.ring_capacity);
   options.max_windows = static_cast<size_t>(flags.duration_windows);
+  options.attempts = flags.session_attempts;
   options.learner = LearnerForStream(flags, i);
   options.learner_config = ConfigForStream(flags, i);
   return options;
@@ -312,7 +411,31 @@ serve::ServerOptions EngineOptions(const ServeFlags& flags) {
   options.max_inflight = flags.max_inflight;
   options.slow_every = flags.slow_every;
   options.slow_ms = flags.slow_ms;
+  options.watchdog_limit_ms = flags.watchdog_ms;
+  options.session_deadline_ms = flags.session_deadline_ms;
+  options.max_session_failures = flags.max_session_failures;
   return options;
+}
+
+/// The adaptive admission controller for this run's flags (nullptr =
+/// off). Under --deterministic-metrics the latency histogram is still
+/// wall-clock (volatile by contract), so the controller falls back to
+/// the queue-depth proxy: shed at 3/4 of --max-inflight (or 4096 when
+/// uncapped), resume at half of that.
+std::unique_ptr<serve::AdmissionController> MakeAdmission(
+    const ServeFlags& flags) {
+  if (!(flags.adaptive_p99_ms > 0.0)) return nullptr;
+  serve::AdmissionOptions options;
+  if (flags.deterministic_metrics) {
+    options.shed_depth =
+        flags.max_inflight > 0
+            ? std::max<int64_t>(1, 3 * flags.max_inflight / 4)
+            : 4096;
+    options.resume_depth = options.shed_depth / 2;
+  } else {
+    options.p99_limit_seconds = flags.adaptive_p99_ms / 1000.0;
+  }
+  return std::make_unique<serve::AdmissionController>(options);
 }
 
 serve::LoadGenOptions LoadOptions(const ServeFlags& flags) {
@@ -323,6 +446,8 @@ serve::LoadGenOptions LoadOptions(const ServeFlags& flags) {
   options.producers = flags.producers;
   options.paced = flags.paced;
   options.admission = flags.admission;
+  options.rate_drift_amplitude = flags.rate_drift_amplitude;
+  options.rate_drift_period_seconds = flags.rate_drift_period;
   return options;
 }
 
@@ -344,29 +469,53 @@ std::string DumpResult(const EvalResult& result) {
   return out;
 }
 
-/// One full serve pass over pre-generated streams; returns per-session
-/// result dumps in stream order.
-Result<std::vector<std::string>> RunServe(
+/// Everything one serve pass produced: per-session dumps (quarantined
+/// and abandoned sessions get a marker instead of a result dump), the
+/// structured quarantine set, and delivery stats.
+struct ServeOutcome {
+  std::vector<std::string> dumps;
+  std::vector<serve::SessionFailure> failures;
+  serve::LoadStats stats;
+  bool breaker_tripped = false;
+};
+
+/// One full serve pass over pre-generated streams, in stream order.
+Result<ServeOutcome> RunServe(
     const ServeFlags& flags,
-    const std::vector<std::shared_ptr<const GeneratedStream>>& streams,
-    serve::LoadStats* stats_out) {
+    const std::vector<std::shared_ptr<const GeneratedStream>>& streams) {
   OE_ASSIGN_OR_RETURN(
       std::vector<std::unique_ptr<serve::StreamSession>> sessions,
       InitSessions(flags, streams));
-  serve::ServeEngine engine(EngineOptions(flags));
+  std::unique_ptr<ServeChaosInjector> chaos;
+  if (flags.has_chaos) {
+    chaos = std::make_unique<ServeChaosInjector>(flags.chaos);
+  }
+  std::unique_ptr<serve::AdmissionController> admission =
+      MakeAdmission(flags);
+  serve::ServerOptions engine_options = EngineOptions(flags);
+  engine_options.chaos = chaos.get();
+  engine_options.admission = admission.get();
+  serve::ServeEngine engine(engine_options);
   for (std::unique_ptr<serve::StreamSession>& session : sessions) {
     engine.AddSession(std::move(session));
   }
-  serve::LoadStats stats = RunLoadGenerator(&engine, LoadOptions(flags));
+  ServeOutcome outcome;
+  outcome.stats = RunLoadGenerator(&engine, LoadOptions(flags));
   engine.WaitAllFinished();
-  OE_RETURN_NOT_OK(engine.first_error());
-  if (stats_out != nullptr) *stats_out = stats;
-  std::vector<std::string> dumps;
-  dumps.reserve(engine.num_sessions());
+  outcome.failures = engine.failures();
+  outcome.breaker_tripped = engine.breaker_tripped();
+  outcome.dumps.reserve(engine.num_sessions());
   for (size_t i = 0; i < engine.num_sessions(); ++i) {
-    dumps.push_back(DumpResult(engine.session(i)->result()));
+    serve::StreamSession* session = engine.session(i);
+    if (session->quarantined()) {
+      outcome.dumps.push_back("quarantined");
+    } else if (session->abandoned()) {
+      outcome.dumps.push_back("abandoned");
+    } else {
+      outcome.dumps.push_back(DumpResult(session->result()));
+    }
   }
-  return dumps;
+  return outcome;
 }
 
 /// Batch reference: PrepareStream + RunPrequential, truncated to the
@@ -421,6 +570,98 @@ int CompareDumps(const std::string& label,
   return mismatches == 0 ? 0 : 1;
 }
 
+/// The injected-fault differential: with throw-at-activation=2,
+/// nan-at-record=3 and a transient shower injected, the quarantine set
+/// must be exactly the injected ordinals — identical across worker
+/// counts, since chaos keys off registration order — and every
+/// non-quarantined session must stay byte-identical to batch. The
+/// transient clause must quarantine nothing (default attempts retry it
+/// away), proving the retry path preserves bit-identity too.
+int RunChaosDifferential(
+    const ServeFlags& flags,
+    const std::vector<std::shared_ptr<const GeneratedStream>>& streams,
+    const std::vector<std::string>& batch) {
+  if (streams.size() < 3) {
+    std::printf("selfcheck [chaos]: skipped (needs >= 3 streams)\n");
+    return 0;
+  }
+  if (flags.duration_windows == 1) {
+    // With a single window no window is ever tested, so the nan-at-record
+    // poison has no finite metric to corrupt and no detector to trip.
+    std::printf("selfcheck [chaos]: skipped (needs >= 2 windows)\n");
+    return 0;
+  }
+  ServeFlags chaos_flags = flags;
+  chaos_flags.has_chaos = true;
+  chaos_flags.chaos = ChaosSchedule();
+  chaos_flags.chaos.throw_at_activation = 2;  // session id 1
+  chaos_flags.chaos.nan_at_record = 3;        // session id 2
+  chaos_flags.chaos.transient_seed = 9;
+  chaos_flags.chaos.transient_p = 0.3;
+  int rc = 0;
+  for (int workers : {1, 4}) {
+    ServeFlags run = chaos_flags;
+    run.workers = workers;
+    const std::string label = StrFormat("chaos workers=%d", workers);
+    Result<ServeOutcome> serve = RunServe(run, streams);
+    if (!serve.ok()) {
+      std::fprintf(stderr, "serve run [%s] failed: %s\n", label.c_str(),
+                   serve.status().ToString().c_str());
+      return 1;
+    }
+    // Exactly the injected streams, with the injected kinds.
+    std::vector<std::pair<int64_t, serve::SessionFailureKind>> got;
+    for (const serve::SessionFailure& f : serve->failures) {
+      got.emplace_back(f.session_id, f.kind);
+    }
+    std::sort(got.begin(), got.end());
+    const std::vector<std::pair<int64_t, serve::SessionFailureKind>>
+        want = {{1, serve::SessionFailureKind::kException},
+                {2, serve::SessionFailureKind::kNonFinite}};
+    if (got != want) {
+      std::fprintf(stderr,
+                   "SELFCHECK FAIL [%s]: quarantine set is not exactly "
+                   "the injected streams:\n%s",
+                   label.c_str(),
+                   serve::FormatSessionFailureReport(serve->failures)
+                       .c_str());
+      rc = 1;
+      continue;
+    }
+    // Every non-quarantined session stays byte-identical to batch.
+    int mismatches = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (i == 1 || i == 2) {
+        if (serve->dumps[i] != "quarantined") {
+          ++mismatches;
+          std::fprintf(stderr,
+                       "SELFCHECK FAIL [%s] session %zu: expected "
+                       "quarantined, got %s\n",
+                       label.c_str(), i, serve->dumps[i].c_str());
+        }
+        continue;
+      }
+      if (serve->dumps[i] != batch[i]) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "SELFCHECK FAIL [%s] session %zu:\n  batch: %s\n  "
+                     "serve: %s\n",
+                     label.c_str(), i, batch[i].c_str(),
+                     serve->dumps[i].c_str());
+      }
+    }
+    if (mismatches == 0) {
+      std::printf(
+          "selfcheck [%s]: injected faults quarantined exactly sessions "
+          "{1,2}; %zu survivors bit-identical to batch\n",
+          label.c_str(), batch.size() - 2);
+    } else {
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 /// --selfcheck: the ISSUE acceptance property, as a CLI mode so the
 /// smoke ctest (and any user) can verify a build end-to-end.
 int RunSelfCheck(ServeFlags flags) {
@@ -457,15 +698,24 @@ int RunSelfCheck(ServeFlags flags) {
     run.workers = variant.workers;
     run.slow_every = variant.slow_every;
     run.slow_ms = variant.slow_ms;
-    Result<std::vector<std::string>> serve =
-        RunServe(run, *streams, nullptr);
+    Result<ServeOutcome> serve = RunServe(run, *streams);
     if (!serve.ok()) {
       std::fprintf(stderr, "serve run [%s] failed: %s\n", variant.label,
                    serve.status().ToString().c_str());
       return 1;
     }
-    rc |= CompareDumps(variant.label, *batch, *serve);
+    if (!serve->failures.empty()) {
+      std::fprintf(stderr,
+                   "SELFCHECK FAIL [%s]: fault-free run quarantined %zu "
+                   "sessions:\n%s",
+                   variant.label, serve->failures.size(),
+                   serve::FormatSessionFailureReport(serve->failures)
+                       .c_str());
+      return 1;
+    }
+    rc |= CompareDumps(variant.label, *batch, serve->dumps);
   }
+  rc |= RunChaosDifferential(flags, *streams, *batch);
   if (rc == 0) std::printf("SELFCHECK PASSED\n");
   return rc;
 }
@@ -512,13 +762,17 @@ int Report(const ServeFlags& flags, const serve::LoadStats& stats,
       "oebench_serve",
       StrFormat("%d streams x %d workers, %s admission",
                 flags.streams, flags.workers,
-                flags.admission == serve::AdmissionPolicy::kBlock
-                    ? "block"
-                    : "drop"));
-  std::printf("offered    %lld records (accepted %lld, dropped %lld)\n",
+                flags.adaptive_p99_ms > 0.0
+                    ? "adaptive"
+                    : (flags.admission == serve::AdmissionPolicy::kBlock
+                           ? "block"
+                           : "drop")));
+  std::printf("offered    %lld records (accepted %lld, dropped %lld, "
+              "shed %lld)\n",
               static_cast<long long>(stats.offered),
               static_cast<long long>(stats.accepted),
-              static_cast<long long>(stats.dropped));
+              static_cast<long long>(stats.dropped),
+              static_cast<long long>(stats.shed));
   std::printf("consumed   %lld records -> %lld trained items, "
               "%lld windows (%lld lost)\n",
               static_cast<long long>(records),
@@ -532,13 +786,25 @@ int Report(const ServeFlags& flags, const serve::LoadStats& stats,
   std::printf("           window p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
               window_p50 * 1e3, window_p95 * 1e3, window_p99 * 1e3);
   std::printf("overload   drops_overloaded %lld, drops_inflight %lld, "
-              "queue_depth_peak %.0f\n",
+              "drops_shed %lld, queue_depth_peak %.0f\n",
               static_cast<long long>(counter("serve.drops_overloaded")),
               static_cast<long long>(counter("serve.drops_inflight")),
+              static_cast<long long>(counter("serve.drops_shed")),
               [&] {
                 auto it = snap.gauges.find("serve.queue_depth_peak");
                 return it != snap.gauges.end() ? it->second : 0.0;
               }());
+  const int64_t quarantined = counter("serve.sessions_quarantined");
+  if (quarantined > 0) {
+    std::printf("failure    sessions_quarantined %lld, records_discarded "
+                "%lld, deadline_evictions %lld, transient_retries %lld\n",
+                static_cast<long long>(quarantined),
+                static_cast<long long>(counter("serve.records_discarded")),
+                static_cast<long long>(
+                    counter("serve.deadline_evictions")),
+                static_cast<long long>(
+                    counter("serve.transient_retries")));
+  }
 
   if (!flags.metrics_out.empty()) {
     Status written = bench::WriteMetricsFile(
@@ -573,20 +839,30 @@ int Main(int argc, char** argv) {
                  streams.status().ToString().c_str());
     return 1;
   }
-  serve::LoadStats stats;
   const auto wall_start = std::chrono::steady_clock::now();
-  Result<std::vector<std::string>> dumps =
-      RunServe(flags, *streams, &stats);
+  Result<ServeOutcome> outcome = RunServe(flags, *streams);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  if (!dumps.ok()) {
+  if (!outcome.ok()) {
     std::fprintf(stderr, "serve run failed: %s\n",
-                 dumps.status().ToString().c_str());
+                 outcome.status().ToString().c_str());
     return 1;
   }
-  return Report(flags, stats, wall_seconds);
+  int rc = Report(flags, outcome->stats, wall_seconds);
+  if (!outcome->failures.empty()) {
+    std::fputs(
+        serve::FormatSessionFailureReport(outcome->failures).c_str(),
+        stdout);
+    if (!flags.allow_quarantined) rc = std::max(rc, 1);
+  }
+  if (outcome->breaker_tripped) {
+    // An abandoned run is incomplete even if quarantines are tolerated.
+    std::fprintf(stderr, "serve: run abandoned by the failure breaker\n");
+    rc = std::max(rc, 1);
+  }
+  return rc;
 }
 
 }  // namespace

@@ -30,7 +30,8 @@ std::string IdentityKey(const TaskIdentity& task) {
 Result<ChaosSchedule> ChaosSchedule::Parse(std::string_view spec) {
   ChaosSchedule schedule;
   bool seen_throw = false, seen_nan = false, seen_slow = false,
-       seen_transient = false;
+       seen_transient = false, seen_throw_activation = false,
+       seen_nan_record = false;
   for (const std::string& clause : Split(spec, ',')) {
     size_t eq = clause.find('=');
     if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
@@ -60,6 +61,18 @@ Result<ChaosSchedule> ChaosSchedule::Parse(std::string_view spec) {
             "slow-at-task needs N:MS with N, MS >= 1, got '" + value + "'");
       }
       seen_slow = true;
+    } else if (key == "throw-at-activation" && !seen_throw_activation) {
+      if (!ParsePositive(value, &schedule.throw_at_activation)) {
+        return Status::InvalidArgument(
+            "throw-at-activation needs N >= 1, got '" + value + "'");
+      }
+      seen_throw_activation = true;
+    } else if (key == "nan-at-record" && !seen_nan_record) {
+      if (!ParsePositive(value, &schedule.nan_at_record)) {
+        return Status::InvalidArgument("nan-at-record needs N >= 1, got '" +
+                                       value + "'");
+      }
+      seen_nan_record = true;
     } else if (key == "transient" && !seen_transient) {
       size_t colon = value.find(':');
       double p = 0.0;
@@ -100,7 +113,24 @@ std::string ChaosSchedule::ToString() const {
         "transient=%llu:%g",
         static_cast<unsigned long long>(transient_seed), transient_p));
   }
+  if (throw_at_activation > 0) {
+    clauses.push_back(
+        StrFormat("throw-at-activation=%lld",
+                  static_cast<long long>(throw_at_activation)));
+  }
+  if (nan_at_record > 0) {
+    clauses.push_back(StrFormat("nan-at-record=%lld",
+                                static_cast<long long>(nan_at_record)));
+  }
   return Join(clauses, ",");
+}
+
+bool ChaosSchedule::has_sweep_clauses() const {
+  return throw_at_task > 0 || nan_at_task > 0 || slow_at_task > 0;
+}
+
+bool ChaosSchedule::has_serve_clauses() const {
+  return throw_at_activation > 0 || nan_at_record > 0;
 }
 
 ChaosInjector::ChaosInjector(const ChaosSchedule& schedule)
@@ -175,6 +205,69 @@ int64_t ChaosInjector::tasks_started() const {
 }
 
 int64_t ChaosInjector::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+ServeChaosInjector::ServeChaosInjector(const ChaosSchedule& schedule)
+    : schedule_(schedule) {}
+
+bool ServeChaosInjector::active() const {
+  return schedule_.has_serve_clauses() || schedule_.transient_p > 0.0;
+}
+
+void ServeChaosInjector::OnActivation(int64_t ordinal,
+                                      std::string_view stream) {
+  bool do_throw = ordinal == schedule_.throw_at_activation;
+  bool do_transient = false;
+  if (do_throw || schedule_.transient_p > 0.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (schedule_.transient_p > 0.0) {
+      // Stream-identity-keyed draw, same sticky machinery as the sweep
+      // injector: the same streams draw the same fate at any worker
+      // count, and a drawn stream faults on one activation only so the
+      // session's in-process retry clears it.
+      const std::string key(stream);
+      if (transient_fired_.count(key) == 0) {
+        Rng rng(TaskSeed(schedule_.transient_seed, key, "serve",
+                         static_cast<int>(ordinal)));
+        if (rng.Bernoulli(schedule_.transient_p)) {
+          transient_fired_.insert(key);
+          do_transient = true;
+        }
+      }
+    }
+    if (do_throw || do_transient) ++faults_;
+  }
+  if (do_throw) {
+    throw std::runtime_error(
+        StrFormat("injected chaos throw on session #%lld (%.*s)",
+                  static_cast<long long>(ordinal),
+                  static_cast<int>(stream.size()), stream.data()));
+  }
+  if (do_transient) {
+    throw TransientTaskError(StrFormat(
+        "injected transient chaos fault on session #%lld (%.*s), clears "
+        "on retry",
+        static_cast<long long>(ordinal), static_cast<int>(stream.size()),
+        stream.data()));
+  }
+}
+
+void ServeChaosInjector::OnSessionFinish(int64_t ordinal,
+                                         EvalResult* result) {
+  if (schedule_.nan_at_record == 0 || ordinal != schedule_.nan_at_record) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++faults_;
+  }
+  result->mean_loss = std::numeric_limits<double>::quiet_NaN();
+  result->faded_loss = std::numeric_limits<double>::quiet_NaN();
+}
+
+int64_t ServeChaosInjector::faults_injected() const {
   std::lock_guard<std::mutex> lock(mu_);
   return faults_;
 }

@@ -38,14 +38,32 @@ struct ChaosSchedule {
   /// on their *first* attempt only, so the engine's in-process retry
   /// succeeds. The draw hangs off the identity (TaskSeed-style), never
   /// off scheduling, so it is bit-reproducible at any thread count.
+  /// Shared with the serve injector, where the identity is the stream.
   uint64_t transient_seed = 0;
   double transient_p = 0.0;
+  /// Serve-side clauses (ISSUE 9). Ordinals here are 1-based session
+  /// *registration* order, not start order — sessions register before
+  /// any worker runs, so injection is worker-count invariant by
+  /// construction. The Nth registered session throws std::runtime_error
+  /// on every activation attempt:
+  int64_t throw_at_activation = 0;
+  /// The Nth registered session's final prequential metrics are
+  /// poisoned to NaN, tripping the serve engine's explosion detector.
+  int64_t nan_at_record = 0;
 
   /// Parses the --chaos-schedule= syntax: comma-separated clauses
   ///   throw-at-task=N | nan-at-task=N | slow-at-task=N:MS |
-  ///   transient=SEED:P
+  ///   transient=SEED:P | throw-at-activation=N | nan-at-record=N
   /// Rejects unknown clauses, malformed numbers and duplicate clauses.
   static Result<ChaosSchedule> Parse(std::string_view spec);
+
+  /// True when any sweep-only clause (throw-at-task, nan-at-task,
+  /// slow-at-task) is set. Drivers use these to reject clauses their
+  /// engine would silently ignore; `transient` belongs to both worlds.
+  bool has_sweep_clauses() const;
+  /// True when any serve-only clause (throw-at-activation,
+  /// nan-at-record) is set.
+  bool has_serve_clauses() const;
 
   /// Canonical rendering of the schedule (diagnostics, logs).
   std::string ToString() const;
@@ -82,6 +100,41 @@ class ChaosInjector {
   std::map<std::string, int64_t> ordinals_;
   std::set<std::string> transient_fired_;
   int64_t next_ordinal_ = 0;
+  int64_t faults_ = 0;
+};
+
+/// Executes the serve-side clauses of a ChaosSchedule against live
+/// stream sessions. Unlike ChaosInjector, ordinals are not assigned on
+/// first sight: the serve engine passes each session's registration
+/// ordinal (session id + 1), fixed before any worker runs, so the same
+/// streams are faulted at any worker count. Wire into
+/// ServerOptions::chaos.
+class ServeChaosInjector {
+ public:
+  explicit ServeChaosInjector(const ChaosSchedule& schedule);
+
+  /// Called on the worker thread as an activation attempt of session
+  /// `ordinal` begins. throw-at-activation throws std::runtime_error on
+  /// every attempt (the engine quarantines on the first); transient
+  /// throws TransientTaskError once per drawn stream identity, on the
+  /// first attempt only, so the session's in-process retry clears it.
+  void OnActivation(int64_t ordinal, std::string_view stream);
+
+  /// Called as session `ordinal` delivers its final EvalResult; poisons
+  /// the nan-at-record ordinal's metrics to quiet NaN.
+  void OnSessionFinish(int64_t ordinal, EvalResult* result);
+
+  /// True when the schedule has any clause a serve engine can fire —
+  /// lets the engine skip hook plumbing entirely when idle.
+  bool active() const;
+
+  /// Faults injected so far (throws, poisons, transients).
+  int64_t faults_injected() const;
+
+ private:
+  ChaosSchedule schedule_;
+  mutable std::mutex mu_;
+  std::set<std::string> transient_fired_;
   int64_t faults_ = 0;
 };
 

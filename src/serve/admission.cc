@@ -1,0 +1,92 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "serve/server.h"
+
+namespace oebench {
+namespace serve {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {
+  if (options_.shed_depth <= 0) {
+    latency_ = MetricsRegistry::Global()->GetHistogram(
+        "serve.record_latency_seconds");
+  }
+}
+
+void AdmissionController::Publish(bool shed) {
+  if (shedding_.exchange(shed, std::memory_order_relaxed) != shed) {
+    transitions_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Global()
+        ->GetVolatileCounter("serve.admission_transitions")
+        ->Increment();
+  }
+}
+
+void AdmissionController::UpdateFromHistogram() {
+  HistogramSnapshot now = latency_->Snapshot();
+  if (now.count - last_snapshot_.count < options_.min_delta_records) {
+    return;
+  }
+  // Delta window = bucket-wise difference since the previous estimate.
+  // Bounds are fixed at histogram creation, so subtraction is exact;
+  // only min/max (interpolation clamps at the edge buckets) have to
+  // fall back to the lifetime extremes.
+  HistogramSnapshot delta;
+  delta.bounds = now.bounds;
+  delta.buckets.resize(now.buckets.size());
+  for (size_t b = 0; b < now.buckets.size(); ++b) {
+    const int64_t prev = b < last_snapshot_.buckets.size()
+                             ? last_snapshot_.buckets[b]
+                             : 0;
+    delta.buckets[b] = std::max<int64_t>(0, now.buckets[b] - prev);
+  }
+  delta.count = now.count - last_snapshot_.count;
+  delta.min = now.min;
+  delta.max = now.max;
+  last_p99_ = QuantileFromHistogram(delta, 0.99);
+  last_snapshot_ = std::move(now);
+
+  const bool currently = shedding_.load(std::memory_order_relaxed);
+  if (!currently && last_p99_ > options_.p99_limit_seconds) {
+    Publish(true);
+  } else if (currently &&
+             last_p99_ <
+                 options_.p99_limit_seconds * options_.resume_fraction) {
+    Publish(false);
+  }
+}
+
+bool AdmissionController::ShouldShed(int64_t inflight) {
+  if (options_.shed_depth > 0) {
+    // Deterministic proxy: the decision is a pure function of the
+    // depth the caller observed, with hysteresis between the two
+    // thresholds (keep the current state inside the band).
+    const bool currently = shedding_.load(std::memory_order_relaxed);
+    if (!currently && inflight >= options_.shed_depth) {
+      Publish(true);
+      return true;
+    }
+    if (currently && inflight <= options_.resume_depth) {
+      Publish(false);
+      return false;
+    }
+    return currently;
+  }
+  // Latency mode: refresh the estimate opportunistically; a producer
+  // that loses the race just uses the freshest published decision.
+  if (estimate_mu_.try_lock()) {
+    UpdateFromHistogram();
+    estimate_mu_.unlock();
+  }
+  return shedding_.load(std::memory_order_relaxed);
+}
+
+double AdmissionController::last_p99() const {
+  std::lock_guard<std::mutex> lock(estimate_mu_);
+  return last_p99_;
+}
+
+}  // namespace serve
+}  // namespace oebench

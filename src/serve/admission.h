@@ -1,0 +1,90 @@
+#ifndef OEBENCH_SERVE_ADMISSION_H_
+#define OEBENCH_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/metrics.h"
+
+namespace oebench {
+namespace serve {
+
+struct AdmissionOptions {
+  /// p99 record-latency ceiling in seconds; admission degrades
+  /// block→shed while the recent p99 is above it. Must be > 0 in
+  /// latency mode.
+  double p99_limit_seconds = 0.0;
+  /// Hysteresis: once shedding, admission resumes only when the recent
+  /// p99 falls below `p99_limit_seconds * resume_fraction` — a single
+  /// threshold would flap on every histogram delta.
+  double resume_fraction = 0.5;
+  /// Re-estimate the p99 only after this many new latency records: the
+  /// delta window needs enough samples for a stable tail estimate, and
+  /// it keeps snapshotting off the per-offer hot path.
+  int64_t min_delta_records = 256;
+  /// Queue-depth proxy mode (used under --deterministic-metrics, where
+  /// wall-clock latency histograms are frozen): shed while the engine's
+  /// global in-flight depth is >= shed_depth, resume at <= resume_depth.
+  /// shed_depth > 0 selects this mode and disables the latency watcher.
+  int64_t shed_depth = 0;
+  int64_t resume_depth = 0;
+};
+
+/// p99-aware adaptive admission: degrades the serve engine's admission
+/// decision from accept to *shed* while the recent record-latency tail
+/// (or, deterministically, the global queue depth) says the daemon is
+/// past its latency budget. Shedding differs from kOverloaded
+/// backpressure: a shed record is refused even though the ring has
+/// room, on the grounds that accepting it would push p99 further past
+/// the ceiling — the producer counts it (`serve.drops_shed`) and moves
+/// on, it never retries.
+///
+/// Latency mode watches *deltas* of the serve.record_latency_seconds
+/// histogram — bucket-count differences since the previous estimate —
+/// so the controller reacts to the current overload, not the
+/// run-lifetime average. Estimates piggyback on ShouldShed via a
+/// try-lock: producers never serialize on the estimator, they just use
+/// the freshest published decision.
+///
+/// End sentinels are exempt by the engine (they carry shutdown, not
+/// load), so shedding can never wedge WaitAllFinished.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// Producer path: true if this data record should be shed.
+  /// `inflight` is the engine's current global in-flight depth.
+  bool ShouldShed(int64_t inflight);
+
+  /// Latest published decision (no side effects; tests/report).
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+  /// accept→shed + shed→accept transitions so far.
+  int64_t transitions() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+  /// Latest delta-window p99 estimate (0 until the first estimate).
+  double last_p99() const;
+
+ private:
+  /// Re-estimates the delta p99 and publishes a new decision when at
+  /// least min_delta_records arrived since the last estimate. Caller
+  /// holds estimate_mu_.
+  void UpdateFromHistogram();
+  void Publish(bool shed);
+
+  const AdmissionOptions options_;
+  Histogram* latency_ = nullptr;  // registry-owned, survives Reset()
+
+  std::atomic<bool> shedding_{false};
+  std::atomic<int64_t> transitions_{0};
+
+  mutable std::mutex estimate_mu_;
+  HistogramSnapshot last_snapshot_;  // guarded by estimate_mu_
+  double last_p99_ = 0.0;            // guarded by estimate_mu_
+};
+
+}  // namespace serve
+}  // namespace oebench
+
+#endif  // OEBENCH_SERVE_ADMISSION_H_

@@ -1,0 +1,45 @@
+#include "serve/failure.h"
+
+#include "common/string_util.h"
+
+namespace oebench {
+namespace serve {
+
+const char* SessionFailureKindName(SessionFailureKind kind) {
+  switch (kind) {
+    case SessionFailureKind::kException:
+      return "exception";
+    case SessionFailureKind::kNonFinite:
+      return "non-finite";
+    case SessionFailureKind::kTransient:
+      return "transient";
+    case SessionFailureKind::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+std::string SanitizeFailureMessage(std::string_view message) {
+  std::string out(message);
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+std::string FormatSessionFailureReport(
+    const std::vector<SessionFailure>& failures) {
+  if (failures.empty()) return "";
+  std::string out = StrFormat("QUARANTINED SESSIONS (%zu):\n", failures.size());
+  for (const SessionFailure& f : failures) {
+    out += StrFormat("  #%lld\t%s\t%s\trecords=%lld\t%s\n",
+                     static_cast<long long>(f.session_id), f.stream.c_str(),
+                     SessionFailureKindName(f.kind),
+                     static_cast<long long>(f.records_processed),
+                     f.message.c_str());
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace oebench

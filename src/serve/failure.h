@@ -1,0 +1,69 @@
+#ifndef OEBENCH_SERVE_FAILURE_H_
+#define OEBENCH_SERVE_FAILURE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oebench {
+namespace serve {
+
+/// Why one live stream stopped producing trustworthy results. The serve
+/// analogue of core/parallel_eval's TaskFailureKind: each class has a
+/// different cost and recovery story (DESIGN.md "Serving failure
+/// domains & overload"):
+///  - kException:  the pipeline or learner threw mid-drain — permanent
+///                 for this stream; the session is quarantined, every
+///                 sibling stream keeps serving.
+///  - kNonFinite:  the stream's prequential metrics exploded to
+///                 NaN/inf across every tested window — the numbers
+///                 exist but cannot be trusted.
+///  - kTransient:  a TransientTaskError survived every activation
+///                 attempt (SessionOptions::attempts).
+///  - kDeadline:   the session made no progress for longer than the
+///                 engine's session deadline and was evicted so
+///                 shutdown could complete (wall-clock, so inherently
+///                 volatile; never fires when the deadline is off).
+enum class SessionFailureKind {
+  kException,
+  kNonFinite,
+  kTransient,
+  kDeadline,
+};
+
+/// Stable wire name ("exception", "non-finite", "transient",
+/// "deadline") — metrics counters and the failure report use it.
+const char* SessionFailureKindName(SessionFailureKind kind);
+
+/// One stream that was quarantined instead of producing an EvalResult.
+/// The serve engine records these (and keeps serving every other
+/// stream) rather than unwinding the process: one poison stream costs
+/// one session, never the daemon.
+struct SessionFailure {
+  /// The session's id (== its registration index in the engine).
+  int64_t session_id = 0;
+  /// The stream's name (StreamContext::name).
+  std::string stream;
+  SessionFailureKind kind = SessionFailureKind::kException;
+  /// Sanitized single-line what()/Status message of the failure.
+  std::string message;
+  /// Data records the session had consumed when it failed (records
+  /// drained after quarantine are counted separately, as discards).
+  int64_t records_processed = 0;
+};
+
+/// Collapses tabs/newlines so a failure message stays one report row,
+/// mirroring the result log's v2 `fail`-row sanitisation.
+std::string SanitizeFailureMessage(std::string_view message);
+
+/// Human-readable quarantine table, one row per failed session; empty
+/// string when there are no failures (so fault-free reports are
+/// byte-unchanged). Mirrors sweep::FormatQuarantineReport.
+std::string FormatSessionFailureReport(
+    const std::vector<SessionFailure>& failures);
+
+}  // namespace serve
+}  // namespace oebench
+
+#endif  // OEBENCH_SERVE_FAILURE_H_

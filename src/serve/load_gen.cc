@@ -15,6 +15,11 @@ namespace serve {
 
 namespace {
 
+/// Rejections absorbed by a bare yield before the exponential sleep
+/// backoff starts: short overloads clear in microseconds and should not
+/// pay a millisecond sleep.
+constexpr int kSpinRetries = 16;
+
 /// Stream-id-salted seed so every stream draws an independent,
 /// reproducible arrival process from one user-facing seed.
 uint64_t MixSeed(uint64_t seed, uint64_t stream) {
@@ -32,6 +37,7 @@ struct StreamCursor {
   double next_time = 0.0;  // virtual seconds of the next arrival event
   Rng rng{0};
   bool end_sent = false;
+  StreamLoadStats stats;
 };
 
 struct EventOrder {
@@ -41,49 +47,93 @@ struct EventOrder {
   }
 };
 
-/// Draws the next exponential inter-arrival gap (virtual seconds).
-double NextGap(StreamCursor* cursor, double event_rate) {
+/// Instantaneous event rate at virtual time `t` under the sinusoidal
+/// drift (the base rate when drift is off). Clamped to 1% of base so a
+/// full-amplitude trough never stalls the schedule.
+double EffectiveRate(const LoadGenOptions& options, double base_rate,
+                     double t) {
+  if (options.rate_drift_amplitude <= 0.0 ||
+      options.rate_drift_period_seconds <= 0.0) {
+    return base_rate;
+  }
+  constexpr double kTwoPi = 6.283185307179586;
+  const double factor =
+      1.0 + options.rate_drift_amplitude *
+                std::sin(kTwoPi * t / options.rate_drift_period_seconds);
+  return std::max(base_rate * 0.01, base_rate * factor);
+}
+
+/// Draws the next exponential inter-arrival gap (virtual seconds) at
+/// the rate in force at the cursor's current virtual time.
+double NextGap(StreamCursor* cursor, const LoadGenOptions& options,
+               double base_event_rate) {
   double u = cursor->rng.Uniform();
   // Guard log(0); Uniform() is in [0, 1).
   u = std::min(u, 1.0 - 1e-12);
-  return -std::log(1.0 - u) / event_rate;
+  const double rate =
+      EffectiveRate(options, base_event_rate, cursor->next_time);
+  return -std::log(1.0 - u) / rate;
 }
 
 /// Offers one record with the policy's retry/drop behaviour.
 /// `must_deliver` forces retries even under kDrop (end sentinels).
-void OfferRecord(ServeEngine* engine, size_t idx, int64_t row,
-                 AdmissionPolicy policy, bool must_deliver,
-                 LoadStats* stats) {
+/// Backpressure retries use bounded exponential backoff: kSpinRetries
+/// yields, then sleeps doubling from the policy's initial backoff and
+/// capped after max_attempts doublings — the spin is bounded even when
+/// the block policy retries forever.
+void OfferRecord(ServeEngine* engine, StreamCursor* cursor, int64_t row,
+                 const LoadGenOptions& options, bool must_deliver) {
   MetricsRegistry* metrics = MetricsRegistry::Global();
+  static Counter* offer_retries =
+      metrics->GetVolatileCounter("serve.offer_retries");
+  int rejections = 0;
   for (;;) {
     const AdmitResult admit =
-        engine->Offer(idx, row, metrics->NowSeconds());
+        engine->Offer(cursor->idx, row, metrics->NowSeconds());
     if (admit == AdmitResult::kAccepted) {
-      if (row != kEndOfStream) ++stats->accepted;
+      if (row != kEndOfStream) ++cursor->stats.accepted;
       return;
     }
     if (admit == AdmitResult::kFinished) return;  // failed or done: stop
+    if (admit == AdmitResult::kShed) {
+      // Adaptive admission refused it to protect tail latency; retrying
+      // would defeat the shedding (the engine exempts sentinels, so
+      // must_deliver records never see kShed).
+      ++cursor->stats.shed;
+      return;
+    }
     // kOverloaded — structured backpressure.
-    if (policy == AdmissionPolicy::kDrop && !must_deliver) {
-      ++stats->dropped;
+    if (options.admission == AdmissionPolicy::kDrop && !must_deliver) {
+      ++cursor->stats.dropped;
       metrics->GetVolatileCounter("serve.drops_overloaded")->Increment();
       return;
     }
-    std::this_thread::yield();
+    offer_retries->Increment();
+    ++rejections;
+    if (rejections <= kSpinRetries || options.backoff.initial_backoff_ms <= 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    const int doublings =
+        std::min(rejections - kSpinRetries - 1,
+                 std::max(0, options.backoff.max_attempts - 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int64_t>(options.backoff.initial_backoff_ms)
+        << doublings));
   }
 }
 
 /// Replays the streams owned by one producer thread in merged
 /// virtual-time order.
-LoadStats RunProducer(ServeEngine* engine, const LoadGenOptions& options,
-                      std::vector<StreamCursor> streams) {
-  LoadStats stats;
+std::vector<StreamLoadStats> RunProducer(ServeEngine* engine,
+                                         const LoadGenOptions& options,
+                                         std::vector<StreamCursor>* streams) {
   const double event_rate =
       options.rate / static_cast<double>(std::max<int64_t>(1, options.burst));
   std::priority_queue<StreamCursor*, std::vector<StreamCursor*>, EventOrder>
       heap;
-  for (StreamCursor& cursor : streams) {
-    cursor.next_time = NextGap(&cursor, event_rate);
+  for (StreamCursor& cursor : *streams) {
+    cursor.next_time = NextGap(&cursor, options, event_rate);
     heap.push(&cursor);
   }
   const auto wall_start = std::chrono::steady_clock::now();
@@ -99,21 +149,26 @@ LoadStats RunProducer(ServeEngine* engine, const LoadGenOptions& options,
     if (cursor->next_row >= cursor->end_row) {
       if (!cursor->end_sent) {
         cursor->end_sent = true;
-        OfferRecord(engine, cursor->idx, kEndOfStream, options.admission,
-                    /*must_deliver=*/true, &stats);
+        OfferRecord(engine, cursor, kEndOfStream, options,
+                    /*must_deliver=*/true);
       }
       continue;  // stream done, not re-queued
     }
     const int64_t burst_end =
         std::min(cursor->end_row, cursor->next_row + options.burst);
     for (int64_t row = cursor->next_row; row < burst_end; ++row) {
-      ++stats.offered;
-      OfferRecord(engine, cursor->idx, row, options.admission,
-                  /*must_deliver=*/false, &stats);
+      ++cursor->stats.offered;
+      OfferRecord(engine, cursor, row, options, /*must_deliver=*/false);
     }
     cursor->next_row = burst_end;
-    cursor->next_time += NextGap(cursor, event_rate);
+    cursor->next_time += NextGap(cursor, options, event_rate);
     heap.push(cursor);
+  }
+  std::vector<StreamLoadStats> stats;
+  stats.reserve(streams->size());
+  for (StreamCursor& cursor : *streams) {
+    cursor.stats.idx = cursor.idx;
+    stats.push_back(cursor.stats);
   }
   return stats;
 }
@@ -138,25 +193,36 @@ LoadStats RunLoadGenerator(ServeEngine* engine,
         std::move(cursor));
   }
 
+  std::vector<std::vector<StreamLoadStats>> partial(
+      static_cast<size_t>(producers));
   if (producers == 1) {
-    return RunProducer(engine, options, std::move(partitions[0]));
+    partial[0] = RunProducer(engine, options, &partitions[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        partial[static_cast<size_t>(p)] = RunProducer(
+            engine, options, &partitions[static_cast<size_t>(p)]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
   }
-  std::vector<LoadStats> partial(static_cast<size_t>(producers));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(producers));
-  for (int p = 0; p < producers; ++p) {
-    threads.emplace_back([&, p] {
-      partial[static_cast<size_t>(p)] =
-          RunProducer(engine, options, std::move(partitions[static_cast<size_t>(p)]));
-    });
-  }
-  for (std::thread& t : threads) t.join();
+
   LoadStats stats;
-  for (const LoadStats& s : partial) {
-    stats.offered += s.offered;
-    stats.accepted += s.accepted;
-    stats.dropped += s.dropped;
+  for (std::vector<StreamLoadStats>& part : partial) {
+    for (StreamLoadStats& s : part) {
+      stats.offered += s.offered;
+      stats.accepted += s.accepted;
+      stats.dropped += s.dropped;
+      stats.shed += s.shed;
+      stats.per_stream.push_back(s);
+    }
   }
+  std::sort(stats.per_stream.begin(), stats.per_stream.end(),
+            [](const StreamLoadStats& a, const StreamLoadStats& b) {
+              return a.idx < b.idx;
+            });
   return stats;
 }
 

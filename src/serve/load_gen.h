@@ -2,8 +2,10 @@
 #define OEBENCH_SERVE_LOAD_GEN_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "serve/server.h"
+#include "sweep/shard_runner.h"
 
 namespace oebench {
 namespace serve {
@@ -35,6 +37,29 @@ struct LoadGenOptions {
   /// replay as fast as possible in schedule order (false).
   bool paced = false;
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Sinusoidal drift of the offered rate (the soak's overload shape):
+  /// the instantaneous event rate at virtual time t is
+  ///   rate * (1 + amplitude * sin(2*pi * t / period)),
+  /// clamped to stay positive. Pure virtual-time arithmetic, so the
+  /// schedule stays seed-deterministic. amplitude or period <= 0 = off.
+  double rate_drift_amplitude = 0.0;
+  double rate_drift_period_seconds = 0.0;
+  /// Block-policy backpressure backoff (replaces an unbounded yield
+  /// spin): after a burst of yields, sleeps starting at
+  /// initial_backoff_ms and doubling per further rejection, capped at
+  /// max_attempts doublings — bounded sleep, unbounded delivery (block
+  /// policy never abandons a record).
+  sweep::RetryPolicy backoff;
+};
+
+/// Per-stream delivery accounting: the soak's conservation invariant is
+/// offered == accepted + dropped + shed for every stream.
+struct StreamLoadStats {
+  size_t idx = 0;
+  int64_t offered = 0;
+  int64_t accepted = 0;
+  int64_t dropped = 0;
+  int64_t shed = 0;
 };
 
 struct LoadStats {
@@ -43,6 +68,11 @@ struct LoadStats {
   int64_t accepted = 0;
   /// Records rejected and abandoned (kDrop policy only).
   int64_t dropped = 0;
+  /// Records refused by the adaptive admission controller (kShed) —
+  /// never retried under either policy.
+  int64_t shed = 0;
+  /// Per-stream breakdown, ordered by session index.
+  std::vector<StreamLoadStats> per_stream;
 };
 
 /// Replays every registered session's rows [0, end_row) through the

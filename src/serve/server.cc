@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
+
+#include "common/string_util.h"
+#include "core/chaos.h"
 
 namespace oebench {
 namespace serve {
@@ -16,6 +20,10 @@ constexpr int kIdle = 0;
 constexpr int kScheduled = 1;
 constexpr int kDone = 2;
 
+// WaitAllFinished wakes at least this often to run the shutdown
+// self-defence sweeps (deadline eviction, breaker abandonment).
+constexpr double kWaitSliceSeconds = 0.05;
+
 }  // namespace
 
 ServeEngine::ServeEngine(const ServerOptions& options)
@@ -23,11 +31,17 @@ ServeEngine::ServeEngine(const ServerOptions& options)
   MetricsRegistry::Global()
       ->GetGauge("serve.workers")
       ->Set(static_cast<double>(pool_.num_threads()));
+  if (options_.watchdog_limit_ms > 0) {
+    watchdog_ = std::make_unique<TaskWatchdog>(options_.watchdog_limit_ms);
+  }
 }
 
 ServeEngine::~ServeEngine() = default;
 
 void ServeEngine::AddSession(std::unique_ptr<StreamSession> session) {
+  if (options_.chaos != nullptr && options_.chaos->active()) {
+    session->set_chaos(options_.chaos);
+  }
   sessions_.push_back(std::move(session));
   MetricsRegistry::Global()->GetCounter("serve.sessions")->Increment();
 }
@@ -35,7 +49,19 @@ void ServeEngine::AddSession(std::unique_ptr<StreamSession> session) {
 AdmitResult ServeEngine::Offer(size_t idx, int64_t row,
                                double enqueue_seconds) {
   StreamSession* session = sessions_[idx].get();
+  if (breaker_.load(std::memory_order_relaxed)) {
+    // Run abandoned: refuse everything so producers wind down fast.
+    return AdmitResult::kFinished;
+  }
   if (session->finished()) return AdmitResult::kFinished;
+  if (row != kEndOfStream && options_.admission != nullptr &&
+      options_.admission->ShouldShed(
+          inflight_.load(std::memory_order_relaxed))) {
+    MetricsRegistry::Global()
+        ->GetVolatileCounter("serve.drops_shed")
+        ->Increment();
+    return AdmitResult::kShed;
+  }
   if (options_.max_inflight > 0 &&
       inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
     MetricsRegistry::Global()
@@ -67,6 +93,29 @@ void ServeEngine::Activate(size_t idx) {
   }
 }
 
+void ServeEngine::CollectFailure(StreamSession* session) {
+  SessionFailure failure;
+  if (!session->TakeFailureReport(&failure)) return;
+  const int64_t quarantined =
+      quarantined_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    failures_.push_back(std::move(failure));
+  }
+  if (options_.max_session_failures >= 0 &&
+      quarantined > options_.max_session_failures &&
+      !breaker_.exchange(true, std::memory_order_relaxed)) {
+    MetricsRegistry::Global()
+        ->GetVolatileCounter("serve.breaker_trips")
+        ->Increment();
+    std::fprintf(stderr,
+                 "serve: failure breaker tripped (%lld quarantined > "
+                 "--max-session-failures=%lld); abandoning the run\n",
+                 static_cast<long long>(quarantined),
+                 static_cast<long long>(options_.max_session_failures));
+  }
+}
+
 void ServeEngine::RunSession(size_t idx) {
   StreamSession* session = sessions_[idx].get();
   const int64_t activation =
@@ -80,17 +129,22 @@ void ServeEngine::RunSession(size_t idx) {
         std::chrono::milliseconds(options_.slow_ms));
   }
 
-  bool finished = false;
-  Result<int64_t> processed =
-      session->ProcessBatch(options_.quantum, &finished);
-  if (processed.ok() && *processed > 0) {
-    inflight_.fetch_sub(*processed, std::memory_order_relaxed);
+  TaskWatchdog::Scope watch;
+  if (watchdog_ != nullptr) {
+    watch = watchdog_->Watch(
+        StrFormat("serve-session#%lld(%s)",
+                  static_cast<long long>(session->id()),
+                  session->name().c_str()));
   }
-  if (!processed.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (first_error_.ok()) first_error_ = processed.status();
+
+  bool finished = false;
+  const int64_t processed =
+      session->ProcessBatch(options_.quantum, &finished);
+  if (processed > 0) {
+    inflight_.fetch_sub(processed, std::memory_order_relaxed);
   }
   if (finished) {
+    CollectFailure(session);
     session->sched_state().store(kDone, std::memory_order_release);
     finished_count_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
@@ -112,23 +166,140 @@ void ServeEngine::RunSession(size_t idx) {
   }
 }
 
+void ServeEngine::ReclaimEvictedRings() {
+  // A producer that loaded finished_ == false just before an eviction
+  // can land one last push after the eviction's drain; settle such
+  // stragglers against in-flight until the wait ends.
+  for (size_t idx : reclaimable_) {
+    const int64_t drained = sessions_[idx]->DrainRing();
+    if (drained > 0) {
+      inflight_.fetch_sub(drained, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ServeEngine::EvictStalledSessions(double wait_start_seconds) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  const double now = metrics->NowSeconds();
+  const double deadline =
+      static_cast<double>(options_.session_deadline_ms) / 1000.0;
+  for (size_t idx = 0; idx < sessions_.size(); ++idx) {
+    StreamSession* session = sessions_[idx].get();
+    if (session->finished()) continue;
+    const double last = session->last_progress_seconds();
+    const double idle_since = std::max(last, wait_start_seconds);
+    const double idle_seconds = now - idle_since;
+    if (idle_seconds < deadline) continue;
+    // Only an *idle* session can be evicted: winning the kIdle→kDone
+    // CAS guarantees no worker is draining it. A session stuck inside
+    // ProcessBatch stays kScheduled — the watchdog reports it, but
+    // killing a pool worker mid-run is not on the table.
+    int expected = kIdle;
+    if (!session->sched_state().compare_exchange_strong(
+            expected, kDone, std::memory_order_acq_rel)) {
+      continue;
+    }
+    const int64_t drained = session->EvictForDeadline(idle_seconds);
+    if (drained > 0) {
+      inflight_.fetch_sub(drained, std::memory_order_relaxed);
+    }
+    metrics->GetVolatileCounter("serve.deadline_evictions")->Increment();
+    CollectFailure(session);
+    reclaimable_.push_back(idx);
+    finished_count_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_cv_.notify_all();
+  }
+}
+
+void ServeEngine::AbandonUnfinishedSessions() {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  for (size_t idx = 0; idx < sessions_.size(); ++idx) {
+    StreamSession* session = sessions_[idx].get();
+    if (session->finished()) continue;
+    int expected = kIdle;
+    if (!session->sched_state().compare_exchange_strong(
+            expected, kDone, std::memory_order_acq_rel)) {
+      // Scheduled sessions drain their (no longer fed) rings and park;
+      // a later sweep catches them.
+      continue;
+    }
+    const int64_t drained = session->Abandon();
+    if (drained > 0) {
+      inflight_.fetch_sub(drained, std::memory_order_relaxed);
+    }
+    metrics->GetVolatileCounter("serve.sessions_abandoned")->Increment();
+    reclaimable_.push_back(idx);
+    finished_count_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_cv_.notify_all();
+  }
+}
+
 bool ServeEngine::WaitAllFinished(double timeout_seconds) {
-  std::unique_lock<std::mutex> lock(mu_);
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const double wait_start_seconds = MetricsRegistry::Global()->NowSeconds();
   auto done = [this] {
     return finished_count_.load(std::memory_order_relaxed) >=
            static_cast<int64_t>(sessions_.size());
   };
-  if (timeout_seconds <= 0.0) {
-    finished_cv_.wait(lock, done);
-    return true;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      double slice = kWaitSliceSeconds;
+      if (timeout_seconds > 0.0) {
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        const double remaining = timeout_seconds - elapsed;
+        if (remaining <= 0.0 && !done()) break;  // timed out
+        slice = std::min(slice, std::max(0.0, remaining));
+      }
+      finished_cv_.wait_for(lock, std::chrono::duration<double>(slice),
+                            done);
+    }
+    if (done()) {
+      ReclaimEvictedRings();
+      return true;
+    }
+    if (breaker_.load(std::memory_order_relaxed)) {
+      AbandonUnfinishedSessions();
+    } else if (options_.session_deadline_ms > 0) {
+      EvictStalledSessions(wait_start_seconds);
+    }
+    ReclaimEvictedRings();
+    if (done()) return true;
   }
-  return finished_cv_.wait_for(
-      lock, std::chrono::duration<double>(timeout_seconds), done);
+  // Timed out: say which sessions are stuck instead of failing silently.
+  std::string diag = DescribeUnfinished();
+  std::fprintf(stderr,
+               "serve: WaitAllFinished timed out after %.1fs with %lld/%zu "
+               "sessions finished; unfinished:\n%s",
+               timeout_seconds,
+               static_cast<long long>(
+                   finished_count_.load(std::memory_order_relaxed)),
+               sessions_.size(), diag.c_str());
+  return false;
 }
 
-Status ServeEngine::first_error() const {
+std::vector<SessionFailure> ServeEngine::failures() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return first_error_;
+  return failures_;
+}
+
+std::string ServeEngine::DescribeUnfinished() const {
+  std::string out;
+  for (size_t idx = 0; idx < sessions_.size(); ++idx) {
+    const StreamSession* session = sessions_[idx].get();
+    if (session->finished()) continue;
+    out += StrFormat(
+        "  session #%zu (%s): queue_depth=%zu activations=%lld "
+        "last_progress=%.3fs\n",
+        idx, session->name().c_str(), session->QueueDepth(),
+        static_cast<long long>(session->activation_count()),
+        session->last_progress_seconds());
+  }
+  return out;
 }
 
 double QuantileFromHistogram(const HistogramSnapshot& snapshot, double q) {

@@ -6,13 +6,20 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/watchdog.h"
+#include "serve/admission.h"
+#include "serve/failure.h"
 #include "serve/session.h"
 
 namespace oebench {
+
+class ServeChaosInjector;
+
 namespace serve {
 
 struct ServerOptions {
@@ -32,6 +39,31 @@ struct ServerOptions {
   /// across streams, never within one.
   int64_t slow_every = 0;
   int64_t slow_ms = 0;
+  /// Serve-side chaos injection (throw-at-activation / nan-at-record /
+  /// transient clauses); wired into every session at AddSession. Not
+  /// owned; must outlive the engine. nullptr = off.
+  ServeChaosInjector* chaos = nullptr;
+  /// Adaptive admission controller: data-record offers are shed (kShed)
+  /// while it says the latency budget is blown; sentinels are exempt.
+  /// Not owned. nullptr = off.
+  AdmissionController* admission = nullptr;
+  /// Per-activation wall-clock watchdog: activations running longer
+  /// than this are reported (never killed), exactly like the sweep
+  /// engine's per-task watchdog. 0 = off.
+  int watchdog_limit_ms = 0;
+  /// Shutdown self-defence: during WaitAllFinished, an unfinished
+  /// session with no activation progress for this long is *evicted* —
+  /// quarantined kDeadline with its ring drained — so one wedged stream
+  /// cannot hang shutdown. Wall-clock, hence inherently volatile;
+  /// 0 = off. Call WaitAllFinished only after all offers are made, or
+  /// slow-but-healthy producers may see their streams evicted.
+  int session_deadline_ms = 0;
+  /// Failure breaker: once more than this many sessions are
+  /// quarantined, the run is systemically poisoned — further offers are
+  /// refused (kFinished) and WaitAllFinished abandons the remaining
+  /// unfinished sessions instead of waiting for their sentinels.
+  /// -1 = unlimited (never trips).
+  int64_t max_session_failures = -1;
 };
 
 /// Multiplexes N StreamSessions (thousands) over a small ThreadPool via
@@ -41,6 +73,12 @@ struct ServerOptions {
 /// most one worker at a time (an atomic idle/scheduled latch), so
 /// per-stream processing is strictly serialised while streams freely
 /// interleave across workers.
+///
+/// Failure domain: sessions never throw onto pool workers — a faulting
+/// stream quarantines itself (see StreamSession) and the engine collects
+/// its structured SessionFailure when it finishes. failures() and
+/// FormatSessionFailureReport expose the quarantine set after
+/// WaitAllFinished.
 class ServeEngine {
  public:
   explicit ServeEngine(const ServerOptions& options);
@@ -52,8 +90,8 @@ class ServeEngine {
   ServeEngine(const ServeEngine&) = delete;
   ServeEngine& operator=(const ServeEngine&) = delete;
 
-  /// Registers an Init()-ed session. Not thread-safe; add all sessions
-  /// before offering records.
+  /// Registers an Init()-ed session (wiring in the chaos injector, if
+  /// any). Not thread-safe; add all sessions before offering records.
   void AddSession(std::unique_ptr<StreamSession> session);
 
   size_t num_sessions() const { return sessions_.size(); }
@@ -62,18 +100,34 @@ class ServeEngine {
   /// Producer API: admit one record (or the end sentinel) to session
   /// `idx` and schedule it. kOverloaded means the record was rejected —
   /// by the session ring or the global in-flight cap — and may be
-  /// retried (block policy) or counted as a drop (drop policy).
+  /// retried (block policy) or counted as a drop (drop policy). kShed
+  /// means the adaptive admission controller refused it; never retry.
   AdmitResult Offer(size_t idx, int64_t row, double enqueue_seconds);
   AdmitResult OfferEnd(size_t idx, double enqueue_seconds);
 
   /// Blocks until every registered session finished (consumed its end
-  /// sentinel or failed). `timeout_seconds <= 0` waits forever. Returns
-  /// false on timeout.
+  /// sentinel, was quarantined-and-drained, or was evicted/abandoned).
+  /// `timeout_seconds <= 0` waits forever. Runs the deadline-eviction
+  /// and failure-breaker shutdown paths. On timeout returns false and
+  /// logs one diagnostic line per unfinished session (index, queue
+  /// depth, activation count) to stderr.
   bool WaitAllFinished(double timeout_seconds = 0.0);
 
-  /// First session failure observed (OK when none). Stable after
-  /// WaitAllFinished.
-  Status first_error() const;
+  /// Structured failure records of every quarantined session, in
+  /// collection order. Stable after WaitAllFinished.
+  std::vector<SessionFailure> failures() const;
+  /// Quarantined sessions so far (racy before WaitAllFinished).
+  int64_t sessions_quarantined() const {
+    return quarantined_count_.load(std::memory_order_relaxed);
+  }
+  /// True once the max_session_failures breaker tripped.
+  bool breaker_tripped() const {
+    return breaker_.load(std::memory_order_relaxed);
+  }
+
+  /// One diagnostic line per unfinished session (also what the
+  /// WaitAllFinished timeout path logs); empty when all finished.
+  std::string DescribeUnfinished() const;
 
   /// Records currently admitted but not yet consumed, across sessions.
   int64_t inflight() const {
@@ -88,16 +142,33 @@ class ServeEngine {
   void Activate(size_t idx);
   /// One activation: drain a quantum, then resubmit or park.
   void RunSession(size_t idx);
+  /// Collects a freshly-finished session's failure record (if any) and
+  /// trips the breaker when the quarantine budget is exhausted.
+  void CollectFailure(StreamSession* session);
+  /// Shutdown sweeps (WaitAllFinished thread only): evict idle sessions
+  /// past the progress deadline / abandon everything after the breaker
+  /// tripped; both also re-drain straggler pushes into evicted rings.
+  void EvictStalledSessions(double wait_start_seconds);
+  void AbandonUnfinishedSessions();
+  void ReclaimEvictedRings();
 
   const ServerOptions options_;
   std::vector<std::unique_ptr<StreamSession>> sessions_;
   std::atomic<int64_t> inflight_{0};
   std::atomic<int64_t> activations_{0};
   std::atomic<int64_t> finished_count_{0};
+  std::atomic<int64_t> quarantined_count_{0};
+  std::atomic<bool> breaker_{false};
 
   mutable std::mutex mu_;
   std::condition_variable finished_cv_;
-  Status first_error_;  // guarded by mu_
+  std::vector<SessionFailure> failures_;  // guarded by mu_
+
+  /// Sessions force-finished by eviction/abandonment; only the
+  /// WaitAllFinished thread touches it.
+  std::vector<size_t> reclaimable_;
+
+  std::unique_ptr<TaskWatchdog> watchdog_;
 
   /// Last member: destroyed first, draining queued activations while
   /// sessions_ is still alive.

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <exception>
 #include <limits>
 #include <utility>
 
 #include "common/metrics.h"
+#include "common/string_util.h"
+#include "core/chaos.h"
 
 namespace oebench {
 namespace serve {
@@ -75,21 +78,111 @@ AdmitResult StreamSession::Offer(int64_t row, double enqueue_seconds) {
   if (finished_.load(std::memory_order_acquire)) {
     return AdmitResult::kFinished;
   }
+  if (row == kEndOfStream) {
+    // Idempotent double-end guard: a second sentinel would double the
+    // session's shutdown message and corrupt in-flight accounting.
+    if (end_enqueued_.load(std::memory_order_relaxed)) {
+      return AdmitResult::kFinished;
+    }
+  }
   Record rec;
   rec.row = row;
   rec.enqueue_seconds = enqueue_seconds;
-  return ring_.TryPush(rec) ? AdmitResult::kAccepted
-                            : AdmitResult::kOverloaded;
+  if (!ring_.TryPush(rec)) return AdmitResult::kOverloaded;
+  if (row == kEndOfStream) {
+    end_enqueued_.store(true, std::memory_order_relaxed);
+  }
+  return AdmitResult::kAccepted;
 }
 
-Result<int64_t> StreamSession::ProcessBatch(int64_t quantum,
-                                            bool* finished) {
+void StreamSession::Quarantine(SessionFailureKind kind,
+                               const std::string& message) {
+  if (quarantined_.load(std::memory_order_relaxed)) return;  // first wins
+  failure_.session_id = id_;
+  failure_.stream = ctx_.name;
+  failure_.kind = kind;
+  failure_.message = SanitizeFailureMessage(message);
+  failure_.records_processed = records_consumed_;
+  status_ = Status::Internal(failure_.message);
+  quarantined_.store(true, std::memory_order_release);
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  metrics->GetVolatileCounter("serve.sessions_quarantined")->Increment();
+  metrics
+      ->GetVolatileCounter(StrFormat("serve.failures.%s",
+                                     SessionFailureKindName(kind)))
+      ->Increment();
+}
+
+bool StreamSession::TakeFailureReport(SessionFailure* out) {
+  if (!quarantined_.load(std::memory_order_acquire) || failure_taken_) {
+    return false;
+  }
+  failure_taken_ = true;
+  *out = failure_;
+  return true;
+}
+
+int64_t StreamSession::DrainRing() {
+  int64_t drained = 0;
+  Record rec;
+  while (ring_.TryPop(&rec)) ++drained;
+  if (drained > 0) {
+    discarded_.fetch_add(drained, std::memory_order_relaxed);
+    MetricsRegistry::Global()
+        ->GetVolatileCounter("serve.records_discarded")
+        ->Add(drained);
+  }
+  return drained;
+}
+
+int64_t StreamSession::EvictForDeadline(double idle_seconds) {
+  Quarantine(SessionFailureKind::kDeadline,
+             StrFormat("no progress for %.1fs; evicted at shutdown",
+                       idle_seconds));
+  finished_.store(true, std::memory_order_release);
+  return DrainRing();
+}
+
+int64_t StreamSession::Abandon() {
+  abandoned_.store(true, std::memory_order_release);
+  finished_.store(true, std::memory_order_release);
+  return DrainRing();
+}
+
+int64_t StreamSession::ProcessBatch(int64_t quantum, bool* finished) {
   *finished = false;
   if (finished_.load(std::memory_order_acquire)) {
     *finished = true;
-    return static_cast<int64_t>(0);
+    return 0;
   }
   MetricsRegistry* metrics = MetricsRegistry::Global();
+  activations_.fetch_add(1, std::memory_order_relaxed);
+  last_progress_seconds_.store(metrics->NowSeconds(),
+                               std::memory_order_relaxed);
+
+  // Activation-boundary chaos: transients are retried in-process up to
+  // options_.attempts (the retry re-enters OnActivation, whose sticky
+  // set clears the fault); anything else quarantines immediately. A
+  // quarantined session skips the hook — its faults already landed.
+  if (chaos_ != nullptr && !quarantined_.load(std::memory_order_relaxed)) {
+    const int attempts = std::max(1, options_.attempts);
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+      try {
+        chaos_->OnActivation(id_ + 1, ctx_.name);
+        break;
+      } catch (const TransientTaskError& e) {
+        if (attempt >= attempts) {
+          Quarantine(SessionFailureKind::kTransient, e.what());
+          break;
+        }
+        metrics->GetVolatileCounter("serve.transient_retries")->Increment();
+      } catch (const std::exception& e) {
+        Quarantine(SessionFailureKind::kException, e.what());
+        break;
+      }
+    }
+  }
+
   // Reset() keeps these pointers valid, so caching them takes the
   // registry lookup off the per-record path.
   static Histogram* record_latency =
@@ -100,38 +193,83 @@ Result<int64_t> StreamSession::ProcessBatch(int64_t quantum,
   Record rec;
   while (processed < quantum && ring_.TryPop(&rec)) {
     ++processed;
+    if (quarantined_.load(std::memory_order_relaxed)) {
+      // Drain-and-discard mode: keep consuming so the producer, the
+      // in-flight accounting and WaitAllFinished wind down exactly as
+      // for a healthy stream; only the sentinel matters now.
+      if (rec.row == kEndOfStream) {
+        finished_.store(true, std::memory_order_release);
+        *finished = true;
+        break;
+      }
+      discarded_.fetch_add(1, std::memory_order_relaxed);
+      metrics->GetVolatileCounter("serve.records_discarded")->Increment();
+      continue;
+    }
     if (rec.row != kEndOfStream) {
       // The sentinel is a control message, not traffic: keeping it out
       // of serve.records and the latency histogram keeps "consumed"
       // equal to accepted data records in the shutdown report.
       records->Increment();
       record_latency->Record(metrics->NowSeconds() - rec.enqueue_seconds);
+      ++records_consumed_;
     }
     if (rec.row == kEndOfStream) {
-      while (next_window_ < num_windows_) {
-        Status s = FinalizeWindow();
-        if (!s.ok()) {
-          status_ = s;
-          finished_.store(true, std::memory_order_release);
-          *finished = true;
-          return s;
+      try {
+        while (next_window_ < num_windows_) {
+          Status s = FinalizeWindow();
+          if (!s.ok()) {
+            Quarantine(SessionFailureKind::kException, s.message());
+            break;
+          }
+        }
+      } catch (const TransientTaskError& e) {
+        Quarantine(SessionFailureKind::kTransient, e.what());
+      } catch (const std::exception& e) {
+        Quarantine(SessionFailureKind::kException, e.what());
+      } catch (...) {
+        Quarantine(SessionFailureKind::kException, "unknown exception");
+      }
+      if (!quarantined_.load(std::memory_order_relaxed)) {
+        FinishResult();
+        if (chaos_ != nullptr) {
+          chaos_->OnSessionFinish(id_ + 1, &result_);
+        }
+        // Explosion detector: a session that tested at least one window
+        // must end with finite metrics. (A run truncated to one window
+        // legitimately has no tested window and an infinite mean — that
+        // is absence of data, not an explosion.)
+        if (!result_.per_window_loss.empty() &&
+            (!std::isfinite(result_.mean_loss) ||
+             !std::isfinite(result_.faded_loss))) {
+          Quarantine(SessionFailureKind::kNonFinite,
+                     StrFormat("non-finite prequential metrics: mean=%g "
+                               "faded=%g over %zu windows",
+                               result_.mean_loss, result_.faded_loss,
+                               result_.per_window_loss.size()));
         }
       }
-      FinishResult();
       finished_.store(true, std::memory_order_release);
       *finished = true;
       break;
     }
     if (rec.row < 0 || rec.row >= end_row_) continue;  // truncated tail
-    while (rec.row >= ctx_.ranges[next_window_].end) {
-      Status s = FinalizeWindow();
-      if (!s.ok()) {
-        status_ = s;
-        finished_.store(true, std::memory_order_release);
-        *finished = true;
-        return s;
+    try {
+      while (rec.row >= ctx_.ranges[next_window_].end) {
+        Status s = FinalizeWindow();
+        if (!s.ok()) {
+          Quarantine(SessionFailureKind::kException, s.message());
+          break;
+        }
       }
+    } catch (const TransientTaskError& e) {
+      Quarantine(SessionFailureKind::kTransient, e.what());
+    } catch (const std::exception& e) {
+      Quarantine(SessionFailureKind::kException, e.what());
+    } catch (...) {
+      Quarantine(SessionFailureKind::kException, "unknown exception");
     }
+    if (quarantined_.load(std::memory_order_relaxed)) continue;
     if (arrived_rows_.empty()) {
       window_open_seconds_ = rec.enqueue_seconds;
     }

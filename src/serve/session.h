@@ -10,10 +10,14 @@
 #include "core/evaluator.h"
 #include "core/learner.h"
 #include "preprocess/pipeline.h"
+#include "serve/failure.h"
 #include "serve/ring_buffer.h"
 #include "streamgen/stream_spec.h"
 
 namespace oebench {
+
+class ServeChaosInjector;
+
 namespace serve {
 
 /// One record in flight: an absolute row index into the session's
@@ -35,6 +39,11 @@ enum class AdmitResult {
   /// Under a drop policy the caller counts it and moves on; under a
   /// block policy the caller retries.
   kOverloaded,
+  /// Refused by the adaptive admission controller: the ring may have
+  /// room, but accepting would push tail latency further past its
+  /// budget. Never retried — count it and move on. Sentinels are
+  /// exempt (they carry shutdown, not load).
+  kShed,
   /// The session already consumed its end-of-stream sentinel or failed;
   /// stop feeding it.
   kFinished,
@@ -46,6 +55,10 @@ struct SessionOptions {
   /// Process only the first `max_windows` windows of the stream
   /// (0 = all). Records beyond the truncation point are ignored.
   size_t max_windows = 0;
+  /// Total activation attempts when chaos raises TransientTaskError at
+  /// an activation boundary (1 = no retry) — the serve analogue of
+  /// SweepConfig::task_attempts.
+  int attempts = 2;
   std::string learner = "Naive-DT";
   LearnerConfig learner_config;
   PipelineOptions pipeline;
@@ -59,7 +72,17 @@ struct SessionOptions {
 /// Threading contract: exactly one producer thread calls Offer()/
 /// OfferEnd(); ProcessBatch() calls are serialised by the serve engine's
 /// run-queue (never concurrent with each other, but on changing worker
-/// threads). finished()/failed() are safe from anywhere.
+/// threads). finished()/quarantined() are safe from anywhere.
+///
+/// Failure domain (DESIGN.md "Serving failure domains & overload"):
+/// ProcessBatch never lets an exception escape onto a pool worker.
+/// A throwing pipeline/learner, an exploded (non-finite) metric
+/// epilogue, or exhausted transient retries *quarantine* the session:
+/// it records one structured SessionFailure, then keeps draining its
+/// ring — discarding records — until the end sentinel arrives, so the
+/// producer, the in-flight accounting, and WaitAllFinished all wind
+/// down exactly as for a healthy stream. One poison stream costs one
+/// session, never the daemon.
 ///
 /// Determinism: all per-stream state is touched only from the strictly
 /// FIFO record order of the ring, so for a fixed offer sequence the
@@ -86,16 +109,26 @@ class StreamSession {
   /// this index are ignored. Valid after Init().
   int64_t end_row() const { return end_row_; }
 
-  /// Producer side: enqueue row `row` (kEndOfStream to finish).
+  /// Optional chaos injection (ISSUE 9): fired at every activation and
+  /// at session finish, keyed by the session's registration ordinal
+  /// (id + 1). Set before serving; not owned.
+  void set_chaos(ServeChaosInjector* chaos) { chaos_ = chaos; }
+
+  /// Producer side: enqueue row `row` (kEndOfStream to finish). A
+  /// second OfferEnd after the sentinel was accepted returns kFinished
+  /// without enqueueing — double-end is an idempotent no-op, not a
+  /// duplicate shutdown message.
   AdmitResult Offer(int64_t row, double enqueue_seconds);
   AdmitResult OfferEnd(double enqueue_seconds) {
     return Offer(kEndOfStream, enqueue_seconds);
   }
 
   /// Consumer side (engine workers only): drain up to `quantum` records,
-  /// advancing the pipeline. Sets *finished when the end sentinel was
-  /// consumed (or the session failed). Returns records consumed.
-  Result<int64_t> ProcessBatch(int64_t quantum, bool* finished);
+  /// advancing the pipeline (or discarding, once quarantined). Sets
+  /// *finished when the end sentinel was consumed. Returns records
+  /// consumed (including discards — in-flight accounting stays exact).
+  /// Never throws: faults quarantine the session instead.
+  int64_t ProcessBatch(int64_t quantum, bool* finished);
 
   /// Racy queue depth for gauges.
   size_t QueueDepth() const { return ring_.SizeApprox(); }
@@ -103,16 +136,57 @@ class StreamSession {
   bool finished() const {
     return finished_.load(std::memory_order_acquire);
   }
-  /// Non-OK once the pipeline or learner failed; the session stops
-  /// consuming and reports kFinished to its producer.
+  /// True once the session failed and entered drain-and-discard mode.
+  bool quarantined() const {
+    return quarantined_.load(std::memory_order_acquire);
+  }
+  /// True if the engine's failure breaker abandoned this session before
+  /// its sentinel arrived; its result() is not meaningful.
+  bool abandoned() const {
+    return abandoned_.load(std::memory_order_acquire);
+  }
+  /// Non-OK once the pipeline or learner failed (mirrors the
+  /// quarantine record's message).
   Status status() const { return status_; }
 
+  /// Moves the session's failure record out, once: true on the first
+  /// call after quarantine, false otherwise. Caller must hold the
+  /// session's activation (run-queue serialisation or a won kDone CAS).
+  bool TakeFailureReport(SessionFailure* out);
+
   /// The prequential result — same arithmetic as RunPrequentialFrom.
-  /// Valid once finished() and status().ok().
+  /// Valid once finished() && !quarantined() && !abandoned().
   const EvalResult& result() const { return result_; }
 
   /// Windows that were skipped because every record in them was dropped.
   int64_t windows_lost() const { return windows_lost_; }
+  /// Records popped and thrown away after quarantine/abandonment.
+  int64_t records_discarded() const {
+    return discarded_.load(std::memory_order_relaxed);
+  }
+  /// ProcessBatch calls so far (WaitAllFinished timeout diagnostics).
+  int64_t activation_count() const {
+    return activations_.load(std::memory_order_relaxed);
+  }
+  /// Registry-epoch seconds of the last ProcessBatch entry (< 0 before
+  /// the first); the engine's deadline eviction reads this.
+  double last_progress_seconds() const {
+    return last_progress_seconds_.load(std::memory_order_relaxed);
+  }
+
+  /// Engine only, after winning the kIdle→kDone CAS (so no worker can
+  /// be draining concurrently):
+  /// Quarantines a wedged stream (kind kDeadline), marks it finished
+  /// and empties its ring. Returns records drained (the engine settles
+  /// them against in-flight). Idempotent: later calls only re-drain
+  /// straggler pushes.
+  int64_t EvictForDeadline(double idle_seconds);
+  /// Marks the session finished without a failure record (engine
+  /// failure-breaker abandonment) and empties its ring.
+  int64_t Abandon();
+  /// Re-drains straggler pushes that landed after an eviction's drain
+  /// (counted as discards). Engine only, same kDone precondition.
+  int64_t DrainRing();
 
   /// Run-queue scheduling state, owned by the serve engine.
   std::atomic<int>& sched_state() { return sched_state_; }
@@ -123,10 +197,13 @@ class StreamSession {
   Status FinalizeWindow();
   /// Runs the end-of-stream epilogue: mean/faded loss + throughput.
   void FinishResult();
+  /// Records the failure (first one wins) and enters discard mode.
+  void Quarantine(SessionFailureKind kind, const std::string& message);
 
   const int64_t id_;
   std::shared_ptr<const GeneratedStream> stream_;  // released by Init()
   const SessionOptions options_;
+  ServeChaosInjector* chaos_ = nullptr;
 
   StreamContext ctx_;
   std::unique_ptr<WindowPipeline> pipeline_;
@@ -141,10 +218,21 @@ class StreamSession {
   std::vector<int64_t> arrived_rows_;
   int64_t total_items_ = 0;
   int64_t windows_lost_ = 0;
+  int64_t records_consumed_ = 0;
   double window_open_seconds_ = -1.0;
   EvalResult result_;
+  SessionFailure failure_;
+  bool failure_taken_ = false;
+
+  // Producer-side state (single producer by contract).
+  std::atomic<bool> end_enqueued_{false};
 
   std::atomic<bool> finished_{false};
+  std::atomic<bool> quarantined_{false};
+  std::atomic<bool> abandoned_{false};
+  std::atomic<int64_t> discarded_{0};
+  std::atomic<int64_t> activations_{0};
+  std::atomic<double> last_progress_seconds_{-1.0};
   Status status_ = Status::OK();
   std::atomic<int> sched_state_{0};
 };

@@ -123,8 +123,8 @@ std::vector<std::string> ServeDumps(
   const LoadStats stats = RunLoadGenerator(&engine, load);
   EXPECT_EQ(stats.dropped, 0);
   EXPECT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/300.0));
-  EXPECT_TRUE(engine.first_error().ok())
-      << engine.first_error().ToString();
+  EXPECT_TRUE(engine.failures().empty())
+      << FormatSessionFailureReport(engine.failures());
   std::vector<std::string> dumps;
   for (size_t i = 0; i < engine.num_sessions(); ++i) {
     EXPECT_TRUE(engine.session(i)->finished());

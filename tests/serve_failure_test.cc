@@ -1,0 +1,667 @@
+// Serving failure domains (ISSUE 9): serve-side chaos clauses and the
+// ServeChaosInjector, session quarantine semantics (exception,
+// transient exhaustion, non-finite explosion, drain-and-discard),
+// engine failure collection with worker-count-invariant injection, the
+// failure breaker, deadline eviction of wedged streams, WaitAllFinished
+// timeout diagnostics, admission edge races (offer-after-finished,
+// double OfferEnd, offer-during-quarantine), the AdmissionController
+// (both modes), the bounded offer backoff, and oebench_serve CLI
+// contract tests exec'd via OEBENCH_SERVE_BIN. Also part of the
+// check-sanitize TSan/ASan passes — quarantine, eviction and
+// abandonment all race against producers and pool workers by design.
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/io_env.h"
+#include "common/metrics.h"
+#include "core/chaos.h"
+#include "core/evaluator.h"
+#include "core/parallel_eval.h"
+#include "serve/admission.h"
+#include "serve/failure.h"
+#include "serve/load_gen.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "streamgen/corpus.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------------
+// ChaosSchedule: serve-side clauses
+
+TEST(ServeChaosScheduleTest, ParsesServeClauses) {
+  Result<ChaosSchedule> schedule = ChaosSchedule::Parse(
+      "throw-at-activation=2,nan-at-record=3,transient=9:0.25");
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  EXPECT_EQ(schedule->throw_at_activation, 2);
+  EXPECT_EQ(schedule->nan_at_record, 3);
+  EXPECT_EQ(schedule->transient_seed, 9u);
+  EXPECT_DOUBLE_EQ(schedule->transient_p, 0.25);
+  EXPECT_TRUE(schedule->has_serve_clauses());
+  EXPECT_FALSE(schedule->has_sweep_clauses());
+  const std::string text = schedule->ToString();
+  EXPECT_NE(text.find("throw-at-activation=2"), std::string::npos);
+  EXPECT_NE(text.find("nan-at-record=3"), std::string::npos);
+}
+
+TEST(ServeChaosScheduleTest, RejectsDuplicatesAndMalformedClauses) {
+  EXPECT_FALSE(
+      ChaosSchedule::Parse("throw-at-activation=1,throw-at-activation=2")
+          .ok());
+  EXPECT_FALSE(ChaosSchedule::Parse("nan-at-record=0").ok());
+  EXPECT_FALSE(ChaosSchedule::Parse("throw-at-activation=abc").ok());
+  EXPECT_FALSE(ChaosSchedule::Parse("nan-at-record=1,nan-at-record=1").ok());
+}
+
+TEST(ServeChaosScheduleTest, SweepVsServeClauseClassification) {
+  Result<ChaosSchedule> sweep_only = ChaosSchedule::Parse("throw-at-task=1");
+  ASSERT_TRUE(sweep_only.ok());
+  EXPECT_TRUE(sweep_only->has_sweep_clauses());
+  EXPECT_FALSE(sweep_only->has_serve_clauses());
+  // Transient belongs to both worlds: neither classifier claims it.
+  Result<ChaosSchedule> transient = ChaosSchedule::Parse("transient=7:0.5");
+  ASSERT_TRUE(transient.ok());
+  EXPECT_FALSE(transient->has_sweep_clauses());
+  EXPECT_FALSE(transient->has_serve_clauses());
+}
+
+// ---------------------------------------------------------------------
+// SessionFailure formatting
+
+TEST(ServeFailureFormatTest, KindNamesAreStable) {
+  EXPECT_STREQ(SessionFailureKindName(SessionFailureKind::kException),
+               "exception");
+  EXPECT_STREQ(SessionFailureKindName(SessionFailureKind::kNonFinite),
+               "non-finite");
+  EXPECT_STREQ(SessionFailureKindName(SessionFailureKind::kTransient),
+               "transient");
+  EXPECT_STREQ(SessionFailureKindName(SessionFailureKind::kDeadline),
+               "deadline");
+}
+
+TEST(ServeFailureFormatTest, SanitizeCollapsesControlCharacters) {
+  EXPECT_EQ(SanitizeFailureMessage("a\tb\nc\rd"), "a b c d");
+  EXPECT_EQ(SanitizeFailureMessage("clean"), "clean");
+}
+
+TEST(ServeFailureFormatTest, ReportEmptyWithoutFailuresAndListsEachRow) {
+  EXPECT_EQ(FormatSessionFailureReport({}), "");
+  SessionFailure failure;
+  failure.session_id = 3;
+  failure.stream = "electricity";
+  failure.kind = SessionFailureKind::kNonFinite;
+  failure.message = "metrics exploded";
+  failure.records_processed = 42;
+  const std::string report = FormatSessionFailureReport({failure});
+  EXPECT_NE(report.find("QUARANTINED SESSIONS (1)"), std::string::npos);
+  EXPECT_NE(report.find("#3"), std::string::npos);
+  EXPECT_NE(report.find("electricity"), std::string::npos);
+  EXPECT_NE(report.find("non-finite"), std::string::npos);
+  EXPECT_NE(report.find("records=42"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// ServeChaosInjector
+
+ChaosSchedule MustParse(const std::string& spec) {
+  Result<ChaosSchedule> schedule = ChaosSchedule::Parse(spec);
+  EXPECT_TRUE(schedule.ok()) << schedule.status().ToString();
+  return *schedule;
+}
+
+TEST(ServeChaosInjectorTest, ThrowsEveryAttemptAtTargetOrdinal) {
+  ServeChaosInjector injector(MustParse("throw-at-activation=2"));
+  EXPECT_TRUE(injector.active());
+  EXPECT_NO_THROW(injector.OnActivation(1, "a"));
+  // Every attempt throws: the session's retry loop must not clear it.
+  EXPECT_THROW(injector.OnActivation(2, "b"), std::runtime_error);
+  EXPECT_THROW(injector.OnActivation(2, "b"), std::runtime_error);
+  EXPECT_NO_THROW(injector.OnActivation(3, "c"));
+  EXPECT_GE(injector.faults_injected(), 2);
+}
+
+TEST(ServeChaosInjectorTest, TransientFiresOncePerStreamIdentity) {
+  ServeChaosInjector injector(MustParse("transient=11:1.0"));
+  EXPECT_TRUE(injector.active());
+  EXPECT_THROW(injector.OnActivation(1, "stream-a"), TransientTaskError);
+  // The sticky set clears the fault: the in-process retry succeeds.
+  EXPECT_NO_THROW(injector.OnActivation(1, "stream-a"));
+  EXPECT_THROW(injector.OnActivation(2, "stream-b"), TransientTaskError);
+  EXPECT_NO_THROW(injector.OnActivation(2, "stream-b"));
+}
+
+TEST(ServeChaosInjectorTest, NanPoisonsOnlyTheTargetSession) {
+  ServeChaosInjector injector(MustParse("nan-at-record=1"));
+  EvalResult target;
+  target.mean_loss = 0.5;
+  target.faded_loss = 0.5;
+  injector.OnSessionFinish(1, &target);
+  EXPECT_TRUE(std::isnan(target.mean_loss));
+  EXPECT_TRUE(std::isnan(target.faded_loss));
+  EvalResult untouched;
+  untouched.mean_loss = 0.5;
+  untouched.faded_loss = 0.25;
+  injector.OnSessionFinish(2, &untouched);
+  EXPECT_DOUBLE_EQ(untouched.mean_loss, 0.5);
+  EXPECT_DOUBLE_EQ(untouched.faded_loss, 0.25);
+}
+
+// ---------------------------------------------------------------------
+// StreamSession quarantine semantics
+
+std::shared_ptr<const GeneratedStream> MakeStream(size_t corpus_index,
+                                                  uint64_t salt) {
+  const CorpusEntry& entry = Corpus()[corpus_index];
+  StreamSpec spec = SpecFromEntry(entry, /*scale=*/0.0, salt);
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  EXPECT_TRUE(stream.ok()) << stream.status().ToString();
+  return std::make_shared<const GeneratedStream>(std::move(*stream));
+}
+
+SessionOptions FastSessionOptions(size_t max_windows = 3) {
+  SessionOptions options;
+  options.max_windows = max_windows;
+  options.learner = "Naive-DT";
+  options.learner_config.epochs = 1;
+  return options;
+}
+
+// Drives the session until it reports finished, offering rows then the
+// sentinel; tolerates quarantine (that is what is under test).
+void DriveToFinish(StreamSession* session) {
+  int64_t next_row = 0;
+  bool end_sent = false;
+  bool finished = false;
+  while (!finished) {
+    for (int i = 0; i < 16; ++i) {
+      if (next_row < session->end_row()) {
+        if (session->Offer(next_row, 0.0) == AdmitResult::kAccepted) {
+          ++next_row;
+        }
+      } else if (!end_sent) {
+        const AdmitResult admit = session->OfferEnd(0.0);
+        if (admit == AdmitResult::kAccepted ||
+            admit == AdmitResult::kFinished) {
+          end_sent = true;
+        }
+      }
+    }
+    session->ProcessBatch(32, &finished);
+  }
+}
+
+TEST(ServeSessionFailureTest, ActivationThrowQuarantinesAndDrains) {
+  MetricsRegistry::Global()->Reset();
+  ServeChaosInjector injector(MustParse("throw-at-activation=1"));
+  StreamSession session(0, MakeStream(0, 5), FastSessionOptions());
+  ASSERT_TRUE(session.Init().ok());
+  session.set_chaos(&injector);
+
+  DriveToFinish(&session);
+  EXPECT_TRUE(session.finished());
+  EXPECT_TRUE(session.quarantined());
+  EXPECT_FALSE(session.status().ok());
+  // Every record offered after the quarantine was accepted and then
+  // discarded, so producer accounting stayed exact.
+  EXPECT_GT(session.records_discarded(), 0);
+
+  SessionFailure failure;
+  ASSERT_TRUE(session.TakeFailureReport(&failure));
+  EXPECT_EQ(failure.session_id, 0);
+  EXPECT_EQ(failure.kind, SessionFailureKind::kException);
+  EXPECT_EQ(failure.stream, session.name());
+  EXPECT_NE(failure.message.find("injected chaos"), std::string::npos);
+  // The report moves out exactly once.
+  EXPECT_FALSE(session.TakeFailureReport(&failure));
+
+  // Admission edge: a finished (quarantined) session admits nothing.
+  EXPECT_EQ(session.Offer(0, 0.0), AdmitResult::kFinished);
+  EXPECT_EQ(session.OfferEnd(0.0), AdmitResult::kFinished);
+
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  EXPECT_EQ(snap.volatile_counters.at("serve.sessions_quarantined"), 1);
+  EXPECT_EQ(snap.volatile_counters.at("serve.failures.exception"), 1);
+}
+
+TEST(ServeSessionFailureTest, TransientRetryClearsWithinAttempts) {
+  MetricsRegistry::Global()->Reset();
+  ServeChaosInjector injector(MustParse("transient=3:1.0"));
+  SessionOptions options = FastSessionOptions();
+  options.attempts = 2;  // one in-process retry
+  StreamSession session(0, MakeStream(0, 6), options);
+  ASSERT_TRUE(session.Init().ok());
+  session.set_chaos(&injector);
+  DriveToFinish(&session);
+  EXPECT_TRUE(session.finished());
+  EXPECT_FALSE(session.quarantined());
+  EXPECT_TRUE(session.status().ok()) << session.status().ToString();
+  EXPECT_GT(session.result().items_processed, 0);
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  EXPECT_GE(snap.volatile_counters.at("serve.transient_retries"), 1);
+}
+
+TEST(ServeSessionFailureTest, TransientExhaustionQuarantines) {
+  MetricsRegistry::Global()->Reset();
+  ServeChaosInjector injector(MustParse("transient=3:1.0"));
+  SessionOptions options = FastSessionOptions();
+  options.attempts = 1;  // no retry budget
+  StreamSession session(0, MakeStream(0, 6), options);
+  ASSERT_TRUE(session.Init().ok());
+  session.set_chaos(&injector);
+  DriveToFinish(&session);
+  EXPECT_TRUE(session.quarantined());
+  SessionFailure failure;
+  ASSERT_TRUE(session.TakeFailureReport(&failure));
+  EXPECT_EQ(failure.kind, SessionFailureKind::kTransient);
+}
+
+TEST(ServeSessionFailureTest, NanPoisonTripsNonFiniteDetector) {
+  MetricsRegistry::Global()->Reset();
+  ServeChaosInjector injector(MustParse("nan-at-record=1"));
+  StreamSession session(0, MakeStream(0, 7), FastSessionOptions());
+  ASSERT_TRUE(session.Init().ok());
+  session.set_chaos(&injector);
+  DriveToFinish(&session);
+  EXPECT_TRUE(session.quarantined());
+  SessionFailure failure;
+  ASSERT_TRUE(session.TakeFailureReport(&failure));
+  EXPECT_EQ(failure.kind, SessionFailureKind::kNonFinite);
+  EXPECT_NE(failure.message.find("non-finite"), std::string::npos);
+  // The failure records how far the stream got before the explosion.
+  EXPECT_GT(failure.records_processed, 0);
+}
+
+TEST(ServeSessionFailureTest, DoubleOfferEndIsIdempotent) {
+  StreamSession session(0, MakeStream(0, 8), FastSessionOptions(1));
+  ASSERT_TRUE(session.Init().ok());
+  ASSERT_EQ(session.OfferEnd(0.0), AdmitResult::kAccepted);
+  // A second sentinel before the first is consumed must not enqueue a
+  // duplicate shutdown message.
+  EXPECT_EQ(session.OfferEnd(0.0), AdmitResult::kFinished);
+  bool finished = false;
+  const int64_t processed = session.ProcessBatch(16, &finished);
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(processed, 1);  // exactly one sentinel was in the ring
+  EXPECT_EQ(session.OfferEnd(0.0), AdmitResult::kFinished);
+}
+
+// ---------------------------------------------------------------------
+// ServeEngine failure collection
+
+std::unique_ptr<StreamSession> MakeInitedSession(int64_t id,
+                                                 size_t corpus_index,
+                                                 SessionOptions options) {
+  auto session = std::make_unique<StreamSession>(
+      id, MakeStream(corpus_index, static_cast<uint64_t>(id)), options);
+  EXPECT_TRUE(session->Init().ok());
+  return session;
+}
+
+// Runs a 3-stream serve under `schedule` and returns the collected
+// (session_id, kind) failure set.
+std::vector<std::pair<int64_t, SessionFailureKind>> FailureSet(
+    const ChaosSchedule& schedule, int workers) {
+  ServeChaosInjector injector(schedule);
+  ServerOptions engine_options;
+  engine_options.workers = workers;
+  engine_options.quantum = 16;
+  engine_options.chaos = &injector;
+  ServeEngine engine(engine_options);
+  for (int64_t i = 0; i < 3; ++i) {
+    engine.AddSession(
+        MakeInitedSession(i, static_cast<size_t>(i), FastSessionOptions(2)));
+  }
+  LoadGenOptions load;
+  load.seed = 17;
+  load.admission = AdmissionPolicy::kBlock;
+  RunLoadGenerator(&engine, load);
+  EXPECT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/120.0));
+  std::vector<std::pair<int64_t, SessionFailureKind>> kinds;
+  for (const SessionFailure& failure : engine.failures()) {
+    kinds.emplace_back(failure.session_id, failure.kind);
+  }
+  std::sort(kinds.begin(), kinds.end());
+  // Sibling sessions must be untouched by the quarantine.
+  for (size_t i = 0; i < engine.num_sessions(); ++i) {
+    EXPECT_TRUE(engine.session(i)->finished());
+    bool failed = false;
+    for (const auto& entry : kinds) {
+      if (entry.first == static_cast<int64_t>(i)) failed = true;
+    }
+    if (!failed) {
+      EXPECT_FALSE(engine.session(i)->quarantined());
+      EXPECT_GT(engine.session(i)->result().items_processed, 0);
+    }
+  }
+  return kinds;
+}
+
+TEST(ServeEngineFailureTest, PoisonStreamCostsOneSessionNeverTheEngine) {
+  MetricsRegistry::Global()->Reset();
+  const auto kinds = FailureSet(MustParse("throw-at-activation=2"), 2);
+  ASSERT_EQ(kinds.size(), 1u);
+  EXPECT_EQ(kinds[0].first, 1);  // ordinal 2 == session id 1
+  EXPECT_EQ(kinds[0].second, SessionFailureKind::kException);
+}
+
+TEST(ServeEngineFailureTest, InjectionIsWorkerCountInvariant) {
+  // Registration-order ordinals make the faulted stream set a pure
+  // function of the schedule, not of scheduling.
+  const ChaosSchedule schedule =
+      MustParse("throw-at-activation=1,nan-at-record=3");
+  MetricsRegistry::Global()->Reset();
+  const auto one_worker = FailureSet(schedule, 1);
+  MetricsRegistry::Global()->Reset();
+  const auto four_workers = FailureSet(schedule, 4);
+  ASSERT_EQ(one_worker.size(), 2u);
+  EXPECT_EQ(one_worker, four_workers);
+  EXPECT_EQ(one_worker[0],
+            (std::pair<int64_t, SessionFailureKind>(
+                0, SessionFailureKind::kException)));
+  EXPECT_EQ(one_worker[1],
+            (std::pair<int64_t, SessionFailureKind>(
+                2, SessionFailureKind::kNonFinite)));
+}
+
+TEST(ServeEngineFailureTest, BreakerAbandonsTheRunAfterBudget) {
+  MetricsRegistry::Global()->Reset();
+  ServeChaosInjector injector(MustParse("throw-at-activation=1"));
+  ServerOptions engine_options;
+  engine_options.workers = 2;
+  engine_options.chaos = &injector;
+  engine_options.max_session_failures = 0;  // first quarantine trips it
+  ServeEngine engine(engine_options);
+  for (int64_t i = 0; i < 2; ++i) {
+    engine.AddSession(
+        MakeInitedSession(i, static_cast<size_t>(i), FastSessionOptions(2)));
+  }
+  // Session 0 (ordinal 1) throws; feed it to completion so its failure
+  // is collected. Session 1 never receives a sentinel — without the
+  // breaker, WaitAllFinished would hang on it.
+  for (int64_t row = 0;; ++row) {
+    const AdmitResult admit =
+        row < engine.session(0)->end_row()
+            ? engine.Offer(0, row, 0.0)
+            : engine.OfferEnd(0, 0.0);
+    if (admit == AdmitResult::kFinished) break;
+    if (admit == AdmitResult::kOverloaded) {
+      --row;
+      std::this_thread::yield();
+    }
+  }
+  ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/60.0));
+  EXPECT_TRUE(engine.breaker_tripped());
+  ASSERT_EQ(engine.failures().size(), 1u);
+  EXPECT_EQ(engine.failures()[0].session_id, 0);
+  // The sentinel-less sibling was abandoned, not quarantined: it gets
+  // no failure record and its result is not trusted.
+  EXPECT_TRUE(engine.session(1)->finished());
+  EXPECT_TRUE(engine.session(1)->abandoned());
+  EXPECT_FALSE(engine.session(1)->quarantined());
+  // After the breaker, offers are refused outright.
+  EXPECT_EQ(engine.Offer(1, 0, 0.0), AdmitResult::kFinished);
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  EXPECT_EQ(snap.volatile_counters.at("serve.breaker_trips"), 1);
+  EXPECT_GE(snap.volatile_counters.at("serve.sessions_abandoned"), 1);
+}
+
+TEST(ServeEngineFailureTest, DeadlineEvictionUnwedgesShutdown) {
+  MetricsRegistry::Global()->Reset();
+  ServerOptions engine_options;
+  engine_options.workers = 2;
+  engine_options.session_deadline_ms = 200;
+  ServeEngine engine(engine_options);
+  for (int64_t i = 0; i < 2; ++i) {
+    engine.AddSession(
+        MakeInitedSession(i, static_cast<size_t>(i), FastSessionOptions(2)));
+  }
+  // Session 0 completes normally; session 1 gets a few records but no
+  // sentinel — a wedged producer. The deadline evicts it so shutdown
+  // completes.
+  for (int64_t row = 0;; ++row) {
+    const AdmitResult admit =
+        row < engine.session(0)->end_row()
+            ? engine.Offer(0, row, 0.0)
+            : engine.OfferEnd(0, 0.0);
+    if (admit == AdmitResult::kFinished) break;
+    if (admit == AdmitResult::kOverloaded) {
+      --row;
+      std::this_thread::yield();
+    }
+  }
+  for (int64_t row = 0; row < 3; ++row) {
+    engine.Offer(1, row, 0.0);
+  }
+  ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/60.0));
+  EXPECT_EQ(engine.inflight(), 0);
+  EXPECT_TRUE(engine.session(1)->finished());
+  EXPECT_TRUE(engine.session(1)->quarantined());
+  ASSERT_EQ(engine.failures().size(), 1u);
+  EXPECT_EQ(engine.failures()[0].session_id, 1);
+  EXPECT_EQ(engine.failures()[0].kind, SessionFailureKind::kDeadline);
+  // The healthy sibling was untouched.
+  EXPECT_FALSE(engine.session(0)->quarantined());
+  EXPECT_GT(engine.session(0)->result().items_processed, 0);
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  EXPECT_GE(snap.volatile_counters.at("serve.deadline_evictions"), 1);
+}
+
+TEST(ServeEngineFailureTest, TimeoutDiagnosticsNameTheWedgedSession) {
+  MetricsRegistry::Global()->Reset();
+  ServerOptions engine_options;
+  engine_options.workers = 1;
+  ServeEngine engine(engine_options);
+  engine.AddSession(MakeInitedSession(0, 0, FastSessionOptions(2)));
+  ASSERT_EQ(engine.Offer(0, 0, 0.0), AdmitResult::kAccepted);
+  // No sentinel and no deadline: the bounded wait must time out and the
+  // diagnostics must name the stuck session.
+  EXPECT_FALSE(engine.WaitAllFinished(/*timeout_seconds=*/0.3));
+  const std::string diag = engine.DescribeUnfinished();
+  EXPECT_NE(diag.find("session #0"), std::string::npos);
+  EXPECT_NE(diag.find("queue_depth="), std::string::npos);
+  EXPECT_NE(diag.find("activations="), std::string::npos);
+  // Unwedge for a clean teardown.
+  for (;;) {
+    const AdmitResult admit = engine.OfferEnd(0, 0.0);
+    if (admit == AdmitResult::kAccepted || admit == AdmitResult::kFinished) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/60.0));
+  EXPECT_EQ(engine.DescribeUnfinished(), "");
+}
+
+// ---------------------------------------------------------------------
+// AdmissionController
+
+TEST(ServeAdmissionTest, QueueDepthProxyHasHysteresis) {
+  AdmissionOptions options;
+  options.shed_depth = 10;
+  options.resume_depth = 5;
+  AdmissionController admission(options);
+  EXPECT_FALSE(admission.ShouldShed(9));
+  EXPECT_TRUE(admission.ShouldShed(10));  // crossed the shed threshold
+  EXPECT_TRUE(admission.shedding());
+  // Inside the hysteresis band the current state holds.
+  EXPECT_TRUE(admission.ShouldShed(7));
+  EXPECT_FALSE(admission.ShouldShed(5));  // at/below resume: recover
+  EXPECT_FALSE(admission.ShouldShed(7));  // band again, now accepting
+  EXPECT_EQ(admission.transitions(), 2);
+}
+
+TEST(ServeAdmissionTest, LatencyModeShedsOnTailBlowupAndResumes) {
+  MetricsRegistry::Global()->Reset();
+  Histogram* latency =
+      MetricsRegistry::Global()->GetHistogram("serve.record_latency_seconds");
+  AdmissionOptions options;
+  options.p99_limit_seconds = 0.05;
+  options.resume_fraction = 0.5;
+  options.min_delta_records = 16;
+  AdmissionController admission(options);
+  EXPECT_FALSE(admission.ShouldShed(0));  // no data yet
+
+  // A burst of 200 ms records: the delta p99 blows the 50 ms budget.
+  for (int i = 0; i < 64; ++i) latency->Record(0.2);
+  EXPECT_TRUE(admission.ShouldShed(0));
+  EXPECT_TRUE(admission.shedding());
+  EXPECT_GT(admission.last_p99(), options.p99_limit_seconds);
+
+  // Recovery: a long run of 1 ms records pulls the delta p99 under the
+  // resume threshold (hysteresis at limit * resume_fraction).
+  for (int i = 0; i < 512; ++i) latency->Record(0.001);
+  EXPECT_FALSE(admission.ShouldShed(0));
+  EXPECT_LT(admission.last_p99(),
+            options.p99_limit_seconds * options.resume_fraction);
+  EXPECT_EQ(admission.transitions(), 2);
+}
+
+TEST(ServeAdmissionTest, EngineShedsDataRecordsButNeverSentinels) {
+  MetricsRegistry::Global()->Reset();
+  AdmissionOptions admission_options;
+  admission_options.shed_depth = 1;  // shed whenever anything is queued
+  admission_options.resume_depth = 0;
+  AdmissionController admission(admission_options);
+  ServerOptions engine_options;
+  engine_options.workers = 1;
+  engine_options.slow_every = 1;  // hold the worker so inflight stays up
+  engine_options.slow_ms = 100;
+  engine_options.admission = &admission;
+  ServeEngine engine(engine_options);
+  engine.AddSession(MakeInitedSession(0, 0, FastSessionOptions(1)));
+  ASSERT_EQ(engine.Offer(0, 0, 0.0), AdmitResult::kAccepted);
+  // The first record is still in flight: the controller sheds data...
+  EXPECT_EQ(engine.Offer(0, 1, 0.0), AdmitResult::kShed);
+  // ...but the sentinel is exempt, so shutdown cannot be wedged by an
+  // overload that never clears.
+  AdmitResult admit = engine.OfferEnd(0, 0.0);
+  EXPECT_TRUE(admit == AdmitResult::kAccepted ||
+              admit == AdmitResult::kFinished);
+  ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/60.0));
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  EXPECT_GE(snap.volatile_counters.at("serve.drops_shed"), 1);
+}
+
+// ---------------------------------------------------------------------
+// Bounded offer backoff (block policy)
+
+TEST(ServeLoadGenBackoffTest, BlockPolicyBacksOffAndStillDeliversAll) {
+  MetricsRegistry::Global()->Reset();
+  ServerOptions engine_options;
+  engine_options.workers = 1;
+  engine_options.quantum = 8;
+  engine_options.slow_every = 1;  // every activation sleeps, so the
+  engine_options.slow_ms = 2;     // tiny rings force offer retries
+  ServeEngine engine(engine_options);
+  for (int64_t i = 0; i < 2; ++i) {
+    SessionOptions options = FastSessionOptions(2);
+    options.ring_capacity = 4;
+    engine.AddSession(MakeInitedSession(i, static_cast<size_t>(i), options));
+  }
+  LoadGenOptions load;
+  load.admission = AdmissionPolicy::kBlock;
+  const LoadStats stats = RunLoadGenerator(&engine, load);
+  ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/120.0));
+  EXPECT_TRUE(engine.failures().empty());
+  // Block policy still delivers everything...
+  EXPECT_EQ(stats.accepted, stats.offered);
+  EXPECT_EQ(stats.dropped, 0);
+  EXPECT_EQ(stats.shed, 0);
+  // ...and the backpressure spin was bounded by counted backoff.
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  const auto it = snap.volatile_counters.find("serve.offer_retries");
+  ASSERT_NE(it, snap.volatile_counters.end());
+  EXPECT_GT(it->second, 0);
+  // Per-stream conservation under pure backpressure.
+  ASSERT_EQ(stats.per_stream.size(), 2u);
+  for (const StreamLoadStats& s : stats.per_stream) {
+    EXPECT_EQ(s.offered, s.accepted + s.dropped + s.shed);
+  }
+}
+
+// ---------------------------------------------------------------------
+// oebench_serve CLI contract (exec the real binary)
+
+const char* ServeBin() { return std::getenv("OEBENCH_SERVE_BIN"); }
+
+int RunServeCli(const std::string& args) {
+  std::string command = std::string("\"") + ServeBin() + "\" " + args +
+                        " >/dev/null 2>/dev/null";
+  int raw = std::system(command.c_str());
+  EXPECT_NE(raw, -1);
+  EXPECT_TRUE(WIFEXITED(raw)) << "signal-terminated: " << command;
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+#define SKIP_WITHOUT_SERVE_BIN()                                        \
+  do {                                                                  \
+    if (ServeBin() == nullptr ||                                        \
+        !IoEnv::Default()->FileExists(ServeBin())) {                    \
+      GTEST_SKIP() << "OEBENCH_SERVE_BIN not set / not built; run via " \
+                      "ctest or the check-serve target";                \
+    }                                                                   \
+  } while (0)
+
+TEST(ServeFailureCliTest, RobustnessFlagUsageErrorsExitTwo) {
+  SKIP_WITHOUT_SERVE_BIN();
+  EXPECT_EQ(RunServeCli("--chaos-schedule=bogus"), 2);
+  // Sweep-only clauses never fire in the serve engine: strict reject.
+  EXPECT_EQ(RunServeCli("--chaos-schedule=throw-at-task=1"), 2);
+  EXPECT_EQ(RunServeCli("--session-attempts=0"), 2);
+  EXPECT_EQ(RunServeCli("--max-session-failures=-1"), 2);
+  EXPECT_EQ(RunServeCli("--allow-quarantined=1"), 2);  // takes no value
+  EXPECT_EQ(RunServeCli("--session-deadline-ms=0"), 2);
+  EXPECT_EQ(RunServeCli("--watchdog-ms=0"), 2);
+  EXPECT_EQ(RunServeCli("--rate-drift=0.5"), 2);     // missing :T
+  EXPECT_EQ(RunServeCli("--rate-drift=0:10"), 2);    // A must be > 0
+  EXPECT_EQ(RunServeCli("--admission=adaptive:"), 2);
+  EXPECT_EQ(RunServeCli("--admission=adaptive:0"), 2);
+}
+
+TEST(ServeFailureCliTest, QuarantineExitsOneUnlessAllowed) {
+  SKIP_WITHOUT_SERVE_BIN();
+  const std::string base =
+      "--streams=2 --workers=2 --duration-windows=2 --scale=0 --epochs=1 "
+      "--chaos-schedule=throw-at-activation=1";
+  EXPECT_EQ(RunServeCli(base), 1);
+  EXPECT_EQ(RunServeCli(base + " --allow-quarantined"), 0);
+}
+
+TEST(ServeFailureCliTest, BreakerExitsOneEvenWhenQuarantineAllowed) {
+  SKIP_WITHOUT_SERVE_BIN();
+  EXPECT_EQ(RunServeCli("--streams=2 --workers=2 --duration-windows=2 "
+                        "--scale=0 --epochs=1 "
+                        "--chaos-schedule=throw-at-activation=1 "
+                        "--max-session-failures=0 --allow-quarantined"),
+            1);
+}
+
+TEST(ServeFailureCliTest, FaultFreeRunWithRobustnessFlagsExitsZero) {
+  SKIP_WITHOUT_SERVE_BIN();
+  EXPECT_EQ(RunServeCli("--streams=2 --workers=2 --duration-windows=2 "
+                        "--scale=0 --epochs=1 --session-deadline-ms=30000 "
+                        "--watchdog-ms=30000 --max-session-failures=2 "
+                        "--rate-drift=0.5:1 --admission=adaptive:50"),
+            0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace oebench

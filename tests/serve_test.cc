@@ -211,9 +211,9 @@ EvalResult DriveSessionInline(StreamSession* session) {
         }
       }
     }
-    Result<int64_t> processed = session->ProcessBatch(32, &finished);
-    EXPECT_TRUE(processed.ok()) << processed.status().ToString();
-    if (!processed.ok()) break;
+    session->ProcessBatch(32, &finished);
+    EXPECT_FALSE(session->quarantined()) << session->status().ToString();
+    if (session->quarantined()) break;
   }
   return session->result();
 }
@@ -254,10 +254,10 @@ TEST(ServeSessionTest, RingFullYieldsOverloadedAndOfferAfterEndFinished) {
   EXPECT_EQ(session.Offer(2, 0.0), AdmitResult::kOverloaded);
 
   bool finished = false;
-  ASSERT_TRUE(session.ProcessBatch(16, &finished).ok());
+  session.ProcessBatch(16, &finished);
   EXPECT_FALSE(finished);
   EXPECT_EQ(session.OfferEnd(0.0), AdmitResult::kAccepted);
-  ASSERT_TRUE(session.ProcessBatch(16, &finished).ok());
+  session.ProcessBatch(16, &finished);
   EXPECT_TRUE(finished);
   EXPECT_TRUE(session.finished());
   // A finished session stops admitting.
@@ -277,15 +277,16 @@ TEST(ServeSessionTest, DroppedRecordsShrinkWindowLostWindowSkips) {
   bool finished = false;
   for (int64_t row = 0; row < w0_end / 2; ++row) {
     ASSERT_EQ(session.Offer(row, 0.0), AdmitResult::kAccepted);
-    ASSERT_TRUE(session.ProcessBatch(8, &finished).ok());
+    session.ProcessBatch(8, &finished);
   }
   for (int64_t row = 2 * w0_end; row < session.end_row(); ++row) {
     ASSERT_EQ(session.Offer(row, 0.0), AdmitResult::kAccepted);
-    ASSERT_TRUE(session.ProcessBatch(8, &finished).ok());
+    session.ProcessBatch(8, &finished);
   }
   ASSERT_EQ(session.OfferEnd(0.0), AdmitResult::kAccepted);
   while (!finished) {
-    ASSERT_TRUE(session.ProcessBatch(8, &finished).ok());
+    session.ProcessBatch(8, &finished);
+    ASSERT_FALSE(session.quarantined()) << session.status().ToString();
   }
   ASSERT_TRUE(session.status().ok()) << session.status().ToString();
   EXPECT_EQ(session.windows_lost(), 1);  // window 1 never arrived
@@ -321,7 +322,7 @@ TEST(ServeEngineTest, BlockPolicyServesEverySessionToCompletion) {
   load.admission = AdmissionPolicy::kBlock;
   const LoadStats stats = RunLoadGenerator(&engine, load);
   ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/120.0));
-  EXPECT_TRUE(engine.first_error().ok());
+  EXPECT_TRUE(engine.failures().empty());
   EXPECT_EQ(stats.dropped, 0);
   EXPECT_EQ(stats.accepted, stats.offered);
   EXPECT_EQ(engine.sessions_finished(), 4);
@@ -360,7 +361,7 @@ TEST(ServeEngineTest, OverloadDropsAreCountedAndShutdownIsClean) {
   load.admission = AdmissionPolicy::kDrop;
   const LoadStats stats = RunLoadGenerator(&engine, load);
   ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/120.0));
-  EXPECT_TRUE(engine.first_error().ok());
+  EXPECT_TRUE(engine.failures().empty());
   EXPECT_GT(stats.dropped, 0) << "expected the overload regime";
   EXPECT_EQ(engine.sessions_finished(), 2);
   const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
@@ -425,7 +426,7 @@ TEST(ServeLoadGenTest, DeliveryStatsAreReproducibleUnderBlockPolicy) {
     load.admission = AdmissionPolicy::kBlock;
     *stats = RunLoadGenerator(&engine, load);
     ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/120.0));
-    ASSERT_TRUE(engine.first_error().ok());
+    ASSERT_TRUE(engine.failures().empty());
   }
   // Under kBlock every scheduled record is delivered, so the stats are
   // a pure function of the seed and the stream shapes.
