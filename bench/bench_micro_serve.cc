@@ -1,0 +1,123 @@
+// Micro-benchmarks for the serve-layer hot paths added for batched
+// admission, the shared state pool, and timer-wheel paced replay: the
+// SPSC ring's single-record push/pop vs the batched TryPushN/TryPopN
+// (one release store per run instead of per record), the StatePool
+// hit path (key encode + map lookup under the mutex — what every
+// pooled session Init pays after the first), and TimerWheel
+// schedule/advance throughput at several events-per-tick densities.
+// Emits BENCH_micro_serve.json; run with
+// --baseline=BENCH_micro_serve.json to gate against the committed
+// snapshot (exit 1 on >20% regression).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_micro_util.h"
+#include "common/random.h"
+#include "serve/ring_buffer.h"
+#include "serve/state_pool.h"
+#include "serve/timer_wheel.h"
+#include "streamgen/corpus.h"
+#include "streamgen/stream_generator.h"
+
+namespace oebench {
+namespace {
+
+constexpr int64_t kRingItems = 4096;
+
+// ------------------------------------------------------------ SPSC ring
+
+// Single-record baseline: one release store of tail_ and one of head_
+// per record. Single-threaded on purpose — this isolates the index
+// publication cost the batched path amortises, without scheduler noise.
+void BM_RingPushPopSingle(benchmark::State& state) {
+  serve::SpscRingBuffer<int64_t> ring(1024);
+  int64_t value = 0;
+  for (auto _ : state) {
+    for (int64_t i = 0; i < kRingItems; ++i) {
+      benchmark::DoNotOptimize(ring.TryPush(i));
+      benchmark::DoNotOptimize(ring.TryPop(&value));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRingItems);
+}
+BENCHMARK(BM_RingPushPopSingle);
+
+// Batched path: the same record volume moved in runs of Arg records,
+// one tail_/head_ release store per run.
+void BM_RingPushPopBatch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  serve::SpscRingBuffer<int64_t> ring(1024);
+  std::vector<int64_t> drained(batch);
+  for (auto _ : state) {
+    for (int64_t base = 0; base < kRingItems;
+         base += static_cast<int64_t>(batch)) {
+      benchmark::DoNotOptimize(
+          ring.TryPushN(batch, [base](size_t i) {
+            return base + static_cast<int64_t>(i);
+          }));
+      benchmark::DoNotOptimize(ring.TryPopN(drained.data(), batch));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRingItems);
+}
+BENCHMARK(BM_RingPushPopBatch)->Arg(4)->Arg(16)->Arg(64);
+
+// ------------------------------------------------------------ StatePool
+
+// The pool hit path — exact spec/pipeline key encode plus the map
+// lookup under the mutex. Every pooled session Init after the first
+// pays exactly this instead of a full BuildStreamContext.
+void BM_StatePoolHit(benchmark::State& state) {
+  const CorpusEntry& entry = Corpus()[0];
+  const StreamSpec spec = SpecFromEntry(entry, /*scale=*/0.0, /*salt=*/1);
+  Result<GeneratedStream> stream = GenerateStream(spec);
+  OE_CHECK(stream.ok());
+  const PipelineOptions options;
+  serve::StatePool pool;
+  OE_CHECK(pool.GetOrBuild(*stream, options).ok());  // warm the entry
+  for (auto _ : state) {
+    Result<std::shared_ptr<const StreamContext>> ctx =
+        pool.GetOrBuild(*stream, options);
+    benchmark::DoNotOptimize(ctx->get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatePoolHit);
+
+// ----------------------------------------------------------- TimerWheel
+
+// Schedule + drain a full paced run: Arg events hashed into the wheel
+// up front (the load generator schedules a window of arrivals at a
+// time), then AdvanceTick until empty. Deadlines are pseudo-random
+// across a 1000-tick horizon, so slots collide and far-future entries
+// survive revolutions — the shape the wheel sees under bursty rates.
+void BM_TimerWheelScheduleDrain(benchmark::State& state) {
+  const int64_t events = state.range(0);
+  Rng rng(42);
+  std::vector<double> deadlines(static_cast<size_t>(events));
+  for (double& d : deadlines) d = rng.Uniform() * 1.0;  // 1000 x 1ms ticks
+  std::vector<serve::TimerWheel<int64_t>::Entry> due;
+  for (auto _ : state) {
+    serve::TimerWheel<int64_t> wheel(/*tick_seconds=*/1e-3, 256);
+    for (int64_t i = 0; i < events; ++i) {
+      wheel.Schedule(deadlines[static_cast<size_t>(i)], i);
+    }
+    while (wheel.pending() > 0) {
+      benchmark::DoNotOptimize(wheel.AdvanceTick(&due));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_TimerWheelScheduleDrain)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace oebench
+
+int main(int argc, char** argv) {
+  return oebench::bench::RunMicroSuite(argc, argv,
+                                       "BENCH_micro_serve.json");
+}

@@ -23,6 +23,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
+
 #include "bench/bench_util.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -34,6 +38,7 @@
 #include "serve/load_gen.h"
 #include "serve/server.h"
 #include "serve/session.h"
+#include "serve/state_pool.h"
 #include "streamgen/corpus.h"
 #include "streamgen/stream_generator.h"
 #include "sweep/result_log.h"
@@ -53,7 +58,19 @@ struct ServeFlags {
   int64_t quantum = 64;
   int64_t max_inflight = 0;
   serve::AdmissionPolicy admission = serve::AdmissionPolicy::kBlock;
+  /// Record-batch admission: producers coalesce up to N consecutive rows
+  /// of a stream into one ring operation (1 = per-record offers).
+  int64_t batch_records = 1;
+  /// Share immutable StreamContexts across sessions replaying the same
+  /// spec (the thousands-of-streams memory lever).
+  bool state_pool = false;
+  /// > 0: only K distinct stream specs; stream i replays the spec of
+  /// stream i % K (what makes the state pool hit). 0 = every stream
+  /// unique (the pre-pool behaviour).
+  int distinct_streams = 0;
   bool paced = false;
+  /// Paced-replay timer-wheel tick in milliseconds.
+  double pace_tick_ms = 1.0;
   double scale = 0.05;
   uint64_t seed = 1;
   int epochs = 0;  // 0 = learner default
@@ -111,8 +128,21 @@ struct ServeFlags {
       "                       drop (count kOverloaded and move on), or\n"
       "                       adaptive:P99_MS (block, degrading to shed\n"
       "                       while record p99 exceeds P99_MS)\n"
+      "  --batch-records=N    coalesce up to N consecutive rows of one\n"
+      "                       stream into a single batched ring offer\n"
+      "                       (>= 1, default 1 = per-record admission)\n"
+      "  --state-pool         share immutable stream state (pipeline\n"
+      "                       prefix) across sessions replaying the same\n"
+      "                       spec; see serve.state_pool.* metrics\n"
+      "  --distinct-streams=K serve only K distinct stream specs: stream\n"
+      "                       i replays the spec of stream i %% K (>= 0;\n"
+      "                       0 = every stream unique, default). The\n"
+      "                       multi-tenant shape that makes --state-pool\n"
+      "                       deduplicate\n"
       "  --paced              pace offers to the virtual-time schedule\n"
       "                       (default: replay at full speed)\n"
+      "  --pace-tick-ms=F     paced-replay timer-wheel tick width in\n"
+      "                       milliseconds (> 0, default 1)\n"
       "  --scale=F            fraction of published instance counts\n"
       "  --seed=N             schedule + learner base seed\n"
       "  --epochs=N           training epochs (0 = learner default)\n"
@@ -141,8 +171,9 @@ struct ServeFlags {
       "  --deterministic-metrics\n"
       "                       emit only deterministic counter sections\n"
       "  --selfcheck          verify serve == batch bit-identity across\n"
-      "                       workers 1/4, fault-free, chaos-slow, and\n"
-      "                       injected-fault quarantine differentials\n"
+      "                       batch-records 1/4/64 x workers 1/4 x\n"
+      "                       fault-free/chaos-slow, plus injected-fault\n"
+      "                       quarantine differentials per batch size\n"
       "Exit codes: 0 clean, 1 failure/quarantine, 2 usage.\n"
       "Flags take --flag=value or --flag value.\n",
       argv0);
@@ -223,9 +254,23 @@ ServeFlags ParseServeFlags(int argc, char** argv) {
         fail("--admission must be block, drop or adaptive:P99_MS, got '" +
              text + "'");
       }
+    } else if (name == "batch-records") {
+      flags.batch_records = int_value(1);
+    } else if (name == "state-pool") {
+      no_value();
+      flags.state_pool = true;
+    } else if (name == "distinct-streams") {
+      flags.distinct_streams = static_cast<int>(int_value(0));
     } else if (name == "paced") {
       no_value();
       flags.paced = true;
+    } else if (name == "pace-tick-ms") {
+      std::string text = need_value();
+      double parsed = 0.0;
+      if (!ParseDouble(text, &parsed) || !(parsed > 0.0)) {
+        fail("--pace-tick-ms needs a number > 0, got '" + text + "'");
+      }
+      flags.pace_tick_ms = parsed;
     } else if (name == "scale") {
       std::string text = need_value();
       double parsed = 0.0;
@@ -340,17 +385,28 @@ LearnerConfig ConfigForStream(const ServeFlags& flags, size_t i) {
 }
 
 /// Generates the raw streams for the run — corpus entries cycled, each
-/// stream salted with its index so no two streams are identical.
+/// stream salted with its spec index so no two specs are identical.
+/// With --distinct-streams=K only K distinct specs exist and stream i
+/// replays the spec of stream i % K: the generated streams are shared
+/// (one GeneratedStream per spec, aliased shared_ptrs), which is exactly
+/// the shape the state pool deduplicates at the pipeline layer.
 Result<std::vector<std::shared_ptr<const GeneratedStream>>> GenerateStreams(
     const ServeFlags& flags) {
   const std::vector<CorpusEntry>& corpus = Corpus();
   std::vector<std::shared_ptr<const GeneratedStream>> streams;
   streams.reserve(static_cast<size_t>(flags.streams));
   for (int i = 0; i < flags.streams; ++i) {
+    const int spec_index =
+        flags.distinct_streams > 0 ? i % flags.distinct_streams : i;
+    if (spec_index < i) {
+      streams.push_back(streams[static_cast<size_t>(spec_index)]);
+      continue;
+    }
     const CorpusEntry& entry =
-        corpus[static_cast<size_t>(i) % corpus.size()];
-    StreamSpec spec = SpecFromEntry(entry, flags.scale,
-                                    /*seed_salt=*/static_cast<uint64_t>(i));
+        corpus[static_cast<size_t>(spec_index) % corpus.size()];
+    StreamSpec spec =
+        SpecFromEntry(entry, flags.scale,
+                      /*seed_salt=*/static_cast<uint64_t>(spec_index));
     OE_ASSIGN_OR_RETURN(GeneratedStream stream, GenerateStream(spec));
     streams.push_back(
         std::make_shared<const GeneratedStream>(std::move(stream)));
@@ -358,22 +414,26 @@ Result<std::vector<std::shared_ptr<const GeneratedStream>>> GenerateStreams(
   return streams;
 }
 
-serve::SessionOptions SessionOptionsForStream(const ServeFlags& flags,
-                                              size_t i) {
+serve::SessionOptions SessionOptionsForStream(
+    const ServeFlags& flags, size_t i,
+    serve::StatePool* pool = nullptr) {
   serve::SessionOptions options;
   options.ring_capacity = static_cast<size_t>(flags.ring_capacity);
   options.max_windows = static_cast<size_t>(flags.duration_windows);
   options.attempts = flags.session_attempts;
   options.learner = LearnerForStream(flags, i);
   options.learner_config = ConfigForStream(flags, i);
+  options.state_pool = pool;
   return options;
 }
 
 /// Builds and Init()s every session, in parallel (init cost is the
-/// stream-global pipeline prefix: one-hot, windows, oracle impute).
+/// stream-global pipeline prefix: one-hot, windows, oracle impute —
+/// deduplicated across same-spec sessions when `pool` is non-null).
 Result<std::vector<std::unique_ptr<serve::StreamSession>>> InitSessions(
     const ServeFlags& flags,
-    const std::vector<std::shared_ptr<const GeneratedStream>>& streams) {
+    const std::vector<std::shared_ptr<const GeneratedStream>>& streams,
+    serve::StatePool* state_pool) {
   std::vector<std::unique_ptr<serve::StreamSession>> sessions(
       streams.size());
   std::vector<Status> statuses(streams.size(), Status::OK());
@@ -386,7 +446,7 @@ Result<std::vector<std::unique_ptr<serve::StreamSession>>> InitSessions(
       futures.push_back(pool.Submit([&, i] {
         auto session = std::make_unique<serve::StreamSession>(
             static_cast<int64_t>(i), streams[i],
-            SessionOptionsForStream(flags, i));
+            SessionOptionsForStream(flags, i, state_pool));
         statuses[i] = session->Init();
         sessions[i] = std::move(session);
       }));
@@ -448,6 +508,8 @@ serve::LoadGenOptions LoadOptions(const ServeFlags& flags) {
   options.admission = flags.admission;
   options.rate_drift_amplitude = flags.rate_drift_amplitude;
   options.rate_drift_period_seconds = flags.rate_drift_period;
+  options.batch_records = flags.batch_records;
+  options.pace_tick_seconds = flags.pace_tick_ms / 1000.0;
   return options;
 }
 
@@ -483,9 +545,11 @@ struct ServeOutcome {
 Result<ServeOutcome> RunServe(
     const ServeFlags& flags,
     const std::vector<std::shared_ptr<const GeneratedStream>>& streams) {
+  std::unique_ptr<serve::StatePool> pool;
+  if (flags.state_pool) pool = std::make_unique<serve::StatePool>();
   OE_ASSIGN_OR_RETURN(
       std::vector<std::unique_ptr<serve::StreamSession>> sessions,
-      InitSessions(flags, streams));
+      InitSessions(flags, streams, pool.get()));
   std::unique_ptr<ServeChaosInjector> chaos;
   if (flags.has_chaos) {
     chaos = std::make_unique<ServeChaosInjector>(flags.chaos);
@@ -602,7 +666,9 @@ int RunChaosDifferential(
   for (int workers : {1, 4}) {
     ServeFlags run = chaos_flags;
     run.workers = workers;
-    const std::string label = StrFormat("chaos workers=%d", workers);
+    const std::string label =
+        StrFormat("chaos batch=%lld workers=%d",
+                  static_cast<long long>(flags.batch_records), workers);
     Result<ServeOutcome> serve = RunServe(run, streams);
     if (!serve.ok()) {
       std::fprintf(stderr, "serve run [%s] failed: %s\n", label.c_str(),
@@ -681,41 +747,54 @@ int RunSelfCheck(ServeFlags flags) {
                  batch.status().ToString().c_str());
     return 1;
   }
+  // The acceptance matrix: record-batch admission must be invisible to
+  // the bit-identity contract at every batch size, worker count, and
+  // under scheduling chaos — and the injected-fault quarantine
+  // differential must hold per batch size too.
   struct Variant {
-    const char* label;
     int workers;
     int64_t slow_every;
     int64_t slow_ms;
   };
   const Variant variants[] = {
-      {"workers=1", 1, 0, 0},
-      {"workers=4", 4, 0, 0},
-      {"workers=4+chaos-slow", 4, 3, 2},
+      {1, 0, 0},
+      {4, 0, 0},
+      {1, 3, 2},
+      {4, 3, 2},
   };
   int rc = 0;
-  for (const Variant& variant : variants) {
-    ServeFlags run = flags;
-    run.workers = variant.workers;
-    run.slow_every = variant.slow_every;
-    run.slow_ms = variant.slow_ms;
-    Result<ServeOutcome> serve = RunServe(run, *streams);
-    if (!serve.ok()) {
-      std::fprintf(stderr, "serve run [%s] failed: %s\n", variant.label,
-                   serve.status().ToString().c_str());
-      return 1;
+  for (int64_t batch_records : {1, 4, 64}) {
+    for (const Variant& variant : variants) {
+      ServeFlags run = flags;
+      run.batch_records = batch_records;
+      run.workers = variant.workers;
+      run.slow_every = variant.slow_every;
+      run.slow_ms = variant.slow_ms;
+      const std::string label = StrFormat(
+          "batch=%lld workers=%d%s",
+          static_cast<long long>(batch_records), variant.workers,
+          variant.slow_every > 0 ? "+chaos-slow" : "");
+      Result<ServeOutcome> serve = RunServe(run, *streams);
+      if (!serve.ok()) {
+        std::fprintf(stderr, "serve run [%s] failed: %s\n", label.c_str(),
+                     serve.status().ToString().c_str());
+        return 1;
+      }
+      if (!serve->failures.empty()) {
+        std::fprintf(stderr,
+                     "SELFCHECK FAIL [%s]: fault-free run quarantined %zu "
+                     "sessions:\n%s",
+                     label.c_str(), serve->failures.size(),
+                     serve::FormatSessionFailureReport(serve->failures)
+                         .c_str());
+        return 1;
+      }
+      rc |= CompareDumps(label, *batch, serve->dumps);
     }
-    if (!serve->failures.empty()) {
-      std::fprintf(stderr,
-                   "SELFCHECK FAIL [%s]: fault-free run quarantined %zu "
-                   "sessions:\n%s",
-                   variant.label, serve->failures.size(),
-                   serve::FormatSessionFailureReport(serve->failures)
-                       .c_str());
-      return 1;
-    }
-    rc |= CompareDumps(variant.label, *batch, serve->dumps);
+    ServeFlags chaos_run = flags;
+    chaos_run.batch_records = batch_records;
+    rc |= RunChaosDifferential(chaos_run, *streams, *batch);
   }
-  rc |= RunChaosDifferential(flags, *streams, *batch);
   if (rc == 0) std::printf("SELFCHECK PASSED\n");
   return rc;
 }
@@ -794,6 +873,34 @@ int Report(const ServeFlags& flags, const serve::LoadStats& stats,
                 auto it = snap.gauges.find("serve.queue_depth_peak");
                 return it != snap.gauges.end() ? it->second : 0.0;
               }());
+  auto gauge = [&](const char* name) -> double {
+    auto it = snap.gauges.find(name);
+    return it != snap.gauges.end() ? it->second : 0.0;
+  };
+  if (flags.state_pool) {
+    std::printf("state pool %lld hits, %lld misses, %.0f entries, "
+                "%.1f MiB held, %.1f MiB saved\n",
+                static_cast<long long>(counter("serve.state_pool.hits")),
+                static_cast<long long>(counter("serve.state_pool.misses")),
+                gauge("serve.state_pool.entries"),
+                gauge("serve.state_pool.bytes_held") / (1024.0 * 1024.0),
+                gauge("serve.state_pool.bytes_saved") / (1024.0 * 1024.0));
+  }
+#if defined(__unix__)
+  {
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+      // ru_maxrss is KiB on Linux. Volatile by nature; exported as a
+      // gauge so --state-pool memory claims can be checked from the
+      // metrics snapshot (pair with serve.state_pool.bytes_saved).
+      const double rss_bytes =
+          static_cast<double>(usage.ru_maxrss) * 1024.0;
+      metrics->GetGauge("serve.peak_rss_bytes")->Set(rss_bytes);
+      std::printf("memory     peak rss %.1f MiB\n",
+                  rss_bytes / (1024.0 * 1024.0));
+    }
+  }
+#endif
   const int64_t quarantined = counter("serve.sessions_quarantined");
   if (quarantined > 0) {
     std::printf("failure    sessions_quarantined %lld, records_discarded "

@@ -9,16 +9,30 @@
 
 #include "common/metrics.h"
 #include "common/random.h"
+#include "serve/timer_wheel.h"
 
 namespace oebench {
 namespace serve {
 
-namespace {
+int64_t BackoffMillis(const sweep::RetryPolicy& policy, int rejections) {
+  if (rejections <= kBackoffSpinRetries || policy.initial_backoff_ms <= 0) {
+    return 0;
+  }
+  int doublings = std::min(rejections - kBackoffSpinRetries - 1,
+                           std::max(0, policy.max_attempts - 1));
+  // Clamp the shift itself: with a large max_attempts the unclamped
+  // doubling count would shift initial_backoff_ms past 63 bits and
+  // overflow int64_t (UB) long before the ceiling could apply. 20
+  // doublings of even 1 ms is ~17 minutes, far past kMaxBackoffMillis,
+  // so the clamp never changes an in-range result.
+  constexpr int kMaxDoublings = 20;
+  doublings = std::min(doublings, kMaxDoublings);
+  const int64_t ms = static_cast<int64_t>(policy.initial_backoff_ms)
+                     << doublings;
+  return std::min(ms, kMaxBackoffMillis);
+}
 
-/// Rejections absorbed by a bare yield before the exponential sleep
-/// backoff starts: short overloads clear in microseconds and should not
-/// pay a millisecond sleep.
-constexpr int kSpinRetries = 16;
+namespace {
 
 /// Stream-id-salted seed so every stream draws an independent,
 /// reproducible arrival process from one user-facing seed.
@@ -37,6 +51,11 @@ struct StreamCursor {
   double next_time = 0.0;  // virtual seconds of the next arrival event
   Rng rng{0};
   bool end_sent = false;
+  // Record-batch admission: the contiguous run [run_start,
+  // run_start + run_len) of this stream's rows not yet offered to the
+  // engine (batch_records > 1 only).
+  int64_t run_start = 0;
+  int64_t run_len = 0;
   StreamLoadStats stats;
 };
 
@@ -75,12 +94,23 @@ double NextGap(StreamCursor* cursor, const LoadGenOptions& options,
   return -std::log(1.0 - u) / rate;
 }
 
+/// Sleeps (or yields) for the `rejections`-th consecutive kOverloaded.
+void BackoffSleep(const LoadGenOptions& options, int rejections) {
+  const int64_t ms = BackoffMillis(options.backoff, rejections);
+  if (ms <= 0) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
 /// Offers one record with the policy's retry/drop behaviour.
 /// `must_deliver` forces retries even under kDrop (end sentinels).
-/// Backpressure retries use bounded exponential backoff: kSpinRetries
-/// yields, then sleeps doubling from the policy's initial backoff and
-/// capped after max_attempts doublings — the spin is bounded even when
-/// the block policy retries forever.
+/// Backpressure retries use bounded exponential backoff: kBackoffSpinRetries
+/// yields, then sleeps doubling from the policy's initial backoff,
+/// clamped so the shift cannot overflow and capped at kMaxBackoffMillis
+/// — bounded sleep, unbounded delivery (block policy never abandons a
+/// record).
 void OfferRecord(ServeEngine* engine, StreamCursor* cursor, int64_t row,
                  const LoadGenOptions& options, bool must_deliver) {
   MetricsRegistry* metrics = MetricsRegistry::Global();
@@ -110,16 +140,156 @@ void OfferRecord(ServeEngine* engine, StreamCursor* cursor, int64_t row,
     }
     offer_retries->Increment();
     ++rejections;
-    if (rejections <= kSpinRetries || options.backoff.initial_backoff_ms <= 0) {
-      std::this_thread::yield();
-      continue;
+    BackoffSleep(options, rejections);
+  }
+}
+
+/// Offers the first `count` records of the cursor's pending run as
+/// batched engine offers, with the same policy semantics as OfferRecord:
+/// block retries the unadmitted remainder with bounded backoff; drop
+/// counts it and moves on; shed refuses the remainder in one decision.
+void OfferRunChunk(ServeEngine* engine, StreamCursor* cursor,
+                   int64_t count, const LoadGenOptions& options) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  static Counter* offer_retries =
+      metrics->GetVolatileCounter("serve.offer_retries");
+  int rejections = 0;
+  int64_t remaining = count;
+  while (remaining > 0) {
+    const ServeEngine::BatchAdmit admit = engine->OfferBatch(
+        cursor->idx, cursor->run_start, remaining, metrics->NowSeconds());
+    if (admit.accepted > 0) {
+      cursor->stats.accepted += admit.accepted;
+      cursor->run_start += admit.accepted;
+      cursor->run_len -= admit.accepted;
+      remaining -= admit.accepted;
+      rejections = 0;  // progress: restart the backoff ladder
     }
-    const int doublings =
-        std::min(rejections - kSpinRetries - 1,
-                 std::max(0, options.backoff.max_attempts - 1));
-    std::this_thread::sleep_for(std::chrono::milliseconds(
-        static_cast<int64_t>(options.backoff.initial_backoff_ms)
-        << doublings));
+    if (remaining == 0) break;
+    if (admit.rest == AdmitResult::kFinished) {
+      // Failed or done: stop feeding (mirrors OfferRecord — the records
+      // are neither accepted nor dropped, the session is gone).
+      cursor->run_start += remaining;
+      cursor->run_len -= remaining;
+      return;
+    }
+    if (admit.rest == AdmitResult::kShed) {
+      cursor->stats.shed += remaining;
+      cursor->run_start += remaining;
+      cursor->run_len -= remaining;
+      return;
+    }
+    // kOverloaded.
+    if (options.admission == AdmissionPolicy::kDrop) {
+      cursor->stats.dropped += remaining;
+      metrics->GetVolatileCounter("serve.drops_overloaded")
+          ->Add(remaining);
+      cursor->run_start += remaining;
+      cursor->run_len -= remaining;
+      return;
+    }
+    offer_retries->Increment();
+    ++rejections;
+    BackoffSleep(options, rejections);
+  }
+}
+
+/// Flushes the cursor's pending run in batch_records-sized chunks; with
+/// `flush_all` also the final partial chunk (pre-sentinel drain).
+void FlushRun(ServeEngine* engine, StreamCursor* cursor,
+              const LoadGenOptions& options, bool flush_all) {
+  while (cursor->run_len >= options.batch_records ||
+         (flush_all && cursor->run_len > 0)) {
+    OfferRunChunk(engine, cursor,
+                  std::min(cursor->run_len, options.batch_records),
+                  options);
+  }
+}
+
+/// Delivers one arrival event for `cursor`: a burst of data rows — per
+/// record, or coalesced into contiguous batched runs when
+/// batch_records > 1 — or, once the rows are exhausted, the pending-run
+/// drain plus the end sentinel. Returns true (and re-arms next_time)
+/// while the cursor has further events.
+bool DeliverEvent(ServeEngine* engine, const LoadGenOptions& options,
+                  double event_rate, StreamCursor* cursor) {
+  if (cursor->next_row >= cursor->end_row) {
+    if (!cursor->end_sent) {
+      cursor->end_sent = true;
+      if (options.batch_records > 1) {
+        FlushRun(engine, cursor, options, /*flush_all=*/true);
+      }
+      OfferRecord(engine, cursor, kEndOfStream, options,
+                  /*must_deliver=*/true);
+    }
+    return false;  // stream done, not re-armed
+  }
+  const int64_t burst_end =
+      std::min(cursor->end_row, cursor->next_row + options.burst);
+  if (options.batch_records > 1) {
+    // The burst's rows are consecutive and adjoin the pending run, so
+    // the run stays one contiguous range.
+    cursor->stats.offered += burst_end - cursor->next_row;
+    cursor->run_len += burst_end - cursor->next_row;
+    FlushRun(engine, cursor, options, /*flush_all=*/false);
+  } else {
+    for (int64_t row = cursor->next_row; row < burst_end; ++row) {
+      ++cursor->stats.offered;
+      OfferRecord(engine, cursor, row, options, /*must_deliver=*/false);
+    }
+  }
+  cursor->next_row = burst_end;
+  cursor->next_time += NextGap(cursor, options, event_rate);
+  return true;
+}
+
+/// Unpaced replay: merge events through a (time, stream) min-heap and
+/// deliver as fast as the engine admits them, in schedule order.
+void RunProducerUnpaced(ServeEngine* engine, const LoadGenOptions& options,
+                        double event_rate,
+                        std::vector<StreamCursor>* streams) {
+  std::priority_queue<StreamCursor*, std::vector<StreamCursor*>, EventOrder>
+      heap;
+  for (StreamCursor& cursor : *streams) heap.push(&cursor);
+  while (!heap.empty()) {
+    StreamCursor* cursor = heap.top();
+    heap.pop();
+    if (DeliverEvent(engine, options, event_rate, cursor)) {
+      heap.push(cursor);
+    }
+  }
+}
+
+/// Paced replay on a hashed timer wheel: ONE sleep per non-empty tick,
+/// then every event due within the tick is released (sorted by virtual
+/// due time), instead of one sleep_until per event. Empty ticks cost
+/// pure arithmetic — the sleep targets the absolute wall deadline of
+/// the next tick that has work, and a producer running behind schedule
+/// catches up without sleeping (sleep_until in the past returns
+/// immediately). The event schedule itself is untouched: NextGap draws
+/// and delivery order are byte-identical to the unpaced heap's.
+void RunProducerPaced(ServeEngine* engine, const LoadGenOptions& options,
+                      double event_rate,
+                      std::vector<StreamCursor>* streams) {
+  TimerWheel<StreamCursor*> wheel(options.pace_tick_seconds);
+  for (StreamCursor& cursor : *streams) {
+    wheel.Schedule(cursor.next_time, &cursor);
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<TimerWheel<StreamCursor*>::Entry> due;
+  while (wheel.pending() > 0) {
+    const double tick_end = wheel.AdvanceTick(&due);
+    if (due.empty()) continue;
+    std::this_thread::sleep_until(
+        wall_start +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(tick_end)));
+    for (const auto& entry : due) {
+      StreamCursor* cursor = entry.item;
+      if (DeliverEvent(engine, options, event_rate, cursor)) {
+        wheel.Schedule(cursor->next_time, cursor);
+      }
+    }
   }
 }
 
@@ -130,39 +300,13 @@ std::vector<StreamLoadStats> RunProducer(ServeEngine* engine,
                                          std::vector<StreamCursor>* streams) {
   const double event_rate =
       options.rate / static_cast<double>(std::max<int64_t>(1, options.burst));
-  std::priority_queue<StreamCursor*, std::vector<StreamCursor*>, EventOrder>
-      heap;
   for (StreamCursor& cursor : *streams) {
     cursor.next_time = NextGap(&cursor, options, event_rate);
-    heap.push(&cursor);
   }
-  const auto wall_start = std::chrono::steady_clock::now();
-  while (!heap.empty()) {
-    StreamCursor* cursor = heap.top();
-    heap.pop();
-    if (options.paced) {
-      std::this_thread::sleep_until(
-          wall_start + std::chrono::duration_cast<
-                           std::chrono::steady_clock::duration>(
-                           std::chrono::duration<double>(cursor->next_time)));
-    }
-    if (cursor->next_row >= cursor->end_row) {
-      if (!cursor->end_sent) {
-        cursor->end_sent = true;
-        OfferRecord(engine, cursor, kEndOfStream, options,
-                    /*must_deliver=*/true);
-      }
-      continue;  // stream done, not re-queued
-    }
-    const int64_t burst_end =
-        std::min(cursor->end_row, cursor->next_row + options.burst);
-    for (int64_t row = cursor->next_row; row < burst_end; ++row) {
-      ++cursor->stats.offered;
-      OfferRecord(engine, cursor, row, options, /*must_deliver=*/false);
-    }
-    cursor->next_row = burst_end;
-    cursor->next_time += NextGap(cursor, options, event_rate);
-    heap.push(cursor);
+  if (options.paced) {
+    RunProducerPaced(engine, options, event_rate, streams);
+  } else {
+    RunProducerUnpaced(engine, options, event_rate, streams);
   }
   std::vector<StreamLoadStats> stats;
   stats.reserve(streams->size());

@@ -48,8 +48,19 @@ struct LoadGenOptions {
   /// spin): after a burst of yields, sleeps starting at
   /// initial_backoff_ms and doubling per further rejection, capped at
   /// max_attempts doublings — bounded sleep, unbounded delivery (block
-  /// policy never abandons a record).
+  /// policy never abandons a record). The per-sleep ceiling is
+  /// kMaxBackoffMillis regardless of max_attempts (see BackoffMillis).
   sweep::RetryPolicy backoff;
+  /// Record-batch admission: producers coalesce up to this many
+  /// consecutive rows of one stream into a single batched engine offer
+  /// (one ring operation, one activation). 1 = the unbatched per-record
+  /// path. Per-stream record order is unchanged — a batch is always a
+  /// contiguous run — so the bit-identity contract is batch-size
+  /// independent under the block policy.
+  int64_t batch_records = 1;
+  /// Paced replay granularity: the producer sleeps once per timer-wheel
+  /// tick and releases every event due within it (paced=true only).
+  double pace_tick_seconds = 0.001;
 };
 
 /// Per-stream delivery accounting: the soak's conservation invariant is
@@ -88,6 +99,24 @@ struct LoadStats {
 /// machine speed.
 LoadStats RunLoadGenerator(ServeEngine* engine,
                            const LoadGenOptions& options);
+
+/// Hard ceiling on one backpressure backoff sleep, whatever the policy
+/// says: backoff bounds producer CPU burn, it must never turn into a
+/// multi-second stall of a stream that is about to get ring space.
+inline constexpr int64_t kMaxBackoffMillis = 1000;
+
+/// Rejections absorbed by a bare yield before the exponential sleep
+/// backoff starts: short overloads clear in microseconds and should not
+/// pay a millisecond sleep.
+inline constexpr int kBackoffSpinRetries = 16;
+
+/// Milliseconds to sleep before retrying after `rejections` consecutive
+/// kOverloaded results (the first kSpinRetries are absorbed by bare
+/// yields and return 0). Doubles from policy.initial_backoff_ms up to
+/// max_attempts - 1 doublings, with the shift clamped so it cannot
+/// overflow int64_t for arbitrarily large max_attempts, and the result
+/// capped at kMaxBackoffMillis. Exposed for the regression test.
+int64_t BackoffMillis(const sweep::RetryPolicy& policy, int rejections);
 
 }  // namespace serve
 }  // namespace oebench

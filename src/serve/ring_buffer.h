@@ -22,8 +22,9 @@ namespace serve {
 /// acquire load) only when the ring looks full/empty. Head and tail live
 /// on separate cache lines so the producer and consumer never false-share.
 ///
-/// Exactly ONE thread may call the producer side (TryPush) and exactly
-/// one the consumer side (TryPop) at a time; the serve layer guarantees
+/// Exactly ONE thread may call the producer side (TryPush/TryPushN) and
+/// exactly one the consumer side (TryPop/TryPopN) at a time; the serve
+/// layer guarantees
 /// this by partitioning streams across load-generator threads and
 /// serialising each session's drain on the run-queue.
 template <typename T>
@@ -53,6 +54,30 @@ class SpscRingBuffer {
     return true;
   }
 
+  /// Producer side, batched: publishes up to `count` values produced by
+  /// `gen(i)` (i in [0, pushed)) with ONE release store of `tail_`, so a
+  /// run of records costs one cache-line handoff instead of `count`.
+  /// Returns the number pushed — `min(count, free slots)`; 0 when the
+  /// ring is full. The consumer observes the whole run atomically-or-not
+  /// (the release store publishes every slot written before it).
+  template <typename Gen>
+  size_t TryPushN(size_t count, Gen&& gen) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t free = mask_ + 1 - (tail - head_cache_);
+    if (free < count) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = mask_ + 1 - (tail - head_cache_);
+      if (free == 0) return 0;
+    }
+    const size_t pushed =
+        static_cast<size_t>(free < count ? free : count);
+    for (size_t i = 0; i < pushed; ++i) {
+      slots_[static_cast<size_t>(tail + i) & mask_] = gen(i);
+    }
+    tail_.store(tail + pushed, std::memory_order_release);
+    return pushed;
+  }
+
   /// Consumer side. Returns false when the ring is empty.
   bool TryPop(T* out) {
     const uint64_t head = head_.load(std::memory_order_relaxed);
@@ -63,6 +88,26 @@ class SpscRingBuffer {
     *out = std::move(slots_[static_cast<size_t>(head) & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Consumer side, batched: drains up to `max_count` values into `out`
+  /// with ONE release store of `head_`. Returns the number popped; 0
+  /// when the ring is empty.
+  size_t TryPopN(T* out, size_t max_count) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t avail = tail_cache_ - head;
+    if (avail < max_count) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+      if (avail == 0) return 0;
+    }
+    const size_t popped =
+        static_cast<size_t>(avail < max_count ? avail : max_count);
+    for (size_t i = 0; i < popped; ++i) {
+      out[i] = std::move(slots_[static_cast<size_t>(head + i) & mask_]);
+    }
+    head_.store(head + popped, std::memory_order_release);
+    return popped;
   }
 
   /// Racy size estimate for queue-depth gauges; exact only when both

@@ -84,6 +84,69 @@ AdmitResult ServeEngine::OfferEnd(size_t idx, double enqueue_seconds) {
   return Offer(idx, kEndOfStream, enqueue_seconds);
 }
 
+ServeEngine::BatchAdmit ServeEngine::OfferBatch(size_t idx,
+                                                int64_t first_row,
+                                                int64_t count,
+                                                double enqueue_seconds) {
+  BatchAdmit out;
+  if (count <= 0) return out;
+  StreamSession* session = sessions_[idx].get();
+  if (breaker_.load(std::memory_order_relaxed)) {
+    out.rest = AdmitResult::kFinished;
+    return out;
+  }
+  if (session->finished()) {
+    out.rest = AdmitResult::kFinished;
+    return out;
+  }
+  // One admission decision per batch: shedding refuses the whole run
+  // (per-record shedding would re-admit mid-run and break the
+  // run-is-a-prefix contract for no benefit — the controller's signal
+  // does not change within one batch).
+  if (options_.admission != nullptr &&
+      options_.admission->ShouldShed(
+          inflight_.load(std::memory_order_relaxed))) {
+    MetricsRegistry::Global()
+        ->GetVolatileCounter("serve.drops_shed")
+        ->Add(count);
+    out.rest = AdmitResult::kShed;
+    return out;
+  }
+  int64_t admit_count = count;
+  if (options_.max_inflight > 0) {
+    const int64_t room =
+        options_.max_inflight - inflight_.load(std::memory_order_relaxed);
+    admit_count = std::min(admit_count, std::max<int64_t>(0, room));
+    if (admit_count == 0) {
+      MetricsRegistry::Global()
+          ->GetVolatileCounter("serve.drops_inflight")
+          ->Increment();
+      out.rest = AdmitResult::kOverloaded;
+      return out;
+    }
+  }
+  const int64_t pushed =
+      session->OfferRun(first_row, admit_count, enqueue_seconds);
+  if (pushed < 0) {
+    out.rest = AdmitResult::kFinished;
+    return out;
+  }
+  if (pushed == 0) {
+    out.rest = AdmitResult::kOverloaded;
+    return out;
+  }
+  out.accepted = pushed;
+  out.rest =
+      pushed == count ? AdmitResult::kAccepted : AdmitResult::kOverloaded;
+  const int64_t depth =
+      inflight_.fetch_add(pushed, std::memory_order_relaxed) + pushed;
+  MetricsRegistry::Global()
+      ->GetGauge("serve.queue_depth_peak")
+      ->SetMax(static_cast<double>(depth));
+  Activate(idx);
+  return out;
+}
+
 void ServeEngine::Activate(size_t idx) {
   StreamSession* session = sessions_[idx].get();
   int expected = kIdle;
@@ -113,6 +176,10 @@ void ServeEngine::CollectFailure(StreamSession* session) {
                  "--max-session-failures=%lld); abandoning the run\n",
                  static_cast<long long>(quarantined),
                  static_cast<long long>(options_.max_session_failures));
+    // Wake WaitAllFinished immediately: it may be in an untimed wait
+    // and must start the abandonment sweeps now, not at a slice edge.
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_cv_.notify_all();
   }
 }
 
@@ -239,24 +306,44 @@ void ServeEngine::AbandonUnfinishedSessions() {
 bool ServeEngine::WaitAllFinished(double timeout_seconds) {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point start = Clock::now();
-  const double wait_start_seconds = MetricsRegistry::Global()->NowSeconds();
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(
+                      std::max(0.0, timeout_seconds)));
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  const double wait_start_seconds = metrics->NowSeconds();
   auto done = [this] {
     return finished_count_.load(std::memory_order_relaxed) >=
            static_cast<int64_t>(sessions_.size());
   };
+  // Session completion, eviction/abandonment reclaim and breaker trips
+  // all notify finished_cv_, so the common case is a pure wait: shutdown
+  // latency tracks the last session's finish, not a polling slice. Only
+  // the shutdown self-defence paths still need periodic sweeps — the
+  // deadline eviction must observe idleness, and post-breaker
+  // abandonment must re-visit sessions that were kScheduled on an
+  // earlier sweep — so slicing is confined to those two modes.
+  auto wake = [this, &done] {
+    return done() || breaker_.load(std::memory_order_relaxed);
+  };
   for (;;) {
+    metrics->GetVolatileCounter("serve.wait_wakeups")->Increment();
     {
       std::unique_lock<std::mutex> lock(mu_);
-      double slice = kWaitSliceSeconds;
-      if (timeout_seconds > 0.0) {
-        const double elapsed =
-            std::chrono::duration<double>(Clock::now() - start).count();
-        const double remaining = timeout_seconds - elapsed;
-        if (remaining <= 0.0 && !done()) break;  // timed out
-        slice = std::min(slice, std::max(0.0, remaining));
+      const bool sliced = options_.session_deadline_ms > 0 ||
+                          breaker_.load(std::memory_order_relaxed);
+      if (sliced) {
+        Clock::time_point until =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   kWaitSliceSeconds));
+        if (timeout_seconds > 0.0) until = std::min(until, deadline);
+        finished_cv_.wait_until(lock, until, wake);
+      } else if (timeout_seconds > 0.0) {
+        finished_cv_.wait_until(lock, deadline, wake);
+      } else {
+        finished_cv_.wait(lock, wake);
       }
-      finished_cv_.wait_for(lock, std::chrono::duration<double>(slice),
-                            done);
     }
     if (done()) {
       ReclaimEvictedRings();
@@ -269,6 +356,7 @@ bool ServeEngine::WaitAllFinished(double timeout_seconds) {
     }
     ReclaimEvictedRings();
     if (done()) return true;
+    if (timeout_seconds > 0.0 && Clock::now() >= deadline) break;
   }
   // Timed out: say which sessions are stuck instead of failing silently.
   std::string diag = DescribeUnfinished();
@@ -311,6 +399,15 @@ double QuantileFromHistogram(const HistogramSnapshot& snapshot, double q) {
     const double in_bucket = static_cast<double>(snapshot.buckets[b]);
     if (in_bucket <= 0.0) continue;
     if (cumulative + in_bucket >= target) {
+      if (b >= snapshot.bounds.size() && !snapshot.bounds.empty()) {
+        // The overflow bucket has no finite upper edge, so interpolating
+        // inside it would extrapolate toward +inf — or, on merged
+        // snapshots whose min/max were not recorded, collapse below the
+        // bucket entirely. Clamp to the last finite bound; when every
+        // record landed past it, the recorded min is a tighter (and
+        // still attained) lower bound.
+        return std::max(snapshot.bounds.back(), snapshot.min);
+      }
       // Bucket b spans (lower, upper]; interpolate inside it.
       const double lower = b == 0 ? snapshot.min : snapshot.bounds[b - 1];
       const double upper = b < snapshot.bounds.size()

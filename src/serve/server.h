@@ -105,6 +105,25 @@ class ServeEngine {
   AdmitResult Offer(size_t idx, int64_t row, double enqueue_seconds);
   AdmitResult OfferEnd(size_t idx, double enqueue_seconds);
 
+  /// Outcome of a batched offer: `accepted` records entered the ring
+  /// (always a prefix of the run — per-stream FIFO order is preserved),
+  /// `rest` classifies the remainder (kAccepted when the whole run got
+  /// in). kShed sheds the entire remaining run in one decision.
+  struct BatchAdmit {
+    int64_t accepted = 0;
+    AdmitResult rest = AdmitResult::kAccepted;
+  };
+
+  /// Producer API, batched (record-batch admission): admit up to
+  /// `count` consecutive data rows [first_row, first_row + count) to
+  /// session `idx` as ONE ring operation and at most one Activate().
+  /// Admission control runs once per batch — the shed decision and the
+  /// global in-flight cap apply to the run as a whole (the cap clamps
+  /// the run so it cannot overshoot by more than one batch). Sentinels
+  /// are not batched; deliver them with OfferEnd.
+  BatchAdmit OfferBatch(size_t idx, int64_t first_row, int64_t count,
+                        double enqueue_seconds);
+
   /// Blocks until every registered session finished (consumed its end
   /// sentinel, was quarantined-and-drained, or was evicted/abandoned).
   /// `timeout_seconds <= 0` waits forever. Runs the deadline-eviction
@@ -177,7 +196,10 @@ class ServeEngine {
 
 /// Estimates quantile `q` in [0, 1] from a fixed-bound histogram
 /// snapshot by linear interpolation inside the target bucket, clamped to
-/// the recorded [min, max]. Returns 0 when the histogram is empty.
+/// the recorded [min, max]. A quantile landing in the overflow bucket
+/// (past the last finite bound) is clamped to that bound — the overflow
+/// bucket has no finite upper edge, so interpolation there would
+/// extrapolate. Returns 0 when the histogram is empty.
 double QuantileFromHistogram(const HistogramSnapshot& snapshot, double q);
 
 }  // namespace serve

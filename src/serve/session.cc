@@ -31,18 +31,39 @@ StreamSession::StreamSession(int64_t id,
       options_(std::move(options)),
       ring_(options_.ring_capacity) {}
 
+const std::string& StreamSession::name() const {
+  static const std::string kUnnamed;
+  return ctx_ != nullptr ? ctx_->name : kUnnamed;
+}
+
 Status StreamSession::Init() {
-  Result<StreamContext> ctx = BuildStreamContext(*stream_, options_.pipeline);
-  // The raw generated table is only needed to build the context; release
-  // it so thousands of sessions hold one encoded matrix each, not two
-  // copies of the data.
-  stream_.reset();
-  if (!ctx.ok()) {
-    status_ = ctx.status();
-    finished_.store(true, std::memory_order_release);
-    return status_;
+  if (options_.state_pool != nullptr) {
+    // Shared-context path: sessions replaying the same (spec, pipeline)
+    // pair alias one immutable StreamContext (DESIGN.md "Shared state
+    // pools"); the context is read-only for the session's whole life.
+    Result<std::shared_ptr<const StreamContext>> shared =
+        options_.state_pool->GetOrBuild(*stream_, options_.pipeline);
+    stream_.reset();
+    if (!shared.ok()) {
+      status_ = shared.status();
+      finished_.store(true, std::memory_order_release);
+      return status_;
+    }
+    ctx_ = std::move(*shared);
+  } else {
+    Result<StreamContext> ctx =
+        BuildStreamContext(*stream_, options_.pipeline);
+    // The raw generated table is only needed to build the context;
+    // release it so thousands of sessions hold one encoded matrix each,
+    // not two copies of the data.
+    stream_.reset();
+    if (!ctx.ok()) {
+      status_ = ctx.status();
+      finished_.store(true, std::memory_order_release);
+      return status_;
+    }
+    ctx_ = std::make_shared<const StreamContext>(std::move(*ctx));
   }
-  ctx_ = std::move(*ctx);
 
   Result<std::unique_ptr<WindowPipeline>> pipeline =
       WindowPipeline::Create(options_.pipeline);
@@ -54,23 +75,23 @@ Status StreamSession::Init() {
   pipeline_ = std::move(*pipeline);
 
   Result<std::unique_ptr<StreamLearner>> learner =
-      MakeLearner(options_.learner, options_.learner_config, ctx_.task,
-                  ctx_.num_classes);
+      MakeLearner(options_.learner, options_.learner_config, ctx_->task,
+                  ctx_->num_classes);
   if (!learner.ok()) {
     status_ = learner.status();
     finished_.store(true, std::memory_order_release);
     return status_;
   }
   learner_ = std::move(*learner);
-  learner_->Begin(ctx_.Header());
+  learner_->Begin(ctx_->Header());
 
-  num_windows_ = ctx_.ranges.size();
+  num_windows_ = ctx_->ranges.size();
   if (options_.max_windows > 0) {
     num_windows_ = std::min(num_windows_, options_.max_windows);
   }
-  end_row_ = num_windows_ > 0 ? ctx_.ranges[num_windows_ - 1].end : 0;
+  end_row_ = num_windows_ > 0 ? ctx_->ranges[num_windows_ - 1].end : 0;
   result_.learner = learner_->name();
-  result_.dataset = ctx_.name;
+  result_.dataset = ctx_->name;
   return Status::OK();
 }
 
@@ -95,11 +116,25 @@ AdmitResult StreamSession::Offer(int64_t row, double enqueue_seconds) {
   return AdmitResult::kAccepted;
 }
 
+int64_t StreamSession::OfferRun(int64_t first_row, int64_t count,
+                                double enqueue_seconds) {
+  if (finished_.load(std::memory_order_acquire)) return -1;
+  if (count <= 0) return 0;
+  const size_t pushed = ring_.TryPushN(
+      static_cast<size_t>(count), [&](size_t i) {
+        Record rec;
+        rec.row = first_row + static_cast<int64_t>(i);
+        rec.enqueue_seconds = enqueue_seconds;
+        return rec;
+      });
+  return static_cast<int64_t>(pushed);
+}
+
 void StreamSession::Quarantine(SessionFailureKind kind,
                                const std::string& message) {
   if (quarantined_.load(std::memory_order_relaxed)) return;  // first wins
   failure_.session_id = id_;
-  failure_.stream = ctx_.name;
+  failure_.stream = name();
   failure_.kind = kind;
   failure_.message = SanitizeFailureMessage(message);
   failure_.records_processed = records_consumed_;
@@ -168,7 +203,7 @@ int64_t StreamSession::ProcessBatch(int64_t quantum, bool* finished) {
     const int attempts = std::max(1, options_.attempts);
     for (int attempt = 1; attempt <= attempts; ++attempt) {
       try {
-        chaos_->OnActivation(id_ + 1, ctx_.name);
+        chaos_->OnActivation(id_ + 1, name());
         break;
       } catch (const TransientTaskError& e) {
         if (attempt >= attempts) {
@@ -183,79 +218,66 @@ int64_t StreamSession::ProcessBatch(int64_t quantum, bool* finished) {
     }
   }
 
+  // Drain in chunks: one release store of the ring's head per chunk
+  // (SpscRingBuffer::TryPopN) instead of one per record. The chunk is
+  // only pop-side batching — records are still consumed strictly in
+  // FIFO order one at a time, so the prequential arithmetic (and the
+  // bit-identity contract) is untouched.
+  constexpr int64_t kDrainChunk = 64;
+  Record chunk[kDrainChunk];
+  int64_t processed = 0;
+  while (processed < quantum && !*finished) {
+    const int64_t want = std::min(quantum - processed, kDrainChunk);
+    const size_t got = ring_.TryPopN(chunk, static_cast<size_t>(want));
+    if (got == 0) break;
+    for (size_t k = 0; k < got; ++k) {
+      ++processed;
+      if (*finished) {
+        // Defensive: the double-end guard makes the sentinel the last
+        // record a producer can push, so nothing should follow it — but
+        // a popped record must still settle against in-flight accounting.
+        discarded_.fetch_add(1, std::memory_order_relaxed);
+        metrics->GetVolatileCounter("serve.records_discarded")
+            ->Increment();
+        continue;
+      }
+      ConsumeRecord(chunk[k], finished);
+    }
+  }
+  return processed;
+}
+
+void StreamSession::ConsumeRecord(const Record& rec, bool* finished) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
   // Reset() keeps these pointers valid, so caching them takes the
   // registry lookup off the per-record path.
   static Histogram* record_latency =
       metrics->GetHistogram("serve.record_latency_seconds");
   static Counter* records = metrics->GetCounter("serve.records");
-
-  int64_t processed = 0;
-  Record rec;
-  while (processed < quantum && ring_.TryPop(&rec)) {
-    ++processed;
-    if (quarantined_.load(std::memory_order_relaxed)) {
-      // Drain-and-discard mode: keep consuming so the producer, the
-      // in-flight accounting and WaitAllFinished wind down exactly as
-      // for a healthy stream; only the sentinel matters now.
-      if (rec.row == kEndOfStream) {
-        finished_.store(true, std::memory_order_release);
-        *finished = true;
-        break;
-      }
-      discarded_.fetch_add(1, std::memory_order_relaxed);
-      metrics->GetVolatileCounter("serve.records_discarded")->Increment();
-      continue;
-    }
-    if (rec.row != kEndOfStream) {
-      // The sentinel is a control message, not traffic: keeping it out
-      // of serve.records and the latency histogram keeps "consumed"
-      // equal to accepted data records in the shutdown report.
-      records->Increment();
-      record_latency->Record(metrics->NowSeconds() - rec.enqueue_seconds);
-      ++records_consumed_;
-    }
+  if (quarantined_.load(std::memory_order_relaxed)) {
+    // Drain-and-discard mode: keep consuming so the producer, the
+    // in-flight accounting and WaitAllFinished wind down exactly as
+    // for a healthy stream; only the sentinel matters now.
     if (rec.row == kEndOfStream) {
-      try {
-        while (next_window_ < num_windows_) {
-          Status s = FinalizeWindow();
-          if (!s.ok()) {
-            Quarantine(SessionFailureKind::kException, s.message());
-            break;
-          }
-        }
-      } catch (const TransientTaskError& e) {
-        Quarantine(SessionFailureKind::kTransient, e.what());
-      } catch (const std::exception& e) {
-        Quarantine(SessionFailureKind::kException, e.what());
-      } catch (...) {
-        Quarantine(SessionFailureKind::kException, "unknown exception");
-      }
-      if (!quarantined_.load(std::memory_order_relaxed)) {
-        FinishResult();
-        if (chaos_ != nullptr) {
-          chaos_->OnSessionFinish(id_ + 1, &result_);
-        }
-        // Explosion detector: a session that tested at least one window
-        // must end with finite metrics. (A run truncated to one window
-        // legitimately has no tested window and an infinite mean — that
-        // is absence of data, not an explosion.)
-        if (!result_.per_window_loss.empty() &&
-            (!std::isfinite(result_.mean_loss) ||
-             !std::isfinite(result_.faded_loss))) {
-          Quarantine(SessionFailureKind::kNonFinite,
-                     StrFormat("non-finite prequential metrics: mean=%g "
-                               "faded=%g over %zu windows",
-                               result_.mean_loss, result_.faded_loss,
-                               result_.per_window_loss.size()));
-        }
-      }
       finished_.store(true, std::memory_order_release);
       *finished = true;
-      break;
+      return;
     }
-    if (rec.row < 0 || rec.row >= end_row_) continue;  // truncated tail
+    discarded_.fetch_add(1, std::memory_order_relaxed);
+    metrics->GetVolatileCounter("serve.records_discarded")->Increment();
+    return;
+  }
+  if (rec.row != kEndOfStream) {
+    // The sentinel is a control message, not traffic: keeping it out
+    // of serve.records and the latency histogram keeps "consumed"
+    // equal to accepted data records in the shutdown report.
+    records->Increment();
+    record_latency->Record(metrics->NowSeconds() - rec.enqueue_seconds);
+    ++records_consumed_;
+  }
+  if (rec.row == kEndOfStream) {
     try {
-      while (rec.row >= ctx_.ranges[next_window_].end) {
+      while (next_window_ < num_windows_) {
         Status s = FinalizeWindow();
         if (!s.ok()) {
           Quarantine(SessionFailureKind::kException, s.message());
@@ -269,13 +291,50 @@ int64_t StreamSession::ProcessBatch(int64_t quantum, bool* finished) {
     } catch (...) {
       Quarantine(SessionFailureKind::kException, "unknown exception");
     }
-    if (quarantined_.load(std::memory_order_relaxed)) continue;
-    if (arrived_rows_.empty()) {
-      window_open_seconds_ = rec.enqueue_seconds;
+    if (!quarantined_.load(std::memory_order_relaxed)) {
+      FinishResult();
+      if (chaos_ != nullptr) {
+        chaos_->OnSessionFinish(id_ + 1, &result_);
+      }
+      // Explosion detector: a session that tested at least one window
+      // must end with finite metrics. (A run truncated to one window
+      // legitimately has no tested window and an infinite mean — that
+      // is absence of data, not an explosion.)
+      if (!result_.per_window_loss.empty() &&
+          (!std::isfinite(result_.mean_loss) ||
+           !std::isfinite(result_.faded_loss))) {
+        Quarantine(SessionFailureKind::kNonFinite,
+                   StrFormat("non-finite prequential metrics: mean=%g "
+                             "faded=%g over %zu windows",
+                             result_.mean_loss, result_.faded_loss,
+                             result_.per_window_loss.size()));
+      }
     }
-    arrived_rows_.push_back(rec.row);
+    finished_.store(true, std::memory_order_release);
+    *finished = true;
+    return;
   }
-  return processed;
+  if (rec.row < 0 || rec.row >= end_row_) return;  // truncated tail
+  try {
+    while (rec.row >= ctx_->ranges[next_window_].end) {
+      Status s = FinalizeWindow();
+      if (!s.ok()) {
+        Quarantine(SessionFailureKind::kException, s.message());
+        break;
+      }
+    }
+  } catch (const TransientTaskError& e) {
+    Quarantine(SessionFailureKind::kTransient, e.what());
+  } catch (const std::exception& e) {
+    Quarantine(SessionFailureKind::kException, e.what());
+  } catch (...) {
+    Quarantine(SessionFailureKind::kException, "unknown exception");
+  }
+  if (quarantined_.load(std::memory_order_relaxed)) return;
+  if (arrived_rows_.empty()) {
+    window_open_seconds_ = rec.enqueue_seconds;
+  }
+  arrived_rows_.push_back(rec.row);
 }
 
 Status StreamSession::FinalizeWindow() {
@@ -292,7 +351,7 @@ Status StreamSession::FinalizeWindow() {
   }
   using Clock = std::chrono::steady_clock;
   OE_ASSIGN_OR_RETURN(WindowData window,
-                      pipeline_->PrepareWindowRows(ctx_, w, arrived_rows_));
+                      pipeline_->PrepareWindowRows(*ctx_, w, arrived_rows_));
   // Identical arithmetic to RunPrequentialFrom: every window's
   // post-prepare rows count as items; window 0 trains only.
   total_items_ += window.features.rows();

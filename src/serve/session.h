@@ -12,6 +12,7 @@
 #include "preprocess/pipeline.h"
 #include "serve/failure.h"
 #include "serve/ring_buffer.h"
+#include "serve/state_pool.h"
 #include "streamgen/stream_spec.h"
 
 namespace oebench {
@@ -62,6 +63,11 @@ struct SessionOptions {
   std::string learner = "Naive-DT";
   LearnerConfig learner_config;
   PipelineOptions pipeline;
+  /// Optional shared state pool: sessions replaying the same
+  /// (spec, pipeline) pair share one immutable StreamContext instead of
+  /// each building a private copy. Not owned; must outlive the session.
+  /// nullptr = private context (the pre-pool behaviour).
+  StatePool* state_pool = nullptr;
 };
 
 /// A live stream being served: owns the per-stream pipeline state
@@ -101,7 +107,7 @@ class StreamSession {
   Status Init();
 
   int64_t id() const { return id_; }
-  const std::string& name() const { return ctx_.name; }
+  const std::string& name() const;
   /// Windows this session will actually process (after max_windows
   /// truncation); valid after Init().
   size_t num_windows() const { return num_windows_; }
@@ -122,6 +128,15 @@ class StreamSession {
   AdmitResult OfferEnd(double enqueue_seconds) {
     return Offer(kEndOfStream, enqueue_seconds);
   }
+
+  /// Producer side, batched: enqueue up to `count` consecutive data
+  /// rows [first_row, first_row + count) as ONE ring operation (one
+  /// release store, see SpscRingBuffer::TryPushN). Returns the number
+  /// accepted — 0 means the ring is full (kOverloaded for the whole
+  /// run); -1 means the session is finished. Never used for the end
+  /// sentinel (Offer/OfferEnd keep that path).
+  int64_t OfferRun(int64_t first_row, int64_t count,
+                   double enqueue_seconds);
 
   /// Consumer side (engine workers only): drain up to `quantum` records,
   /// advancing the pipeline (or discarding, once quarantined). Sets
@@ -192,6 +207,9 @@ class StreamSession {
   std::atomic<int>& sched_state() { return sched_state_; }
 
  private:
+  /// Advances the protocol by one popped record (or discards it, once
+  /// quarantined); sets *finished on the end sentinel. Never throws.
+  void ConsumeRecord(const Record& rec, bool* finished);
   /// Finalises window `next_window_`: prepares it from the rows that
   /// arrived, tests (w > 0), trains, accumulates the result.
   Status FinalizeWindow();
@@ -205,7 +223,9 @@ class StreamSession {
   const SessionOptions options_;
   ServeChaosInjector* chaos_ = nullptr;
 
-  StreamContext ctx_;
+  /// Immutable after Init(); shared across sessions when a StatePool is
+  /// configured, private otherwise.
+  std::shared_ptr<const StreamContext> ctx_;
   std::unique_ptr<WindowPipeline> pipeline_;
   std::unique_ptr<StreamLearner> learner_;
   size_t num_windows_ = 0;

@@ -1,0 +1,110 @@
+#include "serve/state_pool.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "sweep/reuse.h"
+
+namespace oebench {
+namespace serve {
+
+int64_t StatePool::EstimateStreamContextBytes(const StreamContext& ctx) {
+  constexpr int64_t kFixedOverhead = 4096;
+  int64_t cells = ctx.x.rows() * ctx.x.cols();
+  cells += static_cast<int64_t>(ctx.target.size());
+  return cells * static_cast<int64_t>(sizeof(double)) + kFixedOverhead;
+}
+
+Result<std::shared_ptr<const StreamContext>> StatePool::GetOrBuild(
+    const GeneratedStream& stream, const PipelineOptions& options) {
+  const std::string key =
+      sweep::SpecCacheKey(stream.spec) + sweep::PipelineCacheKey(options);
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  for (;;) {
+    std::shared_ptr<Slot> slot;
+    bool build_here = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = slots_.find(key);
+      if (it == slots_.end()) {
+        slot = std::make_shared<Slot>();
+        slots_.emplace(key, slot);
+        build_here = true;
+      } else {
+        slot = it->second;
+        // Single-flight: wait for the in-flight builder, then count a
+        // hit (the waiter shares the builder's context, it never pays
+        // for a second copy).
+        cv_.wait(lock, [&] { return slot->ready; });
+        if (!slot->failed) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          bytes_saved_ += slot->bytes;
+          metrics->GetCounter("serve.state_pool.hits")->Increment();
+          metrics->GetGauge("serve.state_pool.bytes_saved")
+              ->Set(static_cast<double>(bytes_saved_));
+          return slot->value;
+        }
+        // Failed build already erased the slot; retry as the builder —
+        // a transient failure must not poison the key.
+        continue;
+      }
+    }
+    if (build_here) {
+      Result<StreamContext> ctx = BuildStreamContext(stream, options);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!ctx.ok()) {
+        slot->ready = true;
+        slot->failed = true;
+        slots_.erase(key);
+        cv_.notify_all();
+        return ctx.status();
+      }
+      slot->value =
+          std::make_shared<const StreamContext>(std::move(*ctx));
+      slot->bytes = EstimateStreamContextBytes(*slot->value);
+      slot->ready = true;
+      bytes_held_ += slot->bytes;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      metrics->GetCounter("serve.state_pool.misses")->Increment();
+      UpdateGaugesLocked();
+      cv_.notify_all();
+      return slot->value;
+    }
+  }
+}
+
+int64_t StatePool::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(slots_.size());
+}
+
+int64_t StatePool::bytes_held() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_held_;
+}
+
+int64_t StatePool::bytes_saved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_saved_;
+}
+
+void StatePool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  bytes_held_ = 0;
+  bytes_saved_ = 0;
+  UpdateGaugesLocked();
+}
+
+void StatePool::UpdateGaugesLocked() {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  metrics->GetGauge("serve.state_pool.entries")
+      ->Set(static_cast<double>(slots_.size()));
+  metrics->GetGauge("serve.state_pool.bytes_held")
+      ->Set(static_cast<double>(bytes_held_));
+  metrics->GetGauge("serve.state_pool.bytes_saved")
+      ->Set(static_cast<double>(bytes_saved_));
+}
+
+}  // namespace serve
+}  // namespace oebench

@@ -1,0 +1,101 @@
+#ifndef OEBENCH_SERVE_STATE_POOL_H_
+#define OEBENCH_SERVE_STATE_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "preprocess/pipeline.h"
+#include "streamgen/stream_spec.h"
+
+namespace oebench {
+namespace serve {
+
+/// Shared immutable session state (DESIGN.md "Shared state pools").
+///
+/// A StreamSession's memory is dominated by its StreamContext — the
+/// encoded feature matrix plus targets. When many sessions replay the
+/// same corpus spec (the thousands-of-streams load shape), every one of
+/// them builds and owns an identical copy; the pool deduplicates them:
+/// sessions replaying the same (StreamSpec, PipelineOptions) pair share
+/// ONE context behind a `shared_ptr<const StreamContext>` COW handle.
+/// The context is strictly immutable after BuildStreamContext, so
+/// sharing is work + memory elision, never result change — per-session
+/// *mutable* state (WindowPipeline's imputer/normalizer fits, the
+/// learner, drift detectors) is deliberately NOT pooled: normalisation
+/// statistics are fitted from each session's first *prepared* window,
+/// which differs across sessions under record loss.
+///
+/// Keys reuse the sweep/reuse exact-encoding discipline
+/// (SpecCacheKey + PipelineCacheKey: every field, doubles as 16-hex
+/// IEEE-754 bit patterns), so "same dataset name, different config" can
+/// never alias. Single-flight: the first requester of a key builds the
+/// context outside the lock; concurrent requesters wait and count as
+/// hits. A failed build erases the slot and each waiter retries as the
+/// builder. The pool is unbounded by design — sessions hold handles for
+/// their whole life, so evicting a live entry could never return memory.
+///
+/// Metrics (common/metrics.h contract):
+///   serve.state_pool.hits / serve.state_pool.misses   deterministic
+///       counters for a fixed session set (single-flight makes the
+///       miss count equal the number of distinct keys regardless of
+///       which thread builds first)
+///   serve.state_pool.entries                          gauge
+///   serve.state_pool.bytes_held                       gauge: resident
+///       context bytes (what the deduplicated sessions actually pay)
+///   serve.state_pool.bytes_saved                      gauge: bytes the
+///       hit sessions would have duplicated without the pool — the
+///       measured resident-memory drop of pool-on vs pool-off
+class StatePool {
+ public:
+  StatePool() = default;
+  StatePool(const StatePool&) = delete;
+  StatePool& operator=(const StatePool&) = delete;
+
+  /// Returns the shared context for `stream`'s spec under `options`,
+  /// building it on first use. Thread-safe; sessions Init() in parallel.
+  Result<std::shared_ptr<const StreamContext>> GetOrBuild(
+      const GeneratedStream& stream, const PipelineOptions& options);
+
+  int64_t entries() const;
+  int64_t bytes_held() const;
+  int64_t bytes_saved() const;
+  int64_t hits() const { return hits_.load(); }
+  int64_t misses() const { return misses_.load(); }
+
+  /// Drops every resident entry (tests); outstanding handles stay valid.
+  void Clear();
+
+  /// Dominant-buffer estimate of one context's resident bytes (feature
+  /// matrix + targets at 8 bytes a cell, plus a small fixed overhead) —
+  /// same convention as sweep's EstimatePreparedStreamBytes.
+  static int64_t EstimateStreamContextBytes(const StreamContext& ctx);
+
+ private:
+  struct Slot {
+    bool ready = false;
+    bool failed = false;
+    std::shared_ptr<const StreamContext> value;
+    int64_t bytes = 0;
+  };
+
+  void UpdateGaugesLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::shared_ptr<Slot>> slots_;
+  int64_t bytes_held_ = 0;
+  int64_t bytes_saved_ = 0;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace serve
+}  // namespace oebench
+
+#endif  // OEBENCH_SERVE_STATE_POOL_H_

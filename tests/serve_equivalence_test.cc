@@ -1,7 +1,8 @@
 // The serve acceptance property: with a deterministic schedule and no
 // drops (block admission), per-stream serve outputs are bit-identical to
 // batch RunPrequential on the same prepared stream — for --workers=1,
-// --workers=4, and workers=4 with the chaos-slow scheduler knob on.
+// --workers=4, workers=4 with the chaos-slow scheduler knob on, and
+// record-batch admission at several --batch-records sizes.
 // Result dumps use sweep::EncodeDouble (16-hex IEEE-754), so "equal"
 // means equal to the last bit, not within a tolerance.
 
@@ -101,7 +102,8 @@ std::vector<std::string> BatchDumps(
 // (the determinism contract holds when nothing is dropped).
 std::vector<std::string> ServeDumps(
     const std::vector<std::shared_ptr<const GeneratedStream>>& streams,
-    int workers, int64_t slow_every, int64_t slow_ms) {
+    int workers, int64_t slow_every, int64_t slow_ms,
+    int64_t batch_records = 1) {
   ServerOptions engine_options;
   engine_options.workers = workers;
   engine_options.quantum = 16;
@@ -120,6 +122,7 @@ std::vector<std::string> ServeDumps(
   load.seed = 7;
   load.producers = 2;
   load.admission = AdmissionPolicy::kBlock;
+  load.batch_records = batch_records;
   const LoadStats stats = RunLoadGenerator(&engine, load);
   EXPECT_EQ(stats.dropped, 0);
   EXPECT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/300.0));
@@ -186,6 +189,29 @@ TEST_F(ServeEquivalenceTest, FourWorkersWithChaosSlowMatchBatch) {
 // Two serve runs with the same seed must agree with each other (and,
 // transitively via the fixtures above, with batch) — the load schedule
 // is a pure function of the seed.
+// Record-batch admission (ISSUE: --batch-records) must be invisible to
+// the bit-identity contract: batches are contiguous per-stream runs, so
+// the delivered record sequence — and every served output — is
+// batch-size independent under block admission.
+TEST_F(ServeEquivalenceTest, BatchedAdmissionMatchesBatchAnySize) {
+  for (int64_t batch_records : {4, 64}) {
+    for (int workers : {1, 4}) {
+      ExpectMatchesBatch(
+          ServeDumps(streams_, workers, /*slow_every=*/0, /*slow_ms=*/0,
+                     batch_records),
+          "batch_records=" + std::to_string(batch_records) +
+              " workers=" + std::to_string(workers));
+    }
+  }
+}
+
+TEST_F(ServeEquivalenceTest, BatchedAdmissionSurvivesChaosSlow) {
+  ExpectMatchesBatch(ServeDumps(streams_, /*workers=*/4,
+                                /*slow_every=*/3, /*slow_ms=*/2,
+                                /*batch_records=*/16),
+                     "batch_records=16 workers=4 chaos-slow=3:2");
+}
+
 TEST_F(ServeEquivalenceTest, RepeatRunsAreBitIdentical) {
   const std::vector<std::string> first =
       ServeDumps(streams_, /*workers=*/4, /*slow_every=*/0,

@@ -115,6 +115,8 @@ struct SoakConfig {
   int64_t slow_every = 4;  // throttle workers so overload really happens
   int64_t slow_ms = 1;
   uint64_t seed = 1234;
+  /// Record-batch admission size (1 = per-record offers).
+  int64_t batch_records = 1;
 };
 
 SoakOutcome RunSoak(const SoakConfig& config) {
@@ -151,6 +153,7 @@ SoakOutcome RunSoak(const SoakConfig& config) {
   load.admission = config.policy;
   load.rate_drift_amplitude = config.drift_amplitude;
   load.rate_drift_period_seconds = config.drift_period_seconds;
+  load.batch_records = config.batch_records;
 
   SoakOutcome outcome;
   outcome.stats = RunLoadGenerator(&engine, load);
@@ -256,6 +259,52 @@ TEST(ServeSoakSmokeTest, QuarantineReportIsWorkerCountInvariant) {
   // Record *sets* differ under drop policy (drops depend on timing) but
   // the quarantine report is a pure function of the chaos schedule.
   EXPECT_EQ(first.failures, second.failures);
+}
+
+// Record-batch admission under the full chaos stack: batching changes
+// only how records enter the rings, so the per-stream conservation
+// invariant (offered == accepted + dropped + shed, exactly) and the
+// quarantine report must hold just like in the per-record runs.
+TEST(ServeSoakSmokeTest, BatchedAdmissionConservesUnderChaos) {
+  MetricsRegistry::Global()->Reset();
+  SoakConfig config;
+  config.batch_records = 16;
+  const SoakOutcome outcome = RunSoak(config);
+  CheckSoakInvariants(outcome, /*lossless=*/false);
+}
+
+TEST(ServeSoakSmokeTest, BatchedLosslessReplayBalancesExactly) {
+  MetricsRegistry::Global()->Reset();
+  SoakConfig config;
+  config.batch_records = 16;
+  config.policy = AdmissionPolicy::kBlock;
+  config.adaptive = false;
+  config.ring_capacity = 1024;
+  const SoakOutcome outcome = RunSoak(config);
+  CheckSoakInvariants(outcome, /*lossless=*/true);
+  EXPECT_EQ(outcome.stats.dropped, 0);
+  EXPECT_EQ(outcome.stats.shed, 0);
+  EXPECT_EQ(outcome.stats.accepted, outcome.stats.offered);
+}
+
+// Lossless so the invariance is exact: under a lossy policy the NaN
+// injectee's poisoned window can itself be dropped, which makes the
+// quarantine set timing-dependent (see CheckSoakInvariants).
+TEST(ServeSoakSmokeTest, BatchedQuarantineReportIsWorkerCountInvariant) {
+  std::vector<SoakOutcome> outcomes;
+  for (int workers : {1, 4}) {
+    MetricsRegistry::Global()->Reset();
+    SoakConfig config;
+    config.workers = workers;
+    config.batch_records = 16;
+    config.policy = AdmissionPolicy::kBlock;
+    config.adaptive = false;
+    config.ring_capacity = 1024;
+    outcomes.push_back(RunSoak(config));
+    ASSERT_TRUE(outcomes.back().wait_ok);
+    CheckSoakInvariants(outcomes.back(), /*lossless=*/true);
+  }
+  EXPECT_EQ(outcomes[0].failures, outcomes[1].failures);
 }
 
 // Full soak: the same stack, paced against the wall clock so the

@@ -7,7 +7,9 @@
 
 #include <sys/wait.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +27,7 @@
 #include "serve/ring_buffer.h"
 #include "serve/server.h"
 #include "serve/session.h"
+#include "serve/timer_wheel.h"
 #include "streamgen/corpus.h"
 #include "streamgen/stream_generator.h"
 #include "sweep/result_log.h"
@@ -106,6 +109,94 @@ TEST(ServeRingBufferTest, SpscStressTwoThreads) {
   EXPECT_TRUE(ring.EmptyApprox());
 }
 
+TEST(ServeRingBufferTest, BatchPushPopKeepsFifo) {
+  SpscRingBuffer<int> ring(8);
+  EXPECT_EQ(ring.TryPushN(5, [](size_t i) { return static_cast<int>(i); }),
+            5u);
+  int out[8] = {};
+  EXPECT_EQ(ring.TryPopN(out, 8), 5u);  // pops what's available
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_TRUE(ring.EmptyApprox());
+  EXPECT_EQ(ring.TryPopN(out, 4), 0u);
+}
+
+TEST(ServeRingBufferTest, BatchPushClampsToFreeSpace) {
+  SpscRingBuffer<int> ring(4);
+  // 10 requested, 4 slots: the accepted prefix is exactly the free space.
+  EXPECT_EQ(ring.TryPushN(10, [](size_t i) { return static_cast<int>(i); }),
+            4u);
+  EXPECT_EQ(ring.TryPushN(1, [](size_t) { return 99; }), 0u);  // full
+  int out[4] = {};
+  ASSERT_EQ(ring.TryPopN(out, 4), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ServeRingBufferTest, BatchWrapAroundKeepsFifo) {
+  SpscRingBuffer<int> ring(4);
+  int out[4] = {};
+  int next = 0;
+  int expected = 0;
+  // Push/pop runs of 3 through a 4-slot ring: every batch straddles the
+  // wrap point sooner or later.
+  for (int round = 0; round < 50; ++round) {
+    const size_t pushed = ring.TryPushN(
+        3, [&](size_t i) { return next + static_cast<int>(i); });
+    next += static_cast<int>(pushed);
+    const size_t popped = ring.TryPopN(out, 3);
+    for (size_t i = 0; i < popped; ++i) {
+      ASSERT_EQ(out[i], expected);
+      ++expected;
+    }
+  }
+  while (ring.TryPopN(out, 1) == 1) {
+    ASSERT_EQ(out[0], expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, next);
+}
+
+TEST(ServeRingBufferTest, SpscBatchStressTwoThreads) {
+  SpscRingBuffer<int> ring(64);
+  constexpr int kCount = 200000;
+  std::atomic<bool> failed{false};
+  std::thread producer([&] {
+    int next = 0;
+    while (next < kCount) {
+      const size_t want =
+          static_cast<size_t>(std::min(7, kCount - next));
+      const size_t pushed = ring.TryPushN(
+          want, [&](size_t i) { return next + static_cast<int>(i); });
+      if (pushed == 0) {
+        std::this_thread::yield();
+      } else {
+        next += static_cast<int>(pushed);
+      }
+    }
+  });
+  std::thread consumer([&] {
+    int expected = 0;
+    int out[16];
+    while (expected < kCount) {
+      const size_t popped = ring.TryPopN(out, 16);
+      if (popped == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (size_t i = 0; i < popped; ++i) {
+        if (out[i] != expected) {
+          failed.store(true);
+          return;
+        }
+        ++expected;
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_FALSE(failed.load()) << "batched ring reordered or lost a value";
+  EXPECT_TRUE(ring.EmptyApprox());
+}
+
 // ---------------------------------------------------------------------
 // QuantileFromHistogram
 
@@ -140,6 +231,170 @@ TEST(ServeQuantileTest, SingleValueCollapsesToIt) {
   EXPECT_DOUBLE_EQ(QuantileFromHistogram(snap, 0.0), 3.5);
   EXPECT_DOUBLE_EQ(QuantileFromHistogram(snap, 0.5), 3.5);
   EXPECT_DOUBLE_EQ(QuantileFromHistogram(snap, 1.0), 3.5);
+}
+
+// Regression: a quantile landing in the overflow bucket (past the last
+// finite bound) must clamp to that bound, not interpolate toward the
+// recorded max as if the overflow bucket had a finite width.
+TEST(ServeQuantileTest, OverflowBucketQuantileClampsToLastFiniteBound) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("q", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 90; ++i) h->Record(0.5);
+  for (int i = 0; i < 10; ++i) h->Record(8.0 + i);  // overflow bucket
+  const HistogramSnapshot snap = h->Snapshot();
+  // p99 sits in the overflow bucket: the honest answer is "at least the
+  // last finite bound", never a fabricated point inside (4, max].
+  EXPECT_DOUBLE_EQ(QuantileFromHistogram(snap, 0.99), 4.0);
+  // p50 is still interpolated normally inside a finite bucket.
+  EXPECT_LE(QuantileFromHistogram(snap, 0.50), 1.0);
+}
+
+// Regression: merged snapshots (MergeMetricsSnapshots) can carry
+// min == max == 0 when one side never recorded extremes; an
+// all-overflow histogram must still answer with the last finite bound
+// instead of collapsing to 0.
+TEST(ServeQuantileTest, UnsetMaxOverflowMassStaysAtLastBound) {
+  HistogramSnapshot snap;
+  snap.bounds = {1.0, 2.0};
+  snap.buckets = {0, 0, 5};  // all mass past the last finite bound
+  snap.count = 5;
+  snap.sum = 50.0;
+  snap.min = 0.0;
+  snap.max = 0.0;  // unset, as after a lossy merge
+  EXPECT_DOUBLE_EQ(QuantileFromHistogram(snap, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(QuantileFromHistogram(snap, 0.99), 2.0);
+}
+
+// The clamp still respects a recorded min above the last bound: if every
+// observed value was >= 8, no quantile may claim 4.
+TEST(ServeQuantileTest, OverflowClampRespectsRecordedMin) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("q", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) h->Record(8.0);
+  const HistogramSnapshot snap = h->Snapshot();
+  EXPECT_DOUBLE_EQ(QuantileFromHistogram(snap, 0.5), 8.0);
+}
+
+// ---------------------------------------------------------------------
+// TimerWheel
+
+TEST(ServeTimerWheelTest, ReleasesInVirtualTimeOrder) {
+  TimerWheel<int> wheel(0.001, 8);
+  wheel.Schedule(0.0052, 5);
+  wheel.Schedule(0.0012, 2);
+  wheel.Schedule(0.0004, 1);
+  wheel.Schedule(0.0049, 3);
+  wheel.Schedule(0.00495, 4);
+  EXPECT_EQ(wheel.pending(), 5u);
+  std::vector<int> order;
+  std::vector<TimerWheel<int>::Entry> due;
+  double last_end = 0.0;
+  while (wheel.pending() > 0) {
+    const double tick_end = wheel.AdvanceTick(&due);
+    EXPECT_GT(tick_end, last_end);
+    last_end = tick_end;
+    for (const auto& entry : due) {
+      EXPECT_LE(entry.due_seconds, tick_end);
+      order.push_back(entry.item);
+    }
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ServeTimerWheelTest, SameDeadlineKeepsScheduleOrder) {
+  TimerWheel<int> wheel(0.001);
+  wheel.Schedule(0.0033, 1);
+  wheel.Schedule(0.0033, 2);
+  wheel.Schedule(0.0033, 3);
+  std::vector<TimerWheel<int>::Entry> due;
+  while (wheel.pending() > 0) wheel.AdvanceTick(&due);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].item, 1);
+  EXPECT_EQ(due[1].item, 2);
+  EXPECT_EQ(due[2].item, 3);
+}
+
+// Far-future deadlines share slots with near ones (single-level wheel):
+// they must wait for their own revolution, not fire on the first pass.
+TEST(ServeTimerWheelTest, FarFutureSurvivesWheelRevolutions) {
+  TimerWheel<int> wheel(1.0, 4);  // 4 slots: tick 2 and tick 6 collide
+  wheel.Schedule(1.2, 10);
+  wheel.Schedule(5.3, 20);
+  std::vector<std::pair<uint64_t, int>> releases;
+  std::vector<TimerWheel<int>::Entry> due;
+  for (uint64_t tick = 1; wheel.pending() > 0; ++tick) {
+    wheel.AdvanceTick(&due);
+    for (const auto& entry : due) releases.emplace_back(tick, entry.item);
+  }
+  ASSERT_EQ(releases.size(), 2u);
+  EXPECT_EQ(releases[0], (std::pair<uint64_t, int>{2, 10}));
+  EXPECT_EQ(releases[1], (std::pair<uint64_t, int>{6, 20}));
+}
+
+TEST(ServeTimerWheelTest, PastDueDeadlineClampsToNextTick) {
+  TimerWheel<int> wheel(1.0, 4);
+  wheel.Schedule(0.5, 1);
+  std::vector<TimerWheel<int>::Entry> due;
+  EXPECT_DOUBLE_EQ(wheel.AdvanceTick(&due), 1.0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].item, 1);
+  // The wheel has already released tick 1; a deadline in the past lands
+  // in the very next tick instead of being lost.
+  wheel.Schedule(0.2, 2);
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_DOUBLE_EQ(wheel.AdvanceTick(&due), 2.0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].item, 2);
+}
+
+// ---------------------------------------------------------------------
+// BackoffMillis (block-policy backpressure)
+
+TEST(ServeBackoffTest, SpinWindowSleepsZero) {
+  sweep::RetryPolicy policy;  // initial_backoff_ms=1, max_attempts=4
+  for (int r = 0; r <= kBackoffSpinRetries; ++r) {
+    EXPECT_EQ(BackoffMillis(policy, r), 0) << "rejections=" << r;
+  }
+  EXPECT_GT(BackoffMillis(policy, kBackoffSpinRetries + 1), 0);
+}
+
+TEST(ServeBackoffTest, DoublesThenCapsAtPolicyDoublings) {
+  sweep::RetryPolicy policy;
+  policy.initial_backoff_ms = 1;
+  policy.max_attempts = 4;  // at most 3 doublings
+  EXPECT_EQ(BackoffMillis(policy, kBackoffSpinRetries + 1), 1);
+  EXPECT_EQ(BackoffMillis(policy, kBackoffSpinRetries + 2), 2);
+  EXPECT_EQ(BackoffMillis(policy, kBackoffSpinRetries + 3), 4);
+  EXPECT_EQ(BackoffMillis(policy, kBackoffSpinRetries + 4), 8);
+  // Saturates at max_attempts - 1 doublings.
+  EXPECT_EQ(BackoffMillis(policy, kBackoffSpinRetries + 5), 8);
+  EXPECT_EQ(BackoffMillis(policy, kBackoffSpinRetries + 500), 8);
+}
+
+// Regression: initial_backoff_ms << doublings overflowed int64_t when
+// the policy allowed enough attempts (undefined behaviour, negative
+// sleeps). The shift is now clamped and the result capped.
+TEST(ServeBackoffTest, HugeMaxAttemptsCannotOverflowOrExceedCeiling) {
+  sweep::RetryPolicy policy;
+  policy.initial_backoff_ms = 7;
+  policy.max_attempts = 1000000000;
+  int64_t previous = 0;
+  for (int r = kBackoffSpinRetries + 1; r < kBackoffSpinRetries + 200;
+       ++r) {
+    const int64_t ms = BackoffMillis(policy, r);
+    EXPECT_GE(ms, previous) << "backoff must be monotone, rejections=" << r;
+    EXPECT_GT(ms, 0);
+    EXPECT_LE(ms, kMaxBackoffMillis);
+    previous = ms;
+  }
+  EXPECT_EQ(BackoffMillis(policy, 1000000), kMaxBackoffMillis);
+}
+
+TEST(ServeBackoffTest, ZeroInitialBackoffDisablesSleeping) {
+  sweep::RetryPolicy policy;
+  policy.initial_backoff_ms = 0;
+  policy.max_attempts = 1000;
+  EXPECT_EQ(BackoffMillis(policy, 100000), 0);
 }
 
 // ---------------------------------------------------------------------
@@ -405,6 +660,137 @@ TEST(ServeEngineTest, GlobalInflightCapRejectsWithDropsInflight) {
   EXPECT_GE(it->second, 1);
 }
 
+// Drains the single-session engine to completion after a batched-offer
+// test poked records into it.
+void FinishSingleSession(ServeEngine* engine) {
+  for (;;) {
+    const AdmitResult admit = engine->OfferEnd(0, 0.0);
+    if (admit == AdmitResult::kAccepted || admit == AdmitResult::kFinished) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(engine->WaitAllFinished(/*timeout_seconds=*/120.0));
+}
+
+TEST(ServeEngineTest, OfferBatchAcceptsPrefixWhenRingFills) {
+  ServerOptions engine_options;
+  engine_options.workers = 1;
+  engine_options.slow_every = 1;  // hold the worker so nothing drains
+  engine_options.slow_ms = 100;
+  ServeEngine engine(engine_options);
+  SessionOptions options = FastSessionOptions(1);
+  options.ring_capacity = 4;
+  engine.AddSession(MakeInitedSession(0, 0, options));
+  const ServeEngine::BatchAdmit admit = engine.OfferBatch(0, 0, 10, 0.0);
+  // The ring holds 4: exactly the 4-record prefix is admitted, in order,
+  // and the remainder is classified for the producer to retry or drop.
+  EXPECT_EQ(admit.accepted, 4);
+  EXPECT_EQ(admit.rest, AdmitResult::kOverloaded);
+  EXPECT_EQ(engine.inflight(), 4);
+  const ServeEngine::BatchAdmit full = engine.OfferBatch(0, 4, 3, 0.0);
+  EXPECT_EQ(full.accepted, 0);
+  EXPECT_EQ(full.rest, AdmitResult::kOverloaded);
+  FinishSingleSession(&engine);
+}
+
+TEST(ServeEngineTest, OfferBatchClampsToGlobalInflightCap) {
+  MetricsRegistry::Global()->Reset();
+  ServerOptions engine_options;
+  engine_options.workers = 1;
+  engine_options.max_inflight = 2;
+  engine_options.slow_every = 1;
+  engine_options.slow_ms = 100;
+  ServeEngine engine(engine_options);
+  engine.AddSession(MakeInitedSession(0, 0, FastSessionOptions(1)));
+  const ServeEngine::BatchAdmit admit = engine.OfferBatch(0, 0, 10, 0.0);
+  EXPECT_EQ(admit.accepted, 2);  // cap clamps the run, never overshoots
+  EXPECT_EQ(admit.rest, AdmitResult::kOverloaded);
+  EXPECT_EQ(engine.inflight(), 2);
+  const ServeEngine::BatchAdmit rejected = engine.OfferBatch(0, 2, 5, 0.0);
+  EXPECT_EQ(rejected.accepted, 0);
+  EXPECT_EQ(rejected.rest, AdmitResult::kOverloaded);
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  const auto it = snap.volatile_counters.find("serve.drops_inflight");
+  ASSERT_NE(it, snap.volatile_counters.end());
+  EXPECT_GE(it->second, 1);
+  FinishSingleSession(&engine);
+}
+
+TEST(ServeEngineTest, OfferBatchShedsWholeRemainingRun) {
+  MetricsRegistry::Global()->Reset();
+  AdmissionOptions admission_options;
+  admission_options.shed_depth = 1;  // shed as soon as 1 record queues
+  admission_options.resume_depth = 0;
+  AdmissionController admission(admission_options);
+  ServerOptions engine_options;
+  engine_options.workers = 1;
+  engine_options.slow_every = 1;
+  engine_options.slow_ms = 100;
+  engine_options.admission = &admission;
+  ServeEngine engine(engine_options);
+  engine.AddSession(MakeInitedSession(0, 0, FastSessionOptions(1)));
+  // First batch is admitted (depth 0 at decision time)...
+  const ServeEngine::BatchAdmit first = engine.OfferBatch(0, 0, 1, 0.0);
+  EXPECT_EQ(first.accepted, 1);
+  // ...then the controller sheds the entire next run in ONE decision.
+  const ServeEngine::BatchAdmit shed = engine.OfferBatch(0, 1, 5, 0.0);
+  EXPECT_EQ(shed.accepted, 0);
+  EXPECT_EQ(shed.rest, AdmitResult::kShed);
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  const auto it = snap.volatile_counters.find("serve.drops_shed");
+  ASSERT_NE(it, snap.volatile_counters.end());
+  EXPECT_EQ(it->second, 5);  // the whole run, not one record
+  FinishSingleSession(&engine);
+}
+
+TEST(ServeEngineTest, OfferBatchToFinishedSessionReturnsFinished) {
+  ServerOptions engine_options;
+  engine_options.workers = 1;
+  ServeEngine engine(engine_options);
+  engine.AddSession(MakeInitedSession(0, 0, FastSessionOptions(1)));
+  FinishSingleSession(&engine);
+  const ServeEngine::BatchAdmit admit = engine.OfferBatch(0, 0, 8, 0.0);
+  EXPECT_EQ(admit.accepted, 0);
+  EXPECT_EQ(admit.rest, AdmitResult::kFinished);
+}
+
+// Regression: WaitAllFinished used to poll in 50 ms slices even with no
+// deadline eviction or breaker armed. It now sleeps on the completion
+// condition variable: an idle 300 ms wait must wake only when the last
+// session finishes (a handful of loop iterations), not once per slice.
+TEST(ServeEngineTest, WaitAllFinishedWakesOnCompletionNotSlices) {
+  MetricsRegistry::Global()->Reset();
+  ServerOptions engine_options;
+  engine_options.workers = 1;
+  ServeEngine engine(engine_options);
+  engine.AddSession(MakeInitedSession(0, 0, FastSessionOptions(1)));
+  std::thread finisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    for (;;) {
+      const AdmitResult admit = engine.OfferEnd(0, 0.0);
+      if (admit == AdmitResult::kAccepted ||
+          admit == AdmitResult::kFinished) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/120.0));
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  finisher.join();
+  EXPECT_GE(waited, 0.25) << "the wait must actually have been idle";
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  const auto it = snap.volatile_counters.find("serve.wait_wakeups");
+  ASSERT_NE(it, snap.volatile_counters.end());
+  // Slice-polling would have woken ~6 times in 300 ms; the cv wait wakes
+  // once to arm and once when the session finishes.
+  EXPECT_LE(it->second, 4);
+}
+
 // ---------------------------------------------------------------------
 // Load generator determinism
 
@@ -435,6 +821,75 @@ TEST(ServeLoadGenTest, DeliveryStatsAreReproducibleUnderBlockPolicy) {
   EXPECT_EQ(first.dropped, 0);
   EXPECT_EQ(second.dropped, 0);
   EXPECT_GT(first.offered, 0);
+}
+
+// One full load-generator pass over 3 fresh sessions; returns per-session
+// result dumps (block policy: every record delivered).
+std::vector<std::string> RunLoadDumps(const LoadGenOptions& load_options,
+                                      LoadStats* stats) {
+  ServerOptions engine_options;
+  engine_options.workers = 2;
+  ServeEngine engine(engine_options);
+  for (int64_t i = 0; i < 3; ++i) {
+    engine.AddSession(MakeInitedSession(i, static_cast<size_t>(i),
+                                        FastSessionOptions(2)));
+  }
+  LoadGenOptions load = load_options;
+  load.admission = AdmissionPolicy::kBlock;
+  *stats = RunLoadGenerator(&engine, load);
+  EXPECT_TRUE(engine.WaitAllFinished(/*timeout_seconds=*/120.0));
+  EXPECT_TRUE(engine.failures().empty());
+  std::vector<std::string> dumps;
+  for (size_t i = 0; i < engine.num_sessions(); ++i) {
+    dumps.push_back(DumpEval(engine.session(i)->result()));
+  }
+  return dumps;
+}
+
+// Record-batch admission must be invisible to the delivered record set
+// and the served outputs: batches are contiguous per-stream runs, so any
+// batch size yields bit-identical results under the block policy.
+TEST(ServeLoadGenTest, BatchedDeliveryIsBitIdenticalToUnbatched) {
+  LoadGenOptions load;
+  load.seed = 17;
+  load.producers = 2;
+  load.burst = 3;
+  LoadStats unbatched_stats;
+  const std::vector<std::string> unbatched =
+      RunLoadDumps(load, &unbatched_stats);
+  for (int64_t batch_records : {4, 64}) {
+    LoadGenOptions batched = load;
+    batched.batch_records = batch_records;
+    LoadStats stats;
+    const std::vector<std::string> dumps = RunLoadDumps(batched, &stats);
+    EXPECT_EQ(dumps, unbatched) << "batch_records=" << batch_records;
+    EXPECT_EQ(stats.offered, unbatched_stats.offered);
+    EXPECT_EQ(stats.accepted, unbatched_stats.accepted);
+    EXPECT_EQ(stats.dropped, 0);
+    EXPECT_EQ(stats.shed, 0);
+  }
+}
+
+// Timer-wheel pacing changes only wall-clock timing, never the virtual
+// schedule: the paced replay must deliver the same record set and
+// produce bit-identical outputs to the unpaced one.
+TEST(ServeLoadGenTest, PacedReplayIsBitIdenticalToUnpaced) {
+  LoadGenOptions load;
+  load.seed = 23;
+  load.producers = 2;
+  load.rate = 200000.0;  // keep the paced virtual duration tiny
+  LoadStats unpaced_stats;
+  const std::vector<std::string> unpaced =
+      RunLoadDumps(load, &unpaced_stats);
+  LoadGenOptions paced = load;
+  paced.paced = true;
+  paced.pace_tick_seconds = 0.002;
+  paced.batch_records = 8;  // pacing and batching compose
+  LoadStats paced_stats;
+  const std::vector<std::string> dumps = RunLoadDumps(paced, &paced_stats);
+  EXPECT_EQ(dumps, unpaced);
+  EXPECT_EQ(paced_stats.offered, unpaced_stats.offered);
+  EXPECT_EQ(paced_stats.accepted, unpaced_stats.accepted);
 }
 
 // ---------------------------------------------------------------------
@@ -482,6 +937,10 @@ TEST(ServeCliTest, UsageErrorsExitTwo) {
   EXPECT_EQ(RunServeCli("--chaos-slow=5"), 2);
   EXPECT_EQ(RunServeCli("--chaos-slow=0:10"), 2);
   EXPECT_EQ(RunServeCli("--deterministic-metrics"), 2);
+  EXPECT_EQ(RunServeCli("--batch-records=0"), 2);
+  EXPECT_EQ(RunServeCli("--distinct-streams=-1"), 2);
+  EXPECT_EQ(RunServeCli("--state-pool=1"), 2);  // takes no value
+  EXPECT_EQ(RunServeCli("--pace-tick-ms=0"), 2);
 }
 
 TEST(ServeCliTest, TinyRunExitsZeroAndWritesMetrics) {
